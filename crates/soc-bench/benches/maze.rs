@@ -1,0 +1,49 @@
+//! Maze algorithm comparison across maze sizes: steps/ticks to exit for
+//! greedy vs wall-following vs random walk vs the BFS oracle (the
+//! Figure 1/2 lab, as a bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_robotics::algorithms::{self, Hand, RandomWalk, TwoDistanceGreedy, WallFollower};
+use soc_robotics::maze::Maze;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn bench_maze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maze");
+
+    for size in [9usize, 15, 25] {
+        let maze = Maze::generate(size, size, 42);
+        let budget = size * size * 20;
+        group.bench_with_input(BenchmarkId::new("generate", size), &size, |b, &s| {
+            b.iter(|| Maze::generate(s, s, std::hint::black_box(42)))
+        });
+        group.bench_with_input(BenchmarkId::new("generate_prim", size), &size, |b, &s| {
+            b.iter(|| Maze::generate_prim(s, s, std::hint::black_box(42)))
+        });
+        group.bench_with_input(BenchmarkId::new("bfs_oracle", size), &maze, |b, m| {
+            b.iter(|| algorithms::oracle_steps(std::hint::black_box(m)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", size), &maze, |b, m| {
+            b.iter(|| algorithms::run(m, &mut TwoDistanceGreedy::new(), budget))
+        });
+        group.bench_with_input(BenchmarkId::new("wall_follow", size), &maze, |b, m| {
+            b.iter(|| algorithms::run(m, &mut WallFollower::new(Hand::Right), budget))
+        });
+        group.bench_with_input(BenchmarkId::new("random_walk", size), &maze, |b, m| {
+            b.iter(|| algorithms::run(m, &mut RandomWalk::new(1), budget))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_maze
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Service directory performance: TF-IDF search latency vs repository
+//! size, the ranked engine vs the naive scan, index build cost, and
+//! crawler throughput across a directory federation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soc_http::MemNetwork;
+use soc_registry::crawler::Crawler;
+use soc_registry::directory::DirectoryService;
+use soc_registry::search::SearchEngine;
+use soc_registry::Repository;
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry");
+
+    for n in [100usize, 1000, 5000] {
+        let catalog = soc_bench::synthetic_catalog(n, 9);
+        group.bench_with_input(BenchmarkId::new("index_build", n), &catalog, |b, cat| {
+            b.iter(|| SearchEngine::build(cat.iter().cloned()))
+        });
+        let engine = SearchEngine::build(catalog.iter().cloned());
+        group.bench_with_input(BenchmarkId::new("tfidf_search_common", n), &engine, |b, e| {
+            b.iter(|| e.search(std::hint::black_box("service cloud robot"), 10))
+        });
+        group.bench_with_input(BenchmarkId::new("tfidf_search", n), &engine, |b, e| {
+            b.iter(|| e.search(std::hint::black_box("captcha"), 10))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", n), &engine, |b, e| {
+            b.iter(|| e.naive_scan(std::hint::black_box("captcha")))
+        });
+    }
+
+    // Crawler across a 4-directory chain.
+    let net = MemNetwork::new();
+    for i in 0..4 {
+        let repo = Repository::new();
+        for d in soc_bench::synthetic_catalog(50, i as u64) {
+            let mut d = d;
+            d.id = format!("dir{i}-{}", d.id);
+            repo.publish(d).unwrap();
+        }
+        let peers = if i < 3 { vec![format!("mem://dir-{}", i + 1)] } else { vec![] };
+        let (dir, _) = DirectoryService::new(repo, peers);
+        net.host(&format!("dir-{i}"), dir);
+    }
+    let transport: Arc<dyn soc_http::mem::Transport> = Arc::new(net);
+    group.bench_function("crawl_4_directories_200_services", |b| {
+        b.iter(|| Crawler::new(transport.clone()).crawl(&["mem://dir-0"]))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_registry
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! XML processing models head to head (CSE445 unit 4): streaming SAX
+//! statistics vs DOM construction vs XPath querying vs serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soc_xml::{sax, xpath, Document};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xml");
+
+    for (label, breadth, depth) in [("small", 4usize, 3usize), ("medium", 6, 4), ("large", 8, 5)] {
+        let xml = soc_bench::synthetic_xml(breadth, depth);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("sax_statistics", label), &xml, |b, xml| {
+            b.iter(|| sax::statistics(std::hint::black_box(xml)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dom_parse", label), &xml, |b, xml| {
+            b.iter(|| Document::parse_str(std::hint::black_box(xml)).unwrap())
+        });
+
+        let doc = Document::parse_str(&xml).unwrap();
+        group.bench_with_input(BenchmarkId::new("xpath_descendants", label), &doc, |b, doc| {
+            b.iter(|| xpath::eval("//n1[@id]", std::hint::black_box(doc)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("serialize", label), &doc, |b, doc| {
+            b.iter(|| std::hint::black_box(doc).to_xml())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_xml
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Figure 1 harness** — the "Web-based robotics programming
+//! environment": drive the Robot-as-a-Service API the way the paper's
+//! web page does (a few drop-down commands, sensors, then an autonomous
+//! algorithm), printing each interaction and the rendered maze.
+//!
+//! ```sh
+//! cargo run -p soc-bench --bin fig1_raas
+//! ```
+
+use std::sync::Arc;
+
+use soc_http::{MemNetwork, Request};
+use soc_json::{json, Value};
+use soc_rest::RestClient;
+use soc_robotics::raas::RaasService;
+
+fn main() {
+    println!("Figure 1: Web-based robotics programming environment (Robot as a Service)");
+    soc_bench::print_rule(74);
+
+    let net = MemNetwork::new();
+    net.host("robot", RaasService::new());
+    let rest = RestClient::new(Arc::new(net));
+
+    // Create a session — the page's "new maze" button.
+    let session = rest
+        .post("mem://robot/sessions", &json!({ "width": 13, "height": 9, "seed": 14 }))
+        .expect("session");
+    let id = session.get("id").and_then(Value::as_i64).unwrap();
+    println!("POST /sessions            -> session {id}");
+
+    // The "program" a student writes with a few drop-down commands.
+    let program = ["forward", "forward", "right", "forward", "left", "forward"];
+    println!("\nstudent program: {program:?}");
+    for cmd in program {
+        let out = rest
+            .post(&format!("mem://robot/sessions/{id}/move"), &json!({ "action": cmd }))
+            .expect("move");
+        println!(
+            "POST /sessions/{id}/move    {cmd:<8} -> position {} heading {} (moved: {})",
+            out.get("position").map(|p| p.to_compact()).unwrap_or_default(),
+            out.get("heading").and_then(Value::as_str).unwrap_or("?"),
+            out.get("moved").and_then(Value::as_bool).unwrap_or(false),
+        );
+    }
+
+    let sensors = rest.get(&format!("mem://robot/sessions/{id}/sensors")).expect("sensors");
+    println!("GET  /sessions/{id}/sensors -> {sensors}");
+
+    // Hand control to each autonomous algorithm — the page's comparison.
+    println!("\nautonomous runs (fresh sessions, same maze seed):");
+    println!("{:<24} {:>8} {:>7} {:>7}", "algorithm", "reached", "steps", "ticks");
+    for algo in ["two-distance-greedy", "wall-follow-right", "wall-follow-left", "random-walk"] {
+        let s = rest
+            .post("mem://robot/sessions", &json!({ "width": 13, "height": 9, "seed": 14 }))
+            .unwrap();
+        let sid = s.get("id").and_then(Value::as_i64).unwrap();
+        let run = rest
+            .post(
+                &format!("mem://robot/sessions/{sid}/run"),
+                &json!({ "algorithm": algo, "max_ticks": 20000 }),
+            )
+            .unwrap();
+        println!(
+            "{:<24} {:>8} {:>7} {:>7}",
+            algo,
+            run.get("reached").and_then(Value::as_bool).unwrap_or(false),
+            run.get("steps").and_then(Value::as_i64).unwrap_or(-1),
+            run.get("ticks").and_then(Value::as_i64).unwrap_or(-1),
+        );
+    }
+
+    // The rendered maze pane.
+    let art = rest
+        .send_raw(Request::get(format!("mem://robot/sessions/{id}/render")))
+        .unwrap();
+    println!("\nmaze pane (S start, E exit, R robot):\n{}", art.text_body().unwrap());
+}

@@ -1,0 +1,73 @@
+//! **Figure 2 harness** — "Two-distance algorithm in finite state
+//! machine": run the greedy FSM navigator across seeded mazes and print
+//! its state machine (states, transition counts, a trace excerpt), plus
+//! the success/steps comparison against the wall follower and oracle.
+//!
+//! ```sh
+//! cargo run -p soc-bench --bin fig2_fsm
+//! ```
+
+use std::collections::BTreeMap;
+
+use soc_robotics::algorithms::{self, Hand, TwoDistanceGreedy, WallFollower};
+use soc_robotics::maze::Maze;
+
+fn main() {
+    println!("Figure 2: two-distance greedy algorithm as a finite state machine");
+    soc_bench::print_rule(72);
+
+    // One instrumented run to show the FSM itself.
+    let maze = Maze::generate(11, 11, 3);
+    let mut nav = TwoDistanceGreedy::new();
+    let out = algorithms::run(&maze, &mut nav, 11 * 11 * 10);
+    println!("single run on an 11×11 maze: reached={} steps={} ticks={}", out.reached, out.steps, out.ticks);
+
+    let mut transition_counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for (from, event, to) in nav.trace() {
+        *transition_counts
+            .entry((from.clone(), event.clone(), to.clone()))
+            .or_insert(0) += 1;
+    }
+    println!("\nFSM transitions taken (the arrows of Figure 2):");
+    println!("{:<12} {:<10} {:<12} {:>6}", "from", "event", "to", "count");
+    for ((from, event, to), count) in &transition_counts {
+        println!("{from:<12} {event:<10} {to:<12} {count:>6}");
+    }
+    println!("\ntrace excerpt (first 10 transitions):");
+    for (from, event, to) in nav.trace().iter().take(10) {
+        println!("  {from} --{event}--> {to}");
+    }
+
+    // Batch comparison across seeds — the figure's pedagogical payload.
+    println!("\nbatch over 20 seeded 13×13 perfect mazes:");
+    println!(
+        "{:<24} {:>9} {:>12} {:>12}",
+        "algorithm", "solved", "mean steps", "vs oracle"
+    );
+    let budget = 13 * 13 * 10;
+    for algo in ["two-distance-greedy", "wall-follow-right"] {
+        let mut solved = 0;
+        let mut steps = 0usize;
+        let mut oracle = 0usize;
+        for seed in 0..20 {
+            let m = Maze::generate(13, 13, seed);
+            let mut nav: Box<dyn algorithms::Navigator> = match algo {
+                "two-distance-greedy" => Box::new(TwoDistanceGreedy::new()),
+                _ => Box::new(WallFollower::new(Hand::Right)),
+            };
+            let out = algorithms::run(&m, nav.as_mut(), budget * 4);
+            if out.reached {
+                solved += 1;
+                steps += out.steps;
+                oracle += algorithms::oracle_steps(&m).unwrap();
+            }
+        }
+        println!(
+            "{:<24} {:>6}/20 {:>12.1} {:>11.2}×",
+            algo,
+            solved,
+            steps as f64 / solved.max(1) as f64,
+            steps as f64 / oracle.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! **Figure 3 harness** — "Speedup and efficiency" of Collatz
+//! conjecture validation, single core up through 32 cores.
+//!
+//! The paper measured a TBB-threaded validator on Intel's 32-core
+//! Manycore Testing Lab and plotted speedup plus usage efficiency for
+//! 4, 8, 16, and 32 cores against a single core. We reproduce it twice:
+//!
+//! 1. **Measured** — the real `soc-parallel` work-stealing pool on this
+//!    host (bounded by the host's core count).
+//! 2. **Simulated** — the identical task graph list-scheduled on k
+//!    virtual cores (`soc_parallel::simcore`), which reproduces the
+//!    1–32-core *shape* regardless of the host (see DESIGN.md's
+//!    substitution table).
+//!
+//! ```sh
+//! cargo run -p soc-bench --release --bin fig3_collatz
+//! ```
+
+use std::time::Instant;
+
+use soc_curriculum::chart::ascii_chart;
+use soc_parallel::metrics::{amdahl_speedup, scaling_table};
+use soc_parallel::simcore::scaling_series;
+use soc_parallel::workloads::{collatz_task_graph, validate_parallel, validate_sequential};
+use soc_parallel::{Schedule, ThreadPool};
+
+fn main() {
+    let limit: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400_000);
+    let cores = [1usize, 4, 8, 16, 32];
+
+    println!("Figure 3: Collatz conjecture validation over [1, {limit}]");
+    soc_bench::print_rule(64);
+
+    // ---- measured on this host ----------------------------------------
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("\n[measured] host parallelism: {host} hardware thread(s)");
+    let mut raw = Vec::new();
+    let reference = validate_sequential(limit);
+    for &threads in cores.iter().filter(|&&c| c <= (host * 4).max(4)) {
+        let pool = ThreadPool::new(threads);
+        let start = Instant::now();
+        let report = validate_parallel(&pool, limit, Schedule::Dynamic { chunk: 1024 });
+        let elapsed = start.elapsed();
+        assert_eq!(report, reference, "parallel result must match sequential");
+        raw.push((threads, elapsed));
+    }
+    println!("{:>8} {:>12} {:>9} {:>11}", "threads", "time", "speedup", "efficiency");
+    for row in scaling_table(raw) {
+        println!(
+            "{:>8} {:>12?} {:>9.2} {:>10.1}%",
+            row.threads,
+            row.elapsed,
+            row.speedup,
+            row.efficiency * 100.0
+        );
+    }
+    println!(
+        "(longest trajectory below {limit}: {} steps at n = {})",
+        reference.max_steps, reference.argmax
+    );
+    if host < 4 {
+        println!(
+            "note: only {host} hardware thread(s) available — oversubscribed rows \
+             demonstrate the Table 1 lesson that more threads than cores does not help."
+        );
+    }
+
+    // ---- simulated 1..32 virtual cores ---------------------------------
+    println!("\n[simulated] identical task graph on k virtual cores (list scheduling)");
+    let graph = collatz_task_graph(limit.min(200_000), 256);
+    let series = scaling_series(&graph, &cores, 2);
+    println!("{:>8} {:>9} {:>11}", "cores", "speedup", "efficiency");
+    for &(c, s, e) in &series {
+        println!("{c:>8} {s:>9.2} {:>10.1}%", e * 100.0);
+    }
+
+    // The figure itself, in ASCII.
+    let speedups: Vec<f64> = series.iter().map(|&(_, s, _)| s).collect();
+    let efficiencies: Vec<f64> = series.iter().map(|&(_, _, e)| e * 32.0).collect();
+    println!("\nFigure 3 (simulated; efficiency scaled ×32 to share the axis):");
+    print!(
+        "{}",
+        ascii_chart(&[("speedup", &speedups), ("efficiency", &efficiencies)], 48, 12)
+    );
+    println!("          x-axis: cores = 1, 4, 8, 16, 32");
+
+    // Amdahl cross-check: estimate the serial fraction from the 32-core
+    // point and verify the whole curve is consistent with that model.
+    let (_, s32, _) = *series.last().unwrap();
+    let serial_est = (32.0 / s32 - 1.0) / 31.0;
+    println!("\nAmdahl cross-check: 32-core speedup {s32:.2} implies serial fraction ≈ {:.2}%", serial_est * 100.0);
+    println!("{:>8} {:>11} {:>11}", "cores", "simulated", "amdahl-fit");
+    for &(c, s, _) in &series {
+        println!("{c:>8} {s:>11.2} {:>11.2}", amdahl_speedup(serial_est.clamp(0.0, 1.0), c));
+    }
+
+    // Shape assertions (what EXPERIMENTS.md records).
+    assert!(series.windows(2).all(|w| w[1].1 > w[0].1), "speedup must rise with cores");
+    assert!(series.windows(2).all(|w| w[1].2 <= w[0].2 + 1e-9), "efficiency must fall");
+    let (_, s32, e32) = *series.last().unwrap();
+    println!(
+        "\nshape check: monotone speedup ✓, declining efficiency ✓, \
+         32-core speedup {s32:.1} ({:.0}% efficiency) — sublinear, as in the paper.",
+        e32 * 100.0
+    );
+}

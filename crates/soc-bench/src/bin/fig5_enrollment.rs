@@ -1,0 +1,58 @@
+//! **Figure 5 harness** — "CSE445/598 enrollment 2006 to 2014": the
+//! three series (CSE445, CSE598, combined) plotted from Table 4.
+//!
+//! ```sh
+//! cargo run -p soc-bench --bin fig5_enrollment
+//! ```
+
+use soc_curriculum::chart::ascii_chart;
+use soc_services::image::{line_chart, Color};
+use soc_curriculum::enrollment::{figure5_series, growth_summary, term_labels, TABLE4};
+
+fn main() {
+    println!("Figure 5: CSE445/598 enrollment 2006 to 2014");
+    soc_bench::print_rule(64);
+
+    let (cse445, cse598, combined) = figure5_series(&TABLE4);
+    print!(
+        "{}",
+        ascii_chart(
+            &[("CSE445", &cse445), ("CSE598", &cse598), ("Combined", &combined)],
+            64,
+            16,
+        )
+    );
+    let labels = term_labels(&TABLE4);
+    println!("          x-axis: {} … {}", labels.first().unwrap(), labels.last().unwrap());
+
+    let g = growth_summary(&TABLE4).expect("data present");
+    println!("\npaper claims, recomputed from Table 4:");
+    println!("  combined enrollment Fall 2006: {}", g.first_total);
+    println!(
+        "  peak combined enrollment: {} in {} {}",
+        g.peak_total, g.peak_term.1, g.peak_term.0
+    );
+    println!("  growth factor first→last term: {:.2}×", g.growth_factor);
+    println!("  least-squares trend: {:+.2} students/term", g.trend_per_term);
+
+    assert_eq!(g.first_total, 39, "paper: 39 in Fall 2006");
+    assert_eq!(g.peak_total, 134, "paper: 134 in Fall 2013");
+    println!("\nshape check: 39 (Fall'06) → 134 (Fall'13) ✓ — matches the paper's narrative.");
+
+    // Also render the figure as a BMP with the repository's own dynamic
+    // image generation service (the paper's unit-5 graphics topic).
+    let img = line_chart(
+        "CSE445 598 ENROLLMENT 2006-2014",
+        &[
+            ("CSE445", cse445, Color::BLUE),
+            ("CSE598", cse598, Color::RED),
+            ("Combined", combined, Color::GREEN),
+        ],
+        480,
+        240,
+    );
+    let path = std::env::temp_dir().join("figure5.bmp");
+    if std::fs::write(&path, img.to_bmp()).is_ok() {
+        println!("BMP rendering written to {}", path.display());
+    }
+}

@@ -1,0 +1,40 @@
+//! **Table 4 harness** — "CSE445/598 enrollments since Fall 2006",
+//! printed in the paper's exact row format plus derived statistics.
+//!
+//! ```sh
+//! cargo run -p soc-bench --bin table4_enrollment
+//! ```
+
+use soc_curriculum::enrollment::{growth_summary, TABLE4};
+
+fn main() {
+    println!("Table 4. CSE445/598 enrollments since Fall 2006");
+    soc_bench::print_rule(58);
+    println!(
+        "{:<6} {:<10} {:>14} {:>14} {:>10}",
+        "Year", "Semester", "445 enrollment", "598 enrollment", "Total"
+    );
+    soc_bench::print_rule(58);
+    for r in &TABLE4 {
+        println!(
+            "{:<6} {:<10} {:>14} {:>14} {:>10}",
+            r.year,
+            r.semester.to_string(),
+            r.cse445,
+            r.cse598,
+            r.total()
+        );
+    }
+    soc_bench::print_rule(58);
+
+    let sum445: u32 = TABLE4.iter().map(|r| r.cse445).sum();
+    let sum598: u32 = TABLE4.iter().map(|r| r.cse598).sum();
+    println!(
+        "{:<6} {:<10} {:>14} {:>14} {:>10}",
+        "", "sum", sum445, sum598, sum445 + sum598
+    );
+
+    let g = growth_summary(&TABLE4).expect("data");
+    println!("\nderived: first total {} → last total {} (peak {} in {} {})",
+        g.first_total, g.last_total, g.peak_total, g.peak_term.1, g.peak_term.0);
+}

@@ -1,0 +1,49 @@
+//! **Table 5 harness** — "CSE445/598 student evaluation scores", in the
+//! paper's row format plus the summaries behind its "well received"
+//! conclusion.
+//!
+//! ```sh
+//! cargo run -p soc-bench --bin table5_evaluation
+//! ```
+
+use soc_curriculum::evaluation::{summary_445, summary_598, verbal_scale, TABLE5};
+
+fn main() {
+    println!("Table 5. CSE445/598 student evaluation scores");
+    soc_bench::print_rule(48);
+    println!("{:<6} {:<10} {:>10} {:>10}", "Year", "Semester", "445 score", "598 score");
+    soc_bench::print_rule(48);
+    for r in &TABLE5 {
+        println!(
+            "{:<6} {:<10} {:>10.2} {:>10.2}",
+            r.year,
+            r.semester.to_string(),
+            r.cse445,
+            r.cse598
+        );
+    }
+    soc_bench::print_rule(48);
+
+    let s445 = summary_445(&TABLE5).expect("data");
+    let s598 = summary_598(&TABLE5).expect("data");
+    println!("\nderived summaries (scale: 5.0 very good, 4.0 good, 3.0 fair, 2.0 poor):");
+    println!(
+        "  CSE445: mean {:.2} ({}) | min {:.2} | max {:.2} | first {:.2} → last {:.2}",
+        s445.mean,
+        verbal_scale(s445.mean),
+        s445.min,
+        s445.max,
+        s445.first,
+        s445.last
+    );
+    println!(
+        "  CSE598: mean {:.2} ({}) | min {:.2} | max {:.2} | first {:.2} → last {:.2}",
+        s598.mean,
+        verbal_scale(s598.mean),
+        s598.min,
+        s598.max,
+        s598.first,
+        s598.last
+    );
+    println!("  598 ≥ 445 in every term: {}", TABLE5.iter().all(|r| r.cse598 >= r.cse445));
+}

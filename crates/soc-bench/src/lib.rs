@@ -1,0 +1,121 @@
+//! # soc-bench — the benchmark and reproduction harness
+//!
+//! One binary per paper table/figure (see `src/bin/`) and one Criterion
+//! bench per performance question (see `benches/`). DESIGN.md carries
+//! the full experiment index; EXPERIMENTS.md records paper-vs-measured.
+//!
+//! This library holds the workload generators the binaries and benches
+//! share.
+
+use soc_registry::descriptor::{Binding, ServiceDescriptor};
+
+/// Deterministic pseudo-random u64 stream (SplitMix64) — benches avoid
+/// pulling `rand` into hot loops.
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// Next value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+const WORDS: &[&str] = &[
+    "service", "cloud", "robot", "maze", "cart", "cipher", "image", "captcha", "credit",
+    "mortgage", "queue", "cache", "password", "workflow", "soap", "rest", "xml", "registry",
+    "broker", "client", "provider", "discovery", "composition", "integration", "distributed",
+    "parallel", "thread", "lock", "event", "semaphore",
+];
+
+/// Generate `n` synthetic service descriptors with word-salad
+/// descriptions (the registry/search corpus).
+pub fn synthetic_catalog(n: usize, seed: u64) -> Vec<ServiceDescriptor> {
+    let mut rng = SplitMix(seed);
+    (0..n)
+        .map(|i| {
+            let words: Vec<&str> = (0..8)
+                .map(|_| WORDS[rng.below(WORDS.len() as u64) as usize])
+                .collect();
+            let kw1 = WORDS[rng.below(WORDS.len() as u64) as usize];
+            let kw2 = WORDS[rng.below(WORDS.len() as u64) as usize];
+            ServiceDescriptor::new(
+                &format!("svc-{i}"),
+                &format!("{} {} service {i}", words[0], words[1]),
+                &format!("mem://host-{}/{i}", rng.below(16)),
+                if i % 3 == 0 { Binding::Soap } else { Binding::Rest },
+            )
+            .describe(&words.join(" "))
+            .category(WORDS[rng.below(8) as usize])
+            .keywords(&[kw1, kw2])
+        })
+        .collect()
+}
+
+/// Generate a synthetic XML document with `breadth` children per node
+/// and `depth` levels (the XML bench corpus).
+pub fn synthetic_xml(breadth: usize, depth: usize) -> String {
+    fn emit(out: &mut String, breadth: usize, depth: usize, rng: &mut SplitMix) {
+        if depth == 0 {
+            out.push_str(&format!("v{}", rng.below(1000)));
+            return;
+        }
+        for i in 0..breadth {
+            out.push_str(&format!("<n{} id=\"{}\">", i % 4, rng.below(100)));
+            emit(out, breadth, depth - 1, rng);
+            out.push_str(&format!("</n{}>", i % 4));
+        }
+    }
+    let mut out = String::from("<root>");
+    let mut rng = SplitMix(7);
+    emit(&mut out, breadth, depth, &mut rng);
+    out.push_str("</root>");
+    out
+}
+
+/// Standard table-printing helper for the figure binaries.
+pub fn print_rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix(1);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix(1);
+            (0..5).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn catalog_has_unique_ids() {
+        let c = synthetic_catalog(100, 3);
+        let ids: std::collections::HashSet<&str> = c.iter().map(|d| d.id.as_str()).collect();
+        assert_eq!(ids.len(), 100);
+        assert!(c.iter().any(|d| d.binding == Binding::Soap));
+    }
+
+    #[test]
+    fn synthetic_xml_parses() {
+        let xml = synthetic_xml(3, 3);
+        let doc = soc_xml::Document::parse_str(&xml).unwrap();
+        assert!(doc.len() > 20);
+    }
+}

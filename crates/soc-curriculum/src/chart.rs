@@ -1,0 +1,112 @@
+//! ASCII chart rendering for terminal reproduction of Figure 5 (and any
+//! other series the harness binaries print).
+
+/// Render one or more named series as an ASCII line/scatter chart of
+/// the given size. Values are scaled to the global maximum.
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let markers = ['*', '+', 'o', 'x', '#'];
+    let mut grid = vec![vec![' '; width]; height];
+
+    for (si, (_, values)) in series.iter().enumerate() {
+        if values.is_empty() {
+            continue;
+        }
+        let marker = markers[si % markers.len()];
+        for (i, &v) in values.iter().enumerate() {
+            let x = if values.len() == 1 {
+                0
+            } else {
+                i * (width - 1) / (values.len() - 1)
+            };
+            let y = ((v / max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{max:>8.1} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..] {
+        out.push_str("         │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("         └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str("          ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}   ", markers[si % markers.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+/// Render a horizontal bar chart with labels and values.
+pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in rows {
+        let bar_len = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} │{} {v:.1}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let up: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let down: Vec<f64> = (1..=10).rev().map(|i| i as f64).collect();
+        let out = ascii_chart(&[("rising", &up), ("falling", &down)], 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("rising"));
+        assert!(out.contains("falling"));
+        assert!(out.lines().count() >= 12);
+    }
+
+    #[test]
+    fn peak_is_at_top_row() {
+        let v = vec![1.0, 2.0, 10.0, 2.0];
+        let out = ascii_chart(&[("s", &v)], 20, 6);
+        let first_data_line = out.lines().next().unwrap();
+        assert!(first_data_line.contains('*'), "{out}");
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let rows = vec![("a".to_string(), 5.0), ("bb".to_string(), 10.0)];
+        let out = ascii_bars(&rows, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        let count = |s: &str| s.chars().filter(|&c| c == '█').count();
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[0]), 5);
+        // Labels right-aligned to the widest.
+        assert!(lines[0].starts_with(" a"));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let out = ascii_chart(&[("empty", &[])], 20, 5);
+        assert!(out.contains("empty"));
+        assert!(ascii_bars(&[], 10).is_empty());
+    }
+}

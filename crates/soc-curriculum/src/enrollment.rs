@@ -1,0 +1,187 @@
+//! Table 4: CSE445/598 enrollments since Fall 2006, and the analytics
+//! behind Figure 5 and the paper's growth claims.
+
+/// Academic semester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semester {
+    /// Spring term.
+    Spring,
+    /// Fall term.
+    Fall,
+}
+
+impl std::fmt::Display for Semester {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Semester::Spring => write!(f, "Spring"),
+            Semester::Fall => write!(f, "Fall"),
+        }
+    }
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnrollmentRow {
+    /// Calendar year.
+    pub year: u16,
+    /// Term.
+    pub semester: Semester,
+    /// CSE445 (undergraduate) enrollment.
+    pub cse445: u32,
+    /// CSE598 (graduate) enrollment.
+    pub cse598: u32,
+}
+
+impl EnrollmentRow {
+    /// Combined enrollment (the paper's "Enrollment total" column).
+    pub fn total(&self) -> u32 {
+        self.cse445 + self.cse598
+    }
+}
+
+/// Table 4, transcribed verbatim from the paper.
+pub const TABLE4: [EnrollmentRow; 16] = [
+    EnrollmentRow { year: 2006, semester: Semester::Fall, cse445: 25, cse598: 14 },
+    EnrollmentRow { year: 2007, semester: Semester::Spring, cse445: 16, cse598: 16 },
+    EnrollmentRow { year: 2007, semester: Semester::Fall, cse445: 24, cse598: 21 },
+    EnrollmentRow { year: 2008, semester: Semester::Spring, cse445: 39, cse598: 8 },
+    EnrollmentRow { year: 2008, semester: Semester::Fall, cse445: 35, cse598: 23 },
+    EnrollmentRow { year: 2009, semester: Semester::Spring, cse445: 38, cse598: 13 },
+    EnrollmentRow { year: 2009, semester: Semester::Fall, cse445: 33, cse598: 10 },
+    EnrollmentRow { year: 2010, semester: Semester::Spring, cse445: 38, cse598: 22 },
+    EnrollmentRow { year: 2010, semester: Semester::Fall, cse445: 42, cse598: 34 },
+    EnrollmentRow { year: 2011, semester: Semester::Spring, cse445: 50, cse598: 20 },
+    EnrollmentRow { year: 2011, semester: Semester::Fall, cse445: 30, cse598: 52 },
+    EnrollmentRow { year: 2012, semester: Semester::Spring, cse445: 52, cse598: 15 },
+    EnrollmentRow { year: 2012, semester: Semester::Fall, cse445: 42, cse598: 35 },
+    EnrollmentRow { year: 2013, semester: Semester::Spring, cse445: 55, cse598: 38 },
+    EnrollmentRow { year: 2013, semester: Semester::Fall, cse445: 44, cse598: 90 },
+    EnrollmentRow { year: 2014, semester: Semester::Spring, cse445: 50, cse598: 62 },
+];
+
+/// Summary statistics over a span of rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthSummary {
+    /// First row's combined enrollment.
+    pub first_total: u32,
+    /// Last row's combined enrollment.
+    pub last_total: u32,
+    /// Peak combined enrollment.
+    pub peak_total: u32,
+    /// Which row peaked (`year`, `semester`).
+    pub peak_term: (u16, Semester),
+    /// last/first ratio.
+    pub growth_factor: f64,
+    /// Least-squares slope of combined enrollment per term.
+    pub trend_per_term: f64,
+}
+
+/// Compute the growth summary the paper narrates ("increased from 39 in
+/// Fall 2006 to 134 in Fall 2013").
+pub fn growth_summary(rows: &[EnrollmentRow]) -> Option<GrowthSummary> {
+    let first = rows.first()?;
+    let last = rows.last()?;
+    let peak = rows.iter().max_by_key(|r| r.total())?;
+    // Least squares on (index, total).
+    let n = rows.len() as f64;
+    let sum_x: f64 = (0..rows.len()).map(|i| i as f64).sum();
+    let sum_y: f64 = rows.iter().map(|r| r.total() as f64).sum();
+    let sum_xy: f64 = rows.iter().enumerate().map(|(i, r)| i as f64 * r.total() as f64).sum();
+    let sum_xx: f64 = (0..rows.len()).map(|i| (i * i) as f64).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    let slope = if denom.abs() < f64::EPSILON {
+        0.0
+    } else {
+        (n * sum_xy - sum_x * sum_y) / denom
+    };
+    Some(GrowthSummary {
+        first_total: first.total(),
+        last_total: last.total(),
+        peak_total: peak.total(),
+        peak_term: (peak.year, peak.semester),
+        growth_factor: last.total() as f64 / first.total().max(1) as f64,
+        trend_per_term: slope,
+    })
+}
+
+/// The three series Figure 5 plots: CSE445, CSE598, combined.
+pub fn figure5_series(rows: &[EnrollmentRow]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        rows.iter().map(|r| r.cse445 as f64).collect(),
+        rows.iter().map(|r| r.cse598 as f64).collect(),
+        rows.iter().map(|r| r.total() as f64).collect(),
+    )
+}
+
+/// Term labels in the figure's x-axis form (`2006 Fall` → `06F`).
+pub fn term_labels(rows: &[EnrollmentRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{:02}{}",
+                r.year % 100,
+                match r.semester {
+                    Semester::Spring => "S",
+                    Semester::Fall => "F",
+                }
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_matches_paper_totals() {
+        // Spot-check the rows the paper narrates explicitly.
+        assert_eq!(TABLE4[0].total(), 39); // Fall 2006
+        assert_eq!(TABLE4[14].total(), 134); // Fall 2013
+        assert_eq!(TABLE4[15].total(), 112); // Spring 2014
+        assert_eq!(TABLE4.len(), 16);
+    }
+
+    #[test]
+    fn all_rows_have_consistent_totals() {
+        for r in &TABLE4 {
+            assert_eq!(r.total(), r.cse445 + r.cse598);
+            assert!(r.total() > 0);
+        }
+    }
+
+    #[test]
+    fn growth_summary_reproduces_paper_claims() {
+        let g = growth_summary(&TABLE4).unwrap();
+        // "The combined enrollment has increased from 39 in Fall 2006 to
+        // 134 in Fall 2013."
+        assert_eq!(g.first_total, 39);
+        assert_eq!(g.peak_total, 134);
+        assert_eq!(g.peak_term, (2013, Semester::Fall));
+        assert!(g.growth_factor > 2.5, "growth {:.2}", g.growth_factor);
+        // "Both sections show significant increases from 2006 to 2014."
+        assert!(g.trend_per_term > 3.0, "trend {:.2}", g.trend_per_term);
+    }
+
+    #[test]
+    fn figure5_series_shapes() {
+        let (a, b, c) = figure5_series(&TABLE4);
+        assert_eq!(a.len(), 16);
+        assert_eq!(b.len(), 16);
+        for i in 0..16 {
+            assert_eq!(a[i] + b[i], c[i]);
+        }
+    }
+
+    #[test]
+    fn labels_format() {
+        let labels = term_labels(&TABLE4);
+        assert_eq!(labels[0], "06F");
+        assert_eq!(labels[15], "14S");
+    }
+
+    #[test]
+    fn empty_rows_yield_no_summary() {
+        assert!(growth_summary(&[]).is_none());
+    }
+}

@@ -1,0 +1,21 @@
+//! # soc-curriculum — the paper's evaluation data and analytics
+//!
+//! The paper's quantitative content is curricular: enrollment counts
+//! (Table 4, plotted as Figure 5), student evaluation scores (Table 5),
+//! and the ACM CS curriculum coverage matrices (Tables 1–3). This crate
+//! transcribes that data verbatim and implements the analytics and
+//! rendering that regenerate each table/figure:
+//!
+//! - [`enrollment`] — Table 4 rows + growth statistics + the Figure 5
+//!   series.
+//! - [`evaluation`] — Table 5 rows + trend analysis.
+//! - [`acm`] — Tables 1–3 topics, Bloom levels, and the mapping from
+//!   each topic to the workspace module that implements it (checked by
+//!   tests, so the "coverage" claim is executable).
+//! - [`chart`] — ASCII chart rendering for terminal reproduction of
+//!   Figure 5 (the image renderer lives in `soc-services::image`).
+
+pub mod acm;
+pub mod chart;
+pub mod enrollment;
+pub mod evaluation;

@@ -1,0 +1,98 @@
+//! A blocking HTTP client over TCP.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::codec::{self, DEFAULT_BODY_LIMIT};
+use crate::types::{HttpError, HttpResult, Request, Response};
+use crate::url::Url;
+
+/// A simple one-connection-per-request client. The request's `target`
+/// must be an absolute `http://` URL; the client rewrites it to
+/// origin-form on the wire.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    timeout: Duration,
+    body_limit: usize,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HttpClient {
+    /// Client with a 30 s timeout.
+    pub fn new() -> Self {
+        HttpClient { timeout: Duration::from_secs(30), body_limit: DEFAULT_BODY_LIMIT }
+    }
+
+    /// Client with an explicit connect/read/write timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        HttpClient { timeout, body_limit: DEFAULT_BODY_LIMIT }
+    }
+
+    /// Cap the accepted response body size.
+    pub fn with_body_limit(mut self, limit: usize) -> Self {
+        self.body_limit = limit;
+        self
+    }
+
+    /// Send `req` and wait for the response.
+    pub fn send(&self, req: Request) -> HttpResult<Response> {
+        let url = Url::parse(&req.target)?;
+        if url.scheme != "http" {
+            return Err(HttpError::BadUrl(format!(
+                "HttpClient only speaks http://, got {}",
+                url.scheme
+            )));
+        }
+        let addr = (url.host.as_str(), url.port);
+        let stream = TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?;
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        stream.set_nodelay(true).ok();
+
+        let mut wire_req = req.clone();
+        wire_req.target = url.path_and_query();
+        // One-shot connection: tell the server not to wait for more.
+        if !wire_req.headers.contains("Connection") {
+            wire_req.headers.set("Connection", "close");
+        }
+        let mut writer = stream.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
+        codec::write_request(&mut writer, &wire_req, Some(&url.authority()))?;
+        let mut reader = BufReader::new(stream);
+        codec::read_response(&mut reader, self.body_limit)
+    }
+
+    /// GET an absolute URL.
+    pub fn get(&self, url: &str) -> HttpResult<Response> {
+        self.send(Request::get(url))
+    }
+
+    /// POST text with a content type.
+    pub fn post(&self, url: &str, content_type: &str, body: &str) -> HttpResult<Response> {
+        self.send(Request::post(url, Vec::new()).with_text(content_type, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_http_urls() {
+        let c = HttpClient::new();
+        assert!(matches!(c.get("mem://x/"), Err(HttpError::BadUrl(_))));
+        assert!(matches!(c.get("not a url"), Err(HttpError::BadUrl(_))));
+    }
+
+    #[test]
+    fn connection_refused_is_io_error() {
+        let c = HttpClient::with_timeout(Duration::from_millis(300));
+        // Port 1 on localhost is essentially never listening.
+        assert!(matches!(c.get("http://127.0.0.1:1/"), Err(HttpError::Io(_))));
+    }
+}

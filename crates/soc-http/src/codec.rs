@@ -1,0 +1,319 @@
+//! Wire-level encoding and decoding of HTTP/1.1 messages.
+//!
+//! Supports `Content-Length` and `Transfer-Encoding: chunked` bodies in
+//! both directions, with a configurable body size limit (dependability
+//! unit: a service must bound attacker-controlled allocations).
+
+use std::io::{BufRead, Write};
+
+use crate::types::{Headers, HttpError, HttpResult, Method, Request, Response, Status};
+
+/// Default maximum accepted body size (8 MiB).
+pub const DEFAULT_BODY_LIMIT: usize = 8 * 1024 * 1024;
+
+/// Maximum accepted header section size.
+const HEADER_LIMIT: usize = 64 * 1024;
+
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> HttpResult<String> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte)? {
+            0 => {
+                if line.is_empty() {
+                    return Err(HttpError::UnexpectedEof);
+                }
+                break;
+            }
+            _ => {
+                if *budget == 0 {
+                    return Err(HttpError::Malformed("header section too large".into()));
+                }
+                *budget -= 1;
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 header line".into()))
+}
+
+fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> HttpResult<Headers> {
+    let mut headers = Headers::new();
+    loop {
+        let line = read_line(r, budget)?;
+        if line.is_empty() {
+            return Ok(headers);
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line: {line}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed(format!("bad header name: {name:?}")));
+        }
+        headers.add(name.trim(), value.trim());
+    }
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResult<Vec<u8>> {
+    if let Some(te) = headers.get("Transfer-Encoding") {
+        if te.eq_ignore_ascii_case("chunked") {
+            return read_chunked(r, limit);
+        }
+        return Err(HttpError::Malformed(format!("unsupported transfer encoding: {te}")));
+    }
+    let len: usize = match headers.get("Content-Length") {
+        Some(v) => v
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))?,
+        None => 0,
+    };
+    if len > limit {
+        return Err(HttpError::BodyTooLarge { limit });
+    }
+    let mut body = vec![0u8; len];
+    std::io::Read::read_exact(r, &mut body).map_err(|_| HttpError::UnexpectedEof)?;
+    Ok(body)
+}
+
+fn read_chunked<R: BufRead>(r: &mut R, limit: usize) -> HttpResult<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut budget = 1024;
+        let size_line = read_line(r, &mut budget)?;
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16)
+            .map_err(|_| HttpError::Malformed(format!("bad chunk size: {size_line}")))?;
+        if body.len() + size > limit {
+            return Err(HttpError::BodyTooLarge { limit });
+        }
+        if size == 0 {
+            // Trailers (if any) up to the blank line.
+            loop {
+                let mut budget = 4096;
+                if read_line(r, &mut budget)?.is_empty() {
+                    break;
+                }
+            }
+            return Ok(body);
+        }
+        let start = body.len();
+        body.resize(start + size, 0);
+        std::io::Read::read_exact(r, &mut body[start..]).map_err(|_| HttpError::UnexpectedEof)?;
+        let mut crlf = [0u8; 2];
+        std::io::Read::read_exact(r, &mut crlf).map_err(|_| HttpError::UnexpectedEof)?;
+        if &crlf != b"\r\n" {
+            return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+        }
+    }
+}
+
+/// Read one request from `r` (e.g. a buffered TCP stream).
+pub fn read_request<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Request> {
+    let mut budget = HEADER_LIMIT;
+    let line = read_line(r, &mut budget)?;
+    let mut parts = line.split_whitespace();
+    let (m, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line: {line}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version: {version}")));
+    }
+    let method =
+        Method::parse(m).ok_or_else(|| HttpError::Malformed(format!("unknown method: {m}")))?;
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers, body_limit)?;
+    Ok(Request { method, target: target.to_string(), headers, body })
+}
+
+/// Read one response from `r`.
+pub fn read_response<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Response> {
+    let mut budget = HEADER_LIMIT;
+    let line = read_line(r, &mut budget)?;
+    let mut parts = line.splitn(3, ' ');
+    let (version, code) = match (parts.next(), parts.next()) {
+        (Some(v), Some(c)) => (v, c),
+        _ => return Err(HttpError::Malformed(format!("bad status line: {line}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version: {version}")));
+    }
+    let status: u16 =
+        code.parse().map_err(|_| HttpError::Malformed(format!("bad status: {code}")))?;
+    let headers = read_headers(r, &mut budget)?;
+    let body = read_body(r, &headers, body_limit)?;
+    Ok(Response { status: Status(status), headers, body })
+}
+
+/// Serialize a request for the wire. Sets `Content-Length` (and `Host`
+/// when given) if absent.
+pub fn write_request<W: Write>(w: &mut W, req: &Request, host: Option<&str>) -> HttpResult<()> {
+    write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
+    if let Some(h) = host {
+        if !req.headers.contains("Host") {
+            write!(w, "Host: {h}\r\n")?;
+        }
+    }
+    let mut has_len = false;
+    for (name, value) in req.headers.iter() {
+        if name.eq_ignore_ascii_case("Content-Length") {
+            has_len = true;
+        }
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    if !has_len && !req.headers.contains("Transfer-Encoding") {
+        write!(w, "Content-Length: {}\r\n", req.body.len())?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(&req.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialize a response for the wire.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> HttpResult<()> {
+    write!(w, "HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason())?;
+    let mut has_len = false;
+    for (name, value) in resp.headers.iter() {
+        if name.eq_ignore_ascii_case("Content-Length") {
+            has_len = true;
+        }
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    if !has_len && !resp.headers.contains("Transfer-Encoding") {
+        write!(w, "Content-Length: {}\r\n", resp.body.len())?;
+    }
+    write!(w, "\r\n")?;
+    w.write_all(&resp.body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serialize a body as chunked transfer coding (used by tests and the
+/// streaming bench).
+pub fn encode_chunked(body: &[u8], chunk_size: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for chunk in body.chunks(chunk_size.max(1)) {
+        out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.extend_from_slice(chunk);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_req(raw: &[u8]) -> HttpResult<Request> {
+        read_request(&mut BufReader::new(raw), DEFAULT_BODY_LIMIT)
+    }
+
+    fn parse_resp(raw: &[u8]) -> HttpResult<Response> {
+        read_response(&mut BufReader::new(raw), DEFAULT_BODY_LIMIT)
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post("/svc/echo?x=1", b"hello".to_vec())
+            .with_header("Content-Type", "text/plain");
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, Some("example.com")).unwrap();
+        let parsed = parse_req(&wire).unwrap();
+        assert_eq!(parsed.method, Method::Post);
+        assert_eq!(parsed.target, "/svc/echo?x=1");
+        assert_eq!(parsed.headers.get("Host"), Some("example.com"));
+        assert_eq!(parsed.headers.get("content-type"), Some("text/plain"));
+        assert_eq!(parsed.body, b"hello");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::json("{\"a\":1}").with_header("X-Custom", "v");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        let parsed = parse_resp(&wire).unwrap();
+        assert_eq!(parsed.status, Status::OK);
+        assert_eq!(parsed.headers.get("x-custom"), Some("v"));
+        assert_eq!(parsed.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_hand_written_request() {
+        let raw = b"GET /index.html HTTP/1.1\r\nHost: h\r\n\r\n";
+        let req = parse_req(raw).unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_lines() {
+        let raw = b"GET / HTTP/1.1\nHost: h\n\n";
+        assert!(parse_req(raw).is_ok());
+    }
+
+    #[test]
+    fn chunked_body_decoding() {
+        let mut raw = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&encode_chunked(b"hello chunked world", 5));
+        let req = parse_req(&raw).unwrap();
+        assert_eq!(req.body, b"hello chunked world");
+    }
+
+    #[test]
+    fn chunked_with_extension_and_trailer() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5;ext=1\r\nhello\r\n0\r\nX-Trailer: t\r\n\r\n";
+        let req = parse_req(raw).unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_malformed_messages() {
+        assert!(parse_req(b"").is_err());
+        assert!(parse_req(b"GARBAGE\r\n\r\n").is_err());
+        assert!(parse_req(b"BREW / HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/1.1\r\nBad Header Name: x\r\n\r\n").is_err());
+        assert!(parse_req(b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n").is_err());
+        assert!(parse_resp(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn body_limit_enforced() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&raw[..]), 10).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 10 }));
+    }
+
+    #[test]
+    fn chunked_body_limit_enforced() {
+        let mut raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&encode_chunked(&[b'x'; 100], 10));
+        let err = read_request(&mut BufReader::new(&raw[..]), 50).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+    }
+
+    #[test]
+    fn truncated_body_is_eof() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse_req(raw), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn binary_body_survives() {
+        let body: Vec<u8> = (0..=255).collect();
+        let req = Request::post("/bin", body.clone());
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, None).unwrap();
+        assert_eq!(parse_req(&wire).unwrap().body, body);
+    }
+}

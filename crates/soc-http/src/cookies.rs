@@ -1,0 +1,139 @@
+//! Cookie handling for the web-application state-management unit.
+
+use crate::types::{Headers, Request, Response};
+
+/// A single cookie with the attributes the webapp layer uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cookie {
+    /// Cookie name.
+    pub name: String,
+    /// Cookie value (stored raw; values must not contain `;` or `,`).
+    pub value: String,
+    /// `Path` attribute.
+    pub path: Option<String>,
+    /// `Max-Age` in seconds.
+    pub max_age: Option<i64>,
+    /// `HttpOnly` flag (dependability unit: scripts must not read
+    /// session tokens).
+    pub http_only: bool,
+    /// `Secure` flag.
+    pub secure: bool,
+}
+
+impl Cookie {
+    /// A session-scoped cookie with standard hardening flags off.
+    pub fn new(name: impl Into<String>, value: impl Into<String>) -> Self {
+        Cookie {
+            name: name.into(),
+            value: value.into(),
+            path: Some("/".to_string()),
+            max_age: None,
+            http_only: false,
+            secure: false,
+        }
+    }
+
+    /// Builder: mark HttpOnly.
+    pub fn http_only(mut self) -> Self {
+        self.http_only = true;
+        self
+    }
+
+    /// Builder: set Max-Age.
+    pub fn max_age(mut self, seconds: i64) -> Self {
+        self.max_age = Some(seconds);
+        self
+    }
+
+    /// Format as a `Set-Cookie` header value.
+    pub fn to_set_cookie(&self) -> String {
+        let mut out = format!("{}={}", self.name, self.value);
+        if let Some(p) = &self.path {
+            out.push_str("; Path=");
+            out.push_str(p);
+        }
+        if let Some(age) = self.max_age {
+            out.push_str(&format!("; Max-Age={age}"));
+        }
+        if self.http_only {
+            out.push_str("; HttpOnly");
+        }
+        if self.secure {
+            out.push_str("; Secure");
+        }
+        out
+    }
+
+    /// A `Set-Cookie` value that deletes the cookie.
+    pub fn removal(name: &str) -> String {
+        format!("{name}=; Path=/; Max-Age=0")
+    }
+}
+
+/// Parse a request's `Cookie` header(s) into `(name, value)` pairs.
+pub fn parse_cookie_header(headers: &Headers) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for value in headers.get_all("Cookie") {
+        for pair in value.split(';') {
+            if let Some((k, v)) = pair.split_once('=') {
+                out.push((k.trim().to_string(), v.trim().to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Look up one cookie on a request.
+pub fn request_cookie(req: &Request, name: &str) -> Option<String> {
+    parse_cookie_header(&req.headers)
+        .into_iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+}
+
+/// Attach a `Set-Cookie` header to a response.
+pub fn set_cookie(resp: Response, cookie: &Cookie) -> Response {
+    resp.with_header("Set-Cookie", &cookie.to_set_cookie())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Request, Response, Status};
+
+    #[test]
+    fn set_cookie_formatting() {
+        let c = Cookie::new("sid", "abc123").http_only().max_age(3600);
+        assert_eq!(c.to_set_cookie(), "sid=abc123; Path=/; Max-Age=3600; HttpOnly");
+    }
+
+    #[test]
+    fn parse_multiple_cookies() {
+        let req = Request::get("/").with_header("Cookie", "sid=abc; theme=dark ; x=1");
+        assert_eq!(request_cookie(&req, "sid").as_deref(), Some("abc"));
+        assert_eq!(request_cookie(&req, "theme").as_deref(), Some("dark"));
+        assert_eq!(request_cookie(&req, "x").as_deref(), Some("1"));
+        assert_eq!(request_cookie(&req, "nope"), None);
+    }
+
+    #[test]
+    fn multiple_cookie_headers_merge() {
+        let req = Request::get("/")
+            .with_header("Cookie", "a=1")
+            .with_header("Cookie", "b=2");
+        let pairs = parse_cookie_header(&req.headers);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn response_set_cookie_round_trip() {
+        let resp = set_cookie(Response::new(Status::OK), &Cookie::new("sid", "z9"));
+        let v = resp.headers.get("Set-Cookie").unwrap();
+        assert!(v.starts_with("sid=z9"));
+    }
+
+    #[test]
+    fn removal_expires_immediately() {
+        assert!(Cookie::removal("sid").contains("Max-Age=0"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # soc-http — HTTP/1.1 substrate for the service stack
+//!
+//! The paper's services are hosted over HTTP (ASP.NET/WCF in the
+//! original; here a from-scratch implementation). This crate provides:
+//!
+//! - [`types`] — methods, status codes, case-insensitive headers,
+//!   [`Request`]/[`Response`] with builder APIs.
+//! - [`url`] — a small URL parser with percent-encoding and query/form
+//!   handling (`application/x-www-form-urlencoded`).
+//! - [`codec`] — wire encode/decode: request/response lines, headers,
+//!   `Content-Length` and `chunked` bodies.
+//! - [`server`] — a threaded TCP server ([`HttpServer`]) running any
+//!   [`Handler`] on a `soc-parallel` pool, with keep-alive and graceful
+//!   shutdown.
+//! - [`client`] — a blocking TCP client ([`HttpClient`]).
+//! - [`mem`] — an in-memory virtual network ([`mem::MemNetwork`]): the
+//!   same `Handler` interface without sockets, so whole multi-service
+//!   topologies (provider + broker + client, crawler across
+//!   directories) run deterministically inside one process. `mem://`
+//!   URLs address it.
+//! - [`cookies`] — cookie parsing/formatting for the web-app state
+//!   management unit.
+//!
+//! ```
+//! use soc_http::{Handler, Request, Response, Status};
+//! use soc_http::mem::{MemNetwork, Transport};
+//!
+//! let net = MemNetwork::new();
+//! net.host("echo.example", |req: Request| {
+//!     Response::new(Status::OK).with_body_bytes(req.body.clone())
+//! });
+//! let resp = net.send(Request::post("mem://echo.example/", b"hi".to_vec())).unwrap();
+//! assert_eq!(resp.body, b"hi");
+//! ```
+
+pub mod client;
+pub mod codec;
+pub mod cookies;
+pub mod mem;
+pub mod server;
+pub mod types;
+pub mod url;
+
+pub use client::HttpClient;
+pub use mem::{MemNetwork, Transport};
+pub use server::{Handler, HttpServer};
+pub use types::{Headers, HttpError, HttpResult, Method, Request, Response, Status};
+pub use url::Url;

@@ -1,0 +1,288 @@
+//! An in-memory virtual network of hosts.
+//!
+//! Most of the paper's scenarios are *topologies*: a client consuming a
+//! provider that consumes a third-party service; a crawler walking
+//! several directories; a registry monitoring flaky upstreams. This
+//! module hosts any number of [`Handler`]s under `mem://` names inside
+//! one process, so those topologies run deterministically, with
+//! controllable fault injection standing in for the paper's unreliable
+//! free public services ("services are too slow... often offline or
+//! removed without notice").
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::client::HttpClient;
+use crate::server::Handler;
+use crate::types::{HttpError, HttpResult, Request, Response, Status};
+use crate::url::Url;
+
+/// Anything that can exchange request/response pairs: the TCP client,
+/// the in-memory network, or the combined [`UniClient`]. Service-layer
+/// code is written against this, so every binding works over both real
+/// sockets and the virtual network.
+pub trait Transport: Send + Sync {
+    /// Send a request to an absolute URL target.
+    fn send(&self, req: Request) -> HttpResult<Response>;
+}
+
+impl Transport for HttpClient {
+    fn send(&self, req: Request) -> HttpResult<Response> {
+        HttpClient::send(self, req)
+    }
+}
+
+/// Deterministic fault injection for a virtual host.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Every `n`-th request (1-based counter) returns 503. `0` disables.
+    pub fail_every: u64,
+    /// Added latency per request.
+    pub latency: Duration,
+    /// When set, the host answers nothing (connection refused
+    /// equivalent: an `Io` error).
+    pub offline: bool,
+}
+
+struct HostEntry {
+    handler: Arc<dyn Handler>,
+    fault: FaultConfig,
+    hits: AtomicU64,
+}
+
+/// A registry of named in-memory hosts addressed as `mem://name/path`.
+#[derive(Clone, Default)]
+pub struct MemNetwork {
+    hosts: Arc<RwLock<HashMap<String, Arc<HostEntry>>>>,
+}
+
+impl MemNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        MemNetwork::default()
+    }
+
+    /// Register (or replace) a host.
+    pub fn host(&self, name: &str, handler: impl Handler) {
+        self.hosts.write().insert(
+            name.to_string(),
+            Arc::new(HostEntry {
+                handler: Arc::new(handler),
+                fault: FaultConfig::default(),
+                hits: AtomicU64::new(0),
+            }),
+        );
+    }
+
+    /// Remove a host (it "goes offline without notice").
+    pub fn unhost(&self, name: &str) {
+        self.hosts.write().remove(name);
+    }
+
+    /// Configure fault injection for an existing host.
+    pub fn set_fault(&self, name: &str, fault: FaultConfig) -> bool {
+        let hosts = self.hosts.read();
+        let Some(entry) = hosts.get(name) else { return false };
+        let entry = entry.clone();
+        drop(hosts);
+        let mut hosts = self.hosts.write();
+        hosts.insert(
+            name.to_string(),
+            Arc::new(HostEntry {
+                handler: entry.handler.clone(),
+                fault,
+                hits: AtomicU64::new(entry.hits.load(Ordering::Relaxed)),
+            }),
+        );
+        true
+    }
+
+    /// Names of all registered hosts.
+    pub fn host_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.hosts.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Requests a host has received.
+    pub fn hits(&self, name: &str) -> u64 {
+        self.hosts.read().get(name).map(|e| e.hits.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+}
+
+impl Transport for MemNetwork {
+    fn send(&self, req: Request) -> HttpResult<Response> {
+        let url = Url::parse(&req.target)?;
+        if url.scheme != "mem" {
+            return Err(HttpError::BadUrl(format!(
+                "MemNetwork only routes mem://, got {}",
+                url.scheme
+            )));
+        }
+        let entry = self
+            .hosts
+            .read()
+            .get(&url.host)
+            .cloned()
+            .ok_or_else(|| HttpError::UnknownHost(url.host.clone()))?;
+
+        if entry.fault.offline {
+            return Err(HttpError::Io(format!("host {} is offline", url.host)));
+        }
+        if !entry.fault.latency.is_zero() {
+            std::thread::sleep(entry.fault.latency);
+        }
+        let n = entry.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if entry.fault.fail_every > 0 && n % entry.fault.fail_every == 0 {
+            return Ok(Response::error(Status::SERVICE_UNAVAILABLE, "injected fault"));
+        }
+
+        // The handler sees origin-form targets, exactly like over TCP.
+        let mut inner = req;
+        inner.target = url.path_and_query();
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            entry.handler.handle(inner)
+        }))
+        .unwrap_or_else(|_| Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"));
+        Ok(resp)
+    }
+}
+
+/// A transport that routes `mem://` to a [`MemNetwork`] and `http://`
+/// to a real [`HttpClient`] — application code stays
+/// deployment-agnostic, which is the SOA platform-independence story.
+#[derive(Clone)]
+pub struct UniClient {
+    net: MemNetwork,
+    http: HttpClient,
+}
+
+impl UniClient {
+    /// Combine a virtual network with a TCP client.
+    pub fn new(net: MemNetwork) -> Self {
+        UniClient { net, http: HttpClient::new() }
+    }
+
+    /// Override the TCP client (timeouts, body limits).
+    pub fn with_http(mut self, http: HttpClient) -> Self {
+        self.http = http;
+        self
+    }
+}
+
+impl Transport for UniClient {
+    fn send(&self, req: Request) -> HttpResult<Response> {
+        let url = Url::parse(&req.target)?;
+        match url.scheme.as_str() {
+            "mem" => self.net.send(req),
+            "http" => self.http.send(req),
+            other => Err(HttpError::BadUrl(format!("unsupported scheme {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_net() -> MemNetwork {
+        let net = MemNetwork::new();
+        net.host("echo", |req: Request| {
+            Response::text(format!("{} {}", req.method, req.target))
+        });
+        net
+    }
+
+    #[test]
+    fn routes_to_named_host() {
+        let net = echo_net();
+        let resp = net.send(Request::get("mem://echo/a/b?x=1")).unwrap();
+        assert_eq!(resp.text_body().unwrap(), "GET /a/b?x=1");
+        assert_eq!(net.hits("echo"), 1);
+    }
+
+    #[test]
+    fn unknown_host_errors() {
+        let net = echo_net();
+        assert!(matches!(
+            net.send(Request::get("mem://ghost/")),
+            Err(HttpError::UnknownHost(h)) if h == "ghost"
+        ));
+    }
+
+    #[test]
+    fn unhost_takes_service_offline() {
+        let net = echo_net();
+        net.unhost("echo");
+        assert!(net.send(Request::get("mem://echo/")).is_err());
+        assert!(net.host_names().is_empty());
+    }
+
+    #[test]
+    fn fault_injection_fail_every() {
+        let net = echo_net();
+        assert!(net.set_fault("echo", FaultConfig { fail_every: 3, ..Default::default() }));
+        let mut failures = 0;
+        for _ in 0..9 {
+            let resp = net.send(Request::get("mem://echo/")).unwrap();
+            if resp.status == Status::SERVICE_UNAVAILABLE {
+                failures += 1;
+            }
+        }
+        assert_eq!(failures, 3);
+    }
+
+    #[test]
+    fn offline_fault_is_io_error() {
+        let net = echo_net();
+        net.set_fault("echo", FaultConfig { offline: true, ..Default::default() });
+        assert!(matches!(net.send(Request::get("mem://echo/")), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn set_fault_on_missing_host_is_false() {
+        let net = MemNetwork::new();
+        assert!(!net.set_fault("nope", FaultConfig::default()));
+    }
+
+    #[test]
+    fn panicking_handler_is_500_not_poison() {
+        let net = MemNetwork::new();
+        net.host("bad", |_req: Request| -> Response { panic!("bug") });
+        let resp = net.send(Request::get("mem://bad/")).unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+        // Network still usable.
+        let resp = net.send(Request::get("mem://bad/")).unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn uniclient_dispatches_by_scheme() {
+        let net = echo_net();
+        let uni = UniClient::new(net);
+        assert!(uni.send(Request::get("mem://echo/ok")).is_ok());
+        assert!(uni.send(Request::get("ftp://x/")).is_err());
+    }
+
+    #[test]
+    fn hosts_are_concurrent() {
+        let net = Arc::new(echo_net());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    net.send(Request::get("mem://echo/")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.hits("echo"), 200);
+    }
+}

@@ -1,0 +1,278 @@
+//! A threaded HTTP/1.1 server over TCP.
+//!
+//! Connections are accepted on a dedicated thread and dispatched to a
+//! `soc-parallel` pool — the "service hosting" side of the course, where
+//! students "explore parallelism on the server side".
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc_parallel::ThreadPool;
+
+use crate::codec::{self, DEFAULT_BODY_LIMIT};
+use crate::types::{HttpResult, Request, Response, Status};
+
+/// A request handler: the single interface every service binding
+/// (REST router, SOAP endpoint, web app) implements.
+pub trait Handler: Send + Sync + 'static {
+    /// Turn a request into a response. Must not panic; panics are caught
+    /// and converted to 500s by the server.
+    fn handle(&self, req: Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: Request) -> Response {
+        self(req)
+    }
+}
+
+/// Server statistics (exposed so availability experiments can watch a
+/// provider's load, per the paper's complaints about overloaded free
+/// services).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests fully served.
+    pub served: AtomicU64,
+    /// Requests that produced a 5xx (including handler panics).
+    pub failed: AtomicU64,
+}
+
+/// A running HTTP server; dropping it (or calling
+/// [`HttpServer::shutdown`]) stops the accept loop.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `handler` on `workers` pool threads.
+    pub fn bind(addr: &str, workers: usize, handler: impl Handler) -> HttpResult<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let handler: Arc<dyn Handler> = Arc::new(handler);
+        let pool = ThreadPool::new(workers.max(1));
+
+        let stop2 = stop.clone();
+        let stats2 = stats.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("soc-http-accept".into())
+            .spawn(move || {
+                // The pool lives inside the accept thread so dropping the
+                // server joins everything deterministically.
+                listener.set_nonblocking(false).ok();
+                listener
+                    .set_ttl(64)
+                    .ok();
+                // Poll for shutdown with a short accept timeout via
+                // nonblocking + sleep (portable, no extra deps).
+                listener.set_nonblocking(true).ok();
+                loop {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let handler = handler.clone();
+                            let stats = stats2.clone();
+                            pool.spawn_detached(move || {
+                                serve_connection(stream, handler, stats);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| crate::types::HttpError::Io(e.to_string()))?;
+
+        Ok(HttpServer { addr: local, stop, stats, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound socket address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Base URL of the server.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.stats.served.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ended in a 5xx so far.
+    pub fn failed(&self) -> u64 {
+        self.stats.failed.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+    stream.set_nodelay(true).ok();
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Keep-alive loop: serve requests until the peer closes, asks to
+    // close, or errors.
+    loop {
+        let req = match codec::read_request(&mut reader, DEFAULT_BODY_LIMIT) {
+            Ok(req) => req,
+            Err(crate::types::HttpError::UnexpectedEof) => return,
+            Err(e) => {
+                let resp = Response::error(Status::BAD_REQUEST, &e.to_string());
+                let _ = codec::write_response(&mut writer, &resp);
+                return;
+            }
+        };
+        let close = req
+            .headers
+            .get("Connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+
+        let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handler.handle(req)
+        })) {
+            Ok(resp) => resp,
+            Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
+        };
+        if resp.status.0 >= 500 {
+            stats.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.served.fetch_add(1, Ordering::Relaxed);
+        if codec::write_response(&mut writer, &resp).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::types::Method;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::bind("127.0.0.1:0", 2, |req: Request| {
+            Response::text(format!("{} {}", req.method, req.path()))
+                .with_header("X-Echo-Len", &req.body.len().to_string())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_get_over_tcp() {
+        let server = echo_server();
+        let client = HttpClient::new();
+        let resp = client.send(Request::get(format!("{}/hello", server.url()))).unwrap();
+        assert_eq!(resp.status, Status::OK);
+        assert_eq!(resp.text_body().unwrap(), "GET /hello");
+        assert_eq!(server.served(), 1);
+    }
+
+    #[test]
+    fn serves_post_with_body() {
+        let server = echo_server();
+        let client = HttpClient::new();
+        let resp = client
+            .send(Request::new(Method::Post, format!("{}/data", server.url()))
+                .with_body_bytes(vec![7; 321]))
+            .unwrap();
+        assert_eq!(resp.headers.get("X-Echo-Len"), Some("321"));
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection_semantics() {
+        // The blocking client opens a fresh connection each call, but the
+        // server must survive many sequential requests.
+        let server = echo_server();
+        let client = HttpClient::new();
+        for i in 0..20 {
+            let resp = client.send(Request::get(format!("{}/r{i}", server.url()))).unwrap();
+            assert!(resp.status.is_success());
+        }
+        assert_eq!(server.served(), 20);
+    }
+
+    #[test]
+    fn panicking_handler_becomes_500() {
+        let server = HttpServer::bind("127.0.0.1:0", 1, |_req: Request| -> Response {
+            panic!("service bug");
+        })
+        .unwrap();
+        let client = HttpClient::new();
+        let resp = client.send(Request::get(format!("{}/x", server.url()))).unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+        assert_eq!(server.failed(), 1);
+        // Server still alive after the panic.
+        let resp = client.send(Request::get(format!("{}/y", server.url()))).unwrap();
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = Arc::new(echo_server());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let url = server.url();
+            handles.push(std::thread::spawn(move || {
+                let client = HttpClient::new();
+                for i in 0..10 {
+                    let resp =
+                        client.send(Request::get(format!("{url}/t{t}/{i}"))).unwrap();
+                    assert!(resp.status.is_success());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.served(), 40);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut server = echo_server();
+        let url = server.url();
+        server.shutdown();
+        let client = HttpClient::with_timeout(Duration::from_millis(200));
+        // Either refused or times out — must not succeed.
+        assert!(client.send(Request::get(format!("{url}/x"))).is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! URL parsing and percent-encoding.
+
+use crate::types::{HttpError, HttpResult};
+
+/// A parsed URL: `scheme://host[:port]/path[?query]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    /// `http` or `mem`.
+    pub scheme: String,
+    /// Host name (authority without the port).
+    pub host: String,
+    /// Explicit port, or the scheme default (http → 80, mem → 0).
+    pub port: u16,
+    /// Path beginning with `/` (never empty).
+    pub path: String,
+    /// Raw query string, without the `?`.
+    pub query: Option<String>,
+}
+
+impl Url {
+    /// Parse an absolute URL.
+    pub fn parse(raw: &str) -> HttpResult<Url> {
+        let (scheme, rest) = raw
+            .split_once("://")
+            .ok_or_else(|| HttpError::BadUrl(format!("missing scheme: {raw}")))?;
+        if scheme.is_empty() || !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+') {
+            return Err(HttpError::BadUrl(format!("bad scheme: {raw}")));
+        }
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return Err(HttpError::BadUrl(format!("missing host: {raw}")));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?;
+                (h.to_string(), port)
+            }
+            None => {
+                let default = match scheme {
+                    "http" => 80,
+                    _ => 0,
+                };
+                (authority.to_string(), default)
+            }
+        };
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path_query.to_string(), None),
+        };
+        Ok(Url { scheme: scheme.to_string(), host, port, path, query })
+    }
+
+    /// `host:port` for connecting (http) or the bare host (mem).
+    pub fn authority(&self) -> String {
+        if self.scheme == "http" {
+            format!("{}:{}", self.host, self.port)
+        } else {
+            self.host.clone()
+        }
+    }
+
+    /// Path plus query, as sent on the request line.
+    pub fn path_and_query(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}://{}{}", self.scheme, self.authority(), self.path_and_query())
+    }
+}
+
+/// Percent-encode for a query/form component (RFC 3986 unreserved set
+/// passes; space becomes `%20`).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Percent-decode; `+` decodes to space (form semantics). Invalid
+/// escapes are passed through verbatim rather than failing, matching
+/// browser behavior.
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse `k1=v1&k2=v2` (query strings and form bodies) with decoding.
+pub fn parse_form(s: &str) -> Vec<(String, String)> {
+    s.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Encode pairs as `k1=v1&k2=v2`.
+pub fn encode_form(pairs: &[(String, String)]) -> String {
+    pairs
+        .iter()
+        .map(|(k, v)| format!("{}={}", percent_encode(k), percent_encode(v)))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_url() {
+        let u = Url::parse("http://venus.eas.asu.edu:8080/WSRepository/list?cat=all").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.host, "venus.eas.asu.edu");
+        assert_eq!(u.port, 8080);
+        assert_eq!(u.path, "/WSRepository/list");
+        assert_eq!(u.query.as_deref(), Some("cat=all"));
+        assert_eq!(u.path_and_query(), "/WSRepository/list?cat=all");
+        assert_eq!(u.to_string(), "http://venus.eas.asu.edu:8080/WSRepository/list?cat=all");
+    }
+
+    #[test]
+    fn defaults() {
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/");
+        assert_eq!(u.query, None);
+        let m = Url::parse("mem://registry/services").unwrap();
+        assert_eq!(m.scheme, "mem");
+        assert_eq!(m.authority(), "registry");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Url::parse("no-scheme").is_err());
+        assert!(Url::parse("http://").is_err());
+        assert!(Url::parse("http://h:port/").is_err());
+        assert!(Url::parse("ht tp://h/").is_err());
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        for s in ["hello world", "a&b=c", "中文", "100%", "~_-."] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn plus_decodes_to_space() {
+        assert_eq!(percent_decode("a+b"), "a b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+
+    #[test]
+    fn form_round_trip() {
+        let pairs = vec![
+            ("user".to_string(), "ann marie".to_string()),
+            ("q".to_string(), "a&b=c".to_string()),
+            ("empty".to_string(), String::new()),
+        ];
+        let enc = encode_form(&pairs);
+        assert_eq!(parse_form(&enc), pairs);
+    }
+
+    #[test]
+    fn form_parsing_tolerates_bare_keys() {
+        let pairs = parse_form("flag&x=1&&y");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], ("flag".to_string(), String::new()));
+    }
+}

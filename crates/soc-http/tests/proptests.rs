@@ -1,0 +1,129 @@
+//! Property tests for the HTTP substrate: wire codec round-trips,
+//! URL/form encoding laws, and cookie handling.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+use soc_http::codec::{self, DEFAULT_BODY_LIMIT};
+use soc_http::url::{encode_form, parse_form, percent_decode, percent_encode, Url};
+use soc_http::{Headers, Method, Request, Response, Status};
+
+fn method_strategy() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Get),
+        Just(Method::Post),
+        Just(Method::Put),
+        Just(Method::Delete),
+        Just(Method::Head),
+        Just(Method::Options),
+        Just(Method::Patch),
+    ]
+}
+
+fn header_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[A-Za-z][A-Za-z0-9-]{0,12}", "[ -~&&[^\r\n]]{0,24}"), 0..5)
+        .prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .filter(|(k, _)| {
+                    // Reserved names the codec manages itself.
+                    !k.eq_ignore_ascii_case("content-length")
+                        && !k.eq_ignore_ascii_case("transfer-encoding")
+                        && !k.eq_ignore_ascii_case("host")
+                })
+                .map(|(k, v)| (k, v.trim().to_string()))
+                .collect()
+        })
+}
+
+proptest! {
+    #[test]
+    fn request_wire_round_trip(
+        method in method_strategy(),
+        path in "/[a-z0-9/._-]{0,24}",
+        headers in header_strategy(),
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut req = Request::new(method, path.clone()).with_body_bytes(body.clone());
+        for (k, v) in &headers {
+            req.headers.add(k.as_str(), v.as_str());
+        }
+        let mut wire = Vec::new();
+        codec::write_request(&mut wire, &req, Some("h")).unwrap();
+        let parsed = codec::read_request(&mut BufReader::new(&wire[..]), DEFAULT_BODY_LIMIT).unwrap();
+        prop_assert_eq!(parsed.method, method);
+        prop_assert_eq!(parsed.target, path);
+        prop_assert_eq!(parsed.body, body);
+        for (k, v) in &headers {
+            prop_assert!(
+                parsed.headers.get_all(k).any(|pv| pv == v),
+                "header {k:?}={v:?} lost in transit"
+            );
+        }
+    }
+
+    #[test]
+    fn response_wire_round_trip(
+        code in 100u16..599,
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let resp = Response::new(Status(code)).with_body_bytes(body.clone());
+        let mut wire = Vec::new();
+        codec::write_response(&mut wire, &resp).unwrap();
+        let parsed =
+            codec::read_response(&mut BufReader::new(&wire[..]), DEFAULT_BODY_LIMIT).unwrap();
+        prop_assert_eq!(parsed.status.0, code);
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn chunked_decoding_matches_plain_body(
+        body in proptest::collection::vec(any::<u8>(), 0..800),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        wire.extend_from_slice(&codec::encode_chunked(&body, chunk));
+        let parsed = codec::read_request(&mut BufReader::new(&wire[..]), DEFAULT_BODY_LIMIT).unwrap();
+        prop_assert_eq!(parsed.body, body);
+    }
+
+    #[test]
+    fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = codec::read_request(&mut BufReader::new(&bytes[..]), 1024);
+        let _ = codec::read_response(&mut BufReader::new(&bytes[..]), 1024);
+    }
+
+    #[test]
+    fn percent_encoding_round_trip(s in "[ -~é中\\n]{0,48}") {
+        prop_assert_eq!(percent_decode(&percent_encode(&s)), s);
+    }
+
+    #[test]
+    fn form_encoding_round_trip(
+        pairs in proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,16}"), 0..6),
+    ) {
+        let fields: Vec<(String, String)> = pairs;
+        let enc = encode_form(&fields);
+        prop_assert_eq!(parse_form(&enc), fields);
+    }
+
+    #[test]
+    fn url_display_reparses(
+        host in "[a-z][a-z0-9.-]{0,16}",
+        port in 1u16..65535,
+        path in "/[a-z0-9/._-]{0,16}",
+    ) {
+        let raw = format!("http://{host}:{port}{path}");
+        let url = Url::parse(&raw).unwrap();
+        let again = Url::parse(&url.to_string()).unwrap();
+        prop_assert_eq!(url, again);
+    }
+
+    #[test]
+    fn headers_set_then_get(k in "[A-Za-z-]{1,10}", v in "[ -~]{0,20}") {
+        let mut h = Headers::new();
+        h.set(k.as_str(), v.trim());
+        prop_assert_eq!(h.get(&k.to_ascii_uppercase()), Some(v.trim()));
+        prop_assert_eq!(h.get_all(&k).count(), 1);
+    }
+}

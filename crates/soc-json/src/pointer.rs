@@ -1,0 +1,98 @@
+//! JSON Pointer (RFC 6901) lookup.
+
+use crate::value::Value;
+
+/// Resolve `ptr` against `root`. The empty pointer selects the root;
+/// each `/token` descends into an object member or array index.
+/// `~0` decodes to `~` and `~1` to `/`.
+pub fn lookup<'a>(root: &'a Value, ptr: &str) -> Option<&'a Value> {
+    if ptr.is_empty() {
+        return Some(root);
+    }
+    if !ptr.starts_with('/') {
+        return None;
+    }
+    let mut cur = root;
+    for token in ptr[1..].split('/') {
+        let token = decode_token(token);
+        cur = match cur {
+            Value::Object(_) => cur.get(&token)?,
+            Value::Array(items) => {
+                // Array indices must be canonical: no leading zeros, no signs.
+                if token == "0" {
+                    items.first()?
+                } else if token.starts_with('0') || token.starts_with('+') {
+                    return None;
+                } else {
+                    items.get(token.parse::<usize>().ok()?)?
+                }
+            }
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// Decode `~1` → `/` and `~0` → `~` (in that order, per the RFC).
+fn decode_token(token: &str) -> String {
+    token.replace("~1", "/").replace("~0", "~")
+}
+
+/// Encode a raw member name as a pointer token.
+pub fn encode_token(raw: &str) -> String {
+    raw.replace('~', "~0").replace('/', "~1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn rfc_examples() {
+        // The example document from RFC 6901 §5.
+        let doc = json!({
+            "foo": ["bar", "baz"],
+            "": 0,
+            "a/b": 1,
+            "c%d": 2,
+            "e^f": 3,
+            "g|h": 4,
+            "i\\j": 5,
+            "k\"l": 6,
+            " ": 7,
+            "m~n": 8
+        });
+        assert_eq!(lookup(&doc, ""), Some(&doc));
+        assert_eq!(lookup(&doc, "/foo/0").and_then(Value::as_str), Some("bar"));
+        assert_eq!(lookup(&doc, "/").and_then(Value::as_i64), Some(0));
+        assert_eq!(lookup(&doc, "/a~1b").and_then(Value::as_i64), Some(1));
+        assert_eq!(lookup(&doc, "/m~0n").and_then(Value::as_i64), Some(8));
+        assert_eq!(lookup(&doc, "/ ").and_then(Value::as_i64), Some(7));
+    }
+
+    #[test]
+    fn missing_paths() {
+        let doc = json!({ "a": [1] });
+        assert_eq!(lookup(&doc, "/b"), None);
+        assert_eq!(lookup(&doc, "/a/1"), None);
+        assert_eq!(lookup(&doc, "/a/x"), None);
+        assert_eq!(lookup(&doc, "/a/0/deep"), None);
+        assert_eq!(lookup(&doc, "no-slash"), None);
+    }
+
+    #[test]
+    fn non_canonical_indices_rejected() {
+        let doc = json!([10, 20]);
+        assert_eq!(lookup(&doc, "/01"), None);
+        assert_eq!(lookup(&doc, "/+1"), None);
+        assert_eq!(lookup(&doc, "/1").and_then(Value::as_i64), Some(20));
+    }
+
+    #[test]
+    fn token_encoding_round_trip() {
+        for raw in ["plain", "a/b", "m~n", "~1", "/~"] {
+            assert_eq!(decode_token(&encode_token(raw)), raw);
+        }
+    }
+}

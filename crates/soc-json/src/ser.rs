@@ -1,0 +1,130 @@
+//! Compact and pretty serialization.
+
+use crate::value::Value;
+
+/// Serialize `v`; `pretty` adds two-space indentation and newlines.
+pub fn to_string(v: &Value, pretty: bool) -> String {
+    let mut out = String::new();
+    write_value(v, pretty, 0, &mut out);
+    out
+}
+
+fn write_value(v: &Value, pretty: bool, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(pretty, depth + 1, out);
+                write_value(item, pretty, depth + 1, out);
+            }
+            newline_indent(pretty, depth, out);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(pretty, depth + 1, out);
+                write_string(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, pretty, depth + 1, out);
+            }
+            newline_indent(pretty, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(pretty: bool, depth: usize, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{json, Value};
+
+    #[test]
+    fn compact_form() {
+        let v = json!({ "a": [1, 2], "b": "x\ny", "c": null });
+        assert_eq!(v.to_compact(), r#"{"a":[1,2],"b":"x\ny","c":null}"#);
+    }
+
+    #[test]
+    fn pretty_form() {
+        let v = json!({ "a": [1] });
+        assert_eq!(v.to_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(json!({}).to_pretty(), "{}");
+        assert_eq!(json!([]).to_pretty(), "[]");
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let v = Value::from("\u{1}\u{8}\u{c}");
+        assert_eq!(v.to_compact(), "\"\\u0001\\b\\f\"");
+        assert_eq!(Value::parse(&v.to_compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_keep_distinguishing_decimal() {
+        assert_eq!(Value::from(2.0).to_compact(), "2.0");
+        assert_eq!(Value::from(2.5).to_compact(), "2.5");
+        assert_eq!(Value::from(2i64).to_compact(), "2");
+    }
+
+    #[test]
+    fn round_trip_both_forms() {
+        let v = json!({ "s": "héllo 😀", "n": [1.5, (-3), 1e20], "t": true });
+        assert_eq!(Value::parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(Value::parse(&v.to_pretty()).unwrap(), v);
+    }
+}

@@ -1,0 +1,293 @@
+//! The JSON value model.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer that fits in `i64`.
+    Int(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// As `f64` (always possible).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// As `i64` when exactly representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 9e15 => Some(f as i64),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON document or fragment.
+///
+/// Objects preserve insertion order (a `Vec` of pairs), which keeps
+/// serialization deterministic — important for tests and for HTTP
+/// response caching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An ordered key → value map (later duplicates win on lookup).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Parse from text (see [`crate::parse`]).
+    pub fn parse(input: &str) -> crate::JsonResult<Value> {
+        crate::parse::parse(input)
+    }
+
+    /// `true` when `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrow as `&str` when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As `i64` when a number that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64` when a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array items.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object entries.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (last duplicate wins, per common practice).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array index lookup.
+    pub fn at(&self, index: usize) -> Option<&Value> {
+        self.as_array()?.get(index)
+    }
+
+    /// JSON Pointer lookup (see [`crate::pointer`]).
+    pub fn pointer(&self, ptr: &str) -> Option<&Value> {
+        crate::pointer::lookup(self, ptr)
+    }
+
+    /// Insert or replace a member on an object. Panics on non-objects.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        let key = key.into();
+        match self {
+            Value::Object(o) => {
+                if let Some(slot) = o.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value.into();
+                } else {
+                    o.push((key, value.into()));
+                }
+            }
+            _ => panic!("set() on a non-object JSON value"),
+        }
+    }
+
+    /// An empty object, ready for [`Value::set`].
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Serialize compactly.
+    pub fn to_compact(&self) -> String {
+        crate::ser::to_string(self, false)
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty(&self) -> String {
+        crate::ser::to_string(self, true)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Number(Number::Int(i as i64))
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Number(Number::Int(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Number(Number::Int(i as i64))
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Number(Number::Int(i as i64))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::Float(f))
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::from(1)),
+            ("b".into(), Value::from("x")),
+            ("c".into(), Value::from(vec![1, 2])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(|c| c.at(1)).and_then(Value::as_i64), Some(2));
+        assert_eq!(v.get("zzz"), None);
+    }
+
+    #[test]
+    fn set_inserts_and_replaces() {
+        let mut v = Value::object();
+        v.set("k", 1);
+        v.set("k", 2);
+        v.set("l", "x");
+        assert_eq!(v.get("k").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn number_exactness() {
+        assert_eq!(Number::Int(7).as_i64(), Some(7));
+        assert_eq!(Number::Float(7.0).as_i64(), Some(7));
+        assert_eq!(Number::Float(7.5).as_i64(), None);
+        assert_eq!(Number::Int(7), Number::Float(7.0));
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(Some(3)), Value::from(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(vec!["a", "b"]).at(0).and_then(Value::as_str), Some("a"));
+    }
+
+    #[test]
+    fn duplicate_keys_last_wins_on_lookup() {
+        let v = Value::Object(vec![
+            ("k".into(), Value::from(1)),
+            ("k".into(), Value::from(2)),
+        ]);
+        assert_eq!(v.get("k").and_then(Value::as_i64), Some(2));
+    }
+}

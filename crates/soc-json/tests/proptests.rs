@@ -1,0 +1,75 @@
+//! Property tests: serialization round-trips and pointer laws.
+
+use proptest::prelude::*;
+use soc_json::{pointer, Number, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        (-1e12f64..1e12).prop_map(|f| Value::Number(Number::Float(f))),
+        "[ -~é中\\n\\t]{0,16}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z~/]{0,6}", inner), 0..5)
+                .prop_map(|pairs| Value::Object(
+                    pairs.into_iter().collect()
+                )),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in value_strategy()) {
+        let text = v.to_compact();
+        let back = Value::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in value_strategy()) {
+        let text = v.to_pretty();
+        let back = Value::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn serialization_is_deterministic(v in value_strategy()) {
+        prop_assert_eq!(v.to_compact(), v.to_compact());
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[ -~{}\\[\\]\"\\\\]{0,64}") {
+        let _ = Value::parse(&s);
+    }
+
+    #[test]
+    fn pointer_reaches_every_object_member(
+        key in "[a-z~/]{1,6}",
+        val in value_strategy(),
+    ) {
+        let obj = Value::Object(vec![(key.clone(), val.clone())]);
+        let ptr = format!("/{}", pointer::encode_token(&key));
+        prop_assert_eq!(obj.pointer(&ptr), Some(&val));
+    }
+
+    #[test]
+    fn pointer_reaches_every_array_item(items in proptest::collection::vec(any::<i64>(), 1..8)) {
+        let arr = Value::Array(items.iter().map(|&i| Value::from(i)).collect());
+        for (i, expect) in items.iter().enumerate() {
+            let got = arr.pointer(&format!("/{i}")).and_then(Value::as_i64);
+            prop_assert_eq!(got, Some(*expect));
+        }
+    }
+
+    #[test]
+    fn integers_stay_exact(i in any::<i64>()) {
+        let v = Value::from(i);
+        let back = Value::parse(&v.to_compact()).unwrap();
+        prop_assert_eq!(back.as_i64(), Some(i));
+    }
+}

@@ -1,0 +1,49 @@
+//! # soc-parallel — the multithreading substrate (CSE445 unit 2)
+//!
+//! The paper's unit 2 covers *"critical operations, synchronization,
+//! resource locking versus unbreakable operations, semaphore, events and
+//! event coordination"* plus the performance side: Intel TBB-style task
+//! libraries and the speedup/efficiency experiment of Figure 3. This
+//! crate implements all of it from scratch:
+//!
+//! - [`pool`] — a work-stealing thread pool ([`ThreadPool`]) with
+//!   rayon-shaped entry points: [`pool::ThreadPool::spawn`],
+//!   [`pool::ThreadPool::join`], and [`pool::ThreadPool::scope`].
+//! - [`par_iter`] — data-parallel loops: [`par_iter::parallel_for`],
+//!   [`par_iter::parallel_map`], [`par_iter::parallel_reduce`] with
+//!   static or dynamic (work-stealing) scheduling.
+//! - [`pipeline`] — a TBB-style multi-stage pipeline over bounded
+//!   channels.
+//! - [`sync`] — teaching-grade synchronization primitives built on
+//!   atomics + thread parking: semaphore, auto/manual reset events,
+//!   countdown event, spin lock, and a bounded producer/consumer buffer.
+//! - [`metrics`] — speedup, efficiency, Amdahl/Gustafson laws
+//!   (Tables 1–2's "performance metrics" outcomes).
+//! - [`simcore`] — a deterministic virtual-multicore scheduler for task
+//!   DAGs (list scheduling, critical paths). This is the substitution
+//!   substrate for the paper's 32-core Intel Manycore Testing Lab: it
+//!   reproduces the *shape* of Figure 3 on any host, including the
+//!   single-core container this reproduction runs in.
+//! - [`workloads`] — the Collatz-conjecture validation workload used by
+//!   the paper's Figure 3 experiment.
+//!
+//! ```
+//! use soc_parallel::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let (a, b) = pool.join(|| 21 * 2, || "fast");
+//! assert_eq!(a, 42);
+//! assert_eq!(b, "fast");
+//! ```
+
+pub mod metrics;
+pub mod par_iter;
+pub mod pipeline;
+pub mod pool;
+pub mod simcore;
+pub mod sync;
+pub mod workloads;
+
+pub use metrics::{amdahl_speedup, efficiency, speedup};
+pub use par_iter::{parallel_for, parallel_map, parallel_reduce, Schedule};
+pub use pool::ThreadPool;

@@ -1,0 +1,123 @@
+//! Performance metrics from the course's Tables 1–2: speedup,
+//! efficiency, cost/work, Amdahl's and Gustafson's laws.
+
+use std::time::Duration;
+
+/// Speedup `S(p) = T(1) / T(p)`.
+pub fn speedup(t1: Duration, tp: Duration) -> f64 {
+    t1.as_secs_f64() / tp.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
+/// Efficiency `E(p) = S(p) / p`.
+pub fn efficiency(t1: Duration, tp: Duration, p: usize) -> f64 {
+    speedup(t1, tp) / p.max(1) as f64
+}
+
+/// Parallel cost `C(p) = p · T(p)` in seconds.
+pub fn cost(tp: Duration, p: usize) -> f64 {
+    p as f64 * tp.as_secs_f64()
+}
+
+/// Amdahl's law: maximum speedup on `p` processors when a fraction
+/// `serial` (0..=1) of the work cannot be parallelized.
+pub fn amdahl_speedup(serial: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial), "serial fraction must be in [0,1]");
+    let p = p.max(1) as f64;
+    1.0 / (serial + (1.0 - serial) / p)
+}
+
+/// Gustafson's law: scaled speedup for the same serial fraction when the
+/// problem grows with `p`.
+pub fn gustafson_speedup(serial: f64, p: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&serial), "serial fraction must be in [0,1]");
+    let p = p.max(1) as f64;
+    p - serial * (p - 1.0)
+}
+
+/// One row of a scaling experiment (Figure 3's data model: one point per
+/// core count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingPoint {
+    /// Worker/core count for this measurement.
+    pub threads: usize,
+    /// Measured wall time.
+    pub elapsed: Duration,
+    /// Speedup vs the 1-thread row.
+    pub speedup: f64,
+    /// Efficiency = speedup / threads.
+    pub efficiency: f64,
+}
+
+/// Turn raw `(threads, elapsed)` measurements into speedup/efficiency
+/// rows, using the 1-thread (or smallest-thread) entry as the baseline.
+pub fn scaling_table(mut raw: Vec<(usize, Duration)>) -> Vec<ScalingPoint> {
+    raw.sort_by_key(|&(p, _)| p);
+    let Some(&(_, t1)) = raw.first() else {
+        return Vec::new();
+    };
+    raw.iter()
+        .map(|&(threads, elapsed)| ScalingPoint {
+            threads,
+            elapsed,
+            speedup: speedup(t1, elapsed),
+            efficiency: efficiency(t1, elapsed, threads),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn perfect_scaling() {
+        assert!((speedup(ms(800), ms(200)) - 4.0).abs() < 1e-9);
+        assert!((efficiency(ms(800), ms(200), 4) - 1.0).abs() < 1e-9);
+        assert!((cost(ms(200), 4) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amdahl_limits() {
+        // Fully parallel work scales linearly.
+        assert!((amdahl_speedup(0.0, 32) - 32.0).abs() < 1e-9);
+        // Fully serial work never speeds up.
+        assert!((amdahl_speedup(1.0, 32) - 1.0).abs() < 1e-9);
+        // 5% serial caps speedup below 20 regardless of p.
+        assert!(amdahl_speedup(0.05, 1_000_000) < 20.0);
+        // Monotone in p.
+        assert!(amdahl_speedup(0.1, 8) > amdahl_speedup(0.1, 4));
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_scaled_problems() {
+        let s = 0.1;
+        for p in [2, 8, 32] {
+            assert!(gustafson_speedup(s, p) >= amdahl_speedup(s, p));
+        }
+        assert!((gustafson_speedup(0.0, 16) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "serial fraction")]
+    fn amdahl_rejects_bad_fraction() {
+        amdahl_speedup(1.5, 4);
+    }
+
+    #[test]
+    fn scaling_table_uses_smallest_thread_count_as_baseline() {
+        let rows = scaling_table(vec![(4, ms(300)), (1, ms(1000)), (2, ms(550))]);
+        assert_eq!(rows[0].threads, 1);
+        assert!((rows[0].speedup - 1.0).abs() < 1e-9);
+        assert!(rows[2].speedup > 3.0);
+        assert!(rows[2].efficiency < 1.0);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert!(scaling_table(vec![]).is_empty());
+    }
+}

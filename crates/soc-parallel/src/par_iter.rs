@@ -1,0 +1,306 @@
+//! Data-parallel loops over index ranges and slices, with a choice of
+//! scheduling policy — the ablation the `fig3` bench sweeps.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::pool::ThreadPool;
+
+/// How iterations are distributed over workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Pre-partition the range into one contiguous block per worker.
+    /// Zero scheduling overhead; poor balance on irregular work (like
+    /// Collatz trajectory lengths).
+    Static,
+    /// Workers grab fixed-size chunks from a shared atomic counter.
+    /// Balances irregular work at the cost of one fetch-add per chunk.
+    Dynamic {
+        /// Iterations per grab.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// A reasonable default: dynamic with ~4 chunks per worker.
+    pub fn default_for(len: usize, workers: usize) -> Schedule {
+        let chunk = (len / (workers * 4).max(1)).max(1);
+        Schedule::Dynamic { chunk }
+    }
+}
+
+/// Run `body(i)` for every `i` in `range` on the pool.
+///
+/// ```
+/// use soc_parallel::{parallel_for, Schedule, ThreadPool};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(4);
+/// let sum = AtomicUsize::new(0);
+/// parallel_for(&pool, 0..100, Schedule::Dynamic { chunk: 8 }, |i| {
+///     sum.fetch_add(i, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 4950);
+/// ```
+pub fn parallel_for<F>(pool: &ThreadPool, range: std::ops::Range<usize>, schedule: Schedule, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let start = range.start;
+    let len = range.len();
+    if len == 0 {
+        return;
+    }
+    let workers = pool.threads();
+    match schedule {
+        Schedule::Static => {
+            let per = len.div_ceil(workers);
+            pool.scope(|s| {
+                for w in 0..workers {
+                    let lo = start + w * per;
+                    let hi = (lo + per).min(start + len);
+                    if lo >= hi {
+                        break;
+                    }
+                    let body = &body;
+                    s.spawn(move || {
+                        for i in lo..hi {
+                            body(i);
+                        }
+                    });
+                }
+            });
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let next = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..workers {
+                    let next = &next;
+                    let body = &body;
+                    s.spawn(move || loop {
+                        let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= len {
+                            return;
+                        }
+                        let hi = (lo + chunk).min(len);
+                        for i in lo..hi {
+                            body(start + i);
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn parallel_map<T, U, F>(pool: &ThreadPool, items: &[T], schedule: Schedule, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+
+    // The output is pre-split into disjoint per-chunk slices so workers
+    // can fill their piece without synchronizing on the whole vector.
+    let chunk = match schedule {
+        Schedule::Static => items.len().div_ceil(pool.threads()).max(1),
+        Schedule::Dynamic { chunk } => chunk.max(1),
+    };
+    type Piece<'w, T, U> = (usize, &'w [T], &'w mut [Option<U>]);
+    let work: Vec<Piece<T, U>> = {
+        let mut pieces = Vec::new();
+        let mut rest_out: &mut [Option<U>] = &mut out;
+        let mut idx = 0;
+        while idx < items.len() {
+            let take = chunk.min(items.len() - idx);
+            let (head, tail) = rest_out.split_at_mut(take);
+            pieces.push((idx, &items[idx..idx + take], head));
+            rest_out = tail;
+            idx += take;
+        }
+        pieces
+    };
+    let queue = Mutex::new(work);
+    pool.scope(|s| {
+        for _ in 0..pool.threads() {
+            let queue = &queue;
+            let f = &f;
+            s.spawn(move || loop {
+                let piece = queue.lock().pop();
+                let Some((_, input, output)) = piece else { return };
+                for (src, dst) in input.iter().zip(output.iter_mut()) {
+                    *dst = Some(f(src));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("parallel_map slot unfilled")).collect()
+}
+
+/// Reduce `range` in parallel: `map` each index, combine with `fold`
+/// (associative), starting from `identity` in each worker.
+pub fn parallel_reduce<T, M, F>(
+    pool: &ThreadPool,
+    range: std::ops::Range<usize>,
+    schedule: Schedule,
+    identity: T,
+    map: M,
+    fold: F,
+) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    F: Fn(T, T) -> T + Sync + Send,
+{
+    let len = range.len();
+    if len == 0 {
+        return identity;
+    }
+    let start = range.start;
+    let workers = pool.threads();
+    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(workers));
+    match schedule {
+        Schedule::Static => {
+            let per = len.div_ceil(workers);
+            pool.scope(|s| {
+                for w in 0..workers {
+                    let lo = start + w * per;
+                    let hi = (lo + per).min(start + len);
+                    if lo >= hi {
+                        break;
+                    }
+                    let (map, fold, partials) = (&map, &fold, &partials);
+                    let id = identity.clone();
+                    s.spawn(move || {
+                        let mut acc = id;
+                        for i in lo..hi {
+                            acc = fold(acc, map(i));
+                        }
+                        partials.lock().push(acc);
+                    });
+                }
+            });
+        }
+        Schedule::Dynamic { chunk } => {
+            let chunk = chunk.max(1);
+            let next = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..workers {
+                    let (map, fold, partials, next) = (&map, &fold, &partials, &next);
+                    let id = identity.clone();
+                    s.spawn(move || {
+                        let mut acc = id;
+                        loop {
+                            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= len {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(len);
+                            for i in lo..hi {
+                                acc = fold(acc, map(start + i));
+                            }
+                        }
+                        partials.lock().push(acc);
+                    });
+                }
+            });
+        }
+    }
+    partials.into_inner().into_iter().fold(identity, fold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_once() {
+        let p = pool();
+        for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 7 }] {
+            let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+            parallel_for(&p, 0..1000, schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_empty_range() {
+        parallel_for(&pool(), 5..5, Schedule::Static, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_for_offset_range() {
+        let p = pool();
+        let sum = AtomicU64::new(0);
+        parallel_for(&p, 10..20, Schedule::Dynamic { chunk: 3 }, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), (10..20u64).sum());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let p = pool();
+        let items: Vec<u64> = (0..500).collect();
+        for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 13 }] {
+            let out = parallel_map(&p, &items, schedule, |&x| x * 2);
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>(), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u8> = parallel_map(&pool(), &[] as &[u8], Schedule::Static, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        let p = pool();
+        for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 11 }] {
+            let got = parallel_reduce(&p, 0..10_000, schedule, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(got, (0..10_000u64).sum(), "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_non_commutative_safe_with_max() {
+        let p = pool();
+        let got = parallel_reduce(
+            &p,
+            0..1_000,
+            Schedule::Dynamic { chunk: 17 },
+            0u64,
+            |i| ((i * 2_654_435_761) % 1_000_003) as u64,
+            u64::max,
+        );
+        let expect =
+            (0..1_000u64).map(|i| (i * 2_654_435_761) % 1_000_003).max().unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn schedule_default_is_reasonable() {
+        match Schedule::default_for(1_000, 4) {
+            Schedule::Dynamic { chunk } => assert!((1..=1_000).contains(&chunk)),
+            other => panic!("{other:?}"),
+        }
+        // Degenerate sizes never produce a zero chunk.
+        match Schedule::default_for(1, 64) {
+            Schedule::Dynamic { chunk } => assert_eq!(chunk, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A TBB-style linear pipeline.
+//!
+//! The course presents TBB as "turning synchronous calls into
+//! asynchronous calls and converting large methods into smaller ones" —
+//! a pipeline of small stages connected by bounded buffers is the
+//! canonical instance. Serial stages run on one thread and preserve
+//! order; parallel stages fan out over several threads (item order at
+//! the output is then arrival order).
+
+use std::sync::Arc;
+use std::thread;
+
+use crate::sync::BoundedBuffer;
+
+/// Concurrency of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// One thread, input order preserved end-to-end.
+    Serial,
+    /// `n` threads working the stage concurrently.
+    Parallel(usize),
+}
+
+type StageFn<T> = Arc<dyn Fn(T) -> Option<T> + Send + Sync>;
+
+/// A linear pipeline processing items of type `T` through boxed
+/// transformation stages.
+pub struct Pipeline<T: Send + 'static> {
+    stages: Vec<(StageKind, StageFn<T>)>,
+    buffer_capacity: usize,
+}
+
+impl<T: Send + 'static> Pipeline<T> {
+    /// Start a pipeline whose inter-stage buffers hold `buffer_capacity`
+    /// in-flight items (backpressure bound).
+    pub fn new(buffer_capacity: usize) -> Self {
+        Pipeline { stages: Vec::new(), buffer_capacity: buffer_capacity.max(1) }
+    }
+
+    /// Append a stage. Returning `None` from the stage filters the item
+    /// out of the stream.
+    pub fn stage(
+        mut self,
+        kind: StageKind,
+        f: impl Fn(T) -> Option<T> + Send + Sync + 'static,
+    ) -> Self {
+        self.stages.push((kind, Arc::new(f)));
+        self
+    }
+
+    /// Feed `input` through all stages, collecting the survivors.
+    ///
+    /// Spawns `sum(stage widths)` threads for the duration of the run —
+    /// the pipeline is the explicit-threads teaching model, distinct
+    /// from the pooled data-parallel loops in [`crate::par_iter`].
+    pub fn run(self, input: Vec<T>) -> Vec<T> {
+        if self.stages.is_empty() {
+            return input;
+        }
+        let mut buffers: Vec<Arc<BoundedBuffer<T>>> = Vec::new();
+        for _ in 0..=self.stages.len() {
+            buffers.push(Arc::new(BoundedBuffer::new(self.buffer_capacity)));
+        }
+
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        for (i, (kind, f)) in self.stages.iter().enumerate() {
+            let width = match kind {
+                StageKind::Serial => 1,
+                StageKind::Parallel(n) => (*n).max(1),
+            };
+            // A stage closes its output once all its workers are done;
+            // track the remaining workers per stage.
+            let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(width));
+            for _ in 0..width {
+                let input = buffers[i].clone();
+                let output = buffers[i + 1].clone();
+                let f = f.clone();
+                let remaining = remaining.clone();
+                workers.push(thread::spawn(move || {
+                    while let Some(item) = input.take() {
+                        if let Some(out) = f(item) {
+                            if output.put(out).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                        output.close();
+                    }
+                }));
+            }
+        }
+
+        // Collector drains the last buffer while we feed the first, so
+        // bounded buffers cannot deadlock the feeder.
+        let last = buffers[self.stages.len()].clone();
+        let collector = thread::spawn(move || {
+            let mut out = Vec::new();
+            while let Some(item) = last.take() {
+                out.push(item);
+            }
+            out
+        });
+
+        let first = buffers[0].clone();
+        for item in input {
+            if first.put(item).is_err() {
+                break;
+            }
+        }
+        first.close();
+
+        for w in workers {
+            let _ = w.join();
+        }
+        collector.join().expect("pipeline collector panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_stages_preserve_order() {
+        let out = Pipeline::new(4)
+            .stage(StageKind::Serial, |x: i64| Some(x * 2))
+            .stage(StageKind::Serial, |x| Some(x + 1))
+            .run((0..100).collect());
+        assert_eq!(out, (0..100).map(|x| x * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filtering_drops_items() {
+        let out = Pipeline::new(4)
+            .stage(StageKind::Serial, |x: i64| if x % 2 == 0 { Some(x) } else { None })
+            .run((0..10).collect());
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn parallel_stage_processes_everything() {
+        let mut out = Pipeline::new(4)
+            .stage(StageKind::Parallel(3), |x: i64| Some(x * x))
+            .run((0..200).collect());
+        out.sort_unstable();
+        assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_pipeline() {
+        let mut out = Pipeline::new(2)
+            .stage(StageKind::Parallel(2), |x: i64| Some(x + 1000))
+            .stage(StageKind::Serial, |x| if x % 3 == 0 { Some(x) } else { None })
+            .stage(StageKind::Parallel(2), |x| Some(x - 1000))
+            .run((0..60).collect());
+        out.sort_unstable();
+        let expect: Vec<i64> = (0..60).filter(|x| (x + 1000) % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let out = Pipeline::new(4).run(vec![1, 2, 3]);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = Pipeline::new(4)
+            .stage(StageKind::Serial, |x: i64| Some(x))
+            .run(vec![]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_items_than_buffer_capacity() {
+        // Backpressure: 1-slot buffers with 1000 items must still drain.
+        let out = Pipeline::new(1)
+            .stage(StageKind::Serial, |x: i64| Some(x))
+            .stage(StageKind::Serial, Some)
+            .run((0..1000).collect());
+        assert_eq!(out.len(), 1000);
+    }
+}

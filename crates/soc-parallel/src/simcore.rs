@@ -1,0 +1,320 @@
+//! A deterministic virtual-multicore scheduler for weighted task DAGs.
+//!
+//! Two of the paper's needs meet here:
+//!
+//! 1. **Substitution substrate.** Figure 3 was measured on Intel's
+//!    32-core Manycore Testing Lab, which we do not have (this
+//!    reproduction may even run on a single-core container). Simulating
+//!    list scheduling of the same task graph on *k* virtual cores
+//!    reproduces the figure's speedup/efficiency shape deterministically
+//!    on any host.
+//! 2. **Course topic.** Table 2 requires students to "understand that
+//!    more processors does not always mean faster execution, e.g.
+//!    inherent sequentiality of algorithmic structure, DAG
+//!    representation with a sequential spine" — this module *is* that
+//!    DAG model, with critical-path analysis built in.
+//!
+//! Costs are abstract time units; the simulator is exact and
+//! reproducible (no wall clocks, no host-dependent noise).
+
+/// Identifier of a task inside a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+#[derive(Debug, Clone)]
+struct SimTask {
+    cost: u64,
+    deps: Vec<TaskId>,
+}
+
+/// A weighted DAG of tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<SimTask>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Add a task costing `cost` units that starts only after `deps`.
+    /// Panics if a dependency id is from the future (cycle-free by
+    /// construction).
+    pub fn add(&mut self, cost: u64, deps: &[TaskId]) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        for d in deps {
+            assert!(d.0 < id.0, "dependencies must precede the task");
+        }
+        self.tasks.push(SimTask { cost, deps: deps.to_vec() });
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work `T₁` (sum of all costs).
+    pub fn total_work(&self) -> u64 {
+        self.tasks.iter().map(|t| t.cost).sum()
+    }
+
+    /// Critical path `T∞` (longest cost-weighted dependency chain) —
+    /// the lower bound on makespan with unlimited cores.
+    pub fn critical_path(&self) -> u64 {
+        let mut finish = vec![0u64; self.tasks.len()];
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t.deps.iter().map(|d| finish[d.0]).max().unwrap_or(0);
+            finish[i] = ready + t.cost;
+        }
+        finish.into_iter().max().unwrap_or(0)
+    }
+
+    /// Build a fork/join graph: a serial prefix, `n` independent tasks
+    /// with the given costs, and a serial suffix that joins them.
+    /// This models the Figure 3 experiment: setup → parallel Collatz
+    /// chunks → reduction.
+    pub fn fork_join(prefix: u64, chunk_costs: &[u64], suffix: u64) -> Self {
+        let mut g = TaskGraph::new();
+        let pre = g.add(prefix, &[]);
+        let chunks: Vec<TaskId> = chunk_costs.iter().map(|&c| g.add(c, &[pre])).collect();
+        g.add(suffix, &chunks);
+        g
+    }
+
+    /// Build a "sequential spine" graph: `spine_len` serial tasks, each
+    /// forking `width` parallel children that must rejoin before the
+    /// next spine step — the Table 2 scalability cautionary tale.
+    pub fn sequential_spine(spine_len: usize, spine_cost: u64, width: usize, child_cost: u64) -> Self {
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<TaskId> = Vec::new();
+        for _ in 0..spine_len {
+            let spine = g.add(spine_cost, &prev);
+            prev = (0..width).map(|_| g.add(child_cost, &[spine])).collect();
+        }
+        g
+    }
+}
+
+/// Result of simulating a graph on `cores` virtual cores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Virtual core count used.
+    pub cores: usize,
+    /// Completion time of the last task.
+    pub makespan: u64,
+    /// Busy time per core (sum ≤ cores × makespan).
+    pub busy: Vec<u64>,
+    /// Mean core utilization in [0, 1].
+    pub utilization: f64,
+}
+
+/// Greedy list scheduling (earliest-finishing core gets the next ready
+/// task; ties broken by task id, so results are fully deterministic).
+/// `per_task_overhead` is added to every task's cost, modeling scheduler
+/// and synchronization overhead — the term that makes measured
+/// efficiency fall below 1 as cores grow, exactly as in Figure 3.
+pub fn simulate(graph: &TaskGraph, cores: usize, per_task_overhead: u64) -> SimResult {
+    assert!(cores > 0, "need at least one core");
+    let n = graph.tasks.len();
+    let mut indegree: Vec<usize> = graph.tasks.iter().map(|t| t.deps.len()).collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, t) in graph.tasks.iter().enumerate() {
+        for d in &t.deps {
+            dependents[d.0].push(i);
+        }
+    }
+    // Ready tasks become eligible at the max finish time of their deps.
+    let mut ready_at = vec![0u64; n];
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    for (i, t) in graph.tasks.iter().enumerate() {
+        if t.deps.is_empty() {
+            ready.push(std::cmp::Reverse((0, i)));
+        }
+    }
+    let mut core_free = vec![0u64; cores];
+    let mut busy = vec![0u64; cores];
+    let mut finish = vec![0u64; n];
+    let mut scheduled = 0usize;
+
+    while let Some(std::cmp::Reverse((eligible, task))) = ready.pop() {
+        // Earliest-free core (ties → lowest index).
+        let (core, &free) = core_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &f)| (f, i))
+            .expect("at least one core");
+        let start = free.max(eligible);
+        let cost = graph.tasks[task].cost + per_task_overhead;
+        let end = start + cost;
+        core_free[core] = end;
+        busy[core] += cost;
+        finish[task] = end;
+        scheduled += 1;
+        for &dep in &dependents[task] {
+            ready_at[dep] = ready_at[dep].max(end);
+            indegree[dep] -= 1;
+            if indegree[dep] == 0 {
+                ready.push(std::cmp::Reverse((ready_at[dep], dep)));
+            }
+        }
+    }
+    assert_eq!(scheduled, n, "graph contained unreachable (cyclic?) tasks");
+
+    let makespan = finish.iter().copied().max().unwrap_or(0);
+    let total_busy: u64 = busy.iter().sum();
+    let utilization = if makespan == 0 {
+        1.0
+    } else {
+        total_busy as f64 / (makespan as f64 * cores as f64)
+    };
+    SimResult { cores, makespan, busy, utilization }
+}
+
+/// Simulate the same graph over several core counts and return
+/// `(cores, speedup, efficiency)` rows against the 1-core makespan —
+/// the exact series Figure 3 plots.
+pub fn scaling_series(
+    graph: &TaskGraph,
+    core_counts: &[usize],
+    per_task_overhead: u64,
+) -> Vec<(usize, f64, f64)> {
+    let t1 = simulate(graph, 1, per_task_overhead).makespan.max(1);
+    core_counts
+        .iter()
+        .map(|&c| {
+            let tp = simulate(graph, c, per_task_overhead).makespan.max(1);
+            let s = t1 as f64 / tp as f64;
+            (c, s, s / c as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task() {
+        let mut g = TaskGraph::new();
+        g.add(10, &[]);
+        let r = simulate(&g, 4, 0);
+        assert_eq!(r.makespan, 10);
+        assert_eq!(g.critical_path(), 10);
+        assert_eq!(g.total_work(), 10);
+    }
+
+    #[test]
+    fn independent_tasks_scale_perfectly() {
+        let mut g = TaskGraph::new();
+        for _ in 0..8 {
+            g.add(5, &[]);
+        }
+        assert_eq!(simulate(&g, 1, 0).makespan, 40);
+        assert_eq!(simulate(&g, 4, 0).makespan, 10);
+        assert_eq!(simulate(&g, 8, 0).makespan, 5);
+        // More cores than tasks: bounded by the critical path.
+        assert_eq!(simulate(&g, 100, 0).makespan, 5);
+    }
+
+    #[test]
+    fn chain_cannot_parallelize() {
+        let mut g = TaskGraph::new();
+        let a = g.add(3, &[]);
+        let b = g.add(3, &[a]);
+        let _c = g.add(3, &[b]);
+        assert_eq!(g.critical_path(), 9);
+        assert_eq!(simulate(&g, 32, 0).makespan, 9);
+    }
+
+    #[test]
+    fn fork_join_respects_prefix_and_suffix() {
+        let g = TaskGraph::fork_join(4, &[10, 10, 10, 10], 6);
+        // 1 core: 4 + 40 + 6.
+        assert_eq!(simulate(&g, 1, 0).makespan, 50);
+        // 4 cores: 4 + 10 + 6.
+        assert_eq!(simulate(&g, 4, 0).makespan, 20);
+        assert_eq!(g.critical_path(), 20);
+    }
+
+    #[test]
+    fn makespan_never_beats_critical_path_or_work_bound() {
+        let g = TaskGraph::fork_join(2, &[7, 3, 9, 5, 1, 8], 4);
+        for cores in [1, 2, 3, 4, 8, 64] {
+            let r = simulate(&g, cores, 0);
+            assert!(r.makespan >= g.critical_path());
+            assert!(r.makespan as f64 >= g.total_work() as f64 / cores as f64);
+            // Greedy list scheduling honors Graham's bound: T_p ≤ T1/p + T∞.
+            assert!(
+                r.makespan as f64
+                    <= g.total_work() as f64 / cores as f64 + g.critical_path() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_degrades_efficiency() {
+        let chunk_costs = vec![100u64; 32];
+        let g = TaskGraph::fork_join(10, &chunk_costs, 10);
+        let series_free = scaling_series(&g, &[1, 4, 8, 16, 32], 0);
+        let series_overhead = scaling_series(&g, &[1, 4, 8, 16, 32], 5);
+        // Efficiency is monotonically non-increasing in cores and the
+        // overhead run is never more efficient at 32 cores.
+        let eff = |s: &[(usize, f64, f64)]| s.last().unwrap().2;
+        assert!(eff(&series_overhead) <= eff(&series_free) + 1e-9);
+        for w in series_free.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sequential_spine_limits_speedup() {
+        // Heavy spine, light children: speedup must saturate well below
+        // the core count (Table 2's lesson).
+        let g = TaskGraph::sequential_spine(10, 50, 4, 10);
+        let series = scaling_series(&g, &[1, 4, 32], 0);
+        let s32 = series.last().unwrap().1;
+        assert!(s32 < 4.0, "spine-bound graph must not scale: {s32}");
+    }
+
+    #[test]
+    fn utilization_in_bounds() {
+        let g = TaskGraph::fork_join(1, &[5, 5, 5], 1);
+        for cores in [1, 2, 4] {
+            let r = simulate(&g, cores, 0);
+            assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        }
+        assert!((simulate(&g, 1, 0).utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = TaskGraph::fork_join(3, &[9, 2, 7, 4, 6], 3);
+        let a = simulate(&g, 3, 1);
+        let b = simulate(&g, 3, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependencies must precede")]
+    fn forward_dependency_rejected() {
+        let mut g = TaskGraph::new();
+        let a = g.add(1, &[]);
+        let _ = g.add(1, &[TaskId(a.0 + 5)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraph::new();
+        assert_eq!(simulate(&g, 2, 0).makespan, 0);
+        assert_eq!(g.critical_path(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! A reusable sense-reversing barrier.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A cyclic barrier for a fixed party count, using sense reversal so it
+/// can be reused round after round without re-initialization.
+///
+/// The classic lecture construction: each round flips a shared "sense"
+/// bit; arrivals decrement a counter, and the last arrival resets the
+/// counter and flips the sense, releasing everyone spinning/sleeping on
+/// the old sense.
+pub struct SenseBarrier {
+    parties: usize,
+    remaining: AtomicUsize,
+    sense: AtomicBool,
+    lock: Mutex<()>,
+    cond: Condvar,
+}
+
+impl SenseBarrier {
+    /// A barrier for `parties` threads. Panics if zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "barrier needs at least one party");
+        SenseBarrier {
+            parties,
+            remaining: AtomicUsize::new(parties),
+            sense: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn parties(&self) -> usize {
+        self.parties
+    }
+
+    /// Arrive and wait for the rest of the round. Returns `true` for the
+    /// single "leader" arrival that completed the round.
+    pub fn wait(&self) -> bool {
+        let my_sense = !self.sense.load(Ordering::Acquire);
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Leader: reset for the next round, then flip the sense.
+            self.remaining.store(self.parties, Ordering::Release);
+            let _g = self.lock.lock();
+            self.sense.store(my_sense, Ordering::Release);
+            self.cond.notify_all();
+            true
+        } else {
+            let mut g = self.lock.lock();
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                self.cond.wait(&mut g);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_party_never_blocks() {
+        let b = SenseBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait());
+    }
+
+    #[test]
+    fn releases_all_parties_each_round() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 10;
+        let b = Arc::new(SenseBarrier::new(PARTIES));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PARTIES {
+            let (b, phase) = (b.clone(), phase.clone());
+            handles.push(thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    // Everyone must observe the same phase inside a round.
+                    assert_eq!(phase.load(Ordering::SeqCst), round);
+                    if b.wait() {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                    }
+                    b.wait(); // second barrier so the increment is visible
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), ROUNDS);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_round() {
+        const PARTIES: usize = 3;
+        let b = Arc::new(SenseBarrier::new(PARTIES));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..PARTIES {
+            let (b, leaders) = (b.clone(), leaders.clone());
+            handles.push(thread::spawn(move || {
+                for _ in 0..5 {
+                    if b.wait() {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_parties_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

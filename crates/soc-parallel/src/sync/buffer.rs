@@ -1,0 +1,291 @@
+//! The bounded producer/consumer buffer — unit 2's classic example, and
+//! the engine behind the "messaging buffer service" in the ASU service
+//! repository (Section V of the paper).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A blocking bounded FIFO for multiple producers and consumers.
+///
+/// Built as two condition variables over one mutex-protected deque:
+/// `not_full` gates producers, `not_empty` gates consumers. Closing the
+/// buffer wakes everyone; consumers drain remaining items, producers get
+/// their item back via `Err`.
+pub struct BoundedBuffer<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a buffer operation did not complete.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BufferError<T> {
+    /// The buffer was closed; for `put`, the rejected item is returned.
+    Closed(T),
+    /// The timeout elapsed; for `put`, the item is returned.
+    Timeout(T),
+}
+
+impl<T> BoundedBuffer<T> {
+    /// Create with a fixed capacity (must be nonzero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        BoundedBuffer {
+            inner: Mutex::new(Inner { queue: VecDeque::with_capacity(capacity), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Capacity the buffer was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current queue length (racy; monitoring only).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when currently empty (racy; monitoring only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Block until space is available, then enqueue. Fails only when the
+    /// buffer is closed.
+    pub fn put(&self, item: T) -> Result<(), BufferError<T>> {
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.closed {
+                return Err(BufferError::Closed(item));
+            }
+            if inner.queue.len() < self.capacity {
+                inner.queue.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            self.not_full.wait(&mut inner);
+        }
+    }
+
+    /// `put` with a deadline.
+    pub fn put_timeout(&self, item: T, timeout: Duration) -> Result<(), BufferError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.closed {
+                return Err(BufferError::Closed(item));
+            }
+            if inner.queue.len() < self.capacity {
+                inner.queue.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            if self.not_full.wait_until(&mut inner, deadline).timed_out() {
+                return Err(BufferError::Timeout(item));
+            }
+        }
+    }
+
+    /// Enqueue only if space is available right now.
+    pub fn try_put(&self, item: T) -> Result<(), BufferError<T>> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(BufferError::Closed(item));
+        }
+        if inner.queue.len() < self.capacity {
+            inner.queue.push_back(item);
+            drop(inner);
+            self.not_empty.notify_one();
+            Ok(())
+        } else {
+            Err(BufferError::Timeout(item))
+        }
+    }
+
+    /// Block until an item is available. Returns `None` once the buffer
+    /// is closed *and* drained.
+    pub fn take(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut inner);
+        }
+    }
+
+    /// `take` with a deadline; `Ok(None)` means closed-and-drained,
+    /// `Err(())` means the timeout elapsed (the only failure mode, so
+    /// the unit error is deliberate).
+    #[allow(clippy::result_unit_err)]
+    pub fn take_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.queue.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if inner.closed {
+                return Ok(None);
+            }
+            if self.not_empty.wait_until(&mut inner, deadline).timed_out() {
+                return Err(());
+            }
+        }
+    }
+
+    /// Dequeue only if an item is available right now.
+    pub fn try_take(&self) -> Option<T> {
+        let mut inner = self.inner.lock();
+        let item = inner.queue.pop_front();
+        if item.is_some() {
+            drop(inner);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Close the buffer: producers fail, consumers drain then get `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Has the buffer been closed?
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let b = BoundedBuffer::new(4);
+        for i in 0..4 {
+            b.put(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(b.take(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_put_respects_capacity() {
+        let b = BoundedBuffer::new(1);
+        assert!(b.try_put(1).is_ok());
+        assert!(matches!(b.try_put(2), Err(BufferError::Timeout(2))));
+        assert_eq!(b.try_take(), Some(1));
+        assert!(b.try_put(2).is_ok());
+    }
+
+    #[test]
+    fn put_timeout_returns_item() {
+        let b = BoundedBuffer::new(1);
+        b.put("a").unwrap();
+        match b.put_timeout("b", Duration::from_millis(10)) {
+            Err(BufferError::Timeout(x)) => assert_eq!(x, "b"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let b = BoundedBuffer::new(4);
+        b.put(1).unwrap();
+        b.put(2).unwrap();
+        b.close();
+        assert!(matches!(b.put(3), Err(BufferError::Closed(3))));
+        assert_eq!(b.take(), Some(1));
+        assert_eq!(b.take(), Some(2));
+        assert_eq!(b.take(), None);
+    }
+
+    #[test]
+    fn producers_and_consumers_transfer_everything() {
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 500;
+        let b = Arc::new(BoundedBuffer::new(8));
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let b = b.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    b.put(p * PER_PRODUCER + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..CONSUMERS {
+            let b = b.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = b.take() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        b.close();
+        let mut all: Vec<usize> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_put() {
+        let b = Arc::new(BoundedBuffer::new(2));
+        let b2 = b.clone();
+        let t = thread::spawn(move || b2.take());
+        thread::sleep(Duration::from_millis(10));
+        b.put(99).unwrap();
+        assert_eq!(t.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn take_timeout_expires() {
+        let b: BoundedBuffer<u8> = BoundedBuffer::new(1);
+        assert_eq!(b.take_timeout(Duration::from_millis(10)), Err(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedBuffer<u8> = BoundedBuffer::new(0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Event primitives ("events and event coordination" from unit 2),
+//! modeled after the .NET event types the course uses, but built from
+//! a raw atomic + thread parking, *Rust Atomics and Locks* chapter 9
+//! style.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::thread::{self, Thread};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A manually reset event: once [`set`](ManualResetEvent::set), every
+/// current and future waiter passes until [`reset`](ManualResetEvent::reset).
+///
+/// State is a single atomic word; waiters register themselves in a
+/// parked-thread list and re-check the word after every unpark (spurious
+/// wakeup safe).
+pub struct ManualResetEvent {
+    /// 0 = unset, 1 = set.
+    state: AtomicU32,
+    waiters: Mutex<Vec<Thread>>,
+}
+
+impl ManualResetEvent {
+    /// Create in the given state.
+    pub fn new(set: bool) -> Self {
+        ManualResetEvent {
+            state: AtomicU32::new(set as u32),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Is the event currently set?
+    pub fn is_set(&self) -> bool {
+        // Acquire pairs with the Release in `set`, so a waiter that sees
+        // 1 also sees everything the setter wrote before setting.
+        self.state.load(Ordering::Acquire) == 1
+    }
+
+    /// Set the event and wake all waiters.
+    pub fn set(&self) {
+        self.state.store(1, Ordering::Release);
+        let waiters = std::mem::take(&mut *self.waiters.lock());
+        for t in waiters {
+            t.unpark();
+        }
+    }
+
+    /// Clear the event.
+    pub fn reset(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    /// Block until the event is set.
+    pub fn wait(&self) {
+        loop {
+            if self.is_set() {
+                return;
+            }
+            // Register, then re-check to close the set-before-park race:
+            // if `set` ran between our check and registration, it either
+            // sees us in the list (unparks us) or we see state==1 below.
+            self.waiters.lock().push(thread::current());
+            if self.is_set() {
+                return;
+            }
+            thread::park();
+        }
+    }
+
+    /// Block until set or until `timeout` elapses; `true` when set.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.is_set() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.waiters.lock().push(thread::current());
+            if self.is_set() {
+                return true;
+            }
+            thread::park_timeout(deadline - now);
+        }
+    }
+}
+
+/// An auto-reset event: [`set`](AutoResetEvent::set) releases exactly one
+/// waiter (or the next arriving one) and the event falls back to unset.
+/// Equivalent to a binary semaphore that never exceeds one permit.
+pub struct AutoResetEvent {
+    /// Number of pending "releases", capped at 1.
+    signals: Mutex<bool>,
+    cond: parking_lot::Condvar,
+}
+
+impl AutoResetEvent {
+    /// Create in the given state.
+    pub fn new(set: bool) -> Self {
+        AutoResetEvent { signals: Mutex::new(set), cond: parking_lot::Condvar::new() }
+    }
+
+    /// Release one waiter (the signal is *not* cumulative).
+    pub fn set(&self) {
+        let mut s = self.signals.lock();
+        *s = true;
+        drop(s);
+        self.cond.notify_one();
+    }
+
+    /// Block until signaled; consumes the signal.
+    pub fn wait(&self) {
+        let mut s = self.signals.lock();
+        while !*s {
+            self.cond.wait(&mut s);
+        }
+        *s = false;
+    }
+
+    /// Wait with a timeout; `true` when signaled.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = self.signals.lock();
+        while !*s {
+            if self.cond.wait_until(&mut s, deadline).timed_out() {
+                return false;
+            }
+        }
+        *s = false;
+        true
+    }
+}
+
+/// A countdown event: starts at `n`, [`signal`](CountdownEvent::signal)
+/// decrements, waiters pass when the count reaches zero. This is the
+/// "latch" used for fork/join coordination in the thread pool.
+pub struct CountdownEvent {
+    remaining: AtomicUsize,
+    done: ManualResetEvent,
+}
+
+impl CountdownEvent {
+    /// Create with an initial count (0 means already signaled).
+    pub fn new(count: usize) -> Self {
+        CountdownEvent {
+            remaining: AtomicUsize::new(count),
+            done: ManualResetEvent::new(count == 0),
+        }
+    }
+
+    /// Decrement; the final decrement wakes all waiters.
+    /// Panics on underflow — that is always a caller bug worth surfacing.
+    pub fn signal(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev != 0, "CountdownEvent signaled below zero");
+        if prev == 1 {
+            self.done.set();
+        }
+    }
+
+    /// Add `n` more expected signals. Must not be called after the count
+    /// has already reached zero (the event does not reset).
+    pub fn add(&self, n: usize) {
+        let prev = self.remaining.fetch_add(n, Ordering::AcqRel);
+        assert!(prev != 0 || !self.done.is_set() || n == 0,
+            "CountdownEvent::add after completion");
+    }
+
+    /// Current remaining count (racy; monitoring only).
+    pub fn count(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Block until the count reaches zero.
+    pub fn wait(&self) {
+        self.done.wait();
+    }
+
+    /// Wait with timeout; `true` when completed.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        self.done.wait_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn manual_reset_releases_all_waiters() {
+        let ev = Arc::new(ManualResetEvent::new(false));
+        let released = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let (ev, released) = (ev.clone(), released.clone());
+            handles.push(thread::spawn(move || {
+                ev.wait();
+                released.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        ev.set();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 4);
+        // Still set: a late waiter passes immediately.
+        ev.wait();
+    }
+
+    #[test]
+    fn manual_reset_reset_blocks_again() {
+        let ev = ManualResetEvent::new(true);
+        ev.wait(); // passes
+        ev.reset();
+        assert!(!ev.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn auto_reset_releases_exactly_one() {
+        let ev = Arc::new(AutoResetEvent::new(false));
+        let passed = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let (ev, passed) = (ev.clone(), passed.clone());
+            handles.push(thread::spawn(move || {
+                if ev.wait_timeout(Duration::from_millis(200)) {
+                    passed.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        thread::sleep(Duration::from_millis(20));
+        ev.set(); // exactly one passes
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(passed.load(Ordering::SeqCst), 1);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The other two timed out: signal was not cumulative.
+        assert_eq!(passed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn auto_reset_signal_before_wait_is_remembered_once() {
+        let ev = AutoResetEvent::new(false);
+        ev.set();
+        ev.set(); // collapses into one pending signal
+        ev.wait();
+        assert!(!ev.wait_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn countdown_completes_at_zero() {
+        let cd = Arc::new(CountdownEvent::new(3));
+        assert!(!cd.wait_timeout(Duration::from_millis(5)));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let cd = cd.clone();
+            handles.push(thread::spawn(move || cd.signal()));
+        }
+        cd.wait();
+        assert_eq!(cd.count(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn countdown_zero_is_immediately_set() {
+        CountdownEvent::new(0).wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn countdown_underflow_panics() {
+        let cd = CountdownEvent::new(1);
+        cd.signal();
+        cd.signal();
+    }
+
+    #[test]
+    fn countdown_add_extends() {
+        let cd = CountdownEvent::new(1);
+        cd.add(1);
+        cd.signal();
+        assert!(!cd.wait_timeout(Duration::from_millis(5)));
+        cd.signal();
+        cd.wait();
+    }
+}

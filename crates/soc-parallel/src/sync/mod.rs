@@ -1,0 +1,24 @@
+//! Synchronization primitives, built from atomics and thread parking in
+//! the style of *Rust Atomics and Locks*.
+//!
+//! These are the course's unit-2 vocabulary made concrete:
+//!
+//! | Course concept | Type |
+//! |---|---|
+//! | semaphore | [`Semaphore`] |
+//! | events & event coordination | [`AutoResetEvent`], [`ManualResetEvent`], [`CountdownEvent`] |
+//! | resource locking | [`SpinLock`] |
+//! | producer/consumer | [`BoundedBuffer`] |
+//! | barrier synchronization | [`SenseBarrier`] |
+
+mod barrier;
+mod buffer;
+mod event;
+mod semaphore;
+mod spinlock;
+
+pub use barrier::SenseBarrier;
+pub use buffer::{BoundedBuffer, BufferError};
+pub use event::{AutoResetEvent, CountdownEvent, ManualResetEvent};
+pub use semaphore::Semaphore;
+pub use spinlock::{SpinLock, SpinLockGuard};

@@ -1,0 +1,169 @@
+//! A counting semaphore on a mutex + condvar pair.
+//!
+//! The mutex-based implementation is deliberately the "textbook" one —
+//! permits are a counter protected by a lock, waiters sleep on a
+//! condition variable — because this is the exact construction the
+//! course teaches before contrasting it with lock-free designs
+//! (see [`crate::sync::SpinLock`] and the `sync` benchmark).
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A counting semaphore.
+///
+/// ```
+/// use soc_parallel::sync::Semaphore;
+/// use std::sync::Arc;
+///
+/// let sem = Arc::new(Semaphore::new(2));
+/// sem.acquire();
+/// sem.acquire();
+/// assert!(!sem.try_acquire());
+/// sem.release();
+/// assert!(sem.try_acquire());
+/// ```
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    /// Create with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Semaphore { permits: Mutex::new(permits), available: Condvar::new() }
+    }
+
+    /// Block until a permit is available, then take it.
+    pub fn acquire(&self) {
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            self.available.wait(&mut permits);
+        }
+        *permits -= 1;
+    }
+
+    /// Take a permit if one is available right now.
+    pub fn try_acquire(&self) -> bool {
+        let mut permits = self.permits.lock();
+        if *permits > 0 {
+            *permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wait up to `timeout` for a permit. Returns `true` on success.
+    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut permits = self.permits.lock();
+        while *permits == 0 {
+            if self.available.wait_until(&mut permits, deadline).timed_out() {
+                return false;
+            }
+        }
+        *permits -= 1;
+        true
+    }
+
+    /// Return one permit, waking a waiter if any.
+    pub fn release(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.available.notify_one();
+    }
+
+    /// Permits currently available (racy; for monitoring/tests only).
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock()
+    }
+
+    /// Run `f` while holding a permit (RAII-style usage).
+    pub fn with_permit<T>(&self, f: impl FnOnce() -> T) -> T {
+        self.acquire();
+        // Release even if `f` panics, like a lock guard would.
+        struct Guard<'a>(&'a Semaphore);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.release();
+            }
+        }
+        let _g = Guard(self);
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn basic_acquire_release() {
+        let s = Semaphore::new(1);
+        s.acquire();
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        s.release();
+        assert_eq!(s.available_permits(), 1);
+    }
+
+    #[test]
+    fn timeout_expires_without_permit() {
+        let s = Semaphore::new(0);
+        assert!(!s.acquire_timeout(Duration::from_millis(20)));
+    }
+
+    #[test]
+    fn timeout_succeeds_when_released() {
+        let s = Arc::new(Semaphore::new(0));
+        let s2 = s.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            s2.release();
+        });
+        assert!(s.acquire_timeout(Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn bounds_concurrency() {
+        // With 3 permits, at most 3 threads may be inside at once.
+        let s = Arc::new(Semaphore::new(3));
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..12 {
+            let (s, inside, peak) = (s.clone(), inside.clone(), peak.clone());
+            handles.push(thread::spawn(move || {
+                s.with_permit(|| {
+                    let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(Duration::from_millis(2));
+                    inside.fetch_sub(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 3);
+        assert_eq!(s.available_permits(), 3);
+    }
+
+    #[test]
+    fn with_permit_releases_on_panic() {
+        let s = Arc::new(Semaphore::new(1));
+        let s2 = s.clone();
+        let _ = thread::spawn(move || {
+            s2.with_permit(|| panic!("boom"));
+        })
+        .join();
+        assert_eq!(s.available_permits(), 1);
+    }
+}

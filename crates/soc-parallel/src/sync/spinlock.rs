@@ -1,0 +1,139 @@
+//! A test-and-test-and-set spin lock with an RAII guard — the course's
+//! "resource locking versus unbreakable operations" contrast made
+//! concrete. Compare with the lock-free paths in the `sync` benchmark.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A spin lock protecting a value of type `T`.
+///
+/// Appropriate only for very short critical sections; the thread pool
+/// and services use blocking locks. Provided (and benchmarked) because
+/// the contrast is part of the course material.
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the exclusion needed to hand out &mut T.
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+unsafe impl<T: Send> Send for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        SpinLock { locked: AtomicBool::new(false), value: UnsafeCell::new(value) }
+    }
+
+    /// Spin until the lock is acquired.
+    pub fn lock(&self) -> SpinLockGuard<'_, T> {
+        loop {
+            // Test-and-test-and-set: spin on a cheap load first so the
+            // cache line is not bounced by failed RMWs.
+            while self.locked.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinLockGuard { lock: self };
+            }
+        }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinLockGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard; releases on drop.
+pub struct SpinLockGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: we hold the lock.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinLockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: we hold the lock exclusively.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinLockGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release pairs with the Acquire in `lock`, publishing our writes.
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn guards_exclusive_access() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = lock.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *lock.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 40_000);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let lock = SpinLock::new(());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let lock = SpinLock::new(vec![1, 2]);
+        assert_eq!(lock.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn writes_visible_across_threads() {
+        let lock = Arc::new(SpinLock::new(String::new()));
+        let l2 = lock.clone();
+        thread::spawn(move || l2.lock().push_str("hello")).join().unwrap();
+        assert_eq!(&*lock.lock(), "hello");
+    }
+}

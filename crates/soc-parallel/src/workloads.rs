@@ -1,0 +1,183 @@
+//! The Collatz-conjecture validation workload from the paper's Figure 3:
+//! *"a program that validates the Collatz conjecture has been used to
+//! evaluate the performance in a single core up through 32 cores"*.
+
+use crate::par_iter::{parallel_reduce, Schedule};
+use crate::pool::ThreadPool;
+use crate::simcore::TaskGraph;
+
+/// Number of steps for `n` to reach 1 under the Collatz map
+/// (`n/2` if even, `3n+1` if odd). Panics only on 0, which is outside
+/// the conjecture's domain.
+pub fn collatz_steps(mut n: u64) -> u32 {
+    assert!(n > 0, "Collatz is defined for positive integers");
+    let mut steps = 0;
+    while n != 1 {
+        if n.is_multiple_of(2) {
+            n /= 2;
+        } else {
+            // 3n+1 on odd n; u64 overflow cannot occur for the ranges the
+            // experiments use (n < 2^62), checked arithmetic documents it.
+            n = n.checked_mul(3).and_then(|m| m.checked_add(1)).expect("Collatz overflow");
+        }
+        steps += 1;
+    }
+    steps
+}
+
+/// Statistics of validating the conjecture over `[1, limit]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollatzReport {
+    /// Upper bound of the validated range (inclusive).
+    pub limit: u64,
+    /// Total steps across the range (the "work" the benchmark scales).
+    pub total_steps: u64,
+    /// Longest trajectory found.
+    pub max_steps: u32,
+    /// The `n` attaining `max_steps` (smallest such if tied).
+    pub argmax: u64,
+}
+
+/// Validate sequentially — the baseline side of Figure 3.
+pub fn validate_sequential(limit: u64) -> CollatzReport {
+    let mut total = 0u64;
+    let mut max_steps = 0u32;
+    let mut argmax = 1u64;
+    for n in 1..=limit {
+        let s = collatz_steps(n);
+        total += s as u64;
+        if s > max_steps {
+            max_steps = s;
+            argmax = n;
+        }
+    }
+    CollatzReport { limit, total_steps: total, max_steps, argmax }
+}
+
+/// Validate on a thread pool — the parallel side of Figure 3. The
+/// reduction is associative and tie-breaks toward the smaller `n`, so
+/// the result is identical to the sequential run regardless of schedule.
+pub fn validate_parallel(pool: &ThreadPool, limit: u64, schedule: Schedule) -> CollatzReport {
+    let zero = CollatzReport { limit, total_steps: 0, max_steps: 0, argmax: u64::MAX };
+    let mut report = parallel_reduce(
+        pool,
+        1..(limit as usize + 1),
+        schedule,
+        zero,
+        |i| {
+            let n = i as u64;
+            let s = collatz_steps(n);
+            CollatzReport { limit, total_steps: s as u64, max_steps: s, argmax: n }
+        },
+        |a, b| {
+            let (max_steps, argmax) = match a.max_steps.cmp(&b.max_steps) {
+                std::cmp::Ordering::Greater => (a.max_steps, a.argmax),
+                std::cmp::Ordering::Less => (b.max_steps, b.argmax),
+                std::cmp::Ordering::Equal => (a.max_steps, a.argmax.min(b.argmax)),
+            };
+            CollatzReport {
+                limit,
+                total_steps: a.total_steps + b.total_steps,
+                max_steps,
+                argmax,
+            }
+        },
+    );
+    if report.argmax == u64::MAX {
+        report.argmax = 1; // empty range
+    }
+    report
+}
+
+/// Build the Figure 3 task graph for the virtual-multicore simulator:
+/// the range `[1, limit]` split into `chunks` blocks whose costs are the
+/// *actual* Collatz step counts of the block, plus a serial setup and a
+/// serial reduction — the same structure the measured run has.
+pub fn collatz_task_graph(limit: u64, chunks: usize) -> TaskGraph {
+    let chunks = chunks.max(1);
+    let per = limit.div_ceil(chunks as u64).max(1);
+    let mut costs = Vec::with_capacity(chunks);
+    let mut n = 1u64;
+    while n <= limit {
+        let hi = (n + per - 1).min(limit);
+        let mut cost = 0u64;
+        for v in n..=hi {
+            cost += collatz_steps(v) as u64;
+        }
+        costs.push(cost.max(1));
+        n = hi + 1;
+    }
+    // Setup/reduction costs ≈ 0.5% of total work: the small serial
+    // fraction that bends Figure 3's efficiency curve downward.
+    let total: u64 = costs.iter().sum();
+    let serial = (total / 200).max(1);
+    TaskGraph::fork_join(serial, &costs, serial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_trajectories() {
+        assert_eq!(collatz_steps(1), 0);
+        assert_eq!(collatz_steps(2), 1);
+        assert_eq!(collatz_steps(3), 7);
+        assert_eq!(collatz_steps(6), 8);
+        assert_eq!(collatz_steps(27), 111);
+        assert_eq!(collatz_steps(97), 118);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rejected() {
+        collatz_steps(0);
+    }
+
+    #[test]
+    fn sequential_report_known_values() {
+        let r = validate_sequential(1000);
+        // 871 has the longest trajectory (178 steps) below 1000.
+        assert_eq!(r.max_steps, 178);
+        assert_eq!(r.argmax, 871);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let pool = ThreadPool::new(4);
+        let seq = validate_sequential(5_000);
+        for schedule in [Schedule::Static, Schedule::Dynamic { chunk: 64 }] {
+            let par = validate_parallel(&pool, 5_000, schedule);
+            assert_eq!(par, seq, "{schedule:?}");
+        }
+    }
+
+    #[test]
+    fn task_graph_covers_all_work() {
+        let g = collatz_task_graph(2_000, 16);
+        let direct: u64 = (1..=2_000u64).map(|n| collatz_steps(n) as u64).sum();
+        // fork_join adds two serial tasks.
+        assert_eq!(g.len(), 16 + 2);
+        let serial = (direct / 200).max(1);
+        assert_eq!(g.total_work(), direct + 2 * serial);
+    }
+
+    #[test]
+    fn task_graph_simulated_speedup_shape() {
+        use crate::simcore::scaling_series;
+        let g = collatz_task_graph(20_000, 128);
+        let series = scaling_series(&g, &[1, 4, 8, 16, 32], 2);
+        // Speedup increases with cores…
+        for w in series.windows(2) {
+            assert!(w[1].1 > w[0].1, "{series:?}");
+        }
+        // …while efficiency decreases (the Figure 3 shape).
+        for w in series.windows(2) {
+            assert!(w[1].2 <= w[0].2 + 1e-9, "{series:?}");
+        }
+        // And 32 cores give substantial but sub-linear speedup.
+        let (_, s32, e32) = *series.last().unwrap();
+        assert!(s32 > 8.0 && s32 < 32.0, "s32 = {s32}");
+        assert!(e32 < 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The service crawler: breadth-first discovery across peer directories.
+//!
+//! The paper: *"We also developed a service directory that lists services
+//! offered by other service directories and repositories using a service
+//! crawler that discovers available services online."* The crawler walks
+//! the `peers` graph, pulls every reachable directory's service list,
+//! deduplicates by id, and hands the result to the search engine.
+//! Offline directories (a fact of life in the paper's free-service
+//! world) are recorded, not fatal.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+
+use soc_http::mem::Transport;
+
+use crate::descriptor::ServiceDescriptor;
+use crate::directory::DirectoryClient;
+use crate::search::SearchEngine;
+
+/// Limits for a crawl.
+#[derive(Debug, Clone, Copy)]
+pub struct CrawlConfig {
+    /// Maximum number of directories visited.
+    pub max_directories: usize,
+    /// Maximum BFS depth from the seed (seed = depth 0).
+    pub max_depth: usize,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig { max_directories: 64, max_depth: 8 }
+    }
+}
+
+/// What a crawl found.
+#[derive(Debug)]
+pub struct CrawlReport {
+    /// Unique services discovered, in discovery order.
+    pub services: Vec<ServiceDescriptor>,
+    /// Directories successfully visited.
+    pub visited: Vec<String>,
+    /// Directories that could not be reached, with the error text.
+    pub unreachable: Vec<(String, String)>,
+    /// Duplicate ids skipped (same service listed by several
+    /// directories).
+    pub duplicates: usize,
+}
+
+impl CrawlReport {
+    /// Build a search engine over everything discovered.
+    pub fn into_search_engine(self) -> SearchEngine {
+        SearchEngine::build(self.services)
+    }
+}
+
+/// The crawler itself.
+pub struct Crawler {
+    transport: Arc<dyn Transport>,
+    config: CrawlConfig,
+}
+
+impl Crawler {
+    /// Crawler over a transport with default limits.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        Crawler { transport, config: CrawlConfig::default() }
+    }
+
+    /// Override limits.
+    pub fn with_config(mut self, config: CrawlConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Crawl starting from `seed` directory URLs.
+    pub fn crawl(&self, seeds: &[&str]) -> CrawlReport {
+        let mut queue: VecDeque<(String, usize)> =
+            seeds.iter().map(|s| (s.to_string(), 0)).collect();
+        let mut enqueued: HashSet<String> = seeds.iter().map(|s| s.to_string()).collect();
+        let mut seen_ids: HashSet<String> = HashSet::new();
+        let mut report = CrawlReport {
+            services: Vec::new(),
+            visited: Vec::new(),
+            unreachable: Vec::new(),
+            duplicates: 0,
+        };
+
+        while let Some((dir_url, depth)) = queue.pop_front() {
+            if report.visited.len() >= self.config.max_directories {
+                break;
+            }
+            let client = DirectoryClient::new(self.transport.clone(), &dir_url);
+            let services = match client.list() {
+                Ok(s) => s,
+                Err(e) => {
+                    report.unreachable.push((dir_url, e));
+                    continue;
+                }
+            };
+            report.visited.push(dir_url.clone());
+            for d in services {
+                if seen_ids.insert(d.id.clone()) {
+                    report.services.push(d);
+                } else {
+                    report.duplicates += 1;
+                }
+            }
+            if depth < self.config.max_depth {
+                if let Ok(peers) = client.peers() {
+                    for peer in peers {
+                        if enqueued.insert(peer.clone()) {
+                            queue.push_back((peer, depth + 1));
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Binding;
+    use crate::directory::DirectoryService;
+    use crate::repository::Repository;
+    use soc_http::mem::FaultConfig;
+    use soc_http::MemNetwork;
+
+    fn svc(id: &str, desc: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, id, &format!("mem://svc/{id}"), Binding::Rest).describe(desc)
+    }
+
+    /// Three directories: a → b → c, with one service shared by a and c.
+    fn topology() -> MemNetwork {
+        let net = MemNetwork::new();
+        let repo_a = Repository::new();
+        repo_a.publish(svc("enc", "encryption")).unwrap();
+        repo_a.publish(svc("shared", "listed twice")).unwrap();
+        let (dir_a, _) = DirectoryService::new(repo_a, vec!["mem://dir-b".into()]);
+        net.host("dir-a", dir_a);
+
+        let repo_b = Repository::new();
+        repo_b.publish(svc("cart", "shopping cart")).unwrap();
+        let (dir_b, _) = DirectoryService::new(repo_b, vec!["mem://dir-c".into(), "mem://dir-a".into()]);
+        net.host("dir-b", dir_b);
+
+        let repo_c = Repository::new();
+        repo_c.publish(svc("img", "captcha image verifier")).unwrap();
+        repo_c.publish(svc("shared", "listed twice")).unwrap();
+        let (dir_c, _) = DirectoryService::new(repo_c, vec![]);
+        net.host("dir-c", dir_c);
+        net
+    }
+
+    #[test]
+    fn discovers_transitively_and_dedups() {
+        let net = topology();
+        let report = Crawler::new(Arc::new(net)).crawl(&["mem://dir-a"]);
+        assert_eq!(report.visited.len(), 3);
+        let ids: Vec<&str> = report.services.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, vec!["enc", "shared", "cart", "img"]);
+        assert_eq!(report.duplicates, 1);
+        assert!(report.unreachable.is_empty());
+    }
+
+    #[test]
+    fn cycles_do_not_loop() {
+        // b links back to a; crawl must terminate with 3 visits.
+        let net = topology();
+        let report = Crawler::new(Arc::new(net)).crawl(&["mem://dir-b"]);
+        assert_eq!(report.visited.len(), 3);
+    }
+
+    #[test]
+    fn offline_directory_recorded_not_fatal() {
+        let net = topology();
+        net.set_fault("dir-b", FaultConfig { offline: true, ..Default::default() });
+        let report = Crawler::new(Arc::new(net)).crawl(&["mem://dir-a"]);
+        assert_eq!(report.visited, vec!["mem://dir-a".to_string()]);
+        assert_eq!(report.unreachable.len(), 1);
+        // Only dir-a's services found; the b→c edge was unreachable.
+        assert_eq!(report.services.len(), 2);
+    }
+
+    #[test]
+    fn depth_limit() {
+        let net = topology();
+        let crawler = Crawler::new(Arc::new(net))
+            .with_config(CrawlConfig { max_depth: 0, max_directories: 64 });
+        let report = crawler.crawl(&["mem://dir-a"]);
+        assert_eq!(report.visited, vec!["mem://dir-a".to_string()]);
+    }
+
+    #[test]
+    fn directory_count_limit() {
+        let net = topology();
+        let crawler = Crawler::new(Arc::new(net))
+            .with_config(CrawlConfig { max_depth: 8, max_directories: 2 });
+        let report = crawler.crawl(&["mem://dir-a"]);
+        assert_eq!(report.visited.len(), 2);
+    }
+
+    #[test]
+    fn crawl_feeds_the_search_engine() {
+        let net = topology();
+        let report = Crawler::new(Arc::new(net)).crawl(&["mem://dir-a"]);
+        let engine = report.into_search_engine();
+        let hits = engine.search("captcha", 5);
+        assert_eq!(hits[0].service.id, "img");
+    }
+
+    #[test]
+    fn empty_seed_list() {
+        let net = topology();
+        let report = Crawler::new(Arc::new(net)).crawl(&[]);
+        assert!(report.services.is_empty());
+        assert!(report.visited.is_empty());
+    }
+}

@@ -1,0 +1,251 @@
+//! Service descriptors: the registry's unit of publication.
+
+use soc_json::{json, Value};
+use soc_xml::{Document, NodeId};
+
+/// How a service is invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// RESTful HTTP + JSON.
+    Rest,
+    /// SOAP envelopes with a WSDL contract.
+    Soap,
+    /// A workflow-composed service.
+    Workflow,
+    /// Linked into the host process (the course's "component" case).
+    InProcess,
+}
+
+impl Binding {
+    /// Stable token used in documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Binding::Rest => "rest",
+            Binding::Soap => "soap",
+            Binding::Workflow => "workflow",
+            Binding::InProcess => "in-process",
+        }
+    }
+
+    /// Parse the token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "rest" => Binding::Rest,
+            "soap" => Binding::Soap,
+            "workflow" => Binding::Workflow,
+            "in-process" => Binding::InProcess,
+            _ => return None,
+        })
+    }
+}
+
+/// A published service description — the row a directory stores and a
+/// crawler aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescriptor {
+    /// Unique id within a directory (and, by convention, globally).
+    pub id: String,
+    /// Display name.
+    pub name: String,
+    /// Free-text description (indexed by the search engine).
+    pub description: String,
+    /// Category, e.g. "security", "commerce", "robotics".
+    pub category: String,
+    /// Extra keywords (indexed).
+    pub keywords: Vec<String>,
+    /// Invocation endpoint (`mem://…` or `http://…`).
+    pub endpoint: String,
+    /// Invocation binding.
+    pub binding: Binding,
+    /// Provider name.
+    pub provider: String,
+}
+
+impl ServiceDescriptor {
+    /// Create a descriptor with required fields; extend via struct
+    /// update or the builder-ish setters below.
+    pub fn new(id: &str, name: &str, endpoint: &str, binding: Binding) -> Self {
+        ServiceDescriptor {
+            id: id.to_string(),
+            name: name.to_string(),
+            description: String::new(),
+            category: "general".to_string(),
+            keywords: Vec::new(),
+            endpoint: endpoint.to_string(),
+            binding,
+            provider: "unknown".to_string(),
+        }
+    }
+
+    /// Builder: description.
+    pub fn describe(mut self, text: &str) -> Self {
+        self.description = text.to_string();
+        self
+    }
+
+    /// Builder: category.
+    pub fn category(mut self, cat: &str) -> Self {
+        self.category = cat.to_string();
+        self
+    }
+
+    /// Builder: keywords.
+    pub fn keywords(mut self, words: &[&str]) -> Self {
+        self.keywords = words.iter().map(|w| w.to_string()).collect();
+        self
+    }
+
+    /// Builder: provider.
+    pub fn provider(mut self, name: &str) -> Self {
+        self.provider = name.to_string();
+        self
+    }
+
+    /// JSON form used by the directory's REST API.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "id": (self.id.clone()),
+            "name": (self.name.clone()),
+            "description": (self.description.clone()),
+            "category": (self.category.clone()),
+            "keywords": (self.keywords.clone()),
+            "endpoint": (self.endpoint.clone()),
+            "binding": (self.binding.as_str()),
+            "provider": (self.provider.clone())
+        })
+    }
+
+    /// Parse the JSON form. Returns a message for humans on failure.
+    pub fn from_json(v: &Value) -> Result<Self, String> {
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {k:?}"))
+        };
+        let binding = Binding::parse(&field("binding")?)
+            .ok_or_else(|| "unknown binding".to_string())?;
+        let keywords = v
+            .get("keywords")
+            .and_then(Value::as_array)
+            .map(|a| a.iter().filter_map(Value::as_str).map(str::to_string).collect())
+            .unwrap_or_default();
+        Ok(ServiceDescriptor {
+            id: field("id")?,
+            name: field("name")?,
+            description: field("description").unwrap_or_default(),
+            category: field("category").unwrap_or_else(|_| "general".into()),
+            keywords,
+            endpoint: field("endpoint")?,
+            binding,
+            provider: field("provider").unwrap_or_else(|_| "unknown".into()),
+        })
+    }
+
+    /// Append this descriptor as a `<service>` element under `parent`.
+    pub fn write_xml(&self, doc: &mut Document, parent: NodeId) {
+        let el = doc.add_element(parent, "service");
+        doc.set_attr(el, "id", self.id.clone());
+        doc.set_attr(el, "binding", self.binding.as_str());
+        doc.add_text_element(el, "name", self.name.clone());
+        doc.add_text_element(el, "description", self.description.clone());
+        doc.add_text_element(el, "category", self.category.clone());
+        doc.add_text_element(el, "endpoint", self.endpoint.clone());
+        doc.add_text_element(el, "provider", self.provider.clone());
+        let kw = doc.add_element(el, "keywords");
+        for k in &self.keywords {
+            doc.add_text_element(kw, "keyword", k.clone());
+        }
+    }
+
+    /// Parse a `<service>` element.
+    pub fn read_xml(doc: &Document, el: NodeId) -> Result<Self, String> {
+        let id = doc.attr(el, "id").ok_or("service missing id")?.to_string();
+        let binding = doc
+            .attr(el, "binding")
+            .and_then(Binding::parse)
+            .ok_or("service missing/unknown binding")?;
+        let text = |name: &str| doc.child_text(el, name).unwrap_or_default();
+        let keywords = doc
+            .find_child(el, "keywords")
+            .map(|kw| {
+                doc.find_children(kw, "keyword")
+                    .map(|k| doc.text(k))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(ServiceDescriptor {
+            id,
+            name: text("name"),
+            description: text("description"),
+            category: text("category"),
+            keywords,
+            endpoint: text("endpoint"),
+            binding,
+            provider: text("provider"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServiceDescriptor {
+        ServiceDescriptor::new("enc-1", "Encryption Service", "mem://services/encrypt", Binding::Rest)
+            .describe("Encrypts & decrypts text with a shared key")
+            .category("security")
+            .keywords(&["cipher", "crypto"])
+            .provider("asu")
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = sample();
+        let j = d.to_json();
+        assert_eq!(ServiceDescriptor::from_json(&j).unwrap(), d);
+    }
+
+    #[test]
+    fn json_missing_fields_reported() {
+        let v = json!({ "id": "x" });
+        let err = ServiceDescriptor::from_json(&v).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn json_unknown_binding_rejected() {
+        let mut j = sample().to_json();
+        j.set("binding", "quantum");
+        assert!(ServiceDescriptor::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = sample();
+        let mut doc = Document::new("services");
+        let root = doc.root();
+        d.write_xml(&mut doc, root);
+        let xml = doc.to_xml();
+        let reparsed = Document::parse_str(&xml).unwrap();
+        let el = reparsed.find_child(reparsed.root(), "service").unwrap();
+        assert_eq!(ServiceDescriptor::read_xml(&reparsed, el).unwrap(), d);
+    }
+
+    #[test]
+    fn xml_escaping_in_description() {
+        let d = sample(); // description contains '&'
+        let mut doc = Document::new("services");
+        let root = doc.root();
+        d.write_xml(&mut doc, root);
+        assert!(doc.to_xml().contains("&amp;"));
+    }
+
+    #[test]
+    fn binding_tokens() {
+        for b in [Binding::Rest, Binding::Soap, Binding::Workflow, Binding::InProcess] {
+            assert_eq!(Binding::parse(b.as_str()), Some(b));
+        }
+        assert_eq!(Binding::parse("x"), None);
+    }
+}

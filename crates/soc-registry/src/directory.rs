@@ -1,0 +1,387 @@
+//! The directory's REST binding and its typed client.
+//!
+//! A directory exposes:
+//!
+//! | Route | Method | Meaning |
+//! |---|---|---|
+//! | `/services` | GET | list all descriptors |
+//! | `/services` | POST | register a descriptor (the paper's "registration page") |
+//! | `/services/{id}` | GET / DELETE | fetch / unregister |
+//! | `/categories` | GET | distinct categories |
+//! | `/search?q=…` | GET | ranked TF-IDF search |
+//! | `/semantic-search?category=…` | GET | ontology-expanded category match (CSE446 unit 6) |
+//! | `/peers` | GET | other directories this one knows about (crawler fuel) |
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use soc_http::{Handler, Request, Response, Status};
+use soc_json::Value;
+use soc_rest::router::Router;
+
+use crate::descriptor::ServiceDescriptor;
+use crate::repository::Repository;
+use crate::search::SearchEngine;
+
+/// A hosted directory service wrapping a [`Repository`].
+pub struct DirectoryService {
+    router: Router,
+}
+
+/// Shared state behind the routes.
+pub struct DirectoryState {
+    /// The backing repository.
+    pub repository: Repository,
+    /// Peer directory URLs (e.g. `mem://dir-b`).
+    pub peers: RwLock<Vec<String>>,
+    /// Category ontology backing `/semantic-search`.
+    pub ontology: crate::ontology::Ontology,
+}
+
+impl DirectoryService {
+    /// Build a directory over `repository` that advertises `peers`,
+    /// with the default service-domain ontology.
+    pub fn new(repository: Repository, peers: Vec<String>) -> (Self, Arc<DirectoryState>) {
+        Self::with_ontology(repository, peers, crate::ontology::Ontology::service_domain())
+    }
+
+    /// Build with an explicit category ontology.
+    pub fn with_ontology(
+        repository: Repository,
+        peers: Vec<String>,
+        ontology: crate::ontology::Ontology,
+    ) -> (Self, Arc<DirectoryState>) {
+        let state = Arc::new(DirectoryState { repository, peers: RwLock::new(peers), ontology });
+        let mut router = Router::new();
+
+        {
+            let st = state.clone();
+            router.get("/services", move |_req, _p| {
+                let items: Vec<Value> =
+                    st.repository.list().into_iter().map(|d| d.to_json()).collect();
+                Response::json(&Value::Array(items).to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.post("/services", move |req, _p| {
+                let Ok(text) = req.text() else {
+                    return Response::error(Status::BAD_REQUEST, "body is not UTF-8");
+                };
+                let v = match Value::parse(text) {
+                    Ok(v) => v,
+                    Err(e) => return Response::error(Status::BAD_REQUEST, &e.to_string()),
+                };
+                let d = match ServiceDescriptor::from_json(&v) {
+                    Ok(d) => d,
+                    Err(e) => return Response::error(Status::UNPROCESSABLE, &e),
+                };
+                match st.repository.publish(d.clone()) {
+                    Ok(()) => {
+                        let mut resp = Response::json(&d.to_json().to_compact());
+                        resp.status = Status::CREATED;
+                        resp
+                    }
+                    Err(e) => Response::error(Status::CONFLICT, &e),
+                }
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/services/{id}", move |_req, p| {
+                match st.repository.get(p.get("id").unwrap_or("")) {
+                    Some(d) => Response::json(&d.to_json().to_compact()),
+                    None => Response::error(Status::NOT_FOUND, "no such service"),
+                }
+            });
+        }
+        {
+            let st = state.clone();
+            router.delete("/services/{id}", move |_req, p| {
+                if st.repository.unpublish(p.get("id").unwrap_or("")) {
+                    Response::new(Status::NO_CONTENT)
+                } else {
+                    Response::error(Status::NOT_FOUND, "no such service")
+                }
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/categories", move |_req, _p| {
+                let cats: Vec<Value> =
+                    st.repository.categories().into_iter().map(Value::from).collect();
+                Response::json(&Value::Array(cats).to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/search", move |req, _p| {
+                let Some(q) = req.query("q") else {
+                    return Response::error(Status::BAD_REQUEST, "missing query parameter q");
+                };
+                let limit = req
+                    .query("limit")
+                    .and_then(|l| l.parse::<usize>().ok())
+                    .unwrap_or(10);
+                // The index is rebuilt per query; directories are small
+                // and registrations are frequent. The bench quantifies
+                // the tradeoff against a cached index.
+                let engine = SearchEngine::build(st.repository.list());
+                let hits: Vec<Value> = engine
+                    .search(&q, limit)
+                    .into_iter()
+                    .map(|h| {
+                        let mut v = h.service.to_json();
+                        v.set("score", h.score);
+                        v
+                    })
+                    .collect();
+                Response::json(&Value::Array(hits).to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/semantic-search", move |req, _p| {
+                let Some(category) = req.query("category") else {
+                    return Response::error(Status::BAD_REQUEST, "missing query parameter category");
+                };
+                let services = st.repository.list();
+                let hits: Vec<Value> = st
+                    .ontology
+                    .services_in(&category, &services)
+                    .into_iter()
+                    .map(|d| d.to_json())
+                    .collect();
+                Response::json(&Value::Array(hits).to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/peers", move |_req, _p| {
+                let peers: Vec<Value> =
+                    st.peers.read().iter().cloned().map(Value::from).collect();
+                Response::json(&Value::Array(peers).to_compact())
+            });
+        }
+
+        (DirectoryService { router }, state)
+    }
+}
+
+impl Handler for DirectoryService {
+    fn handle(&self, req: Request) -> Response {
+        self.router.handle(req)
+    }
+}
+
+/// Typed client for a directory.
+#[derive(Clone)]
+pub struct DirectoryClient {
+    rest: soc_rest::RestClient,
+    base: String,
+}
+
+impl DirectoryClient {
+    /// Client for the directory at `base` (e.g. `mem://dir-a`).
+    pub fn new(transport: Arc<dyn soc_http::mem::Transport>, base: &str) -> Self {
+        DirectoryClient {
+            rest: soc_rest::RestClient::new(transport),
+            base: base.trim_end_matches('/').to_string(),
+        }
+    }
+
+    /// Register a descriptor.
+    pub fn register(&self, d: &ServiceDescriptor) -> Result<(), String> {
+        self.rest
+            .post(&format!("{}/services", self.base), &d.to_json())
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    /// Unregister by id.
+    pub fn unregister(&self, id: &str) -> Result<(), String> {
+        self.rest
+            .delete(&format!("{}/services/{id}", self.base))
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+
+    /// All descriptors.
+    pub fn list(&self) -> Result<Vec<ServiceDescriptor>, String> {
+        let v = self.rest.get(&format!("{}/services", self.base)).map_err(|e| e.to_string())?;
+        decode_list(&v)
+    }
+
+    /// One descriptor.
+    pub fn get(&self, id: &str) -> Result<ServiceDescriptor, String> {
+        let v = self
+            .rest
+            .get(&format!("{}/services/{id}", self.base))
+            .map_err(|e| e.to_string())?;
+        ServiceDescriptor::from_json(&v)
+    }
+
+    /// Ranked search.
+    pub fn search(&self, query: &str) -> Result<Vec<ServiceDescriptor>, String> {
+        let url = format!(
+            "{}/search?q={}",
+            self.base,
+            soc_http::url::percent_encode(query)
+        );
+        let v = self.rest.get(&url).map_err(|e| e.to_string())?;
+        decode_list(&v)
+    }
+
+    /// Ontology-expanded category search.
+    pub fn semantic_search(&self, category: &str) -> Result<Vec<ServiceDescriptor>, String> {
+        let url = format!(
+            "{}/semantic-search?category={}",
+            self.base,
+            soc_http::url::percent_encode(category)
+        );
+        let v = self.rest.get(&url).map_err(|e| e.to_string())?;
+        decode_list(&v)
+    }
+
+    /// Peer directory URLs.
+    pub fn peers(&self) -> Result<Vec<String>, String> {
+        let v = self.rest.get(&format!("{}/peers", self.base)).map_err(|e| e.to_string())?;
+        Ok(v.as_array()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_str)
+            .map(str::to_string)
+            .collect())
+    }
+}
+
+fn decode_list(v: &Value) -> Result<Vec<ServiceDescriptor>, String> {
+    v.as_array()
+        .ok_or("expected a JSON array")?
+        .iter()
+        .map(ServiceDescriptor::from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Binding;
+    use soc_http::MemNetwork;
+
+    fn setup() -> (MemNetwork, DirectoryClient) {
+        let net = MemNetwork::new();
+        let (dir, _state) = DirectoryService::new(Repository::new(), vec!["mem://dir-b".into()]);
+        net.host("dir-a", dir);
+        let client = DirectoryClient::new(Arc::new(net.clone()), "mem://dir-a");
+        (net, client)
+    }
+
+    fn svc(id: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, &format!("{id} service"), &format!("mem://svc/{id}"), Binding::Rest)
+            .describe("a test service for the directory")
+            .category("testing")
+    }
+
+    #[test]
+    fn register_list_get_unregister() {
+        let (_net, client) = setup();
+        client.register(&svc("alpha")).unwrap();
+        client.register(&svc("beta")).unwrap();
+        assert_eq!(client.list().unwrap().len(), 2);
+        assert_eq!(client.get("alpha").unwrap().name, "alpha service");
+        client.unregister("alpha").unwrap();
+        assert_eq!(client.list().unwrap().len(), 1);
+        assert!(client.get("alpha").is_err());
+    }
+
+    #[test]
+    fn duplicate_registration_conflicts() {
+        let (_net, client) = setup();
+        client.register(&svc("dup")).unwrap();
+        let err = client.register(&svc("dup")).unwrap_err();
+        assert!(err.contains("409"), "{err}");
+    }
+
+    #[test]
+    fn search_over_http_binding() {
+        let (_net, client) = setup();
+        client.register(&svc("guess").describe("random number guessing game")).unwrap();
+        client.register(&svc("cart").describe("shopping cart totals")).unwrap();
+        let hits = client.search("guessing game").unwrap();
+        assert_eq!(hits[0].id, "guess");
+    }
+
+    #[test]
+    fn peers_endpoint() {
+        let (_net, client) = setup();
+        assert_eq!(client.peers().unwrap(), vec!["mem://dir-b".to_string()]);
+    }
+
+    #[test]
+    fn malformed_registration_rejected() {
+        let (net, _client) = setup();
+        let resp = soc_http::mem::Transport::send(
+            &net,
+            soc_http::Request::post("mem://dir-a/services", Vec::new())
+                .with_text("application/json", "{\"id\": \"x\"}"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::UNPROCESSABLE);
+        let resp = soc_http::mem::Transport::send(
+            &net,
+            soc_http::Request::post("mem://dir-a/services", Vec::new())
+                .with_text("application/json", "{nope"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn search_requires_query() {
+        let (net, _client) = setup();
+        let resp = soc_http::mem::Transport::send(
+            &net,
+            soc_http::Request::get("mem://dir-a/search"),
+        )
+        .unwrap();
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+}
+
+#[cfg(test)]
+mod semantic_tests {
+    use super::*;
+    use crate::descriptor::Binding;
+    use soc_http::MemNetwork;
+
+    #[test]
+    fn semantic_search_expands_subclasses_over_http() {
+        let net = MemNetwork::new();
+        let repo = Repository::new();
+        for (id, cat) in [
+            ("enc", "cryptography"),
+            ("login", "authentication"),
+            ("cart", "commerce"),
+        ] {
+            repo.publish(
+                ServiceDescriptor::new(id, id, &format!("mem://s/{id}"), Binding::Rest)
+                    .category(cat),
+            )
+            .unwrap();
+        }
+        let (dir, _) = DirectoryService::new(repo, vec![]);
+        net.host("dir", dir);
+        let client = DirectoryClient::new(Arc::new(net), "mem://dir");
+        // "security" has no exact matches, but subsumes two services.
+        let hits = client.semantic_search("security").unwrap();
+        let ids: Vec<&str> = hits.iter().map(|h| h.id.as_str()).collect();
+        assert_eq!(ids, vec!["enc", "login"]);
+        // The root class subsumes everything.
+        assert_eq!(client.semantic_search("service").unwrap().len(), 3);
+        // Unknown class: only exact matches (none).
+        assert!(client.semantic_search("quantum").unwrap().is_empty());
+        // Keyword search would have missed these entirely.
+        assert!(client.search("security").unwrap().is_empty());
+    }
+}

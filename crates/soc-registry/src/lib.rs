@@ -1,0 +1,41 @@
+//! # soc-registry — service repository, directory, search, crawler, QoS
+//!
+//! Section V of the paper describes the ASU Repository of Services and
+//! Applications: a self-hosted repository ("we develop services
+//! according to the need of the course"), a *service directory* listing
+//! services from other directories, a *service crawler* "that discovers
+//! available services online", a registration page, and an availability
+//! story motivated by flaky free public services. This crate implements
+//! all of it:
+//!
+//! - [`descriptor`] — [`ServiceDescriptor`]: what a published service
+//!   says about itself; XML and JSON codecs (registry documents).
+//! - [`repository`] — [`Repository`]: publish / unpublish / lookup /
+//!   category listing, with XML persistence (the repository document).
+//! - [`search`] — [`search::SearchEngine`]: tokenized inverted index
+//!   with TF-IDF ranking, plus a naive keyword scan for the bench
+//!   comparison (the "service search engine" at `…/sse/`).
+//! - [`directory`] — the directory's REST binding
+//!   ([`directory::DirectoryService`]) and typed client
+//!   ([`directory::DirectoryClient`]): register, list, get, search,
+//!   and peer links to other directories.
+//! - [`crawler`] — [`crawler::Crawler`]: breadth-first discovery across
+//!   peer directories, deduplicating services and tolerating offline
+//!   hosts.
+//! - [`monitor`] — [`monitor::QosMonitor`]: availability/latency
+//!   probing and lease-based liveness, reproducing the paper's
+//!   availability complaints measurably.
+//! - [`ontology`] — [`ontology::Ontology`]: a triple store with
+//!   `subClassOf` subsumption, giving the directory semantic category
+//!   matching (CSE446 unit 6, "Ontology and Semantic Web").
+
+pub mod crawler;
+pub mod descriptor;
+pub mod ontology;
+pub mod directory;
+pub mod monitor;
+pub mod repository;
+pub mod search;
+
+pub use descriptor::{Binding, ServiceDescriptor};
+pub use repository::Repository;

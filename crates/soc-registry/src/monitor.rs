@@ -1,0 +1,259 @@
+//! QoS / availability monitoring of published services.
+//!
+//! Section V motivates the ASU repository with the failure modes of free
+//! public services: *"The performance of some of the services is not
+//! adequate... The availability, reliability, and maintainability are
+//! not warranted. Services are often offline or removed without
+//! notice."* The monitor measures exactly those properties: per-service
+//! probe success rate, latency statistics, and lease-based liveness for
+//! providers that are supposed to heartbeat.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use soc_http::mem::Transport;
+use soc_http::Request;
+
+/// Rolled-up quality metrics for one service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosReport {
+    /// Service id.
+    pub id: String,
+    /// Probes sent.
+    pub probes: u64,
+    /// Probes that returned a 2xx.
+    pub successes: u64,
+    /// Availability in [0, 1].
+    pub availability: f64,
+    /// Mean latency over successful probes.
+    pub mean_latency: Duration,
+    /// Worst observed latency.
+    pub max_latency: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Track {
+    probes: u64,
+    successes: u64,
+    total_latency: Duration,
+    max_latency: Duration,
+}
+
+/// Probes service endpoints and accumulates QoS statistics.
+pub struct QosMonitor {
+    transport: Arc<dyn Transport>,
+    tracks: Mutex<HashMap<String, Track>>,
+}
+
+impl QosMonitor {
+    /// Monitor over a transport.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        QosMonitor { transport, tracks: Mutex::new(HashMap::new()) }
+    }
+
+    /// Probe `endpoint` once on behalf of service `id` (a plain GET; any
+    /// 2xx counts as up). Returns whether the probe succeeded.
+    pub fn probe(&self, id: &str, endpoint: &str) -> bool {
+        let start = Instant::now();
+        let ok = match self.transport.send(Request::get(endpoint)) {
+            Ok(resp) => resp.status.is_success(),
+            Err(_) => false,
+        };
+        let elapsed = start.elapsed();
+        let mut tracks = self.tracks.lock();
+        let t = tracks.entry(id.to_string()).or_default();
+        t.probes += 1;
+        if ok {
+            t.successes += 1;
+            t.total_latency += elapsed;
+            t.max_latency = t.max_latency.max(elapsed);
+        }
+        ok
+    }
+
+    /// Probe a service `n` times in a row.
+    pub fn probe_n(&self, id: &str, endpoint: &str, n: usize) {
+        for _ in 0..n {
+            self.probe(id, endpoint);
+        }
+    }
+
+    /// Report for one service, if it has ever been probed.
+    pub fn report(&self, id: &str) -> Option<QosReport> {
+        let tracks = self.tracks.lock();
+        let t = tracks.get(id)?;
+        Some(QosReport {
+            id: id.to_string(),
+            probes: t.probes,
+            successes: t.successes,
+            availability: if t.probes == 0 {
+                0.0
+            } else {
+                t.successes as f64 / t.probes as f64
+            },
+            mean_latency: if t.successes == 0 {
+                Duration::ZERO
+            } else {
+                t.total_latency / t.successes as u32
+            },
+            max_latency: t.max_latency,
+        })
+    }
+
+    /// Reports for every probed service, sorted by id.
+    pub fn all_reports(&self) -> Vec<QosReport> {
+        let ids: Vec<String> = {
+            let tracks = self.tracks.lock();
+            tracks.keys().cloned().collect()
+        };
+        let mut reports: Vec<QosReport> =
+            ids.iter().filter_map(|id| self.report(id)).collect();
+        reports.sort_by(|a, b| a.id.cmp(&b.id));
+        reports
+    }
+}
+
+/// Lease-based liveness: providers renew a lease; services whose lease
+/// lapses are considered gone ("removed without notice") and expire out
+/// of listings. Time is injected as a logical tick count so tests and
+/// benches are deterministic.
+#[derive(Default)]
+pub struct LeaseTable {
+    /// id → expiry tick.
+    leases: Mutex<HashMap<String, u64>>,
+}
+
+impl LeaseTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        LeaseTable::default()
+    }
+
+    /// Grant or renew a lease until `now + duration_ticks`.
+    pub fn renew(&self, id: &str, now: u64, duration_ticks: u64) {
+        self.leases
+            .lock()
+            .insert(id.to_string(), now.saturating_add(duration_ticks));
+    }
+
+    /// Is the lease current at `now`?
+    pub fn is_live(&self, id: &str, now: u64) -> bool {
+        self.leases.lock().get(id).is_some_and(|&expiry| expiry > now)
+    }
+
+    /// Drop expired leases, returning the ids that lapsed.
+    pub fn expire(&self, now: u64) -> Vec<String> {
+        let mut leases = self.leases.lock();
+        let dead: Vec<String> = leases
+            .iter()
+            .filter(|(_, &expiry)| expiry <= now)
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in &dead {
+            leases.remove(id);
+        }
+        let mut dead = dead;
+        dead.sort();
+        dead
+    }
+
+    /// Live ids at `now`, sorted.
+    pub fn live(&self, now: u64) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .leases
+            .lock()
+            .iter()
+            .filter(|(_, &expiry)| expiry > now)
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::mem::{FaultConfig, MemNetwork};
+    use soc_http::{Request as Rq, Response};
+
+    fn net() -> MemNetwork {
+        let net = MemNetwork::new();
+        net.host("up", |_r: Rq| Response::text("ok"));
+        net.host("flaky", |_r: Rq| Response::text("ok"));
+        net.set_fault("flaky", FaultConfig { fail_every: 2, ..Default::default() });
+        net
+    }
+
+    #[test]
+    fn availability_of_healthy_service_is_one() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        monitor.probe_n("up", "mem://up/health", 10);
+        let r = monitor.report("up").unwrap();
+        assert_eq!(r.probes, 10);
+        assert_eq!(r.successes, 10);
+        assert!((r.availability - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flaky_service_availability_measured() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        monitor.probe_n("flaky", "mem://flaky/health", 10);
+        let r = monitor.report("flaky").unwrap();
+        assert_eq!(r.successes, 5);
+        assert!((r.availability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_service_availability_zero() {
+        let network = net();
+        network.set_fault("up", FaultConfig { offline: true, ..Default::default() });
+        let monitor = QosMonitor::new(Arc::new(network));
+        monitor.probe_n("up", "mem://up/health", 4);
+        let r = monitor.report("up").unwrap();
+        assert_eq!(r.successes, 0);
+        assert_eq!(r.availability, 0.0);
+        assert_eq!(r.mean_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn unknown_service_has_no_report() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        assert!(monitor.report("ghost").is_none());
+    }
+
+    #[test]
+    fn all_reports_sorted() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        monitor.probe("up", "mem://up/");
+        monitor.probe("flaky", "mem://flaky/");
+        let ids: Vec<String> = monitor.all_reports().into_iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec!["flaky", "up"]);
+    }
+
+    #[test]
+    fn lease_lifecycle() {
+        let table = LeaseTable::new();
+        table.renew("svc-a", 0, 10);
+        table.renew("svc-b", 0, 3);
+        assert!(table.is_live("svc-a", 5));
+        assert!(!table.is_live("svc-b", 5));
+        assert!(!table.is_live("ghost", 0));
+        assert_eq!(table.expire(5), vec!["svc-b"]);
+        assert_eq!(table.live(5), vec!["svc-a"]);
+        // Renewal extends.
+        table.renew("svc-a", 5, 10);
+        assert!(table.is_live("svc-a", 14));
+        assert!(!table.is_live("svc-a", 15));
+    }
+
+    #[test]
+    fn expire_is_idempotent() {
+        let table = LeaseTable::new();
+        table.renew("x", 0, 1);
+        assert_eq!(table.expire(2), vec!["x"]);
+        assert!(table.expire(2).is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Ontology and semantic service matching — CSE446 unit 6 ("Ontology
+//! and Semantic Web") made operational: a triple store with
+//! `subClassOf` subsumption inference, and category-aware service
+//! search that finds a "security" service when you ask for its
+//! superclass, where plain keyword matching would miss it.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use crate::descriptor::ServiceDescriptor;
+
+/// The predicate used for class hierarchy edges.
+pub const SUB_CLASS_OF: &str = "subClassOf";
+
+/// An RDF-flavoured triple (all terms are plain strings).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject term.
+    pub subject: String,
+    /// Predicate term.
+    pub predicate: String,
+    /// Object term.
+    pub object: String,
+}
+
+impl Triple {
+    /// Construct from string-ish parts.
+    pub fn new(s: impl Into<String>, p: impl Into<String>, o: impl Into<String>) -> Self {
+        Triple { subject: s.into(), predicate: p.into(), object: o.into() }
+    }
+}
+
+/// A small in-memory triple store with subsumption reasoning.
+#[derive(Debug, Default)]
+pub struct Ontology {
+    triples: Vec<Triple>,
+    /// subject → objects, for `subClassOf` only (the reasoning edge).
+    parents: HashMap<String, Vec<String>>,
+}
+
+impl Ontology {
+    /// Empty ontology.
+    pub fn new() -> Self {
+        Ontology::default()
+    }
+
+    /// Insert a triple (idempotent).
+    pub fn assert_triple(&mut self, t: Triple) {
+        if self.triples.contains(&t) {
+            return;
+        }
+        if t.predicate == SUB_CLASS_OF {
+            self.parents.entry(t.subject.clone()).or_default().push(t.object.clone());
+        }
+        self.triples.push(t);
+    }
+
+    /// Convenience: `child subClassOf parent`.
+    pub fn subclass(&mut self, child: &str, parent: &str) {
+        self.assert_triple(Triple::new(child, SUB_CLASS_OF, parent));
+    }
+
+    /// Total asserted triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Nothing asserted yet?
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Pattern query: `None` terms are wildcards. Returns matching
+    /// triples in assertion order.
+    pub fn query(
+        &self,
+        subject: Option<&str>,
+        predicate: Option<&str>,
+        object: Option<&str>,
+    ) -> Vec<&Triple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                subject.is_none_or(|s| t.subject == s)
+                    && predicate.is_none_or(|p| t.predicate == p)
+                    && object.is_none_or(|o| t.object == o)
+            })
+            .collect()
+    }
+
+    /// Is `class` a (possibly transitive, reflexive) subclass of
+    /// `ancestor`? Cycles in the hierarchy are tolerated.
+    pub fn is_subclass_of(&self, class: &str, ancestor: &str) -> bool {
+        if class == ancestor {
+            return true;
+        }
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([class.to_string()]);
+        while let Some(c) = queue.pop_front() {
+            if !seen.insert(c.clone()) {
+                continue;
+            }
+            if let Some(parents) = self.parents.get(&c) {
+                for p in parents {
+                    if p == ancestor {
+                        return true;
+                    }
+                    queue.push_back(p.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// All classes subsumed by `ancestor` (including itself), sorted —
+    /// the expansion set a semantic query searches over.
+    pub fn descendants(&self, ancestor: &str) -> BTreeSet<String> {
+        let mut out: BTreeSet<String> = BTreeSet::new();
+        out.insert(ancestor.to_string());
+        // Fixed-point over the (small) class set.
+        loop {
+            let before = out.len();
+            for (child, parents) in &self.parents {
+                if parents.iter().any(|p| out.contains(p)) {
+                    out.insert(child.clone());
+                }
+            }
+            if out.len() == before {
+                return out;
+            }
+        }
+    }
+
+    /// Semantic category match: services whose category is `category`
+    /// *or any subclass of it* — the lookup a plain directory cannot do.
+    pub fn services_in<'a>(
+        &self,
+        category: &str,
+        services: &'a [ServiceDescriptor],
+    ) -> Vec<&'a ServiceDescriptor> {
+        let classes = self.descendants(category);
+        services.iter().filter(|s| classes.contains(&s.category)).collect()
+    }
+
+    /// The default service-domain ontology the examples and tests use:
+    ///
+    /// ```text
+    /// service ── security ── cryptography
+    ///        │           └── authentication
+    ///        ├── commerce ── payments
+    ///        ├── infrastructure ── caching
+    ///        │                 └── messaging
+    ///        ├── finance
+    ///        ├── robotics
+    ///        ├── media
+    ///        └── games
+    /// ```
+    pub fn service_domain() -> Self {
+        let mut o = Ontology::new();
+        for (child, parent) in [
+            ("security", "service"),
+            ("cryptography", "security"),
+            ("authentication", "security"),
+            ("commerce", "service"),
+            ("payments", "commerce"),
+            ("infrastructure", "service"),
+            ("caching", "infrastructure"),
+            ("messaging", "infrastructure"),
+            ("finance", "service"),
+            ("robotics", "service"),
+            ("media", "service"),
+            ("games", "service"),
+        ] {
+            o.subclass(child, parent);
+        }
+        o
+    }
+
+    /// Serialize as N-Triples-ish lines (teaching format).
+    pub fn to_ntriples(&self) -> String {
+        let mut out = String::new();
+        for t in &self.triples {
+            out.push_str(&format!("<{}> <{}> <{}> .\n", t.subject, t.predicate, t.object));
+        }
+        out
+    }
+
+    /// Parse the N-Triples-ish format written by [`Ontology::to_ntriples`].
+    pub fn from_ntriples(src: &str) -> Result<Self, String> {
+        let mut o = Ontology::new();
+        for (lineno, line) in src.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.trim_end_matches('.').split_whitespace().collect();
+            if parts.len() != 3 {
+                return Err(format!("line {}: expected 3 terms", lineno + 1));
+            }
+            let term = |s: &str| -> Result<String, String> {
+                s.strip_prefix('<')
+                    .and_then(|s| s.strip_suffix('>'))
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("line {}: terms must be <angle-quoted>", lineno + 1))
+            };
+            o.assert_triple(Triple::new(term(parts[0])?, term(parts[1])?, term(parts[2])?));
+        }
+        Ok(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Binding;
+
+    fn svc(id: &str, cat: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, id, &format!("mem://s/{id}"), Binding::Rest).category(cat)
+    }
+
+    #[test]
+    fn triple_assertion_is_idempotent() {
+        let mut o = Ontology::new();
+        o.subclass("a", "b");
+        o.subclass("a", "b");
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn pattern_queries() {
+        let mut o = Ontology::new();
+        o.assert_triple(Triple::new("crypto", "providedBy", "asu"));
+        o.assert_triple(Triple::new("cart", "providedBy", "asu"));
+        o.subclass("crypto", "security");
+        assert_eq!(o.query(None, Some("providedBy"), None).len(), 2);
+        assert_eq!(o.query(Some("crypto"), None, None).len(), 2);
+        assert_eq!(o.query(None, None, Some("asu")).len(), 2);
+        assert_eq!(o.query(Some("cart"), Some("providedBy"), Some("asu")).len(), 1);
+        assert!(o.query(Some("nope"), None, None).is_empty());
+    }
+
+    #[test]
+    fn transitive_subsumption() {
+        let o = Ontology::service_domain();
+        assert!(o.is_subclass_of("cryptography", "security"));
+        assert!(o.is_subclass_of("cryptography", "service"));
+        assert!(o.is_subclass_of("security", "security")); // reflexive
+        assert!(!o.is_subclass_of("security", "cryptography")); // not symmetric
+        assert!(!o.is_subclass_of("commerce", "security"));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut o = Ontology::new();
+        o.subclass("a", "b");
+        o.subclass("b", "c");
+        o.subclass("c", "a");
+        assert!(o.is_subclass_of("a", "c"));
+        assert!(o.is_subclass_of("c", "b"));
+        assert!(!o.is_subclass_of("a", "zzz"));
+        let d = o.descendants("a");
+        assert!(d.contains("b") && d.contains("c"));
+    }
+
+    #[test]
+    fn descendants_expand_transitively() {
+        let o = Ontology::service_domain();
+        let d = o.descendants("security");
+        assert!(d.contains("security"));
+        assert!(d.contains("cryptography"));
+        assert!(d.contains("authentication"));
+        assert!(!d.contains("commerce"));
+        let all = o.descendants("service");
+        assert!(all.len() >= 12);
+    }
+
+    #[test]
+    fn semantic_search_beats_exact_category_match() {
+        let o = Ontology::service_domain();
+        let services = vec![
+            svc("enc", "cryptography"),
+            svc("login", "authentication"),
+            svc("cart", "commerce"),
+            svc("cache", "caching"),
+        ];
+        // Exact match on "security" finds nothing…
+        assert!(services.iter().all(|s| s.category != "security"));
+        // …semantic match finds both security subclasses.
+        let hits = o.services_in("security", &services);
+        let ids: Vec<&str> = hits.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, vec!["enc", "login"]);
+        // And "service" subsumes everything.
+        assert_eq!(o.services_in("service", &services).len(), 4);
+    }
+
+    #[test]
+    fn ntriples_round_trip() {
+        let o = Ontology::service_domain();
+        let text = o.to_ntriples();
+        let restored = Ontology::from_ntriples(&text).unwrap();
+        assert_eq!(restored.len(), o.len());
+        assert!(restored.is_subclass_of("cryptography", "service"));
+    }
+
+    #[test]
+    fn ntriples_rejects_malformed_lines() {
+        assert!(Ontology::from_ntriples("<a> <b> .").is_err());
+        assert!(Ontology::from_ntriples("a b c .").is_err());
+        // Comments and blanks are fine.
+        assert!(Ontology::from_ntriples("# comment\n\n<a> <p> <b> .").is_ok());
+    }
+}

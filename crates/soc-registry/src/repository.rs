@@ -1,0 +1,198 @@
+//! The service repository: publication store with XML persistence.
+
+use parking_lot::RwLock;
+use soc_xml::Document;
+
+use crate::descriptor::ServiceDescriptor;
+
+/// A thread-safe repository of service descriptors — the in-process
+/// model of the paper's `venus.eas.asu.edu/WSRepository/`.
+#[derive(Default)]
+pub struct Repository {
+    services: RwLock<Vec<ServiceDescriptor>>,
+}
+
+impl Repository {
+    /// Empty repository.
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Publish a descriptor. Fails if the id is taken (publishers must
+    /// unpublish first — the registry's uniqueness contract).
+    pub fn publish(&self, d: ServiceDescriptor) -> Result<(), String> {
+        let mut services = self.services.write();
+        if services.iter().any(|s| s.id == d.id) {
+            return Err(format!("service id {:?} already published", d.id));
+        }
+        services.push(d);
+        Ok(())
+    }
+
+    /// Replace an existing descriptor (same id), or publish if new.
+    pub fn upsert(&self, d: ServiceDescriptor) {
+        let mut services = self.services.write();
+        if let Some(slot) = services.iter_mut().find(|s| s.id == d.id) {
+            *slot = d;
+        } else {
+            services.push(d);
+        }
+    }
+
+    /// Remove a service by id; `true` if it existed.
+    pub fn unpublish(&self, id: &str) -> bool {
+        let mut services = self.services.write();
+        let before = services.len();
+        services.retain(|s| s.id != id);
+        services.len() != before
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: &str) -> Option<ServiceDescriptor> {
+        self.services.read().iter().find(|s| s.id == id).cloned()
+    }
+
+    /// All services, publication order.
+    pub fn list(&self) -> Vec<ServiceDescriptor> {
+        self.services.read().clone()
+    }
+
+    /// Services in a category.
+    pub fn by_category(&self, category: &str) -> Vec<ServiceDescriptor> {
+        self.services
+            .read()
+            .iter()
+            .filter(|s| s.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Distinct categories, sorted.
+    pub fn categories(&self) -> Vec<String> {
+        let mut cats: Vec<String> =
+            self.services.read().iter().map(|s| s.category.clone()).collect();
+        cats.sort();
+        cats.dedup();
+        cats
+    }
+
+    /// Number of published services.
+    pub fn len(&self) -> usize {
+        self.services.read().len()
+    }
+
+    /// Is the repository empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize the whole repository as an XML document.
+    pub fn to_xml(&self) -> String {
+        let mut doc = Document::new("repository");
+        let root = doc.root();
+        for s in self.services.read().iter() {
+            s.write_xml(&mut doc, root);
+        }
+        doc.to_pretty_xml()
+    }
+
+    /// Load a repository from its XML form.
+    pub fn from_xml(xml: &str) -> Result<Self, String> {
+        let doc = Document::parse_str(xml).map_err(|e| e.to_string())?;
+        let root = doc.root();
+        if doc.name(root).map(|q| q.local.as_str()) != Some("repository") {
+            return Err("not a repository document".into());
+        }
+        let repo = Repository::new();
+        for el in doc.find_children(root, "service") {
+            let d = ServiceDescriptor::read_xml(&doc, el)?;
+            repo.publish(d)?;
+        }
+        Ok(repo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Binding;
+
+    fn svc(id: &str, cat: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, id, &format!("mem://svc/{id}"), Binding::Rest).category(cat)
+    }
+
+    #[test]
+    fn publish_get_unpublish() {
+        let repo = Repository::new();
+        repo.publish(svc("a", "x")).unwrap();
+        assert_eq!(repo.get("a").unwrap().id, "a");
+        assert!(repo.unpublish("a"));
+        assert!(!repo.unpublish("a"));
+        assert!(repo.get("a").is_none());
+    }
+
+    #[test]
+    fn duplicate_publish_rejected() {
+        let repo = Repository::new();
+        repo.publish(svc("a", "x")).unwrap();
+        assert!(repo.publish(svc("a", "y")).is_err());
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let repo = Repository::new();
+        repo.upsert(svc("a", "x"));
+        repo.upsert(svc("a", "y"));
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.get("a").unwrap().category, "y");
+    }
+
+    #[test]
+    fn categories_and_filtering() {
+        let repo = Repository::new();
+        repo.publish(svc("a", "security")).unwrap();
+        repo.publish(svc("b", "commerce")).unwrap();
+        repo.publish(svc("c", "security")).unwrap();
+        assert_eq!(repo.categories(), vec!["commerce", "security"]);
+        assert_eq!(repo.by_category("security").len(), 2);
+        assert!(repo.by_category("robotics").is_empty());
+    }
+
+    #[test]
+    fn xml_persistence_round_trip() {
+        let repo = Repository::new();
+        repo.publish(svc("a", "security")).unwrap();
+        repo.publish(
+            svc("b", "commerce").describe("shopping cart & checkout").keywords(&["cart"]),
+        )
+        .unwrap();
+        let xml = repo.to_xml();
+        let loaded = Repository::from_xml(&xml).unwrap();
+        assert_eq!(loaded.list(), repo.list());
+    }
+
+    #[test]
+    fn from_xml_rejects_other_documents() {
+        assert!(Repository::from_xml("<services/>").is_err());
+        assert!(Repository::from_xml("junk").is_err());
+    }
+
+    #[test]
+    fn concurrent_publishers() {
+        let repo = std::sync::Arc::new(Repository::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let repo = repo.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    repo.publish(svc(&format!("s-{t}-{i}"), "load")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(repo.len(), 200);
+    }
+}

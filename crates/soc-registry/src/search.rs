@@ -1,0 +1,267 @@
+//! The service search engine: inverted index with TF-IDF ranking.
+//!
+//! The paper hosts a "service engine" at `venus.eas.asu.edu/sse/` that
+//! searches services discovered by the crawler. This module is that
+//! engine: documents are descriptors (name + description + keywords +
+//! category), queries are free text, results are ranked by cosine-ish
+//! TF-IDF score. A naive substring scan is included as the baseline the
+//! bench compares against.
+
+use std::collections::HashMap;
+
+use crate::descriptor::ServiceDescriptor;
+
+/// Lowercase word tokens of length ≥ 2 (letters/digits).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            if cur.len() >= 2 {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.len() >= 2 {
+        out.push(cur);
+    }
+    out
+}
+
+/// A ranked search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// The matching service.
+    pub service: ServiceDescriptor,
+    /// TF-IDF relevance score (higher = better).
+    pub score: f64,
+}
+
+#[derive(Debug)]
+struct DocEntry {
+    descriptor: ServiceDescriptor,
+    /// term → term frequency in this document.
+    terms: HashMap<String, u32>,
+    /// Total terms (for normalization).
+    length: u32,
+}
+
+/// An inverted index over service descriptors.
+#[derive(Debug, Default)]
+pub struct SearchEngine {
+    docs: Vec<DocEntry>,
+    /// term → doc indices containing it.
+    postings: HashMap<String, Vec<usize>>,
+}
+
+impl SearchEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        SearchEngine::default()
+    }
+
+    /// Build from a batch of descriptors.
+    pub fn build(descriptors: impl IntoIterator<Item = ServiceDescriptor>) -> Self {
+        let mut e = SearchEngine::new();
+        for d in descriptors {
+            e.index(d);
+        }
+        e
+    }
+
+    /// The text fields that get indexed, weighted: name ×3, keywords ×2,
+    /// description and category ×1.
+    fn document_terms(d: &ServiceDescriptor) -> Vec<String> {
+        let mut terms = Vec::new();
+        for _ in 0..3 {
+            terms.extend(tokenize(&d.name));
+        }
+        for k in &d.keywords {
+            let toks = tokenize(k);
+            terms.extend(toks.clone());
+            terms.extend(toks);
+        }
+        terms.extend(tokenize(&d.description));
+        terms.extend(tokenize(&d.category));
+        terms
+    }
+
+    /// Add one descriptor to the index. Re-indexing the same id replaces
+    /// nothing — deduplicate upstream (the crawler does).
+    pub fn index(&mut self, d: ServiceDescriptor) {
+        let terms = Self::document_terms(&d);
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in &terms {
+            *tf.entry(t.clone()).or_insert(0) += 1;
+        }
+        let idx = self.docs.len();
+        for term in tf.keys() {
+            let posting = self.postings.entry(term.clone()).or_default();
+            if posting.last() != Some(&idx) {
+                posting.push(idx);
+            }
+        }
+        self.docs.push(DocEntry { descriptor: d, length: terms.len() as u32, terms: tf });
+    }
+
+    /// Number of indexed services.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// TF-IDF ranked search. Returns up to `limit` hits, best first;
+    /// ties broken by id for determinism.
+    pub fn search(&self, query: &str, limit: usize) -> Vec<Hit> {
+        let q_terms = tokenize(query);
+        if q_terms.is_empty() || self.docs.is_empty() {
+            return Vec::new();
+        }
+        let n = self.docs.len() as f64;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for term in &q_terms {
+            let Some(posting) = self.postings.get(term) else { continue };
+            let idf = (n / posting.len() as f64).ln() + 1.0;
+            for &doc in posting {
+                let entry = &self.docs[doc];
+                let tf = entry.terms.get(term).copied().unwrap_or(0) as f64
+                    / entry.length.max(1) as f64;
+                *scores.entry(doc).or_insert(0.0) += tf * idf;
+            }
+        }
+        let mut hits: Vec<Hit> = scores
+            .into_iter()
+            .map(|(doc, score)| Hit { service: self.docs[doc].descriptor.clone(), score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.service.id.cmp(&b.service.id))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// The naive baseline: case-insensitive substring scan over all
+    /// fields, unranked. Kept for the search-quality/latency ablation.
+    pub fn naive_scan(&self, query: &str) -> Vec<ServiceDescriptor> {
+        let q = query.to_lowercase();
+        self.docs
+            .iter()
+            .filter(|d| {
+                let s = &d.descriptor;
+                s.name.to_lowercase().contains(&q)
+                    || s.description.to_lowercase().contains(&q)
+                    || s.category.to_lowercase().contains(&q)
+                    || s.keywords.iter().any(|k| k.to_lowercase().contains(&q))
+            })
+            .map(|d| d.descriptor.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::Binding;
+
+    fn corpus() -> Vec<ServiceDescriptor> {
+        vec![
+            ServiceDescriptor::new("enc", "Encryption Service", "mem://s/enc", Binding::Rest)
+                .describe("encrypts and decrypts text with a shared secret key")
+                .category("security")
+                .keywords(&["cipher", "crypto"]),
+            ServiceDescriptor::new("cart", "Shopping Cart", "mem://s/cart", Binding::Rest)
+                .describe("add items, remove items, compute totals for a shopping session")
+                .category("commerce"),
+            ServiceDescriptor::new("img", "Image Verifier", "mem://s/img", Binding::Rest)
+                .describe("generates a random string image for human verification (captcha)")
+                .category("security")
+                .keywords(&["captcha", "image"]),
+            ServiceDescriptor::new("mortgage", "Mortgage Approval", "mem://s/mortgage", Binding::Soap)
+                .describe("mortgage application approval using a credit score service")
+                .category("finance"),
+        ]
+    }
+
+    #[test]
+    fn tokenizer_basics() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+        assert_eq!(tokenize("TF-IDF 2.0"), vec!["tf", "idf"]);
+        assert!(tokenize("a ! ?").is_empty()); // 1-char tokens dropped
+    }
+
+    #[test]
+    fn finds_by_description_terms() {
+        let e = SearchEngine::build(corpus());
+        let hits = e.search("encrypt secret", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].service.id, "enc");
+    }
+
+    #[test]
+    fn name_terms_outrank_description_terms() {
+        let e = SearchEngine::build(corpus());
+        // "image" appears in img's name-ish keywords and description.
+        let hits = e.search("image", 10);
+        assert_eq!(hits[0].service.id, "img");
+    }
+
+    #[test]
+    fn multi_term_queries_accumulate() {
+        let e = SearchEngine::build(corpus());
+        let hits = e.search("mortgage credit score", 10);
+        assert_eq!(hits[0].service.id, "mortgage");
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        // "service" appears everywhere → low idf; "captcha" only in img.
+        let e = SearchEngine::build(corpus());
+        let hits = e.search("service captcha", 10);
+        assert_eq!(hits[0].service.id, "img");
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let e = SearchEngine::build(corpus());
+        assert!(e.search("blockchain", 10).is_empty());
+        assert!(e.search("", 10).is_empty());
+    }
+
+    #[test]
+    fn limit_respected_and_deterministic() {
+        let e = SearchEngine::build(corpus());
+        let hits = e.search("security", 1);
+        assert_eq!(hits.len(), 1);
+        let again = e.search("security", 1);
+        assert_eq!(hits[0].service.id, again[0].service.id);
+    }
+
+    #[test]
+    fn naive_scan_substring_semantics() {
+        let e = SearchEngine::build(corpus());
+        // Substring "crypt" matches encrypts/decrypts/crypto.
+        let found = e.naive_scan("crypt");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].id, "enc");
+        // But the ranked engine tokenizes, so "crypt" alone misses.
+        assert!(e.search("crypt", 10).is_empty());
+    }
+
+    #[test]
+    fn empty_engine() {
+        let e = SearchEngine::new();
+        assert!(e.search("anything", 5).is_empty());
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! A typed REST client over any [`Transport`].
+
+use std::sync::Arc;
+
+use soc_http::mem::Transport;
+use soc_http::{HttpError, Method, Request, Status};
+use soc_json::Value;
+
+/// Errors surfaced to REST consumers.
+#[derive(Debug)]
+pub enum RestError {
+    /// The transport failed (connection refused, unknown host, …).
+    Transport(HttpError),
+    /// The service answered with an error status.
+    Status {
+        /// Status code returned.
+        status: Status,
+        /// Response body text (best effort).
+        body: String,
+    },
+    /// The body was not valid JSON.
+    Decode(String),
+}
+
+impl std::fmt::Display for RestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestError::Transport(e) => write!(f, "transport: {e}"),
+            RestError::Status { status, body } => write!(f, "service error {status}: {body}"),
+            RestError::Decode(d) => write!(f, "bad JSON from service: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for RestError {}
+
+impl From<HttpError> for RestError {
+    fn from(e: HttpError) -> Self {
+        RestError::Transport(e)
+    }
+}
+
+/// Result alias for REST calls.
+pub type RestResult<T> = Result<T, RestError>;
+
+/// A JSON-speaking client bound to a transport.
+#[derive(Clone)]
+pub struct RestClient {
+    transport: Arc<dyn Transport>,
+    api_key: Option<String>,
+}
+
+impl RestClient {
+    /// Wrap a transport.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        RestClient { transport, api_key: None }
+    }
+
+    /// Attach an `X-Api-Key` header to every request.
+    pub fn with_api_key(mut self, key: &str) -> Self {
+        self.api_key = Some(key.to_string());
+        self
+    }
+
+    fn prepare(&self, mut req: Request) -> Request {
+        if let Some(key) = &self.api_key {
+            req.headers.set("X-Api-Key", key);
+        }
+        if !req.headers.contains("Accept") {
+            req.headers.set("Accept", "application/json");
+        }
+        req
+    }
+
+    /// Send a raw request through the transport with client defaults.
+    pub fn send_raw(&self, req: Request) -> RestResult<soc_http::Response> {
+        Ok(self.transport.send(self.prepare(req))?)
+    }
+
+    fn json_call(&self, method: Method, url: &str, body: Option<&Value>) -> RestResult<Value> {
+        let mut req = Request::new(method, url);
+        if let Some(v) = body {
+            req = req.with_text("application/json", &v.to_compact());
+        }
+        let resp = self.send_raw(req)?;
+        if !resp.status.is_success() {
+            return Err(RestError::Status {
+                status: resp.status,
+                body: resp.text_body().unwrap_or("<binary>").to_string(),
+            });
+        }
+        if resp.body.is_empty() {
+            return Ok(Value::Null);
+        }
+        let text = resp
+            .text_body()
+            .map_err(|_| RestError::Decode("response body is not UTF-8".into()))?;
+        Value::parse(text).map_err(|e| RestError::Decode(e.to_string()))
+    }
+
+    /// GET expecting JSON.
+    pub fn get(&self, url: &str) -> RestResult<Value> {
+        self.json_call(Method::Get, url, None)
+    }
+
+    /// POST JSON, expecting JSON (or empty).
+    pub fn post(&self, url: &str, body: &Value) -> RestResult<Value> {
+        self.json_call(Method::Post, url, Some(body))
+    }
+
+    /// PUT JSON, expecting JSON (or empty).
+    pub fn put(&self, url: &str, body: &Value) -> RestResult<Value> {
+        self.json_call(Method::Put, url, Some(body))
+    }
+
+    /// DELETE, expecting empty or JSON.
+    pub fn delete(&self, url: &str) -> RestResult<Value> {
+        self.json_call(Method::Delete, url, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::{mount, MemoryResource};
+    use crate::router::Router;
+    use soc_http::MemNetwork;
+    use soc_json::json;
+
+    fn client() -> RestClient {
+        let net = MemNetwork::new();
+        let mut router = Router::new();
+        mount(&mut router, "items", Arc::new(MemoryResource::new("id")));
+        net.host("api", router);
+        RestClient::new(Arc::new(net))
+    }
+
+    #[test]
+    fn crud_through_typed_client() {
+        let c = client();
+        let created = c.post("mem://api/items", &json!({ "id": "a", "n": 1 })).unwrap();
+        assert_eq!(created.get("n").and_then(Value::as_i64), Some(1));
+        let got = c.get("mem://api/items/a").unwrap();
+        assert_eq!(got.get("id").and_then(Value::as_str), Some("a"));
+        let all = c.get("mem://api/items").unwrap();
+        assert_eq!(all.as_array().unwrap().len(), 1);
+        c.put("mem://api/items/a", &json!({ "id": "a", "n": 2 })).unwrap();
+        assert_eq!(c.delete("mem://api/items/a").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn error_status_is_typed() {
+        let c = client();
+        match c.get("mem://api/items/nope") {
+            Err(RestError::Status { status, .. }) => assert_eq!(status, Status::NOT_FOUND),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_host_is_transport_error() {
+        let c = client();
+        assert!(matches!(c.get("mem://ghost/x"), Err(RestError::Transport(_))));
+    }
+
+    #[test]
+    fn non_json_body_is_decode_error() {
+        let net = MemNetwork::new();
+        net.host("raw", |_req: Request| soc_http::Response::text("not json"));
+        let c = RestClient::new(Arc::new(net));
+        assert!(matches!(c.get("mem://raw/"), Err(RestError::Decode(_))));
+    }
+
+    #[test]
+    fn api_key_is_attached() {
+        let net = MemNetwork::new();
+        net.host("auth", |req: Request| {
+            soc_http::Response::text(req.headers.get("X-Api-Key").unwrap_or("none").to_string())
+        });
+        let c = RestClient::new(Arc::new(net)).with_api_key("k-123");
+        let resp = c.send_raw(Request::get("mem://auth/")).unwrap();
+        assert_eq!(resp.text_body().unwrap(), "k-123");
+    }
+}

@@ -1,0 +1,42 @@
+//! # soc-rest — the RESTful service framework
+//!
+//! CSE446's project list includes *"RESTful service development"* and
+//! *"Web applications consuming RESTful services"*. This crate is the
+//! framework those projects would use:
+//!
+//! - [`router`] — method + path-template routing (`/services/{id}`),
+//!   404/405 handling with `Allow` headers, and a [`router::Router`]
+//!   that plugs directly into `soc-http` as a [`soc_http::Handler`].
+//! - [`middleware`] — a composable around-chain: logging, API-key
+//!   authentication, and rate limiting are provided (the dependability
+//!   unit's "security mechanisms that safeguard the Web applications").
+//! - [`resource`] — a CRUD [`resource::Resource`] trait auto-mounted to
+//!   REST conventions with JSON payloads.
+//! - [`client`] — a typed [`client::RestClient`] over any
+//!   [`soc_http::Transport`] with JSON encode/decode and error mapping.
+//! - [`negotiate`] — `Accept`-header content negotiation between JSON
+//!   and XML renderings of the same data.
+//!
+//! ```
+//! use soc_rest::router::Router;
+//! use soc_http::{Request, Response, Status};
+//! use soc_http::mem::{MemNetwork, Transport};
+//!
+//! let mut router = Router::new();
+//! router.get("/hello/{name}", |_req, p| {
+//!     Response::text(format!("hi {}", p.get("name").unwrap()))
+//! });
+//! let net = MemNetwork::new();
+//! net.host("svc", router);
+//! let resp = net.send(Request::get("mem://svc/hello/ann")).unwrap();
+//! assert_eq!(resp.text_body().unwrap(), "hi ann");
+//! ```
+
+pub mod client;
+pub mod middleware;
+pub mod negotiate;
+pub mod resource;
+pub mod router;
+
+pub use client::{RestClient, RestError};
+pub use router::{PathParams, Router};

@@ -1,0 +1,203 @@
+//! Around-style middleware for the router.
+//!
+//! A middleware receives the request and a `next` continuation; it can
+//! short-circuit (auth failures), decorate (logging), or transform. The
+//! built-ins implement the dependability unit's standard safeguards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use soc_http::{Request, Response, Status};
+
+type MiddlewareFn =
+    dyn Fn(Request, &dyn Fn(Request) -> Response) -> Response + Send + Sync;
+
+/// A cloneable middleware wrapper.
+#[derive(Clone)]
+pub struct Middleware {
+    f: Arc<MiddlewareFn>,
+    /// Human-readable label for diagnostics.
+    pub name: &'static str,
+}
+
+impl Middleware {
+    /// Wrap a closure as middleware.
+    pub fn new(
+        name: &'static str,
+        f: impl Fn(Request, &dyn Fn(Request) -> Response) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        Middleware { f: Arc::new(f), name }
+    }
+
+    /// Invoke the middleware around `next`.
+    pub fn call(&self, req: Request, next: &dyn Fn(Request) -> Response) -> Response {
+        (self.f)(req, next)
+    }
+}
+
+/// Counters collected by [`logging`].
+#[derive(Debug, Default)]
+pub struct RequestLog {
+    /// Total requests seen.
+    pub requests: AtomicU64,
+    /// Responses with status ≥ 400.
+    pub errors: AtomicU64,
+    /// Total handling time in microseconds.
+    pub total_micros: AtomicU64,
+}
+
+impl RequestLog {
+    /// Mean handling latency observed so far.
+    pub fn mean_latency(&self) -> Duration {
+        let n = self.requests.load(Ordering::Relaxed).max(1);
+        Duration::from_micros(self.total_micros.load(Ordering::Relaxed) / n)
+    }
+}
+
+/// Logging middleware: counts requests, errors, and latency into `log`.
+pub fn logging(log: Arc<RequestLog>) -> Middleware {
+    Middleware::new("logging", move |req, next| {
+        let start = Instant::now();
+        let resp = next(req);
+        log.requests.fetch_add(1, Ordering::Relaxed);
+        if resp.status.0 >= 400 {
+            log.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        log.total_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        resp
+    })
+}
+
+/// API-key authentication: requests must carry `X-Api-Key` matching one
+/// of the provisioned keys; the key's principal is forwarded to the
+/// handler via the `X-Authenticated-As` header.
+pub fn api_key_auth(keys: HashMap<String, String>) -> Middleware {
+    Middleware::new("api-key-auth", move |mut req, next| {
+        let presented = req.headers.get("X-Api-Key").map(str::to_string);
+        match presented.and_then(|k| keys.get(&k).cloned()) {
+            Some(principal) => {
+                req.headers.set("X-Authenticated-As", &principal);
+                next(req)
+            }
+            None => Response::error(Status::UNAUTHORIZED, "missing or invalid API key")
+                .with_header("WWW-Authenticate", "ApiKey"),
+        }
+    })
+}
+
+/// A fixed-window rate limiter keyed by the `X-Api-Key` header (or
+/// `"anonymous"`): at most `limit` requests per `window`.
+pub fn rate_limit(limit: u32, window: Duration) -> Middleware {
+    let state: Arc<Mutex<HashMap<String, (Instant, u32)>>> = Arc::new(Mutex::new(HashMap::new()));
+    Middleware::new("rate-limit", move |req, next| {
+        let key = req.headers.get("X-Api-Key").unwrap_or("anonymous").to_string();
+        let now = Instant::now();
+        let mut map = state.lock();
+        let entry = map.entry(key).or_insert((now, 0));
+        if now.duration_since(entry.0) >= window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        let over = entry.1 > limit;
+        drop(map);
+        if over {
+            Response::error(Status::TOO_MANY_REQUESTS, "rate limit exceeded")
+                .with_header("Retry-After", &window.as_secs().to_string())
+        } else {
+            next(req)
+        }
+    })
+}
+
+/// Adds a `Server` header to all responses (used to verify middleware
+/// ordering in tests).
+pub fn server_header(value: &'static str) -> Middleware {
+    Middleware::new("server-header", move |req, next| {
+        next(req).with_header("Server", value)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use soc_http::Handler;
+
+    fn app() -> Router {
+        let mut r = Router::new();
+        r.get("/ok", |_rq, _p| Response::text("fine"));
+        r.get("/who", |rq, _p| {
+            Response::text(rq.headers.get("X-Authenticated-As").unwrap_or("?").to_string())
+        });
+        r.get("/fail", |_rq, _p| Response::error(Status::NOT_FOUND, "x"));
+        r
+    }
+
+    #[test]
+    fn logging_counts_requests_and_errors() {
+        let log = Arc::new(RequestLog::default());
+        let mut r = app();
+        r.wrap(logging(log.clone()));
+        r.handle(Request::get("/ok"));
+        r.handle(Request::get("/fail"));
+        r.handle(Request::get("/missing"));
+        assert_eq!(log.requests.load(Ordering::Relaxed), 3);
+        assert_eq!(log.errors.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn auth_rejects_without_key_and_forwards_principal() {
+        let mut keys = HashMap::new();
+        keys.insert("secret-1".to_string(), "ann".to_string());
+        let mut r = app();
+        r.wrap(api_key_auth(keys));
+        assert_eq!(r.handle(Request::get("/ok")).status, Status::UNAUTHORIZED);
+        let resp = r.handle(Request::get("/who").with_header("X-Api-Key", "secret-1"));
+        assert_eq!(resp.text_body().unwrap(), "ann");
+        // Spoofed principal header is overwritten by the middleware.
+        let resp = r.handle(
+            Request::get("/who")
+                .with_header("X-Api-Key", "secret-1")
+                .with_header("X-Authenticated-As", "root"),
+        );
+        assert_eq!(resp.text_body().unwrap(), "ann");
+    }
+
+    #[test]
+    fn rate_limit_trips_after_limit() {
+        let mut r = app();
+        r.wrap(rate_limit(3, Duration::from_secs(60)));
+        for _ in 0..3 {
+            assert_eq!(r.handle(Request::get("/ok")).status, Status::OK);
+        }
+        assert_eq!(r.handle(Request::get("/ok")).status, Status::TOO_MANY_REQUESTS);
+    }
+
+    #[test]
+    fn rate_limit_is_per_key() {
+        let mut r = app();
+        r.wrap(rate_limit(1, Duration::from_secs(60)));
+        assert_eq!(r.handle(Request::get("/ok").with_header("X-Api-Key", "a")).status, Status::OK);
+        assert_eq!(r.handle(Request::get("/ok").with_header("X-Api-Key", "b")).status, Status::OK);
+        assert_eq!(
+            r.handle(Request::get("/ok").with_header("X-Api-Key", "a")).status,
+            Status::TOO_MANY_REQUESTS
+        );
+    }
+
+    #[test]
+    fn middleware_order_outermost_first() {
+        // auth added first => runs outermost => unauthorized responses
+        // still get the Server header only if server_header is outermost.
+        let mut r = app();
+        r.wrap(server_header("soc"));
+        r.wrap(api_key_auth(HashMap::new()));
+        let resp = r.handle(Request::get("/ok"));
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+        assert_eq!(resp.headers.get("Server"), Some("soc"));
+    }
+}

@@ -1,0 +1,153 @@
+//! `Accept`-header content negotiation between JSON and XML renderings —
+//! the "services are implemented in multiple formats" theme of the ASU
+//! repository, applied to representations.
+
+use soc_http::{Request, Response};
+use soc_json::Value;
+use soc_xml::{Document, NodeId};
+
+/// Representations the stack can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `application/json`
+    Json,
+    /// `text/xml` / `application/xml`
+    Xml,
+}
+
+/// Choose a representation from the request's `Accept` header. JSON is
+/// the default; `*/*` also yields JSON. Quality factors are honored in
+/// their simplest useful form: an explicit type beats a wildcard.
+pub fn negotiate(req: &Request) -> Format {
+    let accept = req.headers.get("Accept").unwrap_or("*/*");
+    let mut best = Format::Json;
+    let mut best_rank = 0u8;
+    for part in accept.split(',') {
+        let mime = part.split(';').next().unwrap_or("").trim().to_ascii_lowercase();
+        let (format, rank) = match mime.as_str() {
+            "application/json" => (Format::Json, 3),
+            "text/xml" | "application/xml" => (Format::Xml, 3),
+            "application/*" => (Format::Json, 2),
+            "text/*" => (Format::Xml, 2),
+            "*/*" => (Format::Json, 1),
+            _ => continue,
+        };
+        if rank > best_rank {
+            best = format;
+            best_rank = rank;
+        }
+    }
+    best
+}
+
+/// Render a JSON value in the negotiated format. The XML rendering wraps
+/// the value in the conventional element mapping: objects become child
+/// elements, arrays repeat an `item` element, scalars become text.
+pub fn render(req: &Request, root_name: &str, value: &Value) -> Response {
+    match negotiate(req) {
+        Format::Json => Response::json(&value.to_compact()),
+        Format::Xml => {
+            let mut doc = Document::new(root_name);
+            let root = doc.root();
+            value_to_xml(&mut doc, root, value);
+            Response::xml(&doc.to_xml())
+        }
+    }
+}
+
+fn value_to_xml(doc: &mut Document, parent: NodeId, value: &Value) {
+    match value {
+        Value::Null => {}
+        Value::Bool(b) => {
+            doc.add_text(parent, if *b { "true" } else { "false" });
+        }
+        Value::Number(n) => {
+            doc.add_text(parent, n.to_string());
+        }
+        Value::String(s) => {
+            doc.add_text(parent, s.clone());
+        }
+        Value::Array(items) => {
+            for item in items {
+                let el = doc.add_element(parent, "item");
+                value_to_xml(doc, el, item);
+            }
+        }
+        Value::Object(members) => {
+            for (k, v) in members {
+                // Element names must be XML names; non-conforming keys
+                // are carried as <entry key="...">.
+                let el = if k.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                    && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    doc.add_element(parent, k.as_str())
+                } else {
+                    let el = doc.add_element(parent, "entry");
+                    doc.set_attr(el, "key", k.clone());
+                    el
+                };
+                value_to_xml(doc, el, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_json::json;
+
+    #[test]
+    fn default_is_json() {
+        assert_eq!(negotiate(&Request::get("/")), Format::Json);
+        assert_eq!(negotiate(&Request::get("/").with_header("Accept", "*/*")), Format::Json);
+    }
+
+    #[test]
+    fn explicit_xml_wins() {
+        let req = Request::get("/").with_header("Accept", "text/xml");
+        assert_eq!(negotiate(&req), Format::Xml);
+        let req = Request::get("/").with_header("Accept", "application/xml, */*");
+        assert_eq!(negotiate(&req), Format::Xml);
+    }
+
+    #[test]
+    fn explicit_beats_wildcard() {
+        let req = Request::get("/").with_header("Accept", "text/*, application/json");
+        assert_eq!(negotiate(&req), Format::Json);
+    }
+
+    #[test]
+    fn unknown_types_ignored() {
+        let req = Request::get("/").with_header("Accept", "image/png");
+        assert_eq!(negotiate(&req), Format::Json);
+    }
+
+    #[test]
+    fn renders_json() {
+        let v = json!({ "name": "echo", "cost": 0 });
+        let resp = render(&Request::get("/"), "service", &v);
+        assert_eq!(resp.content_type(), Some("application/json"));
+        assert!(resp.text_body().unwrap().contains("\"echo\""));
+    }
+
+    #[test]
+    fn renders_xml_mapping() {
+        let v = json!({ "name": "echo", "tags": ["a", "b"], "ok": true });
+        let req = Request::get("/").with_header("Accept", "text/xml");
+        let resp = render(&req, "service", &v);
+        let xml = resp.text_body().unwrap();
+        assert_eq!(
+            xml,
+            "<service><name>echo</name><tags><item>a</item><item>b</item></tags><ok>true</ok></service>"
+        );
+    }
+
+    #[test]
+    fn awkward_keys_become_entries() {
+        let v = json!({ "1bad key": 5 });
+        let req = Request::get("/").with_header("Accept", "text/xml");
+        let resp = render(&req, "r", &v);
+        assert!(resp.text_body().unwrap().contains(r#"<entry key="1bad key">5</entry>"#));
+    }
+}

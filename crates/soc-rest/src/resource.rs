@@ -1,0 +1,288 @@
+//! CRUD resources: implement [`Resource`], get REST conventions free.
+//!
+//! `mount` wires the standard five routes:
+//!
+//! | Route | Method | Resource call |
+//! |---|---|---|
+//! | `/{base}` | GET | `list` |
+//! | `/{base}` | POST | `create` |
+//! | `/{base}/{id}` | GET | `get` |
+//! | `/{base}/{id}` | PUT | `update` |
+//! | `/{base}/{id}` | DELETE | `delete` |
+
+use std::sync::Arc;
+
+use soc_http::{Request, Response, Status};
+use soc_json::Value;
+
+use crate::negotiate::render;
+use crate::router::Router;
+
+/// Outcome of a resource operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Success with a JSON body.
+    Ok(Value),
+    /// Resource created (201) with its JSON representation.
+    Created(Value),
+    /// Success with no body (204).
+    NoContent,
+    /// No such id (404).
+    NotFound,
+    /// The request body was unacceptable (422 with a message).
+    Invalid(String),
+    /// State conflict, e.g. duplicate id (409 with a message).
+    Conflict(String),
+}
+
+/// A JSON-typed CRUD resource.
+pub trait Resource: Send + Sync + 'static {
+    /// All items.
+    fn list(&self) -> Outcome;
+    /// One item by id.
+    fn get(&self, id: &str) -> Outcome;
+    /// Create from a JSON document.
+    fn create(&self, body: Value) -> Outcome;
+    /// Replace the item with `id`.
+    fn update(&self, id: &str, body: Value) -> Outcome;
+    /// Delete the item with `id`.
+    fn delete(&self, id: &str) -> Outcome;
+}
+
+fn respond(req: &Request, root: &str, outcome: Outcome) -> Response {
+    match outcome {
+        Outcome::Ok(v) => render(req, root, &v),
+        Outcome::Created(v) => {
+            let mut resp = render(req, root, &v);
+            resp.status = Status::CREATED;
+            resp
+        }
+        Outcome::NoContent => Response::new(Status::NO_CONTENT),
+        Outcome::NotFound => Response::error(Status::NOT_FOUND, "no such resource"),
+        Outcome::Invalid(msg) => Response::error(Status::UNPROCESSABLE, &msg),
+        Outcome::Conflict(msg) => Response::error(Status::CONFLICT, &msg),
+    }
+}
+
+fn parse_body(req: &Request) -> Result<Value, Response> {
+    let text = req
+        .text()
+        .map_err(|_| Response::error(Status::BAD_REQUEST, "body is not UTF-8"))?;
+    Value::parse(text).map_err(|e| Response::error(Status::BAD_REQUEST, &e.to_string()))
+}
+
+/// Mount `resource` under `/{base}` on `router`.
+pub fn mount(router: &mut Router, base: &str, resource: Arc<dyn Resource>) {
+    let base = base.trim_matches('/').to_string();
+    let root = base.trim_end_matches('s').to_string();
+    let collection = format!("/{base}");
+    let item = format!("/{base}/{{id}}");
+
+    {
+        let (r, root) = (resource.clone(), root.clone());
+        router.get(&collection, move |req, _p| respond(&req, &format!("{root}s"), r.list()));
+    }
+    {
+        let (r, root) = (resource.clone(), root.clone());
+        router.post(&collection, move |req, _p| match parse_body(&req) {
+            Ok(v) => respond(&req, &root, r.create(v)),
+            Err(resp) => resp,
+        });
+    }
+    {
+        let (r, root) = (resource.clone(), root.clone());
+        router.get(&item, move |req, p| respond(&req, &root, r.get(p.get("id").unwrap_or(""))));
+    }
+    {
+        let (r, root) = (resource.clone(), root.clone());
+        router.put(&item, move |req, p| match parse_body(&req) {
+            Ok(v) => respond(&req, &root, r.update(p.get("id").unwrap_or(""), v)),
+            Err(resp) => resp,
+        });
+    }
+    {
+        let r = resource;
+        router.delete(&item, move |req, p| {
+            respond(&req, &root, r.delete(p.get("id").unwrap_or("")))
+        });
+    }
+}
+
+/// A thread-safe in-memory resource keyed by an `id` member — the
+/// default backing store for examples and tests.
+pub struct MemoryResource {
+    items: parking_lot::RwLock<Vec<(String, Value)>>,
+    /// Which JSON member is the id.
+    id_field: String,
+}
+
+impl MemoryResource {
+    /// Empty store using `id_field` as the key member.
+    pub fn new(id_field: &str) -> Self {
+        MemoryResource {
+            items: parking_lot::RwLock::new(Vec::new()),
+            id_field: id_field.to_string(),
+        }
+    }
+
+    fn id_of(&self, v: &Value) -> Option<String> {
+        v.get(&self.id_field).and_then(Value::as_str).map(str::to_string)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.read().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Resource for MemoryResource {
+    fn list(&self) -> Outcome {
+        Outcome::Ok(Value::Array(self.items.read().iter().map(|(_, v)| v.clone()).collect()))
+    }
+
+    fn get(&self, id: &str) -> Outcome {
+        match self.items.read().iter().find(|(k, _)| k == id) {
+            Some((_, v)) => Outcome::Ok(v.clone()),
+            None => Outcome::NotFound,
+        }
+    }
+
+    fn create(&self, body: Value) -> Outcome {
+        let Some(id) = self.id_of(&body) else {
+            return Outcome::Invalid(format!("missing string member {:?}", self.id_field));
+        };
+        let mut items = self.items.write();
+        if items.iter().any(|(k, _)| *k == id) {
+            return Outcome::Conflict(format!("id {id:?} already exists"));
+        }
+        items.push((id, body.clone()));
+        Outcome::Created(body)
+    }
+
+    fn update(&self, id: &str, body: Value) -> Outcome {
+        if self.id_of(&body).is_some_and(|body_id| body_id != id) {
+            return Outcome::Invalid("body id does not match path id".into());
+        }
+        let mut items = self.items.write();
+        match items.iter_mut().find(|(k, _)| k == id) {
+            Some(slot) => {
+                slot.1 = body.clone();
+                Outcome::Ok(body)
+            }
+            None => Outcome::NotFound,
+        }
+    }
+
+    fn delete(&self, id: &str) -> Outcome {
+        let mut items = self.items.write();
+        let before = items.len();
+        items.retain(|(k, _)| k != id);
+        if items.len() == before {
+            Outcome::NotFound
+        } else {
+            Outcome::NoContent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::{Handler, Method};
+    use soc_json::json;
+
+    fn app() -> (Router, Arc<MemoryResource>) {
+        let mut router = Router::new();
+        let store = Arc::new(MemoryResource::new("id"));
+        mount(&mut router, "services", store.clone());
+        (router, store)
+    }
+
+    fn post(router: &Router, path: &str, body: &Value) -> Response {
+        router.handle(
+            Request::new(Method::Post, path).with_text("application/json", &body.to_compact()),
+        )
+    }
+
+    #[test]
+    fn full_crud_lifecycle() {
+        let (router, store) = app();
+        // Create.
+        let resp = post(&router, "/services", &json!({ "id": "echo", "cost": 0 }));
+        assert_eq!(resp.status, Status::CREATED);
+        assert_eq!(store.len(), 1);
+        // Read.
+        let resp = router.handle(Request::get("/services/echo"));
+        assert_eq!(resp.status, Status::OK);
+        let v = Value::parse(resp.text_body().unwrap()).unwrap();
+        assert_eq!(v.get("cost").and_then(Value::as_i64), Some(0));
+        // List.
+        let resp = router.handle(Request::get("/services"));
+        let list = Value::parse(resp.text_body().unwrap()).unwrap();
+        assert_eq!(list.as_array().unwrap().len(), 1);
+        // Update.
+        let resp = router.handle(
+            Request::new(Method::Put, "/services/echo")
+                .with_text("application/json", &json!({ "id": "echo", "cost": 5 }).to_compact()),
+        );
+        assert_eq!(resp.status, Status::OK);
+        // Delete.
+        let resp = router.handle(Request::delete("/services/echo"));
+        assert_eq!(resp.status, Status::NO_CONTENT);
+        assert_eq!(router.handle(Request::get("/services/echo")).status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn duplicate_create_conflicts() {
+        let (router, _) = app();
+        post(&router, "/services", &json!({ "id": "x" }));
+        let resp = post(&router, "/services", &json!({ "id": "x" }));
+        assert_eq!(resp.status, Status::CONFLICT);
+    }
+
+    #[test]
+    fn create_without_id_is_invalid() {
+        let (router, _) = app();
+        let resp = post(&router, "/services", &json!({ "cost": 1 }));
+        assert_eq!(resp.status, Status::UNPROCESSABLE);
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request() {
+        let (router, _) = app();
+        let resp = router.handle(
+            Request::new(Method::Post, "/services").with_text("application/json", "{nope"),
+        );
+        assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn update_id_mismatch_rejected() {
+        let (router, _) = app();
+        post(&router, "/services", &json!({ "id": "a" }));
+        let resp = router.handle(
+            Request::new(Method::Put, "/services/a")
+                .with_text("application/json", &json!({ "id": "b" }).to_compact()),
+        );
+        assert_eq!(resp.status, Status::UNPROCESSABLE);
+    }
+
+    #[test]
+    fn xml_negotiated_list() {
+        let (router, _) = app();
+        post(&router, "/services", &json!({ "id": "e" }));
+        let resp = router.handle(Request::get("/services").with_header("Accept", "text/xml"));
+        assert!(resp.text_body().unwrap().starts_with("<services>"));
+    }
+
+    #[test]
+    fn delete_missing_is_404() {
+        let (router, _) = app();
+        assert_eq!(router.handle(Request::delete("/services/zzz")).status, Status::NOT_FOUND);
+    }
+}

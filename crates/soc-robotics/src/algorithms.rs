@@ -1,0 +1,497 @@
+//! The maze navigation algorithms the course compares, plus the racing
+//! harness. The two teaching algorithms are exactly the paper's:
+//! *"a short-distance-based greedy algorithm and a wall-following
+//! algorithm"*; the greedy one is expressed as a finite state machine
+//! (Figure 2) on top of [`soc_workflow::fsm`].
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soc_workflow::fsm::{Fsm, FsmBuilder};
+
+use crate::maze::{Direction, Maze};
+use crate::robot::{Action, Robot, Sensors};
+
+/// Everything a navigator perceives per tick: the distance sensors plus
+/// the coarse state the paper's Web environment displays (robot pose and
+/// goal cell on the rendered maze).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percept {
+    /// Distance sensor readings.
+    pub sensors: Sensors,
+    /// Current cell.
+    pub position: (usize, usize),
+    /// Current heading.
+    pub heading: Direction,
+    /// The goal cell.
+    pub exit: (usize, usize),
+}
+
+/// A navigation policy: percept in, one action out, once per tick.
+pub trait Navigator: Send {
+    /// Display name (used in benches and reports).
+    fn name(&self) -> &'static str;
+    /// Choose the next action.
+    fn decide(&mut self, percept: Percept) -> Action;
+    /// Clear internal state before a new run.
+    fn reset(&mut self) {}
+}
+
+/// Which hand the wall follower keeps on the wall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hand {
+    /// Keep the left hand on the wall.
+    Left,
+    /// Keep the right hand on the wall.
+    Right,
+}
+
+/// The wall-following algorithm: prefer turning toward the tracked
+/// hand, then straight, then away; a turn is always followed by a move
+/// attempt. Complete on perfect (simply connected) mazes, and needs
+/// *only* the sensors — it never reads the pose or the goal.
+pub struct WallFollower {
+    hand: Hand,
+    /// After a turn, attempt to move before re-evaluating the rule.
+    move_next: bool,
+}
+
+impl WallFollower {
+    /// Follower for the given hand.
+    pub fn new(hand: Hand) -> Self {
+        WallFollower { hand, move_next: false }
+    }
+}
+
+impl Navigator for WallFollower {
+    fn name(&self) -> &'static str {
+        match self.hand {
+            Hand::Left => "wall-follow-left",
+            Hand::Right => "wall-follow-right",
+        }
+    }
+
+    fn decide(&mut self, p: Percept) -> Action {
+        let s = p.sensors;
+        if self.move_next && s.front > 0 {
+            self.move_next = false;
+            return Action::Forward;
+        }
+        self.move_next = false;
+        let (toward, away) = match self.hand {
+            Hand::Right => (s.right, s.left),
+            Hand::Left => (s.left, s.right),
+        };
+        let turn_toward = match self.hand {
+            Hand::Right => Action::TurnRight,
+            Hand::Left => Action::TurnLeft,
+        };
+        let turn_away = match self.hand {
+            Hand::Right => Action::TurnLeft,
+            Hand::Left => Action::TurnRight,
+        };
+        if toward > 0 {
+            self.move_next = true;
+            turn_toward
+        } else if s.front > 0 {
+            Action::Forward
+        } else if away > 0 {
+            self.move_next = true;
+            turn_away
+        } else {
+            // Dead end: turn around (two turns; the second via the rule).
+            turn_away
+        }
+    }
+
+    fn reset(&mut self) {
+        self.move_next = false;
+    }
+}
+
+/// Where the desired direction lies relative to the heading.
+fn relative(heading: Direction, desired: Direction) -> &'static str {
+    if desired == heading {
+        "ahead"
+    } else if desired == heading.left() {
+        "to-left"
+    } else if desired == heading.right() {
+        "to-right"
+    } else {
+        "behind"
+    }
+}
+
+/// Context shared with the greedy FSM: only the action slot — the
+/// machine's job is sequencing motion, the comparison result arrives as
+/// the event name, exactly like Figure 2's labeled arrows.
+#[derive(Debug, Default, Clone, Copy)]
+struct GreedyCtx {
+    action: Option<Action>,
+}
+
+/// Figure 2's two-distance greedy algorithm as a finite state machine.
+///
+/// The "two distances" are the row and column distances to the goal
+/// (Δy, Δx): the robot greedily moves to shrink the larger component
+/// first. When every distance-reducing direction is walled, it falls
+/// back to the least-visited open neighbor (the behavior students add
+/// after watching pure greedy ping-pong between two corridors).
+/// The FSM sequences the decision into motion states:
+/// `decide --ahead--> forward`, `decide --to-left--> turn-left`,
+/// `decide --behind--> reverse-1 → reverse-2`, each returning to
+/// `decide` on `done`.
+pub struct TwoDistanceGreedy {
+    fsm: Fsm<GreedyCtx>,
+    visits: HashMap<(usize, usize), u32>,
+    /// Wall knowledge learned from sensor readings:
+    /// `(cell, direction) → edge is open`. The rear is only trusted when
+    /// it has been sensed (or traversed) before — assuming it open makes
+    /// the robot reverse into walls forever.
+    edges: HashMap<((usize, usize), Direction), bool>,
+    prev_position: Option<(usize, usize)>,
+}
+
+impl TwoDistanceGreedy {
+    /// Build the Figure 2 machine.
+    pub fn new() -> Self {
+        let fsm = FsmBuilder::<GreedyCtx>::new("decide")
+            .on_do("decide", "ahead", "forward", |c: &mut GreedyCtx| {
+                c.action = Some(Action::Forward)
+            })
+            .on_do("decide", "to-left", "turn-left", |c: &mut GreedyCtx| {
+                c.action = Some(Action::TurnLeft)
+            })
+            .on_do("decide", "to-right", "turn-right", |c: &mut GreedyCtx| {
+                c.action = Some(Action::TurnRight)
+            })
+            .on_do("decide", "behind", "reverse-1", |c: &mut GreedyCtx| {
+                c.action = Some(Action::TurnRight)
+            })
+            .on_do("reverse-1", "done", "reverse-2", |c: &mut GreedyCtx| {
+                c.action = Some(Action::TurnRight)
+            })
+            .on("reverse-2", "done", "decide")
+            .on("forward", "done", "decide")
+            .on("turn-left", "done", "decide")
+            .on("turn-right", "done", "decide")
+            .build();
+        TwoDistanceGreedy {
+            fsm,
+            visits: HashMap::new(),
+            edges: HashMap::new(),
+            prev_position: None,
+        }
+    }
+
+    /// Expose the FSM trace (for the Figure 2 harness).
+    pub fn trace(&self) -> &[(String, String, String)] {
+        self.fsm.trace()
+    }
+
+    /// The greedy comparison: pick the open direction whose target cell
+    /// best shrinks the larger of (Δrow, Δcolumn); least-visited breaks
+    /// ties and rescues blocked greedy choices.
+    fn choose(&self, p: Percept) -> Direction {
+        let (x, y) = p.position;
+        let (ex, ey) = p.exit;
+        let open = |d: Direction| -> bool {
+            match d {
+                d if d == p.heading => p.sensors.front > 0,
+                d if d == p.heading.left() => p.sensors.left > 0,
+                d if d == p.heading.right() => p.sensors.right > 0,
+                // No rear sensor: trust only learned knowledge.
+                d => self.edges.get(&(p.position, d)).copied().unwrap_or(false),
+            }
+        };
+        let mut best: Option<(i64, Direction)> = None;
+        for d in Direction::ALL {
+            if !open(d) {
+                continue;
+            }
+            let (dx, dy) = d.delta();
+            let nx = x as i64 + dx as i64;
+            let ny = y as i64 + dy as i64;
+            let manhattan = (ex as i64 - nx).abs() + (ey as i64 - ny).abs();
+            let visits = self
+                .visits
+                .get(&(nx.max(0) as usize, ny.max(0) as usize))
+                .copied()
+                .unwrap_or(0) as i64;
+            // Distance-greedy with an escalating revisit penalty (breaks
+            // corridor ping-pong) and a mild turn penalty.
+            let turn_cost = if d == p.heading { 0 } else { 1 };
+            let score = manhattan + 12 * visits + turn_cost;
+            match &best {
+                Some((bs, _)) if score >= *bs => {}
+                _ => best = Some((score, d)),
+            }
+        }
+        best.map(|(_, d)| d).unwrap_or_else(|| p.heading.opposite())
+    }
+}
+
+impl Default for TwoDistanceGreedy {
+    fn default() -> Self {
+        TwoDistanceGreedy::new()
+    }
+}
+
+impl Navigator for TwoDistanceGreedy {
+    fn name(&self) -> &'static str {
+        "two-distance-greedy"
+    }
+
+    fn decide(&mut self, p: Percept) -> Action {
+        *self.visits.entry(p.position).or_insert(0) += 1;
+        // Learn the three sensed edges, and the rear edge when we just
+        // drove in from it.
+        self.edges.insert((p.position, p.heading), p.sensors.front > 0);
+        self.edges.insert((p.position, p.heading.left()), p.sensors.left > 0);
+        self.edges.insert((p.position, p.heading.right()), p.sensors.right > 0);
+        if let Some(prev) = self.prev_position {
+            if prev != p.position {
+                for d in Direction::ALL {
+                    let (dx, dy) = d.delta();
+                    if (p.position.0 as i64 + dx as i64, p.position.1 as i64 + dy as i64)
+                        == (prev.0 as i64, prev.1 as i64)
+                    {
+                        self.edges.insert((p.position, d), true);
+                    }
+                }
+            }
+        }
+        self.prev_position = Some(p.position);
+        let mut ctx = GreedyCtx::default();
+        if self.fsm.state() != "decide" {
+            self.fsm.dispatch("done", &mut ctx);
+            if let Some(a) = ctx.action {
+                return a; // reverse-1 → reverse-2 emits the second turn
+            }
+        }
+        let desired = self.choose(p);
+        let event = relative(p.heading, desired);
+        let mut ctx = GreedyCtx::default();
+        self.fsm.dispatch(event, &mut ctx);
+        ctx.action.unwrap_or(Action::TurnRight)
+    }
+
+    fn reset(&mut self) {
+        self.fsm.reset();
+        self.visits.clear();
+        self.edges.clear();
+        self.prev_position = None;
+    }
+}
+
+/// Uniform random walk over open directions (seeded baseline).
+pub struct RandomWalk {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomWalk {
+    /// Baseline with a fixed seed.
+    pub fn new(seed: u64) -> Self {
+        RandomWalk { rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl Navigator for RandomWalk {
+    fn name(&self) -> &'static str {
+        "random-walk"
+    }
+
+    fn decide(&mut self, p: Percept) -> Action {
+        let s = p.sensors;
+        let mut open = Vec::new();
+        if s.front > 0 {
+            open.push(Action::Forward);
+        }
+        if s.left > 0 {
+            open.push(Action::TurnLeft);
+        }
+        if s.right > 0 {
+            open.push(Action::TurnRight);
+        }
+        if open.is_empty() {
+            return Action::TurnRight; // dead end: start reversing
+        }
+        open[self.rng.gen_range(0..open.len())]
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+/// Result of a navigation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outcome {
+    /// Did the robot reach the exit within the tick budget?
+    pub reached: bool,
+    /// Forward moves taken.
+    pub steps: usize,
+    /// Turns taken.
+    pub turns: usize,
+    /// Wall bumps.
+    pub bumps: usize,
+    /// Decision ticks consumed.
+    pub ticks: usize,
+}
+
+/// Drive `navigator` from the maze start until the exit or `max_ticks`.
+pub fn run(maze: &Maze, navigator: &mut dyn Navigator, max_ticks: usize) -> Outcome {
+    navigator.reset();
+    let mut robot = Robot::at_start(maze);
+    let mut ticks = 0;
+    while !robot.at_exit(maze) && ticks < max_ticks {
+        let percept = Percept {
+            sensors: robot.sense(maze),
+            position: robot.position,
+            heading: robot.heading,
+            exit: maze.exit,
+        };
+        let action = navigator.decide(percept);
+        robot.act(maze, action);
+        ticks += 1;
+    }
+    Outcome {
+        reached: robot.at_exit(maze),
+        steps: robot.steps(),
+        turns: robot.turns(),
+        bumps: robot.bumps(),
+        ticks,
+    }
+}
+
+/// The BFS oracle: minimal number of forward moves start → exit.
+pub fn oracle_steps(maze: &Maze) -> Option<usize> {
+    maze.shortest_path(maze.start, maze.exit).map(|p| p.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(m: &Maze) -> usize {
+        m.width() * m.height() * 10
+    }
+
+    #[test]
+    fn wall_followers_solve_perfect_mazes() {
+        for seed in 0..10 {
+            let m = Maze::generate(13, 9, seed);
+            for hand in [Hand::Left, Hand::Right] {
+                let out = run(&m, &mut WallFollower::new(hand), budget(&m));
+                assert!(out.reached, "seed {seed} {hand:?} failed: {out:?}");
+                assert_eq!(out.bumps, 0, "wall follower must never bump");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_solves_perfect_mazes() {
+        let mut solved = 0;
+        for seed in 0..20 {
+            let m = Maze::generate(11, 11, seed);
+            let out = run(&m, &mut TwoDistanceGreedy::new(), budget(&m));
+            if out.reached {
+                solved += 1;
+            }
+        }
+        assert!(solved >= 18, "greedy solved only {solved}/20");
+    }
+
+    #[test]
+    fn algorithm_ordering_on_braided_mazes() {
+        // With loops available, goal-directed greedy usually takes
+        // shortcuts the wall follower cannot, and both crush the random
+        // walk — the ordering the course's comparison lab demonstrates.
+        let mut greedy_wins = 0;
+        let mut greedy_total = 0usize;
+        let mut random_total = 0usize;
+        for seed in 0..10 {
+            let mut m = Maze::generate(15, 15, seed);
+            m.braid(0.5, seed);
+            let g = run(&m, &mut TwoDistanceGreedy::new(), budget(&m));
+            let w = run(&m, &mut WallFollower::new(Hand::Right), budget(&m) * 4);
+            let r = run(&m, &mut RandomWalk::new(9), budget(&m) * 4);
+            assert!(g.reached, "greedy failed on braided seed {seed}");
+            if w.reached && g.steps < w.steps {
+                greedy_wins += 1;
+            }
+            greedy_total += g.steps;
+            random_total += r.steps;
+        }
+        assert!(greedy_wins >= 5, "greedy won only {greedy_wins}/10 braided runs");
+        assert!(
+            greedy_total * 4 < random_total,
+            "greedy ({greedy_total}) must be far better than random ({random_total})"
+        );
+    }
+
+    #[test]
+    fn greedy_fsm_uses_figure2_states() {
+        let m = Maze::generate(9, 9, 4);
+        let mut nav = TwoDistanceGreedy::new();
+        let _ = run(&m, &mut nav, budget(&m));
+        let states: std::collections::HashSet<&str> =
+            nav.trace().iter().map(|(from, _, _)| from.as_str()).collect();
+        assert!(states.contains("decide"));
+        assert!(states.len() >= 3, "trace explored too few states: {states:?}");
+    }
+
+    #[test]
+    fn random_walk_is_seeded_deterministic() {
+        let m = Maze::generate(9, 9, 2);
+        let a = run(&m, &mut RandomWalk::new(7), budget(&m) * 4);
+        let b = run(&m, &mut RandomWalk::new(7), budget(&m) * 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_lower_bounds_everything() {
+        for seed in 0..8 {
+            let m = Maze::generate(11, 7, seed);
+            let min = oracle_steps(&m).unwrap();
+            let navs: Vec<Box<dyn Navigator>> = vec![
+                Box::new(WallFollower::new(Hand::Right)),
+                Box::new(TwoDistanceGreedy::new()),
+            ];
+            for mut nav in navs {
+                let out = run(&m, nav.as_mut(), budget(&m) * 4);
+                if out.reached {
+                    assert!(out.steps >= min, "seed {seed}: beat the oracle?");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tick_budget_stops_runs() {
+        let m = Maze::generate(15, 15, 0);
+        let out = run(&m, &mut RandomWalk::new(1), 3);
+        assert_eq!(out.ticks, 3);
+        assert!(!out.reached);
+    }
+
+    #[test]
+    fn reset_makes_runs_repeatable() {
+        let m = Maze::generate(9, 9, 3);
+        let mut nav = TwoDistanceGreedy::new();
+        let a = run(&m, &mut nav, budget(&m));
+        let b = run(&m, &mut nav, budget(&m));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn relative_direction_mapping() {
+        use Direction::*;
+        assert_eq!(relative(North, North), "ahead");
+        assert_eq!(relative(North, West), "to-left");
+        assert_eq!(relative(North, East), "to-right");
+        assert_eq!(relative(North, South), "behind");
+    }
+}

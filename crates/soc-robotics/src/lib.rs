@@ -1,0 +1,37 @@
+//! # soc-robotics — Robot as a Service maze navigation
+//!
+//! Section II of the paper: students program maze-navigating robots
+//! through a Web environment built on "the concept of Robot as a
+//! Service"; *"the services hide the hardware and programming details,
+//! \[which\] allows students to better understand different maze
+//! algorithms ... such as a short-distance-based greedy algorithm and a
+//! wall-following algorithm"*. Figure 2 gives the two-distance greedy
+//! algorithm as a finite state machine.
+//!
+//! - [`maze`] — the maze model (per-cell walls), seeded perfect-maze
+//!   generation (recursive backtracker), braiding, and a BFS
+//!   shortest-path oracle.
+//! - [`robot`] — the robot: position + heading, distance sensors
+//!   (left/front/right open-cell counts — the "hardware" the service
+//!   hides), movement with bump detection, and a step trace.
+//! - [`algorithms`] — wall-following (left/right hand), the
+//!   two-distance greedy FSM of Figure 2 (built on
+//!   [`soc_workflow::fsm`]), a random-walk baseline, and the BFS oracle
+//!   runner; plus the harness that races them ([`algorithms::run`]).
+//! - [`raas`] — the REST binding: maze sessions, sensor reads, move
+//!   commands, and whole-algorithm runs over HTTP — the paper's
+//!   "Web-based robotics programming environment" (Figure 1).
+//! - [`sync`] — virtual ↔ physical robot synchronization: commands are
+//!   mirrored from the virtual robot to a (simulated) physical robot
+//!   over an unreliable channel and reconciled, as the paper's Web
+//!   robot "communicate\[s\] and synchronize\[s\] with the physical robot".
+
+pub mod algorithms;
+pub mod maze;
+pub mod raas;
+pub mod robot;
+pub mod sync;
+
+pub use algorithms::{Navigator, Outcome};
+pub use maze::{Direction, Maze};
+pub use robot::Robot;

@@ -1,0 +1,539 @@
+//! Maze model, generation, and the BFS oracle.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Compass directions; also the robot's heading space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Decreasing y.
+    North,
+    /// Increasing x.
+    East,
+    /// Increasing y.
+    South,
+    /// Decreasing x.
+    West,
+}
+
+impl Direction {
+    /// All four, clockwise from north.
+    pub const ALL: [Direction; 4] =
+        [Direction::North, Direction::East, Direction::South, Direction::West];
+
+    /// Unit step for this direction.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Direction::North => (0, -1),
+            Direction::East => (1, 0),
+            Direction::South => (0, 1),
+            Direction::West => (-1, 0),
+        }
+    }
+
+    /// 90° right.
+    pub fn right(self) -> Direction {
+        match self {
+            Direction::North => Direction::East,
+            Direction::East => Direction::South,
+            Direction::South => Direction::West,
+            Direction::West => Direction::North,
+        }
+    }
+
+    /// 90° left.
+    pub fn left(self) -> Direction {
+        self.right().right().right()
+    }
+
+    /// 180°.
+    pub fn opposite(self) -> Direction {
+        self.right().right()
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            Direction::North => 1,
+            Direction::East => 2,
+            Direction::South => 4,
+            Direction::West => 8,
+        }
+    }
+}
+
+/// A rectangular maze. Every cell starts fully walled; generation
+/// carves passages. Coordinates are `(x, y)` with the origin at the
+/// north-west corner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Maze {
+    width: usize,
+    height: usize,
+    /// Wall bitmask per cell (bit set = wall present).
+    walls: Vec<u8>,
+    /// Where robots start.
+    pub start: (usize, usize),
+    /// The exit cell.
+    pub exit: (usize, usize),
+}
+
+impl Maze {
+    /// A fully walled maze (no passages yet).
+    pub fn walled(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "maze must be at least 2×2");
+        Maze {
+            width,
+            height,
+            walls: vec![0b1111; width * height],
+            start: (0, 0),
+            exit: (width - 1, height - 1),
+        }
+    }
+
+    /// Generate a *perfect* maze (exactly one path between any two
+    /// cells) with the recursive backtracker, deterministically from
+    /// `seed`.
+    pub fn generate(width: usize, height: usize, seed: u64) -> Self {
+        let mut maze = Maze::walled(width, height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut visited = vec![false; width * height];
+        let mut stack = vec![(0usize, 0usize)];
+        visited[0] = true;
+        while let Some(&(x, y)) = stack.last() {
+            let mut options: Vec<Direction> = Direction::ALL
+                .into_iter()
+                .filter(|d| {
+                    maze.neighbor((x, y), *d)
+                        .map(|(nx, ny)| !visited[ny * width + nx])
+                        .unwrap_or(false)
+                })
+                .collect();
+            if options.is_empty() {
+                stack.pop();
+                continue;
+            }
+            options.shuffle(&mut rng);
+            let d = options[0];
+            let (nx, ny) = maze.neighbor((x, y), d).expect("filtered");
+            maze.carve((x, y), d);
+            visited[ny * width + nx] = true;
+            stack.push((nx, ny));
+        }
+        maze
+    }
+
+    /// Generate a perfect maze with randomized Prim's algorithm —
+    /// structurally distinct from the backtracker (shorter corridors,
+    /// more branching), giving the algorithm comparisons a second
+    /// workload family. Deterministic from `seed`.
+    pub fn generate_prim(width: usize, height: usize, seed: u64) -> Self {
+        let mut maze = Maze::walled(width, height);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut in_maze = vec![false; width * height];
+        in_maze[0] = true;
+        // Frontier of (cell, direction) walls between in-maze and out.
+        let mut frontier: Vec<((usize, usize), Direction)> = Direction::ALL
+            .into_iter()
+            .filter(|d| maze.neighbor((0, 0), *d).is_some())
+            .map(|d| ((0, 0), d))
+            .collect();
+        while !frontier.is_empty() {
+            let pick = rng.gen_range(0..frontier.len());
+            let (cell, dir) = frontier.swap_remove(pick);
+            let Some((nx, ny)) = maze.neighbor(cell, dir) else { continue };
+            if in_maze[ny * width + nx] {
+                continue;
+            }
+            maze.carve(cell, dir);
+            in_maze[ny * width + nx] = true;
+            for d in Direction::ALL {
+                if let Some((fx, fy)) = maze.neighbor((nx, ny), d) {
+                    if !in_maze[fy * width + fx] {
+                        frontier.push(((nx, ny), d));
+                    }
+                }
+            }
+        }
+        maze
+    }
+
+    /// Fraction of cells that are dead ends (exactly one open side) — a
+    /// structural signature distinguishing generator families.
+    pub fn dead_end_fraction(&self) -> f64 {
+        let mut dead = 0usize;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                if self.open_sides((x, y)) == 1 {
+                    dead += 1;
+                }
+            }
+        }
+        dead as f64 / (self.width * self.height) as f64
+    }
+
+    /// Remove ~`fraction` of dead ends by knocking through one extra
+    /// wall each ("braiding"), producing loops — harder for greedy
+    /// algorithms, trivial for BFS. Deterministic from `seed`.
+    pub fn braid(&mut self, fraction: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let open: Vec<Direction> = Direction::ALL
+                    .into_iter()
+                    .filter(|d| !self.has_wall((x, y), *d))
+                    .collect();
+                if open.len() == 1 && rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                    // Dead end: open a random walled side with a neighbor.
+                    let mut candidates: Vec<Direction> = Direction::ALL
+                        .into_iter()
+                        .filter(|d| {
+                            *d != open[0] && self.neighbor((x, y), *d).is_some()
+                        })
+                        .collect();
+                    candidates.shuffle(&mut rng);
+                    if let Some(&d) = candidates.first() {
+                        self.carve((x, y), d);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maze width in cells.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Maze height in cells.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn index(&self, (x, y): (usize, usize)) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y * self.width + x
+    }
+
+    /// The neighboring cell in direction `d`, if inside the maze.
+    pub fn neighbor(&self, (x, y): (usize, usize), d: Direction) -> Option<(usize, usize)> {
+        let (dx, dy) = d.delta();
+        let nx = x as i32 + dx;
+        let ny = y as i32 + dy;
+        if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+            None
+        } else {
+            Some((nx as usize, ny as usize))
+        }
+    }
+
+    /// Is there a wall on side `d` of `cell`? (The maze border always
+    /// reads as a wall.)
+    pub fn has_wall(&self, cell: (usize, usize), d: Direction) -> bool {
+        self.walls[self.index(cell)] & d.bit() != 0
+    }
+
+    /// Knock through the wall between `cell` and its neighbor in `d`.
+    /// No-op on the border.
+    pub fn carve(&mut self, cell: (usize, usize), d: Direction) {
+        if let Some(n) = self.neighbor(cell, d) {
+            let i = self.index(cell);
+            self.walls[i] &= !d.bit();
+            let j = self.index(n);
+            self.walls[j] &= !d.opposite().bit();
+        }
+    }
+
+    /// Number of open (carved) sides of a cell.
+    pub fn open_sides(&self, cell: (usize, usize)) -> usize {
+        Direction::ALL.into_iter().filter(|d| !self.has_wall(cell, *d)).count()
+    }
+
+    /// How many cells are open straight ahead from `cell` in `d` before
+    /// a wall — the value a distance sensor reports.
+    pub fn distance_to_wall(&self, cell: (usize, usize), d: Direction) -> usize {
+        let mut dist = 0;
+        let mut cur = cell;
+        while !self.has_wall(cur, d) {
+            match self.neighbor(cur, d) {
+                Some(n) => {
+                    dist += 1;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        dist
+    }
+
+    /// BFS shortest path from `from` to `to` (cells inclusive), or
+    /// `None` when unreachable.
+    pub fn shortest_path(
+        &self,
+        from: (usize, usize),
+        to: (usize, usize),
+    ) -> Option<Vec<(usize, usize)>> {
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; self.width * self.height];
+        let mut seen = vec![false; self.width * self.height];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        seen[self.index(from)] = true;
+        while let Some(cell) = queue.pop_front() {
+            if cell == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[self.index(cur)].expect("bfs chain");
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for d in Direction::ALL {
+                if self.has_wall(cell, d) {
+                    continue;
+                }
+                if let Some(n) = self.neighbor(cell, d) {
+                    let i = self.index(n);
+                    if !seen[i] {
+                        seen[i] = true;
+                        prev[i] = Some(cell);
+                        queue.push_back(n);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Render as ASCII art (for examples and debugging).
+    pub fn to_ascii(&self, robot: Option<(usize, usize)>) -> String {
+        let mut out = String::new();
+        // Top border.
+        for x in 0..self.width {
+            out.push('+');
+            out.push_str(if self.has_wall((x, 0), Direction::North) { "---" } else { "   " });
+        }
+        out.push_str("+\n");
+        for y in 0..self.height {
+            // Cell row.
+            for x in 0..self.width {
+                out.push_str(if self.has_wall((x, y), Direction::West) { "|" } else { " " });
+                let c = if robot == Some((x, y)) {
+                    " R "
+                } else if (x, y) == self.exit {
+                    " E "
+                } else if (x, y) == self.start {
+                    " S "
+                } else {
+                    "   "
+                };
+                out.push_str(c);
+            }
+            out.push_str(if self.has_wall((self.width - 1, y), Direction::East) {
+                "|\n"
+            } else {
+                " \n"
+            });
+            // Wall row below.
+            for x in 0..self.width {
+                out.push('+');
+                out.push_str(if self.has_wall((x, y), Direction::South) { "---" } else { "   " });
+            }
+            out.push_str("+\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_compose() {
+        for d in Direction::ALL {
+            assert_eq!(d.left().right(), d);
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(d.right().right().right().right(), d);
+        }
+    }
+
+    #[test]
+    fn carving_is_symmetric() {
+        let mut m = Maze::walled(3, 3);
+        assert!(m.has_wall((0, 0), Direction::East));
+        m.carve((0, 0), Direction::East);
+        assert!(!m.has_wall((0, 0), Direction::East));
+        assert!(!m.has_wall((1, 0), Direction::West));
+    }
+
+    #[test]
+    fn border_carving_is_noop() {
+        let mut m = Maze::walled(3, 3);
+        m.carve((0, 0), Direction::North);
+        assert!(m.has_wall((0, 0), Direction::North));
+    }
+
+    #[test]
+    fn generated_maze_is_fully_connected() {
+        let m = Maze::generate(15, 11, 42);
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                assert!(
+                    m.shortest_path(m.start, (x, y)).is_some(),
+                    "cell ({x},{y}) unreachable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_maze_has_cells_minus_one_passages() {
+        let m = Maze::generate(12, 9, 7);
+        // Count carved walls (each passage shared by two cells).
+        let mut passages = 0;
+        for y in 0..m.height() {
+            for x in 0..m.width() {
+                if !m.has_wall((x, y), Direction::East) {
+                    passages += 1;
+                }
+                if !m.has_wall((x, y), Direction::South) {
+                    passages += 1;
+                }
+            }
+        }
+        assert_eq!(passages, 12 * 9 - 1, "a perfect maze is a spanning tree");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(Maze::generate(9, 9, 5), Maze::generate(9, 9, 5));
+        assert_ne!(Maze::generate(9, 9, 5), Maze::generate(9, 9, 6));
+    }
+
+    #[test]
+    fn braiding_adds_loops() {
+        let mut m = Maze::generate(15, 15, 3);
+        let dead_ends_before = (0..15 * 15)
+            .filter(|i| m.open_sides((i % 15, i / 15)) == 1)
+            .count();
+        m.braid(1.0, 99);
+        let dead_ends_after = (0..15 * 15)
+            .filter(|i| m.open_sides((i % 15, i / 15)) == 1)
+            .count();
+        assert!(dead_ends_after < dead_ends_before);
+        // Still fully connected (braiding only removes walls).
+        assert!(m.shortest_path(m.start, m.exit).is_some());
+    }
+
+    #[test]
+    fn distance_sensor_counts_open_cells() {
+        let mut m = Maze::walled(5, 2);
+        m.carve((0, 0), Direction::East);
+        m.carve((1, 0), Direction::East);
+        m.carve((2, 0), Direction::East);
+        assert_eq!(m.distance_to_wall((0, 0), Direction::East), 3);
+        assert_eq!(m.distance_to_wall((0, 0), Direction::West), 0);
+        assert_eq!(m.distance_to_wall((3, 0), Direction::East), 0);
+    }
+
+    #[test]
+    fn bfs_path_endpoints_and_adjacency() {
+        let m = Maze::generate(10, 10, 11);
+        let path = m.shortest_path(m.start, m.exit).unwrap();
+        assert_eq!(*path.first().unwrap(), m.start);
+        assert_eq!(*path.last().unwrap(), m.exit);
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let adjacent = Direction::ALL.into_iter().any(|d| {
+                m.neighbor(a, d) == Some(b) && !m.has_wall(a, d)
+            });
+            assert!(adjacent, "{a:?} -> {b:?} is not a legal move");
+        }
+    }
+
+    #[test]
+    fn unreachable_when_walled() {
+        let m = Maze::walled(4, 4);
+        assert!(m.shortest_path((0, 0), (3, 3)).is_none());
+        assert_eq!(m.shortest_path((1, 1), (1, 1)).unwrap(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn ascii_rendering_contains_markers() {
+        let m = Maze::generate(4, 4, 1);
+        let art = m.to_ascii(Some((1, 1)));
+        assert!(art.contains(" R "));
+        assert!(art.contains(" E "));
+        assert!(art.contains(" S "));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_maze_rejected() {
+        let _ = Maze::walled(1, 5);
+    }
+}
+
+#[cfg(test)]
+mod prim_tests {
+    use super::*;
+
+    #[test]
+    fn prim_mazes_are_perfect_and_connected() {
+        for seed in 0..6 {
+            let m = Maze::generate_prim(13, 9, seed);
+            let mut passages = 0;
+            for y in 0..m.height() {
+                for x in 0..m.width() {
+                    if !m.has_wall((x, y), Direction::East) {
+                        passages += 1;
+                    }
+                    if !m.has_wall((x, y), Direction::South) {
+                        passages += 1;
+                    }
+                }
+            }
+            assert_eq!(passages, 13 * 9 - 1, "seed {seed}: not a spanning tree");
+            assert!(m.shortest_path(m.start, m.exit).is_some());
+        }
+    }
+
+    #[test]
+    fn prim_is_deterministic_and_distinct_from_backtracker() {
+        assert_eq!(Maze::generate_prim(11, 11, 4), Maze::generate_prim(11, 11, 4));
+        assert_ne!(Maze::generate_prim(11, 11, 4), Maze::generate(11, 11, 4));
+    }
+
+    #[test]
+    fn prim_has_more_dead_ends_than_backtracker() {
+        // The structural signature: Prim's produces many short branches,
+        // the backtracker long corridors. Compare averages over seeds.
+        let avg = |gen: fn(usize, usize, u64) -> Maze| -> f64 {
+            (0..8).map(|s| gen(21, 21, s).dead_end_fraction()).sum::<f64>() / 8.0
+        };
+        let prim = avg(Maze::generate_prim);
+        let backtracker = avg(Maze::generate);
+        assert!(
+            prim > backtracker + 0.05,
+            "prim {prim:.3} vs backtracker {backtracker:.3}"
+        );
+    }
+
+    #[test]
+    fn algorithms_solve_prim_mazes_too() {
+        use crate::algorithms::{self, Hand, TwoDistanceGreedy, WallFollower};
+        for seed in 0..6 {
+            let m = Maze::generate_prim(13, 13, seed);
+            let budget = 13 * 13 * 16;
+            assert!(
+                algorithms::run(&m, &mut WallFollower::new(Hand::Right), budget).reached,
+                "wall follower failed on prim seed {seed}"
+            );
+            assert!(
+                algorithms::run(&m, &mut TwoDistanceGreedy::new(), budget).reached,
+                "greedy failed on prim seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Robot as a Service: the REST binding of the simulator.
+//!
+//! This is Figure 1's "Web-based robotics programming environment": a
+//! session-oriented service where a client creates a maze+robot
+//! session, reads sensors, issues drop-down-simple commands
+//! (`forward`, `left`, `right`), or asks the service to run a whole
+//! named algorithm — all without seeing any robot hardware detail.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use soc_http::{Handler, Request, Response, Status};
+use soc_json::{json, Value};
+use soc_rest::router::Router;
+
+use crate::algorithms::{self, Hand, Navigator, RandomWalk, TwoDistanceGreedy, WallFollower};
+use crate::maze::Maze;
+use crate::robot::{Action, Robot};
+
+struct Session {
+    maze: Maze,
+    robot: Robot,
+}
+
+struct RaasState {
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_id: AtomicU64,
+}
+
+/// The Robot-as-a-Service HTTP service.
+pub struct RaasService {
+    router: Router,
+}
+
+/// Look up a navigator by its service-level name.
+pub fn navigator_by_name(name: &str) -> Option<Box<dyn Navigator>> {
+    Some(match name {
+        "wall-follow-right" => Box::new(WallFollower::new(Hand::Right)),
+        "wall-follow-left" => Box::new(WallFollower::new(Hand::Left)),
+        "two-distance-greedy" => Box::new(TwoDistanceGreedy::new()),
+        "random-walk" => Box::new(RandomWalk::new(0xD1CE)),
+        _ => return None,
+    })
+}
+
+fn session_json(id: u64, s: &Session) -> Value {
+    json!({
+        "id": (id as i64),
+        "width": (s.maze.width()),
+        "height": (s.maze.height()),
+        "position": [(s.robot.position.0), (s.robot.position.1)],
+        "heading": (format!("{:?}", s.robot.heading)),
+        "steps": (s.robot.steps()),
+        "turns": (s.robot.turns()),
+        "bumps": (s.robot.bumps()),
+        "at_exit": (s.robot.at_exit(&s.maze))
+    })
+}
+
+impl RaasService {
+    /// Build the service.
+    pub fn new() -> Self {
+        let state = Arc::new(RaasState {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        });
+        let mut router = Router::new();
+
+        // Create a session: {"width": W, "height": H, "seed": S, "braid": f?}
+        {
+            let st = state.clone();
+            router.post("/sessions", move |req, _p| {
+                let body = match req.text().map_err(|e| e.to_string()).and_then(|t| {
+                    Value::parse(t).map_err(|e| e.to_string())
+                }) {
+                    Ok(v) => v,
+                    Err(e) => return Response::error(Status::BAD_REQUEST, &e),
+                };
+                let width = body.get("width").and_then(Value::as_i64).unwrap_or(11) as usize;
+                let height = body.get("height").and_then(Value::as_i64).unwrap_or(11) as usize;
+                let seed = body.get("seed").and_then(Value::as_i64).unwrap_or(0) as u64;
+                if !(2..=101).contains(&width) || !(2..=101).contains(&height) {
+                    return Response::error(Status::UNPROCESSABLE, "maze size out of range");
+                }
+                let mut maze = Maze::generate(width, height, seed);
+                if let Some(f) = body.get("braid").and_then(Value::as_f64) {
+                    maze.braid(f, seed.wrapping_add(1));
+                }
+                let robot = Robot::at_start(&maze);
+                let id = st.next_id.fetch_add(1, Ordering::Relaxed);
+                let session = Session { maze, robot };
+                let out = session_json(id, &session);
+                st.sessions.lock().insert(id, session);
+                let mut resp = Response::json(&out.to_compact());
+                resp.status = Status::CREATED;
+                resp
+            });
+        }
+        // Read session state.
+        {
+            let st = state.clone();
+            router.get("/sessions/{id}", move |_req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                match st.sessions.lock().get(&id) {
+                    Some(s) => Response::json(&session_json(id, s).to_compact()),
+                    None => Response::error(Status::NOT_FOUND, "no such session"),
+                }
+            });
+        }
+        // Read sensors.
+        {
+            let st = state.clone();
+            router.get("/sessions/{id}/sensors", move |_req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                match st.sessions.lock().get(&id) {
+                    Some(s) => {
+                        let sensors = s.robot.sense(&s.maze);
+                        Response::json(
+                            &json!({
+                                "left": (sensors.left),
+                                "front": (sensors.front),
+                                "right": (sensors.right)
+                            })
+                            .to_compact(),
+                        )
+                    }
+                    None => Response::error(Status::NOT_FOUND, "no such session"),
+                }
+            });
+        }
+        // Issue one command: {"action": "forward"|"left"|"right"}
+        {
+            let st = state.clone();
+            router.post("/sessions/{id}/move", move |req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                let action = req
+                    .text()
+                    .ok()
+                    .and_then(|t| Value::parse(t).ok())
+                    .and_then(|v| v.get("action").and_then(Value::as_str).map(str::to_string));
+                let action = match action.as_deref() {
+                    Some("forward") => Action::Forward,
+                    Some("left") => Action::TurnLeft,
+                    Some("right") => Action::TurnRight,
+                    _ => return Response::error(Status::UNPROCESSABLE, "action must be forward|left|right"),
+                };
+                let mut sessions = st.sessions.lock();
+                let Some(s) = sessions.get_mut(&id) else {
+                    return Response::error(Status::NOT_FOUND, "no such session");
+                };
+                let ok = s.robot.act(&s.maze, action);
+                let mut out = session_json(id, s);
+                out.set("moved", ok);
+                Response::json(&out.to_compact())
+            });
+        }
+        // Run an algorithm to completion:
+        // {"algorithm": "...", "max_ticks": N}
+        {
+            let st = state.clone();
+            router.post("/sessions/{id}/run", move |req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                let body = req.text().ok().and_then(|t| Value::parse(t).ok()).unwrap_or(Value::Null);
+                let algo_name = body
+                    .get("algorithm")
+                    .and_then(Value::as_str)
+                    .unwrap_or("wall-follow-right")
+                    .to_string();
+                let Some(mut nav) = navigator_by_name(&algo_name) else {
+                    return Response::error(Status::UNPROCESSABLE, "unknown algorithm");
+                };
+                let max_ticks =
+                    body.get("max_ticks").and_then(Value::as_i64).unwrap_or(10_000) as usize;
+                let mut sessions = st.sessions.lock();
+                let Some(s) = sessions.get_mut(&id) else {
+                    return Response::error(Status::NOT_FOUND, "no such session");
+                };
+                let outcome = algorithms::run(&s.maze, nav.as_mut(), max_ticks);
+                // Leave the session's robot at the run's end point.
+                let mut robot = Robot::at_start(&s.maze);
+                nav.reset();
+                let mut ticks = 0;
+                while !robot.at_exit(&s.maze) && ticks < max_ticks {
+                    let percept = algorithms::Percept {
+                        sensors: robot.sense(&s.maze),
+                        position: robot.position,
+                        heading: robot.heading,
+                        exit: s.maze.exit,
+                    };
+                    let a = nav.decide(percept);
+                    robot.act(&s.maze, a);
+                    ticks += 1;
+                }
+                s.robot = robot;
+                Response::json(
+                    &json!({
+                        "algorithm": algo_name,
+                        "reached": (outcome.reached),
+                        "steps": (outcome.steps),
+                        "turns": (outcome.turns),
+                        "bumps": (outcome.bumps),
+                        "ticks": (outcome.ticks)
+                    })
+                    .to_compact(),
+                )
+            });
+        }
+        // ASCII rendering of the maze (Figure 1's visual pane).
+        {
+            let st = state.clone();
+            router.get("/sessions/{id}/render", move |_req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                match st.sessions.lock().get(&id) {
+                    Some(s) => Response::text(s.maze.to_ascii(Some(s.robot.position))),
+                    None => Response::error(Status::NOT_FOUND, "no such session"),
+                }
+            });
+        }
+        // Delete a session.
+        {
+            let st = state;
+            router.delete("/sessions/{id}", move |_req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad session id");
+                };
+                if st.sessions.lock().remove(&id).is_some() {
+                    Response::new(Status::NO_CONTENT)
+                } else {
+                    Response::error(Status::NOT_FOUND, "no such session")
+                }
+            });
+        }
+
+        RaasService { router }
+    }
+}
+
+impl Default for RaasService {
+    fn default() -> Self {
+        RaasService::new()
+    }
+}
+
+impl Handler for RaasService {
+    fn handle(&self, req: Request) -> Response {
+        self.router.handle(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::MemNetwork;
+    use soc_rest::RestClient;
+
+    fn client() -> RestClient {
+        let net = MemNetwork::new();
+        net.host("robot", RaasService::new());
+        RestClient::new(Arc::new(net))
+    }
+
+    fn create(client: &RestClient) -> u64 {
+        let v = client
+            .post("mem://robot/sessions", &json!({ "width": 9, "height": 9, "seed": 3 }))
+            .unwrap();
+        v.get("id").and_then(Value::as_i64).unwrap() as u64
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let c = client();
+        let id = create(&c);
+        let state = c.get(&format!("mem://robot/sessions/{id}")).unwrap();
+        assert_eq!(state.get("steps").and_then(Value::as_i64), Some(0));
+        c.delete(&format!("mem://robot/sessions/{id}")).unwrap();
+        assert!(c.get(&format!("mem://robot/sessions/{id}")).is_err());
+    }
+
+    #[test]
+    fn sensors_and_single_moves() {
+        let c = client();
+        let id = create(&c);
+        let sensors = c.get(&format!("mem://robot/sessions/{id}/sensors")).unwrap();
+        assert!(sensors.get("front").and_then(Value::as_i64).is_some());
+        let out = c
+            .post(&format!("mem://robot/sessions/{id}/move"), &json!({ "action": "right" }))
+            .unwrap();
+        assert_eq!(out.get("turns").and_then(Value::as_i64), Some(1));
+        assert_eq!(out.get("moved").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn invalid_action_rejected() {
+        let c = client();
+        let id = create(&c);
+        let err = c
+            .post(&format!("mem://robot/sessions/{id}/move"), &json!({ "action": "fly" }))
+            .unwrap_err();
+        assert!(err.to_string().contains("422"), "{err}");
+    }
+
+    #[test]
+    fn run_wall_follower_to_exit() {
+        let c = client();
+        let id = create(&c);
+        let out = c
+            .post(
+                &format!("mem://robot/sessions/{id}/run"),
+                &json!({ "algorithm": "wall-follow-right", "max_ticks": 5000 }),
+            )
+            .unwrap();
+        assert_eq!(out.get("reached").and_then(Value::as_bool), Some(true));
+        // Session robot ends at the exit.
+        let state = c.get(&format!("mem://robot/sessions/{id}")).unwrap();
+        assert_eq!(state.get("at_exit").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected() {
+        let c = client();
+        let id = create(&c);
+        assert!(c
+            .post(
+                &format!("mem://robot/sessions/{id}/run"),
+                &json!({ "algorithm": "teleport" })
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn render_returns_ascii() {
+        let c = client();
+        let id = create(&c);
+        let resp = c
+            .send_raw(soc_http::Request::get(format!("mem://robot/sessions/{id}/render")))
+            .unwrap();
+        let art = resp.text_body().unwrap();
+        assert!(art.contains(" R "));
+        assert!(art.contains("+---"));
+    }
+
+    #[test]
+    fn oversized_maze_rejected() {
+        let c = client();
+        let err = c
+            .post("mem://robot/sessions", &json!({ "width": 5000, "height": 5 }))
+            .unwrap_err();
+        assert!(err.to_string().contains("422"), "{err}");
+    }
+}

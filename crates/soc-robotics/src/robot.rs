@@ -1,0 +1,189 @@
+//! The robot: pose, sensors, actuators, and trace.
+
+use crate::maze::{Direction, Maze};
+
+/// Sensor snapshot: open-cell distances relative to the robot's heading.
+/// This is the whole hardware interface the Robot-as-a-Service layer
+/// exposes — "the services hide the hardware and programming details".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sensors {
+    /// Open cells to the robot's left.
+    pub left: usize,
+    /// Open cells straight ahead.
+    pub front: usize,
+    /// Open cells to the robot's right.
+    pub right: usize,
+}
+
+/// Actions a robot can be commanded to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Move one cell ahead (fails with a bump against a wall).
+    Forward,
+    /// Rotate 90° left.
+    TurnLeft,
+    /// Rotate 90° right.
+    TurnRight,
+}
+
+/// A simulated robot inside a maze.
+#[derive(Debug, Clone)]
+pub struct Robot {
+    /// Current cell.
+    pub position: (usize, usize),
+    /// Current heading.
+    pub heading: Direction,
+    steps: usize,
+    turns: usize,
+    bumps: usize,
+    trace: Vec<(usize, usize)>,
+}
+
+impl Robot {
+    /// A robot at the maze start, facing east.
+    pub fn at_start(maze: &Maze) -> Self {
+        Robot::at(maze.start, Direction::East)
+    }
+
+    /// A robot at an explicit pose.
+    pub fn at(position: (usize, usize), heading: Direction) -> Self {
+        Robot { position, heading, steps: 0, turns: 0, bumps: 0, trace: vec![position] }
+    }
+
+    /// Read the distance sensors.
+    pub fn sense(&self, maze: &Maze) -> Sensors {
+        Sensors {
+            left: maze.distance_to_wall(self.position, self.heading.left()),
+            front: maze.distance_to_wall(self.position, self.heading),
+            right: maze.distance_to_wall(self.position, self.heading.right()),
+        }
+    }
+
+    /// Execute one action; returns `false` on a bump (wall ahead).
+    pub fn act(&mut self, maze: &Maze, action: Action) -> bool {
+        match action {
+            Action::Forward => {
+                if maze.has_wall(self.position, self.heading) {
+                    self.bumps += 1;
+                    return false;
+                }
+                if let Some(next) = maze.neighbor(self.position, self.heading) {
+                    self.position = next;
+                    self.steps += 1;
+                    self.trace.push(next);
+                    true
+                } else {
+                    self.bumps += 1;
+                    false
+                }
+            }
+            Action::TurnLeft => {
+                self.heading = self.heading.left();
+                self.turns += 1;
+                true
+            }
+            Action::TurnRight => {
+                self.heading = self.heading.right();
+                self.turns += 1;
+                true
+            }
+        }
+    }
+
+    /// Forward moves taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Turns taken so far.
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// Wall bumps so far (a navigation-quality signal).
+    pub fn bumps(&self) -> usize {
+        self.bumps
+    }
+
+    /// Every cell visited, in order (with repeats).
+    pub fn trace(&self) -> &[(usize, usize)] {
+        &self.trace
+    }
+
+    /// Is the robot on the maze exit?
+    pub fn at_exit(&self, maze: &Maze) -> bool {
+        self.position == maze.exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corridor() -> Maze {
+        // 4×2, top row fully open west-east.
+        let mut m = Maze::walled(4, 2);
+        m.carve((0, 0), Direction::East);
+        m.carve((1, 0), Direction::East);
+        m.carve((2, 0), Direction::East);
+        m
+    }
+
+    #[test]
+    fn forward_moves_and_counts() {
+        let m = corridor();
+        let mut r = Robot::at((0, 0), Direction::East);
+        assert!(r.act(&m, Action::Forward));
+        assert!(r.act(&m, Action::Forward));
+        assert_eq!(r.position, (2, 0));
+        assert_eq!(r.steps(), 2);
+        assert_eq!(r.trace(), &[(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn bump_on_wall() {
+        let m = corridor();
+        let mut r = Robot::at((0, 0), Direction::North);
+        assert!(!r.act(&m, Action::Forward));
+        assert_eq!(r.bumps(), 1);
+        assert_eq!(r.position, (0, 0));
+        assert_eq!(r.steps(), 0);
+    }
+
+    #[test]
+    fn turns_change_heading_only() {
+        let m = corridor();
+        let mut r = Robot::at((0, 0), Direction::East);
+        r.act(&m, Action::TurnLeft);
+        assert_eq!(r.heading, Direction::North);
+        r.act(&m, Action::TurnRight);
+        r.act(&m, Action::TurnRight);
+        assert_eq!(r.heading, Direction::South);
+        assert_eq!(r.turns(), 3);
+        assert_eq!(r.position, (0, 0));
+    }
+
+    #[test]
+    fn sensors_relative_to_heading() {
+        let m = corridor();
+        let r = Robot::at((0, 0), Direction::East);
+        let s = r.sense(&m);
+        assert_eq!(s.front, 3);
+        assert_eq!(s.left, 0); // border wall
+        assert_eq!(s.right, 0); // wall to south
+        let r = Robot::at((3, 0), Direction::West);
+        let s = r.sense(&m);
+        assert_eq!(s.front, 3);
+    }
+
+    #[test]
+    fn at_exit_detects_goal() {
+        let mut m = corridor();
+        m.exit = (3, 0);
+        let mut r = Robot::at((0, 0), Direction::East);
+        for _ in 0..3 {
+            r.act(&m, Action::Forward);
+        }
+        assert!(r.at_exit(&m));
+    }
+}

@@ -1,0 +1,196 @@
+//! Virtual ↔ physical robot synchronization.
+//!
+//! The paper: *"The virtual robot in the Web can communicate and
+//! synchronize with the physical robot to add excitement to the
+//! learners."* We reproduce the synchronization problem with two
+//! simulator instances — the authoritative *virtual* robot and a
+//! *physical* robot behind an unreliable command channel that can drop
+//! commands. A sequence-numbered command log with acknowledgement and
+//! replay brings the physical robot back in sync.
+
+use crate::maze::Maze;
+use crate::robot::{Action, Robot};
+
+/// A command with a sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Command {
+    /// Monotone sequence number (0-based).
+    pub seq: u64,
+    /// The robot action.
+    pub action: Action,
+}
+
+/// The unreliable channel to the physical robot: drops every `n`-th
+/// command (deterministic, like [`soc_http::mem::FaultConfig`]).
+pub struct LossyChannel {
+    drop_every: u64,
+    sent: u64,
+}
+
+impl LossyChannel {
+    /// Channel dropping every `drop_every`-th command (0 = reliable).
+    pub fn new(drop_every: u64) -> Self {
+        LossyChannel { drop_every, sent: 0 }
+    }
+
+    /// Attempt delivery; `false` means dropped.
+    pub fn deliver(&mut self) -> bool {
+        self.sent += 1;
+        !(self.drop_every > 0 && self.sent.is_multiple_of(self.drop_every))
+    }
+}
+
+/// The paired robots plus the synchronization machinery.
+pub struct SyncedPair {
+    maze: Maze,
+    /// The authoritative robot driven by the user/algorithm.
+    pub virtual_robot: Robot,
+    /// The mirrored robot behind the lossy channel.
+    pub physical_robot: Robot,
+    channel: LossyChannel,
+    /// Full command log, indexed by sequence number.
+    log: Vec<Command>,
+    /// Next sequence the physical robot expects (= number applied).
+    physical_applied: u64,
+}
+
+impl SyncedPair {
+    /// Create a synchronized pair in `maze` with the given channel.
+    pub fn new(maze: Maze, channel: LossyChannel) -> Self {
+        let virtual_robot = Robot::at_start(&maze);
+        let physical_robot = Robot::at_start(&maze);
+        SyncedPair {
+            maze,
+            virtual_robot,
+            physical_robot,
+            channel,
+            log: Vec::new(),
+            physical_applied: 0,
+        }
+    }
+
+    /// Drive the virtual robot and attempt to mirror the command. The
+    /// physical robot applies a command only if it is the next expected
+    /// sequence (later commands are ignored until replay fills the gap).
+    pub fn command(&mut self, action: Action) {
+        let seq = self.log.len() as u64;
+        self.log.push(Command { seq, action });
+        self.virtual_robot.act(&self.maze, action);
+        if self.channel.deliver() && seq == self.physical_applied {
+            self.physical_robot.act(&self.maze, action);
+            self.physical_applied += 1;
+        }
+        // If the delivery was dropped (or out of order), the physical
+        // robot silently falls behind until `reconcile`.
+    }
+
+    /// How many commands behind the physical robot is.
+    pub fn lag(&self) -> u64 {
+        self.log.len() as u64 - self.physical_applied
+    }
+
+    /// Are both robots at the same pose?
+    pub fn in_sync(&self) -> bool {
+        self.virtual_robot.position == self.physical_robot.position
+            && self.virtual_robot.heading == self.physical_robot.heading
+    }
+
+    /// Replay the missing suffix of the command log to the physical
+    /// robot (the acknowledgement-driven catch-up pass). Replay is
+    /// assumed to run over a reliable (retried) channel.
+    pub fn reconcile(&mut self) {
+        while (self.physical_applied as usize) < self.log.len() {
+            let cmd = self.log[self.physical_applied as usize];
+            self.physical_robot.act(&self.maze, cmd.action);
+            self.physical_applied += 1;
+        }
+    }
+
+    /// The command log so far.
+    pub fn log(&self) -> &[Command] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Hand, Navigator, Percept, WallFollower};
+
+    fn percept_of(pair: &SyncedPair, m: &Maze) -> Percept {
+        Percept {
+            sensors: pair.virtual_robot.sense(m),
+            position: pair.virtual_robot.position,
+            heading: pair.virtual_robot.heading,
+            exit: m.exit,
+        }
+    }
+
+    fn maze() -> Maze {
+        Maze::generate(9, 9, 12)
+    }
+
+    #[test]
+    fn reliable_channel_stays_in_sync() {
+        let mut pair = SyncedPair::new(maze(), LossyChannel::new(0));
+        let mut nav = WallFollower::new(Hand::Right);
+        for _ in 0..100 {
+            let action = nav.decide(percept_of(&pair, &maze()));
+            pair.command(action);
+            assert!(pair.in_sync());
+        }
+        assert_eq!(pair.lag(), 0);
+    }
+
+    #[test]
+    fn lossy_channel_diverges_then_reconciles() {
+        let m = maze();
+        let mut pair = SyncedPair::new(m.clone(), LossyChannel::new(3));
+        let mut nav = WallFollower::new(Hand::Right);
+        let mut diverged = false;
+        for _ in 0..60 {
+            let action = nav.decide(percept_of(&pair, &m));
+            pair.command(action);
+            if !pair.in_sync() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "a 1-in-3 drop rate must cause divergence");
+        assert!(pair.lag() > 0);
+        pair.reconcile();
+        assert!(pair.in_sync(), "replay must restore sync");
+        assert_eq!(pair.lag(), 0);
+    }
+
+    #[test]
+    fn dropped_command_blocks_later_ones() {
+        // Sequence gaps must not be applied out of order.
+        let m = {
+            // Straight corridor so every Forward is legal.
+            let mut m = Maze::walled(6, 2);
+            for x in 0..5 {
+                m.carve((x, 0), crate::maze::Direction::East);
+            }
+            m
+        };
+        let mut pair = SyncedPair::new(m, LossyChannel::new(2));
+        for _ in 0..4 {
+            pair.command(Action::Forward);
+        }
+        // Drops at seq 1 and 3 → physical applied only seq 0 (then gap).
+        assert_eq!(pair.physical_robot.steps(), 1);
+        assert_eq!(pair.lag(), 3);
+        pair.reconcile();
+        assert_eq!(pair.physical_robot.steps(), 4);
+        assert!(pair.in_sync());
+    }
+
+    #[test]
+    fn log_records_all_commands() {
+        let mut pair = SyncedPair::new(maze(), LossyChannel::new(2));
+        pair.command(Action::TurnLeft);
+        pair.command(Action::TurnRight);
+        assert_eq!(pair.log().len(), 2);
+        assert_eq!(pair.log()[1].seq, 1);
+    }
+}

@@ -1,0 +1,317 @@
+//! The access-control service: users, roles, salted password hashing,
+//! and bearer tokens — the dependability unit's "security mechanisms
+//! that safeguard the Web applications".
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::crypto::hex_encode;
+
+/// FNV-1a 64-bit hash (course-grade; clearly documented as such).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Iterated, salted password hash. Not a KDF you should ship — but the
+/// *shape* (salt, iterations, constant-time compare) is the lesson.
+pub fn hash_password(password: &str, salt: &str, iterations: u32) -> String {
+    let mut state = format!("{salt}:{password}").into_bytes();
+    for i in 0..iterations.max(1) {
+        let h = fnv1a(&state) ^ (i as u64).rotate_left(17);
+        state.extend_from_slice(&h.to_be_bytes());
+        let h2 = fnv1a(&state);
+        state = h.to_be_bytes().iter().chain(h2.to_be_bytes().iter()).copied().collect();
+    }
+    hex_encode(&state)
+}
+
+/// Constant-time string comparison (no early exit on mismatch).
+pub fn constant_time_eq(a: &str, b: &str) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.bytes().zip(b.bytes()).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// Why an access-control operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Username already registered.
+    UserExists,
+    /// Unknown user or wrong password.
+    BadCredentials,
+    /// Token unknown or expired.
+    BadToken,
+    /// Authenticated but not allowed.
+    Forbidden {
+        /// The role the action required.
+        required: String,
+    },
+    /// Password failed the policy.
+    WeakPassword(String),
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::UserExists => write!(f, "user already exists"),
+            AccessError::BadCredentials => write!(f, "invalid credentials"),
+            AccessError::BadToken => write!(f, "invalid or expired token"),
+            AccessError::Forbidden { required } => write!(f, "requires role {required:?}"),
+            AccessError::WeakPassword(why) => write!(f, "weak password: {why}"),
+        }
+    }
+}
+
+/// Password policy from the Figure 4 project ("Strong?" check).
+pub fn check_password_strength(password: &str) -> Result<(), AccessError> {
+    if password.len() < 8 {
+        return Err(AccessError::WeakPassword("must be at least 8 characters".into()));
+    }
+    let has_lower = password.chars().any(|c| c.is_ascii_lowercase());
+    let has_upper = password.chars().any(|c| c.is_ascii_uppercase());
+    let has_digit = password.chars().any(|c| c.is_ascii_digit());
+    if !(has_lower && has_upper && has_digit) {
+        return Err(AccessError::WeakPassword(
+            "must mix lower case, upper case, and digits".into(),
+        ));
+    }
+    Ok(())
+}
+
+struct User {
+    salt: String,
+    password_hash: String,
+    roles: Vec<String>,
+}
+
+/// Token record: owner plus expiry tick.
+struct TokenInfo {
+    user: String,
+    expires_at: u64,
+}
+
+/// The access-control service. Time is a logical tick counter supplied
+/// by the caller, keeping tests and benches deterministic.
+pub struct AccessControl {
+    users: RwLock<HashMap<String, User>>,
+    tokens: RwLock<HashMap<String, TokenInfo>>,
+    iterations: u32,
+    token_ttl: u64,
+    token_counter: std::sync::atomic::AtomicU64,
+}
+
+impl AccessControl {
+    /// Service with a token time-to-live in ticks.
+    pub fn new(token_ttl: u64) -> Self {
+        AccessControl {
+            users: RwLock::new(HashMap::new()),
+            tokens: RwLock::new(HashMap::new()),
+            iterations: 64,
+            token_ttl,
+            token_counter: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// Register a user with roles; enforces the password policy.
+    pub fn register(
+        &self,
+        username: &str,
+        password: &str,
+        roles: &[&str],
+    ) -> Result<(), AccessError> {
+        check_password_strength(password)?;
+        let mut users = self.users.write();
+        if users.contains_key(username) {
+            return Err(AccessError::UserExists);
+        }
+        // Per-user salt derived from the name + a counter; unique enough
+        // for the teaching model.
+        let salt = hex_encode(&fnv1a(format!("salt:{username}").as_bytes()).to_be_bytes());
+        let password_hash = hash_password(password, &salt, self.iterations);
+        users.insert(
+            username.to_string(),
+            User { salt, password_hash, roles: roles.iter().map(|r| r.to_string()).collect() },
+        );
+        Ok(())
+    }
+
+    /// Verify credentials and issue a bearer token valid until
+    /// `now + ttl`.
+    pub fn login(&self, username: &str, password: &str, now: u64) -> Result<String, AccessError> {
+        let users = self.users.read();
+        let Some(user) = users.get(username) else {
+            // Hash anyway so the timing doesn't reveal user existence.
+            let _ = hash_password(password, "dummy", self.iterations);
+            return Err(AccessError::BadCredentials);
+        };
+        let presented = hash_password(password, &user.salt, self.iterations);
+        if !constant_time_eq(&presented, &user.password_hash) {
+            return Err(AccessError::BadCredentials);
+        }
+        drop(users);
+        let n = self.token_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let token = hex_encode(
+            &fnv1a(format!("token:{username}:{n}").as_bytes()).to_be_bytes(),
+        ) + &hex_encode(&fnv1a(format!("{n}:{username}").as_bytes()).to_be_bytes());
+        self.tokens.write().insert(
+            token.clone(),
+            TokenInfo { user: username.to_string(), expires_at: now + self.token_ttl },
+        );
+        Ok(token)
+    }
+
+    /// Resolve a token to its user at logical time `now`.
+    pub fn authenticate(&self, token: &str, now: u64) -> Result<String, AccessError> {
+        let tokens = self.tokens.read();
+        match tokens.get(token) {
+            Some(info) if info.expires_at > now => Ok(info.user.clone()),
+            _ => Err(AccessError::BadToken),
+        }
+    }
+
+    /// Authorize: the token's user must hold `role`.
+    pub fn authorize(&self, token: &str, role: &str, now: u64) -> Result<String, AccessError> {
+        let user = self.authenticate(token, now)?;
+        let users = self.users.read();
+        let has = users
+            .get(&user)
+            .is_some_and(|u| u.roles.iter().any(|r| r == role));
+        if has {
+            Ok(user)
+        } else {
+            Err(AccessError::Forbidden { required: role.to_string() })
+        }
+    }
+
+    /// Invalidate a token (logout).
+    pub fn revoke(&self, token: &str) -> bool {
+        self.tokens.write().remove(token).is_some()
+    }
+
+    /// Drop expired tokens; returns how many lapsed.
+    pub fn expire_tokens(&self, now: u64) -> usize {
+        let mut tokens = self.tokens.write();
+        let before = tokens.len();
+        tokens.retain(|_, info| info.expires_at > now);
+        before - tokens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> AccessControl {
+        let ac = AccessControl::new(100);
+        ac.register("ann", "Str0ngPass", &["user", "admin"]).unwrap();
+        ac.register("bob", "An0therPass", &["user"]).unwrap();
+        ac
+    }
+
+    #[test]
+    fn register_login_authenticate() {
+        let ac = svc();
+        let token = ac.login("ann", "Str0ngPass", 0).unwrap();
+        assert_eq!(ac.authenticate(&token, 50).unwrap(), "ann");
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let ac = svc();
+        assert_eq!(ac.login("ann", "WrongPass1", 0), Err(AccessError::BadCredentials));
+        assert_eq!(ac.login("ghost", "Str0ngPass", 0), Err(AccessError::BadCredentials));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let ac = svc();
+        assert_eq!(
+            ac.register("ann", "Val1dPassword", &[]),
+            Err(AccessError::UserExists)
+        );
+    }
+
+    #[test]
+    fn weak_passwords_rejected() {
+        let ac = AccessControl::new(10);
+        assert!(matches!(
+            ac.register("x", "short1A", &[]),
+            Err(AccessError::WeakPassword(_))
+        ));
+        assert!(matches!(
+            ac.register("x", "alllowercase1", &[]),
+            Err(AccessError::WeakPassword(_))
+        ));
+        assert!(matches!(
+            ac.register("x", "NoDigitsHere", &[]),
+            Err(AccessError::WeakPassword(_))
+        ));
+        assert!(ac.register("x", "G00dPassword", &[]).is_ok());
+    }
+
+    #[test]
+    fn tokens_expire() {
+        let ac = svc();
+        let token = ac.login("ann", "Str0ngPass", 0).unwrap();
+        assert!(ac.authenticate(&token, 99).is_ok());
+        assert_eq!(ac.authenticate(&token, 100), Err(AccessError::BadToken));
+        assert_eq!(ac.expire_tokens(100), 1);
+    }
+
+    #[test]
+    fn roles_enforced() {
+        let ac = svc();
+        let ann = ac.login("ann", "Str0ngPass", 0).unwrap();
+        let bob = ac.login("bob", "An0therPass", 0).unwrap();
+        assert!(ac.authorize(&ann, "admin", 1).is_ok());
+        assert_eq!(
+            ac.authorize(&bob, "admin", 1),
+            Err(AccessError::Forbidden { required: "admin".into() })
+        );
+        assert!(ac.authorize(&bob, "user", 1).is_ok());
+    }
+
+    #[test]
+    fn revoke_invalidates() {
+        let ac = svc();
+        let token = ac.login("ann", "Str0ngPass", 0).unwrap();
+        assert!(ac.revoke(&token));
+        assert!(!ac.revoke(&token));
+        assert_eq!(ac.authenticate(&token, 1), Err(AccessError::BadToken));
+    }
+
+    #[test]
+    fn tokens_are_unique_per_login() {
+        let ac = svc();
+        let t1 = ac.login("ann", "Str0ngPass", 0).unwrap();
+        let t2 = ac.login("ann", "Str0ngPass", 0).unwrap();
+        assert_ne!(t1, t2);
+        // Both valid simultaneously (multi-device).
+        assert!(ac.authenticate(&t1, 1).is_ok());
+        assert!(ac.authenticate(&t2, 1).is_ok());
+    }
+
+    #[test]
+    fn hash_depends_on_salt_and_iterations() {
+        let a = hash_password("pw", "s1", 32);
+        let b = hash_password("pw", "s2", 32);
+        let c = hash_password("pw", "s1", 33);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, hash_password("pw", "s1", 32));
+    }
+
+    #[test]
+    fn constant_time_eq_basics() {
+        assert!(constant_time_eq("abc", "abc"));
+        assert!(!constant_time_eq("abc", "abd"));
+        assert!(!constant_time_eq("abc", "abcd"));
+    }
+}

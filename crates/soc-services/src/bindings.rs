@@ -1,0 +1,848 @@
+//! Hosting: the REST facade over every repository service, SOAP
+//! bindings for the contract-shaped ones, and the registry catalog —
+//! "the services are implemented in multiple formats" (Section V).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc_http::{Handler, MemNetwork, Request, Response, Status};
+use soc_json::{json, Value};
+use soc_registry::descriptor::{Binding, ServiceDescriptor};
+use soc_rest::router::Router;
+use soc_soap::contract::{Contract, Operation, XsdType};
+use soc_soap::service::SoapService;
+
+use crate::access::AccessControl;
+use crate::buffer::MessageBufferService;
+use crate::cache::CacheService;
+use crate::captcha::{CaptchaService, Verify};
+use crate::cart::{CartService, LineItem, Promotion};
+use crate::crypto::{base64_encode, EncryptionService};
+use crate::guessing::{Feedback, GuessingGame};
+use crate::image;
+use crate::mortgage::{Application, CreditScoreService, Decision, MortgageService};
+use crate::password::{Charset, PasswordService};
+
+/// All service instances behind one REST facade.
+pub struct ServiceHost {
+    router: Router,
+}
+
+fn bad(e: impl std::fmt::Display) -> Response {
+    Response::error(Status::UNPROCESSABLE, &e.to_string())
+}
+
+fn body_json(req: &Request) -> Result<Value, Response> {
+    let text = req
+        .text()
+        .map_err(|_| Response::error(Status::BAD_REQUEST, "body must be UTF-8"))?;
+    Value::parse(text).map_err(|e| Response::error(Status::BAD_REQUEST, &e.to_string()))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, Response> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing string field {key:?}")))
+}
+
+impl ServiceHost {
+    /// Build the full repository host (deterministic from `seed`).
+    pub fn new(seed: u64) -> Self {
+        let mut router = Router::new();
+        let clock = Arc::new(AtomicU64::new(0));
+
+        // Health endpoint (QoS monitor target).
+        router.get("/health", |_req, _p| Response::json("{\"status\":\"up\"}"));
+
+        // ---- encryption / decryption --------------------------------
+        router.post("/crypto/encrypt", |req, _p| match body_json(&req) {
+            Ok(v) => {
+                let (pass, plain) = match (str_field(&v, "passphrase"), str_field(&v, "plaintext")) {
+                    (Ok(p), Ok(t)) => (p, t),
+                    (Err(r), _) | (_, Err(r)) => return r,
+                };
+                let c = EncryptionService::encrypt_text(&pass, &plain);
+                Response::json(&json!({ "ciphertext": c }).to_compact())
+            }
+            Err(r) => r,
+        });
+        router.post("/crypto/decrypt", |req, _p| match body_json(&req) {
+            Ok(v) => {
+                let (pass, cipher) =
+                    match (str_field(&v, "passphrase"), str_field(&v, "ciphertext")) {
+                        (Ok(p), Ok(t)) => (p, t),
+                        (Err(r), _) | (_, Err(r)) => return r,
+                    };
+                match EncryptionService::decrypt_text(&pass, &cipher) {
+                    Ok(plain) => Response::json(&json!({ "plaintext": plain }).to_compact()),
+                    Err(e) => bad(e),
+                }
+            }
+            Err(r) => r,
+        });
+
+        // ---- password generation ------------------------------------
+        let passwords = Arc::new(PasswordService::new(seed ^ 0xFA55));
+        {
+            let passwords = passwords.clone();
+            router.post("/passwords/generate", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let length = v.get("length").and_then(Value::as_i64).unwrap_or(16) as usize;
+                    let charset = if v.get("symbols").and_then(Value::as_bool) == Some(false) {
+                        Charset::alphanumeric()
+                    } else {
+                        Charset::full()
+                    };
+                    match passwords.generate(length, charset) {
+                        Ok(p) => Response::json(
+                            &json!({
+                                "password": (p.clone()),
+                                "entropy_bits": (PasswordService::entropy_bits(&p)),
+                                "strength": (PasswordService::strength(&p))
+                            })
+                            .to_compact(),
+                        ),
+                        Err(e) => bad(e),
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+
+        // ---- guessing game -------------------------------------------
+        let games = Arc::new(GuessingGame::new(seed ^ 0x6A3E));
+        {
+            let games = games.clone();
+            router.post("/guess/start", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let max = v.get("max").and_then(Value::as_i64).unwrap_or(100) as u32;
+                    match games.start(max) {
+                        Ok(id) => Response::json(&json!({ "game": (id as i64), "max": max }).to_compact()),
+                        Err(e) => bad(e),
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+        {
+            let games = games.clone();
+            router.post("/guess/{game}", move |req, p| {
+                let Some(id) = p.parse::<u64>("game") else {
+                    return Response::error(Status::BAD_REQUEST, "bad game id");
+                };
+                match body_json(&req) {
+                    Ok(v) => {
+                        let Some(guess) = v.get("guess").and_then(Value::as_i64) else {
+                            return bad("missing numeric field \"guess\"");
+                        };
+                        match games.guess(id, guess.max(0) as u32) {
+                            Ok(Feedback::Higher) => {
+                                Response::json(&json!({ "feedback": "higher" }).to_compact())
+                            }
+                            Ok(Feedback::Lower) => {
+                                Response::json(&json!({ "feedback": "lower" }).to_compact())
+                            }
+                            Ok(Feedback::Correct { attempts }) => Response::json(
+                                &json!({ "feedback": "correct", "attempts": attempts }).to_compact(),
+                            ),
+                            Ok(Feedback::GameOver) => {
+                                Response::json(&json!({ "feedback": "game-over" }).to_compact())
+                            }
+                            Err(e) => bad(e),
+                        }
+                    }
+                    Err(r) => r,
+                }
+            });
+        }
+
+        // ---- captcha --------------------------------------------------
+        let captcha = Arc::new(CaptchaService::new(seed ^ 0xCA97, 6));
+        {
+            let captcha = captcha.clone();
+            router.post("/captcha/new", move |_req, _p| {
+                let ch = captcha.challenge();
+                Response::json(
+                    &json!({
+                        "id": (ch.id as i64),
+                        "image_bmp_base64": (base64_encode(&ch.image.to_bmp()))
+                    })
+                    .to_compact(),
+                )
+            });
+        }
+        {
+            let captcha = captcha.clone();
+            router.post("/captcha/verify", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let Some(id) = v.get("id").and_then(Value::as_i64) else {
+                        return bad("missing numeric field \"id\"");
+                    };
+                    let answer = v.get("answer").and_then(Value::as_str).unwrap_or("");
+                    let result = match captcha.verify(id.max(0) as u64, answer) {
+                        Verify::Pass => "pass",
+                        Verify::Fail => "fail",
+                        Verify::Unknown => "unknown",
+                    };
+                    Response::json(&json!({ "result": result }).to_compact())
+                }
+                Err(r) => r,
+            });
+        }
+
+        // ---- cache -----------------------------------------------------
+        let cache = Arc::new(CacheService::new(256, 1000));
+        {
+            let (cache, clock) = (cache.clone(), clock.clone());
+            router.put("/cache/{key}", move |req, p| {
+                let now = clock.fetch_add(1, Ordering::Relaxed);
+                match body_json(&req) {
+                    Ok(v) => {
+                        let Some(value) = v.get("value").and_then(Value::as_str) else {
+                            return bad("missing string field \"value\"");
+                        };
+                        cache.put(p.get("key").unwrap_or(""), value, now);
+                        Response::new(Status::NO_CONTENT)
+                    }
+                    Err(r) => r,
+                }
+            });
+        }
+        {
+            let (cache, clock) = (cache.clone(), clock.clone());
+            router.get("/cache/{key}", move |_req, p| {
+                let now = clock.fetch_add(1, Ordering::Relaxed);
+                match cache.get(p.get("key").unwrap_or(""), now) {
+                    Some(v) => Response::json(&json!({ "value": v }).to_compact()),
+                    None => Response::error(Status::NOT_FOUND, "cache miss"),
+                }
+            });
+        }
+
+        // ---- shopping cart ---------------------------------------------
+        let carts = Arc::new(CartService::new());
+        {
+            let carts = carts.clone();
+            router.post("/carts", move |_req, _p| {
+                let id = carts.create();
+                let mut resp = Response::json(&json!({ "cart": (id as i64) }).to_compact());
+                resp.status = Status::CREATED;
+                resp
+            });
+        }
+        {
+            let carts = carts.clone();
+            router.post("/carts/{id}/items", move |req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad cart id");
+                };
+                match body_json(&req) {
+                    Ok(v) => {
+                        let item = LineItem {
+                            sku: match str_field(&v, "sku") {
+                                Ok(s) => s,
+                                Err(r) => return r,
+                            },
+                            name: v.get("name").and_then(Value::as_str).unwrap_or("").to_string(),
+                            unit_price: v.get("unit_price").and_then(Value::as_i64).unwrap_or(-1),
+                            quantity: v.get("quantity").and_then(Value::as_i64).unwrap_or(1).max(0)
+                                as u32,
+                        };
+                        match carts.add(id, item) {
+                            Ok(()) => Response::new(Status::NO_CONTENT),
+                            Err(e) => bad(e),
+                        }
+                    }
+                    Err(r) => r,
+                }
+            });
+        }
+        {
+            let carts = carts.clone();
+            router.post("/carts/{id}/checkout", move |req, p| {
+                let Some(id) = p.parse::<u64>("id") else {
+                    return Response::error(Status::BAD_REQUEST, "bad cart id");
+                };
+                let promos = match body_json(&req) {
+                    Ok(v) => match v.get("percent_off").and_then(Value::as_i64) {
+                        Some(pct) => vec![Promotion::PercentOff(pct.max(0) as u32)],
+                        None => vec![],
+                    },
+                    Err(_) => vec![],
+                };
+                match carts.checkout(id, &promos) {
+                    Ok(r) => Response::json(
+                        &json!({
+                            "subtotal": (r.subtotal),
+                            "discount": (r.discount),
+                            "total": (r.total),
+                            "lines": (r.items.len())
+                        })
+                        .to_compact(),
+                    ),
+                    Err(e) => bad(e),
+                }
+            });
+        }
+
+        // ---- message buffer ---------------------------------------------
+        let queues = Arc::new(MessageBufferService::new(64));
+        {
+            let queues = queues.clone();
+            router.post("/queues/{name}/messages", move |req, p| match body_json(&req) {
+                Ok(v) => {
+                    let Some(msg) = v.get("message").and_then(Value::as_str) else {
+                        return bad("missing string field \"message\"");
+                    };
+                    if queues.send(p.get("name").unwrap_or(""), msg, Duration::from_millis(100)) {
+                        Response::new(Status::ACCEPTED)
+                    } else {
+                        Response::error(Status::SERVICE_UNAVAILABLE, "queue full or closed")
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+        {
+            let queues = queues.clone();
+            router.delete("/queues/{name}/messages", move |_req, p| {
+                match queues.try_receive(p.get("name").unwrap_or("")) {
+                    Some(msg) => Response::json(&json!({ "message": msg }).to_compact()),
+                    None => Response::new(Status::NO_CONTENT),
+                }
+            });
+        }
+
+        // ---- mortgage + credit score --------------------------------------
+        router.get("/credit/score", |req, _p| match req.query("ssn") {
+            Some(ssn) if CreditScoreService::valid_ssn(&ssn) => {
+                Response::json(&json!({ "score": (CreditScoreService::score(&ssn)) }).to_compact())
+            }
+            Some(_) => bad("SSN must contain nine digits"),
+            None => Response::error(Status::BAD_REQUEST, "missing query parameter ssn"),
+        });
+        {
+            let mortgage = Arc::new(MortgageService::default());
+            router.post("/mortgage/apply", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let app = Application {
+                        name: v.get("name").and_then(Value::as_str).unwrap_or("").to_string(),
+                        ssn: v.get("ssn").and_then(Value::as_str).unwrap_or("").to_string(),
+                        annual_income: v
+                            .get("annual_income")
+                            .and_then(Value::as_i64)
+                            .unwrap_or(0)
+                            .max(0) as u64,
+                        loan_amount: v
+                            .get("loan_amount")
+                            .and_then(Value::as_i64)
+                            .unwrap_or(0)
+                            .max(0) as u64,
+                        term_years: v.get("term_years").and_then(Value::as_i64).unwrap_or(30).max(0)
+                            as u32,
+                    };
+                    match mortgage.decide(&app) {
+                        Decision::Approved { score, rate_bps, monthly_payment } => Response::json(
+                            &json!({
+                                "decision": "approved",
+                                "score": score,
+                                "rate_bps": rate_bps,
+                                "monthly_payment": (monthly_payment as i64)
+                            })
+                            .to_compact(),
+                        ),
+                        Decision::Rejected { score, reasons } => Response::json(
+                            &json!({
+                                "decision": "rejected",
+                                "score": (score.map(|s| s as i64)),
+                                "reasons": reasons
+                            })
+                            .to_compact(),
+                        ),
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+
+        // ---- dynamic image generation --------------------------------------
+        router.post("/charts/bar", |req, _p| match body_json(&req) {
+            Ok(v) => {
+                let title = v.get("title").and_then(Value::as_str).unwrap_or("CHART");
+                let Some(arr) = v.get("series").and_then(Value::as_array) else {
+                    return bad("missing array field \"series\"");
+                };
+                let series: Vec<(String, f64)> = arr
+                    .iter()
+                    .filter_map(|e| {
+                        Some((
+                            e.get("label")?.as_str()?.to_string(),
+                            e.get("value")?.as_f64()?,
+                        ))
+                    })
+                    .collect();
+                let img = image::bar_chart(title, &series, 320, 160);
+                Response::new(Status::OK)
+                    .with_header("Content-Type", "image/bmp")
+                    .with_body_bytes(img.to_bmp())
+            }
+            Err(r) => r,
+        });
+
+        // ---- access control --------------------------------------------------
+        let access = Arc::new(AccessControl::new(10_000));
+        {
+            let (access, clock) = (access.clone(), clock.clone());
+            router.post("/auth/register", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let (user, pass) = match (str_field(&v, "username"), str_field(&v, "password"))
+                    {
+                        (Ok(u), Ok(p)) => (u, p),
+                        (Err(r), _) | (_, Err(r)) => return r,
+                    };
+                    match access.register(&user, &pass, &["user"]) {
+                        Ok(()) => {
+                            let _ = clock.fetch_add(1, Ordering::Relaxed);
+                            Response::new(Status::CREATED)
+                        }
+                        Err(e) => bad(e),
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+        {
+            let (access, clock) = (access.clone(), clock.clone());
+            router.post("/auth/login", move |req, _p| match body_json(&req) {
+                Ok(v) => {
+                    let (user, pass) = match (str_field(&v, "username"), str_field(&v, "password"))
+                    {
+                        (Ok(u), Ok(p)) => (u, p),
+                        (Err(r), _) | (_, Err(r)) => return r,
+                    };
+                    let now = clock.fetch_add(1, Ordering::Relaxed);
+                    match access.login(&user, &pass, now) {
+                        Ok(token) => Response::json(&json!({ "token": token }).to_compact()),
+                        Err(e) => Response::error(Status::UNAUTHORIZED, &e.to_string()),
+                    }
+                }
+                Err(r) => r,
+            });
+        }
+        {
+            let (access, clock) = (access, clock);
+            router.get("/auth/whoami", move |req, _p| {
+                let now = clock.fetch_add(1, Ordering::Relaxed);
+                let token = req.headers.get("Authorization").unwrap_or("").trim_start_matches("Bearer ");
+                match access.authenticate(token, now) {
+                    Ok(user) => Response::json(&json!({ "user": user }).to_compact()),
+                    Err(e) => Response::error(Status::UNAUTHORIZED, &e.to_string()),
+                }
+            });
+        }
+
+        ServiceHost { router }
+    }
+}
+
+impl Handler for ServiceHost {
+    fn handle(&self, req: Request) -> Response {
+        self.router.handle(req)
+    }
+}
+
+/// The credit-score SOAP contract (also available RESTfully).
+pub fn credit_score_contract() -> Contract {
+    Contract::new("CreditScore", "urn:soc:credit").operation(
+        Operation::new("GetScore")
+            .input("ssn", XsdType::String)
+            .output("score", XsdType::Int)
+            .doc("deterministic synthetic credit score for an SSN"),
+    )
+}
+
+/// Build the credit-score SOAP service.
+pub fn credit_score_soap(endpoint: &str) -> SoapService {
+    let mut svc = SoapService::new(credit_score_contract(), endpoint);
+    svc.implement("GetScore", |params| {
+        let ssn = params.get("ssn").cloned().unwrap_or_default();
+        if !CreditScoreService::valid_ssn(&ssn) {
+            return Err(soc_soap::SoapFault::client("SSN must contain nine digits"));
+        }
+        Ok(vec![("score".to_string(), CreditScoreService::score(&ssn).to_string())])
+    });
+    svc
+}
+
+/// The encryption SOAP contract.
+pub fn encryption_contract() -> Contract {
+    Contract::new("Encryption", "urn:soc:crypto")
+        .operation(
+            Operation::new("Encrypt")
+                .input("passphrase", XsdType::String)
+                .input("plaintext", XsdType::String)
+                .output("ciphertext", XsdType::String),
+        )
+        .operation(
+            Operation::new("Decrypt")
+                .input("passphrase", XsdType::String)
+                .input("ciphertext", XsdType::String)
+                .output("plaintext", XsdType::String),
+        )
+}
+
+/// Build the encryption SOAP service.
+pub fn encryption_soap(endpoint: &str) -> SoapService {
+    let mut svc = SoapService::new(encryption_contract(), endpoint);
+    svc.implement("Encrypt", |params| {
+        Ok(vec![(
+            "ciphertext".to_string(),
+            EncryptionService::encrypt_text(
+                params.get("passphrase").map(String::as_str).unwrap_or(""),
+                params.get("plaintext").map(String::as_str).unwrap_or(""),
+            ),
+        )])
+    });
+    svc.implement("Decrypt", |params| {
+        EncryptionService::decrypt_text(
+            params.get("passphrase").map(String::as_str).unwrap_or(""),
+            params.get("ciphertext").map(String::as_str).unwrap_or(""),
+        )
+        .map(|p| vec![("plaintext".to_string(), p)])
+        .map_err(soc_soap::SoapFault::client)
+    });
+    svc
+}
+
+/// Registry descriptors for everything hosted by [`host_all`].
+pub fn catalog(rest_host: &str, soap_host: &str) -> Vec<ServiceDescriptor> {
+    let rest = |id: &str, name: &str, path: &str, desc: &str, cat: &str, kw: &[&str]| {
+        ServiceDescriptor::new(id, name, &format!("mem://{rest_host}{path}"), Binding::Rest)
+            .describe(desc)
+            .category(cat)
+            .keywords(kw)
+            .provider("asu-repository")
+    };
+    vec![
+        rest("crypto", "Encryption Service", "/crypto/encrypt",
+            "encrypts and decrypts text with a shared passphrase (XTEA)", "security",
+            &["cipher", "encryption", "decryption"]),
+        rest("auth", "Access Control Service", "/auth/login",
+            "user registration, login tokens, and role checks", "security",
+            &["authentication", "authorization", "token"]),
+        rest("guess", "Number Guessing Game", "/guess/start",
+            "random number guessing game with higher/lower feedback", "games",
+            &["game", "random"]),
+        rest("passwords", "Strong Password Generator", "/passwords/generate",
+            "random strong password generation with entropy estimates", "security",
+            &["password", "random", "entropy"]),
+        rest("charts", "Dynamic Image Generation", "/charts/bar",
+            "renders bar charts as BMP images on demand", "media",
+            &["image", "chart", "graphics"]),
+        rest("captcha", "Image Verifier", "/captcha/new",
+            "random string image challenge (captcha) with one-shot verification", "security",
+            &["captcha", "image", "verification"]),
+        rest("cache", "Caching Service", "/cache/demo",
+            "bounded LRU cache with TTL and hit statistics", "infrastructure",
+            &["cache", "lru", "ttl"]),
+        rest("cart", "Shopping Cart Service", "/carts",
+            "shopping carts with line items, totals, and promotions", "commerce",
+            &["cart", "shopping", "checkout"]),
+        rest("queue", "Messaging Buffer Service", "/queues/demo/messages",
+            "named bounded message queues (producer/consumer)", "infrastructure",
+            &["queue", "buffer", "messaging"]),
+        rest("mortgage", "Mortgage Approval Service", "/mortgage/apply",
+            "mortgage application approval using the credit score service", "finance",
+            &["mortgage", "loan", "approval"]),
+        ServiceDescriptor::new(
+            "credit-soap",
+            "Credit Score Service (SOAP)",
+            &format!("mem://{soap_host}/credit"),
+            Binding::Soap,
+        )
+        .describe("deterministic synthetic credit score lookup over SOAP with WSDL")
+        .category("finance")
+        .keywords(&["credit", "score", "soap", "wsdl"])
+        .provider("asu-repository"),
+        ServiceDescriptor::new(
+            "crypto-soap",
+            "Encryption Service (SOAP)",
+            &format!("mem://{soap_host}/crypto"),
+            Binding::Soap,
+        )
+        .describe("encrypt/decrypt over SOAP with a WSDL contract")
+        .category("security")
+        .keywords(&["cipher", "soap", "wsdl"])
+        .provider("asu-repository"),
+    ]
+}
+
+/// Host the whole repository on `net`: REST at `mem://services.asu`,
+/// SOAP at `mem://soap.asu/{credit,crypto}`. Returns the catalog.
+pub fn host_all(net: &MemNetwork, seed: u64) -> Vec<ServiceDescriptor> {
+    net.host("services.asu", ServiceHost::new(seed));
+
+    // One handler multiplexing the two SOAP endpoints by path.
+    let credit = credit_score_soap("mem://soap.asu/credit");
+    let crypto = encryption_soap("mem://soap.asu/crypto");
+    net.host("soap.asu", move |req: Request| {
+        if req.path().starts_with("/credit") {
+            credit.handle(req)
+        } else if req.path().starts_with("/crypto") {
+            crypto.handle(req)
+        } else {
+            Response::error(Status::NOT_FOUND, "unknown SOAP endpoint")
+        }
+    });
+
+    catalog("services.asu", "soap.asu")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::mem::Transport;
+    use soc_rest::RestClient;
+    use soc_soap::client::SoapClient;
+
+    fn setup() -> (MemNetwork, RestClient) {
+        let net = MemNetwork::new();
+        host_all(&net, 42);
+        let client = RestClient::new(Arc::new(net.clone()));
+        (net, client)
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let (_net, c) = setup();
+        let v = c.get("mem://services.asu/health").unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("up"));
+    }
+
+    #[test]
+    fn crypto_round_trip_over_rest() {
+        let (_net, c) = setup();
+        let enc = c
+            .post(
+                "mem://services.asu/crypto/encrypt",
+                &json!({ "passphrase": "pw", "plaintext": "top secret" }),
+            )
+            .unwrap();
+        let cipher = enc.get("ciphertext").and_then(Value::as_str).unwrap().to_string();
+        let dec = c
+            .post(
+                "mem://services.asu/crypto/decrypt",
+                &json!({ "passphrase": "pw", "ciphertext": cipher }),
+            )
+            .unwrap();
+        assert_eq!(dec.get("plaintext").and_then(Value::as_str), Some("top secret"));
+    }
+
+    #[test]
+    fn guessing_game_over_rest() {
+        let (_net, c) = setup();
+        let start = c
+            .post("mem://services.asu/guess/start", &json!({ "max": 50 }))
+            .unwrap();
+        let game = start.get("game").and_then(Value::as_i64).unwrap();
+        // Binary search over REST.
+        let (mut lo, mut hi) = (1i64, 50i64);
+        let mut solved = false;
+        for _ in 0..8 {
+            let mid = (lo + hi) / 2;
+            let v = c
+                .post(&format!("mem://services.asu/guess/{game}"), &json!({ "guess": mid }))
+                .unwrap();
+            match v.get("feedback").and_then(Value::as_str) {
+                Some("correct") => {
+                    solved = true;
+                    break;
+                }
+                Some("higher") => lo = mid + 1,
+                Some("lower") => hi = mid - 1,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(solved);
+    }
+
+    #[test]
+    fn captcha_over_rest_with_service_side_verify() {
+        let (_net, c) = setup();
+        let ch = c.post("mem://services.asu/captcha/new", &json!({})).unwrap();
+        assert!(ch.get("image_bmp_base64").and_then(Value::as_str).unwrap().len() > 100);
+        let id = ch.get("id").and_then(Value::as_i64).unwrap();
+        let fail = c
+            .post(
+                "mem://services.asu/captcha/verify",
+                &json!({ "id": id, "answer": "WRONG!" }),
+            )
+            .unwrap();
+        assert_eq!(fail.get("result").and_then(Value::as_str), Some("fail"));
+    }
+
+    #[test]
+    fn cart_flow_over_rest() {
+        let (_net, c) = setup();
+        let cart = c.post("mem://services.asu/carts", &json!({})).unwrap();
+        let id = cart.get("cart").and_then(Value::as_i64).unwrap();
+        c.post(
+            &format!("mem://services.asu/carts/{id}/items"),
+            &json!({ "sku": "bk", "name": "book", "unit_price": 4999, "quantity": 2 }),
+        )
+        .unwrap();
+        let receipt = c
+            .post(
+                &format!("mem://services.asu/carts/{id}/checkout"),
+                &json!({ "percent_off": 10 }),
+            )
+            .unwrap();
+        assert_eq!(receipt.get("subtotal").and_then(Value::as_i64), Some(9998));
+        assert_eq!(receipt.get("discount").and_then(Value::as_i64), Some(999));
+    }
+
+    #[test]
+    fn cache_over_rest() {
+        let (_net, c) = setup();
+        assert!(c.get("mem://services.asu/cache/k").is_err()); // miss: 404
+        c.put("mem://services.asu/cache/k", &json!({ "value": "v" })).unwrap();
+        let v = c.get("mem://services.asu/cache/k").unwrap();
+        assert_eq!(v.get("value").and_then(Value::as_str), Some("v"));
+    }
+
+    #[test]
+    fn queue_over_rest() {
+        let (_net, c) = setup();
+        c.post("mem://services.asu/queues/q1/messages", &json!({ "message": "m1" })).unwrap();
+        let got = c.delete("mem://services.asu/queues/q1/messages").unwrap();
+        assert_eq!(got.get("message").and_then(Value::as_str), Some("m1"));
+        // Empty queue: 204 → Null.
+        assert_eq!(c.delete("mem://services.asu/queues/q1/messages").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn mortgage_and_credit_over_rest() {
+        let (_net, c) = setup();
+        let score = c.get("mem://services.asu/credit/score?ssn=123-45-6789").unwrap();
+        let s = score.get("score").and_then(Value::as_i64).unwrap();
+        assert!((300..=850).contains(&s));
+        let v = c
+            .post(
+                "mem://services.asu/mortgage/apply",
+                &json!({
+                    "name": "Ann", "ssn": "123-45-6789",
+                    "annual_income": 90000, "loan_amount": 200000, "term_years": 30
+                }),
+            )
+            .unwrap();
+        assert!(matches!(
+            v.get("decision").and_then(Value::as_str),
+            Some("approved") | Some("rejected")
+        ));
+    }
+
+    #[test]
+    fn chart_image_over_rest() {
+        let (net, _c) = setup();
+        let resp = net
+            .send(
+                Request::post("mem://services.asu/charts/bar", Vec::new()).with_text(
+                    "application/json",
+                    &json!({
+                        "title": "T",
+                        "series": [ {"label": "a", "value": 3.0}, {"label": "b", "value": 7.0} ]
+                    })
+                    .to_compact(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(resp.headers.get("Content-Type"), Some("image/bmp"));
+        assert_eq!(&resp.body[0..2], b"BM");
+    }
+
+    #[test]
+    fn auth_flow_over_rest() {
+        let (_net, c) = setup();
+        c.post(
+            "mem://services.asu/auth/register",
+            &json!({ "username": "ann", "password": "Str0ngPass" }),
+        )
+        .unwrap();
+        let login = c
+            .post(
+                "mem://services.asu/auth/login",
+                &json!({ "username": "ann", "password": "Str0ngPass" }),
+            )
+            .unwrap();
+        let token = login.get("token").and_then(Value::as_str).unwrap().to_string();
+        let who = c
+            .send_raw(
+                Request::get("mem://services.asu/auth/whoami")
+                    .with_header("Authorization", &format!("Bearer {token}")),
+            )
+            .unwrap();
+        assert!(who.text_body().unwrap().contains("ann"));
+        // Bad password → 401.
+        assert!(c
+            .post(
+                "mem://services.asu/auth/login",
+                &json!({ "username": "ann", "password": "Nope12345" })
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn soap_bindings_work() {
+        let (net, _c) = setup();
+        let soap = SoapClient::new(Arc::new(net));
+        let out = soap
+            .discover_and_call("mem://soap.asu/credit", "GetScore", &[("ssn", "123-45-6789")])
+            .unwrap();
+        let score: i64 = out["score"].parse().unwrap();
+        assert!((300..=850).contains(&score));
+
+        let contract = encryption_contract();
+        let enc = soap
+            .call("mem://soap.asu/crypto", &contract, "Encrypt",
+                &[("passphrase", "k"), ("plaintext", "soap secret")])
+            .unwrap();
+        let dec = soap
+            .call("mem://soap.asu/crypto", &contract, "Decrypt",
+                &[("passphrase", "k"), ("ciphertext", &enc["ciphertext"])])
+            .unwrap();
+        assert_eq!(dec["plaintext"], "soap secret");
+    }
+
+    #[test]
+    fn rest_and_soap_agree_on_credit_scores() {
+        let (net, c) = setup();
+        let rest_score = c
+            .get("mem://services.asu/credit/score?ssn=987654321")
+            .unwrap()
+            .get("score")
+            .and_then(Value::as_i64)
+            .unwrap();
+        let soap = SoapClient::new(Arc::new(net));
+        let soap_score: i64 = soap
+            .discover_and_call("mem://soap.asu/credit", "GetScore", &[("ssn", "987654321")])
+            .unwrap()["score"]
+            .parse()
+            .unwrap();
+        assert_eq!(rest_score, soap_score);
+    }
+
+    #[test]
+    fn catalog_descriptors_resolve() {
+        let (net, _c) = setup();
+        let catalog = catalog("services.asu", "soap.asu");
+        assert_eq!(catalog.len(), 12);
+        // Every REST descriptor's endpoint host must answer /health.
+        let ids: Vec<&str> = catalog.iter().map(|d| d.id.as_str()).collect();
+        assert!(ids.contains(&"mortgage"));
+        assert!(ids.contains(&"credit-soap"));
+        let resp = net.send(Request::get("mem://services.asu/health")).unwrap();
+        assert!(resp.status.is_success());
+    }
+}

@@ -1,0 +1,150 @@
+//! The messaging-buffer service: named bounded queues over
+//! [`soc_parallel::sync::BoundedBuffer`] — the producer/consumer
+//! primitive from unit 2, promoted to a service.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use soc_parallel::sync::{BoundedBuffer, BufferError};
+
+/// The service: a namespace of independently bounded queues.
+pub struct MessageBufferService {
+    queues: RwLock<HashMap<String, Arc<BoundedBuffer<String>>>>,
+    default_capacity: usize,
+}
+
+impl MessageBufferService {
+    /// Service whose queues hold `default_capacity` messages.
+    pub fn new(default_capacity: usize) -> Self {
+        MessageBufferService {
+            queues: RwLock::new(HashMap::new()),
+            default_capacity: default_capacity.max(1),
+        }
+    }
+
+    fn queue(&self, name: &str) -> Arc<BoundedBuffer<String>> {
+        if let Some(q) = self.queues.read().get(name) {
+            return q.clone();
+        }
+        let mut queues = self.queues.write();
+        queues
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(BoundedBuffer::new(self.default_capacity)))
+            .clone()
+    }
+
+    /// Enqueue, waiting up to `timeout` for space. Returns `false` on
+    /// timeout or a closed queue.
+    pub fn send(&self, queue: &str, message: &str, timeout: Duration) -> bool {
+        match self.queue(queue).put_timeout(message.to_string(), timeout) {
+            Ok(()) => true,
+            Err(BufferError::Closed(_) | BufferError::Timeout(_)) => false,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_receive(&self, queue: &str) -> Option<String> {
+        self.queue(queue).try_take()
+    }
+
+    /// Blocking receive with a timeout. `Ok(None)` means the queue was
+    /// closed and drained; `Err(())` means timeout (the only failure
+    /// mode, so the unit error is deliberate).
+    #[allow(clippy::result_unit_err)]
+    pub fn receive(&self, queue: &str, timeout: Duration) -> Result<Option<String>, ()> {
+        self.queue(queue).take_timeout(timeout)
+    }
+
+    /// Messages waiting in a queue.
+    pub fn depth(&self, queue: &str) -> usize {
+        self.queues.read().get(queue).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Close a queue: producers fail, consumers drain.
+    pub fn close(&self, queue: &str) {
+        if let Some(q) = self.queues.read().get(queue) {
+            q.close();
+        }
+    }
+
+    /// Names of all queues (sorted).
+    pub fn queue_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.queues.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn send_receive_fifo() {
+        let svc = MessageBufferService::new(8);
+        assert!(svc.send("orders", "a", T));
+        assert!(svc.send("orders", "b", T));
+        assert_eq!(svc.depth("orders"), 2);
+        assert_eq!(svc.receive("orders", T).unwrap().as_deref(), Some("a"));
+        assert_eq!(svc.try_receive("orders").as_deref(), Some("b"));
+        assert_eq!(svc.try_receive("orders"), None);
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let svc = MessageBufferService::new(8);
+        svc.send("a", "1", T);
+        svc.send("b", "2", T);
+        assert_eq!(svc.depth("a"), 1);
+        assert_eq!(svc.depth("b"), 1);
+        assert_eq!(svc.queue_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn capacity_bounds_producers() {
+        let svc = MessageBufferService::new(1);
+        assert!(svc.send("q", "1", T));
+        // Queue full: short-timeout send fails.
+        assert!(!svc.send("q", "2", Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn close_semantics() {
+        let svc = MessageBufferService::new(4);
+        svc.send("q", "last", T);
+        svc.close("q");
+        assert!(!svc.send("q", "after", T));
+        assert_eq!(svc.receive("q", T).unwrap().as_deref(), Some("last"));
+        assert_eq!(svc.receive("q", T).unwrap(), None);
+    }
+
+    #[test]
+    fn receive_timeout() {
+        let svc = MessageBufferService::new(4);
+        assert_eq!(svc.receive("empty", Duration::from_millis(10)), Err(()));
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let svc = Arc::new(MessageBufferService::new(2));
+        let svc2 = svc.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..20 {
+                assert!(svc2.send("work", &format!("job-{i}"), Duration::from_secs(5)));
+            }
+            svc2.close("work");
+        });
+        let mut got = Vec::new();
+        while let Ok(Some(msg)) = svc.receive("work", Duration::from_secs(5)) {
+            got.push(msg);
+        }
+        producer.join().unwrap();
+        assert_eq!(got.len(), 20);
+        assert_eq!(got[0], "job-0");
+        assert_eq!(got[19], "job-19");
+    }
+}

@@ -1,0 +1,268 @@
+//! The caching service: bounded LRU with TTL on a logical clock, plus
+//! hit/miss statistics — the unit-5 topic "caching support to Web
+//! application state management", and a dependency the paper's Table 2
+//! calls out ("define data dependencies in Web caching applications").
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Cache statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted by capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their TTL lapsed.
+    pub expirations: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1] (0 when no lookups yet).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    value: String,
+    expires_at: u64,
+    /// LRU ordering stamp.
+    last_used: u64,
+}
+
+/// A bounded TTL+LRU cache keyed by string. Time is a logical tick
+/// supplied by the caller (deterministic tests/benches); the LRU stamp
+/// is an internal monotone counter so recency is exact even when many
+/// operations share a tick.
+pub struct CacheService {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    default_ttl: u64,
+}
+
+struct CacheInner {
+    map: HashMap<String, Entry>,
+    stats: CacheStats,
+    use_counter: u64,
+}
+
+impl CacheService {
+    /// Cache with `capacity` entries and a default TTL in ticks.
+    pub fn new(capacity: usize, default_ttl: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        CacheService {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                stats: CacheStats::default(),
+                use_counter: 0,
+            }),
+            capacity,
+            default_ttl,
+        }
+    }
+
+    /// Insert with the default TTL.
+    pub fn put(&self, key: &str, value: &str, now: u64) {
+        self.put_ttl(key, value, now, self.default_ttl);
+    }
+
+    /// Insert with an explicit TTL.
+    pub fn put_ttl(&self, key: &str, value: &str, now: u64, ttl: u64) {
+        let mut inner = self.inner.lock();
+        inner.use_counter += 1;
+        let stamp = inner.use_counter;
+        if !inner.map.contains_key(key) && inner.map.len() >= self.capacity {
+            // Evict the least-recently-used live entry (expired ones
+            // first, for free).
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (e.expires_at > now, e.last_used))
+                .map(|(k, e)| (k.clone(), e.expires_at <= now));
+            if let Some((k, was_expired)) = victim {
+                inner.map.remove(&k);
+                if was_expired {
+                    inner.stats.expirations += 1;
+                } else {
+                    inner.stats.evictions += 1;
+                }
+            }
+        }
+        inner.map.insert(
+            key.to_string(),
+            Entry { value: value.to_string(), expires_at: now.saturating_add(ttl), last_used: stamp },
+        );
+    }
+
+    /// Look up a key at logical time `now`.
+    pub fn get(&self, key: &str, now: u64) -> Option<String> {
+        let mut inner = self.inner.lock();
+        inner.use_counter += 1;
+        let stamp = inner.use_counter;
+        match inner.map.get_mut(key) {
+            Some(entry) if entry.expires_at > now => {
+                entry.last_used = stamp;
+                let value = entry.value.clone();
+                inner.stats.hits += 1;
+                Some(value)
+            }
+            Some(_) => {
+                inner.map.remove(key);
+                inner.stats.expirations += 1;
+                inner.stats.misses += 1;
+                None
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Read-through helper: get, or compute-and-store on miss.
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        now: u64,
+        compute: impl FnOnce() -> String,
+    ) -> String {
+        if let Some(v) = self.get(key, now) {
+            return v;
+        }
+        let v = compute();
+        self.put(key, &v, now);
+        v
+    }
+
+    /// Remove a key; `true` if it was present (live or expired).
+    pub fn invalidate(&self, key: &str) -> bool {
+        self.inner.lock().map.remove(key).is_some()
+    }
+
+    /// Number of stored entries (may include expired, not yet collected).
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let c = CacheService::new(4, 100);
+        c.put("k", "v", 0);
+        assert_eq!(c.get("k", 10).as_deref(), Some("v"));
+        assert_eq!(c.get("absent", 10), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn entries_expire() {
+        let c = CacheService::new(4, 50);
+        c.put("k", "v", 0);
+        assert!(c.get("k", 49).is_some());
+        assert!(c.get("k", 50).is_none());
+        assert_eq!(c.stats().expirations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let c = CacheService::new(2, 1000);
+        c.put("a", "1", 0);
+        c.put("b", "2", 0);
+        c.get("a", 1); // refresh a
+        c.put("c", "3", 2); // evicts b
+        assert!(c.get("a", 3).is_some());
+        assert!(c.get("b", 3).is_none());
+        assert!(c.get("c", 3).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn expired_entries_evicted_before_live_ones() {
+        let c = CacheService::new(2, 10);
+        c.put("old", "x", 0); // expires at 10
+        c.put_ttl("live", "y", 50, 100);
+        c.put("new", "z", 60); // should evict "old" (expired), not "live"
+        assert!(c.get("live", 61).is_some());
+        assert!(c.get("new", 61).is_some());
+        assert_eq!(c.stats().expirations, 1);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn overwrite_does_not_evict() {
+        let c = CacheService::new(2, 100);
+        c.put("a", "1", 0);
+        c.put("b", "2", 0);
+        c.put("a", "updated", 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a", 2).as_deref(), Some("updated"));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn read_through_computes_once() {
+        let c = CacheService::new(4, 100);
+        let mut calls = 0;
+        let v1 = c.get_or_compute("k", 0, || {
+            calls += 1;
+            "computed".into()
+        });
+        let v2 = c.get_or_compute("k", 1, || {
+            calls += 1;
+            "recomputed".into()
+        });
+        assert_eq!(v1, "computed");
+        assert_eq!(v2, "computed");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let c = CacheService::new(4, 100);
+        c.put("k", "v", 0);
+        assert!(c.invalidate("k"));
+        assert!(!c.invalidate("k"));
+        assert!(c.get("k", 1).is_none());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let c = CacheService::new(4, 100);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+        c.put("k", "v", 0);
+        c.get("k", 1);
+        c.get("k", 1);
+        c.get("missing", 1);
+        assert!((c.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = CacheService::new(0, 10);
+    }
+}

@@ -1,0 +1,186 @@
+//! The "random string image" (image verifier) service: renders a random
+//! challenge string into a noisy bitmap and verifies answers exactly
+//! once — the repository's captcha.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::{Bitmap, Color};
+
+/// A generated challenge handed to the client.
+#[derive(Debug, Clone)]
+pub struct Challenge {
+    /// Opaque id to submit alongside the answer.
+    pub id: u64,
+    /// The rendered image (the *only* place the text appears for the
+    /// client).
+    pub image: Bitmap,
+}
+
+/// Verification outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verify {
+    /// Answer matched; the challenge is consumed.
+    Pass,
+    /// Answer did not match; the challenge is consumed (no retries on
+    /// the same image — the standard anti-bruteforce rule).
+    Fail,
+    /// Unknown or already-consumed challenge id.
+    Unknown,
+}
+
+/// The captcha service.
+pub struct CaptchaService {
+    pending: Mutex<HashMap<u64, String>>,
+    next_id: AtomicU64,
+    rng: Mutex<StdRng>,
+    length: usize,
+}
+
+// Ambiguous glyphs (0/O, 1/I) excluded, as real captchas do.
+const ALPHABET: &[u8] = b"ABCDEFGHJKLMNPQRSTUVWXYZ23456789";
+
+impl CaptchaService {
+    /// Service generating challenges of `length` characters.
+    pub fn new(seed: u64, length: usize) -> Self {
+        CaptchaService {
+            pending: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            length: length.clamp(3, 12),
+        }
+    }
+
+    /// Create a new challenge.
+    pub fn challenge(&self) -> Challenge {
+        let mut rng = self.rng.lock();
+        let text: String = (0..self.length)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
+        let noise_seed: u64 = rng.gen();
+        drop(rng);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let image = render_captcha(&text, noise_seed);
+        self.pending.lock().insert(id, text);
+        Challenge { id, image }
+    }
+
+    /// Verify an answer (case-insensitive). Consumes the challenge.
+    pub fn verify(&self, id: u64, answer: &str) -> Verify {
+        match self.pending.lock().remove(&id) {
+            Some(text) if text.eq_ignore_ascii_case(answer.trim()) => Verify::Pass,
+            Some(_) => Verify::Fail,
+            None => Verify::Unknown,
+        }
+    }
+
+    /// Outstanding (unconsumed) challenges.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Test/diagnostics hook: peek at a pending challenge's text.
+    /// The HTTP binding never exposes this.
+    pub fn peek(&self, id: u64) -> Option<String> {
+        self.pending.lock().get(&id).cloned()
+    }
+}
+
+/// Render the text with per-character jitter plus speckle and strike
+/// lines (deterministic from `noise_seed`).
+pub fn render_captcha(text: &str, noise_seed: u64) -> Bitmap {
+    let mut rng = StdRng::seed_from_u64(noise_seed);
+    let scale = 3usize;
+    let width = text.len() * 6 * scale + 20;
+    let height = 7 * scale + 24;
+    let mut img = Bitmap::new(width, height, Color::WHITE);
+    // Speckle noise.
+    for _ in 0..width * height / 20 {
+        let x = rng.gen_range(0..width) as i64;
+        let y = rng.gen_range(0..height) as i64;
+        img.set(x, y, Color::GRAY);
+    }
+    // Glyphs with vertical jitter.
+    for (i, c) in text.chars().enumerate() {
+        let jitter = rng.gen_range(0..10) as i64;
+        img.glyph(c, (10 + i * 6 * scale) as i64, 4 + jitter, scale, Color::BLACK);
+    }
+    // Strike-through lines.
+    for _ in 0..2 {
+        let y0 = rng.gen_range(0..height) as i64;
+        let y1 = rng.gen_range(0..height) as i64;
+        img.line(0, y0, width as i64 - 1, y1, Color::GRAY);
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn challenge_verify_pass() {
+        let svc = CaptchaService::new(42, 6);
+        let ch = svc.challenge();
+        let text = svc.peek(ch.id).unwrap();
+        assert_eq!(svc.verify(ch.id, &text), Verify::Pass);
+        // Consumed: a second attempt is Unknown.
+        assert_eq!(svc.verify(ch.id, &text), Verify::Unknown);
+    }
+
+    #[test]
+    fn wrong_answer_fails_and_consumes() {
+        let svc = CaptchaService::new(43, 5);
+        let ch = svc.challenge();
+        assert_eq!(svc.verify(ch.id, "WRONG"), Verify::Fail);
+        assert_eq!(svc.verify(ch.id, "WRONG"), Verify::Unknown);
+        assert_eq!(svc.pending(), 0);
+    }
+
+    #[test]
+    fn verification_is_case_insensitive_and_trims() {
+        let svc = CaptchaService::new(44, 5);
+        let ch = svc.challenge();
+        let text = svc.peek(ch.id).unwrap().to_lowercase();
+        assert_eq!(svc.verify(ch.id, &format!("  {text}  ")), Verify::Pass);
+    }
+
+    #[test]
+    fn unknown_id_is_unknown() {
+        let svc = CaptchaService::new(45, 5);
+        assert_eq!(svc.verify(999, "X"), Verify::Unknown);
+    }
+
+    #[test]
+    fn challenge_text_uses_unambiguous_alphabet() {
+        let svc = CaptchaService::new(46, 8);
+        for _ in 0..10 {
+            let ch = svc.challenge();
+            let text = svc.peek(ch.id).unwrap();
+            assert!(text.bytes().all(|b| ALPHABET.contains(&b)), "{text}");
+            assert_eq!(text.len(), 8);
+        }
+    }
+
+    #[test]
+    fn images_contain_ink_and_noise() {
+        let img = render_captcha("AB3X", 7);
+        assert!(img.count_pixels(Color::BLACK) > 100, "glyph ink missing");
+        assert!(img.count_pixels(Color::GRAY) > 50, "noise missing");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_per_seed() {
+        assert_eq!(render_captcha("HELLO", 5), render_captcha("HELLO", 5));
+        assert_ne!(render_captcha("HELLO", 5), render_captcha("HELLO", 6));
+    }
+
+    #[test]
+    fn distinct_texts_render_distinct_images() {
+        assert_ne!(render_captcha("AAAA", 5), render_captcha("BBBB", 5));
+    }
+}

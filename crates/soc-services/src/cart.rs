@@ -1,0 +1,272 @@
+//! The shopping-cart service: carts, line items, quantity math, and a
+//! small promotion engine — the commerce staple of the repository.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Money in integer cents (floats and money don't mix — a unit-5 aside
+/// the course makes too).
+pub type Cents = i64;
+
+/// One line of a cart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineItem {
+    /// Stock-keeping id.
+    pub sku: String,
+    /// Display name.
+    pub name: String,
+    /// Unit price in cents.
+    pub unit_price: Cents,
+    /// Quantity (≥ 1 while in the cart).
+    pub quantity: u32,
+}
+
+impl LineItem {
+    /// Line total.
+    pub fn total(&self) -> Cents {
+        self.unit_price * self.quantity as i64
+    }
+}
+
+/// Discounts applied at checkout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Promotion {
+    /// Percent off the subtotal (1..=100).
+    PercentOff(u32),
+    /// Fixed amount off, floored at zero.
+    AmountOff(Cents),
+    /// Buy `buy` of a SKU, pay for `pay` of them.
+    BuyNPayM {
+        /// SKU the promotion applies to.
+        sku: String,
+        /// Units that must be in the cart.
+        buy: u32,
+        /// Units actually charged per `buy` group.
+        pay: u32,
+    },
+}
+
+/// A priced cart summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// Line items at checkout time.
+    pub items: Vec<LineItem>,
+    /// Sum of line totals.
+    pub subtotal: Cents,
+    /// Total discount (≥ 0).
+    pub discount: Cents,
+    /// Amount due.
+    pub total: Cents,
+}
+
+/// The cart service: many carts by id.
+pub struct CartService {
+    carts: Mutex<HashMap<u64, Vec<LineItem>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for CartService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CartService {
+    /// Empty service.
+    pub fn new() -> Self {
+        CartService { carts: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) }
+    }
+
+    /// Create an empty cart, returning its id.
+    pub fn create(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.carts.lock().insert(id, Vec::new());
+        id
+    }
+
+    /// Add quantity of an item (merges with an existing line of the same
+    /// SKU; the price of the existing line wins on conflict).
+    pub fn add(&self, cart: u64, item: LineItem) -> Result<(), String> {
+        if item.quantity == 0 {
+            return Err("quantity must be at least 1".into());
+        }
+        if item.unit_price < 0 {
+            return Err("price cannot be negative".into());
+        }
+        let mut carts = self.carts.lock();
+        let lines = carts.get_mut(&cart).ok_or("no such cart")?;
+        if let Some(line) = lines.iter_mut().find(|l| l.sku == item.sku) {
+            line.quantity += item.quantity;
+        } else {
+            lines.push(item);
+        }
+        Ok(())
+    }
+
+    /// Remove up to `quantity` units of a SKU; the line disappears at 0.
+    pub fn remove(&self, cart: u64, sku: &str, quantity: u32) -> Result<(), String> {
+        let mut carts = self.carts.lock();
+        let lines = carts.get_mut(&cart).ok_or("no such cart")?;
+        let Some(pos) = lines.iter().position(|l| l.sku == sku) else {
+            return Err(format!("sku {sku:?} not in cart"));
+        };
+        if lines[pos].quantity <= quantity {
+            lines.remove(pos);
+        } else {
+            lines[pos].quantity -= quantity;
+        }
+        Ok(())
+    }
+
+    /// Current lines.
+    pub fn items(&self, cart: u64) -> Result<Vec<LineItem>, String> {
+        self.carts.lock().get(&cart).cloned().ok_or_else(|| "no such cart".into())
+    }
+
+    /// Price the cart with promotions; does not consume it.
+    pub fn checkout(&self, cart: u64, promotions: &[Promotion]) -> Result<Receipt, String> {
+        let items = self.items(cart)?;
+        let subtotal: Cents = items.iter().map(LineItem::total).sum();
+        let mut discount: Cents = 0;
+        for promo in promotions {
+            discount += match promo {
+                Promotion::PercentOff(pct) => {
+                    if *pct == 0 || *pct > 100 {
+                        return Err("percent must be 1..=100".into());
+                    }
+                    subtotal * *pct as i64 / 100
+                }
+                Promotion::AmountOff(cents) => (*cents).max(0),
+                Promotion::BuyNPayM { sku, buy, pay } => {
+                    if pay > buy || *buy == 0 {
+                        return Err("buy/pay promotion malformed".into());
+                    }
+                    match items.iter().find(|l| l.sku == *sku) {
+                        Some(line) => {
+                            let groups = line.quantity / buy;
+                            (groups * (buy - pay)) as i64 * line.unit_price
+                        }
+                        None => 0,
+                    }
+                }
+            };
+        }
+        let discount = discount.min(subtotal);
+        Ok(Receipt { items, subtotal, discount, total: subtotal - discount })
+    }
+
+    /// Drop a cart; `true` if it existed.
+    pub fn destroy(&self, cart: u64) -> bool {
+        self.carts.lock().remove(&cart).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn book() -> LineItem {
+        LineItem { sku: "bk-1".into(), name: "SOC text".into(), unit_price: 4999, quantity: 1 }
+    }
+
+    fn pen() -> LineItem {
+        LineItem { sku: "pn-1".into(), name: "pen".into(), unit_price: 150, quantity: 3 }
+    }
+
+    #[test]
+    fn add_merge_and_totals() {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, book()).unwrap();
+        svc.add(id, book()).unwrap();
+        svc.add(id, pen()).unwrap();
+        let items = svc.items(id).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].quantity, 2);
+        let receipt = svc.checkout(id, &[]).unwrap();
+        assert_eq!(receipt.subtotal, 2 * 4999 + 3 * 150);
+        assert_eq!(receipt.total, receipt.subtotal);
+        assert_eq!(receipt.discount, 0);
+    }
+
+    #[test]
+    fn remove_decrements_and_deletes() {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, pen()).unwrap();
+        svc.remove(id, "pn-1", 2).unwrap();
+        assert_eq!(svc.items(id).unwrap()[0].quantity, 1);
+        svc.remove(id, "pn-1", 5).unwrap();
+        assert!(svc.items(id).unwrap().is_empty());
+        assert!(svc.remove(id, "pn-1", 1).is_err());
+    }
+
+    #[test]
+    fn percent_discount() {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, book()).unwrap();
+        let r = svc.checkout(id, &[Promotion::PercentOff(10)]).unwrap();
+        assert_eq!(r.discount, 499);
+        assert_eq!(r.total, 4999 - 499);
+        assert!(svc.checkout(id, &[Promotion::PercentOff(0)]).is_err());
+        assert!(svc.checkout(id, &[Promotion::PercentOff(101)]).is_err());
+    }
+
+    #[test]
+    fn buy_n_pay_m() {
+        let svc = CartService::new();
+        let id = svc.create();
+        let mut pens = pen();
+        pens.quantity = 7; // 7 pens, buy 3 pay 2 → 2 groups → 2 free
+        svc.add(id, pens).unwrap();
+        let promo = Promotion::BuyNPayM { sku: "pn-1".into(), buy: 3, pay: 2 };
+        let r = svc.checkout(id, &[promo]).unwrap();
+        assert_eq!(r.discount, 2 * 150);
+        // Promotion on an absent SKU is a no-op.
+        let promo = Promotion::BuyNPayM { sku: "ghost".into(), buy: 3, pay: 2 };
+        assert_eq!(svc.checkout(id, &[promo]).unwrap().discount, 0);
+    }
+
+    #[test]
+    fn discount_never_exceeds_subtotal() {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, pen()).unwrap();
+        let r = svc.checkout(id, &[Promotion::AmountOff(1_000_000)]).unwrap();
+        assert_eq!(r.total, 0);
+        assert_eq!(r.discount, r.subtotal);
+    }
+
+    #[test]
+    fn stacked_promotions_accumulate() {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, book()).unwrap();
+        let r = svc
+            .checkout(id, &[Promotion::PercentOff(10), Promotion::AmountOff(500)])
+            .unwrap();
+        assert_eq!(r.discount, 499 + 500);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let svc = CartService::new();
+        let id = svc.create();
+        assert!(svc.add(id, LineItem { quantity: 0, ..book() }).is_err());
+        assert!(svc.add(id, LineItem { unit_price: -5, ..book() }).is_err());
+        assert!(svc.add(999, book()).is_err());
+        assert!(svc.items(999).is_err());
+    }
+
+    #[test]
+    fn destroy_cart() {
+        let svc = CartService::new();
+        let id = svc.create();
+        assert!(svc.destroy(id));
+        assert!(!svc.destroy(id));
+        assert!(svc.items(id).is_err());
+    }
+}

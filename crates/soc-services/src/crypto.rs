@@ -1,0 +1,378 @@
+//! The encryption/decryption service core: teaching ciphers plus a real
+//! block cipher (XTEA) implemented from scratch, and the hex/base64
+//! codecs the other services share.
+//!
+//! These are course artifacts, not production cryptography — the point
+//! (per the paper's dependability unit) is that students implement and
+//! *compose* security mechanisms, and that both ends of a service
+//! agree on a wire format.
+
+/// Lowercase hex encoding.
+pub fn hex_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+/// Hex decoding (strict: even length, hex digits only).
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err("odd-length hex string".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| {
+            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}"))
+        })
+        .collect()
+}
+
+const B64: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding.
+pub fn base64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32;
+        out.push(B64[(n >> 18) as usize & 63] as char);
+        out.push(B64[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { B64[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { B64[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Base64 decoding (strict on alphabet; tolerant of missing padding).
+pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
+    let mut vals = Vec::with_capacity(s.len());
+    for c in s.bytes() {
+        if c == b'=' {
+            break;
+        }
+        let v = match c {
+            b'A'..=b'Z' => c - b'A',
+            b'a'..=b'z' => c - b'a' + 26,
+            b'0'..=b'9' => c - b'0' + 52,
+            b'+' => 62,
+            b'/' => 63,
+            b'\r' | b'\n' => continue,
+            _ => return Err(format!("invalid base64 byte {c:#x}")),
+        };
+        vals.push(v);
+    }
+    let mut out = Vec::with_capacity(vals.len() * 3 / 4);
+    for chunk in vals.chunks(4) {
+        match chunk.len() {
+            4 => {
+                let n = ((chunk[0] as u32) << 18)
+                    | ((chunk[1] as u32) << 12)
+                    | ((chunk[2] as u32) << 6)
+                    | chunk[3] as u32;
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
+            }
+            3 => {
+                let n = ((chunk[0] as u32) << 18) | ((chunk[1] as u32) << 12) | ((chunk[2] as u32) << 6);
+                out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8]);
+            }
+            2 => {
+                let n = ((chunk[0] as u32) << 18) | ((chunk[1] as u32) << 12);
+                out.push((n >> 16) as u8);
+            }
+            _ => return Err("truncated base64".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Caesar shift over ASCII letters (the icebreaker cipher).
+pub fn caesar(text: &str, shift: u8) -> String {
+    text.chars()
+        .map(|c| match c {
+            'a'..='z' => (((c as u8 - b'a' + shift % 26) % 26) + b'a') as char,
+            'A'..='Z' => (((c as u8 - b'A' + shift % 26) % 26) + b'A') as char,
+            c => c,
+        })
+        .collect()
+}
+
+/// Vigenère over ASCII letters with an alphabetic key.
+pub fn vigenere_encrypt(text: &str, key: &str) -> Result<String, String> {
+    vigenere(text, key, false)
+}
+
+/// Inverse of [`vigenere_encrypt`].
+pub fn vigenere_decrypt(text: &str, key: &str) -> Result<String, String> {
+    vigenere(text, key, true)
+}
+
+fn vigenere(text: &str, key: &str, decrypt: bool) -> Result<String, String> {
+    let key: Vec<u8> = key
+        .bytes()
+        .filter(|b| b.is_ascii_alphabetic())
+        .map(|b| b.to_ascii_lowercase() - b'a')
+        .collect();
+    if key.is_empty() {
+        return Err("key must contain letters".into());
+    }
+    let mut ki = 0usize;
+    Ok(text
+        .chars()
+        .map(|c| {
+            let shift = key[ki % key.len()];
+            let shift = if decrypt { 26 - shift } else { shift };
+            match c {
+                'a'..='z' | 'A'..='Z' => {
+                    ki += 1;
+                    let base = if c.is_ascii_lowercase() { b'a' } else { b'A' };
+                    (((c as u8 - base + shift) % 26) + base) as char
+                }
+                c => c,
+            }
+        })
+        .collect())
+}
+
+/// XTEA block cipher (64-bit blocks, 128-bit key, 64 Feistel rounds) —
+/// the "real" cipher of the set, straight from the published algorithm.
+pub struct Xtea {
+    key: [u32; 4],
+}
+
+impl Xtea {
+    const DELTA: u32 = 0x9E37_79B9;
+    const ROUNDS: u32 = 32;
+
+    /// Build from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let mut k = [0u32; 4];
+        for (i, chunk) in key.chunks(4).enumerate() {
+            k[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        Xtea { key: k }
+    }
+
+    /// Derive a key from a passphrase (FNV-1a expansion; course-grade).
+    pub fn from_passphrase(pass: &str) -> Self {
+        let mut key = [0u8; 16];
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, slot) in key.iter_mut().enumerate() {
+            for b in pass.bytes() {
+                h ^= b as u64 ^ (i as u64) << 8;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            h = h.wrapping_mul(0x100_0000_01b3).rotate_left(7);
+            *slot = (h >> 32) as u8;
+        }
+        Xtea::new(&key)
+    }
+
+    fn encrypt_block(&self, block: [u32; 2]) -> [u32; 2] {
+        let [mut v0, mut v1] = block;
+        let mut sum: u32 = 0;
+        for _ in 0..Self::ROUNDS {
+            v0 = v0.wrapping_add(
+                ((v1 << 4) ^ (v1 >> 5))
+                    .wrapping_add(v1)
+                    ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
+            );
+            sum = sum.wrapping_add(Self::DELTA);
+            v1 = v1.wrapping_add(
+                ((v0 << 4) ^ (v0 >> 5))
+                    .wrapping_add(v0)
+                    ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
+            );
+        }
+        [v0, v1]
+    }
+
+    fn decrypt_block(&self, block: [u32; 2]) -> [u32; 2] {
+        let [mut v0, mut v1] = block;
+        let mut sum: u32 = Self::DELTA.wrapping_mul(Self::ROUNDS);
+        for _ in 0..Self::ROUNDS {
+            v1 = v1.wrapping_sub(
+                ((v0 << 4) ^ (v0 >> 5))
+                    .wrapping_add(v0)
+                    ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
+            );
+            sum = sum.wrapping_sub(Self::DELTA);
+            v0 = v0.wrapping_sub(
+                ((v1 << 4) ^ (v1 >> 5))
+                    .wrapping_add(v1)
+                    ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
+            );
+        }
+        [v0, v1]
+    }
+
+    /// Encrypt bytes (PKCS#7-style padding, ECB mode — documented
+    /// course simplification).
+    pub fn encrypt(&self, plaintext: &[u8]) -> Vec<u8> {
+        let pad = 8 - plaintext.len() % 8;
+        let mut data = plaintext.to_vec();
+        data.extend(std::iter::repeat_n(pad as u8, pad));
+        let mut out = Vec::with_capacity(data.len());
+        for chunk in data.chunks(8) {
+            let block = [
+                u32::from_be_bytes(chunk[0..4].try_into().expect("block")),
+                u32::from_be_bytes(chunk[4..8].try_into().expect("block")),
+            ];
+            let enc = self.encrypt_block(block);
+            out.extend_from_slice(&enc[0].to_be_bytes());
+            out.extend_from_slice(&enc[1].to_be_bytes());
+        }
+        out
+    }
+
+    /// Decrypt bytes, validating the padding.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, String> {
+        if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(8) {
+            return Err("ciphertext must be a positive multiple of 8 bytes".into());
+        }
+        let mut out = Vec::with_capacity(ciphertext.len());
+        for chunk in ciphertext.chunks(8) {
+            let block = [
+                u32::from_be_bytes(chunk[0..4].try_into().expect("block")),
+                u32::from_be_bytes(chunk[4..8].try_into().expect("block")),
+            ];
+            let dec = self.decrypt_block(block);
+            out.extend_from_slice(&dec[0].to_be_bytes());
+            out.extend_from_slice(&dec[1].to_be_bytes());
+        }
+        let pad = *out.last().expect("nonempty") as usize;
+        if pad == 0 || pad > 8 || out.len() < pad {
+            return Err("bad padding".into());
+        }
+        if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
+            return Err("bad padding".into());
+        }
+        out.truncate(out.len() - pad);
+        Ok(out)
+    }
+}
+
+/// The service facade: encrypt/decrypt text with a passphrase, output
+/// base64 — the exact operation pair the repository's encryption
+/// service exposes.
+pub struct EncryptionService;
+
+impl EncryptionService {
+    /// Encrypt UTF-8 text to base64.
+    pub fn encrypt_text(passphrase: &str, plaintext: &str) -> String {
+        base64_encode(&Xtea::from_passphrase(passphrase).encrypt(plaintext.as_bytes()))
+    }
+
+    /// Decrypt base64 back to text.
+    pub fn decrypt_text(passphrase: &str, ciphertext_b64: &str) -> Result<String, String> {
+        let data = base64_decode(ciphertext_b64)?;
+        let plain = Xtea::from_passphrase(passphrase).decrypt(&data)?;
+        String::from_utf8(plain).map_err(|_| "decrypted bytes are not UTF-8".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let data = vec![0x00, 0xff, 0x10, 0xab];
+        assert_eq!(hex_encode(&data), "00ff10ab");
+        assert_eq!(hex_decode("00ff10ab").unwrap(), data);
+        assert!(hex_decode("0g").is_err());
+        assert!(hex_decode("abc").is_err());
+    }
+
+    #[test]
+    fn base64_known_vectors() {
+        // RFC 4648 test vectors.
+        assert_eq!(base64_encode(b""), "");
+        assert_eq!(base64_encode(b"f"), "Zg==");
+        assert_eq!(base64_encode(b"fo"), "Zm8=");
+        assert_eq!(base64_encode(b"foo"), "Zm9v");
+        assert_eq!(base64_encode(b"foob"), "Zm9vYg==");
+        assert_eq!(base64_encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(base64_encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn base64_round_trip_binary() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+        assert!(base64_decode("!!").is_err());
+    }
+
+    #[test]
+    fn caesar_wraps() {
+        assert_eq!(caesar("Attack at Dawn!", 3), "Dwwdfn dw Gdzq!");
+        assert_eq!(caesar(&caesar("xyz", 3), 23), "xyz");
+    }
+
+    #[test]
+    fn vigenere_round_trip() {
+        let c = vigenere_encrypt("Meet me at the Web service", "lemon").unwrap();
+        assert_ne!(c, "Meet me at the Web service");
+        assert_eq!(vigenere_decrypt(&c, "LEMON").unwrap(), "Meet me at the Web service");
+        assert!(vigenere_encrypt("x", "123").is_err());
+    }
+
+    #[test]
+    fn vigenere_classic_vector() {
+        assert_eq!(
+            vigenere_encrypt("ATTACKATDAWN", "LEMON").unwrap(),
+            "LXFOPVEFRNHR"
+        );
+    }
+
+    #[test]
+    fn xtea_block_round_trip() {
+        let cipher = Xtea::new(b"0123456789abcdef");
+        let block = [0xDEAD_BEEF, 0x0BAD_F00D];
+        let enc = cipher.encrypt_block(block);
+        assert_ne!(enc, block);
+        assert_eq!(cipher.decrypt_block(enc), block);
+    }
+
+    #[test]
+    fn xtea_bytes_round_trip_various_lengths() {
+        let cipher = Xtea::from_passphrase("course key");
+        for len in [0, 1, 7, 8, 9, 63, 64, 100] {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let enc = cipher.encrypt(&data);
+            assert_eq!(enc.len() % 8, 0);
+            assert_eq!(cipher.decrypt(&enc).unwrap(), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn xtea_wrong_key_fails_or_garbles() {
+        let enc = Xtea::from_passphrase("right").encrypt(b"secret message");
+        match Xtea::from_passphrase("wrong").decrypt(&enc) {
+            Err(_) => {}
+            Ok(garbled) => assert_ne!(garbled, b"secret message"),
+        }
+    }
+
+    #[test]
+    fn xtea_rejects_bad_ciphertext() {
+        let cipher = Xtea::from_passphrase("k");
+        assert!(cipher.decrypt(&[]).is_err());
+        assert!(cipher.decrypt(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn service_facade_round_trip() {
+        let c = EncryptionService::encrypt_text("pw", "hello service world");
+        assert_eq!(EncryptionService::decrypt_text("pw", &c).unwrap(), "hello service world");
+        assert!(EncryptionService::decrypt_text("pw", "not base64 !!").is_err());
+    }
+
+    #[test]
+    fn different_passphrases_differ() {
+        let a = EncryptionService::encrypt_text("a", "same text");
+        let b = EncryptionService::encrypt_text("b", "same text");
+        assert_ne!(a, b);
+    }
+}

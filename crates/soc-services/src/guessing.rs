@@ -1,0 +1,204 @@
+//! The random-number guessing game service — the repository's "hello
+//! world" of stateful services.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Feedback for one guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// Guess is below the secret.
+    Higher,
+    /// Guess is above the secret.
+    Lower,
+    /// Guess is the secret; the game is over.
+    Correct {
+        /// Guesses used, including this one.
+        attempts: u32,
+    },
+    /// The game already finished.
+    GameOver,
+}
+
+struct Game {
+    secret: u32,
+    max: u32,
+    attempts: u32,
+    finished: bool,
+}
+
+/// The guessing-game service: many concurrent games, each identified by
+/// the id returned from [`GuessingGame::start`].
+pub struct GuessingGame {
+    games: Mutex<HashMap<u64, Game>>,
+    next_id: AtomicU64,
+    seed: AtomicU64,
+}
+
+impl GuessingGame {
+    /// Service seeded for reproducible secrets.
+    pub fn new(seed: u64) -> Self {
+        GuessingGame {
+            games: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            seed: AtomicU64::new(seed),
+        }
+    }
+
+    /// Start a game with a secret in `1..=max`. Returns the game id.
+    pub fn start(&self, max: u32) -> Result<u64, String> {
+        if max < 2 {
+            return Err("max must be at least 2".into());
+        }
+        let seed = self.seed.fetch_add(0x9E37_79B9, Ordering::Relaxed);
+        let secret = StdRng::seed_from_u64(seed).gen_range(1..=max);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.games.lock().insert(id, Game { secret, max, attempts: 0, finished: false });
+        Ok(id)
+    }
+
+    /// Make a guess.
+    pub fn guess(&self, game_id: u64, guess: u32) -> Result<Feedback, String> {
+        let mut games = self.games.lock();
+        let game = games.get_mut(&game_id).ok_or("no such game")?;
+        if game.finished {
+            return Ok(Feedback::GameOver);
+        }
+        if guess == 0 || guess > game.max {
+            return Err(format!("guess must be in 1..={}", game.max));
+        }
+        game.attempts += 1;
+        Ok(match guess.cmp(&game.secret) {
+            std::cmp::Ordering::Less => Feedback::Higher,
+            std::cmp::Ordering::Greater => Feedback::Lower,
+            std::cmp::Ordering::Equal => {
+                game.finished = true;
+                Feedback::Correct { attempts: game.attempts }
+            }
+        })
+    }
+
+    /// Forfeit and reveal the secret (ends the game).
+    pub fn reveal(&self, game_id: u64) -> Result<u32, String> {
+        let mut games = self.games.lock();
+        let game = games.get_mut(&game_id).ok_or("no such game")?;
+        game.finished = true;
+        Ok(game.secret)
+    }
+
+    /// Number of games currently tracked.
+    pub fn active_games(&self) -> usize {
+        self.games.lock().len()
+    }
+}
+
+/// Optimal strategy: binary search. Returns the attempts used — handy
+/// both as a test oracle and as the workflow example's "player".
+pub fn binary_search_play(svc: &GuessingGame, game_id: u64, max: u32) -> Result<u32, String> {
+    let (mut lo, mut hi) = (1u32, max);
+    loop {
+        let mid = lo + (hi - lo) / 2;
+        match svc.guess(game_id, mid)? {
+            Feedback::Correct { attempts } => return Ok(attempts),
+            Feedback::Higher => lo = mid + 1,
+            Feedback::Lower => hi = mid - 1,
+            Feedback::GameOver => return Err("game already over".into()),
+        }
+        if lo > hi {
+            return Err("inconsistent feedback".into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn game_lifecycle() {
+        let svc = GuessingGame::new(7);
+        let id = svc.start(100).unwrap();
+        let secret = {
+            // Play binary search; must find it within ceil(log2(100)) = 7.
+            let attempts = binary_search_play(&svc, id, 100).unwrap();
+            assert!(attempts <= 7, "binary search took {attempts}");
+            attempts
+        };
+        assert!(secret >= 1);
+        // Finished games report GameOver.
+        assert_eq!(svc.guess(id, 1).unwrap(), Feedback::GameOver);
+    }
+
+    #[test]
+    fn feedback_directions_are_correct() {
+        let svc = GuessingGame::new(1);
+        let id = svc.start(50).unwrap();
+        let secret = svc.reveal(id).unwrap();
+        assert!((1..=50).contains(&secret));
+        // Fresh game with known secret via a replayed seed is awkward;
+        // instead verify directions against the revealed value on a new
+        // game by brute force.
+        let id2 = svc.start(50).unwrap();
+        let mut found = None;
+        for g in 1..=50 {
+            match svc.guess(id2, g).unwrap() {
+                Feedback::Correct { .. } => {
+                    found = Some(g);
+                    break;
+                }
+                Feedback::Higher => {}
+                other => panic!("ascending scan got {other:?} at {g}"),
+            }
+        }
+        assert!(found.is_some());
+    }
+
+    #[test]
+    fn out_of_range_guesses_rejected() {
+        let svc = GuessingGame::new(2);
+        let id = svc.start(10).unwrap();
+        assert!(svc.guess(id, 0).is_err());
+        assert!(svc.guess(id, 11).is_err());
+        assert!(svc.guess(999, 5).is_err());
+    }
+
+    #[test]
+    fn tiny_ranges_rejected() {
+        let svc = GuessingGame::new(3);
+        assert!(svc.start(1).is_err());
+        assert!(svc.start(2).is_ok());
+    }
+
+    #[test]
+    fn concurrent_games_are_independent() {
+        let svc = std::sync::Arc::new(GuessingGame::new(4));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let svc = svc.clone();
+            handles.push(std::thread::spawn(move || {
+                let id = svc.start(1000).unwrap();
+                binary_search_play(&svc, id, 1000).unwrap()
+            }));
+        }
+        for h in handles {
+            let attempts = h.join().unwrap();
+            assert!(attempts <= 10);
+        }
+        assert_eq!(svc.active_games(), 4);
+    }
+
+    #[test]
+    fn secrets_vary_across_games() {
+        let svc = GuessingGame::new(5);
+        let mut secrets = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let id = svc.start(1_000_000).unwrap();
+            secrets.insert(svc.reveal(id).unwrap());
+        }
+        assert!(secrets.len() > 15, "secrets look constant: {secrets:?}");
+    }
+}

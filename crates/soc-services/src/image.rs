@@ -1,0 +1,404 @@
+//! The dynamic image generation service: an RGB bitmap with drawing
+//! primitives, a 5×7 bitmap font, chart rendering, and PPM/BMP
+//! encoders — the unit-5 topic "dynamic graphics generation to leverage
+//! the presentation of Web applications".
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color(pub u8, pub u8, pub u8);
+
+#[allow(missing_docs)]
+impl Color {
+    pub const WHITE: Color = Color(255, 255, 255);
+    pub const BLACK: Color = Color(0, 0, 0);
+    pub const RED: Color = Color(200, 30, 30);
+    pub const GREEN: Color = Color(30, 160, 60);
+    pub const BLUE: Color = Color(40, 70, 200);
+    pub const GRAY: Color = Color(180, 180, 180);
+}
+
+/// A simple in-memory RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    width: usize,
+    height: usize,
+    pixels: Vec<Color>,
+}
+
+impl Bitmap {
+    /// A `width × height` image filled with `background`.
+    pub fn new(width: usize, height: usize, background: Color) -> Self {
+        assert!(width > 0 && height > 0, "image must be non-empty");
+        Bitmap { width, height, pixels: vec![background; width * height] }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read a pixel (panics out of bounds).
+    pub fn get(&self, x: usize, y: usize) -> Color {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Write a pixel; silently ignores out-of-bounds (clip semantics).
+    pub fn set(&mut self, x: i64, y: i64, color: Color) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = color;
+        }
+    }
+
+    /// Filled rectangle (clipped).
+    pub fn fill_rect(&mut self, x: i64, y: i64, w: usize, h: usize, color: Color) {
+        for dy in 0..h as i64 {
+            for dx in 0..w as i64 {
+                self.set(x + dx, y + dy, color);
+            }
+        }
+    }
+
+    /// Bresenham line (clipped).
+    pub fn line(&mut self, mut x0: i64, mut y0: i64, x1: i64, y1: i64, color: Color) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.set(x0, y0, color);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+
+    /// Filled disk (clipped).
+    pub fn disk(&mut self, cx: i64, cy: i64, r: i64, color: Color) {
+        for y in -r..=r {
+            for x in -r..=r {
+                if x * x + y * y <= r * r {
+                    self.set(cx + x, cy + y, color);
+                }
+            }
+        }
+    }
+
+    /// Draw one glyph at `(x, y)` with the given pixel scale.
+    pub fn glyph(&mut self, c: char, x: i64, y: i64, scale: usize, color: Color) {
+        let rows = font5x7(c);
+        for (ry, row) in rows.iter().enumerate() {
+            for rx in 0..5 {
+                if row & (1 << (4 - rx)) != 0 {
+                    self.fill_rect(
+                        x + (rx * scale) as i64,
+                        y + (ry * scale) as i64,
+                        scale,
+                        scale,
+                        color,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Draw a string; returns the x coordinate after the last glyph.
+    pub fn text(&mut self, s: &str, x: i64, y: i64, scale: usize, color: Color) -> i64 {
+        let mut cx = x;
+        for c in s.chars() {
+            self.glyph(c, cx, y, scale, color);
+            cx += (6 * scale) as i64;
+        }
+        cx
+    }
+
+    /// Count pixels equal to `color` (used by tests and the captcha's
+    /// density heuristics).
+    pub fn count_pixels(&self, color: Color) -> usize {
+        self.pixels.iter().filter(|&&p| p == color).count()
+    }
+
+    /// Encode as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for p in &self.pixels {
+            out.extend_from_slice(&[p.0, p.1, p.2]);
+        }
+        out
+    }
+
+    /// Encode as an uncompressed 24-bit BMP.
+    pub fn to_bmp(&self) -> Vec<u8> {
+        let row_size = (self.width * 3).div_ceil(4) * 4;
+        let pixel_bytes = row_size * self.height;
+        let file_size = 54 + pixel_bytes;
+        let mut out = Vec::with_capacity(file_size);
+        // File header.
+        out.extend_from_slice(b"BM");
+        out.extend_from_slice(&(file_size as u32).to_le_bytes());
+        out.extend_from_slice(&[0; 4]);
+        out.extend_from_slice(&54u32.to_le_bytes());
+        // DIB header (BITMAPINFOHEADER).
+        out.extend_from_slice(&40u32.to_le_bytes());
+        out.extend_from_slice(&(self.width as i32).to_le_bytes());
+        out.extend_from_slice(&(self.height as i32).to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&24u16.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+        out.extend_from_slice(&2835u32.to_le_bytes());
+        out.extend_from_slice(&2835u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        // Pixel data: bottom-up, BGR, rows padded to 4 bytes.
+        for y in (0..self.height).rev() {
+            let mut written = 0;
+            for x in 0..self.width {
+                let p = self.get(x, y);
+                out.extend_from_slice(&[p.2, p.1, p.0]);
+                written += 3;
+            }
+            while written % 4 != 0 {
+                out.push(0);
+                written += 1;
+            }
+        }
+        out
+    }
+}
+
+/// 5×7 font rows (bit 4 = leftmost). Covers digits, upper-case letters,
+/// and a few punctuation marks; unknown characters render as a box.
+pub fn font5x7(c: char) -> [u8; 7] {
+    match c.to_ascii_uppercase() {
+        '0' => [0x0E, 0x11, 0x13, 0x15, 0x19, 0x11, 0x0E],
+        '1' => [0x04, 0x0C, 0x04, 0x04, 0x04, 0x04, 0x0E],
+        '2' => [0x0E, 0x11, 0x01, 0x02, 0x04, 0x08, 0x1F],
+        '3' => [0x1F, 0x02, 0x04, 0x02, 0x01, 0x11, 0x0E],
+        '4' => [0x02, 0x06, 0x0A, 0x12, 0x1F, 0x02, 0x02],
+        '5' => [0x1F, 0x10, 0x1E, 0x01, 0x01, 0x11, 0x0E],
+        '6' => [0x06, 0x08, 0x10, 0x1E, 0x11, 0x11, 0x0E],
+        '7' => [0x1F, 0x01, 0x02, 0x04, 0x08, 0x08, 0x08],
+        '8' => [0x0E, 0x11, 0x11, 0x0E, 0x11, 0x11, 0x0E],
+        '9' => [0x0E, 0x11, 0x11, 0x0F, 0x01, 0x02, 0x0C],
+        'A' => [0x0E, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11],
+        'B' => [0x1E, 0x11, 0x11, 0x1E, 0x11, 0x11, 0x1E],
+        'C' => [0x0E, 0x11, 0x10, 0x10, 0x10, 0x11, 0x0E],
+        'D' => [0x1C, 0x12, 0x11, 0x11, 0x11, 0x12, 0x1C],
+        'E' => [0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x1F],
+        'F' => [0x1F, 0x10, 0x10, 0x1E, 0x10, 0x10, 0x10],
+        'G' => [0x0E, 0x11, 0x10, 0x17, 0x11, 0x11, 0x0F],
+        'H' => [0x11, 0x11, 0x11, 0x1F, 0x11, 0x11, 0x11],
+        'I' => [0x0E, 0x04, 0x04, 0x04, 0x04, 0x04, 0x0E],
+        'J' => [0x07, 0x02, 0x02, 0x02, 0x02, 0x12, 0x0C],
+        'K' => [0x11, 0x12, 0x14, 0x18, 0x14, 0x12, 0x11],
+        'L' => [0x10, 0x10, 0x10, 0x10, 0x10, 0x10, 0x1F],
+        'M' => [0x11, 0x1B, 0x15, 0x15, 0x11, 0x11, 0x11],
+        'N' => [0x11, 0x19, 0x15, 0x13, 0x11, 0x11, 0x11],
+        'O' => [0x0E, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E],
+        'P' => [0x1E, 0x11, 0x11, 0x1E, 0x10, 0x10, 0x10],
+        'Q' => [0x0E, 0x11, 0x11, 0x11, 0x15, 0x12, 0x0D],
+        'R' => [0x1E, 0x11, 0x11, 0x1E, 0x14, 0x12, 0x11],
+        'S' => [0x0F, 0x10, 0x10, 0x0E, 0x01, 0x01, 0x1E],
+        'T' => [0x1F, 0x04, 0x04, 0x04, 0x04, 0x04, 0x04],
+        'U' => [0x11, 0x11, 0x11, 0x11, 0x11, 0x11, 0x0E],
+        'V' => [0x11, 0x11, 0x11, 0x11, 0x11, 0x0A, 0x04],
+        'W' => [0x11, 0x11, 0x11, 0x15, 0x15, 0x1B, 0x11],
+        'X' => [0x11, 0x11, 0x0A, 0x04, 0x0A, 0x11, 0x11],
+        'Y' => [0x11, 0x11, 0x0A, 0x04, 0x04, 0x04, 0x04],
+        'Z' => [0x1F, 0x01, 0x02, 0x04, 0x08, 0x10, 0x1F],
+        ' ' => [0; 7],
+        '-' => [0x00, 0x00, 0x00, 0x1F, 0x00, 0x00, 0x00],
+        '.' => [0x00, 0x00, 0x00, 0x00, 0x00, 0x0C, 0x0C],
+        ':' => [0x00, 0x0C, 0x0C, 0x00, 0x0C, 0x0C, 0x00],
+        '%' => [0x18, 0x19, 0x02, 0x04, 0x08, 0x13, 0x03],
+        '/' => [0x01, 0x02, 0x02, 0x04, 0x08, 0x08, 0x10],
+        _ => [0x1F, 0x11, 0x11, 0x11, 0x11, 0x11, 0x1F],
+    }
+}
+
+/// Render a labeled bar chart — the service's showcase endpoint (and
+/// the renderer behind the Figure 5 harness when an image is wanted).
+pub fn bar_chart(title: &str, series: &[(String, f64)], width: usize, height: usize) -> Bitmap {
+    let mut img = Bitmap::new(width.max(80), height.max(60), Color::WHITE);
+    let w = img.width();
+    let h = img.height();
+    img.text(title, 4, 2, 1, Color::BLACK);
+    if series.is_empty() {
+        return img;
+    }
+    let max = series.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let chart_top = 14i64;
+    let chart_bottom = h as i64 - 12;
+    let chart_height = (chart_bottom - chart_top).max(1) as f64;
+    let slot = w / series.len();
+    let bar_w = (slot as f64 * 0.6) as usize;
+    for (i, (label, v)) in series.iter().enumerate() {
+        let bar_h = ((v / max) * chart_height) as i64;
+        let x = (i * slot + (slot - bar_w) / 2) as i64;
+        img.fill_rect(x, chart_bottom - bar_h, bar_w, bar_h.max(0) as usize, Color::BLUE);
+        let short: String = label.chars().take(slot / 6).collect();
+        img.text(&short, (i * slot) as i64 + 2, chart_bottom + 3, 1, Color::BLACK);
+    }
+    // Axis.
+    img.line(0, chart_bottom, w as i64 - 1, chart_bottom, Color::BLACK);
+    img
+}
+
+/// Render a polyline chart of one or more series.
+pub fn line_chart(
+    title: &str,
+    series: &[(&str, Vec<f64>, Color)],
+    width: usize,
+    height: usize,
+) -> Bitmap {
+    let mut img = Bitmap::new(width.max(80), height.max(60), Color::WHITE);
+    let w = img.width() as i64;
+    let h = img.height() as i64;
+    img.text(title, 4, 2, 1, Color::BLACK);
+    let max = series
+        .iter()
+        .flat_map(|(_, v, _)| v.iter().copied())
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let top = 14i64;
+    let bottom = h - 6;
+    for (_, points, color) in series {
+        if points.len() < 2 {
+            continue;
+        }
+        let step = (w - 10) as f64 / (points.len() - 1) as f64;
+        for i in 1..points.len() {
+            let x0 = 5 + (step * (i - 1) as f64) as i64;
+            let x1 = 5 + (step * i as f64) as i64;
+            let y0 = bottom - ((points[i - 1] / max) * (bottom - top) as f64) as i64;
+            let y1 = bottom - ((points[i] / max) * (bottom - top) as f64) as i64;
+            img.line(x0, y0, x1, y1, *color);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixels_set_and_clip() {
+        let mut img = Bitmap::new(10, 10, Color::WHITE);
+        img.set(3, 4, Color::RED);
+        assert_eq!(img.get(3, 4), Color::RED);
+        // Out of bounds is a no-op, not a panic.
+        img.set(-1, 0, Color::RED);
+        img.set(100, 100, Color::RED);
+        assert_eq!(img.count_pixels(Color::RED), 1);
+    }
+
+    #[test]
+    fn rect_fills_expected_area() {
+        let mut img = Bitmap::new(20, 20, Color::WHITE);
+        img.fill_rect(2, 3, 5, 4, Color::BLUE);
+        assert_eq!(img.count_pixels(Color::BLUE), 20);
+        // Clipped rect.
+        img.fill_rect(18, 18, 10, 10, Color::GREEN);
+        assert_eq!(img.count_pixels(Color::GREEN), 4);
+    }
+
+    #[test]
+    fn line_endpoints_are_drawn() {
+        let mut img = Bitmap::new(30, 30, Color::WHITE);
+        img.line(1, 1, 28, 20, Color::BLACK);
+        assert_eq!(img.get(1, 1), Color::BLACK);
+        assert_eq!(img.get(28, 20), Color::BLACK);
+        assert!(img.count_pixels(Color::BLACK) >= 28);
+    }
+
+    #[test]
+    fn disk_is_roughly_circular() {
+        let mut img = Bitmap::new(21, 21, Color::WHITE);
+        img.disk(10, 10, 5, Color::RED);
+        let n = img.count_pixels(Color::RED) as f64;
+        let area = std::f64::consts::PI * 25.0;
+        assert!((n - area).abs() < area * 0.25, "disk area {n} vs {area}");
+    }
+
+    #[test]
+    fn text_renders_ink() {
+        let mut img = Bitmap::new(100, 20, Color::WHITE);
+        let end = img.text("SOC 2014", 2, 2, 1, Color::BLACK);
+        assert!(end > 2);
+        assert!(img.count_pixels(Color::BLACK) > 50);
+    }
+
+    #[test]
+    fn distinct_glyphs_have_distinct_shapes() {
+        assert_ne!(font5x7('0'), font5x7('8'));
+        assert_ne!(font5x7('A'), font5x7('B'));
+        assert_eq!(font5x7('a'), font5x7('A'));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let img = Bitmap::new(4, 3, Color::WHITE);
+        let ppm = img.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), 11 + 4 * 3 * 3);
+    }
+
+    #[test]
+    fn bmp_structure() {
+        let mut img = Bitmap::new(5, 2, Color::WHITE);
+        img.set(0, 0, Color::RED);
+        let bmp = img.to_bmp();
+        assert_eq!(&bmp[0..2], b"BM");
+        let file_size = u32::from_le_bytes(bmp[2..6].try_into().unwrap()) as usize;
+        assert_eq!(file_size, bmp.len());
+        // Rows padded to 4 bytes: 5*3=15 → 16 per row.
+        assert_eq!(bmp.len(), 54 + 16 * 2);
+        // Top-left red pixel is the *last* row in BMP (bottom-up), BGR.
+        let last_row = &bmp[54 + 16..54 + 16 + 3];
+        assert_eq!(last_row, &[30, 30, 200]);
+    }
+
+    #[test]
+    fn bar_chart_draws_bars() {
+        let img = bar_chart(
+            "ENROLLMENT",
+            &[("2006".into(), 39.0), ("2010".into(), 76.0), ("2013".into(), 134.0)],
+            200,
+            100,
+        );
+        assert!(img.count_pixels(Color::BLUE) > 100);
+    }
+
+    #[test]
+    fn line_chart_draws_series() {
+        let img = line_chart(
+            "SPEEDUP",
+            &[("s", vec![1.0, 3.8, 7.2, 13.0, 22.0], Color::RED)],
+            200,
+            100,
+        );
+        assert!(img.count_pixels(Color::RED) > 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_bitmap_rejected() {
+        let _ = Bitmap::new(0, 5, Color::WHITE);
+    }
+}

@@ -1,0 +1,42 @@
+//! # soc-services — the ASU Repository of Services and Applications
+//!
+//! Section V of the paper enumerates the services the ASU repository
+//! hosts for coursework: *"encryption and decryption services, access
+//! control services, random number guessing game services, random
+//! string (strong password) generation services, dynamic image
+//! generation services, random string image (image verifier) service,
+//! caching services, shopping cart services, messaging buffer services,
+//! and mortgage application/approval services"*, implemented *"in
+//! multiple formats"*. Every one of those is here, as a plain Rust core
+//! plus REST and (for the contract-shaped ones) SOAP bindings:
+//!
+//! | Paper service | Module |
+//! |---|---|
+//! | encryption/decryption | [`crypto`] |
+//! | access control | [`access`] |
+//! | number guessing game | [`guessing`] |
+//! | strong password generation | [`password`] |
+//! | dynamic image generation | [`image`] |
+//! | image verifier (captcha) | [`captcha`] |
+//! | caching | [`cache`] |
+//! | shopping cart | [`cart`] |
+//! | messaging buffer | [`buffer`] |
+//! | mortgage application/approval (+ credit score) | [`mortgage`] |
+//! | hosting + registry catalog | [`bindings`] |
+//!
+//! [`bindings::host_all`] stands the whole repository up on a
+//! [`soc_http::MemNetwork`] and returns the registry descriptors, so
+//! directories, crawlers, and workflows can compose against it — the
+//! same role `venus.eas.asu.edu/WSRepository/` plays in the paper.
+
+pub mod access;
+pub mod bindings;
+pub mod buffer;
+pub mod cache;
+pub mod captcha;
+pub mod cart;
+pub mod crypto;
+pub mod guessing;
+pub mod image;
+pub mod mortgage;
+pub mod password;

@@ -1,0 +1,285 @@
+//! The mortgage application/approval service and the credit-score
+//! service it consumes — the provider-calls-a-provider pattern of the
+//! Figure 4 project ("Check credit score" via a "Credit score Web
+//! service").
+//!
+//! The credit bureau is proprietary in real life; here it is a
+//! deterministic synthetic service: the score is a stable function of
+//! the SSN, so tests, workflows, and the web app all agree.
+
+/// The synthetic credit-score service (also bound over SOAP in
+/// [`crate::bindings`]).
+pub struct CreditScoreService;
+
+impl CreditScoreService {
+    /// Score range low end.
+    pub const MIN: u32 = 300;
+    /// Score range high end.
+    pub const MAX: u32 = 850;
+
+    /// Deterministic score for an SSN-like id. Same input, same score —
+    /// the substitution contract for the paper's third-party bureau.
+    pub fn score(ssn: &str) -> u32 {
+        let digits: Vec<u8> = ssn.bytes().filter(|b| b.is_ascii_digit()).collect();
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        for &d in &digits {
+            h ^= d as u64;
+            h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9).rotate_left(13);
+        }
+        Self::MIN + (h % (Self::MAX - Self::MIN + 1) as u64) as u32
+    }
+
+    /// Is an SSN well-formed (9 digits, optionally dashed)?
+    pub fn valid_ssn(ssn: &str) -> bool {
+        let digits = ssn.bytes().filter(|b| b.is_ascii_digit()).count();
+        let valid_chars = ssn.bytes().all(|b| b.is_ascii_digit() || b == b'-' || b == b' ');
+        digits == 9 && valid_chars
+    }
+}
+
+/// A mortgage application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Application {
+    /// Applicant name.
+    pub name: String,
+    /// Applicant SSN (drives the synthetic credit score).
+    pub ssn: String,
+    /// Annual gross income in dollars.
+    pub annual_income: u64,
+    /// Requested loan principal in dollars.
+    pub loan_amount: u64,
+    /// Term in years.
+    pub term_years: u32,
+}
+
+/// The decision on an application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Approved with a rate (basis points) reflecting the score.
+    Approved {
+        /// Credit score used.
+        score: u32,
+        /// Annual rate in basis points (e.g. 450 = 4.50%).
+        rate_bps: u32,
+        /// Computed monthly payment in dollars (rounded up).
+        monthly_payment: u64,
+    },
+    /// Rejected with the failed rules.
+    Rejected {
+        /// Credit score used (when the SSN was at least valid).
+        score: Option<u32>,
+        /// Human-readable reasons.
+        reasons: Vec<String>,
+    },
+}
+
+/// The approval service: validation + the underwriting rules from the
+/// course project (score floor, debt-to-income cap).
+pub struct MortgageService {
+    /// Minimum acceptable credit score.
+    pub min_score: u32,
+    /// Maximum loan/income ratio ×100 (e.g. 400 = 4× income).
+    pub max_loan_to_income_pct: u64,
+}
+
+impl Default for MortgageService {
+    fn default() -> Self {
+        MortgageService { min_score: 620, max_loan_to_income_pct: 400 }
+    }
+}
+
+impl MortgageService {
+    /// Underwrite one application.
+    pub fn decide(&self, app: &Application) -> Decision {
+        let mut reasons = Vec::new();
+        if app.name.trim().is_empty() {
+            reasons.push("name is required".to_string());
+        }
+        if !CreditScoreService::valid_ssn(&app.ssn) {
+            reasons.push("SSN must contain nine digits".to_string());
+            return Decision::Rejected { score: None, reasons };
+        }
+        if app.loan_amount == 0 || app.term_years == 0 || app.term_years > 40 {
+            reasons.push("loan amount and term must be positive (term ≤ 40 years)".to_string());
+        }
+
+        let score = CreditScoreService::score(&app.ssn);
+        if score < self.min_score {
+            reasons.push(format!("credit score {score} below minimum {}", self.min_score));
+        }
+        if app.annual_income == 0
+            || app.loan_amount * 100 > app.annual_income * self.max_loan_to_income_pct
+        {
+            reasons.push(format!(
+                "loan exceeds {}% of annual income",
+                self.max_loan_to_income_pct
+            ));
+        }
+        if !reasons.is_empty() {
+            return Decision::Rejected { score: Some(score), reasons };
+        }
+
+        // Risk-based pricing: 850 → 3.00%, min_score → 7.00%.
+        let span = (CreditScoreService::MAX - self.min_score).max(1);
+        let rate_bps = 300 + (700 - 300) * (CreditScoreService::MAX - score) / span;
+        let monthly_payment = monthly_payment(app.loan_amount, rate_bps, app.term_years);
+        Decision::Approved { score, rate_bps, monthly_payment }
+    }
+}
+
+/// Standard amortized monthly payment, integer math on cents, rounded
+/// up to whole dollars.
+pub fn monthly_payment(principal_dollars: u64, rate_bps: u32, term_years: u32) -> u64 {
+    let n = (term_years * 12) as f64;
+    let p = principal_dollars as f64;
+    let r = rate_bps as f64 / 10_000.0 / 12.0;
+    if r == 0.0 {
+        return (p / n).ceil() as u64;
+    }
+    let factor = (1.0 + r).powf(n);
+    ((p * r * factor) / (factor - 1.0)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_app(ssn: &str) -> Application {
+        Application {
+            name: "Ann Example".into(),
+            ssn: ssn.into(),
+            annual_income: 90_000,
+            loan_amount: 250_000,
+            term_years: 30,
+        }
+    }
+
+    /// Find SSNs with scores in a range (the deterministic service makes
+    /// this a plain search).
+    fn ssn_with_score(pred: impl Fn(u32) -> bool) -> String {
+        for i in 0..100_000u32 {
+            let ssn = format!("{:09}", i);
+            if pred(CreditScoreService::score(&ssn)) {
+                return ssn;
+            }
+        }
+        panic!("no SSN found in range");
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_in_range() {
+        for ssn in ["123-45-6789", "987654321", "000000001"] {
+            let a = CreditScoreService::score(ssn);
+            let b = CreditScoreService::score(ssn);
+            assert_eq!(a, b);
+            assert!((CreditScoreService::MIN..=CreditScoreService::MAX).contains(&a));
+        }
+        // Dashes don't change the score.
+        assert_eq!(
+            CreditScoreService::score("123-45-6789"),
+            CreditScoreService::score("123456789")
+        );
+    }
+
+    #[test]
+    fn scores_spread_across_range() {
+        let mut lows = 0;
+        let mut highs = 0;
+        for i in 0..200u32 {
+            let s = CreditScoreService::score(&format!("{:09}", i * 7919));
+            if s < 575 {
+                lows += 1;
+            }
+            if s > 575 {
+                highs += 1;
+            }
+        }
+        assert!(lows > 20 && highs > 20, "degenerate distribution: {lows}/{highs}");
+    }
+
+    #[test]
+    fn ssn_validation() {
+        assert!(CreditScoreService::valid_ssn("123-45-6789"));
+        assert!(CreditScoreService::valid_ssn("123456789"));
+        assert!(!CreditScoreService::valid_ssn("12345678"));
+        assert!(!CreditScoreService::valid_ssn("12345678a"));
+        assert!(!CreditScoreService::valid_ssn(""));
+    }
+
+    #[test]
+    fn high_score_applications_approved() {
+        let svc = MortgageService::default();
+        let ssn = ssn_with_score(|s| s >= 750);
+        match svc.decide(&good_app(&ssn)) {
+            Decision::Approved { score, rate_bps, monthly_payment } => {
+                assert!(score >= 750);
+                assert!((300..=700).contains(&rate_bps));
+                assert!(monthly_payment > 0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_score_applications_rejected() {
+        let svc = MortgageService::default();
+        let ssn = ssn_with_score(|s| s < 620);
+        match svc.decide(&good_app(&ssn)) {
+            Decision::Rejected { score: Some(s), reasons } => {
+                assert!(s < 620);
+                assert!(reasons.iter().any(|r| r.contains("credit score")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn better_scores_get_better_rates() {
+        let svc = MortgageService::default();
+        let low = ssn_with_score(|s| (620..650).contains(&s));
+        let high = ssn_with_score(|s| s > 820);
+        let rate = |ssn: &str| match svc.decide(&good_app(ssn)) {
+            Decision::Approved { rate_bps, .. } => rate_bps,
+            other => panic!("{other:?}"),
+        };
+        assert!(rate(&high) < rate(&low));
+    }
+
+    #[test]
+    fn dti_cap_enforced() {
+        let svc = MortgageService::default();
+        let ssn = ssn_with_score(|s| s > 700);
+        let mut app = good_app(&ssn);
+        app.loan_amount = 500_000; // > 4 × 90k
+        match svc.decide(&app) {
+            Decision::Rejected { reasons, .. } => {
+                assert!(reasons.iter().any(|r| r.contains("income")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_ssn_short_circuits() {
+        let svc = MortgageService::default();
+        let mut app = good_app("123");
+        app.name = String::new();
+        match svc.decide(&app) {
+            Decision::Rejected { score: None, reasons } => {
+                assert!(reasons.iter().any(|r| r.contains("SSN")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn payment_math() {
+        // 0% APR: simple division.
+        assert_eq!(monthly_payment(360_000, 0, 30), 1000);
+        // Known ballpark: $250k at 4.5% for 30y ≈ $1,267/mo.
+        let p = monthly_payment(250_000, 450, 30);
+        assert!((1260..=1275).contains(&p), "payment {p}");
+        // Higher rate → higher payment.
+        assert!(monthly_payment(250_000, 700, 30) > p);
+    }
+}

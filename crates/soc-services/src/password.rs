@@ -1,0 +1,200 @@
+//! The random string / strong password generation service, with an
+//! entropy estimator so clients can see *why* a password is strong.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Character classes to draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Charset {
+    /// a–z
+    pub lower: bool,
+    /// A–Z
+    pub upper: bool,
+    /// 0–9
+    pub digits: bool,
+    /// Punctuation.
+    pub symbols: bool,
+}
+
+impl Charset {
+    /// Everything on.
+    pub fn full() -> Self {
+        Charset { lower: true, upper: true, digits: true, symbols: true }
+    }
+
+    /// Letters and digits only.
+    pub fn alphanumeric() -> Self {
+        Charset { lower: true, upper: true, digits: true, symbols: false }
+    }
+
+    fn alphabet(&self) -> Vec<char> {
+        let mut a = Vec::new();
+        if self.lower {
+            a.extend('a'..='z');
+        }
+        if self.upper {
+            a.extend('A'..='Z');
+        }
+        if self.digits {
+            a.extend('0'..='9');
+        }
+        if self.symbols {
+            a.extend("!@#$%^&*()-_=+[]{}<>?".chars());
+        }
+        a
+    }
+}
+
+/// The generator service (seedable for reproducible tests; production
+/// callers seed from the OS).
+pub struct PasswordService {
+    rng: parking_lot::Mutex<StdRng>,
+}
+
+impl PasswordService {
+    /// Service with an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        PasswordService { rng: parking_lot::Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Generate a random string of `length` from `charset`. When the
+    /// charset enables a class, the output is guaranteed to contain at
+    /// least one character of it (the classic policy requirement),
+    /// provided `length` allows.
+    pub fn generate(&self, length: usize, charset: Charset) -> Result<String, String> {
+        let alphabet = charset.alphabet();
+        if alphabet.is_empty() {
+            return Err("charset selects no characters".into());
+        }
+        if length == 0 || length > 1024 {
+            return Err("length must be in 1..=1024".into());
+        }
+        let mut rng = self.rng.lock();
+        loop {
+            let candidate: String =
+                (0..length).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect();
+            if Self::satisfies(&candidate, charset) || length < Self::classes_on(charset) {
+                return Ok(candidate);
+            }
+        }
+    }
+
+    fn classes_on(c: Charset) -> usize {
+        [c.lower, c.upper, c.digits, c.symbols].iter().filter(|&&b| b).count()
+    }
+
+    fn satisfies(s: &str, c: Charset) -> bool {
+        (!c.lower || s.chars().any(|ch| ch.is_ascii_lowercase()))
+            && (!c.upper || s.chars().any(|ch| ch.is_ascii_uppercase()))
+            && (!c.digits || s.chars().any(|ch| ch.is_ascii_digit()))
+            && (!c.symbols || s.chars().any(|ch| !ch.is_ascii_alphanumeric()))
+    }
+
+    /// Shannon-style entropy estimate in bits: `length × log2(|alphabet|)`
+    /// for the smallest standard alphabet covering the string.
+    pub fn entropy_bits(password: &str) -> f64 {
+        let mut alphabet = 0usize;
+        if password.chars().any(|c| c.is_ascii_lowercase()) {
+            alphabet += 26;
+        }
+        if password.chars().any(|c| c.is_ascii_uppercase()) {
+            alphabet += 26;
+        }
+        if password.chars().any(|c| c.is_ascii_digit()) {
+            alphabet += 10;
+        }
+        if password.chars().any(|c| !c.is_ascii_alphanumeric()) {
+            alphabet += 21;
+        }
+        if alphabet == 0 {
+            return 0.0;
+        }
+        password.chars().count() as f64 * (alphabet as f64).log2()
+    }
+
+    /// Strength label from the entropy estimate.
+    pub fn strength(password: &str) -> &'static str {
+        let bits = Self::entropy_bits(password);
+        if bits < 28.0 {
+            "very weak"
+        } else if bits < 45.0 {
+            "weak"
+        } else if bits < 70.0 {
+            "reasonable"
+        } else if bits < 100.0 {
+            "strong"
+        } else {
+            "very strong"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length() {
+        let svc = PasswordService::new(1);
+        for len in [1, 8, 16, 64] {
+            assert_eq!(svc.generate(len, Charset::full()).unwrap().chars().count(), len);
+        }
+    }
+
+    #[test]
+    fn respects_charset() {
+        let svc = PasswordService::new(2);
+        let digits_only = Charset { lower: false, upper: false, digits: true, symbols: false };
+        let p = svc.generate(32, digits_only).unwrap();
+        assert!(p.chars().all(|c| c.is_ascii_digit()), "{p}");
+    }
+
+    #[test]
+    fn covers_all_enabled_classes() {
+        let svc = PasswordService::new(3);
+        for _ in 0..20 {
+            let p = svc.generate(12, Charset::full()).unwrap();
+            assert!(p.chars().any(|c| c.is_ascii_lowercase()), "{p}");
+            assert!(p.chars().any(|c| c.is_ascii_uppercase()), "{p}");
+            assert!(p.chars().any(|c| c.is_ascii_digit()), "{p}");
+            assert!(p.chars().any(|c| !c.is_ascii_alphanumeric()), "{p}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let svc = PasswordService::new(4);
+        let none = Charset { lower: false, upper: false, digits: false, symbols: false };
+        assert!(svc.generate(8, none).is_err());
+        assert!(svc.generate(0, Charset::full()).is_err());
+        assert!(svc.generate(2000, Charset::full()).is_err());
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = PasswordService::new(9).generate(16, Charset::full()).unwrap();
+        let b = PasswordService::new(9).generate(16, Charset::full()).unwrap();
+        assert_eq!(a, b);
+        let c = PasswordService::new(10).generate(16, Charset::full()).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn entropy_estimates() {
+        assert_eq!(PasswordService::entropy_bits(""), 0.0);
+        let lower8 = PasswordService::entropy_bits("abcdefgh");
+        assert!((lower8 - 8.0 * (26f64).log2()).abs() < 1e-9);
+        assert!(
+            PasswordService::entropy_bits("aB3!aB3!") > PasswordService::entropy_bits("aaaaaaaa")
+        );
+    }
+
+    #[test]
+    fn strength_labels_monotone() {
+        assert_eq!(PasswordService::strength("abc"), "very weak");
+        assert_eq!(PasswordService::strength("abcdefgh"), "weak");
+        assert_eq!(PasswordService::strength("aB3!xY9?qW"), "reasonable");
+        assert_eq!(PasswordService::strength("aB3!xY9?qW7$mN2&kL5t"), "very strong");
+    }
+}

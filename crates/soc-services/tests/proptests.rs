@@ -1,0 +1,174 @@
+//! Property tests for the repository services: crypto round-trips over
+//! arbitrary data/keys, cart arithmetic laws, cache behavioral model,
+//! and mortgage decision invariants.
+
+use proptest::prelude::*;
+use soc_services::cache::CacheService;
+use soc_services::cart::{CartService, LineItem, Promotion};
+use soc_services::crypto::{
+    base64_decode, base64_encode, hex_decode, hex_encode, vigenere_decrypt, vigenere_encrypt,
+    EncryptionService, Xtea,
+};
+use soc_services::mortgage::{Application, CreditScoreService, Decision, MortgageService};
+use soc_services::password::PasswordService;
+
+proptest! {
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn base64_round_trip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assert_eq!(base64_decode(&base64_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn xtea_round_trip(
+        key in proptest::collection::vec(any::<u8>(), 16..17),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let key: [u8; 16] = key.try_into().unwrap();
+        let cipher = Xtea::new(&key);
+        let enc = cipher.encrypt(&data);
+        prop_assert_eq!(enc.len() % 8, 0);
+        prop_assert!(enc.len() >= data.len());
+        prop_assert_eq!(cipher.decrypt(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn xtea_ciphertext_differs_from_plaintext(
+        data in proptest::collection::vec(any::<u8>(), 8..128),
+    ) {
+        let cipher = Xtea::from_passphrase("k");
+        let enc = cipher.encrypt(&data);
+        prop_assert_ne!(&enc[..data.len().min(enc.len())], &data[..]);
+    }
+
+    #[test]
+    fn text_encryption_round_trip(pass in "[ -~]{1,24}", text in "[ -~é中]{0,128}") {
+        let c = EncryptionService::encrypt_text(&pass, &text);
+        prop_assert_eq!(EncryptionService::decrypt_text(&pass, &c).unwrap(), text);
+    }
+
+    #[test]
+    fn vigenere_round_trip(key in "[a-zA-Z]{1,12}", text in "[ -~]{0,96}") {
+        let c = vigenere_encrypt(&text, &key).unwrap();
+        prop_assert_eq!(vigenere_decrypt(&c, &key).unwrap(), text.clone());
+        // Non-letters are untouched.
+        for (a, b) in text.chars().zip(c.chars()) {
+            if !a.is_ascii_alphabetic() {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cart_totals_are_linear(
+        items in proptest::collection::vec(("[a-z]{1,6}", 0i64..10_000, 1u32..20), 1..8),
+    ) {
+        let svc = CartService::new();
+        let id = svc.create();
+        let mut expected = 0i64;
+        for (i, (sku, price, qty)) in items.iter().enumerate() {
+            // Unique SKUs so merging doesn't complicate the oracle.
+            let sku = format!("{sku}-{i}");
+            svc.add(id, LineItem {
+                sku,
+                name: "x".into(),
+                unit_price: *price,
+                quantity: *qty,
+            }).unwrap();
+            expected += *price * *qty as i64;
+        }
+        let r = svc.checkout(id, &[]).unwrap();
+        prop_assert_eq!(r.subtotal, expected);
+        prop_assert_eq!(r.total, expected);
+    }
+
+    #[test]
+    fn percent_discount_bounds(
+        price in 1i64..100_000,
+        qty in 1u32..10,
+        pct in 1u32..100,
+    ) {
+        let svc = CartService::new();
+        let id = svc.create();
+        svc.add(id, LineItem { sku: "a".into(), name: "x".into(), unit_price: price, quantity: qty })
+            .unwrap();
+        let r = svc.checkout(id, &[Promotion::PercentOff(pct)]).unwrap();
+        prop_assert!(r.total >= 0);
+        prop_assert!(r.total <= r.subtotal);
+        prop_assert_eq!(r.total + r.discount, r.subtotal);
+    }
+
+    #[test]
+    fn cache_model(ops in proptest::collection::vec((0u8..2, 0u8..4, "[a-z]{1,2}"), 0..64)) {
+        // Model: unbounded map with TTL ignored (ttl here is huge) —
+        // with capacity ≥ distinct keys the cache must agree exactly.
+        let cache = CacheService::new(64, 1_000_000);
+        let mut model: std::collections::HashMap<String, String> = Default::default();
+        for (t, (op, val, key)) in ops.into_iter().enumerate() {
+            let now = t as u64;
+            match op {
+                0 => {
+                    let v = format!("v{val}");
+                    cache.put(&key, &v, now);
+                    model.insert(key, v);
+                }
+                _ => {
+                    prop_assert_eq!(cache.get(&key, now), model.get(&key).cloned());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn credit_scores_stable_and_bounded(ssn in "[0-9]{9}") {
+        let a = CreditScoreService::score(&ssn);
+        prop_assert_eq!(a, CreditScoreService::score(&ssn));
+        prop_assert!((300..=850).contains(&a));
+        // Formatting with dashes never changes the score.
+        let dashed = format!("{}-{}-{}", &ssn[0..3], &ssn[3..5], &ssn[5..9]);
+        prop_assert_eq!(CreditScoreService::score(&dashed), a);
+    }
+
+    #[test]
+    fn mortgage_decisions_are_rule_consistent(
+        ssn in "[0-9]{9}",
+        income in 1u64..500_000,
+        loan in 1u64..2_000_000,
+    ) {
+        let svc = MortgageService::default();
+        let app = Application {
+            name: "P".into(),
+            ssn: ssn.clone(),
+            annual_income: income,
+            loan_amount: loan,
+            term_years: 30,
+        };
+        let score = CreditScoreService::score(&ssn);
+        let dti_ok = loan * 100 <= income * svc.max_loan_to_income_pct;
+        match svc.decide(&app) {
+            Decision::Approved { score: s, rate_bps, monthly_payment } => {
+                prop_assert_eq!(s, score);
+                prop_assert!(score >= svc.min_score);
+                prop_assert!(dti_ok);
+                prop_assert!((300..=700).contains(&rate_bps));
+                prop_assert!(monthly_payment > 0);
+            }
+            Decision::Rejected { reasons, .. } => {
+                prop_assert!(score < svc.min_score || !dti_ok);
+                prop_assert!(!reasons.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_passwords_meet_policy(seed in any::<u64>(), len in 4usize..64) {
+        let svc = PasswordService::new(seed);
+        let p = svc.generate(len, soc_services::password::Charset::full()).unwrap();
+        prop_assert_eq!(p.chars().count(), len);
+        prop_assert!(PasswordService::entropy_bits(&p) > 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! The SOAP consumer side: typed calls plus WSDL-driven discovery.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc_http::mem::Transport;
+use soc_http::{Request, Status};
+
+use crate::contract::Contract;
+use crate::envelope::{self, Decoded, SoapFault};
+use crate::wsdl::{self, ParsedWsdl};
+
+/// Errors a SOAP consumer can see.
+#[derive(Debug)]
+pub enum SoapError {
+    /// Transport-level failure.
+    Transport(soc_http::HttpError),
+    /// The service returned a fault envelope.
+    Fault(SoapFault),
+    /// The response was not a valid envelope.
+    BadResponse(String),
+    /// Local argument validation failed before sending.
+    BadArguments(String),
+}
+
+impl std::fmt::Display for SoapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoapError::Transport(e) => write!(f, "transport: {e}"),
+            SoapError::Fault(fault) => write!(f, "soap fault: {fault}"),
+            SoapError::BadResponse(d) => write!(f, "bad response: {d}"),
+            SoapError::BadArguments(d) => write!(f, "bad arguments: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SoapError {}
+
+/// A SOAP client bound to a transport.
+#[derive(Clone)]
+pub struct SoapClient {
+    transport: Arc<dyn Transport>,
+}
+
+impl SoapClient {
+    /// Wrap a transport.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        SoapClient { transport }
+    }
+
+    /// Fetch and parse a service's WSDL (service discovery).
+    pub fn discover(&self, endpoint: &str) -> Result<ParsedWsdl, SoapError> {
+        // Normalize through the URL parser so endpoints without a path
+        // (`http://host:port`) gain one before the query is appended.
+        let url = soc_http::Url::parse(endpoint).map_err(SoapError::Transport)?;
+        let sep = if url.query.is_some() { "&" } else { "?" };
+        let resp = self
+            .transport
+            .send(Request::get(format!("{url}{sep}wsdl")))
+            .map_err(SoapError::Transport)?;
+        if !resp.status.is_success() {
+            return Err(SoapError::BadResponse(format!("wsdl fetch returned {}", resp.status)));
+        }
+        wsdl::parse(resp.text_body().map_err(|e| SoapError::BadResponse(e.to_string()))?)
+            .map_err(SoapError::BadResponse)
+    }
+
+    /// Call `operation` with `(name, value)` arguments, validating them
+    /// against `contract` before anything touches the wire.
+    pub fn call(
+        &self,
+        endpoint: &str,
+        contract: &Contract,
+        operation: &str,
+        args: &[(&str, &str)],
+    ) -> Result<HashMap<String, String>, SoapError> {
+        let owned: Vec<(String, String)> =
+            args.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect();
+        contract
+            .validate_inputs(operation, &owned)
+            .map_err(SoapError::BadArguments)?;
+
+        let body = envelope::encode(&contract.namespace, operation, &owned);
+        let req = Request::post(endpoint, Vec::new())
+            .with_text("text/xml; charset=utf-8", &body)
+            .with_header("SOAPAction", &format!("{}#{}", contract.namespace, operation));
+        let resp = self.transport.send(req).map_err(SoapError::Transport)?;
+
+        let text = resp
+            .text_body()
+            .map_err(|e| SoapError::BadResponse(e.to_string()))?;
+        match envelope::decode(text) {
+            Ok(Decoded::Fault(f)) => Err(SoapError::Fault(f)),
+            Ok(Decoded::Body(b)) => {
+                if resp.status != Status::OK {
+                    return Err(SoapError::BadResponse(format!(
+                        "non-fault body with status {}",
+                        resp.status
+                    )));
+                }
+                if b.element != format!("{operation}Response") {
+                    return Err(SoapError::BadResponse(format!(
+                        "expected {operation}Response, got {}",
+                        b.element
+                    )));
+                }
+                Ok(b.params.into_iter().collect())
+            }
+            Err(e) => Err(SoapError::BadResponse(e.to_string())),
+        }
+    }
+
+    /// Discover, then call, in one step: the broker → consumer flow the
+    /// course diagrams.
+    pub fn discover_and_call(
+        &self,
+        endpoint: &str,
+        operation: &str,
+        args: &[(&str, &str)],
+    ) -> Result<HashMap<String, String>, SoapError> {
+        let parsed = self.discover(endpoint)?;
+        self.call(&parsed.endpoint, &parsed.contract, operation, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{Operation, XsdType};
+    use crate::service::SoapService;
+    use soc_http::MemNetwork;
+
+    fn net_with_calc() -> (MemNetwork, Contract) {
+        let contract = Contract::new("Calc", "urn:soc:calc").operation(
+            Operation::new("Add")
+                .input("a", XsdType::Int)
+                .input("b", XsdType::Int)
+                .output("sum", XsdType::Int),
+        );
+        let mut svc = SoapService::new(contract.clone(), "mem://calc/soap");
+        svc.implement("Add", |p| {
+            let a: i64 = p["a"].parse().unwrap();
+            let b: i64 = p["b"].parse().unwrap();
+            Ok(vec![("sum".to_string(), (a + b).to_string())])
+        });
+        let net = MemNetwork::new();
+        net.host("calc", svc);
+        (net, contract)
+    }
+
+    #[test]
+    fn typed_call_round_trip() {
+        let (net, contract) = net_with_calc();
+        let client = SoapClient::new(Arc::new(net));
+        let out = client
+            .call("mem://calc/soap", &contract, "Add", &[("a", "20"), ("b", "22")])
+            .unwrap();
+        assert_eq!(out["sum"], "42");
+    }
+
+    #[test]
+    fn local_validation_blocks_bad_args() {
+        let (net, contract) = net_with_calc();
+        let hits_before = net.hits("calc");
+        let client = SoapClient::new(Arc::new(net.clone()));
+        let err = client
+            .call("mem://calc/soap", &contract, "Add", &[("a", "x"), ("b", "2")])
+            .unwrap_err();
+        assert!(matches!(err, SoapError::BadArguments(_)));
+        // Nothing was sent.
+        assert_eq!(net.hits("calc"), hits_before);
+    }
+
+    #[test]
+    fn fault_surfaces_as_error() {
+        let (net, _) = net_with_calc();
+        let contract = Contract::new("Calc", "urn:wrong").operation(
+            Operation::new("Add")
+                .input("a", XsdType::Int)
+                .input("b", XsdType::Int)
+                .output("sum", XsdType::Int),
+        );
+        let client = SoapClient::new(Arc::new(net));
+        let err = client
+            .call("mem://calc/soap", &contract, "Add", &[("a", "1"), ("b", "2")])
+            .unwrap_err();
+        assert!(matches!(err, SoapError::Fault(f) if f.code == "soap:Client"));
+    }
+
+    #[test]
+    fn discovery_then_call() {
+        let (net, _) = net_with_calc();
+        let client = SoapClient::new(Arc::new(net));
+        let out = client
+            .discover_and_call("mem://calc/soap", "Add", &[("a", "40"), ("b", "2")])
+            .unwrap();
+        assert_eq!(out["sum"], "42");
+    }
+
+    #[test]
+    fn discovery_of_missing_service_fails() {
+        let (net, _) = net_with_calc();
+        let client = SoapClient::new(Arc::new(net));
+        assert!(matches!(
+            client.discover("mem://ghost/soap"),
+            Err(SoapError::Transport(_))
+        ));
+    }
+}

@@ -1,0 +1,219 @@
+//! Service contracts: the typed interface a WSDL document describes.
+
+use std::fmt;
+
+/// XML Schema simple types used in operation signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XsdType {
+    /// `xsd:string`
+    String,
+    /// `xsd:int`
+    Int,
+    /// `xsd:double`
+    Double,
+    /// `xsd:boolean`
+    Boolean,
+}
+
+impl XsdType {
+    /// The `xsd:`-prefixed QName used in schemas.
+    pub fn xsd_name(self) -> &'static str {
+        match self {
+            XsdType::String => "xsd:string",
+            XsdType::Int => "xsd:int",
+            XsdType::Double => "xsd:double",
+            XsdType::Boolean => "xsd:boolean",
+        }
+    }
+
+    /// Parse from the `xsd:*` QName.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name.trim_start_matches("xsd:").trim_start_matches("xs:") {
+            "string" => XsdType::String,
+            "int" | "integer" | "long" => XsdType::Int,
+            "double" | "float" | "decimal" => XsdType::Double,
+            "boolean" => XsdType::Boolean,
+            _ => return None,
+        })
+    }
+
+    /// Lexical validation of a value against the type.
+    pub fn accepts(self, value: &str) -> bool {
+        match self {
+            XsdType::String => true,
+            XsdType::Int => value.trim().parse::<i64>().is_ok(),
+            XsdType::Double => value.trim().parse::<f64>().is_ok(),
+            XsdType::Boolean => matches!(value.trim(), "true" | "false" | "1" | "0"),
+        }
+    }
+}
+
+impl fmt::Display for XsdType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.xsd_name())
+    }
+}
+
+/// One named, typed parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name (element name on the wire).
+    pub name: String,
+    /// Parameter type.
+    pub ty: XsdType,
+}
+
+/// One operation: a request message and a response message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// Operation name (the body's child element name).
+    pub name: String,
+    /// Input parameters in order.
+    pub inputs: Vec<Param>,
+    /// Output parameters in order.
+    pub outputs: Vec<Param>,
+    /// Optional human description (carried into WSDL documentation).
+    pub doc: Option<String>,
+}
+
+impl Operation {
+    /// New operation with no parameters yet.
+    pub fn new(name: &str) -> Self {
+        Operation { name: name.to_string(), inputs: Vec::new(), outputs: Vec::new(), doc: None }
+    }
+
+    /// Builder: add an input parameter.
+    pub fn input(mut self, name: &str, ty: XsdType) -> Self {
+        self.inputs.push(Param { name: name.to_string(), ty });
+        self
+    }
+
+    /// Builder: add an output parameter.
+    pub fn output(mut self, name: &str, ty: XsdType) -> Self {
+        self.outputs.push(Param { name: name.to_string(), ty });
+        self
+    }
+
+    /// Builder: attach documentation.
+    pub fn doc(mut self, text: &str) -> Self {
+        self.doc = Some(text.to_string());
+        self
+    }
+}
+
+/// A service contract: a named set of operations under a target
+/// namespace. Everything a WSDL document encodes (minus transport
+/// bindings, which the service adds when hosting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contract {
+    /// Service name (WSDL `service`/`portType` base name).
+    pub name: String,
+    /// Target namespace URI.
+    pub namespace: String,
+    /// Operations in declaration order.
+    pub operations: Vec<Operation>,
+}
+
+impl Contract {
+    /// New empty contract.
+    pub fn new(name: &str, namespace: &str) -> Self {
+        Contract { name: name.to_string(), namespace: namespace.to_string(), operations: Vec::new() }
+    }
+
+    /// Builder: add an operation.
+    pub fn operation(mut self, op: Operation) -> Self {
+        self.operations.push(op);
+        self
+    }
+
+    /// Look up an operation.
+    pub fn find(&self, name: &str) -> Option<&Operation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+
+    /// Validate `(name, value)` arguments against an operation's input
+    /// signature. Returns a human-readable error on mismatch.
+    pub fn validate_inputs(&self, op: &str, args: &[(String, String)]) -> Result<(), String> {
+        let Some(op) = self.find(op) else {
+            return Err(format!("unknown operation {op:?}"));
+        };
+        for p in &op.inputs {
+            let Some((_, v)) = args.iter().find(|(n, _)| *n == p.name) else {
+                return Err(format!("missing parameter {:?}", p.name));
+            };
+            if !p.ty.accepts(v) {
+                return Err(format!("parameter {:?}={v:?} is not a valid {}", p.name, p.ty));
+            }
+        }
+        for (n, _) in args {
+            if !op.inputs.iter().any(|p| p.name == *n) {
+                return Err(format!("unexpected parameter {n:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn contract() -> Contract {
+        Contract::new("Calc", "urn:calc").operation(
+            Operation::new("Add")
+                .input("a", XsdType::Int)
+                .input("b", XsdType::Int)
+                .output("sum", XsdType::Int)
+                .doc("adds two integers"),
+        )
+    }
+
+    #[test]
+    fn xsd_type_lexing() {
+        assert!(XsdType::Int.accepts("-3"));
+        assert!(!XsdType::Int.accepts("3.5"));
+        assert!(XsdType::Double.accepts("3.5e2"));
+        assert!(XsdType::Boolean.accepts("true"));
+        assert!(!XsdType::Boolean.accepts("yes"));
+        assert!(XsdType::String.accepts("anything"));
+        assert_eq!(XsdType::parse("xsd:int"), Some(XsdType::Int));
+        assert_eq!(XsdType::parse("xs:double"), Some(XsdType::Double));
+        assert_eq!(XsdType::parse("xsd:duration"), None);
+    }
+
+    #[test]
+    fn validate_inputs_happy() {
+        let c = contract();
+        assert!(c
+            .validate_inputs("Add", &[("a".into(), "1".into()), ("b".into(), "2".into())])
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_inputs_failures() {
+        let c = contract();
+        assert!(c.validate_inputs("Sub", &[]).unwrap_err().contains("unknown operation"));
+        assert!(c
+            .validate_inputs("Add", &[("a".into(), "1".into())])
+            .unwrap_err()
+            .contains("missing parameter"));
+        assert!(c
+            .validate_inputs("Add", &[("a".into(), "x".into()), ("b".into(), "2".into())])
+            .unwrap_err()
+            .contains("not a valid"));
+        assert!(c
+            .validate_inputs(
+                "Add",
+                &[("a".into(), "1".into()), ("b".into(), "2".into()), ("c".into(), "3".into())]
+            )
+            .unwrap_err()
+            .contains("unexpected"));
+    }
+
+    #[test]
+    fn find_operations() {
+        let c = contract();
+        assert!(c.find("Add").is_some());
+        assert!(c.find("add").is_none());
+    }
+}

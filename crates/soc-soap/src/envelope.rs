@@ -1,0 +1,217 @@
+//! SOAP 1.1 envelope encoding and decoding.
+
+use soc_xml::{xpath, Document, XmlError};
+
+use crate::SOAP_ENV_NS;
+
+/// A SOAP fault (SOAP 1.1 `<soap:Fault>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoapFault {
+    /// `faultcode`, conventionally `soap:Client` or `soap:Server`.
+    pub code: String,
+    /// Human-readable `faultstring`.
+    pub message: String,
+    /// Optional `detail` text.
+    pub detail: Option<String>,
+}
+
+impl SoapFault {
+    /// A caller-side fault (bad request).
+    pub fn client(message: impl Into<String>) -> Self {
+        SoapFault { code: "soap:Client".into(), message: message.into(), detail: None }
+    }
+
+    /// A service-side fault.
+    pub fn server(message: impl Into<String>) -> Self {
+        SoapFault { code: "soap:Server".into(), message: message.into(), detail: None }
+    }
+
+    /// Builder: attach detail text.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = Some(detail.into());
+        self
+    }
+}
+
+impl std::fmt::Display for SoapFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Build a request/response envelope: one body child named `element`
+/// (namespaced to `ns`), with `(name, value)` children.
+pub fn encode(ns: &str, element: &str, params: &[(String, String)]) -> String {
+    let mut doc = Document::new("soap:Envelope");
+    let root = doc.root();
+    doc.set_attr(root, "xmlns:soap", SOAP_ENV_NS);
+    doc.set_attr(root, "xmlns:m", ns);
+    let body = doc.add_element(root, "soap:Body");
+    let op = doc.add_element(body, format!("m:{element}").as_str());
+    for (name, value) in params {
+        doc.add_text_element(op, name.as_str(), value.clone());
+    }
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&doc.to_xml());
+    out
+}
+
+/// Build a fault envelope.
+pub fn encode_fault(fault: &SoapFault) -> String {
+    let mut doc = Document::new("soap:Envelope");
+    let root = doc.root();
+    doc.set_attr(root, "xmlns:soap", SOAP_ENV_NS);
+    let body = doc.add_element(root, "soap:Body");
+    let f = doc.add_element(body, "soap:Fault");
+    doc.add_text_element(f, "faultcode", fault.code.clone());
+    doc.add_text_element(f, "faultstring", fault.message.clone());
+    if let Some(d) = &fault.detail {
+        doc.add_text_element(f, "detail", d.clone());
+    }
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&doc.to_xml());
+    out
+}
+
+/// A decoded envelope body: the operation element's local name and its
+/// parameter children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedBody {
+    /// Local name of the single body child.
+    pub element: String,
+    /// Namespace of the body child (resolved), if any.
+    pub namespace: Option<String>,
+    /// `(name, text)` of each parameter child.
+    pub params: Vec<(String, String)>,
+}
+
+/// Outcome of decoding: a normal body or a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// A normal request/response payload.
+    Body(DecodedBody),
+    /// A `<soap:Fault>`.
+    Fault(SoapFault),
+}
+
+/// Decode an envelope from XML text. Verifies the envelope structure
+/// and the SOAP namespace. Whitespace inside parameter elements is
+/// preserved — SOAP string values are whitespace-sensitive.
+pub fn decode(xml: &str) -> Result<Decoded, XmlError> {
+    let doc = Document::parse_str_keep_whitespace(xml)?;
+    let root = doc.root();
+    let root_name = doc.name(root).cloned().ok_or(XmlError::ForeignNode)?;
+    if root_name.local != "Envelope" || doc.namespace(root) != Some(SOAP_ENV_NS) {
+        return Err(XmlError::NotWellFormed {
+            pos: Default::default(),
+            detail: "not a SOAP 1.1 envelope".into(),
+        });
+    }
+    let body = doc.find_child(root, "Body").ok_or(XmlError::NotWellFormed {
+        pos: Default::default(),
+        detail: "envelope has no Body".into(),
+    })?;
+    let Some(child) = doc.child_elements(body).next() else {
+        return Err(XmlError::NotWellFormed {
+            pos: Default::default(),
+            detail: "empty SOAP Body".into(),
+        });
+    };
+    let child_name = doc.name(child).cloned().ok_or(XmlError::ForeignNode)?;
+
+    if child_name.local == "Fault" {
+        let code = doc.child_text(child, "faultcode").unwrap_or_default();
+        let message = doc.child_text(child, "faultstring").unwrap_or_default();
+        let detail = doc.child_text(child, "detail");
+        return Ok(Decoded::Fault(SoapFault { code, message, detail }));
+    }
+
+    let mut params = Vec::new();
+    for p in doc.child_elements(child) {
+        if let Some(name) = doc.name(p) {
+            params.push((name.local.clone(), doc.text(p)));
+        }
+    }
+    // Sanity: `xpath` agrees there's exactly one operation element.
+    debug_assert_eq!(
+        xpath::eval("/Envelope/Body/*", &doc).map(|n| n.len()).unwrap_or(1),
+        1
+    );
+    Ok(Decoded::Body(DecodedBody {
+        element: child_name.local.clone(),
+        namespace: doc.namespace(child).map(str::to_string),
+        params,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let xml = encode(
+            "urn:calc",
+            "Add",
+            &[("a".into(), "2".into()), ("b".into(), "40".into())],
+        );
+        match decode(&xml).unwrap() {
+            Decoded::Body(b) => {
+                assert_eq!(b.element, "Add");
+                assert_eq!(b.namespace.as_deref(), Some("urn:calc"));
+                assert_eq!(b.params, vec![
+                    ("a".to_string(), "2".to_string()),
+                    ("b".to_string(), "40".to_string())
+                ]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_round_trip() {
+        let f = SoapFault::server("database down").with_detail("retry later");
+        match decode(&encode_fault(&f)).unwrap() {
+            Decoded::Fault(got) => assert_eq!(got, f),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameter_values_are_escaped() {
+        let xml = encode("urn:x", "Echo", &[("msg".into(), "a <b> & 'c'".into())]);
+        match decode(&xml).unwrap() {
+            Decoded::Body(b) => assert_eq!(b.params[0].1, "a <b> & 'c'"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_envelopes() {
+        assert!(decode("<NotAnEnvelope/>").is_err());
+        assert!(decode("<Envelope xmlns='urn:wrong'><Body/></Envelope>").is_err());
+        assert!(decode("not xml at all").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_or_empty_body() {
+        let no_body = r#"<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"/>"#;
+        assert!(decode(no_body).is_err());
+        let empty_body = r#"<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body/></soap:Envelope>"#;
+        assert!(decode(empty_body).is_err());
+    }
+
+    #[test]
+    fn accepts_foreign_prefixes() {
+        // A peer that uses a different prefix for the same namespace.
+        let xml = r#"<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">
+            <e:Body><op xmlns="urn:z"><x>1</x></op></e:Body></e:Envelope>"#;
+        match decode(xml).unwrap() {
+            Decoded::Body(b) => {
+                assert_eq!(b.element, "op");
+                assert_eq!(b.namespace.as_deref(), Some("urn:z"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

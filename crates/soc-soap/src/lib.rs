@@ -1,0 +1,62 @@
+//! # soc-soap — SOAP 1.1 services with WSDL contracts
+//!
+//! The paper's CSE445 unit 3 teaches "service-oriented computing
+//! standards and interfaces" — WSDL contracts, SOAP envelopes, service
+//! providers and consumers. This crate implements the whole loop from
+//! scratch on top of `soc-xml` and `soc-http`:
+//!
+//! - [`envelope`] — SOAP 1.1 envelope encode/decode and
+//!   [`envelope::SoapFault`]s.
+//! - [`contract`] — service contracts: named operations with typed
+//!   parameters ([`contract::XsdType`]), validated on both ends.
+//! - [`wsdl`] — WSDL 1.1 generation from a contract and parsing of
+//!   (our dialect of) WSDL back into a contract — this is what the
+//!   service *broker* stores and what consumers discover.
+//! - [`service`] — [`service::SoapService`]: an HTTP handler that
+//!   dispatches envelopes to registered operation implementations and
+//!   serves `?wsdl`.
+//! - [`client`] — [`client::SoapClient`]: typed calls over any
+//!   transport, surfacing faults.
+//!
+//! ```
+//! use soc_soap::contract::{Contract, Operation, XsdType};
+//! use soc_soap::service::SoapService;
+//! use soc_soap::client::SoapClient;
+//! use soc_http::mem::MemNetwork;
+//! use std::sync::Arc;
+//!
+//! let contract = Contract::new("Adder", "urn:soc:adder")
+//!     .operation(Operation::new("Add")
+//!         .input("a", XsdType::Int).input("b", XsdType::Int)
+//!         .output("sum", XsdType::Int));
+//! let mut svc = SoapService::new(contract.clone(), "mem://calc/soap");
+//! svc.implement("Add", |params| {
+//!     let a: i64 = params.get("a").unwrap().parse().unwrap();
+//!     let b: i64 = params.get("b").unwrap().parse().unwrap();
+//!     Ok(vec![("sum".to_string(), (a + b).to_string())])
+//! });
+//! let net = MemNetwork::new();
+//! net.host("calc", svc);
+//! let client = SoapClient::new(Arc::new(net));
+//! let out = client.call("mem://calc/soap", &contract, "Add",
+//!     &[("a", "2"), ("b", "40")]).unwrap();
+//! assert_eq!(out.get("sum").map(String::as_str), Some("42"));
+//! ```
+
+pub mod client;
+pub mod contract;
+pub mod envelope;
+pub mod service;
+pub mod wsdl;
+
+pub use client::SoapClient;
+pub use contract::{Contract, Operation, XsdType};
+pub use envelope::SoapFault;
+pub use service::SoapService;
+
+/// The SOAP 1.1 envelope namespace.
+pub const SOAP_ENV_NS: &str = "http://schemas.xmlsoap.org/soap/envelope/";
+/// XML Schema namespace (types).
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema";
+/// WSDL 1.1 namespace.
+pub const WSDL_NS: &str = "http://schemas.xmlsoap.org/wsdl/";

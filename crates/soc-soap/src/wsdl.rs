@@ -1,0 +1,244 @@
+//! WSDL 1.1 document generation and parsing.
+//!
+//! `generate` produces the document a provider serves at `?wsdl`;
+//! `parse` recovers a [`Contract`] plus endpoint from such a document —
+//! which is exactly what the service broker stores and what a consumer
+//! needs to call the service.
+
+use soc_xml::{Document, NodeId};
+
+use crate::contract::{Contract, Operation, XsdType};
+use crate::{SOAP_ENV_NS, WSDL_NS, XSD_NS};
+
+/// Render a WSDL 1.1 document (document/literal convention) for a
+/// contract hosted at `endpoint`.
+pub fn generate(contract: &Contract, endpoint: &str) -> String {
+    let mut doc = Document::new("wsdl:definitions");
+    let root = doc.root();
+    doc.set_attr(root, "xmlns:wsdl", WSDL_NS);
+    doc.set_attr(root, "xmlns:xsd", XSD_NS);
+    doc.set_attr(root, "xmlns:soapenv", SOAP_ENV_NS);
+    doc.set_attr(root, "xmlns:tns", contract.namespace.clone());
+    doc.set_attr(root, "targetNamespace", contract.namespace.clone());
+    doc.set_attr(root, "name", contract.name.clone());
+
+    // <types>: one element per message payload.
+    let types = doc.add_element(root, "wsdl:types");
+    let schema = doc.add_element(types, "xsd:schema");
+    doc.set_attr(schema, "targetNamespace", contract.namespace.clone());
+    for op in &contract.operations {
+        add_message_element(&mut doc, schema, &op.name, &op.inputs);
+        add_message_element(&mut doc, schema, &format!("{}Response", op.name), &op.outputs);
+    }
+
+    // <message> pairs.
+    for op in &contract.operations {
+        for (suffix, element) in [("Input", op.name.clone()), ("Output", format!("{}Response", op.name))] {
+            let msg = doc.add_element(root, "wsdl:message");
+            doc.set_attr(msg, "name", format!("{}{suffix}", op.name));
+            let part = doc.add_element(msg, "wsdl:part");
+            doc.set_attr(part, "name", "parameters");
+            doc.set_attr(part, "element", format!("tns:{element}"));
+        }
+    }
+
+    // <portType>.
+    let port_type = doc.add_element(root, "wsdl:portType");
+    doc.set_attr(port_type, "name", format!("{}PortType", contract.name));
+    for op in &contract.operations {
+        let o = doc.add_element(port_type, "wsdl:operation");
+        doc.set_attr(o, "name", op.name.clone());
+        if let Some(text) = &op.doc {
+            doc.add_text_element(o, "wsdl:documentation", text.clone());
+        }
+        let input = doc.add_element(o, "wsdl:input");
+        doc.set_attr(input, "message", format!("tns:{}Input", op.name));
+        let output = doc.add_element(o, "wsdl:output");
+        doc.set_attr(output, "message", format!("tns:{}Output", op.name));
+    }
+
+    // <binding> (document/literal over SOAP-HTTP).
+    let binding = doc.add_element(root, "wsdl:binding");
+    doc.set_attr(binding, "name", format!("{}Binding", contract.name));
+    doc.set_attr(binding, "type", format!("tns:{}PortType", contract.name));
+    for op in &contract.operations {
+        let o = doc.add_element(binding, "wsdl:operation");
+        doc.set_attr(o, "name", op.name.clone());
+        doc.set_attr(o, "soapAction", format!("{}#{}", contract.namespace, op.name));
+    }
+
+    // <service>/<port>.
+    let service = doc.add_element(root, "wsdl:service");
+    doc.set_attr(service, "name", contract.name.clone());
+    let port = doc.add_element(service, "wsdl:port");
+    doc.set_attr(port, "name", format!("{}Port", contract.name));
+    doc.set_attr(port, "binding", format!("tns:{}Binding", contract.name));
+    let address = doc.add_element(port, "soapenv:address");
+    doc.set_attr(address, "location", endpoint);
+
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    out.push_str(&doc.to_pretty_xml());
+    out
+}
+
+fn add_message_element(
+    doc: &mut Document,
+    schema: NodeId,
+    element_name: &str,
+    params: &[crate::contract::Param],
+) {
+    let el = doc.add_element(schema, "xsd:element");
+    doc.set_attr(el, "name", element_name);
+    let ct = doc.add_element(el, "xsd:complexType");
+    let seq = doc.add_element(ct, "xsd:sequence");
+    for p in params {
+        let pe = doc.add_element(seq, "xsd:element");
+        doc.set_attr(pe, "name", p.name.clone());
+        doc.set_attr(pe, "type", p.ty.xsd_name());
+    }
+}
+
+/// A contract plus its endpoint, recovered from WSDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedWsdl {
+    /// The recovered contract.
+    pub contract: Contract,
+    /// The `soapenv:address location` the service is reachable at.
+    pub endpoint: String,
+}
+
+/// Parse a WSDL document (as produced by [`generate`]).
+pub fn parse(xml: &str) -> Result<ParsedWsdl, String> {
+    let doc = Document::parse_str(xml).map_err(|e| e.to_string())?;
+    let root = doc.root();
+    if doc.name(root).map(|q| q.local.as_str()) != Some("definitions") {
+        return Err("not a WSDL document (no definitions root)".into());
+    }
+    let namespace = doc
+        .attr(root, "targetNamespace")
+        .ok_or("missing targetNamespace")?
+        .to_string();
+    let name = doc.attr(root, "name").unwrap_or("Service").to_string();
+    let mut contract = Contract::new(&name, &namespace);
+
+    // Recover parameter types from the schema.
+    let mut elements: Vec<(String, Vec<(String, XsdType)>)> = Vec::new();
+    if let Some(types) = doc.find_child(root, "types") {
+        if let Some(schema) = doc.find_child(types, "schema") {
+            for el in doc.find_children(schema, "element") {
+                let Some(el_name) = doc.attr(el, "name") else { continue };
+                let mut params = Vec::new();
+                if let Some(ct) = doc.find_child(el, "complexType") {
+                    if let Some(seq) = doc.find_child(ct, "sequence") {
+                        for pe in doc.find_children(seq, "element") {
+                            let pname = doc.attr(pe, "name").unwrap_or("").to_string();
+                            let ty = doc
+                                .attr(pe, "type")
+                                .and_then(XsdType::parse)
+                                .unwrap_or(XsdType::String);
+                            params.push((pname, ty));
+                        }
+                    }
+                }
+                elements.push((el_name.to_string(), params));
+            }
+        }
+    }
+    let lookup = |name: &str| -> Vec<(String, XsdType)> {
+        elements
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_default()
+    };
+
+    // Operations from the portType.
+    let port_type = doc
+        .find_child(root, "portType")
+        .ok_or("missing portType")?;
+    for o in doc.find_children(port_type, "operation") {
+        let Some(op_name) = doc.attr(o, "name") else { continue };
+        let mut op = Operation::new(op_name);
+        if let Some(d) = doc.child_text(o, "documentation") {
+            op.doc = Some(d);
+        }
+        for (pname, ty) in lookup(op_name) {
+            op.inputs.push(crate::contract::Param { name: pname, ty });
+        }
+        for (pname, ty) in lookup(&format!("{op_name}Response")) {
+            op.outputs.push(crate::contract::Param { name: pname, ty });
+        }
+        contract.operations.push(op);
+    }
+
+    // Endpoint from service/port/address.
+    let endpoint = doc
+        .find_child(root, "service")
+        .and_then(|s| doc.find_child(s, "port"))
+        .and_then(|p| doc.find_child(p, "address"))
+        .and_then(|a| doc.attr(a, "location").map(str::to_string))
+        .ok_or("missing service address")?;
+
+    Ok(ParsedWsdl { contract, endpoint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::{Contract, Operation, XsdType};
+
+    fn calc() -> Contract {
+        Contract::new("Calc", "urn:soc:calc")
+            .operation(
+                Operation::new("Add")
+                    .input("a", XsdType::Int)
+                    .input("b", XsdType::Int)
+                    .output("sum", XsdType::Int)
+                    .doc("adds integers"),
+            )
+            .operation(
+                Operation::new("Hypot")
+                    .input("x", XsdType::Double)
+                    .input("y", XsdType::Double)
+                    .output("r", XsdType::Double),
+            )
+    }
+
+    #[test]
+    fn generate_parse_round_trip() {
+        let wsdl = generate(&calc(), "http://example.com/calc");
+        let parsed = parse(&wsdl).unwrap();
+        assert_eq!(parsed.endpoint, "http://example.com/calc");
+        assert_eq!(parsed.contract, calc());
+    }
+
+    #[test]
+    fn generated_document_mentions_standard_namespaces() {
+        let wsdl = generate(&calc(), "mem://calc/soap");
+        assert!(wsdl.contains(crate::WSDL_NS));
+        assert!(wsdl.contains(crate::XSD_NS));
+        assert!(wsdl.contains("targetNamespace=\"urn:soc:calc\""));
+        assert!(wsdl.contains("soapAction=\"urn:soc:calc#Add\""));
+    }
+
+    #[test]
+    fn parse_rejects_non_wsdl() {
+        assert!(parse("<random/>").is_err());
+        assert!(parse("garbage").is_err());
+    }
+
+    #[test]
+    fn parse_requires_address() {
+        let wsdl = generate(&calc(), "mem://calc/soap")
+            .replace("soapenv:address", "soapenv:elsewhere");
+        assert!(parse(&wsdl).is_err());
+    }
+
+    #[test]
+    fn unknown_types_default_to_string() {
+        let wsdl = generate(&calc(), "mem://x").replace("xsd:int", "xsd:duration");
+        let parsed = parse(&wsdl).unwrap();
+        let add = parsed.contract.find("Add").unwrap();
+        assert!(add.inputs.iter().all(|p| p.ty == XsdType::String));
+    }
+}

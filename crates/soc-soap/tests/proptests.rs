@@ -1,0 +1,118 @@
+//! Property tests for the SOAP layer: envelope/fault round-trips with
+//! arbitrary payloads, and WSDL generate→parse identity for arbitrary
+//! contracts.
+
+use proptest::prelude::*;
+use soc_soap::contract::{Contract, Operation, XsdType};
+use soc_soap::envelope::{self, Decoded, SoapFault};
+use soc_soap::wsdl;
+
+fn params_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[a-z][a-z0-9]{0,8}", "[ -~é中]{0,24}"), 0..6).prop_map(|pairs| {
+        // Envelope parameters are element names: dedupe to keep the
+        // comparison well-defined (duplicates are legal XML but the
+        // round-trip compares position-wise).
+        let mut seen = std::collections::HashSet::new();
+        pairs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+    })
+}
+
+fn xsd_type() -> impl Strategy<Value = XsdType> {
+    prop_oneof![
+        Just(XsdType::String),
+        Just(XsdType::Int),
+        Just(XsdType::Double),
+        Just(XsdType::Boolean),
+    ]
+}
+
+fn contract_strategy() -> impl Strategy<Value = Contract> {
+    (
+        "[A-Z][A-Za-z]{0,10}",
+        "[a-z][a-z:.-]{0,16}",
+        proptest::collection::vec(
+            (
+                "[A-Z][A-Za-z0-9]{0,10}",
+                proptest::collection::vec(("[a-z]{1,6}", xsd_type()), 0..4),
+                proptest::collection::vec(("[a-z]{1,6}", xsd_type()), 0..3),
+            ),
+            1..4,
+        ),
+    )
+        .prop_map(|(name, ns, ops)| {
+            let mut c = Contract::new(&name, &format!("urn:{ns}"));
+            let mut seen_ops = std::collections::HashSet::new();
+            for (op_name, ins, outs) in ops {
+                if !seen_ops.insert(op_name.clone()) {
+                    continue;
+                }
+                let mut op = Operation::new(&op_name);
+                let mut seen = std::collections::HashSet::new();
+                for (p, t) in ins {
+                    if seen.insert(p.clone()) {
+                        op = op.input(&p, t);
+                    }
+                }
+                let mut seen = std::collections::HashSet::new();
+                for (p, t) in outs {
+                    if seen.insert(p.clone()) {
+                        op = op.output(&p, t);
+                    }
+                }
+                c.operations.push(op);
+            }
+            c
+        })
+}
+
+proptest! {
+    #[test]
+    fn envelope_round_trip(
+        ns in "[a-z][a-z:.-]{0,16}",
+        element in "[A-Z][A-Za-z0-9]{0,12}",
+        params in params_strategy(),
+    ) {
+        let ns = format!("urn:{ns}");
+        let xml = envelope::encode(&ns, &element, &params);
+        match envelope::decode(&xml).unwrap() {
+            Decoded::Body(b) => {
+                prop_assert_eq!(b.element, element);
+                prop_assert_eq!(b.namespace.as_deref(), Some(ns.as_str()));
+                prop_assert_eq!(b.params, params);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_round_trip(
+        code in "(soap:Client|soap:Server)",
+        message in "[ -~]{0,48}",
+        detail in proptest::option::of("[ -~]{0,32}"),
+    ) {
+        let f = SoapFault {
+            code: code.clone(),
+            message: message.trim().to_string(),
+            detail: detail.map(|d| d.trim().to_string()),
+        };
+        match envelope::decode(&envelope::encode_fault(&f)).unwrap() {
+            Decoded::Fault(got) => prop_assert_eq!(got, f),
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wsdl_generate_parse_identity(contract in contract_strategy(), endpoint in "mem://[a-z]{1,8}/[a-z]{1,8}") {
+        let xml = wsdl::generate(&contract, &endpoint);
+        let parsed = wsdl::parse(&xml).unwrap();
+        prop_assert_eq!(parsed.endpoint, endpoint);
+        // Documentation defaults to None in generated contracts.
+        prop_assert_eq!(parsed.contract, contract);
+    }
+
+    #[test]
+    fn decode_never_panics(s in "[ -~<>]{0,128}") {
+        let _ = envelope::decode(&s);
+        let _ = wsdl::parse(&s);
+    }
+}

@@ -1,0 +1,609 @@
+//! The Figure 4 account application, end to end.
+//!
+//! Paper flow (client → provider): the user **subscribes** with name,
+//! SSN, address, and date of birth; the provider **checks existence**,
+//! calls the **credit score web service**, and on approval **issues a
+//! user ID** stored in **`account.xml`**; the user then **creates a
+//! password** (strength and match checks) and can **log in** to reach
+//! the system. Every box in the figure is a code path here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use soc_http::mem::Transport;
+use soc_http::{Handler, Request, Response, Status};
+use soc_json::Value;
+use soc_rest::router::Router;
+use soc_services::access::{check_password_strength, hash_password};
+use soc_webapp_templates::{render, vars};
+use soc_xml::Document;
+
+use crate::session::SessionStore;
+use crate::templates as soc_webapp_templates;
+
+/// Minimum credit score the provider accepts (the "Approval?" diamond).
+pub const MIN_SCORE: u32 = 600;
+
+/// One account row of `account.xml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Account {
+    /// Issued user id (e.g. `U1001`).
+    pub user_id: String,
+    /// Applicant name.
+    pub name: String,
+    /// Applicant SSN.
+    pub ssn: String,
+    /// Mailing address.
+    pub address: String,
+    /// Date of birth (YYYY-MM-DD).
+    pub dob: String,
+    /// Credit score at approval time.
+    pub score: u32,
+    /// Salted password hash; empty until the password step completes.
+    pub password_hash: String,
+    /// Salt for the hash.
+    pub salt: String,
+}
+
+/// The provider-side account store, persisted as an `account.xml`
+/// document exactly as Figure 4 shows.
+#[derive(Default)]
+pub struct AccountStore {
+    accounts: RwLock<Vec<Account>>,
+    next_id: AtomicU64,
+}
+
+impl AccountStore {
+    /// Empty store; user ids start at `U1001`.
+    pub fn new() -> Self {
+        AccountStore { accounts: RwLock::new(Vec::new()), next_id: AtomicU64::new(1001) }
+    }
+
+    /// Does an account with this SSN exist? (The "Check existence" box.)
+    pub fn exists_ssn(&self, ssn: &str) -> bool {
+        let normalized: String = ssn.chars().filter(|c| c.is_ascii_digit()).collect();
+        self.accounts.read().iter().any(|a| {
+            a.ssn.chars().filter(|c| c.is_ascii_digit()).collect::<String>() == normalized
+        })
+    }
+
+    /// Create an account, issuing a fresh user id.
+    pub fn create(&self, name: &str, ssn: &str, address: &str, dob: &str, score: u32) -> String {
+        let user_id = format!("U{}", self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.accounts.write().push(Account {
+            user_id: user_id.clone(),
+            name: name.to_string(),
+            ssn: ssn.to_string(),
+            address: address.to_string(),
+            dob: dob.to_string(),
+            score,
+            password_hash: String::new(),
+            salt: String::new(),
+        });
+        user_id
+    }
+
+    /// Fetch by user id.
+    pub fn get(&self, user_id: &str) -> Option<Account> {
+        self.accounts.read().iter().find(|a| a.user_id == user_id).cloned()
+    }
+
+    /// Set the password (the "addPwd" box).
+    pub fn set_password(&self, user_id: &str, password: &str) -> bool {
+        let mut accounts = self.accounts.write();
+        let Some(a) = accounts.iter_mut().find(|a| a.user_id == user_id) else {
+            return false;
+        };
+        a.salt = format!("salt-{user_id}");
+        a.password_hash = hash_password(password, &a.salt, 64);
+        true
+    }
+
+    /// Verify credentials.
+    pub fn verify(&self, user_id: &str, password: &str) -> bool {
+        let accounts = self.accounts.read();
+        let Some(a) = accounts.iter().find(|a| a.user_id == user_id) else {
+            return false;
+        };
+        !a.password_hash.is_empty()
+            && soc_services::access::constant_time_eq(
+                &hash_password(password, &a.salt, 64),
+                &a.password_hash,
+            )
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.read().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize as the `account.xml` document.
+    pub fn to_account_xml(&self) -> String {
+        let mut doc = Document::new("accounts");
+        let root = doc.root();
+        for a in self.accounts.read().iter() {
+            let el = doc.add_element(root, "account");
+            doc.set_attr(el, "userId", a.user_id.clone());
+            doc.add_text_element(el, "name", a.name.clone());
+            doc.add_text_element(el, "ssn", a.ssn.clone());
+            doc.add_text_element(el, "address", a.address.clone());
+            doc.add_text_element(el, "dob", a.dob.clone());
+            doc.add_text_element(el, "score", a.score.to_string());
+            doc.add_text_element(el, "passwordHash", a.password_hash.clone());
+            doc.add_text_element(el, "salt", a.salt.clone());
+        }
+        doc.to_pretty_xml()
+    }
+
+    /// Load from `account.xml`.
+    pub fn from_account_xml(xml: &str) -> Result<Self, String> {
+        let doc = Document::parse_str(xml).map_err(|e| e.to_string())?;
+        let root = doc.root();
+        if doc.name(root).map(|q| q.local.as_str()) != Some("accounts") {
+            return Err("not an accounts document".into());
+        }
+        let store = AccountStore::new();
+        let mut max_id = 1000u64;
+        {
+            let mut accounts = store.accounts.write();
+            for el in doc.find_children(root, "account") {
+                let user_id = doc.attr(el, "userId").ok_or("account missing userId")?.to_string();
+                if let Some(n) = user_id.strip_prefix('U').and_then(|n| n.parse::<u64>().ok()) {
+                    max_id = max_id.max(n);
+                }
+                let text = |name: &str| doc.child_text(el, name).unwrap_or_default();
+                accounts.push(Account {
+                    user_id,
+                    name: text("name"),
+                    ssn: text("ssn"),
+                    address: text("address"),
+                    dob: text("dob"),
+                    score: text("score").parse().unwrap_or(0),
+                    password_hash: text("passwordHash"),
+                    salt: text("salt"),
+                });
+            }
+        }
+        store.next_id.store(max_id + 1, Ordering::Relaxed);
+        Ok(store)
+    }
+}
+
+/// The provider application: web UI + the backing store + the remote
+/// credit-score dependency.
+pub struct AccountApp {
+    router: Router,
+    store: Arc<AccountStore>,
+}
+
+const PAGE: &str = r#"<html><body>{{#if error}}<p class="error">{{error}}</p>{{/if}}{{{content}}}</body></html>"#;
+
+fn page(content: &str, error: &str) -> Response {
+    Response::html(&render(PAGE, &vars(&[("content", content), ("error", error)])))
+}
+
+impl AccountApp {
+    /// Build the app. `credit_url` is the credit-score REST endpoint
+    /// (e.g. `mem://services.asu/credit/score`).
+    pub fn new(transport: Arc<dyn Transport>, credit_url: &str) -> Self {
+        let store = Arc::new(AccountStore::new());
+        let sessions = Arc::new(SessionStore::new(1_000, 0x50C_4EB));
+        let clock = Arc::new(AtomicU64::new(0));
+        let mut router = Router::new();
+        let credit_url = credit_url.to_string();
+
+        // Subscription form (client pane of Figure 4).
+        router.get("/subscribe", |_req, _p| {
+            page(
+                r#"<form method="post" action="/subscribe">
+                   <input name="name"/><input name="ssn"/>
+                   <input name="address"/><input name="dob"/>
+                   <button>Subscribe</button></form>"#,
+                "",
+            )
+        });
+
+        // Subscription handling: existence check → credit service →
+        // approval → user ID.
+        {
+            let (store, transport, credit_url) = (store.clone(), transport.clone(), credit_url);
+            router.post("/subscribe", move |req, _p| {
+                let field = |k: &str| req.form(k).unwrap_or_default();
+                let (name, ssn, address, dob) =
+                    (field("name"), field("ssn"), field("address"), field("dob"));
+                if name.trim().is_empty() || ssn.trim().is_empty() {
+                    return page("", "name and SSN are required");
+                }
+                if store.exists_ssn(&ssn) {
+                    return page("", "an account for this SSN already exists");
+                }
+                // Call the credit-score web service (the remote box of
+                // Figure 4).
+                let url = format!("{credit_url}?ssn={}", soc_http::url::percent_encode(&ssn));
+                let score = match transport.send(Request::get(url)) {
+                    Ok(resp) if resp.status.is_success() => resp
+                        .text_body()
+                        .ok()
+                        .and_then(|t| Value::parse(t).ok())
+                        .and_then(|v| v.get("score").and_then(Value::as_i64))
+                        .unwrap_or(0) as u32,
+                    Ok(resp) if resp.status == Status::UNPROCESSABLE => {
+                        return page("", "SSN must contain nine digits")
+                    }
+                    _ => {
+                        return Response::error(
+                            Status::SERVICE_UNAVAILABLE,
+                            "credit score service is unavailable; try again later",
+                        )
+                    }
+                };
+                if score < MIN_SCORE {
+                    // Figure 4's "You do not qualify" box.
+                    return page("", "You do not qualify");
+                }
+                let user_id = store.create(&name, &ssn, &address, &dob, score);
+                page(
+                    &format!(
+                        r#"<p>Your user ID is <b>{user_id}</b>.</p>
+                           <a href="/password?user={user_id}">Create Password</a>"#
+                    ),
+                    "",
+                )
+            });
+        }
+
+        // Password creation (strength + match, then addPwd).
+        {
+            let store = store.clone();
+            router.post("/password", move |req, _p| {
+                let user = req.form("user").unwrap_or_default();
+                let pw = req.form("password").unwrap_or_default();
+                let retype = req.form("retype").unwrap_or_default();
+                if store.get(&user).is_none() {
+                    return page("", "unknown user ID");
+                }
+                if pw != retype {
+                    return page("", "passwords do not match"); // Match?
+                }
+                if let Err(e) = check_password_strength(&pw) {
+                    return page("", &e.to_string()); // Strong?
+                }
+                store.set_password(&user, &pw);
+                page(r#"<p>Password created.</p><a href="/login">Login</a>"#, "")
+            });
+        }
+
+        // Login → session → home.
+        {
+            let (store, sessions, clock) = (store.clone(), sessions.clone(), clock.clone());
+            router.post("/login", move |req, _p| {
+                let now = clock.fetch_add(1, Ordering::Relaxed);
+                let user = req.form("user").unwrap_or_default();
+                let pw = req.form("password").unwrap_or_default();
+                if !store.verify(&user, &pw) {
+                    let mut resp = page("", "invalid user ID or password");
+                    resp.status = Status::UNAUTHORIZED;
+                    return resp;
+                }
+                let sid = sessions.create(now);
+                sessions.set(&sid, "user", user.clone(), now);
+                SessionStore::attach(Response::redirect("/home"), &sid)
+            });
+        }
+        {
+            let (store, sessions, clock) = (store.clone(), sessions.clone(), clock.clone());
+            router.get("/home", move |req, _p| {
+                let now = clock.fetch_add(1, Ordering::Relaxed);
+                let Some(sid) = SessionStore::id_from_request(&req) else {
+                    return Response::redirect("/login");
+                };
+                if !sessions.touch(&sid, now) {
+                    return Response::redirect("/login");
+                }
+                let user = sessions
+                    .get(&sid, "user", now)
+                    .and_then(|v| v.as_str().map(String::from))
+                    .unwrap_or_default();
+                let name = store.get(&user).map(|a| a.name).unwrap_or_default();
+                page(
+                    &render(
+                        "<h1>Welcome {{name}} ({{user}})</h1>",
+                        &vars(&[("name", &name), ("user", &user)]),
+                    ),
+                    "",
+                )
+            });
+        }
+        {
+            router.post("/logout", move |req, _p| {
+                if let Some(sid) = SessionStore::id_from_request(&req) {
+                    sessions.destroy(&sid);
+                }
+                SessionStore::detach(Response::redirect("/login"))
+            });
+        }
+
+        // The provider's data pane: account.xml (read-only diagnostics).
+        {
+            let store = store.clone();
+            router.get("/account.xml", move |_req, _p| {
+                Response::xml(&store.to_account_xml())
+            });
+        }
+
+        AccountApp { router, store }
+    }
+
+    /// The backing store (tests and the persistence example use this).
+    pub fn store(&self) -> Arc<AccountStore> {
+        self.store.clone()
+    }
+}
+
+impl Handler for AccountApp {
+    fn handle(&self, req: Request) -> Response {
+        self.router.handle(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::url::encode_form;
+    use soc_http::MemNetwork;
+    use soc_services::mortgage::CreditScoreService;
+
+    /// A network with the repository services + the account app.
+    fn setup() -> MemNetwork {
+        let net = MemNetwork::new();
+        soc_services::bindings::host_all(&net, 7);
+        let app = AccountApp::new(Arc::new(net.clone()), "mem://services.asu/credit/score");
+        net.host("bank.example", app);
+        net
+    }
+
+    fn form_post(net: &MemNetwork, url: &str, fields: &[(&str, &str)]) -> Response {
+        let body = encode_form(
+            &fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>(),
+        );
+        net.send(
+            Request::post(url, Vec::new())
+                .with_text("application/x-www-form-urlencoded", &body),
+        )
+        .unwrap()
+    }
+
+    fn qualifying_ssn() -> String {
+        (0..)
+            .map(|i| format!("{:09}", i))
+            .find(|ssn| CreditScoreService::score(ssn) >= MIN_SCORE)
+            .unwrap()
+    }
+
+    fn failing_ssn() -> String {
+        (0..)
+            .map(|i| format!("{:09}", i))
+            .find(|ssn| CreditScoreService::score(ssn) < MIN_SCORE)
+            .unwrap()
+    }
+
+    fn extract_user_id(resp: &Response) -> String {
+        let body = resp.text_body().unwrap();
+        let start = body.find("<b>U").expect("user id in page") + 3;
+        let end = body[start..].find("</b>").unwrap() + start;
+        body[start..end].to_string()
+    }
+
+    #[test]
+    fn full_figure4_flow() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        // Subscribe.
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &ssn), ("address", "1 Mill Ave"), ("dob", "1990-01-02")],
+        );
+        let user = extract_user_id(&resp);
+        // Create password (strong + matching).
+        let resp = form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+        );
+        assert!(resp.text_body().unwrap().contains("Password created"));
+        // Login.
+        let resp = form_post(
+            &net,
+            "mem://bank.example/login",
+            &[("user", &user), ("password", "Str0ngPass")],
+        );
+        assert_eq!(resp.status, Status::FOUND);
+        let cookie = resp.headers.get("Set-Cookie").unwrap().split(';').next().unwrap().to_string();
+        // Home, with the session cookie.
+        let home = net
+            .send(Request::get("mem://bank.example/home").with_header("Cookie", &cookie))
+            .unwrap();
+        assert!(home.text_body().unwrap().contains("Welcome Ann"));
+    }
+
+    #[test]
+    fn low_credit_score_does_not_qualify() {
+        let net = setup();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Bob"), ("ssn", &failing_ssn()), ("address", "x"), ("dob", "1990-01-01")],
+        );
+        assert!(resp.text_body().unwrap().contains("You do not qualify"));
+    }
+
+    #[test]
+    fn duplicate_ssn_rejected() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        let fields = [("name", "Ann"), ("ssn", ssn.as_str()), ("address", "a"), ("dob", "d")];
+        form_post(&net, "mem://bank.example/subscribe", &fields);
+        let resp = form_post(&net, "mem://bank.example/subscribe", &fields);
+        assert!(resp.text_body().unwrap().contains("already exists"));
+    }
+
+    #[test]
+    fn weak_or_mismatched_passwords_rejected() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &ssn), ("address", "a"), ("dob", "d")],
+        );
+        let user = extract_user_id(&resp);
+        let weak = form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "weak"), ("retype", "weak")],
+        );
+        assert!(weak.text_body().unwrap().contains("weak password"));
+        let mismatch = form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass2")],
+        );
+        assert!(mismatch.text_body().unwrap().contains("do not match"));
+    }
+
+    #[test]
+    fn login_without_password_or_with_wrong_password_fails() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &ssn), ("address", "a"), ("dob", "d")],
+        );
+        let user = extract_user_id(&resp);
+        // No password set yet.
+        let resp = form_post(
+            &net,
+            "mem://bank.example/login",
+            &[("user", &user), ("password", "Str0ngPass")],
+        );
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+        // Set one, then present the wrong one.
+        form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+        );
+        let resp = form_post(
+            &net,
+            "mem://bank.example/login",
+            &[("user", &user), ("password", "Wr0ngPass!")],
+        );
+        assert_eq!(resp.status, Status::UNAUTHORIZED);
+    }
+
+    #[test]
+    fn home_requires_session() {
+        let net = setup();
+        let resp = net.send(Request::get("mem://bank.example/home")).unwrap();
+        assert_eq!(resp.status, Status::FOUND);
+        assert_eq!(resp.headers.get("Location"), Some("/login"));
+        // A forged cookie is also rejected.
+        let resp = net
+            .send(Request::get("mem://bank.example/home")
+                .with_header("Cookie", "SOCSESSION=forged123"))
+            .unwrap();
+        assert_eq!(resp.status, Status::FOUND);
+    }
+
+    #[test]
+    fn credit_service_outage_is_a_503_not_an_approval() {
+        let net = setup();
+        net.unhost("services.asu");
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &qualifying_ssn()), ("address", "a"), ("dob", "d")],
+        );
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+    }
+
+    #[test]
+    fn invalid_ssn_reported() {
+        let net = setup();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", "12-34"), ("address", "a"), ("dob", "d")],
+        );
+        assert!(resp.text_body().unwrap().contains("nine digits"));
+    }
+
+    #[test]
+    fn account_xml_round_trip() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &ssn), ("address", "1 Mill"), ("dob", "1990-01-02")],
+        );
+        let user = extract_user_id(&resp);
+        form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+        );
+        let xml = net
+            .send(Request::get("mem://bank.example/account.xml"))
+            .unwrap()
+            .text_body()
+            .unwrap()
+            .to_string();
+        let restored = AccountStore::from_account_xml(&xml).unwrap();
+        assert_eq!(restored.len(), 1);
+        assert!(restored.verify(&user, "Str0ngPass"));
+        // Issued ids continue after the max loaded id.
+        let next = restored.create("New", "000", "a", "d", 700);
+        assert_ne!(next, user);
+    }
+
+    #[test]
+    fn logout_kills_session() {
+        let net = setup();
+        let ssn = qualifying_ssn();
+        let resp = form_post(
+            &net,
+            "mem://bank.example/subscribe",
+            &[("name", "Ann"), ("ssn", &ssn), ("address", "a"), ("dob", "d")],
+        );
+        let user = extract_user_id(&resp);
+        form_post(
+            &net,
+            "mem://bank.example/password",
+            &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+        );
+        let resp = form_post(
+            &net,
+            "mem://bank.example/login",
+            &[("user", &user), ("password", "Str0ngPass")],
+        );
+        let cookie = resp.headers.get("Set-Cookie").unwrap().split(';').next().unwrap().to_string();
+        let logout = net
+            .send(Request::post("mem://bank.example/logout", Vec::new())
+                .with_header("Cookie", &cookie))
+            .unwrap();
+        assert_eq!(logout.status, Status::FOUND);
+        let home = net
+            .send(Request::get("mem://bank.example/home").with_header("Cookie", &cookie))
+            .unwrap();
+        assert_eq!(home.headers.get("Location"), Some("/login"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # soc-webapp — web applications and state management (CSE445 unit 5)
+//!
+//! The course unit covers *"the models of Web applications, structure of
+//! Web applications, state management in Web applications"*; its final
+//! project is Figure 4's account application: *"an end user applies for
+//! an account by submitting necessary information. The provider issues
+//! a user ID if the application is approved. Using the ID, the end user
+//! can create password and then access the system"*, with a credit-score
+//! web service on the provider side and storage in `account.xml`.
+//!
+//! - [`session`] — server-side sessions keyed by an opaque cookie.
+//! - [`viewstate`] — client-side round-tripped state with a tamper MAC
+//!   (the ASP.NET-style alternative the course contrasts sessions with).
+//! - [`templates`] — a minimal `{{var}}` / `{{#if}}` HTML template
+//!   engine with escaping (XSS-safe by default).
+//! - [`account_app`] — the Figure 4 application, end to end: subscribe
+//!   → credit check (remote service) → user ID issuance → password
+//!   creation (strength + match checks) → login → session-guarded home,
+//!   persisted as an `account.xml` document via `soc-xml`.
+
+pub mod account_app;
+pub mod session;
+pub mod templates;
+pub mod viewstate;

@@ -1,0 +1,200 @@
+//! Server-side session state, keyed by an opaque HttpOnly cookie.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use soc_http::cookies::{self, Cookie};
+use soc_http::{Request, Response};
+use soc_json::Value;
+
+/// Name of the session cookie.
+pub const SESSION_COOKIE: &str = "SOCSESSION";
+
+struct Session {
+    attributes: HashMap<String, Value>,
+    expires_at: u64,
+}
+
+/// The session store. Time is a logical tick the host application
+/// advances (one per request is typical), keeping expiry deterministic.
+pub struct SessionStore {
+    sessions: RwLock<HashMap<String, Session>>,
+    ttl: u64,
+    counter: AtomicU64,
+    secret: u64,
+}
+
+impl SessionStore {
+    /// Store with a session time-to-live in ticks.
+    pub fn new(ttl: u64, secret: u64) -> Self {
+        SessionStore {
+            sessions: RwLock::new(HashMap::new()),
+            ttl,
+            counter: AtomicU64::new(1),
+            secret,
+        }
+    }
+
+    fn new_id(&self) -> String {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        // Opaque, unguessable-enough id: counter mixed with the secret.
+        let mut h = self.secret ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        format!("{h:016x}{n:08x}")
+    }
+
+    /// Create a session and return its id.
+    pub fn create(&self, now: u64) -> String {
+        let id = self.new_id();
+        self.sessions.write().insert(
+            id.clone(),
+            Session { attributes: HashMap::new(), expires_at: now + self.ttl },
+        );
+        id
+    }
+
+    /// Is the session live at `now`? Touching refreshes the TTL.
+    pub fn touch(&self, id: &str, now: u64) -> bool {
+        let mut sessions = self.sessions.write();
+        match sessions.get_mut(id) {
+            Some(s) if s.expires_at > now => {
+                s.expires_at = now + self.ttl;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Read an attribute.
+    pub fn get(&self, id: &str, key: &str, now: u64) -> Option<Value> {
+        let sessions = self.sessions.read();
+        let s = sessions.get(id)?;
+        if s.expires_at <= now {
+            return None;
+        }
+        s.attributes.get(key).cloned()
+    }
+
+    /// Write an attribute; fails on a dead session.
+    pub fn set(&self, id: &str, key: &str, value: impl Into<Value>, now: u64) -> bool {
+        let mut sessions = self.sessions.write();
+        match sessions.get_mut(id) {
+            Some(s) if s.expires_at > now => {
+                s.attributes.insert(key.to_string(), value.into());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Destroy a session (logout).
+    pub fn destroy(&self, id: &str) -> bool {
+        self.sessions.write().remove(id).is_some()
+    }
+
+    /// Drop expired sessions, returning how many died.
+    pub fn sweep(&self, now: u64) -> usize {
+        let mut sessions = self.sessions.write();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.expires_at > now);
+        before - sessions.len()
+    }
+
+    /// Live session count (including not-yet-swept expired ones).
+    pub fn len(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// No sessions at all?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The session id presented by a request, if any (does not check
+    /// liveness — use [`SessionStore::touch`]).
+    pub fn id_from_request(req: &Request) -> Option<String> {
+        cookies::request_cookie(req, SESSION_COOKIE)
+    }
+
+    /// Attach a session cookie to a response.
+    pub fn attach(resp: Response, id: &str) -> Response {
+        cookies::set_cookie(resp, &Cookie::new(SESSION_COOKIE, id).http_only())
+    }
+
+    /// Attach a cookie-removal header (logout).
+    pub fn detach(resp: Response) -> Response {
+        resp.with_header("Set-Cookie", &Cookie::removal(SESSION_COOKIE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SessionStore {
+        SessionStore::new(100, 0x5EC)
+    }
+
+    #[test]
+    fn create_set_get() {
+        let s = store();
+        let id = s.create(0);
+        assert!(s.set(&id, "user", "ann", 1));
+        assert_eq!(s.get(&id, "user", 2).and_then(|v| v.as_str().map(String::from)), Some("ann".into()));
+        assert_eq!(s.get(&id, "missing", 2), None);
+    }
+
+    #[test]
+    fn sessions_expire_and_touch_refreshes() {
+        let s = store();
+        let id = s.create(0);
+        assert!(s.touch(&id, 99));
+        // touch at 99 pushed expiry to 199.
+        assert!(s.touch(&id, 150));
+        assert!(!s.touch(&id, 300));
+        assert_eq!(s.get(&id, "x", 300), None);
+    }
+
+    #[test]
+    fn destroy_and_sweep() {
+        let s = store();
+        let a = s.create(0);
+        let _b = s.create(0);
+        assert!(s.destroy(&a));
+        assert!(!s.destroy(&a));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.sweep(1000), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_opaque() {
+        let s = store();
+        let ids: std::collections::HashSet<String> = (0..100).map(|_| s.create(0)).collect();
+        assert_eq!(ids.len(), 100);
+        assert!(ids.iter().all(|id| id.len() == 24));
+    }
+
+    #[test]
+    fn cookie_round_trip() {
+        let s = store();
+        let id = s.create(0);
+        let resp = SessionStore::attach(Response::text("ok"), &id);
+        let set = resp.headers.get("Set-Cookie").unwrap();
+        assert!(set.contains("HttpOnly"));
+        // Simulate the browser echoing it back.
+        let req = Request::get("/").with_header("Cookie", &format!("{SESSION_COOKIE}={id}"));
+        assert_eq!(SessionStore::id_from_request(&req).as_deref(), Some(id.as_str()));
+    }
+
+    #[test]
+    fn set_on_dead_session_fails() {
+        let s = store();
+        let id = s.create(0);
+        s.destroy(&id);
+        assert!(!s.set(&id, "k", 1, 1));
+    }
+}

@@ -1,0 +1,196 @@
+//! A minimal HTML template engine: `{{var}}` substitution (HTML-escaped
+//! by default, `{{{var}}}` for raw) and `{{#if var}}…{{else}}…{{/if}}`
+//! blocks. Escaping-by-default is the dependability unit's XSS lesson.
+
+use std::collections::HashMap;
+
+/// Template variables.
+pub type Vars = HashMap<String, String>;
+
+/// Escape text for HTML element content and attribute values.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `template` with `vars`. Unknown variables render empty.
+pub fn render(template: &str, vars: &Vars) -> String {
+    render_section(template, vars)
+}
+
+fn truthy(vars: &Vars, key: &str) -> bool {
+    vars.get(key).map(|v| !v.is_empty() && v != "false" && v != "0").unwrap_or(false)
+}
+
+fn render_section(mut rest: &str, vars: &Vars) -> String {
+    let mut out = String::with_capacity(rest.len());
+    while let Some(start) = rest.find("{{") {
+        out.push_str(&rest[..start]);
+        rest = &rest[start..];
+        if let Some(cond_key) = rest.strip_prefix("{{#if ").and_then(|r| r.split_once("}}")) {
+            let (key, after) = cond_key;
+            let key = key.trim();
+            // Find the matching {{/if}} (no nesting of ifs with the same
+            // key needed for our pages; support simple nesting anyway).
+            let Some((body, tail)) = split_if_block(after) else {
+                out.push_str("{{");
+                rest = &rest[2..];
+                continue;
+            };
+            let (then_part, else_part) = match split_top_level(body, "{{else}}") {
+                Some((t, e)) => (t, e),
+                None => (body, ""),
+            };
+            if truthy(vars, key) {
+                out.push_str(&render_section(then_part, vars));
+            } else {
+                out.push_str(&render_section(else_part, vars));
+            }
+            rest = tail;
+        } else if let Some(after) = rest.strip_prefix("{{{") {
+            match after.find("}}}") {
+                Some(end) => {
+                    let key = after[..end].trim();
+                    if let Some(v) = vars.get(key) {
+                        out.push_str(v);
+                    }
+                    rest = &after[end + 3..];
+                }
+                None => {
+                    out.push_str("{{{");
+                    rest = after;
+                }
+            }
+        } else {
+            let after = &rest[2..];
+            match after.find("}}") {
+                Some(end) => {
+                    let key = after[..end].trim();
+                    if let Some(v) = vars.get(key) {
+                        out.push_str(&html_escape(v));
+                    }
+                    rest = &after[end + 2..];
+                }
+                None => {
+                    out.push_str("{{");
+                    rest = after;
+                }
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Split `body` at the matching `{{/if}}`, accounting for nested ifs.
+fn split_if_block(body: &str) -> Option<(&str, &str)> {
+    let mut depth = 1;
+    let mut idx = 0;
+    let bytes = body.as_bytes();
+    while idx < bytes.len() {
+        if body[idx..].starts_with("{{#if ") {
+            depth += 1;
+            idx += 6;
+        } else if body[idx..].starts_with("{{/if}}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((&body[..idx], &body[idx + 7..]));
+            }
+            idx += 7;
+        } else {
+            idx += 1;
+        }
+    }
+    None
+}
+
+/// Split at a top-level (not nested in an if) occurrence of `sep`.
+fn split_top_level<'a>(body: &'a str, sep: &str) -> Option<(&'a str, &'a str)> {
+    let mut depth = 0;
+    let mut idx = 0;
+    while idx < body.len() {
+        if body[idx..].starts_with("{{#if ") {
+            depth += 1;
+            idx += 6;
+        } else if body[idx..].starts_with("{{/if}}") {
+            depth -= 1;
+            idx += 7;
+        } else if depth == 0 && body[idx..].starts_with(sep) {
+            return Some((&body[..idx], &body[idx + sep.len()..]));
+        } else {
+            idx += 1;
+        }
+    }
+    None
+}
+
+/// Build vars from pairs (test/readability helper).
+pub fn vars(pairs: &[(&str, &str)]) -> Vars {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_escapes_by_default() {
+        let out = render("<p>Hello {{name}}</p>", &vars(&[("name", "<script>alert(1)</script>")]));
+        assert_eq!(out, "<p>Hello &lt;script&gt;alert(1)&lt;/script&gt;</p>");
+    }
+
+    #[test]
+    fn raw_substitution_with_triple_braces() {
+        let out = render("{{{html}}}", &vars(&[("html", "<b>bold</b>")]));
+        assert_eq!(out, "<b>bold</b>");
+    }
+
+    #[test]
+    fn unknown_vars_render_empty() {
+        assert_eq!(render("a{{missing}}b", &vars(&[])), "ab");
+    }
+
+    #[test]
+    fn if_blocks() {
+        let t = "{{#if err}}<p class='err'>{{err}}</p>{{/if}}ok";
+        assert_eq!(render(t, &vars(&[("err", "bad input")])), "<p class='err'>bad input</p>ok");
+        assert_eq!(render(t, &vars(&[])), "ok");
+        assert_eq!(render(t, &vars(&[("err", "")])), "ok");
+    }
+
+    #[test]
+    fn if_else_blocks() {
+        let t = "{{#if user}}Hi {{user}}{{else}}Please log in{{/if}}";
+        assert_eq!(render(t, &vars(&[("user", "ann")])), "Hi ann");
+        assert_eq!(render(t, &vars(&[])), "Please log in");
+    }
+
+    #[test]
+    fn nested_if_blocks() {
+        let t = "{{#if a}}A{{#if b}}B{{/if}}{{else}}none{{/if}}";
+        assert_eq!(render(t, &vars(&[("a", "1"), ("b", "1")])), "AB");
+        assert_eq!(render(t, &vars(&[("a", "1")])), "A");
+        assert_eq!(render(t, &vars(&[])), "none");
+    }
+
+    #[test]
+    fn unterminated_constructs_degrade_gracefully() {
+        assert_eq!(render("{{oops", &vars(&[])), "{{oops");
+        assert_eq!(render("{{#if x}}no close", &vars(&[("x", "1")])), "{{#if x}}no close");
+    }
+
+    #[test]
+    fn html_escape_covers_quotes() {
+        assert_eq!(html_escape(r#"a"b'c"#), "a&quot;b&#39;c");
+    }
+}

@@ -1,0 +1,109 @@
+//! Client-side round-tripped state ("view state") with a tamper MAC —
+//! the other half of the unit's state-management comparison: the server
+//! stays stateless, the client carries the (signed) state.
+
+use soc_services::crypto::{base64_decode, base64_encode};
+
+fn mac(secret: u64, payload: &[u8]) -> u64 {
+    // FNV-1a keyed at both ends (course-grade MAC; the *construction*
+    // — sign, verify before trust — is the lesson).
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ secret;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= secret.rotate_left(31);
+    h = h.wrapping_mul(0x100_0000_01b3);
+    h
+}
+
+/// Encode `(key, value)` pairs into an opaque signed token.
+pub fn encode(secret: u64, fields: &[(String, String)]) -> String {
+    let mut payload = String::new();
+    for (k, v) in fields {
+        payload.push_str(&soc_http::url::percent_encode(k));
+        payload.push('=');
+        payload.push_str(&soc_http::url::percent_encode(v));
+        payload.push('&');
+    }
+    let tag = mac(secret, payload.as_bytes());
+    base64_encode(format!("{tag:016x}|{payload}").as_bytes())
+}
+
+/// Decode and verify a token. Any tampering (payload or tag) fails.
+pub fn decode(secret: u64, token: &str) -> Result<Vec<(String, String)>, String> {
+    let raw = base64_decode(token)?;
+    let text = String::from_utf8(raw).map_err(|_| "view state is not UTF-8")?;
+    let (tag_hex, payload) = text.split_once('|').ok_or("view state missing tag")?;
+    let presented = u64::from_str_radix(tag_hex, 16).map_err(|_| "bad tag")?;
+    let expected = mac(secret, payload.as_bytes());
+    if presented != expected {
+        return Err("view state failed integrity check".into());
+    }
+    Ok(payload
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            Some((
+                soc_http::url::percent_decode(k),
+                soc_http::url::percent_decode(v),
+            ))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields() -> Vec<(String, String)> {
+        vec![
+            ("step".to_string(), "2".to_string()),
+            ("name".to_string(), "Ann Example".to_string()),
+            ("note".to_string(), "a&b=c %100".to_string()),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let token = encode(42, &fields());
+        assert_eq!(decode(42, &token).unwrap(), fields());
+    }
+
+    #[test]
+    fn wrong_secret_rejected() {
+        let token = encode(42, &fields());
+        assert!(decode(43, &token).is_err());
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let token = encode(42, &fields());
+        // Flip a character in the middle of the (base64) token.
+        let mut bytes: Vec<u8> = token.into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] = if bytes[mid] == b'A' { b'B' } else { b'A' };
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(decode(42, &tampered).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        assert!(decode(42, "!!!not base64!!!").is_err());
+        assert!(decode(42, "").is_err());
+        assert!(decode(42, &base64_encode(b"no-tag-separator")).is_err());
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let token = encode(7, &[]);
+        assert_eq!(decode(7, &token).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn token_is_opaque() {
+        let token = encode(42, &fields());
+        assert!(!token.contains("Ann"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the web-application layer: view-state integrity,
+//! session-store behavioral model, and template-engine robustness.
+
+use proptest::prelude::*;
+use soc_webapp::session::SessionStore;
+use soc_webapp::templates::{html_escape, render, Vars};
+use soc_webapp::viewstate;
+
+proptest! {
+    #[test]
+    fn viewstate_round_trip(
+        secret in any::<u64>(),
+        fields in proptest::collection::vec(("[a-z]{1,8}", "[ -~é中]{0,24}"), 0..8),
+    ) {
+        let fields: Vec<(String, String)> = fields;
+        let token = viewstate::encode(secret, &fields);
+        prop_assert_eq!(viewstate::decode(secret, &token).unwrap(), fields);
+    }
+
+    #[test]
+    fn viewstate_rejects_other_secrets(
+        secret in any::<u64>(),
+        other in any::<u64>(),
+        fields in proptest::collection::vec(("[a-z]{1,8}", "[ -~]{0,16}"), 1..4),
+    ) {
+        prop_assume!(secret != other);
+        let token = viewstate::encode(secret, &fields);
+        prop_assert!(viewstate::decode(other, &token).is_err());
+    }
+
+    #[test]
+    fn viewstate_decode_never_panics(s in "[ -~]{0,96}") {
+        let _ = viewstate::decode(7, &s);
+    }
+
+    #[test]
+    fn html_escape_output_is_inert(s in "[ -~é中]{0,64}") {
+        let out = html_escape(&s);
+        prop_assert!(!out.contains('<'));
+        prop_assert!(!out.contains('>'));
+        prop_assert!(!out.contains('"'));
+        // Escaping is injective on the dangerous characters: unescaping
+        // the entities recovers the original.
+        let back = out
+            .replace("&lt;", "<")
+            .replace("&gt;", ">")
+            .replace("&quot;", "\"")
+            .replace("&#39;", "'")
+            .replace("&amp;", "&");
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn templates_never_panic(template in "[ -~{}#/]{0,96}", key in "[a-z]{1,4}", val in "[ -~]{0,16}") {
+        let mut vars = Vars::new();
+        vars.insert(key, val);
+        let _ = render(&template, &vars);
+    }
+
+    #[test]
+    fn plain_templates_pass_through(template in "[ -~&&[^{}]]{0,64}") {
+        prop_assert_eq!(render(&template, &Vars::new()), template);
+    }
+
+    #[test]
+    fn session_store_model(ops in proptest::collection::vec((0u8..3, "[a-c]", 0i64..100), 0..48)) {
+        // Model sessions as a map; TTL chosen so nothing expires.
+        let store = SessionStore::new(1_000_000, 1);
+        let sid = store.create(0);
+        let mut model: std::collections::HashMap<String, i64> = Default::default();
+        for (t, (op, key, v)) in ops.into_iter().enumerate() {
+            let now = t as u64;
+            match op {
+                0 => {
+                    prop_assert!(store.set(&sid, &key, v, now));
+                    model.insert(key, v);
+                }
+                1 => {
+                    let got = store.get(&sid, &key, now).and_then(|x| x.as_i64());
+                    prop_assert_eq!(got, model.get(&key).copied());
+                }
+                _ => {
+                    prop_assert!(store.touch(&sid, now));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Activity blocks: the vocabulary workflows are composed from.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc_http::mem::Transport;
+use soc_http::Request;
+use soc_json::Value;
+
+/// Why an activity failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActivityError {
+    /// A declared input was not supplied.
+    MissingInput(String),
+    /// The activity's own logic rejected the inputs.
+    Failed(String),
+    /// A service invocation failed.
+    Service(String),
+}
+
+impl std::fmt::Display for ActivityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ActivityError::MissingInput(p) => write!(f, "missing input port {p:?}"),
+            ActivityError::Failed(d) => write!(f, "activity failed: {d}"),
+            ActivityError::Service(d) => write!(f, "service call failed: {d}"),
+        }
+    }
+}
+
+/// Values present on an activity's input ports at fire time.
+pub type Ports = HashMap<String, Value>;
+
+/// A workflow block: declared ports plus an execute function.
+pub trait Activity: Send + Sync {
+    /// Input port names.
+    fn inputs(&self) -> Vec<String>;
+    /// Output port names.
+    fn outputs(&self) -> Vec<String>;
+    /// Fire the block. All declared inputs are guaranteed present.
+    /// Outputs may omit ports (e.g. an `If` fires only one branch).
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError>;
+}
+
+/// Emits a constant on port `out`.
+pub struct Const {
+    value: Value,
+}
+
+impl Const {
+    /// A constant block.
+    pub fn new(value: impl Into<Value>) -> Self {
+        Const { value: value.into() }
+    }
+}
+
+impl Activity for Const {
+    fn inputs(&self) -> Vec<String> {
+        vec![]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, _inputs: &Ports) -> Result<Ports, ActivityError> {
+        Ok(HashMap::from([("out".to_string(), self.value.clone())]))
+    }
+}
+
+type ComputeFn = Box<dyn Fn(&Ports) -> Result<Value, String> + Send + Sync>;
+
+/// A pure computation over named inputs, producing port `out`.
+pub struct Compute {
+    input_ports: Vec<String>,
+    f: ComputeFn,
+}
+
+impl Compute {
+    /// Build from input port names and a function.
+    pub fn new(
+        inputs: &[&str],
+        f: impl Fn(&Ports) -> Result<Value, String> + Send + Sync + 'static,
+    ) -> Self {
+        Compute {
+            input_ports: inputs.iter().map(|s| s.to_string()).collect(),
+            f: Box::new(f),
+        }
+    }
+}
+
+impl Activity for Compute {
+    fn inputs(&self) -> Vec<String> {
+        self.input_ports.clone()
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let v = (self.f)(inputs).map_err(ActivityError::Failed)?;
+        Ok(HashMap::from([("out".to_string(), v)]))
+    }
+}
+
+/// Routes its `value` input to `then` or `else` depending on a
+/// predicate over the `cond` input — VPL's If block.
+pub struct If {
+    predicate: Box<dyn Fn(&Value) -> bool + Send + Sync>,
+}
+
+impl If {
+    /// Build from a predicate over the `cond` port.
+    pub fn new(predicate: impl Fn(&Value) -> bool + Send + Sync + 'static) -> Self {
+        If { predicate: Box::new(predicate) }
+    }
+
+    /// Convenience: condition is a boolean value.
+    pub fn truthy() -> Self {
+        If::new(|v| v.as_bool().unwrap_or(false))
+    }
+}
+
+impl Activity for If {
+    fn inputs(&self) -> Vec<String> {
+        vec!["cond".into(), "value".into()]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["then".into(), "else".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let cond = inputs.get("cond").ok_or_else(|| ActivityError::MissingInput("cond".into()))?;
+        let value = inputs.get("value").cloned().unwrap_or(Value::Null);
+        let port = if (self.predicate)(cond) { "then" } else { "else" };
+        Ok(HashMap::from([(port.to_string(), value)]))
+    }
+}
+
+/// Forwards whichever of its inputs arrived (first-wins if both) —
+/// VPL's Merge block, used to rejoin If branches.
+pub struct Merge;
+
+impl Activity for Merge {
+    fn inputs(&self) -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let v = inputs
+            .get("a")
+            .or_else(|| inputs.get("b"))
+            .cloned()
+            .ok_or_else(|| ActivityError::MissingInput("a|b".into()))?;
+        Ok(HashMap::from([("out".to_string(), v)]))
+    }
+}
+
+/// Calls a REST service: GETs (or POSTs its `body` input to)
+/// `endpoint`, emitting the parsed JSON response on `out`. This is the
+/// block that turns a workflow into a *service composition*.
+pub struct ServiceCall {
+    transport: Arc<dyn Transport>,
+    endpoint: String,
+    post: bool,
+}
+
+impl ServiceCall {
+    /// GET the endpoint when fired (the `trigger` input gates firing).
+    pub fn get(transport: Arc<dyn Transport>, endpoint: &str) -> Self {
+        ServiceCall { transport, endpoint: endpoint.to_string(), post: false }
+    }
+
+    /// POST the `body` input as JSON.
+    pub fn post(transport: Arc<dyn Transport>, endpoint: &str) -> Self {
+        ServiceCall { transport, endpoint: endpoint.to_string(), post: true }
+    }
+}
+
+impl Activity for ServiceCall {
+    fn inputs(&self) -> Vec<String> {
+        if self.post {
+            vec!["body".into()]
+        } else {
+            vec!["trigger".into()]
+        }
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let req = if self.post {
+            let body = inputs
+                .get("body")
+                .ok_or_else(|| ActivityError::MissingInput("body".into()))?;
+            Request::post(&self.endpoint, Vec::new())
+                .with_text("application/json", &body.to_compact())
+        } else {
+            Request::get(&self.endpoint)
+        };
+        let resp = self
+            .transport
+            .send(req)
+            .map_err(|e| ActivityError::Service(e.to_string()))?;
+        if !resp.status.is_success() {
+            return Err(ActivityError::Service(format!("status {}", resp.status)));
+        }
+        let text = resp
+            .text_body()
+            .map_err(|e| ActivityError::Service(e.to_string()))?;
+        let value = if text.trim().is_empty() {
+            Value::Null
+        } else {
+            Value::parse(text).map_err(|e| ActivityError::Service(e.to_string()))?
+        };
+        Ok(HashMap::from([("out".to_string(), value)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::{MemNetwork, Response};
+    use soc_json::json;
+
+    #[test]
+    fn const_emits_value() {
+        let c = Const::new(42);
+        let out = c.execute(&HashMap::new()).unwrap();
+        assert_eq!(out["out"].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn compute_runs_function() {
+        let add = Compute::new(&["a", "b"], |p| {
+            Ok(Value::from(
+                p["a"].as_i64().ok_or("a not int")? + p["b"].as_i64().ok_or("b not int")?,
+            ))
+        });
+        let mut ports = HashMap::new();
+        ports.insert("a".to_string(), Value::from(2));
+        ports.insert("b".to_string(), Value::from(40));
+        assert_eq!(add.execute(&ports).unwrap()["out"].as_i64(), Some(42));
+    }
+
+    #[test]
+    fn compute_error_is_failed() {
+        let bad = Compute::new(&["x"], |_| Err("nope".into()));
+        let mut ports = HashMap::new();
+        ports.insert("x".to_string(), Value::Null);
+        assert!(matches!(bad.execute(&ports), Err(ActivityError::Failed(_))));
+    }
+
+    #[test]
+    fn if_routes_by_condition() {
+        let block = If::truthy();
+        let mut ports = HashMap::new();
+        ports.insert("cond".to_string(), Value::Bool(true));
+        ports.insert("value".to_string(), Value::from("x"));
+        let out = block.execute(&ports).unwrap();
+        assert_eq!(out.get("then").and_then(Value::as_str), Some("x"));
+        assert!(!out.contains_key("else"));
+
+        ports.insert("cond".to_string(), Value::Bool(false));
+        let out = block.execute(&ports).unwrap();
+        assert!(out.contains_key("else"));
+    }
+
+    #[test]
+    fn merge_forwards_either_input() {
+        let m = Merge;
+        let mut ports = HashMap::new();
+        ports.insert("b".to_string(), Value::from(7));
+        assert_eq!(m.execute(&ports).unwrap()["out"].as_i64(), Some(7));
+        assert!(matches!(m.execute(&HashMap::new()), Err(ActivityError::MissingInput(_))));
+    }
+
+    #[test]
+    fn service_call_get_and_post() {
+        let net = MemNetwork::new();
+        net.host("svc", |req: Request| {
+            if req.method == soc_http::Method::Post {
+                Response::json(req.text().unwrap())
+            } else {
+                Response::json("{\"pong\":true}")
+            }
+        });
+        let transport: Arc<dyn Transport> = Arc::new(net);
+
+        let get = ServiceCall::get(transport.clone(), "mem://svc/ping");
+        let mut trigger = HashMap::new();
+        trigger.insert("trigger".to_string(), Value::Null);
+        let out = get.execute(&trigger).unwrap();
+        assert_eq!(out["out"].get("pong"), Some(&Value::Bool(true)));
+
+        let post = ServiceCall::post(transport, "mem://svc/echo");
+        let mut body = HashMap::new();
+        body.insert("body".to_string(), json!({ "n": 5 }));
+        let out = post.execute(&body).unwrap();
+        assert_eq!(out["out"].pointer("/n").and_then(Value::as_i64), Some(5));
+    }
+
+    #[test]
+    fn service_call_error_statuses() {
+        let net = MemNetwork::new();
+        net.host("err", |_req: Request| {
+            Response::error(soc_http::Status::SERVICE_UNAVAILABLE, "down")
+        });
+        let call = ServiceCall::get(Arc::new(net), "mem://err/");
+        let mut trigger = HashMap::new();
+        trigger.insert("trigger".to_string(), Value::Null);
+        assert!(matches!(call.execute(&trigger), Err(ActivityError::Service(_))));
+    }
+}

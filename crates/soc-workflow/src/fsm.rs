@@ -1,0 +1,283 @@
+//! Finite state machines — Figure 2 of the paper expresses the
+//! two-distance maze algorithm as an FSM "to be implemented in VPL
+//! environment"; `soc-robotics` implements it on this module.
+//!
+//! States and events are strings; transitions carry optional guards and
+//! actions over a typed context `C`.
+
+use std::collections::HashMap;
+
+type Guard<C> = Box<dyn Fn(&C) -> bool + Send + Sync>;
+type ActionFn<C> = Box<dyn Fn(&mut C) + Send + Sync>;
+
+/// A transition: on `event` in `from`, if `guard(ctx)`, run
+/// `action(ctx)` and move to `to`.
+struct Transition<C> {
+    from: String,
+    event: String,
+    to: String,
+    guard: Option<Guard<C>>,
+    action: Option<ActionFn<C>>,
+}
+
+/// Builder for [`Fsm`].
+pub struct FsmBuilder<C> {
+    initial: String,
+    states: Vec<String>,
+    transitions: Vec<Transition<C>>,
+}
+
+impl<C: 'static> FsmBuilder<C> {
+    /// Start building with the initial state.
+    pub fn new(initial: &str) -> Self {
+        FsmBuilder {
+            initial: initial.to_string(),
+            states: vec![initial.to_string()],
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Declare a state (idempotent; transitions auto-declare too).
+    pub fn state(mut self, name: &str) -> Self {
+        if !self.states.iter().any(|s| s == name) {
+            self.states.push(name.to_string());
+        }
+        self
+    }
+
+    /// Unconditional transition.
+    pub fn on(self, from: &str, event: &str, to: &str) -> Self {
+        self.transition(from, event, to, None::<fn(&C) -> bool>, None::<fn(&mut C)>)
+    }
+
+    /// Guarded transition.
+    pub fn on_if(
+        self,
+        from: &str,
+        event: &str,
+        to: &str,
+        guard: impl Fn(&C) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.transition(from, event, to, Some(guard), None::<fn(&mut C)>)
+    }
+
+    /// Transition with an action.
+    pub fn on_do(
+        self,
+        from: &str,
+        event: &str,
+        to: &str,
+        action: impl Fn(&mut C) + Send + Sync + 'static,
+    ) -> Self {
+        self.transition(from, event, to, None::<fn(&C) -> bool>, Some(action))
+    }
+
+    /// Fully general transition.
+    pub fn transition(
+        mut self,
+        from: &str,
+        event: &str,
+        to: &str,
+        guard: Option<impl Fn(&C) -> bool + Send + Sync + 'static>,
+        action: Option<impl Fn(&mut C) + Send + Sync + 'static>,
+    ) -> Self {
+        for s in [from, to] {
+            if !self.states.iter().any(|st| st == s) {
+                self.states.push(s.to_string());
+            }
+        }
+        self.transitions.push(Transition {
+            from: from.to_string(),
+            event: event.to_string(),
+            to: to.to_string(),
+            guard: guard.map(|g| Box::new(g) as Guard<C>),
+            action: action.map(|a| Box::new(a) as ActionFn<C>),
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Fsm<C> {
+        Fsm {
+            state: self.initial.clone(),
+            initial: self.initial,
+            states: self.states,
+            transitions: self.transitions,
+            trace: Vec::new(),
+        }
+    }
+}
+
+/// A runnable state machine over context `C`.
+pub struct Fsm<C> {
+    initial: String,
+    state: String,
+    states: Vec<String>,
+    transitions: Vec<Transition<C>>,
+    trace: Vec<(String, String, String)>,
+}
+
+impl<C> Fsm<C> {
+    /// Current state name.
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    /// All declared states.
+    pub fn states(&self) -> &[String] {
+        &self.states
+    }
+
+    /// `(from, event, to)` history of taken transitions.
+    pub fn trace(&self) -> &[(String, String, String)] {
+        &self.trace
+    }
+
+    /// Reset to the initial state, clearing the trace.
+    pub fn reset(&mut self) {
+        self.state = self.initial.clone();
+        self.trace.clear();
+    }
+
+    /// Deliver an event. The first transition whose source, event, and
+    /// guard match is taken; returns `true` if any fired. Unmatched
+    /// events are ignored (Harel-style).
+    pub fn dispatch(&mut self, event: &str, ctx: &mut C) -> bool {
+        for t in &self.transitions {
+            if t.from == self.state
+                && t.event == event
+                && t.guard.as_ref().is_none_or(|g| g(ctx))
+            {
+                if let Some(a) = &t.action {
+                    a(ctx);
+                }
+                self.trace.push((self.state.clone(), event.to_string(), t.to.clone()));
+                self.state = t.to.clone();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Events accepted in the current state (guards not evaluated).
+    pub fn accepted_events(&self) -> Vec<&str> {
+        let mut evs: Vec<&str> = self
+            .transitions
+            .iter()
+            .filter(|t| t.from == self.state)
+            .map(|t| t.event.as_str())
+            .collect();
+        evs.sort();
+        evs.dedup();
+        evs
+    }
+
+    /// Static reachability check: which states cannot be reached from
+    /// the initial state by any event sequence (guards ignored)?
+    pub fn unreachable_states(&self) -> Vec<String> {
+        let mut reach: HashMap<&str, bool> = self.states.iter().map(|s| (s.as_str(), false)).collect();
+        let mut stack = vec![self.initial.as_str()];
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(reach.get_mut(s).expect("declared"), true) {
+                continue;
+            }
+            for t in &self.transitions {
+                if t.from == s {
+                    stack.push(&t.to);
+                }
+            }
+        }
+        let mut out: Vec<String> = self
+            .states
+            .iter()
+            .filter(|s| !reach[s.as_str()])
+            .cloned()
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy turnstile: locked → (coin) → unlocked → (push) → locked.
+    fn turnstile() -> Fsm<u32> {
+        FsmBuilder::new("locked")
+            .on_do("locked", "coin", "unlocked", |count| *count += 1)
+            .on("unlocked", "push", "locked")
+            .on("locked", "push", "locked")
+            .build()
+    }
+
+    #[test]
+    fn transitions_and_actions() {
+        let mut fsm = turnstile();
+        let mut coins = 0u32;
+        assert_eq!(fsm.state(), "locked");
+        assert!(fsm.dispatch("coin", &mut coins));
+        assert_eq!(fsm.state(), "unlocked");
+        assert_eq!(coins, 1);
+        assert!(fsm.dispatch("push", &mut coins));
+        assert_eq!(fsm.state(), "locked");
+    }
+
+    #[test]
+    fn unmatched_events_ignored() {
+        let mut fsm = turnstile();
+        let mut c = 0u32;
+        assert!(!fsm.dispatch("kick", &mut c));
+        assert_eq!(fsm.state(), "locked");
+    }
+
+    #[test]
+    fn guards_select_transitions() {
+        let mut fsm: Fsm<i32> = FsmBuilder::new("idle")
+            .on_if("idle", "go", "fast", |&v| v > 10)
+            .on_if("idle", "go", "slow", |&v| v <= 10)
+            .build();
+        let mut v = 5;
+        fsm.dispatch("go", &mut v);
+        assert_eq!(fsm.state(), "slow");
+        fsm.reset();
+        let mut v = 50;
+        fsm.dispatch("go", &mut v);
+        assert_eq!(fsm.state(), "fast");
+    }
+
+    #[test]
+    fn trace_records_history() {
+        let mut fsm = turnstile();
+        let mut c = 0u32;
+        fsm.dispatch("coin", &mut c);
+        fsm.dispatch("push", &mut c);
+        assert_eq!(
+            fsm.trace(),
+            &[
+                ("locked".to_string(), "coin".to_string(), "unlocked".to_string()),
+                ("unlocked".to_string(), "push".to_string(), "locked".to_string()),
+            ]
+        );
+        fsm.reset();
+        assert!(fsm.trace().is_empty());
+        assert_eq!(fsm.state(), "locked");
+    }
+
+    #[test]
+    fn accepted_events_listed() {
+        let fsm = turnstile();
+        assert_eq!(fsm.accepted_events(), vec!["coin", "push"]);
+    }
+
+    #[test]
+    fn unreachable_state_detection() {
+        let fsm: Fsm<()> = FsmBuilder::new("a")
+            .on("a", "e", "b")
+            .state("island")
+            .build();
+        assert_eq!(fsm.unreachable_states(), vec!["island"]);
+        let fsm2 = turnstile();
+        assert!(fsm2.unreachable_states().is_empty());
+    }
+}

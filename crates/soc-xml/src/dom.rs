@@ -1,0 +1,547 @@
+//! Arena-backed DOM tree.
+//!
+//! Nodes live in a flat `Vec` owned by the [`Document`]; [`NodeId`]s are
+//! indices into that arena. This gives cheap traversal and mutation with
+//! no `Rc`/`RefCell` overhead, which matters for the XML-heavy paths
+//! (SOAP envelopes, registry documents) and mirrors the
+//! performance-first style of the rest of the workspace.
+
+use crate::error::{Position, XmlError, XmlResult};
+use crate::name::QName;
+use crate::reader::{Attribute, ReaderConfig, XmlEvent, XmlReader};
+use crate::writer::XmlWriter;
+
+/// Index of a node within its owning [`Document`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// The payload of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element with a name and attributes.
+    Element {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// Character data.
+    Text(String),
+    /// A CDATA section (serialized back as CDATA).
+    CData(String),
+    /// A comment.
+    Comment(String),
+    /// A processing instruction.
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// PI data.
+        data: String,
+    },
+}
+
+/// A node in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What kind of node this is and its content.
+    pub kind: NodeKind,
+    /// Parent node, `None` for the root element.
+    pub parent: Option<NodeId>,
+    /// Children in document order (empty for non-elements).
+    pub children: Vec<NodeId>,
+}
+
+/// An XML document: an arena of nodes with a distinguished root element.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Document {
+    /// Create a document whose root element has the given name.
+    pub fn new(root_name: impl Into<QName>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element { name: root_name.into(), attributes: Vec::new() },
+            parent: None,
+            children: Vec::new(),
+        };
+        Document { nodes: vec![root], root: NodeId(0) }
+    }
+
+    /// Parse a document from a string, dropping whitespace-only text
+    /// (use [`Document::parse_str_keep_whitespace`] to keep it).
+    pub fn parse_str(input: &str) -> XmlResult<Self> {
+        Self::parse_with(input, ReaderConfig { trim_whitespace_text: true, skip_comments: false })
+    }
+
+    /// Parse preserving whitespace-only text nodes.
+    pub fn parse_str_keep_whitespace(input: &str) -> XmlResult<Self> {
+        Self::parse_with(input, ReaderConfig::default())
+    }
+
+    fn parse_with(input: &str, config: ReaderConfig) -> XmlResult<Self> {
+        let mut reader = XmlReader::with_config(input, config);
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut root: Option<NodeId> = None;
+
+        loop {
+            let ev = reader.next_event()?;
+            match ev {
+                XmlEvent::StartDocument { .. } | XmlEvent::Doctype(_) => {}
+                XmlEvent::StartElement { name, attributes } => {
+                    let id = NodeId(nodes.len());
+                    nodes.push(Node {
+                        kind: NodeKind::Element { name, attributes },
+                        parent: stack.last().copied(),
+                        children: Vec::new(),
+                    });
+                    if let Some(&parent) = stack.last() {
+                        nodes[parent.0].children.push(id);
+                    } else {
+                        root = Some(id);
+                    }
+                    stack.push(id);
+                }
+                XmlEvent::EndElement { .. } => {
+                    stack.pop();
+                }
+                XmlEvent::Text(t) | XmlEvent::CData(t)
+                    if stack.is_empty() && t.trim().is_empty() => {}
+                XmlEvent::Text(t) => {
+                    Self::push_leaf(&mut nodes, &mut stack, NodeKind::Text(t))?;
+                }
+                XmlEvent::CData(t) => {
+                    Self::push_leaf(&mut nodes, &mut stack, NodeKind::CData(t))?;
+                }
+                XmlEvent::Comment(t) => {
+                    // Comments outside the root are legal; we drop them to
+                    // keep the arena rooted at a single element.
+                    if !stack.is_empty() {
+                        Self::push_leaf(&mut nodes, &mut stack, NodeKind::Comment(t))?;
+                    }
+                }
+                XmlEvent::ProcessingInstruction { target, data } => {
+                    if !stack.is_empty() {
+                        Self::push_leaf(
+                            &mut nodes,
+                            &mut stack,
+                            NodeKind::ProcessingInstruction { target, data },
+                        )?;
+                    }
+                }
+                XmlEvent::EndDocument => break,
+            }
+        }
+
+        let root = root.ok_or_else(|| XmlError::NotWellFormed {
+            pos: Position::start(),
+            detail: "no root element".into(),
+        })?;
+        Ok(Document { nodes, root })
+    }
+
+    fn push_leaf(nodes: &mut Vec<Node>, stack: &mut [NodeId], kind: NodeKind) -> XmlResult<()> {
+        let &parent = stack.last().ok_or_else(|| XmlError::NotWellFormed {
+            pos: Position::start(),
+            detail: "content outside root".into(),
+        })?;
+        let id = NodeId(nodes.len());
+        nodes.push(Node { kind, parent: Some(parent), children: Vec::new() });
+        nodes[parent.0].children.push(id);
+        Ok(())
+    }
+
+    /// The root element.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node. Panics on a stale id (ids are never reused, so this
+    /// only fires for ids from a *different* document).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Total number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the document holds only the root element.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Element name, if `id` is an element.
+    pub fn name(&self, id: NodeId) -> Option<&QName> {
+        match &self.node(id).kind {
+            NodeKind::Element { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Attribute value by unqualified name, if `id` is an element.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name.to_string() == name || a.name.local == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+
+    /// All attributes of an element (empty slice for non-elements).
+    pub fn attributes(&self, id: NodeId) -> &[Attribute] {
+        match &self.node(id).kind {
+            NodeKind::Element { attributes, .. } => attributes,
+            _ => &[],
+        }
+    }
+
+    /// Children of `id` in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Parent of `id`.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Child *elements* of `id` in document order.
+    pub fn child_elements(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(|&c| matches!(self.node(c).kind, NodeKind::Element { .. }))
+    }
+
+    /// First child element with the given local name.
+    pub fn find_child(&self, id: NodeId, local: &str) -> Option<NodeId> {
+        self.child_elements(id).find(|&c| self.name(c).is_some_and(|n| n.local == local))
+    }
+
+    /// All child elements with the given local name.
+    pub fn find_children<'a>(
+        &'a self,
+        id: NodeId,
+        local: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.child_elements(id).filter(move |&c| self.name(c).is_some_and(|n| n.local == local))
+    }
+
+    /// Concatenated text of all descendant text/CDATA nodes of `id`.
+    pub fn text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) | NodeKind::CData(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in self.children(id) {
+                    self.collect_text(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Text of the first child element named `local`, if present.
+    /// The workhorse accessor for protocol decoding.
+    pub fn child_text(&self, id: NodeId, local: &str) -> Option<String> {
+        self.find_child(id, local).map(|c| self.text(c))
+    }
+
+    /// Depth-first pre-order traversal starting at `id` (inclusive).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut work = vec![id];
+        while let Some(n) = work.pop() {
+            out.push(n);
+            // Push children reversed so pop order is document order.
+            for &c in self.children(n).iter().rev() {
+                work.push(c);
+            }
+        }
+        out
+    }
+
+    /// Resolve a namespace prefix at `id` by walking `xmlns` declarations
+    /// up the ancestor chain. An empty prefix resolves the default
+    /// namespace.
+    pub fn resolve_prefix(&self, id: NodeId, prefix: &str) -> Option<&str> {
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            if let NodeKind::Element { attributes, .. } = &self.node(n).kind {
+                for a in attributes {
+                    if a.name.declared_prefix() == Some(prefix) {
+                        return Some(&a.value);
+                    }
+                }
+            }
+            cur = self.node(n).parent;
+        }
+        match prefix {
+            "xml" => Some("http://www.w3.org/XML/1998/namespace"),
+            _ => None,
+        }
+    }
+
+    /// Namespace URI of the element's own name.
+    pub fn namespace(&self, id: NodeId) -> Option<&str> {
+        let name = self.name(id)?;
+        self.resolve_prefix(id, &name.prefix)
+    }
+
+    // ---- mutation -------------------------------------------------------
+
+    /// Append a new child element to `parent`, returning its id.
+    pub fn add_element(&mut self, parent: NodeId, name: impl Into<QName>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Element { name: name.into(), attributes: Vec::new() },
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Append a text node to `parent`.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Text(text.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Append a CDATA node to `parent`.
+    pub fn add_cdata(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::CData(text.into()),
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// Set (or replace) an attribute on an element. Panics if `id` is not
+    /// an element.
+    pub fn set_attr(&mut self, id: NodeId, name: impl Into<QName>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        match &mut self.nodes[id.0].kind {
+            NodeKind::Element { attributes, .. } => {
+                if let Some(a) = attributes.iter_mut().find(|a| a.name == name) {
+                    a.value = value;
+                } else {
+                    attributes.push(Attribute { name, value });
+                }
+            }
+            _ => panic!("set_attr on a non-element node"),
+        }
+    }
+
+    /// Convenience: append `<name>text</name>` under `parent` and return
+    /// the new element id.
+    pub fn add_text_element(
+        &mut self,
+        parent: NodeId,
+        name: impl Into<QName>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let el = self.add_element(parent, name);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Detach `id` from its parent. The node stays in the arena (ids are
+    /// stable) but no longer appears in traversals.
+    pub fn detach(&mut self, id: NodeId) {
+        if let Some(parent) = self.nodes[id.0].parent.take() {
+            self.nodes[parent.0].children.retain(|&c| c != id);
+        }
+    }
+
+    /// Deep-copy the subtree rooted at `src_id` in `src` as a new child of
+    /// `parent` in `self`. Returns the id of the copied root.
+    pub fn graft(&mut self, parent: NodeId, src: &Document, src_id: NodeId) -> NodeId {
+        let new_id = match &src.node(src_id).kind {
+            NodeKind::Element { name, attributes } => {
+                let el = self.add_element(parent, name.clone());
+                match &mut self.nodes[el.0].kind {
+                    NodeKind::Element { attributes: dst, .. } => *dst = attributes.clone(),
+                    _ => unreachable!(),
+                }
+                el
+            }
+            other => {
+                let id = NodeId(self.nodes.len());
+                self.nodes.push(Node {
+                    kind: other.clone(),
+                    parent: Some(parent),
+                    children: Vec::new(),
+                });
+                self.nodes[parent.0].children.push(id);
+                id
+            }
+        };
+        for &c in src.children(src_id) {
+            self.graft(new_id, src, c);
+        }
+        new_id
+    }
+
+    // ---- serialization ---------------------------------------------------
+
+    /// Serialize compactly (no added whitespace).
+    pub fn to_xml(&self) -> String {
+        let mut w = XmlWriter::compact();
+        w.write_document(self);
+        w.finish()
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn to_pretty_xml(&self) -> String {
+        let mut w = XmlWriter::pretty();
+        w.write_document(self);
+        w.finish()
+    }
+}
+
+impl std::fmt::Display for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_navigate() {
+        let doc = Document::parse_str(
+            "<catalog><service id='s1'><name>echo</name><cost>0</cost></service></catalog>",
+        )
+        .unwrap();
+        let root = doc.root();
+        assert_eq!(doc.name(root).unwrap().local, "catalog");
+        let svc = doc.find_child(root, "service").unwrap();
+        assert_eq!(doc.attr(svc, "id"), Some("s1"));
+        assert_eq!(doc.child_text(svc, "name").as_deref(), Some("echo"));
+        assert_eq!(doc.child_text(svc, "cost").as_deref(), Some("0"));
+        assert_eq!(doc.child_text(svc, "missing"), None);
+    }
+
+    #[test]
+    fn build_and_serialize() {
+        let mut doc = Document::new("order");
+        doc.set_attr(doc.root(), "id", "42");
+        let item = doc.add_element(doc.root(), "item");
+        doc.add_text(item, "book");
+        assert_eq!(doc.to_xml(), r#"<order id="42"><item>book</item></order>"#);
+    }
+
+    #[test]
+    fn round_trip_parse_serialize_parse() {
+        let src = r#"<a x="1"><b>t &amp; u</b><c/><![CDATA[raw <stuff>]]></a>"#;
+        let doc = Document::parse_str(src).unwrap();
+        let ser = doc.to_xml();
+        let doc2 = Document::parse_str(&ser).unwrap();
+        assert_eq!(doc.text(doc.root()), doc2.text(doc2.root()));
+        assert_eq!(ser, doc2.to_xml());
+    }
+
+    #[test]
+    fn text_concatenates_descendants() {
+        let doc = Document::parse_str("<p>Hello <b>brave</b> world</p>").unwrap();
+        assert_eq!(doc.text(doc.root()), "Hello brave world");
+    }
+
+    #[test]
+    fn descendants_in_document_order() {
+        let doc = Document::parse_str("<a><b><c/></b><d/></a>").unwrap();
+        let names: Vec<_> = doc
+            .descendants(doc.root())
+            .into_iter()
+            .filter_map(|n| doc.name(n).map(|q| q.local.clone()))
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn namespace_resolution_walks_ancestors() {
+        let doc = Document::parse_str(
+            "<s:Envelope xmlns:s='http://schemas.xmlsoap.org/soap/envelope/' xmlns='urn:default'>\
+             <s:Body><op/></s:Body></s:Envelope>",
+        )
+        .unwrap();
+        let body = doc.find_child(doc.root(), "Body").unwrap();
+        let op = doc.find_child(body, "op").unwrap();
+        assert_eq!(doc.namespace(body), Some("http://schemas.xmlsoap.org/soap/envelope/"));
+        assert_eq!(doc.namespace(op), Some("urn:default"));
+        assert_eq!(doc.resolve_prefix(op, "nope"), None);
+    }
+
+    #[test]
+    fn detach_removes_from_traversal() {
+        let mut doc = Document::parse_str("<a><b/><c/></a>").unwrap();
+        let b = doc.find_child(doc.root(), "b").unwrap();
+        doc.detach(b);
+        assert!(doc.find_child(doc.root(), "b").is_none());
+        assert!(doc.find_child(doc.root(), "c").is_some());
+    }
+
+    #[test]
+    fn graft_copies_subtree_between_documents() {
+        let src = Document::parse_str("<x><item id='1'><v>9</v></item></x>").unwrap();
+        let item = src.find_child(src.root(), "item").unwrap();
+        let mut dst = Document::new("basket");
+        dst.graft(dst.root(), &src, item);
+        assert_eq!(dst.to_xml(), r#"<basket><item id="1"><v>9</v></item></basket>"#);
+    }
+
+    #[test]
+    fn set_attr_replaces_existing() {
+        let mut doc = Document::new("a");
+        doc.set_attr(doc.root(), "k", "1");
+        doc.set_attr(doc.root(), "k", "2");
+        assert_eq!(doc.attr(doc.root(), "k"), Some("2"));
+        assert_eq!(doc.attributes(doc.root()).len(), 1);
+    }
+
+    #[test]
+    fn whitespace_dropped_by_default_kept_on_request() {
+        let src = "<a>\n  <b/>\n</a>";
+        let trimmed = Document::parse_str(src).unwrap();
+        assert_eq!(trimmed.children(trimmed.root()).len(), 1);
+        let kept = Document::parse_str_keep_whitespace(src).unwrap();
+        assert_eq!(kept.children(kept.root()).len(), 3);
+    }
+
+    #[test]
+    fn pretty_print_indents() {
+        let doc = Document::parse_str("<a><b>t</b></a>").unwrap();
+        let pretty = doc.to_pretty_xml();
+        assert!(pretty.contains("\n  <b>"));
+    }
+
+    #[test]
+    fn find_children_filters_by_name() {
+        let doc = Document::parse_str("<a><i/><j/><i/></a>").unwrap();
+        assert_eq!(doc.find_children(doc.root(), "i").count(), 2);
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type shared by every layer of the XML stack.
+
+use std::fmt;
+
+/// Position inside the input, tracked as both byte offset and
+/// line/column (1-based) so error messages point at the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// Byte offset from the start of the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, not grapheme clusters).
+    pub column: u32,
+}
+
+impl Position {
+    /// The start of the input.
+    pub fn start() -> Self {
+        Position { offset: 0, line: 1, column: 1 }
+    }
+
+    /// Advance the position over one byte of input.
+    pub fn advance(&mut self, byte: u8) {
+        self.offset += 1;
+        if byte == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while lexing, parsing, or navigating XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof { pos: Position, expected: &'static str },
+    /// A byte that cannot start or continue the current construct.
+    Unexpected { pos: Position, found: char, expected: &'static str },
+    /// A closing tag did not match the open element.
+    MismatchedTag { pos: Position, open: String, close: String },
+    /// `</x>` with no matching `<x>`.
+    UnbalancedClose { pos: Position, name: String },
+    /// An entity reference that is not one of the predefined five or a
+    /// well-formed character reference.
+    BadEntity { pos: Position, entity: String },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute { pos: Position, name: String },
+    /// The document has no root element, or text outside the root.
+    NotWellFormed { pos: Position, detail: String },
+    /// Invalid UTF-8 or a character not allowed in XML.
+    BadChar { pos: Position, detail: String },
+    /// XPath expression syntax error.
+    XPathSyntax { detail: String },
+    /// Attempt to use a [`crate::NodeId`] from another document.
+    ForeignNode,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof { pos, expected } => {
+                write!(f, "{pos}: unexpected end of input, expected {expected}")
+            }
+            XmlError::Unexpected { pos, found, expected } => {
+                write!(f, "{pos}: unexpected {found:?}, expected {expected}")
+            }
+            XmlError::MismatchedTag { pos, open, close } => {
+                write!(f, "{pos}: closing tag </{close}> does not match <{open}>")
+            }
+            XmlError::UnbalancedClose { pos, name } => {
+                write!(f, "{pos}: closing tag </{name}> with no open element")
+            }
+            XmlError::BadEntity { pos, entity } => {
+                write!(f, "{pos}: unknown or malformed entity &{entity};")
+            }
+            XmlError::DuplicateAttribute { pos, name } => {
+                write!(f, "{pos}: duplicate attribute {name:?}")
+            }
+            XmlError::NotWellFormed { pos, detail } => {
+                write!(f, "{pos}: document not well-formed: {detail}")
+            }
+            XmlError::BadChar { pos, detail } => write!(f, "{pos}: {detail}"),
+            XmlError::XPathSyntax { detail } => write!(f, "xpath syntax error: {detail}"),
+            XmlError::ForeignNode => write!(f, "node id belongs to a different document"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_tracks_lines_and_columns() {
+        let mut p = Position::start();
+        for b in b"ab\ncd" {
+            p.advance(*b);
+        }
+        assert_eq!(p.offset, 5);
+        assert_eq!(p.line, 2);
+        assert_eq!(p.column, 3);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = XmlError::MismatchedTag {
+            pos: Position { offset: 9, line: 2, column: 4 },
+            open: "a".into(),
+            close: "b".into(),
+        };
+        assert_eq!(e.to_string(), "2:4: closing tag </b> does not match <a>");
+    }
+
+    #[test]
+    fn eof_error_mentions_expectation() {
+        let e = XmlError::UnexpectedEof { pos: Position::start(), expected: "'>'" };
+        assert!(e.to_string().contains("expected '>'"));
+    }
+}

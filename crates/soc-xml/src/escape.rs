@@ -1,0 +1,136 @@
+//! Escaping and entity expansion for text and attribute content.
+
+use crate::error::{Position, XmlError, XmlResult};
+
+/// Escape `<`, `>`, and `&` for element text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape text for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Expand the five predefined entities plus decimal/hex character
+/// references in `s`. `pos` is used only for error reporting.
+pub fn unescape(s: &str, pos: Position) -> XmlResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let Some(end) = rest.find(';') else {
+            return Err(XmlError::BadEntity { pos, entity: rest.chars().take(8).collect() });
+        };
+        let name = &rest[..end];
+        match name {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                match code.and_then(char::from_u32) {
+                    Some(ch) => out.push(ch),
+                    None => {
+                        return Err(XmlError::BadEntity { pos, entity: name.to_string() });
+                    }
+                }
+            }
+        }
+        // Skip the entity body and the ';'.
+        for _ in 0..=end {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> Position {
+        Position::start()
+    }
+
+    #[test]
+    fn escape_then_unescape_text_round_trips() {
+        let original = "a < b && c > d";
+        let escaped = escape_text(original);
+        assert_eq!(escaped, "a &lt; b &amp;&amp; c &gt; d");
+        assert_eq!(unescape(&escaped, p()).unwrap(), original);
+    }
+
+    #[test]
+    fn escape_attr_handles_quotes_and_whitespace() {
+        assert_eq!(escape_attr("say \"hi\"\n"), "say &quot;hi&quot;&#10;");
+        assert_eq!(unescape("say &quot;hi&quot;&#10;", p()).unwrap(), "say \"hi\"\n");
+    }
+
+    #[test]
+    fn numeric_references_decimal_and_hex() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;", p()).unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unicode_references() {
+        assert_eq!(unescape("&#x4E2D;&#x6587;", p()).unwrap(), "中文");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(matches!(unescape("&nbsp;", p()), Err(XmlError::BadEntity { .. })));
+    }
+
+    #[test]
+    fn unterminated_entity_is_an_error() {
+        assert!(matches!(unescape("a&ltb", p()), Err(XmlError::BadEntity { .. })));
+    }
+
+    #[test]
+    fn surrogate_char_reference_is_rejected() {
+        assert!(matches!(unescape("&#xD800;", p()), Err(XmlError::BadEntity { .. })));
+    }
+
+    #[test]
+    fn plain_string_is_untouched_fast_path() {
+        assert_eq!(unescape("hello world", p()).unwrap(), "hello world");
+    }
+}

@@ -1,0 +1,124 @@
+//! Qualified names (`prefix:local`) as used by elements and attributes.
+
+use std::fmt;
+
+/// A qualified XML name, split into optional prefix and local part.
+///
+/// Namespace *resolution* (mapping prefixes to URIs through in-scope
+/// `xmlns` declarations) is performed by the DOM layer; the reader only
+/// records the syntactic split.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QName {
+    /// Namespace prefix, e.g. `soap` in `soap:Envelope`; empty when the
+    /// name is unprefixed.
+    pub prefix: String,
+    /// Local part of the name.
+    pub local: String,
+}
+
+impl QName {
+    /// Build a name without a prefix.
+    pub fn local(local: impl Into<String>) -> Self {
+        QName { prefix: String::new(), local: local.into() }
+    }
+
+    /// Build a prefixed name.
+    pub fn prefixed(prefix: impl Into<String>, local: impl Into<String>) -> Self {
+        QName { prefix: prefix.into(), local: local.into() }
+    }
+
+    /// Parse `prefix:local` or `local` syntax. Does not validate NCName
+    /// character rules (the reader does that while lexing).
+    pub fn parse(raw: &str) -> Self {
+        match raw.split_once(':') {
+            Some((p, l)) => QName::prefixed(p, l),
+            None => QName::local(raw),
+        }
+    }
+
+    /// True if this is an `xmlns` or `xmlns:*` namespace declaration name.
+    pub fn is_xmlns(&self) -> bool {
+        (self.prefix.is_empty() && self.local == "xmlns") || self.prefix == "xmlns"
+    }
+
+    /// The prefix being declared when [`Self::is_xmlns`] is true:
+    /// `xmlns="…"` declares the default (empty) prefix, `xmlns:p="…"`
+    /// declares `p`.
+    pub fn declared_prefix(&self) -> Option<&str> {
+        if self.prefix == "xmlns" {
+            Some(&self.local)
+        } else if self.prefix.is_empty() && self.local == "xmlns" {
+            Some("")
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for QName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix.is_empty() {
+            f.write_str(&self.local)
+        } else {
+            write!(f, "{}:{}", self.prefix, self.local)
+        }
+    }
+}
+
+impl From<&str> for QName {
+    fn from(raw: &str) -> Self {
+        QName::parse(raw)
+    }
+}
+
+/// Is `c` a valid first character of an XML name? (Pragmatic subset of
+/// the NameStartChar production.)
+pub fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+/// Is `c` a valid continuation character of an XML name?
+pub fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_on_first_colon() {
+        let q = QName::parse("soap:Envelope");
+        assert_eq!(q.prefix, "soap");
+        assert_eq!(q.local, "Envelope");
+        assert_eq!(q.to_string(), "soap:Envelope");
+    }
+
+    #[test]
+    fn parse_unprefixed() {
+        let q = QName::parse("service");
+        assert_eq!(q.prefix, "");
+        assert_eq!(q.local, "service");
+        assert_eq!(q.to_string(), "service");
+    }
+
+    #[test]
+    fn xmlns_detection() {
+        assert!(QName::parse("xmlns").is_xmlns());
+        assert!(QName::parse("xmlns:soap").is_xmlns());
+        assert!(!QName::parse("x:xmlns").is_xmlns());
+        assert_eq!(QName::parse("xmlns").declared_prefix(), Some(""));
+        assert_eq!(QName::parse("xmlns:soap").declared_prefix(), Some("soap"));
+        assert_eq!(QName::parse("id").declared_prefix(), None);
+    }
+
+    #[test]
+    fn name_char_classes() {
+        assert!(is_name_start('a'));
+        assert!(is_name_start('_'));
+        assert!(!is_name_start('1'));
+        assert!(is_name_char('1'));
+        assert!(is_name_char('-'));
+        assert!(!is_name_char(' '));
+    }
+}

@@ -1,0 +1,648 @@
+//! Pull-style XML parser (the event model that SAX is built on).
+//!
+//! [`XmlReader`] walks the input once, producing [`XmlEvent`]s. It
+//! enforces well-formedness: tags must balance, attributes must be
+//! unique per element, exactly one root element, no text outside it.
+//!
+//! ```
+//! use soc_xml::reader::{XmlReader, XmlEvent};
+//!
+//! let mut r = XmlReader::new("<a href='x'>hi</a>");
+//! assert!(matches!(r.next_event().unwrap(), XmlEvent::StartElement { .. }));
+//! assert!(matches!(r.next_event().unwrap(), XmlEvent::Text(t) if t == "hi"));
+//! ```
+
+use crate::error::{Position, XmlError, XmlResult};
+use crate::escape::unescape;
+use crate::name::{is_name_char, is_name_start, QName};
+
+/// A single attribute as it appeared on a start tag, value already
+/// entity-expanded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, possibly prefixed.
+    pub name: QName,
+    /// Entity-expanded attribute value.
+    pub value: String,
+}
+
+/// Events produced by [`XmlReader`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// The `<?xml … ?>` declaration, if present.
+    StartDocument {
+        /// `version` pseudo-attribute (defaults to "1.0").
+        version: String,
+        /// `encoding` pseudo-attribute, if given.
+        encoding: Option<String>,
+    },
+    /// An opening tag. Self-closing tags produce a `StartElement`
+    /// immediately followed by a synthetic `EndElement`.
+    StartElement {
+        /// Element name.
+        name: QName,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+    },
+    /// A closing tag (possibly synthetic, for `<x/>`).
+    EndElement {
+        /// Element name.
+        name: QName,
+    },
+    /// Character data between tags, entity-expanded.
+    Text(String),
+    /// A `<![CDATA[…]]>` section, verbatim.
+    CData(String),
+    /// A `<!-- … -->` comment, verbatim.
+    Comment(String),
+    /// A `<?target data?>` processing instruction (other than `<?xml?>`).
+    ProcessingInstruction {
+        /// PI target.
+        target: String,
+        /// Everything after the target, trimmed.
+        data: String,
+    },
+    /// A `<!DOCTYPE …>` declaration, kept as raw text.
+    Doctype(String),
+    /// End of input; returned forever after the document closes.
+    EndDocument,
+}
+
+/// Configuration for [`XmlReader`].
+#[derive(Debug, Clone, Default)]
+pub struct ReaderConfig {
+    /// Drop text events that are entirely whitespace (common when
+    /// parsing pretty-printed documents into data structures).
+    pub trim_whitespace_text: bool,
+    /// Skip comment events entirely.
+    pub skip_comments: bool,
+}
+
+/// A streaming pull parser over a UTF-8 string.
+pub struct XmlReader<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: Position,
+    config: ReaderConfig,
+    /// Open-element stack for balance checking.
+    stack: Vec<QName>,
+    /// Synthetic end-element queued by a self-closing tag.
+    pending_end: Option<QName>,
+    /// Whether the root element has been closed.
+    root_done: bool,
+    /// Whether any root element has been seen.
+    root_seen: bool,
+    /// Whether the `<?xml?>` declaration may still appear.
+    at_start: bool,
+}
+
+impl<'a> XmlReader<'a> {
+    /// Create a reader with default configuration.
+    pub fn new(input: &'a str) -> Self {
+        Self::with_config(input, ReaderConfig::default())
+    }
+
+    /// Create a reader with explicit configuration.
+    pub fn with_config(input: &'a str, config: ReaderConfig) -> Self {
+        XmlReader {
+            input,
+            bytes: input.as_bytes(),
+            pos: Position::start(),
+            config,
+            stack: Vec::new(),
+            pending_end: None,
+            root_done: false,
+            root_seen: false,
+            at_start: true,
+        }
+    }
+
+    /// Current source position (start of the next unread byte).
+    pub fn position(&self) -> Position {
+        self.pos
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos.offset + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.advance(b);
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos.offset..].starts_with(s)
+    }
+
+    fn consume_str(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            for b in s.bytes() {
+                self.pos.advance(b);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    /// Consume input up to (not including) `delim`, returning the slice.
+    fn take_until(&mut self, delim: &str, what: &'static str) -> XmlResult<&'a str> {
+        let rest = &self.input[self.pos.offset..];
+        let Some(idx) = rest.find(delim) else {
+            return Err(XmlError::UnexpectedEof { pos: self.pos, expected: what });
+        };
+        let out = &rest[..idx];
+        for b in out.bytes() {
+            self.pos.advance(b);
+        }
+        Ok(out)
+    }
+
+    fn read_name(&mut self) -> XmlResult<QName> {
+        let start = self.pos.offset;
+        let rest = &self.input[start..];
+        let mut chars = rest.chars();
+        match chars.next() {
+            Some(c) if is_name_start(c) => {}
+            Some(c) => {
+                return Err(XmlError::Unexpected { pos: self.pos, found: c, expected: "name start" })
+            }
+            None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "name" }),
+        }
+        let mut len = 0;
+        for c in rest.chars() {
+            if is_name_char(c) {
+                len += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        let raw = &rest[..len];
+        for b in raw.bytes() {
+            self.pos.advance(b);
+        }
+        Ok(QName::parse(raw))
+    }
+
+    fn read_attr_value(&mut self) -> XmlResult<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q as char,
+            Some(c) => {
+                return Err(XmlError::Unexpected {
+                    pos: self.pos,
+                    found: c as char,
+                    expected: "quoted attribute value",
+                })
+            }
+            None => {
+                return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "attribute value" })
+            }
+        };
+        let at = self.pos;
+        let raw = self.take_until(&quote.to_string(), "closing attribute quote")?;
+        self.bump(); // consume the quote
+        unescape(raw, at)
+    }
+
+    /// Parse the inside of a start tag after the name: attributes and the
+    /// closing `>` or `/>`. Returns (attributes, self_closing).
+    fn read_attributes(&mut self) -> XmlResult<(Vec<Attribute>, bool)> {
+        let mut attrs: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    return Ok((attrs, false));
+                }
+                Some(b'/') => {
+                    self.bump();
+                    if self.bump() != Some(b'>') {
+                        return Err(XmlError::Unexpected {
+                            pos: self.pos,
+                            found: '/',
+                            expected: "'/>'",
+                        });
+                    }
+                    return Ok((attrs, true));
+                }
+                Some(_) => {
+                    let at = self.pos;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(XmlError::Unexpected {
+                            pos: self.pos,
+                            found: self.peek().map(|b| b as char).unwrap_or('\0'),
+                            expected: "'=' after attribute name",
+                        });
+                    }
+                    self.skip_ws();
+                    let value = self.read_attr_value()?;
+                    if attrs.iter().any(|a| a.name == name) {
+                        return Err(XmlError::DuplicateAttribute { pos: at, name: name.to_string() });
+                    }
+                    attrs.push(Attribute { name, value });
+                }
+                None => {
+                    return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" })
+                }
+            }
+        }
+    }
+
+    fn read_xml_decl(&mut self) -> XmlResult<XmlEvent> {
+        // Already consumed "<?xml".
+        let at = self.pos;
+        let body = self.take_until("?>", "'?>'")?.to_string();
+        self.consume_str("?>");
+        let mut version = "1.0".to_string();
+        let mut encoding = None;
+        for part in body.split_whitespace() {
+            if let Some((k, v)) = part.split_once('=') {
+                let v = v.trim_matches(|c| c == '"' || c == '\'');
+                match k {
+                    "version" => version = v.to_string(),
+                    "encoding" => encoding = Some(v.to_string()),
+                    _ => {}
+                }
+            }
+        }
+        if encoding.as_deref().is_some_and(|e| !e.eq_ignore_ascii_case("utf-8")) {
+            return Err(XmlError::BadChar {
+                pos: at,
+                detail: format!("unsupported encoding {:?} (only UTF-8)", encoding.unwrap()),
+            });
+        }
+        Ok(XmlEvent::StartDocument { version, encoding })
+    }
+
+    /// Pull the next event from the input.
+    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+        if let Some(name) = self.pending_end.take() {
+            if self.stack.is_empty() {
+                self.root_done = true;
+            }
+            return Ok(XmlEvent::EndElement { name });
+        }
+        loop {
+            // End of input?
+            if self.peek().is_none() {
+                if self.stack.last().is_some() {
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos,
+                        expected: "closing tag",
+                    });
+                }
+                if !self.root_seen {
+                    return Err(XmlError::NotWellFormed {
+                        pos: self.pos,
+                        detail: "document has no root element".into(),
+                    });
+                }
+                return Ok(XmlEvent::EndDocument);
+            }
+
+            if self.peek() == Some(b'<') {
+                let at = self.pos;
+                self.bump();
+                match self.peek() {
+                    Some(b'?') => {
+                        self.bump();
+                        if self.at_start && self.starts_with("xml") &&
+                            self.peek_at(3).is_none_or(|b| b.is_ascii_whitespace() || b == b'?')
+                        {
+                            self.consume_str("xml");
+                            self.at_start = false;
+                            return self.read_xml_decl();
+                        }
+                        self.at_start = false;
+                        let target = self.read_name()?;
+                        let data = self.take_until("?>", "'?>'")?.trim().to_string();
+                        self.consume_str("?>");
+                        return Ok(XmlEvent::ProcessingInstruction {
+                            target: target.to_string(),
+                            data,
+                        });
+                    }
+                    Some(b'!') => {
+                        self.bump();
+                        self.at_start = false;
+                        if self.consume_str("--") {
+                            let text = self.take_until("-->", "'-->'")?.to_string();
+                            self.consume_str("-->");
+                            if self.config.skip_comments {
+                                continue;
+                            }
+                            return Ok(XmlEvent::Comment(text));
+                        }
+                        if self.consume_str("[CDATA[") {
+                            if self.stack.is_empty() {
+                                return Err(XmlError::NotWellFormed {
+                                    pos: at,
+                                    detail: "CDATA outside root element".into(),
+                                });
+                            }
+                            let text = self.take_until("]]>", "']]>'")?.to_string();
+                            self.consume_str("]]>");
+                            return Ok(XmlEvent::CData(text));
+                        }
+                        if self.consume_str("DOCTYPE") {
+                            // Keep it simple: no internal subsets with nested '>'.
+                            let text = self.take_until(">", "'>'")?.trim().to_string();
+                            self.bump();
+                            return Ok(XmlEvent::Doctype(text));
+                        }
+                        return Err(XmlError::Unexpected {
+                            pos: at,
+                            found: '!',
+                            expected: "comment, CDATA, or DOCTYPE",
+                        });
+                    }
+                    Some(b'/') => {
+                        self.bump();
+                        let name = self.read_name()?;
+                        self.skip_ws();
+                        if self.bump() != Some(b'>') {
+                            return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" });
+                        }
+                        match self.stack.pop() {
+                            Some(open) if open == name => {
+                                if self.stack.is_empty() {
+                                    self.root_done = true;
+                                }
+                                return Ok(XmlEvent::EndElement { name });
+                            }
+                            Some(open) => {
+                                return Err(XmlError::MismatchedTag {
+                                    pos: at,
+                                    open: open.to_string(),
+                                    close: name.to_string(),
+                                })
+                            }
+                            None => {
+                                return Err(XmlError::UnbalancedClose {
+                                    pos: at,
+                                    name: name.to_string(),
+                                })
+                            }
+                        }
+                    }
+                    _ => {
+                        self.at_start = false;
+                        if self.root_done {
+                            return Err(XmlError::NotWellFormed {
+                                pos: at,
+                                detail: "content after the root element".into(),
+                            });
+                        }
+                        if self.stack.is_empty() && self.root_seen {
+                            return Err(XmlError::NotWellFormed {
+                                pos: at,
+                                detail: "multiple root elements".into(),
+                            });
+                        }
+                        let name = self.read_name()?;
+                        let (attributes, self_closing) = self.read_attributes()?;
+                        self.root_seen = true;
+                        if self_closing {
+                            self.pending_end = Some(name.clone());
+                            if self.stack.is_empty() {
+                                // Root is a self-closing element.
+                            }
+                        } else {
+                            self.stack.push(name.clone());
+                        }
+                        return Ok(XmlEvent::StartElement { name, attributes });
+                    }
+                }
+            }
+
+            // Character data.
+            let at = self.pos;
+            let raw = {
+                let rest = &self.input[self.pos.offset..];
+                let end = rest.find('<').unwrap_or(rest.len());
+                let out = &rest[..end];
+                for b in out.bytes() {
+                    self.pos.advance(b);
+                }
+                out
+            };
+            self.at_start = false;
+            let outside = self.stack.is_empty();
+            if outside {
+                if !raw.trim().is_empty() {
+                    return Err(XmlError::NotWellFormed {
+                        pos: at,
+                        detail: "text outside the root element".into(),
+                    });
+                }
+                continue;
+            }
+            if self.config.trim_whitespace_text && raw.trim().is_empty() {
+                continue;
+            }
+            let text = unescape(raw, at)?;
+            return Ok(XmlEvent::Text(text));
+        }
+    }
+
+    /// Drain the remaining events, checking well-formedness of the whole
+    /// document. Useful for validation without building a DOM.
+    pub fn validate_to_end(&mut self) -> XmlResult<()> {
+        loop {
+            if matches!(self.next_event()?, XmlEvent::EndDocument) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for XmlReader<'a> {
+    type Item = XmlResult<XmlEvent>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_event() {
+            Ok(XmlEvent::EndDocument) => None,
+            other => Some(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(input: &str) -> Vec<XmlEvent> {
+        XmlReader::new(input).collect::<XmlResult<Vec<_>>>().unwrap()
+    }
+
+    #[test]
+    fn simple_element_with_text() {
+        let ev = events("<a>hi</a>");
+        assert_eq!(
+            ev,
+            vec![
+                XmlEvent::StartElement { name: QName::local("a"), attributes: vec![] },
+                XmlEvent::Text("hi".into()),
+                XmlEvent::EndElement { name: QName::local("a") },
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing_produces_synthetic_end() {
+        let ev = events("<a><b/></a>");
+        assert_eq!(ev.len(), 4);
+        assert!(matches!(&ev[1], XmlEvent::StartElement { name, .. } if name.local == "b"));
+        assert!(matches!(&ev[2], XmlEvent::EndElement { name } if name.local == "b"));
+    }
+
+    #[test]
+    fn attributes_single_and_double_quoted() {
+        let ev = events(r#"<s id="1" name='echo &amp; co'/>"#);
+        let XmlEvent::StartElement { attributes, .. } = &ev[0] else { panic!() };
+        assert_eq!(attributes[0].value, "1");
+        assert_eq!(attributes[1].value, "echo & co");
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let mut r = XmlReader::new(r#"<s a="1" a="2"/>"#);
+        assert!(matches!(r.next_event(), Err(XmlError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn xml_declaration_parsed() {
+        let ev = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
+        assert_eq!(
+            ev[0],
+            XmlEvent::StartDocument { version: "1.0".into(), encoding: Some("UTF-8".into()) }
+        );
+    }
+
+    #[test]
+    fn non_utf8_encoding_rejected() {
+        let mut r = XmlReader::new("<?xml version=\"1.0\" encoding=\"latin-1\"?><r/>");
+        assert!(matches!(r.next_event(), Err(XmlError::BadChar { .. })));
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let ev = events("<a><![CDATA[1 < 2 && 3 > 2]]></a>");
+        assert!(matches!(&ev[1], XmlEvent::CData(t) if t == "1 < 2 && 3 > 2"));
+    }
+
+    #[test]
+    fn comments_and_pis() {
+        let ev = events("<a><!-- note --><?php echo ?></a>");
+        assert!(matches!(&ev[1], XmlEvent::Comment(t) if t == " note "));
+        assert!(matches!(&ev[2],
+            XmlEvent::ProcessingInstruction { target, data } if target == "php" && data == "echo"));
+    }
+
+    #[test]
+    fn skip_comments_config() {
+        let cfg = ReaderConfig { skip_comments: true, ..Default::default() };
+        let ev: Vec<_> =
+            XmlReader::with_config("<a><!--x-->t</a>", cfg).collect::<XmlResult<_>>().unwrap();
+        assert_eq!(ev.len(), 3);
+        assert!(matches!(&ev[1], XmlEvent::Text(t) if t == "t"));
+    }
+
+    #[test]
+    fn trim_whitespace_config() {
+        let cfg = ReaderConfig { trim_whitespace_text: true, ..Default::default() };
+        let ev: Vec<_> = XmlReader::with_config("<a>\n  <b/>\n</a>", cfg)
+            .collect::<XmlResult<_>>()
+            .unwrap();
+        assert_eq!(ev.len(), 4); // no text events
+    }
+
+    #[test]
+    fn mismatched_tags_rejected() {
+        let mut r = XmlReader::new("<a><b></a></b>");
+        r.next_event().unwrap();
+        r.next_event().unwrap();
+        assert!(matches!(r.next_event(), Err(XmlError::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn unbalanced_close_rejected() {
+        let mut r = XmlReader::new("</a>");
+        assert!(matches!(r.next_event(), Err(XmlError::UnbalancedClose { .. })));
+    }
+
+    #[test]
+    fn unclosed_root_rejected() {
+        let mut r = XmlReader::new("<a><b></b>");
+        assert!(r.validate_to_end().is_err());
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let mut r = XmlReader::new("<a/><b/>");
+        assert!(r.validate_to_end().is_err());
+    }
+
+    #[test]
+    fn text_outside_root_rejected() {
+        let mut r = XmlReader::new("<a/>junk");
+        assert!(r.validate_to_end().is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut r = XmlReader::new("   ");
+        assert!(matches!(r.next_event(), Err(XmlError::NotWellFormed { .. })));
+    }
+
+    #[test]
+    fn doctype_is_reported() {
+        let ev = events("<!DOCTYPE html><a/>");
+        assert!(matches!(&ev[0], XmlEvent::Doctype(t) if t == "html"));
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let ev = events("<soap:Envelope xmlns:soap='urn:s'><soap:Body/></soap:Envelope>");
+        assert!(matches!(&ev[0], XmlEvent::StartElement { name, .. }
+            if name.prefix == "soap" && name.local == "Envelope"));
+    }
+
+    #[test]
+    fn position_reported_in_errors() {
+        let mut r = XmlReader::new("<a>\n  <b></c></b></a>");
+        r.next_event().unwrap(); // <a>
+        r.next_event().unwrap(); // text
+        r.next_event().unwrap(); // <b>
+        let err = r.next_event().unwrap_err();
+        let XmlError::MismatchedTag { pos, .. } = err else { panic!("{err}") };
+        assert_eq!(pos.line, 2);
+    }
+
+    #[test]
+    fn whitespace_between_prolog_and_root_ok() {
+        let ev = events("<?xml version='1.0'?>\n\n<r/>");
+        assert_eq!(ev.len(), 3);
+    }
+
+    #[test]
+    fn unicode_text_round_trips() {
+        let ev = events("<a>中文 → ok</a>");
+        assert!(matches!(&ev[1], XmlEvent::Text(t) if t == "中文 → ok"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Push-style SAX driver.
+//!
+//! The classic SAX model from the course: you hand a [`SaxHandler`] to
+//! [`parse`] and receive callbacks as the document streams by, never
+//! materializing a tree. Ideal for large documents and for extracting a
+//! few fields.
+
+use crate::error::XmlResult;
+use crate::name::QName;
+use crate::reader::{Attribute, XmlEvent, XmlReader};
+
+/// Callbacks invoked by the SAX driver. All methods have no-op defaults
+/// so handlers implement only what they need.
+pub trait SaxHandler {
+    /// Document parsing has begun.
+    fn start_document(&mut self) {}
+    /// Document parsed to completion.
+    fn end_document(&mut self) {}
+    /// An element opened. `depth` is 0 for the root.
+    fn start_element(&mut self, name: &QName, attributes: &[Attribute], depth: usize) {
+        let _ = (name, attributes, depth);
+    }
+    /// An element closed.
+    fn end_element(&mut self, name: &QName, depth: usize) {
+        let _ = (name, depth);
+    }
+    /// Character data (text or CDATA).
+    fn characters(&mut self, text: &str) {
+        let _ = text;
+    }
+    /// A comment.
+    fn comment(&mut self, text: &str) {
+        let _ = text;
+    }
+    /// A processing instruction.
+    fn processing_instruction(&mut self, target: &str, data: &str) {
+        let _ = (target, data);
+    }
+}
+
+/// Drive `handler` over `input`, returning the first well-formedness
+/// error encountered, if any.
+pub fn parse<H: SaxHandler>(input: &str, handler: &mut H) -> XmlResult<()> {
+    let mut reader = XmlReader::new(input);
+    handler.start_document();
+    let mut depth = 0usize;
+    loop {
+        match reader.next_event()? {
+            XmlEvent::StartDocument { .. } | XmlEvent::Doctype(_) => {}
+            XmlEvent::StartElement { name, attributes } => {
+                handler.start_element(&name, &attributes, depth);
+                depth += 1;
+            }
+            XmlEvent::EndElement { name } => {
+                depth -= 1;
+                handler.end_element(&name, depth);
+            }
+            XmlEvent::Text(t) => handler.characters(&t),
+            XmlEvent::CData(t) => handler.characters(&t),
+            XmlEvent::Comment(t) => handler.comment(&t),
+            XmlEvent::ProcessingInstruction { target, data } => {
+                handler.processing_instruction(&target, &data)
+            }
+            XmlEvent::EndDocument => {
+                handler.end_document();
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// A small ready-made handler that counts structural features of a
+/// document — handy for streaming statistics and used by the XML bench.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Statistics {
+    /// Number of elements.
+    pub elements: usize,
+    /// Number of attributes across all elements.
+    pub attributes: usize,
+    /// Total character-data bytes.
+    pub text_bytes: usize,
+    /// Maximum element nesting depth (root = 1).
+    pub max_depth: usize,
+}
+
+impl SaxHandler for Statistics {
+    fn start_element(&mut self, _name: &QName, attributes: &[Attribute], depth: usize) {
+        self.elements += 1;
+        self.attributes += attributes.len();
+        self.max_depth = self.max_depth.max(depth + 1);
+    }
+
+    fn characters(&mut self, text: &str) {
+        self.text_bytes += text.len();
+    }
+}
+
+/// Compute [`Statistics`] for a document in one streaming pass.
+pub fn statistics(input: &str) -> XmlResult<Statistics> {
+    let mut stats = Statistics::default();
+    parse(input, &mut stats)?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Collector {
+        log: Vec<String>,
+    }
+
+    impl SaxHandler for Collector {
+        fn start_document(&mut self) {
+            self.log.push("start-doc".into());
+        }
+        fn end_document(&mut self) {
+            self.log.push("end-doc".into());
+        }
+        fn start_element(&mut self, name: &QName, attrs: &[Attribute], depth: usize) {
+            self.log.push(format!("+{name}@{depth}({})", attrs.len()));
+        }
+        fn end_element(&mut self, name: &QName, depth: usize) {
+            self.log.push(format!("-{name}@{depth}"));
+        }
+        fn characters(&mut self, text: &str) {
+            self.log.push(format!("t:{text}"));
+        }
+    }
+
+    #[test]
+    fn callback_order_and_depths() {
+        let mut c = Collector::default();
+        parse("<a x='1'><b>t</b></a>", &mut c).unwrap();
+        assert_eq!(
+            c.log,
+            vec!["start-doc", "+a@0(1)", "+b@1(0)", "t:t", "-b@1", "-a@0", "end-doc"]
+        );
+    }
+
+    #[test]
+    fn cdata_reaches_characters() {
+        let mut c = Collector::default();
+        parse("<a><![CDATA[<raw>]]></a>", &mut c).unwrap();
+        assert!(c.log.contains(&"t:<raw>".to_string()));
+    }
+
+    #[test]
+    fn statistics_counts() {
+        let s = statistics("<a i='1' j='2'><b><c>xyz</c></b><b/></a>").unwrap();
+        assert_eq!(s.elements, 4);
+        assert_eq!(s.attributes, 2);
+        assert_eq!(s.text_bytes, 3);
+        assert_eq!(s.max_depth, 3);
+    }
+
+    #[test]
+    fn malformed_input_propagates_error() {
+        let mut c = Collector::default();
+        assert!(parse("<a><b></a>", &mut c).is_err());
+    }
+}

@@ -1,0 +1,705 @@
+//! XML type definition and validation (an XSD-flavoured subset).
+//!
+//! A [`Schema`] declares elements with typed simple content or structured
+//! content (sequence / choice with occurrence bounds) and typed
+//! attributes. [`Schema::validate`] checks a [`Document`] against the
+//! declarations and reports every violation with an XPath-like location.
+//!
+//! Schemas can be built programmatically or loaded from a compact XML
+//! dialect (see [`Schema::parse_xml`]), mirroring how the course pairs
+//! "XML type definition and schema" with "XML validation".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::XmlResult;
+
+/// Built-in simple types for element text and attribute values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// Any text.
+    String,
+    /// Optional sign + digits.
+    Int,
+    /// Digits with optional fraction and sign.
+    Decimal,
+    /// `true` / `false` / `1` / `0`.
+    Boolean,
+    /// `YYYY-MM-DD`.
+    Date,
+    /// A non-empty token without spaces (used for URIs and ids).
+    Token,
+}
+
+impl DataType {
+    /// Does `value` lex as this type?
+    pub fn accepts(self, value: &str) -> bool {
+        let v = value.trim();
+        match self {
+            DataType::String => true,
+            DataType::Int => {
+                let v = v.strip_prefix(['+', '-']).unwrap_or(v);
+                !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit())
+            }
+            DataType::Decimal => {
+                let v = v.strip_prefix(['+', '-']).unwrap_or(v);
+                let (int, frac) = match v.split_once('.') {
+                    Some((i, f)) => (i, f),
+                    None => (v, "0"),
+                };
+                !(int.is_empty() && frac.is_empty())
+                    && int.bytes().all(|b| b.is_ascii_digit())
+                    && frac.bytes().all(|b| b.is_ascii_digit())
+                    && !(int.is_empty() && frac.is_empty())
+                    && !v.is_empty()
+            }
+            DataType::Boolean => matches!(v, "true" | "false" | "1" | "0"),
+            DataType::Date => {
+                let parts: Vec<&str> = v.split('-').collect();
+                parts.len() == 3
+                    && parts[0].len() == 4
+                    && parts[1].len() == 2
+                    && parts[2].len() == 2
+                    && parts.iter().all(|p| p.bytes().all(|b| b.is_ascii_digit()))
+                    && (1..=12).contains(&parts[1].parse::<u32>().unwrap_or(0))
+                    && (1..=31).contains(&parts[2].parse::<u32>().unwrap_or(0))
+            }
+            DataType::Token => !v.is_empty() && !v.contains(char::is_whitespace),
+        }
+    }
+
+    /// Parse from the schema dialect's `type` attribute.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "string" => DataType::String,
+            "int" | "integer" => DataType::Int,
+            "decimal" => DataType::Decimal,
+            "boolean" | "bool" => DataType::Boolean,
+            "date" => DataType::Date,
+            "token" => DataType::Token,
+            _ => return None,
+        })
+    }
+}
+
+/// Maximum occurrence bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Max {
+    /// At most this many.
+    Count(u32),
+    /// No upper bound (`maxOccurs="unbounded"`).
+    Unbounded,
+}
+
+impl Max {
+    fn allows(self, n: u32) -> bool {
+        match self {
+            Max::Count(c) => n <= c,
+            Max::Unbounded => true,
+        }
+    }
+}
+
+/// A reference to a child element with occurrence bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Particle {
+    /// Name of the referenced element declaration.
+    pub element: String,
+    /// Minimum occurrences (0 = optional).
+    pub min: u32,
+    /// Maximum occurrences.
+    pub max: Max,
+}
+
+impl Particle {
+    /// Exactly-one particle.
+    pub fn one(element: impl Into<String>) -> Self {
+        Particle { element: element.into(), min: 1, max: Max::Count(1) }
+    }
+
+    /// Zero-or-one particle.
+    pub fn optional(element: impl Into<String>) -> Self {
+        Particle { element: element.into(), min: 0, max: Max::Count(1) }
+    }
+
+    /// One-or-more particle.
+    pub fn many1(element: impl Into<String>) -> Self {
+        Particle { element: element.into(), min: 1, max: Max::Unbounded }
+    }
+
+    /// Zero-or-more particle.
+    pub fn many(element: impl Into<String>) -> Self {
+        Particle { element: element.into(), min: 0, max: Max::Unbounded }
+    }
+}
+
+/// Allowed content of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Content {
+    /// Text content of a simple type; no child elements.
+    Simple(DataType),
+    /// Child elements in the declared order, with occurrence bounds;
+    /// no significant text.
+    Sequence(Vec<Particle>),
+    /// Exactly one of the alternatives.
+    Choice(Vec<Particle>),
+    /// No children and no text.
+    Empty,
+    /// Anything goes (schema hole; validation recurses only into
+    /// children that have declarations).
+    Any,
+}
+
+/// A typed attribute declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDecl {
+    /// Attribute name.
+    pub name: String,
+    /// Value type.
+    pub ty: DataType,
+    /// Must the attribute be present?
+    pub required: bool,
+}
+
+/// An element declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Element (local) name.
+    pub name: String,
+    /// Content model.
+    pub content: Content,
+    /// Attribute declarations. Undeclared attributes are rejected
+    /// (except `xmlns*`).
+    pub attributes: Vec<AttrDecl>,
+}
+
+/// A validation problem, with an XPath-like location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Where in the document (`/order/item[2]`).
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// A set of element declarations with a distinguished root.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    root: String,
+    decls: BTreeMap<String, ElementDecl>,
+}
+
+impl Schema {
+    /// Start an empty schema whose document root must be `root`.
+    pub fn new(root: impl Into<String>) -> Self {
+        Schema { root: root.into(), decls: BTreeMap::new() }
+    }
+
+    /// Add (or replace) an element declaration; builder-style.
+    pub fn element(mut self, decl: ElementDecl) -> Self {
+        self.decls.insert(decl.name.clone(), decl);
+        self
+    }
+
+    /// Declared root element name.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    /// Look up a declaration.
+    pub fn decl(&self, name: &str) -> Option<&ElementDecl> {
+        self.decls.get(name)
+    }
+
+    /// Validate `doc`, returning every violation (empty = valid).
+    pub fn validate(&self, doc: &Document) -> Vec<SchemaError> {
+        let mut errors = Vec::new();
+        let root_name = doc.name(doc.root()).map(|q| q.local.clone()).unwrap_or_default();
+        if root_name != self.root {
+            errors.push(SchemaError {
+                path: "/".into(),
+                message: format!("root element is <{root_name}>, expected <{}>", self.root),
+            });
+            return errors;
+        }
+        self.validate_element(doc, doc.root(), &format!("/{root_name}"), &mut errors);
+        errors
+    }
+
+    /// Convenience: validate and wrap violations in `Err`.
+    pub fn check(&self, doc: &Document) -> Result<(), Vec<SchemaError>> {
+        let errs = self.validate(doc);
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    fn validate_element(
+        &self,
+        doc: &Document,
+        id: NodeId,
+        path: &str,
+        errors: &mut Vec<SchemaError>,
+    ) {
+        let name = doc.name(id).map(|q| q.local.clone()).unwrap_or_default();
+        let Some(decl) = self.decls.get(&name) else {
+            return; // Undeclared element: schema hole, skip.
+        };
+
+        // Attributes.
+        for ad in &decl.attributes {
+            match doc.attr(id, &ad.name) {
+                Some(v) if !ad.ty.accepts(v) => errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!(
+                        "attribute {}={v:?} is not a valid {:?}",
+                        ad.name, ad.ty
+                    ),
+                }),
+                Some(_) => {}
+                None if ad.required => errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!("missing required attribute {:?}", ad.name),
+                }),
+                None => {}
+            }
+        }
+        for a in doc.attributes(id) {
+            if a.name.is_xmlns() {
+                continue;
+            }
+            if !decl.attributes.iter().any(|ad| ad.name == a.name.local) {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!("undeclared attribute {:?}", a.name.to_string()),
+                });
+            }
+        }
+
+        let child_elems: Vec<NodeId> = doc.child_elements(id).collect();
+        let text = doc
+            .children(id)
+            .iter()
+            .filter_map(|&c| match &doc.node(c).kind {
+                NodeKind::Text(t) | NodeKind::CData(t) => Some(t.as_str()),
+                _ => None,
+            })
+            .collect::<String>();
+
+        match &decl.content {
+            Content::Simple(ty) => {
+                if !child_elems.is_empty() {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: "simple-content element has child elements".into(),
+                    });
+                }
+                if !ty.accepts(&text) {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: format!("text {text:?} is not a valid {ty:?}"),
+                    });
+                }
+            }
+            Content::Empty => {
+                if !child_elems.is_empty() || !text.trim().is_empty() {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: "element declared empty has content".into(),
+                    });
+                }
+            }
+            Content::Sequence(particles) => {
+                if !text.trim().is_empty() {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: "element-only content contains text".into(),
+                    });
+                }
+                self.validate_sequence(doc, &child_elems, particles, path, errors);
+            }
+            Content::Choice(particles) => {
+                if !text.trim().is_empty() {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: "element-only content contains text".into(),
+                    });
+                }
+                let matched: Vec<&Particle> = particles
+                    .iter()
+                    .filter(|p| {
+                        child_elems.iter().any(|&c| {
+                            doc.name(c).is_some_and(|q| q.local == p.element)
+                        })
+                    })
+                    .collect();
+                if matched.len() != 1 {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: format!(
+                            "choice requires exactly one alternative, found {}",
+                            matched.len()
+                        ),
+                    });
+                } else {
+                    let p = matched[0];
+                    let count = child_elems
+                        .iter()
+                        .filter(|&&c| doc.name(c).is_some_and(|q| q.local == p.element))
+                        .count() as u32;
+                    if count < p.min || !p.max.allows(count) {
+                        errors.push(SchemaError {
+                            path: path.into(),
+                            message: format!(
+                                "element <{}> occurs {count} times, outside its bounds",
+                                p.element
+                            ),
+                        });
+                    }
+                }
+            }
+            Content::Any => {}
+        }
+
+        // Recurse with positional paths.
+        let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+        for &c in &child_elems {
+            let cname = doc.name(c).map(|q| q.local.clone()).unwrap_or_default();
+            let n = seen.entry(cname.clone()).or_insert(0);
+            *n += 1;
+            let child_path = format!("{path}/{cname}[{n}]");
+            self.validate_element(doc, c, &child_path, errors);
+        }
+    }
+
+    /// Greedy in-order matching of children against sequence particles.
+    fn validate_sequence(
+        &self,
+        doc: &Document,
+        children: &[NodeId],
+        particles: &[Particle],
+        path: &str,
+        errors: &mut Vec<SchemaError>,
+    ) {
+        let mut idx = 0usize;
+        for p in particles {
+            let mut count = 0u32;
+            while idx < children.len() {
+                let cname = doc.name(children[idx]).map(|q| q.local.clone()).unwrap_or_default();
+                if cname == p.element && p.max.allows(count + 1) {
+                    count += 1;
+                    idx += 1;
+                } else {
+                    break;
+                }
+            }
+            if count < p.min {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!(
+                        "expected at least {} <{}>, found {count}",
+                        p.min, p.element
+                    ),
+                });
+            }
+        }
+        if idx < children.len() {
+            let cname = doc.name(children[idx]).map(|q| q.local.clone()).unwrap_or_default();
+            errors.push(SchemaError {
+                path: path.into(),
+                message: format!("unexpected element <{cname}> at position {}", idx + 1),
+            });
+        }
+    }
+
+    /// Load a schema from the compact XML dialect:
+    ///
+    /// ```xml
+    /// <schema root="order">
+    ///   <element name="order">
+    ///     <sequence>
+    ///       <ref name="item" min="1" max="unbounded"/>
+    ///     </sequence>
+    ///     <attribute name="id" type="int" required="true"/>
+    ///   </element>
+    ///   <element name="item" type="string"/>
+    /// </schema>
+    /// ```
+    pub fn parse_xml(src: &str) -> XmlResult<Result<Schema, String>> {
+        let doc = Document::parse_str(src)?;
+        let root = doc.root();
+        let Some(root_attr) = doc.attr(root, "root") else {
+            return Ok(Err("schema is missing the root attribute".into()));
+        };
+        let mut schema = Schema::new(root_attr);
+        for el in doc.find_children(root, "element") {
+            let Some(name) = doc.attr(el, "name") else {
+                return Ok(Err("element declaration missing name".into()));
+            };
+            let content = if let Some(ty) = doc.attr(el, "type") {
+                match DataType::parse(ty) {
+                    Some(t) => Content::Simple(t),
+                    None => return Ok(Err(format!("unknown type {ty:?}"))),
+                }
+            } else if let Some(seq) = doc.find_child(el, "sequence") {
+                match parse_particles(&doc, seq) {
+                    Ok(p) => Content::Sequence(p),
+                    Err(e) => return Ok(Err(e)),
+                }
+            } else if let Some(ch) = doc.find_child(el, "choice") {
+                match parse_particles(&doc, ch) {
+                    Ok(p) => Content::Choice(p),
+                    Err(e) => return Ok(Err(e)),
+                }
+            } else if doc.attr(el, "empty") == Some("true") {
+                Content::Empty
+            } else {
+                Content::Any
+            };
+            let mut attributes = Vec::new();
+            for at in doc.find_children(el, "attribute") {
+                let Some(aname) = doc.attr(at, "name") else {
+                    return Ok(Err("attribute declaration missing name".into()));
+                };
+                let ty = match DataType::parse(doc.attr(at, "type").unwrap_or("string")) {
+                    Some(t) => t,
+                    None => return Ok(Err("unknown attribute type".into())),
+                };
+                attributes.push(AttrDecl {
+                    name: aname.to_string(),
+                    ty,
+                    required: doc.attr(at, "required") == Some("true"),
+                });
+            }
+            schema = schema.element(ElementDecl {
+                name: name.to_string(),
+                content,
+                attributes,
+            });
+        }
+        Ok(Ok(schema))
+    }
+}
+
+fn parse_particles(doc: &Document, parent: NodeId) -> Result<Vec<Particle>, String> {
+    let mut out = Vec::new();
+    for r in doc.find_children(parent, "ref") {
+        let Some(name) = doc.attr(r, "name") else {
+            return Err("ref missing name".into());
+        };
+        let min = doc.attr(r, "min").unwrap_or("1").parse::<u32>().map_err(|_| "bad min")?;
+        let max = match doc.attr(r, "max").unwrap_or("1") {
+            "unbounded" => Max::Unbounded,
+            n => Max::Count(n.parse::<u32>().map_err(|_| "bad max")?),
+        };
+        out.push(Particle { element: name.to_string(), min, max });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_schema() -> Schema {
+        Schema::new("order")
+            .element(ElementDecl {
+                name: "order".into(),
+                content: Content::Sequence(vec![
+                    Particle::one("customer"),
+                    Particle::many1("item"),
+                    Particle::optional("note"),
+                ]),
+                attributes: vec![AttrDecl {
+                    name: "id".into(),
+                    ty: DataType::Int,
+                    required: true,
+                }],
+            })
+            .element(ElementDecl {
+                name: "customer".into(),
+                content: Content::Simple(DataType::String),
+                attributes: vec![],
+            })
+            .element(ElementDecl {
+                name: "item".into(),
+                content: Content::Simple(DataType::String),
+                attributes: vec![AttrDecl {
+                    name: "qty".into(),
+                    ty: DataType::Int,
+                    required: false,
+                }],
+            })
+            .element(ElementDecl {
+                name: "note".into(),
+                content: Content::Simple(DataType::String),
+                attributes: vec![],
+            })
+    }
+
+    fn parse(s: &str) -> Document {
+        Document::parse_str(s).unwrap()
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        let doc = parse(
+            r#"<order id="7"><customer>ann</customer><item qty="2">book</item><item>pen</item></order>"#,
+        );
+        assert!(order_schema().check(&doc).is_ok());
+    }
+
+    #[test]
+    fn wrong_root_rejected() {
+        let doc = parse("<purchase/>");
+        let errs = order_schema().validate(&doc);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("expected <order>"));
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let doc = parse("<order><customer>a</customer><item>b</item></order>");
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.message.contains("missing required attribute")));
+    }
+
+    #[test]
+    fn bad_attribute_type() {
+        let doc = parse(r#"<order id="seven"><customer>a</customer><item>b</item></order>"#);
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.message.contains("not a valid Int")));
+    }
+
+    #[test]
+    fn undeclared_attribute_rejected() {
+        let doc = parse(r#"<order id="1" hacked="y"><customer>a</customer><item>b</item></order>"#);
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.message.contains("undeclared attribute")));
+    }
+
+    #[test]
+    fn sequence_order_enforced() {
+        let doc = parse(r#"<order id="1"><item>b</item><customer>a</customer></order>"#);
+        let errs = order_schema().validate(&doc);
+        assert!(!errs.is_empty());
+    }
+
+    #[test]
+    fn occurrence_bounds_enforced() {
+        let doc = parse(r#"<order id="1"><customer>a</customer></order>"#);
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.message.contains("at least 1 <item>")));
+    }
+
+    #[test]
+    fn unexpected_trailing_element() {
+        let doc = parse(
+            r#"<order id="1"><customer>a</customer><item>b</item><bogus/></order>"#,
+        );
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.message.contains("unexpected element <bogus>")));
+    }
+
+    #[test]
+    fn error_paths_are_positional() {
+        let doc = parse(
+            r#"<order id="1"><customer>a</customer><item qty="x">b</item><item qty="2">c</item></order>"#,
+        );
+        let errs = order_schema().validate(&doc);
+        assert!(errs.iter().any(|e| e.path == "/order/item[1]"));
+    }
+
+    #[test]
+    fn choice_content() {
+        let schema = Schema::new("pay")
+            .element(ElementDecl {
+                name: "pay".into(),
+                content: Content::Choice(vec![Particle::one("cash"), Particle::one("card")]),
+                attributes: vec![],
+            })
+            .element(ElementDecl {
+                name: "cash".into(),
+                content: Content::Empty,
+                attributes: vec![],
+            })
+            .element(ElementDecl {
+                name: "card".into(),
+                content: Content::Simple(DataType::Token),
+                attributes: vec![],
+            });
+        assert!(schema.check(&parse("<pay><cash/></pay>")).is_ok());
+        assert!(schema.check(&parse("<pay><card>visa-123</card></pay>")).is_ok());
+        assert!(schema.check(&parse("<pay><cash/><card>v</card></pay>")).is_err());
+        assert!(schema.check(&parse("<pay/>")).is_err());
+    }
+
+    #[test]
+    fn datatype_lexing() {
+        assert!(DataType::Int.accepts("-42"));
+        assert!(!DataType::Int.accepts("4.2"));
+        assert!(DataType::Decimal.accepts("4.25"));
+        assert!(DataType::Decimal.accepts("-0.5"));
+        assert!(!DataType::Decimal.accepts("4.2.5"));
+        assert!(DataType::Boolean.accepts("true"));
+        assert!(!DataType::Boolean.accepts("yes"));
+        assert!(DataType::Date.accepts("2014-05-19"));
+        assert!(!DataType::Date.accepts("2014-13-19"));
+        assert!(!DataType::Date.accepts("14-05-19"));
+        assert!(DataType::Token.accepts("urn:x"));
+        assert!(!DataType::Token.accepts("two words"));
+    }
+
+    #[test]
+    fn xml_schema_dialect_round_trip() {
+        let schema = Schema::parse_xml(
+            r#"<schema root="order">
+                 <element name="order">
+                   <sequence>
+                     <ref name="customer"/>
+                     <ref name="item" min="1" max="unbounded"/>
+                   </sequence>
+                   <attribute name="id" type="int" required="true"/>
+                 </element>
+                 <element name="customer" type="string"/>
+                 <element name="item" type="string"/>
+               </schema>"#,
+        )
+        .unwrap()
+        .unwrap();
+        let good = parse(r#"<order id="1"><customer>a</customer><item>b</item></order>"#);
+        assert!(schema.check(&good).is_ok());
+        let bad = parse(r#"<order id="1"><item>b</item></order>"#);
+        assert!(schema.check(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_content_model() {
+        let schema = Schema::new("ping").element(ElementDecl {
+            name: "ping".into(),
+            content: Content::Empty,
+            attributes: vec![],
+        });
+        assert!(schema.check(&parse("<ping/>")).is_ok());
+        assert!(schema.check(&parse("<ping>x</ping>")).is_err());
+    }
+
+    #[test]
+    fn undeclared_children_are_schema_holes() {
+        let schema = Schema::new("r").element(ElementDecl {
+            name: "r".into(),
+            content: Content::Any,
+            attributes: vec![],
+        });
+        assert!(schema.check(&parse("<r><whatever x='1'>t</whatever></r>")).is_ok());
+    }
+}

@@ -1,0 +1,303 @@
+//! Streaming XML writer with compact and pretty modes.
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::escape::{escape_attr, escape_text};
+use crate::name::QName;
+
+/// Serializes XML either compactly or with indentation.
+///
+/// Can be used standalone as a streaming writer
+/// ([`XmlWriter::start_element`] / [`XmlWriter::text`] /
+/// [`XmlWriter::end_element`]) or to serialize a whole [`Document`].
+pub struct XmlWriter {
+    out: String,
+    indent: Option<&'static str>,
+    depth: usize,
+    /// Stack of open element names.
+    open: Vec<QName>,
+    /// True right after a start tag with no content yet (enables `<x/>`).
+    tag_open: bool,
+    /// True if the current open element has child elements (for pretty
+    /// closing-tag placement).
+    had_children: Vec<bool>,
+    /// True if the current open element holds text (suppresses indent).
+    had_text: Vec<bool>,
+}
+
+impl XmlWriter {
+    /// Writer that emits no insignificant whitespace.
+    pub fn compact() -> Self {
+        Self::with_indent(None)
+    }
+
+    /// Writer that indents nested elements by two spaces.
+    pub fn pretty() -> Self {
+        Self::with_indent(Some("  "))
+    }
+
+    fn with_indent(indent: Option<&'static str>) -> Self {
+        XmlWriter {
+            out: String::new(),
+            indent,
+            depth: 0,
+            open: Vec::new(),
+            tag_open: false,
+            had_children: Vec::new(),
+            had_text: Vec::new(),
+        }
+    }
+
+    /// Write the `<?xml … ?>` declaration.
+    pub fn declaration(&mut self) {
+        self.out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if self.indent.is_some() {
+            self.out.push('\n');
+        }
+    }
+
+    fn close_pending_tag(&mut self) {
+        if self.tag_open {
+            self.out.push('>');
+            self.tag_open = false;
+        }
+    }
+
+    fn newline_indent(&mut self) {
+        if let Some(ind) = self.indent {
+            if !self.out.is_empty() {
+                self.out.push('\n');
+            }
+            for _ in 0..self.depth {
+                self.out.push_str(ind);
+            }
+        }
+    }
+
+    /// Open an element. Attributes are added with [`XmlWriter::attr`]
+    /// before any content is written.
+    pub fn start_element(&mut self, name: impl Into<QName>) {
+        self.close_pending_tag();
+        if let Some(flag) = self.had_children.last_mut() {
+            *flag = true;
+        }
+        // Never inject whitespace inside mixed content: it would change
+        // the document's text value.
+        if self.had_text.last() != Some(&true) {
+            self.newline_indent();
+        }
+        let name = name.into();
+        self.out.push('<');
+        self.out.push_str(&name.to_string());
+        self.open.push(name);
+        self.tag_open = true;
+        self.depth += 1;
+        self.had_children.push(false);
+        self.had_text.push(false);
+    }
+
+    /// Add an attribute to the element opened by the most recent
+    /// [`XmlWriter::start_element`]. Panics if content was already
+    /// written.
+    pub fn attr(&mut self, name: impl Into<QName>, value: &str) {
+        assert!(self.tag_open, "attr() must directly follow start_element()");
+        self.out.push(' ');
+        self.out.push_str(&name.into().to_string());
+        self.out.push_str("=\"");
+        self.out.push_str(&escape_attr(value));
+        self.out.push('"');
+    }
+
+    /// Write escaped character data. Empty text is a no-op so that
+    /// serialization is a fixpoint (an empty text node is
+    /// indistinguishable from no text node after reparsing).
+    pub fn text(&mut self, text: &str) {
+        if text.is_empty() {
+            return;
+        }
+        self.close_pending_tag();
+        if let Some(flag) = self.had_text.last_mut() {
+            *flag = true;
+        }
+        self.out.push_str(&escape_text(text));
+    }
+
+    /// Write a CDATA section. `]]>` inside the payload is split across
+    /// two sections, per the standard trick.
+    pub fn cdata(&mut self, text: &str) {
+        self.close_pending_tag();
+        if let Some(flag) = self.had_text.last_mut() {
+            *flag = true;
+        }
+        self.out.push_str("<![CDATA[");
+        self.out.push_str(&text.replace("]]>", "]]]]><![CDATA[>"));
+        self.out.push_str("]]>");
+    }
+
+    /// Write a comment.
+    pub fn comment(&mut self, text: &str) {
+        self.close_pending_tag();
+        self.newline_indent();
+        self.out.push_str("<!--");
+        self.out.push_str(text);
+        self.out.push_str("-->");
+    }
+
+    /// Write a processing instruction.
+    pub fn pi(&mut self, target: &str, data: &str) {
+        self.close_pending_tag();
+        self.newline_indent();
+        self.out.push_str("<?");
+        self.out.push_str(target);
+        if !data.is_empty() {
+            self.out.push(' ');
+            self.out.push_str(data);
+        }
+        self.out.push_str("?>");
+    }
+
+    /// Close the most recently opened element.
+    pub fn end_element(&mut self) {
+        let name = self.open.pop().expect("end_element with no open element");
+        self.depth -= 1;
+        let had_children = self.had_children.pop().unwrap_or(false);
+        let had_text = self.had_text.pop().unwrap_or(false);
+        if self.tag_open {
+            self.out.push_str("/>");
+            self.tag_open = false;
+            return;
+        }
+        if had_children && !had_text {
+            self.newline_indent();
+        }
+        self.out.push_str("</");
+        self.out.push_str(&name.to_string());
+        self.out.push('>');
+    }
+
+    /// Convenience: `<name>text</name>`.
+    pub fn text_element(&mut self, name: impl Into<QName>, text: &str) {
+        self.start_element(name);
+        self.text(text);
+        self.end_element();
+    }
+
+    /// Serialize an entire document (root subtree).
+    pub fn write_document(&mut self, doc: &Document) {
+        self.write_node(doc, doc.root());
+    }
+
+    /// Serialize the subtree rooted at `id`.
+    pub fn write_node(&mut self, doc: &Document, id: NodeId) {
+        match &doc.node(id).kind {
+            NodeKind::Element { name, attributes } => {
+                self.start_element(name.clone());
+                for a in attributes {
+                    self.attr(a.name.clone(), &a.value);
+                }
+                // Mixed content (any text child) disables indentation for
+                // the whole element so its text value is preserved.
+                let mixed = doc.children(id).iter().any(|&c| match &doc.node(c).kind {
+                    NodeKind::Text(t) => !t.is_empty(),
+                    NodeKind::CData(_) => true,
+                    _ => false,
+                });
+                if mixed {
+                    if let Some(flag) = self.had_text.last_mut() {
+                        *flag = true;
+                    }
+                }
+                for &c in doc.children(id) {
+                    self.write_node(doc, c);
+                }
+                self.end_element();
+            }
+            NodeKind::Text(t) => self.text(t),
+            NodeKind::CData(t) => self.cdata(t),
+            NodeKind::Comment(t) => self.comment(t),
+            NodeKind::ProcessingInstruction { target, data } => self.pi(target, data),
+        }
+    }
+
+    /// Consume the writer, returning the serialized string. Panics if
+    /// elements remain open.
+    pub fn finish(self) -> String {
+        assert!(self.open.is_empty(), "finish() with {} unclosed elements", self.open.len());
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Document;
+
+    #[test]
+    fn streaming_compact() {
+        let mut w = XmlWriter::compact();
+        w.start_element("svc");
+        w.attr("id", "a<b");
+        w.text_element("name", "echo & co");
+        w.end_element();
+        assert_eq!(w.finish(), r#"<svc id="a&lt;b"><name>echo &amp; co</name></svc>"#);
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a");
+        w.end_element();
+        assert_eq!(w.finish(), "<a/>");
+    }
+
+    #[test]
+    fn pretty_indents_nested_elements() {
+        let mut w = XmlWriter::pretty();
+        w.start_element("a");
+        w.start_element("b");
+        w.text("t");
+        w.end_element();
+        w.end_element();
+        assert_eq!(w.finish(), "<a>\n  <b>t</b>\n</a>");
+    }
+
+    #[test]
+    fn cdata_escape_trick() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a");
+        w.cdata("x]]>y");
+        w.end_element();
+        let s = w.finish();
+        assert_eq!(s, "<a><![CDATA[x]]]]><![CDATA[>y]]></a>");
+        // And it parses back to the original text.
+        let doc = Document::parse_str(&s).unwrap();
+        assert_eq!(doc.text(doc.root()), "x]]>y");
+    }
+
+    #[test]
+    fn declaration_prefix() {
+        let mut w = XmlWriter::compact();
+        w.declaration();
+        w.start_element("a");
+        w.end_element();
+        assert!(w.finish().starts_with("<?xml version=\"1.0\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn finish_panics_on_open_elements() {
+        let mut w = XmlWriter::compact();
+        w.start_element("a");
+        let _ = w.finish();
+    }
+
+    #[test]
+    fn mixed_content_keeps_text_inline() {
+        let doc = Document::parse_str("<p>Hello <b>x</b>!</p>").unwrap();
+        let mut w = XmlWriter::pretty();
+        w.write_document(&doc);
+        let s = w.finish();
+        // Text-bearing elements must not gain stray whitespace.
+        let doc2 = Document::parse_str_keep_whitespace(&s).unwrap();
+        assert_eq!(doc2.text(doc2.root()), "Hello x!");
+    }
+}

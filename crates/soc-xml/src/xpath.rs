@@ -1,0 +1,650 @@
+//! XPath 1.0 location-path subset.
+//!
+//! Supported syntax, chosen to cover everything the course materials (and
+//! our SOAP/registry layers) need:
+//!
+//! - absolute (`/a/b`) and relative (`a/b`) location paths
+//! - `//` descendant-or-self steps, at the start or between steps
+//! - name tests, `*`, `.`, `..`, `text()`
+//! - attribute selection `@name` and `@*` as the final step
+//! - predicates: `[3]` (1-based position), `[last()]`, `[@id]`,
+//!   `[@id='x']`, `[child]`, `[child='v']`, `[text()='v']`
+//!
+//! ```
+//! use soc_xml::{Document, xpath};
+//! let doc = Document::parse_str(
+//!     "<r><s id='a'><p>1</p></s><s id='b'><p>2</p></s></r>").unwrap();
+//! let hit = xpath::eval("/r/s[@id='b']/p", &doc).unwrap();
+//! assert_eq!(hit.first_text(&doc).as_deref(), Some("2"));
+//! ```
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::{XmlError, XmlResult};
+
+/// An ordered, de-duplicated set of nodes (document order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    nodes: Vec<NodeId>,
+}
+
+impl NodeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        NodeSet::default()
+    }
+
+    fn push_unique(&mut self, id: NodeId) {
+        if !self.nodes.contains(&id) {
+            self.nodes.push(id);
+        }
+    }
+
+    /// Nodes in document order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Number of nodes selected.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing was selected.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// First node, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        self.nodes.first().copied()
+    }
+
+    /// Text content of the first selected node.
+    pub fn first_text(&self, doc: &Document) -> Option<String> {
+        self.first().map(|n| doc.text(n))
+    }
+
+    /// Text content of every selected node.
+    pub fn texts(&self, doc: &Document) -> Vec<String> {
+        self.nodes.iter().map(|&n| doc.text(n)).collect()
+    }
+
+    /// Underlying vector.
+    pub fn into_vec(self) -> Vec<NodeId> {
+        self.nodes
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        let mut set = NodeSet::new();
+        for id in iter {
+            set.push_unique(id);
+        }
+        set
+    }
+}
+
+/// Result of evaluating an expression: nodes, or strings when the final
+/// step selects attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XPathResult {
+    /// Element/text node selection.
+    Nodes(NodeSet),
+    /// Attribute value selection (`…/@name`).
+    Strings(Vec<String>),
+}
+
+impl XPathResult {
+    /// The node set, or an empty one for string results.
+    pub fn nodes(self) -> NodeSet {
+        match self {
+            XPathResult::Nodes(n) => n,
+            XPathResult::Strings(_) => NodeSet::new(),
+        }
+    }
+
+    /// The strings: attribute values, or text of each node.
+    pub fn strings(self, doc: &Document) -> Vec<String> {
+        match self {
+            XPathResult::Nodes(n) => n.texts(doc),
+            XPathResult::Strings(s) => s,
+        }
+    }
+}
+
+// ---- expression model ----------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Axis {
+    Child,
+    DescendantOrSelf,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeTest {
+    Name(String),
+    AnyElement,
+    Text,
+    SelfNode,
+    Parent,
+    Attr(String),
+    AnyAttr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Predicate {
+    Position(usize),
+    Last,
+    HasAttr(String),
+    AttrEquals(String, String),
+    HasChild(String),
+    ChildEquals(String, String),
+    TextEquals(String),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Step {
+    axis: Axis,
+    test: NodeTest,
+    predicates: Vec<Predicate>,
+}
+
+/// A parsed XPath expression, reusable across evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XPath {
+    absolute: bool,
+    steps: Vec<Step>,
+}
+
+fn syntax(detail: impl Into<String>) -> XmlError {
+    XmlError::XPathSyntax { detail: detail.into() }
+}
+
+impl XPath {
+    /// Parse an expression.
+    pub fn parse(expr: &str) -> XmlResult<Self> {
+        let expr = expr.trim();
+        if expr.is_empty() {
+            return Err(syntax("empty expression"));
+        }
+        let mut rest = expr;
+        let mut absolute = false;
+        let mut steps = Vec::new();
+
+        if let Some(r) = rest.strip_prefix("//") {
+            absolute = true;
+            steps.push(Step {
+                axis: Axis::DescendantOrSelf,
+                test: NodeTest::SelfNode,
+                predicates: vec![],
+            });
+            rest = r;
+        } else if let Some(r) = rest.strip_prefix('/') {
+            absolute = true;
+            rest = r;
+            if rest.is_empty() {
+                return Ok(XPath { absolute, steps });
+            }
+        }
+
+        loop {
+            let (step_src, remainder, next_descendant) = split_step(rest)?;
+            steps.push(parse_step(step_src)?);
+            match remainder {
+                None => break,
+                Some(r) => {
+                    if next_descendant {
+                        steps.push(Step {
+                            axis: Axis::DescendantOrSelf,
+                            test: NodeTest::SelfNode,
+                            predicates: vec![],
+                        });
+                    }
+                    rest = r;
+                }
+            }
+        }
+        // Attribute tests are only legal as the final step.
+        for (i, s) in steps.iter().enumerate() {
+            if matches!(s.test, NodeTest::Attr(_) | NodeTest::AnyAttr) && i + 1 != steps.len() {
+                return Err(syntax("attribute step must be last"));
+            }
+        }
+        Ok(XPath { absolute, steps })
+    }
+
+    /// Evaluate against a whole document (context = virtual root).
+    pub fn eval(&self, doc: &Document) -> XPathResult {
+        self.eval_from(doc, doc.root(), true)
+    }
+
+    /// Evaluate relative to `context`. When the expression is absolute the
+    /// context is ignored and evaluation starts above the document root.
+    pub fn eval_from(&self, doc: &Document, context: NodeId, _is_root: bool) -> XPathResult {
+        let mut current: Vec<NodeId> = if self.absolute {
+            // A virtual node above the root: child axis from it yields the
+            // root element itself. We model it by treating the first step
+            // specially.
+            vec![]
+        } else {
+            vec![context]
+        };
+        let mut at_virtual_root = self.absolute;
+
+        let mut attr_result: Option<Vec<String>> = None;
+        for step in &self.steps {
+            if attr_result.is_some() {
+                // Attribute step was not last; parser prevents this.
+                break;
+            }
+            let candidates: Vec<NodeId> = if at_virtual_root {
+                at_virtual_root = false;
+                match step.axis {
+                    Axis::Child => vec![doc.root()],
+                    Axis::DescendantOrSelf => doc.descendants(doc.root()),
+                }
+            } else {
+                let mut out = Vec::new();
+                for &ctx in &current {
+                    match step.axis {
+                        Axis::Child => out.extend(doc.children(ctx).iter().copied()),
+                        Axis::DescendantOrSelf => out.extend(doc.descendants(ctx)),
+                    }
+                }
+                out
+            };
+
+            // Special tests that do not filter by children.
+            match &step.test {
+                NodeTest::SelfNode => {
+                    current = candidates;
+                    continue;
+                }
+                NodeTest::Parent => {
+                    current = current.iter().filter_map(|&n| doc.parent(n)).collect();
+                    continue;
+                }
+                NodeTest::Attr(name) => {
+                    let vals = current
+                        .iter()
+                        .filter_map(|&n| doc.attr(n, name).map(str::to_string))
+                        .collect();
+                    attr_result = Some(vals);
+                    continue;
+                }
+                NodeTest::AnyAttr => {
+                    let vals = current
+                        .iter()
+                        .flat_map(|&n| doc.attributes(n).iter().map(|a| a.value.clone()))
+                        .collect();
+                    attr_result = Some(vals);
+                    continue;
+                }
+                _ => {}
+            }
+
+            let matched: Vec<NodeId> = candidates
+                .into_iter()
+                .filter(|&n| match (&step.test, &doc.node(n).kind) {
+                    (NodeTest::Name(want), NodeKind::Element { name, .. }) => {
+                        name.local == *want || name.to_string() == *want
+                    }
+                    (NodeTest::AnyElement, NodeKind::Element { .. }) => true,
+                    (NodeTest::Text, NodeKind::Text(_) | NodeKind::CData(_)) => true,
+                    _ => false,
+                })
+                .collect();
+
+            let filtered = apply_predicates(doc, matched, &step.predicates);
+            current = filtered;
+        }
+
+        match attr_result {
+            Some(vals) => XPathResult::Strings(vals),
+            None => XPathResult::Nodes(current.into_iter().collect()),
+        }
+    }
+}
+
+/// Split off the first step of `rest` (respecting brackets). Returns the
+/// step source, the remainder after the separator, and whether the
+/// separator was `//`.
+fn split_step(rest: &str) -> XmlResult<(&str, Option<&str>, bool)> {
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut in_quote: Option<u8> = None;
+    for (i, &b) in bytes.iter().enumerate() {
+        match (in_quote, b) {
+            (Some(q), _) if b == q => in_quote = None,
+            (Some(_), _) => {}
+            (None, b'\'' | b'"') => in_quote = Some(b),
+            (None, b'[') => depth += 1,
+            (None, b']') => {
+                depth = depth.checked_sub(1).ok_or_else(|| syntax("unbalanced ']'"))?
+            }
+            (None, b'/') if depth == 0 => {
+                let step = &rest[..i];
+                if step.is_empty() {
+                    return Err(syntax("empty step"));
+                }
+                let after = &rest[i + 1..];
+                if let Some(r) = after.strip_prefix('/') {
+                    return Ok((step, Some(r), true));
+                }
+                return Ok((step, Some(after), false));
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_quote.is_some() {
+        return Err(syntax("unbalanced predicate"));
+    }
+    Ok((rest, None, false))
+}
+
+fn parse_step(src: &str) -> XmlResult<Step> {
+    let (head, preds_src) = match src.find('[') {
+        Some(i) => (&src[..i], Some(&src[i..])),
+        None => (src, None),
+    };
+    let head = head.trim();
+    let test = match head {
+        "." => NodeTest::SelfNode,
+        ".." => NodeTest::Parent,
+        "*" => NodeTest::AnyElement,
+        "text()" => NodeTest::Text,
+        "@*" => NodeTest::AnyAttr,
+        _ if head.starts_with('@') => NodeTest::Attr(head[1..].to_string()),
+        _ if head.is_empty() => return Err(syntax("empty step")),
+        _ => NodeTest::Name(head.to_string()),
+    };
+    let mut predicates = Vec::new();
+    if let Some(mut p) = preds_src {
+        while !p.is_empty() {
+            if !p.starts_with('[') {
+                return Err(syntax(format!("expected '[' in predicates, got {p:?}")));
+            }
+            let end = find_matching_bracket(p)?;
+            predicates.push(parse_predicate(&p[1..end])?);
+            p = &p[end + 1..];
+        }
+    }
+    Ok(Step { axis: Axis::Child, test, predicates })
+}
+
+fn find_matching_bracket(s: &str) -> XmlResult<usize> {
+    let mut depth = 0usize;
+    let mut in_quote: Option<u8> = None;
+    for (i, &b) in s.as_bytes().iter().enumerate() {
+        match (in_quote, b) {
+            (Some(q), _) if b == q => in_quote = None,
+            (Some(_), _) => {}
+            (None, b'\'' | b'"') => in_quote = Some(b),
+            (None, b'[') => depth += 1,
+            (None, b']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    Err(syntax("unterminated predicate"))
+}
+
+fn parse_predicate(src: &str) -> XmlResult<Predicate> {
+    let src = src.trim();
+    if src == "last()" {
+        return Ok(Predicate::Last);
+    }
+    if let Ok(n) = src.parse::<usize>() {
+        if n == 0 {
+            return Err(syntax("positions are 1-based"));
+        }
+        return Ok(Predicate::Position(n));
+    }
+    if let Some((lhs, rhs)) = split_equality(src) {
+        let value = parse_literal(rhs)?;
+        let lhs = lhs.trim();
+        if let Some(attr) = lhs.strip_prefix('@') {
+            return Ok(Predicate::AttrEquals(attr.to_string(), value));
+        }
+        if lhs == "text()" {
+            return Ok(Predicate::TextEquals(value));
+        }
+        return Ok(Predicate::ChildEquals(lhs.to_string(), value));
+    }
+    if let Some(attr) = src.strip_prefix('@') {
+        return Ok(Predicate::HasAttr(attr.to_string()));
+    }
+    if !src.is_empty() {
+        return Ok(Predicate::HasChild(src.to_string()));
+    }
+    Err(syntax("empty predicate"))
+}
+
+fn split_equality(src: &str) -> Option<(&str, &str)> {
+    let mut in_quote: Option<u8> = None;
+    for (i, &b) in src.as_bytes().iter().enumerate() {
+        match (in_quote, b) {
+            (Some(q), _) if b == q => in_quote = None,
+            (Some(_), _) => {}
+            (None, b'\'' | b'"') => in_quote = Some(b),
+            (None, b'=') => return Some((&src[..i], &src[i + 1..])),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_literal(src: &str) -> XmlResult<String> {
+    let src = src.trim();
+    let bytes = src.as_bytes();
+    if bytes.len() >= 2 && (bytes[0] == b'\'' || bytes[0] == b'"') && bytes[bytes.len() - 1] == bytes[0]
+    {
+        Ok(src[1..src.len() - 1].to_string())
+    } else {
+        Err(syntax(format!("expected quoted literal, got {src:?}")))
+    }
+}
+
+fn apply_predicates(doc: &Document, nodes: Vec<NodeId>, preds: &[Predicate]) -> Vec<NodeId> {
+    let mut current = nodes;
+    for pred in preds {
+        let len = current.len();
+        current = current
+            .into_iter()
+            .enumerate()
+            .filter(|&(i, n)| match pred {
+                Predicate::Position(p) => i + 1 == *p,
+                Predicate::Last => i + 1 == len,
+                Predicate::HasAttr(a) => doc.attr(n, a).is_some(),
+                Predicate::AttrEquals(a, v) => doc.attr(n, a) == Some(v.as_str()),
+                Predicate::HasChild(c) => doc.find_child(n, c).is_some(),
+                Predicate::ChildEquals(c, v) => doc.child_text(n, c).as_deref() == Some(v),
+                Predicate::TextEquals(v) => doc.text(n) == *v,
+            })
+            .map(|(_, n)| n)
+            .collect();
+    }
+    current
+}
+
+/// Parse and evaluate in one call; returns the node set (attribute
+/// selections yield an empty node set — use [`eval_strings`] for those).
+pub fn eval(expr: &str, doc: &Document) -> XmlResult<NodeSet> {
+    Ok(XPath::parse(expr)?.eval(doc).nodes())
+}
+
+/// Parse and evaluate, returning strings: attribute values for `@` steps,
+/// node text otherwise.
+pub fn eval_strings(expr: &str, doc: &Document) -> XmlResult<Vec<String>> {
+    Ok(XPath::parse(expr)?.eval(doc).strings(doc))
+}
+
+/// Evaluate relative to a context node.
+pub fn eval_at(expr: &str, doc: &Document, context: NodeId) -> XmlResult<NodeSet> {
+    Ok(XPath::parse(expr)?.eval_from(doc, context, false).nodes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Document {
+        Document::parse_str(
+            r#"<catalog>
+                 <service id="s1" kind="rest"><name>echo</name><cost>0</cost></service>
+                 <service id="s2" kind="soap"><name>cipher</name><cost>5</cost></service>
+                 <service id="s3" kind="rest"><name>cart</name><cost>5</cost></service>
+                 <meta><name>asu</name></meta>
+               </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_child_path() {
+        let d = doc();
+        let r = eval("/catalog/service/name", &d).unwrap();
+        assert_eq!(r.texts(&d), vec!["echo", "cipher", "cart"]);
+    }
+
+    #[test]
+    fn descendant_search() {
+        let d = doc();
+        let r = eval("//name", &d).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn descendant_between_steps() {
+        let d = doc();
+        let r = eval("/catalog//name", &d).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let r = eval("/catalog/*", &d).unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn position_predicates() {
+        let d = doc();
+        assert_eq!(
+            eval("/catalog/service[2]/name", &d).unwrap().first_text(&d).as_deref(),
+            Some("cipher")
+        );
+        assert_eq!(
+            eval("/catalog/service[last()]/name", &d).unwrap().first_text(&d).as_deref(),
+            Some("cart")
+        );
+    }
+
+    #[test]
+    fn attribute_predicates() {
+        let d = doc();
+        let r = eval("/catalog/service[@kind='rest']", &d).unwrap();
+        assert_eq!(r.len(), 2);
+        let r = eval("/catalog/service[@kind]", &d).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn child_value_predicate() {
+        let d = doc();
+        let r = eval("/catalog/service[cost='5']/name", &d).unwrap();
+        assert_eq!(r.texts(&d), vec!["cipher", "cart"]);
+    }
+
+    #[test]
+    fn has_child_predicate() {
+        let d = doc();
+        assert_eq!(eval("/catalog/*[name]", &d).unwrap().len(), 4);
+        assert_eq!(eval("/catalog/*[cost]", &d).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn attribute_selection_returns_strings() {
+        let d = doc();
+        let vals = eval_strings("/catalog/service/@id", &d).unwrap();
+        assert_eq!(vals, vec!["s1", "s2", "s3"]);
+    }
+
+    #[test]
+    fn any_attribute_selection() {
+        let d = doc();
+        let vals = eval_strings("/catalog/service[1]/@*", &d).unwrap();
+        assert_eq!(vals, vec!["s1", "rest"]);
+    }
+
+    #[test]
+    fn text_node_test() {
+        let d = doc();
+        let r = eval("/catalog/service[1]/name/text()", &d).unwrap();
+        assert_eq!(r.first_text(&d).as_deref(), Some("echo"));
+    }
+
+    #[test]
+    fn relative_evaluation() {
+        let d = doc();
+        let svc = eval("/catalog/service[2]", &d).unwrap().first().unwrap();
+        let r = eval_at("name", &d, svc).unwrap();
+        assert_eq!(r.first_text(&d).as_deref(), Some("cipher"));
+        let up = eval_at("..", &d, svc).unwrap();
+        assert_eq!(up.first(), Some(d.root()));
+    }
+
+    #[test]
+    fn root_only_path() {
+        let d = doc();
+        let r = eval("/catalog", &d).unwrap();
+        assert_eq!(r.first(), Some(d.root()));
+        assert!(eval("/nomatch", &d).unwrap().is_empty());
+    }
+
+    #[test]
+    fn predicate_with_slash_inside_literal() {
+        let d = Document::parse_str(r#"<r><s url="http://a/b"/><s url="x"/></r>"#).unwrap();
+        let r = eval("/r/s[@url='http://a/b']", &d).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn chained_predicates() {
+        let d = doc();
+        let r = eval("/catalog/service[@kind='rest'][2]/name", &d).unwrap();
+        assert_eq!(r.first_text(&d).as_deref(), Some("cart"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(XPath::parse("").is_err());
+        assert!(XPath::parse("/a[").is_err());
+        assert!(XPath::parse("/a[0]").is_err());
+        assert!(XPath::parse("/a[@x=unquoted]").is_err());
+        assert!(XPath::parse("/@x/b").is_err());
+        assert!(XPath::parse("a//").is_err());
+    }
+
+    #[test]
+    fn text_equals_predicate() {
+        let d = doc();
+        let r = eval("//name[text()='cart']", &d).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn nodeset_dedups() {
+        let d = doc();
+        // `//service//name` and overlapping descendant scans must not
+        // duplicate nodes.
+        let r = eval("//service/name", &d).unwrap();
+        assert_eq!(r.len(), 3);
+    }
+}

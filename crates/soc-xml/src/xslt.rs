@@ -1,0 +1,279 @@
+//! A miniature template-rule transformation engine ("XML Stylesheet
+//! language" from the course unit, reduced to its teachable core).
+//!
+//! A stylesheet is itself XML: `<template match="name">` rules whose
+//! bodies are literal result elements plus two instructions,
+//! `<value-of select="xpath"/>` and `<apply-templates select="xpath"/>`.
+//!
+//! ```
+//! use soc_xml::{Document, xslt::Stylesheet};
+//!
+//! let sheet = Stylesheet::parse(r#"
+//!   <stylesheet>
+//!     <template match="catalog"><ul><apply-templates select="service"/></ul></template>
+//!     <template match="service"><li><value-of select="name"/></li></template>
+//!   </stylesheet>"#).unwrap();
+//! let input = Document::parse_str(
+//!   "<catalog><service><name>echo</name></service></catalog>").unwrap();
+//! let out = sheet.transform(&input).unwrap();
+//! assert_eq!(out.to_xml(), "<ul><li>echo</li></ul>");
+//! ```
+
+use crate::dom::{Document, NodeId, NodeKind};
+use crate::error::{XmlError, XmlResult};
+use crate::xpath;
+
+/// A compiled stylesheet.
+#[derive(Debug, Clone)]
+pub struct Stylesheet {
+    /// The stylesheet document; rules reference nodes inside it.
+    rules_doc: Document,
+    /// (match-name, template-body element id) pairs in document order.
+    rules: Vec<(String, NodeId)>,
+}
+
+impl Stylesheet {
+    /// Parse a stylesheet document.
+    pub fn parse(src: &str) -> XmlResult<Self> {
+        let doc = Document::parse_str(src)?;
+        let mut rules = Vec::new();
+        for t in doc.find_children(doc.root(), "template") {
+            let Some(m) = doc.attr(t, "match") else {
+                return Err(XmlError::XPathSyntax {
+                    detail: "template missing match attribute".into(),
+                });
+            };
+            rules.push((m.to_string(), t));
+        }
+        if rules.is_empty() {
+            return Err(XmlError::XPathSyntax { detail: "stylesheet has no templates".into() });
+        }
+        Ok(Stylesheet { rules_doc: doc, rules })
+    }
+
+    fn rule_for(&self, name: &str) -> Option<NodeId> {
+        self.rules
+            .iter()
+            .find(|(m, _)| m == name)
+            .or_else(|| self.rules.iter().find(|(m, _)| m == "*"))
+            .map(|&(_, id)| id)
+    }
+
+    /// Transform `input`, producing a new document. If the matched
+    /// templates emit more than one top-level element the result is
+    /// wrapped in `<result>`.
+    pub fn transform(&self, input: &Document) -> XmlResult<Document> {
+        let mut out = Document::new("result");
+        let root = out.root();
+        self.apply_to(input, input.root(), &mut out, root)?;
+        // Unwrap single-element results.
+        let top: Vec<NodeId> = out.child_elements(root).collect();
+        if top.len() == 1 && out.children(root).len() == 1 {
+            let mut unwrapped = Document::new(
+                out.name(top[0]).expect("element").clone(),
+            );
+            for a in out.attributes(top[0]).to_vec() {
+                unwrapped.set_attr(unwrapped.root(), a.name, a.value);
+            }
+            let kids: Vec<NodeId> = out.children(top[0]).to_vec();
+            for k in kids {
+                unwrapped.graft(unwrapped.root(), &out, k);
+            }
+            return Ok(unwrapped);
+        }
+        Ok(out)
+    }
+
+    /// Apply the matching template for `node` (or the default rule),
+    /// appending output under `out_parent`.
+    fn apply_to(
+        &self,
+        input: &Document,
+        node: NodeId,
+        out: &mut Document,
+        out_parent: NodeId,
+    ) -> XmlResult<()> {
+        match &input.node(node).kind {
+            NodeKind::Text(t) | NodeKind::CData(t) => {
+                out.add_text(out_parent, t.clone());
+                return Ok(());
+            }
+            NodeKind::Element { name, .. } => {
+                if let Some(rule) = self.rule_for(&name.local) {
+                    return self.instantiate(rule, input, node, out, out_parent);
+                }
+                // Default rule: recurse into children.
+                for &c in input.children(node) {
+                    self.apply_to(input, c, out, out_parent)?;
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Copy a template body, executing instructions against `context`.
+    fn instantiate(
+        &self,
+        template_node: NodeId,
+        input: &Document,
+        context: NodeId,
+        out: &mut Document,
+        out_parent: NodeId,
+    ) -> XmlResult<()> {
+        let body: Vec<NodeId> = self.rules_doc.children(template_node).to_vec();
+        for b in body {
+            self.emit(b, input, context, out, out_parent)?;
+        }
+        Ok(())
+    }
+
+    fn emit(
+        &self,
+        tnode: NodeId,
+        input: &Document,
+        context: NodeId,
+        out: &mut Document,
+        out_parent: NodeId,
+    ) -> XmlResult<()> {
+        let sheet = &self.rules_doc;
+        match &sheet.node(tnode).kind {
+            NodeKind::Element { name, attributes } if name.local == "value-of" => {
+                let select = attributes
+                    .iter()
+                    .find(|a| a.name.local == "select")
+                    .map(|a| a.value.as_str())
+                    .unwrap_or(".");
+                let texts = xpath::XPath::parse(select)?
+                    .eval_from(input, context, false)
+                    .strings(input);
+                if let Some(first) = texts.first() {
+                    out.add_text(out_parent, first.clone());
+                }
+            }
+            NodeKind::Element { name, attributes } if name.local == "apply-templates" => {
+                let select = attributes
+                    .iter()
+                    .find(|a| a.name.local == "select")
+                    .map(|a| a.value.as_str());
+                let targets: Vec<NodeId> = match select {
+                    Some(expr) => {
+                        xpath::XPath::parse(expr)?.eval_from(input, context, false).nodes().into_vec()
+                    }
+                    None => input.children(context).to_vec(),
+                };
+                for t in targets {
+                    self.apply_to(input, t, out, out_parent)?;
+                }
+            }
+            NodeKind::Element { name, attributes } => {
+                let el = out.add_element(out_parent, name.clone());
+                for a in attributes {
+                    out.set_attr(el, a.name.clone(), a.value.clone());
+                }
+                let kids: Vec<NodeId> = sheet.children(tnode).to_vec();
+                for k in kids {
+                    self.emit(k, input, context, out, out_parent_child(el))?;
+                }
+            }
+            NodeKind::Text(t) => {
+                out.add_text(out_parent, t.clone());
+            }
+            NodeKind::CData(t) => {
+                out.add_cdata(out_parent, t.clone());
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+// Tiny identity helper to make the recursive call above read clearly.
+fn out_parent_child(el: NodeId) -> NodeId {
+    el
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Document {
+        Document::parse_str(
+            "<catalog><service><name>echo</name><cost>0</cost></service>\
+             <service><name>cart</name><cost>5</cost></service></catalog>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_transform() {
+        let sheet = Stylesheet::parse(
+            r#"<stylesheet>
+                 <template match="catalog"><ul><apply-templates select="service"/></ul></template>
+                 <template match="service"><li><value-of select="name"/></li></template>
+               </stylesheet>"#,
+        )
+        .unwrap();
+        let out = sheet.transform(&catalog()).unwrap();
+        assert_eq!(out.to_xml(), "<ul><li>echo</li><li>cart</li></ul>");
+    }
+
+    #[test]
+    fn literal_attributes_copied() {
+        let sheet = Stylesheet::parse(
+            r#"<stylesheet>
+                 <template match="catalog"><div class="c"><value-of select="service/name"/></div></template>
+               </stylesheet>"#,
+        )
+        .unwrap();
+        let out = sheet.transform(&catalog()).unwrap();
+        assert_eq!(out.to_xml(), r#"<div class="c">echo</div>"#);
+    }
+
+    #[test]
+    fn wildcard_rule_and_wrapping() {
+        let sheet = Stylesheet::parse(
+            r#"<stylesheet>
+                 <template match="*"><x/><y/></template>
+               </stylesheet>"#,
+        )
+        .unwrap();
+        let out = sheet.transform(&catalog()).unwrap();
+        assert_eq!(out.to_xml(), "<result><x/><y/></result>");
+    }
+
+    #[test]
+    fn default_rule_descends_to_text() {
+        let sheet = Stylesheet::parse(
+            r#"<stylesheet>
+                 <template match="name"><b><value-of select="."/></b></template>
+               </stylesheet>"#,
+        )
+        .unwrap();
+        // catalog and service have no rules: default recursion applies,
+        // copying descendant text and applying the name rule.
+        let out = sheet.transform(&catalog()).unwrap();
+        let s = out.to_xml();
+        assert!(s.contains("<b>echo</b>"));
+        assert!(s.contains("<b>cart</b>"));
+    }
+
+    #[test]
+    fn apply_templates_without_select() {
+        let sheet = Stylesheet::parse(
+            r#"<stylesheet>
+                 <template match="catalog"><all><apply-templates/></all></template>
+                 <template match="service"><s/></template>
+               </stylesheet>"#,
+        )
+        .unwrap();
+        let out = sheet.transform(&catalog()).unwrap();
+        assert_eq!(out.to_xml(), "<all><s/><s/></all>");
+    }
+
+    #[test]
+    fn missing_templates_is_error() {
+        assert!(Stylesheet::parse("<stylesheet/>").is_err());
+        assert!(Stylesheet::parse("<stylesheet><template/></stylesheet>").is_err());
+    }
+}

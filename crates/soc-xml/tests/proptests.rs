@@ -1,0 +1,158 @@
+//! Property-based tests for the XML stack: serialization/parsing
+//! round-trips, SAX/DOM agreement, and XPath-vs-manual-walk oracles.
+
+use proptest::prelude::*;
+use soc_xml::escape::{escape_attr, escape_text, unescape};
+use soc_xml::sax;
+use soc_xml::{xpath, Document};
+
+/// Arbitrary element name (small alphabet keeps shrunk cases readable).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-f]{1,4}"
+}
+
+/// Arbitrary text payload including XML-hostile characters.
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~中é\\n\\t]{0,24}").unwrap()
+}
+
+/// A recursively generated document tree, rendered through the builder
+/// API so the serializer is the only encoder involved.
+#[derive(Debug, Clone)]
+enum Tree {
+    Text(String),
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Tree> },
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = text_strategy().prop_map(Tree::Text);
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec(("[g-k]{1,3}", text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| Tree::Element { name, attrs, children })
+    })
+}
+
+fn build(doc: &mut Document, parent: soc_xml::NodeId, tree: &Tree) {
+    match tree {
+        Tree::Text(t) => {
+            doc.add_text(parent, t.clone());
+        }
+        Tree::Element { name, attrs, children } => {
+            let el = doc.add_element(parent, name.as_str());
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    doc.set_attr(el, k.as_str(), v.clone());
+                }
+            }
+            for c in children {
+                build(doc, el, c);
+            }
+        }
+    }
+}
+
+fn tree_text(tree: &Tree, out: &mut String) {
+    match tree {
+        Tree::Text(t) => out.push_str(t),
+        Tree::Element { children, .. } => {
+            for c in children {
+                tree_text(c, out);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn escape_unescape_text_round_trip(s in text_strategy()) {
+        let esc = escape_text(&s);
+        prop_assert_eq!(unescape(&esc, Default::default()).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_unescape_attr_round_trip(s in text_strategy()) {
+        let esc = escape_attr(&s);
+        prop_assert_eq!(unescape(&esc, Default::default()).unwrap(), s);
+    }
+
+    #[test]
+    fn build_serialize_parse_round_trip(tree in tree_strategy()) {
+        let mut doc = Document::new("root");
+        let root = doc.root();
+        build(&mut doc, root, &tree);
+        let xml = doc.to_xml();
+        let reparsed = Document::parse_str_keep_whitespace(&xml).unwrap();
+        // Serialized forms must be identical (canonical form fixpoint).
+        prop_assert_eq!(reparsed.to_xml(), xml);
+        // And total text content must survive.
+        let mut expect = String::new();
+        tree_text(&tree, &mut expect);
+        prop_assert_eq!(reparsed.text(reparsed.root()), expect);
+    }
+
+    #[test]
+    fn sax_and_dom_agree_on_structure(tree in tree_strategy()) {
+        let mut doc = Document::new("root");
+        let root = doc.root();
+        build(&mut doc, root, &tree);
+        let xml = doc.to_xml();
+        let stats = sax::statistics(&xml).unwrap();
+        let elements = doc
+            .descendants(doc.root())
+            .into_iter()
+            .filter(|&n| doc.name(n).is_some())
+            .count();
+        prop_assert_eq!(stats.elements, elements);
+    }
+
+    #[test]
+    fn xpath_descendant_matches_manual_walk(tree in tree_strategy()) {
+        let mut doc = Document::new("root");
+        let root = doc.root();
+        build(&mut doc, root, &tree);
+        // Oracle: count descendants named "a" by manual walk.
+        let manual = doc
+            .descendants(doc.root())
+            .into_iter()
+            .filter(|&n| doc.name(n).is_some_and(|q| q.local == "a"))
+            .count();
+        let via_xpath = xpath::eval("//a", &doc).unwrap().len();
+        // `//a` excludes nothing: the root is named "root", never "a".
+        prop_assert_eq!(via_xpath, manual);
+    }
+
+    #[test]
+    fn pretty_and_compact_have_same_text_modulo_structure(tree in tree_strategy()) {
+        let mut doc = Document::new("root");
+        let root = doc.root();
+        build(&mut doc, root, &tree);
+        let compact = Document::parse_str_keep_whitespace(&doc.to_xml()).unwrap();
+        let pretty = Document::parse_str_keep_whitespace(&doc.to_pretty_xml()).unwrap();
+        // Element counts always agree between the two serializations.
+        let count = |d: &Document| {
+            d.descendants(d.root()).into_iter().filter(|&n| d.name(n).is_some()).count()
+        };
+        prop_assert_eq!(count(&compact), count(&pretty));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "[ -~<>&'\"]{0,64}") {
+        let _ = Document::parse_str(&s); // error is fine, panic is not
+    }
+
+    #[test]
+    fn attribute_values_survive_round_trip(
+        k in "[a-z]{1,5}",
+        v in text_strategy(),
+    ) {
+        let mut doc = Document::new("r");
+        doc.set_attr(doc.root(), k.as_str(), v.clone());
+        let reparsed = Document::parse_str(&doc.to_xml()).unwrap();
+        prop_assert_eq!(reparsed.attr(reparsed.root(), &k), Some(v.as_str()));
+    }
+}

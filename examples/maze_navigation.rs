@@ -1,0 +1,71 @@
+//! Robot-as-a-Service maze navigation (paper Section II, Figures 1–2):
+//! create a maze session over REST, watch the two-distance greedy FSM
+//! race the wall follower and the random walk, and print the maze.
+//!
+//! ```sh
+//! cargo run --example maze_navigation
+//! ```
+
+use std::sync::Arc;
+
+use soc::http::MemNetwork;
+use soc::json::{json, Value};
+use soc::rest::RestClient;
+use soc::robotics::algorithms::{self, Hand, RandomWalk, TwoDistanceGreedy, WallFollower};
+use soc::robotics::maze::Maze;
+use soc::robotics::raas::RaasService;
+
+fn main() {
+    // ---- Local (library) usage: race the algorithms -------------------
+    let maze = Maze::generate(15, 11, 2014);
+    println!("{}", maze.to_ascii(None));
+    let oracle = algorithms::oracle_steps(&maze).expect("solvable");
+    println!("BFS oracle: {oracle} steps\n");
+
+    let budget = 15 * 11 * 10;
+    let mut racers: Vec<Box<dyn algorithms::Navigator>> = vec![
+        Box::new(TwoDistanceGreedy::new()),
+        Box::new(WallFollower::new(Hand::Right)),
+        Box::new(WallFollower::new(Hand::Left)),
+        Box::new(RandomWalk::new(7)),
+    ];
+    println!("{:<22} {:>8} {:>7} {:>7} {:>6}", "algorithm", "reached", "steps", "turns", "ticks");
+    for nav in racers.iter_mut() {
+        let out = algorithms::run(&maze, nav.as_mut(), budget * 4);
+        println!(
+            "{:<22} {:>8} {:>7} {:>7} {:>6}",
+            nav.name(),
+            out.reached,
+            out.steps,
+            out.turns,
+            out.ticks
+        );
+    }
+
+    // ---- Remote (service) usage: Figure 1's web environment ----------
+    let net = MemNetwork::new();
+    net.host("robot", RaasService::new());
+    let rest = RestClient::new(Arc::new(net));
+
+    let session = rest
+        .post("mem://robot/sessions", &json!({ "width": 15, "height": 11, "seed": 2014 }))
+        .expect("create session");
+    let id = session.get("id").and_then(Value::as_i64).unwrap();
+    println!("\ncreated RaaS session {id}");
+
+    let sensors = rest.get(&format!("mem://robot/sessions/{id}/sensors")).unwrap();
+    println!("sensors: {sensors}");
+
+    let run = rest
+        .post(
+            &format!("mem://robot/sessions/{id}/run"),
+            &json!({ "algorithm": "two-distance-greedy", "max_ticks": 5000 }),
+        )
+        .expect("run");
+    println!("service-side greedy run: {run}");
+
+    let art = rest
+        .send_raw(soc::http::Request::get(format!("mem://robot/sessions/{id}/render")))
+        .unwrap();
+    println!("\nfinal position (R marks the robot):\n{}", art.text_body().unwrap());
+}

@@ -1,0 +1,71 @@
+//! Quickstart: stand up the whole service-oriented stack in one
+//! process — provider, broker (directory), and consumer — then make a
+//! REST call, a SOAP call, and a discovery query.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use soc::http::mem::Transport;
+use soc::http::MemNetwork;
+use soc::json::{json, Value};
+use soc::registry::directory::{DirectoryClient, DirectoryService};
+use soc::registry::Repository;
+use soc::rest::RestClient;
+use soc::soap::client::SoapClient;
+
+fn main() {
+    // 1. A virtual network, so the whole topology runs in-process.
+    let net = MemNetwork::new();
+
+    // 2. Provider: host the ASU repository's services (REST + SOAP).
+    let catalog = soc::services::bindings::host_all(&net, 2014);
+    println!("hosted {} services on mem://services.asu and mem://soap.asu", catalog.len());
+
+    // 3. Broker: a directory the services are published into.
+    let repo = Repository::new();
+    for descriptor in catalog {
+        repo.publish(descriptor).expect("unique ids");
+    }
+    let (directory, _state) = DirectoryService::new(repo, vec![]);
+    net.host("directory.asu", directory);
+
+    let transport: Arc<dyn Transport> = Arc::new(net);
+
+    // 4. Consumer: discover a service by keyword, then call it.
+    let directory = DirectoryClient::new(transport.clone(), "mem://directory.asu");
+    let hits = directory.search("encrypt cipher").expect("directory up");
+    println!("\ndirectory search for 'encrypt cipher':");
+    for d in &hits {
+        println!("  [{}] {} -> {}", d.id, d.name, d.endpoint);
+    }
+
+    // 5. REST call to the encryption service.
+    let rest = RestClient::new(transport.clone());
+    let encrypted = rest
+        .post(
+            "mem://services.asu/crypto/encrypt",
+            &json!({ "passphrase": "kh2011", "plaintext": "service-oriented computing" }),
+        )
+        .expect("encrypt");
+    let ciphertext = encrypted.get("ciphertext").and_then(Value::as_str).unwrap();
+    println!("\nREST encrypt  -> {ciphertext}");
+    let decrypted = rest
+        .post(
+            "mem://services.asu/crypto/decrypt",
+            &json!({ "passphrase": "kh2011", "ciphertext": ciphertext }),
+        )
+        .expect("decrypt");
+    println!("REST decrypt  -> {}", decrypted.get("plaintext").and_then(Value::as_str).unwrap());
+
+    // 6. SOAP call with WSDL discovery (the course's broker flow).
+    let soap = SoapClient::new(transport);
+    let out = soap
+        .discover_and_call("mem://soap.asu/credit", "GetScore", &[("ssn", "123-45-6789")])
+        .expect("soap call");
+    println!("SOAP GetScore -> credit score {}", out["score"]);
+
+    println!("\nquickstart complete.");
+}

@@ -1,0 +1,100 @@
+//! The Figure 4 web application, driven end to end: subscribe → credit
+//! check → user ID → password → login → session-guarded home, with the
+//! resulting `account.xml` printed at the end.
+//!
+//! ```sh
+//! cargo run --example web_account_app
+//! ```
+
+use std::sync::Arc;
+
+use soc::http::mem::Transport;
+use soc::http::url::encode_form;
+use soc::http::{MemNetwork, Request, Response};
+use soc::services::mortgage::CreditScoreService;
+use soc::webapp::account_app::{AccountApp, MIN_SCORE};
+
+fn post_form(net: &MemNetwork, url: &str, fields: &[(&str, &str)]) -> Response {
+    let body =
+        encode_form(&fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>());
+    net.send(Request::post(url, Vec::new()).with_text("application/x-www-form-urlencoded", &body))
+        .expect("app reachable")
+}
+
+fn main() {
+    let net = MemNetwork::new();
+    soc::services::bindings::host_all(&net, 4);
+    let app = AccountApp::new(Arc::new(net.clone()), "mem://services.asu/credit/score");
+    let store = app.store();
+    net.host("bank.example", app);
+
+    // Find applicants on both sides of the approval line (the score
+    // service is deterministic, so this is a plain search).
+    let good_ssn = (0..)
+        .map(|i| format!("{i:09}"))
+        .find(|s| CreditScoreService::score(s) >= MIN_SCORE)
+        .unwrap();
+    let bad_ssn = (0..)
+        .map(|i| format!("{i:09}"))
+        .find(|s| CreditScoreService::score(s) < MIN_SCORE)
+        .unwrap();
+
+    // A rejected applicant ("You do not qualify").
+    let resp = post_form(
+        &net,
+        "mem://bank.example/subscribe",
+        &[("name", "Bob Turned-Down"), ("ssn", &bad_ssn), ("address", "2 Oak"), ("dob", "1985-03-04")],
+    );
+    println!(
+        "Bob (score {}): {}",
+        CreditScoreService::score(&bad_ssn),
+        if resp.text_body().unwrap().contains("do not qualify") { "rejected" } else { "?" }
+    );
+
+    // An approved applicant, full flow.
+    let resp = post_form(
+        &net,
+        "mem://bank.example/subscribe",
+        &[("name", "Ann Approved"), ("ssn", &good_ssn), ("address", "1 Mill Ave"), ("dob", "1990-01-02")],
+    );
+    let body = resp.text_body().unwrap();
+    let start = body.find("<b>U").unwrap() + 3;
+    let end = body[start..].find("</b>").unwrap() + start;
+    let user_id = body[start..end].to_string();
+    println!("Ann (score {}): approved, issued {user_id}", CreditScoreService::score(&good_ssn));
+
+    // Weak password is rejected, strong accepted.
+    let weak = post_form(
+        &net,
+        "mem://bank.example/password",
+        &[("user", &user_id), ("password", "short"), ("retype", "short")],
+    );
+    println!("weak password: {}", weak.text_body().unwrap().contains("weak password"));
+    post_form(
+        &net,
+        "mem://bank.example/password",
+        &[("user", &user_id), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+    );
+
+    // Login and visit the session-guarded home page.
+    let login = post_form(
+        &net,
+        "mem://bank.example/login",
+        &[("user", &user_id), ("password", "Str0ngPass")],
+    );
+    let cookie = login
+        .headers
+        .get("Set-Cookie")
+        .unwrap()
+        .split(';')
+        .next()
+        .unwrap()
+        .to_string();
+    let home = net
+        .send(Request::get("mem://bank.example/home").with_header("Cookie", &cookie))
+        .unwrap();
+    println!("home page: {}", home.text_body().unwrap());
+
+    // Figure 4's data pane: account.xml as the provider stores it.
+    println!("\naccount.xml:\n{}", store.to_account_xml());
+}

@@ -1,0 +1,160 @@
+//! Workflow-based integration (CSE446): the mortgage approval process
+//! composed three ways over the same services — as a VPL-style dataflow
+//! graph, as a BPEL-style structured process, and via the FSM module —
+//! "generating executable directly from the flowchart".
+//!
+//! ```sh
+//! cargo run --example workflow_mortgage
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc::http::mem::Transport;
+use soc::http::MemNetwork;
+use soc::json::{json, Value};
+use soc::workflow::activity::{Compute, Const, If, Merge, ServiceCall};
+use soc::workflow::bpel::{int_var, Process, Scope, Step};
+use soc::workflow::graph::WorkflowGraph;
+
+fn main() {
+    let net = MemNetwork::new();
+    soc::services::bindings::host_all(&net, 11);
+    let transport: Arc<dyn Transport> = Arc::new(net);
+
+    // A deterministic applicant who qualifies (the score service is a
+    // pure function of the SSN, so we can search for one).
+    let ssn = (0..)
+        .map(|i| format!("{i:09}"))
+        .find(|s| soc::services::mortgage::CreditScoreService::score(s) >= 700)
+        .unwrap();
+
+    // ---- 1. VPL-style dataflow graph ----------------------------------
+    // const(application) ──> mortgage service ──> If(approved) ──> Merge
+    let mut graph = WorkflowGraph::new();
+    let application = graph.add(
+        "application",
+        Const::new(json!({
+            "name": "Ann", "ssn": (ssn.clone()),
+            "annual_income": 120000, "loan_amount": 300000, "term_years": 30
+        })),
+    );
+    let apply = graph.add(
+        "apply",
+        ServiceCall::post(transport.clone(), "mem://services.asu/mortgage/apply"),
+    );
+    let is_approved = graph.add(
+        "is_approved",
+        Compute::new(&["x"], |p| {
+            Ok(Value::Bool(
+                p["x"].get("decision").and_then(Value::as_str) == Some("approved"),
+            ))
+        }),
+    );
+    let passthrough = graph.add("passthrough", Compute::new(&["x"], |p| Ok(p["x"].clone())));
+    let iff = graph.add("route", If::truthy());
+    let congratulate = graph.add(
+        "congratulate",
+        Compute::new(&["x"], |p| {
+            Ok(Value::from(format!(
+                "APPROVED at {} bps, ${}/month",
+                p["x"].get("rate_bps").and_then(Value::as_i64).unwrap_or(0),
+                p["x"].get("monthly_payment").and_then(Value::as_i64).unwrap_or(0)
+            )))
+        }),
+    );
+    let console = graph.add(
+        "letter",
+        Compute::new(&["x"], |p| {
+            Ok(match p["x"].as_str() {
+                Some(s) => Value::from(s.to_string()),
+                None => Value::from(format!(
+                    "DECLINED: {}",
+                    p["x"].get("reasons").map(|r| r.to_compact()).unwrap_or_default()
+                )),
+            })
+        }),
+    );
+    let merge = graph.add_any("merge", Merge);
+
+    graph.connect(application, "out", apply, "body").unwrap();
+    graph.connect(apply, "out", is_approved, "x").unwrap();
+    graph.connect(apply, "out", passthrough, "x").unwrap();
+    graph.connect(is_approved, "out", iff, "cond").unwrap();
+    graph.connect(passthrough, "out", iff, "value").unwrap();
+    graph.connect(iff, "then", congratulate, "x").unwrap();
+    graph.connect(iff, "else", merge, "b").unwrap();
+    graph.connect(congratulate, "out", merge, "a").unwrap();
+    graph.connect(merge, "out", console, "x").unwrap();
+
+    let out = graph.run(&HashMap::new()).expect("workflow runs");
+    println!("dataflow workflow  -> {}", out["letter.out"]);
+
+    // ---- 2. BPEL-style structured process ------------------------------
+    // Sweep loan sizes until the service declines (While + Invoke).
+    let ssn2 = ssn.clone();
+    let process = Process::new(
+        Step::Sequence(vec![
+            Step::set("loan", 100_000),
+            Step::set("approved_max", 0),
+            Step::While {
+                cond: Arc::new(|s: &soc::workflow::bpel::Scope| {
+                    s.get("loan").and_then(Value::as_i64).unwrap_or(0) <= 800_000
+                        && s.get("declined").is_none()
+                }),
+                body: Box::new(Step::Sequence(vec![
+                    Step::assign("request", move |s| {
+                        Ok(json!({
+                            "name": "Ann", "ssn": (ssn2.clone()),
+                            "annual_income": 120000,
+                            "loan_amount": (int_var(s, "loan")?),
+                            "term_years": 30
+                        }))
+                    }),
+                    Step::Invoke {
+                        endpoint: "mem://services.asu/mortgage/apply".into(),
+                        input_var: Some("request".into()),
+                        output_var: "decision".into(),
+                    },
+                    Step::assign("approved_max", |s| {
+                        let approved = s["decision"].get("decision").and_then(Value::as_str)
+                            == Some("approved");
+                        if approved {
+                            Ok(s["loan"].clone())
+                        } else {
+                            Ok(s["approved_max"].clone())
+                        }
+                    }),
+                    Step::If {
+                        cond: Arc::new(|s: &soc::workflow::bpel::Scope| {
+                            s["decision"].get("decision").and_then(Value::as_str)
+                                == Some("rejected")
+                        }),
+                        then: Box::new(Step::set("declined", true)),
+                        otherwise: Box::new(Step::assign("loan", |s| {
+                            Ok(Value::from(int_var(s, "loan")? + 100_000))
+                        })),
+                    },
+                ])),
+            },
+        ]),
+        transport.clone(),
+    );
+    let scope = process.run(Scope::new()).expect("process runs");
+    println!(
+        "BPEL loan sweep    -> largest approved loan: ${}",
+        scope["approved_max"].as_i64().unwrap_or(0)
+    );
+
+    // ---- 3. Service composition: captcha-gated password issuing --------
+    // (two repository services chained through one workflow)
+    let rest = soc::rest::RestClient::new(transport);
+    let pw = rest
+        .post("mem://services.asu/passwords/generate", &json!({ "length": 14 }))
+        .expect("password service");
+    println!(
+        "composed services  -> generated {} password ({} bits)",
+        pw.get("strength").and_then(Value::as_str).unwrap_or("?"),
+        pw.get("entropy_bits").and_then(Value::as_f64).unwrap_or(0.0).round()
+    );
+}

@@ -1,0 +1,30 @@
+//! # soc — Service-Oriented Computing in Rust
+//!
+//! Umbrella crate re-exporting the whole workspace under one namespace.
+//! See the individual crates for full documentation, and `DESIGN.md` for
+//! the system inventory.
+pub use soc_curriculum as curriculum;
+pub use soc_http as http;
+pub use soc_json as json;
+pub use soc_parallel as parallel;
+pub use soc_registry as registry;
+pub use soc_rest as rest;
+pub use soc_robotics as robotics;
+pub use soc_services as services;
+pub use soc_soap as soap;
+pub use soc_webapp as webapp;
+pub use soc_workflow as workflow;
+pub use soc_xml as xml;
+
+/// Commonly used items in one import: `use soc::prelude::*;`.
+pub mod prelude {
+    pub use soc_http::mem::{FaultConfig, MemNetwork, Transport, UniClient};
+    pub use soc_http::{Handler, HttpClient, HttpServer, Method, Request, Response, Status};
+    pub use soc_json::{json, Value};
+    pub use soc_parallel::{parallel_for, parallel_map, parallel_reduce, Schedule, ThreadPool};
+    pub use soc_registry::directory::{DirectoryClient, DirectoryService};
+    pub use soc_registry::{Binding, Repository, ServiceDescriptor};
+    pub use soc_rest::{PathParams, RestClient, Router};
+    pub use soc_soap::{Contract, Operation, SoapClient, SoapService, XsdType};
+    pub use soc_xml::{Document, XmlReader, XmlWriter};
+}

@@ -1,0 +1,224 @@
+//! Deployment-over-TCP integration tests: the same services that run on
+//! the in-memory network are hosted on real sockets with `HttpServer`
+//! and consumed with `HttpClient`/`UniClient` — the platform
+//! independence SOA promises ("application deployment into a Web
+//! server is emphasized").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc::http::mem::{MemNetwork, Transport, UniClient};
+use soc::http::{HttpClient, HttpServer, Request};
+use soc::json::{json, Value};
+use soc::rest::RestClient;
+use soc::soap::client::SoapClient;
+
+#[test]
+fn rest_services_over_real_sockets() {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        2,
+        soc::services::bindings::ServiceHost::new(77),
+    )
+    .unwrap();
+    let rest = RestClient::new(Arc::new(HttpClient::new()));
+    let base = server.url();
+
+    let health = rest.get(&format!("{base}/health")).unwrap();
+    assert_eq!(health.get("status").and_then(Value::as_str), Some("up"));
+
+    let enc = rest
+        .post(
+            &format!("{base}/crypto/encrypt"),
+            &json!({ "passphrase": "pw", "plaintext": "over tcp" }),
+        )
+        .unwrap();
+    let cipher = enc.get("ciphertext").and_then(Value::as_str).unwrap().to_string();
+    let dec = rest
+        .post(
+            &format!("{base}/crypto/decrypt"),
+            &json!({ "passphrase": "pw", "ciphertext": cipher }),
+        )
+        .unwrap();
+    assert_eq!(dec.get("plaintext").and_then(Value::as_str), Some("over tcp"));
+    assert!(server.served() >= 3);
+}
+
+#[test]
+fn soap_service_over_real_sockets() {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        2,
+        soc::services::bindings::credit_score_soap("http://dynamic/credit"),
+    )
+    .unwrap();
+    let soap = SoapClient::new(Arc::new(HttpClient::new()));
+    // Discover fetches WSDL over TCP; the advertised endpoint is the
+    // placeholder, so call the real address directly.
+    let parsed = soap.discover(&server.url()).unwrap();
+    assert_eq!(parsed.contract.name, "CreditScore");
+    let out = soap
+        .call(&server.url(), &parsed.contract, "GetScore", &[("ssn", "123-45-6789")])
+        .unwrap();
+    let score: u32 = out["score"].parse().unwrap();
+    assert_eq!(score, soc::services::mortgage::CreditScoreService::score("123-45-6789"));
+}
+
+#[test]
+fn robot_service_over_real_sockets() {
+    let server =
+        HttpServer::bind("127.0.0.1:0", 2, soc::robotics::raas::RaasService::new()).unwrap();
+    let rest = RestClient::new(Arc::new(HttpClient::new()));
+    let session = rest
+        .post(
+            &format!("{}/sessions", server.url()),
+            &json!({ "width": 9, "height": 9, "seed": 8 }),
+        )
+        .unwrap();
+    let id = session.get("id").and_then(Value::as_i64).unwrap();
+    let run = rest
+        .post(
+            &format!("{}/sessions/{id}/run", server.url()),
+            &json!({ "algorithm": "wall-follow-right", "max_ticks": 4000 }),
+        )
+        .unwrap();
+    assert_eq!(run.get("reached").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn uniclient_spans_tcp_and_memory() {
+    // Provider A on TCP, provider B in memory: one client reaches both,
+    // so composition code never cares where a service is deployed.
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        1,
+        soc::services::bindings::ServiceHost::new(5),
+    )
+    .unwrap();
+    let net = MemNetwork::new();
+    net.host("local", |_req: Request| soc::http::Response::json("{\"where\":\"memory\"}"));
+    let uni = UniClient::new(net);
+
+    let over_tcp = uni.send(Request::get(format!("{}/health", server.url()))).unwrap();
+    assert!(over_tcp.status.is_success());
+    let over_mem = uni.send(Request::get("mem://local/")).unwrap();
+    assert_eq!(
+        Value::parse(over_mem.text_body().unwrap()).unwrap().get("where").and_then(Value::as_str),
+        Some("memory")
+    );
+}
+
+#[test]
+fn server_survives_malformed_clients() {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        1,
+        soc::services::bindings::ServiceHost::new(6),
+    )
+    .unwrap();
+    // Raw garbage over the socket.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+        // The server answers 400 and closes; drain to EOF.
+        let mut buf = Vec::new();
+        let _ = std::io::Read::read_to_end(&mut stream, &mut buf);
+        let head = String::from_utf8_lossy(&buf);
+        assert!(head.contains("400"), "{head}");
+    }
+    // The server still answers well-formed requests afterwards.
+    let rest = RestClient::new(Arc::new(HttpClient::new()));
+    assert!(rest.get(&format!("{}/health", server.url())).is_ok());
+}
+
+#[test]
+fn concurrent_tcp_consumers_hit_one_provider() {
+    let server = Arc::new(
+        HttpServer::bind("127.0.0.1:0", 4, soc::services::bindings::ServiceHost::new(13))
+            .unwrap(),
+    );
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let url = server.url();
+        handles.push(std::thread::spawn(move || {
+            let rest = RestClient::new(Arc::new(HttpClient::new()));
+            for i in 0..5 {
+                let enc = rest
+                    .post(
+                        &format!("{url}/crypto/encrypt"),
+                        &json!({ "passphrase": "k", "plaintext": (format!("m-{t}-{i}")) }),
+                    )
+                    .unwrap();
+                assert!(enc.get("ciphertext").is_some());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(server.served(), 20);
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        1,
+        soc::services::bindings::ServiceHost::new(9),
+    )
+    .unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..3 {
+        write!(stream, "GET /health HTTP/1.1\r\nHost: h\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        // Read the status line + headers, then the announced body.
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.contains("200"), "request {i}: {status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+        assert!(String::from_utf8_lossy(&body).contains("up"));
+    }
+    assert_eq!(server.served(), 3, "all three requests on one connection");
+}
+
+#[test]
+fn oversized_body_is_rejected_not_buffered() {
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        1,
+        soc::services::bindings::ServiceHost::new(10),
+    )
+    .unwrap();
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    // Claim a body far over the 8 MiB limit; send only headers.
+    write!(
+        stream,
+        "POST /crypto/encrypt HTTP/1.1\r\nHost: h\r\nContent-Length: 99999999999\r\n\r\n"
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut buf = Vec::new();
+    let _ = stream.read_to_end(&mut buf);
+    let head = String::from_utf8_lossy(&buf);
+    assert!(head.contains("400"), "{head}");
+    assert!(head.to_lowercase().contains("exceeds"), "{head}");
+}

@@ -1,0 +1,173 @@
+//! Integration tests tying the XML stack (unit 4) to the service
+//! layers: schema validation of registry documents, XSLT rendering of
+//! repository listings, and XPath-driven data extraction from live
+//! service output.
+
+use soc::registry::{Binding, Repository, ServiceDescriptor};
+use soc::xml::schema::{AttrDecl, Content, DataType, ElementDecl, Particle, Schema};
+use soc::xml::xslt::Stylesheet;
+use soc::xml::{xpath, Document};
+
+fn sample_repo() -> Repository {
+    let repo = Repository::new();
+    repo.publish(
+        ServiceDescriptor::new("enc", "Encryption Service", "mem://s/enc", Binding::Rest)
+            .describe("encrypts & decrypts")
+            .category("security")
+            .keywords(&["cipher"]),
+    )
+    .unwrap();
+    repo.publish(
+        ServiceDescriptor::new("credit", "Credit Score", "mem://s/credit", Binding::Soap)
+            .describe("synthetic scores")
+            .category("finance"),
+    )
+    .unwrap();
+    repo
+}
+
+/// The schema the repository's XML document must satisfy — written
+/// once, enforced against live output.
+fn repository_schema() -> Schema {
+    Schema::new("repository")
+        .element(ElementDecl {
+            name: "repository".into(),
+            content: Content::Sequence(vec![Particle::many("service")]),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "service".into(),
+            content: Content::Sequence(vec![
+                Particle::one("name"),
+                Particle::one("description"),
+                Particle::one("category"),
+                Particle::one("endpoint"),
+                Particle::one("provider"),
+                Particle::one("keywords"),
+            ]),
+            attributes: vec![
+                AttrDecl { name: "id".into(), ty: DataType::Token, required: true },
+                AttrDecl { name: "binding".into(), ty: DataType::Token, required: true },
+            ],
+        })
+        .element(ElementDecl {
+            name: "keywords".into(),
+            content: Content::Sequence(vec![Particle::many("keyword")]),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "name".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "description".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "category".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "endpoint".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "provider".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+        .element(ElementDecl {
+            name: "keyword".into(),
+            content: Content::Simple(DataType::String),
+            attributes: vec![],
+        })
+}
+
+#[test]
+fn live_repository_documents_validate_against_the_schema() {
+    let repo = sample_repo();
+    let doc = Document::parse_str(&repo.to_xml()).unwrap();
+    let schema = repository_schema();
+    let errors = schema.validate(&doc);
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn schema_catches_corrupted_documents() {
+    let repo = sample_repo();
+    let schema = repository_schema();
+    // Drop a required attribute.
+    let broken = repo.to_xml().replacen("binding=", "x-binding=", 1);
+    let doc = Document::parse_str(&broken).unwrap();
+    let errors = schema.validate(&doc);
+    assert!(errors.iter().any(|e| e.message.contains("binding")), "{errors:?}");
+}
+
+#[test]
+fn stylesheet_renders_repository_as_html() {
+    let repo = sample_repo();
+    let sheet = Stylesheet::parse(
+        r#"<stylesheet>
+             <template match="repository"><ul><apply-templates select="service"/></ul></template>
+             <template match="service"><li><b><value-of select="name"/></b> — <value-of select="category"/></li></template>
+           </stylesheet>"#,
+    )
+    .unwrap();
+    let input = Document::parse_str(&repo.to_xml()).unwrap();
+    let html = sheet.transform(&input).unwrap().to_xml();
+    assert_eq!(
+        html,
+        "<ul><li><b>Encryption Service</b> — security</li>\
+         <li><b>Credit Score</b> — finance</li></ul>"
+    );
+}
+
+#[test]
+fn xpath_extracts_endpoints_from_live_documents() {
+    let repo = sample_repo();
+    let doc = Document::parse_str(&repo.to_xml()).unwrap();
+    let endpoints = xpath::eval("/repository/service/endpoint", &doc).unwrap();
+    assert_eq!(endpoints.texts(&doc), vec!["mem://s/enc", "mem://s/credit"]);
+    let soap_names =
+        xpath::eval("/repository/service[@binding='soap']/name", &doc).unwrap();
+    assert_eq!(soap_names.first_text(&doc).as_deref(), Some("Credit Score"));
+}
+
+#[test]
+fn account_xml_validates_with_the_compact_schema_dialect() {
+    // Build a schema for account.xml using the XML schema dialect.
+    let schema = Schema::parse_xml(
+        r#"<schema root="accounts">
+             <element name="accounts">
+               <sequence><ref name="account" min="0" max="unbounded"/></sequence>
+             </element>
+             <element name="account">
+               <sequence>
+                 <ref name="name"/><ref name="ssn"/><ref name="address"/>
+                 <ref name="dob"/><ref name="score"/><ref name="passwordHash"/><ref name="salt"/>
+               </sequence>
+               <attribute name="userId" type="token" required="true"/>
+             </element>
+             <element name="name" type="string"/>
+             <element name="ssn" type="string"/>
+             <element name="address" type="string"/>
+             <element name="dob" type="string"/>
+             <element name="score" type="int"/>
+             <element name="passwordHash" type="string"/>
+             <element name="salt" type="string"/>
+           </schema>"#,
+    )
+    .unwrap()
+    .unwrap();
+
+    let store = soc::webapp::account_app::AccountStore::new();
+    store.create("Ann", "123-45-6789", "1 Mill", "1990-01-02", 700);
+    store.set_password("U1001", "Str0ngPass");
+    let doc = Document::parse_str(&store.to_account_xml()).unwrap();
+    let errors = schema.validate(&doc);
+    assert!(errors.is_empty(), "{errors:?}");
+}
