@@ -27,17 +27,15 @@ fn bench_collatz(c: &mut Criterion) {
     thread_counts.dedup();
     for threads in thread_counts {
         let pool = ThreadPool::new(threads);
-        group.bench_with_input(
-            BenchmarkId::new("parallel_dynamic", threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    validate_parallel(&pool, std::hint::black_box(LIMIT), Schedule::Dynamic {
-                        chunk: 512,
-                    })
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("parallel_dynamic", threads), &threads, |b, _| {
+            b.iter(|| {
+                validate_parallel(
+                    &pool,
+                    std::hint::black_box(LIMIT),
+                    Schedule::Dynamic { chunk: 512 },
+                )
+            })
+        });
     }
 
     // Scheduling ablation: static partitioning suffers on Collatz's
@@ -47,9 +45,11 @@ fn bench_collatz(c: &mut Criterion) {
         b.iter(|| validate_parallel(&pool, LIMIT, Schedule::Static))
     });
     for chunk in [64usize, 512, 4096] {
-        group.bench_with_input(BenchmarkId::new("schedule/dynamic_chunk", chunk), &chunk, |b, &chunk| {
-            b.iter(|| validate_parallel(&pool, LIMIT, Schedule::Dynamic { chunk }))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("schedule/dynamic_chunk", chunk),
+            &chunk,
+            |b, &chunk| b.iter(|| validate_parallel(&pool, LIMIT, Schedule::Dynamic { chunk })),
+        );
     }
     group.finish();
 }

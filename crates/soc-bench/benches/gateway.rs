@@ -1,0 +1,84 @@
+//! Gateway overhead and policy throughput.
+//!
+//! Measures (1) the cost the gateway adds over dispatching straight to
+//! an upstream on the in-memory network, (2) per-request throughput of
+//! each load-balancing policy over three replicas, and (3) the
+//! fully-loaded path: retries against a flaky replica set.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use soc_gateway::{Gateway, GatewayConfig, Policy};
+use soc_http::mem::{FaultConfig, Transport};
+use soc_http::{MemNetwork, Request, Response};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn replicated_net() -> MemNetwork {
+    let net = MemNetwork::new();
+    for name in ["r0", "r1", "r2"] {
+        net.host(name, |_req: Request| Response::text("pong"));
+    }
+    net
+}
+
+fn gateway_with(net: &MemNetwork, policy: Policy) -> Gateway {
+    let gw = Gateway::new(
+        Arc::new(net.clone()),
+        GatewayConfig {
+            policy,
+            base_backoff: std::time::Duration::from_micros(50),
+            max_backoff: std::time::Duration::from_micros(500),
+            ..GatewayConfig::default()
+        },
+    );
+    gw.register("ping", &["mem://r0", "mem://r1", "mem://r2"]);
+    gw
+}
+
+fn bench_gateway(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gateway");
+    group.throughput(Throughput::Elements(1));
+
+    // Baseline: the same request straight to one replica.
+    let net = replicated_net();
+    group.bench_function("direct_dispatch", |b| {
+        b.iter(|| net.send(Request::get("mem://r0/ping")).unwrap())
+    });
+
+    // Gateway overhead per policy, healthy replicas.
+    for policy in [Policy::RoundRobin, Policy::RandomTwoChoice, Policy::LeastLatency] {
+        let net = replicated_net();
+        let gw = gateway_with(&net, policy);
+        net.host("gw", gw);
+        group.bench_function(format!("via_gateway/{}", policy.as_str()), |b| {
+            b.iter(|| net.send(Request::get("mem://gw/svc/ping/x")).unwrap())
+        });
+    }
+
+    // The resilience path: 20% of requests to each replica fail, so the
+    // measured cost includes breaker accounting, retries, and backoff.
+    let net = replicated_net();
+    for name in ["r0", "r1", "r2"] {
+        net.set_fault(name, FaultConfig { fail_every: 5, ..Default::default() });
+    }
+    let gw = gateway_with(&net, Policy::RoundRobin);
+    net.host("gw", gw);
+    group.bench_function("via_gateway/20pct_faults_with_retries", |b| {
+        b.iter(|| net.send(Request::get("mem://gw/svc/ping/x")).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_gateway
+}
+criterion_main!(benches);

@@ -40,9 +40,7 @@ fn bench_sync(c: &mut Criterion) {
         })
     });
     let atomic = AtomicU64::new(0);
-    group.bench_function("atomic/fetch_add", |b| {
-        b.iter(|| atomic.fetch_add(1, Ordering::Relaxed))
-    });
+    group.bench_function("atomic/fetch_add", |b| b.iter(|| atomic.fetch_add(1, Ordering::Relaxed)));
     let ev = AutoResetEvent::new(false);
     group.bench_function("auto_reset_event/set_wait", |b| {
         b.iter(|| {

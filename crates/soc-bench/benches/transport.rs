@@ -57,12 +57,8 @@ fn bench_transport(c: &mut Criterion) {
     });
 
     // In-memory vs TCP for the same REST call.
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        2,
-        soc_services::bindings::ServiceHost::new(3),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 2, soc_services::bindings::ServiceHost::new(3)).unwrap();
     let url = format!("{}/credit/score?ssn=123-45-6789", server.url());
     let tcp = HttpClient::new();
     group.bench_function("tcp/rest_credit_score", |b| {

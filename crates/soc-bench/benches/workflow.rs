@@ -79,7 +79,11 @@ fn bench_workflow(c: &mut Criterion) {
                 .stage(soc_parallel::pipeline::StageKind::Serial, |x: i64| Some(x + 1))
                 .stage(soc_parallel::pipeline::StageKind::Parallel(2), |x| Some(x * 2))
                 .stage(soc_parallel::pipeline::StageKind::Serial, |x| {
-                    if x % 3 == 0 { None } else { Some(x) }
+                    if x % 3 == 0 {
+                        None
+                    } else {
+                        Some(x)
+                    }
                 })
                 .run((0..1000).collect())
         })

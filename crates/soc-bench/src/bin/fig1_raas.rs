@@ -71,8 +71,6 @@ fn main() {
     }
 
     // The rendered maze pane.
-    let art = rest
-        .send_raw(Request::get(format!("mem://robot/sessions/{id}/render")))
-        .unwrap();
+    let art = rest.send_raw(Request::get(format!("mem://robot/sessions/{id}/render"))).unwrap();
     println!("\nmaze pane (S start, E exit, R robot):\n{}", art.text_body().unwrap());
 }

@@ -20,13 +20,14 @@ fn main() {
     let maze = Maze::generate(11, 11, 3);
     let mut nav = TwoDistanceGreedy::new();
     let out = algorithms::run(&maze, &mut nav, 11 * 11 * 10);
-    println!("single run on an 11×11 maze: reached={} steps={} ticks={}", out.reached, out.steps, out.ticks);
+    println!(
+        "single run on an 11×11 maze: reached={} steps={} ticks={}",
+        out.reached, out.steps, out.ticks
+    );
 
     let mut transition_counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
     for (from, event, to) in nav.trace() {
-        *transition_counts
-            .entry((from.clone(), event.clone(), to.clone()))
-            .or_insert(0) += 1;
+        *transition_counts.entry((from.clone(), event.clone(), to.clone())).or_insert(0) += 1;
     }
     println!("\nFSM transitions taken (the arrows of Figure 2):");
     println!("{:<12} {:<10} {:<12} {:>6}", "from", "event", "to", "count");
@@ -40,10 +41,7 @@ fn main() {
 
     // Batch comparison across seeds — the figure's pedagogical payload.
     println!("\nbatch over 20 seeded 13×13 perfect mazes:");
-    println!(
-        "{:<24} {:>9} {:>12} {:>12}",
-        "algorithm", "solved", "mean steps", "vs oracle"
-    );
+    println!("{:<24} {:>9} {:>12} {:>12}", "algorithm", "solved", "mean steps", "vs oracle");
     let budget = 13 * 13 * 10;
     for algo in ["two-distance-greedy", "wall-follow-right"] {
         let mut solved = 0;

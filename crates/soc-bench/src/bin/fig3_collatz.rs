@@ -25,10 +25,7 @@ use soc_parallel::workloads::{collatz_task_graph, validate_parallel, validate_se
 use soc_parallel::{Schedule, ThreadPool};
 
 fn main() {
-    let limit: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400_000);
+    let limit: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400_000);
     let cores = [1usize, 4, 8, 16, 32];
 
     println!("Figure 3: Collatz conjecture validation over [1, {limit}]");
@@ -81,17 +78,17 @@ fn main() {
     let speedups: Vec<f64> = series.iter().map(|&(_, s, _)| s).collect();
     let efficiencies: Vec<f64> = series.iter().map(|&(_, _, e)| e * 32.0).collect();
     println!("\nFigure 3 (simulated; efficiency scaled ×32 to share the axis):");
-    print!(
-        "{}",
-        ascii_chart(&[("speedup", &speedups), ("efficiency", &efficiencies)], 48, 12)
-    );
+    print!("{}", ascii_chart(&[("speedup", &speedups), ("efficiency", &efficiencies)], 48, 12));
     println!("          x-axis: cores = 1, 4, 8, 16, 32");
 
     // Amdahl cross-check: estimate the serial fraction from the 32-core
     // point and verify the whole curve is consistent with that model.
     let (_, s32, _) = *series.last().unwrap();
     let serial_est = (32.0 / s32 - 1.0) / 31.0;
-    println!("\nAmdahl cross-check: 32-core speedup {s32:.2} implies serial fraction ≈ {:.2}%", serial_est * 100.0);
+    println!(
+        "\nAmdahl cross-check: 32-core speedup {s32:.2} implies serial fraction ≈ {:.2}%",
+        serial_est * 100.0
+    );
     println!("{:>8} {:>11} {:>11}", "cores", "simulated", "amdahl-fit");
     for &(c, s, _) in &series {
         println!("{c:>8} {s:>11.2} {:>11.2}", amdahl_speedup(serial_est.clamp(0.0, 1.0), c));

@@ -15,8 +15,9 @@ use soc_services::mortgage::CreditScoreService;
 use soc_webapp::account_app::{AccountApp, MIN_SCORE};
 
 fn post(net: &MemNetwork, url: &str, fields: &[(&str, &str)]) -> Response {
-    let body =
-        encode_form(&fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>());
+    let body = encode_form(
+        &fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>(),
+    );
     soc_http::mem::Transport::send(
         net,
         Request::post(url, Vec::new()).with_text("application/x-www-form-urlencoded", &body),
@@ -65,37 +66,63 @@ fn main() {
     soc_bench::print_rule(70);
 
     // 1. Rejected applicant (Approval? → No).
-    let r = post(&net, "mem://bank/subscribe",
-        &[("name", "Bob"), ("ssn", &bad), ("address", "2 Oak"), ("dob", "1985-03-04")]);
-    println!("{:<46} {}", format!("subscribe (score {})", CreditScoreService::score(&bad)), outcome(&r));
+    let r = post(
+        &net,
+        "mem://bank/subscribe",
+        &[("name", "Bob"), ("ssn", &bad), ("address", "2 Oak"), ("dob", "1985-03-04")],
+    );
+    println!(
+        "{:<46} {}",
+        format!("subscribe (score {})", CreditScoreService::score(&bad)),
+        outcome(&r)
+    );
 
     // 2. Approved applicant (Approval? → Yes → Issue User ID).
-    let r = post(&net, "mem://bank/subscribe",
-        &[("name", "Ann"), ("ssn", &good), ("address", "1 Mill"), ("dob", "1990-01-02")]);
-    println!("{:<46} {}", format!("subscribe (score {})", CreditScoreService::score(&good)), outcome(&r));
+    let r = post(
+        &net,
+        "mem://bank/subscribe",
+        &[("name", "Ann"), ("ssn", &good), ("address", "1 Mill"), ("dob", "1990-01-02")],
+    );
+    println!(
+        "{:<46} {}",
+        format!("subscribe (score {})", CreditScoreService::score(&good)),
+        outcome(&r)
+    );
     let body = r.text_body().unwrap();
     let s = body.find("<b>U").unwrap() + 3;
     let e = body[s..].find("</b>").unwrap() + s;
     let user = body[s..e].to_string();
 
     // 3. Duplicate SSN (Check existence → exists).
-    let r = post(&net, "mem://bank/subscribe",
-        &[("name", "Ann2"), ("ssn", &good), ("address", "x"), ("dob", "d")]);
+    let r = post(
+        &net,
+        "mem://bank/subscribe",
+        &[("name", "Ann2"), ("ssn", &good), ("address", "x"), ("dob", "d")],
+    );
     println!("{:<46} {}", "subscribe again with the same SSN", outcome(&r));
 
     // 4. Weak password (Strong? → No).
-    let r = post(&net, "mem://bank/password",
-        &[("user", &user), ("password", "weakpw"), ("retype", "weakpw")]);
+    let r = post(
+        &net,
+        "mem://bank/password",
+        &[("user", &user), ("password", "weakpw"), ("retype", "weakpw")],
+    );
     println!("{:<46} {}", "create password 'weakpw'", outcome(&r));
 
     // 5. Mismatched retype (Match? → No).
-    let r = post(&net, "mem://bank/password",
-        &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass!")]);
+    let r = post(
+        &net,
+        "mem://bank/password",
+        &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass!")],
+    );
     println!("{:<46} {}", "create password with mismatched retype", outcome(&r));
 
     // 6. Accepted password (addPwd).
-    let r = post(&net, "mem://bank/password",
-        &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")]);
+    let r = post(
+        &net,
+        "mem://bank/password",
+        &[("user", &user), ("password", "Str0ngPass"), ("retype", "Str0ngPass")],
+    );
     println!("{:<46} {}", "create password 'Str0ngPass' (retyped)", outcome(&r));
 
     // 7. Wrong password at login.
@@ -110,8 +137,15 @@ fn main() {
         Request::get("mem://bank/home").with_header("Cookie", &cookie),
     )
     .unwrap();
-    println!("{:<46} {}", "login with correct password, GET /home",
-        if home.text_body().unwrap_or("").contains("Welcome Ann") { "Welcome Ann (session active)" } else { "?" });
+    println!(
+        "{:<46} {}",
+        "login with correct password, GET /home",
+        if home.text_body().unwrap_or("").contains("Welcome Ann") {
+            "Welcome Ann (session active)"
+        } else {
+            "?"
+        }
+    );
 
     // The provider's data pane.
     println!("\naccount.xml after the session:\n{}", store.to_account_xml());

@@ -6,8 +6,8 @@
 //! ```
 
 use soc_curriculum::chart::ascii_chart;
-use soc_services::image::{line_chart, Color};
 use soc_curriculum::enrollment::{figure5_series, growth_summary, term_labels, TABLE4};
+use soc_services::image::{line_chart, Color};
 
 fn main() {
     println!("Figure 5: CSE445/598 enrollment 2006 to 2014");
@@ -16,11 +16,7 @@ fn main() {
     let (cse445, cse598, combined) = figure5_series(&TABLE4);
     print!(
         "{}",
-        ascii_chart(
-            &[("CSE445", &cse445), ("CSE598", &cse598), ("Combined", &combined)],
-            64,
-            16,
-        )
+        ascii_chart(&[("CSE445", &cse445), ("CSE598", &cse598), ("Combined", &combined)], 64, 16,)
     );
     let labels = term_labels(&TABLE4);
     println!("          x-axis: {} … {}", labels.first().unwrap(), labels.last().unwrap());
@@ -28,10 +24,7 @@ fn main() {
     let g = growth_summary(&TABLE4).expect("data present");
     println!("\npaper claims, recomputed from Table 4:");
     println!("  combined enrollment Fall 2006: {}", g.first_total);
-    println!(
-        "  peak combined enrollment: {} in {} {}",
-        g.peak_total, g.peak_term.1, g.peak_term.0
-    );
+    println!("  peak combined enrollment: {} in {} {}", g.peak_total, g.peak_term.1, g.peak_term.0);
     println!("  growth factor first→last term: {:.2}×", g.growth_factor);
     println!("  least-squares trend: {:+.2} students/term", g.trend_per_term);
 

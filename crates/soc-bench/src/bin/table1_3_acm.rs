@@ -26,10 +26,7 @@ fn print_table(title: &str, table: TopicTable) {
 fn main() {
     print_table("Table 1. ACM CS Programming topics", TopicTable::Programming);
     print_table("Table 2. Algorithms topics", TopicTable::Algorithms);
-    print_table(
-        "Table 3. Cross cutting and advanced topics",
-        TopicTable::CrossCutting,
-    );
+    print_table("Table 3. Cross cutting and advanced topics", TopicTable::CrossCutting);
     let n = soc_curriculum::acm::TOPICS.len();
     let m = soc_curriculum::acm::referenced_modules().len();
     println!("{n} topics mapped onto {m} distinct workspace modules; coverage is test-enforced.");

@@ -29,12 +29,11 @@ fn main() {
 
     let sum445: u32 = TABLE4.iter().map(|r| r.cse445).sum();
     let sum598: u32 = TABLE4.iter().map(|r| r.cse598).sum();
-    println!(
-        "{:<6} {:<10} {:>14} {:>14} {:>10}",
-        "", "sum", sum445, sum598, sum445 + sum598
-    );
+    println!("{:<6} {:<10} {:>14} {:>14} {:>10}", "", "sum", sum445, sum598, sum445 + sum598);
 
     let g = growth_summary(&TABLE4).expect("data");
-    println!("\nderived: first total {} → last total {} (peak {} in {} {})",
-        g.first_total, g.last_total, g.peak_total, g.peak_term.1, g.peak_term.0);
+    println!(
+        "\nderived: first total {} → last total {} (peak {} in {} {})",
+        g.first_total, g.last_total, g.peak_total, g.peak_term.1, g.peak_term.0
+    );
 }

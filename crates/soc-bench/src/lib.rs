@@ -30,10 +30,36 @@ impl SplitMix {
 }
 
 const WORDS: &[&str] = &[
-    "service", "cloud", "robot", "maze", "cart", "cipher", "image", "captcha", "credit",
-    "mortgage", "queue", "cache", "password", "workflow", "soap", "rest", "xml", "registry",
-    "broker", "client", "provider", "discovery", "composition", "integration", "distributed",
-    "parallel", "thread", "lock", "event", "semaphore",
+    "service",
+    "cloud",
+    "robot",
+    "maze",
+    "cart",
+    "cipher",
+    "image",
+    "captcha",
+    "credit",
+    "mortgage",
+    "queue",
+    "cache",
+    "password",
+    "workflow",
+    "soap",
+    "rest",
+    "xml",
+    "registry",
+    "broker",
+    "client",
+    "provider",
+    "discovery",
+    "composition",
+    "integration",
+    "distributed",
+    "parallel",
+    "thread",
+    "lock",
+    "event",
+    "semaphore",
 ];
 
 /// Generate `n` synthetic service descriptors with word-salad
@@ -42,9 +68,8 @@ pub fn synthetic_catalog(n: usize, seed: u64) -> Vec<ServiceDescriptor> {
     let mut rng = SplitMix(seed);
     (0..n)
         .map(|i| {
-            let words: Vec<&str> = (0..8)
-                .map(|_| WORDS[rng.below(WORDS.len() as u64) as usize])
-                .collect();
+            let words: Vec<&str> =
+                (0..8).map(|_| WORDS[rng.below(WORDS.len() as u64) as usize]).collect();
             let kw1 = WORDS[rng.below(WORDS.len() as u64) as usize];
             let kw2 = WORDS[rng.below(WORDS.len() as u64) as usize];
             ServiceDescriptor::new(

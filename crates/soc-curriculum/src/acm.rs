@@ -156,7 +156,8 @@ pub fn topics_in(table: TopicTable) -> Vec<&'static Topic> {
 
 /// The distinct module list referenced by the matrix (sorted).
 pub fn referenced_modules() -> Vec<&'static str> {
-    let mut mods: Vec<&'static str> = TOPICS.iter().flat_map(|t| t.modules.iter().copied()).collect();
+    let mut mods: Vec<&'static str> =
+        TOPICS.iter().flat_map(|t| t.modules.iter().copied()).collect();
     mods.sort();
     mods.dedup();
     mods
@@ -189,9 +190,17 @@ mod tests {
             assert!(
                 matches!(
                     crate_name,
-                    "soc_http" | "soc_rest" | "soc_soap" | "soc_parallel" | "soc_registry"
-                        | "soc_services" | "soc_workflow" | "soc_robotics" | "soc_webapp"
-                        | "soc_xml" | "soc_json"
+                    "soc_http"
+                        | "soc_rest"
+                        | "soc_soap"
+                        | "soc_parallel"
+                        | "soc_registry"
+                        | "soc_services"
+                        | "soc_workflow"
+                        | "soc_robotics"
+                        | "soc_webapp"
+                        | "soc_xml"
+                        | "soc_json"
                 ),
                 "unknown crate in matrix: {m}"
             );

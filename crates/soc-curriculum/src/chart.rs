@@ -6,11 +6,7 @@
 pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     let width = width.max(10);
     let height = height.max(4);
-    let max = series
-        .iter()
-        .flat_map(|(_, v)| v.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-9);
+    let max = series.iter().flat_map(|(_, v)| v.iter().copied()).fold(f64::MIN, f64::max).max(1e-9);
     let markers = ['*', '+', 'o', 'x', '#'];
     let mut grid = vec![vec![' '; width]; height];
 
@@ -20,11 +16,7 @@ pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> St
         }
         let marker = markers[si % markers.len()];
         for (i, &v) in values.iter().enumerate() {
-            let x = if values.len() == 1 {
-                0
-            } else {
-                i * (width - 1) / (values.len() - 1)
-            };
+            let x = if values.len() == 1 { 0 } else { i * (width - 1) / (values.len() - 1) };
             let y = ((v / max) * (height - 1) as f64).round() as usize;
             let row = height - 1 - y.min(height - 1);
             grid[row][x] = marker;
@@ -59,10 +51,7 @@ pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
     let mut out = String::new();
     for (label, v) in rows {
         let bar_len = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:>label_w$} │{} {v:.1}\n",
-            "█".repeat(bar_len)
-        ));
+        out.push_str(&format!("{label:>label_w$} │{} {v:.1}\n", "█".repeat(bar_len)));
     }
     out
 }

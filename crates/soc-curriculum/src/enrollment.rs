@@ -89,11 +89,7 @@ pub fn growth_summary(rows: &[EnrollmentRow]) -> Option<GrowthSummary> {
     let sum_xy: f64 = rows.iter().enumerate().map(|(i, r)| i as f64 * r.total() as f64).sum();
     let sum_xx: f64 = (0..rows.len()).map(|i| (i * i) as f64).sum();
     let denom = n * sum_xx - sum_x * sum_x;
-    let slope = if denom.abs() < f64::EPSILON {
-        0.0
-    } else {
-        (n * sum_xy - sum_x * sum_y) / denom
-    };
+    let slope = if denom.abs() < f64::EPSILON { 0.0 } else { (n * sum_xy - sum_x * sum_y) / denom };
     Some(GrowthSummary {
         first_total: first.total(),
         last_total: last.total(),

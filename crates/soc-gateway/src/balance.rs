@@ -1,0 +1,238 @@
+//! Load-balancing policies.
+//!
+//! Three classics, selectable per gateway:
+//!
+//! * **Round-robin** — fair rotation, oblivious to load.
+//! * **Random two-choice** — pick two replicas at random, send to the
+//!   less loaded one. The "power of two choices" gets most of the
+//!   benefit of full load tracking at a fraction of the coordination.
+//! * **Least-latency** — send to the replica with the lowest observed
+//!   mean latency, as measured by the shared
+//!   [`QosMonitor`](soc_registry::monitor::QosMonitor) that the
+//!   gateway feeds with every proxied request.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Which balancing policy a gateway runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Rotate through replicas in order.
+    RoundRobin,
+    /// Two random candidates; the less loaded wins.
+    RandomTwoChoice,
+    /// Lowest observed mean latency wins; unmeasured replicas are
+    /// explored first.
+    LeastLatency,
+}
+
+impl Policy {
+    /// Lower-case label for stats output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round-robin",
+            Policy::RandomTwoChoice => "random-two-choice",
+            Policy::LeastLatency => "least-latency",
+        }
+    }
+}
+
+/// What the balancer knows about one candidate replica at pick time.
+#[derive(Debug, Clone)]
+pub struct UpstreamView {
+    /// The replica's endpoint URL.
+    pub endpoint: String,
+    /// Requests currently in flight to it through this gateway.
+    pub in_flight: usize,
+    /// Mean latency observed by the QoS monitor, when any.
+    pub mean_latency: Option<Duration>,
+}
+
+/// A small, fast, seedable PRNG (xorshift64*). The gateway avoids a
+/// heavyweight RNG dependency; statistical quality well beyond what
+/// jitter and two-choice sampling need.
+pub(crate) struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        // splitmix64 step so that small seeds still start well mixed.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShift64 { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform-ish draw in `0..n`. `n` must be non-zero.
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Backoff jitter factor in `[0.5, 1.5)`.
+    pub(crate) fn jitter(&mut self) -> f64 {
+        0.5 + (self.next() % 1_000) as f64 / 1_000.0
+    }
+}
+
+/// The policy engine: holds per-service round-robin cursors and the
+/// RNG for two-choice sampling.
+pub struct Balancer {
+    policy: Policy,
+    cursors: Mutex<HashMap<String, usize>>,
+    rng: Mutex<XorShift64>,
+}
+
+impl Balancer {
+    /// A balancer running `policy`, with a deterministic seed for
+    /// reproducible experiments.
+    pub fn new(policy: Policy, seed: u64) -> Self {
+        Balancer {
+            policy,
+            cursors: Mutex::new(HashMap::new()),
+            rng: Mutex::new(XorShift64::new(seed)),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Pick one of `candidates` for `service`. Returns an index into
+    /// `candidates`, or `None` when there are none.
+    pub fn pick(&self, service: &str, candidates: &[UpstreamView]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        if candidates.len() == 1 {
+            return Some(0);
+        }
+        match self.policy {
+            Policy::RoundRobin => {
+                let mut cursors = self.cursors.lock();
+                let cursor = cursors.entry(service.to_string()).or_insert(0);
+                let i = *cursor % candidates.len();
+                *cursor = cursor.wrapping_add(1);
+                Some(i)
+            }
+            Policy::RandomTwoChoice => {
+                let (a, b) = {
+                    let mut rng = self.rng.lock();
+                    let a = rng.below(candidates.len());
+                    let mut b = rng.below(candidates.len() - 1);
+                    if b >= a {
+                        b += 1;
+                    }
+                    (a, b)
+                };
+                Some(less_loaded(candidates, a, b))
+            }
+            Policy::LeastLatency => {
+                // Unmeasured replicas first — otherwise a replica with
+                // no traffic never earns a measurement.
+                if let Some(i) = candidates.iter().position(|c| c.mean_latency.is_none()) {
+                    return Some(i);
+                }
+                candidates
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| (c.mean_latency.unwrap_or_default(), c.in_flight))
+                    .map(|(i, _)| i)
+            }
+        }
+    }
+}
+
+/// Two-choice tie-break order: fewer in-flight, then lower latency,
+/// then first.
+fn less_loaded(candidates: &[UpstreamView], a: usize, b: usize) -> usize {
+    let (ca, cb) = (&candidates[a], &candidates[b]);
+    let key = |c: &UpstreamView| (c.in_flight, c.mean_latency.unwrap_or_default());
+    if key(cb) < key(ca) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(endpoint: &str, in_flight: usize, latency_ms: Option<u64>) -> UpstreamView {
+        UpstreamView {
+            endpoint: endpoint.to_string(),
+            in_flight,
+            mean_latency: latency_ms.map(Duration::from_millis),
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_per_service() {
+        let b = Balancer::new(Policy::RoundRobin, 7);
+        let c = vec![view("a", 0, None), view("b", 0, None), view("c", 0, None)];
+        let picks: Vec<usize> = (0..6).map(|_| b.pick("svc", &c).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        // Another service has its own cursor.
+        assert_eq!(b.pick("other", &c), Some(0));
+    }
+
+    #[test]
+    fn two_choice_prefers_the_less_loaded() {
+        let b = Balancer::new(Policy::RandomTwoChoice, 42);
+        // One idle replica among loaded ones: with two random probes it
+        // must win every comparison it appears in, so it gets picked
+        // far more often than 1/3 of the time.
+        let c = vec![view("busy1", 10, None), view("idle", 0, None), view("busy2", 10, None)];
+        let idle_picks = (0..300).filter(|_| b.pick("svc", &c) == Some(1)).count();
+        assert!(idle_picks > 120, "idle replica picked only {idle_picks}/300");
+    }
+
+    #[test]
+    fn least_latency_picks_the_fastest_known() {
+        let b = Balancer::new(Policy::LeastLatency, 1);
+        let c = vec![view("slow", 0, Some(80)), view("fast", 0, Some(5)), view("mid", 0, Some(20))];
+        assert_eq!(b.pick("svc", &c), Some(1));
+    }
+
+    #[test]
+    fn least_latency_explores_unmeasured_replicas() {
+        let b = Balancer::new(Policy::LeastLatency, 1);
+        let c = vec![view("fast", 0, Some(5)), view("new", 0, None)];
+        assert_eq!(b.pick("svc", &c), Some(1));
+    }
+
+    #[test]
+    fn empty_and_singleton_candidate_sets() {
+        let b = Balancer::new(Policy::RoundRobin, 1);
+        assert_eq!(b.pick("svc", &[]), None);
+        assert_eq!(b.pick("svc", &[view("only", 3, None)]), Some(0));
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_varied() {
+        let mut a = XorShift64::new(99);
+        let mut b = XorShift64::new(99);
+        let xs: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(xs, ys);
+        let distinct: std::collections::HashSet<&u64> = xs.iter().collect();
+        assert!(distinct.len() >= 7);
+        for _ in 0..100 {
+            let j = a.jitter();
+            assert!((0.5..1.5).contains(&j));
+        }
+    }
+}

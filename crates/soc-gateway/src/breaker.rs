@@ -1,0 +1,285 @@
+//! Per-upstream circuit breakers.
+//!
+//! A breaker watches the recent outcomes of one upstream replica and
+//! trips (opens) when the failure rate over a sliding window crosses a
+//! threshold. While open, requests are refused instantly — no point
+//! queueing onto a dead replica, and the break gives it room to
+//! recover. After a cool-down the breaker admits a few trial probes
+//! (half-open); enough consecutive successes close it again, any
+//! failure re-opens it.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Tuning knobs for one breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Failure rate over the window at which the breaker opens
+    /// (`0.5` = half the recent requests failed).
+    pub failure_threshold: f64,
+    /// Sliding-window length in requests.
+    pub window: usize,
+    /// Minimum observations before the threshold is consulted, so one
+    /// early failure cannot trip a cold breaker.
+    pub min_samples: usize,
+    /// How long an open breaker waits before letting probes through.
+    pub cool_down: Duration,
+    /// Trial requests admitted while half-open; the same number of
+    /// consecutive successes closes the breaker.
+    pub half_open_probes: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 0.5,
+            window: 10,
+            min_samples: 5,
+            cool_down: Duration::from_secs(1),
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// Where a breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; outcomes are being watched.
+    Closed,
+    /// Tripped: all traffic refused until the cool-down elapses.
+    Open,
+    /// Cooling down finished: a bounded number of probes may pass.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case label for stats output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+struct Inner {
+    state: BreakerState,
+    outcomes: VecDeque<bool>,
+    opened_at: Instant,
+    probes_in_flight: usize,
+    probe_successes: usize,
+}
+
+/// The breaker itself. Thread-safe; one per upstream endpoint.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                outcomes: VecDeque::new(),
+                opened_at: Instant::now(),
+                probes_in_flight: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// May a request go to this upstream right now? A half-open breaker
+    /// admits at most `half_open_probes` concurrent trials.
+    pub fn try_pass(&self) -> bool {
+        let mut g = self.inner.lock();
+        self.tick(&mut g);
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if g.probes_in_flight < self.config.half_open_probes {
+                    g.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Give back a slot taken by [`CircuitBreaker::try_pass`] without
+    /// sending a request — the load balancer admitted this upstream as
+    /// a candidate but picked another. Without the release, unpicked
+    /// half-open candidates would leak probe slots and wedge the
+    /// breaker half-open forever.
+    pub fn release_pass(&self) {
+        let mut g = self.inner.lock();
+        if g.state == BreakerState::HalfOpen {
+            g.probes_in_flight = g.probes_in_flight.saturating_sub(1);
+        }
+    }
+
+    /// Report the outcome of a request previously admitted by
+    /// [`CircuitBreaker::try_pass`].
+    pub fn on_result(&self, ok: bool) {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => {
+                g.outcomes.push_back(ok);
+                while g.outcomes.len() > self.config.window {
+                    g.outcomes.pop_front();
+                }
+                let samples = g.outcomes.len();
+                if samples >= self.config.min_samples {
+                    let failures = g.outcomes.iter().filter(|o| !**o).count();
+                    if failures as f64 / samples as f64 >= self.config.failure_threshold {
+                        g.state = BreakerState::Open;
+                        g.opened_at = Instant::now();
+                        g.outcomes.clear();
+                    }
+                }
+            }
+            BreakerState::HalfOpen => {
+                g.probes_in_flight = g.probes_in_flight.saturating_sub(1);
+                if ok {
+                    g.probe_successes += 1;
+                    if g.probe_successes >= self.config.half_open_probes {
+                        g.state = BreakerState::Closed;
+                        g.outcomes.clear();
+                    }
+                } else {
+                    g.state = BreakerState::Open;
+                    g.opened_at = Instant::now();
+                }
+            }
+            // A straggler from before the breaker opened; its outcome
+            // is stale news.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state, with the open→half-open transition applied if the
+    /// cool-down has elapsed.
+    pub fn state(&self) -> BreakerState {
+        let mut g = self.inner.lock();
+        self.tick(&mut g);
+        g.state
+    }
+
+    fn tick(&self, g: &mut Inner) {
+        if g.state == BreakerState::Open && g.opened_at.elapsed() >= self.config.cool_down {
+            g.state = BreakerState::HalfOpen;
+            g.probes_in_flight = 0;
+            g.probe_successes = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast(cool_down_ms: u64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 0.5,
+            window: 4,
+            min_samples: 4,
+            cool_down: Duration::from_millis(cool_down_ms),
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn opens_at_the_failure_threshold() {
+        let b = CircuitBreaker::new(fast(1_000));
+        for ok in [true, false, true, false] {
+            assert!(b.try_pass());
+            b.on_result(ok);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_pass());
+    }
+
+    #[test]
+    fn too_few_samples_never_trip() {
+        let b = CircuitBreaker::new(fast(1_000));
+        b.on_result(false);
+        b.on_result(false);
+        b.on_result(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_bounded_probes_then_closes() {
+        let b = CircuitBreaker::new(fast(20));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.try_pass());
+        assert!(b.try_pass());
+        assert!(!b.try_pass(), "probe quota must be bounded");
+        b.on_result(true);
+        b.on_result(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn release_pass_frees_an_unused_probe_slot() {
+        let b = CircuitBreaker::new(fast(20));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.try_pass());
+        assert!(b.try_pass());
+        assert!(!b.try_pass());
+        // One candidate was admitted but not picked: releasing its slot
+        // lets the next probe through.
+        b.release_pass();
+        assert!(b.try_pass());
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let b = CircuitBreaker::new(fast(20));
+        for _ in 0..4 {
+            b.on_result(false);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(b.try_pass());
+        b.on_result(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_pass());
+    }
+
+    #[test]
+    fn window_slides_so_stale_history_does_not_count() {
+        // Discriminates a sliding window from a cumulative rate: after
+        // ten successes, three fresh failures are 3/13 cumulatively
+        // (far under threshold) but 3/4 of the window — and must trip.
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0.6,
+            window: 4,
+            min_samples: 2,
+            cool_down: Duration::from_secs(1),
+            half_open_probes: 2,
+        });
+        for _ in 0..10 {
+            b.on_result(true);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            b.on_result(false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

@@ -1,0 +1,636 @@
+//! # soc-gateway — a QoS-aware service gateway
+//!
+//! The paper's recurring complaint about real-world service-oriented
+//! computing is that free public services are slow, overloaded, and
+//! "often offline or removed without notice". This crate is the
+//! dependability layer the course builds on top of that reality: one
+//! gateway endpoint fronting any number of registered replicas, adding
+//!
+//! * **endpoint resolution** against the service directory, cached per
+//!   lease interval ([`resolver`]);
+//! * **load balancing** — round-robin, random-two-choice, or
+//!   least-latency fed by the shared QoS monitor ([`balance`]);
+//! * **circuit breaking** per upstream replica ([`breaker`]);
+//! * **retries** with exponential backoff, jitter, and a per-request
+//!   deadline budget — idempotent methods only, by default;
+//! * **admission control** — token-bucket rate limiting plus a
+//!   concurrency cap, shedding with `503` + `Retry-After` ([`limit`]);
+//! * **observability** — per-upstream counters, breaker states, and
+//!   latency histograms on `/gateway/stats` ([`stats`]).
+//!
+//! The gateway is itself a [`Handler`], so it runs anywhere a service
+//! does: hosted on a [`MemNetwork`](soc_http::MemNetwork) for
+//! deterministic in-process topologies, or bound to a TCP port with
+//! [`HttpServer`](soc_http::HttpServer). Likewise it forwards through
+//! any [`Transport`], so upstreams may be in-memory or real sockets.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use soc_http::{MemNetwork, Request, Response, Transport};
+//! use soc_gateway::{Gateway, GatewayConfig};
+//!
+//! let net = MemNetwork::new();
+//! net.host("a", |_req: Request| Response::text("from a"));
+//! net.host("b", |_req: Request| Response::text("from b"));
+//!
+//! let gw = Gateway::new(Arc::new(net.clone()), GatewayConfig::default());
+//! gw.register("echo", &["mem://a", "mem://b"]);
+//! net.host("gw", gw);
+//!
+//! let resp = net.send(Request::get("mem://gw/svc/echo/hello")).unwrap();
+//! assert!(resp.status.is_success());
+//! ```
+
+pub mod balance;
+pub mod breaker;
+pub mod limit;
+pub mod resolver;
+pub mod stats;
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use soc_http::mem::Transport;
+use soc_http::{Handler, Request, Response, Status};
+use soc_json::Value;
+use soc_registry::monitor::QosMonitor;
+
+pub use balance::{Balancer, Policy, UpstreamView};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use limit::{ConcurrencyLimit, ConcurrencyPermit, TokenBucket};
+pub use resolver::{RegistryResolver, Resolve, StaticResolver};
+pub use stats::{GatewayStats, LatencyHistogram, UpstreamStats};
+
+use balance::XorShift64;
+
+/// Everything tunable about a gateway.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Load-balancing policy.
+    pub policy: Policy,
+    /// Extra attempts after the first (so `3` means up to 4 sends).
+    pub max_retries: u32,
+    /// First backoff pause; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling (before jitter).
+    pub max_backoff: Duration,
+    /// Whole-request budget: resolution, all attempts, and backoff
+    /// pauses together. Expired budget answers `504`.
+    pub request_deadline: Duration,
+    /// Retry non-idempotent methods too. Off by default: replaying a
+    /// `POST` that may have half-happened is the caller's call, not
+    /// the gateway's.
+    pub retry_non_idempotent: bool,
+    /// Circuit-breaker tuning, applied per upstream.
+    pub breaker: BreakerConfig,
+    /// Token-bucket burst size.
+    pub rate_capacity: f64,
+    /// Token-bucket refill, tokens per second.
+    pub rate_refill_per_sec: f64,
+    /// Concurrent in-flight request cap.
+    pub max_concurrent: usize,
+    /// PRNG seed for jitter and two-choice sampling.
+    pub seed: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            policy: Policy::RoundRobin,
+            max_retries: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            request_deadline: Duration::from_secs(2),
+            retry_non_idempotent: false,
+            breaker: BreakerConfig::default(),
+            rate_capacity: 10_000.0,
+            rate_refill_per_sec: 10_000.0,
+            max_concurrent: 1_024,
+            seed: 0x50C6_A7E0,
+        }
+    }
+}
+
+struct Inner {
+    transport: Arc<dyn Transport>,
+    resolver: Arc<dyn Resolve>,
+    static_resolver: Option<Arc<StaticResolver>>,
+    config: GatewayConfig,
+    balancer: Balancer,
+    breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
+    bucket: TokenBucket,
+    limit: ConcurrencyLimit,
+    stats: GatewayStats,
+    monitor: Arc<QosMonitor>,
+    rng: Mutex<XorShift64>,
+}
+
+/// The gateway. Cheap to clone (shared internals); host a clone on a
+/// [`MemNetwork`](soc_http::MemNetwork) or an
+/// [`HttpServer`](soc_http::HttpServer) and keep one for inspection.
+///
+/// Routes:
+/// * `/svc/{service}/{path...}` — proxy to a replica of `{service}`,
+///   forwarding `{path...}` plus the query string.
+/// * `/gateway/stats` — JSON snapshot of the counters.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<Inner>,
+}
+
+impl Gateway {
+    /// A gateway over `transport` with a built-in [`StaticResolver`]
+    /// programmed via [`Gateway::register`].
+    pub fn new(transport: Arc<dyn Transport>, config: GatewayConfig) -> Self {
+        let static_resolver = Arc::new(StaticResolver::new());
+        Self::build(transport, static_resolver.clone(), Some(static_resolver), config)
+    }
+
+    /// A gateway resolving upstreams through `resolver` — typically a
+    /// [`RegistryResolver`] watching a live service directory.
+    pub fn with_resolver(
+        transport: Arc<dyn Transport>,
+        resolver: Arc<dyn Resolve>,
+        config: GatewayConfig,
+    ) -> Self {
+        Self::build(transport, resolver, None, config)
+    }
+
+    fn build(
+        transport: Arc<dyn Transport>,
+        resolver: Arc<dyn Resolve>,
+        static_resolver: Option<Arc<StaticResolver>>,
+        config: GatewayConfig,
+    ) -> Self {
+        let monitor = Arc::new(QosMonitor::new(transport.clone()));
+        Gateway {
+            inner: Arc::new(Inner {
+                transport,
+                resolver,
+                static_resolver,
+                balancer: Balancer::new(config.policy, config.seed),
+                bucket: TokenBucket::new(config.rate_capacity, config.rate_refill_per_sec),
+                limit: ConcurrencyLimit::new(config.max_concurrent),
+                stats: GatewayStats::new(),
+                monitor,
+                rng: Mutex::new(XorShift64::new(config.seed ^ 0xBACC_0FF5)),
+                breakers: RwLock::new(HashMap::new()),
+                config,
+            }),
+        }
+    }
+
+    /// Register replicas for `service` on the built-in static
+    /// resolver.
+    ///
+    /// # Panics
+    /// When the gateway was built with [`Gateway::with_resolver`]; a
+    /// directory-backed gateway learns replicas from the directory.
+    pub fn register(&self, service: &str, endpoints: &[&str]) {
+        self.inner
+            .static_resolver
+            .as_ref()
+            .expect("register() needs the built-in static resolver; this gateway resolves via a directory")
+            .set(service, endpoints);
+    }
+
+    /// The QoS monitor fed by every proxied request — share it to see
+    /// live per-replica latency, or to drive a least-latency policy
+    /// from external probes too.
+    pub fn monitor(&self) -> Arc<QosMonitor> {
+        self.inner.monitor.clone()
+    }
+
+    /// The breaker state for one upstream endpoint, if it has been
+    /// seen.
+    pub fn breaker_state(&self, endpoint: &str) -> Option<BreakerState> {
+        self.inner.breakers.read().get(endpoint).map(|b| b.state())
+    }
+
+    /// Gateway counters as JSON (the `/gateway/stats` payload).
+    pub fn stats_json(&self) -> Value {
+        self.inner.stats.to_json(self.inner.config.policy.as_str(), |endpoint| {
+            self.inner.breakers.read().get(endpoint).map(|b| b.state().as_str()).unwrap_or("closed")
+        })
+    }
+
+    /// Raw counters, for assertions and dashboards.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.inner.stats
+    }
+
+    /// Proxy `req` to a replica of `service`, programmatically. The
+    /// request's `target` is interpreted as the path (plus query) on
+    /// the upstream service.
+    pub fn call(&self, service: &str, req: Request) -> Response {
+        let rest = req.target.trim_start_matches('/').to_string();
+        self.dispatch(service, &rest, req)
+    }
+
+    fn breaker_for(&self, endpoint: &str) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.inner.breakers.read().get(endpoint) {
+            return b.clone();
+        }
+        self.inner
+            .breakers
+            .write()
+            .entry(endpoint.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.inner.config.breaker)))
+            .clone()
+    }
+
+    fn shed(&self, reason: &str) -> Response {
+        Response::error(
+            Status::SERVICE_UNAVAILABLE,
+            &format!("gateway shedding load ({reason}); retry shortly"),
+        )
+        .with_header("Retry-After", "1")
+    }
+
+    /// Exponential backoff with jitter, clipped to the deadline.
+    fn backoff(&self, attempt: u32, deadline: Instant) {
+        let cfg = &self.inner.config;
+        let exp = cfg.base_backoff.saturating_mul(1u32 << attempt.min(16));
+        let jitter = self.inner.rng.lock().jitter();
+        let pause = exp.min(cfg.max_backoff).mul_f64(jitter);
+        let pause = pause.min(deadline.saturating_duration_since(Instant::now()));
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+    }
+
+    fn dispatch(&self, service: &str, rest: &str, req: Request) -> Response {
+        let inner = &self.inner;
+        if !inner.bucket.try_acquire() {
+            inner.stats.shed_rate.fetch_add(1, Ordering::Relaxed);
+            return self.shed("rate limit");
+        }
+        let _permit = match inner.limit.try_acquire() {
+            Some(p) => p,
+            None => {
+                inner.stats.shed_load.fetch_add(1, Ordering::Relaxed);
+                return self.shed("concurrency cap");
+            }
+        };
+        inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+
+        let deadline = Instant::now() + inner.config.request_deadline;
+        let retryable = req.method.is_idempotent() || inner.config.retry_non_idempotent;
+        let attempts = if retryable { inner.config.max_retries + 1 } else { 1 };
+        let mut last: Option<Response> = None;
+
+        for attempt in 0..attempts {
+            if Instant::now() >= deadline {
+                inner.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                return Response::error(
+                    Status::GATEWAY_TIMEOUT,
+                    &format!("gateway deadline exceeded calling '{service}'"),
+                );
+            }
+            // Re-resolve on every attempt: a retry should see replicas
+            // that joined (or leases that expired) since the last try.
+            let endpoints = inner.resolver.resolve(service);
+            if endpoints.is_empty() {
+                inner.stats.no_upstream.fetch_add(1, Ordering::Relaxed);
+                return Response::error(
+                    Status::SERVICE_UNAVAILABLE,
+                    &format!("no upstream registered for '{service}'"),
+                );
+            }
+            let admitted: Vec<(String, Arc<CircuitBreaker>)> = endpoints
+                .into_iter()
+                .filter_map(|ep| {
+                    let b = self.breaker_for(&ep);
+                    if b.try_pass() {
+                        Some((ep, b))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            if admitted.is_empty() {
+                last = Some(
+                    Response::error(
+                        Status::SERVICE_UNAVAILABLE,
+                        &format!("all replicas of '{service}' are circuit-broken"),
+                    )
+                    .with_header("Retry-After", "1"),
+                );
+                // Waiting may let a cool-down elapse and a breaker
+                // half-open.
+                if attempt + 1 < attempts {
+                    self.backoff(attempt, deadline);
+                }
+                continue;
+            }
+
+            let views: Vec<UpstreamView> = admitted
+                .iter()
+                .map(|(ep, _)| {
+                    let s = inner.stats.upstream(ep);
+                    UpstreamView {
+                        endpoint: ep.clone(),
+                        in_flight: s.in_flight.load(Ordering::Relaxed),
+                        mean_latency: inner.monitor.mean_latency(ep),
+                    }
+                })
+                .collect();
+            let idx = match inner.balancer.pick(service, &views) {
+                Some(i) => i,
+                None => continue,
+            };
+            // Unpicked candidates hand back any half-open probe slot
+            // their try_pass claimed.
+            for (i, (_, b)) in admitted.iter().enumerate() {
+                if i != idx {
+                    b.release_pass();
+                }
+            }
+            let (endpoint, breaker) = &admitted[idx];
+            let ustats = inner.stats.upstream(endpoint);
+
+            let mut upstream_req = req.clone();
+            upstream_req.target = join_target(endpoint, rest);
+
+            ustats.requests.fetch_add(1, Ordering::Relaxed);
+            if attempt > 0 {
+                ustats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            ustats.in_flight.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
+            let result = inner.transport.send(upstream_req);
+            let elapsed = start.elapsed();
+            ustats.in_flight.fetch_sub(1, Ordering::Relaxed);
+            ustats.histogram.record(elapsed);
+
+            // 4xx is the upstream working correctly on a bad request:
+            // a success for health accounting, and never retried.
+            let ok = matches!(&result, Ok(r) if r.status.0 < 500);
+            breaker.on_result(ok);
+            inner.monitor.record(endpoint, ok, elapsed);
+
+            match result {
+                Ok(resp) if ok => {
+                    ustats.successes.fetch_add(1, Ordering::Relaxed);
+                    return resp;
+                }
+                Ok(resp) => {
+                    ustats.failures.fetch_add(1, Ordering::Relaxed);
+                    last = Some(resp);
+                }
+                Err(e) => {
+                    ustats.failures.fetch_add(1, Ordering::Relaxed);
+                    last = Some(Response::error(
+                        Status(502),
+                        &format!("upstream {endpoint} unreachable: {e}"),
+                    ));
+                }
+            }
+            if attempt + 1 < attempts {
+                self.backoff(attempt, deadline);
+            }
+        }
+        last.unwrap_or_else(|| {
+            Response::error(Status::SERVICE_UNAVAILABLE, "gateway produced no response")
+        })
+    }
+}
+
+/// `mem://replica` + `quote?fast=1` → `mem://replica/quote?fast=1`.
+fn join_target(endpoint: &str, rest: &str) -> String {
+    let base = endpoint.trim_end_matches('/');
+    if rest.is_empty() {
+        format!("{base}/")
+    } else {
+        format!("{base}/{rest}")
+    }
+}
+
+impl Handler for Gateway {
+    fn handle(&self, req: Request) -> Response {
+        let path = req.path().to_string();
+        if path == "/gateway/stats" {
+            return Response::json(&self.stats_json().to_string());
+        }
+        if let Some(tail) = path.strip_prefix("/svc/") {
+            let (service, rest) = match tail.find('/') {
+                Some(i) => (&tail[..i], &tail[i + 1..]),
+                None => (tail, ""),
+            };
+            if service.is_empty() {
+                return Response::error(Status::NOT_FOUND, "missing service name after /svc/");
+            }
+            let rest_with_query = match req.target.split_once('?') {
+                Some((_, query)) => format!("{rest}?{query}"),
+                None => rest.to_string(),
+            };
+            let service = service.to_string();
+            return self.dispatch(&service, &rest_with_query, req);
+        }
+        Response::error(
+            Status::NOT_FOUND,
+            "gateway routes: /svc/{service}/{path} and /gateway/stats",
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::mem::FaultConfig;
+    use soc_http::{MemNetwork, Method};
+
+    fn fast_config() -> GatewayConfig {
+        GatewayConfig {
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            request_deadline: Duration::from_secs(5),
+            ..GatewayConfig::default()
+        }
+    }
+
+    fn two_replicas() -> (MemNetwork, Gateway) {
+        let net = MemNetwork::new();
+        net.host("r0", |_req: Request| Response::text("pong from r0"));
+        net.host("r1", |_req: Request| Response::text("pong from r1"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("ping", &["mem://r0", "mem://r1"]);
+        (net, gw)
+    }
+
+    #[test]
+    fn proxies_and_round_robins() {
+        let (net, gw) = two_replicas();
+        net.host("gw", gw);
+        for _ in 0..4 {
+            let resp = net.send(Request::get("mem://gw/svc/ping/hit")).unwrap();
+            assert!(resp.status.is_success());
+        }
+        assert_eq!(net.hits("r0"), 2);
+        assert_eq!(net.hits("r1"), 2);
+    }
+
+    #[test]
+    fn query_string_and_path_are_forwarded() {
+        let net = MemNetwork::new();
+        net.host("echo", |req: Request| Response::text(req.target.clone()));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("echo", &["mem://echo"]);
+        net.host("gw", gw);
+        // The mem network delivers origin-form targets, so the echoed
+        // target proves both path suffix and query crossed the gateway.
+        let resp = net.send(Request::get("mem://gw/svc/echo/a/b?x=1&y=2")).unwrap();
+        assert_eq!(resp.text_body().unwrap(), "/a/b?x=1&y=2");
+    }
+
+    #[test]
+    fn retries_mask_intermittent_faults() {
+        let (net, gw) = two_replicas();
+        // Every 2nd request to r0 fails; retries go elsewhere.
+        net.set_fault("r0", FaultConfig { fail_every: 2, ..Default::default() });
+        net.host("gw", gw.clone());
+        for _ in 0..20 {
+            let resp = net.send(Request::get("mem://gw/svc/ping/x")).unwrap();
+            assert!(resp.status.is_success());
+        }
+        let retries = gw.stats().upstream("mem://r1").retries.load(Ordering::Relaxed)
+            + gw.stats().upstream("mem://r0").retries.load(Ordering::Relaxed);
+        assert!(retries > 0, "some requests must have been retried");
+    }
+
+    #[test]
+    fn non_idempotent_methods_are_not_retried() {
+        let net = MemNetwork::new();
+        net.host("flaky", |_req: Request| Response::error(Status::INTERNAL_SERVER_ERROR, "boom"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("orders", &["mem://flaky"]);
+        let resp = gw.call("orders", Request::post("/create", b"{}".to_vec()));
+        assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+        assert_eq!(net.hits("flaky"), 1, "a POST must be sent exactly once");
+        assert_eq!(
+            gw.call("orders", Request::new(Method::Get, "/probe")).status,
+            Status::INTERNAL_SERVER_ERROR
+        );
+        assert!(net.hits("flaky") > 2, "GETs are retried");
+    }
+
+    #[test]
+    fn client_errors_pass_through_untouched_and_unretried() {
+        let net = MemNetwork::new();
+        net.host("picky", |_req: Request| Response::error(Status::UNPROCESSABLE, "bad payload"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("picky", &["mem://picky"]);
+        let resp = gw.call("picky", Request::get("/x"));
+        assert_eq!(resp.status, Status::UNPROCESSABLE);
+        assert_eq!(net.hits("picky"), 1);
+        assert_eq!(gw.breaker_state("mem://picky"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn dead_replica_trips_its_breaker_and_traffic_routes_around() {
+        let (net, gw) = two_replicas();
+        net.set_fault("r0", FaultConfig { offline: true, ..Default::default() });
+        net.host("gw", gw.clone());
+        for _ in 0..30 {
+            let resp = net.send(Request::get("mem://gw/svc/ping/x")).unwrap();
+            assert!(resp.status.is_success(), "r1 keeps the service up");
+        }
+        assert_eq!(gw.breaker_state("mem://r0"), Some(BreakerState::Open));
+        let before = net.hits("r1");
+        for _ in 0..10 {
+            net.send(Request::get("mem://gw/svc/ping/x")).unwrap();
+        }
+        // With r0's breaker open, every request lands on r1 directly.
+        assert_eq!(net.hits("r1"), before + 10);
+    }
+
+    #[test]
+    fn unknown_service_is_503() {
+        let (_net, gw) = two_replicas();
+        let resp = gw.call("ghost", Request::get("/x"));
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(gw.stats().no_upstream.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rate_limit_sheds_with_retry_after() {
+        let net = MemNetwork::new();
+        net.host("r", |_req: Request| Response::text("ok"));
+        let gw = Gateway::new(
+            Arc::new(net.clone()),
+            GatewayConfig { rate_capacity: 2.0, rate_refill_per_sec: 0.0, ..fast_config() },
+        );
+        gw.register("svc", &["mem://r"]);
+        assert!(gw.call("svc", Request::get("/1")).status.is_success());
+        assert!(gw.call("svc", Request::get("/2")).status.is_success());
+        let shed = gw.call("svc", Request::get("/3"));
+        assert_eq!(shed.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(shed.headers.get("Retry-After"), Some("1"));
+        assert_eq!(gw.stats().shed_total(), 1);
+    }
+
+    #[test]
+    fn stats_endpoint_reports_upstreams() {
+        let (net, gw) = two_replicas();
+        net.host("gw", gw);
+        for _ in 0..6 {
+            net.send(Request::get("mem://gw/svc/ping/x")).unwrap();
+        }
+        let resp = net.send(Request::get("mem://gw/gateway/stats")).unwrap();
+        let v = Value::parse(resp.text_body().unwrap()).unwrap();
+        assert_eq!(v.pointer("/policy").and_then(Value::as_str), Some("round-robin"));
+        assert_eq!(v.pointer("/admitted").and_then(Value::as_i64), Some(6));
+        assert_eq!(v.pointer("/upstreams/mem:~1~1r0/requests").and_then(Value::as_i64), Some(3));
+        assert_eq!(
+            v.pointer("/upstreams/mem:~1~1r0/breaker").and_then(Value::as_str),
+            Some("closed")
+        );
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let (net, gw) = two_replicas();
+        net.host("gw", gw);
+        let resp = net.send(Request::get("mem://gw/elsewhere")).unwrap();
+        assert_eq!(resp.status, Status::NOT_FOUND);
+    }
+
+    #[test]
+    fn least_latency_prefers_the_faster_replica() {
+        let net = MemNetwork::new();
+        net.host("fast", |_req: Request| Response::text("f"));
+        net.host("slow", |_req: Request| Response::text("s"));
+        net.set_fault(
+            "slow",
+            FaultConfig { latency: Duration::from_millis(15), ..Default::default() },
+        );
+        let gw = Gateway::new(
+            Arc::new(net.clone()),
+            GatewayConfig { policy: Policy::LeastLatency, ..fast_config() },
+        );
+        gw.register("svc", &["mem://fast", "mem://slow"]);
+        // Warm-up explores both; steady state then favors the fast one.
+        for _ in 0..10 {
+            gw.call("svc", Request::get("/x"));
+        }
+        let fast_before = net.hits("fast");
+        for _ in 0..10 {
+            gw.call("svc", Request::get("/x"));
+        }
+        assert_eq!(net.hits("fast"), fast_before + 10);
+    }
+
+    #[test]
+    fn monitor_sees_proxied_traffic() {
+        let (_net, gw) = two_replicas();
+        for _ in 0..4 {
+            gw.call("ping", Request::get("/x"));
+        }
+        let report = gw.monitor().report("mem://r0").unwrap();
+        assert_eq!(report.probes, 2);
+        assert_eq!(report.successes, 2);
+    }
+}

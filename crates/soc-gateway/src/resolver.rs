@@ -1,0 +1,196 @@
+//! Upstream resolution: mapping a service name to replica endpoints.
+//!
+//! Two strategies ship: a [`StaticResolver`] programmed directly (the
+//! classroom topology, fixed by the instructor), and a
+//! [`RegistryResolver`] that asks a live service directory — the
+//! paper's "service directories and repositories" — and caches the
+//! answer for a lease interval, re-resolving once the lease expires so
+//! newly registered or departed replicas are picked up without a
+//! directory round-trip per request.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use soc_http::mem::Transport;
+use soc_registry::directory::DirectoryClient;
+
+/// Anything that can turn a service name into replica endpoint URLs.
+pub trait Resolve: Send + Sync {
+    /// Endpoints currently believed to serve `service`. Empty means
+    /// unknown service (the gateway answers 503).
+    fn resolve(&self, service: &str) -> Vec<String>;
+}
+
+/// A hand-maintained service → replicas table.
+#[derive(Default)]
+pub struct StaticResolver {
+    table: RwLock<HashMap<String, Vec<String>>>,
+}
+
+impl StaticResolver {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the replica set for `service`.
+    pub fn set(&self, service: &str, endpoints: &[&str]) {
+        let eps = endpoints.iter().map(|e| e.to_string()).collect();
+        self.table.write().insert(service.to_string(), eps);
+    }
+
+    /// Forget `service` entirely.
+    pub fn remove(&self, service: &str) {
+        self.table.write().remove(service);
+    }
+}
+
+impl Resolve for StaticResolver {
+    fn resolve(&self, service: &str) -> Vec<String> {
+        self.table.read().get(service).cloned().unwrap_or_default()
+    }
+}
+
+struct CacheEntry {
+    endpoints: Vec<String>,
+    fetched: Instant,
+}
+
+/// Resolves against a service directory, caching each service's
+/// replica set for `lease`. Replicas are the directory entries whose id
+/// is exactly the service name or `name#N` (the replica convention used
+/// throughout the workspace), matched by id or human name.
+///
+/// When the directory is unreachable at refresh time, the stale cache
+/// keeps serving — a flaky directory should degrade freshness, not
+/// availability.
+pub struct RegistryResolver {
+    client: DirectoryClient,
+    lease: Duration,
+    cache: Mutex<HashMap<String, CacheEntry>>,
+}
+
+impl RegistryResolver {
+    /// Resolver against the directory at `directory_url` (for example
+    /// `mem://dir`), re-resolving every `lease`.
+    pub fn new(transport: Arc<dyn Transport>, directory_url: &str, lease: Duration) -> Self {
+        RegistryResolver {
+            client: DirectoryClient::new(transport, directory_url),
+            lease,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn fetch(&self, service: &str) -> Option<Vec<String>> {
+        let all = self.client.list().ok()?;
+        let replica_prefix = format!("{service}#");
+        let mut eps: Vec<String> = all
+            .into_iter()
+            .filter(|d| d.id == service || d.id.starts_with(&replica_prefix) || d.name == service)
+            .map(|d| d.endpoint)
+            .collect();
+        eps.sort();
+        eps.dedup();
+        Some(eps)
+    }
+}
+
+impl Resolve for RegistryResolver {
+    fn resolve(&self, service: &str) -> Vec<String> {
+        let mut cache = self.cache.lock();
+        if let Some(e) = cache.get(service) {
+            if e.fetched.elapsed() < self.lease {
+                return e.endpoints.clone();
+            }
+        }
+        match self.fetch(service) {
+            Some(eps) => {
+                cache.insert(
+                    service.to_string(),
+                    CacheEntry { endpoints: eps.clone(), fetched: Instant::now() },
+                );
+                eps
+            }
+            // Directory down: keep whatever we knew.
+            None => cache.get(service).map(|e| e.endpoints.clone()).unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_http::mem::FaultConfig;
+    use soc_http::MemNetwork;
+    use soc_registry::directory::DirectoryService;
+    use soc_registry::{Binding, Repository, ServiceDescriptor};
+
+    fn replica(id: &str) -> ServiceDescriptor {
+        ServiceDescriptor::new(id, "credit", &format!("mem://{id}"), Binding::Rest)
+    }
+
+    fn directory_with_replicas() -> MemNetwork {
+        let net = MemNetwork::new();
+        let repo = Repository::new();
+        repo.publish(replica("credit#0")).unwrap();
+        repo.publish(replica("credit#1")).unwrap();
+        repo.publish(ServiceDescriptor::new(
+            "unrelated",
+            "image verifier",
+            "mem://img",
+            Binding::Rest,
+        ))
+        .unwrap();
+        let (dir, _) = DirectoryService::new(repo, vec![]);
+        net.host("dir", dir);
+        net
+    }
+
+    #[test]
+    fn static_resolver_round_trips() {
+        let r = StaticResolver::new();
+        r.set("credit", &["mem://a", "mem://b"]);
+        assert_eq!(r.resolve("credit"), vec!["mem://a", "mem://b"]);
+        assert!(r.resolve("missing").is_empty());
+        r.remove("credit");
+        assert!(r.resolve("credit").is_empty());
+    }
+
+    #[test]
+    fn registry_resolver_finds_replicas_by_convention() {
+        let net = directory_with_replicas();
+        let r = RegistryResolver::new(Arc::new(net), "mem://dir", Duration::from_secs(60));
+        assert_eq!(r.resolve("credit"), vec!["mem://credit#0", "mem://credit#1"]);
+        assert!(r.resolve("nope").is_empty());
+    }
+
+    #[test]
+    fn lease_caches_until_expiry_then_refreshes() {
+        let net = directory_with_replicas();
+        let r =
+            RegistryResolver::new(Arc::new(net.clone()), "mem://dir", Duration::from_millis(40));
+        assert_eq!(r.resolve("credit").len(), 2);
+        let hits_after_first = net.hits("dir");
+        // Within the lease: served from cache, no directory traffic.
+        assert_eq!(r.resolve("credit").len(), 2);
+        assert_eq!(net.hits("dir"), hits_after_first);
+        // Past the lease: the directory is consulted again.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(r.resolve("credit").len(), 2);
+        assert!(net.hits("dir") > hits_after_first);
+    }
+
+    #[test]
+    fn stale_cache_survives_a_directory_outage() {
+        let net = directory_with_replicas();
+        let r =
+            RegistryResolver::new(Arc::new(net.clone()), "mem://dir", Duration::from_millis(10));
+        assert_eq!(r.resolve("credit").len(), 2);
+        net.set_fault("dir", FaultConfig { offline: true, ..Default::default() });
+        std::thread::sleep(Duration::from_millis(20));
+        // Lease expired and the directory is down: stale data beats none.
+        assert_eq!(r.resolve("credit").len(), 2);
+    }
+}

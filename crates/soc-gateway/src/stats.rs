@@ -1,0 +1,274 @@
+//! Gateway observability: per-upstream counters and latency
+//! histograms, snapshotted as JSON on `/gateway/stats`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use soc_json::Value;
+
+/// Histogram bucket upper bounds, in microseconds. Requests slower
+/// than the last bound land in an implicit overflow bucket.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000];
+
+const BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
+
+/// A fixed-bucket latency histogram. Lock-free on the record path.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = LATENCY_BUCKETS_US.iter().position(|&bound| us <= bound).unwrap_or(BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile, or
+    /// `None` when empty. The overflow bucket reports the last bound —
+    /// "at least this slow".
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(*LATENCY_BUCKETS_US.get(i).unwrap_or(LATENCY_BUCKETS_US.last()?));
+            }
+        }
+        LATENCY_BUCKETS_US.last().copied()
+    }
+
+    /// `(upper_bound_us, count)` pairs for the non-empty buckets; the
+    /// overflow bucket reports `None` as its bound.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((LATENCY_BUCKETS_US.get(i).copied(), n))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Counters for one upstream replica.
+#[derive(Default)]
+pub struct UpstreamStats {
+    /// Proxied requests sent (including retries).
+    pub requests: AtomicU64,
+    /// Requests answered without an upstream failure.
+    pub successes: AtomicU64,
+    /// 5xx answers and transport errors.
+    pub failures: AtomicU64,
+    /// Requests that were retry attempts (second try onward).
+    pub retries: AtomicU64,
+    /// Requests in flight right now.
+    pub in_flight: AtomicUsize,
+    /// Latency of every proxied request.
+    pub histogram: LatencyHistogram,
+}
+
+/// Gateway-wide counters plus the per-upstream table.
+#[derive(Default)]
+pub struct GatewayStats {
+    upstreams: RwLock<HashMap<String, Arc<UpstreamStats>>>,
+    /// Requests admitted past rate limiting and the concurrency cap.
+    pub admitted: AtomicU64,
+    /// Requests shed by the token bucket.
+    pub shed_rate: AtomicU64,
+    /// Requests shed by the concurrency cap.
+    pub shed_load: AtomicU64,
+    /// Requests that ran out of deadline inside the gateway.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests for services with no known replicas.
+    pub no_upstream: AtomicU64,
+}
+
+impl GatewayStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The stats cell for `endpoint`, created on first use.
+    pub fn upstream(&self, endpoint: &str) -> Arc<UpstreamStats> {
+        if let Some(s) = self.upstreams.read().get(endpoint) {
+            return s.clone();
+        }
+        self.upstreams
+            .write()
+            .entry(endpoint.to_string())
+            .or_insert_with(|| Arc::new(UpstreamStats::default()))
+            .clone()
+    }
+
+    /// Endpoints seen so far, sorted.
+    pub fn upstream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.upstreams.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate.load(Ordering::Relaxed) + self.shed_load.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as JSON. `breaker_label` supplies each upstream's
+    /// breaker state ("closed" / "open" / "half-open").
+    pub fn to_json(&self, policy: &str, breaker_label: impl Fn(&str) -> &'static str) -> Value {
+        let mut shed = Value::Object(vec![]);
+        shed.set("rate", self.shed_rate.load(Ordering::Relaxed) as i64);
+        shed.set("load", self.shed_load.load(Ordering::Relaxed) as i64);
+        shed.set("total", self.shed_total() as i64);
+
+        let mut upstreams = Value::Object(vec![]);
+        for name in self.upstream_names() {
+            let s = self.upstream(&name);
+            let mut u = Value::Object(vec![]);
+            u.set("requests", s.requests.load(Ordering::Relaxed) as i64);
+            u.set("successes", s.successes.load(Ordering::Relaxed) as i64);
+            u.set("failures", s.failures.load(Ordering::Relaxed) as i64);
+            u.set("retries", s.retries.load(Ordering::Relaxed) as i64);
+            u.set("in_flight", s.in_flight.load(Ordering::Relaxed) as i64);
+            u.set("breaker", breaker_label(&name));
+            u.set("mean_latency_us", s.histogram.mean_us() as i64);
+            if let Some(p50) = s.histogram.quantile_us(0.50) {
+                u.set("p50_latency_us", p50 as i64);
+            }
+            if let Some(p99) = s.histogram.quantile_us(0.99) {
+                u.set("p99_latency_us", p99 as i64);
+            }
+            let buckets: Vec<Value> = s
+                .histogram
+                .buckets()
+                .into_iter()
+                .map(|(bound, n)| {
+                    Value::Array(vec![
+                        bound.map(|b| Value::from(b as i64)).unwrap_or(Value::Null),
+                        Value::from(n as i64),
+                    ])
+                })
+                .collect();
+            u.set("latency_buckets_us", Value::Array(buckets));
+            upstreams.set(name, u);
+        }
+
+        let mut root = Value::Object(vec![]);
+        root.set("policy", policy);
+        root.set("admitted", self.admitted.load(Ordering::Relaxed) as i64);
+        root.set("shed", shed);
+        root.set("deadline_exceeded", self.deadline_exceeded.load(Ordering::Relaxed) as i64);
+        root.set("no_upstream", self.no_upstream.load(Ordering::Relaxed) as i64);
+        root.set("upstreams", upstreams);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for ms in [1u64, 1, 1, 2, 4, 9, 40, 400] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 8);
+        // Rank 4 of 8: three 1 ms samples fill the 1000 µs bucket, the
+        // 2 ms sample tips the median into the 2500 µs bucket.
+        assert_eq!(h.quantile_us(0.5), Some(2_500));
+        assert_eq!(h.quantile_us(1.0), Some(500_000));
+        assert!(h.mean_us() > 0);
+        let total: u64 = h.buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_secs(5));
+        let buckets = h.buckets();
+        assert_eq!(buckets, vec![(None, 1)]);
+        assert_eq!(h.quantile_us(0.5), Some(1_000_000));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn stats_json_snapshot() {
+        let stats = GatewayStats::new();
+        stats.admitted.fetch_add(3, Ordering::Relaxed);
+        stats.shed_rate.fetch_add(1, Ordering::Relaxed);
+        let up = stats.upstream("mem://a");
+        up.requests.fetch_add(3, Ordering::Relaxed);
+        up.successes.fetch_add(2, Ordering::Relaxed);
+        up.failures.fetch_add(1, Ordering::Relaxed);
+        up.histogram.record(Duration::from_millis(2));
+        let v = stats.to_json("round-robin", |_| "closed");
+        let text = v.to_string();
+        assert!(text.contains("\"policy\""));
+        let parsed = Value::parse(&text).unwrap();
+        assert_eq!(
+            parsed.pointer("/upstreams/mem:~1~1a/requests").and_then(Value::as_i64),
+            Some(3)
+        );
+        assert_eq!(v.pointer("/admitted").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.pointer("/shed/total").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            v.pointer("/upstreams/mem:~1~1a/breaker").and_then(Value::as_str),
+            Some("closed")
+        );
+    }
+}

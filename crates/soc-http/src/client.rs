@@ -2,7 +2,7 @@
 
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::codec::{self, DEFAULT_BODY_LIMIT};
 use crate::types::{HttpError, HttpResult, Request, Response};
@@ -42,6 +42,23 @@ impl HttpClient {
 
     /// Send `req` and wait for the response.
     pub fn send(&self, req: Request) -> HttpResult<Response> {
+        self.dispatch(req, None)
+    }
+
+    /// Send `req`, giving up once `deadline` passes.
+    ///
+    /// The deadline is a whole-request budget, distinct from the
+    /// client's socket timeout: the socket timeout bounds each blocking
+    /// read/write, while the deadline bounds connect + write + read
+    /// end to end. Per-socket-operation waits are capped at whatever
+    /// remains of the budget, so a slow-dripping peer cannot stretch a
+    /// 100 ms deadline into repeated 30 s socket waits. An expired
+    /// budget yields [`HttpError::DeadlineExceeded`].
+    pub fn send_with_deadline(&self, req: Request, deadline: Instant) -> HttpResult<Response> {
+        self.dispatch(req, Some(deadline))
+    }
+
+    fn dispatch(&self, req: Request, deadline: Option<Instant>) -> HttpResult<Response> {
         let url = Url::parse(&req.target)?;
         if url.scheme != "http" {
             return Err(HttpError::BadUrl(format!(
@@ -49,10 +66,45 @@ impl HttpClient {
                 url.scheme
             )));
         }
+        // Remaining budget, or the socket timeout when no deadline is
+        // set. Zero remaining means the request is already too late.
+        let op_timeout = |deadline: Option<Instant>| -> HttpResult<Duration> {
+            match deadline {
+                None => Ok(self.timeout),
+                Some(d) => {
+                    let left = d.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        Err(HttpError::DeadlineExceeded)
+                    } else {
+                        Ok(left.min(self.timeout))
+                    }
+                }
+            }
+        };
         let addr = (url.host.as_str(), url.port);
-        let stream = TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?;
-        stream.set_read_timeout(Some(self.timeout)).ok();
-        stream.set_write_timeout(Some(self.timeout)).ok();
+        let stream = match deadline {
+            None => TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?,
+            Some(_) => {
+                // connect_timeout needs a resolved SocketAddr.
+                let budget = op_timeout(deadline)?;
+                let resolved = std::net::ToSocketAddrs::to_socket_addrs(&addr)
+                    .map_err(|e| HttpError::Io(e.to_string()))?
+                    .next()
+                    .ok_or_else(|| HttpError::BadUrl(format!("unresolvable host: {}", url.host)))?;
+                TcpStream::connect_timeout(&resolved, budget).map_err(|e| {
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) {
+                        HttpError::DeadlineExceeded
+                    } else {
+                        HttpError::Io(e.to_string())
+                    }
+                })?
+            }
+        };
+        stream.set_read_timeout(Some(op_timeout(deadline)?)).ok();
+        stream.set_write_timeout(Some(op_timeout(deadline)?)).ok();
         stream.set_nodelay(true).ok();
 
         let mut wire_req = req.clone();
@@ -63,8 +115,19 @@ impl HttpClient {
         }
         let mut writer = stream.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
         codec::write_request(&mut writer, &wire_req, Some(&url.authority()))?;
+        // Re-arm the read timeout with whatever budget the write left.
+        stream.set_read_timeout(Some(op_timeout(deadline)?)).ok();
         let mut reader = BufReader::new(stream);
-        codec::read_response(&mut reader, self.body_limit)
+        let resp = codec::read_response(&mut reader, self.body_limit);
+        match resp {
+            // A read failure after the budget ran out is the deadline's
+            // fault, not the peer's: report it as such.
+            Err(e) => match deadline {
+                Some(d) if Instant::now() >= d => Err(HttpError::DeadlineExceeded),
+                _ => Err(e),
+            },
+            ok => ok,
+        }
     }
 
     /// GET an absolute URL.
@@ -94,5 +157,47 @@ mod tests {
         let c = HttpClient::with_timeout(Duration::from_millis(300));
         // Port 1 on localhost is essentially never listening.
         assert!(matches!(c.get("http://127.0.0.1:1/"), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast() {
+        let c = HttpClient::with_timeout(Duration::from_secs(30));
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = c.send_with_deadline(Request::get("http://127.0.0.1:1/"), past).unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn deadline_bounds_a_stalled_server() {
+        // A listener that accepts and then never responds: the socket
+        // timeout alone (30 s) would hang the call; the deadline must
+        // cut it short.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let c = HttpClient::with_timeout(Duration::from_secs(30));
+        let deadline = Instant::now() + Duration::from_millis(80);
+        let start = Instant::now();
+        let err =
+            c.send_with_deadline(Request::get(format!("http://{addr}/")), deadline).unwrap_err();
+        assert_eq!(err, HttpError::DeadlineExceeded);
+        assert!(start.elapsed() < Duration::from_secs(5), "deadline did not bound the wait");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_interfere() {
+        let server =
+            crate::HttpServer::bind("127.0.0.1:0", 2, |_req: Request| crate::Response::text("ok"))
+                .unwrap();
+        let url = format!("http://{}/", server.addr());
+        let c = HttpClient::with_timeout(Duration::from_secs(5));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let resp = c.send_with_deadline(Request::get(&url), deadline).unwrap();
+        assert!(resp.status.is_success());
     }
 }

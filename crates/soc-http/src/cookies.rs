@@ -85,10 +85,7 @@ pub fn parse_cookie_header(headers: &Headers) -> Vec<(String, String)> {
 
 /// Look up one cookie on a request.
 pub fn request_cookie(req: &Request, name: &str) -> Option<String> {
-    parse_cookie_header(&req.headers)
-        .into_iter()
-        .find(|(k, _)| k == name)
-        .map(|(_, v)| v)
+    parse_cookie_header(&req.headers).into_iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
 /// Attach a `Set-Cookie` header to a response.
@@ -118,9 +115,7 @@ mod tests {
 
     #[test]
     fn multiple_cookie_headers_merge() {
-        let req = Request::get("/")
-            .with_header("Cookie", "a=1")
-            .with_header("Cookie", "b=2");
+        let req = Request::get("/").with_header("Cookie", "a=1").with_header("Cookie", "b=2");
         let pairs = parse_cookie_header(&req.headers);
         assert_eq!(pairs.len(), 2);
     }

@@ -144,10 +144,11 @@ impl Transport for MemNetwork {
         // The handler sees origin-form targets, exactly like over TCP.
         let mut inner = req;
         inner.target = url.path_and_query();
-        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            entry.handler.handle(inner)
-        }))
-        .unwrap_or_else(|_| Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"));
+        let resp =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.handler.handle(inner)))
+                .unwrap_or_else(|_| {
+                    Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked")
+                });
         Ok(resp)
     }
 }
@@ -191,9 +192,7 @@ mod tests {
 
     fn echo_net() -> MemNetwork {
         let net = MemNetwork::new();
-        net.host("echo", |req: Request| {
-            Response::text(format!("{} {}", req.method, req.target))
-        });
+        net.host("echo", |req: Request| Response::text(format!("{} {}", req.method, req.target)));
         net
     }
 

@@ -71,9 +71,7 @@ impl HttpServer {
                 // The pool lives inside the accept thread so dropping the
                 // server joins everything deterministically.
                 listener.set_nonblocking(false).ok();
-                listener
-                    .set_ttl(64)
-                    .ok();
+                listener.set_ttl(64).ok();
                 // Poll for shutdown with a short accept timeout via
                 // nonblocking + sleep (portable, no extra deps).
                 listener.set_nonblocking(true).ok();
@@ -158,17 +156,13 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
                 return;
             }
         };
-        let close = req
-            .headers
-            .get("Connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let close = req.headers.get("Connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
 
-        let resp = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handler.handle(req)
-        })) {
-            Ok(resp) => resp,
-            Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
-        };
+        let resp =
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(req))) {
+                Ok(resp) => resp,
+                Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
+            };
         if resp.status.0 >= 500 {
             stats.failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -211,8 +205,10 @@ mod tests {
         let server = echo_server();
         let client = HttpClient::new();
         let resp = client
-            .send(Request::new(Method::Post, format!("{}/data", server.url()))
-                .with_body_bytes(vec![7; 321]))
+            .send(
+                Request::new(Method::Post, format!("{}/data", server.url()))
+                    .with_body_bytes(vec![7; 321]),
+            )
             .unwrap();
         assert_eq!(resp.headers.get("X-Echo-Len"), Some("321"));
     }
@@ -254,8 +250,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let client = HttpClient::new();
                 for i in 0..10 {
-                    let resp =
-                        client.send(Request::get(format!("{url}/t{t}/{i}"))).unwrap();
+                    let resp = client.send(Request::get(format!("{url}/t{t}/{i}"))).unwrap();
                     assert!(resp.status.is_success());
                 }
             }));

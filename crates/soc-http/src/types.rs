@@ -20,6 +20,8 @@ pub enum HttpError {
         /// The limit that was exceeded.
         limit: usize,
     },
+    /// A per-request deadline expired before the response arrived.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for HttpError {
@@ -31,6 +33,7 @@ impl fmt::Display for HttpError {
             HttpError::UnknownHost(h) => write!(f, "unknown in-memory host: {h}"),
             HttpError::UnexpectedEof => write!(f, "connection closed mid-message"),
             HttpError::BodyTooLarge { limit } => write!(f, "body exceeds {limit} bytes"),
+            HttpError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }
@@ -204,10 +207,7 @@ impl Headers {
 
     /// First value of `name`, case-insensitive.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.entries.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// All values of `name`.

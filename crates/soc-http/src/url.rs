@@ -35,9 +35,8 @@ impl Url {
         }
         let (host, port) = match authority.rsplit_once(':') {
             Some((h, p)) => {
-                let port: u16 = p
-                    .parse()
-                    .map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?;
+                let port: u16 =
+                    p.parse().map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?;
                 (h.to_string(), port)
             }
             None => {

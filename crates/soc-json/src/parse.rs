@@ -311,8 +311,24 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         for bad in [
-            "", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "[1 2]", "01", "1.", ".5", "1e",
-            "\"unterminated", "tru", "nul", "{a:1}", "[1]]", "\"\u{1}\"", "+1", "NaN",
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "\"unterminated",
+            "tru",
+            "nul",
+            "{a:1}",
+            "[1]]",
+            "\"\u{1}\"",
+            "+1",
+            "NaN",
         ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }

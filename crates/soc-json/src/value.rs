@@ -284,10 +284,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_last_wins_on_lookup() {
-        let v = Value::Object(vec![
-            ("k".into(), Value::from(1)),
-            ("k".into(), Value::from(2)),
-        ]);
+        let v = Value::Object(vec![("k".into(), Value::from(1)), ("k".into(), Value::from(2))]);
         assert_eq!(v.get("k").and_then(Value::as_i64), Some(2));
     }
 }

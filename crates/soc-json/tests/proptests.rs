@@ -15,9 +15,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
             proptest::collection::vec(("[a-z~/]{0,6}", inner), 0..5)
-                .prop_map(|pairs| Value::Object(
-                    pairs.into_iter().collect()
-                )),
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
         ]
     })
 }

@@ -43,8 +43,12 @@ impl Schedule {
 /// });
 /// assert_eq!(sum.into_inner(), 4950);
 /// ```
-pub fn parallel_for<F>(pool: &ThreadPool, range: std::ops::Range<usize>, schedule: Schedule, body: F)
-where
+pub fn parallel_for<F>(
+    pool: &ThreadPool,
+    range: std::ops::Range<usize>,
+    schedule: Schedule,
+    body: F,
+) where
     F: Fn(usize) + Sync,
 {
     let start = range.start;
@@ -286,8 +290,7 @@ mod tests {
             |i| ((i * 2_654_435_761) % 1_000_003) as u64,
             u64::max,
         );
-        let expect =
-            (0..1_000u64).map(|i| (i * 2_654_435_761) % 1_000_003).max().unwrap();
+        let expect = (0..1_000u64).map(|i| (i * 2_654_435_761) % 1_000_003).max().unwrap();
         assert_eq!(got, expect);
     }
 

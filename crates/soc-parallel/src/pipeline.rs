@@ -167,9 +167,7 @@ mod tests {
 
     #[test]
     fn empty_input_is_fine() {
-        let out = Pipeline::new(4)
-            .stage(StageKind::Serial, |x: i64| Some(x))
-            .run(vec![]);
+        let out = Pipeline::new(4).stage(StageKind::Serial, |x: i64| Some(x)).run(vec![]);
         assert!(out.is_empty());
     }
 

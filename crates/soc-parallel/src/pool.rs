@@ -128,10 +128,8 @@ impl ThreadPool {
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
-        let state = Arc::new(TaskState {
-            result: Mutex::new(None),
-            done: ManualResetEvent::new(false),
-        });
+        let state =
+            Arc::new(TaskState { result: Mutex::new(None), done: ManualResetEvent::new(false) });
         let s2 = state.clone();
         self.inner.push(Box::new(move || {
             let out = catch_unwind(AssertUnwindSafe(f));

@@ -92,7 +92,12 @@ impl TaskGraph {
     /// Build a "sequential spine" graph: `spine_len` serial tasks, each
     /// forking `width` parallel children that must rejoin before the
     /// next spine step — the Table 2 scalability cautionary tale.
-    pub fn sequential_spine(spine_len: usize, spine_cost: u64, width: usize, child_cost: u64) -> Self {
+    pub fn sequential_spine(
+        spine_len: usize,
+        spine_cost: u64,
+        width: usize,
+        child_cost: u64,
+    ) -> Self {
         let mut g = TaskGraph::new();
         let mut prev: Vec<TaskId> = Vec::new();
         for _ in 0..spine_len {
@@ -147,11 +152,8 @@ pub fn simulate(graph: &TaskGraph, cores: usize, per_task_overhead: u64) -> SimR
 
     while let Some(std::cmp::Reverse((eligible, task))) = ready.pop() {
         // Earliest-free core (ties → lowest index).
-        let (core, &free) = core_free
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &f)| (f, i))
-            .expect("at least one core");
+        let (core, &free) =
+            core_free.iter().enumerate().min_by_key(|&(i, &f)| (f, i)).expect("at least one core");
         let start = free.max(eligible);
         let cost = graph.tasks[task].cost + per_task_overhead;
         let end = start + cost;
@@ -171,11 +173,8 @@ pub fn simulate(graph: &TaskGraph, cores: usize, per_task_overhead: u64) -> SimR
 
     let makespan = finish.iter().copied().max().unwrap_or(0);
     let total_busy: u64 = busy.iter().sum();
-    let utilization = if makespan == 0 {
-        1.0
-    } else {
-        total_busy as f64 / (makespan as f64 * cores as f64)
-    };
+    let utilization =
+        if makespan == 0 { 1.0 } else { total_busy as f64 / (makespan as f64 * cores as f64) };
     SimResult { cores, makespan, busy, utilization }
 }
 

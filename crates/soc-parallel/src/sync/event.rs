@@ -24,10 +24,7 @@ pub struct ManualResetEvent {
 impl ManualResetEvent {
     /// Create in the given state.
     pub fn new(set: bool) -> Self {
-        ManualResetEvent {
-            state: AtomicU32::new(set as u32),
-            waiters: Mutex::new(Vec::new()),
-        }
+        ManualResetEvent { state: AtomicU32::new(set as u32), waiters: Mutex::new(Vec::new()) }
     }
 
     /// Is the event currently set?
@@ -165,8 +162,7 @@ impl CountdownEvent {
     /// has already reached zero (the event does not reset).
     pub fn add(&self, n: usize) {
         let prev = self.remaining.fetch_add(n, Ordering::AcqRel);
-        assert!(prev != 0 || !self.done.is_set() || n == 0,
-            "CountdownEvent::add after completion");
+        assert!(prev != 0 || !self.done.is_set() || n == 0, "CountdownEvent::add after completion");
     }
 
     /// Current remaining count (racy; monitoring only).

@@ -46,11 +46,7 @@ impl<T> SpinLock<T> {
 
     /// Try to acquire without spinning.
     pub fn try_lock(&self) -> Option<SpinLockGuard<'_, T>> {
-        if self
-            .locked
-            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
-            .is_ok()
-        {
+        if self.locked.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed).is_ok() {
             Some(SpinLockGuard { lock: self })
         } else {
             None

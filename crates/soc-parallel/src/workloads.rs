@@ -75,12 +75,7 @@ pub fn validate_parallel(pool: &ThreadPool, limit: u64, schedule: Schedule) -> C
                 std::cmp::Ordering::Less => (b.max_steps, b.argmax),
                 std::cmp::Ordering::Equal => (a.max_steps, a.argmax.min(b.argmax)),
             };
-            CollatzReport {
-                limit,
-                total_steps: a.total_steps + b.total_steps,
-                max_steps,
-                argmax,
-            }
+            CollatzReport { limit, total_steps: a.total_steps + b.total_steps, max_steps, argmax }
         },
     );
     if report.argmax == u64::MAX {

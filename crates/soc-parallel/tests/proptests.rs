@@ -8,32 +8,31 @@ use soc_parallel::sync::BoundedBuffer;
 use soc_parallel::{parallel_map, parallel_reduce, Schedule, ThreadPool};
 
 fn schedules() -> impl Strategy<Value = Schedule> {
-    prop_oneof![
-        Just(Schedule::Static),
-        (1usize..64).prop_map(|chunk| Schedule::Dynamic { chunk }),
-    ]
+    prop_oneof![Just(Schedule::Static), (1usize..64).prop_map(|chunk| Schedule::Dynamic { chunk }),]
 }
 
 /// A random DAG: each task depends on a subset of strictly earlier tasks.
 fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
-    proptest::collection::vec((1u64..50, proptest::collection::vec(any::<prop::sample::Index>(), 0..3)), 1..40)
-        .prop_map(|specs| {
-            let mut g = TaskGraph::new();
-            let mut ids = Vec::new();
-            for (cost, dep_picks) in specs {
-                let deps: Vec<_> = if ids.is_empty() {
-                    Vec::new()
-                } else {
-                    let mut d: Vec<_> =
-                        dep_picks.iter().map(|ix| *ix.get(&ids)).collect();
-                    d.sort_by_key(|t: &soc_parallel::simcore::TaskId| format!("{t:?}"));
-                    d.dedup();
-                    d
-                };
-                ids.push(g.add(cost, &deps));
-            }
-            g
-        })
+    proptest::collection::vec(
+        (1u64..50, proptest::collection::vec(any::<prop::sample::Index>(), 0..3)),
+        1..40,
+    )
+    .prop_map(|specs| {
+        let mut g = TaskGraph::new();
+        let mut ids = Vec::new();
+        for (cost, dep_picks) in specs {
+            let deps: Vec<_> = if ids.is_empty() {
+                Vec::new()
+            } else {
+                let mut d: Vec<_> = dep_picks.iter().map(|ix| *ix.get(&ids)).collect();
+                d.sort_by_key(|t: &soc_parallel::simcore::TaskId| format!("{t:?}"));
+                d.dedup();
+                d
+            };
+            ids.push(g.add(cost, &deps));
+        }
+        g
+    })
 }
 
 proptest! {

@@ -92,7 +92,7 @@ impl Crawler {
             let services = match client.list() {
                 Ok(s) => s,
                 Err(e) => {
-                    report.unreachable.push((dir_url, e));
+                    report.unreachable.push((dir_url, e.to_string()));
                     continue;
                 }
             };
@@ -142,7 +142,8 @@ mod tests {
 
         let repo_b = Repository::new();
         repo_b.publish(svc("cart", "shopping cart")).unwrap();
-        let (dir_b, _) = DirectoryService::new(repo_b, vec!["mem://dir-c".into(), "mem://dir-a".into()]);
+        let (dir_b, _) =
+            DirectoryService::new(repo_b, vec!["mem://dir-c".into(), "mem://dir-a".into()]);
         net.host("dir-b", dir_b);
 
         let repo_c = Repository::new();

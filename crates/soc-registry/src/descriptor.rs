@@ -123,8 +123,8 @@ impl ServiceDescriptor {
                 .map(str::to_string)
                 .ok_or_else(|| format!("missing or non-string field {k:?}"))
         };
-        let binding = Binding::parse(&field("binding")?)
-            .ok_or_else(|| "unknown binding".to_string())?;
+        let binding =
+            Binding::parse(&field("binding")?).ok_or_else(|| "unknown binding".to_string())?;
         let keywords = v
             .get("keywords")
             .and_then(Value::as_array)
@@ -168,11 +168,7 @@ impl ServiceDescriptor {
         let text = |name: &str| doc.child_text(el, name).unwrap_or_default();
         let keywords = doc
             .find_child(el, "keywords")
-            .map(|kw| {
-                doc.find_children(kw, "keyword")
-                    .map(|k| doc.text(k))
-                    .collect()
-            })
+            .map(|kw| doc.find_children(kw, "keyword").map(|k| doc.text(k)).collect())
             .unwrap_or_default();
         Ok(ServiceDescriptor {
             id,
@@ -192,11 +188,16 @@ mod tests {
     use super::*;
 
     fn sample() -> ServiceDescriptor {
-        ServiceDescriptor::new("enc-1", "Encryption Service", "mem://services/encrypt", Binding::Rest)
-            .describe("Encrypts & decrypts text with a shared key")
-            .category("security")
-            .keywords(&["cipher", "crypto"])
-            .provider("asu")
+        ServiceDescriptor::new(
+            "enc-1",
+            "Encryption Service",
+            "mem://services/encrypt",
+            Binding::Rest,
+        )
+        .describe("Encrypts & decrypts text with a shared key")
+        .category("security")
+        .keywords(&["cipher", "crypto"])
+        .provider("asu")
     }
 
     #[test]

@@ -119,10 +119,7 @@ impl DirectoryService {
                 let Some(q) = req.query("q") else {
                     return Response::error(Status::BAD_REQUEST, "missing query parameter q");
                 };
-                let limit = req
-                    .query("limit")
-                    .and_then(|l| l.parse::<usize>().ok())
-                    .unwrap_or(10);
+                let limit = req.query("limit").and_then(|l| l.parse::<usize>().ok()).unwrap_or(10);
                 // The index is rebuilt per query; directories are small
                 // and registrations are frequent. The bench quantifies
                 // the tradeoff against a cached index.
@@ -143,7 +140,10 @@ impl DirectoryService {
             let st = state.clone();
             router.get("/semantic-search", move |req, _p| {
                 let Some(category) = req.query("category") else {
-                    return Response::error(Status::BAD_REQUEST, "missing query parameter category");
+                    return Response::error(
+                        Status::BAD_REQUEST,
+                        "missing query parameter category",
+                    );
                 };
                 let services = st.repository.list();
                 let hits: Vec<Value> = st
@@ -158,8 +158,7 @@ impl DirectoryService {
         {
             let st = state.clone();
             router.get("/peers", move |_req, _p| {
-                let peers: Vec<Value> =
-                    st.peers.read().iter().cloned().map(Value::from).collect();
+                let peers: Vec<Value> = st.peers.read().iter().cloned().map(Value::from).collect();
                 Response::json(&Value::Array(peers).to_compact())
             });
         }
@@ -173,6 +172,67 @@ impl Handler for DirectoryService {
         self.router.handle(req)
     }
 }
+
+/// Errors surfaced by [`DirectoryClient`] calls.
+#[derive(Debug)]
+pub enum DirectoryError {
+    /// The transport failed before the directory answered (offline host,
+    /// connection refused, malformed reply, …).
+    Transport(soc_http::HttpError),
+    /// The directory answered with a non-success status.
+    Status {
+        /// The status returned.
+        status: Status,
+        /// Response body text, best effort.
+        body: String,
+    },
+    /// The directory answered 2xx but the payload didn't decode.
+    Decode(String),
+}
+
+impl DirectoryError {
+    /// The HTTP status the directory answered with, if it answered.
+    pub fn status(&self) -> Option<Status> {
+        match self {
+            DirectoryError::Status { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DirectoryError::Transport(e) => write!(f, "directory unreachable: {e}"),
+            DirectoryError::Status { status, body } => {
+                write!(f, "directory error {status}: {body}")
+            }
+            DirectoryError::Decode(d) => write!(f, "bad payload from directory: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DirectoryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DirectoryError::Transport(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<soc_rest::RestError> for DirectoryError {
+    fn from(e: soc_rest::RestError) -> Self {
+        match e {
+            soc_rest::RestError::Transport(t) => DirectoryError::Transport(t),
+            soc_rest::RestError::Status { status, body } => DirectoryError::Status { status, body },
+            soc_rest::RestError::Decode(d) => DirectoryError::Decode(d),
+        }
+    }
+}
+
+/// Result alias for directory calls.
+pub type DirectoryResult<T> = Result<T, DirectoryError>;
 
 /// Typed client for a directory.
 #[derive(Clone)]
@@ -191,61 +251,50 @@ impl DirectoryClient {
     }
 
     /// Register a descriptor.
-    pub fn register(&self, d: &ServiceDescriptor) -> Result<(), String> {
-        self.rest
-            .post(&format!("{}/services", self.base), &d.to_json())
-            .map(|_| ())
-            .map_err(|e| e.to_string())
+    pub fn register(&self, d: &ServiceDescriptor) -> DirectoryResult<()> {
+        self.rest.post(&format!("{}/services", self.base), &d.to_json())?;
+        Ok(())
     }
 
     /// Unregister by id.
-    pub fn unregister(&self, id: &str) -> Result<(), String> {
-        self.rest
-            .delete(&format!("{}/services/{id}", self.base))
-            .map(|_| ())
-            .map_err(|e| e.to_string())
+    pub fn unregister(&self, id: &str) -> DirectoryResult<()> {
+        self.rest.delete(&format!("{}/services/{id}", self.base))?;
+        Ok(())
     }
 
     /// All descriptors.
-    pub fn list(&self) -> Result<Vec<ServiceDescriptor>, String> {
-        let v = self.rest.get(&format!("{}/services", self.base)).map_err(|e| e.to_string())?;
+    pub fn list(&self) -> DirectoryResult<Vec<ServiceDescriptor>> {
+        let v = self.rest.get(&format!("{}/services", self.base))?;
         decode_list(&v)
     }
 
     /// One descriptor.
-    pub fn get(&self, id: &str) -> Result<ServiceDescriptor, String> {
-        let v = self
-            .rest
-            .get(&format!("{}/services/{id}", self.base))
-            .map_err(|e| e.to_string())?;
-        ServiceDescriptor::from_json(&v)
+    pub fn get(&self, id: &str) -> DirectoryResult<ServiceDescriptor> {
+        let v = self.rest.get(&format!("{}/services/{id}", self.base))?;
+        ServiceDescriptor::from_json(&v).map_err(DirectoryError::Decode)
     }
 
     /// Ranked search.
-    pub fn search(&self, query: &str) -> Result<Vec<ServiceDescriptor>, String> {
-        let url = format!(
-            "{}/search?q={}",
-            self.base,
-            soc_http::url::percent_encode(query)
-        );
-        let v = self.rest.get(&url).map_err(|e| e.to_string())?;
+    pub fn search(&self, query: &str) -> DirectoryResult<Vec<ServiceDescriptor>> {
+        let url = format!("{}/search?q={}", self.base, soc_http::url::percent_encode(query));
+        let v = self.rest.get(&url)?;
         decode_list(&v)
     }
 
     /// Ontology-expanded category search.
-    pub fn semantic_search(&self, category: &str) -> Result<Vec<ServiceDescriptor>, String> {
+    pub fn semantic_search(&self, category: &str) -> DirectoryResult<Vec<ServiceDescriptor>> {
         let url = format!(
             "{}/semantic-search?category={}",
             self.base,
             soc_http::url::percent_encode(category)
         );
-        let v = self.rest.get(&url).map_err(|e| e.to_string())?;
+        let v = self.rest.get(&url)?;
         decode_list(&v)
     }
 
     /// Peer directory URLs.
-    pub fn peers(&self) -> Result<Vec<String>, String> {
-        let v = self.rest.get(&format!("{}/peers", self.base)).map_err(|e| e.to_string())?;
+    pub fn peers(&self) -> DirectoryResult<Vec<String>> {
+        let v = self.rest.get(&format!("{}/peers", self.base))?;
         Ok(v.as_array()
             .unwrap_or(&[])
             .iter()
@@ -255,11 +304,11 @@ impl DirectoryClient {
     }
 }
 
-fn decode_list(v: &Value) -> Result<Vec<ServiceDescriptor>, String> {
+fn decode_list(v: &Value) -> DirectoryResult<Vec<ServiceDescriptor>> {
     v.as_array()
-        .ok_or("expected a JSON array")?
+        .ok_or_else(|| DirectoryError::Decode("expected a JSON array".into()))?
         .iter()
-        .map(ServiceDescriptor::from_json)
+        .map(|d| ServiceDescriptor::from_json(d).map_err(DirectoryError::Decode))
         .collect()
 }
 
@@ -278,9 +327,14 @@ mod tests {
     }
 
     fn svc(id: &str) -> ServiceDescriptor {
-        ServiceDescriptor::new(id, &format!("{id} service"), &format!("mem://svc/{id}"), Binding::Rest)
-            .describe("a test service for the directory")
-            .category("testing")
+        ServiceDescriptor::new(
+            id,
+            &format!("{id} service"),
+            &format!("mem://svc/{id}"),
+            Binding::Rest,
+        )
+        .describe("a test service for the directory")
+        .category("testing")
     }
 
     #[test]
@@ -300,7 +354,20 @@ mod tests {
         let (_net, client) = setup();
         client.register(&svc("dup")).unwrap();
         let err = client.register(&svc("dup")).unwrap_err();
-        assert!(err.contains("409"), "{err}");
+        assert_eq!(err.status(), Some(Status::CONFLICT), "{err}");
+        assert!(err.to_string().contains("409"), "{err}");
+    }
+
+    #[test]
+    fn offline_directory_is_a_transport_error() {
+        let (net, client) = setup();
+        net.set_fault("dir-a", soc_http::mem::FaultConfig { offline: true, ..Default::default() });
+        let err = client.list().unwrap_err();
+        assert!(matches!(err, DirectoryError::Transport(_)), "{err}");
+        assert!(err.status().is_none());
+        // DirectoryError is a real std error with a source chain.
+        let dyn_err: &dyn std::error::Error = &err;
+        assert!(dyn_err.source().is_some());
     }
 
     #[test]
@@ -340,11 +407,9 @@ mod tests {
     #[test]
     fn search_requires_query() {
         let (net, _client) = setup();
-        let resp = soc_http::mem::Transport::send(
-            &net,
-            soc_http::Request::get("mem://dir-a/search"),
-        )
-        .unwrap();
+        let resp =
+            soc_http::mem::Transport::send(&net, soc_http::Request::get("mem://dir-a/search"))
+                .unwrap();
         assert_eq!(resp.status, Status::BAD_REQUEST);
     }
 }
@@ -359,11 +424,9 @@ mod semantic_tests {
     fn semantic_search_expands_subclasses_over_http() {
         let net = MemNetwork::new();
         let repo = Repository::new();
-        for (id, cat) in [
-            ("enc", "cryptography"),
-            ("login", "authentication"),
-            ("cart", "commerce"),
-        ] {
+        for (id, cat) in
+            [("enc", "cryptography"), ("login", "authentication"), ("cart", "commerce")]
+        {
             repo.publish(
                 ServiceDescriptor::new(id, id, &format!("mem://s/{id}"), Binding::Rest)
                     .category(cat),

@@ -31,9 +31,9 @@
 
 pub mod crawler;
 pub mod descriptor;
-pub mod ontology;
 pub mod directory;
 pub mod monitor;
+pub mod ontology;
 pub mod repository;
 pub mod search;
 

@@ -31,7 +31,17 @@ pub struct QosReport {
     pub mean_latency: Duration,
     /// Worst observed latency.
     pub max_latency: Duration,
+    /// Median latency over successful probes.
+    pub p50_latency: Duration,
+    /// 95th-percentile latency over successful probes.
+    pub p95_latency: Duration,
+    /// 99th-percentile latency over successful probes.
+    pub p99_latency: Duration,
 }
+
+/// Cap on retained latency samples per service; past it, the oldest
+/// samples are overwritten so the percentile window slides forward.
+const SAMPLE_CAP: usize = 8_192;
 
 #[derive(Debug, Default)]
 struct Track {
@@ -39,6 +49,33 @@ struct Track {
     successes: u64,
     total_latency: Duration,
     max_latency: Duration,
+    /// Success latencies in nanoseconds, a bounded sliding window.
+    samples: Vec<u64>,
+    /// Next overwrite position once `samples` hits [`SAMPLE_CAP`].
+    next_slot: usize,
+}
+
+impl Track {
+    fn push_sample(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        if self.samples.len() < SAMPLE_CAP {
+            self.samples.push(nanos);
+        } else {
+            self.samples[self.next_slot] = nanos;
+            self.next_slot = (self.next_slot + 1) % SAMPLE_CAP;
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in [0, 1]) over the sample window.
+    fn percentile(&self, q: f64) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Duration::from_nanos(sorted[rank - 1])
+    }
 }
 
 /// Probes service endpoints and accumulates QoS statistics.
@@ -61,16 +98,24 @@ impl QosMonitor {
             Ok(resp) => resp.status.is_success(),
             Err(_) => false,
         };
-        let elapsed = start.elapsed();
+        self.record(id, ok, start.elapsed());
+        ok
+    }
+
+    /// Record an externally observed outcome for service `id` — the same
+    /// bookkeeping as [`QosMonitor::probe`] but with the caller supplying
+    /// the result. Lets a gateway or client feed live traffic into the
+    /// same QoS statistics the monitor's own probes populate.
+    pub fn record(&self, id: &str, ok: bool, latency: Duration) {
         let mut tracks = self.tracks.lock();
         let t = tracks.entry(id.to_string()).or_default();
         t.probes += 1;
         if ok {
             t.successes += 1;
-            t.total_latency += elapsed;
-            t.max_latency = t.max_latency.max(elapsed);
+            t.total_latency += latency;
+            t.max_latency = t.max_latency.max(latency);
+            t.push_sample(latency);
         }
-        ok
     }
 
     /// Probe a service `n` times in a row.
@@ -88,18 +133,30 @@ impl QosMonitor {
             id: id.to_string(),
             probes: t.probes,
             successes: t.successes,
-            availability: if t.probes == 0 {
-                0.0
-            } else {
-                t.successes as f64 / t.probes as f64
-            },
+            availability: if t.probes == 0 { 0.0 } else { t.successes as f64 / t.probes as f64 },
             mean_latency: if t.successes == 0 {
                 Duration::ZERO
             } else {
                 t.total_latency / t.successes as u32
             },
             max_latency: t.max_latency,
+            p50_latency: t.percentile(0.50),
+            p95_latency: t.percentile(0.95),
+            p99_latency: t.percentile(0.99),
         })
+    }
+
+    /// Mean latency over successful observations of `id`, without the
+    /// percentile computation a full [`QosMonitor::report`] pays for —
+    /// cheap enough to consult on every load-balancing decision.
+    pub fn mean_latency(&self, id: &str) -> Option<Duration> {
+        let tracks = self.tracks.lock();
+        let t = tracks.get(id)?;
+        if t.successes == 0 {
+            None
+        } else {
+            Some(t.total_latency / t.successes as u32)
+        }
     }
 
     /// Reports for every probed service, sorted by id.
@@ -108,8 +165,7 @@ impl QosMonitor {
             let tracks = self.tracks.lock();
             tracks.keys().cloned().collect()
         };
-        let mut reports: Vec<QosReport> =
-            ids.iter().filter_map(|id| self.report(id)).collect();
+        let mut reports: Vec<QosReport> = ids.iter().filter_map(|id| self.report(id)).collect();
         reports.sort_by(|a, b| a.id.cmp(&b.id));
         reports
     }
@@ -133,9 +189,7 @@ impl LeaseTable {
 
     /// Grant or renew a lease until `now + duration_ticks`.
     pub fn renew(&self, id: &str, now: u64, duration_ticks: u64) {
-        self.leases
-            .lock()
-            .insert(id.to_string(), now.saturating_add(duration_ticks));
+        self.leases.lock().insert(id.to_string(), now.saturating_add(duration_ticks));
     }
 
     /// Is the lease current at `now`?
@@ -146,11 +200,8 @@ impl LeaseTable {
     /// Drop expired leases, returning the ids that lapsed.
     pub fn expire(&self, now: u64) -> Vec<String> {
         let mut leases = self.leases.lock();
-        let dead: Vec<String> = leases
-            .iter()
-            .filter(|(_, &expiry)| expiry <= now)
-            .map(|(id, _)| id.clone())
-            .collect();
+        let dead: Vec<String> =
+            leases.iter().filter(|(_, &expiry)| expiry <= now).map(|(id, _)| id.clone()).collect();
         for id in &dead {
             leases.remove(id);
         }
@@ -231,6 +282,58 @@ mod tests {
         monitor.probe("flaky", "mem://flaky/");
         let ids: Vec<String> = monitor.all_reports().into_iter().map(|r| r.id).collect();
         assert_eq!(ids, vec!["flaky", "up"]);
+    }
+
+    #[test]
+    fn record_feeds_percentiles() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        // 1ms..=100ms, one sample each: percentiles land on exact ranks.
+        for ms in 1..=100u64 {
+            monitor.record("svc", true, Duration::from_millis(ms));
+        }
+        let r = monitor.report("svc").unwrap();
+        assert_eq!(r.probes, 100);
+        assert_eq!(r.successes, 100);
+        assert_eq!(r.p50_latency, Duration::from_millis(50));
+        assert_eq!(r.p95_latency, Duration::from_millis(95));
+        assert_eq!(r.p99_latency, Duration::from_millis(99));
+        assert_eq!(r.max_latency, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn failures_do_not_skew_latency_percentiles() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        monitor.record("svc", true, Duration::from_millis(10));
+        monitor.record("svc", false, Duration::from_secs(5));
+        let r = monitor.report("svc").unwrap();
+        assert_eq!(r.successes, 1);
+        assert_eq!(r.p99_latency, Duration::from_millis(10));
+        assert!((r.availability - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_empty_when_never_successful() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        monitor.record("down", false, Duration::from_millis(1));
+        let r = monitor.report("down").unwrap();
+        assert_eq!(r.p50_latency, Duration::ZERO);
+        assert_eq!(r.p95_latency, Duration::ZERO);
+        assert_eq!(r.p99_latency, Duration::ZERO);
+    }
+
+    #[test]
+    fn sample_window_slides_past_cap() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        // Overfill the window with slow samples, then fully replace them
+        // with fast ones: old samples must age out of the percentile.
+        for _ in 0..SAMPLE_CAP {
+            monitor.record("svc", true, Duration::from_millis(100));
+        }
+        for _ in 0..SAMPLE_CAP {
+            monitor.record("svc", true, Duration::from_millis(1));
+        }
+        let r = monitor.report("svc").unwrap();
+        assert_eq!(r.p99_latency, Duration::from_millis(1));
     }
 
     #[test]

@@ -59,12 +59,7 @@ impl Repository {
 
     /// Services in a category.
     pub fn by_category(&self, category: &str) -> Vec<ServiceDescriptor> {
-        self.services
-            .read()
-            .iter()
-            .filter(|s| s.category == category)
-            .cloned()
-            .collect()
+        self.services.read().iter().filter(|s| s.category == category).cloned().collect()
     }
 
     /// Distinct categories, sorted.
@@ -163,10 +158,8 @@ mod tests {
     fn xml_persistence_round_trip() {
         let repo = Repository::new();
         repo.publish(svc("a", "security")).unwrap();
-        repo.publish(
-            svc("b", "commerce").describe("shopping cart & checkout").keywords(&["cart"]),
-        )
-        .unwrap();
+        repo.publish(svc("b", "commerce").describe("shopping cart & checkout").keywords(&["cart"]))
+            .unwrap();
         let xml = repo.to_xml();
         let loaded = Repository::from_xml(&xml).unwrap();
         assert_eq!(loaded.list(), repo.list());

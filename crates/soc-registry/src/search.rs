@@ -132,8 +132,8 @@ impl SearchEngine {
             let idf = (n / posting.len() as f64).ln() + 1.0;
             for &doc in posting {
                 let entry = &self.docs[doc];
-                let tf = entry.terms.get(term).copied().unwrap_or(0) as f64
-                    / entry.length.max(1) as f64;
+                let tf =
+                    entry.terms.get(term).copied().unwrap_or(0) as f64 / entry.length.max(1) as f64;
                 *scores.entry(doc).or_insert(0.0) += tf * idf;
             }
         }
@@ -187,9 +187,14 @@ mod tests {
                 .describe("generates a random string image for human verification (captcha)")
                 .category("security")
                 .keywords(&["captcha", "image"]),
-            ServiceDescriptor::new("mortgage", "Mortgage Approval", "mem://s/mortgage", Binding::Soap)
-                .describe("mortgage application approval using a credit score service")
-                .category("finance"),
+            ServiceDescriptor::new(
+                "mortgage",
+                "Mortgage Approval",
+                "mem://s/mortgage",
+                Binding::Soap,
+            )
+            .describe("mortgage application approval using a credit score service")
+            .category("finance"),
         ]
     }
 

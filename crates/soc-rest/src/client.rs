@@ -92,9 +92,8 @@ impl RestClient {
         if resp.body.is_empty() {
             return Ok(Value::Null);
         }
-        let text = resp
-            .text_body()
-            .map_err(|_| RestError::Decode("response body is not UTF-8".into()))?;
+        let text =
+            resp.text_body().map_err(|_| RestError::Decode("response body is not UTF-8".into()))?;
         Value::parse(text).map_err(|e| RestError::Decode(e.to_string()))
     }
 

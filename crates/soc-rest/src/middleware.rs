@@ -12,8 +12,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use soc_http::{Request, Response, Status};
 
-type MiddlewareFn =
-    dyn Fn(Request, &dyn Fn(Request) -> Response) -> Response + Send + Sync;
+type MiddlewareFn = dyn Fn(Request, &dyn Fn(Request) -> Response) -> Response + Send + Sync;
 
 /// A cloneable middleware wrapper.
 #[derive(Clone)]
@@ -66,8 +65,7 @@ pub fn logging(log: Arc<RequestLog>) -> Middleware {
         if resp.status.0 >= 400 {
             log.errors.fetch_add(1, Ordering::Relaxed);
         }
-        log.total_micros
-            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        log.total_micros.fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
         resp
     })
 }
@@ -116,9 +114,7 @@ pub fn rate_limit(limit: u32, window: Duration) -> Middleware {
 /// Adds a `Server` header to all responses (used to verify middleware
 /// ordering in tests).
 pub fn server_header(value: &'static str) -> Middleware {
-    Middleware::new("server-header", move |req, next| {
-        next(req).with_header("Server", value)
-    })
+    Middleware::new("server-header", move |req, next| next(req).with_header("Server", value))
 }
 
 #[cfg(test)]

@@ -65,9 +65,7 @@ fn respond(req: &Request, root: &str, outcome: Outcome) -> Response {
 }
 
 fn parse_body(req: &Request) -> Result<Value, Response> {
-    let text = req
-        .text()
-        .map_err(|_| Response::error(Status::BAD_REQUEST, "body is not UTF-8"))?;
+    let text = req.text().map_err(|_| Response::error(Status::BAD_REQUEST, "body is not UTF-8"))?;
     Value::parse(text).map_err(|e| Response::error(Status::BAD_REQUEST, &e.to_string()))
 }
 
@@ -102,9 +100,8 @@ pub fn mount(router: &mut Router, base: &str, resource: Arc<dyn Resource>) {
     }
     {
         let r = resource;
-        router.delete(&item, move |req, p| {
-            respond(&req, &root, r.delete(p.get("id").unwrap_or("")))
-        });
+        router
+            .delete(&item, move |req, p| respond(&req, &root, r.delete(p.get("id").unwrap_or(""))));
     }
 }
 
@@ -255,9 +252,8 @@ mod tests {
     #[test]
     fn malformed_json_is_bad_request() {
         let (router, _) = app();
-        let resp = router.handle(
-            Request::new(Method::Post, "/services").with_text("application/json", "{nope"),
-        );
+        let resp = router
+            .handle(Request::new(Method::Post, "/services").with_text("application/json", "{nope"));
         assert_eq!(resp.status, Status::BAD_REQUEST);
     }
 

@@ -71,9 +71,7 @@ fn match_pattern(segments: &[Segment], path: &str) -> Option<PathParams> {
             }
             Segment::Param(name) => {
                 let part = parts.get(i)?;
-                params
-                    .params
-                    .push((name.clone(), soc_http::url::percent_decode(part)));
+                params.params.push((name.clone(), soc_http::url::percent_decode(part)));
                 i += 1;
             }
             Segment::Tail(name) => {
@@ -219,9 +217,7 @@ mod tests {
     fn router() -> Router {
         let mut r = Router::new();
         r.get("/services", |_req, _p| Response::text("list"));
-        r.get("/services/{id}", |_req, p| {
-            Response::text(format!("get {}", p.get("id").unwrap()))
-        });
+        r.get("/services/{id}", |_req, p| Response::text(format!("get {}", p.get("id").unwrap())));
         r.post("/services", |req, _p| {
             Response::new(Status::CREATED).with_text("text/plain", req.text().unwrap_or(""))
         });
@@ -249,10 +245,7 @@ mod tests {
     #[test]
     fn params_are_percent_decoded() {
         let r = router();
-        assert_eq!(
-            send(&r, Request::get("/services/a%20b")).text_body().unwrap(),
-            "get a b"
-        );
+        assert_eq!(send(&r, Request::get("/services/a%20b")).text_body().unwrap(), "get a b");
     }
 
     #[test]
@@ -288,11 +281,9 @@ mod tests {
     #[test]
     fn params_typed_parse() {
         let mut r = Router::new();
-        r.get("/n/{num}", |_req, p| {
-            match p.parse::<u32>("num") {
-                Some(n) => Response::text(format!("{}", n * 2)),
-                None => Response::error(Status::BAD_REQUEST, "not a number"),
-            }
+        r.get("/n/{num}", |_req, p| match p.parse::<u32>("num") {
+            Some(n) => Response::text(format!("{}", n * 2)),
+            None => Response::error(Status::BAD_REQUEST, "not a number"),
         });
         assert_eq!(send(&r, Request::get("/n/21")).text_body().unwrap(), "42");
         assert_eq!(send(&r, Request::get("/n/x")).status, Status::BAD_REQUEST);

@@ -214,11 +214,9 @@ impl TwoDistanceGreedy {
             let nx = x as i64 + dx as i64;
             let ny = y as i64 + dy as i64;
             let manhattan = (ex as i64 - nx).abs() + (ey as i64 - ny).abs();
-            let visits = self
-                .visits
-                .get(&(nx.max(0) as usize, ny.max(0) as usize))
-                .copied()
-                .unwrap_or(0) as i64;
+            let visits =
+                self.visits.get(&(nx.max(0) as usize, ny.max(0) as usize)).copied().unwrap_or(0)
+                    as i64;
             // Distance-greedy with an escalating revisit penalty (breaks
             // corridor ping-pong) and a mild turn penalty.
             let turn_cost = if d == p.heading { 0 } else { 1 };
@@ -456,10 +454,8 @@ mod tests {
         for seed in 0..8 {
             let m = Maze::generate(11, 7, seed);
             let min = oracle_steps(&m).unwrap();
-            let navs: Vec<Box<dyn Navigator>> = vec![
-                Box::new(WallFollower::new(Hand::Right)),
-                Box::new(TwoDistanceGreedy::new()),
-            ];
+            let navs: Vec<Box<dyn Navigator>> =
+                vec![Box::new(WallFollower::new(Hand::Right)), Box::new(TwoDistanceGreedy::new())];
             for mut nav in navs {
                 let out = run(&m, nav.as_mut(), budget(&m) * 4);
                 if out.reached {

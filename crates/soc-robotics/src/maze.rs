@@ -178,17 +178,13 @@ impl Maze {
         let mut rng = StdRng::seed_from_u64(seed);
         for y in 0..self.height {
             for x in 0..self.width {
-                let open: Vec<Direction> = Direction::ALL
-                    .into_iter()
-                    .filter(|d| !self.has_wall((x, y), *d))
-                    .collect();
+                let open: Vec<Direction> =
+                    Direction::ALL.into_iter().filter(|d| !self.has_wall((x, y), *d)).collect();
                 if open.len() == 1 && rng.gen_bool(fraction.clamp(0.0, 1.0)) {
                     // Dead end: open a random walled side with a neighbor.
                     let mut candidates: Vec<Direction> = Direction::ALL
                         .into_iter()
-                        .filter(|d| {
-                            *d != open[0] && self.neighbor((x, y), *d).is_some()
-                        })
+                        .filter(|d| *d != open[0] && self.neighbor((x, y), *d).is_some())
                         .collect();
                     candidates.shuffle(&mut rng);
                     if let Some(&d) = candidates.first() {
@@ -379,10 +375,7 @@ mod tests {
         let m = Maze::generate(15, 11, 42);
         for y in 0..m.height() {
             for x in 0..m.width() {
-                assert!(
-                    m.shortest_path(m.start, (x, y)).is_some(),
-                    "cell ({x},{y}) unreachable"
-                );
+                assert!(m.shortest_path(m.start, (x, y)).is_some(), "cell ({x},{y}) unreachable");
             }
         }
     }
@@ -414,13 +407,9 @@ mod tests {
     #[test]
     fn braiding_adds_loops() {
         let mut m = Maze::generate(15, 15, 3);
-        let dead_ends_before = (0..15 * 15)
-            .filter(|i| m.open_sides((i % 15, i / 15)) == 1)
-            .count();
+        let dead_ends_before = (0..15 * 15).filter(|i| m.open_sides((i % 15, i / 15)) == 1).count();
         m.braid(1.0, 99);
-        let dead_ends_after = (0..15 * 15)
-            .filter(|i| m.open_sides((i % 15, i / 15)) == 1)
-            .count();
+        let dead_ends_after = (0..15 * 15).filter(|i| m.open_sides((i % 15, i / 15)) == 1).count();
         assert!(dead_ends_after < dead_ends_before);
         // Still fully connected (braiding only removes walls).
         assert!(m.shortest_path(m.start, m.exit).is_some());
@@ -445,9 +434,9 @@ mod tests {
         assert_eq!(*path.last().unwrap(), m.exit);
         for w in path.windows(2) {
             let (a, b) = (w[0], w[1]);
-            let adjacent = Direction::ALL.into_iter().any(|d| {
-                m.neighbor(a, d) == Some(b) && !m.has_wall(a, d)
-            });
+            let adjacent = Direction::ALL
+                .into_iter()
+                .any(|d| m.neighbor(a, d) == Some(b) && !m.has_wall(a, d));
             assert!(adjacent, "{a:?} -> {b:?} is not a legal move");
         }
     }
@@ -514,10 +503,7 @@ mod prim_tests {
         };
         let prim = avg(Maze::generate_prim);
         let backtracker = avg(Maze::generate);
-        assert!(
-            prim > backtracker + 0.05,
-            "prim {prim:.3} vs backtracker {backtracker:.3}"
-        );
+        assert!(prim > backtracker + 0.05, "prim {prim:.3} vs backtracker {backtracker:.3}");
     }
 
     #[test]

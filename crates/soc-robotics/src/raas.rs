@@ -72,9 +72,11 @@ impl RaasService {
         {
             let st = state.clone();
             router.post("/sessions", move |req, _p| {
-                let body = match req.text().map_err(|e| e.to_string()).and_then(|t| {
-                    Value::parse(t).map_err(|e| e.to_string())
-                }) {
+                let body = match req
+                    .text()
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Value::parse(t).map_err(|e| e.to_string()))
+                {
                     Ok(v) => v,
                     Err(e) => return Response::error(Status::BAD_REQUEST, &e),
                 };
@@ -150,7 +152,12 @@ impl RaasService {
                     Some("forward") => Action::Forward,
                     Some("left") => Action::TurnLeft,
                     Some("right") => Action::TurnRight,
-                    _ => return Response::error(Status::UNPROCESSABLE, "action must be forward|left|right"),
+                    _ => {
+                        return Response::error(
+                            Status::UNPROCESSABLE,
+                            "action must be forward|left|right",
+                        )
+                    }
                 };
                 let mut sessions = st.sessions.lock();
                 let Some(s) = sessions.get_mut(&id) else {
@@ -170,7 +177,8 @@ impl RaasService {
                 let Some(id) = p.parse::<u64>("id") else {
                     return Response::error(Status::BAD_REQUEST, "bad session id");
                 };
-                let body = req.text().ok().and_then(|t| Value::parse(t).ok()).unwrap_or(Value::Null);
+                let body =
+                    req.text().ok().and_then(|t| Value::parse(t).ok()).unwrap_or(Value::Null);
                 let algo_name = body
                     .get("algorithm")
                     .and_then(Value::as_str)
@@ -332,10 +340,7 @@ mod tests {
         let c = client();
         let id = create(&c);
         assert!(c
-            .post(
-                &format!("mem://robot/sessions/{id}/run"),
-                &json!({ "algorithm": "teleport" })
-            )
+            .post(&format!("mem://robot/sessions/{id}/run"), &json!({ "algorithm": "teleport" }))
             .is_err());
     }
 
@@ -354,9 +359,8 @@ mod tests {
     #[test]
     fn oversized_maze_rejected() {
         let c = client();
-        let err = c
-            .post("mem://robot/sessions", &json!({ "width": 5000, "height": 5 }))
-            .unwrap_err();
+        let err =
+            c.post("mem://robot/sessions", &json!({ "width": 5000, "height": 5 })).unwrap_err();
         assert!(err.to_string().contains("422"), "{err}");
     }
 }

@@ -157,9 +157,8 @@ impl AccessControl {
         }
         drop(users);
         let n = self.token_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let token = hex_encode(
-            &fnv1a(format!("token:{username}:{n}").as_bytes()).to_be_bytes(),
-        ) + &hex_encode(&fnv1a(format!("{n}:{username}").as_bytes()).to_be_bytes());
+        let token = hex_encode(&fnv1a(format!("token:{username}:{n}").as_bytes()).to_be_bytes())
+            + &hex_encode(&fnv1a(format!("{n}:{username}").as_bytes()).to_be_bytes());
         self.tokens.write().insert(
             token.clone(),
             TokenInfo { user: username.to_string(), expires_at: now + self.token_ttl },
@@ -180,9 +179,7 @@ impl AccessControl {
     pub fn authorize(&self, token: &str, role: &str, now: u64) -> Result<String, AccessError> {
         let user = self.authenticate(token, now)?;
         let users = self.users.read();
-        let has = users
-            .get(&user)
-            .is_some_and(|u| u.roles.iter().any(|r| r == role));
+        let has = users.get(&user).is_some_and(|u| u.roles.iter().any(|r| r == role));
         if has {
             Ok(user)
         } else {
@@ -232,27 +229,18 @@ mod tests {
     #[test]
     fn duplicate_registration_rejected() {
         let ac = svc();
-        assert_eq!(
-            ac.register("ann", "Val1dPassword", &[]),
-            Err(AccessError::UserExists)
-        );
+        assert_eq!(ac.register("ann", "Val1dPassword", &[]), Err(AccessError::UserExists));
     }
 
     #[test]
     fn weak_passwords_rejected() {
         let ac = AccessControl::new(10);
-        assert!(matches!(
-            ac.register("x", "short1A", &[]),
-            Err(AccessError::WeakPassword(_))
-        ));
+        assert!(matches!(ac.register("x", "short1A", &[]), Err(AccessError::WeakPassword(_))));
         assert!(matches!(
             ac.register("x", "alllowercase1", &[]),
             Err(AccessError::WeakPassword(_))
         ));
-        assert!(matches!(
-            ac.register("x", "NoDigitsHere", &[]),
-            Err(AccessError::WeakPassword(_))
-        ));
+        assert!(matches!(ac.register("x", "NoDigitsHere", &[]), Err(AccessError::WeakPassword(_))));
         assert!(ac.register("x", "G00dPassword", &[]).is_ok());
     }
 

@@ -34,9 +34,8 @@ fn bad(e: impl std::fmt::Display) -> Response {
 }
 
 fn body_json(req: &Request) -> Result<Value, Response> {
-    let text = req
-        .text()
-        .map_err(|_| Response::error(Status::BAD_REQUEST, "body must be UTF-8"))?;
+    let text =
+        req.text().map_err(|_| Response::error(Status::BAD_REQUEST, "body must be UTF-8"))?;
     Value::parse(text).map_err(|e| Response::error(Status::BAD_REQUEST, &e.to_string()))
 }
 
@@ -59,7 +58,8 @@ impl ServiceHost {
         // ---- encryption / decryption --------------------------------
         router.post("/crypto/encrypt", |req, _p| match body_json(&req) {
             Ok(v) => {
-                let (pass, plain) = match (str_field(&v, "passphrase"), str_field(&v, "plaintext")) {
+                let (pass, plain) = match (str_field(&v, "passphrase"), str_field(&v, "plaintext"))
+                {
                     (Ok(p), Ok(t)) => (p, t),
                     (Err(r), _) | (_, Err(r)) => return r,
                 };
@@ -119,7 +119,9 @@ impl ServiceHost {
                 Ok(v) => {
                     let max = v.get("max").and_then(Value::as_i64).unwrap_or(100) as u32;
                     match games.start(max) {
-                        Ok(id) => Response::json(&json!({ "game": (id as i64), "max": max }).to_compact()),
+                        Ok(id) => {
+                            Response::json(&json!({ "game": (id as i64), "max": max }).to_compact())
+                        }
                         Err(e) => bad(e),
                     }
                 }
@@ -145,7 +147,8 @@ impl ServiceHost {
                                 Response::json(&json!({ "feedback": "lower" }).to_compact())
                             }
                             Ok(Feedback::Correct { attempts }) => Response::json(
-                                &json!({ "feedback": "correct", "attempts": attempts }).to_compact(),
+                                &json!({ "feedback": "correct", "attempts": attempts })
+                                    .to_compact(),
                             ),
                             Ok(Feedback::GameOver) => {
                                 Response::json(&json!({ "feedback": "game-over" }).to_compact())
@@ -377,10 +380,7 @@ impl ServiceHost {
                 let series: Vec<(String, f64)> = arr
                     .iter()
                     .filter_map(|e| {
-                        Some((
-                            e.get("label")?.as_str()?.to_string(),
-                            e.get("value")?.as_f64()?,
-                        ))
+                        Some((e.get("label")?.as_str()?.to_string(), e.get("value")?.as_f64()?))
                     })
                     .collect();
                 let img = image::bar_chart(title, &series, 320, 160);
@@ -435,7 +435,8 @@ impl ServiceHost {
             let (access, clock) = (access, clock);
             router.get("/auth/whoami", move |req, _p| {
                 let now = clock.fetch_add(1, Ordering::Relaxed);
-                let token = req.headers.get("Authorization").unwrap_or("").trim_start_matches("Bearer ");
+                let token =
+                    req.headers.get("Authorization").unwrap_or("").trim_start_matches("Bearer ");
                 match access.authenticate(token, now) {
                     Ok(user) => Response::json(&json!({ "user": user }).to_compact()),
                     Err(e) => Response::error(Status::UNAUTHORIZED, &e.to_string()),
@@ -526,36 +527,86 @@ pub fn catalog(rest_host: &str, soap_host: &str) -> Vec<ServiceDescriptor> {
             .provider("asu-repository")
     };
     vec![
-        rest("crypto", "Encryption Service", "/crypto/encrypt",
-            "encrypts and decrypts text with a shared passphrase (XTEA)", "security",
-            &["cipher", "encryption", "decryption"]),
-        rest("auth", "Access Control Service", "/auth/login",
-            "user registration, login tokens, and role checks", "security",
-            &["authentication", "authorization", "token"]),
-        rest("guess", "Number Guessing Game", "/guess/start",
-            "random number guessing game with higher/lower feedback", "games",
-            &["game", "random"]),
-        rest("passwords", "Strong Password Generator", "/passwords/generate",
-            "random strong password generation with entropy estimates", "security",
-            &["password", "random", "entropy"]),
-        rest("charts", "Dynamic Image Generation", "/charts/bar",
-            "renders bar charts as BMP images on demand", "media",
-            &["image", "chart", "graphics"]),
-        rest("captcha", "Image Verifier", "/captcha/new",
-            "random string image challenge (captcha) with one-shot verification", "security",
-            &["captcha", "image", "verification"]),
-        rest("cache", "Caching Service", "/cache/demo",
-            "bounded LRU cache with TTL and hit statistics", "infrastructure",
-            &["cache", "lru", "ttl"]),
-        rest("cart", "Shopping Cart Service", "/carts",
-            "shopping carts with line items, totals, and promotions", "commerce",
-            &["cart", "shopping", "checkout"]),
-        rest("queue", "Messaging Buffer Service", "/queues/demo/messages",
-            "named bounded message queues (producer/consumer)", "infrastructure",
-            &["queue", "buffer", "messaging"]),
-        rest("mortgage", "Mortgage Approval Service", "/mortgage/apply",
-            "mortgage application approval using the credit score service", "finance",
-            &["mortgage", "loan", "approval"]),
+        rest(
+            "crypto",
+            "Encryption Service",
+            "/crypto/encrypt",
+            "encrypts and decrypts text with a shared passphrase (XTEA)",
+            "security",
+            &["cipher", "encryption", "decryption"],
+        ),
+        rest(
+            "auth",
+            "Access Control Service",
+            "/auth/login",
+            "user registration, login tokens, and role checks",
+            "security",
+            &["authentication", "authorization", "token"],
+        ),
+        rest(
+            "guess",
+            "Number Guessing Game",
+            "/guess/start",
+            "random number guessing game with higher/lower feedback",
+            "games",
+            &["game", "random"],
+        ),
+        rest(
+            "passwords",
+            "Strong Password Generator",
+            "/passwords/generate",
+            "random strong password generation with entropy estimates",
+            "security",
+            &["password", "random", "entropy"],
+        ),
+        rest(
+            "charts",
+            "Dynamic Image Generation",
+            "/charts/bar",
+            "renders bar charts as BMP images on demand",
+            "media",
+            &["image", "chart", "graphics"],
+        ),
+        rest(
+            "captcha",
+            "Image Verifier",
+            "/captcha/new",
+            "random string image challenge (captcha) with one-shot verification",
+            "security",
+            &["captcha", "image", "verification"],
+        ),
+        rest(
+            "cache",
+            "Caching Service",
+            "/cache/demo",
+            "bounded LRU cache with TTL and hit statistics",
+            "infrastructure",
+            &["cache", "lru", "ttl"],
+        ),
+        rest(
+            "cart",
+            "Shopping Cart Service",
+            "/carts",
+            "shopping carts with line items, totals, and promotions",
+            "commerce",
+            &["cart", "shopping", "checkout"],
+        ),
+        rest(
+            "queue",
+            "Messaging Buffer Service",
+            "/queues/demo/messages",
+            "named bounded message queues (producer/consumer)",
+            "infrastructure",
+            &["queue", "buffer", "messaging"],
+        ),
+        rest(
+            "mortgage",
+            "Mortgage Approval Service",
+            "/mortgage/apply",
+            "mortgage application approval using the credit score service",
+            "finance",
+            &["mortgage", "loan", "approval"],
+        ),
         ServiceDescriptor::new(
             "credit-soap",
             "Credit Score Service (SOAP)",
@@ -643,9 +694,7 @@ mod tests {
     #[test]
     fn guessing_game_over_rest() {
         let (_net, c) = setup();
-        let start = c
-            .post("mem://services.asu/guess/start", &json!({ "max": 50 }))
-            .unwrap();
+        let start = c.post("mem://services.asu/guess/start", &json!({ "max": 50 })).unwrap();
         let game = start.get("game").and_then(Value::as_i64).unwrap();
         // Binary search over REST.
         let (mut lo, mut hi) = (1i64, 50i64);
@@ -675,10 +724,7 @@ mod tests {
         assert!(ch.get("image_bmp_base64").and_then(Value::as_str).unwrap().len() > 100);
         let id = ch.get("id").and_then(Value::as_i64).unwrap();
         let fail = c
-            .post(
-                "mem://services.asu/captcha/verify",
-                &json!({ "id": id, "answer": "WRONG!" }),
-            )
+            .post("mem://services.asu/captcha/verify", &json!({ "id": id, "answer": "WRONG!" }))
             .unwrap();
         assert_eq!(fail.get("result").and_then(Value::as_str), Some("fail"));
     }
@@ -694,10 +740,7 @@ mod tests {
         )
         .unwrap();
         let receipt = c
-            .post(
-                &format!("mem://services.asu/carts/{id}/checkout"),
-                &json!({ "percent_off": 10 }),
-            )
+            .post(&format!("mem://services.asu/carts/{id}/checkout"), &json!({ "percent_off": 10 }))
             .unwrap();
         assert_eq!(receipt.get("subtotal").and_then(Value::as_i64), Some(9998));
         assert_eq!(receipt.get("discount").and_then(Value::as_i64), Some(999));
@@ -805,12 +848,20 @@ mod tests {
 
         let contract = encryption_contract();
         let enc = soap
-            .call("mem://soap.asu/crypto", &contract, "Encrypt",
-                &[("passphrase", "k"), ("plaintext", "soap secret")])
+            .call(
+                "mem://soap.asu/crypto",
+                &contract,
+                "Encrypt",
+                &[("passphrase", "k"), ("plaintext", "soap secret")],
+            )
             .unwrap();
         let dec = soap
-            .call("mem://soap.asu/crypto", &contract, "Decrypt",
-                &[("passphrase", "k"), ("ciphertext", &enc["ciphertext"])])
+            .call(
+                "mem://soap.asu/crypto",
+                &contract,
+                "Decrypt",
+                &[("passphrase", "k"), ("ciphertext", &enc["ciphertext"])],
+            )
             .unwrap();
         assert_eq!(dec["plaintext"], "soap secret");
     }

@@ -99,7 +99,11 @@ impl CacheService {
         }
         inner.map.insert(
             key.to_string(),
-            Entry { value: value.to_string(), expires_at: now.saturating_add(ttl), last_used: stamp },
+            Entry {
+                value: value.to_string(),
+                expires_at: now.saturating_add(ttl),
+                last_used: stamp,
+            },
         );
     }
 
@@ -129,12 +133,7 @@ impl CacheService {
     }
 
     /// Read-through helper: get, or compute-and-store on miss.
-    pub fn get_or_compute(
-        &self,
-        key: &str,
-        now: u64,
-        compute: impl FnOnce() -> String,
-    ) -> String {
+    pub fn get_or_compute(&self, key: &str, now: u64, compute: impl FnOnce() -> String) -> String {
         if let Some(v) = self.get(key, now) {
             return v;
         }

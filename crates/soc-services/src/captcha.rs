@@ -58,9 +58,8 @@ impl CaptchaService {
     /// Create a new challenge.
     pub fn challenge(&self) -> Challenge {
         let mut rng = self.rng.lock();
-        let text: String = (0..self.length)
-            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
-            .collect();
+        let text: String =
+            (0..self.length).map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char).collect();
         let noise_seed: u64 = rng.gen();
         drop(rng);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);

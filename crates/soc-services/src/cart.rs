@@ -245,9 +245,7 @@ mod tests {
         let svc = CartService::new();
         let id = svc.create();
         svc.add(id, book()).unwrap();
-        let r = svc
-            .checkout(id, &[Promotion::PercentOff(10), Promotion::AmountOff(500)])
-            .unwrap();
+        let r = svc.checkout(id, &[Promotion::PercentOff(10), Promotion::AmountOff(500)]).unwrap();
         assert_eq!(r.discount, 499 + 500);
     }
 

@@ -23,9 +23,7 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
     }
     (0..s.len())
         .step_by(2)
-        .map(|i| {
-            u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}"))
-        })
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|_| format!("bad hex at {i}")))
         .collect()
 }
 
@@ -74,7 +72,9 @@ pub fn base64_decode(s: &str) -> Result<Vec<u8>, String> {
                 out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8, n as u8]);
             }
             3 => {
-                let n = ((chunk[0] as u32) << 18) | ((chunk[1] as u32) << 12) | ((chunk[2] as u32) << 6);
+                let n = ((chunk[0] as u32) << 18)
+                    | ((chunk[1] as u32) << 12)
+                    | ((chunk[2] as u32) << 6);
                 out.extend_from_slice(&[(n >> 16) as u8, (n >> 8) as u8]);
             }
             2 => {
@@ -174,14 +174,12 @@ impl Xtea {
         let mut sum: u32 = 0;
         for _ in 0..Self::ROUNDS {
             v0 = v0.wrapping_add(
-                ((v1 << 4) ^ (v1 >> 5))
-                    .wrapping_add(v1)
+                ((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)
                     ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
             );
             sum = sum.wrapping_add(Self::DELTA);
             v1 = v1.wrapping_add(
-                ((v0 << 4) ^ (v0 >> 5))
-                    .wrapping_add(v0)
+                ((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0)
                     ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
             );
         }
@@ -193,14 +191,12 @@ impl Xtea {
         let mut sum: u32 = Self::DELTA.wrapping_mul(Self::ROUNDS);
         for _ in 0..Self::ROUNDS {
             v1 = v1.wrapping_sub(
-                ((v0 << 4) ^ (v0 >> 5))
-                    .wrapping_add(v0)
+                ((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0)
                     ^ sum.wrapping_add(self.key[((sum >> 11) & 3) as usize]),
             );
             sum = sum.wrapping_sub(Self::DELTA);
             v0 = v0.wrapping_sub(
-                ((v1 << 4) ^ (v1 >> 5))
-                    .wrapping_add(v1)
+                ((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1)
                     ^ sum.wrapping_add(self.key[(sum & 3) as usize]),
             );
         }
@@ -320,10 +316,7 @@ mod tests {
 
     #[test]
     fn vigenere_classic_vector() {
-        assert_eq!(
-            vigenere_encrypt("ATTACKATDAWN", "LEMON").unwrap(),
-            "LXFOPVEFRNHR"
-        );
+        assert_eq!(vigenere_encrypt("ATTACKATDAWN", "LEMON").unwrap(), "LXFOPVEFRNHR");
     }
 
     #[test]

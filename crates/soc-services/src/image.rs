@@ -270,11 +270,8 @@ pub fn line_chart(
     let w = img.width() as i64;
     let h = img.height() as i64;
     img.text(title, 4, 2, 1, Color::BLACK);
-    let max = series
-        .iter()
-        .flat_map(|(_, v, _)| v.iter().copied())
-        .fold(f64::MIN, f64::max)
-        .max(1e-9);
+    let max =
+        series.iter().flat_map(|(_, v, _)| v.iter().copied()).fold(f64::MIN, f64::max).max(1e-9);
     let top = 14i64;
     let bottom = h - 6;
     for (_, points, color) in series {
@@ -387,12 +384,8 @@ mod tests {
 
     #[test]
     fn line_chart_draws_series() {
-        let img = line_chart(
-            "SPEEDUP",
-            &[("s", vec![1.0, 3.8, 7.2, 13.0, 22.0], Color::RED)],
-            200,
-            100,
-        );
+        let img =
+            line_chart("SPEEDUP", &[("s", vec![1.0, 3.8, 7.2, 13.0, 22.0], Color::RED)], 200, 100);
         assert!(img.count_pixels(Color::RED) > 50);
     }
 

@@ -110,10 +110,7 @@ impl MortgageService {
         if app.annual_income == 0
             || app.loan_amount * 100 > app.annual_income * self.max_loan_to_income_pct
         {
-            reasons.push(format!(
-                "loan exceeds {}% of annual income",
-                self.max_loan_to_income_pct
-            ));
+            reasons.push(format!("loan exceeds {}% of annual income", self.max_loan_to_income_pct));
         }
         if !reasons.is_empty() {
             return Decision::Rejected { score: Some(score), reasons };

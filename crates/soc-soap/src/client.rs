@@ -76,9 +76,7 @@ impl SoapClient {
     ) -> Result<HashMap<String, String>, SoapError> {
         let owned: Vec<(String, String)> =
             args.iter().map(|(n, v)| (n.to_string(), v.to_string())).collect();
-        contract
-            .validate_inputs(operation, &owned)
-            .map_err(SoapError::BadArguments)?;
+        contract.validate_inputs(operation, &owned).map_err(SoapError::BadArguments)?;
 
         let body = envelope::encode(&contract.namespace, operation, &owned);
         let req = Request::post(endpoint, Vec::new())
@@ -86,9 +84,7 @@ impl SoapClient {
             .with_header("SOAPAction", &format!("{}#{}", contract.namespace, operation));
         let resp = self.transport.send(req).map_err(SoapError::Transport)?;
 
-        let text = resp
-            .text_body()
-            .map_err(|e| SoapError::BadResponse(e.to_string()))?;
+        let text = resp.text_body().map_err(|e| SoapError::BadResponse(e.to_string()))?;
         match envelope::decode(text) {
             Ok(Decoded::Fault(f)) => Err(SoapError::Fault(f)),
             Ok(Decoded::Body(b)) => {
@@ -152,9 +148,8 @@ mod tests {
     fn typed_call_round_trip() {
         let (net, contract) = net_with_calc();
         let client = SoapClient::new(Arc::new(net));
-        let out = client
-            .call("mem://calc/soap", &contract, "Add", &[("a", "20"), ("b", "22")])
-            .unwrap();
+        let out =
+            client.call("mem://calc/soap", &contract, "Add", &[("a", "20"), ("b", "22")]).unwrap();
         assert_eq!(out["sum"], "42");
     }
 
@@ -191,9 +186,8 @@ mod tests {
     fn discovery_then_call() {
         let (net, _) = net_with_calc();
         let client = SoapClient::new(Arc::new(net));
-        let out = client
-            .discover_and_call("mem://calc/soap", "Add", &[("a", "40"), ("b", "2")])
-            .unwrap();
+        let out =
+            client.discover_and_call("mem://calc/soap", "Add", &[("a", "40"), ("b", "2")]).unwrap();
         assert_eq!(out["sum"], "42");
     }
 
@@ -201,9 +195,6 @@ mod tests {
     fn discovery_of_missing_service_fails() {
         let (net, _) = net_with_calc();
         let client = SoapClient::new(Arc::new(net));
-        assert!(matches!(
-            client.discover("mem://ghost/soap"),
-            Err(SoapError::Transport(_))
-        ));
+        assert!(matches!(client.discover("mem://ghost/soap"), Err(SoapError::Transport(_))));
     }
 }

@@ -117,7 +117,11 @@ pub struct Contract {
 impl Contract {
     /// New empty contract.
     pub fn new(name: &str, namespace: &str) -> Self {
-        Contract { name: name.to_string(), namespace: namespace.to_string(), operations: Vec::new() }
+        Contract {
+            name: name.to_string(),
+            namespace: namespace.to_string(),
+            operations: Vec::new(),
+        }
     }
 
     /// Builder: add an operation.

@@ -133,10 +133,7 @@ pub fn decode(xml: &str) -> Result<Decoded, XmlError> {
         }
     }
     // Sanity: `xpath` agrees there's exactly one operation element.
-    debug_assert_eq!(
-        xpath::eval("/Envelope/Body/*", &doc).map(|n| n.len()).unwrap_or(1),
-        1
-    );
+    debug_assert_eq!(xpath::eval("/Envelope/Body/*", &doc).map(|n| n.len()).unwrap_or(1), 1);
     Ok(Decoded::Body(DecodedBody {
         element: child_name.local.clone(),
         namespace: doc.namespace(child).map(str::to_string),
@@ -150,19 +147,15 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let xml = encode(
-            "urn:calc",
-            "Add",
-            &[("a".into(), "2".into()), ("b".into(), "40".into())],
-        );
+        let xml = encode("urn:calc", "Add", &[("a".into(), "2".into()), ("b".into(), "40".into())]);
         match decode(&xml).unwrap() {
             Decoded::Body(b) => {
                 assert_eq!(b.element, "Add");
                 assert_eq!(b.namespace.as_deref(), Some("urn:calc"));
-                assert_eq!(b.params, vec![
-                    ("a".to_string(), "2".to_string()),
-                    ("b".to_string(), "40".to_string())
-                ]);
+                assert_eq!(
+                    b.params,
+                    vec![("a".to_string(), "2".to_string()), ("b".to_string(), "40".to_string())]
+                );
             }
             other => panic!("{other:?}"),
         }

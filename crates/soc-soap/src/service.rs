@@ -26,11 +26,7 @@ impl SoapService {
     /// Create a service for `contract`, advertising `endpoint` in its
     /// WSDL.
     pub fn new(contract: Contract, endpoint: &str) -> Self {
-        SoapService {
-            contract,
-            endpoint: endpoint.to_string(),
-            implementations: HashMap::new(),
-        }
+        SoapService { contract, endpoint: endpoint.to_string(), implementations: HashMap::new() }
     }
 
     /// Provide the implementation of an operation. Panics if the
@@ -64,9 +60,7 @@ impl SoapService {
     }
 
     fn dispatch(&self, req: &Request) -> Result<String, SoapFault> {
-        let body = req
-            .text()
-            .map_err(|_| SoapFault::client("request body is not UTF-8"))?;
+        let body = req.text().map_err(|_| SoapFault::client("request body is not UTF-8"))?;
         let decoded = envelope::decode(body)
             .map_err(|e| SoapFault::client(format!("malformed envelope: {e}")))?;
         let payload = match decoded {
@@ -87,10 +81,9 @@ impl SoapService {
             .validate_inputs(&payload.element, &payload.params)
             .map_err(SoapFault::client)?;
 
-        let implementation = self
-            .implementations
-            .get(&payload.element)
-            .ok_or_else(|| SoapFault::server(format!("operation {} not implemented", payload.element)))?;
+        let implementation = self.implementations.get(&payload.element).ok_or_else(|| {
+            SoapFault::server(format!("operation {} not implemented", payload.element))
+        })?;
 
         let args: HashMap<String, String> = payload.params.into_iter().collect();
         let outputs = implementation(&args)?;
@@ -100,7 +93,10 @@ impl SoapService {
         let op = self.contract.find(&payload.element).expect("validated above");
         for p in &op.outputs {
             let Some((_, v)) = outputs.iter().find(|(n, _)| *n == p.name) else {
-                return Err(SoapFault::server(format!("implementation omitted output {:?}", p.name)));
+                return Err(SoapFault::server(format!(
+                    "implementation omitted output {:?}",
+                    p.name
+                )));
             };
             if !p.ty.accepts(v) {
                 return Err(SoapFault::server(format!(
@@ -124,7 +120,10 @@ impl Handler for SoapService {
             if req.target.ends_with("?wsdl") || req.query_pairs().iter().any(|(k, _)| k == "wsdl") {
                 return Response::xml(&self.wsdl());
             }
-            return Response::error(Status::METHOD_NOT_ALLOWED, "POST SOAP envelopes here (GET ?wsdl for the contract)");
+            return Response::error(
+                Status::METHOD_NOT_ALLOWED,
+                "POST SOAP envelopes here (GET ?wsdl for the contract)",
+            );
         }
         if req.method != Method::Post {
             return Response::error(Status::METHOD_NOT_ALLOWED, "POST required");
@@ -246,8 +245,8 @@ mod tests {
 
     #[test]
     fn bad_output_is_server_fault() {
-        let contract = Contract::new("B", "urn:b")
-            .operation(Operation::new("N").output("n", XsdType::Int));
+        let contract =
+            Contract::new("B", "urn:b").operation(Operation::new("N").output("n", XsdType::Int));
         let mut svc = SoapService::new(contract, "mem://b");
         svc.implement("N", |_| Ok(vec![("n".to_string(), "not-a-number".to_string())]));
         let resp = call(&svc, &envelope::encode("urn:b", "N", &[]));

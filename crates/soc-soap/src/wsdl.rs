@@ -33,7 +33,9 @@ pub fn generate(contract: &Contract, endpoint: &str) -> String {
 
     // <message> pairs.
     for op in &contract.operations {
-        for (suffix, element) in [("Input", op.name.clone()), ("Output", format!("{}Response", op.name))] {
+        for (suffix, element) in
+            [("Input", op.name.clone()), ("Output", format!("{}Response", op.name))]
+        {
             let msg = doc.add_element(root, "wsdl:message");
             doc.set_attr(msg, "name", format!("{}{suffix}", op.name));
             let part = doc.add_element(msg, "wsdl:part");
@@ -114,10 +116,7 @@ pub fn parse(xml: &str) -> Result<ParsedWsdl, String> {
     if doc.name(root).map(|q| q.local.as_str()) != Some("definitions") {
         return Err("not a WSDL document (no definitions root)".into());
     }
-    let namespace = doc
-        .attr(root, "targetNamespace")
-        .ok_or("missing targetNamespace")?
-        .to_string();
+    let namespace = doc.attr(root, "targetNamespace").ok_or("missing targetNamespace")?.to_string();
     let name = doc.attr(root, "name").unwrap_or("Service").to_string();
     let mut contract = Contract::new(&name, &namespace);
 
@@ -145,17 +144,11 @@ pub fn parse(xml: &str) -> Result<ParsedWsdl, String> {
         }
     }
     let lookup = |name: &str| -> Vec<(String, XsdType)> {
-        elements
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, p)| p.clone())
-            .unwrap_or_default()
+        elements.iter().find(|(n, _)| n == name).map(|(_, p)| p.clone()).unwrap_or_default()
     };
 
     // Operations from the portType.
-    let port_type = doc
-        .find_child(root, "portType")
-        .ok_or("missing portType")?;
+    let port_type = doc.find_child(root, "portType").ok_or("missing portType")?;
     for o in doc.find_children(port_type, "operation") {
         let Some(op_name) = doc.attr(o, "name") else { continue };
         let mut op = Operation::new(op_name);
@@ -229,8 +222,8 @@ mod tests {
 
     #[test]
     fn parse_requires_address() {
-        let wsdl = generate(&calc(), "mem://calc/soap")
-            .replace("soapenv:address", "soapenv:elsewhere");
+        let wsdl =
+            generate(&calc(), "mem://calc/soap").replace("soapenv:address", "soapenv:elsewhere");
         assert!(parse(&wsdl).is_err());
     }
 

@@ -63,9 +63,10 @@ impl AccountStore {
     /// Does an account with this SSN exist? (The "Check existence" box.)
     pub fn exists_ssn(&self, ssn: &str) -> bool {
         let normalized: String = ssn.chars().filter(|c| c.is_ascii_digit()).collect();
-        self.accounts.read().iter().any(|a| {
-            a.ssn.chars().filter(|c| c.is_ascii_digit()).collect::<String>() == normalized
-        })
+        self.accounts
+            .read()
+            .iter()
+            .any(|a| a.ssn.chars().filter(|c| c.is_ascii_digit()).collect::<String>() == normalized)
     }
 
     /// Create an account, issuing a fresh user id.
@@ -182,7 +183,8 @@ pub struct AccountApp {
     store: Arc<AccountStore>,
 }
 
-const PAGE: &str = r#"<html><body>{{#if error}}<p class="error">{{error}}</p>{{/if}}{{{content}}}</body></html>"#;
+const PAGE: &str =
+    r#"<html><body>{{#if error}}<p class="error">{{error}}</p>{{/if}}{{{content}}}</body></html>"#;
 
 fn page(content: &str, error: &str) -> Response {
     Response::html(&render(PAGE, &vars(&[("content", content), ("error", error)])))
@@ -227,12 +229,13 @@ impl AccountApp {
                 // Figure 4).
                 let url = format!("{credit_url}?ssn={}", soc_http::url::percent_encode(&ssn));
                 let score = match transport.send(Request::get(url)) {
-                    Ok(resp) if resp.status.is_success() => resp
-                        .text_body()
-                        .ok()
-                        .and_then(|t| Value::parse(t).ok())
-                        .and_then(|v| v.get("score").and_then(Value::as_i64))
-                        .unwrap_or(0) as u32,
+                    Ok(resp) if resp.status.is_success() => {
+                        resp.text_body()
+                            .ok()
+                            .and_then(|t| Value::parse(t).ok())
+                            .and_then(|v| v.get("score").and_then(Value::as_i64))
+                            .unwrap_or(0) as u32
+                    }
                     Ok(resp) if resp.status == Status::UNPROCESSABLE => {
                         return page("", "SSN must contain nine digits")
                     }
@@ -332,9 +335,7 @@ impl AccountApp {
         // The provider's data pane: account.xml (read-only diagnostics).
         {
             let store = store.clone();
-            router.get("/account.xml", move |_req, _p| {
-                Response::xml(&store.to_account_xml())
-            });
+            router.get("/account.xml", move |_req, _p| Response::xml(&store.to_account_xml()));
         }
 
         AccountApp { router, store }
@@ -373,8 +374,7 @@ mod tests {
             &fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>(),
         );
         net.send(
-            Request::post(url, Vec::new())
-                .with_text("application/x-www-form-urlencoded", &body),
+            Request::post(url, Vec::new()).with_text("application/x-www-form-urlencoded", &body),
         )
         .unwrap()
     }
@@ -517,8 +517,10 @@ mod tests {
         assert_eq!(resp.headers.get("Location"), Some("/login"));
         // A forged cookie is also rejected.
         let resp = net
-            .send(Request::get("mem://bank.example/home")
-                .with_header("Cookie", "SOCSESSION=forged123"))
+            .send(
+                Request::get("mem://bank.example/home")
+                    .with_header("Cookie", "SOCSESSION=forged123"),
+            )
             .unwrap();
         assert_eq!(resp.status, Status::FOUND);
     }
@@ -597,8 +599,10 @@ mod tests {
         );
         let cookie = resp.headers.get("Set-Cookie").unwrap().split(';').next().unwrap().to_string();
         let logout = net
-            .send(Request::post("mem://bank.example/logout", Vec::new())
-                .with_header("Cookie", &cookie))
+            .send(
+                Request::post("mem://bank.example/logout", Vec::new())
+                    .with_header("Cookie", &cookie),
+            )
             .unwrap();
         assert_eq!(logout.status, Status::FOUND);
         let home = net

@@ -49,10 +49,9 @@ impl SessionStore {
     /// Create a session and return its id.
     pub fn create(&self, now: u64) -> String {
         let id = self.new_id();
-        self.sessions.write().insert(
-            id.clone(),
-            Session { attributes: HashMap::new(), expires_at: now + self.ttl },
-        );
+        self.sessions
+            .write()
+            .insert(id.clone(), Session { attributes: HashMap::new(), expires_at: now + self.ttl });
         id
     }
 
@@ -143,7 +142,10 @@ mod tests {
         let s = store();
         let id = s.create(0);
         assert!(s.set(&id, "user", "ann", 1));
-        assert_eq!(s.get(&id, "user", 2).and_then(|v| v.as_str().map(String::from)), Some("ann".into()));
+        assert_eq!(
+            s.get(&id, "user", 2).and_then(|v| v.as_str().map(String::from)),
+            Some("ann".into())
+        );
         assert_eq!(s.get(&id, "missing", 2), None);
     }
 

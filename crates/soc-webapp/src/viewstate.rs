@@ -45,10 +45,7 @@ pub fn decode(secret: u64, token: &str) -> Result<Vec<(String, String)>, String>
         .filter(|p| !p.is_empty())
         .filter_map(|pair| {
             let (k, v) = pair.split_once('=')?;
-            Some((
-                soc_http::url::percent_decode(k),
-                soc_http::url::percent_decode(v),
-            ))
+            Some((soc_http::url::percent_decode(k), soc_http::url::percent_decode(v)))
         })
         .collect())
 }

@@ -80,10 +80,7 @@ impl Compute {
         inputs: &[&str],
         f: impl Fn(&Ports) -> Result<Value, String> + Send + Sync + 'static,
     ) -> Self {
-        Compute {
-            input_ports: inputs.iter().map(|s| s.to_string()).collect(),
-            f: Box::new(f),
-        }
+        Compute { input_ports: inputs.iter().map(|s| s.to_string()).collect(), f: Box::new(f) }
     }
 }
 
@@ -188,24 +185,18 @@ impl Activity for ServiceCall {
     }
     fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
         let req = if self.post {
-            let body = inputs
-                .get("body")
-                .ok_or_else(|| ActivityError::MissingInput("body".into()))?;
+            let body =
+                inputs.get("body").ok_or_else(|| ActivityError::MissingInput("body".into()))?;
             Request::post(&self.endpoint, Vec::new())
                 .with_text("application/json", &body.to_compact())
         } else {
             Request::get(&self.endpoint)
         };
-        let resp = self
-            .transport
-            .send(req)
-            .map_err(|e| ActivityError::Service(e.to_string()))?;
+        let resp = self.transport.send(req).map_err(|e| ActivityError::Service(e.to_string()))?;
         if !resp.status.is_success() {
             return Err(ActivityError::Service(format!("status {}", resp.status)));
         }
-        let text = resp
-            .text_body()
-            .map_err(|e| ActivityError::Service(e.to_string()))?;
+        let text = resp.text_body().map_err(|e| ActivityError::Service(e.to_string()))?;
         let value = if text.trim().is_empty() {
             Value::Null
         } else {

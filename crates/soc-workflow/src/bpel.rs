@@ -249,7 +249,6 @@ pub fn int_var(scope: &Scope, name: &str) -> Result<i64, ProcessError> {
 mod tests {
     use super::*;
     use soc_http::{MemNetwork, Response};
-    
 
     fn transport() -> Arc<dyn Transport> {
         let net = MemNetwork::new();
@@ -306,9 +305,7 @@ mod tests {
                 Step::set("i", 0),
                 Step::While {
                     cond: Arc::new(|s| s["i"].as_i64().unwrap() < 5),
-                    body: Box::new(Step::assign("i", |s| {
-                        Ok(Value::from(int_var(s, "i")? + 1))
-                    })),
+                    body: Box::new(Step::assign("i", |s| Ok(Value::from(int_var(s, "i")? + 1)))),
                 },
             ]),
             transport(),
@@ -319,10 +316,7 @@ mod tests {
     #[test]
     fn runaway_loop_hits_budget() {
         let mut p = Process::new(
-            Step::While {
-                cond: Arc::new(|_| true),
-                body: Box::new(Step::set("x", 1)),
-            },
+            Step::While { cond: Arc::new(|_| true), body: Box::new(Step::set("x", 1)) },
             transport(),
         );
         p.loop_budget = 100;
@@ -369,12 +363,9 @@ mod tests {
     #[test]
     fn flow_parallel_matches_sequential() {
         let pool = Arc::new(soc_parallel::ThreadPool::new(3));
-        let branches: Vec<Step> = (0..6)
-            .map(|i| Step::set(&format!("v{i}"), i as i64))
-            .collect();
-        let seq = Process::new(Step::Flow(branches.clone()), transport())
-            .run(Scope::new())
-            .unwrap();
+        let branches: Vec<Step> = (0..6).map(|i| Step::set(&format!("v{i}"), i as i64)).collect();
+        let seq =
+            Process::new(Step::Flow(branches.clone()), transport()).run(Scope::new()).unwrap();
         let par = Process::new(Step::Flow(branches), transport())
             .with_pool(pool)
             .run(Scope::new())

@@ -144,10 +144,7 @@ impl<C> Fsm<C> {
     /// events are ignored (Harel-style).
     pub fn dispatch(&mut self, event: &str, ctx: &mut C) -> bool {
         for t in &self.transitions {
-            if t.from == self.state
-                && t.event == event
-                && t.guard.as_ref().is_none_or(|g| g(ctx))
-            {
+            if t.from == self.state && t.event == event && t.guard.as_ref().is_none_or(|g| g(ctx)) {
                 if let Some(a) = &t.action {
                     a(ctx);
                 }
@@ -175,7 +172,8 @@ impl<C> Fsm<C> {
     /// Static reachability check: which states cannot be reached from
     /// the initial state by any event sequence (guards ignored)?
     pub fn unreachable_states(&self) -> Vec<String> {
-        let mut reach: HashMap<&str, bool> = self.states.iter().map(|s| (s.as_str(), false)).collect();
+        let mut reach: HashMap<&str, bool> =
+            self.states.iter().map(|s| (s.as_str(), false)).collect();
         let mut stack = vec![self.initial.as_str()];
         while let Some(s) = stack.pop() {
             if std::mem::replace(reach.get_mut(s).expect("declared"), true) {
@@ -187,12 +185,8 @@ impl<C> Fsm<C> {
                 }
             }
         }
-        let mut out: Vec<String> = self
-            .states
-            .iter()
-            .filter(|s| !reach[s.as_str()])
-            .cloned()
-            .collect();
+        let mut out: Vec<String> =
+            self.states.iter().filter(|s| !reach[s.as_str()]).cloned().collect();
         out.sort();
         out
     }
@@ -272,10 +266,7 @@ mod tests {
 
     #[test]
     fn unreachable_state_detection() {
-        let fsm: Fsm<()> = FsmBuilder::new("a")
-            .on("a", "e", "b")
-            .state("island")
-            .build();
+        let fsm: Fsm<()> = FsmBuilder::new("a").on("a", "e", "b").state("island").build();
         assert_eq!(fsm.unreachable_states(), vec!["island"]);
         let fsm2 = turnstile();
         assert!(fsm2.unreachable_states().is_empty());

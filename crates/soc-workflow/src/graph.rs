@@ -126,39 +126,32 @@ impl WorkflowGraph {
         to: NodeId,
         in_port: &str,
     ) -> Result<(), WorkflowError> {
-        let from_node = self.nodes.get(from.0).ok_or_else(|| {
-            WorkflowError::NoSuchNode(format!("#{}", from.0))
-        })?;
+        let from_node = self
+            .nodes
+            .get(from.0)
+            .ok_or_else(|| WorkflowError::NoSuchNode(format!("#{}", from.0)))?;
         if !from_node.activity.outputs().iter().any(|p| p == out_port) {
             return Err(WorkflowError::NoSuchPort {
                 node: from_node.name.clone(),
                 port: out_port.to_string(),
             });
         }
-        let to_node = self
-            .nodes
-            .get(to.0)
-            .ok_or_else(|| WorkflowError::NoSuchNode(format!("#{}", to.0)))?;
+        let to_node =
+            self.nodes.get(to.0).ok_or_else(|| WorkflowError::NoSuchNode(format!("#{}", to.0)))?;
         if !to_node.activity.inputs().iter().any(|p| p == in_port) {
             return Err(WorkflowError::NoSuchPort {
                 node: to_node.name.clone(),
                 port: in_port.to_string(),
             });
         }
-        if self
-            .edges
-            .iter()
-            .any(|e| e.to == (to.0, in_port.to_string()))
-        {
+        if self.edges.iter().any(|e| e.to == (to.0, in_port.to_string())) {
             return Err(WorkflowError::PortAlreadyConnected {
                 node: to_node.name.clone(),
                 port: in_port.to_string(),
             });
         }
-        self.edges.push(Edge {
-            from: (from.0, out_port.to_string()),
-            to: (to.0, in_port.to_string()),
-        });
+        self.edges
+            .push(Edge { from: (from.0, out_port.to_string()), to: (to.0, in_port.to_string()) });
         Ok(())
     }
 
@@ -171,8 +164,7 @@ impl WorkflowGraph {
         for e in &self.edges {
             indegree[e.to.0] += 1;
         }
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut seen = 0;
         while let Some(i) = queue.pop() {
             seen += 1;
@@ -199,7 +191,10 @@ impl WorkflowGraph {
     /// conditional branches simply never fire. If the graph makes no
     /// progress and no outputs were produced at all, that is reported as
     /// a stall.
-    pub fn run(&self, inputs: &HashMap<String, Value>) -> Result<HashMap<String, Value>, WorkflowError> {
+    pub fn run(
+        &self,
+        inputs: &HashMap<String, Value>,
+    ) -> Result<HashMap<String, Value>, WorkflowError> {
         self.run_inner(inputs, None)
     }
 
@@ -307,10 +302,8 @@ impl WorkflowGraph {
         }
 
         if results.is_empty() && fired.iter().any(|f| !f) {
-            let stalled: Vec<String> = (0..n)
-                .filter(|&i| !fired[i])
-                .map(|i| self.nodes[i].name.clone())
-                .collect();
+            let stalled: Vec<String> =
+                (0..n).filter(|&i| !fired[i]).map(|i| self.nodes[i].name.clone()).collect();
             return Err(WorkflowError::Stalled(stalled));
         }
         Ok(results)
@@ -328,8 +321,7 @@ impl WorkflowGraph {
                 // externally) must be present; inputs with no producer
                 // must have been seeded.
                 declared.iter().all(|p| {
-                    pending.contains_key(p)
-                        || (!connected.contains(p) && pending.contains_key(p))
+                    pending.contains_key(p) || (!connected.contains(p) && pending.contains_key(p))
                 }) && declared.iter().all(|p| pending.contains_key(p))
             }
             Firing::Any => !pending.is_empty(),
@@ -345,9 +337,7 @@ mod tests {
 
     fn add_activity() -> Compute {
         Compute::new(&["a", "b"], |p| {
-            Ok(Value::from(
-                p["a"].as_i64().ok_or("a")? + p["b"].as_i64().ok_or("b")?,
-            ))
+            Ok(Value::from(p["a"].as_i64().ok_or("a")? + p["b"].as_i64().ok_or("b")?))
         })
     }
 
@@ -408,14 +398,8 @@ mod tests {
         let mut g = WorkflowGraph::new();
         let a = g.add("a", Const::new(1));
         let b = g.add("b", add_activity());
-        assert!(matches!(
-            g.connect(a, "nope", b, "a"),
-            Err(WorkflowError::NoSuchPort { .. })
-        ));
-        assert!(matches!(
-            g.connect(a, "out", b, "nope"),
-            Err(WorkflowError::NoSuchPort { .. })
-        ));
+        assert!(matches!(g.connect(a, "nope", b, "a"), Err(WorkflowError::NoSuchPort { .. })));
+        assert!(matches!(g.connect(a, "out", b, "nope"), Err(WorkflowError::NoSuchPort { .. })));
         g.connect(a, "out", b, "a").unwrap();
         // Double producer rejected.
         let c = g.add("c", Const::new(2));

@@ -29,4 +29,4 @@ pub mod graph;
 
 pub use activity::{Activity, ActivityError};
 pub use fsm::{Fsm, FsmBuilder};
-pub use graph::{WorkflowGraph, WorkflowError};
+pub use graph::{WorkflowError, WorkflowGraph};

@@ -59,7 +59,9 @@ pub fn unescape(s: &str, pos: Position) -> XmlResult<String> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ => {
-                let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                let code = if let Some(hex) =
+                    name.strip_prefix("#x").or_else(|| name.strip_prefix("#X"))
+                {
                     u32::from_str_radix(hex, 16).ok()
                 } else if let Some(dec) = name.strip_prefix('#') {
                     dec.parse::<u32>().ok()

@@ -177,7 +177,11 @@ impl<'a> XmlReader<'a> {
         match chars.next() {
             Some(c) if is_name_start(c) => {}
             Some(c) => {
-                return Err(XmlError::Unexpected { pos: self.pos, found: c, expected: "name start" })
+                return Err(XmlError::Unexpected {
+                    pos: self.pos,
+                    found: c,
+                    expected: "name start",
+                })
             }
             None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "name" }),
         }
@@ -252,13 +256,14 @@ impl<'a> XmlReader<'a> {
                     self.skip_ws();
                     let value = self.read_attr_value()?;
                     if attrs.iter().any(|a| a.name == name) {
-                        return Err(XmlError::DuplicateAttribute { pos: at, name: name.to_string() });
+                        return Err(XmlError::DuplicateAttribute {
+                            pos: at,
+                            name: name.to_string(),
+                        });
                     }
                     attrs.push(Attribute { name, value });
                 }
-                None => {
-                    return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" })
-                }
+                None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" }),
             }
         }
     }
@@ -301,10 +306,7 @@ impl<'a> XmlReader<'a> {
             // End of input?
             if self.peek().is_none() {
                 if self.stack.last().is_some() {
-                    return Err(XmlError::UnexpectedEof {
-                        pos: self.pos,
-                        expected: "closing tag",
-                    });
+                    return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "closing tag" });
                 }
                 if !self.root_seen {
                     return Err(XmlError::NotWellFormed {
@@ -321,8 +323,9 @@ impl<'a> XmlReader<'a> {
                 match self.peek() {
                     Some(b'?') => {
                         self.bump();
-                        if self.at_start && self.starts_with("xml") &&
-                            self.peek_at(3).is_none_or(|b| b.is_ascii_whitespace() || b == b'?')
+                        if self.at_start
+                            && self.starts_with("xml")
+                            && self.peek_at(3).is_none_or(|b| b.is_ascii_whitespace() || b == b'?')
                         {
                             self.consume_str("xml");
                             self.at_start = false;
@@ -566,9 +569,8 @@ mod tests {
     #[test]
     fn trim_whitespace_config() {
         let cfg = ReaderConfig { trim_whitespace_text: true, ..Default::default() };
-        let ev: Vec<_> = XmlReader::with_config("<a>\n  <b/>\n</a>", cfg)
-            .collect::<XmlResult<_>>()
-            .unwrap();
+        let ev: Vec<_> =
+            XmlReader::with_config("<a>\n  <b/>\n</a>", cfg).collect::<XmlResult<_>>().unwrap();
         assert_eq!(ev.len(), 4); // no text events
     }
 

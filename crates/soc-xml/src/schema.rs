@@ -260,10 +260,7 @@ impl Schema {
             match doc.attr(id, &ad.name) {
                 Some(v) if !ad.ty.accepts(v) => errors.push(SchemaError {
                     path: path.into(),
-                    message: format!(
-                        "attribute {}={v:?} is not a valid {:?}",
-                        ad.name, ad.ty
-                    ),
+                    message: format!("attribute {}={v:?} is not a valid {:?}", ad.name, ad.ty),
                 }),
                 Some(_) => {}
                 None if ad.required => errors.push(SchemaError {
@@ -337,9 +334,9 @@ impl Schema {
                 let matched: Vec<&Particle> = particles
                     .iter()
                     .filter(|p| {
-                        child_elems.iter().any(|&c| {
-                            doc.name(c).is_some_and(|q| q.local == p.element)
-                        })
+                        child_elems
+                            .iter()
+                            .any(|&c| doc.name(c).is_some_and(|q| q.local == p.element))
                     })
                     .collect();
                 if matched.len() != 1 {
@@ -405,10 +402,7 @@ impl Schema {
             if count < p.min {
                 errors.push(SchemaError {
                     path: path.into(),
-                    message: format!(
-                        "expected at least {} <{}>, found {count}",
-                        p.min, p.element
-                    ),
+                    message: format!("expected at least {} <{}>, found {count}", p.min, p.element),
                 });
             }
         }
@@ -480,11 +474,7 @@ impl Schema {
                     required: doc.attr(at, "required") == Some("true"),
                 });
             }
-            schema = schema.element(ElementDecl {
-                name: name.to_string(),
-                content,
-                attributes,
-            });
+            schema = schema.element(ElementDecl { name: name.to_string(), content, attributes });
         }
         Ok(Ok(schema))
     }
@@ -519,11 +509,7 @@ mod tests {
                     Particle::many1("item"),
                     Particle::optional("note"),
                 ]),
-                attributes: vec![AttrDecl {
-                    name: "id".into(),
-                    ty: DataType::Int,
-                    required: true,
-                }],
+                attributes: vec![AttrDecl { name: "id".into(), ty: DataType::Int, required: true }],
             })
             .element(ElementDecl {
                 name: "customer".into(),
@@ -603,9 +589,7 @@ mod tests {
 
     #[test]
     fn unexpected_trailing_element() {
-        let doc = parse(
-            r#"<order id="1"><customer>a</customer><item>b</item><bogus/></order>"#,
-        );
+        let doc = parse(r#"<order id="1"><customer>a</customer><item>b</item><bogus/></order>"#);
         let errs = order_schema().validate(&doc);
         assert!(errs.iter().any(|e| e.message.contains("unexpected element <bogus>")));
     }

@@ -320,9 +320,7 @@ fn split_step(rest: &str) -> XmlResult<(&str, Option<&str>, bool)> {
             (Some(_), _) => {}
             (None, b'\'' | b'"') => in_quote = Some(b),
             (None, b'[') => depth += 1,
-            (None, b']') => {
-                depth = depth.checked_sub(1).ok_or_else(|| syntax("unbalanced ']'"))?
-            }
+            (None, b']') => depth = depth.checked_sub(1).ok_or_else(|| syntax("unbalanced ']'"))?,
             (None, b'/') if depth == 0 => {
                 let step = &rest[..i];
                 if step.is_empty() {
@@ -442,7 +440,9 @@ fn split_equality(src: &str) -> Option<(&str, &str)> {
 fn parse_literal(src: &str) -> XmlResult<String> {
     let src = src.trim();
     let bytes = src.as_bytes();
-    if bytes.len() >= 2 && (bytes[0] == b'\'' || bytes[0] == b'"') && bytes[bytes.len() - 1] == bytes[0]
+    if bytes.len() >= 2
+        && (bytes[0] == b'\'' || bytes[0] == b'"')
+        && bytes[bytes.len() - 1] == bytes[0]
     {
         Ok(src[1..src.len() - 1].to_string())
     } else {

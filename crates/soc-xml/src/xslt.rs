@@ -69,9 +69,7 @@ impl Stylesheet {
         // Unwrap single-element results.
         let top: Vec<NodeId> = out.child_elements(root).collect();
         if top.len() == 1 && out.children(root).len() == 1 {
-            let mut unwrapped = Document::new(
-                out.name(top[0]).expect("element").clone(),
-            );
+            let mut unwrapped = Document::new(out.name(top[0]).expect("element").clone());
             for a in out.attributes(top[0]).to_vec() {
                 unwrapped.set_attr(unwrapped.root(), a.name, a.value);
             }
@@ -144,22 +142,20 @@ impl Stylesheet {
                     .find(|a| a.name.local == "select")
                     .map(|a| a.value.as_str())
                     .unwrap_or(".");
-                let texts = xpath::XPath::parse(select)?
-                    .eval_from(input, context, false)
-                    .strings(input);
+                let texts =
+                    xpath::XPath::parse(select)?.eval_from(input, context, false).strings(input);
                 if let Some(first) = texts.first() {
                     out.add_text(out_parent, first.clone());
                 }
             }
             NodeKind::Element { name, attributes } if name.local == "apply-templates" => {
-                let select = attributes
-                    .iter()
-                    .find(|a| a.name.local == "select")
-                    .map(|a| a.value.as_str());
+                let select =
+                    attributes.iter().find(|a| a.name.local == "select").map(|a| a.value.as_str());
                 let targets: Vec<NodeId> = match select {
-                    Some(expr) => {
-                        xpath::XPath::parse(expr)?.eval_from(input, context, false).nodes().into_vec()
-                    }
+                    Some(expr) => xpath::XPath::parse(expr)?
+                        .eval_from(input, context, false)
+                        .nodes()
+                        .into_vec(),
                     None => input.children(context).to_vec(),
                 };
                 for t in targets {

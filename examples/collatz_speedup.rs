@@ -46,6 +46,9 @@ fn main() {
     let graph = collatz_task_graph(limit, 256);
     println!("  {:>6} {:>9} {:>11}", "cores", "speedup", "efficiency");
     for (cores, speedup, efficiency) in scaling_series(&graph, &[1, 4, 8, 16, 32], 1) {
-        println!("  {cores:>6} {speedup:>9.2} {efficiency:>10.1}%", efficiency = efficiency * 100.0);
+        println!(
+            "  {cores:>6} {speedup:>9.2} {efficiency:>10.1}%",
+            efficiency = efficiency * 100.0
+        );
     }
 }

@@ -1,0 +1,116 @@
+//! The Section V marketplace behind the QoS-aware gateway.
+//!
+//! Three replicas of the ASU service host sit behind one gateway
+//! endpoint. The replicas are registered in the service directory, the
+//! gateway resolves them through a [`RegistryResolver`] with a lease,
+//! and the fault injector plays the paper's unreliable-service world:
+//! one replica drops every 5th request, another is slow, and later one
+//! goes offline entirely. Clients talking to `mem://gw` never notice.
+//!
+//! ```sh
+//! cargo run --release --example gateway_marketplace
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc::gateway::{BreakerConfig, Gateway, GatewayConfig, Policy, RegistryResolver};
+use soc::http::mem::{FaultConfig, Transport};
+use soc::http::{MemNetwork, Request};
+use soc::json::ser::to_string;
+use soc::registry::directory::DirectoryService;
+use soc::registry::{Binding, Repository, ServiceDescriptor};
+use soc::services::bindings::ServiceHost;
+
+fn main() {
+    let net = MemNetwork::new();
+
+    // Three replicas of the Section V service host.
+    for (i, name) in ["asu-0", "asu-1", "asu-2"].iter().enumerate() {
+        net.host(name, ServiceHost::new(7 + i as u64));
+    }
+    // The paper's fault model: one replica flaky, one slow.
+    net.set_fault("asu-1", FaultConfig { fail_every: 5, ..Default::default() });
+    net.set_fault("asu-2", FaultConfig { latency: Duration::from_millis(2), ..Default::default() });
+
+    // Register the replicas in the service directory under the
+    // `asu#N` replica convention.
+    let repo = Repository::new();
+    for i in 0..3 {
+        repo.publish(
+            ServiceDescriptor::new(
+                &format!("asu#{i}"),
+                "asu",
+                &format!("mem://asu-{i}"),
+                Binding::Rest,
+            )
+            .describe("replicated ASU sample-service host")
+            .category("infrastructure")
+            .provider("asu-repository"),
+        )
+        .unwrap();
+    }
+    let (dir, _) = DirectoryService::new(repo, vec![]);
+    net.host("dir", dir);
+
+    // The gateway resolves replicas from the directory (5 s lease).
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let resolver =
+        Arc::new(RegistryResolver::new(transport.clone(), "mem://dir", Duration::from_secs(5)));
+    // Round-robin spreads load across all replicas (least-latency
+    // would funnel everything to the single fastest one).
+    let gw = Gateway::with_resolver(
+        transport,
+        resolver,
+        GatewayConfig {
+            policy: Policy::RoundRobin,
+            breaker: BreakerConfig { cool_down: Duration::from_millis(100), ..Default::default() },
+            ..GatewayConfig::default()
+        },
+    );
+    net.host("gw", gw.clone());
+
+    // Clients hit one stable endpoint, oblivious to replica health.
+    println!("== 200 credit-score lookups through mem://gw ==");
+    let mut ok = 0;
+    for i in 0..200 {
+        let ssn = format!("{:03}-{:02}-{:04}", i % 900, i % 90, 1000 + i);
+        let resp =
+            net.send(Request::get(format!("mem://gw/svc/asu/credit/score?ssn={ssn}"))).unwrap();
+        if resp.status.is_success() {
+            ok += 1;
+        }
+    }
+    println!("client-visible success: {ok}/200 despite 20% faults on asu-1\n");
+
+    // Now a replica disappears outright — the paper's "removed without
+    // notice". Its breaker opens and the survivors carry the load.
+    net.set_fault("asu-0", FaultConfig { offline: true, ..Default::default() });
+    let mut ok = 0;
+    for _ in 0..60 {
+        let resp = net.send(Request::get("mem://gw/svc/asu/health")).unwrap();
+        if resp.status.is_success() {
+            ok += 1;
+        }
+    }
+    println!("== asu-0 offline ==");
+    println!("client-visible success: {ok}/60");
+    println!("breaker(asu-0) = {:?}", gw.breaker_state("mem://asu-0").map(|s| s.as_str()));
+
+    // It comes back; after the cool-down the breaker lets probes in and
+    // closes again.
+    net.set_fault("asu-0", FaultConfig::default());
+    std::thread::sleep(Duration::from_millis(120));
+    for _ in 0..20 {
+        net.send(Request::get("mem://gw/svc/asu/health")).unwrap();
+    }
+    println!(
+        "after recovery: breaker(asu-0) = {:?}\n",
+        gw.breaker_state("mem://asu-0").map(|s| s.as_str())
+    );
+
+    // The stats endpoint, exactly as a client would fetch it.
+    let stats = net.send(Request::get("mem://gw/gateway/stats")).unwrap();
+    let v = soc::json::Value::parse(stats.text_body().unwrap()).unwrap();
+    println!("== GET mem://gw/gateway/stats ==\n{}", to_string(&v, true));
+}

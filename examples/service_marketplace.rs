@@ -81,11 +81,10 @@ fn main() {
 
     // Monitor availability of one healthy and one flaky endpoint.
     net.host("flaky.example", |_req: soc::http::Request| soc::http::Response::text("ok"));
-    net.set_fault("flaky.example", FaultConfig {
-        fail_every: 3,
-        latency: Duration::from_millis(1),
-        ..Default::default()
-    });
+    net.set_fault(
+        "flaky.example",
+        FaultConfig { fail_every: 3, latency: Duration::from_millis(1), ..Default::default() },
+    );
     let monitor = QosMonitor::new(transport);
     monitor.probe_n("asu-services", "mem://services.asu/health", 12);
     monitor.probe_n("flaky-free-service", "mem://flaky.example/health", 12);
@@ -105,14 +104,21 @@ fn main() {
     let client = DirectoryClient::new(Arc::new(net), "mem://asu.directory");
     client
         .register(
-            &ServiceDescriptor::new("robot", "Robot as a Service", "mem://robot/sessions", Binding::Rest)
-                .describe("maze navigation robot sessions with sensors and algorithms")
-                .category("robotics")
-                .keywords(&["robot", "maze", "raas"]),
+            &ServiceDescriptor::new(
+                "robot",
+                "Robot as a Service",
+                "mem://robot/sessions",
+                Binding::Rest,
+            )
+            .describe("maze navigation robot sessions with sensors and algorithms")
+            .category("robotics")
+            .keywords(&["robot", "maze", "raas"]),
         )
         .unwrap();
-    println!("\nregistered 'Robot as a Service'; directory now lists {} services",
-        client.list().unwrap().len());
+    println!(
+        "\nregistered 'Robot as a Service'; directory now lists {} services",
+        client.list().unwrap().len()
+    );
 
     // Semantic search (CSE446 unit 6): "security" subsumes the
     // repository's security-category services through the ontology even

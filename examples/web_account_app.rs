@@ -15,8 +15,9 @@ use soc::services::mortgage::CreditScoreService;
 use soc::webapp::account_app::{AccountApp, MIN_SCORE};
 
 fn post_form(net: &MemNetwork, url: &str, fields: &[(&str, &str)]) -> Response {
-    let body =
-        encode_form(&fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>());
+    let body = encode_form(
+        &fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect::<Vec<_>>(),
+    );
     net.send(Request::post(url, Vec::new()).with_text("application/x-www-form-urlencoded", &body))
         .expect("app reachable")
 }
@@ -43,7 +44,12 @@ fn main() {
     let resp = post_form(
         &net,
         "mem://bank.example/subscribe",
-        &[("name", "Bob Turned-Down"), ("ssn", &bad_ssn), ("address", "2 Oak"), ("dob", "1985-03-04")],
+        &[
+            ("name", "Bob Turned-Down"),
+            ("ssn", &bad_ssn),
+            ("address", "2 Oak"),
+            ("dob", "1985-03-04"),
+        ],
     );
     println!(
         "Bob (score {}): {}",
@@ -55,7 +61,12 @@ fn main() {
     let resp = post_form(
         &net,
         "mem://bank.example/subscribe",
-        &[("name", "Ann Approved"), ("ssn", &good_ssn), ("address", "1 Mill Ave"), ("dob", "1990-01-02")],
+        &[
+            ("name", "Ann Approved"),
+            ("ssn", &good_ssn),
+            ("address", "1 Mill Ave"),
+            ("dob", "1990-01-02"),
+        ],
     );
     let body = resp.text_body().unwrap();
     let start = body.find("<b>U").unwrap() + 3;
@@ -82,17 +93,9 @@ fn main() {
         "mem://bank.example/login",
         &[("user", &user_id), ("password", "Str0ngPass")],
     );
-    let cookie = login
-        .headers
-        .get("Set-Cookie")
-        .unwrap()
-        .split(';')
-        .next()
-        .unwrap()
-        .to_string();
-    let home = net
-        .send(Request::get("mem://bank.example/home").with_header("Cookie", &cookie))
-        .unwrap();
+    let cookie = login.headers.get("Set-Cookie").unwrap().split(';').next().unwrap().to_string();
+    let home =
+        net.send(Request::get("mem://bank.example/home").with_header("Cookie", &cookie)).unwrap();
     println!("home page: {}", home.text_body().unwrap());
 
     // Figure 4's data pane: account.xml as the provider stores it.

@@ -39,16 +39,12 @@ fn main() {
             "annual_income": 120000, "loan_amount": 300000, "term_years": 30
         })),
     );
-    let apply = graph.add(
-        "apply",
-        ServiceCall::post(transport.clone(), "mem://services.asu/mortgage/apply"),
-    );
+    let apply = graph
+        .add("apply", ServiceCall::post(transport.clone(), "mem://services.asu/mortgage/apply"));
     let is_approved = graph.add(
         "is_approved",
         Compute::new(&["x"], |p| {
-            Ok(Value::Bool(
-                p["x"].get("decision").and_then(Value::as_str) == Some("approved"),
-            ))
+            Ok(Value::Bool(p["x"].get("decision").and_then(Value::as_str) == Some("approved")))
         }),
     );
     let passthrough = graph.add("passthrough", Compute::new(&["x"], |p| Ok(p["x"].clone())));

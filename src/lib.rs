@@ -4,6 +4,7 @@
 //! See the individual crates for full documentation, and `DESIGN.md` for
 //! the system inventory.
 pub use soc_curriculum as curriculum;
+pub use soc_gateway as gateway;
 pub use soc_http as http;
 pub use soc_json as json;
 pub use soc_parallel as parallel;
@@ -18,11 +19,12 @@ pub use soc_xml as xml;
 
 /// Commonly used items in one import: `use soc::prelude::*;`.
 pub mod prelude {
+    pub use soc_gateway::{Gateway, GatewayConfig, Policy};
     pub use soc_http::mem::{FaultConfig, MemNetwork, Transport, UniClient};
     pub use soc_http::{Handler, HttpClient, HttpServer, Method, Request, Response, Status};
     pub use soc_json::{json, Value};
     pub use soc_parallel::{parallel_for, parallel_map, parallel_reduce, Schedule, ThreadPool};
-    pub use soc_registry::directory::{DirectoryClient, DirectoryService};
+    pub use soc_registry::directory::{DirectoryClient, DirectoryError, DirectoryService};
     pub use soc_registry::{Binding, Repository, ServiceDescriptor};
     pub use soc_rest::{PathParams, RestClient, Router};
     pub use soc_soap::{Contract, Operation, SoapClient, SoapService, XsdType};

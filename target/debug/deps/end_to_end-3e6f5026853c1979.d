@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3e6f5026853c1979.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3e6f5026853c1979: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4028b32736a99a0d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4028b32736a99a0d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

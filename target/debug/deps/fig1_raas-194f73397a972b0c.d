@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_raas-194f73397a972b0c.d: crates/soc-bench/src/bin/fig1_raas.rs
+
+/root/repo/target/debug/deps/fig1_raas-194f73397a972b0c: crates/soc-bench/src/bin/fig1_raas.rs
+
+crates/soc-bench/src/bin/fig1_raas.rs:

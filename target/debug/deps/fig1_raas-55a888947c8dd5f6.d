@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_raas-55a888947c8dd5f6.d: crates/soc-bench/src/bin/fig1_raas.rs
+
+/root/repo/target/debug/deps/fig1_raas-55a888947c8dd5f6: crates/soc-bench/src/bin/fig1_raas.rs
+
+crates/soc-bench/src/bin/fig1_raas.rs:

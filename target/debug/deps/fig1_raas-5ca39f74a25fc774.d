@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_raas-5ca39f74a25fc774.d: crates/soc-bench/src/bin/fig1_raas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_raas-5ca39f74a25fc774.rmeta: crates/soc-bench/src/bin/fig1_raas.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig1_raas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_fsm-a0fbf5cce819126c.d: crates/soc-bench/src/bin/fig2_fsm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_fsm-a0fbf5cce819126c.rmeta: crates/soc-bench/src/bin/fig2_fsm.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig2_fsm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

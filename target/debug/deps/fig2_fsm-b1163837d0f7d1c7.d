@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fsm-b1163837d0f7d1c7.d: crates/soc-bench/src/bin/fig2_fsm.rs
+
+/root/repo/target/debug/deps/fig2_fsm-b1163837d0f7d1c7: crates/soc-bench/src/bin/fig2_fsm.rs
+
+crates/soc-bench/src/bin/fig2_fsm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_fsm-e7fef476bcca231a.d: crates/soc-bench/src/bin/fig2_fsm.rs
+
+/root/repo/target/debug/deps/fig2_fsm-e7fef476bcca231a: crates/soc-bench/src/bin/fig2_fsm.rs
+
+crates/soc-bench/src/bin/fig2_fsm.rs:

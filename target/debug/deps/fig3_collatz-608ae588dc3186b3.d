@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_collatz-608ae588dc3186b3.d: crates/soc-bench/src/bin/fig3_collatz.rs
+
+/root/repo/target/debug/deps/fig3_collatz-608ae588dc3186b3: crates/soc-bench/src/bin/fig3_collatz.rs
+
+crates/soc-bench/src/bin/fig3_collatz.rs:

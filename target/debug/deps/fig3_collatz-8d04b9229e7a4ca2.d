@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_collatz-8d04b9229e7a4ca2.d: crates/soc-bench/src/bin/fig3_collatz.rs
+
+/root/repo/target/debug/deps/fig3_collatz-8d04b9229e7a4ca2: crates/soc-bench/src/bin/fig3_collatz.rs
+
+crates/soc-bench/src/bin/fig3_collatz.rs:

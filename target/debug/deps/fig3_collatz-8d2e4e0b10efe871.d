@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_collatz-8d2e4e0b10efe871.d: crates/soc-bench/src/bin/fig3_collatz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_collatz-8d2e4e0b10efe871.rmeta: crates/soc-bench/src/bin/fig3_collatz.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig3_collatz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

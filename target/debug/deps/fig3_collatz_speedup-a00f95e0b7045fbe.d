@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_collatz_speedup-a00f95e0b7045fbe.d: crates/soc-bench/benches/fig3_collatz_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_collatz_speedup-a00f95e0b7045fbe.rmeta: crates/soc-bench/benches/fig3_collatz_speedup.rs Cargo.toml
+
+crates/soc-bench/benches/fig3_collatz_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

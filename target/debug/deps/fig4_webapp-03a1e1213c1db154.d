@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_webapp-03a1e1213c1db154.d: crates/soc-bench/src/bin/fig4_webapp.rs
+
+/root/repo/target/debug/deps/fig4_webapp-03a1e1213c1db154: crates/soc-bench/src/bin/fig4_webapp.rs
+
+crates/soc-bench/src/bin/fig4_webapp.rs:

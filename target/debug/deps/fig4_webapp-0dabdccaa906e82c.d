@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_webapp-0dabdccaa906e82c.d: crates/soc-bench/src/bin/fig4_webapp.rs
+
+/root/repo/target/debug/deps/fig4_webapp-0dabdccaa906e82c: crates/soc-bench/src/bin/fig4_webapp.rs
+
+crates/soc-bench/src/bin/fig4_webapp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_webapp-3f77feb41ff7de3a.d: crates/soc-bench/src/bin/fig4_webapp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_webapp-3f77feb41ff7de3a.rmeta: crates/soc-bench/src/bin/fig4_webapp.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig4_webapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

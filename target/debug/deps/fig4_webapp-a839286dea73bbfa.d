@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_webapp-a839286dea73bbfa.d: crates/soc-bench/src/bin/fig4_webapp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_webapp-a839286dea73bbfa.rmeta: crates/soc-bench/src/bin/fig4_webapp.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig4_webapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

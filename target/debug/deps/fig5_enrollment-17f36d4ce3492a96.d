@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_enrollment-17f36d4ce3492a96.d: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+/root/repo/target/debug/deps/fig5_enrollment-17f36d4ce3492a96: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+crates/soc-bench/src/bin/fig5_enrollment.rs:

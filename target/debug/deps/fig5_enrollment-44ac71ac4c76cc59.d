@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_enrollment-44ac71ac4c76cc59.d: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+/root/repo/target/debug/deps/fig5_enrollment-44ac71ac4c76cc59: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+crates/soc-bench/src/bin/fig5_enrollment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_enrollment-d6f05bddaa93f4c6.d: crates/soc-bench/src/bin/fig5_enrollment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_enrollment-d6f05bddaa93f4c6.rmeta: crates/soc-bench/src/bin/fig5_enrollment.rs Cargo.toml
+
+crates/soc-bench/src/bin/fig5_enrollment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

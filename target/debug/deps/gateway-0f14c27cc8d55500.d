@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway-0f14c27cc8d55500.d: crates/soc-bench/benches/gateway.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway-0f14c27cc8d55500.rmeta: crates/soc-bench/benches/gateway.rs Cargo.toml
+
+crates/soc-bench/benches/gateway.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gateway_resilience-be3a8e727b00dab3.d: tests/gateway_resilience.rs
+
+/root/repo/target/debug/deps/gateway_resilience-be3a8e727b00dab3: tests/gateway_resilience.rs
+
+tests/gateway_resilience.rs:

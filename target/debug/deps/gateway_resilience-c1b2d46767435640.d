@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gateway_resilience-c1b2d46767435640.d: tests/gateway_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgateway_resilience-c1b2d46767435640.rmeta: tests/gateway_resilience.rs Cargo.toml
+
+tests/gateway_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

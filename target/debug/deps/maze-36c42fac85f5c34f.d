@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/maze-36c42fac85f5c34f.d: crates/soc-bench/benches/maze.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmaze-36c42fac85f5c34f.rmeta: crates/soc-bench/benches/maze.rs Cargo.toml
+
+crates/soc-bench/benches/maze.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-98fae5b06303da3e.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-98fae5b06303da3e.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-98fae5b06303da3e.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-cf1214df35f0424a.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-cf1214df35f0424a: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

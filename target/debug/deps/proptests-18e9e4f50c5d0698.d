@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-18e9e4f50c5d0698.d: crates/soc-soap/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-18e9e4f50c5d0698.rmeta: crates/soc-soap/tests/proptests.rs Cargo.toml
+
+crates/soc-soap/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-36dd0e1df4c63cef.d: crates/soc-registry/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-36dd0e1df4c63cef.rmeta: crates/soc-registry/tests/proptests.rs Cargo.toml
+
+crates/soc-registry/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-38e76652bfc42f0b.d: crates/soc-services/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-38e76652bfc42f0b: crates/soc-services/tests/proptests.rs
+
+crates/soc-services/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-397c72c9bd767889.d: crates/soc-webapp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-397c72c9bd767889: crates/soc-webapp/tests/proptests.rs
+
+crates/soc-webapp/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-43e3ea1d57d95b95.d: crates/soc-workflow/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-43e3ea1d57d95b95: crates/soc-workflow/tests/proptests.rs
+
+crates/soc-workflow/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-58bb8609f6c8bd28.d: crates/soc-registry/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-58bb8609f6c8bd28: crates/soc-registry/tests/proptests.rs
+
+crates/soc-registry/tests/proptests.rs:

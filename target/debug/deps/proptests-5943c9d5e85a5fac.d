@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5943c9d5e85a5fac.d: crates/soc-xml/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5943c9d5e85a5fac.rmeta: crates/soc-xml/tests/proptests.rs Cargo.toml
+
+crates/soc-xml/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5c36ed6527183370.d: crates/soc-http/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5c36ed6527183370.rmeta: crates/soc-http/tests/proptests.rs Cargo.toml
+
+crates/soc-http/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-60acbcca4eac4bac.d: crates/soc-services/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-60acbcca4eac4bac.rmeta: crates/soc-services/tests/proptests.rs Cargo.toml
+
+crates/soc-services/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

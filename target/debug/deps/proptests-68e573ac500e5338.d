@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-68e573ac500e5338.d: crates/soc-robotics/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-68e573ac500e5338: crates/soc-robotics/tests/proptests.rs
+
+crates/soc-robotics/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6e327f713ab84541.d: crates/soc-http/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6e327f713ab84541: crates/soc-http/tests/proptests.rs
+
+crates/soc-http/tests/proptests.rs:

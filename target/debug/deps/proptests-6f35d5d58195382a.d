@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6f35d5d58195382a.d: crates/soc-xml/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6f35d5d58195382a: crates/soc-xml/tests/proptests.rs
+
+crates/soc-xml/tests/proptests.rs:

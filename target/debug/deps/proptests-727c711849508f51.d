@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-727c711849508f51.d: crates/soc-json/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-727c711849508f51: crates/soc-json/tests/proptests.rs
+
+crates/soc-json/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-959969da62790516.d: crates/soc-parallel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-959969da62790516.rmeta: crates/soc-parallel/tests/proptests.rs Cargo.toml
+
+crates/soc-parallel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-96be8f7ae2d43fe4.d: crates/soc-webapp/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-96be8f7ae2d43fe4.rmeta: crates/soc-webapp/tests/proptests.rs Cargo.toml
+
+crates/soc-webapp/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

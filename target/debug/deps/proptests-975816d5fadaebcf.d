@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-975816d5fadaebcf.d: crates/soc-workflow/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-975816d5fadaebcf.rmeta: crates/soc-workflow/tests/proptests.rs Cargo.toml
+
+crates/soc-workflow/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

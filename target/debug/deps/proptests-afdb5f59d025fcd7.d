@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-afdb5f59d025fcd7.d: crates/soc-json/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-afdb5f59d025fcd7.rmeta: crates/soc-json/tests/proptests.rs Cargo.toml
+
+crates/soc-json/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

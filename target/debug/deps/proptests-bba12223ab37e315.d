@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-bba12223ab37e315.d: crates/soc-soap/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-bba12223ab37e315: crates/soc-soap/tests/proptests.rs
+
+crates/soc-soap/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d31e495fc45c1f64.d: crates/soc-robotics/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d31e495fc45c1f64.rmeta: crates/soc-robotics/tests/proptests.rs Cargo.toml
+
+crates/soc-robotics/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f70531908c040dcb.d: crates/soc-parallel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-f70531908c040dcb: crates/soc-parallel/tests/proptests.rs
+
+crates/soc-parallel/tests/proptests.rs:

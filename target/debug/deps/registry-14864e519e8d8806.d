@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/registry-14864e519e8d8806.d: crates/soc-bench/benches/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libregistry-14864e519e8d8806.rmeta: crates/soc-bench/benches/registry.rs Cargo.toml
+
+crates/soc-bench/benches/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc-8ba9ba7c87de1110.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc-8ba9ba7c87de1110.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

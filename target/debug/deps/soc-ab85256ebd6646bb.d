@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soc-ab85256ebd6646bb.d: src/lib.rs
+
+/root/repo/target/debug/deps/soc-ab85256ebd6646bb: src/lib.rs
+
+src/lib.rs:

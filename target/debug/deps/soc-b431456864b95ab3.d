@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soc-b431456864b95ab3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoc-b431456864b95ab3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoc-b431456864b95ab3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soc-cc2fd8b4dbd4c762.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoc-cc2fd8b4dbd4c762.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoc-cc2fd8b4dbd4c762.rmeta: src/lib.rs
+
+src/lib.rs:

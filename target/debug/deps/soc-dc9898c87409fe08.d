@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soc-dc9898c87409fe08.d: src/lib.rs
+
+/root/repo/target/debug/deps/soc-dc9898c87409fe08: src/lib.rs
+
+src/lib.rs:

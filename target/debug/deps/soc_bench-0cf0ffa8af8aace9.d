@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soc_bench-0cf0ffa8af8aace9.d: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/soc_bench-0cf0ffa8af8aace9: crates/soc-bench/src/lib.rs
+
+crates/soc-bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soc_bench-217a59e0c7b347b2.d: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_bench-217a59e0c7b347b2.rlib: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_bench-217a59e0c7b347b2.rmeta: crates/soc-bench/src/lib.rs
+
+crates/soc-bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc_bench-2d6d29f2f91646f8.d: crates/soc-bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_bench-2d6d29f2f91646f8.rmeta: crates/soc-bench/src/lib.rs Cargo.toml
+
+crates/soc-bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

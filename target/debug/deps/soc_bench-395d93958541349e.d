@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soc_bench-395d93958541349e.d: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_bench-395d93958541349e.rlib: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_bench-395d93958541349e.rmeta: crates/soc-bench/src/lib.rs
+
+crates/soc-bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soc_bench-8550468a5810577a.d: crates/soc-bench/src/lib.rs
+
+/root/repo/target/debug/deps/soc_bench-8550468a5810577a: crates/soc-bench/src/lib.rs
+
+crates/soc-bench/src/lib.rs:

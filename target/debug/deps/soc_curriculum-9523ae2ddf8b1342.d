@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc_curriculum-9523ae2ddf8b1342.d: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+/root/repo/target/debug/deps/soc_curriculum-9523ae2ddf8b1342: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+crates/soc-curriculum/src/lib.rs:
+crates/soc-curriculum/src/acm.rs:
+crates/soc-curriculum/src/chart.rs:
+crates/soc-curriculum/src/enrollment.rs:
+crates/soc-curriculum/src/evaluation.rs:

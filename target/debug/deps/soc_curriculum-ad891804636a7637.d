@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soc_curriculum-ad891804636a7637.d: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_curriculum-ad891804636a7637.rmeta: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs Cargo.toml
+
+crates/soc-curriculum/src/lib.rs:
+crates/soc-curriculum/src/acm.rs:
+crates/soc-curriculum/src/chart.rs:
+crates/soc-curriculum/src/enrollment.rs:
+crates/soc-curriculum/src/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

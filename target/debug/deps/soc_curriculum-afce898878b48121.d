@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soc_curriculum-afce898878b48121.d: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+/root/repo/target/debug/deps/libsoc_curriculum-afce898878b48121.rlib: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+/root/repo/target/debug/deps/libsoc_curriculum-afce898878b48121.rmeta: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+crates/soc-curriculum/src/lib.rs:
+crates/soc-curriculum/src/acm.rs:
+crates/soc-curriculum/src/chart.rs:
+crates/soc-curriculum/src/enrollment.rs:
+crates/soc-curriculum/src/evaluation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soc_gateway-152b42047d37a394.d: crates/soc-gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_gateway-152b42047d37a394.rlib: crates/soc-gateway/src/lib.rs
+
+/root/repo/target/debug/deps/libsoc_gateway-152b42047d37a394.rmeta: crates/soc-gateway/src/lib.rs
+
+crates/soc-gateway/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soc_gateway-5f1077718bd09675.d: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+/root/repo/target/debug/deps/soc_gateway-5f1077718bd09675: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+crates/soc-gateway/src/lib.rs:
+crates/soc-gateway/src/balance.rs:
+crates/soc-gateway/src/breaker.rs:
+crates/soc-gateway/src/limit.rs:
+crates/soc-gateway/src/resolver.rs:
+crates/soc-gateway/src/stats.rs:

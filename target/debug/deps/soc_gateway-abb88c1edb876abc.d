@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_gateway-abb88c1edb876abc.d: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+/root/repo/target/debug/deps/libsoc_gateway-abb88c1edb876abc.rlib: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+/root/repo/target/debug/deps/libsoc_gateway-abb88c1edb876abc.rmeta: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+crates/soc-gateway/src/lib.rs:
+crates/soc-gateway/src/balance.rs:
+crates/soc-gateway/src/breaker.rs:
+crates/soc-gateway/src/limit.rs:
+crates/soc-gateway/src/resolver.rs:
+crates/soc-gateway/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_gateway-d4dcbed9700ca26b.d: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_gateway-d4dcbed9700ca26b.rmeta: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs Cargo.toml
+
+crates/soc-gateway/src/lib.rs:
+crates/soc-gateway/src/balance.rs:
+crates/soc-gateway/src/breaker.rs:
+crates/soc-gateway/src/limit.rs:
+crates/soc-gateway/src/resolver.rs:
+crates/soc-gateway/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soc_gateway-f0484717525b1b94.d: crates/soc-gateway/src/lib.rs
+
+/root/repo/target/debug/deps/soc_gateway-f0484717525b1b94: crates/soc-gateway/src/lib.rs
+
+crates/soc-gateway/src/lib.rs:

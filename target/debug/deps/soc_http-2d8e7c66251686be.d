@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/soc_http-2d8e7c66251686be.d: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_http-2d8e7c66251686be.rmeta: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs Cargo.toml
+
+crates/soc-http/src/lib.rs:
+crates/soc-http/src/client.rs:
+crates/soc-http/src/codec.rs:
+crates/soc-http/src/cookies.rs:
+crates/soc-http/src/mem.rs:
+crates/soc-http/src/server.rs:
+crates/soc-http/src/types.rs:
+crates/soc-http/src/url.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

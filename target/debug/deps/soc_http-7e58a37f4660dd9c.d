@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_http-7e58a37f4660dd9c.d: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+/root/repo/target/debug/deps/libsoc_http-7e58a37f4660dd9c.rlib: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+/root/repo/target/debug/deps/libsoc_http-7e58a37f4660dd9c.rmeta: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+crates/soc-http/src/lib.rs:
+crates/soc-http/src/client.rs:
+crates/soc-http/src/codec.rs:
+crates/soc-http/src/cookies.rs:
+crates/soc-http/src/mem.rs:
+crates/soc-http/src/server.rs:
+crates/soc-http/src/types.rs:
+crates/soc-http/src/url.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_http-8910007dd7d74c5a.d: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+/root/repo/target/debug/deps/soc_http-8910007dd7d74c5a: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+crates/soc-http/src/lib.rs:
+crates/soc-http/src/client.rs:
+crates/soc-http/src/codec.rs:
+crates/soc-http/src/cookies.rs:
+crates/soc-http/src/mem.rs:
+crates/soc-http/src/server.rs:
+crates/soc-http/src/types.rs:
+crates/soc-http/src/url.rs:

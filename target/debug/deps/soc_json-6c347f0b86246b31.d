@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soc_json-6c347f0b86246b31.d: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+/root/repo/target/debug/deps/libsoc_json-6c347f0b86246b31.rlib: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+/root/repo/target/debug/deps/libsoc_json-6c347f0b86246b31.rmeta: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+crates/soc-json/src/lib.rs:
+crates/soc-json/src/parse.rs:
+crates/soc-json/src/pointer.rs:
+crates/soc-json/src/ser.rs:
+crates/soc-json/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soc_json-d018fef65e1d473d.d: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_json-d018fef65e1d473d.rmeta: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs Cargo.toml
+
+crates/soc-json/src/lib.rs:
+crates/soc-json/src/parse.rs:
+crates/soc-json/src/pointer.rs:
+crates/soc-json/src/ser.rs:
+crates/soc-json/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc_json-e4ba9178b5fb2c85.d: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+/root/repo/target/debug/deps/soc_json-e4ba9178b5fb2c85: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+crates/soc-json/src/lib.rs:
+crates/soc-json/src/parse.rs:
+crates/soc-json/src/pointer.rs:
+crates/soc-json/src/ser.rs:
+crates/soc-json/src/value.rs:

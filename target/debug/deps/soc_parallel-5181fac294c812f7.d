@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/soc_parallel-5181fac294c812f7.d: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_parallel-5181fac294c812f7.rmeta: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs Cargo.toml
+
+crates/soc-parallel/src/lib.rs:
+crates/soc-parallel/src/metrics.rs:
+crates/soc-parallel/src/par_iter.rs:
+crates/soc-parallel/src/pipeline.rs:
+crates/soc-parallel/src/pool.rs:
+crates/soc-parallel/src/simcore.rs:
+crates/soc-parallel/src/sync/mod.rs:
+crates/soc-parallel/src/sync/barrier.rs:
+crates/soc-parallel/src/sync/buffer.rs:
+crates/soc-parallel/src/sync/event.rs:
+crates/soc-parallel/src/sync/semaphore.rs:
+crates/soc-parallel/src/sync/spinlock.rs:
+crates/soc-parallel/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

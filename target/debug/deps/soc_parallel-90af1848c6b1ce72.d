@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/soc_parallel-90af1848c6b1ce72.d: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+/root/repo/target/debug/deps/libsoc_parallel-90af1848c6b1ce72.rlib: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+/root/repo/target/debug/deps/libsoc_parallel-90af1848c6b1ce72.rmeta: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+crates/soc-parallel/src/lib.rs:
+crates/soc-parallel/src/metrics.rs:
+crates/soc-parallel/src/par_iter.rs:
+crates/soc-parallel/src/pipeline.rs:
+crates/soc-parallel/src/pool.rs:
+crates/soc-parallel/src/simcore.rs:
+crates/soc-parallel/src/sync/mod.rs:
+crates/soc-parallel/src/sync/barrier.rs:
+crates/soc-parallel/src/sync/buffer.rs:
+crates/soc-parallel/src/sync/event.rs:
+crates/soc-parallel/src/sync/semaphore.rs:
+crates/soc-parallel/src/sync/spinlock.rs:
+crates/soc-parallel/src/workloads.rs:

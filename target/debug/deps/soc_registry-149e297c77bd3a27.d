@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_registry-149e297c77bd3a27.d: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+/root/repo/target/debug/deps/libsoc_registry-149e297c77bd3a27.rlib: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+/root/repo/target/debug/deps/libsoc_registry-149e297c77bd3a27.rmeta: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+crates/soc-registry/src/lib.rs:
+crates/soc-registry/src/crawler.rs:
+crates/soc-registry/src/descriptor.rs:
+crates/soc-registry/src/directory.rs:
+crates/soc-registry/src/monitor.rs:
+crates/soc-registry/src/ontology.rs:
+crates/soc-registry/src/repository.rs:
+crates/soc-registry/src/search.rs:

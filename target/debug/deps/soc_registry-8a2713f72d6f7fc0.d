@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_registry-8a2713f72d6f7fc0.d: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+/root/repo/target/debug/deps/soc_registry-8a2713f72d6f7fc0: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+crates/soc-registry/src/lib.rs:
+crates/soc-registry/src/crawler.rs:
+crates/soc-registry/src/descriptor.rs:
+crates/soc-registry/src/directory.rs:
+crates/soc-registry/src/monitor.rs:
+crates/soc-registry/src/ontology.rs:
+crates/soc-registry/src/repository.rs:
+crates/soc-registry/src/search.rs:

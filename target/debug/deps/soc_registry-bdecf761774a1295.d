@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/soc_registry-bdecf761774a1295.d: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_registry-bdecf761774a1295.rmeta: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs Cargo.toml
+
+crates/soc-registry/src/lib.rs:
+crates/soc-registry/src/crawler.rs:
+crates/soc-registry/src/descriptor.rs:
+crates/soc-registry/src/directory.rs:
+crates/soc-registry/src/monitor.rs:
+crates/soc-registry/src/ontology.rs:
+crates/soc-registry/src/repository.rs:
+crates/soc-registry/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

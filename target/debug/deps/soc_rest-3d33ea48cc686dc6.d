@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_rest-3d33ea48cc686dc6.d: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+/root/repo/target/debug/deps/libsoc_rest-3d33ea48cc686dc6.rlib: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+/root/repo/target/debug/deps/libsoc_rest-3d33ea48cc686dc6.rmeta: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+crates/soc-rest/src/lib.rs:
+crates/soc-rest/src/client.rs:
+crates/soc-rest/src/middleware.rs:
+crates/soc-rest/src/negotiate.rs:
+crates/soc-rest/src/resource.rs:
+crates/soc-rest/src/router.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soc_rest-44f70b4cc4efec87.d: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+/root/repo/target/debug/deps/soc_rest-44f70b4cc4efec87: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+crates/soc-rest/src/lib.rs:
+crates/soc-rest/src/client.rs:
+crates/soc-rest/src/middleware.rs:
+crates/soc-rest/src/negotiate.rs:
+crates/soc-rest/src/resource.rs:
+crates/soc-rest/src/router.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_rest-db7e23528b1d586b.d: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_rest-db7e23528b1d586b.rmeta: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs Cargo.toml
+
+crates/soc-rest/src/lib.rs:
+crates/soc-rest/src/client.rs:
+crates/soc-rest/src/middleware.rs:
+crates/soc-rest/src/negotiate.rs:
+crates/soc-rest/src/resource.rs:
+crates/soc-rest/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_robotics-0281e264e0ee25ca.d: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+/root/repo/target/debug/deps/libsoc_robotics-0281e264e0ee25ca.rlib: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+/root/repo/target/debug/deps/libsoc_robotics-0281e264e0ee25ca.rmeta: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+crates/soc-robotics/src/lib.rs:
+crates/soc-robotics/src/algorithms.rs:
+crates/soc-robotics/src/maze.rs:
+crates/soc-robotics/src/raas.rs:
+crates/soc-robotics/src/robot.rs:
+crates/soc-robotics/src/sync.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soc_robotics-5af1493b8e7aad16.d: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+/root/repo/target/debug/deps/soc_robotics-5af1493b8e7aad16: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+crates/soc-robotics/src/lib.rs:
+crates/soc-robotics/src/algorithms.rs:
+crates/soc-robotics/src/maze.rs:
+crates/soc-robotics/src/raas.rs:
+crates/soc-robotics/src/robot.rs:
+crates/soc-robotics/src/sync.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_robotics-6856acb9ee3d7a62.d: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_robotics-6856acb9ee3d7a62.rmeta: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs Cargo.toml
+
+crates/soc-robotics/src/lib.rs:
+crates/soc-robotics/src/algorithms.rs:
+crates/soc-robotics/src/maze.rs:
+crates/soc-robotics/src/raas.rs:
+crates/soc-robotics/src/robot.rs:
+crates/soc-robotics/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

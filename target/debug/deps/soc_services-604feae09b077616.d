@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/soc_services-604feae09b077616.d: crates/soc-services/src/lib.rs crates/soc-services/src/access.rs crates/soc-services/src/bindings.rs crates/soc-services/src/buffer.rs crates/soc-services/src/cache.rs crates/soc-services/src/captcha.rs crates/soc-services/src/cart.rs crates/soc-services/src/crypto.rs crates/soc-services/src/guessing.rs crates/soc-services/src/image.rs crates/soc-services/src/mortgage.rs crates/soc-services/src/password.rs
+
+/root/repo/target/debug/deps/soc_services-604feae09b077616: crates/soc-services/src/lib.rs crates/soc-services/src/access.rs crates/soc-services/src/bindings.rs crates/soc-services/src/buffer.rs crates/soc-services/src/cache.rs crates/soc-services/src/captcha.rs crates/soc-services/src/cart.rs crates/soc-services/src/crypto.rs crates/soc-services/src/guessing.rs crates/soc-services/src/image.rs crates/soc-services/src/mortgage.rs crates/soc-services/src/password.rs
+
+crates/soc-services/src/lib.rs:
+crates/soc-services/src/access.rs:
+crates/soc-services/src/bindings.rs:
+crates/soc-services/src/buffer.rs:
+crates/soc-services/src/cache.rs:
+crates/soc-services/src/captcha.rs:
+crates/soc-services/src/cart.rs:
+crates/soc-services/src/crypto.rs:
+crates/soc-services/src/guessing.rs:
+crates/soc-services/src/image.rs:
+crates/soc-services/src/mortgage.rs:
+crates/soc-services/src/password.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/soc_services-a0598da19284fb48.d: crates/soc-services/src/lib.rs crates/soc-services/src/access.rs crates/soc-services/src/bindings.rs crates/soc-services/src/buffer.rs crates/soc-services/src/cache.rs crates/soc-services/src/captcha.rs crates/soc-services/src/cart.rs crates/soc-services/src/crypto.rs crates/soc-services/src/guessing.rs crates/soc-services/src/image.rs crates/soc-services/src/mortgage.rs crates/soc-services/src/password.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_services-a0598da19284fb48.rmeta: crates/soc-services/src/lib.rs crates/soc-services/src/access.rs crates/soc-services/src/bindings.rs crates/soc-services/src/buffer.rs crates/soc-services/src/cache.rs crates/soc-services/src/captcha.rs crates/soc-services/src/cart.rs crates/soc-services/src/crypto.rs crates/soc-services/src/guessing.rs crates/soc-services/src/image.rs crates/soc-services/src/mortgage.rs crates/soc-services/src/password.rs Cargo.toml
+
+crates/soc-services/src/lib.rs:
+crates/soc-services/src/access.rs:
+crates/soc-services/src/bindings.rs:
+crates/soc-services/src/buffer.rs:
+crates/soc-services/src/cache.rs:
+crates/soc-services/src/captcha.rs:
+crates/soc-services/src/cart.rs:
+crates/soc-services/src/crypto.rs:
+crates/soc-services/src/guessing.rs:
+crates/soc-services/src/image.rs:
+crates/soc-services/src/mortgage.rs:
+crates/soc-services/src/password.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soc_soap-7e1aa84b708fc418.d: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+/root/repo/target/debug/deps/soc_soap-7e1aa84b708fc418: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+crates/soc-soap/src/lib.rs:
+crates/soc-soap/src/client.rs:
+crates/soc-soap/src/contract.rs:
+crates/soc-soap/src/envelope.rs:
+crates/soc-soap/src/service.rs:
+crates/soc-soap/src/wsdl.rs:

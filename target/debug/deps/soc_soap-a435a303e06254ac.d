@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soc_soap-a435a303e06254ac.d: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_soap-a435a303e06254ac.rmeta: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs Cargo.toml
+
+crates/soc-soap/src/lib.rs:
+crates/soc-soap/src/client.rs:
+crates/soc-soap/src/contract.rs:
+crates/soc-soap/src/envelope.rs:
+crates/soc-soap/src/service.rs:
+crates/soc-soap/src/wsdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

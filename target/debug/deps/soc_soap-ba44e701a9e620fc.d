@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soc_soap-ba44e701a9e620fc.d: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+/root/repo/target/debug/deps/libsoc_soap-ba44e701a9e620fc.rlib: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+/root/repo/target/debug/deps/libsoc_soap-ba44e701a9e620fc.rmeta: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+crates/soc-soap/src/lib.rs:
+crates/soc-soap/src/client.rs:
+crates/soc-soap/src/contract.rs:
+crates/soc-soap/src/envelope.rs:
+crates/soc-soap/src/service.rs:
+crates/soc-soap/src/wsdl.rs:

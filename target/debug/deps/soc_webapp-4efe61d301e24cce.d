@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc_webapp-4efe61d301e24cce.d: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+/root/repo/target/debug/deps/soc_webapp-4efe61d301e24cce: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+crates/soc-webapp/src/lib.rs:
+crates/soc-webapp/src/account_app.rs:
+crates/soc-webapp/src/session.rs:
+crates/soc-webapp/src/templates.rs:
+crates/soc-webapp/src/viewstate.rs:

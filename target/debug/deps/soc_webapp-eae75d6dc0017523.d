@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soc_webapp-eae75d6dc0017523.d: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_webapp-eae75d6dc0017523.rmeta: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs Cargo.toml
+
+crates/soc-webapp/src/lib.rs:
+crates/soc-webapp/src/account_app.rs:
+crates/soc-webapp/src/session.rs:
+crates/soc-webapp/src/templates.rs:
+crates/soc-webapp/src/viewstate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

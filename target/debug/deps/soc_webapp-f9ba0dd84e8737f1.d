@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soc_webapp-f9ba0dd84e8737f1.d: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+/root/repo/target/debug/deps/libsoc_webapp-f9ba0dd84e8737f1.rlib: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+/root/repo/target/debug/deps/libsoc_webapp-f9ba0dd84e8737f1.rmeta: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+crates/soc-webapp/src/lib.rs:
+crates/soc-webapp/src/account_app.rs:
+crates/soc-webapp/src/session.rs:
+crates/soc-webapp/src/templates.rs:
+crates/soc-webapp/src/viewstate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soc_workflow-64c9ac947a7385c4.d: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+/root/repo/target/debug/deps/soc_workflow-64c9ac947a7385c4: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+crates/soc-workflow/src/lib.rs:
+crates/soc-workflow/src/activity.rs:
+crates/soc-workflow/src/bpel.rs:
+crates/soc-workflow/src/fsm.rs:
+crates/soc-workflow/src/graph.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soc_workflow-69a8b13ca3a1d11e.d: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_workflow-69a8b13ca3a1d11e.rmeta: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs Cargo.toml
+
+crates/soc-workflow/src/lib.rs:
+crates/soc-workflow/src/activity.rs:
+crates/soc-workflow/src/bpel.rs:
+crates/soc-workflow/src/fsm.rs:
+crates/soc-workflow/src/graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

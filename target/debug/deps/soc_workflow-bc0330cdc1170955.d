@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soc_workflow-bc0330cdc1170955.d: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+/root/repo/target/debug/deps/libsoc_workflow-bc0330cdc1170955.rlib: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+/root/repo/target/debug/deps/libsoc_workflow-bc0330cdc1170955.rmeta: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+crates/soc-workflow/src/lib.rs:
+crates/soc-workflow/src/activity.rs:
+crates/soc-workflow/src/bpel.rs:
+crates/soc-workflow/src/fsm.rs:
+crates/soc-workflow/src/graph.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/soc_xml-1d4aed25274324cc.d: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoc_xml-1d4aed25274324cc.rmeta: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs Cargo.toml
+
+crates/soc-xml/src/lib.rs:
+crates/soc-xml/src/dom.rs:
+crates/soc-xml/src/error.rs:
+crates/soc-xml/src/escape.rs:
+crates/soc-xml/src/name.rs:
+crates/soc-xml/src/reader.rs:
+crates/soc-xml/src/sax.rs:
+crates/soc-xml/src/schema.rs:
+crates/soc-xml/src/writer.rs:
+crates/soc-xml/src/xpath.rs:
+crates/soc-xml/src/xslt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/soc_xml-4f3c04d21ce929ea.d: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs
+
+/root/repo/target/debug/deps/soc_xml-4f3c04d21ce929ea: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs
+
+crates/soc-xml/src/lib.rs:
+crates/soc-xml/src/dom.rs:
+crates/soc-xml/src/error.rs:
+crates/soc-xml/src/escape.rs:
+crates/soc-xml/src/name.rs:
+crates/soc-xml/src/reader.rs:
+crates/soc-xml/src/sax.rs:
+crates/soc-xml/src/schema.rs:
+crates/soc-xml/src/writer.rs:
+crates/soc-xml/src/xpath.rs:
+crates/soc-xml/src/xslt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sync-8456a7ac1653d301.d: crates/soc-bench/benches/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsync-8456a7ac1653d301.rmeta: crates/soc-bench/benches/sync.rs Cargo.toml
+
+crates/soc-bench/benches/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_3_acm-1425de3a3cdff5f7.d: crates/soc-bench/src/bin/table1_3_acm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_3_acm-1425de3a3cdff5f7.rmeta: crates/soc-bench/src/bin/table1_3_acm.rs Cargo.toml
+
+crates/soc-bench/src/bin/table1_3_acm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

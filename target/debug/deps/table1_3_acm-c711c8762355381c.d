@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_3_acm-c711c8762355381c.d: crates/soc-bench/src/bin/table1_3_acm.rs
+
+/root/repo/target/debug/deps/table1_3_acm-c711c8762355381c: crates/soc-bench/src/bin/table1_3_acm.rs
+
+crates/soc-bench/src/bin/table1_3_acm.rs:

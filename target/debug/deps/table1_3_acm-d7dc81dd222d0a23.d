@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_3_acm-d7dc81dd222d0a23.d: crates/soc-bench/src/bin/table1_3_acm.rs
+
+/root/repo/target/debug/deps/table1_3_acm-d7dc81dd222d0a23: crates/soc-bench/src/bin/table1_3_acm.rs
+
+crates/soc-bench/src/bin/table1_3_acm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_enrollment-734b2a570cb1f5d3.d: crates/soc-bench/src/bin/table4_enrollment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_enrollment-734b2a570cb1f5d3.rmeta: crates/soc-bench/src/bin/table4_enrollment.rs Cargo.toml
+
+crates/soc-bench/src/bin/table4_enrollment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_enrollment-9b2324f6cdfaba23.d: crates/soc-bench/src/bin/table4_enrollment.rs
+
+/root/repo/target/debug/deps/table4_enrollment-9b2324f6cdfaba23: crates/soc-bench/src/bin/table4_enrollment.rs
+
+crates/soc-bench/src/bin/table4_enrollment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_enrollment-ddc0a07f35a3c5e7.d: crates/soc-bench/src/bin/table4_enrollment.rs
+
+/root/repo/target/debug/deps/table4_enrollment-ddc0a07f35a3c5e7: crates/soc-bench/src/bin/table4_enrollment.rs
+
+crates/soc-bench/src/bin/table4_enrollment.rs:

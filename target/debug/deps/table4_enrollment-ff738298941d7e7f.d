@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_enrollment-ff738298941d7e7f.d: crates/soc-bench/src/bin/table4_enrollment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_enrollment-ff738298941d7e7f.rmeta: crates/soc-bench/src/bin/table4_enrollment.rs Cargo.toml
+
+crates/soc-bench/src/bin/table4_enrollment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

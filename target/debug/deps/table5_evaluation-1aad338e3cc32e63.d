@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_evaluation-1aad338e3cc32e63.d: crates/soc-bench/src/bin/table5_evaluation.rs
+
+/root/repo/target/debug/deps/table5_evaluation-1aad338e3cc32e63: crates/soc-bench/src/bin/table5_evaluation.rs
+
+crates/soc-bench/src/bin/table5_evaluation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_evaluation-abf8643496b41b74.d: crates/soc-bench/src/bin/table5_evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_evaluation-abf8643496b41b74.rmeta: crates/soc-bench/src/bin/table5_evaluation.rs Cargo.toml
+
+crates/soc-bench/src/bin/table5_evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

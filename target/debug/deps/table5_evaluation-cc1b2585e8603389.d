@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_evaluation-cc1b2585e8603389.d: crates/soc-bench/src/bin/table5_evaluation.rs
+
+/root/repo/target/debug/deps/table5_evaluation-cc1b2585e8603389: crates/soc-bench/src/bin/table5_evaluation.rs
+
+crates/soc-bench/src/bin/table5_evaluation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tcp_stack-383f3f85244c5c7b.d: tests/tcp_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtcp_stack-383f3f85244c5c7b.rmeta: tests/tcp_stack.rs Cargo.toml
+
+tests/tcp_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_stack-76b45ff3ec8596d6.d: tests/tcp_stack.rs
+
+/root/repo/target/debug/deps/tcp_stack-76b45ff3ec8596d6: tests/tcp_stack.rs
+
+tests/tcp_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tcp_stack-baa3f6a312995f19.d: tests/tcp_stack.rs
+
+/root/repo/target/debug/deps/tcp_stack-baa3f6a312995f19: tests/tcp_stack.rs
+
+tests/tcp_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport-aa762e6102fcb204.d: crates/soc-bench/benches/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-aa762e6102fcb204.rmeta: crates/soc-bench/benches/transport.rs Cargo.toml
+
+crates/soc-bench/benches/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

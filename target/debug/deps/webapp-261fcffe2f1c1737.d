@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/webapp-261fcffe2f1c1737.d: crates/soc-bench/benches/webapp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwebapp-261fcffe2f1c1737.rmeta: crates/soc-bench/benches/webapp.rs Cargo.toml
+
+crates/soc-bench/benches/webapp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workflow-5c1171209a890e61.d: crates/soc-bench/benches/workflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkflow-5c1171209a890e61.rmeta: crates/soc-bench/benches/workflow.rs Cargo.toml
+
+crates/soc-bench/benches/workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xml-b4146f06f2c41ae6.d: crates/soc-bench/benches/xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxml-b4146f06f2c41ae6.rmeta: crates/soc-bench/benches/xml.rs Cargo.toml
+
+crates/soc-bench/benches/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xml_stack-09d97bd21821547f.d: tests/xml_stack.rs
+
+/root/repo/target/debug/deps/xml_stack-09d97bd21821547f: tests/xml_stack.rs
+
+tests/xml_stack.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xml_stack-4bd9686eb8520141.d: tests/xml_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxml_stack-4bd9686eb8520141.rmeta: tests/xml_stack.rs Cargo.toml
+
+tests/xml_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

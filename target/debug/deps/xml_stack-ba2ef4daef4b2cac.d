@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xml_stack-ba2ef4daef4b2cac.d: tests/xml_stack.rs
+
+/root/repo/target/debug/deps/xml_stack-ba2ef4daef4b2cac: tests/xml_stack.rs
+
+tests/xml_stack.rs:

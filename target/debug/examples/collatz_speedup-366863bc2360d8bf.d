@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collatz_speedup-366863bc2360d8bf.d: examples/collatz_speedup.rs
+
+/root/repo/target/debug/examples/collatz_speedup-366863bc2360d8bf: examples/collatz_speedup.rs
+
+examples/collatz_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collatz_speedup-54546cf163533cc6.d: examples/collatz_speedup.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollatz_speedup-54546cf163533cc6.rmeta: examples/collatz_speedup.rs Cargo.toml
+
+examples/collatz_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

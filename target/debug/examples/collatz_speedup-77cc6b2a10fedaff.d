@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collatz_speedup-77cc6b2a10fedaff.d: examples/collatz_speedup.rs
+
+/root/repo/target/debug/examples/collatz_speedup-77cc6b2a10fedaff: examples/collatz_speedup.rs
+
+examples/collatz_speedup.rs:

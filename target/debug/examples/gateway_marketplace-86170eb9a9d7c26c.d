@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gateway_marketplace-86170eb9a9d7c26c.d: examples/gateway_marketplace.rs
+
+/root/repo/target/debug/examples/gateway_marketplace-86170eb9a9d7c26c: examples/gateway_marketplace.rs
+
+examples/gateway_marketplace.rs:

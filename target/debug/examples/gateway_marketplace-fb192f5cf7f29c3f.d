@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gateway_marketplace-fb192f5cf7f29c3f.d: examples/gateway_marketplace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgateway_marketplace-fb192f5cf7f29c3f.rmeta: examples/gateway_marketplace.rs Cargo.toml
+
+examples/gateway_marketplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maze_navigation-29c2731a35e4e043.d: examples/maze_navigation.rs
+
+/root/repo/target/debug/examples/maze_navigation-29c2731a35e4e043: examples/maze_navigation.rs
+
+examples/maze_navigation.rs:

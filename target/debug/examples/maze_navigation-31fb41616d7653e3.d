@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maze_navigation-31fb41616d7653e3.d: examples/maze_navigation.rs
+
+/root/repo/target/debug/examples/maze_navigation-31fb41616d7653e3: examples/maze_navigation.rs
+
+examples/maze_navigation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maze_navigation-ed5b65db959482a1.d: examples/maze_navigation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaze_navigation-ed5b65db959482a1.rmeta: examples/maze_navigation.rs Cargo.toml
+
+examples/maze_navigation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-199d20bed6ca34b2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-199d20bed6ca34b2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ce4f88f7f58e34bd.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ce4f88f7f58e34bd: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_marketplace-d087a66f277d688a.d: examples/service_marketplace.rs
+
+/root/repo/target/debug/examples/service_marketplace-d087a66f277d688a: examples/service_marketplace.rs
+
+examples/service_marketplace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/service_marketplace-e1d04d42b547d857.d: examples/service_marketplace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libservice_marketplace-e1d04d42b547d857.rmeta: examples/service_marketplace.rs Cargo.toml
+
+examples/service_marketplace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

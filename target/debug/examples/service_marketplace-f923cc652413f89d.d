@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/service_marketplace-f923cc652413f89d.d: examples/service_marketplace.rs
+
+/root/repo/target/debug/examples/service_marketplace-f923cc652413f89d: examples/service_marketplace.rs
+
+examples/service_marketplace.rs:

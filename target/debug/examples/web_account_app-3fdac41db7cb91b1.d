@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_account_app-3fdac41db7cb91b1.d: examples/web_account_app.rs
+
+/root/repo/target/debug/examples/web_account_app-3fdac41db7cb91b1: examples/web_account_app.rs
+
+examples/web_account_app.rs:

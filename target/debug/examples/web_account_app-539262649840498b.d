@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/web_account_app-539262649840498b.d: examples/web_account_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweb_account_app-539262649840498b.rmeta: examples/web_account_app.rs Cargo.toml
+
+examples/web_account_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/web_account_app-fa9e617d40a1c4b8.d: examples/web_account_app.rs
+
+/root/repo/target/debug/examples/web_account_app-fa9e617d40a1c4b8: examples/web_account_app.rs
+
+examples/web_account_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workflow_mortgage-39a071c65cdbf38f.d: examples/workflow_mortgage.rs
+
+/root/repo/target/debug/examples/workflow_mortgage-39a071c65cdbf38f: examples/workflow_mortgage.rs
+
+examples/workflow_mortgage.rs:

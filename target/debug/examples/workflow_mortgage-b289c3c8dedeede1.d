@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/workflow_mortgage-b289c3c8dedeede1.d: examples/workflow_mortgage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libworkflow_mortgage-b289c3c8dedeede1.rmeta: examples/workflow_mortgage.rs Cargo.toml
+
+examples/workflow_mortgage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

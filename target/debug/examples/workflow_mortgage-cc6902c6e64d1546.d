@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/workflow_mortgage-cc6902c6e64d1546.d: examples/workflow_mortgage.rs
+
+/root/repo/target/debug/examples/workflow_mortgage-cc6902c6e64d1546: examples/workflow_mortgage.rs
+
+examples/workflow_mortgage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_raas-1de5776d67d5238f.d: crates/soc-bench/src/bin/fig1_raas.rs
+
+/root/repo/target/release/deps/fig1_raas-1de5776d67d5238f: crates/soc-bench/src/bin/fig1_raas.rs
+
+crates/soc-bench/src/bin/fig1_raas.rs:

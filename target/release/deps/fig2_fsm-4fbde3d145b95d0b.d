@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_fsm-4fbde3d145b95d0b.d: crates/soc-bench/src/bin/fig2_fsm.rs
+
+/root/repo/target/release/deps/fig2_fsm-4fbde3d145b95d0b: crates/soc-bench/src/bin/fig2_fsm.rs
+
+crates/soc-bench/src/bin/fig2_fsm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_collatz-1b8c01f8495bad86.d: crates/soc-bench/src/bin/fig3_collatz.rs
+
+/root/repo/target/release/deps/fig3_collatz-1b8c01f8495bad86: crates/soc-bench/src/bin/fig3_collatz.rs
+
+crates/soc-bench/src/bin/fig3_collatz.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_webapp-22ead12aa15c5484.d: crates/soc-bench/src/bin/fig4_webapp.rs
+
+/root/repo/target/release/deps/fig4_webapp-22ead12aa15c5484: crates/soc-bench/src/bin/fig4_webapp.rs
+
+crates/soc-bench/src/bin/fig4_webapp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_enrollment-9f9b6f36b4b882bb.d: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+/root/repo/target/release/deps/fig5_enrollment-9f9b6f36b4b882bb: crates/soc-bench/src/bin/fig5_enrollment.rs
+
+crates/soc-bench/src/bin/fig5_enrollment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gateway-9c44e9fa1a0e53d5.d: crates/soc-bench/benches/gateway.rs
+
+/root/repo/target/release/deps/gateway-9c44e9fa1a0e53d5: crates/soc-bench/benches/gateway.rs
+
+crates/soc-bench/benches/gateway.rs:

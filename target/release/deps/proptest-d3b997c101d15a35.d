@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d3b997c101d15a35.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d3b997c101d15a35.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d3b997c101d15a35.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

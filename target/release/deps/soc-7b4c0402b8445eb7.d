@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soc-7b4c0402b8445eb7.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoc-7b4c0402b8445eb7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoc-7b4c0402b8445eb7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soc-de250bd49cbb5d19.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoc-de250bd49cbb5d19.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoc-de250bd49cbb5d19.rmeta: src/lib.rs
+
+src/lib.rs:

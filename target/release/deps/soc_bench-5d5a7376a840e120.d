@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soc_bench-5d5a7376a840e120.d: crates/soc-bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoc_bench-5d5a7376a840e120.rlib: crates/soc-bench/src/lib.rs
+
+/root/repo/target/release/deps/libsoc_bench-5d5a7376a840e120.rmeta: crates/soc-bench/src/lib.rs
+
+crates/soc-bench/src/lib.rs:

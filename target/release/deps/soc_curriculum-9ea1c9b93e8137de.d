@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soc_curriculum-9ea1c9b93e8137de.d: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+/root/repo/target/release/deps/libsoc_curriculum-9ea1c9b93e8137de.rlib: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+/root/repo/target/release/deps/libsoc_curriculum-9ea1c9b93e8137de.rmeta: crates/soc-curriculum/src/lib.rs crates/soc-curriculum/src/acm.rs crates/soc-curriculum/src/chart.rs crates/soc-curriculum/src/enrollment.rs crates/soc-curriculum/src/evaluation.rs
+
+crates/soc-curriculum/src/lib.rs:
+crates/soc-curriculum/src/acm.rs:
+crates/soc-curriculum/src/chart.rs:
+crates/soc-curriculum/src/enrollment.rs:
+crates/soc-curriculum/src/evaluation.rs:

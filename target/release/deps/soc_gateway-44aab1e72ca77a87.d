@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soc_gateway-44aab1e72ca77a87.d: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+/root/repo/target/release/deps/libsoc_gateway-44aab1e72ca77a87.rlib: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+/root/repo/target/release/deps/libsoc_gateway-44aab1e72ca77a87.rmeta: crates/soc-gateway/src/lib.rs crates/soc-gateway/src/balance.rs crates/soc-gateway/src/breaker.rs crates/soc-gateway/src/limit.rs crates/soc-gateway/src/resolver.rs crates/soc-gateway/src/stats.rs
+
+crates/soc-gateway/src/lib.rs:
+crates/soc-gateway/src/balance.rs:
+crates/soc-gateway/src/breaker.rs:
+crates/soc-gateway/src/limit.rs:
+crates/soc-gateway/src/resolver.rs:
+crates/soc-gateway/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soc_gateway-d48c3ce2e7606b79.d: crates/soc-gateway/src/lib.rs
+
+/root/repo/target/release/deps/libsoc_gateway-d48c3ce2e7606b79.rlib: crates/soc-gateway/src/lib.rs
+
+/root/repo/target/release/deps/libsoc_gateway-d48c3ce2e7606b79.rmeta: crates/soc-gateway/src/lib.rs
+
+crates/soc-gateway/src/lib.rs:

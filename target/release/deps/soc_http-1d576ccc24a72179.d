@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soc_http-1d576ccc24a72179.d: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+/root/repo/target/release/deps/libsoc_http-1d576ccc24a72179.rlib: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+/root/repo/target/release/deps/libsoc_http-1d576ccc24a72179.rmeta: crates/soc-http/src/lib.rs crates/soc-http/src/client.rs crates/soc-http/src/codec.rs crates/soc-http/src/cookies.rs crates/soc-http/src/mem.rs crates/soc-http/src/server.rs crates/soc-http/src/types.rs crates/soc-http/src/url.rs
+
+crates/soc-http/src/lib.rs:
+crates/soc-http/src/client.rs:
+crates/soc-http/src/codec.rs:
+crates/soc-http/src/cookies.rs:
+crates/soc-http/src/mem.rs:
+crates/soc-http/src/server.rs:
+crates/soc-http/src/types.rs:
+crates/soc-http/src/url.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soc_json-f217996f96cc2082.d: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+/root/repo/target/release/deps/libsoc_json-f217996f96cc2082.rlib: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+/root/repo/target/release/deps/libsoc_json-f217996f96cc2082.rmeta: crates/soc-json/src/lib.rs crates/soc-json/src/parse.rs crates/soc-json/src/pointer.rs crates/soc-json/src/ser.rs crates/soc-json/src/value.rs
+
+crates/soc-json/src/lib.rs:
+crates/soc-json/src/parse.rs:
+crates/soc-json/src/pointer.rs:
+crates/soc-json/src/ser.rs:
+crates/soc-json/src/value.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/soc_parallel-66270d52895b4c17.d: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+/root/repo/target/release/deps/libsoc_parallel-66270d52895b4c17.rlib: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+/root/repo/target/release/deps/libsoc_parallel-66270d52895b4c17.rmeta: crates/soc-parallel/src/lib.rs crates/soc-parallel/src/metrics.rs crates/soc-parallel/src/par_iter.rs crates/soc-parallel/src/pipeline.rs crates/soc-parallel/src/pool.rs crates/soc-parallel/src/simcore.rs crates/soc-parallel/src/sync/mod.rs crates/soc-parallel/src/sync/barrier.rs crates/soc-parallel/src/sync/buffer.rs crates/soc-parallel/src/sync/event.rs crates/soc-parallel/src/sync/semaphore.rs crates/soc-parallel/src/sync/spinlock.rs crates/soc-parallel/src/workloads.rs
+
+crates/soc-parallel/src/lib.rs:
+crates/soc-parallel/src/metrics.rs:
+crates/soc-parallel/src/par_iter.rs:
+crates/soc-parallel/src/pipeline.rs:
+crates/soc-parallel/src/pool.rs:
+crates/soc-parallel/src/simcore.rs:
+crates/soc-parallel/src/sync/mod.rs:
+crates/soc-parallel/src/sync/barrier.rs:
+crates/soc-parallel/src/sync/buffer.rs:
+crates/soc-parallel/src/sync/event.rs:
+crates/soc-parallel/src/sync/semaphore.rs:
+crates/soc-parallel/src/sync/spinlock.rs:
+crates/soc-parallel/src/workloads.rs:

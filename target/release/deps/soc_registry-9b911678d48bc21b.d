@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soc_registry-9b911678d48bc21b.d: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+/root/repo/target/release/deps/libsoc_registry-9b911678d48bc21b.rlib: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+/root/repo/target/release/deps/libsoc_registry-9b911678d48bc21b.rmeta: crates/soc-registry/src/lib.rs crates/soc-registry/src/crawler.rs crates/soc-registry/src/descriptor.rs crates/soc-registry/src/directory.rs crates/soc-registry/src/monitor.rs crates/soc-registry/src/ontology.rs crates/soc-registry/src/repository.rs crates/soc-registry/src/search.rs
+
+crates/soc-registry/src/lib.rs:
+crates/soc-registry/src/crawler.rs:
+crates/soc-registry/src/descriptor.rs:
+crates/soc-registry/src/directory.rs:
+crates/soc-registry/src/monitor.rs:
+crates/soc-registry/src/ontology.rs:
+crates/soc-registry/src/repository.rs:
+crates/soc-registry/src/search.rs:

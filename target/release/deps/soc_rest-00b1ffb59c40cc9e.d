@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soc_rest-00b1ffb59c40cc9e.d: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+/root/repo/target/release/deps/libsoc_rest-00b1ffb59c40cc9e.rlib: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+/root/repo/target/release/deps/libsoc_rest-00b1ffb59c40cc9e.rmeta: crates/soc-rest/src/lib.rs crates/soc-rest/src/client.rs crates/soc-rest/src/middleware.rs crates/soc-rest/src/negotiate.rs crates/soc-rest/src/resource.rs crates/soc-rest/src/router.rs
+
+crates/soc-rest/src/lib.rs:
+crates/soc-rest/src/client.rs:
+crates/soc-rest/src/middleware.rs:
+crates/soc-rest/src/negotiate.rs:
+crates/soc-rest/src/resource.rs:
+crates/soc-rest/src/router.rs:

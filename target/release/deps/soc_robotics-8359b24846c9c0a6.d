@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soc_robotics-8359b24846c9c0a6.d: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+/root/repo/target/release/deps/libsoc_robotics-8359b24846c9c0a6.rlib: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+/root/repo/target/release/deps/libsoc_robotics-8359b24846c9c0a6.rmeta: crates/soc-robotics/src/lib.rs crates/soc-robotics/src/algorithms.rs crates/soc-robotics/src/maze.rs crates/soc-robotics/src/raas.rs crates/soc-robotics/src/robot.rs crates/soc-robotics/src/sync.rs
+
+crates/soc-robotics/src/lib.rs:
+crates/soc-robotics/src/algorithms.rs:
+crates/soc-robotics/src/maze.rs:
+crates/soc-robotics/src/raas.rs:
+crates/soc-robotics/src/robot.rs:
+crates/soc-robotics/src/sync.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soc_soap-b05769cecfce69ce.d: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+/root/repo/target/release/deps/libsoc_soap-b05769cecfce69ce.rlib: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+/root/repo/target/release/deps/libsoc_soap-b05769cecfce69ce.rmeta: crates/soc-soap/src/lib.rs crates/soc-soap/src/client.rs crates/soc-soap/src/contract.rs crates/soc-soap/src/envelope.rs crates/soc-soap/src/service.rs crates/soc-soap/src/wsdl.rs
+
+crates/soc-soap/src/lib.rs:
+crates/soc-soap/src/client.rs:
+crates/soc-soap/src/contract.rs:
+crates/soc-soap/src/envelope.rs:
+crates/soc-soap/src/service.rs:
+crates/soc-soap/src/wsdl.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soc_webapp-37a4869ccbfb7899.d: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+/root/repo/target/release/deps/libsoc_webapp-37a4869ccbfb7899.rlib: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+/root/repo/target/release/deps/libsoc_webapp-37a4869ccbfb7899.rmeta: crates/soc-webapp/src/lib.rs crates/soc-webapp/src/account_app.rs crates/soc-webapp/src/session.rs crates/soc-webapp/src/templates.rs crates/soc-webapp/src/viewstate.rs
+
+crates/soc-webapp/src/lib.rs:
+crates/soc-webapp/src/account_app.rs:
+crates/soc-webapp/src/session.rs:
+crates/soc-webapp/src/templates.rs:
+crates/soc-webapp/src/viewstate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soc_workflow-d09f8e07a6f29a82.d: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+/root/repo/target/release/deps/libsoc_workflow-d09f8e07a6f29a82.rlib: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+/root/repo/target/release/deps/libsoc_workflow-d09f8e07a6f29a82.rmeta: crates/soc-workflow/src/lib.rs crates/soc-workflow/src/activity.rs crates/soc-workflow/src/bpel.rs crates/soc-workflow/src/fsm.rs crates/soc-workflow/src/graph.rs
+
+crates/soc-workflow/src/lib.rs:
+crates/soc-workflow/src/activity.rs:
+crates/soc-workflow/src/bpel.rs:
+crates/soc-workflow/src/fsm.rs:
+crates/soc-workflow/src/graph.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/soc_xml-d054b95f454ec952.d: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs
+
+/root/repo/target/release/deps/libsoc_xml-d054b95f454ec952.rlib: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs
+
+/root/repo/target/release/deps/libsoc_xml-d054b95f454ec952.rmeta: crates/soc-xml/src/lib.rs crates/soc-xml/src/dom.rs crates/soc-xml/src/error.rs crates/soc-xml/src/escape.rs crates/soc-xml/src/name.rs crates/soc-xml/src/reader.rs crates/soc-xml/src/sax.rs crates/soc-xml/src/schema.rs crates/soc-xml/src/writer.rs crates/soc-xml/src/xpath.rs crates/soc-xml/src/xslt.rs
+
+crates/soc-xml/src/lib.rs:
+crates/soc-xml/src/dom.rs:
+crates/soc-xml/src/error.rs:
+crates/soc-xml/src/escape.rs:
+crates/soc-xml/src/name.rs:
+crates/soc-xml/src/reader.rs:
+crates/soc-xml/src/sax.rs:
+crates/soc-xml/src/schema.rs:
+crates/soc-xml/src/writer.rs:
+crates/soc-xml/src/xpath.rs:
+crates/soc-xml/src/xslt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_3_acm-28e32d31243d662a.d: crates/soc-bench/src/bin/table1_3_acm.rs
+
+/root/repo/target/release/deps/table1_3_acm-28e32d31243d662a: crates/soc-bench/src/bin/table1_3_acm.rs
+
+crates/soc-bench/src/bin/table1_3_acm.rs:

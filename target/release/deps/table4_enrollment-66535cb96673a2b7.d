@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_enrollment-66535cb96673a2b7.d: crates/soc-bench/src/bin/table4_enrollment.rs
+
+/root/repo/target/release/deps/table4_enrollment-66535cb96673a2b7: crates/soc-bench/src/bin/table4_enrollment.rs
+
+crates/soc-bench/src/bin/table4_enrollment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_evaluation-63cef29e5c0750a9.d: crates/soc-bench/src/bin/table5_evaluation.rs
+
+/root/repo/target/release/deps/table5_evaluation-63cef29e5c0750a9: crates/soc-bench/src/bin/table5_evaluation.rs
+
+crates/soc-bench/src/bin/table5_evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_tcp_probe-d070ec3861c34537.d: examples/_verify_tcp_probe.rs
+
+/root/repo/target/release/examples/_verify_tcp_probe-d070ec3861c34537: examples/_verify_tcp_probe.rs
+
+examples/_verify_tcp_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gateway_marketplace-77ee01e4ef7262f0.d: examples/gateway_marketplace.rs
+
+/root/repo/target/release/examples/gateway_marketplace-77ee01e4ef7262f0: examples/gateway_marketplace.rs
+
+examples/gateway_marketplace.rs:

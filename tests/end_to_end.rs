@@ -45,9 +45,8 @@ fn discover_then_invoke_rest_service() {
         &json!({ "sku": "x", "name": "textbook", "unit_price": 100, "quantity": 3 }),
     )
     .unwrap();
-    let receipt = rest
-        .post(&format!("mem://services.asu/carts/{id}/checkout"), &json!({}))
-        .unwrap();
+    let receipt =
+        rest.post(&format!("mem://services.asu/carts/{id}/checkout"), &json!({})).unwrap();
     assert_eq!(receipt.get("total").and_then(Value::as_i64), Some(300));
 }
 
@@ -59,9 +58,8 @@ fn discover_then_invoke_soap_service() {
     let soap_hit = hits.iter().find(|h| h.id == "credit-soap").expect("soap service found");
     // WSDL-driven call against the *discovered* endpoint.
     let soap = SoapClient::new(transport);
-    let out = soap
-        .discover_and_call(&soap_hit.endpoint, "GetScore", &[("ssn", "111-22-3333")])
-        .unwrap();
+    let out =
+        soap.discover_and_call(&soap_hit.endpoint, "GetScore", &[("ssn", "111-22-3333")]).unwrap();
     let score: u32 = out["score"].parse().unwrap();
     assert_eq!(score, soc::services::mortgage::CreditScoreService::score("111-22-3333"));
 }
@@ -74,8 +72,12 @@ fn rest_and_soap_bindings_of_encryption_interoperate() {
     // Encrypt over SOAP, decrypt over REST.
     let contract = soc::services::bindings::encryption_contract();
     let enc = soap
-        .call("mem://soap.asu/crypto", &contract, "Encrypt",
-            &[("passphrase", "pw"), ("plaintext", "cross-binding payload")])
+        .call(
+            "mem://soap.asu/crypto",
+            &contract,
+            "Encrypt",
+            &[("passphrase", "pw"), ("plaintext", "cross-binding payload")],
+        )
         .unwrap();
     let dec = rest
         .post(
@@ -179,13 +181,11 @@ fn robot_service_composes_with_directory() {
     net.host("directory", dir);
 
     let transport: Arc<dyn Transport> = Arc::new(net);
-    let hits = DirectoryClient::new(transport.clone(), "mem://directory")
-        .search("maze robot")
-        .unwrap();
+    let hits =
+        DirectoryClient::new(transport.clone(), "mem://directory").search("maze robot").unwrap();
     let rest = RestClient::new(transport);
-    let session = rest
-        .post(&hits[0].endpoint, &json!({ "width": 9, "height": 9, "seed": 5 }))
-        .unwrap();
+    let session =
+        rest.post(&hits[0].endpoint, &json!({ "width": 9, "height": 9, "seed": 5 })).unwrap();
     let id = session.get("id").and_then(Value::as_i64).unwrap();
     let run = rest
         .post(
@@ -226,8 +226,7 @@ fn xml_documents_flow_through_the_whole_stack() {
     assert_eq!(restored.list(), repo.list());
     // XPath over the document finds the SOAP services.
     let doc = soc::xml::Document::parse_str(&xml).unwrap();
-    let soap_nodes =
-        soc::xml::xpath::eval("/repository/service[@binding='soap']", &doc).unwrap();
+    let soap_nodes = soc::xml::xpath::eval("/repository/service[@binding='soap']", &doc).unwrap();
     assert_eq!(soap_nodes.len(), 2);
 }
 
@@ -282,12 +281,8 @@ fn semantic_discovery_finds_what_keywords_miss() {
     net.host("directory", dir);
     let client = DirectoryClient::new(Arc::new(net), "mem://directory");
     // Exact-category listing misses the re-tagged services…
-    let exact: Vec<_> = client
-        .list()
-        .unwrap()
-        .into_iter()
-        .filter(|d| d.category == "security")
-        .collect();
+    let exact: Vec<_> =
+        client.list().unwrap().into_iter().filter(|d| d.category == "security").collect();
     // …while the semantic search subsumes cryptography under security.
     let semantic = client.semantic_search("security").unwrap();
     assert!(semantic.len() > exact.len());

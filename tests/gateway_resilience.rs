@@ -1,0 +1,219 @@
+//! Resilience of the service gateway under injected faults.
+//!
+//! The paper's Section V services live in a world where "services are
+//! too slow ... often offline or removed without notice". These tests
+//! replicate a service three ways behind the gateway, inject the
+//! paper's fault model (drops, delays, 5xx), and check the
+//! dependability claims: high client-visible success despite 20%
+//! upstream faults, circuit breakers that open and recover, deadlines
+//! that bound slow calls, and a token bucket whose invariants hold for
+//! arbitrary admission timelines.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use soc::gateway::{BreakerConfig, BreakerState, Gateway, GatewayConfig, TokenBucket};
+use soc::prelude::*;
+
+fn quick() -> GatewayConfig {
+    GatewayConfig {
+        base_backoff: Duration::from_micros(200),
+        max_backoff: Duration::from_millis(2),
+        request_deadline: Duration::from_secs(5),
+        ..GatewayConfig::default()
+    }
+}
+
+/// Three replicas, each dropping every 5th request (20% injected
+/// faults): the gateway's retries must keep client-visible success at
+/// 99% or better.
+#[test]
+fn twenty_percent_faults_are_masked_by_retries() {
+    let net = MemNetwork::new();
+    for name in ["quote-0", "quote-1", "quote-2"] {
+        net.host(name, |req: Request| Response::text(format!("quote for {}", req.path())));
+        net.set_fault(name, FaultConfig { fail_every: 5, ..Default::default() });
+    }
+    let gw = Gateway::new(Arc::new(net.clone()), quick());
+    gw.register("quote", &["mem://quote-0", "mem://quote-1", "mem://quote-2"]);
+    net.host("gw", gw.clone());
+
+    let total = 300;
+    let mut successes = 0;
+    for i in 0..total {
+        let resp = net.send(Request::get(format!("mem://gw/svc/quote/q/{i}"))).unwrap();
+        if resp.status.is_success() {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes * 100 >= total * 99,
+        "only {successes}/{total} requests succeeded through the gateway"
+    );
+
+    // The 20% upstream faults really happened and really were retried.
+    let stats = gw.stats();
+    let failures: u64 = ["mem://quote-0", "mem://quote-1", "mem://quote-2"]
+        .iter()
+        .map(|ep| stats.upstream(ep).failures.load(Ordering::Relaxed))
+        .sum();
+    let retries: u64 = ["mem://quote-0", "mem://quote-1", "mem://quote-2"]
+        .iter()
+        .map(|ep| stats.upstream(ep).retries.load(Ordering::Relaxed))
+        .sum();
+    assert!(failures >= 50, "fault injection misfired: only {failures} upstream failures");
+    assert!(retries >= failures, "each upstream failure should have triggered a retry");
+}
+
+/// The full breaker life cycle: a replica that starts failing hard gets
+/// its breaker opened (traffic routes around it), and once the faults
+/// stop the breaker half-opens after the cool-down and closes again on
+/// successful probes.
+#[test]
+fn breaker_opens_half_opens_and_closes_again() {
+    let net = MemNetwork::new();
+    let failing = Arc::new(AtomicBool::new(true));
+    let flag = failing.clone();
+    net.host("sick", move |_req: Request| {
+        if flag.load(Ordering::Relaxed) {
+            Response::error(Status::INTERNAL_SERVER_ERROR, "wedged")
+        } else {
+            Response::text("recovered")
+        }
+    });
+    net.host("well", |_req: Request| Response::text("steady"));
+
+    let gw = Gateway::new(
+        Arc::new(net.clone()),
+        GatewayConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 0.5,
+                window: 6,
+                min_samples: 4,
+                cool_down: Duration::from_millis(50),
+                half_open_probes: 2,
+            },
+            ..quick()
+        },
+    );
+    gw.register("svc", &["mem://sick", "mem://well"]);
+    net.host("gw", gw.clone());
+
+    // Phase 1: the sick replica fails every request it sees. Clients
+    // never notice — retries land on the healthy one — and the sick
+    // replica's breaker opens.
+    for _ in 0..30 {
+        let resp = net.send(Request::get("mem://gw/svc/svc/x")).unwrap();
+        assert!(resp.status.is_success(), "healthy replica must mask the sick one");
+    }
+    assert_eq!(gw.breaker_state("mem://sick"), Some(BreakerState::Open));
+
+    // Phase 2: with the breaker open, the sick replica sees no traffic.
+    let sick_hits = net.hits("sick");
+    for _ in 0..10 {
+        net.send(Request::get("mem://gw/svc/svc/x")).unwrap();
+    }
+    assert_eq!(net.hits("sick"), sick_hits, "open breaker must block all traffic");
+
+    // Phase 3: the replica recovers; after the cool-down the breaker
+    // half-opens, probes succeed, and it closes.
+    failing.store(false, Ordering::Relaxed);
+    std::thread::sleep(Duration::from_millis(70));
+    assert_eq!(gw.breaker_state("mem://sick"), Some(BreakerState::HalfOpen));
+    for _ in 0..10 {
+        let resp = net.send(Request::get("mem://gw/svc/svc/x")).unwrap();
+        assert!(resp.status.is_success());
+    }
+    assert_eq!(gw.breaker_state("mem://sick"), Some(BreakerState::Closed));
+    assert!(net.hits("sick") > sick_hits, "a closed breaker readmits traffic");
+}
+
+/// A replica that is both slow and broken cannot stretch a request past
+/// its deadline budget: the gateway answers 504 instead of grinding
+/// through every retry.
+#[test]
+fn deadline_budget_bounds_slow_failing_upstreams() {
+    let net = MemNetwork::new();
+    net.host("tarpit", |_req: Request| Response::error(Status::SERVICE_UNAVAILABLE, "no"));
+    net.set_fault(
+        "tarpit",
+        FaultConfig { latency: Duration::from_millis(30), ..Default::default() },
+    );
+    let gw = Gateway::new(
+        Arc::new(net.clone()),
+        GatewayConfig { max_retries: 20, request_deadline: Duration::from_millis(80), ..quick() },
+    );
+    gw.register("tar", &["mem://tarpit"]);
+
+    let start = std::time::Instant::now();
+    let resp = gw.call("tar", Request::get("/x"));
+    assert_eq!(resp.status, Status::GATEWAY_TIMEOUT);
+    assert!(start.elapsed() < Duration::from_secs(2), "deadline failed to bound the call");
+    assert_eq!(gw.stats().deadline_exceeded.load(Ordering::Relaxed), 1);
+}
+
+proptest! {
+    /// The bucket never holds (or grants) more than its burst capacity,
+    /// no matter when requests arrive.
+    #[test]
+    fn token_bucket_never_exceeds_burst(
+        capacity in 1.0f64..32.0,
+        refill in 0.0f64..500.0,
+        mut times in proptest::collection::vec(0u64..5_000_000_000u64, 1..64),
+    ) {
+        times.sort_unstable();
+        let bucket = TokenBucket::new(capacity, refill);
+        for t in times {
+            prop_assert!(bucket.available_at(t) <= capacity + 1e-9);
+            let _ = bucket.try_acquire_at(t);
+            prop_assert!(bucket.available_at(t) <= capacity + 1e-9);
+        }
+    }
+
+    /// Left alone, the bucket only ever gains tokens as time advances.
+    #[test]
+    fn token_bucket_refills_monotonically(
+        capacity in 1.0f64..32.0,
+        refill in 0.0f64..500.0,
+        drain in 0usize..32,
+        mut times in proptest::collection::vec(0u64..5_000_000_000u64, 2..64),
+    ) {
+        times.sort_unstable();
+        let bucket = TokenBucket::new(capacity, refill);
+        for _ in 0..drain {
+            let _ = bucket.try_acquire_at(0);
+        }
+        let mut prev = bucket.available_at(0);
+        for t in times {
+            let now = bucket.available_at(t);
+            prop_assert!(now + 1e-9 >= prev, "tokens shrank without an acquire: {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    /// Conservation: admissions over any timeline are bounded by the
+    /// initial burst plus everything the refill rate could have added.
+    #[test]
+    fn token_bucket_admissions_are_bounded(
+        capacity in 1.0f64..32.0,
+        refill in 0.0f64..500.0,
+        mut times in proptest::collection::vec(0u64..2_000_000_000u64, 1..128),
+    ) {
+        times.sort_unstable();
+        let bucket = TokenBucket::new(capacity, refill);
+        let last = *times.last().unwrap();
+        let mut admitted = 0u64;
+        for t in &times {
+            if bucket.try_acquire_at(*t) {
+                admitted += 1;
+            }
+        }
+        let bound = capacity + refill * (last as f64 / 1e9) + 1e-6;
+        prop_assert!(
+            (admitted as f64) <= bound,
+            "admitted {admitted} > burst+refill bound {bound}"
+        );
+    }
+}

@@ -15,12 +15,8 @@ use soc::soap::client::SoapClient;
 
 #[test]
 fn rest_services_over_real_sockets() {
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        2,
-        soc::services::bindings::ServiceHost::new(77),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 2, soc::services::bindings::ServiceHost::new(77)).unwrap();
     let rest = RestClient::new(Arc::new(HttpClient::new()));
     let base = server.url();
 
@@ -57,9 +53,8 @@ fn soap_service_over_real_sockets() {
     // placeholder, so call the real address directly.
     let parsed = soap.discover(&server.url()).unwrap();
     assert_eq!(parsed.contract.name, "CreditScore");
-    let out = soap
-        .call(&server.url(), &parsed.contract, "GetScore", &[("ssn", "123-45-6789")])
-        .unwrap();
+    let out =
+        soap.call(&server.url(), &parsed.contract, "GetScore", &[("ssn", "123-45-6789")]).unwrap();
     let score: u32 = out["score"].parse().unwrap();
     assert_eq!(score, soc::services::mortgage::CreditScoreService::score("123-45-6789"));
 }
@@ -70,10 +65,7 @@ fn robot_service_over_real_sockets() {
         HttpServer::bind("127.0.0.1:0", 2, soc::robotics::raas::RaasService::new()).unwrap();
     let rest = RestClient::new(Arc::new(HttpClient::new()));
     let session = rest
-        .post(
-            &format!("{}/sessions", server.url()),
-            &json!({ "width": 9, "height": 9, "seed": 8 }),
-        )
+        .post(&format!("{}/sessions", server.url()), &json!({ "width": 9, "height": 9, "seed": 8 }))
         .unwrap();
     let id = session.get("id").and_then(Value::as_i64).unwrap();
     let run = rest
@@ -89,12 +81,8 @@ fn robot_service_over_real_sockets() {
 fn uniclient_spans_tcp_and_memory() {
     // Provider A on TCP, provider B in memory: one client reaches both,
     // so composition code never cares where a service is deployed.
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        1,
-        soc::services::bindings::ServiceHost::new(5),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(5)).unwrap();
     let net = MemNetwork::new();
     net.host("local", |_req: Request| soc::http::Response::json("{\"where\":\"memory\"}"));
     let uni = UniClient::new(net);
@@ -110,12 +98,8 @@ fn uniclient_spans_tcp_and_memory() {
 
 #[test]
 fn server_survives_malformed_clients() {
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        1,
-        soc::services::bindings::ServiceHost::new(6),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(6)).unwrap();
     // Raw garbage over the socket.
     {
         use std::io::Write;
@@ -136,8 +120,7 @@ fn server_survives_malformed_clients() {
 #[test]
 fn concurrent_tcp_consumers_hit_one_provider() {
     let server = Arc::new(
-        HttpServer::bind("127.0.0.1:0", 4, soc::services::bindings::ServiceHost::new(13))
-            .unwrap(),
+        HttpServer::bind("127.0.0.1:0", 4, soc::services::bindings::ServiceHost::new(13)).unwrap(),
     );
     let mut handles = Vec::new();
     for t in 0..4 {
@@ -164,12 +147,8 @@ fn concurrent_tcp_consumers_hit_one_provider() {
 #[test]
 fn keep_alive_serves_multiple_requests_on_one_connection() {
     use std::io::{BufRead, BufReader, Write};
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        1,
-        soc::services::bindings::ServiceHost::new(9),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(9)).unwrap();
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
@@ -200,12 +179,8 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
 
 #[test]
 fn oversized_body_is_rejected_not_buffered() {
-    let server = HttpServer::bind(
-        "127.0.0.1:0",
-        1,
-        soc::services::bindings::ServiceHost::new(10),
-    )
-    .unwrap();
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(10)).unwrap();
     use std::io::{Read, Write};
     let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();

@@ -132,8 +132,7 @@ fn xpath_extracts_endpoints_from_live_documents() {
     let doc = Document::parse_str(&repo.to_xml()).unwrap();
     let endpoints = xpath::eval("/repository/service/endpoint", &doc).unwrap();
     assert_eq!(endpoints.texts(&doc), vec!["mem://s/enc", "mem://s/credit"]);
-    let soap_names =
-        xpath::eval("/repository/service[@binding='soap']/name", &doc).unwrap();
+    let soap_names = xpath::eval("/repository/service[@binding='soap']/name", &doc).unwrap();
     assert_eq!(soap_names.first_text(&doc).as_deref(), Some("Credit Score"));
 }
 

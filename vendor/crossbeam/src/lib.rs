@@ -1,0 +1,231 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `deque` module subset this workspace uses —
+//! [`deque::Injector`], [`deque::Worker`], [`deque::Stealer`], and
+//! [`deque::Steal`] — implemented over `Mutex<VecDeque>` instead of
+//! lock-free buffers. Same API and ownership model (a `Worker` is the
+//! queue's single owner, `Stealer`s are cloneable remote handles);
+//! throughput is lower than real crossbeam but correctness and
+//! work-stealing behaviour are equivalent.
+
+pub mod deque {
+    //! Work-stealing double-ended queues.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race occurred; the caller should retry.
+        Retry,
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// A global FIFO queue any thread can push to and steal from.
+    pub struct Injector<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Injector { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steal one task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Steal a batch into `dest`'s local queue and pop one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = lock(&self.queue);
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            // Move up to half the remainder (capped) to the local queue.
+            let batch = (q.len() / 2).min(16);
+            if batch > 0 {
+                let mut local = lock(&dest.queue);
+                for _ in 0..batch {
+                    match q.pop_front() {
+                        Some(t) => local.push_back(t),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// A per-thread queue; only its owner pushes and pops.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// New LIFO worker queue. The lock-based shim pops from the
+        /// front either way; order differs from real crossbeam but no
+        /// caller in this workspace relies on LIFO order.
+        pub fn new_lifo() -> Self {
+            Self::new_fifo()
+        }
+
+        /// Push onto the local queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pop the next local task.
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_front()
+        }
+
+        /// A handle other threads can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+
+        /// Is the queue currently empty?
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    /// A remote handle for stealing from a [`Worker`].
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the worker's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_round_trips() {
+            let inj = Injector::new();
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert_eq!(inj.steal(), Steal::Empty::<i32>);
+        }
+
+        #[test]
+        fn batch_moves_work_to_local_queue() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let local = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&local), Steal::Success(0));
+            // Half of the remaining nine went local.
+            let mut drained = Vec::new();
+            while let Some(v) = local.pop() {
+                drained.push(v);
+            }
+            assert_eq!(drained, vec![1, 2, 3, 4]);
+            assert_eq!(inj.steal(), Steal::Success(5));
+        }
+
+        #[test]
+        fn stealer_sees_worker_pushes() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            assert_eq!(s.steal(), Steal::Empty::<u8>);
+            w.push(7u8);
+            assert_eq!(s.steal(), Steal::Success(7));
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn concurrent_stealing_conserves_tasks() {
+            let inj = std::sync::Arc::new(Injector::new());
+            for i in 0..1000u32 {
+                inj.push(i);
+            }
+            let total = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let inj = inj.clone();
+                let total = total.clone();
+                handles.push(std::thread::spawn(move || {
+                    let local = Worker::new_fifo();
+                    loop {
+                        let task = match inj.steal_batch_and_pop(&local) {
+                            Steal::Success(t) => Some(t),
+                            Steal::Empty => local.pop(),
+                            Steal::Retry => continue,
+                        };
+                        match task.or_else(|| local.pop()) {
+                            Some(_) => {
+                                total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                    // Drain anything left local.
+                    while local.pop().is_some() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 1000);
+        }
+    }
+}

@@ -1,0 +1,1096 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A minimal property-testing harness implementing the API surface this
+//! workspace uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, [`arbitrary::any`], ranges and tuples as
+//! strategies, `&str` regex-subset string strategies,
+//! [`collection::vec`], [`option::of`], [`string::string_regex`],
+//! [`sample::Index`], and the [`proptest!`] / [`prop_assert!`] family of
+//! macros. Differences from real proptest: no shrinking (a failing case
+//! reports its inputs but is not minimised), and generation is
+//! deterministic per case index so failures reproduce across runs.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Configuration, RNG, and failure plumbing for [`crate::proptest!`].
+
+    use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+    /// Deterministic per-case random source handed to strategies.
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// RNG for the `case`-th test case; same case → same stream.
+        pub fn for_case(case: u32) -> Self {
+            TestRng(StdRng::seed_from_u64(
+                0x50C5_EED0_u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the property is violated.
+        Fail(String),
+        /// The inputs were rejected by `prop_assume!`; try another case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (skipped) case with a reason.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "property failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "inputs rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-test configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces a value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type behind a cloneable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Build a recursive strategy: `self` is the leaf, `recurse` wraps a
+    /// strategy for subtrees into a strategy for one level up. `depth`
+    /// bounds nesting; the size hints are accepted for API parity.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+}
+
+/// A cloneable, type-erased [`Strategy`].
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: self.f.clone() }
+    }
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between alternative strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given non-empty list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String-literal strategies: the pattern is a regex subset (see
+/// [`string::string_regex`]) generating matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let nodes = string::compile(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"));
+        string::gen_string(&nodes, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+pub mod arbitrary {
+    //! `any::<T>()`: the canonical strategy for a type.
+
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            super::sample::Index::from_raw(rand::RngCore::next_u64(rng) as usize)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-low, exclusive-high bounds on a collection's length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: r.end().saturating_add(1) }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy { element: self.element.clone(), size: self.size }
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Clone> Clone for OptionStrategy<S> {
+        fn clone(&self) -> Self {
+            OptionStrategy { inner: self.inner.clone() }
+        }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            use rand::Rng;
+            if rng.gen_bool(0.8) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` of the inner strategy most of the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling helper types.
+
+    /// An index into a slice whose length is unknown at generation time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        pub(crate) fn from_raw(raw: usize) -> Self {
+            Index(raw)
+        }
+
+        /// The element this index selects from `slice` (panics if empty).
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            assert!(!slice.is_empty(), "Index::get on empty slice");
+            &slice[self.0 % slice.len()]
+        }
+
+        /// This index reduced into `0..len` (panics if `len == 0`).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len != 0, "Index::index with len 0");
+            self.0 % len
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from regex-subset patterns.
+    //!
+    //! Supported syntax: literal chars, `\n`/`\t`/`\r` and escaped
+    //! punctuation, character classes with ranges (`[a-z0-9._-]`),
+    //! class intersection-subtraction (`[ -~&&[^{}]]`), negated classes
+    //! over printable ASCII, groups with alternation
+    //! (`(foo|bar)`), and `{n}` / `{m,n}` / `?` / `*` / `+` repetition.
+    //! A `{` that does not start a well-formed counted repetition is a
+    //! literal, matching the regex crate's behaviour.
+
+    use super::{Strategy, TestRng};
+
+    /// A parse-time error for an unsupported or malformed pattern.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "bad regex strategy: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    pub(crate) enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        pos: usize,
+    }
+
+    impl Parser {
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.pos).copied()
+        }
+
+        fn peek_at(&self, ahead: usize) -> Option<char> {
+            self.chars.get(self.pos + ahead).copied()
+        }
+
+        fn bump(&mut self) -> Option<char> {
+            let c = self.peek();
+            if c.is_some() {
+                self.pos += 1;
+            }
+            c
+        }
+
+        fn expect(&mut self, want: char) -> Result<(), Error> {
+            match self.bump() {
+                Some(c) if c == want => Ok(()),
+                other => Err(Error(format!("expected {want:?}, found {other:?}"))),
+            }
+        }
+
+        /// One escape-resolved char (after a `\`).
+        fn escaped(&mut self) -> Result<char, Error> {
+            match self.bump() {
+                Some('n') => Ok('\n'),
+                Some('t') => Ok('\t'),
+                Some('r') => Ok('\r'),
+                Some(c) => Ok(c),
+                None => Err(Error("dangling escape".into())),
+            }
+        }
+
+        /// A sequence of atoms, stopping at `)`/`|` or end of input.
+        fn seq(&mut self) -> Result<Vec<Node>, Error> {
+            let mut out = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == ')' || c == '|' {
+                    break;
+                }
+                let atom = self.atom()?;
+                out.push(self.maybe_repeat(atom)?);
+            }
+            Ok(out)
+        }
+
+        fn atom(&mut self) -> Result<Node, Error> {
+            match self.peek() {
+                Some('[') => self.class(),
+                Some('(') => self.group(),
+                Some('\\') => {
+                    self.bump();
+                    Ok(Node::Lit(self.escaped()?))
+                }
+                Some(c) => {
+                    self.bump();
+                    Ok(Node::Lit(c))
+                }
+                None => Err(Error("expected atom, found end of pattern".into())),
+            }
+        }
+
+        fn group(&mut self) -> Result<Node, Error> {
+            self.expect('(')?;
+            let mut alternatives = vec![self.seq()?];
+            while self.peek() == Some('|') {
+                self.bump();
+                alternatives.push(self.seq()?);
+            }
+            self.expect(')')?;
+            Ok(Node::Group(alternatives))
+        }
+
+        /// Character class. Returns its member set.
+        fn class(&mut self) -> Result<Node, Error> {
+            let set = self.class_set()?;
+            if set.is_empty() {
+                return Err(Error("empty character class".into()));
+            }
+            Ok(Node::Class(set))
+        }
+
+        fn class_set(&mut self) -> Result<Vec<char>, Error> {
+            self.expect('[')?;
+            let negated = if self.peek() == Some('^') {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let mut set: Vec<char> = Vec::new();
+            loop {
+                match self.peek() {
+                    None => return Err(Error("unterminated character class".into())),
+                    Some(']') => {
+                        self.bump();
+                        break;
+                    }
+                    // `&&[...]`: intersect (or subtract a negated set).
+                    Some('&') if self.peek_at(1) == Some('&') => {
+                        self.bump();
+                        self.bump();
+                        if self.peek() != Some('[') {
+                            return Err(Error("`&&` must be followed by a class".into()));
+                        }
+                        // A negated operand comes back already complemented,
+                        // so intersection covers both `&&[..]` and `&&[^..]`.
+                        let inner = self.class_set()?;
+                        set.retain(|c| inner.contains(c));
+                        // `&&[..]` must close the class next.
+                        self.expect(']')?;
+                        break;
+                    }
+                    Some(_) => {
+                        let lo = if self.peek() == Some('\\') {
+                            self.bump();
+                            self.escaped()?
+                        } else {
+                            self.bump().unwrap()
+                        };
+                        // A range unless the `-` is last-in-class.
+                        if self.peek() == Some('-')
+                            && self.peek_at(1).is_some()
+                            && self.peek_at(1) != Some(']')
+                        {
+                            self.bump();
+                            let hi = if self.peek() == Some('\\') {
+                                self.bump();
+                                self.escaped()?
+                            } else {
+                                self.bump().unwrap()
+                            };
+                            if (hi as u32) < (lo as u32) {
+                                return Err(Error(format!("bad range {lo:?}-{hi:?}")));
+                            }
+                            for cp in lo as u32..=hi as u32 {
+                                if let Some(c) = char::from_u32(cp) {
+                                    set.push(c);
+                                }
+                            }
+                        } else {
+                            set.push(lo);
+                        }
+                    }
+                }
+            }
+            set.sort_unstable();
+            set.dedup();
+            if negated {
+                // Complement over printable ASCII plus common whitespace.
+                let universe = (' '..='~').chain(['\n', '\t']);
+                let complement: Vec<char> = universe.filter(|c| !set.contains(c)).collect();
+                return Ok(complement);
+            }
+            Ok(set)
+        }
+
+        /// Wrap `atom` in a repetition if a quantifier follows.
+        fn maybe_repeat(&mut self, atom: Node) -> Result<Node, Error> {
+            match self.peek() {
+                Some('?') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, 1))
+                }
+                Some('*') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 0, 8))
+                }
+                Some('+') => {
+                    self.bump();
+                    Ok(Node::Repeat(Box::new(atom), 1, 8))
+                }
+                Some('{') => {
+                    let saved = self.pos;
+                    match self.counted() {
+                        Some((lo, hi)) => Ok(Node::Repeat(Box::new(atom), lo, hi)),
+                        None => {
+                            // Not a quantifier — `{` is a literal.
+                            self.pos = saved;
+                            Ok(atom)
+                        }
+                    }
+                }
+                _ => Ok(atom),
+            }
+        }
+
+        /// Parse `{n}` or `{m,n}`; `None` (no consumption) if malformed.
+        fn counted(&mut self) -> Option<(u32, u32)> {
+            let saved = self.pos;
+            self.bump(); // `{`
+            let lo = self.digits()?;
+            match self.peek() {
+                Some('}') => {
+                    self.bump();
+                    Some((lo, lo))
+                }
+                Some(',') => {
+                    self.bump();
+                    let hi = self.digits()?;
+                    if self.peek() == Some('}') && lo <= hi {
+                        self.bump();
+                        Some((lo, hi))
+                    } else {
+                        self.pos = saved;
+                        None
+                    }
+                }
+                _ => {
+                    self.pos = saved;
+                    None
+                }
+            }
+        }
+
+        fn digits(&mut self) -> Option<u32> {
+            let mut n: u32 = 0;
+            let mut any = false;
+            while let Some(c) = self.peek() {
+                match c.to_digit(10) {
+                    Some(d) => {
+                        self.bump();
+                        n = n.checked_mul(10)?.checked_add(d)?;
+                        any = true;
+                    }
+                    None => break,
+                }
+            }
+            any.then_some(n)
+        }
+    }
+
+    pub(crate) fn compile(pattern: &str) -> Result<Vec<Node>, Error> {
+        let mut p = Parser { chars: pattern.chars().collect(), pos: 0 };
+        let mut alternatives = vec![p.seq()?];
+        // A bare top-level alternation: `a|b`.
+        while p.peek() == Some('|') {
+            p.bump();
+            alternatives.push(p.seq()?);
+        }
+        if p.pos != p.chars.len() {
+            return Err(Error(format!("unexpected {:?} at offset {}", p.peek(), p.pos)));
+        }
+        if alternatives.len() == 1 {
+            Ok(alternatives.pop().unwrap())
+        } else {
+            Ok(vec![Node::Group(alternatives)])
+        }
+    }
+
+    pub(crate) fn gen_string(nodes: &[Node], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for node in nodes {
+            gen_node(node, rng, &mut out);
+        }
+        out
+    }
+
+    fn gen_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+        use rand::Rng;
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+            Node::Group(alternatives) => {
+                let pick = rng.gen_range(0..alternatives.len());
+                for n in &alternatives[pick] {
+                    gen_node(n, rng, out);
+                }
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let count = rng.gen_range(*lo..=*hi);
+                for _ in 0..count {
+                    gen_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Strategy generating strings matching a regex-subset `pattern`.
+    pub struct RegexGeneratorStrategy {
+        nodes: Vec<Node>,
+    }
+
+    impl Clone for RegexGeneratorStrategy {
+        fn clone(&self) -> Self {
+            RegexGeneratorStrategy { nodes: self.nodes.clone() }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_string(&self.nodes, rng)
+        }
+    }
+
+    /// Compile `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Ok(RegexGeneratorStrategy { nodes: compile(pattern)? })
+    }
+}
+
+pub mod strategy {
+    //! Re-exports of the strategy types (mirrors proptest's layout).
+
+    pub use super::{BoxedStrategy, Just, Map, Strategy, Union};
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use super::arbitrary::{any, Arbitrary};
+    pub use super::strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+    pub use super::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use super::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Qualified access root, as in `prop::sample::Index`.
+    pub use crate as prop;
+}
+
+/// Run property tests: optional `#![proptest_config(..)]`, then
+/// `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategy = ( $( $strat, )+ );
+                let mut __rejected: u32 = 0;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    let ( $($pat,)+ ) =
+                        $crate::Strategy::generate(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            __rejected += 1;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!("proptest case {} failed: {}", __case, __msg);
+                        }
+                    }
+                }
+                // Rejecting every case means the property never ran.
+                assert!(
+                    __rejected < __config.cases,
+                    "all {} cases rejected by prop_assume!",
+                    __config.cases,
+                );
+            }
+        )+
+    };
+}
+
+/// Assert a condition inside `proptest!`, failing the case if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside `proptest!` (borrows its operands).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                            __l, __r
+                        )),
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::fail(format!(
+                            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                            __l,
+                            __r,
+                            format!($($fmt)+)
+                        )),
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Assert inequality inside `proptest!` (borrows its operands).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `left != right`\n  both: {:?}", __l),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+pub use arbitrary::any;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+
+            let t = Strategy::generate(&"[ -~&&[^{}]]{0,8}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c) && c != '{' && c != '}'), "{t:?}");
+
+            let u = Strategy::generate(&"(soap:Client|soap:Server)", &mut rng);
+            assert!(u == "soap:Client" || u == "soap:Server", "{u:?}");
+
+            let v = Strategy::generate(&"/{}", &mut rng);
+            assert_eq!(v, "/{}");
+
+            let w = Strategy::generate(&"[ -~é中\\n\\t]{0,16}", &mut rng);
+            assert!(
+                w.chars().all(|c| (' '..='~').contains(&c)
+                    || c == 'é'
+                    || c == '中'
+                    || c == '\n'
+                    || c == '\t'),
+                "{w:?}"
+            );
+
+            let x = Strategy::generate(&"[a-z0-9/._-]{1,8}", &mut rng);
+            assert!(
+                x.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/._-".contains(c)),
+                "{x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_garbage() {
+        assert!(crate::string::string_regex("[z-a]").is_err());
+        assert!(crate::string::string_regex("(unclosed").is_err());
+        assert!(crate::string::string_regex("[]").is_err());
+        assert!(crate::string::string_regex("ok{2,5}").is_ok());
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(0u8), (10u8..20).prop_map(|v| v * 2),];
+        let mut rng = TestRng::for_case(1);
+        let mut saw_zero = false;
+        let mut saw_even_big = false;
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            if v == 0 {
+                saw_zero = true;
+            } else {
+                assert!((20..40).contains(&v) && v % 2 == 0);
+                saw_even_big = true;
+            }
+        }
+        assert!(saw_zero && saw_even_big);
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = any::<u8>().prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::for_case(2);
+        for _ in 0..100 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_binds_multiple_args(
+            xs in crate::collection::vec(any::<i64>(), 0..10),
+            k in 1usize..5,
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(k != 4);
+            prop_assert!(xs.len() < 10);
+            prop_assert_eq!(k >= 1, true);
+            if flag {
+                prop_assert_ne!(k, 0);
+            }
+        }
+
+        #[test]
+        fn option_and_index_strategies(
+            maybe in crate::option::of("[a-z]{1,3}"),
+            ix in any::<prop::sample::Index>(),
+        ) {
+            if let Some(s) = &maybe {
+                prop_assert!((1..=3).contains(&s.len()));
+            }
+            let items = [10, 20, 30];
+            let picked = *ix.get(&items);
+            prop_assert!(items.contains(&picked));
+        }
+    }
+}
