@@ -65,12 +65,38 @@ impl BreakerState {
     }
 }
 
+/// Proof that [`CircuitBreaker::try_pass`] admitted a request, stamped
+/// with the breaker's state epoch at admission time.
+///
+/// The epoch is what makes half-open accounting sound under
+/// concurrency: a request admitted while the breaker was Closed may
+/// complete *after* the breaker has opened and half-opened again.
+/// Without the stamp, that straggler's completion would decrement
+/// `probes_in_flight` (a slot it never took) and — if it happened to
+/// succeed — count toward `probe_successes`, closing the breaker
+/// without a single real probe having run. With the stamp, outcomes
+/// from a previous era are recognized as stale news and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pass {
+    epoch: u64,
+}
+
 struct Inner {
     state: BreakerState,
+    /// Bumped on every state transition; passes carry the epoch they
+    /// were admitted under so stragglers cannot corrupt a later state.
+    epoch: u64,
     outcomes: VecDeque<bool>,
     opened_at: Instant,
     probes_in_flight: usize,
     probe_successes: usize,
+}
+
+impl Inner {
+    fn transition(&mut self, state: BreakerState) {
+        self.state = state;
+        self.epoch += 1;
+    }
 }
 
 /// The breaker itself. Thread-safe; one per upstream endpoint.
@@ -86,6 +112,7 @@ impl CircuitBreaker {
             config,
             inner: Mutex::new(Inner {
                 state: BreakerState::Closed,
+                epoch: 0,
                 outcomes: VecDeque::new(),
                 opened_at: Instant::now(),
                 probes_in_flight: 0,
@@ -94,20 +121,23 @@ impl CircuitBreaker {
         }
     }
 
-    /// May a request go to this upstream right now? A half-open breaker
-    /// admits at most `half_open_probes` concurrent trials.
-    pub fn try_pass(&self) -> bool {
+    /// May a request go to this upstream right now? `Some(pass)` admits
+    /// it — hand the pass back via [`CircuitBreaker::on_result`] (after
+    /// sending) or [`CircuitBreaker::release_pass`] (if the request
+    /// never went out). A half-open breaker admits at most
+    /// `half_open_probes` concurrent trials.
+    pub fn try_pass(&self) -> Option<Pass> {
         let mut g = self.inner.lock();
         self.tick(&mut g);
         match g.state {
-            BreakerState::Closed => true,
-            BreakerState::Open => false,
+            BreakerState::Closed => Some(Pass { epoch: g.epoch }),
+            BreakerState::Open => None,
             BreakerState::HalfOpen => {
                 if g.probes_in_flight < self.config.half_open_probes {
                     g.probes_in_flight += 1;
-                    true
+                    Some(Pass { epoch: g.epoch })
                 } else {
-                    false
+                    None
                 }
             }
         }
@@ -117,18 +147,24 @@ impl CircuitBreaker {
     /// sending a request — the load balancer admitted this upstream as
     /// a candidate but picked another. Without the release, unpicked
     /// half-open candidates would leak probe slots and wedge the
-    /// breaker half-open forever.
-    pub fn release_pass(&self) {
+    /// breaker half-open forever. A pass from a previous epoch is
+    /// ignored: the slot it names no longer exists.
+    pub fn release_pass(&self, pass: Pass) {
         let mut g = self.inner.lock();
-        if g.state == BreakerState::HalfOpen {
+        if g.state == BreakerState::HalfOpen && pass.epoch == g.epoch {
             g.probes_in_flight = g.probes_in_flight.saturating_sub(1);
         }
     }
 
     /// Report the outcome of a request previously admitted by
-    /// [`CircuitBreaker::try_pass`].
-    pub fn on_result(&self, ok: bool) {
+    /// [`CircuitBreaker::try_pass`]. Outcomes whose pass predates the
+    /// current epoch are dropped: the world they describe is gone.
+    pub fn on_result(&self, pass: Pass, ok: bool) {
         let mut g = self.inner.lock();
+        self.tick(&mut g);
+        if pass.epoch != g.epoch {
+            return;
+        }
         match g.state {
             BreakerState::Closed => {
                 g.outcomes.push_back(ok);
@@ -139,7 +175,7 @@ impl CircuitBreaker {
                 if samples >= self.config.min_samples {
                     let failures = g.outcomes.iter().filter(|o| !**o).count();
                     if failures as f64 / samples as f64 >= self.config.failure_threshold {
-                        g.state = BreakerState::Open;
+                        g.transition(BreakerState::Open);
                         g.opened_at = Instant::now();
                         g.outcomes.clear();
                     }
@@ -150,16 +186,16 @@ impl CircuitBreaker {
                 if ok {
                     g.probe_successes += 1;
                     if g.probe_successes >= self.config.half_open_probes {
-                        g.state = BreakerState::Closed;
+                        g.transition(BreakerState::Closed);
                         g.outcomes.clear();
                     }
                 } else {
-                    g.state = BreakerState::Open;
+                    g.transition(BreakerState::Open);
                     g.opened_at = Instant::now();
                 }
             }
-            // A straggler from before the breaker opened; its outcome
-            // is stale news.
+            // Same-epoch Open is unreachable (every entry to Open bumps
+            // the epoch), but harmless: stale news either way.
             BreakerState::Open => {}
         }
     }
@@ -174,7 +210,7 @@ impl CircuitBreaker {
 
     fn tick(&self, g: &mut Inner) {
         if g.state == BreakerState::Open && g.opened_at.elapsed() >= self.config.cool_down {
-            g.state = BreakerState::HalfOpen;
+            g.transition(BreakerState::HalfOpen);
             g.probes_in_flight = 0;
             g.probe_successes = 0;
         }
@@ -195,23 +231,28 @@ mod tests {
         }
     }
 
+    /// Admit-and-report in one step, for driving the breaker from tests.
+    fn report(b: &CircuitBreaker, ok: bool) {
+        let pass = b.try_pass().expect("breaker refused a test request");
+        b.on_result(pass, ok);
+    }
+
     #[test]
     fn opens_at_the_failure_threshold() {
         let b = CircuitBreaker::new(fast(1_000));
         for ok in [true, false, true, false] {
-            assert!(b.try_pass());
-            b.on_result(ok);
+            report(&b, ok);
         }
         assert_eq!(b.state(), BreakerState::Open);
-        assert!(!b.try_pass());
+        assert!(b.try_pass().is_none());
     }
 
     #[test]
     fn too_few_samples_never_trip() {
         let b = CircuitBreaker::new(fast(1_000));
-        b.on_result(false);
-        b.on_result(false);
-        b.on_result(false);
+        report(&b, false);
+        report(&b, false);
+        report(&b, false);
         assert_eq!(b.state(), BreakerState::Closed);
     }
 
@@ -219,16 +260,16 @@ mod tests {
     fn half_open_admits_bounded_probes_then_closes() {
         let b = CircuitBreaker::new(fast(20));
         for _ in 0..4 {
-            b.on_result(false);
+            report(&b, false);
         }
         assert_eq!(b.state(), BreakerState::Open);
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(b.state(), BreakerState::HalfOpen);
-        assert!(b.try_pass());
-        assert!(b.try_pass());
-        assert!(!b.try_pass(), "probe quota must be bounded");
-        b.on_result(true);
-        b.on_result(true);
+        let p1 = b.try_pass().unwrap();
+        let p2 = b.try_pass().unwrap();
+        assert!(b.try_pass().is_none(), "probe quota must be bounded");
+        b.on_result(p1, true);
+        b.on_result(p2, true);
         assert_eq!(b.state(), BreakerState::Closed);
     }
 
@@ -236,29 +277,29 @@ mod tests {
     fn release_pass_frees_an_unused_probe_slot() {
         let b = CircuitBreaker::new(fast(20));
         for _ in 0..4 {
-            b.on_result(false);
+            report(&b, false);
         }
         std::thread::sleep(Duration::from_millis(30));
-        assert!(b.try_pass());
-        assert!(b.try_pass());
-        assert!(!b.try_pass());
+        let _picked = b.try_pass().unwrap();
+        let unpicked = b.try_pass().unwrap();
+        assert!(b.try_pass().is_none());
         // One candidate was admitted but not picked: releasing its slot
         // lets the next probe through.
-        b.release_pass();
-        assert!(b.try_pass());
+        b.release_pass(unpicked);
+        assert!(b.try_pass().is_some());
     }
 
     #[test]
     fn half_open_failure_reopens() {
         let b = CircuitBreaker::new(fast(20));
         for _ in 0..4 {
-            b.on_result(false);
+            report(&b, false);
         }
         std::thread::sleep(Duration::from_millis(30));
-        assert!(b.try_pass());
-        b.on_result(false);
+        let p = b.try_pass().unwrap();
+        b.on_result(p, false);
         assert_eq!(b.state(), BreakerState::Open);
-        assert!(!b.try_pass());
+        assert!(b.try_pass().is_none());
     }
 
     #[test]
@@ -274,12 +315,63 @@ mod tests {
             half_open_probes: 2,
         });
         for _ in 0..10 {
-            b.on_result(true);
+            report(&b, true);
         }
         assert_eq!(b.state(), BreakerState::Closed);
         for _ in 0..3 {
-            b.on_result(false);
+            report(&b, false);
         }
         assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    /// The straggler race, deterministically interleaved: a request
+    /// admitted while Closed completes only after the breaker has
+    /// opened and half-opened again. Its success must not count as a
+    /// probe — the breaker stays half-open until *real* probes run.
+    #[test]
+    fn stale_pass_cannot_close_a_half_open_breaker() {
+        let b = CircuitBreaker::new(fast(10));
+        // A slow request is admitted while the breaker is Closed…
+        let stale_a = b.try_pass().unwrap();
+        let stale_b = b.try_pass().unwrap();
+        // …then fast failures trip the breaker…
+        for _ in 0..4 {
+            report(&b, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // …and the cool-down elapses, so it half-opens with zero probes.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The stragglers finally complete — successfully. Pre-epoch
+        // passes, so: no probe slots freed, no probe successes counted.
+        b.on_result(stale_a, true);
+        b.on_result(stale_b, true);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "stale successes must not close the breaker");
+        // Probe capacity is still fully available (stale completions
+        // did not underflow probes_in_flight into blocking territory),
+        // and genuine probes close the breaker as usual.
+        let p1 = b.try_pass().unwrap();
+        let p2 = b.try_pass().unwrap();
+        assert!(b.try_pass().is_none(), "stale passes must not widen the probe quota");
+        b.on_result(p1, true);
+        b.on_result(p2, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    /// A stale release is equally inert: it must not free a probe slot
+    /// it never held.
+    #[test]
+    fn stale_release_does_not_free_probe_slots() {
+        let b = CircuitBreaker::new(fast(10));
+        let stale = b.try_pass().unwrap();
+        for _ in 0..4 {
+            report(&b, false);
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        let _p1 = b.try_pass().unwrap();
+        let _p2 = b.try_pass().unwrap();
+        b.release_pass(stale);
+        assert!(b.try_pass().is_none(), "a stale release must not mint an extra probe");
     }
 }

@@ -13,10 +13,18 @@
 //! * **circuit breaking** per upstream replica ([`breaker`]);
 //! * **retries** with exponential backoff, jitter, and a per-request
 //!   deadline budget — idempotent methods only, by default;
-//! * **admission control** — token-bucket rate limiting plus a
-//!   concurrency cap, shedding with `503` + `Retry-After` ([`limit`]);
-//! * **observability** — per-upstream counters, breaker states, and
-//!   latency histograms on `/gateway/stats` ([`stats`]).
+//! * **hedged requests** — a primary that outlives its replica's
+//!   observed p95 races a backup on a second replica, and the first
+//!   success answers ([`hedge`]);
+//! * **outlier ejection** — replicas far slower or more error-prone
+//!   than their peers' median are pulled from balancing until a
+//!   cool-off lapses ([`balance::OutlierEjector`]);
+//! * **admission control** — token-bucket rate limiting (global and
+//!   per-service quota) plus a concurrency cap, shedding with `503`
+//!   + `Retry-After` ([`limit`]);
+//! * **observability** — per-upstream counters, breaker states,
+//!   hedge/ejection counters, and latency histograms on
+//!   `/gateway/stats` ([`stats`]).
 //!
 //! The gateway is itself a [`Handler`], so it runs anywhere a service
 //! does: hosted on a [`MemNetwork`](soc_http::MemNetwork) for
@@ -43,6 +51,7 @@
 
 pub mod balance;
 pub mod breaker;
+pub mod hedge;
 pub mod limit;
 pub mod resolver;
 pub mod stats;
@@ -58,9 +67,10 @@ use soc_http::{Handler, Request, Response, Status};
 use soc_json::Value;
 use soc_registry::monitor::QosMonitor;
 
-pub use balance::{Balancer, Policy, UpstreamView};
-pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
-pub use limit::{ConcurrencyLimit, ConcurrencyPermit, TokenBucket};
+pub use balance::{Balancer, OutlierConfig, OutlierEjector, Policy, UpstreamView};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Pass};
+pub use hedge::{HedgeConfig, HedgeOutcome};
+pub use limit::{ConcurrencyLimit, ConcurrencyPermit, KeyedBuckets, TokenBucket};
 pub use resolver::{RegistryResolver, Resolve, StaticResolver};
 pub use stats::{GatewayStats, LatencyHistogram, UpstreamStats};
 
@@ -86,10 +96,19 @@ pub struct GatewayConfig {
     pub retry_non_idempotent: bool,
     /// Circuit-breaker tuning, applied per upstream.
     pub breaker: BreakerConfig,
+    /// Request-hedging tuning.
+    pub hedge: HedgeConfig,
+    /// Outlier-ejection tuning.
+    pub outlier: OutlierConfig,
     /// Token-bucket burst size.
     pub rate_capacity: f64,
     /// Token-bucket refill, tokens per second.
     pub rate_refill_per_sec: f64,
+    /// Per-service quota burst size, layered under the global bucket.
+    /// Non-positive (the default) disables per-service quotas.
+    pub service_rate_capacity: f64,
+    /// Per-service quota refill, tokens per second.
+    pub service_rate_refill_per_sec: f64,
     /// Concurrent in-flight request cap.
     pub max_concurrent: usize,
     /// PRNG seed for jitter and two-choice sampling.
@@ -106,8 +125,12 @@ impl Default for GatewayConfig {
             request_deadline: Duration::from_secs(2),
             retry_non_idempotent: false,
             breaker: BreakerConfig::default(),
+            hedge: HedgeConfig::default(),
+            outlier: OutlierConfig::default(),
             rate_capacity: 10_000.0,
             rate_refill_per_sec: 10_000.0,
+            service_rate_capacity: 0.0,
+            service_rate_refill_per_sec: 0.0,
             max_concurrent: 1_024,
             seed: 0x50C6_A7E0,
         }
@@ -122,10 +145,35 @@ struct Inner {
     balancer: Balancer,
     breakers: RwLock<HashMap<String, Arc<CircuitBreaker>>>,
     bucket: TokenBucket,
+    service_buckets: KeyedBuckets,
     limit: ConcurrencyLimit,
+    ejector: OutlierEjector,
     stats: GatewayStats,
     monitor: Arc<QosMonitor>,
     rng: Mutex<XorShift64>,
+    /// Lazily built on the first armed hedge: most gateways (and most
+    /// requests) never pay for it. Sized by `config.hedge.threads`,
+    /// NOT by cores — arms block in sends, and on a small host a
+    /// cores-sized pool could never run a backup beside its primary.
+    hedge_pool: std::sync::OnceLock<soc_parallel::ThreadPool>,
+}
+
+impl Inner {
+    fn hedge_pool(&self) -> &soc_parallel::ThreadPool {
+        self.hedge_pool
+            .get_or_init(|| soc_parallel::ThreadPool::new(self.config.hedge.threads.max(2)))
+    }
+
+    fn breaker_for(&self, endpoint: &str) -> Arc<CircuitBreaker> {
+        if let Some(b) = self.breakers.read().get(endpoint) {
+            return b.clone();
+        }
+        self.breakers
+            .write()
+            .entry(endpoint.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.config.breaker)))
+            .clone()
+    }
 }
 
 /// The gateway. Cheap to clone (shared internals); host a clone on a
@@ -173,11 +221,17 @@ impl Gateway {
                 static_resolver,
                 balancer: Balancer::new(config.policy, config.seed),
                 bucket: TokenBucket::new(config.rate_capacity, config.rate_refill_per_sec),
+                service_buckets: KeyedBuckets::new(
+                    config.service_rate_capacity,
+                    config.service_rate_refill_per_sec,
+                ),
                 limit: ConcurrencyLimit::new(config.max_concurrent),
+                ejector: OutlierEjector::new(config.outlier.clone()),
                 stats: GatewayStats::new(),
                 monitor,
                 rng: Mutex::new(XorShift64::new(config.seed ^ 0xBACC_0FF5)),
                 breakers: RwLock::new(HashMap::new()),
+                hedge_pool: std::sync::OnceLock::new(),
                 config,
             }),
         }
@@ -210,11 +264,29 @@ impl Gateway {
         self.inner.breakers.read().get(endpoint).map(|b| b.state())
     }
 
+    /// Replicas of `service` currently held out of balancing by the
+    /// outlier ejector.
+    pub fn ejected_endpoints(&self, service: &str) -> Vec<String> {
+        self.inner.ejector.ejected_endpoints(service)
+    }
+
     /// Gateway counters as JSON (the `/gateway/stats` payload).
     pub fn stats_json(&self) -> Value {
-        self.inner.stats.to_json(self.inner.config.policy.as_str(), |endpoint| {
-            self.inner.breakers.read().get(endpoint).map(|b| b.state().as_str()).unwrap_or("closed")
-        })
+        // The ejector owns the authoritative event count; mirror it
+        // into the stats snapshot.
+        self.inner.stats.ejections.store(self.inner.ejector.total_ejections(), Ordering::Relaxed);
+        self.inner.stats.to_json(
+            self.inner.config.policy.as_str(),
+            |endpoint| {
+                self.inner
+                    .breakers
+                    .read()
+                    .get(endpoint)
+                    .map(|b| b.state().as_str())
+                    .unwrap_or("closed")
+            },
+            |endpoint| self.inner.ejector.is_ejected(endpoint),
+        )
     }
 
     /// Raw counters, for assertions and dashboards.
@@ -231,15 +303,7 @@ impl Gateway {
     }
 
     fn breaker_for(&self, endpoint: &str) -> Arc<CircuitBreaker> {
-        if let Some(b) = self.inner.breakers.read().get(endpoint) {
-            return b.clone();
-        }
-        self.inner
-            .breakers
-            .write()
-            .entry(endpoint.to_string())
-            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.inner.config.breaker)))
-            .clone()
+        self.inner.breaker_for(endpoint)
     }
 
     fn shed(&self, reason: &str) -> Response {
@@ -267,6 +331,12 @@ impl Gateway {
         if !inner.bucket.try_acquire() {
             inner.stats.shed_rate.fetch_add(1, Ordering::Relaxed);
             return self.shed("rate limit");
+        }
+        // Per-service quota under the global bucket: one hot service
+        // exhausts its own allowance without starving the others.
+        if !inner.service_buckets.try_acquire(service) {
+            inner.stats.shed_service.fetch_add(1, Ordering::Relaxed);
+            return self.shed("service quota");
         }
         let _permit = match inner.limit.try_acquire() {
             Some(p) => p,
@@ -300,15 +370,11 @@ impl Gateway {
                     &format!("no upstream registered for '{service}'"),
                 );
             }
-            let admitted: Vec<(String, Arc<CircuitBreaker>)> = endpoints
+            let mut admitted: Vec<(String, Arc<CircuitBreaker>, Pass)> = endpoints
                 .into_iter()
                 .filter_map(|ep| {
                     let b = self.breaker_for(&ep);
-                    if b.try_pass() {
-                        Some((ep, b))
-                    } else {
-                        None
-                    }
+                    b.try_pass().map(|pass| (ep, b, pass))
                 })
                 .collect();
             if admitted.is_empty() {
@@ -329,7 +395,7 @@ impl Gateway {
 
             let views: Vec<UpstreamView> = admitted
                 .iter()
-                .map(|(ep, _)| {
+                .map(|(ep, _, _)| {
                     let s = inner.stats.upstream(ep);
                     UpstreamView {
                         endpoint: ep.clone(),
@@ -338,54 +404,124 @@ impl Gateway {
                     }
                 })
                 .collect();
-            let idx = match inner.balancer.pick(service, &views) {
-                Some(i) => i,
-                None => continue,
+            // Statistical outliers leave the candidate set; their
+            // claimed passes go straight back. `filter` fails open, so
+            // `views` stays non-empty while `admitted` is.
+            let (views, ejected) = inner.ejector.filter(service, views, &inner.monitor);
+            if !ejected.is_empty() {
+                admitted.retain(|(ep, b, pass)| {
+                    if ejected.contains(ep) {
+                        b.release_pass(*pass);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            let Some(idx) = inner.balancer.pick(service, &views) else {
+                // No viable pick: hand back every claimed pass rather
+                // than wedging half-open breakers, then retry.
+                for (_, b, pass) in &admitted {
+                    b.release_pass(*pass);
+                }
+                if attempt + 1 < attempts {
+                    self.backoff(attempt, deadline);
+                }
+                continue;
             };
             // Unpicked candidates hand back any half-open probe slot
-            // their try_pass claimed.
-            for (i, (_, b)) in admitted.iter().enumerate() {
+            // their try_pass claimed; a hedge backup re-admits itself
+            // at hedge time instead of squatting on a slot.
+            let mut backup_pool = Vec::with_capacity(admitted.len() - 1);
+            for (i, (ep, b, pass)) in admitted.iter().enumerate() {
                 if i != idx {
-                    b.release_pass();
+                    b.release_pass(*pass);
+                    backup_pool.push(ep.clone());
                 }
             }
-            let (endpoint, breaker) = &admitted[idx];
-            let ustats = inner.stats.upstream(endpoint);
+            let (endpoint, breaker, pass) = admitted.swap_remove(idx);
+            let ustats = inner.stats.upstream(&endpoint);
 
             let mut upstream_req = req.clone();
-            upstream_req.target = join_target(endpoint, rest);
+            upstream_req.target = join_target(&endpoint, rest);
 
             ustats.requests.fetch_add(1, Ordering::Relaxed);
             if attempt > 0 {
                 ustats.retries.fetch_add(1, Ordering::Relaxed);
             }
-            ustats.in_flight.fetch_add(1, Ordering::Relaxed);
-            let start = Instant::now();
-            let result = inner.transport.send(upstream_req);
-            let elapsed = start.elapsed();
-            ustats.in_flight.fetch_sub(1, Ordering::Relaxed);
-            ustats.histogram.record(elapsed);
+
+            // Hedge only when the picked replica has earned a p95 and
+            // a second replica exists to race against.
+            let hedge_delay = if backup_pool.is_empty() {
+                None
+            } else {
+                inner.config.hedge.hedge_delay(
+                    inner.monitor.recent_p95(&endpoint),
+                    inner.monitor.success_samples(&endpoint),
+                )
+            };
+
+            let (used_endpoint, result) = match hedge_delay {
+                None => send_arm(inner.clone(), endpoint, breaker, pass, upstream_req),
+                Some(delay) => {
+                    let primary = {
+                        let inner = inner.clone();
+                        move || send_arm(inner, endpoint, breaker, pass, upstream_req)
+                    };
+                    // Runs on this thread at the hedge point: admit a
+                    // backup replica through its breaker *then*, when
+                    // the primary is known to be slow.
+                    let backup_factory = || {
+                        for ep in backup_pool {
+                            let b = inner.breaker_for(&ep);
+                            let Some(bpass) = b.try_pass() else { continue };
+                            inner.stats.hedges_launched.fetch_add(1, Ordering::Relaxed);
+                            let bstats = inner.stats.upstream(&ep);
+                            bstats.requests.fetch_add(1, Ordering::Relaxed);
+                            let mut breq = req.clone();
+                            breq.target = join_target(&ep, rest);
+                            let inner = inner.clone();
+                            return Some(move || send_arm(inner, ep, b, bpass, breq));
+                        }
+                        None
+                    };
+                    match hedge::hedged_race(
+                        inner.hedge_pool(),
+                        primary,
+                        delay,
+                        deadline,
+                        backup_factory,
+                        |(_, r)| matches!(r, Ok(resp) if resp.status.0 < 500),
+                    ) {
+                        HedgeOutcome::Finished { result, backup_won, .. } => {
+                            if backup_won {
+                                inner.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                            }
+                            result
+                        }
+                        HedgeOutcome::DeadlineExpired { .. } => {
+                            inner.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            return Response::error(
+                                Status::GATEWAY_TIMEOUT,
+                                &format!("gateway deadline exceeded calling '{service}'"),
+                            );
+                        }
+                    }
+                }
+            };
 
             // 4xx is the upstream working correctly on a bad request:
             // a success for health accounting, and never retried.
             let ok = matches!(&result, Ok(r) if r.status.0 < 500);
-            breaker.on_result(ok);
-            inner.monitor.record(endpoint, ok, elapsed);
-
             match result {
-                Ok(resp) if ok => {
-                    ustats.successes.fetch_add(1, Ordering::Relaxed);
-                    return resp;
-                }
+                Ok(resp) if ok => return resp,
                 Ok(resp) => {
-                    ustats.failures.fetch_add(1, Ordering::Relaxed);
                     last = Some(resp);
                 }
                 Err(e) => {
-                    ustats.failures.fetch_add(1, Ordering::Relaxed);
                     last = Some(Response::error(
                         Status(502),
-                        &format!("upstream {endpoint} unreachable: {e}"),
+                        &format!("upstream {used_endpoint} unreachable: {e}"),
                     ));
                 }
             }
@@ -397,6 +533,37 @@ impl Gateway {
             Response::error(Status::SERVICE_UNAVAILABLE, "gateway produced no response")
         })
     }
+}
+
+/// One attempt arm: send `req` to `endpoint` and do every piece of
+/// per-attempt accounting — in-flight gauge, histogram, breaker
+/// verdict, QoS record, success/failure tally — *inside* the arm.
+/// A hedge loser nobody is waiting on still reports its outcome; it
+/// just doesn't answer the caller.
+fn send_arm(
+    inner: Arc<Inner>,
+    endpoint: String,
+    breaker: Arc<CircuitBreaker>,
+    pass: Pass,
+    req: Request,
+) -> (String, soc_http::HttpResult<Response>) {
+    let ustats = inner.stats.upstream(&endpoint);
+    ustats.in_flight.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let result = inner.transport.send(req);
+    let elapsed = start.elapsed();
+    ustats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    ustats.histogram.record(elapsed);
+
+    let ok = matches!(&result, Ok(r) if r.status.0 < 500);
+    breaker.on_result(pass, ok);
+    inner.monitor.record(&endpoint, ok, elapsed);
+    if ok {
+        ustats.successes.fetch_add(1, Ordering::Relaxed);
+    } else {
+        ustats.failures.fetch_add(1, Ordering::Relaxed);
+    }
+    (endpoint, result)
 }
 
 /// `mem://replica` + `quote?fast=1` → `mem://replica/quote?fast=1`.
@@ -632,5 +799,123 @@ mod tests {
         let report = gw.monitor().report("mem://r0").unwrap();
         assert_eq!(report.probes, 2);
         assert_eq!(report.successes, 2);
+    }
+
+    #[test]
+    fn service_quota_sheds_one_hot_service_only() {
+        let net = MemNetwork::new();
+        net.host("a", |_req: Request| Response::text("a"));
+        net.host("b", |_req: Request| Response::text("b"));
+        let gw = Gateway::new(
+            Arc::new(net.clone()),
+            GatewayConfig {
+                service_rate_capacity: 2.0,
+                service_rate_refill_per_sec: 0.0,
+                ..fast_config()
+            },
+        );
+        gw.register("hot", &["mem://a"]);
+        gw.register("cold", &["mem://b"]);
+        assert!(gw.call("hot", Request::get("/1")).status.is_success());
+        assert!(gw.call("hot", Request::get("/2")).status.is_success());
+        let shed = gw.call("hot", Request::get("/3"));
+        assert_eq!(shed.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(shed.headers.get("Retry-After"), Some("1"));
+        // The cold service is untouched by the hot one's quota.
+        assert!(gw.call("cold", Request::get("/1")).status.is_success());
+        assert_eq!(gw.stats().shed_service.load(Ordering::Relaxed), 1);
+        assert_eq!(gw.stats().shed_total(), 1);
+    }
+
+    #[test]
+    fn hedge_masks_a_stalling_replica() {
+        let net = MemNetwork::new();
+        net.host("steady", |_req: Request| Response::text("steady"));
+        net.host("laggy", |_req: Request| Response::text("laggy"));
+        let gw = Gateway::new(
+            Arc::new(net.clone()),
+            GatewayConfig {
+                // Judge on little evidence, hedge aggressively, and
+                // keep the ejector out of the way so the hedge path
+                // itself is what's exercised.
+                hedge: HedgeConfig { min_samples: 4, ..HedgeConfig::default() },
+                outlier: OutlierConfig { enabled: false, ..OutlierConfig::default() },
+                request_deadline: Duration::from_secs(10),
+                ..fast_config()
+            },
+        );
+        gw.register("svc", &["mem://steady", "mem://laggy"]);
+        // Warm up both replicas while they are healthy so each earns a
+        // sub-millisecond p95 (and enough samples to arm the hedge).
+        for _ in 0..16 {
+            assert!(gw.call("svc", Request::get("/warm")).status.is_success());
+        }
+        // Now one replica stalls hard. Every request that round-robins
+        // onto it crosses its (tiny) p95 and hedges onto the healthy
+        // one, so callers never wait out the stall.
+        net.set_fault(
+            "laggy",
+            FaultConfig { latency: Duration::from_millis(250), ..Default::default() },
+        );
+        for _ in 0..6 {
+            let start = Instant::now();
+            let resp = gw.call("svc", Request::get("/x"));
+            assert!(resp.status.is_success());
+            assert!(
+                start.elapsed() < Duration::from_millis(200),
+                "hedge must answer well before the 250 ms stall ({:?})",
+                start.elapsed()
+            );
+        }
+        let launched = gw.stats().hedges_launched.load(Ordering::Relaxed);
+        let won = gw.stats().hedges_won.load(Ordering::Relaxed);
+        assert!(launched >= 3, "stalled primaries must hedge (launched {launched})");
+        assert!(won >= 3, "backups must win against a 250 ms stall (won {won})");
+        let v = gw.stats_json();
+        assert_eq!(v.pointer("/hedges/launched").and_then(Value::as_i64), Some(launched as i64));
+    }
+
+    #[test]
+    fn outlier_replica_is_ejected_and_bypassed() {
+        let net = MemNetwork::new();
+        net.host("ok0", |_req: Request| Response::text("0"));
+        net.host("ok1", |_req: Request| Response::text("1"));
+        net.host("slow", |_req: Request| Response::text("s"));
+        let gw = Gateway::new(
+            Arc::new(net.clone()),
+            GatewayConfig {
+                hedge: HedgeConfig { enabled: false, ..HedgeConfig::default() },
+                outlier: OutlierConfig {
+                    eval_interval: Duration::ZERO,
+                    min_samples: 8,
+                    min_latency: Duration::from_micros(50),
+                    eject_duration: Duration::from_secs(30),
+                    ..OutlierConfig::default()
+                },
+                ..fast_config()
+            },
+        );
+        gw.register("svc", &["mem://ok0", "mem://ok1", "mem://slow"]);
+        net.set_fault(
+            "slow",
+            FaultConfig { latency: Duration::from_millis(8), ..Default::default() },
+        );
+        // Enough traffic for every replica to earn min_samples.
+        for _ in 0..30 {
+            assert!(gw.call("svc", Request::get("/x")).status.is_success());
+        }
+        assert_eq!(gw.ejected_endpoints("svc"), vec!["mem://slow".to_string()]);
+        // Ejected replica stops receiving traffic entirely.
+        let before = net.hits("slow");
+        for _ in 0..12 {
+            assert!(gw.call("svc", Request::get("/x")).status.is_success());
+        }
+        assert_eq!(net.hits("slow"), before, "an ejected replica must see no traffic");
+        let v = gw.stats_json();
+        assert_eq!(v.pointer("/ejections").and_then(Value::as_i64), Some(1));
+        assert_eq!(
+            v.pointer("/upstreams/mem:~1~1slow/ejected").and_then(Value::as_bool),
+            Some(true)
+        );
     }
 }

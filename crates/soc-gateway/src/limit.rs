@@ -93,6 +93,66 @@ impl TokenBucket {
     }
 }
 
+/// Per-key token buckets: one [`TokenBucket`] per service name, lazily
+/// created, all sharing one capacity/refill tuning. Layered *under* the
+/// gateway's global bucket, this is the per-service admission quota —
+/// one hot service exhausts its own bucket and gets shed while every
+/// other service still has its full burst available, so a single
+/// popular endpoint cannot starve the rest of the gateway.
+///
+/// A non-positive `capacity` disables the layer: [`KeyedBuckets::try_acquire`]
+/// then always admits.
+pub struct KeyedBuckets {
+    capacity: f64,
+    refill_per_sec: f64,
+    buckets: parking_lot::RwLock<std::collections::HashMap<String, Arc<TokenBucket>>>,
+}
+
+impl KeyedBuckets {
+    /// Quota buckets of `capacity` burst and `refill_per_sec` refill per
+    /// key. `capacity <= 0` disables per-key limiting entirely.
+    pub fn new(capacity: f64, refill_per_sec: f64) -> Self {
+        KeyedBuckets {
+            capacity,
+            refill_per_sec,
+            buckets: parking_lot::RwLock::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Is per-key limiting active?
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0.0
+    }
+
+    /// Spend one token from `key`'s bucket (always admits when
+    /// disabled). The bucket is created full on first sight of a key.
+    pub fn try_acquire(&self, key: &str) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        self.bucket(key).try_acquire()
+    }
+
+    /// `key`'s bucket, created on first use.
+    pub fn bucket(&self, key: &str) -> Arc<TokenBucket> {
+        if let Some(b) = self.buckets.read().get(key) {
+            return b.clone();
+        }
+        self.buckets
+            .write()
+            .entry(key.to_string())
+            .or_insert_with(|| Arc::new(TokenBucket::new(self.capacity, self.refill_per_sec)))
+            .clone()
+    }
+
+    /// Keys with a materialized bucket, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.buckets.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
 /// A cap on concurrent in-flight requests. [`ConcurrencyLimit::try_acquire`]
 /// returns a permit that releases its slot on drop; when the cap is
 /// reached the caller should shed.
@@ -182,6 +242,29 @@ mod tests {
         assert!(b.try_acquire_at(1_000_000));
         // Time "goes backwards": no refill, no panic.
         assert!(!b.try_acquire_at(0));
+    }
+
+    #[test]
+    fn keyed_buckets_isolate_services() {
+        let q = KeyedBuckets::new(2.0, 0.0);
+        assert!(q.enabled());
+        // Service "hot" burns its quota…
+        assert!(q.try_acquire("hot"));
+        assert!(q.try_acquire("hot"));
+        assert!(!q.try_acquire("hot"));
+        // …while "cold" still has its full burst.
+        assert!(q.try_acquire("cold"));
+        assert_eq!(q.keys(), vec!["cold", "hot"]);
+    }
+
+    #[test]
+    fn disabled_keyed_buckets_always_admit() {
+        let q = KeyedBuckets::new(0.0, 0.0);
+        assert!(!q.enabled());
+        for _ in 0..100 {
+            assert!(q.try_acquire("any"));
+        }
+        assert!(q.keys().is_empty(), "disabled quotas must not materialize buckets");
     }
 
     #[test]

@@ -122,10 +122,20 @@ pub struct GatewayStats {
     pub shed_rate: AtomicU64,
     /// Requests shed by the concurrency cap.
     pub shed_load: AtomicU64,
+    /// Requests shed by a per-service admission quota.
+    pub shed_service: AtomicU64,
     /// Requests that ran out of deadline inside the gateway.
     pub deadline_exceeded: AtomicU64,
     /// Requests for services with no known replicas.
     pub no_upstream: AtomicU64,
+    /// Backup requests launched because a primary crossed its hedge
+    /// delay.
+    pub hedges_launched: AtomicU64,
+    /// Hedged requests where the backup's answer won the race.
+    pub hedges_won: AtomicU64,
+    /// Outlier-ejection events (re-ejections after re-admission count
+    /// again).
+    pub ejections: AtomicU64,
 }
 
 impl GatewayStats {
@@ -155,16 +165,29 @@ impl GatewayStats {
 
     /// Total requests shed for any reason.
     pub fn shed_total(&self) -> u64 {
-        self.shed_rate.load(Ordering::Relaxed) + self.shed_load.load(Ordering::Relaxed)
+        self.shed_rate.load(Ordering::Relaxed)
+            + self.shed_load.load(Ordering::Relaxed)
+            + self.shed_service.load(Ordering::Relaxed)
     }
 
     /// Snapshot as JSON. `breaker_label` supplies each upstream's
-    /// breaker state ("closed" / "open" / "half-open").
-    pub fn to_json(&self, policy: &str, breaker_label: impl Fn(&str) -> &'static str) -> Value {
+    /// breaker state ("closed" / "open" / "half-open"); `ejected`
+    /// whether the replica is currently held out of balancing.
+    pub fn to_json(
+        &self,
+        policy: &str,
+        breaker_label: impl Fn(&str) -> &'static str,
+        ejected: impl Fn(&str) -> bool,
+    ) -> Value {
         let mut shed = Value::Object(vec![]);
         shed.set("rate", self.shed_rate.load(Ordering::Relaxed) as i64);
         shed.set("load", self.shed_load.load(Ordering::Relaxed) as i64);
+        shed.set("service_quota", self.shed_service.load(Ordering::Relaxed) as i64);
         shed.set("total", self.shed_total() as i64);
+
+        let mut hedges = Value::Object(vec![]);
+        hedges.set("launched", self.hedges_launched.load(Ordering::Relaxed) as i64);
+        hedges.set("won", self.hedges_won.load(Ordering::Relaxed) as i64);
 
         let mut upstreams = Value::Object(vec![]);
         for name in self.upstream_names() {
@@ -176,6 +199,7 @@ impl GatewayStats {
             u.set("retries", s.retries.load(Ordering::Relaxed) as i64);
             u.set("in_flight", s.in_flight.load(Ordering::Relaxed) as i64);
             u.set("breaker", breaker_label(&name));
+            u.set("ejected", ejected(&name));
             u.set("mean_latency_us", s.histogram.mean_us() as i64);
             if let Some(p50) = s.histogram.quantile_us(0.50) {
                 u.set("p50_latency_us", p50 as i64);
@@ -204,6 +228,8 @@ impl GatewayStats {
         root.set("shed", shed);
         root.set("deadline_exceeded", self.deadline_exceeded.load(Ordering::Relaxed) as i64);
         root.set("no_upstream", self.no_upstream.load(Ordering::Relaxed) as i64);
+        root.set("hedges", hedges);
+        root.set("ejections", self.ejections.load(Ordering::Relaxed) as i64);
         root.set("upstreams", upstreams);
         root
     }
@@ -251,12 +277,16 @@ mod tests {
         let stats = GatewayStats::new();
         stats.admitted.fetch_add(3, Ordering::Relaxed);
         stats.shed_rate.fetch_add(1, Ordering::Relaxed);
+        stats.shed_service.fetch_add(2, Ordering::Relaxed);
+        stats.hedges_launched.fetch_add(4, Ordering::Relaxed);
+        stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+        stats.ejections.fetch_add(1, Ordering::Relaxed);
         let up = stats.upstream("mem://a");
         up.requests.fetch_add(3, Ordering::Relaxed);
         up.successes.fetch_add(2, Ordering::Relaxed);
         up.failures.fetch_add(1, Ordering::Relaxed);
         up.histogram.record(Duration::from_millis(2));
-        let v = stats.to_json("round-robin", |_| "closed");
+        let v = stats.to_json("round-robin", |_| "closed", |_| true);
         let text = v.to_string();
         assert!(text.contains("\"policy\""));
         let parsed = Value::parse(&text).unwrap();
@@ -265,10 +295,15 @@ mod tests {
             Some(3)
         );
         assert_eq!(v.pointer("/admitted").and_then(Value::as_i64), Some(3));
-        assert_eq!(v.pointer("/shed/total").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.pointer("/shed/service_quota").and_then(Value::as_i64), Some(2));
+        assert_eq!(v.pointer("/shed/total").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.pointer("/hedges/launched").and_then(Value::as_i64), Some(4));
+        assert_eq!(v.pointer("/hedges/won").and_then(Value::as_i64), Some(1));
+        assert_eq!(v.pointer("/ejections").and_then(Value::as_i64), Some(1));
         assert_eq!(
             v.pointer("/upstreams/mem:~1~1a/breaker").and_then(Value::as_str),
             Some("closed")
         );
+        assert_eq!(v.pointer("/upstreams/mem:~1~1a/ejected").and_then(Value::as_bool), Some(true));
     }
 }

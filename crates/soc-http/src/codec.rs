@@ -6,7 +6,7 @@
 
 use std::io::{BufRead, Write};
 
-use crate::types::{Headers, HttpError, HttpResult, Method, Request, Response, Status};
+use crate::types::{Headers, HttpError, HttpResult, Method, Request, Response, Status, Version};
 
 /// Default maximum accepted body size (8 MiB).
 pub const DEFAULT_BODY_LIMIT: usize = 8 * 1024 * 1024;
@@ -60,18 +60,35 @@ fn read_headers<R: BufRead>(r: &mut R, budget: &mut usize) -> HttpResult<Headers
     }
 }
 
+/// Strict `Content-Length` parsing: optional surrounding OWS, then
+/// ASCII digits only. `usize::parse` alone would accept `"+10"`, and a
+/// front-end and back-end disagreeing on such a value is the classic
+/// request-smuggling foothold.
+fn parse_content_length(v: &str) -> HttpResult<usize> {
+    let t = v.trim();
+    if t.is_empty() || !t.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::Malformed(format!("bad Content-Length: {v:?}")));
+    }
+    t.parse().map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v:?}")))
+}
+
 fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResult<Vec<u8>> {
     if let Some(te) = headers.get("Transfer-Encoding") {
+        // RFC 9112 §6.1: a message with both framings is a smuggling
+        // vector — two parsers can disagree on where it ends. Reject
+        // outright instead of picking a winner.
+        if headers.contains("Content-Length") {
+            return Err(HttpError::Malformed(
+                "both Content-Length and Transfer-Encoding present".into(),
+            ));
+        }
         if te.eq_ignore_ascii_case("chunked") {
             return read_chunked(r, limit);
         }
         return Err(HttpError::Malformed(format!("unsupported transfer encoding: {te}")));
     }
-    let len: usize = match headers.get("Content-Length") {
-        Some(v) => v
-            .trim()
-            .parse()
-            .map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v}")))?,
+    let len = match headers.get("Content-Length") {
+        Some(v) => parse_content_length(v)?,
         None => 0,
     };
     if len > limit {
@@ -116,6 +133,16 @@ fn read_chunked<R: BufRead>(r: &mut R, limit: usize) -> HttpResult<Vec<u8>> {
 
 /// Read one request from `r` (e.g. a buffered TCP stream).
 pub fn read_request<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Request> {
+    read_request_versioned(r, body_limit).map(|(req, _)| req)
+}
+
+/// Read one request plus the protocol version from its request line.
+/// Servers need the version for connection semantics: HTTP/1.0
+/// defaults to close, HTTP/1.1 to keep-alive.
+pub fn read_request_versioned<R: BufRead>(
+    r: &mut R,
+    body_limit: usize,
+) -> HttpResult<(Request, Version)> {
     let mut budget = HEADER_LIMIT;
     let line = read_line(r, &mut budget)?;
     let mut parts = line.split_whitespace();
@@ -123,14 +150,13 @@ pub fn read_request<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Requ
         (Some(m), Some(t), Some(v)) => (m, t, v),
         _ => return Err(HttpError::Malformed(format!("bad request line: {line}"))),
     };
-    if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::Malformed(format!("unsupported version: {version}")));
-    }
+    let version = Version::parse(version)
+        .ok_or_else(|| HttpError::Malformed(format!("unsupported version: {version}")))?;
     let method =
         Method::parse(m).ok_or_else(|| HttpError::Malformed(format!("unknown method: {m}")))?;
     let headers = read_headers(r, &mut budget)?;
     let body = read_body(r, &headers, body_limit)?;
-    Ok(Request { method, target: target.to_string(), headers, body })
+    Ok((Request { method, target: target.to_string(), headers, body }, version))
 }
 
 /// Read one response from `r`.
@@ -152,9 +178,54 @@ pub fn read_response<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Res
     Ok(Response { status: Status(status), headers, body })
 }
 
+/// How an outgoing body will be framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireFraming {
+    /// `Content-Length` (written by the caller or auto-computed).
+    Length,
+    /// `Transfer-Encoding: chunked`: the caller set the header, so the
+    /// body bytes must actually be chunk-encoded on the way out.
+    Chunked,
+}
+
+/// Decide the framing for caller-supplied headers, refusing the
+/// combinations a receiver could misread. Mirrors the read side: a
+/// message carrying both `Content-Length` and `Transfer-Encoding` is
+/// never emitted, so this stack cannot *produce* a smuggling-shaped
+/// message any more than it accepts one.
+fn outgoing_framing(headers: &Headers) -> HttpResult<WireFraming> {
+    let Some(te) = headers.get("Transfer-Encoding") else {
+        return Ok(WireFraming::Length);
+    };
+    if headers.contains("Content-Length") {
+        return Err(HttpError::Malformed(
+            "refusing to send both Content-Length and Transfer-Encoding".into(),
+        ));
+    }
+    if te.eq_ignore_ascii_case("chunked") {
+        Ok(WireFraming::Chunked)
+    } else {
+        Err(HttpError::Malformed(format!("unsupported outgoing transfer encoding: {te}")))
+    }
+}
+
+/// Chunk size for write-side chunked encoding.
+const WRITE_CHUNK_SIZE: usize = 8 * 1024;
+
+fn write_body<W: Write>(w: &mut W, framing: WireFraming, body: &[u8]) -> HttpResult<()> {
+    match framing {
+        WireFraming::Length => w.write_all(body)?,
+        WireFraming::Chunked => w.write_all(&encode_chunked(body, WRITE_CHUNK_SIZE))?,
+    }
+    w.flush()?;
+    Ok(())
+}
+
 /// Serialize a request for the wire. Sets `Content-Length` (and `Host`
-/// when given) if absent.
+/// when given) if absent; a caller-set `Transfer-Encoding: chunked`
+/// gets its body chunk-encoded rather than sent raw.
 pub fn write_request<W: Write>(w: &mut W, req: &Request, host: Option<&str>) -> HttpResult<()> {
+    let framing = outgoing_framing(&req.headers)?;
     write!(w, "{} {} HTTP/1.1\r\n", req.method, req.target)?;
     if let Some(h) = host {
         if !req.headers.contains("Host") {
@@ -168,17 +239,17 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request, host: Option<&str>) -> 
         }
         write!(w, "{name}: {value}\r\n")?;
     }
-    if !has_len && !req.headers.contains("Transfer-Encoding") {
+    if !has_len && framing == WireFraming::Length {
         write!(w, "Content-Length: {}\r\n", req.body.len())?;
     }
     write!(w, "\r\n")?;
-    w.write_all(&req.body)?;
-    w.flush()?;
-    Ok(())
+    write_body(w, framing, &req.body)
 }
 
-/// Serialize a response for the wire.
+/// Serialize a response for the wire. Framing rules match
+/// [`write_request`].
 pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> HttpResult<()> {
+    let framing = outgoing_framing(&resp.headers)?;
     write!(w, "HTTP/1.1 {} {}\r\n", resp.status.0, resp.status.reason())?;
     let mut has_len = false;
     for (name, value) in resp.headers.iter() {
@@ -187,13 +258,11 @@ pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> HttpResult<()> {
         }
         write!(w, "{name}: {value}\r\n")?;
     }
-    if !has_len && !resp.headers.contains("Transfer-Encoding") {
+    if !has_len && framing == WireFraming::Length {
         write!(w, "Content-Length: {}\r\n", resp.body.len())?;
     }
     write!(w, "\r\n")?;
-    w.write_all(&resp.body)?;
-    w.flush()?;
-    Ok(())
+    write_body(w, framing, &resp.body)
 }
 
 /// Serialize a body as chunked transfer coding (used by tests and the
@@ -306,6 +375,77 @@ mod tests {
     fn truncated_body_is_eof() {
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
         assert!(matches!(parse_req(raw), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn content_length_must_be_plain_digits() {
+        // `"+10".parse::<usize>()` succeeds, so a naive parser reads
+        // these as valid lengths while a stricter peer rejects them —
+        // the disagreement is the smuggling foothold.
+        for cl in ["+10", "-0", " 1 0", "0x10", "10,10", ""] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {cl}\r\n\r\n0123456789");
+            assert!(
+                matches!(parse_req(raw.as_bytes()), Err(HttpError::Malformed(_))),
+                "Content-Length {cl:?} must be rejected"
+            );
+        }
+        // Surrounding whitespace alone is legal OWS.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length:  5 \r\n\r\nhello";
+        assert_eq!(parse_req(raw).unwrap().body, b"hello");
+    }
+
+    #[test]
+    fn both_framings_present_is_rejected() {
+        let mut raw =
+            b"POST / HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&encode_chunked(b"hello", 5));
+        assert!(matches!(parse_req(&raw), Err(HttpError::Malformed(_))));
+
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nContent-Length: 5\r\n\r\n";
+        assert!(matches!(parse_resp(raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn caller_set_chunked_is_actually_chunk_encoded() {
+        let req = Request::post("/u", b"hello chunked world".to_vec())
+            .with_header("Transfer-Encoding", "chunked");
+        let mut wire = Vec::new();
+        write_request(&mut wire, &req, None).unwrap();
+        let text = String::from_utf8_lossy(&wire);
+        assert!(!text.contains("Content-Length"), "chunked request must not carry a length");
+        // The body on the wire is chunk-framed, and a compliant reader
+        // recovers the original bytes.
+        assert_eq!(parse_req(&wire).unwrap().body, b"hello chunked world");
+
+        let resp = Response::text("streamed reply").with_header("Transfer-Encoding", "chunked");
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp).unwrap();
+        assert_eq!(parse_resp(&wire).unwrap().body, b"streamed reply");
+    }
+
+    #[test]
+    fn contradictory_outgoing_framing_is_refused() {
+        let req = Request::post("/u", b"x".to_vec())
+            .with_header("Transfer-Encoding", "chunked")
+            .with_header("Content-Length", "1");
+        assert!(write_request(&mut Vec::new(), &req, None).is_err());
+
+        let gzip = Request::post("/u", b"x".to_vec()).with_header("Transfer-Encoding", "gzip");
+        assert!(write_request(&mut Vec::new(), &gzip, None).is_err());
+
+        let resp = Response::text("x")
+            .with_header("Transfer-Encoding", "chunked")
+            .with_header("Content-Length", "1");
+        assert!(write_response(&mut Vec::new(), &resp).is_err());
+    }
+
+    #[test]
+    fn request_version_is_reported() {
+        let reader = |raw: &[u8]| {
+            read_request_versioned(&mut BufReader::new(raw), DEFAULT_BODY_LIMIT).unwrap().1
+        };
+        assert_eq!(reader(b"GET / HTTP/1.0\r\n\r\n"), Version::Http10);
+        assert_eq!(reader(b"GET / HTTP/1.1\r\n\r\n"), Version::Http11);
     }
 
     #[test]

@@ -44,5 +44,5 @@ pub mod url;
 pub use client::HttpClient;
 pub use mem::{MemNetwork, Transport};
 pub use server::{Handler, HttpServer};
-pub use types::{Headers, HttpError, HttpResult, Method, Request, Response, Status};
+pub use types::{Headers, HttpError, HttpResult, Method, Request, Response, Status, Version};
 pub use url::Url;

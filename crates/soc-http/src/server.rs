@@ -147,8 +147,8 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
     // Keep-alive loop: serve requests until the peer closes, asks to
     // close, or errors.
     loop {
-        let req = match codec::read_request(&mut reader, DEFAULT_BODY_LIMIT) {
-            Ok(req) => req,
+        let (req, version) = match codec::read_request_versioned(&mut reader, DEFAULT_BODY_LIMIT) {
+            Ok(pair) => pair,
             Err(crate::types::HttpError::UnexpectedEof) => return,
             Err(e) => {
                 let resp = Response::error(Status::BAD_REQUEST, &e.to_string());
@@ -156,7 +156,17 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
                 return;
             }
         };
-        let close = req.headers.get("Connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        // HTTP/1.1 defaults to keep-alive (closed by `Connection:
+        // close`); HTTP/1.0 defaults to close (kept open only by an
+        // explicit `Connection: keep-alive`). Holding a 1.0 connection
+        // open by default hangs clients that wait for EOF to delimit
+        // the response.
+        let connection = req.headers.get("Connection");
+        let close = if version.persistent_by_default() {
+            connection.is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        } else {
+            !connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        };
 
         let resp =
             match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(req))) {

@@ -49,6 +49,50 @@ impl From<std::io::Error> for HttpError {
 /// Result alias for this crate.
 pub type HttpResult<T> = Result<T, HttpError>;
 
+/// HTTP protocol version from the request line. The stack speaks
+/// HTTP/1.1 but must understand HTTP/1.0 peers, whose connections
+/// default to *close* instead of keep-alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0`: no persistent connections unless explicitly
+    /// negotiated via `Connection: keep-alive`.
+    Http10,
+    /// `HTTP/1.1` (and any other `HTTP/1.x`): persistent by default.
+    Http11,
+}
+
+impl Version {
+    /// Parse the version token from a request or status line. Any
+    /// `HTTP/1.x` other than 1.0 is treated as 1.1; everything else is
+    /// unsupported.
+    pub fn parse(s: &str) -> Option<Version> {
+        match s {
+            "HTTP/1.0" => Some(Version::Http10),
+            _ if s.starts_with("HTTP/1.") => Some(Version::Http11),
+            _ => None,
+        }
+    }
+
+    /// Canonical wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+
+    /// Does this version keep the connection open by default?
+    pub fn persistent_by_default(self) -> bool {
+        matches!(self, Version::Http11)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Request methods (the REST verbs the course teaches, plus the rest of
 /// the RFC 9110 set we need).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

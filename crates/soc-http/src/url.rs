@@ -33,18 +33,38 @@ impl Url {
         if authority.is_empty() {
             return Err(HttpError::BadUrl(format!("missing host: {raw}")));
         }
-        let (host, port) = match authority.rsplit_once(':') {
-            Some((h, p)) => {
-                let port: u16 =
-                    p.parse().map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?;
-                (h.to_string(), port)
+        let default_port = match scheme {
+            "http" => 80,
+            _ => 0,
+        };
+        let (host, port) = if let Some(bracketed) = authority.strip_prefix('[') {
+            // IPv6 literal: `[::1]` or `[::1]:8080`. The colons inside
+            // the brackets are part of the address, not a port
+            // separator.
+            let (host, after) = bracketed
+                .split_once(']')
+                .ok_or_else(|| HttpError::BadUrl(format!("unclosed '[' in {raw}")))?;
+            if host.is_empty() {
+                return Err(HttpError::BadUrl(format!("empty IPv6 host in {raw}")));
             }
-            None => {
-                let default = match scheme {
-                    "http" => 80,
-                    _ => 0,
-                };
-                (authority.to_string(), default)
+            let port = match after.strip_prefix(':') {
+                Some(p) => {
+                    p.parse().map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?
+                }
+                None if after.is_empty() => default_port,
+                None => {
+                    return Err(HttpError::BadUrl(format!("junk after ']' in {raw}")));
+                }
+            };
+            (host.to_string(), port)
+        } else {
+            match authority.rsplit_once(':') {
+                Some((h, p)) => {
+                    let port: u16 =
+                        p.parse().map_err(|_| HttpError::BadUrl(format!("bad port in {raw}")))?;
+                    (h.to_string(), port)
+                }
+                None => (authority.to_string(), default_port),
             }
         };
         let (path, query) = match path_query.split_once('?') {
@@ -55,9 +75,14 @@ impl Url {
     }
 
     /// `host:port` for connecting (http) or the bare host (mem).
+    /// IPv6 literals come back bracketed, ready for a socket connect.
     pub fn authority(&self) -> String {
         if self.scheme == "http" {
-            format!("{}:{}", self.host, self.port)
+            if self.host.contains(':') {
+                format!("[{}]:{}", self.host, self.port)
+            } else {
+                format!("{}:{}", self.host, self.port)
+            }
         } else {
             self.host.clone()
         }
@@ -106,7 +131,10 @@ pub fn percent_decode(s: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+            b'%' => {
+                // `get` handles a truncated escape at end-of-input
+                // (e.g. a trailing "%2"): it yields None and the raw
+                // bytes pass through verbatim.
                 let hex = bytes.get(i + 1..i + 3);
                 match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
                     Some(b) => {
@@ -184,6 +212,31 @@ mod tests {
     }
 
     #[test]
+    fn ipv6_literal_hosts_round_trip() {
+        let u = Url::parse("http://[::1]:8080/health?deep=1").unwrap();
+        assert_eq!(u.host, "::1");
+        assert_eq!(u.port, 8080);
+        assert_eq!(u.path, "/health");
+        assert_eq!(u.query.as_deref(), Some("deep=1"));
+        assert_eq!(u.authority(), "[::1]:8080");
+        assert_eq!(u.to_string(), "http://[::1]:8080/health?deep=1");
+
+        // No port: the scheme default applies and the address survives.
+        let bare = Url::parse("http://[2001:db8::7]/").unwrap();
+        assert_eq!(bare.host, "2001:db8::7");
+        assert_eq!(bare.port, 80);
+        assert_eq!(bare.authority(), "[2001:db8::7]:80");
+    }
+
+    #[test]
+    fn malformed_ipv6_authorities_are_rejected() {
+        assert!(Url::parse("http://[::1/").is_err(), "unclosed bracket");
+        assert!(Url::parse("http://[]/").is_err(), "empty address");
+        assert!(Url::parse("http://[::1]8080/").is_err(), "junk between ']' and port");
+        assert!(Url::parse("http://[::1]:port/").is_err(), "non-numeric port");
+    }
+
+    #[test]
     fn percent_round_trip() {
         for s in ["hello world", "a&b=c", "中文", "100%", "~_-."] {
             assert_eq!(percent_decode(&percent_encode(s)), s);
@@ -199,6 +252,10 @@ mod tests {
     fn invalid_escapes_pass_through() {
         assert_eq!(percent_decode("100%"), "100%");
         assert_eq!(percent_decode("%zz"), "%zz");
+        // A truncated escape at end-of-input must not panic or eat
+        // bytes.
+        assert_eq!(percent_decode("%2"), "%2");
+        assert_eq!(percent_decode("abc%A"), "abc%A");
     }
 
     #[test]

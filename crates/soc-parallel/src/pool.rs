@@ -261,8 +261,18 @@ impl Drop for ThreadPool {
             let _g = self.inner.sleep_lock.lock();
             self.inner.wake.notify_all();
         }
+        // The last owner of a pool can be one of its own detached jobs
+        // (e.g. a structure holding the pool whose final Arc lives in a
+        // job). Joining the current thread panics, so detach our own
+        // handle — this worker exits by itself once the running job
+        // returns and it observes `shutdown`.
+        let me = thread::current().id();
         for h in self.handles.drain(..) {
-            let _ = h.join();
+            if h.thread().id() == me {
+                drop(h);
+            } else {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -486,5 +496,23 @@ mod tests {
         let pool = ThreadPool::new(2);
         pool.spawn(|| 1).join();
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn pool_can_be_dropped_from_its_own_worker() {
+        // A detached job holding the last reference to its own pool:
+        // the drop then runs *on a worker*, which must detach itself
+        // rather than self-join.
+        let pool = Arc::new(ThreadPool::new(2));
+        let done = Arc::new(ManualResetEvent::new(false));
+        let p2 = pool.clone();
+        let d2 = done.clone();
+        pool.spawn_detached(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            drop(p2);
+            d2.set();
+        });
+        drop(pool);
+        assert!(done.wait_timeout(Duration::from_secs(5)), "self-drop wedged the worker");
     }
 }

@@ -43,6 +43,12 @@ pub struct QosReport {
 /// samples are overwritten so the percentile window slides forward.
 const SAMPLE_CAP: usize = 8_192;
 
+/// Window for the cheap "recent" accessors ([`QosMonitor::recent_percentile`],
+/// [`QosMonitor::recent_error_rate`]) that load balancers consult on the
+/// hot path: small enough to sort per call, fresh enough to track a
+/// replica that just turned slow or flaky.
+pub const RECENT_WINDOW: usize = 256;
+
 #[derive(Debug, Default)]
 struct Track {
     probes: u64,
@@ -53,6 +59,8 @@ struct Track {
     samples: Vec<u64>,
     /// Next overwrite position once `samples` hits [`SAMPLE_CAP`].
     next_slot: usize,
+    /// Outcomes (ok / failed) of the last [`RECENT_WINDOW`] observations.
+    recent_outcomes: std::collections::VecDeque<bool>,
 }
 
 impl Track {
@@ -66,15 +74,43 @@ impl Track {
         }
     }
 
+    fn push_outcome(&mut self, ok: bool) {
+        self.recent_outcomes.push_back(ok);
+        while self.recent_outcomes.len() > RECENT_WINDOW {
+            self.recent_outcomes.pop_front();
+        }
+    }
+
     /// Nearest-rank percentile (`q` in [0, 1]) over the sample window.
     fn percentile(&self, q: f64) -> Duration {
-        if self.samples.is_empty() {
+        Self::percentile_of(&self.samples, q)
+    }
+
+    fn percentile_of(samples: &[u64], q: f64) -> Duration {
+        if samples.is_empty() {
             return Duration::ZERO;
         }
-        let mut sorted = self.samples.clone();
+        let mut sorted = samples.to_vec();
         sorted.sort_unstable();
         let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Duration::from_nanos(sorted[rank - 1])
+    }
+
+    /// The last up-to-[`RECENT_WINDOW`] success latencies, in insertion
+    /// order (the ring buffer makes "last" a two-segment walk).
+    fn recent_samples(&self) -> Vec<u64> {
+        if self.samples.len() < SAMPLE_CAP {
+            let start = self.samples.len().saturating_sub(RECENT_WINDOW);
+            return self.samples[start..].to_vec();
+        }
+        // Full ring: `next_slot` is the oldest entry; the freshest
+        // RECENT_WINDOW entries end just before it.
+        let mut out = Vec::with_capacity(RECENT_WINDOW);
+        for i in 0..RECENT_WINDOW {
+            let idx = (self.next_slot + SAMPLE_CAP - RECENT_WINDOW + i) % SAMPLE_CAP;
+            out.push(self.samples[idx]);
+        }
+        out
     }
 }
 
@@ -110,6 +146,7 @@ impl QosMonitor {
         let mut tracks = self.tracks.lock();
         let t = tracks.entry(id.to_string()).or_default();
         t.probes += 1;
+        t.push_outcome(ok);
         if ok {
             t.successes += 1;
             t.total_latency += latency;
@@ -157,6 +194,54 @@ impl QosMonitor {
         } else {
             Some(t.total_latency / t.successes as u32)
         }
+    }
+
+    /// Nearest-rank `q`-quantile latency over the last
+    /// [`RECENT_WINDOW`] *successful* observations of `id`, or `None`
+    /// when none were recorded. Cheap enough (sorts at most
+    /// [`RECENT_WINDOW`] numbers) to consult per request — this is the
+    /// feed for hedged-request triggers and outlier ejection.
+    pub fn recent_percentile(&self, id: &str, q: f64) -> Option<Duration> {
+        let tracks = self.tracks.lock();
+        let t = tracks.get(id)?;
+        let recent = t.recent_samples();
+        if recent.is_empty() {
+            None
+        } else {
+            Some(Track::percentile_of(&recent, q))
+        }
+    }
+
+    /// 95th-percentile latency over the recent success window — the
+    /// hedging trigger's "this should have answered by now" threshold.
+    pub fn recent_p95(&self, id: &str) -> Option<Duration> {
+        self.recent_percentile(id, 0.95)
+    }
+
+    /// Failure fraction over the last [`RECENT_WINDOW`] observations
+    /// (successes *and* failures), or `None` when `id` has never been
+    /// observed. Unlike cumulative availability, this tracks a replica
+    /// that just started failing.
+    pub fn recent_error_rate(&self, id: &str) -> Option<f64> {
+        let tracks = self.tracks.lock();
+        let t = tracks.get(id)?;
+        if t.recent_outcomes.is_empty() {
+            return None;
+        }
+        let failures = t.recent_outcomes.iter().filter(|ok| !**ok).count();
+        Some(failures as f64 / t.recent_outcomes.len() as f64)
+    }
+
+    /// Successful latency samples currently retained for `id` (bounded
+    /// by the sliding window cap). Gates percentile-driven decisions so
+    /// one lucky sample cannot steer them.
+    pub fn success_samples(&self, id: &str) -> usize {
+        self.tracks.lock().get(id).map(|t| t.samples.len()).unwrap_or(0)
+    }
+
+    /// Observations (success or failure) in the recent outcome window.
+    pub fn recent_observations(&self, id: &str) -> usize {
+        self.tracks.lock().get(id).map(|t| t.recent_outcomes.len()).unwrap_or(0)
     }
 
     /// Reports for every probed service, sorted by id.
@@ -334,6 +419,61 @@ mod tests {
         }
         let r = monitor.report("svc").unwrap();
         assert_eq!(r.p99_latency, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn recent_percentile_tracks_the_fresh_window() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        assert_eq!(monitor.recent_percentile("svc", 0.95), None);
+        // Fill far beyond the recent window with slow samples, then
+        // exactly one recent window of fast ones: the recent view must
+        // see only the fast tail while the full report still remembers
+        // the slow past.
+        for _ in 0..(RECENT_WINDOW * 3) {
+            monitor.record("svc", true, Duration::from_millis(50));
+        }
+        for _ in 0..RECENT_WINDOW {
+            monitor.record("svc", true, Duration::from_millis(2));
+        }
+        assert_eq!(monitor.recent_p95("svc"), Some(Duration::from_millis(2)));
+        assert_eq!(monitor.report("svc").unwrap().p95_latency, Duration::from_millis(50));
+        assert_eq!(monitor.success_samples("svc"), RECENT_WINDOW * 4);
+    }
+
+    #[test]
+    fn recent_percentile_spans_the_ring_wraparound() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        // Overfill the full sample cap, then add half a recent window of
+        // fast samples: the recent window must straddle old and new.
+        for _ in 0..SAMPLE_CAP {
+            monitor.record("svc", true, Duration::from_millis(10));
+        }
+        for _ in 0..(RECENT_WINDOW / 2) {
+            monitor.record("svc", true, Duration::from_millis(1));
+        }
+        // Median of the recent window: half 10 ms, half 1 ms → 1 ms at
+        // q=0.5 by nearest rank (rank 128 of 256 lands on the fast half).
+        assert_eq!(monitor.recent_percentile("svc", 0.5), Some(Duration::from_millis(1)));
+        assert_eq!(monitor.recent_p95("svc"), Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn recent_error_rate_sees_a_replica_turn_sick() {
+        let monitor = QosMonitor::new(Arc::new(net()));
+        assert_eq!(monitor.recent_error_rate("svc"), None);
+        for _ in 0..RECENT_WINDOW {
+            monitor.record("svc", true, Duration::from_millis(1));
+        }
+        assert_eq!(monitor.recent_error_rate("svc"), Some(0.0));
+        // The replica turns fully sick: a full window of failures must
+        // drive the recent rate to 1.0 even though cumulative
+        // availability is still 0.5.
+        for _ in 0..RECENT_WINDOW {
+            monitor.record("svc", false, Duration::ZERO);
+        }
+        assert_eq!(monitor.recent_error_rate("svc"), Some(1.0));
+        assert!((monitor.report("svc").unwrap().availability - 0.5).abs() < 1e-9);
+        assert_eq!(monitor.recent_observations("svc"), RECENT_WINDOW);
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! independence SOA promises ("application deployment into a Web
 //! server is emphasized").
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use soc::gateway::{Gateway, GatewayConfig, HedgeConfig, OutlierConfig};
 use soc::http::mem::{MemNetwork, Transport, UniClient};
-use soc::http::{HttpClient, HttpServer, Request};
+use soc::http::{HttpClient, HttpServer, Request, Response};
 use soc::json::{json, Value};
 use soc::rest::RestClient;
 use soc::soap::client::SoapClient;
@@ -175,6 +177,147 @@ fn keep_alive_serves_multiple_requests_on_one_connection() {
         assert!(String::from_utf8_lossy(&body).contains("up"));
     }
     assert_eq!(server.served(), 3, "all three requests on one connection");
+}
+
+#[test]
+fn http10_client_is_answered_and_closed() {
+    use std::io::{Read, Write};
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(11)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    write!(stream, "GET /health HTTP/1.0\r\nHost: h\r\n\r\n").unwrap();
+    stream.flush().unwrap();
+    // An HTTP/1.0 peer without `Connection: keep-alive` expects the
+    // server to close after one response; a server that holds the
+    // connection open hangs this read until a timeout kills it.
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("server must close the HTTP/1.0 connection");
+    let head = String::from_utf8_lossy(&buf);
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(head.contains("up"), "{head}");
+}
+
+#[test]
+fn http10_keep_alive_is_honored_when_asked_for() {
+    use std::io::{BufRead, BufReader, Write};
+    let server =
+        HttpServer::bind("127.0.0.1:0", 1, soc::services::bindings::ServiceHost::new(12)).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Explicit keep-alive flips the 1.0 default: the same connection
+    // serves a second request.
+    for i in 0..2 {
+        write!(stream, "GET /health HTTP/1.0\r\nHost: h\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap();
+        stream.flush().unwrap();
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert!(status.contains("200"), "request {i}: {status}");
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            if line.trim().is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+    }
+    assert_eq!(server.served(), 2, "keep-alive must reuse the 1.0 connection");
+}
+
+/// The gateway's whole tail-latency layer over real sockets: three
+/// TCP-hosted replicas, one of which starts stalling; hedges mask the
+/// stall immediately, and once the stalled sends complete and report
+/// their latency, the outlier ejector pulls the replica entirely.
+#[test]
+fn gateway_hedges_and_ejects_over_real_sockets() {
+    let fast0 = HttpServer::bind("127.0.0.1:0", 2, |_req: Request| Response::text("r0")).unwrap();
+    let fast1 = HttpServer::bind("127.0.0.1:0", 2, |_req: Request| Response::text("r1")).unwrap();
+    let stalling = Arc::new(AtomicBool::new(false));
+    let flag = stalling.clone();
+    // Generous worker count: hedge losers park a worker for the full
+    // stall, and several can be in flight at once.
+    let slow = HttpServer::bind("127.0.0.1:0", 8, move |_req: Request| {
+        if flag.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(250));
+        }
+        Response::text("slow")
+    })
+    .unwrap();
+
+    let gw = Gateway::new(
+        Arc::new(HttpClient::new()),
+        GatewayConfig {
+            hedge: HedgeConfig { min_samples: 4, ..HedgeConfig::default() },
+            outlier: OutlierConfig {
+                eval_interval: Duration::ZERO,
+                min_samples: 8,
+                min_latency: Duration::from_millis(5),
+                eject_duration: Duration::from_secs(30),
+                ..OutlierConfig::default()
+            },
+            request_deadline: Duration::from_secs(10),
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            ..GatewayConfig::default()
+        },
+    );
+    let slow_url = slow.url();
+    gw.register("svc", &[&fast0.url(), &fast1.url(), &slow_url]);
+    // The gateway itself is hosted on a socket too: client → gateway →
+    // replica is TCP end to end.
+    let front = HttpServer::bind("127.0.0.1:0", 8, gw.clone()).unwrap();
+    let client = HttpClient::new();
+    let call = |path: &str| client.send(Request::get(format!("{}{path}", front.url()))).unwrap();
+
+    // Warm-up with everyone healthy: each replica earns its p95.
+    for _ in 0..24 {
+        assert!(call("/svc/svc/warm").status.is_success());
+    }
+
+    // The slow replica starts stalling. Its p95 on record is still the
+    // healthy sub-millisecond one, so every request that lands on it
+    // hedges almost immediately and the backup answers; callers never
+    // wait out the 250 ms stall.
+    stalling.store(true, Ordering::Relaxed);
+    for _ in 0..18 {
+        let start = Instant::now();
+        let resp = call("/svc/svc/x");
+        assert!(resp.status.is_success());
+        assert!(
+            start.elapsed() < Duration::from_millis(200),
+            "hedge must answer well before the 250 ms stall ({:?})",
+            start.elapsed()
+        );
+    }
+    let launched = gw.stats().hedges_launched.load(Ordering::Relaxed);
+    assert!(launched >= 1, "stalled picks must have hedged (launched {launched})");
+
+    // Losing arms run to completion and only then report their 250 ms
+    // observations; wait them out so the ejector has evidence.
+    std::thread::sleep(Duration::from_millis(600));
+    for _ in 0..12 {
+        assert!(call("/svc/svc/y").status.is_success());
+    }
+    assert_eq!(gw.ejected_endpoints("svc"), vec![slow_url.clone()]);
+    let served = slow.served();
+    for _ in 0..9 {
+        assert!(call("/svc/svc/z").status.is_success());
+    }
+    assert_eq!(slow.served(), served, "an ejected replica must see no traffic");
+
+    // The counters are visible over the wire, not just in-process.
+    let stats = call("/gateway/stats");
+    let v = Value::parse(stats.text_body().unwrap()).unwrap();
+    assert!(v.pointer("/hedges/launched").and_then(Value::as_i64).unwrap() >= 1);
+    assert!(v.pointer("/ejections").and_then(Value::as_i64).unwrap() >= 1);
 }
 
 #[test]
