@@ -2,7 +2,7 @@
 //! statistics vs DOM construction vs XPath querying vs serialization.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use soc_xml::{sax, xpath, Document};
+use soc_xml::{sax, xpath, Document, XmlEvent, XmlReader};
 
 fn short() -> Criterion {
     Criterion::default()
@@ -24,6 +24,37 @@ fn bench_xml(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dom_parse", label), &xml, |b, xml| {
             b.iter(|| Document::parse_str(std::hint::black_box(xml)).unwrap())
         });
+        // Borrowed pull events: the zero-copy floor every model builds on.
+        group.bench_with_input(BenchmarkId::new("reader_borrowed", label), &xml, |b, xml| {
+            b.iter(|| {
+                let mut reader = XmlReader::new(std::hint::black_box(xml));
+                let mut text_bytes = 0usize;
+                let mut attrs = 0usize;
+                loop {
+                    match reader.next_event().unwrap() {
+                        XmlEvent::StartElement { .. } => attrs += reader.attributes().len(),
+                        XmlEvent::Text(t) => text_bytes += t.len(),
+                        XmlEvent::EndDocument => break,
+                        _ => {}
+                    }
+                }
+                (text_bytes, attrs)
+            })
+        });
+        // Owned events: what the old API allocated on every start tag.
+        group.bench_with_input(BenchmarkId::new("reader_owned", label), &xml, |b, xml| {
+            b.iter(|| {
+                let mut reader = XmlReader::new(std::hint::black_box(xml));
+                let mut events = 0usize;
+                loop {
+                    if matches!(reader.next_owned().unwrap(), soc_xml::OwnedEvent::EndDocument) {
+                        break;
+                    }
+                    events += 1;
+                }
+                events
+            })
+        });
 
         let doc = Document::parse_str(&xml).unwrap();
         group.bench_with_input(BenchmarkId::new("xpath_descendants", label), &doc, |b, doc| {
@@ -31,6 +62,16 @@ fn bench_xml(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("serialize", label), &doc, |b, doc| {
             b.iter(|| std::hint::black_box(doc).to_xml())
+        });
+        // Serialization into one reused buffer: amortizes the allocation
+        // away entirely after the first iteration.
+        group.bench_with_input(BenchmarkId::new("serialize_reuse", label), &doc, |b, doc| {
+            let mut buf = String::new();
+            b.iter(|| {
+                buf.clear();
+                std::hint::black_box(doc).write_xml_into(&mut buf);
+                buf.len()
+            })
         });
     }
     group.finish();

@@ -70,28 +70,22 @@ impl HttpServer {
             .spawn(move || {
                 // The pool lives inside the accept thread so dropping the
                 // server joins everything deterministically.
-                listener.set_nonblocking(false).ok();
                 listener.set_ttl(64).ok();
-                // Poll for shutdown with a short accept timeout via
-                // nonblocking + sleep (portable, no extra deps).
-                listener.set_nonblocking(true).ok();
-                loop {
+                // Blocking accept: zero idle wakeups. `shutdown` stores
+                // the stop flag and then opens a throwaway connection to
+                // this listener, which unblocks `accept` so the flag is
+                // observed immediately.
+                while let Ok((stream, _peer)) = listener.accept() {
                     if stop2.load(Ordering::Acquire) {
+                        // `stream` is the wake-up connection (or a
+                        // client that raced shutdown); drop it.
                         break;
                     }
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            let handler = handler.clone();
-                            let stats = stats2.clone();
-                            pool.spawn_detached(move || {
-                                serve_connection(stream, handler, stats);
-                            });
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(2));
-                        }
-                        Err(_) => break,
-                    }
+                    let handler = handler.clone();
+                    let stats = stats2.clone();
+                    pool.spawn_detached(move || {
+                        serve_connection(stream, handler, stats);
+                    });
                 }
             })
             .map_err(|e| crate::types::HttpError::Io(e.to_string()))?;
@@ -123,6 +117,23 @@ impl HttpServer {
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            // Wake the blocking `accept` with a throwaway connection; if
+            // the accept thread already exited the connect just fails.
+            let ip = self.addr.ip();
+            let wake_ip = if ip.is_unspecified() {
+                match ip {
+                    std::net::IpAddr::V4(_) => {
+                        std::net::IpAddr::from(std::net::Ipv4Addr::LOCALHOST)
+                    }
+                    std::net::IpAddr::V6(_) => {
+                        std::net::IpAddr::from(std::net::Ipv6Addr::LOCALHOST)
+                    }
+                }
+            } else {
+                ip
+            };
+            let wake = SocketAddr::new(wake_ip, self.addr.port());
+            let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(250));
             let _ = t.join();
         }
     }

@@ -426,6 +426,16 @@ impl Response {
         Response::new(Status::OK).with_text("text/xml; charset=utf-8", body)
     }
 
+    /// 200 with a `text/xml` body, taking ownership of an already-built
+    /// buffer. Unlike [`Response::xml`] the body bytes are moved, not
+    /// copied — pair with the zero-copy serializers in `soc-xml`.
+    pub fn xml_owned(body: String) -> Self {
+        let mut resp = Response::new(Status::OK);
+        resp.headers.set("Content-Type", "text/xml; charset=utf-8");
+        resp.body = body.into_bytes();
+        resp
+    }
+
     /// 200 with a `text/html` body.
     pub fn html(body: &str) -> Self {
         Response::new(Status::OK).with_text("text/html; charset=utf-8", body)

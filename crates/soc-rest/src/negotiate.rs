@@ -50,7 +50,11 @@ pub fn render(req: &Request, root_name: &str, value: &Value) -> Response {
             let mut doc = Document::new(root_name);
             let root = doc.root();
             value_to_xml(&mut doc, root, value);
-            Response::xml(&doc.to_xml())
+            // Serialize into an owned buffer and move it into the
+            // response — one allocation, no copy.
+            let mut body = String::with_capacity(128);
+            doc.write_xml_into(&mut body);
+            Response::xml_owned(body)
         }
     }
 }

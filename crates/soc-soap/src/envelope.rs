@@ -1,8 +1,10 @@
 //! SOAP 1.1 envelope encoding and decoding.
 
-use soc_xml::{xpath, Document, XmlError};
+use soc_xml::{xpath, Document, XmlError, XmlWriter};
 
 use crate::SOAP_ENV_NS;
+
+const XML_DECL: &str = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
 
 /// A SOAP fault (SOAP 1.1 `<soap:Fault>`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,35 +44,56 @@ impl std::fmt::Display for SoapFault {
 /// Build a request/response envelope: one body child named `element`
 /// (namespaced to `ns`), with `(name, value)` children.
 pub fn encode(ns: &str, element: &str, params: &[(String, String)]) -> String {
-    let mut doc = Document::new("soap:Envelope");
-    let root = doc.root();
-    doc.set_attr(root, "xmlns:soap", SOAP_ENV_NS);
-    doc.set_attr(root, "xmlns:m", ns);
-    let body = doc.add_element(root, "soap:Body");
-    let op = doc.add_element(body, format!("m:{element}").as_str());
-    for (name, value) in params {
-        doc.add_text_element(op, name.as_str(), value.clone());
-    }
-    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-    out.push_str(&doc.to_xml());
+    let mut out = String::with_capacity(192 + element.len() * 2 + ns.len());
+    encode_into(ns, element, params, &mut out);
     out
+}
+
+/// Buffer-reuse twin of [`encode`]: appends the envelope (declaration
+/// included) to `out`, streaming straight through the XML writer with no
+/// intermediate DOM or `String`s. Clear and reuse `out` across calls to
+/// amortize the allocation.
+pub fn encode_into(ns: &str, element: &str, params: &[(String, String)], out: &mut String) {
+    out.push_str(XML_DECL);
+    let mut w = XmlWriter::compact_into(out);
+    w.start_element("soap:Envelope");
+    w.attr("xmlns:soap", SOAP_ENV_NS);
+    w.attr("xmlns:m", ns);
+    w.start_element("soap:Body");
+    w.start_element(format!("m:{element}"));
+    for (name, value) in params {
+        w.text_element(name.as_str(), value);
+    }
+    w.end_element();
+    w.end_element();
+    w.end_element();
+    w.finish();
 }
 
 /// Build a fault envelope.
 pub fn encode_fault(fault: &SoapFault) -> String {
-    let mut doc = Document::new("soap:Envelope");
-    let root = doc.root();
-    doc.set_attr(root, "xmlns:soap", SOAP_ENV_NS);
-    let body = doc.add_element(root, "soap:Body");
-    let f = doc.add_element(body, "soap:Fault");
-    doc.add_text_element(f, "faultcode", fault.code.clone());
-    doc.add_text_element(f, "faultstring", fault.message.clone());
-    if let Some(d) = &fault.detail {
-        doc.add_text_element(f, "detail", d.clone());
-    }
-    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-    out.push_str(&doc.to_xml());
+    let mut out = String::with_capacity(192);
+    encode_fault_into(fault, &mut out);
     out
+}
+
+/// Buffer-reuse twin of [`encode_fault`].
+pub fn encode_fault_into(fault: &SoapFault, out: &mut String) {
+    out.push_str(XML_DECL);
+    let mut w = XmlWriter::compact_into(out);
+    w.start_element("soap:Envelope");
+    w.attr("xmlns:soap", SOAP_ENV_NS);
+    w.start_element("soap:Body");
+    w.start_element("soap:Fault");
+    w.text_element("faultcode", &fault.code);
+    w.text_element("faultstring", &fault.message);
+    if let Some(d) = &fault.detail {
+        w.text_element("detail", d);
+    }
+    w.end_element();
+    w.end_element();
+    w.end_element();
+    w.finish();
 }
 
 /// A decoded envelope body: the operation element's local name and its

@@ -118,7 +118,7 @@ impl Handler for SoapService {
         // `GET …?wsdl` serves the contract.
         if req.method == Method::Get {
             if req.target.ends_with("?wsdl") || req.query_pairs().iter().any(|(k, _)| k == "wsdl") {
-                return Response::xml(&self.wsdl());
+                return Response::xml_owned(self.wsdl());
             }
             return Response::error(
                 Status::METHOD_NOT_ALLOWED,
@@ -129,11 +129,11 @@ impl Handler for SoapService {
             return Response::error(Status::METHOD_NOT_ALLOWED, "POST required");
         }
         match self.dispatch(&req) {
-            Ok(xml) => Response::xml(&xml),
+            Ok(xml) => Response::xml_owned(xml),
             Err(fault) => {
                 // SOAP 1.1: faults ride on HTTP 500.
-                let mut resp = Response::new(Status::INTERNAL_SERVER_ERROR)
-                    .with_text("text/xml; charset=utf-8", &envelope::encode_fault(&fault));
+                let mut resp = Response::xml_owned(envelope::encode_fault(&fault));
+                resp.status = Status::INTERNAL_SERVER_ERROR;
                 resp.headers.set("X-Soap-Fault", &fault.code);
                 resp
             }

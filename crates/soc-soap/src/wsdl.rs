@@ -5,7 +5,7 @@
 //! which is exactly what the service broker stores and what a consumer
 //! needs to call the service.
 
-use soc_xml::{Document, NodeId};
+use soc_xml::{Document, NodeId, XmlWriter};
 
 use crate::contract::{Contract, Operation, XsdType};
 use crate::{SOAP_ENV_NS, WSDL_NS, XSD_NS};
@@ -78,8 +78,13 @@ pub fn generate(contract: &Contract, endpoint: &str) -> String {
     let address = doc.add_element(port, "soapenv:address");
     doc.set_attr(address, "location", endpoint);
 
-    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-    out.push_str(&doc.to_pretty_xml());
+    // Serialize declaration + document into one buffer: no intermediate
+    // String from `to_pretty_xml`, no second copy.
+    let mut out = String::with_capacity(2048);
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    let mut w = XmlWriter::pretty_to(&mut out);
+    w.write_document(&doc);
+    w.finish();
     out
 }
 

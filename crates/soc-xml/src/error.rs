@@ -30,6 +30,29 @@ impl Position {
             self.column += 1;
         }
     }
+
+    /// Advance over a whole slice at once (bulk twin of [`advance`],
+    /// used by the reader so hot scans don't pay per-byte bookkeeping).
+    ///
+    /// [`advance`]: Position::advance
+    pub fn advance_str(&mut self, s: &str) {
+        self.offset += s.len();
+        let mut newlines = 0u32;
+        let mut last_nl = None;
+        for (i, b) in s.bytes().enumerate() {
+            if b == b'\n' {
+                newlines += 1;
+                last_nl = Some(i);
+            }
+        }
+        match last_nl {
+            Some(i) => {
+                self.line += newlines;
+                self.column = (s.len() - i) as u32;
+            }
+            None => self.column += s.len() as u32,
+        }
+    }
 }
 
 impl fmt::Display for Position {
@@ -113,6 +136,19 @@ mod tests {
         assert_eq!(p.offset, 5);
         assert_eq!(p.line, 2);
         assert_eq!(p.column, 3);
+    }
+
+    #[test]
+    fn bulk_advance_matches_per_byte() {
+        for input in ["abc", "a\nb\ncd", "\n", "", "líne\nmore"] {
+            let mut per_byte = Position::start();
+            for b in input.bytes() {
+                per_byte.advance(b);
+            }
+            let mut bulk = Position::start();
+            bulk.advance_str(input);
+            assert_eq!(per_byte, bulk, "{input:?}");
+        }
     }
 
     #[test]

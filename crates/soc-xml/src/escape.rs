@@ -1,57 +1,133 @@
 //! Escaping and entity expansion for text and attribute content.
+//!
+//! Every entry point is zero-copy on the fast path: a byte scan proves
+//! "nothing to rewrite" and the input comes back as [`Cow::Borrowed`];
+//! an owned buffer is built only when an escape or entity reference
+//! actually changes bytes. The `*_into` variants append straight into a
+//! caller-provided buffer so the serializer never materializes an
+//! intermediate `String`.
+
+use std::borrow::Cow;
 
 use crate::error::{Position, XmlError, XmlResult};
 
-/// Escape `<`, `>`, and `&` for element text content.
-pub fn escape_text(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            _ => out.push(c),
-        }
-    }
-    out
+/// Offset of the first byte that must be rewritten in text content.
+#[inline]
+fn scan_text(bytes: &[u8]) -> Option<usize> {
+    bytes.iter().position(|&b| matches!(b, b'<' | b'>' | b'&'))
 }
 
-/// Escape text for use inside a double-quoted attribute value.
-pub fn escape_attr(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '<' => out.push_str("&lt;"),
-            '>' => out.push_str("&gt;"),
-            '&' => out.push_str("&amp;"),
-            '"' => out.push_str("&quot;"),
-            '\'' => out.push_str("&apos;"),
-            '\n' => out.push_str("&#10;"),
-            '\t' => out.push_str("&#9;"),
-            _ => out.push(c),
+/// Offset of the first byte that must be rewritten in an attribute value.
+#[inline]
+fn scan_attr(bytes: &[u8]) -> Option<usize> {
+    bytes.iter().position(|&b| matches!(b, b'<' | b'>' | b'&' | b'"' | b'\'' | b'\n' | b'\t'))
+}
+
+/// Escape `<`, `>`, and `&` for element text content. Borrows the input
+/// when nothing needs escaping.
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    match scan_text(s.as_bytes()) {
+        None => Cow::Borrowed(s),
+        Some(i) => {
+            let mut out = String::with_capacity(s.len() + 8);
+            out.push_str(&s[..i]);
+            escape_text_rest(&s[i..], &mut out);
+            Cow::Owned(out)
         }
     }
-    out
+}
+
+/// Append `s` to `out`, escaping text content. The buffer-reuse twin of
+/// [`escape_text`].
+pub fn escape_text_into(s: &str, out: &mut String) {
+    match scan_text(s.as_bytes()) {
+        None => out.push_str(s),
+        Some(i) => {
+            out.push_str(&s[..i]);
+            escape_text_rest(&s[i..], out);
+        }
+    }
+}
+
+fn escape_text_rest(s: &str, out: &mut String) {
+    let mut last = 0;
+    for (i, &b) in s.as_bytes().iter().enumerate() {
+        let rep = match b {
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'&' => "&amp;",
+            _ => continue,
+        };
+        out.push_str(&s[last..i]);
+        out.push_str(rep);
+        last = i + 1;
+    }
+    out.push_str(&s[last..]);
+}
+
+/// Escape text for use inside a double-quoted attribute value. Borrows
+/// the input when nothing needs escaping.
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    match scan_attr(s.as_bytes()) {
+        None => Cow::Borrowed(s),
+        Some(i) => {
+            let mut out = String::with_capacity(s.len() + 8);
+            out.push_str(&s[..i]);
+            escape_attr_rest(&s[i..], &mut out);
+            Cow::Owned(out)
+        }
+    }
+}
+
+/// Append `s` to `out`, escaping attribute content. The buffer-reuse
+/// twin of [`escape_attr`].
+pub fn escape_attr_into(s: &str, out: &mut String) {
+    match scan_attr(s.as_bytes()) {
+        None => out.push_str(s),
+        Some(i) => {
+            out.push_str(&s[..i]);
+            escape_attr_rest(&s[i..], out);
+        }
+    }
+}
+
+fn escape_attr_rest(s: &str, out: &mut String) {
+    let mut last = 0;
+    for (i, &b) in s.as_bytes().iter().enumerate() {
+        let rep = match b {
+            b'<' => "&lt;",
+            b'>' => "&gt;",
+            b'&' => "&amp;",
+            b'"' => "&quot;",
+            b'\'' => "&apos;",
+            b'\n' => "&#10;",
+            b'\t' => "&#9;",
+            _ => continue,
+        };
+        out.push_str(&s[last..i]);
+        out.push_str(rep);
+        last = i + 1;
+    }
+    out.push_str(&s[last..]);
 }
 
 /// Expand the five predefined entities plus decimal/hex character
-/// references in `s`. `pos` is used only for error reporting.
-pub fn unescape(s: &str, pos: Position) -> XmlResult<String> {
-    if !s.contains('&') {
-        return Ok(s.to_string());
-    }
+/// references in `s`. Borrows the input when it contains no `&` at all.
+/// `pos` is used only for error reporting.
+pub fn unescape(s: &str, pos: Position) -> XmlResult<Cow<'_, str>> {
+    let Some(first) = s.as_bytes().iter().position(|&b| b == b'&') else {
+        return Ok(Cow::Borrowed(s));
+    };
     let mut out = String::with_capacity(s.len());
-    let mut chars = s.char_indices();
-    while let Some((i, c)) = chars.next() {
-        if c != '&' {
-            out.push(c);
-            continue;
-        }
-        let rest = &s[i + 1..];
-        let Some(end) = rest.find(';') else {
-            return Err(XmlError::BadEntity { pos, entity: rest.chars().take(8).collect() });
+    out.push_str(&s[..first]);
+    let mut rest = &s[first..];
+    while let Some(amp) = rest.as_bytes().iter().position(|&b| b == b'&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let Some(end) = after.find(';') else {
+            return Err(XmlError::BadEntity { pos, entity: after.chars().take(8).collect() });
         };
-        let name = &rest[..end];
+        let name = &after[..end];
         match name {
             "lt" => out.push('<'),
             "gt" => out.push('>'),
@@ -76,12 +152,10 @@ pub fn unescape(s: &str, pos: Position) -> XmlResult<String> {
                 }
             }
         }
-        // Skip the entity body and the ';'.
-        for _ in 0..=end {
-            chars.next();
-        }
+        rest = &after[end + 1..];
     }
-    Ok(out)
+    out.push_str(rest);
+    Ok(Cow::Owned(out))
 }
 
 #[cfg(test)]
@@ -132,7 +206,25 @@ mod tests {
     }
 
     #[test]
-    fn plain_string_is_untouched_fast_path() {
-        assert_eq!(unescape("hello world", p()).unwrap(), "hello world");
+    fn plain_string_borrows_without_copying() {
+        assert!(matches!(unescape("hello world", p()).unwrap(), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
+        assert!(matches!(escape_attr("hello world"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn escaped_strings_are_owned_only_when_rewritten() {
+        assert!(matches!(escape_text("a<b"), Cow::Owned(_)));
+        assert!(matches!(unescape("&amp;", p()).unwrap(), Cow::Owned(_)));
+    }
+
+    #[test]
+    fn into_variants_append_to_existing_buffers() {
+        let mut buf = String::from("x=");
+        escape_attr_into("a\"b", &mut buf);
+        assert_eq!(buf, "x=a&quot;b");
+        let mut buf = String::from("t:");
+        escape_text_into("1<2", &mut buf);
+        assert_eq!(buf, "t:1&lt;2");
     }
 }

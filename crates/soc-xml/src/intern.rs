@@ -1,0 +1,124 @@
+//! Per-document qualified-name interning.
+//!
+//! Element and attribute names repeat heavily in real documents (a
+//! thousand `<service>` rows share one name). Interning stores each
+//! distinct name once and hands out a copyable [`Atom`]; equality is a
+//! single `u32` compare and the DOM never clones a `QName` per node.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::name::QName;
+
+/// Id of an interned name inside one [`NameInterner`]. Atoms from
+/// different interners (different documents) must not be mixed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(u32);
+
+impl Atom {
+    /// The raw index (for diagnostics).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// FNV-1a: tiny, deterministic, and fast on the short strings names
+/// are — SipHash's DoS resistance buys nothing for per-document tables.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = h;
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// Interns `prefix:local` names, resolving each [`Atom`] back to a
+/// stable [`QName`].
+#[derive(Debug, Clone, Default)]
+pub struct NameInterner {
+    names: Vec<QName>,
+    map: HashMap<Box<str>, Atom, FnvBuild>,
+}
+
+impl NameInterner {
+    /// Empty interner.
+    pub fn new() -> Self {
+        NameInterner::default()
+    }
+
+    /// Intern a name in its serialized `prefix:local` form. Allocates
+    /// only on first sight of a distinct name.
+    pub fn intern(&mut self, raw: &str) -> Atom {
+        if let Some(&a) = self.map.get(raw) {
+            return a;
+        }
+        let atom = Atom(u32::try_from(self.names.len()).expect("more than u32::MAX names"));
+        self.names.push(QName::parse(raw));
+        self.map.insert(raw.into(), atom);
+        atom
+    }
+
+    /// Intern an already-built [`QName`].
+    pub fn intern_qname(&mut self, q: &QName) -> Atom {
+        if q.prefix.is_empty() {
+            self.intern(&q.local)
+        } else {
+            self.intern(&format!("{}:{}", q.prefix, q.local))
+        }
+    }
+
+    /// Resolve an atom back to its name.
+    pub fn resolve(&self, atom: Atom) -> &QName {
+        &self.names[atom.0 as usize]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_atom() {
+        let mut i = NameInterner::new();
+        let a = i.intern("soap:Body");
+        let b = i.intern("soap:Body");
+        let c = i.intern("soap:Envelope");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(a), &QName::prefixed("soap", "Body"));
+    }
+
+    #[test]
+    fn qname_and_raw_forms_agree() {
+        let mut i = NameInterner::new();
+        let a = i.intern("m:Add");
+        let b = i.intern_qname(&QName::prefixed("m", "Add"));
+        assert_eq!(a, b);
+        let c = i.intern("name");
+        let d = i.intern_qname(&QName::local("name"));
+        assert_eq!(c, d);
+    }
+}

@@ -34,6 +34,7 @@
 pub mod dom;
 pub mod error;
 pub mod escape;
+pub mod intern;
 pub mod name;
 pub mod reader;
 pub mod sax;
@@ -42,10 +43,11 @@ pub mod writer;
 pub mod xpath;
 pub mod xslt;
 
-pub use dom::{Document, Node, NodeId, NodeKind};
+pub use dom::{Document, NodeId, NodeValue};
 pub use error::{XmlError, XmlResult};
-pub use name::QName;
-pub use reader::{XmlEvent, XmlReader};
+pub use intern::{Atom, NameInterner};
+pub use name::{QName, RawName};
+pub use reader::{Attribute, OwnedEvent, XmlEvent, XmlReader};
 pub use schema::{Schema, SchemaError};
 pub use writer::XmlWriter;
 pub use xpath::NodeSet;

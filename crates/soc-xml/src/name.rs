@@ -71,6 +71,77 @@ impl From<&str> for QName {
     }
 }
 
+/// A borrowed qualified name: zero-copy slices into the parsed input.
+///
+/// This is what the streaming reader hands out; nothing is allocated
+/// until a consumer decides to keep the name (via [`RawName::to_qname`]
+/// or a [`crate::intern::NameInterner`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawName<'a> {
+    /// The full name as written (`prefix:local` or `local`).
+    raw: &'a str,
+    /// Namespace prefix; empty when unprefixed.
+    pub prefix: &'a str,
+    /// Local part of the name.
+    pub local: &'a str,
+}
+
+impl<'a> RawName<'a> {
+    /// Split `prefix:local` or `local` syntax without copying.
+    pub fn parse(raw: &'a str) -> Self {
+        match raw.split_once(':') {
+            Some((p, l)) => RawName { raw, prefix: p, local: l },
+            None => RawName { raw, prefix: "", local: raw },
+        }
+    }
+
+    /// The name exactly as written in the source.
+    pub fn as_str(&self) -> &'a str {
+        self.raw
+    }
+
+    /// Allocate an owned [`QName`] with the same prefix and local part.
+    pub fn to_qname(&self) -> QName {
+        QName { prefix: self.prefix.into(), local: self.local.into() }
+    }
+
+    /// True if this is an `xmlns` or `xmlns:*` namespace declaration name.
+    pub fn is_xmlns(&self) -> bool {
+        (self.prefix.is_empty() && self.local == "xmlns") || self.prefix == "xmlns"
+    }
+}
+
+impl fmt::Display for RawName<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.raw)
+    }
+}
+
+impl PartialEq<QName> for RawName<'_> {
+    fn eq(&self, other: &QName) -> bool {
+        self.prefix == other.prefix && self.local == other.local
+    }
+}
+
+impl PartialEq<RawName<'_>> for QName {
+    fn eq(&self, other: &RawName<'_>) -> bool {
+        other == self
+    }
+}
+
+/// Compare a [`QName`] against its serialized `prefix:local` form
+/// without allocating (the no-alloc twin of `q.to_string() == s`).
+pub fn qname_matches(q: &QName, s: &str) -> bool {
+    if q.prefix.is_empty() {
+        q.local == s
+    } else {
+        s.len() == q.prefix.len() + 1 + q.local.len()
+            && s.as_bytes()[q.prefix.len()] == b':'
+            && s.starts_with(q.prefix.as_str())
+            && s.ends_with(q.local.as_str())
+    }
+}
+
 /// Is `c` a valid first character of an XML name? (Pragmatic subset of
 /// the NameStartChar production.)
 pub fn is_name_start(c: char) -> bool {
@@ -110,6 +181,27 @@ mod tests {
         assert_eq!(QName::parse("xmlns").declared_prefix(), Some(""));
         assert_eq!(QName::parse("xmlns:soap").declared_prefix(), Some("soap"));
         assert_eq!(QName::parse("id").declared_prefix(), None);
+    }
+
+    #[test]
+    fn raw_name_borrows_and_converts() {
+        let r = RawName::parse("soap:Envelope");
+        assert_eq!(r.prefix, "soap");
+        assert_eq!(r.local, "Envelope");
+        assert_eq!(r.as_str(), "soap:Envelope");
+        assert_eq!(r.to_qname(), QName::prefixed("soap", "Envelope"));
+        assert!(r == QName::prefixed("soap", "Envelope"));
+        assert!(RawName::parse("xmlns:x").is_xmlns());
+        assert!(!RawName::parse("a:b").is_xmlns());
+    }
+
+    #[test]
+    fn qname_matches_without_alloc() {
+        assert!(qname_matches(&QName::local("id"), "id"));
+        assert!(qname_matches(&QName::prefixed("a", "b"), "a:b"));
+        assert!(!qname_matches(&QName::prefixed("a", "b"), "a:c"));
+        assert!(!qname_matches(&QName::prefixed("a", "b"), "b"));
+        assert!(!qname_matches(&QName::local("b"), "a:b"));
     }
 
     #[test]

@@ -1,34 +1,104 @@
 //! Pull-style XML parser (the event model that SAX is built on).
 //!
-//! [`XmlReader`] walks the input once, producing [`XmlEvent`]s. It
-//! enforces well-formedness: tags must balance, attributes must be
-//! unique per element, exactly one root element, no text outside it.
+//! [`XmlReader`] walks the input once, producing borrowed
+//! [`XmlEvent`]s: names are [`RawName`] slices into the input and text
+//! payloads are [`Cow`]s that only allocate when entity expansion
+//! actually rewrites bytes. A clean document (no entities) parses with
+//! zero per-event allocations. The reader enforces well-formedness:
+//! tags must balance, attributes must be unique per element, exactly
+//! one root element, no text outside it.
+//!
+//! Attributes of the most recent `StartElement` are exposed through
+//! [`XmlReader::attributes`] — they live in a buffer the reader reuses
+//! across elements, so pulling events never allocates a `Vec` per tag.
+//!
+//! For consumers that want `'static` data (or a single value carrying
+//! both the name and the attributes), [`XmlReader::next_owned`] yields
+//! [`OwnedEvent`]s with the same semantics as the borrowed stream.
 //!
 //! ```
 //! use soc_xml::reader::{XmlReader, XmlEvent};
 //!
 //! let mut r = XmlReader::new("<a href='x'>hi</a>");
 //! assert!(matches!(r.next_event().unwrap(), XmlEvent::StartElement { .. }));
+//! assert_eq!(r.attributes()[0].value, "x");
 //! assert!(matches!(r.next_event().unwrap(), XmlEvent::Text(t) if t == "hi"));
 //! ```
 
+use std::borrow::Cow;
+
 use crate::error::{Position, XmlError, XmlResult};
 use crate::escape::unescape;
-use crate::name::{is_name_char, is_name_start, QName};
+use crate::name::{is_name_char, is_name_start, QName, RawName};
 
 /// A single attribute as it appeared on a start tag, value already
-/// entity-expanded.
+/// entity-expanded (borrowing the input unless expansion rewrote it).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Attribute {
+pub struct Attribute<'a> {
+    /// Attribute name, possibly prefixed.
+    pub name: RawName<'a>,
+    /// Entity-expanded attribute value.
+    pub value: Cow<'a, str>,
+}
+
+/// Borrowed events produced by [`XmlReader`]. All payloads are slices
+/// of (or [`Cow`]s over) the input string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent<'a> {
+    /// The `<?xml … ?>` declaration, if present.
+    StartDocument {
+        /// `version` pseudo-attribute (defaults to "1.0").
+        version: &'a str,
+        /// `encoding` pseudo-attribute, if given.
+        encoding: Option<&'a str>,
+    },
+    /// An opening tag. Its attributes are available from
+    /// [`XmlReader::attributes`] until the next event is pulled.
+    /// Self-closing tags produce a `StartElement` immediately followed
+    /// by a synthetic `EndElement`.
+    StartElement {
+        /// Element name.
+        name: RawName<'a>,
+    },
+    /// A closing tag (possibly synthetic, for `<x/>`).
+    EndElement {
+        /// Element name.
+        name: RawName<'a>,
+    },
+    /// Character data between tags, entity-expanded.
+    Text(Cow<'a, str>),
+    /// A `<![CDATA[…]]>` section, verbatim.
+    CData(&'a str),
+    /// A `<!-- … -->` comment, verbatim.
+    Comment(&'a str),
+    /// A `<?target data?>` processing instruction (other than `<?xml?>`).
+    ProcessingInstruction {
+        /// PI target.
+        target: &'a str,
+        /// Everything after the target, trimmed.
+        data: &'a str,
+    },
+    /// A `<!DOCTYPE …>` declaration, kept as raw text.
+    Doctype(&'a str),
+    /// End of input; returned forever after the document closes.
+    EndDocument,
+}
+
+/// An owned attribute (see [`OwnedEvent`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnedAttribute {
     /// Attribute name, possibly prefixed.
     pub name: QName,
     /// Entity-expanded attribute value.
     pub value: String,
 }
 
-/// Events produced by [`XmlReader`].
+/// Owned events: the allocation-paying twin of [`XmlEvent`], carrying
+/// `String` payloads and the start tag's attributes inline. Produced by
+/// [`XmlReader::next_owned`]; byte-identical in content to the borrowed
+/// stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum XmlEvent {
+pub enum OwnedEvent {
     /// The `<?xml … ?>` declaration, if present.
     StartDocument {
         /// `version` pseudo-attribute (defaults to "1.0").
@@ -36,13 +106,12 @@ pub enum XmlEvent {
         /// `encoding` pseudo-attribute, if given.
         encoding: Option<String>,
     },
-    /// An opening tag. Self-closing tags produce a `StartElement`
-    /// immediately followed by a synthetic `EndElement`.
+    /// An opening tag with its attributes in document order.
     StartElement {
         /// Element name.
         name: QName,
         /// Attributes in document order.
-        attributes: Vec<Attribute>,
+        attributes: Vec<OwnedAttribute>,
     },
     /// A closing tag (possibly synthetic, for `<x/>`).
     EndElement {
@@ -84,10 +153,12 @@ pub struct XmlReader<'a> {
     bytes: &'a [u8],
     pos: Position,
     config: ReaderConfig,
-    /// Open-element stack for balance checking.
-    stack: Vec<QName>,
+    /// Open-element stack for balance checking (name slices, no copies).
+    stack: Vec<RawName<'a>>,
+    /// Attributes of the most recent start tag; reused across elements.
+    attrs: Vec<Attribute<'a>>,
     /// Synthetic end-element queued by a self-closing tag.
-    pending_end: Option<QName>,
+    pending_end: Option<RawName<'a>>,
     /// Whether the root element has been closed.
     root_done: bool,
     /// Whether any root element has been seen.
@@ -110,6 +181,7 @@ impl<'a> XmlReader<'a> {
             pos: Position::start(),
             config,
             stack: Vec::new(),
+            attrs: Vec::new(),
             pending_end: None,
             root_done: false,
             root_seen: false,
@@ -120,6 +192,13 @@ impl<'a> XmlReader<'a> {
     /// Current source position (start of the next unread byte).
     pub fn position(&self) -> Position {
         self.pos
+    }
+
+    /// Attributes of the most recent [`XmlEvent::StartElement`], in
+    /// document order. The backing buffer is reused: read them before
+    /// pulling the next event.
+    pub fn attributes(&self) -> &[Attribute<'a>] {
+        &self.attrs
     }
 
     fn peek(&self) -> Option<u8> {
@@ -142,9 +221,7 @@ impl<'a> XmlReader<'a> {
 
     fn consume_str(&mut self, s: &str) -> bool {
         if self.starts_with(s) {
-            for b in s.bytes() {
-                self.pos.advance(b);
-            }
+            self.pos.advance_str(s);
             true
         } else {
             false
@@ -164,17 +241,13 @@ impl<'a> XmlReader<'a> {
             return Err(XmlError::UnexpectedEof { pos: self.pos, expected: what });
         };
         let out = &rest[..idx];
-        for b in out.bytes() {
-            self.pos.advance(b);
-        }
+        self.pos.advance_str(out);
         Ok(out)
     }
 
-    fn read_name(&mut self) -> XmlResult<QName> {
-        let start = self.pos.offset;
-        let rest = &self.input[start..];
-        let mut chars = rest.chars();
-        match chars.next() {
+    fn read_name(&mut self) -> XmlResult<RawName<'a>> {
+        let rest = &self.input[self.pos.offset..];
+        match rest.chars().next() {
             Some(c) if is_name_start(c) => {}
             Some(c) => {
                 return Err(XmlError::Unexpected {
@@ -194,15 +267,13 @@ impl<'a> XmlReader<'a> {
             }
         }
         let raw = &rest[..len];
-        for b in raw.bytes() {
-            self.pos.advance(b);
-        }
-        Ok(QName::parse(raw))
+        self.pos.advance_str(raw);
+        Ok(RawName::parse(raw))
     }
 
-    fn read_attr_value(&mut self) -> XmlResult<String> {
+    fn read_attr_value(&mut self) -> XmlResult<Cow<'a, str>> {
         let quote = match self.bump() {
-            Some(q @ (b'"' | b'\'')) => q as char,
+            Some(q @ (b'"' | b'\'')) => q,
             Some(c) => {
                 return Err(XmlError::Unexpected {
                     pos: self.pos,
@@ -215,21 +286,30 @@ impl<'a> XmlReader<'a> {
             }
         };
         let at = self.pos;
-        let raw = self.take_until(&quote.to_string(), "closing attribute quote")?;
+        let rest = &self.input[self.pos.offset..];
+        let Some(end) = rest.as_bytes().iter().position(|&b| b == quote) else {
+            return Err(XmlError::UnexpectedEof {
+                pos: self.pos,
+                expected: "closing attribute quote",
+            });
+        };
+        let raw = &rest[..end];
+        self.pos.advance_str(raw);
         self.bump(); // consume the quote
         unescape(raw, at)
     }
 
-    /// Parse the inside of a start tag after the name: attributes and the
-    /// closing `>` or `/>`. Returns (attributes, self_closing).
-    fn read_attributes(&mut self) -> XmlResult<(Vec<Attribute>, bool)> {
-        let mut attrs: Vec<Attribute> = Vec::new();
+    /// Parse the inside of a start tag after the name: attributes (into
+    /// the reusable buffer) and the closing `>` or `/>`. Returns
+    /// `self_closing`.
+    fn read_attributes(&mut self) -> XmlResult<bool> {
+        self.attrs.clear();
         loop {
             self.skip_ws();
             match self.peek() {
                 Some(b'>') => {
                     self.bump();
-                    return Ok((attrs, false));
+                    return Ok(false);
                 }
                 Some(b'/') => {
                     self.bump();
@@ -240,7 +320,7 @@ impl<'a> XmlReader<'a> {
                             expected: "'/>'",
                         });
                     }
-                    return Ok((attrs, true));
+                    return Ok(true);
                 }
                 Some(_) => {
                     let at = self.pos;
@@ -255,37 +335,37 @@ impl<'a> XmlReader<'a> {
                     }
                     self.skip_ws();
                     let value = self.read_attr_value()?;
-                    if attrs.iter().any(|a| a.name == name) {
+                    if self.attrs.iter().any(|a| a.name.as_str() == name.as_str()) {
                         return Err(XmlError::DuplicateAttribute {
                             pos: at,
                             name: name.to_string(),
                         });
                     }
-                    attrs.push(Attribute { name, value });
+                    self.attrs.push(Attribute { name, value });
                 }
                 None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" }),
             }
         }
     }
 
-    fn read_xml_decl(&mut self) -> XmlResult<XmlEvent> {
+    fn read_xml_decl(&mut self) -> XmlResult<XmlEvent<'a>> {
         // Already consumed "<?xml".
         let at = self.pos;
-        let body = self.take_until("?>", "'?>'")?.to_string();
+        let body = self.take_until("?>", "'?>'")?;
         self.consume_str("?>");
-        let mut version = "1.0".to_string();
+        let mut version: &'a str = "1.0";
         let mut encoding = None;
         for part in body.split_whitespace() {
             if let Some((k, v)) = part.split_once('=') {
                 let v = v.trim_matches(|c| c == '"' || c == '\'');
                 match k {
-                    "version" => version = v.to_string(),
-                    "encoding" => encoding = Some(v.to_string()),
+                    "version" => version = v,
+                    "encoding" => encoding = Some(v),
                     _ => {}
                 }
             }
         }
-        if encoding.as_deref().is_some_and(|e| !e.eq_ignore_ascii_case("utf-8")) {
+        if encoding.is_some_and(|e| !e.eq_ignore_ascii_case("utf-8")) {
             return Err(XmlError::BadChar {
                 pos: at,
                 detail: format!("unsupported encoding {:?} (only UTF-8)", encoding.unwrap()),
@@ -295,7 +375,7 @@ impl<'a> XmlReader<'a> {
     }
 
     /// Pull the next event from the input.
-    pub fn next_event(&mut self) -> XmlResult<XmlEvent> {
+    pub fn next_event(&mut self) -> XmlResult<XmlEvent<'a>> {
         if let Some(name) = self.pending_end.take() {
             if self.stack.is_empty() {
                 self.root_done = true;
@@ -333,10 +413,10 @@ impl<'a> XmlReader<'a> {
                         }
                         self.at_start = false;
                         let target = self.read_name()?;
-                        let data = self.take_until("?>", "'?>'")?.trim().to_string();
+                        let data = self.take_until("?>", "'?>'")?.trim();
                         self.consume_str("?>");
                         return Ok(XmlEvent::ProcessingInstruction {
-                            target: target.to_string(),
+                            target: target.as_str(),
                             data,
                         });
                     }
@@ -344,7 +424,7 @@ impl<'a> XmlReader<'a> {
                         self.bump();
                         self.at_start = false;
                         if self.consume_str("--") {
-                            let text = self.take_until("-->", "'-->'")?.to_string();
+                            let text = self.take_until("-->", "'-->'")?;
                             self.consume_str("-->");
                             if self.config.skip_comments {
                                 continue;
@@ -358,13 +438,13 @@ impl<'a> XmlReader<'a> {
                                     detail: "CDATA outside root element".into(),
                                 });
                             }
-                            let text = self.take_until("]]>", "']]>'")?.to_string();
+                            let text = self.take_until("]]>", "']]>'")?;
                             self.consume_str("]]>");
                             return Ok(XmlEvent::CData(text));
                         }
                         if self.consume_str("DOCTYPE") {
                             // Keep it simple: no internal subsets with nested '>'.
-                            let text = self.take_until(">", "'>'")?.trim().to_string();
+                            let text = self.take_until(">", "'>'")?.trim();
                             self.bump();
                             return Ok(XmlEvent::Doctype(text));
                         }
@@ -382,7 +462,7 @@ impl<'a> XmlReader<'a> {
                             return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" });
                         }
                         match self.stack.pop() {
-                            Some(open) if open == name => {
+                            Some(open) if open.as_str() == name.as_str() => {
                                 if self.stack.is_empty() {
                                     self.root_done = true;
                                 }
@@ -418,17 +498,14 @@ impl<'a> XmlReader<'a> {
                             });
                         }
                         let name = self.read_name()?;
-                        let (attributes, self_closing) = self.read_attributes()?;
+                        let self_closing = self.read_attributes()?;
                         self.root_seen = true;
                         if self_closing {
-                            self.pending_end = Some(name.clone());
-                            if self.stack.is_empty() {
-                                // Root is a self-closing element.
-                            }
+                            self.pending_end = Some(name);
                         } else {
-                            self.stack.push(name.clone());
+                            self.stack.push(name);
                         }
-                        return Ok(XmlEvent::StartElement { name, attributes });
+                        return Ok(XmlEvent::StartElement { name });
                     }
                 }
             }
@@ -439,9 +516,7 @@ impl<'a> XmlReader<'a> {
                 let rest = &self.input[self.pos.offset..];
                 let end = rest.find('<').unwrap_or(rest.len());
                 let out = &rest[..end];
-                for b in out.bytes() {
-                    self.pos.advance(b);
-                }
+                self.pos.advance_str(out);
                 out
             };
             self.at_start = false;
@@ -463,6 +538,40 @@ impl<'a> XmlReader<'a> {
         }
     }
 
+    /// Pull the next event with owned (`String`) payloads and the start
+    /// tag's attributes attached. Same stream, same order, same errors
+    /// as [`XmlReader::next_event`].
+    pub fn next_owned(&mut self) -> XmlResult<OwnedEvent> {
+        let ev = self.next_event()?;
+        Ok(match ev {
+            XmlEvent::StartDocument { version, encoding } => OwnedEvent::StartDocument {
+                version: version.to_string(),
+                encoding: encoding.map(str::to_string),
+            },
+            XmlEvent::StartElement { name } => OwnedEvent::StartElement {
+                name: name.to_qname(),
+                attributes: self
+                    .attrs
+                    .iter()
+                    .map(|a| OwnedAttribute {
+                        name: a.name.to_qname(),
+                        value: a.value.clone().into_owned(),
+                    })
+                    .collect(),
+            },
+            XmlEvent::EndElement { name } => OwnedEvent::EndElement { name: name.to_qname() },
+            XmlEvent::Text(t) => OwnedEvent::Text(t.into_owned()),
+            XmlEvent::CData(t) => OwnedEvent::CData(t.to_string()),
+            XmlEvent::Comment(t) => OwnedEvent::Comment(t.to_string()),
+            XmlEvent::ProcessingInstruction { target, data } => OwnedEvent::ProcessingInstruction {
+                target: target.to_string(),
+                data: data.to_string(),
+            },
+            XmlEvent::Doctype(t) => OwnedEvent::Doctype(t.to_string()),
+            XmlEvent::EndDocument => OwnedEvent::EndDocument,
+        })
+    }
+
     /// Drain the remaining events, checking well-formedness of the whole
     /// document. Useful for validation without building a DOM.
     pub fn validate_to_end(&mut self) -> XmlResult<()> {
@@ -475,7 +584,7 @@ impl<'a> XmlReader<'a> {
 }
 
 impl<'a> Iterator for XmlReader<'a> {
-    type Item = XmlResult<XmlEvent>;
+    type Item = XmlResult<XmlEvent<'a>>;
 
     fn next(&mut self) -> Option<Self::Item> {
         match self.next_event() {
@@ -489,7 +598,7 @@ impl<'a> Iterator for XmlReader<'a> {
 mod tests {
     use super::*;
 
-    fn events(input: &str) -> Vec<XmlEvent> {
+    fn events(input: &str) -> Vec<XmlEvent<'_>> {
         XmlReader::new(input).collect::<XmlResult<Vec<_>>>().unwrap()
     }
 
@@ -499,27 +608,57 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                XmlEvent::StartElement { name: QName::local("a"), attributes: vec![] },
+                XmlEvent::StartElement { name: RawName::parse("a") },
                 XmlEvent::Text("hi".into()),
-                XmlEvent::EndElement { name: QName::local("a") },
+                XmlEvent::EndElement { name: RawName::parse("a") },
             ]
         );
+    }
+
+    #[test]
+    fn clean_text_is_borrowed() {
+        let mut r = XmlReader::new("<a>plain text</a>");
+        r.next_event().unwrap();
+        let XmlEvent::Text(t) = r.next_event().unwrap() else { panic!() };
+        assert!(matches!(t, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn entity_text_is_owned() {
+        let mut r = XmlReader::new("<a>a&amp;b</a>");
+        r.next_event().unwrap();
+        let XmlEvent::Text(t) = r.next_event().unwrap() else { panic!() };
+        assert!(matches!(t, Cow::Owned(_)));
+        assert_eq!(t, "a&b");
     }
 
     #[test]
     fn self_closing_produces_synthetic_end() {
         let ev = events("<a><b/></a>");
         assert_eq!(ev.len(), 4);
-        assert!(matches!(&ev[1], XmlEvent::StartElement { name, .. } if name.local == "b"));
+        assert!(matches!(&ev[1], XmlEvent::StartElement { name } if name.local == "b"));
         assert!(matches!(&ev[2], XmlEvent::EndElement { name } if name.local == "b"));
     }
 
     #[test]
     fn attributes_single_and_double_quoted() {
-        let ev = events(r#"<s id="1" name='echo &amp; co'/>"#);
-        let XmlEvent::StartElement { attributes, .. } = &ev[0] else { panic!() };
-        assert_eq!(attributes[0].value, "1");
-        assert_eq!(attributes[1].value, "echo & co");
+        let mut r = XmlReader::new(r#"<s id="1" name='echo &amp; co'/>"#);
+        r.next_event().unwrap();
+        let attrs = r.attributes();
+        assert_eq!(attrs[0].value, "1");
+        assert!(matches!(attrs[0].value, Cow::Borrowed(_)));
+        assert_eq!(attrs[1].value, "echo & co");
+        assert!(matches!(attrs[1].value, Cow::Owned(_)));
+    }
+
+    #[test]
+    fn attribute_buffer_reused_across_elements() {
+        let mut r = XmlReader::new(r#"<a x="1"><b y="2" z="3"/></a>"#);
+        r.next_event().unwrap();
+        assert_eq!(r.attributes().len(), 1);
+        r.next_event().unwrap();
+        assert_eq!(r.attributes().len(), 2);
+        assert_eq!(r.attributes()[0].name.local, "y");
     }
 
     #[test]
@@ -531,10 +670,7 @@ mod tests {
     #[test]
     fn xml_declaration_parsed() {
         let ev = events("<?xml version=\"1.0\" encoding=\"UTF-8\"?><r/>");
-        assert_eq!(
-            ev[0],
-            XmlEvent::StartDocument { version: "1.0".into(), encoding: Some("UTF-8".into()) }
-        );
+        assert_eq!(ev[0], XmlEvent::StartDocument { version: "1.0", encoding: Some("UTF-8") });
     }
 
     #[test]
@@ -546,15 +682,15 @@ mod tests {
     #[test]
     fn cdata_is_verbatim() {
         let ev = events("<a><![CDATA[1 < 2 && 3 > 2]]></a>");
-        assert!(matches!(&ev[1], XmlEvent::CData(t) if t == "1 < 2 && 3 > 2"));
+        assert!(matches!(&ev[1], XmlEvent::CData(t) if *t == "1 < 2 && 3 > 2"));
     }
 
     #[test]
     fn comments_and_pis() {
         let ev = events("<a><!-- note --><?php echo ?></a>");
-        assert!(matches!(&ev[1], XmlEvent::Comment(t) if t == " note "));
+        assert!(matches!(&ev[1], XmlEvent::Comment(t) if *t == " note "));
         assert!(matches!(&ev[2],
-            XmlEvent::ProcessingInstruction { target, data } if target == "php" && data == "echo"));
+            XmlEvent::ProcessingInstruction { target, data } if *target == "php" && *data == "echo"));
     }
 
     #[test]
@@ -615,13 +751,13 @@ mod tests {
     #[test]
     fn doctype_is_reported() {
         let ev = events("<!DOCTYPE html><a/>");
-        assert!(matches!(&ev[0], XmlEvent::Doctype(t) if t == "html"));
+        assert!(matches!(&ev[0], XmlEvent::Doctype(t) if *t == "html"));
     }
 
     #[test]
     fn prefixed_names() {
         let ev = events("<soap:Envelope xmlns:soap='urn:s'><soap:Body/></soap:Envelope>");
-        assert!(matches!(&ev[0], XmlEvent::StartElement { name, .. }
+        assert!(matches!(&ev[0], XmlEvent::StartElement { name }
             if name.prefix == "soap" && name.local == "Envelope"));
     }
 
@@ -646,5 +782,24 @@ mod tests {
     fn unicode_text_round_trips() {
         let ev = events("<a>中文 → ok</a>");
         assert!(matches!(&ev[1], XmlEvent::Text(t) if t == "中文 → ok"));
+    }
+
+    #[test]
+    fn owned_stream_matches_borrowed() {
+        let input = r#"<?xml version="1.0"?><a x="1&amp;2"><b>t</b><![CDATA[c]]></a>"#;
+        let mut r = XmlReader::new(input);
+        let mut owned = Vec::new();
+        loop {
+            let ev = r.next_owned().unwrap();
+            let done = matches!(ev, OwnedEvent::EndDocument);
+            owned.push(ev);
+            if done {
+                break;
+            }
+        }
+        assert!(matches!(&owned[1], OwnedEvent::StartElement { name, attributes }
+            if name.local == "a" && attributes[0].value == "1&2"));
+        assert!(matches!(&owned[3], OwnedEvent::Text(t) if t == "t"));
+        assert!(matches!(owned.last(), Some(OwnedEvent::EndDocument)));
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::dom::{Document, NodeId, NodeKind};
+use crate::dom::{Document, NodeId, NodeValue};
 use crate::error::XmlResult;
 
 /// Built-in simple types for element text and attribute values.
@@ -270,14 +270,14 @@ impl Schema {
                 None => {}
             }
         }
-        for a in doc.attributes(id) {
-            if a.name.is_xmlns() {
+        for (aname, _) in doc.attributes(id) {
+            if aname.is_xmlns() {
                 continue;
             }
-            if !decl.attributes.iter().any(|ad| ad.name == a.name.local) {
+            if !decl.attributes.iter().any(|ad| ad.name == aname.local) {
                 errors.push(SchemaError {
                     path: path.into(),
-                    message: format!("undeclared attribute {:?}", a.name.to_string()),
+                    message: format!("undeclared attribute {:?}", aname.to_string()),
                 });
             }
         }
@@ -285,9 +285,8 @@ impl Schema {
         let child_elems: Vec<NodeId> = doc.child_elements(id).collect();
         let text = doc
             .children(id)
-            .iter()
-            .filter_map(|&c| match &doc.node(c).kind {
-                NodeKind::Text(t) | NodeKind::CData(t) => Some(t.as_str()),
+            .filter_map(|c| match doc.value(c) {
+                NodeValue::Text(t) | NodeValue::CData(t) => Some(t),
                 _ => None,
             })
             .collect::<String>();

@@ -1,20 +1,141 @@
 //! Streaming XML writer with compact and pretty modes.
+//!
+//! The writer is generic over its output sink: an owned `String`
+//! ([`XmlWriter::compact`]), a caller-provided buffer that is appended
+//! to and can be reused across serializations
+//! ([`XmlWriter::compact_into`]), or any [`std::io::Write`] via
+//! [`IoSink`]. Escaping goes through the zero-copy paths in
+//! [`crate::escape`], and open-element names are stacked in one shared
+//! scratch string — serializing a document performs no per-node
+//! allocations.
 
-use crate::dom::{Document, NodeId, NodeKind};
+use std::io;
+
+use crate::dom::{Document, NodeId, NodeValue};
 use crate::escape::{escape_attr, escape_text};
-use crate::name::QName;
+use crate::name::{QName, RawName};
+
+/// Something the writer can emit bytes into.
+pub trait XmlSink {
+    /// Append a string slice.
+    fn push_str(&mut self, s: &str);
+    /// Append a single character.
+    fn push(&mut self, c: char);
+}
+
+impl XmlSink for String {
+    fn push_str(&mut self, s: &str) {
+        String::push_str(self, s);
+    }
+
+    fn push(&mut self, c: char) {
+        String::push(self, c);
+    }
+}
+
+impl XmlSink for &mut String {
+    fn push_str(&mut self, s: &str) {
+        String::push_str(self, s);
+    }
+
+    fn push(&mut self, c: char) {
+        String::push(self, c);
+    }
+}
+
+/// Adapter turning any [`io::Write`] into an [`XmlSink`]. Write errors
+/// are stashed and surfaced by [`IoSink::into_result`]; after the first
+/// error further output is discarded.
+pub struct IoSink<W: io::Write> {
+    inner: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> IoSink<W> {
+    /// Wrap a writer.
+    pub fn new(inner: W) -> Self {
+        IoSink { inner, error: None }
+    }
+
+    /// Unwrap, reporting the first write error if any occurred.
+    pub fn into_result(self) -> io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.inner),
+        }
+    }
+}
+
+impl<W: io::Write> XmlSink for IoSink<W> {
+    fn push_str(&mut self, s: &str) {
+        if self.error.is_none() {
+            if let Err(e) = self.inner.write_all(s.as_bytes()) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn push(&mut self, c: char) {
+        let mut buf = [0u8; 4];
+        self.push_str(c.encode_utf8(&mut buf));
+    }
+}
+
+/// A name the writer can emit: plain text, a [`QName`], or a borrowed
+/// [`RawName`]. Keeps `start_element`/`attr` allocation-free for every
+/// name representation in the crate.
+pub trait XmlName {
+    /// Append the serialized (`prefix:local`) form to `out`.
+    fn append_to(&self, out: &mut String);
+}
+
+impl XmlName for &str {
+    fn append_to(&self, out: &mut String) {
+        out.push_str(self);
+    }
+}
+
+impl XmlName for String {
+    fn append_to(&self, out: &mut String) {
+        out.push_str(self);
+    }
+}
+
+impl XmlName for QName {
+    fn append_to(&self, out: &mut String) {
+        if !self.prefix.is_empty() {
+            out.push_str(&self.prefix);
+            out.push(':');
+        }
+        out.push_str(&self.local);
+    }
+}
+
+impl XmlName for &QName {
+    fn append_to(&self, out: &mut String) {
+        (*self).append_to(out);
+    }
+}
+
+impl XmlName for RawName<'_> {
+    fn append_to(&self, out: &mut String) {
+        out.push_str(self.as_str());
+    }
+}
 
 /// Serializes XML either compactly or with indentation.
 ///
 /// Can be used standalone as a streaming writer
 /// ([`XmlWriter::start_element`] / [`XmlWriter::text`] /
 /// [`XmlWriter::end_element`]) or to serialize a whole [`Document`].
-pub struct XmlWriter {
-    out: String,
+pub struct XmlWriter<S: XmlSink = String> {
+    out: S,
     indent: Option<&'static str>,
     depth: usize,
-    /// Stack of open element names.
-    open: Vec<QName>,
+    /// Open element names, concatenated; offsets mark each name's start.
+    /// One growable buffer instead of a `Vec<QName>` of clones.
+    open_names: String,
+    open_offsets: Vec<usize>,
     /// True right after a start tag with no content yet (enables `<x/>`).
     tag_open: bool,
     /// True if the current open element has child elements (for pretty
@@ -22,28 +143,65 @@ pub struct XmlWriter {
     had_children: Vec<bool>,
     /// True if the current open element holds text (suppresses indent).
     had_text: Vec<bool>,
+    /// Whether anything has been emitted yet (drives pretty newlines;
+    /// pre-existing buffer content counts).
+    wrote_any: bool,
 }
 
-impl XmlWriter {
-    /// Writer that emits no insignificant whitespace.
+impl XmlWriter<String> {
+    /// Writer that emits no insignificant whitespace into a new `String`.
     pub fn compact() -> Self {
-        Self::with_indent(None)
+        Self::compact_to(String::new())
     }
 
-    /// Writer that indents nested elements by two spaces.
+    /// Writer that indents nested elements by two spaces into a new
+    /// `String`.
     pub fn pretty() -> Self {
-        Self::with_indent(Some("  "))
+        Self::pretty_to(String::new())
+    }
+}
+
+impl<'b> XmlWriter<&'b mut String> {
+    /// Compact writer appending to an existing buffer (reuse-friendly:
+    /// clear the buffer between documents and keep its capacity).
+    pub fn compact_into(out: &'b mut String) -> Self {
+        let wrote_any = !out.is_empty();
+        let mut w = Self::compact_to(out);
+        w.wrote_any = wrote_any;
+        w
     }
 
-    fn with_indent(indent: Option<&'static str>) -> Self {
+    /// Pretty writer appending to an existing buffer.
+    pub fn pretty_into(out: &'b mut String) -> Self {
+        let wrote_any = !out.is_empty();
+        let mut w = Self::pretty_to(out);
+        w.wrote_any = wrote_any;
+        w
+    }
+}
+
+impl<S: XmlSink> XmlWriter<S> {
+    /// Compact writer over an arbitrary sink (e.g. [`IoSink`]).
+    pub fn compact_to(out: S) -> Self {
+        Self::with_indent(out, None)
+    }
+
+    /// Pretty writer over an arbitrary sink.
+    pub fn pretty_to(out: S) -> Self {
+        Self::with_indent(out, Some("  "))
+    }
+
+    fn with_indent(out: S, indent: Option<&'static str>) -> Self {
         XmlWriter {
-            out: String::new(),
+            out,
             indent,
             depth: 0,
-            open: Vec::new(),
+            open_names: String::new(),
+            open_offsets: Vec::new(),
             tag_open: false,
             had_children: Vec::new(),
             had_text: Vec::new(),
+            wrote_any: false,
         }
     }
 
@@ -53,6 +211,7 @@ impl XmlWriter {
         if self.indent.is_some() {
             self.out.push('\n');
         }
+        self.wrote_any = true;
     }
 
     fn close_pending_tag(&mut self) {
@@ -64,7 +223,7 @@ impl XmlWriter {
 
     fn newline_indent(&mut self) {
         if let Some(ind) = self.indent {
-            if !self.out.is_empty() {
+            if self.wrote_any {
                 self.out.push('\n');
             }
             for _ in 0..self.depth {
@@ -75,7 +234,7 @@ impl XmlWriter {
 
     /// Open an element. Attributes are added with [`XmlWriter::attr`]
     /// before any content is written.
-    pub fn start_element(&mut self, name: impl Into<QName>) {
+    pub fn start_element(&mut self, name: impl XmlName) {
         self.close_pending_tag();
         if let Some(flag) = self.had_children.last_mut() {
             *flag = true;
@@ -85,11 +244,13 @@ impl XmlWriter {
         if self.had_text.last() != Some(&true) {
             self.newline_indent();
         }
-        let name = name.into();
+        let start = self.open_names.len();
+        name.append_to(&mut self.open_names);
+        self.open_offsets.push(start);
         self.out.push('<');
-        self.out.push_str(&name.to_string());
-        self.open.push(name);
+        self.out.push_str(&self.open_names[start..]);
         self.tag_open = true;
+        self.wrote_any = true;
         self.depth += 1;
         self.had_children.push(false);
         self.had_text.push(false);
@@ -98,10 +259,15 @@ impl XmlWriter {
     /// Add an attribute to the element opened by the most recent
     /// [`XmlWriter::start_element`]. Panics if content was already
     /// written.
-    pub fn attr(&mut self, name: impl Into<QName>, value: &str) {
+    pub fn attr(&mut self, name: impl XmlName, value: &str) {
         assert!(self.tag_open, "attr() must directly follow start_element()");
         self.out.push(' ');
-        self.out.push_str(&name.into().to_string());
+        // Use the tail of the name stack as scratch space for the
+        // attribute name, then truncate it back off.
+        let scratch = self.open_names.len();
+        name.append_to(&mut self.open_names);
+        self.out.push_str(&self.open_names[scratch..]);
+        self.open_names.truncate(scratch);
         self.out.push_str("=\"");
         self.out.push_str(&escape_attr(value));
         self.out.push('"');
@@ -119,6 +285,7 @@ impl XmlWriter {
             *flag = true;
         }
         self.out.push_str(&escape_text(text));
+        self.wrote_any = true;
     }
 
     /// Write a CDATA section. `]]>` inside the payload is split across
@@ -129,8 +296,15 @@ impl XmlWriter {
             *flag = true;
         }
         self.out.push_str("<![CDATA[");
-        self.out.push_str(&text.replace("]]>", "]]]]><![CDATA[>"));
+        let mut rest = text;
+        while let Some(i) = rest.find("]]>") {
+            self.out.push_str(&rest[..i]);
+            self.out.push_str("]]]]><![CDATA[>");
+            rest = &rest[i + 3..];
+        }
+        self.out.push_str(rest);
         self.out.push_str("]]>");
+        self.wrote_any = true;
     }
 
     /// Write a comment.
@@ -140,6 +314,7 @@ impl XmlWriter {
         self.out.push_str("<!--");
         self.out.push_str(text);
         self.out.push_str("-->");
+        self.wrote_any = true;
     }
 
     /// Write a processing instruction.
@@ -153,29 +328,32 @@ impl XmlWriter {
             self.out.push_str(data);
         }
         self.out.push_str("?>");
+        self.wrote_any = true;
     }
 
     /// Close the most recently opened element.
     pub fn end_element(&mut self) {
-        let name = self.open.pop().expect("end_element with no open element");
+        let start = self.open_offsets.pop().expect("end_element with no open element");
         self.depth -= 1;
         let had_children = self.had_children.pop().unwrap_or(false);
         let had_text = self.had_text.pop().unwrap_or(false);
         if self.tag_open {
             self.out.push_str("/>");
             self.tag_open = false;
+            self.open_names.truncate(start);
             return;
         }
         if had_children && !had_text {
             self.newline_indent();
         }
         self.out.push_str("</");
-        self.out.push_str(&name.to_string());
+        self.out.push_str(&self.open_names[start..]);
         self.out.push('>');
+        self.open_names.truncate(start);
     }
 
     /// Convenience: `<name>text</name>`.
-    pub fn text_element(&mut self, name: impl Into<QName>, text: &str) {
+    pub fn text_element(&mut self, name: impl XmlName, text: &str) {
         self.start_element(name);
         self.text(text);
         self.end_element();
@@ -188,17 +366,17 @@ impl XmlWriter {
 
     /// Serialize the subtree rooted at `id`.
     pub fn write_node(&mut self, doc: &Document, id: NodeId) {
-        match &doc.node(id).kind {
-            NodeKind::Element { name, attributes } => {
-                self.start_element(name.clone());
-                for a in attributes {
-                    self.attr(a.name.clone(), &a.value);
+        match doc.value(id) {
+            NodeValue::Element(name) => {
+                self.start_element(name);
+                for (n, v) in doc.attributes(id) {
+                    self.attr(n, v);
                 }
                 // Mixed content (any text child) disables indentation for
                 // the whole element so its text value is preserved.
-                let mixed = doc.children(id).iter().any(|&c| match &doc.node(c).kind {
-                    NodeKind::Text(t) => !t.is_empty(),
-                    NodeKind::CData(_) => true,
+                let mixed = doc.children(id).any(|c| match doc.value(c) {
+                    NodeValue::Text(t) => !t.is_empty(),
+                    NodeValue::CData(_) => true,
                     _ => false,
                 });
                 if mixed {
@@ -206,22 +384,26 @@ impl XmlWriter {
                         *flag = true;
                     }
                 }
-                for &c in doc.children(id) {
+                for c in doc.children(id) {
                     self.write_node(doc, c);
                 }
                 self.end_element();
             }
-            NodeKind::Text(t) => self.text(t),
-            NodeKind::CData(t) => self.cdata(t),
-            NodeKind::Comment(t) => self.comment(t),
-            NodeKind::ProcessingInstruction { target, data } => self.pi(target, data),
+            NodeValue::Text(t) => self.text(t),
+            NodeValue::CData(t) => self.cdata(t),
+            NodeValue::Comment(t) => self.comment(t),
+            NodeValue::Pi { target, data } => self.pi(target, data),
         }
     }
 
-    /// Consume the writer, returning the serialized string. Panics if
-    /// elements remain open.
-    pub fn finish(self) -> String {
-        assert!(self.open.is_empty(), "finish() with {} unclosed elements", self.open.len());
+    /// Consume the writer, returning the sink. Panics if elements remain
+    /// open.
+    pub fn finish(self) -> S {
+        assert!(
+            self.open_offsets.is_empty(),
+            "finish() with {} unclosed elements",
+            self.open_offsets.len()
+        );
         self.out
     }
 }
@@ -299,5 +481,49 @@ mod tests {
         // Text-bearing elements must not gain stray whitespace.
         let doc2 = Document::parse_str_keep_whitespace(&s).unwrap();
         assert_eq!(doc2.text(doc2.root()), "Hello x!");
+    }
+
+    #[test]
+    fn reused_buffer_appends_and_keeps_capacity() {
+        let mut buf = String::new();
+        for i in 0..3 {
+            buf.clear();
+            let mut w = XmlWriter::compact_into(&mut buf);
+            w.start_element("n");
+            w.text(if i == 0 { "first" } else { "later" });
+            w.end_element();
+            w.finish();
+        }
+        assert_eq!(buf, "<n>later</n>");
+    }
+
+    #[test]
+    fn into_writer_counts_existing_content_for_pretty() {
+        let mut buf = String::from("<?xml version=\"1.0\"?>");
+        let mut w = XmlWriter::pretty_into(&mut buf);
+        w.start_element("a");
+        w.end_element();
+        w.finish();
+        assert_eq!(buf, "<?xml version=\"1.0\"?>\n<a/>");
+    }
+
+    #[test]
+    fn io_sink_writes_and_reports_errors() {
+        let mut w = XmlWriter::compact_to(IoSink::new(Vec::new()));
+        w.start_element("a");
+        w.attr("k", "v");
+        w.text("x");
+        w.end_element();
+        let bytes = w.finish().into_result().unwrap();
+        assert_eq!(bytes, br#"<a k="v">x</a>"#);
+    }
+
+    #[test]
+    fn prefixed_names_via_qname_and_str() {
+        let mut w = XmlWriter::compact();
+        w.start_element(QName::prefixed("s", "Envelope"));
+        w.attr("xmlns:s", "urn:x");
+        w.end_element();
+        assert_eq!(w.finish(), r#"<s:Envelope xmlns:s="urn:x"/>"#);
     }
 }

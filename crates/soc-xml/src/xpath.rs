@@ -18,8 +18,9 @@
 //! assert_eq!(hit.first_text(&doc).as_deref(), Some("2"));
 //! ```
 
-use crate::dom::{Document, NodeId, NodeKind};
+use crate::dom::{Document, NodeId, NodeValue};
 use crate::error::{XmlError, XmlResult};
+use crate::name::qname_matches;
 
 /// An ordered, de-duplicated set of nodes (document order).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -31,12 +32,6 @@ impl NodeSet {
     /// Empty set.
     pub fn new() -> Self {
         NodeSet::default()
-    }
-
-    fn push_unique(&mut self, id: NodeId) {
-        if !self.nodes.contains(&id) {
-            self.nodes.push(id);
-        }
     }
 
     /// Nodes in document order.
@@ -77,11 +72,13 @@ impl NodeSet {
 
 impl FromIterator<NodeId> for NodeSet {
     fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
-        let mut set = NodeSet::new();
-        for id in iter {
-            set.push_unique(id);
-        }
-        set
+        // NodeIds are assigned in creation order, so for parsed documents
+        // ascending id order *is* document order — sort + dedup replaces
+        // the quadratic contains-scan this used to do.
+        let mut nodes: Vec<NodeId> = iter.into_iter().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        NodeSet { nodes }
     }
 }
 
@@ -248,8 +245,8 @@ impl XPath {
                 let mut out = Vec::new();
                 for &ctx in &current {
                     match step.axis {
-                        Axis::Child => out.extend(doc.children(ctx).iter().copied()),
-                        Axis::DescendantOrSelf => out.extend(doc.descendants(ctx)),
+                        Axis::Child => out.extend(doc.children(ctx)),
+                        Axis::DescendantOrSelf => out.extend(doc.descendants_iter(ctx)),
                     }
                 }
                 out
@@ -276,7 +273,7 @@ impl XPath {
                 NodeTest::AnyAttr => {
                     let vals = current
                         .iter()
-                        .flat_map(|&n| doc.attributes(n).iter().map(|a| a.value.clone()))
+                        .flat_map(|&n| doc.attributes(n).map(|(_, v)| v.to_string()))
                         .collect();
                     attr_result = Some(vals);
                     continue;
@@ -286,12 +283,12 @@ impl XPath {
 
             let matched: Vec<NodeId> = candidates
                 .into_iter()
-                .filter(|&n| match (&step.test, &doc.node(n).kind) {
-                    (NodeTest::Name(want), NodeKind::Element { name, .. }) => {
-                        name.local == *want || name.to_string() == *want
+                .filter(|&n| match (&step.test, doc.value(n)) {
+                    (NodeTest::Name(want), NodeValue::Element(name)) => {
+                        name.local == *want || qname_matches(name, want)
                     }
-                    (NodeTest::AnyElement, NodeKind::Element { .. }) => true,
-                    (NodeTest::Text, NodeKind::Text(_) | NodeKind::CData(_)) => true,
+                    (NodeTest::AnyElement, NodeValue::Element(_)) => true,
+                    (NodeTest::Text, NodeValue::Text(_) | NodeValue::CData(_)) => true,
                     _ => false,
                 })
                 .collect();

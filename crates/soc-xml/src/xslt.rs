@@ -19,7 +19,7 @@
 //! assert_eq!(out.to_xml(), "<ul><li>echo</li></ul>");
 //! ```
 
-use crate::dom::{Document, NodeId, NodeKind};
+use crate::dom::{Document, NodeId, NodeValue};
 use crate::error::{XmlError, XmlResult};
 use crate::xpath;
 
@@ -68,13 +68,12 @@ impl Stylesheet {
         self.apply_to(input, input.root(), &mut out, root)?;
         // Unwrap single-element results.
         let top: Vec<NodeId> = out.child_elements(root).collect();
-        if top.len() == 1 && out.children(root).len() == 1 {
+        if top.len() == 1 && out.children(root).count() == 1 {
             let mut unwrapped = Document::new(out.name(top[0]).expect("element").clone());
-            for a in out.attributes(top[0]).to_vec() {
-                unwrapped.set_attr(unwrapped.root(), a.name, a.value);
+            for (n, v) in out.attributes(top[0]) {
+                unwrapped.set_attr(unwrapped.root(), n.clone(), v);
             }
-            let kids: Vec<NodeId> = out.children(top[0]).to_vec();
-            for k in kids {
+            for k in out.children(top[0]) {
                 unwrapped.graft(unwrapped.root(), &out, k);
             }
             return Ok(unwrapped);
@@ -91,17 +90,17 @@ impl Stylesheet {
         out: &mut Document,
         out_parent: NodeId,
     ) -> XmlResult<()> {
-        match &input.node(node).kind {
-            NodeKind::Text(t) | NodeKind::CData(t) => {
-                out.add_text(out_parent, t.clone());
+        match input.value(node) {
+            NodeValue::Text(t) | NodeValue::CData(t) => {
+                out.add_text(out_parent, t);
                 return Ok(());
             }
-            NodeKind::Element { name, .. } => {
+            NodeValue::Element(name) => {
                 if let Some(rule) = self.rule_for(&name.local) {
                     return self.instantiate(rule, input, node, out, out_parent);
                 }
                 // Default rule: recurse into children.
-                for &c in input.children(node) {
+                for c in input.children(node) {
                     self.apply_to(input, c, out, out_parent)?;
                 }
             }
@@ -119,7 +118,7 @@ impl Stylesheet {
         out: &mut Document,
         out_parent: NodeId,
     ) -> XmlResult<()> {
-        let body: Vec<NodeId> = self.rules_doc.children(template_node).to_vec();
+        let body: Vec<NodeId> = self.rules_doc.children(template_node).collect();
         for b in body {
             self.emit(b, input, context, out, out_parent)?;
         }
@@ -135,48 +134,43 @@ impl Stylesheet {
         out_parent: NodeId,
     ) -> XmlResult<()> {
         let sheet = &self.rules_doc;
-        match &sheet.node(tnode).kind {
-            NodeKind::Element { name, attributes } if name.local == "value-of" => {
-                let select = attributes
-                    .iter()
-                    .find(|a| a.name.local == "select")
-                    .map(|a| a.value.as_str())
-                    .unwrap_or(".");
+        match sheet.value(tnode) {
+            NodeValue::Element(name) if name.local == "value-of" => {
+                let select = sheet.attr(tnode, "select").unwrap_or(".");
                 let texts =
                     xpath::XPath::parse(select)?.eval_from(input, context, false).strings(input);
                 if let Some(first) = texts.first() {
-                    out.add_text(out_parent, first.clone());
+                    out.add_text(out_parent, first);
                 }
             }
-            NodeKind::Element { name, attributes } if name.local == "apply-templates" => {
-                let select =
-                    attributes.iter().find(|a| a.name.local == "select").map(|a| a.value.as_str());
+            NodeValue::Element(name) if name.local == "apply-templates" => {
+                let select = sheet.attr(tnode, "select");
                 let targets: Vec<NodeId> = match select {
                     Some(expr) => xpath::XPath::parse(expr)?
                         .eval_from(input, context, false)
                         .nodes()
                         .into_vec(),
-                    None => input.children(context).to_vec(),
+                    None => input.children(context).collect(),
                 };
                 for t in targets {
                     self.apply_to(input, t, out, out_parent)?;
                 }
             }
-            NodeKind::Element { name, attributes } => {
+            NodeValue::Element(name) => {
                 let el = out.add_element(out_parent, name.clone());
-                for a in attributes {
-                    out.set_attr(el, a.name.clone(), a.value.clone());
+                for (n, v) in sheet.attributes(tnode) {
+                    out.set_attr(el, n.clone(), v);
                 }
-                let kids: Vec<NodeId> = sheet.children(tnode).to_vec();
+                let kids: Vec<NodeId> = sheet.children(tnode).collect();
                 for k in kids {
                     self.emit(k, input, context, out, out_parent_child(el))?;
                 }
             }
-            NodeKind::Text(t) => {
-                out.add_text(out_parent, t.clone());
+            NodeValue::Text(t) => {
+                out.add_text(out_parent, t);
             }
-            NodeKind::CData(t) => {
-                out.add_cdata(out_parent, t.clone());
+            NodeValue::CData(t) => {
+                out.add_cdata(out_parent, t);
             }
             _ => {}
         }

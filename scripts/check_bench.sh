@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Guard the committed XML bench record: BENCH_xml.json must exist, carry
+# the current schema, and cover every benchmark group that the bench
+# binary actually defines (so the record can't silently go stale when a
+# group is added or renamed).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+record=BENCH_xml.json
+bench_src=crates/soc-bench/benches/xml.rs
+
+if [[ ! -f "$record" ]]; then
+    echo "error: $record is missing — run 'cargo bench -p soc-bench --bench xml' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$record"; then
+    echo "error: $record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"baseline"' '"current"' '"speedup_large"'; do
+    if ! grep -q "$section" "$record"; then
+        echo "error: $record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+# Every BenchmarkId group in the bench source must appear in the record.
+status=0
+for group in $(grep -o 'BenchmarkId::new("[a-z_]*"' "$bench_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$group\"" "$record"; then
+        echo "error: bench group '$group' exists in $bench_src but is absent from $record — re-record" >&2
+        status=1
+    fi
+done
+exit $status
