@@ -65,6 +65,7 @@ use parking_lot::{Mutex, RwLock};
 use soc_http::mem::Transport;
 use soc_http::{Handler, Request, Response, Status};
 use soc_json::Value;
+use soc_observe::{SpanKind, TraceContext};
 use soc_registry::monitor::QosMonitor;
 
 pub use balance::{Balancer, OutlierConfig, OutlierEjector, Policy, UpstreamView};
@@ -137,6 +138,32 @@ impl Default for GatewayConfig {
     }
 }
 
+/// Observe-plane counters mirroring the JSON stats, resolved from the
+/// global registry once at construction so the hot path pays an atomic
+/// increment, not a registry lookup.
+struct ObsMetrics {
+    admitted: soc_observe::Counter,
+    shed_rate: soc_observe::Counter,
+    shed_load: soc_observe::Counter,
+    shed_service: soc_observe::Counter,
+    hedges_launched: soc_observe::Counter,
+    hedges_won: soc_observe::Counter,
+}
+
+impl ObsMetrics {
+    fn new() -> Self {
+        let m = soc_observe::metrics();
+        ObsMetrics {
+            admitted: m.counter("soc_gateway_admitted_total", &[]),
+            shed_rate: m.counter("soc_gateway_shed_total", &[("reason", "rate")]),
+            shed_load: m.counter("soc_gateway_shed_total", &[("reason", "concurrency")]),
+            shed_service: m.counter("soc_gateway_shed_total", &[("reason", "service_quota")]),
+            hedges_launched: m.counter("soc_gateway_hedges_total", &[("event", "launched")]),
+            hedges_won: m.counter("soc_gateway_hedges_total", &[("event", "won")]),
+        }
+    }
+}
+
 struct Inner {
     transport: Arc<dyn Transport>,
     resolver: Arc<dyn Resolve>,
@@ -149,6 +176,7 @@ struct Inner {
     limit: ConcurrencyLimit,
     ejector: OutlierEjector,
     stats: GatewayStats,
+    obs: ObsMetrics,
     monitor: Arc<QosMonitor>,
     rng: Mutex<XorShift64>,
     /// Lazily built on the first armed hedge: most gateways (and most
@@ -184,6 +212,9 @@ impl Inner {
 /// * `/svc/{service}/{path...}` — proxy to a replica of `{service}`,
 ///   forwarding `{path...}` plus the query string.
 /// * `/gateway/stats` — JSON snapshot of the counters.
+/// * `/observe/metrics`, `/observe/traces`, `/observe/traces/{id}` —
+///   the process-wide metrics and trace endpoints
+///   ([`soc_http::ObserveEndpoints`]).
 #[derive(Clone)]
 pub struct Gateway {
     inner: Arc<Inner>,
@@ -228,6 +259,7 @@ impl Gateway {
                 limit: ConcurrencyLimit::new(config.max_concurrent),
                 ejector: OutlierEjector::new(config.outlier.clone()),
                 stats: GatewayStats::new(),
+                obs: ObsMetrics::new(),
                 monitor,
                 rng: Mutex::new(XorShift64::new(config.seed ^ 0xBACC_0FF5)),
                 breakers: RwLock::new(HashMap::new()),
@@ -328,24 +360,39 @@ impl Gateway {
 
     fn dispatch(&self, service: &str, rest: &str, req: Request) -> Response {
         let inner = &self.inner;
+        // The request's span: child of whatever the server layer (or a
+        // workflow engine) activated, root otherwise. Every attempt —
+        // retries and hedge backups included — hangs off this span, so
+        // one trace shows the whole race.
+        let mut gw_span = soc_observe::span("gateway.request", SpanKind::Internal);
+        gw_span.set_attr("service", service);
+        let _active = gw_span.activate();
+        let attempt_parent = gw_span.context();
         if !inner.bucket.try_acquire() {
             inner.stats.shed_rate.fetch_add(1, Ordering::Relaxed);
+            inner.obs.shed_rate.inc();
+            gw_span.set_error("shed: rate limit");
             return self.shed("rate limit");
         }
         // Per-service quota under the global bucket: one hot service
         // exhausts its own allowance without starving the others.
         if !inner.service_buckets.try_acquire(service) {
             inner.stats.shed_service.fetch_add(1, Ordering::Relaxed);
+            inner.obs.shed_service.inc();
+            gw_span.set_error("shed: service quota");
             return self.shed("service quota");
         }
         let _permit = match inner.limit.try_acquire() {
             Some(p) => p,
             None => {
                 inner.stats.shed_load.fetch_add(1, Ordering::Relaxed);
+                inner.obs.shed_load.inc();
+                gw_span.set_error("shed: concurrency cap");
                 return self.shed("concurrency cap");
             }
         };
         inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        inner.obs.admitted.inc();
 
         let deadline = Instant::now() + inner.config.request_deadline;
         let retryable = req.method.is_idempotent() || inner.config.retry_non_idempotent;
@@ -355,6 +402,7 @@ impl Gateway {
         for attempt in 0..attempts {
             if Instant::now() >= deadline {
                 inner.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                gw_span.set_error("deadline exceeded");
                 return Response::error(
                     Status::GATEWAY_TIMEOUT,
                     &format!("gateway deadline exceeded calling '{service}'"),
@@ -365,6 +413,7 @@ impl Gateway {
             let endpoints = inner.resolver.resolve(service);
             if endpoints.is_empty() {
                 inner.stats.no_upstream.fetch_add(1, Ordering::Relaxed);
+                gw_span.set_error("no upstream");
                 return Response::error(
                     Status::SERVICE_UNAVAILABLE,
                     &format!("no upstream registered for '{service}'"),
@@ -462,11 +511,31 @@ impl Gateway {
             };
 
             let (used_endpoint, result) = match hedge_delay {
-                None => send_arm(inner.clone(), endpoint, breaker, pass, upstream_req),
+                None => send_arm(
+                    inner.clone(),
+                    attempt_parent,
+                    attempt,
+                    false,
+                    endpoint,
+                    breaker,
+                    pass,
+                    upstream_req,
+                ),
                 Some(delay) => {
                     let primary = {
                         let inner = inner.clone();
-                        move || send_arm(inner, endpoint, breaker, pass, upstream_req)
+                        move || {
+                            send_arm(
+                                inner,
+                                attempt_parent,
+                                attempt,
+                                false,
+                                endpoint,
+                                breaker,
+                                pass,
+                                upstream_req,
+                            )
+                        }
                     };
                     // Runs on this thread at the hedge point: admit a
                     // backup replica through its breaker *then*, when
@@ -476,12 +545,15 @@ impl Gateway {
                             let b = inner.breaker_for(&ep);
                             let Some(bpass) = b.try_pass() else { continue };
                             inner.stats.hedges_launched.fetch_add(1, Ordering::Relaxed);
+                            inner.obs.hedges_launched.inc();
                             let bstats = inner.stats.upstream(&ep);
                             bstats.requests.fetch_add(1, Ordering::Relaxed);
                             let mut breq = req.clone();
                             breq.target = join_target(&ep, rest);
                             let inner = inner.clone();
-                            return Some(move || send_arm(inner, ep, b, bpass, breq));
+                            return Some(move || {
+                                send_arm(inner, attempt_parent, attempt, true, ep, b, bpass, breq)
+                            });
                         }
                         None
                     };
@@ -496,11 +568,13 @@ impl Gateway {
                         HedgeOutcome::Finished { result, backup_won, .. } => {
                             if backup_won {
                                 inner.stats.hedges_won.fetch_add(1, Ordering::Relaxed);
+                                inner.obs.hedges_won.inc();
                             }
                             result
                         }
                         HedgeOutcome::DeadlineExpired { .. } => {
                             inner.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                            gw_span.set_error("deadline exceeded");
                             return Response::error(
                                 Status::GATEWAY_TIMEOUT,
                                 &format!("gateway deadline exceeded calling '{service}'"),
@@ -514,7 +588,10 @@ impl Gateway {
             // a success for health accounting, and never retried.
             let ok = matches!(&result, Ok(r) if r.status.0 < 500);
             match result {
-                Ok(resp) if ok => return resp,
+                Ok(resp) if ok => {
+                    gw_span.set_attr("http.status", resp.status.0.to_string());
+                    return resp;
+                }
                 Ok(resp) => {
                     last = Some(resp);
                 }
@@ -529,6 +606,7 @@ impl Gateway {
                 self.backoff(attempt, deadline);
             }
         }
+        gw_span.set_error("all attempts failed");
         last.unwrap_or_else(|| {
             Response::error(Status::SERVICE_UNAVAILABLE, "gateway produced no response")
         })
@@ -540,22 +618,49 @@ impl Gateway {
 /// verdict, QoS record, success/failure tally — *inside* the arm.
 /// A hedge loser nobody is waiting on still reports its outcome; it
 /// just doesn't answer the caller.
+///
+/// Each arm is its own client span under `parent` (passed explicitly:
+/// hedge arms run on pool threads where no thread-local context is
+/// active), so a hedged request shows up as sibling attempts with
+/// `hedge=false` / `hedge=true` under one `gateway.request`.
+#[allow(clippy::too_many_arguments)]
 fn send_arm(
     inner: Arc<Inner>,
+    parent: TraceContext,
+    attempt: u32,
+    hedge: bool,
     endpoint: String,
     breaker: Arc<CircuitBreaker>,
     pass: Pass,
     req: Request,
 ) -> (String, soc_http::HttpResult<Response>) {
+    let mut span = soc_observe::child_span(parent, "gateway.attempt", SpanKind::Client);
+    span.set_attr("upstream", endpoint.as_str());
+    span.set_attr("attempt", attempt.to_string());
+    span.set_attr("hedge", if hedge { "true" } else { "false" });
     let ustats = inner.stats.upstream(&endpoint);
     ustats.in_flight.fetch_add(1, Ordering::Relaxed);
     let start = Instant::now();
-    let result = inner.transport.send(req);
+    let result = {
+        // Active while the transport runs, so the client injects this
+        // span's id as the outgoing traceparent.
+        let _active = span.activate();
+        inner.transport.send(req)
+    };
     let elapsed = start.elapsed();
     ustats.in_flight.fetch_sub(1, Ordering::Relaxed);
     ustats.histogram.record(elapsed);
 
     let ok = matches!(&result, Ok(r) if r.status.0 < 500);
+    match &result {
+        Ok(r) => {
+            span.set_attr("http.status", r.status.0.to_string());
+            if !ok {
+                span.set_error(format!("upstream answered {}", r.status));
+            }
+        }
+        Err(e) => span.set_error(e.to_string()),
+    }
     breaker.on_result(pass, ok);
     inner.monitor.record(&endpoint, ok, elapsed);
     if ok {
@@ -582,6 +687,11 @@ impl Handler for Gateway {
         if path == "/gateway/stats" {
             return Response::json(&self.stats_json().to_string());
         }
+        // The gateway doubles as the observability front door: its
+        // metrics and traces cover every service behind it.
+        if let Some(resp) = soc_http::ObserveEndpoints::try_handle(&req) {
+            return resp;
+        }
         if let Some(tail) = path.strip_prefix("/svc/") {
             let (service, rest) = match tail.find('/') {
                 Some(i) => (&tail[..i], &tail[i + 1..]),
@@ -599,7 +709,7 @@ impl Handler for Gateway {
         }
         Response::error(
             Status::NOT_FOUND,
-            "gateway routes: /svc/{service}/{path} and /gateway/stats",
+            "gateway routes: /svc/{service}/{path}, /gateway/stats, and /observe/*",
         )
     }
 }

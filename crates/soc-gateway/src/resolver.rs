@@ -56,19 +56,44 @@ impl Resolve for StaticResolver {
 struct CacheEntry {
     endpoints: Vec<String>,
     fetched: Instant,
+    /// Lease-table version this entry was built against (lease mode
+    /// only).
+    lease_version: u64,
+}
+
+/// When a cached replica set stops being trusted.
+enum Freshness {
+    /// Wall-clock TTL: refetch descriptors once `0` elapses.
+    Ttl(Duration),
+    /// Lease-driven: poll the directory's cheap `/leases` version
+    /// counter (at most every `min_check`) and refetch descriptors only
+    /// when the live set actually changed. Replicas whose leases lapsed
+    /// or were revoked drop out of resolution even though their
+    /// descriptors stay published.
+    Lease {
+        /// Floor between `/leases` polls.
+        min_check: Duration,
+    },
 }
 
 /// Resolves against a service directory, caching each service's
-/// replica set for `lease`. Replicas are the directory entries whose id
-/// is exactly the service name or `name#N` (the replica convention used
-/// throughout the workspace), matched by id or human name.
+/// replica set. Replicas are the directory entries whose id is exactly
+/// the service name or `name#N` (the replica convention used throughout
+/// the workspace), matched by id or human name.
+///
+/// Built with [`RegistryResolver::new`] the cache refreshes on a
+/// wall-clock TTL; built with [`RegistryResolver::lease_driven`] it
+/// refreshes when the directory's lease table changes, so a replica
+/// that stops renewing disappears within one `min_check` instead of
+/// one TTL — and steady state costs a version probe, not a descriptor
+/// list.
 ///
 /// When the directory is unreachable at refresh time, the stale cache
 /// keeps serving — a flaky directory should degrade freshness, not
 /// availability.
 pub struct RegistryResolver {
     client: DirectoryClient,
-    lease: Duration,
+    freshness: Freshness,
     cache: Mutex<HashMap<String, CacheEntry>>,
 }
 
@@ -78,43 +103,111 @@ impl RegistryResolver {
     pub fn new(transport: Arc<dyn Transport>, directory_url: &str, lease: Duration) -> Self {
         RegistryResolver {
             client: DirectoryClient::new(transport, directory_url),
-            lease,
+            freshness: Freshness::Ttl(lease),
             cache: Mutex::new(HashMap::new()),
         }
     }
 
-    fn fetch(&self, service: &str) -> Option<Vec<String>> {
+    /// Lease-driven resolver: track the directory's lease table instead
+    /// of a wall-clock TTL, polling its version at most every
+    /// `min_check`.
+    pub fn lease_driven(
+        transport: Arc<dyn Transport>,
+        directory_url: &str,
+        min_check: Duration,
+    ) -> Self {
+        RegistryResolver {
+            client: DirectoryClient::new(transport, directory_url),
+            freshness: Freshness::Lease { min_check },
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn fetch(&self, service: &str, live: Option<&[String]>) -> Option<Vec<String>> {
         let all = self.client.list().ok()?;
         let replica_prefix = format!("{service}#");
         let mut eps: Vec<String> = all
             .into_iter()
             .filter(|d| d.id == service || d.id.starts_with(&replica_prefix) || d.name == service)
+            .filter(|d| live.is_none_or(|ids| ids.contains(&d.id)))
             .map(|d| d.endpoint)
             .collect();
         eps.sort();
         eps.dedup();
         Some(eps)
     }
-}
 
-impl Resolve for RegistryResolver {
-    fn resolve(&self, service: &str) -> Vec<String> {
+    fn resolve_ttl(&self, service: &str, ttl: Duration) -> Vec<String> {
         let mut cache = self.cache.lock();
         if let Some(e) = cache.get(service) {
-            if e.fetched.elapsed() < self.lease {
+            if e.fetched.elapsed() < ttl {
                 return e.endpoints.clone();
             }
         }
-        match self.fetch(service) {
+        match self.fetch(service, None) {
             Some(eps) => {
                 cache.insert(
                     service.to_string(),
-                    CacheEntry { endpoints: eps.clone(), fetched: Instant::now() },
+                    CacheEntry {
+                        endpoints: eps.clone(),
+                        fetched: Instant::now(),
+                        lease_version: 0,
+                    },
                 );
                 eps
             }
             // Directory down: keep whatever we knew.
             None => cache.get(service).map(|e| e.endpoints.clone()).unwrap_or_default(),
+        }
+    }
+
+    fn resolve_lease(&self, service: &str, min_check: Duration) -> Vec<String> {
+        let mut cache = self.cache.lock();
+        if let Some(e) = cache.get(service) {
+            if e.fetched.elapsed() < min_check {
+                return e.endpoints.clone();
+            }
+        }
+        let Ok(snap) = self.client.leases() else {
+            // Directory down: keep whatever we knew.
+            return cache.get(service).map(|e| e.endpoints.clone()).unwrap_or_default();
+        };
+        if let Some(e) = cache.get_mut(service) {
+            if e.lease_version == snap.version {
+                // Live set unchanged: the cached endpoints are still
+                // right; just restart the poll clock.
+                e.fetched = Instant::now();
+                return e.endpoints.clone();
+            }
+        }
+        // A directory that has never issued a lease reports version 0
+        // with an empty live set; treat that as "leases not in use" and
+        // fall back to unfiltered descriptors rather than resolving
+        // everything to nothing.
+        let live =
+            if snap.version == 0 && snap.live.is_empty() { None } else { Some(&snap.live[..]) };
+        match self.fetch(service, live) {
+            Some(eps) => {
+                cache.insert(
+                    service.to_string(),
+                    CacheEntry {
+                        endpoints: eps.clone(),
+                        fetched: Instant::now(),
+                        lease_version: snap.version,
+                    },
+                );
+                eps
+            }
+            None => cache.get(service).map(|e| e.endpoints.clone()).unwrap_or_default(),
+        }
+    }
+}
+
+impl Resolve for RegistryResolver {
+    fn resolve(&self, service: &str) -> Vec<String> {
+        match self.freshness {
+            Freshness::Ttl(ttl) => self.resolve_ttl(service, ttl),
+            Freshness::Lease { min_check } => self.resolve_lease(service, min_check),
         }
     }
 }
@@ -180,6 +273,64 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(r.resolve("credit").len(), 2);
         assert!(net.hits("dir") > hits_after_first);
+    }
+
+    #[test]
+    fn lease_driven_tracks_the_live_set() {
+        let net = directory_with_replicas();
+        let dir = DirectoryClient::new(Arc::new(net.clone()), "mem://dir");
+        dir.renew_lease("credit#0", 60_000).unwrap();
+        dir.renew_lease("credit#1", 60_000).unwrap();
+
+        let r = RegistryResolver::lease_driven(
+            Arc::new(net.clone()),
+            "mem://dir",
+            Duration::from_millis(20),
+        );
+        assert_eq!(r.resolve("credit"), vec!["mem://credit#0", "mem://credit#1"]);
+
+        // Within min_check: pure cache, no directory traffic at all.
+        let hits = net.hits("dir");
+        assert_eq!(r.resolve("credit").len(), 2);
+        assert_eq!(net.hits("dir"), hits);
+
+        // Past min_check with an unchanged lease table: one cheap
+        // /leases probe, no descriptor refetch.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(r.resolve("credit").len(), 2);
+        assert_eq!(net.hits("dir"), hits + 1);
+
+        // A revoked lease drops the replica at the next probe, even
+        // though its descriptor is still published.
+        dir.revoke_lease("credit#1").unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(r.resolve("credit"), vec!["mem://credit#0"]);
+    }
+
+    #[test]
+    fn lease_driven_without_leases_falls_back_to_descriptors() {
+        // A directory that never issued a lease shouldn't resolve
+        // everything to an empty set.
+        let net = directory_with_replicas();
+        let r = RegistryResolver::lease_driven(Arc::new(net), "mem://dir", Duration::from_secs(60));
+        assert_eq!(r.resolve("credit").len(), 2);
+    }
+
+    #[test]
+    fn lease_driven_survives_a_directory_outage() {
+        let net = directory_with_replicas();
+        let dir = DirectoryClient::new(Arc::new(net.clone()), "mem://dir");
+        dir.renew_lease("credit#0", 60_000).unwrap();
+        let r = RegistryResolver::lease_driven(
+            Arc::new(net.clone()),
+            "mem://dir",
+            Duration::from_millis(5),
+        );
+        assert_eq!(r.resolve("credit"), vec!["mem://credit#0"]);
+        net.set_fault("dir", FaultConfig { offline: true, ..Default::default() });
+        std::thread::sleep(Duration::from_millis(10));
+        // min_check elapsed and the probe fails: stale data beats none.
+        assert_eq!(r.resolve("credit"), vec!["mem://credit#0"]);
     }
 
     #[test]

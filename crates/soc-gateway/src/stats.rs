@@ -1,99 +1,23 @@
 //! Gateway observability: per-upstream counters and latency
 //! histograms, snapshotted as JSON on `/gateway/stats`.
+//!
+//! The histogram implementation lives in [`soc_observe`] — the gateway
+//! was its first customer and the type moved down the stack when the
+//! metrics plane was unified. The alias keeps the original name; the
+//! per-upstream histograms are registered in the process-wide
+//! [`soc_observe::MetricsRegistry`], so the same series the JSON
+//! snapshot reports also shows up as
+//! `soc_gateway_upstream_latency_us{upstream="…"}` on
+//! `/observe/metrics`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use parking_lot::RwLock;
 use soc_json::Value;
 
-/// Histogram bucket upper bounds, in microseconds. Requests slower
-/// than the last bound land in an implicit overflow bucket.
-pub const LATENCY_BUCKETS_US: [u64; 12] =
-    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000];
-
-const BUCKETS: usize = LATENCY_BUCKETS_US.len() + 1;
-
-/// A fixed-bucket latency histogram. Lock-free on the record path.
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-    total: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            counts: std::array::from_fn(|_| AtomicU64::new(0)),
-            total: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-
-    /// Record one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let idx = LATENCY_BUCKETS_US.iter().position(|&bound| us <= bound).unwrap_or(BUCKETS - 1);
-        self.counts[idx].fetch_add(1, Ordering::Relaxed);
-        self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-    }
-
-    /// Observations recorded.
-    pub fn count(&self) -> u64 {
-        self.total.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
-    }
-
-    /// Upper bound (µs) of the bucket containing the `q`-quantile, or
-    /// `None` when empty. The overflow bucket reports the last bound —
-    /// "at least this slow".
-    pub fn quantile_us(&self, q: f64) -> Option<u64> {
-        let n = self.count();
-        if n == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
-        let mut seen = 0u64;
-        for (i, c) in self.counts.iter().enumerate() {
-            seen += c.load(Ordering::Relaxed);
-            if seen >= rank {
-                return Some(*LATENCY_BUCKETS_US.get(i).unwrap_or(LATENCY_BUCKETS_US.last()?));
-            }
-        }
-        LATENCY_BUCKETS_US.last().copied()
-    }
-
-    /// `(upper_bound_us, count)` pairs for the non-empty buckets; the
-    /// overflow bucket reports `None` as its bound.
-    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter_map(|(i, c)| {
-                let n = c.load(Ordering::Relaxed);
-                if n == 0 {
-                    None
-                } else {
-                    Some((LATENCY_BUCKETS_US.get(i).copied(), n))
-                }
-            })
-            .collect()
-    }
-}
+pub use soc_observe::{Histogram as LatencyHistogram, LATENCY_BUCKETS_US};
 
 /// Counters for one upstream replica.
 #[derive(Default)]
@@ -108,8 +32,9 @@ pub struct UpstreamStats {
     pub retries: AtomicU64,
     /// Requests in flight right now.
     pub in_flight: AtomicUsize,
-    /// Latency of every proxied request.
-    pub histogram: LatencyHistogram,
+    /// Latency of every proxied request; shared with the global metrics
+    /// registry.
+    pub histogram: Arc<LatencyHistogram>,
 }
 
 /// Gateway-wide counters plus the per-upstream table.
@@ -152,7 +77,13 @@ impl GatewayStats {
         self.upstreams
             .write()
             .entry(endpoint.to_string())
-            .or_insert_with(|| Arc::new(UpstreamStats::default()))
+            .or_insert_with(|| {
+                Arc::new(UpstreamStats {
+                    histogram: soc_observe::metrics()
+                        .histogram("soc_gateway_upstream_latency_us", &[("upstream", endpoint)]),
+                    ..UpstreamStats::default()
+                })
+            })
             .clone()
     }
 
@@ -238,6 +169,7 @@ impl GatewayStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     #[test]
     fn histogram_buckets_and_quantiles() {

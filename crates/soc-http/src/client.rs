@@ -109,6 +109,8 @@ impl HttpClient {
 
         let mut wire_req = req.clone();
         wire_req.target = url.path_and_query();
+        // Propagate the thread's active trace context across the hop.
+        crate::observe::inject_traceparent(&mut wire_req.headers);
         // One-shot connection: tell the server not to wait for more.
         if !wire_req.headers.contains("Connection") {
             wire_req.headers.set("Connection", "close");

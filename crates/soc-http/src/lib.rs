@@ -37,12 +37,14 @@ pub mod client;
 pub mod codec;
 pub mod cookies;
 pub mod mem;
+pub mod observe;
 pub mod server;
 pub mod types;
 pub mod url;
 
 pub use client::HttpClient;
 pub use mem::{MemNetwork, Transport};
-pub use server::{Handler, HttpServer};
+pub use observe::ObserveEndpoints;
+pub use server::{Handler, HttpServer, ServerConfig};
 pub use types::{Headers, HttpError, HttpResult, Method, Request, Response, Status, Version};
 pub use url::Url;

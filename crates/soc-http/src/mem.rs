@@ -144,11 +144,15 @@ impl Transport for MemNetwork {
         // The handler sees origin-form targets, exactly like over TCP.
         let mut inner = req;
         inner.target = url.path_and_query();
-        let resp =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.handler.handle(inner)))
+        // Same trace plumbing as the TCP path: inject the caller's
+        // context, then serve inside a server span on the "remote" side.
+        crate::observe::inject_traceparent(&mut inner.headers);
+        let resp = crate::observe::serve_with_span(inner, "mem.server", |req| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.handler.handle(req)))
                 .unwrap_or_else(|_| {
                     Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked")
-                });
+                })
+        });
         Ok(resp)
     }
 }

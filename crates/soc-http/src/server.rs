@@ -6,7 +6,7 @@
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -41,6 +41,33 @@ pub struct ServerStats {
     pub served: AtomicU64,
     /// Requests that produced a 5xx (including handler panics).
     pub failed: AtomicU64,
+    /// Connections shed at the capacity cap (503 + `Retry-After`).
+    pub shed: AtomicU64,
+}
+
+/// Tunables for [`HttpServer::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pool threads serving connections.
+    pub workers: usize,
+    /// Concurrent-connection cap: further connections are shed with a
+    /// 503 + `Retry-After` instead of queueing unboundedly in the pool.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4, max_connections: 1024 }
+    }
+}
+
+/// Decrements the live-connection count when a connection finishes.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// A running HTTP server; dropping it (or calling
@@ -54,14 +81,25 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// serve `handler` on `workers` pool threads.
+    /// serve `handler` on `workers` pool threads with the default
+    /// connection cap.
     pub fn bind(addr: &str, workers: usize, handler: impl Handler) -> HttpResult<HttpServer> {
+        HttpServer::bind_with(addr, ServerConfig { workers, ..ServerConfig::default() }, handler)
+    }
+
+    /// Bind `addr` with explicit [`ServerConfig`] tunables.
+    pub fn bind_with(
+        addr: &str,
+        config: ServerConfig,
+        handler: impl Handler,
+    ) -> HttpResult<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let handler: Arc<dyn Handler> = Arc::new(handler);
-        let pool = ThreadPool::new(workers.max(1));
+        let pool = ThreadPool::new(config.workers.max(1));
+        let max_connections = config.max_connections.max(1);
 
         let stop2 = stop.clone();
         let stats2 = stats.clone();
@@ -71,6 +109,9 @@ impl HttpServer {
                 // The pool lives inside the accept thread so dropping the
                 // server joins everything deterministically.
                 listener.set_ttl(64).ok();
+                let live = Arc::new(AtomicUsize::new(0));
+                let shed_counter =
+                    soc_observe::metrics().counter("soc_http_connections_shed_total", &[]);
                 // Blocking accept: zero idle wakeups. `shutdown` stores
                 // the stop flag and then opens a throwaway connection to
                 // this listener, which unblocks `accept` so the flag is
@@ -81,9 +122,22 @@ impl HttpServer {
                         // client that raced shutdown); drop it.
                         break;
                     }
+                    // Backpressure: shed on the accept thread itself
+                    // rather than queueing unboundedly in the pool, so
+                    // an overloaded server answers "come back later"
+                    // instead of going silent.
+                    if live.load(Ordering::Acquire) >= max_connections {
+                        stats2.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_counter.inc();
+                        shed_connection(stream);
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::AcqRel);
+                    let guard = ConnGuard(live.clone());
                     let handler = handler.clone();
                     let stats = stats2.clone();
                     pool.spawn_detached(move || {
+                        let _live = guard;
                         serve_connection(stream, handler, stats);
                     });
                 }
@@ -111,6 +165,11 @@ impl HttpServer {
     /// Requests that ended in a 5xx so far.
     pub fn failed(&self) -> u64 {
         self.stats.failed.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at the capacity cap so far.
+    pub fn shed(&self) -> u64 {
+        self.stats.shed.load(Ordering::Relaxed)
     }
 
     /// Stop accepting and join the accept loop.
@@ -143,6 +202,18 @@ impl Drop for HttpServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Refuse one connection politely: a quick 503 + `Retry-After` written
+/// from the accept thread (bounded by a short write timeout so a
+/// slow-reading peer cannot stall accepting).
+fn shed_connection(mut stream: TcpStream) {
+    stream.set_write_timeout(Some(Duration::from_millis(250))).ok();
+    stream.set_nodelay(true).ok();
+    let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server at connection capacity")
+        .with_header("Retry-After", "1")
+        .with_header("Connection", "close");
+    let _ = codec::write_response(&mut stream, &resp);
 }
 
 fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
@@ -179,11 +250,19 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
             !connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
         };
 
+        // Serve inside a server span: the remote parent (if any) comes
+        // from the request's `traceparent` header.
         let resp =
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(req))) {
-                Ok(resp) => resp,
-                Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
-            };
+            crate::observe::serve_with_span(
+                req,
+                "http.server",
+                |req| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handler.handle(req)
+                })) {
+                    Ok(resp) => resp,
+                    Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
+                },
+            );
         if resp.status.0 >= 500 {
             stats.failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -280,6 +359,42 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(server.served(), 40);
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_503_retry_after() {
+        let server = HttpServer::bind_with(
+            "127.0.0.1:0",
+            ServerConfig { workers: 2, max_connections: 1 },
+            |_req: Request| Response::text("ok"),
+        )
+        .unwrap();
+        // First connection occupies the single slot (the worker blocks
+        // reading a request that never comes).
+        let held = TcpStream::connect(server.addr()).unwrap();
+        // The accept loop processes connections in order, so by the
+        // time the second is accepted the first has already been
+        // counted live: the second must be shed immediately.
+        let shed = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(shed);
+        let resp = codec::read_response(&mut reader, DEFAULT_BODY_LIMIT).unwrap();
+        assert_eq!(resp.status, Status::SERVICE_UNAVAILABLE);
+        assert_eq!(resp.headers.get("Retry-After"), Some("1"));
+        assert_eq!(server.shed(), 1);
+
+        // Releasing the held slot lets new connections through again.
+        drop(held);
+        let client = HttpClient::with_timeout(Duration::from_secs(2));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match client.send(Request::get(format!("{}/x", server.url()))) {
+                Ok(resp) if resp.status.is_success() => break,
+                _ if std::time::Instant::now() > deadline => {
+                    panic!("server never recovered after shed connection closed")
+                }
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
     }
 
     #[test]

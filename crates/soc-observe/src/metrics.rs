@@ -1,0 +1,497 @@
+//! The unified metrics registry: counters, gauges, and fixed-bucket
+//! histograms registered by name + labels, rendered as Prometheus-style
+//! exposition text.
+//!
+//! Handles are cheap clones over shared atomics — register once, then
+//! record lock-free on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// Histogram bucket upper bounds, in microseconds — the service-latency
+/// buckets previously private to `soc-gateway`. Observations above the
+/// last bound land in an implicit overflow bucket.
+pub const LATENCY_BUCKETS_US: [u64; 12] =
+    [100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 500_000, 1_000_000];
+
+/// A monotonically increasing counter. Clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down. Clones share the cell.
+#[derive(Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram. Lock-free on the record path.
+///
+/// The default buckets are [`LATENCY_BUCKETS_US`] and the API speaks
+/// microseconds (`record`, `mean_us`, `quantile_us`) because latency is
+/// the dominant use, but [`Histogram::observe`] accepts any `u64`
+/// against custom bounds.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram over [`LATENCY_BUCKETS_US`].
+    pub fn new() -> Histogram {
+        Histogram::with_bounds(&LATENCY_BUCKETS_US)
+    }
+
+    /// An empty histogram over custom ascending upper bounds (plus an
+    /// implicit overflow bucket). Bounds are sorted and deduplicated;
+    /// an empty slice falls back to [`LATENCY_BUCKETS_US`].
+    pub fn with_bounds(bounds: &[u64]) -> Histogram {
+        let mut bounds: Vec<u64> =
+            if bounds.is_empty() { LATENCY_BUCKETS_US.to_vec() } else { bounds.to_vec() };
+        bounds.sort_unstable();
+        bounds.dedup();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds, counts, total: AtomicU64::new(0), sum: AtomicU64::new(0) }
+    }
+
+    /// Record one latency observation (converted to microseconds).
+    pub fn record(&self, latency: Duration) {
+        self.observe(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one raw observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self.bounds.iter().position(|&bound| value <= bound).unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile, or
+    /// `None` when empty. The overflow bucket reports the last bound —
+    /// "at least this slow".
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(*self.bounds.get(i).unwrap_or(self.bounds.last()?));
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// `(upper_bound, count)` pairs for the non-empty buckets; the
+    /// overflow bucket reports `None` as its bound.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                if n == 0 {
+                    None
+                } else {
+                    Some((self.bounds.get(i).copied(), n))
+                }
+            })
+            .collect()
+    }
+
+    /// The configured upper bounds (excluding the overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs over every bucket,
+    /// overflow last — the shape Prometheus `_bucket{le=...}` wants.
+    pub fn cumulative_buckets(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                acc += c.load(Ordering::Relaxed);
+                (self.bounds.get(i).copied(), acc)
+            })
+            .collect()
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    label_text: String,
+    metric: Metric,
+}
+
+/// Metrics registered by `(name, labels)`, rendered in Prometheus text
+/// exposition format by [`MetricsRegistry::render_prometheus`].
+#[derive(Default)]
+pub struct MetricsRegistry {
+    // name → (serialized labels → entry); BTreeMaps keep render output
+    // deterministic.
+    inner: RwLock<BTreeMap<String, BTreeMap<String, Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    /// If `name{labels}` is already registered as a different type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => mismatch(name, "counter", other.kind()),
+        }
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    /// If `name{labels}` is already registered as a different type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => mismatch(name, "gauge", other.kind()),
+        }
+    }
+
+    /// The latency histogram `name{labels}` over
+    /// [`LATENCY_BUCKETS_US`], created on first use.
+    ///
+    /// # Panics
+    /// If `name{labels}` is already registered as a different type.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, labels, &LATENCY_BUCKETS_US)
+    }
+
+    /// The histogram `name{labels}` over custom bounds, created on
+    /// first use (existing histograms keep their original bounds).
+    ///
+    /// # Panics
+    /// If `name{labels}` is already registered as a different type.
+    pub fn histogram_with_bounds(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, labels, || {
+            Metric::Histogram(Arc::new(Histogram::with_bounds(bounds)))
+        }) {
+            Metric::Histogram(h) => h,
+            other => mismatch(name, "histogram", other.kind()),
+        }
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let label_text = render_labels(labels);
+        if let Some(family) = self.inner.read().get(name) {
+            if let Some(e) = family.get(&label_text) {
+                return clone_metric(&e.metric);
+            }
+        }
+        let mut inner = self.inner.write();
+        let family = inner.entry(name.to_string()).or_default();
+        let entry = family
+            .entry(label_text.clone())
+            .or_insert_with(|| Entry { label_text, metric: make() });
+        clone_metric(&entry.metric)
+    }
+
+    /// Number of registered metric series.
+    pub fn len(&self) -> usize {
+        self.inner.read().values().map(|f| f.len()).sum()
+    }
+
+    /// Whether no metric is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render every registered metric as Prometheus text exposition
+    /// format (`# TYPE` lines, `_bucket{le=...}`/`_sum`/`_count`
+    /// expansion for histograms).
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for (name, family) in inner.iter() {
+            let Some(first) = family.values().next() else { continue };
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(first.metric.kind());
+            out.push('\n');
+            for entry in family.values() {
+                render_entry(&mut out, name, entry);
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(c.clone()),
+        Metric::Gauge(g) => Metric::Gauge(g.clone()),
+        Metric::Histogram(h) => Metric::Histogram(h.clone()),
+    }
+}
+
+fn mismatch(name: &str, wanted: &str, found: &str) -> ! {
+    panic!("metric {name:?} already registered as a {found}, requested as a {wanted}")
+}
+
+/// Serialize labels as `k1="v1",k2="v2"` (sorted by key, values
+/// escaped) — both the registry key and the render form.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    let mut labels: Vec<(&str, &str)> = labels.to_vec();
+    labels.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+fn write_sample(out: &mut String, name: &str, labels: &str, extra: Option<&str>, value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        out.push_str(labels);
+        if let Some(extra) = extra {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(extra);
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn render_entry(out: &mut String, name: &str, entry: &Entry) {
+    let labels = entry.label_text.as_str();
+    match &entry.metric {
+        Metric::Counter(c) => write_sample(out, name, labels, None, &c.get().to_string()),
+        Metric::Gauge(g) => write_sample(out, name, labels, None, &g.get().to_string()),
+        Metric::Histogram(h) => {
+            let bucket_name = format!("{name}_bucket");
+            for (bound, cumulative) in h.cumulative_buckets() {
+                let le = match bound {
+                    Some(b) => format!("le=\"{b}\""),
+                    None => "le=\"+Inf\"".to_string(),
+                };
+                write_sample(out, &bucket_name, labels, Some(&le), &cumulative.to_string());
+            }
+            write_sample(out, &format!("{name}_sum"), labels, None, &h.sum().to_string());
+            write_sample(out, &format!("{name}_count"), labels, None, &h.count().to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for ms in [1u64, 1, 1, 2, 4, 9, 40, 400] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 8);
+        // Rank 4 of 8: three 1 ms samples fill the 1000 µs bucket, the
+        // 2 ms sample tips the median into the 2500 µs bucket.
+        assert_eq!(h.quantile_us(0.5), Some(2_500));
+        assert_eq!(h.quantile_us(1.0), Some(500_000));
+        assert!(h.mean_us() > 0);
+        let total: u64 = h.buckets().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn histogram_overflow_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_secs(5));
+        assert_eq!(h.buckets(), vec![(None, 1)]);
+        assert_eq!(h.quantile_us(0.5), Some(1_000_000));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), None);
+        assert_eq!(h.mean_us(), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn custom_bounds() {
+        let h = Histogram::with_bounds(&[10, 5, 10, 1]);
+        assert_eq!(h.bounds(), &[1, 5, 10]);
+        h.observe(3);
+        h.observe(30);
+        assert_eq!(h.buckets(), vec![(Some(5), 1), (None, 1)]);
+        assert_eq!(h.sum(), 33);
+    }
+
+    #[test]
+    fn registry_reuses_series_by_name_and_labels() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("reqs_total", &[("svc", "quotes")]);
+        let b = reg.counter("reqs_total", &[("svc", "quotes")]);
+        let c = reg.counter("reqs_total", &[("svc", "other")]);
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(c.get(), 1);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.counter("mixed", &[]);
+        reg.gauge("mixed", &[]);
+    }
+
+    #[test]
+    fn prometheus_render_shapes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("zeta_total", &[]).add(7);
+        reg.gauge("alpha_inflight", &[("svc", "a\"b")]).set(-3);
+        let h = reg.histogram_with_bounds("lat_us", &[("svc", "q")], &[100, 200]);
+        h.observe(50);
+        h.observe(150);
+        h.observe(500);
+        let text = reg.render_prometheus();
+        // Families sorted by name, TYPE line per family.
+        let alpha = text.find("# TYPE alpha_inflight gauge").unwrap();
+        let lat = text.find("# TYPE lat_us histogram").unwrap();
+        let zeta = text.find("# TYPE zeta_total counter").unwrap();
+        assert!(alpha < lat && lat < zeta);
+        assert!(text.contains("alpha_inflight{svc=\"a\\\"b\"} -3\n"));
+        assert!(text.contains("zeta_total 7\n"));
+        assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"100\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"200\"} 2\n"));
+        assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_us_sum{svc=\"q\"} 700\n"));
+        assert!(text.contains("lat_us_count{svc=\"q\"} 3\n"));
+    }
+}

@@ -1,0 +1,314 @@
+//! Spans: timed units of work with status and attributes.
+//!
+//! A [`Span`] is a guard — it stamps its start on creation and records
+//! itself into the global [`crate::SpanStore`] on drop. Unsampled spans
+//! still carry a [`TraceContext`] (so the decision propagates
+//! downstream) but skip all bookkeeping: no allocation, no store
+//! write — the sub-microsecond path the `observe` bench budgets.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use soc_json::Value;
+
+use crate::context::{self, ContextGuard, SpanId, TraceContext, TraceId};
+
+/// What side of a hop a span describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanKind {
+    /// Outbound request: the caller's view of a hop.
+    Client,
+    /// Inbound request: the callee's view of a hop.
+    Server,
+    /// Work local to one process (workflow steps, gateway logic).
+    Internal,
+}
+
+impl SpanKind {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Client => "client",
+            SpanKind::Server => "server",
+            SpanKind::Internal => "internal",
+        }
+    }
+}
+
+/// Terminal status of a span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpanStatus {
+    /// Completed without a recorded error.
+    Ok,
+    /// [`Span::set_error`] was called.
+    Error,
+}
+
+impl SpanStatus {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Error => "error",
+        }
+    }
+}
+
+/// A finished span as kept by the [`crate::SpanStore`].
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// Parent span id, `None` for a trace root.
+    pub parent: Option<SpanId>,
+    /// Operation name, e.g. `"gateway.attempt"`.
+    pub name: String,
+    /// Client / server / internal.
+    pub kind: SpanKind,
+    /// Start time, microseconds since process start.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_us: u64,
+    /// Terminal status.
+    pub status: SpanStatus,
+    /// Error detail when `status == Error`.
+    pub error: Option<String>,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// JSON form used by `/observe/traces/{id}`.
+    pub fn to_json(&self) -> Value {
+        let mut v = Value::Object(vec![]);
+        v.set("span_id", self.span_id.to_hex());
+        match self.parent {
+            Some(p) => v.set("parent_span_id", p.to_hex()),
+            None => v.set("parent_span_id", Value::Null),
+        }
+        v.set("name", self.name.as_str());
+        v.set("kind", self.kind.as_str());
+        v.set("start_us", self.start_us as i64);
+        v.set("duration_us", self.duration_us as i64);
+        v.set("status", self.status.as_str());
+        if let Some(e) = &self.error {
+            v.set("error", e.as_str());
+        }
+        let mut attrs = Value::Object(vec![]);
+        for (k, val) in &self.attrs {
+            attrs.set(k.clone(), val.as_str());
+        }
+        v.set("attrs", attrs);
+        v
+    }
+}
+
+/// Recording state carried only by sampled spans.
+struct ActiveSpan {
+    parent: Option<SpanId>,
+    name: &'static str,
+    kind: SpanKind,
+    start_us: u64,
+    started: Instant,
+    status: SpanStatus,
+    error: Option<String>,
+    attrs: Vec<(String, String)>,
+}
+
+/// A live span guard. Records itself into the global store when
+/// dropped (or via [`Span::finish`]).
+pub struct Span {
+    ctx: TraceContext,
+    active: Option<Box<ActiveSpan>>,
+}
+
+impl Span {
+    fn start(
+        ctx: TraceContext,
+        parent: Option<SpanId>,
+        name: &'static str,
+        kind: SpanKind,
+    ) -> Span {
+        let active = if ctx.sampled {
+            Some(Box::new(ActiveSpan {
+                parent,
+                name,
+                kind,
+                start_us: now_us(),
+                started: Instant::now(),
+                status: SpanStatus::Ok,
+                error: None,
+                attrs: Vec::new(),
+            }))
+        } else {
+            None
+        };
+        Span { ctx, active }
+    }
+
+    /// This span's propagated context (fresh span id under the parent's
+    /// trace, or a fresh trace for roots).
+    pub fn context(&self) -> TraceContext {
+        self.ctx
+    }
+
+    /// Whether the span was sampled in — attribute and status calls on
+    /// an unsampled span are no-ops, so callers can skip building
+    /// attribute strings entirely.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Attach a key/value attribute (no-op when unsampled).
+    pub fn set_attr(&mut self, key: &str, value: impl Into<String>) {
+        if let Some(a) = self.active.as_deref_mut() {
+            a.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// Mark the span failed with a detail message (no-op when
+    /// unsampled).
+    pub fn set_error(&mut self, detail: impl Into<String>) {
+        if let Some(a) = self.active.as_deref_mut() {
+            a.status = SpanStatus::Error;
+            a.error = Some(detail.into());
+        }
+    }
+
+    /// Make this span the thread's current context until the guard
+    /// drops — outbound transports then inject it, and child spans
+    /// parent to it.
+    pub fn activate(&self) -> ContextGuard {
+        context::set_current(self.ctx)
+    }
+
+    /// Stop the clock and record the span now (equivalent to dropping
+    /// it, but reads as intent at call sites).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let duration_us = a.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            crate::global().store().record(SpanRecord {
+                trace_id: self.ctx.trace_id,
+                span_id: self.ctx.span_id,
+                parent: a.parent,
+                name: a.name.to_string(),
+                kind: a.kind,
+                start_us: a.start_us,
+                duration_us,
+                status: a.status,
+                error: a.error,
+                attrs: a.attrs,
+            });
+        }
+    }
+}
+
+/// Start a root span: fresh trace id, sampling decided by the global
+/// sample rate.
+pub fn root_span(name: &'static str, kind: SpanKind) -> Span {
+    let ctx = TraceContext {
+        trace_id: TraceId::generate(),
+        span_id: SpanId::generate(),
+        sampled: crate::global().sample(),
+    };
+    Span::start(ctx, None, name, kind)
+}
+
+/// Start a child of an explicit parent context (same trace, inherits
+/// the parent's sampling decision). Used when the parent lives on
+/// another thread or arrived over the wire.
+pub fn child_span(parent: TraceContext, name: &'static str, kind: SpanKind) -> Span {
+    let ctx = TraceContext {
+        trace_id: parent.trace_id,
+        span_id: SpanId::generate(),
+        sampled: parent.sampled,
+    };
+    Span::start(ctx, Some(parent.span_id), name, kind)
+}
+
+/// Start a span under the thread's current context, or a new root if
+/// none is active.
+pub fn span(name: &'static str, kind: SpanKind) -> Span {
+    match context::current() {
+        Some(parent) => child_span(parent, name, kind),
+        None => root_span(name, kind),
+    }
+}
+
+/// Microseconds since process start (monotonic).
+pub(crate) fn now_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampled_root_records_into_store() {
+        let mut s = root_span("test.sampled_root", SpanKind::Internal);
+        assert!(s.is_recording());
+        let trace = s.context().trace_id;
+        s.set_attr("k", "v");
+        s.finish();
+        let spans = crate::global().store().trace(trace);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "test.sampled_root");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].attrs, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(spans[0].status, SpanStatus::Ok);
+    }
+
+    #[test]
+    fn unsampled_parent_disables_recording_but_propagates() {
+        let parent = TraceContext {
+            trace_id: TraceId::generate(),
+            span_id: SpanId::generate(),
+            sampled: false,
+        };
+        let mut child = child_span(parent, "test.unsampled", SpanKind::Client);
+        assert!(!child.is_recording());
+        assert_eq!(child.context().trace_id, parent.trace_id);
+        assert!(!child.context().sampled);
+        child.set_attr("ignored", "yes");
+        child.set_error("ignored");
+        let trace = child.context().trace_id;
+        child.finish();
+        assert!(crate::global().store().trace(trace).is_empty());
+    }
+
+    #[test]
+    fn activation_parents_nested_spans() {
+        let root = root_span("test.parent", SpanKind::Internal);
+        let root_ctx = root.context();
+        let child_ctx = {
+            let _g = root.activate();
+            let child = span("test.child", SpanKind::Internal);
+            child.context()
+        };
+        drop(root);
+        assert_eq!(child_ctx.trace_id, root_ctx.trace_id);
+        let spans = crate::global().store().trace(root_ctx.trace_id);
+        assert_eq!(spans.len(), 2);
+        let child_rec = spans.iter().find(|s| s.name == "test.child").unwrap();
+        assert_eq!(child_rec.parent, Some(root_ctx.span_id));
+    }
+
+    #[test]
+    fn error_status_is_recorded() {
+        let mut s = root_span("test.error", SpanKind::Server);
+        let trace = s.context().trace_id;
+        s.set_error("upstream exploded");
+        drop(s);
+        let spans = crate::global().store().trace(trace);
+        assert_eq!(spans[0].status, SpanStatus::Error);
+        assert_eq!(spans[0].error.as_deref(), Some("upstream exploded"));
+    }
+}

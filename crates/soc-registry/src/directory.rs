@@ -11,8 +11,12 @@
 //! | `/search?q=…` | GET | ranked TF-IDF search |
 //! | `/semantic-search?category=…` | GET | ontology-expanded category match (CSE446 unit 6) |
 //! | `/peers` | GET | other directories this one knows about (crawler fuel) |
+//! | `/leases` | GET | lease table version + live service ids |
+//! | `/leases/{id}` | POST / DELETE | renew / revoke a registration lease |
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::RwLock;
 use soc_http::{Handler, Request, Response, Status};
@@ -28,6 +32,9 @@ pub struct DirectoryService {
     router: Router,
 }
 
+/// Default lease duration when the renewer doesn't ask for one.
+pub const DEFAULT_LEASE_TTL_MS: u64 = 30_000;
+
 /// Shared state behind the routes.
 pub struct DirectoryState {
     /// The backing repository.
@@ -36,6 +43,52 @@ pub struct DirectoryState {
     pub peers: RwLock<Vec<String>>,
     /// Category ontology backing `/semantic-search`.
     pub ontology: crate::ontology::Ontology,
+    /// Registration leases: a provider that stops renewing drops out of
+    /// the live set even though its descriptor stays published.
+    pub leases: crate::monitor::LeaseTable,
+    /// Bumped whenever the live set changes (renewal of a lapsed lease,
+    /// expiry, revocation). Resolvers poll this cheaply instead of
+    /// refetching descriptors on a wall-clock timer.
+    pub lease_version: AtomicU64,
+    started: Instant,
+}
+
+impl DirectoryState {
+    /// Milliseconds since the directory started — the lease clock.
+    pub fn lease_now(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Expire lapsed leases, then return `(version, live ids)`.
+    pub fn lease_snapshot(&self) -> (u64, Vec<String>) {
+        let now = self.lease_now();
+        if !self.leases.expire(now).is_empty() {
+            self.lease_version.fetch_add(1, Ordering::AcqRel);
+        }
+        (self.lease_version.load(Ordering::Acquire), self.leases.live(now))
+    }
+
+    /// Renew `id`'s lease for `ttl_ms`, returning the (possibly bumped)
+    /// version. Only a *newly* live id changes the set, so steady-state
+    /// renewals leave the version untouched.
+    pub fn renew_lease(&self, id: &str, ttl_ms: u64) -> u64 {
+        let now = self.lease_now();
+        let was_live = self.leases.is_live(id, now);
+        self.leases.renew(id, now, ttl_ms);
+        if !was_live {
+            self.lease_version.fetch_add(1, Ordering::AcqRel);
+        }
+        self.lease_version.load(Ordering::Acquire)
+    }
+
+    /// Revoke `id`'s lease; returns whether it was live.
+    pub fn revoke_lease(&self, id: &str) -> bool {
+        let was_live = self.leases.revoke(id, self.lease_now());
+        if was_live {
+            self.lease_version.fetch_add(1, Ordering::AcqRel);
+        }
+        was_live
+    }
 }
 
 impl DirectoryService {
@@ -51,7 +104,14 @@ impl DirectoryService {
         peers: Vec<String>,
         ontology: crate::ontology::Ontology,
     ) -> (Self, Arc<DirectoryState>) {
-        let state = Arc::new(DirectoryState { repository, peers: RwLock::new(peers), ontology });
+        let state = Arc::new(DirectoryState {
+            repository,
+            peers: RwLock::new(peers),
+            ontology,
+            leases: crate::monitor::LeaseTable::new(),
+            lease_version: AtomicU64::new(0),
+            started: Instant::now(),
+        });
         let mut router = Router::new();
 
         {
@@ -98,10 +158,51 @@ impl DirectoryService {
         {
             let st = state.clone();
             router.delete("/services/{id}", move |_req, p| {
-                if st.repository.unpublish(p.get("id").unwrap_or("")) {
+                let id = p.get("id").unwrap_or("");
+                if st.repository.unpublish(id) {
+                    // An unpublished service can't stay live.
+                    st.revoke_lease(id);
                     Response::new(Status::NO_CONTENT)
                 } else {
                     Response::error(Status::NOT_FOUND, "no such service")
+                }
+            });
+        }
+        {
+            let st = state.clone();
+            router.get("/leases", move |_req, _p| {
+                let (version, live) = st.lease_snapshot();
+                let mut v = Value::object();
+                v.set("version", version as i64);
+                v.set("live", Value::Array(live.into_iter().map(Value::from).collect()));
+                Response::json(&v.to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.post("/leases/{id}", move |req, p| {
+                let id = p.get("id").unwrap_or("");
+                if st.repository.get(id).is_none() {
+                    return Response::error(Status::NOT_FOUND, "no such service");
+                }
+                let ttl_ms = req
+                    .query("ttl_ms")
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .unwrap_or(DEFAULT_LEASE_TTL_MS);
+                let version = st.renew_lease(id, ttl_ms);
+                let mut v = Value::object();
+                v.set("version", version as i64);
+                v.set("ttl_ms", ttl_ms as i64);
+                Response::json(&v.to_compact())
+            });
+        }
+        {
+            let st = state.clone();
+            router.delete("/leases/{id}", move |_req, p| {
+                if st.revoke_lease(p.get("id").unwrap_or("")) {
+                    Response::new(Status::NO_CONTENT)
+                } else {
+                    Response::error(Status::NOT_FOUND, "no live lease")
                 }
             });
         }
@@ -302,6 +403,51 @@ impl DirectoryClient {
             .map(str::to_string)
             .collect())
     }
+
+    /// Renew `id`'s lease for `ttl_ms`; returns the lease-table version.
+    pub fn renew_lease(&self, id: &str, ttl_ms: u64) -> DirectoryResult<u64> {
+        let url =
+            format!("{}/leases/{}?ttl_ms={ttl_ms}", self.base, soc_http::url::percent_encode(id));
+        let v = self.rest.post(&url, &Value::object())?;
+        v.pointer("/version")
+            .and_then(Value::as_i64)
+            .map(|n| n as u64)
+            .ok_or_else(|| DirectoryError::Decode("lease renewal missing version".into()))
+    }
+
+    /// Current lease-table version plus the live service ids.
+    pub fn leases(&self) -> DirectoryResult<LeaseSnapshot> {
+        let v = self.rest.get(&format!("{}/leases", self.base))?;
+        let version = v
+            .pointer("/version")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| DirectoryError::Decode("lease snapshot missing version".into()))?
+            as u64;
+        let live = v
+            .pointer("/live")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DirectoryError::Decode("lease snapshot missing live set".into()))?
+            .iter()
+            .filter_map(Value::as_str)
+            .map(str::to_string)
+            .collect();
+        Ok(LeaseSnapshot { version, live })
+    }
+
+    /// Revoke `id`'s lease (deliberate shutdown).
+    pub fn revoke_lease(&self, id: &str) -> DirectoryResult<()> {
+        self.rest.delete(&format!("{}/leases/{}", self.base, soc_http::url::percent_encode(id)))?;
+        Ok(())
+    }
+}
+
+/// One observation of a directory's lease table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseSnapshot {
+    /// Change counter: unchanged version ⇒ unchanged live set.
+    pub version: u64,
+    /// Service ids with unexpired leases, sorted.
+    pub live: Vec<String>,
 }
 
 fn decode_list(v: &Value) -> DirectoryResult<Vec<ServiceDescriptor>> {
@@ -402,6 +548,53 @@ mod tests {
         )
         .unwrap();
         assert_eq!(resp.status, Status::BAD_REQUEST);
+    }
+
+    #[test]
+    fn lease_lifecycle_over_http() {
+        let (_net, client) = setup();
+        client.register(&svc("credit#0")).unwrap();
+        client.register(&svc("credit#1")).unwrap();
+
+        // Nothing live until someone renews; version starts at 0.
+        let snap = client.leases().unwrap();
+        assert_eq!(snap, LeaseSnapshot { version: 0, live: vec![] });
+
+        // First renewals bump the version once each ('#' in the id must
+        // survive percent-encoding through the router).
+        let v1 = client.renew_lease("credit#0", 60_000).unwrap();
+        let v2 = client.renew_lease("credit#1", 60_000).unwrap();
+        assert!(v2 > v1);
+        let snap = client.leases().unwrap();
+        assert_eq!(snap.version, v2);
+        assert_eq!(snap.live, vec!["credit#0".to_string(), "credit#1".to_string()]);
+
+        // Steady-state renewal of an already-live id: same version.
+        assert_eq!(client.renew_lease("credit#0", 60_000).unwrap(), v2);
+
+        // Revocation removes the id and bumps the version.
+        client.revoke_lease("credit#0").unwrap();
+        let snap = client.leases().unwrap();
+        assert!(snap.version > v2);
+        assert_eq!(snap.live, vec!["credit#1".to_string()]);
+
+        // Revoking a lease that isn't live is a 404, as is renewing an
+        // unregistered service.
+        assert_eq!(client.revoke_lease("credit#0").unwrap_err().status(), Some(Status::NOT_FOUND));
+        assert_eq!(
+            client.renew_lease("ghost", 1_000).unwrap_err().status(),
+            Some(Status::NOT_FOUND)
+        );
+    }
+
+    #[test]
+    fn unregister_revokes_lease() {
+        let (_net, client) = setup();
+        client.register(&svc("gone")).unwrap();
+        client.renew_lease("gone", 60_000).unwrap();
+        assert_eq!(client.leases().unwrap().live, vec!["gone".to_string()]);
+        client.unregister("gone").unwrap();
+        assert!(client.leases().unwrap().live.is_empty());
     }
 
     #[test]

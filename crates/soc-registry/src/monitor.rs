@@ -143,6 +143,15 @@ impl QosMonitor {
     /// the result. Lets a gateway or client feed live traffic into the
     /// same QoS statistics the monitor's own probes populate.
     pub fn record(&self, id: &str, ok: bool, latency: Duration) {
+        // Mirror every observation into the process-wide metrics plane
+        // so `/observe/metrics` reports availability next to the
+        // gateway's latency histograms.
+        soc_observe::metrics()
+            .counter(
+                "soc_qos_observations_total",
+                &[("service", id), ("outcome", if ok { "ok" } else { "error" })],
+            )
+            .inc();
         let mut tracks = self.tracks.lock();
         let t = tracks.entry(id.to_string()).or_default();
         t.probes += 1;
@@ -293,6 +302,13 @@ impl LeaseTable {
         let mut dead = dead;
         dead.sort();
         dead
+    }
+
+    /// Drop `id`'s lease outright, returning whether it was live at
+    /// `now` (a provider deliberately going away, as opposed to
+    /// lapsing).
+    pub fn revoke(&self, id: &str, now: u64) -> bool {
+        self.leases.lock().remove(id).is_some_and(|expiry| expiry > now)
     }
 
     /// Live ids at `now`, sorted.
@@ -498,5 +514,17 @@ mod tests {
         table.renew("x", 0, 1);
         assert_eq!(table.expire(2), vec!["x"]);
         assert!(table.expire(2).is_empty());
+    }
+
+    #[test]
+    fn revoke_reports_liveness() {
+        let table = LeaseTable::new();
+        table.renew("live", 0, 10);
+        table.renew("lapsed", 0, 2);
+        assert!(table.revoke("live", 5));
+        // Already expired at revocation time: removed, but not "live".
+        assert!(!table.revoke("lapsed", 5));
+        assert!(!table.revoke("ghost", 5));
+        assert!(table.live(5).is_empty());
     }
 }

@@ -198,15 +198,26 @@ impl Router {
 
 impl Handler for Router {
     fn handle(&self, req: Request) -> Response {
-        // Build the middleware chain inside-out around dispatch.
-        let mut next: Box<dyn Fn(Request) -> Response + '_> =
-            Box::new(move |req| self.dispatch(req));
-        for mw in self.middleware.iter().rev() {
-            let inner = next;
-            let mw = mw.clone();
-            next = Box::new(move |req| mw.call(req, &*inner));
+        let mut span = soc_observe::span("rest.dispatch", soc_observe::SpanKind::Internal);
+        span.set_attr("http.method", req.method.as_str());
+        span.set_attr("http.path", req.path());
+        let resp = {
+            let _active = span.activate();
+            // Build the middleware chain inside-out around dispatch.
+            let mut next: Box<dyn Fn(Request) -> Response + '_> =
+                Box::new(move |req| self.dispatch(req));
+            for mw in self.middleware.iter().rev() {
+                let inner = next;
+                let mw = mw.clone();
+                next = Box::new(move |req| mw.call(req, &*inner));
+            }
+            next(req)
+        };
+        span.set_attr("http.status", resp.status.0.to_string());
+        if resp.status.0 >= 500 {
+            span.set_error(format!("handler answered {}", resp.status));
         }
-        next(req)
+        resp
     }
 }
 

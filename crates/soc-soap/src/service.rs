@@ -128,9 +128,16 @@ impl Handler for SoapService {
         if req.method != Method::Post {
             return Response::error(Status::METHOD_NOT_ALLOWED, "POST required");
         }
-        match self.dispatch(&req) {
+        let mut span = soc_observe::span("soap.dispatch", soc_observe::SpanKind::Internal);
+        span.set_attr("soap.service", self.contract.name.as_str());
+        let result = {
+            let _active = span.activate();
+            self.dispatch(&req)
+        };
+        match result {
             Ok(xml) => Response::xml_owned(xml),
             Err(fault) => {
+                span.set_error(format!("{}: {}", fault.code, fault.message));
                 // SOAP 1.1: faults ride on HTTP 500.
                 let mut resp = Response::xml_owned(envelope::encode_fault(&fault));
                 resp.status = Status::INTERNAL_SERVER_ERROR;

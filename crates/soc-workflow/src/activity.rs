@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use soc_gateway::Gateway;
 use soc_http::mem::Transport;
 use soc_http::Request;
 use soc_json::Value;
@@ -151,24 +152,70 @@ impl Activity for Merge {
     }
 }
 
-/// Calls a REST service: GETs (or POSTs its `body` input to)
-/// `endpoint`, emitting the parsed JSON response on `out`. This is the
+/// Where a [`ServiceCall`] sends its request.
+enum Target {
+    /// Straight at one endpoint over a transport.
+    Endpoint { transport: Arc<dyn Transport>, endpoint: String },
+    /// Through a [`Gateway`] to whichever replica of `service` it
+    /// picks — the composed activity inherits balancing, retries,
+    /// breakers, and hedging for free.
+    Gateway { gateway: Gateway, service: String, path: String },
+}
+
+/// Calls a REST service: GETs (or POSTs its `body` input to) the
+/// target, emitting the parsed JSON response on `out`. This is the
 /// block that turns a workflow into a *service composition*.
+///
+/// Built with [`ServiceCall::get`]/[`ServiceCall::post`] it calls one
+/// fixed endpoint; with [`ServiceCall::get_via_gateway`]/
+/// [`ServiceCall::post_via_gateway`] it calls a *service* through a
+/// QoS-aware gateway, so the workflow survives a replica dying
+/// mid-process.
 pub struct ServiceCall {
-    transport: Arc<dyn Transport>,
-    endpoint: String,
+    target: Target,
     post: bool,
 }
 
 impl ServiceCall {
     /// GET the endpoint when fired (the `trigger` input gates firing).
     pub fn get(transport: Arc<dyn Transport>, endpoint: &str) -> Self {
-        ServiceCall { transport, endpoint: endpoint.to_string(), post: false }
+        ServiceCall {
+            target: Target::Endpoint { transport, endpoint: endpoint.to_string() },
+            post: false,
+        }
     }
 
     /// POST the `body` input as JSON.
     pub fn post(transport: Arc<dyn Transport>, endpoint: &str) -> Self {
-        ServiceCall { transport, endpoint: endpoint.to_string(), post: true }
+        ServiceCall {
+            target: Target::Endpoint { transport, endpoint: endpoint.to_string() },
+            post: true,
+        }
+    }
+
+    /// GET `path` on a replica of `service`, picked by `gateway`.
+    pub fn get_via_gateway(gateway: Gateway, service: &str, path: &str) -> Self {
+        ServiceCall {
+            target: Target::Gateway {
+                gateway,
+                service: service.to_string(),
+                path: path.to_string(),
+            },
+            post: false,
+        }
+    }
+
+    /// POST the `body` input as JSON to `path` on a replica of
+    /// `service`, picked by `gateway`.
+    pub fn post_via_gateway(gateway: Gateway, service: &str, path: &str) -> Self {
+        ServiceCall {
+            target: Target::Gateway {
+                gateway,
+                service: service.to_string(),
+                path: path.to_string(),
+            },
+            post: true,
+        }
     }
 }
 
@@ -184,15 +231,25 @@ impl Activity for ServiceCall {
         vec!["out".into()]
     }
     fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        // For a gateway target the request target is just the path;
+        // Gateway::call treats it as the path on the chosen replica.
+        let target = match &self.target {
+            Target::Endpoint { endpoint, .. } => endpoint.as_str(),
+            Target::Gateway { path, .. } => path.as_str(),
+        };
         let req = if self.post {
             let body =
                 inputs.get("body").ok_or_else(|| ActivityError::MissingInput("body".into()))?;
-            Request::post(&self.endpoint, Vec::new())
-                .with_text("application/json", &body.to_compact())
+            Request::post(target, Vec::new()).with_text("application/json", &body.to_compact())
         } else {
-            Request::get(&self.endpoint)
+            Request::get(target)
         };
-        let resp = self.transport.send(req).map_err(|e| ActivityError::Service(e.to_string()))?;
+        let resp = match &self.target {
+            Target::Endpoint { transport, .. } => {
+                transport.send(req).map_err(|e| ActivityError::Service(e.to_string()))?
+            }
+            Target::Gateway { gateway, service, .. } => gateway.call(service, req),
+        };
         if !resp.status.is_success() {
             return Err(ActivityError::Service(format!("status {}", resp.status)));
         }
@@ -287,6 +344,29 @@ mod tests {
         body.insert("body".to_string(), json!({ "n": 5 }));
         let out = post.execute(&body).unwrap();
         assert_eq!(out["out"].pointer("/n").and_then(Value::as_i64), Some(5));
+    }
+
+    #[test]
+    fn service_call_via_gateway_survives_a_dead_replica() {
+        use soc_gateway::GatewayConfig;
+        let net = MemNetwork::new();
+        net.host("alive", |_req: Request| Response::json("{\"who\":\"alive\"}"));
+        net.host("dead", |_req: Request| {
+            Response::error(soc_http::Status::SERVICE_UNAVAILABLE, "down")
+        });
+        let gw = Gateway::new(Arc::new(net.clone()), GatewayConfig::default());
+        gw.register("quote", &["mem://alive", "mem://dead"]);
+
+        let call = ServiceCall::get_via_gateway(gw, "quote", "latest");
+        let mut trigger = HashMap::new();
+        trigger.insert("trigger".to_string(), Value::Null);
+        // Round-robin alternates onto the dead replica; retries must
+        // carry every firing to the live one.
+        for _ in 0..4 {
+            let out = call.execute(&trigger).unwrap();
+            assert_eq!(out["out"].pointer("/who").and_then(Value::as_str), Some("alive"));
+        }
+        assert!(net.hits("dead") > 0, "gateway never even tried the dead replica");
     }
 
     #[test]

@@ -154,12 +154,17 @@ impl Process {
                 // but the engine stays deterministic about it.
                 let snapshots: Vec<Result<Scope, ProcessError>> = match &self.pool {
                     Some(pool) if steps.len() > 1 => {
+                        // Pool threads have no trace context of their
+                        // own; re-activate the caller's so branch
+                        // invokes stay in this process's trace.
+                        let flow_ctx = soc_observe::context::current();
                         let out = Mutex::new(vec![None; steps.len()]);
                         pool.scope(|s| {
                             for (i, st) in steps.iter().enumerate() {
                                 let out = &out;
                                 let base = scope.clone();
                                 s.spawn(move || {
+                                    let _trace = flow_ctx.map(soc_observe::context::set_current);
                                     let mut local = base;
                                     let r = self.exec(st, &mut local).map(|()| local);
                                     out.lock()[i] = Some(r);
@@ -208,6 +213,8 @@ impl Process {
                 Ok(())
             }
             Step::Invoke { endpoint, input_var, output_var } => {
+                let mut span = soc_observe::span("bpel.invoke", soc_observe::SpanKind::Internal);
+                span.set_attr("endpoint", endpoint.as_str());
                 let req = match input_var {
                     Some(var) => {
                         let payload = scope
@@ -218,11 +225,16 @@ impl Process {
                     }
                     None => Request::get(endpoint),
                 };
-                let resp = self.transport.send(req).map_err(|e| ProcessError::Invoke {
-                    endpoint: endpoint.clone(),
-                    detail: e.to_string(),
+                let result = {
+                    let _in_span = span.activate();
+                    self.transport.send(req)
+                };
+                let resp = result.map_err(|e| {
+                    span.set_error(e.to_string());
+                    ProcessError::Invoke { endpoint: endpoint.clone(), detail: e.to_string() }
                 })?;
                 if !resp.status.is_success() {
+                    span.set_error(format!("status {}", resp.status));
                     return Err(ProcessError::Invoke {
                         endpoint: endpoint.clone(),
                         detail: format!("status {}", resp.status),

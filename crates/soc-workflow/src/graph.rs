@@ -214,6 +214,13 @@ impl WorkflowGraph {
         pool: Option<&ThreadPool>,
     ) -> Result<HashMap<String, Value>, WorkflowError> {
         self.validate()?;
+        // The whole run is one span; every node that fires becomes a
+        // child, including nodes fired on pool threads (which inherit
+        // `run_ctx` explicitly — thread-locals don't cross the pool).
+        let mut run_span = soc_observe::span("workflow.run", soc_observe::SpanKind::Internal);
+        run_span.set_attr("nodes", self.nodes.len().to_string());
+        let _active = run_span.activate();
+        let run_ctx = run_span.context();
         let n = self.nodes.len();
         // Values pending on each node's input ports.
         let mut pending: Vec<Ports> = vec![Ports::new(); n];
@@ -253,7 +260,25 @@ impl WorkflowGraph {
             if ready.is_empty() {
                 break;
             }
-            // Fire the wave (parallel when a pool is given).
+            // Fire the wave (parallel when a pool is given). Each node
+            // fires inside its own activity span.
+            let fire =
+                |i: usize, act: &dyn Activity, ports: &Ports| -> Result<Ports, ActivityError> {
+                    let mut span = soc_observe::child_span(
+                        run_ctx,
+                        "workflow.activity",
+                        soc_observe::SpanKind::Internal,
+                    );
+                    span.set_attr("node", self.nodes[i].name.as_str());
+                    let out = {
+                        let _in_span = span.activate();
+                        act.execute(ports)
+                    };
+                    if let Err(e) = &out {
+                        span.set_error(e.to_string());
+                    }
+                    out
+                };
             let outputs: Vec<(usize, Result<Ports, ActivityError>)> = match pool {
                 Some(pool) if ready.len() > 1 => {
                     let jobs: Vec<(usize, Arc<dyn Activity>, Ports)> = ready
@@ -264,8 +289,9 @@ impl WorkflowGraph {
                     pool.scope(|s| {
                         for (i, act, ports) in &jobs {
                             let results = &results;
+                            let fire = &fire;
                             s.spawn(move || {
-                                let out = act.execute(ports);
+                                let out = fire(*i, &**act, ports);
                                 results.lock().push((*i, out));
                             });
                         }
@@ -274,16 +300,21 @@ impl WorkflowGraph {
                 }
                 _ => ready
                     .iter()
-                    .map(|&i| (i, self.nodes[i].activity.execute(&pending[i])))
+                    .map(|&i| (i, fire(i, &*self.nodes[i].activity, &pending[i])))
                     .collect(),
             };
 
             for (i, out) in outputs {
                 fired[i] = true;
-                let out = out.map_err(|error| WorkflowError::Activity {
-                    node: self.nodes[i].name.clone(),
-                    error,
-                })?;
+                let out = match out {
+                    Ok(out) => out,
+                    Err(error) => {
+                        let err =
+                            WorkflowError::Activity { node: self.nodes[i].name.clone(), error };
+                        run_span.set_error(err.to_string());
+                        return Err(err);
+                    }
+                };
                 for (port, value) in out {
                     // Propagate along edges; unconnected outputs become
                     // workflow results.
@@ -304,6 +335,7 @@ impl WorkflowGraph {
         if results.is_empty() && fired.iter().any(|f| !f) {
             let stalled: Vec<String> =
                 (0..n).filter(|&i| !fired[i]).map(|i| self.nodes[i].name.clone()).collect();
+            run_span.set_error(format!("stalled: {stalled:?}"));
             return Err(WorkflowError::Stalled(stalled));
         }
         Ok(results)

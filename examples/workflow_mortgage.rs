@@ -3,6 +3,11 @@
 //! graph, as a BPEL-style structured process, and via the FSM module —
 //! "generating executable directly from the flowchart".
 //!
+//! The dataflow variant calls the mortgage service through the
+//! QoS-aware gateway (one registered replica is down; retries mask it)
+//! and runs under a trace root, so the whole composition prints as one
+//! span tree afterwards.
+//!
 //! ```sh
 //! cargo run --example workflow_mortgage
 //! ```
@@ -10,8 +15,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use soc::gateway::{Gateway, GatewayConfig};
 use soc::http::mem::Transport;
-use soc::http::MemNetwork;
+use soc::http::{MemNetwork, Request, Response, Status};
 use soc::json::{json, Value};
 use soc::workflow::activity::{Compute, Const, If, Merge, ServiceCall};
 use soc::workflow::bpel::{int_var, Process, Scope, Step};
@@ -20,7 +26,20 @@ use soc::workflow::graph::WorkflowGraph;
 fn main() {
     let net = MemNetwork::new();
     soc::services::bindings::host_all(&net, 11);
-    let transport: Arc<dyn Transport> = Arc::new(net);
+    // A second "replica" that is down — the paper's flaky public
+    // service. Activities reach the mortgage service through the
+    // gateway, which retries onto the live replica.
+    net.host("services.down", |_req: Request| {
+        Response::error(Status::SERVICE_UNAVAILABLE, "replica down")
+    });
+    let transport: Arc<dyn Transport> = Arc::new(net.clone());
+    let gw = Gateway::new(
+        transport.clone(),
+        // The apply call is a POST; the mortgage service is a pure
+        // function of its input, so replaying it is safe here.
+        GatewayConfig { retry_non_idempotent: true, ..GatewayConfig::default() },
+    );
+    gw.register("mortgage", &["mem://services.down", "mem://services.asu"]);
 
     // A deterministic applicant who qualifies (the score service is a
     // pure function of the SSN, so we can search for one).
@@ -39,8 +58,7 @@ fn main() {
             "annual_income": 120000, "loan_amount": 300000, "term_years": 30
         })),
     );
-    let apply = graph
-        .add("apply", ServiceCall::post(transport.clone(), "mem://services.asu/mortgage/apply"));
+    let apply = graph.add("apply", ServiceCall::post_via_gateway(gw, "mortgage", "mortgage/apply"));
     let is_approved = graph.add(
         "is_approved",
         Compute::new(&["x"], |p| {
@@ -83,8 +101,25 @@ fn main() {
     graph.connect(congratulate, "out", merge, "a").unwrap();
     graph.connect(merge, "out", console, "x").unwrap();
 
-    let out = graph.run(&HashMap::new()).expect("workflow runs");
+    let root = soc::observe::root_span("mortgage.dataflow", soc::observe::SpanKind::Internal);
+    let trace_id = root.context().trace_id;
+    let out = {
+        let _active = root.activate();
+        graph.run(&HashMap::new()).expect("workflow runs")
+    };
+    drop(root);
     println!("dataflow workflow  -> {}", out["letter.out"]);
+
+    // The run above is one trace: workflow.run → each activity firing →
+    // the gateway dispatch with one span per attempt (the first hits
+    // the dead replica, the retry lands).
+    let tree = soc::observe::trace_json(trace_id).expect("trace retained");
+    println!(
+        "trace {trace_id}     -> {} spans",
+        tree.pointer("/span_count").and_then(Value::as_i64).unwrap_or(0)
+    );
+    let spans = tree.pointer("/spans").and_then(Value::as_array).unwrap();
+    print_tree(spans, None, 1);
 
     // ---- 2. BPEL-style structured process ------------------------------
     // Sweep loan sizes until the service declines (While + Invoke).
@@ -153,4 +188,23 @@ fn main() {
         pw.get("strength").and_then(Value::as_str).unwrap_or("?"),
         pw.get("entropy_bits").and_then(Value::as_f64).unwrap_or(0.0).round()
     );
+}
+
+/// Print `spans` as an indented tree by following `parent_span_id`
+/// links (the same JSON `/observe/traces/{id}` serves over HTTP).
+fn print_tree(spans: &[Value], parent: Option<&str>, depth: usize) {
+    for s in spans.iter().filter(|s| s.pointer("/parent_span_id").and_then(Value::as_str) == parent)
+    {
+        let name = s.pointer("/name").and_then(Value::as_str).unwrap_or("?");
+        let us = s.pointer("/duration_us").and_then(Value::as_i64).unwrap_or(0);
+        let status = s.pointer("/status").and_then(Value::as_str).unwrap_or("ok");
+        let marker = if status == "ok" { "" } else { "  [error]" };
+        let detail = ["node", "upstream"]
+            .iter()
+            .find_map(|k| s.pointer(&format!("/attrs/{k}")).and_then(Value::as_str))
+            .map(|v| format!(" {v}"))
+            .unwrap_or_default();
+        println!("{:indent$}{name}{detail} ({us} µs){marker}", "", indent = depth * 4);
+        print_tree(spans, s.pointer("/span_id").and_then(Value::as_str), depth + 1);
+    }
 }

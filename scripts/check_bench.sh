@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Guard the committed XML bench record: BENCH_xml.json must exist, carry
-# the current schema, and cover every benchmark group that the bench
-# binary actually defines (so the record can't silently go stale when a
-# group is added or renamed).
+# Guard the committed bench records: they must exist, carry the current
+# schema, and cover every benchmark group/row that the bench binaries
+# actually define (so a record can't silently go stale when a group is
+# added or renamed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +31,38 @@ status=0
 for group in $(grep -o 'BenchmarkId::new("[a-z_]*"' "$bench_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
     if ! grep -q "\"$group\"" "$record"; then
         echo "error: bench group '$group' exists in $bench_src but is absent from $record — re-record" >&2
+        status=1
+    fi
+done
+
+# --- observability-plane overhead record ------------------------------
+# The observe bench asserts its own budget when run (span_sampled_out
+# must stay under BUDGET_SAMPLED_OUT_NS); here we keep the committed
+# record honest: present, current schema, budget section, and one row
+# per `bench("...")` call in the harness.
+obs_record=BENCH_observe.json
+obs_src=crates/soc-bench/benches/observe.rs
+
+if [[ ! -f "$obs_record" ]]; then
+    echo "error: $obs_record is missing — run 'cargo bench -p soc-bench --bench observe' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$obs_record"; then
+    echo "error: $obs_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"budget_ns"' '"current"' '"span_sampled_out"'; do
+    if ! grep -q "$section" "$obs_record"; then
+        echo "error: $obs_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for row in $(grep -o 'bench("[a-z_]*"' "$obs_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$row\"" "$obs_record"; then
+        echo "error: bench row '$row' exists in $obs_src but is absent from $obs_record — re-record" >&2
         status=1
     fi
 done

@@ -7,6 +7,7 @@ pub use soc_curriculum as curriculum;
 pub use soc_gateway as gateway;
 pub use soc_http as http;
 pub use soc_json as json;
+pub use soc_observe as observe;
 pub use soc_parallel as parallel;
 pub use soc_registry as registry;
 pub use soc_rest as rest;
@@ -23,6 +24,7 @@ pub mod prelude {
     pub use soc_http::mem::{FaultConfig, MemNetwork, Transport, UniClient};
     pub use soc_http::{Handler, HttpClient, HttpServer, Method, Request, Response, Status};
     pub use soc_json::{json, Value};
+    pub use soc_observe::{MetricsRegistry, Span, SpanKind, SpanStore, TraceContext, TraceId};
     pub use soc_parallel::{parallel_for, parallel_map, parallel_reduce, Schedule, ThreadPool};
     pub use soc_registry::directory::{DirectoryClient, DirectoryError, DirectoryService};
     pub use soc_registry::{Binding, Repository, ServiceDescriptor};

@@ -320,6 +320,303 @@ fn gateway_hedges_and_ejects_over_real_sockets() {
     assert!(v.pointer("/ejections").and_then(Value::as_i64).unwrap() >= 1);
 }
 
+// ---------------------------------------------------------------------------
+// Distributed tracing over real sockets
+// ---------------------------------------------------------------------------
+
+/// Fetch `/observe/traces/{id}` from `base` and parse the span tree.
+fn fetch_trace(client: &HttpClient, base: &str, trace_id: &str) -> Value {
+    let resp = client.send(Request::get(format!("{base}/observe/traces/{trace_id}"))).unwrap();
+    assert!(resp.status.is_success(), "trace {trace_id} not retrievable: {:?}", resp.status);
+    Value::parse(resp.text_body().unwrap()).unwrap()
+}
+
+fn span_attr<'a>(span: &'a Value, key: &str) -> Option<&'a str> {
+    span.pointer(&format!("/attrs/{key}")).and_then(Value::as_str)
+}
+
+fn span_id(span: &Value) -> &str {
+    span.pointer("/span_id").and_then(Value::as_str).unwrap()
+}
+
+fn parent_id(span: &Value) -> Option<&str> {
+    span.pointer("/parent_span_id").and_then(Value::as_str)
+}
+
+fn span_name(span: &Value) -> &str {
+    span.pointer("/name").and_then(Value::as_str).unwrap()
+}
+
+/// The span matching `pred`, asserting it is unique in the trace.
+fn one_span<'a>(tree: &'a Value, what: &str, pred: impl Fn(&Value) -> bool) -> &'a Value {
+    let spans = tree.pointer("/spans").and_then(Value::as_array).unwrap();
+    let hits: Vec<&Value> = spans.iter().filter(|s| pred(s)).collect();
+    assert_eq!(hits.len(), 1, "expected exactly one {what} span, got {}: {tree}", hits.len());
+    hits[0]
+}
+
+/// A request through the TCP-hosted gateway to a TCP-hosted REST
+/// upstream yields ONE trace whose tree nests every hop: front server
+/// span → gateway dispatch → attempt (client) → upstream server span →
+/// router dispatch. The trace id is learned from the `X-Trace-Id`
+/// response header and the tree is fetched back over the wire from the
+/// gateway's own `/observe/*` plane.
+#[test]
+fn gateway_request_produces_one_trace_tree_over_tcp() {
+    let mut api = soc::rest::Router::new();
+    api.get("/quote", |_req, _p| Response::json("{\"quote\":42}"));
+    let upstream = HttpServer::bind("127.0.0.1:0", 2, api).unwrap();
+    let upstream_url = upstream.url();
+
+    let gw = Gateway::new(Arc::new(HttpClient::new()), GatewayConfig::default());
+    gw.register("quote", &[&upstream_url]);
+    let front = HttpServer::bind("127.0.0.1:0", 2, gw).unwrap();
+
+    let client = HttpClient::new();
+    let resp = client.send(Request::get(format!("{}/svc/quote/quote", front.url()))).unwrap();
+    assert!(resp.status.is_success());
+    let trace_id =
+        resp.headers.get("X-Trace-Id").expect("sampled responses advertise X-Trace-Id").to_string();
+
+    let tree = fetch_trace(&client, &front.url(), &trace_id);
+    assert_eq!(tree.pointer("/trace_id").and_then(Value::as_str), Some(trace_id.as_str()));
+    assert_eq!(tree.pointer("/span_count").and_then(Value::as_i64), Some(5));
+
+    let front_srv = one_span(&tree, "front server", |s| {
+        span_name(s) == "http.server" && span_attr(s, "http.target") == Some("/svc/quote/quote")
+    });
+    assert_eq!(parent_id(front_srv), None, "the front server span roots the trace");
+
+    let dispatch = one_span(&tree, "gateway.request", |s| span_name(s) == "gateway.request");
+    assert_eq!(parent_id(dispatch), Some(span_id(front_srv)));
+    assert_eq!(span_attr(dispatch, "service"), Some("quote"));
+    assert_eq!(span_attr(dispatch, "http.status"), Some("200"));
+
+    let attempt = one_span(&tree, "gateway.attempt", |s| span_name(s) == "gateway.attempt");
+    assert_eq!(parent_id(attempt), Some(span_id(dispatch)));
+    assert_eq!(span_attr(attempt, "attempt"), Some("0"));
+    assert_eq!(span_attr(attempt, "hedge"), Some("false"));
+    assert_eq!(span_attr(attempt, "upstream"), Some(upstream_url.as_str()));
+
+    let up_srv = one_span(&tree, "upstream server", |s| {
+        span_name(s) == "http.server" && span_attr(s, "http.target") == Some("/quote")
+    });
+    assert_eq!(parent_id(up_srv), Some(span_id(attempt)), "traceparent must cross the second hop");
+
+    let rest = one_span(&tree, "rest.dispatch", |s| span_name(s) == "rest.dispatch");
+    assert_eq!(parent_id(rest), Some(span_id(up_srv)));
+    assert_eq!(span_attr(rest, "http.path"), Some("/quote"));
+    assert_eq!(span_attr(rest, "http.status"), Some("200"));
+}
+
+/// When a request hedges, both arms appear in the same trace as sibling
+/// `gateway.attempt` spans under one `gateway.request` — the loser's
+/// span shows up too once its stalled send completes.
+#[test]
+fn hedged_request_records_both_attempts_in_one_trace() {
+    let fast = HttpServer::bind("127.0.0.1:0", 2, |_req: Request| Response::text("fast")).unwrap();
+    let stalling = Arc::new(AtomicBool::new(false));
+    let flag = stalling.clone();
+    let slow = HttpServer::bind("127.0.0.1:0", 8, move |_req: Request| {
+        if flag.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(200));
+        }
+        Response::text("slow")
+    })
+    .unwrap();
+
+    let gw = Gateway::new(
+        Arc::new(HttpClient::new()),
+        GatewayConfig {
+            hedge: HedgeConfig { min_samples: 4, ..HedgeConfig::default() },
+            request_deadline: Duration::from_secs(10),
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            ..GatewayConfig::default()
+        },
+    );
+    gw.register("svc", &[&fast.url(), &slow.url()]);
+    let front = HttpServer::bind("127.0.0.1:0", 8, gw).unwrap();
+    let client = HttpClient::new();
+    let call = |path: &str| client.send(Request::get(format!("{}{path}", front.url()))).unwrap();
+
+    // Warm-up: each replica earns the p95 that arms the hedger.
+    for _ in 0..16 {
+        assert!(call("/svc/svc/warm").status.is_success());
+    }
+
+    stalling.store(true, Ordering::Relaxed);
+    let mut hedged_tree = None;
+    for _ in 0..18 {
+        let resp = call("/svc/svc/x");
+        assert!(resp.status.is_success());
+        let trace_id = resp.headers.get("X-Trace-Id").unwrap().to_string();
+        // The losing arm only records its span once the 200 ms stall
+        // completes; wait it out before inspecting the tree.
+        std::thread::sleep(Duration::from_millis(300));
+        let tree = fetch_trace(&client, &front.url(), &trace_id);
+        let spans = tree.pointer("/spans").and_then(Value::as_array).unwrap();
+        if spans.iter().filter(|s| span_name(s) == "gateway.attempt").count() == 2 {
+            hedged_tree = Some(tree);
+            break;
+        }
+    }
+    let tree = hedged_tree.expect("round-robin must land a stalled pick that hedges");
+
+    let dispatch = one_span(&tree, "gateway.request", |s| span_name(s) == "gateway.request");
+    let primary = one_span(&tree, "primary attempt", |s| {
+        span_name(s) == "gateway.attempt" && span_attr(s, "hedge") == Some("false")
+    });
+    let backup = one_span(&tree, "hedge attempt", |s| {
+        span_name(s) == "gateway.attempt" && span_attr(s, "hedge") == Some("true")
+    });
+    assert_eq!(parent_id(primary), Some(span_id(dispatch)), "arms are siblings, not nested");
+    assert_eq!(parent_id(backup), Some(span_id(dispatch)), "arms are siblings, not nested");
+    // The two arms race different replicas (either may be primary: a
+    // request on the fast replica can exceed its own p95 and hedge too).
+    let arms = [span_attr(primary, "upstream").unwrap(), span_attr(backup, "upstream").unwrap()];
+    assert!(arms.contains(&fast.url().as_str()), "no arm hit the fast replica: {arms:?}");
+    assert!(arms.contains(&slow.url().as_str()), "no arm hit the slow replica: {arms:?}");
+}
+
+/// A workflow whose activity calls a replicated service through the
+/// gateway joins the caller's trace: workflow.run → workflow.activity →
+/// gateway.request → gateway.attempt → the TCP upstream's server span —
+/// composition and dispatch visible in one tree, fetched over the wire.
+#[test]
+fn workflow_through_gateway_is_one_trace_end_to_end() {
+    use soc::workflow::activity::{Const, ServiceCall};
+    use soc::workflow::WorkflowGraph;
+    use std::collections::HashMap;
+
+    let mut api = soc::rest::Router::new();
+    api.get("/latest", |_req, _p| Response::json("{\"price\":101}"));
+    let upstream = HttpServer::bind("127.0.0.1:0", 2, api).unwrap();
+
+    let gw = Gateway::new(Arc::new(HttpClient::new()), GatewayConfig::default());
+    gw.register("quotes", &[&upstream.url()]);
+
+    let mut g = WorkflowGraph::new();
+    let start = g.add("start", Const::new(Value::Null));
+    let fetch = g.add("fetch", ServiceCall::get_via_gateway(gw, "quotes", "latest"));
+    g.connect(start, "out", fetch, "trigger").unwrap();
+
+    let root = soc::observe::root_span("test.workflow", soc::observe::SpanKind::Internal);
+    let trace_id = root.context().trace_id.to_hex();
+    let root_sid = root.context().span_id.to_hex();
+    let out = {
+        let _active = root.activate();
+        g.run(&HashMap::new()).unwrap()
+    };
+    drop(root);
+    assert_eq!(out["fetch.out"].pointer("/price").and_then(Value::as_i64), Some(101));
+
+    // The tree is served over TCP by a standalone observability host.
+    let obs = HttpServer::bind("127.0.0.1:0", 1, soc::http::ObserveEndpoints::new()).unwrap();
+    let client = HttpClient::new();
+    let tree = fetch_trace(&client, &obs.url(), &trace_id);
+
+    let run = one_span(&tree, "workflow.run", |s| span_name(s) == "workflow.run");
+    assert_eq!(parent_id(run), Some(root_sid.as_str()));
+    let activity = one_span(&tree, "fetch activity", |s| {
+        span_name(s) == "workflow.activity" && span_attr(s, "node") == Some("fetch")
+    });
+    assert_eq!(parent_id(activity), Some(span_id(run)));
+    let dispatch = one_span(&tree, "gateway.request", |s| span_name(s) == "gateway.request");
+    assert_eq!(parent_id(dispatch), Some(span_id(activity)));
+    let attempt = one_span(&tree, "gateway.attempt", |s| span_name(s) == "gateway.attempt");
+    assert_eq!(parent_id(attempt), Some(span_id(dispatch)));
+    let up_srv = one_span(&tree, "upstream server", |s| span_name(s) == "http.server");
+    assert_eq!(parent_id(up_srv), Some(span_id(attempt)));
+    let rest = one_span(&tree, "rest.dispatch", |s| span_name(s) == "rest.dispatch");
+    assert_eq!(parent_id(rest), Some(span_id(up_srv)));
+}
+
+/// The unified metrics plane is reachable over the wire through the
+/// gateway's front socket, in Prometheus text exposition format, and
+/// carries both the migrated gateway latency histograms and the HTTP
+/// server's connection-shed counter.
+#[test]
+fn observe_metrics_served_over_the_wire() {
+    let upstream =
+        HttpServer::bind("127.0.0.1:0", 1, |_req: Request| Response::text("ok")).unwrap();
+    let gw = Gateway::new(Arc::new(HttpClient::new()), GatewayConfig::default());
+    gw.register("m", &[&upstream.url()]);
+    let front = HttpServer::bind("127.0.0.1:0", 2, gw).unwrap();
+    let client = HttpClient::new();
+    assert!(client
+        .send(Request::get(format!("{}/svc/m/ping", front.url())))
+        .unwrap()
+        .status
+        .is_success());
+
+    let resp = client.send(Request::get(format!("{}/observe/metrics", front.url()))).unwrap();
+    assert!(resp.status.is_success());
+    assert_eq!(resp.headers.get("Content-Type"), Some("text/plain; version=0.0.4"));
+    let body = resp.text_body().unwrap();
+    assert!(
+        body.contains("soc_gateway_upstream_latency_us_bucket"),
+        "gateway latency histograms must flow into the shared registry:\n{body}"
+    );
+    assert!(
+        body.contains("soc_http_connections_shed_total"),
+        "the server's backpressure counter must be registered:\n{body}"
+    );
+    assert!(body.contains("soc_gateway_admitted_total"), "admission counters missing:\n{body}");
+}
+
+mod traceparent_props {
+    //! Round-trip laws for the W3C `traceparent` propagation format.
+    use proptest::prelude::*;
+    use soc::observe::{SpanId, TraceContext, TraceId};
+
+    proptest! {
+        #[test]
+        fn traceparent_round_trips(
+            hi in any::<u64>(),
+            lo in any::<u64>(),
+            span in any::<u64>(),
+            sampled in any::<bool>(),
+        ) {
+            let ctx = TraceContext {
+                trace_id: TraceId((((hi as u128) << 64) | lo as u128).max(1)),
+                span_id: SpanId(span.max(1)),
+                sampled,
+            };
+            let wire = ctx.to_traceparent();
+            prop_assert_eq!(TraceContext::parse_traceparent(&wire), Some(ctx));
+        }
+
+        #[test]
+        fn traceparent_parser_never_panics(s in "[ -~]{0,64}") {
+            // Arbitrary printable garbage must never panic, and anything
+            // the strict parser does accept must re-encode to a value it
+            // accepts again, identically.
+            if let Some(ctx) = TraceContext::parse_traceparent(&s) {
+                prop_assert_eq!(TraceContext::parse_traceparent(&ctx.to_traceparent()), Some(ctx));
+            }
+        }
+
+        #[test]
+        fn corrupted_traceparent_is_rejected_not_misread(
+            hi in any::<u64>(),
+            lo in any::<u64>(),
+            span in any::<u64>(),
+            cut in 0usize..55,
+        ) {
+            let ctx = TraceContext {
+                trace_id: TraceId((((hi as u128) << 64) | lo as u128).max(1)),
+                span_id: SpanId(span.max(1)),
+                sampled: true,
+            };
+            // Truncation anywhere inside the fixed-width format must fail
+            // parsing, never yield a context with mangled ids.
+            let wire = ctx.to_traceparent();
+            prop_assert_eq!(TraceContext::parse_traceparent(&wire[..cut]), None);
+        }
+    }
+}
+
 #[test]
 fn oversized_body_is_rejected_not_buffered() {
     let server =
