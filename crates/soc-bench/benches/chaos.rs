@@ -1,0 +1,186 @@
+//! Resilience-layer overheads: what the saga executor, retry machinery,
+//! and fault-injection plane cost when nothing (and when everything)
+//! goes wrong.
+//!
+//! The chaos harness proves the invariants hold; this harness proves
+//! the machinery that upholds them is affordable. Each row is one hot
+//! path — a clean saga run, a retry-to-recovery cycle, a full
+//! compensation rollback, a seeded fault-verdict draw, an idempotency
+//! key mint — and the coarse budgets are **asserted**, so
+//! `cargo bench --bench chaos` is an executable acceptance check.
+//!
+//! Not a Criterion harness, for the same reason as `observe.rs`: the
+//! budget asserts need a hard pass/fail, and the saga rows spawn real
+//! activity threads, where a plain warm-up + timed-loop measurement is
+//! steadier than statistical resampling.
+
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use soc_http::fault::FaultRng;
+use soc_json::Value;
+use soc_workflow::activity::{Activity, ActivityError, Compute, Const, Ports};
+use soc_workflow::graph::WorkflowGraph;
+use soc_workflow::saga::{ResiliencePolicy, SagaConfig};
+
+/// Coarse per-row budgets, in nanoseconds. The saga rows spawn one OS
+/// thread per activity firing, so these are milliseconds-scale caps:
+/// wide enough for a loaded CI box, tight enough to catch the executor
+/// accidentally going quadratic or a stray sleep landing on a hot path.
+const BUDGET_SAGA_NOOP_NS: f64 = 5_000_000.0;
+const BUDGET_RETRY_NS: f64 = 10_000_000.0;
+const BUDGET_COMPENSATION_NS: f64 = 10_000_000.0;
+/// The fault plane's verdict draw sits on every in-memory send; it must
+/// stay nanoseconds-cheap so a fault-configured network measures the
+/// same as a clean one.
+const BUDGET_VERDICT_NS: f64 = 1_000.0;
+
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    println!("{name:<24} {ns:>12.1} ns/op   ({iters} iters)");
+    ns
+}
+
+/// Fails on a fixed cadence: attempts 1 and 2 of every 3 error, the
+/// third succeeds — so each saga run exercises exactly two retries.
+struct FlakyTwice {
+    attempts: AtomicU64,
+}
+
+impl Activity for FlakyTwice {
+    fn inputs(&self) -> Vec<String> {
+        vec!["in".into()]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let n = self.attempts.fetch_add(1, Ordering::Relaxed);
+        if n % 3 < 2 {
+            return Err(ActivityError::Service("injected".into()));
+        }
+        Ok(HashMap::from([("out".to_string(), inputs["in"].clone())]))
+    }
+}
+
+/// Always fails, so the saga must roll back whatever completed.
+struct AlwaysFails;
+
+impl Activity for AlwaysFails {
+    fn inputs(&self) -> Vec<String> {
+        vec!["in".into()]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, _inputs: &Ports) -> Result<Ports, ActivityError> {
+        Err(ActivityError::Service("injected".into()))
+    }
+}
+
+/// Records nothing, succeeds instantly: the cheapest possible
+/// compensator, so the row measures the executor's rollback path, not
+/// the compensator body.
+struct NoopCompensator;
+
+impl Activity for NoopCompensator {
+    fn inputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn outputs(&self) -> Vec<String> {
+        vec!["out".into()]
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        Ok(inputs.clone())
+    }
+}
+
+fn noop_graph() -> WorkflowGraph {
+    let mut g = WorkflowGraph::new();
+    let a = g.add("a", Const::new(1));
+    let b = g.add("b", Compute::new(&["in"], |p| Ok(Value::from(p["in"].as_i64().unwrap() + 1))));
+    g.connect(a, "out", b, "in").unwrap();
+    g
+}
+
+fn main() {
+    println!("resilience-layer overhead");
+    println!("{:<24} {:>15}", "operation", "cost");
+    let saga = SagaConfig { deadline: Duration::from_secs(5), seed: 0xBE4C };
+
+    // A clean two-node saga run: pure executor overhead (topo order,
+    // per-node thread, completion log) with no retries, no rollback.
+    let noop = noop_graph();
+    let saga_noop = bench("saga_noop", 500, || {
+        let out = noop.run_saga(&HashMap::new(), &saga).unwrap();
+        assert!(black_box(&out).is_completed());
+    });
+
+    // Two injected failures absorbed by the policy, then success: the
+    // retry loop with (tiny) backoff + jitter, three attempts per run.
+    let retry_graph = {
+        let mut g = WorkflowGraph::new();
+        let a = g.add("a", Const::new(7));
+        let f = g.add("flaky", FlakyTwice { attempts: AtomicU64::new(0) });
+        g.connect(a, "out", f, "in").unwrap();
+        g.set_policy(
+            f,
+            ResiliencePolicy::retries(4)
+                .with_backoff(Duration::from_micros(20), Duration::from_micros(100)),
+        )
+        .unwrap();
+        g
+    };
+    let retry = bench("saga_retry_recovery", 300, || {
+        let out = retry_graph.run_saga(&HashMap::new(), &saga).unwrap();
+        assert!(black_box(&out).is_completed());
+    });
+
+    // Forward step completes, the next node fails terminally, the
+    // completed step is compensated: the full rollback round trip.
+    let comp_graph = {
+        let mut g = WorkflowGraph::new();
+        let a = g.add("a", Const::new(7));
+        let step = g.add("step", Compute::new(&["in"], |p| Ok(p["in"].clone())));
+        let doomed = g.add("doomed", AlwaysFails);
+        g.connect(a, "out", step, "in").unwrap();
+        g.connect(step, "out", doomed, "in").unwrap();
+        g.set_compensation(step, NoopCompensator).unwrap();
+        g
+    };
+    let compensation = bench("saga_compensation", 300, || {
+        let out = comp_graph.run_saga(&HashMap::new(), &saga).unwrap();
+        assert!(!black_box(&out).is_completed());
+    });
+
+    // The per-send price of a fault-configured MemNetwork: one seeded
+    // draw per injected decision.
+    let mut rng = FaultRng::new(0xD1CE);
+    let verdict = bench("fault_verdict_draw", 200_000, || {
+        black_box(rng.chance(black_box(0.2)));
+    });
+
+    // Minting the Idempotency-Key a ServiceCall attaches to POSTs.
+    bench("idempotency_key_mint", 200_000, || {
+        black_box(soc_http::fresh_idempotency_key());
+    });
+
+    for (name, got, budget) in [
+        ("saga_noop", saga_noop, BUDGET_SAGA_NOOP_NS),
+        ("saga_retry_recovery", retry, BUDGET_RETRY_NS),
+        ("saga_compensation", compensation, BUDGET_COMPENSATION_NS),
+        ("fault_verdict_draw", verdict, BUDGET_VERDICT_NS),
+    ] {
+        assert!(got < budget, "{name} costs {got:.1} ns/op, over the {budget} ns budget");
+    }
+    println!("PASS: all rows within budget");
+}

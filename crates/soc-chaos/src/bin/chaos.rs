@@ -1,0 +1,103 @@
+//! Seed-sweeping chaos driver.
+//!
+//! ```sh
+//! cargo run -p soc-chaos --bin chaos --release -- --seeds 32
+//! cargo run -p soc-chaos --bin chaos --release -- --seeds 8 --tcp
+//! cargo run -p soc-chaos --bin chaos --release -- --start 7 --seeds 1 --fault-pct 0.4
+//! ```
+//!
+//! Exits non-zero if any campaign violates an invariant or the sweep's
+//! aggregate success-or-clean-compensation ratio drops below the floor.
+
+use std::time::Duration;
+
+use soc_chaos::{run_mem_chaos, run_tcp_chaos, ChaosConfig};
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    runs: usize,
+    fault_pct: f64,
+    tcp: bool,
+    floor: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seeds: 8, start: 1, runs: 24, fault_pct: 0.2, tcp: false, floor: 0.99 };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start" => args.start = value("--start")?.parse().map_err(|e| format!("{e}"))?,
+            "--runs" => args.runs = value("--runs")?.parse().map_err(|e| format!("{e}"))?,
+            "--fault-pct" => {
+                args.fault_pct = value("--fault-pct")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--floor" => args.floor = value("--floor")?.parse().map_err(|e| format!("{e}"))?,
+            "--tcp" => args.tcp = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: chaos [--seeds N] [--start S] [--runs R] [--fault-pct P] \
+                     [--floor F] [--tcp]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut total_runs = 0usize;
+    let mut total_good = 0usize;
+    let mut failed = false;
+    for seed in args.start..args.start + args.seeds {
+        let cfg = ChaosConfig {
+            seed,
+            runs: args.runs,
+            fault_pct: args.fault_pct,
+            deadline: Duration::from_secs(5),
+            ..ChaosConfig::default()
+        };
+        let report = if args.tcp {
+            let (report, open_tunnels) = run_tcp_chaos(&cfg);
+            if open_tunnels.iter().any(|&n| n != 0) {
+                eprintln!("seed {seed:#x}: leaked proxy tunnels: {open_tunnels:?}");
+                failed = true;
+            }
+            report
+        } else {
+            run_mem_chaos(&cfg)
+        };
+        println!("{}", report.summary());
+        let violations = report.violations();
+        for v in &violations {
+            eprintln!("seed {seed:#x}: INVARIANT VIOLATED: {v}");
+        }
+        failed |= !violations.is_empty();
+        total_runs += report.outcomes.len();
+        total_good += report.completed() + report.compensated_clean();
+    }
+
+    let ratio = if total_runs == 0 { 1.0 } else { total_good as f64 / total_runs as f64 };
+    println!(
+        "sweep: {total_good}/{total_runs} runs ok ({:.2}%, floor {:.2}%)",
+        ratio * 100.0,
+        args.floor * 100.0
+    );
+    if ratio < args.floor {
+        eprintln!("sweep below success floor");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,0 +1,31 @@
+//! # soc-chaos — seeded chaos engineering for the whole stack
+//!
+//! The paper's running complaint about real-world service composition
+//! is that the network is hostile: free public services are "too
+//! slow... often offline". The rest of the stack grew the defenses —
+//! gateway retries/breakers/hedging, saga workflows with compensation,
+//! idempotency-keyed submissions — and this crate is the offense that
+//! proves they work:
+//!
+//! - [`FaultProxy`] — a TCP byte tunnel that injects delay, mid-header
+//!   connection cuts, and mid-body truncation on *real sockets*, with
+//!   verdicts drawn deterministically from a seed;
+//! - [`run_mem_chaos`] / [`run_tcp_chaos`] — full-stack campaigns:
+//!   replicated mortgage services behind a QoS-aware gateway, driven by
+//!   the mortgage saga under a seeded fault schedule;
+//! - [`ChaosReport`] — the invariants that define correctness under
+//!   faults (no duplicated submissions, compensation exactly balancing
+//!   completed steps and running in reverse order, deadlines honored,
+//!   breakers recovering), checked via [`ChaosReport::violations`].
+//!
+//! The `chaos` binary sweeps seeds from the command line
+//! (`scripts/chaos_sweep.sh` wraps it); `tests/chaos_stack.rs` pins a
+//! seed matrix in CI.
+
+pub mod harness;
+pub mod proxy;
+
+pub use harness::{
+    live_threads, run_mem_chaos, run_tcp_chaos, CancelCall, ChaosConfig, ChaosReport, RunOutcome,
+};
+pub use proxy::{FaultProxy, ProxyFaults, ProxyStats};

@@ -395,7 +395,10 @@ impl Gateway {
         inner.obs.admitted.inc();
 
         let deadline = Instant::now() + inner.config.request_deadline;
-        let retryable = req.method.is_idempotent() || inner.config.retry_non_idempotent;
+        // A POST carrying an Idempotency-Key is replay-safe: the
+        // origin deduplicates on the key, so retrying (and hedging,
+        // below) cannot double-execute its side effect.
+        let retryable = req.is_replay_safe() || inner.config.retry_non_idempotent;
         let attempts = if retryable { inner.config.max_retries + 1 } else { 1 };
         let mut last: Option<Response> = None;
 
@@ -499,9 +502,11 @@ impl Gateway {
                 ustats.retries.fetch_add(1, Ordering::Relaxed);
             }
 
-            // Hedge only when the picked replica has earned a p95 and
-            // a second replica exists to race against.
-            let hedge_delay = if backup_pool.is_empty() {
+            // Hedge only when the request can be replayed safely, the
+            // picked replica has earned a p95, and a second replica
+            // exists to race against. A keyless POST never hedges —
+            // the losing arm's side effect would be a duplicate.
+            let hedge_delay = if backup_pool.is_empty() || !retryable {
                 None
             } else {
                 inner.config.hedge.hedge_delay(
@@ -998,7 +1003,10 @@ mod tests {
                 outlier: OutlierConfig {
                     eval_interval: Duration::ZERO,
                     min_samples: 8,
-                    min_latency: Duration::from_micros(50),
+                    // Well under the injected 8 ms but above scheduling
+                    // noise: a healthy replica descheduled under a
+                    // loaded test run must not become eligible.
+                    min_latency: Duration::from_millis(2),
                     eject_duration: Duration::from_secs(30),
                     ..OutlierConfig::default()
                 },

@@ -20,6 +20,10 @@
 //!   URLs address it.
 //! - [`cookies`] — cookie parsing/formatting for the web-app state
 //!   management unit.
+//! - [`fault`] — deterministic seeded fault injection (probabilistic
+//!   failures, lost responses, corruption/truncation, burst windows)
+//!   applied by [`mem::MemNetwork`]; host-pair partitions live on the
+//!   network itself.
 //!
 //! ```
 //! use soc_http::{Handler, Request, Response, Status};
@@ -36,6 +40,7 @@
 pub mod client;
 pub mod codec;
 pub mod cookies;
+pub mod fault;
 pub mod mem;
 pub mod observe;
 pub mod server;
@@ -43,8 +48,12 @@ pub mod types;
 pub mod url;
 
 pub use client::HttpClient;
+pub use fault::{FaultConfig, FaultRng, FaultVerdict, FaultWindow};
 pub use mem::{MemNetwork, Transport};
 pub use observe::ObserveEndpoints;
 pub use server::{Handler, HttpServer, ServerConfig};
-pub use types::{Headers, HttpError, HttpResult, Method, Request, Response, Status, Version};
+pub use types::{
+    fresh_idempotency_key, Headers, HttpError, HttpResult, Method, Request, Response, Status,
+    Version, IDEMPOTENCY_KEY,
+};
 pub use url::Url;

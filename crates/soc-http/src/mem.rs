@@ -9,17 +9,51 @@
 //! free public services ("services are too slow... often offline or
 //! removed without notice").
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::client::HttpClient;
+use crate::fault::{FaultRng, FaultVerdict};
 use crate::server::Handler;
 use crate::types::{HttpError, HttpResult, Request, Response, Status};
 use crate::url::Url;
+
+pub use crate::fault::{FaultConfig, FaultWindow};
+
+/// Origin name used for requests that do not come from a hosted
+/// handler (i.e. test drivers and clients outside the network).
+pub const CLIENT_ORIGIN: &str = "client";
+
+thread_local! {
+    // Stack of hosts currently serving on this thread: a handler that
+    // calls back into the network sends *as* its host, so directional
+    // partitions can cut e.g. gateway→replica while client→gateway
+    // stays up.
+    static ORIGIN: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn current_origin() -> String {
+    ORIGIN.with(|o| o.borrow().last().cloned()).unwrap_or_else(|| CLIENT_ORIGIN.to_string())
+}
+
+struct OriginGuard;
+
+impl Drop for OriginGuard {
+    fn drop(&mut self) {
+        ORIGIN.with(|o| {
+            o.borrow_mut().pop();
+        });
+    }
+}
+
+fn push_origin(host: &str) -> OriginGuard {
+    ORIGIN.with(|o| o.borrow_mut().push(host.to_string()));
+    OriginGuard
+}
 
 /// Anything that can exchange request/response pairs: the TCP client,
 /// the in-memory network, or the combined [`UniClient`]. Service-layer
@@ -36,28 +70,19 @@ impl Transport for HttpClient {
     }
 }
 
-/// Deterministic fault injection for a virtual host.
-#[derive(Debug, Clone, Default)]
-pub struct FaultConfig {
-    /// Every `n`-th request (1-based counter) returns 503. `0` disables.
-    pub fail_every: u64,
-    /// Added latency per request.
-    pub latency: Duration,
-    /// When set, the host answers nothing (connection refused
-    /// equivalent: an `Io` error).
-    pub offline: bool,
-}
-
 struct HostEntry {
     handler: Arc<dyn Handler>,
     fault: FaultConfig,
     hits: AtomicU64,
+    rng: Mutex<FaultRng>,
 }
 
 /// A registry of named in-memory hosts addressed as `mem://name/path`.
 #[derive(Clone, Default)]
 pub struct MemNetwork {
     hosts: Arc<RwLock<HashMap<String, Arc<HostEntry>>>>,
+    // Directional (from, to) pairs currently cut at the network level.
+    partitions: Arc<RwLock<HashSet<(String, String)>>>,
 }
 
 impl MemNetwork {
@@ -74,6 +99,7 @@ impl MemNetwork {
                 handler: Arc::new(handler),
                 fault: FaultConfig::default(),
                 hits: AtomicU64::new(0),
+                rng: Mutex::new(FaultRng::new(0)),
             }),
         );
     }
@@ -90,15 +116,34 @@ impl MemNetwork {
         let entry = entry.clone();
         drop(hosts);
         let mut hosts = self.hosts.write();
+        let rng = Mutex::new(FaultRng::new(fault.seed));
         hosts.insert(
             name.to_string(),
             Arc::new(HostEntry {
                 handler: entry.handler.clone(),
                 fault,
                 hits: AtomicU64::new(entry.hits.load(Ordering::Relaxed)),
+                rng,
             }),
         );
         true
+    }
+
+    /// Cut traffic from `from` to `to` (directional). `from` is either
+    /// a hosted name (for handler-to-handler calls) or
+    /// [`CLIENT_ORIGIN`] for external callers.
+    pub fn partition(&self, from: &str, to: &str) {
+        self.partitions.write().insert((from.to_string(), to.to_string()));
+    }
+
+    /// Restore traffic from `from` to `to`.
+    pub fn heal(&self, from: &str, to: &str) {
+        self.partitions.write().remove(&(from.to_string(), to.to_string()));
+    }
+
+    /// Remove every partition.
+    pub fn heal_all(&self) {
+        self.partitions.write().clear();
     }
 
     /// Names of all registered hosts.
@@ -123,6 +168,14 @@ impl Transport for MemNetwork {
                 url.scheme
             )));
         }
+        // Network-level partition: the caller can't tell whether the
+        // host exists, the packets just never arrive.
+        if !self.partitions.read().is_empty() {
+            let origin = current_origin();
+            if self.partitions.read().contains(&(origin.clone(), url.host.clone())) {
+                return Err(HttpError::Io(format!("partitioned: {origin} -> {}", url.host)));
+            }
+        }
         let entry = self
             .hosts
             .read()
@@ -140,6 +193,10 @@ impl Transport for MemNetwork {
         if entry.fault.fail_every > 0 && n % entry.fault.fail_every == 0 {
             return Ok(Response::error(Status::SERVICE_UNAVAILABLE, "injected fault"));
         }
+        let verdict = entry.fault.verdict(n, &mut entry.rng.lock());
+        if verdict == FaultVerdict::FailEarly {
+            return Ok(Response::error(Status::SERVICE_UNAVAILABLE, "injected fault"));
+        }
 
         // The handler sees origin-form targets, exactly like over TCP.
         let mut inner = req;
@@ -147,13 +204,27 @@ impl Transport for MemNetwork {
         // Same trace plumbing as the TCP path: inject the caller's
         // context, then serve inside a server span on the "remote" side.
         crate::observe::inject_traceparent(&mut inner.headers);
-        let resp = crate::observe::serve_with_span(inner, "mem.server", |req| {
+        // Nested sends from inside the handler originate at this host.
+        let _origin = push_origin(&url.host);
+        let mut resp = crate::observe::serve_with_span(inner, "mem.server", |req| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| entry.handler.handle(req)))
                 .unwrap_or_else(|_| {
                     Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked")
                 })
         });
-        Ok(resp)
+        // Post-handler faults: side effects already happened on the
+        // host; only the response suffers.
+        match verdict {
+            FaultVerdict::Reset => {
+                Err(HttpError::Io(format!("connection reset by {} (injected)", url.host)))
+            }
+            FaultVerdict::Truncate => Err(HttpError::UnexpectedEof),
+            FaultVerdict::Corrupt => {
+                crate::fault::corrupt_body(&mut resp.body);
+                Ok(resp)
+            }
+            FaultVerdict::Clean | FaultVerdict::FailEarly => Ok(resp),
+        }
     }
 }
 
@@ -261,6 +332,88 @@ mod tests {
         // Network still usable.
         let resp = net.send(Request::get("mem://bad/")).unwrap();
         assert_eq!(resp.status, Status::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let net = echo_net();
+            net.set_fault("echo", FaultConfig::seeded(seed).with_fail(0.3));
+            (0..64)
+                .map(|_| net.send(Request::get("mem://echo/")).unwrap().status.is_success())
+                .collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        let failures = run(5).iter().filter(|ok| !**ok).count();
+        assert!((5..=35).contains(&failures), "got {failures}");
+    }
+
+    #[test]
+    fn reset_runs_handler_but_loses_response() {
+        let net = MemNetwork::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let handler_hits = hits.clone();
+        net.host("flaky", move |_req: Request| {
+            handler_hits.fetch_add(1, Ordering::SeqCst);
+            Response::text("done")
+        });
+        net.set_fault("flaky", FaultConfig::seeded(1).with_reset(1.0));
+        let err = net.send(Request::post("mem://flaky/", b"x".to_vec()));
+        assert!(matches!(err, Err(HttpError::Io(_))));
+        // The side effect happened even though the client saw an error.
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn corruption_and_truncation() {
+        let net = echo_net();
+        net.set_fault("echo", FaultConfig::seeded(2).with_corrupt(1.0));
+        let resp = net.send(Request::get("mem://echo/x")).unwrap();
+        assert!(resp.status.is_success());
+        assert_ne!(resp.body, b"GET /x".to_vec());
+        net.set_fault("echo", FaultConfig::seeded(2).with_truncate(1.0));
+        assert!(matches!(net.send(Request::get("mem://echo/x")), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn burst_window_gates_faults() {
+        let net = echo_net();
+        // Blackout on the first 2 of every 4 requests (positions 0,1).
+        net.set_fault(
+            "echo",
+            FaultConfig::default().with_window(FaultWindow { period: 4, faulty: 2, offset: 0 }),
+        );
+        let ok: Vec<bool> = (1..=8u64)
+            .map(|_| net.send(Request::get("mem://echo/")).unwrap().status.is_success())
+            .collect();
+        assert_eq!(ok, vec![false, true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn partitions_are_directional_and_heal() {
+        let net = MemNetwork::new();
+        let backend_net = net.clone();
+        net.host("frontend", move |_req: Request| {
+            match backend_net.send(Request::get("mem://backend/")) {
+                Ok(r) => r,
+                Err(e) => Response::error(Status(502), &e.to_string()),
+            }
+        });
+        net.host("backend", |_req: Request| Response::text("pong"));
+
+        // Cut frontend→backend: the client still reaches the frontend,
+        // which now cannot reach its backend.
+        net.partition("frontend", "backend");
+        let resp = net.send(Request::get("mem://frontend/")).unwrap();
+        assert_eq!(resp.status, Status(502));
+        // Direct client→backend is unaffected (directional).
+        assert!(net.send(Request::get("mem://backend/")).unwrap().status.is_success());
+        // Client→backend can be cut independently.
+        net.partition(CLIENT_ORIGIN, "backend");
+        assert!(net.send(Request::get("mem://backend/")).is_err());
+        net.heal_all();
+        assert!(net.send(Request::get("mem://frontend/")).unwrap().status.is_success());
     }
 
     #[test]

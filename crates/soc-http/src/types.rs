@@ -288,6 +288,30 @@ impl Headers {
     }
 }
 
+/// Header marking a non-idempotent request as safe to replay: the
+/// origin deduplicates on the key, so gateways may retry/hedge the
+/// POST without double-executing its side effect.
+pub const IDEMPOTENCY_KEY: &str = "Idempotency-Key";
+
+/// A process-unique idempotency key: one value per *logical* request.
+/// Attach it with [`Request::with_idempotency_key`]; every transport
+/// retry of that request must reuse the same key.
+pub fn fresh_idempotency_key() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static BASE: OnceLock<u64> = OnceLock::new();
+    let base = *BASE.get_or_init(|| {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        t ^ (&COUNTER as *const _ as u64).rotate_left(32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed) + 1;
+    format!("{base:016x}-{n:012x}")
+}
+
 /// An HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -332,6 +356,26 @@ impl Request {
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
         self.headers.add(name, value);
         self
+    }
+
+    /// Builder: mark this request replay-safe under `key` (see
+    /// [`IDEMPOTENCY_KEY`]).
+    pub fn with_idempotency_key(mut self, key: &str) -> Self {
+        self.headers.set(IDEMPOTENCY_KEY, key);
+        self
+    }
+
+    /// The request's idempotency key, if it carries one.
+    pub fn idempotency_key(&self) -> Option<&str> {
+        self.headers.get(IDEMPOTENCY_KEY)
+    }
+
+    /// Whether a gateway may retry or hedge this request without
+    /// risking a duplicated side effect: the method is idempotent by
+    /// definition, or the caller attached an idempotency key the
+    /// origin deduplicates on.
+    pub fn is_replay_safe(&self) -> bool {
+        self.method.is_idempotent() || self.idempotency_key().is_some()
     }
 
     /// Builder: set the raw body.

@@ -122,6 +122,9 @@ struct ActiveSpan {
 pub struct Span {
     ctx: TraceContext,
     active: Option<Box<ActiveSpan>>,
+    /// Head-unsampled but recorded anyway because tail sampling is on:
+    /// the finished record goes to the tail buffer, not the store.
+    tail_only: bool,
 }
 
 impl Span {
@@ -131,7 +134,8 @@ impl Span {
         name: &'static str,
         kind: SpanKind,
     ) -> Span {
-        let active = if ctx.sampled {
+        let tail_only = !ctx.sampled && crate::global().tail_keep_errors();
+        let active = if ctx.sampled || tail_only {
             Some(Box::new(ActiveSpan {
                 parent,
                 name,
@@ -145,7 +149,7 @@ impl Span {
         } else {
             None
         };
-        Span { ctx, active }
+        Span { ctx, active, tail_only }
     }
 
     /// This span's propagated context (fresh span id under the parent's
@@ -193,7 +197,7 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(a) = self.active.take() {
             let duration_us = a.started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            crate::global().store().record(SpanRecord {
+            let record = SpanRecord {
                 trace_id: self.ctx.trace_id,
                 span_id: self.ctx.span_id,
                 parent: a.parent,
@@ -204,7 +208,16 @@ impl Drop for Span {
                 status: a.status,
                 error: a.error,
                 attrs: a.attrs,
-            });
+            };
+            if self.tail_only {
+                // Buffered until the trace's fate is known; an error
+                // anywhere in the trace flushes it into the store.
+                for flushed in crate::global().tail.offer(record) {
+                    crate::global().store().record(flushed);
+                }
+            } else {
+                crate::global().store().record(record);
+            }
         }
     }
 }
@@ -266,8 +279,16 @@ mod tests {
         assert_eq!(spans[0].status, SpanStatus::Ok);
     }
 
+    /// Tests that flip the global tail-sampling flag (or assert that
+    /// unsampled spans vanish) serialize here so they don't race.
+    fn tail_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     #[test]
     fn unsampled_parent_disables_recording_but_propagates() {
+        let _serial = tail_lock();
         let parent = TraceContext {
             trace_id: TraceId::generate(),
             span_id: SpanId::generate(),
@@ -299,6 +320,47 @@ mod tests {
         assert_eq!(spans.len(), 2);
         let child_rec = spans.iter().find(|s| s.name == "test.child").unwrap();
         assert_eq!(child_rec.parent, Some(root_ctx.span_id));
+    }
+
+    #[test]
+    fn tail_sampling_keeps_error_traces_and_drops_clean_ones() {
+        let _serial = tail_lock();
+        struct Off;
+        impl Drop for Off {
+            fn drop(&mut self) {
+                crate::set_tail_keep_errors(false);
+            }
+        }
+        let _off = Off;
+        crate::set_tail_keep_errors(true);
+
+        let unsampled = || TraceContext {
+            trace_id: TraceId::generate(),
+            span_id: SpanId::generate(),
+            sampled: false,
+        };
+
+        // Clean head-unsampled trace: buffered, never stored.
+        let clean = unsampled();
+        child_span(clean, "test.tail_clean", SpanKind::Internal).finish();
+        assert!(crate::global().store().trace(clean.trace_id).is_empty());
+
+        // Erroring head-unsampled trace: sibling + parent + error span
+        // all end up in the store.
+        let parent = unsampled();
+        child_span(parent, "test.tail_sibling", SpanKind::Internal).finish();
+        let mut failing = child_span(parent, "test.tail_error", SpanKind::Client);
+        failing.set_error("downstream reset");
+        failing.finish();
+        // A span finishing *after* promotion records directly.
+        child_span(parent, "test.tail_late", SpanKind::Internal).finish();
+        let spans = crate::global().store().trace(parent.trace_id);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"test.tail_sibling"), "{names:?}");
+        assert!(names.contains(&"test.tail_error"), "{names:?}");
+        assert!(names.contains(&"test.tail_late"), "{names:?}");
+        let err = spans.iter().find(|s| s.name == "test.tail_error").unwrap();
+        assert_eq!(err.status, SpanStatus::Error);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::password::{Charset, PasswordService};
 /// All service instances behind one REST facade.
 pub struct ServiceHost {
     router: Router,
+    ledger: Arc<crate::ledger::SubmissionLedger>,
 }
 
 fn bad(e: impl std::fmt::Display) -> Response {
@@ -49,6 +50,14 @@ fn str_field(v: &Value, key: &str) -> Result<String, Response> {
 impl ServiceHost {
     /// Build the full repository host (deterministic from `seed`).
     pub fn new(seed: u64) -> Self {
+        Self::with_ledger(seed, Arc::new(crate::ledger::SubmissionLedger::new()))
+    }
+
+    /// Like [`ServiceHost::new`], but sharing `ledger` — replicas of
+    /// the mortgage service share one ledger the way real replicas
+    /// share a database, so an idempotent replay deduplicates no
+    /// matter which replica it lands on.
+    pub fn with_ledger(seed: u64, ledger: Arc<crate::ledger::SubmissionLedger>) -> Self {
         let mut router = Router::new();
         let clock = Arc::new(AtomicU64::new(0));
 
@@ -328,6 +337,7 @@ impl ServiceHost {
         });
         {
             let mortgage = Arc::new(MortgageService::default());
+            let apply_ledger = ledger.clone();
             router.post("/mortgage/apply", move |req, _p| match body_json(&req) {
                 Ok(v) => {
                     let app = Application {
@@ -346,26 +356,57 @@ impl ServiceHost {
                         term_years: v.get("term_years").and_then(Value::as_i64).unwrap_or(30).max(0)
                             as u32,
                     };
-                    match mortgage.decide(&app) {
-                        Decision::Approved { score, rate_bps, monthly_payment } => Response::json(
-                            &json!({
+                    let key = req.idempotency_key().map(str::to_string);
+                    let content = v.to_compact();
+                    let mortgage = mortgage.clone();
+                    let id = key.clone().unwrap_or_default();
+                    let decide = move || {
+                        let decision = match mortgage.decide(&app) {
+                            Decision::Approved { score, rate_bps, monthly_payment } => json!({
                                 "decision": "approved",
                                 "score": score,
                                 "rate_bps": rate_bps,
                                 "monthly_payment": (monthly_payment as i64)
-                            })
-                            .to_compact(),
-                        ),
-                        Decision::Rejected { score, reasons } => Response::json(
-                            &json!({
+                            }),
+                            Decision::Rejected { score, reasons } => json!({
                                 "decision": "rejected",
                                 "score": (score.map(|s| s as i64)),
                                 "reasons": reasons
-                            })
-                            .to_compact(),
-                        ),
+                            }),
+                        };
+                        let mut decision = decision;
+                        if !id.is_empty() {
+                            // The key doubles as the application id a
+                            // compensator cancels by.
+                            decision.set("application_id", Value::from(id.as_str()));
+                        }
+                        decision.to_compact()
+                    };
+                    match key {
+                        // First submission executes; replays of the
+                        // same key (gateway retry/hedge, workflow
+                        // re-fire after a lost response) replay the
+                        // cached decision instead of re-applying.
+                        Some(k) => Response::json(&apply_ledger.apply(&k, &content, decide).0),
+                        None => {
+                            apply_ledger.note_keyless(&content);
+                            Response::json(&decide())
+                        }
                     }
                 }
+                Err(r) => r,
+            });
+            let cancel_ledger = ledger.clone();
+            router.post("/mortgage/cancel", move |req, _p| match body_json(&req) {
+                Ok(v) => match v.get("application_id").and_then(Value::as_str) {
+                    Some(id) => {
+                        let known = cancel_ledger.cancel(id);
+                        Response::json(
+                            &json!({ "cancelled": known, "application_id": id }).to_compact(),
+                        )
+                    }
+                    None => bad("missing string field \"application_id\""),
+                },
                 Err(r) => r,
             });
         }
@@ -444,7 +485,12 @@ impl ServiceHost {
             });
         }
 
-        ServiceHost { router }
+        ServiceHost { router, ledger }
+    }
+
+    /// The mortgage submission ledger backing this host.
+    pub fn ledger(&self) -> Arc<crate::ledger::SubmissionLedger> {
+        self.ledger.clone()
     }
 }
 
@@ -784,6 +830,46 @@ mod tests {
             v.get("decision").and_then(Value::as_str),
             Some("approved") | Some("rejected")
         ));
+    }
+
+    #[test]
+    fn keyed_mortgage_apply_dedupes_across_replicas() {
+        let net = MemNetwork::new();
+        let ledger = Arc::new(crate::ledger::SubmissionLedger::new());
+        net.host("a.replica", ServiceHost::with_ledger(1, ledger.clone()));
+        net.host("b.replica", ServiceHost::with_ledger(2, ledger.clone()));
+        let body = json!({
+            "name": "Ann", "ssn": "123-45-6789",
+            "annual_income": 90000, "loan_amount": 200000, "term_years": 30
+        })
+        .to_compact();
+        let keyed = |host: &str| {
+            Request::post(format!("mem://{host}/mortgage/apply"), Vec::new())
+                .with_text("application/json", &body)
+                .with_idempotency_key("app-123")
+        };
+        let first = net.send(keyed("a.replica")).unwrap();
+        // A replay of the same key on the *other* replica must not
+        // open a second application.
+        let second = net.send(keyed("b.replica")).unwrap();
+        assert_eq!(first.body, second.body);
+        let text = String::from_utf8(first.body).unwrap();
+        assert!(text.contains("\"application_id\":\"app-123\""), "{text}");
+        assert_eq!(ledger.total_executions(), 1);
+        assert_eq!(ledger.total_deduped(), 1);
+        assert_eq!(ledger.max_executions_per_content(), 1);
+
+        // Cancellation balances the submission.
+        let cancel = net
+            .send(Request::post("mem://b.replica/mortgage/cancel", Vec::new()).with_text(
+                "application/json",
+                &json!({ "application_id": "app-123" }).to_compact(),
+            ))
+            .unwrap();
+        let text = String::from_utf8(cancel.body).unwrap();
+        assert!(text.contains("\"cancelled\":true"), "{text}");
+        assert_eq!(ledger.open_applications(), 0);
+        assert_eq!(ledger.orphan_cancels(), 0);
     }
 
     #[test]

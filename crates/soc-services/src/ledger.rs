@@ -1,0 +1,225 @@
+//! The mortgage submission ledger — the "bank's database".
+//!
+//! POST `/mortgage/apply` is the stack's canonical non-idempotent
+//! operation: submitting twice opens two applications. This ledger
+//! makes the operation replay-safe *and* auditable:
+//!
+//! - **Dedupe**: the first submission under an `Idempotency-Key`
+//!   executes the decision logic and caches the response; replays of
+//!   the same key (gateway retries, hedges, workflow re-fires after a
+//!   lost response) return the cached response without executing
+//!   again.
+//! - **Audit**: the ledger counts every *actual execution* per key and
+//!   per request body, plus cancellations, so a chaos harness can
+//!   assert the real invariants — no logical application executed
+//!   twice, compensations exactly balance completed submissions — not
+//!   just "the client saw no duplicates".
+//!
+//! Replicas of the service share one ledger ([`crate::bindings::ServiceHost::with_ledger`])
+//! the way real replicas share a database, so a retry that lands on a
+//! different replica still dedupes.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Audit record for one application id (idempotency key).
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    /// Times the decision logic actually executed for this key.
+    pub executions: u64,
+    /// Times a replay was served from cache instead of executing.
+    pub deduped: u64,
+    /// Times this application was cancelled (compensation).
+    pub cancellations: u64,
+    /// Cached response body.
+    pub response: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, LedgerEntry>,
+    // Decision executions per request body — catches duplicates that
+    // slipped past the key (e.g. two keys for one logical request).
+    by_content: HashMap<String, u64>,
+    keyless: u64,
+    orphan_cancels: u64,
+}
+
+/// Shared submission store for the mortgage service. See module docs.
+#[derive(Default)]
+pub struct SubmissionLedger {
+    inner: Mutex<Inner>,
+}
+
+impl SubmissionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        SubmissionLedger::default()
+    }
+
+    /// Execute-or-replay: runs `decide` only if `key` is new, caching
+    /// its response. Returns `(response, replayed)`. `content`
+    /// identifies the logical request for duplicate auditing.
+    pub fn apply(
+        &self,
+        key: &str,
+        content: &str,
+        decide: impl FnOnce() -> String,
+    ) -> (String, bool) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.entries.get_mut(key) {
+            entry.deduped += 1;
+            return (entry.response.clone(), true);
+        }
+        // Execute under the lock: replicas share the ledger like a
+        // database, and this serializes racing replays of one key.
+        let response = decide();
+        inner.entries.insert(
+            key.to_string(),
+            LedgerEntry { executions: 1, deduped: 0, cancellations: 0, response: response.clone() },
+        );
+        *inner.by_content.entry(content.to_string()).or_insert(0) += 1;
+        (response, false)
+    }
+
+    /// Record a keyless submission (no dedupe possible).
+    pub fn note_keyless(&self, content: &str) {
+        let mut inner = self.inner.lock();
+        inner.keyless += 1;
+        *inner.by_content.entry(content.to_string()).or_insert(0) += 1;
+    }
+
+    /// Cancel an application. Returns whether the id was known;
+    /// unknown ids are recorded as orphan cancels (a compensation
+    /// invariant violation if it ever happens).
+    pub fn cancel(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.cancellations += 1;
+                true
+            }
+            None => {
+                inner.orphan_cancels += 1;
+                false
+            }
+        }
+    }
+
+    /// Audit record for one application id.
+    pub fn entry(&self, key: &str) -> Option<LedgerEntry> {
+        self.inner.lock().entries.get(key).cloned()
+    }
+
+    /// All application ids, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.lock().entries.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Total decision executions (excludes deduped replays).
+    pub fn total_executions(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.entries.values().map(|e| e.executions).sum::<u64>() + inner.keyless
+    }
+
+    /// Replays served from cache.
+    pub fn total_deduped(&self) -> u64 {
+        self.inner.lock().entries.values().map(|e| e.deduped).sum()
+    }
+
+    /// The worst duplication factor across logical requests: 1 means
+    /// every distinct request body executed exactly once.
+    pub fn max_executions_per_content(&self) -> u64 {
+        self.inner.lock().by_content.values().copied().max().unwrap_or(0)
+    }
+
+    /// Applications executed and not (yet) cancelled.
+    pub fn open_applications(&self) -> u64 {
+        self.inner.lock().entries.values().filter(|e| e.cancellations == 0).count() as u64
+    }
+
+    /// Ids that were cancelled, sorted.
+    pub fn cancelled_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|(_, e)| e.cancellations > 0)
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Cancels addressed at ids the ledger never saw.
+    pub fn orphan_cancels(&self) -> u64 {
+        self.inner.lock().orphan_cancels
+    }
+
+    /// Submissions that arrived without an idempotency key.
+    pub fn keyless_submissions(&self) -> u64 {
+        self.inner.lock().keyless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replays_hit_cache_without_reexecuting() {
+        let ledger = SubmissionLedger::new();
+        let mut calls = 0;
+        let (r1, cached1) = ledger.apply("k1", "app-a", || {
+            calls += 1;
+            "{\"ok\":1}".to_string()
+        });
+        assert!(!cached1);
+        let (r2, cached2) = ledger.apply("k1", "app-a", || {
+            calls += 1;
+            "{\"ok\":2}".to_string()
+        });
+        assert!(cached2);
+        assert_eq!(r1, r2);
+        assert_eq!(calls, 1);
+        assert_eq!(ledger.total_executions(), 1);
+        assert_eq!(ledger.total_deduped(), 1);
+        assert_eq!(ledger.max_executions_per_content(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_for_one_body_are_flagged_by_content() {
+        let ledger = SubmissionLedger::new();
+        ledger.apply("k1", "same-app", || "{}".to_string());
+        ledger.apply("k2", "same-app", || "{}".to_string());
+        assert_eq!(ledger.max_executions_per_content(), 2);
+    }
+
+    #[test]
+    fn cancel_balances_and_flags_orphans() {
+        let ledger = SubmissionLedger::new();
+        ledger.apply("k1", "a", || "{}".to_string());
+        ledger.apply("k2", "b", || "{}".to_string());
+        assert_eq!(ledger.open_applications(), 2);
+        assert!(ledger.cancel("k1"));
+        assert!(ledger.cancel("k1")); // cancel is idempotent bookkeeping
+        assert_eq!(ledger.open_applications(), 1);
+        assert_eq!(ledger.cancelled_keys(), vec!["k1".to_string()]);
+        assert!(!ledger.cancel("ghost"));
+        assert_eq!(ledger.orphan_cancels(), 1);
+    }
+
+    #[test]
+    fn keyless_submissions_still_audit_content() {
+        let ledger = SubmissionLedger::new();
+        ledger.note_keyless("app-a");
+        ledger.note_keyless("app-a");
+        assert_eq!(ledger.total_executions(), 2);
+        assert_eq!(ledger.max_executions_per_content(), 2);
+        assert_eq!(ledger.keyless_submissions(), 2);
+    }
+}

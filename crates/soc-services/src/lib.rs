@@ -38,5 +38,6 @@ pub mod cart;
 pub mod crypto;
 pub mod guessing;
 pub mod image;
+pub mod ledger;
 pub mod mortgage;
 pub mod password;

@@ -174,6 +174,15 @@ enum Target {
 pub struct ServiceCall {
     target: Target,
     post: bool,
+    // Distinguishes this block from other blocks posting the same
+    // body in the same trace; part of the idempotency key.
+    instance: u64,
+}
+
+fn next_instance() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl ServiceCall {
@@ -182,6 +191,7 @@ impl ServiceCall {
         ServiceCall {
             target: Target::Endpoint { transport, endpoint: endpoint.to_string() },
             post: false,
+            instance: next_instance(),
         }
     }
 
@@ -190,6 +200,7 @@ impl ServiceCall {
         ServiceCall {
             target: Target::Endpoint { transport, endpoint: endpoint.to_string() },
             post: true,
+            instance: next_instance(),
         }
     }
 
@@ -202,6 +213,7 @@ impl ServiceCall {
                 path: path.to_string(),
             },
             post: false,
+            instance: next_instance(),
         }
     }
 
@@ -215,6 +227,7 @@ impl ServiceCall {
                 path: path.to_string(),
             },
             post: true,
+            instance: next_instance(),
         }
     }
 }
@@ -240,7 +253,18 @@ impl Activity for ServiceCall {
         let req = if self.post {
             let body =
                 inputs.get("body").ok_or_else(|| ActivityError::MissingInput("body".into()))?;
-            Request::post(target, Vec::new()).with_text("application/json", &body.to_compact())
+            // The key is stable per block instance within one trace:
+            // gateway retries/hedges AND workflow-level re-fires of
+            // the same logical request (saga retries after a lost
+            // response) all dedupe at the origin, while a new run —
+            // a new trace — is a new logical request.
+            let key = match soc_observe::context::current() {
+                Some(ctx) => format!("wf-{:x}-{}", self.instance, ctx.trace_id.to_hex()),
+                None => soc_http::fresh_idempotency_key(),
+            };
+            Request::post(target, Vec::new())
+                .with_text("application/json", &body.to_compact())
+                .with_idempotency_key(&key)
         } else {
             Request::get(target)
         };

@@ -72,23 +72,31 @@ impl std::fmt::Display for WorkflowError {
     }
 }
 
-struct Node {
-    name: String,
-    activity: Arc<dyn Activity>,
-    firing: Firing,
+pub(crate) struct Node {
+    pub(crate) name: String,
+    pub(crate) activity: Arc<dyn Activity>,
+    pub(crate) firing: Firing,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct Edge {
-    from: (usize, String),
-    to: (usize, String),
+pub(crate) struct Edge {
+    pub(crate) from: (usize, String),
+    pub(crate) to: (usize, String),
 }
 
 /// A dataflow graph of activities — the VPL program model.
+///
+/// Besides the activity itself, each node may carry resilience
+/// metadata used by the saga executor ([`WorkflowGraph::run_saga`]):
+/// a [`crate::saga::ResiliencePolicy`], a compensator, and a fallback
+/// activity. The plain [`WorkflowGraph::run`] path ignores all three.
 #[derive(Default)]
 pub struct WorkflowGraph {
-    nodes: Vec<Node>,
-    edges: Vec<Edge>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) policies: HashMap<usize, crate::saga::ResiliencePolicy>,
+    pub(crate) compensators: HashMap<usize, Arc<dyn Activity>>,
+    pub(crate) fallbacks: HashMap<usize, Arc<dyn Activity>>,
 }
 
 impl WorkflowGraph {
@@ -116,6 +124,52 @@ impl WorkflowGraph {
         let id = NodeId(self.nodes.len());
         self.nodes.push(Node { name: name.to_string(), activity: Arc::new(activity), firing });
         id
+    }
+
+    /// Attach a [`crate::saga::ResiliencePolicy`] to a node. Only the
+    /// saga executor ([`WorkflowGraph::run_saga`]) consults it.
+    pub fn set_policy(
+        &mut self,
+        node: NodeId,
+        policy: crate::saga::ResiliencePolicy,
+    ) -> Result<(), WorkflowError> {
+        self.check_node(node)?;
+        self.policies.insert(node.0, policy);
+        Ok(())
+    }
+
+    /// Register a compensator for a node. When a saga run fails after
+    /// this node completed, the compensator executes with the node's
+    /// recorded *output* ports as its inputs.
+    pub fn set_compensation(
+        &mut self,
+        node: NodeId,
+        compensator: impl Activity + 'static,
+    ) -> Result<(), WorkflowError> {
+        self.check_node(node)?;
+        self.compensators.insert(node.0, Arc::new(compensator));
+        Ok(())
+    }
+
+    /// Register a fallback activity for a node. When the node's own
+    /// activity exhausts its retries (or times out), the fallback runs
+    /// once with the same inputs; if it succeeds the node completes
+    /// with the fallback's outputs.
+    pub fn set_fallback(
+        &mut self,
+        node: NodeId,
+        fallback: impl Activity + 'static,
+    ) -> Result<(), WorkflowError> {
+        self.check_node(node)?;
+        self.fallbacks.insert(node.0, Arc::new(fallback));
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), WorkflowError> {
+        if node.0 >= self.nodes.len() {
+            return Err(WorkflowError::NoSuchNode(format!("#{}", node.0)));
+        }
+        Ok(())
     }
 
     /// Connect `from.out_port` → `to.in_port`.
@@ -223,34 +277,12 @@ impl WorkflowGraph {
         let run_ctx = run_span.context();
         let n = self.nodes.len();
         // Values pending on each node's input ports.
-        let mut pending: Vec<Ports> = vec![Ports::new(); n];
+        let mut pending = self.seed_pending(inputs)?;
         let mut fired = vec![false; n];
         let mut results: HashMap<String, Value> = HashMap::new();
 
         // Which input ports are connected (need a producer) per node.
-        let mut connected_inputs: Vec<Vec<String>> = vec![Vec::new(); n];
-        for e in &self.edges {
-            connected_inputs[e.to.0].push(e.to.1.clone());
-        }
-
-        // Seed external inputs.
-        for (key, value) in inputs {
-            let Some((node_name, port)) = key.split_once('.') else {
-                return Err(WorkflowError::NoSuchNode(key.clone()));
-            };
-            let idx = self
-                .nodes
-                .iter()
-                .position(|nd| nd.name == node_name)
-                .ok_or_else(|| WorkflowError::NoSuchNode(node_name.to_string()))?;
-            if !self.nodes[idx].activity.inputs().iter().any(|p| p == port) {
-                return Err(WorkflowError::NoSuchPort {
-                    node: node_name.to_string(),
-                    port: port.to_string(),
-                });
-            }
-            pending[idx].insert(port.to_string(), value.clone());
-        }
+        let connected_inputs = self.connected_inputs();
 
         loop {
             // Collect the ready wave.
@@ -279,7 +311,7 @@ impl WorkflowGraph {
                     }
                     out
                 };
-            let outputs: Vec<(usize, Result<Ports, ActivityError>)> = match pool {
+            let mut outputs: Vec<(usize, Result<Ports, ActivityError>)> = match pool {
                 Some(pool) if ready.len() > 1 => {
                     let jobs: Vec<(usize, Arc<dyn Activity>, Ports)> = ready
                         .iter()
@@ -304,15 +336,25 @@ impl WorkflowGraph {
                     .collect(),
             };
 
+            // The whole wave has been joined by now (`pool.scope` blocks
+            // until every spawned node returns). Record every member of
+            // the wave — marking fired and routing successful outputs —
+            // *before* surfacing any error, so the completed-set stays
+            // consistent; the saga executor relies on the same shape.
+            outputs.sort_by_key(|(i, _)| *i);
+            let mut wave_error: Option<WorkflowError> = None;
             for (i, out) in outputs {
                 fired[i] = true;
                 let out = match out {
                     Ok(out) => out,
                     Err(error) => {
-                        let err =
-                            WorkflowError::Activity { node: self.nodes[i].name.clone(), error };
-                        run_span.set_error(err.to_string());
-                        return Err(err);
+                        if wave_error.is_none() {
+                            wave_error = Some(WorkflowError::Activity {
+                                node: self.nodes[i].name.clone(),
+                                error,
+                            });
+                        }
+                        continue;
                     }
                 };
                 for (port, value) in out {
@@ -330,6 +372,10 @@ impl WorkflowGraph {
                     }
                 }
             }
+            if let Some(err) = wave_error {
+                run_span.set_error(err.to_string());
+                return Err(err);
+            }
         }
 
         if results.is_empty() && fired.iter().any(|f| !f) {
@@ -341,7 +387,69 @@ impl WorkflowGraph {
         Ok(results)
     }
 
-    fn is_ready(&self, idx: usize, pending: &Ports, connected: &[String]) -> bool {
+    /// Input ports with a producer edge, per node.
+    pub(crate) fn connected_inputs(&self) -> Vec<Vec<String>> {
+        let mut connected: Vec<Vec<String>> = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            connected[e.to.0].push(e.to.1.clone());
+        }
+        connected
+    }
+
+    /// Validate `"node.port"` seed keys and distribute them onto the
+    /// per-node pending port maps.
+    pub(crate) fn seed_pending(
+        &self,
+        inputs: &HashMap<String, Value>,
+    ) -> Result<Vec<Ports>, WorkflowError> {
+        let mut pending: Vec<Ports> = vec![Ports::new(); self.nodes.len()];
+        for (key, value) in inputs {
+            let Some((node_name, port)) = key.split_once('.') else {
+                return Err(WorkflowError::NoSuchNode(key.clone()));
+            };
+            let idx = self
+                .nodes
+                .iter()
+                .position(|nd| nd.name == node_name)
+                .ok_or_else(|| WorkflowError::NoSuchNode(node_name.to_string()))?;
+            if !self.nodes[idx].activity.inputs().iter().any(|p| p == port) {
+                return Err(WorkflowError::NoSuchPort {
+                    node: node_name.to_string(),
+                    port: port.to_string(),
+                });
+            }
+            pending[idx].insert(port.to_string(), value.clone());
+        }
+        Ok(pending)
+    }
+
+    /// A deterministic topological order (lowest node index first among
+    /// the ready set) — the saga executor compensates completed nodes
+    /// in the reverse of this order.
+    pub(crate) fn topo_order(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        while order.len() < n {
+            let Some(next) = (0..n).find(|&i| !placed[i] && indegree[i] == 0) else {
+                break; // cycle — validate() reports it separately
+            };
+            placed[next] = true;
+            order.push(next);
+            for e in &self.edges {
+                if e.from.0 == next {
+                    indegree[e.to.0] -= 1;
+                }
+            }
+        }
+        order
+    }
+
+    pub(crate) fn is_ready(&self, idx: usize, pending: &Ports, connected: &[String]) -> bool {
         let node = &self.nodes[idx];
         let declared = node.activity.inputs();
         if declared.is_empty() {

@@ -21,12 +21,19 @@
 //! - [`bpel`] — BPEL-style structured composition (sequence / flow /
 //!   while / if / invoke / assign) over a shared variable scope — the
 //!   "BPEL-based integration" project of CSE446.
+//! - [`saga`] — fault-tolerant execution of the same graphs: per-node
+//!   [`saga::ResiliencePolicy`] (retries, backoff+jitter, timeouts,
+//!   fallbacks) and saga compensation with a structured
+//!   [`saga::WorkflowOutcome`] — the dependability unit (CSE445
+//!   unit 6) applied to the composition layer.
 
 pub mod activity;
 pub mod bpel;
 pub mod fsm;
 pub mod graph;
+pub mod saga;
 
 pub use activity::{Activity, ActivityError};
 pub use fsm::{Fsm, FsmBuilder};
 pub use graph::{WorkflowError, WorkflowGraph};
+pub use saga::{ResiliencePolicy, SagaConfig, WorkflowOutcome};

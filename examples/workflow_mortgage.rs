@@ -6,7 +6,9 @@
 //! The dataflow variant calls the mortgage service through the
 //! QoS-aware gateway (one registered replica is down; retries mask it)
 //! and runs under a trace root, so the whole composition prints as one
-//! span tree afterwards.
+//! span tree afterwards. A final saga variant lets a downstream step
+//! fail terminally and compensates the application that was already
+//! recorded.
 //!
 //! ```sh
 //! cargo run --example workflow_mortgage
@@ -22,6 +24,7 @@ use soc::json::{json, Value};
 use soc::workflow::activity::{Compute, Const, If, Merge, ServiceCall};
 use soc::workflow::bpel::{int_var, Process, Scope, Step};
 use soc::workflow::graph::WorkflowGraph;
+use soc::workflow::saga::{ResiliencePolicy, SagaConfig, WorkflowOutcome};
 
 fn main() {
     let net = MemNetwork::new();
@@ -179,7 +182,7 @@ fn main() {
 
     // ---- 3. Service composition: captcha-gated password issuing --------
     // (two repository services chained through one workflow)
-    let rest = soc::rest::RestClient::new(transport);
+    let rest = soc::rest::RestClient::new(transport.clone());
     let pw = rest
         .post("mem://services.asu/passwords/generate", &json!({ "length": 14 }))
         .expect("password service");
@@ -188,6 +191,55 @@ fn main() {
         pw.get("strength").and_then(Value::as_str).unwrap_or("?"),
         pw.get("entropy_bits").and_then(Value::as_f64).unwrap_or(0.0).round()
     );
+
+    // ---- 4. Saga: roll back what already happened ----------------------
+    // The apply step succeeds (and records an application under its
+    // Idempotency-Key), then a downstream audit step fails terminally.
+    // Run under saga semantics, the engine compensates the completed
+    // step: a compensator fed apply's *outputs* cancels the recorded
+    // application, so the books end balanced.
+    let gw2 = Gateway::new(transport.clone(), GatewayConfig::default());
+    gw2.register("mortgage", &["mem://services.asu"]);
+    let mut saga_graph = WorkflowGraph::new();
+    let application = saga_graph.add(
+        "application",
+        Const::new(json!({
+            "name": "Ann", "ssn": (ssn.clone()),
+            "annual_income": 120000, "loan_amount": 300000, "term_years": 30
+        })),
+    );
+    let apply =
+        saga_graph.add("apply", ServiceCall::post_via_gateway(gw2, "mortgage", "mortgage/apply"));
+    let audit =
+        saga_graph.add("audit", Compute::new(&["x"], |_| Err("audit service offline".to_string())));
+    saga_graph.connect(application, "out", apply, "body").unwrap();
+    saga_graph.connect(apply, "out", audit, "x").unwrap();
+    saga_graph.set_policy(apply, ResiliencePolicy::retries(3)).unwrap();
+    let canceller = soc::rest::RestClient::new(transport.clone());
+    saga_graph
+        .set_compensation(
+            apply,
+            Compute::new(&["out"], move |p| {
+                let id = p["out"]
+                    .get("application_id")
+                    .and_then(Value::as_str)
+                    .ok_or("apply output carries no application_id")?;
+                canceller
+                    .post("mem://services.asu/mortgage/cancel", &json!({ "application_id": id }))
+                    .map_err(|e| e.to_string())
+            }),
+        )
+        .unwrap();
+
+    match saga_graph.run_saga(&HashMap::new(), &SagaConfig::default()).expect("saga runs") {
+        WorkflowOutcome::Completed(_) => unreachable!("audit always fails"),
+        WorkflowOutcome::Compensated { failed_at, compensated, .. } => {
+            println!(
+                "saga rollback      -> failed at {failed_at:?}; compensated {compensated:?} \
+                 (application cancelled)"
+            );
+        }
+    }
 }
 
 /// Print `spans` as an indented tree by following `parent_span_id`

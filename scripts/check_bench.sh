@@ -66,4 +66,35 @@ for row in $(grep -o 'bench("[a-z_]*"' "$obs_src" | sed 's/.*"\([a-z_]*\)".*/\1/
         status=1
     fi
 done
+
+# --- resilience-layer overhead record ---------------------------------
+# Same contract for the chaos bench: the harness asserts its budgets
+# when run; the committed record must be present, on the current
+# schema, carry the budget section, and cover every bench row.
+chaos_record=BENCH_chaos.json
+chaos_src=crates/soc-bench/benches/chaos.rs
+
+if [[ ! -f "$chaos_record" ]]; then
+    echo "error: $chaos_record is missing — run 'cargo bench -p soc-bench --bench chaos' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$chaos_record"; then
+    echo "error: $chaos_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"budget_ns"' '"current"' '"saga_noop"'; do
+    if ! grep -q "$section" "$chaos_record"; then
+        echo "error: $chaos_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for row in $(grep -o 'bench("[a-z_]*"' "$chaos_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$row\"" "$chaos_record"; then
+        echo "error: bench row '$row' exists in $chaos_src but is absent from $chaos_record — re-record" >&2
+        status=1
+    fi
+done
 exit $status

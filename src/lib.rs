@@ -3,6 +3,7 @@
 //! Umbrella crate re-exporting the whole workspace under one namespace.
 //! See the individual crates for full documentation, and `DESIGN.md` for
 //! the system inventory.
+pub use soc_chaos as chaos;
 pub use soc_curriculum as curriculum;
 pub use soc_gateway as gateway;
 pub use soc_http as http;

@@ -637,3 +637,94 @@ fn oversized_body_is_rejected_not_buffered() {
     assert!(head.contains("400"), "{head}");
     assert!(head.to_lowercase().contains("exceeds"), "{head}");
 }
+
+// ---------------------------------------------------------------------------
+// Seeded wire faults through the chaos proxy
+// ---------------------------------------------------------------------------
+
+/// The gateway's fault matrix at real-socket fidelity and higher scale:
+/// five replicas, three of them behind chaos proxies that respectively
+/// delay, reset mid-status-line, and truncate mid-body on the wire, with
+/// eight concurrent clients hammering the front. Idempotent requests
+/// must retry around every injected fault, the proxies must actually
+/// have injected (not silently passed), and shutdown must leave no
+/// tunnel open.
+#[test]
+fn gateway_rides_out_wire_faults_from_chaos_proxies() {
+    use soc::chaos::{FaultProxy, ProxyFaults};
+
+    let reply = |name: &'static str| move |_req: Request| Response::text(name);
+    let replicas = [
+        HttpServer::bind("127.0.0.1:0", 4, reply("r0")).unwrap(),
+        HttpServer::bind("127.0.0.1:0", 4, reply("r1")).unwrap(),
+        HttpServer::bind("127.0.0.1:0", 4, reply("r2")).unwrap(),
+        HttpServer::bind("127.0.0.1:0", 4, reply("r3")).unwrap(),
+        HttpServer::bind("127.0.0.1:0", 4, reply("r4")).unwrap(),
+    ];
+    // One proxy per fault mode; the remaining two replicas are clean.
+    let mut delaying = FaultProxy::bind(
+        replicas[0].addr(),
+        ProxyFaults::seeded(11).with_delay(0.5, Duration::from_millis(10)),
+    )
+    .unwrap();
+    let mut resetting =
+        FaultProxy::bind(replicas[1].addr(), ProxyFaults::seeded(12).with_reset(0.5)).unwrap();
+    let mut truncating =
+        FaultProxy::bind(replicas[2].addr(), ProxyFaults::seeded(13).with_truncate(0.5)).unwrap();
+
+    let gw = Gateway::new(
+        Arc::new(HttpClient::new()),
+        GatewayConfig {
+            max_retries: 4,
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            request_deadline: Duration::from_secs(10),
+            ..GatewayConfig::default()
+        },
+    );
+    gw.register(
+        "svc",
+        &[
+            &delaying.url(),
+            &resetting.url(),
+            &truncating.url(),
+            &replicas[3].url(),
+            &replicas[4].url(),
+        ],
+    );
+    let front = HttpServer::bind("127.0.0.1:0", 8, gw.clone()).unwrap();
+
+    let failures: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let front_url = front.url();
+                scope.spawn(move || {
+                    let client = HttpClient::new();
+                    let mut failures = Vec::new();
+                    for i in 0..12 {
+                        let url = format!("{front_url}/svc/svc/req-{t}-{i}");
+                        match client.send(Request::get(&url)) {
+                            Ok(resp) if resp.status.is_success() => {}
+                            Ok(resp) => failures.push(format!("t{t} i{i}: HTTP {}", resp.status.0)),
+                            Err(e) => failures.push(format!("t{t} i{i}: {e}")),
+                        }
+                    }
+                    failures
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    assert!(failures.is_empty(), "client-visible failures under wire faults: {failures:?}");
+
+    // The schedule must actually have bitten: each proxy injected its
+    // fault mode at least once at p=0.5 over this much traffic.
+    assert!(delaying.stats().delays.load(Ordering::Relaxed) > 0, "no delays injected");
+    assert!(resetting.stats().resets.load(Ordering::Relaxed) > 0, "no resets injected");
+    assert!(truncating.stats().truncations.load(Ordering::Relaxed) > 0, "no truncations injected");
+
+    for proxy in [&mut delaying, &mut resetting, &mut truncating] {
+        proxy.shutdown();
+        assert_eq!(proxy.open_tunnels(), 0, "proxy leaked tunnels after shutdown");
+    }
+}
