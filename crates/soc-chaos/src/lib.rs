@@ -10,6 +10,9 @@
 //! - [`FaultProxy`] — a TCP byte tunnel that injects delay, mid-header
 //!   connection cuts, and mid-body truncation on *real sockets*, with
 //!   verdicts drawn deterministically from a seed;
+//! - [`PartitionSchedule`] — seeded schedules of directional network
+//!   cuts that always leave a connected majority, so a campaign stays
+//!   survivable by construction;
 //! - [`run_mem_chaos`] / [`run_tcp_chaos`] — full-stack campaigns:
 //!   replicated mortgage services behind a QoS-aware gateway, driven by
 //!   the mortgage saga under a seeded fault schedule;
@@ -24,8 +27,10 @@
 
 pub mod harness;
 pub mod proxy;
+pub mod schedule;
 
 pub use harness::{
     live_threads, run_mem_chaos, run_tcp_chaos, CancelCall, ChaosConfig, ChaosReport, RunOutcome,
 };
 pub use proxy::{FaultProxy, ProxyFaults, ProxyStats};
+pub use schedule::{Cut, PartitionSchedule, PartitionStep};

@@ -1,0 +1,170 @@
+//! What a crawl produces: services with fully typed operation
+//! signatures, the replicas that serve them, and the directories that
+//! advertised them.
+//!
+//! The catalog is the boundary between the crawler (which talks to the
+//! network) and the search index / planner (which never do): everything
+//! downstream of a crawl works from this snapshot alone.
+
+use std::collections::btree_map::{BTreeMap, Values};
+
+use soc_registry::ServiceDescriptor;
+use soc_soap::contract::{Operation, Param};
+
+/// One operation with its complete typed signature, as recovered from
+/// the provider's WSDL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedOperation {
+    /// Operation name as declared in the contract (e.g. `Assess`).
+    pub name: String,
+    /// Input parameters in declaration order.
+    pub inputs: Vec<Param>,
+    /// Output parameters in declaration order.
+    pub outputs: Vec<Param>,
+    /// Contract documentation, when present.
+    pub doc: Option<String>,
+}
+
+impl From<&Operation> for TypedOperation {
+    fn from(op: &Operation) -> Self {
+        TypedOperation {
+            name: op.name.clone(),
+            inputs: op.inputs.clone(),
+            outputs: op.outputs.clone(),
+            doc: op.doc.clone(),
+        }
+    }
+}
+
+/// A service the crawler has fully described: descriptor, typed
+/// operations, and where (and via whom) it can be invoked.
+#[derive(Debug, Clone)]
+pub struct DiscoveredService {
+    /// The descriptor from the first directory that advertised it.
+    pub descriptor: ServiceDescriptor,
+    /// Contract target namespace (empty when no WSDL was available).
+    pub namespace: String,
+    /// Base path operations hang off, on any replica. REST operations
+    /// are invoked as `POST {base_path}/{operation, lowercased}`; SOAP
+    /// envelopes are posted to `{base_path}` itself.
+    pub base_path: String,
+    /// Typed operations (empty when the WSDL was missing or broken).
+    pub operations: Vec<TypedOperation>,
+    /// Replica origins (`scheme://authority`) that serve the base
+    /// path. Federation yields several: each directory may advertise a
+    /// different deployment of the same service id.
+    pub replicas: Vec<String>,
+    /// Directories that advertised this service (crawl provenance).
+    pub directories: Vec<String>,
+}
+
+impl DiscoveredService {
+    /// The named operation, if the service offers it.
+    pub fn operation(&self, name: &str) -> Option<&TypedOperation> {
+        self.operations.iter().find(|o| o.name == name)
+    }
+}
+
+/// The crawl's aggregated view of the federation, keyed by service id.
+/// Iteration order is the id order, so everything built from a catalog
+/// (indexes, plans) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    services: BTreeMap<String, DiscoveredService>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Merge one described service into the catalog. A service id seen
+    /// from several directories accumulates replicas and provenance;
+    /// typed operations are kept from whichever sighting had a
+    /// parseable WSDL.
+    pub fn merge(&mut self, svc: DiscoveredService) {
+        match self.services.get_mut(&svc.descriptor.id) {
+            None => {
+                self.services.insert(svc.descriptor.id.clone(), svc);
+            }
+            Some(existing) => {
+                for r in svc.replicas {
+                    if !existing.replicas.contains(&r) {
+                        existing.replicas.push(r);
+                    }
+                }
+                for d in svc.directories {
+                    if !existing.directories.contains(&d) {
+                        existing.directories.push(d);
+                    }
+                }
+                if existing.operations.is_empty() && !svc.operations.is_empty() {
+                    existing.operations = svc.operations;
+                    existing.namespace = svc.namespace;
+                    existing.base_path = svc.base_path;
+                }
+            }
+        }
+    }
+
+    /// The service with this id.
+    pub fn get(&self, id: &str) -> Option<&DiscoveredService> {
+        self.services.get(id)
+    }
+
+    /// All services, in id order.
+    pub fn services(&self) -> Values<'_, String, DiscoveredService> {
+        self.services.values()
+    }
+
+    /// Number of distinct services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether nothing has been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soc_registry::Binding;
+    use soc_soap::XsdType;
+
+    fn svc(id: &str, replica: &str, dir: &str, ops: usize) -> DiscoveredService {
+        DiscoveredService {
+            descriptor: ServiceDescriptor::new(id, id, &format!("{replica}/api"), Binding::Rest),
+            namespace: "urn:test".into(),
+            base_path: "/api".into(),
+            operations: (0..ops)
+                .map(|i| TypedOperation {
+                    name: format!("Op{i}"),
+                    inputs: vec![Param { name: "x".into(), ty: XsdType::Int }],
+                    outputs: vec![Param { name: "y".into(), ty: XsdType::Int }],
+                    doc: None,
+                })
+                .collect(),
+            replicas: vec![replica.to_string()],
+            directories: vec![dir.to_string()],
+        }
+    }
+
+    #[test]
+    fn merging_the_same_id_accumulates_replicas_and_provenance() {
+        let mut cat = Catalog::new();
+        cat.merge(svc("credit", "mem://a", "mem://dir-1", 0));
+        cat.merge(svc("credit", "mem://b", "mem://dir-2", 2));
+        cat.merge(svc("credit", "mem://a", "mem://dir-1", 1));
+        assert_eq!(cat.len(), 1);
+        let c = cat.get("credit").unwrap();
+        assert_eq!(c.replicas, vec!["mem://a", "mem://b"]);
+        assert_eq!(c.directories, vec!["mem://dir-1", "mem://dir-2"]);
+        // First sighting had no WSDL; the typed ops came from the second.
+        assert_eq!(c.operations.len(), 2);
+        assert!(c.operation("Op1").is_some());
+    }
+}

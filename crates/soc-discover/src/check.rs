@@ -1,0 +1,348 @@
+//! Static verification of composition plans.
+//!
+//! The checker is deliberately independent of the planner: it re-derives
+//! every safety property from the [`Plan`] alone, so a planner bug (or a
+//! hand-written plan) is caught before anything executes. A plan is
+//! accepted only if:
+//!
+//! - every node input is wired exactly once, from a source that exists;
+//! - every wire is type-correct end to end;
+//! - every wanted goal output is delivered, with the right type;
+//! - the node dependency graph is acyclic.
+//!
+//! [`crate::execute`] refuses to lower a plan that does not pass
+//! [`verify`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use soc_soap::contract::Param;
+
+use crate::planner::{Goal, Plan, WireSource};
+
+/// One reason a plan is unsafe to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A node input has no wire.
+    UnwiredInput {
+        /// Consuming node index.
+        node: usize,
+        /// Unwired input name.
+        port: String,
+    },
+    /// A node input has more than one wire.
+    DoublyWiredInput {
+        /// Consuming node index.
+        node: usize,
+        /// Over-wired input name.
+        port: String,
+    },
+    /// A wire names a node or port that does not exist.
+    UnknownSource {
+        /// Consuming node index.
+        node: usize,
+        /// Input the bad wire feeds.
+        port: String,
+        /// What was wrong with the source.
+        detail: String,
+    },
+    /// A wire connects a producer to a consumer of a different type.
+    TypeMismatch {
+        /// Consuming node index.
+        node: usize,
+        /// Input name.
+        port: String,
+        /// Type the consumer declares.
+        expected: String,
+        /// Type the producer delivers.
+        found: String,
+    },
+    /// A wanted goal output is not delivered by the plan.
+    MissingGoalOutput {
+        /// The undelivered parameter, as `name: type`.
+        name: String,
+    },
+    /// The node dependency graph has a cycle.
+    Cycle,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnwiredInput { node, port } => {
+                write!(f, "node {node}: input `{port}` is not wired")
+            }
+            Violation::DoublyWiredInput { node, port } => {
+                write!(f, "node {node}: input `{port}` is wired more than once")
+            }
+            Violation::UnknownSource { node, port, detail } => {
+                write!(f, "node {node}: input `{port}` wired from unknown source ({detail})")
+            }
+            Violation::TypeMismatch { node, port, expected, found } => {
+                write!(f, "node {node}: input `{port}` expects {expected} but is fed {found}")
+            }
+            Violation::MissingGoalOutput { name } => {
+                write!(f, "goal output `{name}` is not delivered")
+            }
+            Violation::Cycle => write!(f, "plan dependency graph has a cycle"),
+        }
+    }
+}
+
+/// The producing parameter a wire source delivers, or an error
+/// description when the source does not exist.
+fn source_type<'p>(
+    plan: &'p Plan,
+    goal: &'p Goal,
+    source: &WireSource,
+) -> Result<&'p Param, String> {
+    match source {
+        WireSource::Goal(name) => goal
+            .have
+            .iter()
+            .find(|h| h.name == *name)
+            .ok_or_else(|| format!("goal has no input `{name}`")),
+        WireSource::Node { node, port } => {
+            let n = plan.nodes.get(*node).ok_or_else(|| format!("no node #{node}"))?;
+            n.outputs
+                .iter()
+                .find(|o| o.name == *port)
+                .ok_or_else(|| format!("node #{node} has no output `{port}`"))
+        }
+    }
+}
+
+/// Check every safety property; an empty result means the plan is
+/// accepted.
+pub fn check(plan: &Plan, goal: &Goal) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Wiring counts per (node, input port).
+    let mut wired: HashMap<(usize, &str), usize> = HashMap::new();
+    for wire in &plan.wires {
+        *wired.entry((wire.node, wire.port.as_str())).or_insert(0) += 1;
+    }
+    for (ni, node) in plan.nodes.iter().enumerate() {
+        for input in &node.inputs {
+            match wired.get(&(ni, input.name.as_str())).copied().unwrap_or(0) {
+                0 => {
+                    violations.push(Violation::UnwiredInput { node: ni, port: input.name.clone() })
+                }
+                1 => {}
+                _ => violations
+                    .push(Violation::DoublyWiredInput { node: ni, port: input.name.clone() }),
+            }
+        }
+    }
+
+    // Each wire: known consumer port, known producer, matching types.
+    for wire in &plan.wires {
+        let Some(node) = plan.nodes.get(wire.node) else {
+            violations.push(Violation::UnknownSource {
+                node: wire.node,
+                port: wire.port.clone(),
+                detail: format!("no node #{}", wire.node),
+            });
+            continue;
+        };
+        let Some(sink) = node.inputs.iter().find(|i| i.name == wire.port) else {
+            violations.push(Violation::UnknownSource {
+                node: wire.node,
+                port: wire.port.clone(),
+                detail: format!("node has no input `{}`", wire.port),
+            });
+            continue;
+        };
+        match source_type(plan, goal, &wire.source) {
+            Err(detail) => violations.push(Violation::UnknownSource {
+                node: wire.node,
+                port: wire.port.clone(),
+                detail,
+            }),
+            Ok(produced) if produced.ty != sink.ty => violations.push(Violation::TypeMismatch {
+                node: wire.node,
+                port: wire.port.clone(),
+                expected: sink.ty.xsd_name().to_string(),
+                found: produced.ty.xsd_name().to_string(),
+            }),
+            Ok(_) => {}
+        }
+    }
+
+    // Every want is delivered with the right type.
+    for want in &goal.want {
+        let described = format!("{}: {}", want.name, want.ty.xsd_name());
+        match plan.outputs.iter().find(|(name, _)| *name == want.name) {
+            None => violations.push(Violation::MissingGoalOutput { name: described }),
+            Some((_, source)) => match source_type(plan, goal, source) {
+                Ok(p) if p.ty == want.ty => {}
+                _ => violations.push(Violation::MissingGoalOutput { name: described }),
+            },
+        }
+    }
+
+    // Acyclicity (Kahn over node→node dependencies).
+    let n = plan.nodes.len();
+    let mut indegree = vec![0usize; n];
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for wire in &plan.wires {
+        if let WireSource::Node { node: from, .. } = &wire.source {
+            if *from < n && wire.node < n {
+                out_edges[*from].push(wire.node);
+                indegree[wire.node] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(i) = ready.pop() {
+        seen += 1;
+        for &next in &out_edges[i] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                ready.push(next);
+            }
+        }
+    }
+    if seen != n {
+        violations.push(Violation::Cycle);
+    }
+
+    violations
+}
+
+/// [`check`], as a hard gate.
+pub fn verify(plan: &Plan, goal: &Goal) -> Result<(), Vec<Violation>> {
+    let violations = check(plan, goal);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanNode, Wire};
+    use soc_registry::Binding;
+    use soc_soap::XsdType;
+
+    fn param(name: &str, ty: XsdType) -> Param {
+        Param { name: name.to_string(), ty }
+    }
+
+    fn node(
+        service: &str,
+        op: &str,
+        inputs: &[(&str, XsdType)],
+        outputs: &[(&str, XsdType)],
+    ) -> PlanNode {
+        PlanNode {
+            service_id: service.into(),
+            operation: op.into(),
+            binding: Binding::Rest,
+            namespace: String::new(),
+            base_path: "/api".into(),
+            replicas: vec![format!("mem://{service}")],
+            inputs: inputs.iter().map(|(n, t)| param(n, *t)).collect(),
+            outputs: outputs.iter().map(|(n, t)| param(n, *t)).collect(),
+        }
+    }
+
+    fn goal() -> Goal {
+        Goal::new().have("ssn", XsdType::String).want("score", XsdType::Int)
+    }
+
+    fn good_plan() -> Plan {
+        Plan {
+            nodes: vec![node(
+                "credit",
+                "Score",
+                &[("ssn", XsdType::String)],
+                &[("score", XsdType::Int)],
+            )],
+            wires: vec![Wire {
+                node: 0,
+                port: "ssn".into(),
+                source: WireSource::Goal("ssn".into()),
+            }],
+            outputs: vec![("score".into(), WireSource::Node { node: 0, port: "score".into() })],
+        }
+    }
+
+    #[test]
+    fn a_sound_plan_is_accepted() {
+        assert!(verify(&good_plan(), &goal()).is_ok());
+    }
+
+    #[test]
+    fn unwired_and_doubly_wired_inputs_are_caught() {
+        let mut p = good_plan();
+        p.wires.clear();
+        assert!(check(&p, &goal())
+            .iter()
+            .any(|v| matches!(v, Violation::UnwiredInput { node: 0, .. })));
+
+        let mut p = good_plan();
+        p.wires.push(p.wires[0].clone());
+        assert!(check(&p, &goal())
+            .iter()
+            .any(|v| matches!(v, Violation::DoublyWiredInput { node: 0, .. })));
+    }
+
+    #[test]
+    fn type_mismatches_are_caught() {
+        let mut p = good_plan();
+        // Feed the string-typed ssn input from an int-typed output.
+        p.nodes.push(node("other", "Mint", &[], &[("ssn", XsdType::Int)]));
+        p.wires[0].source = WireSource::Node { node: 1, port: "ssn".into() };
+        let vs = check(&p, &goal());
+        assert!(vs.iter().any(|v| matches!(v, Violation::TypeMismatch { .. })), "{vs:?}");
+    }
+
+    #[test]
+    fn unknown_sources_and_missing_outputs_are_caught() {
+        let mut p = good_plan();
+        p.wires[0].source = WireSource::Node { node: 7, port: "x".into() };
+        assert!(check(&p, &goal()).iter().any(|v| matches!(v, Violation::UnknownSource { .. })));
+
+        let mut p = good_plan();
+        p.outputs.clear();
+        assert!(check(&p, &goal())
+            .iter()
+            .any(|v| matches!(v, Violation::MissingGoalOutput { .. })));
+
+        // Delivered with the wrong type is as bad as not delivered.
+        let mut p = good_plan();
+        p.nodes[0].outputs[0].ty = XsdType::Double;
+        assert!(check(&p, &goal())
+            .iter()
+            .any(|v| matches!(v, Violation::MissingGoalOutput { .. })));
+    }
+
+    #[test]
+    fn cycles_are_caught() {
+        let g = Goal::new().want("b", XsdType::Int);
+        let p = Plan {
+            nodes: vec![
+                node("s1", "F", &[("a", XsdType::Int)], &[("b", XsdType::Int)]),
+                node("s2", "G", &[("b", XsdType::Int)], &[("a", XsdType::Int)]),
+            ],
+            wires: vec![
+                Wire {
+                    node: 0,
+                    port: "a".into(),
+                    source: WireSource::Node { node: 1, port: "a".into() },
+                },
+                Wire {
+                    node: 1,
+                    port: "b".into(),
+                    source: WireSource::Node { node: 0, port: "b".into() },
+                },
+            ],
+            outputs: vec![("b".into(), WireSource::Node { node: 0, port: "b".into() })],
+        };
+        assert!(check(&p, &g).contains(&Violation::Cycle));
+    }
+}

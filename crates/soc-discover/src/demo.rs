@@ -1,0 +1,336 @@
+//! A small lending federation for demos, tests, and benches.
+//!
+//! Three directories refer to each other in a cycle (`dir-a → dir-b →
+//! dir-c → dir-a`), jointly advertising a loan-decision supply chain:
+//!
+//! | service | operation | signature |
+//! |---|---|---|
+//! | `credit-check` (×2 replicas) | `Score` | `ssn: string → score: int` |
+//! | `risk-model` | `Assess` | `score: int, amount: int → risk: double` |
+//! | `risk-model-alt` | `Assess` | same signature, independent provider |
+//! | `underwriting` | `Decide` | `risk: double, income: int → approved: boolean, rate_bps: int` |
+//!
+//! `credit-check` is advertised by *two* directories with different
+//! replicas, exercising federation-wide replica merging;
+//! `risk-model-alt` is the alternative provider re-planning falls back
+//! to when `risk-model` is partitioned or ejected. The same handlers
+//! host on a [`MemNetwork`] or on real TCP sockets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc_http::mem::MemNetwork;
+use soc_http::{Handler, HttpResult, HttpServer, Request, Response, Status};
+use soc_json::Value;
+use soc_registry::directory::{DirectoryService, DirectoryState};
+use soc_registry::{Binding, Repository, ServiceDescriptor};
+use soc_rest::Router;
+use soc_soap::{Contract, Operation, XsdType};
+
+/// Handler body for one operation: JSON inputs in, JSON outputs out.
+pub type OpFn = Arc<dyn Fn(&Value) -> Result<Value, String> + Send + Sync>;
+
+/// A contract-first demo service: serves its WSDL at `GET /wsdl` and
+/// its operations at `POST /api/{operation, lowercased}`.
+pub struct DemoService {
+    router: Router,
+}
+
+impl DemoService {
+    /// Host `contract` with the given operation implementations.
+    pub fn new(contract: Contract, impls: Vec<(&str, OpFn)>) -> Self {
+        let table: Arc<HashMap<String, OpFn>> =
+            Arc::new(impls.into_iter().map(|(name, f)| (name.to_lowercase(), f)).collect());
+        let mut router = Router::new();
+        router.get("/wsdl", move |req: Request, _p| {
+            // Advertise a host-relative port address unless the
+            // transport told us our own host; crawlers resolve it
+            // against the origin they fetched the WSDL from.
+            let location = match req.headers.get("Host") {
+                Some(host) => format!("http://{host}/api"),
+                None => "/api".to_string(),
+            };
+            Response::new(Status::OK).with_text(
+                "text/xml; charset=utf-8",
+                &soc_soap::wsdl::generate(&contract, &location),
+            )
+        });
+        router.post("/api/{op}", move |req: Request, p| {
+            let Some(f) = table.get(p.get("op").unwrap_or("")) else {
+                return Response::error(Status::NOT_FOUND, "no such operation");
+            };
+            let body = match req.text() {
+                Ok(text) if !text.trim().is_empty() => match Value::parse(text) {
+                    Ok(v) => v,
+                    Err(e) => return Response::error(Status::BAD_REQUEST, &e.to_string()),
+                },
+                _ => Value::Null,
+            };
+            match f(&body) {
+                Ok(v) => Response::json(&v.to_compact()),
+                Err(e) => Response::error(Status::UNPROCESSABLE, &e),
+            }
+        });
+        DemoService { router }
+    }
+}
+
+impl Handler for DemoService {
+    fn handle(&self, req: Request) -> Response {
+        self.router.handle(req)
+    }
+}
+
+/// The `credit-check` contract.
+pub fn credit_contract() -> Contract {
+    Contract::new("CreditCheck", "urn:soc:demo:credit").operation(
+        Operation::new("Score")
+            .input("ssn", XsdType::String)
+            .output("score", XsdType::Int)
+            .doc("Credit score for an applicant"),
+    )
+}
+
+/// A risk-model contract; both providers share the signature.
+pub fn risk_contract(name: &str, namespace: &str) -> Contract {
+    Contract::new(name, namespace).operation(
+        Operation::new("Assess")
+            .input("score", XsdType::Int)
+            .input("amount", XsdType::Int)
+            .output("risk", XsdType::Double)
+            .doc("Default risk for a loan of `amount` at credit `score`"),
+    )
+}
+
+/// The `underwriting` contract.
+pub fn underwriting_contract() -> Contract {
+    Contract::new("Underwriting", "urn:soc:demo:underwrite").operation(
+        Operation::new("Decide")
+            .input("risk", XsdType::Double)
+            .input("income", XsdType::Int)
+            .output("approved", XsdType::Boolean)
+            .output("rate_bps", XsdType::Int)
+            .doc("Approve or reject, and price the loan"),
+    )
+}
+
+fn int_field(body: &Value, name: &str) -> Result<i64, String> {
+    body.get(name).and_then(Value::as_i64).ok_or_else(|| format!("missing int field `{name}`"))
+}
+
+/// Deterministic demo credit score in `300..=850`.
+pub fn score_of(ssn: &str) -> i64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in ssn.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    300 + (h % 551) as i64
+}
+
+fn score_fn() -> OpFn {
+    Arc::new(|body| {
+        let ssn = body.get("ssn").and_then(Value::as_str).ok_or("missing string field `ssn`")?;
+        let mut out = Value::object();
+        out.set("score", score_of(ssn));
+        Ok(out)
+    })
+}
+
+fn assess_fn() -> OpFn {
+    Arc::new(|body| {
+        let score = int_field(body, "score")?;
+        let amount = int_field(body, "amount")?;
+        let risk = (amount as f64 / (score.max(1) as f64 * 400.0)).min(1.0);
+        let mut out = Value::object();
+        out.set("risk", risk);
+        Ok(out)
+    })
+}
+
+fn assess_alt_fn() -> OpFn {
+    Arc::new(|body| {
+        // The alternative provider is more conservative but agrees on
+        // clearly good loans.
+        let score = int_field(body, "score")?;
+        let amount = int_field(body, "amount")?;
+        let risk = (amount as f64 / (score.max(1) as f64 * 320.0) + 0.05).min(1.0);
+        let mut out = Value::object();
+        out.set("risk", risk);
+        Ok(out)
+    })
+}
+
+fn decide_fn() -> OpFn {
+    Arc::new(|body| {
+        let risk = body.get("risk").and_then(Value::as_f64).ok_or("missing double field `risk`")?;
+        let income = int_field(body, "income")?;
+        let mut out = Value::object();
+        out.set("approved", risk < 0.6 && income > 0);
+        out.set("rate_bps", (250.0 + risk * 900.0) as i64);
+        Ok(out)
+    })
+}
+
+/// The five demo services as `(host key, handler)` pairs, in hosting
+/// order. Host keys double as mem host names.
+fn handlers() -> Vec<(&'static str, DemoService)> {
+    vec![
+        ("credit-0", DemoService::new(credit_contract(), vec![("Score", score_fn())])),
+        ("credit-1", DemoService::new(credit_contract(), vec![("Score", score_fn())])),
+        (
+            "risk-0",
+            DemoService::new(
+                risk_contract("RiskModel", "urn:soc:demo:risk"),
+                vec![("Assess", assess_fn())],
+            ),
+        ),
+        (
+            "risk-alt-0",
+            DemoService::new(
+                risk_contract("RiskModelAlt", "urn:soc:demo:risk-alt"),
+                vec![("Assess", assess_alt_fn())],
+            ),
+        ),
+        ("underwrite-0", DemoService::new(underwriting_contract(), vec![("Decide", decide_fn())])),
+    ]
+}
+
+fn descriptor(
+    id: &str,
+    name: &str,
+    origin: &str,
+    keywords: &[&str],
+    description: &str,
+) -> ServiceDescriptor {
+    ServiceDescriptor::new(id, name, &format!("{origin}/api"), Binding::Rest)
+        .describe(description)
+        .category("lending")
+        .keywords(keywords)
+        .provider("soc-demo")
+        .wsdl(&format!("{origin}/wsdl"))
+}
+
+/// Descriptors per directory, given each demo host's origin. Directory
+/// 0 and 1 both advertise `credit-check` (different replicas); the
+/// referral cycle is closed by the caller.
+fn listings(origin_of: impl Fn(&str) -> String) -> Vec<Vec<ServiceDescriptor>> {
+    vec![
+        vec![descriptor(
+            "credit-check",
+            "Credit Check",
+            &origin_of("credit-0"),
+            &["credit", "score"],
+            "Scores an applicant's credit from their SSN",
+        )],
+        vec![
+            descriptor(
+                "credit-check",
+                "Credit Check",
+                &origin_of("credit-1"),
+                &["credit", "score"],
+                "Scores an applicant's credit from their SSN",
+            ),
+            descriptor(
+                "risk-model",
+                "Risk Model",
+                &origin_of("risk-0"),
+                &["risk", "loan"],
+                "Assesses default risk for a loan application",
+            ),
+        ],
+        vec![
+            descriptor(
+                "risk-model-alt",
+                "Risk Model (alternate)",
+                &origin_of("risk-alt-0"),
+                &["risk", "loan", "backup"],
+                "Independent risk assessment provider",
+            ),
+            descriptor(
+                "underwriting",
+                "Underwriting",
+                &origin_of("underwrite-0"),
+                &["underwriting", "approval", "loan"],
+                "Approves and prices loan applications",
+            ),
+        ],
+    ]
+}
+
+/// The federation hosted on a [`MemNetwork`].
+pub struct MemFederation {
+    /// Crawl entry points (just `mem://dir-a`; referrals reach the rest).
+    pub roots: Vec<String>,
+    /// Directory states for `dir-a`, `dir-b`, `dir-c` — tests bump
+    /// lease versions or publish services through these.
+    pub directories: Vec<Arc<DirectoryState>>,
+}
+
+/// Mem host names of the demo *service* replicas (not directories).
+pub const SERVICE_HOSTS: [&str; 5] =
+    ["credit-0", "credit-1", "risk-0", "risk-alt-0", "underwrite-0"];
+
+/// Host the whole federation on `net`.
+pub fn host_mem(net: &MemNetwork) -> MemFederation {
+    for (host, handler) in handlers() {
+        net.host(host, handler);
+    }
+    let dir_names = ["dir-a", "dir-b", "dir-c"];
+    let mut directories = Vec::new();
+    for (i, listing) in listings(|host| format!("mem://{host}")).into_iter().enumerate() {
+        let repo = Repository::new();
+        for d in listing {
+            repo.publish(d).expect("demo descriptors are unique per directory");
+        }
+        // Referral cycle: each directory points at the next.
+        let peer = format!("mem://{}", dir_names[(i + 1) % dir_names.len()]);
+        let (dir, state) = DirectoryService::new(repo, vec![peer]);
+        net.host(dir_names[i], dir);
+        directories.push(state);
+    }
+    MemFederation { roots: vec!["mem://dir-a".to_string()], directories }
+}
+
+/// The federation hosted on real TCP sockets.
+pub struct TcpFederation {
+    /// Crawl entry points (the first directory's URL).
+    pub roots: Vec<String>,
+    /// Directory states, as in [`MemFederation`].
+    pub directories: Vec<Arc<DirectoryState>>,
+    /// Base URL per logical host name (services and directories).
+    pub urls: HashMap<String, String>,
+    /// The listening servers — dropped servers stop answering.
+    pub servers: Vec<HttpServer>,
+}
+
+/// Bind every demo service and directory on loopback TCP. The referral
+/// cycle is closed after binding (peer URLs are not known before).
+pub fn host_tcp(workers: usize) -> HttpResult<TcpFederation> {
+    let mut servers = Vec::new();
+    let mut urls = HashMap::new();
+    for (host, handler) in handlers() {
+        let server = HttpServer::bind("127.0.0.1:0", workers, handler)?;
+        urls.insert(host.to_string(), server.url());
+        servers.push(server);
+    }
+    let origin_of = |host: &str| urls[host].clone();
+    let mut directories = Vec::new();
+    let mut dir_urls = Vec::new();
+    for (i, listing) in listings(origin_of).into_iter().enumerate() {
+        let repo = Repository::new();
+        for d in listing {
+            repo.publish(d).expect("demo descriptors are unique per directory");
+        }
+        let (dir, state) = DirectoryService::new(repo, Vec::new());
+        let server = HttpServer::bind("127.0.0.1:0", workers, dir)?;
+        urls.insert(format!("dir-{}", (b'a' + i as u8) as char), server.url());
+        dir_urls.push(server.url());
+        servers.push(server);
+        directories.push(state);
+    }
+    for (i, state) in directories.iter().enumerate() {
+        *state.peers.write() = vec![dir_urls[(i + 1) % dir_urls.len()].clone()];
+    }
+    Ok(TcpFederation { roots: vec![dir_urls[0].clone()], directories, urls, servers })
+}

@@ -1,0 +1,365 @@
+//! Lowering accepted plans onto the workflow engine.
+//!
+//! A verified [`Plan`] becomes a [`WorkflowGraph`]: goal inputs turn
+//! into `Const` nodes, each plan node becomes an [`OperationCall`]
+//! activity that invokes the discovered operation through the gateway
+//! (REST or SOAP, per the descriptor's binding), and plan wires become
+//! graph edges. The graph runs as a saga, so a mid-composition failure
+//! compensates and surfaces as a
+//! [`WorkflowOutcome::Compensated`](soc_workflow::WorkflowOutcome)
+//! naming the failed node — which the [`Discovery`](crate::Discovery)
+//! facade maps back to a service id and re-plans around.
+//!
+//! Resilience is derived, not configured: the goal's deadline is split
+//! across the plan's critical path, and each node gets a retry policy
+//! whose attempts fit inside its slice.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc_gateway::Gateway;
+use soc_http::mem::Transport;
+use soc_http::{HttpResult, Request, Response};
+use soc_json::Value;
+use soc_registry::Binding;
+use soc_soap::contract::Param;
+use soc_soap::{Contract, Operation, SoapClient, XsdType};
+use soc_workflow::activity::{Const, Ports};
+use soc_workflow::graph::NodeId;
+use soc_workflow::{Activity, ActivityError, ResiliencePolicy, WorkflowError, WorkflowGraph};
+
+use crate::planner::{Goal, Plan, PlanNode, WireSource};
+
+/// A [`Transport`] that routes every request through
+/// [`Gateway::call`] for a fixed service — protocol clients built for
+/// a plain transport ([`SoapClient`] here) gain balancing, retries,
+/// breakers, and tracing without knowing the gateway exists. Requests
+/// must carry path-only targets, exactly what `Gateway::call` expects.
+pub struct GatewayTransport {
+    gateway: Gateway,
+    service: String,
+}
+
+impl GatewayTransport {
+    /// A transport pinned to `service` on `gateway`.
+    pub fn new(gateway: Gateway, service: &str) -> Self {
+        GatewayTransport { gateway, service: service.to_string() }
+    }
+}
+
+impl Transport for GatewayTransport {
+    fn send(&self, req: Request) -> HttpResult<Response> {
+        Ok(self.gateway.call(&self.service, req))
+    }
+}
+
+static INSTANCES: AtomicU64 = AtomicU64::new(1);
+
+/// A workflow activity invoking one discovered operation through the
+/// gateway. Ports are the operation's typed parameter names.
+pub struct OperationCall {
+    gateway: Gateway,
+    service: String,
+    binding: Binding,
+    namespace: String,
+    /// Full request path: `{base}/{op}` for REST, `{base}` for SOAP.
+    path: String,
+    operation: String,
+    inputs: Vec<Param>,
+    outputs: Vec<Param>,
+    instance: u64,
+}
+
+impl OperationCall {
+    /// An activity invoking `node`'s operation via `gateway`.
+    pub fn for_node(gateway: Gateway, node: &PlanNode) -> Self {
+        let base = node.base_path.trim_end_matches('/');
+        let path = match node.binding {
+            // REST convention: POST {base}/{operation, lowercased}
+            // with a JSON body of the inputs.
+            Binding::Rest | Binding::Workflow | Binding::InProcess => {
+                format!("{base}/{}", node.operation.to_lowercase())
+            }
+            // SOAP envelopes post to the port address itself.
+            Binding::Soap => {
+                if base.is_empty() {
+                    "/".to_string()
+                } else {
+                    base.to_string()
+                }
+            }
+        };
+        OperationCall {
+            gateway,
+            service: node.service_id.clone(),
+            binding: node.binding,
+            namespace: node.namespace.clone(),
+            path,
+            operation: node.operation.clone(),
+            inputs: node.inputs.clone(),
+            outputs: node.outputs.clone(),
+            instance: INSTANCES.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Idempotency key stable per activity instance within one trace,
+    /// mirroring [`soc_workflow::ServiceCall`]: gateway retries and
+    /// saga re-fires dedupe at the origin, while a new run (new trace)
+    /// is a new logical request.
+    fn idempotency_key(&self) -> String {
+        match soc_observe::context::current() {
+            Some(ctx) => format!("disc-{:x}-{}", self.instance, ctx.trace_id.to_hex()),
+            None => soc_http::fresh_idempotency_key(),
+        }
+    }
+
+    fn execute_rest(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let mut body = Value::object();
+        for p in &self.inputs {
+            let v =
+                inputs.get(&p.name).ok_or_else(|| ActivityError::MissingInput(p.name.clone()))?;
+            body.set(p.name.clone(), v.clone());
+        }
+        let req = Request::post(&self.path, Vec::new())
+            .with_text("application/json", &body.to_compact())
+            .with_idempotency_key(&self.idempotency_key());
+        let resp = self.gateway.call(&self.service, req);
+        if !resp.status.is_success() {
+            return Err(ActivityError::Service(format!(
+                "{} {}: status {}",
+                self.service, self.operation, resp.status
+            )));
+        }
+        let text = resp.text_body().map_err(|e| ActivityError::Service(e.to_string()))?;
+        let parsed = Value::parse(text).map_err(|e| ActivityError::Service(e.to_string()))?;
+        let mut out = Ports::new();
+        for p in &self.outputs {
+            match parsed.get(&p.name) {
+                Some(v) => {
+                    out.insert(p.name.clone(), v.clone());
+                }
+                None => {
+                    return Err(ActivityError::Service(format!(
+                        "{} {}: response missing output `{}`",
+                        self.service, self.operation, p.name
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn execute_soap(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        let contract = Contract::new(&self.service, &self.namespace).operation(Operation {
+            name: self.operation.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            doc: None,
+        });
+        let args: Vec<(String, String)> = self
+            .inputs
+            .iter()
+            .map(|p| {
+                let v = inputs
+                    .get(&p.name)
+                    .ok_or_else(|| ActivityError::MissingInput(p.name.clone()))?;
+                let text = match v {
+                    Value::String(s) => s.clone(),
+                    other => other.to_compact(),
+                };
+                Ok((p.name.clone(), text))
+            })
+            .collect::<Result<_, ActivityError>>()?;
+        let arg_refs: Vec<(&str, &str)> =
+            args.iter().map(|(n, v)| (n.as_str(), v.as_str())).collect();
+        let client =
+            SoapClient::new(Arc::new(GatewayTransport::new(self.gateway.clone(), &self.service)));
+        let result = client
+            .call(&self.path, &contract, &self.operation, &arg_refs)
+            .map_err(|e| ActivityError::Service(e.to_string()))?;
+        let mut out = Ports::new();
+        for p in &self.outputs {
+            let raw = result.get(&p.name).ok_or_else(|| {
+                ActivityError::Service(format!(
+                    "{} {}: response missing output `{}`",
+                    self.service, self.operation, p.name
+                ))
+            })?;
+            let coerced = coerce(raw, p.ty).map_err(ActivityError::Service)?;
+            out.insert(p.name.clone(), coerced);
+        }
+        Ok(out)
+    }
+}
+
+/// A SOAP text value as the JSON value its schema type implies.
+fn coerce(raw: &str, ty: XsdType) -> Result<Value, String> {
+    match ty {
+        XsdType::String => Ok(Value::from(raw)),
+        XsdType::Int => {
+            raw.trim().parse::<i64>().map(Value::from).map_err(|_| format!("`{raw}` is not an int"))
+        }
+        XsdType::Double => raw
+            .trim()
+            .parse::<f64>()
+            .map(Value::from)
+            .map_err(|_| format!("`{raw}` is not a double")),
+        XsdType::Boolean => match raw.trim() {
+            "true" | "1" => Ok(Value::from(true)),
+            "false" | "0" => Ok(Value::from(false)),
+            other => Err(format!("`{other}` is not a boolean")),
+        },
+    }
+}
+
+impl Activity for OperationCall {
+    fn inputs(&self) -> Vec<String> {
+        self.inputs.iter().map(|p| p.name.clone()).collect()
+    }
+    fn outputs(&self) -> Vec<String> {
+        self.outputs.iter().map(|p| p.name.clone()).collect()
+    }
+    fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
+        match self.binding {
+            Binding::Soap => self.execute_soap(inputs),
+            _ => self.execute_rest(inputs),
+        }
+    }
+}
+
+/// Why lowering failed.
+#[derive(Debug)]
+pub enum LowerError {
+    /// The goal declared a `have` the caller's inputs did not supply.
+    MissingInput(String),
+    /// Graph construction rejected the plan (should not happen for a
+    /// verified plan).
+    Workflow(WorkflowError),
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::MissingInput(name) => {
+                write!(f, "goal input `{name}` was not supplied at execution time")
+            }
+            LowerError::Workflow(e) => write!(f, "workflow construction failed: {e}"),
+        }
+    }
+}
+
+impl From<WorkflowError> for LowerError {
+    fn from(e: WorkflowError) -> Self {
+        LowerError::Workflow(e)
+    }
+}
+
+/// A plan lowered to an executable workflow.
+pub struct LoweredPlan {
+    /// The saga-ready graph.
+    pub graph: WorkflowGraph,
+    /// Wanted outputs delivered by node results, as
+    /// `(want name, "node.port" output key)`.
+    pub node_outputs: Vec<(String, String)>,
+    /// Wanted outputs satisfied directly from the supplied inputs.
+    pub direct_outputs: Vec<(String, Value)>,
+    /// Graph node name → catalog service id, for mapping a saga
+    /// failure back to the service to re-plan around.
+    pub node_services: HashMap<String, String>,
+}
+
+/// Length of the longest dependency chain in the plan, in nodes.
+fn critical_path(plan: &Plan) -> usize {
+    let n = plan.nodes.len();
+    let mut depth = vec![1usize; n];
+    // Plan nodes are in dependency order (producers precede
+    // consumers), so one forward pass suffices.
+    for wire in &plan.wires {
+        if let WireSource::Node { node: from, .. } = &wire.source {
+            if *from < n && wire.node < n {
+                depth[wire.node] = depth[wire.node].max(depth[*from] + 1);
+            }
+        }
+    }
+    depth.into_iter().max().unwrap_or(1)
+}
+
+/// The per-node [`ResiliencePolicy`] a deadline buys: the budget is
+/// split evenly across the critical path, and each node's slice covers
+/// its initial attempt plus `retries` retried ones with backoff.
+pub fn derive_policy(deadline: Duration, critical_path_len: usize) -> ResiliencePolicy {
+    let retries = 2u32;
+    let slice = deadline / critical_path_len.max(1) as u32;
+    let per_attempt = (slice / (retries + 1)).max(Duration::from_millis(25));
+    ResiliencePolicy::retries(retries)
+        .with_timeout(per_attempt)
+        .with_backoff(Duration::from_millis(2), Duration::from_millis(20))
+}
+
+/// Lower a (verified) plan to a workflow graph. Registers every
+/// node's replicas on `gateway` under the service id, builds `Const`
+/// nodes for the goal inputs actually used, and derives per-node
+/// resilience policies from the goal deadline.
+pub fn lower(
+    plan: &Plan,
+    goal: &Goal,
+    gateway: &Gateway,
+    inputs: &HashMap<String, Value>,
+) -> Result<LoweredPlan, LowerError> {
+    let mut graph = WorkflowGraph::new();
+    let mut node_services = HashMap::new();
+    let policy = derive_policy(goal.deadline, critical_path(plan));
+
+    // Const nodes for goal inputs, created on first use.
+    let mut consts: HashMap<String, NodeId> = HashMap::new();
+    let mut const_of = |graph: &mut WorkflowGraph, name: &str| -> Result<NodeId, LowerError> {
+        if let Some(id) = consts.get(name) {
+            return Ok(*id);
+        }
+        let value = inputs.get(name).ok_or_else(|| LowerError::MissingInput(name.to_string()))?;
+        let id = graph.add(&format!("goal_{name}"), Const::new(value.clone()));
+        consts.insert(name.to_string(), id);
+        Ok(id)
+    };
+
+    let mut node_ids = Vec::with_capacity(plan.nodes.len());
+    for (i, node) in plan.nodes.iter().enumerate() {
+        let replicas: Vec<&str> = node.replicas.iter().map(String::as_str).collect();
+        gateway.register(&node.service_id, &replicas);
+        let name = format!("n{i}_{}", node.service_id);
+        let id = graph.add(&name, OperationCall::for_node(gateway.clone(), node));
+        graph.set_policy(id, policy.clone())?;
+        node_services.insert(name, node.service_id.clone());
+        node_ids.push(id);
+    }
+
+    for wire in &plan.wires {
+        let (from, port) = match &wire.source {
+            WireSource::Goal(name) => (const_of(&mut graph, name)?, "out".to_string()),
+            WireSource::Node { node, port } => (node_ids[*node], port.clone()),
+        };
+        graph.connect(from, &port, node_ids[wire.node], &wire.port)?;
+    }
+
+    let mut node_outputs = Vec::new();
+    let mut direct_outputs = Vec::new();
+    for (name, source) in &plan.outputs {
+        match source {
+            WireSource::Goal(have) => {
+                let value =
+                    inputs.get(have).ok_or_else(|| LowerError::MissingInput(have.clone()))?;
+                direct_outputs.push((name.clone(), value.clone()));
+            }
+            WireSource::Node { node, port } => {
+                node_outputs.push((
+                    name.clone(),
+                    format!("n{node}_{}.{port}", plan.nodes[*node].service_id),
+                ));
+            }
+        }
+    }
+
+    Ok(LoweredPlan { graph, node_outputs, direct_outputs, node_services })
+}

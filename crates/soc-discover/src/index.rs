@@ -1,0 +1,338 @@
+//! The search side of discovery: an inverted index over everything the
+//! crawler learned, ranked by a fusion of text relevance and *live*
+//! QoS.
+//!
+//! Relevance alone reproduces the classic UDDI failure mode the paper
+//! complains about: the top hit is a beautifully described service that
+//! is slow or down. The index therefore scores
+//! `relevance × health`, where health is read at query time from a
+//! [`QosFeed`] — in production, [`GatewayQos`] taps the gateway's own
+//! QoS monitor and outlier ejector, so the ranking reflects the last
+//! few seconds of real traffic, not a static registration.
+//!
+//! The same index answers the planner's narrower question — *who can
+//! produce a `score: int`?* — via [`SearchIndex::producers_of`], which
+//! matches on exact `(name, type)` signatures.
+
+use std::collections::HashMap;
+
+use soc_gateway::Gateway;
+use soc_soap::contract::Param;
+
+use crate::catalog::{Catalog, DiscoveredService, TypedOperation};
+
+/// A point-in-time health reading for one service.
+#[derive(Debug, Clone, Default)]
+pub struct QosSnapshot {
+    /// Best recent p95 latency across replicas, in milliseconds.
+    pub p95_ms: Option<f64>,
+    /// Worst recent error rate across replicas, `0.0..=1.0`.
+    pub error_rate: Option<f64>,
+    /// Every replica is currently ejected — the service is effectively
+    /// down as far as the gateway is concerned.
+    pub ejected: bool,
+}
+
+impl QosSnapshot {
+    /// The ranking multiplier this snapshot earns, in `(0, 1]`.
+    /// Neutral (no data) is `1.0`; a fully ejected service is floored
+    /// near zero so it ranks below any live alternative.
+    pub fn health(&self) -> f64 {
+        if self.ejected {
+            return 0.01;
+        }
+        let latency = match self.p95_ms {
+            Some(ms) => 100.0 / (100.0 + ms.max(0.0)),
+            None => 1.0,
+        };
+        let errors = 1.0 - self.error_rate.unwrap_or(0.0).clamp(0.0, 1.0);
+        (latency * errors).max(0.01)
+    }
+}
+
+/// Source of live QoS readings, consulted at query/plan time.
+pub trait QosFeed {
+    /// Health of `service_id`, served by `replicas`.
+    fn snapshot(&self, service_id: &str, replicas: &[String]) -> QosSnapshot;
+}
+
+/// A feed with no opinion: every service is healthy. Useful for tests
+/// and for ranking a cold catalog before any traffic has flowed.
+pub struct NoQos;
+
+impl QosFeed for NoQos {
+    fn snapshot(&self, _service_id: &str, _replicas: &[String]) -> QosSnapshot {
+        QosSnapshot::default()
+    }
+}
+
+/// Live QoS from a [`Gateway`]: recent p95 and error rate from its
+/// [`QosMonitor`](soc_registry::QosMonitor) (keyed per replica
+/// endpoint, exactly as the gateway records them) plus the outlier
+/// ejector's verdict.
+pub struct GatewayQos {
+    gateway: Gateway,
+}
+
+impl GatewayQos {
+    /// A feed over `gateway`'s monitor and ejector.
+    pub fn new(gateway: Gateway) -> Self {
+        GatewayQos { gateway }
+    }
+}
+
+impl QosFeed for GatewayQos {
+    fn snapshot(&self, service_id: &str, replicas: &[String]) -> QosSnapshot {
+        let monitor = self.gateway.monitor();
+        let mut best_p95: Option<f64> = None;
+        let mut worst_err: Option<f64> = None;
+        for replica in replicas {
+            if let Some(p95) = monitor.recent_p95(replica) {
+                let ms = p95.as_secs_f64() * 1_000.0;
+                best_p95 = Some(best_p95.map_or(ms, |b: f64| b.min(ms)));
+            }
+            if let Some(err) = monitor.recent_error_rate(replica) {
+                worst_err = Some(worst_err.map_or(err, |w: f64| w.max(err)));
+            }
+        }
+        let ejected = if replicas.is_empty() {
+            false
+        } else {
+            let out = self.gateway.ejected_endpoints(service_id);
+            replicas.iter().all(|r| out.contains(r))
+        };
+        QosSnapshot { p95_ms: best_p95, error_rate: worst_err, ejected }
+    }
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone)]
+pub struct SearchHit {
+    /// The matching service.
+    pub service_id: String,
+    /// Text relevance (tf·idf over names, operations, parameters,
+    /// types, and descriptor metadata).
+    pub relevance: f64,
+    /// QoS multiplier in `(0, 1]` (see [`QosSnapshot::health`]).
+    pub health: f64,
+    /// Final score: `relevance × health`.
+    pub score: f64,
+}
+
+struct Posting {
+    service: usize,
+    weight: f64,
+}
+
+/// The inverted index. Built from a [`Catalog`] snapshot; owns its own
+/// copy of the catalog entries so searches and planning never touch
+/// the network.
+pub struct SearchIndex {
+    services: Vec<DiscoveredService>,
+    postings: HashMap<String, Vec<Posting>>,
+    /// `(name, type)` signature key → `(service idx, op idx)`.
+    producers: HashMap<String, Vec<(usize, usize)>>,
+}
+
+/// Signature key for exact-match production: lowercased name plus type.
+pub(crate) fn param_key(p: &Param) -> String {
+    format!("{}:{}", p.name.to_lowercase(), p.ty.xsd_name())
+}
+
+/// Lowercase word tokens, splitting on non-alphanumerics *and* on
+/// camelCase boundaries (`GetQuote` → `getquote`, `get`, `quote`).
+fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        out.push(raw.to_lowercase());
+        // Camel boundaries within the raw word.
+        let mut word = String::new();
+        let mut words = Vec::new();
+        for ch in raw.chars() {
+            if ch.is_ascii_uppercase() && !word.is_empty() {
+                words.push(std::mem::take(&mut word));
+            }
+            word.push(ch.to_ascii_lowercase());
+        }
+        words.push(word);
+        if words.len() > 1 {
+            out.extend(words);
+        }
+    }
+    out
+}
+
+impl SearchIndex {
+    /// Index every service in `catalog`.
+    pub fn build(catalog: &Catalog) -> Self {
+        let services: Vec<DiscoveredService> = catalog.services().cloned().collect();
+        let mut tf: Vec<HashMap<String, f64>> = vec![HashMap::new(); services.len()];
+        let mut producers: HashMap<String, Vec<(usize, usize)>> = HashMap::new();
+        for (si, svc) in services.iter().enumerate() {
+            let mut weigh = |text: &str, weight: f64| {
+                for tok in tokenize(text) {
+                    *tf[si].entry(tok).or_insert(0.0) += weight;
+                }
+            };
+            let d = &svc.descriptor;
+            weigh(&d.id, 2.0);
+            weigh(&d.name, 2.0);
+            weigh(&d.description, 1.0);
+            weigh(&d.category, 1.0);
+            for kw in &d.keywords {
+                weigh(kw, 1.5);
+            }
+            for (oi, op) in svc.operations.iter().enumerate() {
+                weigh(&op.name, 3.0);
+                if let Some(doc) = &op.doc {
+                    weigh(doc, 1.0);
+                }
+                for p in op.inputs.iter().chain(&op.outputs) {
+                    weigh(&p.name, 2.0);
+                    weigh(p.ty.xsd_name(), 0.5);
+                }
+                for p in &op.outputs {
+                    producers.entry(param_key(p)).or_default().push((si, oi));
+                }
+            }
+        }
+        let mut postings: HashMap<String, Vec<Posting>> = HashMap::new();
+        for (si, terms) in tf.into_iter().enumerate() {
+            for (tok, weight) in terms {
+                postings.entry(tok).or_default().push(Posting { service: si, weight });
+            }
+        }
+        SearchIndex { services, postings, producers }
+    }
+
+    /// Number of indexed services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// The indexed entry for a service id.
+    pub fn service(&self, id: &str) -> Option<&DiscoveredService> {
+        self.services.iter().find(|s| s.descriptor.id == id)
+    }
+
+    /// Free-text search, ranked by `relevance × health`. Deterministic
+    /// for a given index and feed: ties break on service id.
+    pub fn search(&self, query: &str, qos: &dyn QosFeed, limit: usize) -> Vec<SearchHit> {
+        let n = self.services.len().max(1) as f64;
+        let mut relevance: HashMap<usize, f64> = HashMap::new();
+        for tok in tokenize(query) {
+            if let Some(posts) = self.postings.get(&tok) {
+                let idf = (1.0 + n / posts.len() as f64).ln();
+                for p in posts {
+                    *relevance.entry(p.service).or_insert(0.0) += (1.0 + p.weight.ln()) * idf;
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = relevance
+            .into_iter()
+            .map(|(si, rel)| {
+                let svc = &self.services[si];
+                let health = qos.snapshot(&svc.descriptor.id, &svc.replicas).health();
+                SearchHit {
+                    service_id: svc.descriptor.id.clone(),
+                    relevance: rel,
+                    health,
+                    score: rel * health,
+                }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score.total_cmp(&a.score).then_with(|| a.service_id.cmp(&b.service_id))
+        });
+        hits.truncate(limit);
+        hits
+    }
+
+    /// Every operation that produces an output exactly matching
+    /// `param` (same name, case-insensitive, and same type), in
+    /// catalog order.
+    pub fn producers_of(&self, param: &Param) -> Vec<(&DiscoveredService, &TypedOperation)> {
+        match self.producers.get(&param_key(param)) {
+            Some(refs) => refs
+                .iter()
+                .map(|&(si, oi)| (&self.services[si], &self.services[si].operations[oi]))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use soc_registry::{Binding, ServiceDescriptor};
+    use soc_soap::XsdType;
+
+    fn entry(id: &str, op: &str, outs: &[(&str, XsdType)]) -> DiscoveredService {
+        DiscoveredService {
+            descriptor: ServiceDescriptor::new(id, id, &format!("mem://{id}/api"), Binding::Rest)
+                .describe("demo service")
+                .keywords(&["lending"]),
+            namespace: "urn:test".into(),
+            base_path: "/api".into(),
+            operations: vec![TypedOperation {
+                name: op.into(),
+                inputs: vec![],
+                outputs: outs.iter().map(|(n, t)| Param { name: n.to_string(), ty: *t }).collect(),
+                doc: None,
+            }],
+            replicas: vec![format!("mem://{id}")],
+            directories: vec![],
+        }
+    }
+
+    fn index() -> SearchIndex {
+        let mut cat = Catalog::new();
+        cat.merge(entry("risk-model", "AssessRisk", &[("risk", XsdType::Double)]));
+        cat.merge(entry("risk-model-alt", "AssessRisk", &[("risk", XsdType::Double)]));
+        cat.merge(entry("credit-check", "Score", &[("score", XsdType::Int)]));
+        SearchIndex::build(&cat)
+    }
+
+    struct Down(&'static str);
+    impl QosFeed for Down {
+        fn snapshot(&self, id: &str, _replicas: &[String]) -> QosSnapshot {
+            QosSnapshot { ejected: id == self.0, ..QosSnapshot::default() }
+        }
+    }
+
+    #[test]
+    fn camel_case_operations_match_plain_words() {
+        let idx = index();
+        let hits = idx.search("assess risk", &NoQos, 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.service_id.starts_with("risk-model")));
+    }
+
+    #[test]
+    fn ejection_demotes_an_otherwise_equal_service() {
+        let idx = index();
+        let hits = idx.search("risk", &Down("risk-model"), 10);
+        assert_eq!(hits[0].service_id, "risk-model-alt");
+        assert!(hits[1].health < 0.1, "ejected service keeps only a floor score");
+    }
+
+    #[test]
+    fn producers_match_on_name_and_type() {
+        let idx = index();
+        let both = idx.producers_of(&Param { name: "risk".into(), ty: XsdType::Double });
+        assert_eq!(both.len(), 2);
+        // Same name, wrong type: no producer.
+        let none = idx.producers_of(&Param { name: "risk".into(), ty: XsdType::Int });
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Composition under chaos: drive the full discover → plan → execute
+//! loop through a seeded [`PartitionSchedule`] and check a per-step
+//! reachability oracle.
+//!
+//! The schedule cuts directional links among the caller and the two
+//! risk-model hosts. Because every discovery request originates from
+//! the test thread (the client origin), only `client → host` cuts are
+//! observable; host → client cuts are asymmetric noise the stack must
+//! shrug off. The oracle is exact:
+//!
+//! - both risk hosts dark → the goal is unachievable (`Exhausted`);
+//! - only the preferred `risk-0` dark → the saga fails mid-run,
+//!   compensates, and the re-plan routes through `risk-model-alt`;
+//! - otherwise → first plan succeeds.
+
+use std::collections::HashMap;
+
+use soc_chaos::{Cut, PartitionSchedule};
+use soc_discover::{demo, AchieveConfig, CrawlConfig, DiscoverError, Discovery, Goal};
+use soc_gateway::GatewayConfig;
+use soc_http::mem::{MemNetwork, UniClient, CLIENT_ORIGIN};
+use soc_json::Value;
+use soc_soap::XsdType;
+use std::sync::Arc;
+
+const SEED: u64 = 1;
+const STEPS: usize = 10;
+
+fn lending_goal() -> Goal {
+    Goal::new()
+        .have("ssn", XsdType::String)
+        .have("amount", XsdType::Int)
+        .have("income", XsdType::Int)
+        .want("approved", XsdType::Boolean)
+        .want("rate_bps", XsdType::Int)
+}
+
+fn lending_inputs() -> HashMap<String, Value> {
+    HashMap::from([
+        ("ssn".to_string(), Value::from("123-45-6789")),
+        ("amount".to_string(), Value::from(25_000)),
+        ("income".to_string(), Value::from(90_000)),
+    ])
+}
+
+#[test]
+fn composition_replans_through_a_partition_schedule() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+
+    let sched = PartitionSchedule::generate(SEED, &[CLIENT_ORIGIN, "risk-0", "risk-alt-0"], STEPS);
+    assert!(sched.violations().is_empty(), "{:?}", sched.violations());
+
+    let mut replans = 0;
+    let mut exhaustions = 0;
+    for (i, step) in sched.steps.iter().enumerate() {
+        // Crawl on a healed network (discovery happened before the
+        // partition), then apply the step and try to compose. A fresh
+        // Discovery per step keeps gateway breaker/ejection state from
+        // leaking across steps.
+        net.heal_all();
+        let mut disc = Discovery::new(
+            Arc::new(UniClient::new(net.clone())),
+            GatewayConfig::default(),
+            CrawlConfig::default(),
+        );
+        let stats = disc.crawl(&["mem://dir-a"]);
+        assert_eq!(stats.visited.len(), 3, "step {i}: healed crawl must see all directories");
+        sched.apply(&net, i);
+
+        let dark =
+            |host: &str| step.cuts.contains(&Cut { from: CLIENT_ORIGIN.into(), to: host.into() });
+        let (risk_dark, alt_dark) = (dark("risk-0"), dark("risk-alt-0"));
+
+        let outcome = disc.achieve(&lending_goal(), &lending_inputs(), &AchieveConfig::default());
+        match outcome {
+            Ok(achieved) => {
+                assert!(
+                    !(risk_dark && alt_dark),
+                    "step {i}: succeeded with every risk provider unreachable ({:?})",
+                    step.cuts
+                );
+                assert_eq!(achieved.outputs["approved"].as_bool(), Some(true), "step {i}");
+                if risk_dark {
+                    // The preferred provider was partitioned: exactly one
+                    // compensation + re-plan onto the alternative.
+                    assert_eq!(achieved.attempts, 2, "step {i}");
+                    assert_eq!(achieved.replanned, vec!["risk-model"], "step {i}");
+                    assert!(
+                        achieved.plan.nodes.iter().any(|n| n.service_id == "risk-model-alt"),
+                        "step {i}: re-plan must route through the alternative"
+                    );
+                    replans += 1;
+                } else {
+                    assert_eq!(achieved.attempts, 1, "step {i}: no observable cut, no re-plan");
+                }
+            }
+            Err(DiscoverError::Exhausted { attempts, .. }) => {
+                assert!(
+                    risk_dark && alt_dark,
+                    "step {i}: exhausted but a risk provider was reachable ({:?})",
+                    step.cuts
+                );
+                assert!(attempts >= 2, "step {i}: exhaustion must have re-planned first");
+                exhaustions += 1;
+            }
+            Err(other) => panic!("step {i}: unexpected failure mode: {other:?}"),
+        }
+    }
+
+    // Seed 1 is pinned to exercise every oracle branch.
+    assert_eq!(replans, 4, "schedule drift: re-plan steps");
+    assert_eq!(exhaustions, 3, "schedule drift: dark steps");
+    net.heal_all();
+}

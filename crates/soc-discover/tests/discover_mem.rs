@@ -1,0 +1,222 @@
+//! End-to-end discovery over the in-memory network: federated crawl
+//! with referral cycles and incremental re-crawls, QoS-ranked search,
+//! goal planning, and saga execution with re-planning.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc_discover::{
+    demo, AchieveConfig, CrawlConfig, DiscoverError, Discovery, Goal, NoQos, Planner,
+};
+use soc_gateway::GatewayConfig;
+use soc_http::mem::{MemNetwork, UniClient};
+use soc_json::Value;
+use soc_registry::{Binding, ServiceDescriptor};
+use soc_soap::XsdType;
+
+fn discovery(net: &MemNetwork) -> Discovery {
+    Discovery::new(
+        Arc::new(UniClient::new(net.clone())),
+        GatewayConfig::default(),
+        CrawlConfig::default(),
+    )
+}
+
+fn lending_goal() -> Goal {
+    Goal::new()
+        .have("ssn", XsdType::String)
+        .have("amount", XsdType::Int)
+        .have("income", XsdType::Int)
+        .want("approved", XsdType::Boolean)
+        .want("rate_bps", XsdType::Int)
+}
+
+fn lending_inputs() -> HashMap<String, Value> {
+    HashMap::from([
+        ("ssn".to_string(), Value::from("123-45-6789")),
+        ("amount".to_string(), Value::from(25_000)),
+        ("income".to_string(), Value::from(90_000)),
+    ])
+}
+
+#[test]
+fn crawl_follows_referral_cycles_and_merges_replicas() {
+    let net = MemNetwork::new();
+    let federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+
+    // One root; dir-b and dir-c are reached via referrals, and the
+    // c → a back-edge must not loop the crawl.
+    let stats = disc.crawl(&["mem://dir-a"]);
+    assert_eq!(stats.visited.len(), 3, "{stats:?}");
+    assert!(stats.unreachable.is_empty(), "{stats:?}");
+    assert!(stats.wsdl_errors.is_empty(), "{stats:?}");
+
+    let catalog = disc.catalog();
+    assert_eq!(catalog.len(), 4);
+    // credit-check was advertised by two directories with distinct
+    // replicas: the catalog merges them under one id.
+    let credit = catalog.get("credit-check").unwrap();
+    assert_eq!(credit.replicas, vec!["mem://credit-0", "mem://credit-1"]);
+    assert_eq!(credit.directories.len(), 2);
+    // Typed signature recovered from the WSDL, with the relative
+    // `location` resolved against the fetch origin.
+    let op = credit.operation("Score").unwrap();
+    assert_eq!(op.inputs[0].ty, XsdType::String);
+    assert_eq!(op.outputs[0].ty, XsdType::Int);
+    assert_eq!(credit.base_path, "/api");
+
+    let _ = federation;
+}
+
+#[test]
+fn recrawls_are_incremental_until_the_lease_version_moves() {
+    let net = MemNetwork::new();
+    let federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+
+    disc.crawl(&["mem://dir-a"]);
+    let second = disc.crawl(&["mem://dir-a"]);
+    assert_eq!(second.visited.len(), 0, "{second:?}");
+    assert_eq!(second.skipped_unchanged.len(), 3, "{second:?}");
+
+    // A new live lease on dir-b bumps its version; only dir-b is
+    // re-listed on the next crawl.
+    let dir_b = &federation.directories[1];
+    dir_b
+        .repository
+        .publish(
+            ServiceDescriptor::new(
+                "fraud-check",
+                "Fraud Check",
+                "mem://fraud-0/api",
+                Binding::Rest,
+            )
+            .category("lending"),
+        )
+        .unwrap();
+    dir_b.renew_lease("fraud-check", 60_000);
+    let third = disc.crawl(&["mem://dir-a"]);
+    assert_eq!(third.visited, vec!["mem://dir-b"], "{third:?}");
+    assert_eq!(third.skipped_unchanged.len(), 2, "{third:?}");
+    // The new descriptor has no WSDL: cataloged, but without typed ops.
+    let fraud = disc.catalog().get("fraud-check").unwrap();
+    assert!(fraud.operations.is_empty());
+}
+
+#[test]
+fn unreachable_directories_degrade_instead_of_failing_the_crawl() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    // The crawler runs on this thread, so its requests originate from
+    // the client origin; cutting client → dir-c makes only dir-c dark.
+    net.partition(soc_http::mem::CLIENT_ORIGIN, "dir-c");
+    let mut disc = discovery(&net);
+    let stats = disc.crawl(&["mem://dir-a"]);
+    assert_eq!(stats.visited.len(), 2, "{stats:?}");
+    assert_eq!(stats.unreachable, vec!["mem://dir-c"]);
+    // dir-c's exclusive services are missing; the rest of the
+    // federation still cataloged.
+    assert!(disc.catalog().get("underwriting").is_none());
+    assert!(disc.catalog().get("credit-check").is_some());
+}
+
+#[test]
+fn search_ranks_lending_services() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    let hits = disc.search("assess loan risk", 10);
+    assert!(!hits.is_empty());
+    assert!(hits[0].service_id.starts_with("risk-model"), "{hits:?}");
+    let underwriting = disc.search("underwriting approval", 10);
+    assert_eq!(underwriting[0].service_id, "underwriting", "{underwriting:?}");
+}
+
+#[test]
+fn planner_chains_credit_risk_underwriting() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    let plan = disc.plan(&lending_goal()).unwrap();
+    let services: Vec<&str> = plan.nodes.iter().map(|n| n.service_id.as_str()).collect();
+    assert_eq!(services, vec!["credit-check", "risk-model", "underwriting"]);
+    // Planning is deterministic.
+    assert_eq!(disc.plan(&lending_goal()).unwrap(), plan);
+
+    // With the primary risk provider denied, the planner routes
+    // through the alternative — and the plan still checks out.
+    let mut planner = Planner::new(disc.index(), &NoQos);
+    planner.deny("risk-model");
+    let alt = planner.plan(&lending_goal()).unwrap();
+    soc_discover::verify(&alt, &lending_goal()).unwrap();
+    assert!(alt.nodes.iter().any(|n| n.service_id == "risk-model-alt"));
+}
+
+#[test]
+fn unproducible_wants_fail_with_no_producer() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    let goal = Goal::new().want("unobtainium", XsdType::Double);
+    match disc.plan(&goal) {
+        Err(DiscoverError::Plan(e)) => assert!(e.to_string().contains("unobtainium")),
+        other => panic!("expected NoProducer, got {other:?}"),
+    }
+}
+
+#[test]
+fn achieve_executes_the_composition_through_the_gateway() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    let achieved =
+        disc.achieve(&lending_goal(), &lending_inputs(), &AchieveConfig::default()).unwrap();
+    assert_eq!(achieved.attempts, 1);
+    assert!(achieved.replanned.is_empty());
+    assert_eq!(achieved.outputs["approved"].as_bool(), Some(true));
+    let rate = achieved.outputs["rate_bps"].as_i64().unwrap();
+    assert!((250..=1150).contains(&rate), "rate_bps {rate} out of model range");
+}
+
+#[test]
+fn achieve_replans_around_a_partitioned_provider() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    // The planner prefers risk-model; partition its only replica from
+    // the caller mid-run. The saga fails at that node, compensates,
+    // and the re-plan routes through risk-model-alt.
+    net.partition(soc_http::mem::CLIENT_ORIGIN, "risk-0");
+    let achieved =
+        disc.achieve(&lending_goal(), &lending_inputs(), &AchieveConfig::default()).unwrap();
+    assert_eq!(achieved.attempts, 2);
+    assert_eq!(achieved.replanned, vec!["risk-model"]);
+    assert!(achieved.plan.nodes.iter().any(|n| n.service_id == "risk-model-alt"));
+    assert_eq!(achieved.outputs["approved"].as_bool(), Some(true));
+}
+
+#[test]
+fn achieve_exhausts_when_every_provider_is_dark() {
+    let net = MemNetwork::new();
+    let _federation = demo::host_mem(&net);
+    let mut disc = discovery(&net);
+    disc.crawl(&["mem://dir-a"]);
+
+    net.partition(soc_http::mem::CLIENT_ORIGIN, "risk-0");
+    net.partition(soc_http::mem::CLIENT_ORIGIN, "risk-alt-0");
+    match disc.achieve(&lending_goal(), &lending_inputs(), &AchieveConfig::default()) {
+        Err(DiscoverError::Exhausted { attempts, .. }) => assert!(attempts >= 2),
+        other => panic!("expected exhaustion, got {other:?}"),
+    }
+}

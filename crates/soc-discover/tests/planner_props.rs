@@ -1,0 +1,132 @@
+//! Property tests for the composition planner: over random typed
+//! catalogs and random goals, every plan the planner emits must pass
+//! the independent static checker, cover the goal, respect the node
+//! cap, and be deterministic.
+
+use proptest::prelude::*;
+
+use soc_discover::catalog::{Catalog, DiscoveredService, TypedOperation};
+use soc_discover::planner::{Goal, Planner};
+use soc_discover::{check, NoQos, SearchIndex};
+use soc_registry::{Binding, ServiceDescriptor};
+use soc_soap::contract::Param;
+use soc_soap::XsdType;
+
+/// A fixed pool of typed parameters; each name has one type, so a
+/// signature is fully determined by the name index.
+fn pool(i: usize) -> Param {
+    let types = [XsdType::String, XsdType::Int, XsdType::Double, XsdType::Boolean];
+    Param { name: format!("p{i}"), ty: types[i % types.len()] }
+}
+
+const POOL: usize = 10;
+
+/// Sorted, deduplicated parameter indices (the vendored proptest has
+/// no set strategy, so sets are built from vec draws).
+fn index_set(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..POOL, range).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// One random operation: a few inputs, at least one output.
+fn op_strategy() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (index_set(0..3), index_set(1..3))
+}
+
+fn catalog_strategy() -> impl Strategy<Value = Catalog> {
+    proptest::collection::vec(op_strategy(), 1..12).prop_map(|services| {
+        let mut catalog = Catalog::new();
+        for (i, (ins, outs)) in services.into_iter().enumerate() {
+            let id = format!("svc-{i}");
+            catalog.merge(DiscoveredService {
+                descriptor: ServiceDescriptor::new(
+                    &id,
+                    &id,
+                    &format!("mem://{id}/api"),
+                    Binding::Rest,
+                ),
+                namespace: format!("urn:prop:{i}"),
+                base_path: "/api".into(),
+                operations: vec![TypedOperation {
+                    name: format!("Op{i}"),
+                    inputs: ins.into_iter().map(pool).collect(),
+                    outputs: outs.into_iter().map(pool).collect(),
+                    doc: None,
+                }],
+                replicas: vec![format!("mem://{id}")],
+                directories: vec!["mem://dir".into()],
+            });
+        }
+        catalog
+    })
+}
+
+fn goal_strategy() -> impl Strategy<Value = Goal> {
+    (index_set(0..4), index_set(1..3), 1usize..8).prop_map(|(have, want, max_nodes)| {
+        let mut goal = Goal::new().max_nodes(max_nodes);
+        for i in have {
+            let p = pool(i);
+            goal = goal.have(&p.name, p.ty);
+        }
+        for i in want {
+            let p = pool(i);
+            goal = goal.want(&p.name, p.ty);
+        }
+        goal
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_emitted_plan_passes_the_static_checker(
+        catalog in catalog_strategy(),
+        goal in goal_strategy(),
+    ) {
+        let index = SearchIndex::build(&catalog);
+        let planner = Planner::new(&index, &NoQos);
+        if let Ok(plan) = planner.plan(&goal) {
+            let violations = check(&plan, &goal);
+            prop_assert!(violations.is_empty(), "planner emitted an unsound plan: {violations:?}\nplan: {plan:?}");
+            prop_assert!(plan.nodes.len() <= goal.max_nodes);
+            // Every want is delivered.
+            for w in &goal.want {
+                prop_assert!(plan.outputs.iter().any(|(name, _)| *name == w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic(
+        catalog in catalog_strategy(),
+        goal in goal_strategy(),
+    ) {
+        let index = SearchIndex::build(&catalog);
+        let planner = Planner::new(&index, &NoQos);
+        let first = planner.plan(&goal);
+        let second = planner.plan(&goal);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn trivially_satisfied_goals_always_plan(
+        catalog in catalog_strategy(),
+        names in index_set(1..4),
+    ) {
+        // Goals whose wants are all in the haves must always succeed,
+        // with an empty node list.
+        let mut goal = Goal::new();
+        for &i in &names {
+            let p = pool(i);
+            goal = goal.have(&p.name, p.ty).want(&p.name, p.ty);
+        }
+        let index = SearchIndex::build(&catalog);
+        let plan = Planner::new(&index, &NoQos).plan(&goal).unwrap();
+        prop_assert!(plan.nodes.is_empty());
+        prop_assert!(check(&plan, &goal).is_empty());
+    }
+}

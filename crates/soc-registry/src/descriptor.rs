@@ -59,6 +59,9 @@ pub struct ServiceDescriptor {
     pub binding: Binding,
     /// Provider name.
     pub provider: String,
+    /// Where the service's WSDL contract can be fetched, if it has
+    /// one. Crawlers follow this to recover typed port signatures.
+    pub wsdl: Option<String>,
 }
 
 impl ServiceDescriptor {
@@ -74,6 +77,7 @@ impl ServiceDescriptor {
             endpoint: endpoint.to_string(),
             binding,
             provider: "unknown".to_string(),
+            wsdl: None,
         }
     }
 
@@ -101,9 +105,15 @@ impl ServiceDescriptor {
         self
     }
 
+    /// Builder: WSDL contract URL.
+    pub fn wsdl(mut self, url: &str) -> Self {
+        self.wsdl = Some(url.to_string());
+        self
+    }
+
     /// JSON form used by the directory's REST API.
     pub fn to_json(&self) -> Value {
-        json!({
+        let mut v = json!({
             "id": (self.id.clone()),
             "name": (self.name.clone()),
             "description": (self.description.clone()),
@@ -112,7 +122,11 @@ impl ServiceDescriptor {
             "endpoint": (self.endpoint.clone()),
             "binding": (self.binding.as_str()),
             "provider": (self.provider.clone())
-        })
+        });
+        if let Some(url) = &self.wsdl {
+            v.set("wsdl", url.as_str());
+        }
+        v
     }
 
     /// Parse the JSON form. Returns a message for humans on failure.
@@ -139,6 +153,7 @@ impl ServiceDescriptor {
             endpoint: field("endpoint")?,
             binding,
             provider: field("provider").unwrap_or_else(|_| "unknown".into()),
+            wsdl: v.get("wsdl").and_then(Value::as_str).map(str::to_string),
         })
     }
 
@@ -152,6 +167,9 @@ impl ServiceDescriptor {
         doc.add_text_element(el, "category", self.category.clone());
         doc.add_text_element(el, "endpoint", self.endpoint.clone());
         doc.add_text_element(el, "provider", self.provider.clone());
+        if let Some(url) = &self.wsdl {
+            doc.add_text_element(el, "wsdl", url.clone());
+        }
         let kw = doc.add_element(el, "keywords");
         for k in &self.keywords {
             doc.add_text_element(kw, "keyword", k.clone());
@@ -179,6 +197,7 @@ impl ServiceDescriptor {
             endpoint: text("endpoint"),
             binding,
             provider: text("provider"),
+            wsdl: doc.child_text(el, "wsdl"),
         })
     }
 }
@@ -198,6 +217,7 @@ mod tests {
         .category("security")
         .keywords(&["cipher", "crypto"])
         .provider("asu")
+        .wsdl("mem://services/wsdl/enc-1")
     }
 
     #[test]

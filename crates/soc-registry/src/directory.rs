@@ -11,6 +11,7 @@
 //! | `/search?q=…` | GET | ranked TF-IDF search |
 //! | `/semantic-search?category=…` | GET | ontology-expanded category match (CSE446 unit 6) |
 //! | `/peers` | GET | other directories this one knows about (crawler fuel) |
+//! | `/directory/peers` | GET | federation referral: peer base URLs plus this directory's lease version |
 //! | `/leases` | GET | lease table version + live service ids |
 //! | `/leases/{id}` | POST / DELETE | renew / revoke a registration lease |
 
@@ -263,6 +264,20 @@ impl DirectoryService {
                 Response::json(&Value::Array(peers).to_compact())
             });
         }
+        {
+            // Federation referral: which other directories this one
+            // knows about, stamped with the local lease version so a
+            // crawler can skip an unchanged directory on re-crawl.
+            let st = state.clone();
+            router.get("/directory/peers", move |_req, _p| {
+                let (version, _live) = st.lease_snapshot();
+                let peers: Vec<Value> = st.peers.read().iter().cloned().map(Value::from).collect();
+                let mut v = Value::object();
+                v.set("version", version as i64);
+                v.set("peers", Value::Array(peers));
+                Response::json(&v.to_compact())
+            });
+        }
 
         (DirectoryService { router }, state)
     }
@@ -404,6 +419,26 @@ impl DirectoryClient {
             .collect())
     }
 
+    /// Federation referral: peer directory base URLs plus this
+    /// directory's lease version (see `/directory/peers`).
+    pub fn referrals(&self) -> DirectoryResult<Referral> {
+        let v = self.rest.get(&format!("{}/directory/peers", self.base))?;
+        let version = v
+            .pointer("/version")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| DirectoryError::Decode("referral missing version".into()))?
+            as u64;
+        let peers = v
+            .pointer("/peers")
+            .and_then(Value::as_array)
+            .ok_or_else(|| DirectoryError::Decode("referral missing peers".into()))?
+            .iter()
+            .filter_map(Value::as_str)
+            .map(str::to_string)
+            .collect();
+        Ok(Referral { version, peers })
+    }
+
     /// Renew `id`'s lease for `ttl_ms`; returns the lease-table version.
     pub fn renew_lease(&self, id: &str, ttl_ms: u64) -> DirectoryResult<u64> {
         let url =
@@ -439,6 +474,17 @@ impl DirectoryClient {
         self.rest.delete(&format!("{}/leases/{}", self.base, soc_http::url::percent_encode(id)))?;
         Ok(())
     }
+}
+
+/// A federation referral: where else to crawl, and how fresh the
+/// referring directory itself is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Referral {
+    /// The referring directory's lease-table version — unchanged
+    /// version ⇒ unchanged live set, so a re-crawl can skip it.
+    pub version: u64,
+    /// Peer directory base URLs.
+    pub peers: Vec<String>,
 }
 
 /// One observation of a directory's lease table.
@@ -529,6 +575,17 @@ mod tests {
     fn peers_endpoint() {
         let (_net, client) = setup();
         assert_eq!(client.peers().unwrap(), vec!["mem://dir-b".to_string()]);
+    }
+
+    #[test]
+    fn referral_endpoint_carries_lease_version() {
+        let (_net, client) = setup();
+        let r = client.referrals().unwrap();
+        assert_eq!(r, Referral { version: 0, peers: vec!["mem://dir-b".to_string()] });
+        // A live-set change is visible in the referral version too.
+        client.register(&svc("alpha")).unwrap();
+        client.renew_lease("alpha", 60_000).unwrap();
+        assert!(client.referrals().unwrap().version > 0);
     }
 
     #[test]

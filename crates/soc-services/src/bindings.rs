@@ -64,6 +64,24 @@ impl ServiceHost {
         // Health endpoint (QoS monitor target).
         router.get("/health", |_req, _p| Response::json("{\"status\":\"up\"}"));
 
+        // ---- WSDL for the typed REST services -----------------------
+        // Crawlers fetch these to learn port signatures. The host
+        // doesn't know its own deployment address, so the advertised
+        // location is host-relative (a crawler resolves it against the
+        // URL it fetched the WSDL from) unless a Host header names us.
+        router.get("/wsdl/{id}", move |req, p| {
+            let id = p.get("id").unwrap_or("");
+            let Some((contract, base)) = rest_contract(id) else {
+                return Response::error(Status::NOT_FOUND, "no WSDL for this service");
+            };
+            let location = match req.headers.get("Host") {
+                Some(host) => format!("http://{host}{base}"),
+                None => base.to_string(),
+            };
+            let xml = soc_soap::wsdl::generate(&contract, &location);
+            Response::new(Status::OK).with_text("text/xml; charset=utf-8", &xml)
+        });
+
         // ---- encryption / decryption --------------------------------
         router.post("/crypto/encrypt", |req, _p| match body_json(&req) {
             Ok(v) => {
@@ -500,6 +518,56 @@ impl Handler for ServiceHost {
     }
 }
 
+/// Typed contract for the REST mortgage service.
+pub fn mortgage_contract() -> Contract {
+    Contract::new("Mortgage", "urn:soc:mortgage")
+        .operation(
+            Operation::new("Apply")
+                .input("name", XsdType::String)
+                .input("ssn", XsdType::String)
+                .input("annual_income", XsdType::Int)
+                .input("loan_amount", XsdType::Int)
+                .input("term_years", XsdType::Int)
+                .output("decision", XsdType::String)
+                .output("score", XsdType::Int)
+                .doc("mortgage application decision from income, amount, and credit score"),
+        )
+        .operation(
+            Operation::new("Cancel")
+                .input("application_id", XsdType::String)
+                .output("cancelled", XsdType::Boolean)
+                .output("application_id", XsdType::String)
+                .doc("withdraw a previously submitted application"),
+        )
+}
+
+/// Typed contract for the REST password generator.
+pub fn password_contract() -> Contract {
+    Contract::new("Passwords", "urn:soc:passwords").operation(
+        Operation::new("Generate")
+            .input("length", XsdType::Int)
+            .output("password", XsdType::String)
+            .output("entropy_bits", XsdType::Double)
+            .output("strength", XsdType::String)
+            .doc("random strong password with an entropy estimate"),
+    )
+}
+
+/// Typed contracts for the REST-bound catalog services, keyed by
+/// descriptor id, paired with the base path their operations hang off.
+/// The invocation convention for a REST contract is
+/// `POST {base}/{operation name lowercased}` with a JSON body whose
+/// fields are the operation's inputs; the response JSON carries the
+/// outputs. (`Apply` on base `/mortgage` is `POST /mortgage/apply`.)
+pub fn rest_contract(id: &str) -> Option<(Contract, &'static str)> {
+    Some(match id {
+        "crypto" => (encryption_contract(), "/crypto"),
+        "passwords" => (password_contract(), "/passwords"),
+        "mortgage" => (mortgage_contract(), "/mortgage"),
+        _ => return None,
+    })
+}
+
 /// The credit-score SOAP contract (also available RESTfully).
 pub fn credit_score_contract() -> Contract {
     Contract::new("CreditScore", "urn:soc:credit").operation(
@@ -572,7 +640,7 @@ pub fn catalog(rest_host: &str, soap_host: &str) -> Vec<ServiceDescriptor> {
             .keywords(kw)
             .provider("asu-repository")
     };
-    vec![
+    let mut services = vec![
         rest(
             "crypto",
             "Encryption Service",
@@ -673,7 +741,19 @@ pub fn catalog(rest_host: &str, soap_host: &str) -> Vec<ServiceDescriptor> {
         .category("security")
         .keywords(&["cipher", "soap", "wsdl"])
         .provider("asu-repository"),
-    ]
+    ];
+    // Advertise contracts where they exist, so crawlers can index
+    // typed port signatures instead of opaque endpoints.
+    for d in &mut services {
+        match d.binding {
+            Binding::Soap => d.wsdl = Some(format!("{}?wsdl", d.endpoint)),
+            _ if rest_contract(&d.id).is_some() => {
+                d.wsdl = Some(format!("mem://{rest_host}/wsdl/{}", d.id));
+            }
+            _ => {}
+        }
+    }
+    services
 }
 
 /// Host the whole repository on `net`: REST at `mem://services.asu`,
@@ -981,5 +1061,40 @@ mod tests {
         assert!(ids.contains(&"credit-soap"));
         let resp = net.send(Request::get("mem://services.asu/health")).unwrap();
         assert!(resp.status.is_success());
+    }
+
+    #[test]
+    fn catalog_wsdl_links_resolve_to_typed_contracts() {
+        let net = MemNetwork::new();
+        let catalog = host_all(&net, 42);
+        let typed: Vec<_> = catalog.iter().filter(|d| d.wsdl.is_some()).collect();
+        assert!(typed.len() >= 5, "rest + soap contracts expected, got {}", typed.len());
+        for d in &typed {
+            let url = d.wsdl.clone().unwrap();
+            let resp = net.send(Request::get(&url)).unwrap();
+            assert!(resp.status.is_success(), "{}: {url}", d.id);
+            let parsed = soc_soap::wsdl::parse(resp.text_body().unwrap()).unwrap();
+            assert!(!parsed.contract.operations.is_empty(), "{}", d.id);
+            // Every operation must carry complete message parts — this
+            // is what a crawler indexes.
+            for op in &parsed.contract.operations {
+                assert!(
+                    !op.inputs.is_empty() && !op.outputs.is_empty(),
+                    "{}::{} lost its parts",
+                    d.id,
+                    op.name
+                );
+            }
+        }
+        // Spot-check that real (non-string) types survive the trip.
+        let resp = net.send(Request::get("mem://services.asu/wsdl/mortgage")).unwrap();
+        let parsed = soc_soap::wsdl::parse(resp.text_body().unwrap()).unwrap();
+        // Host-relative location: the crawler resolves it against the
+        // URL the WSDL was fetched from.
+        assert_eq!(parsed.endpoint, "/mortgage");
+        let apply = parsed.contract.find("Apply").unwrap();
+        let income = apply.inputs.iter().find(|p| p.name == "annual_income").unwrap();
+        assert_eq!(income.ty, XsdType::Int);
+        assert_eq!(apply.outputs.iter().find(|p| p.name == "score").unwrap().ty, XsdType::Int);
     }
 }

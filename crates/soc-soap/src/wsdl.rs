@@ -148,11 +148,38 @@ pub fn parse(xml: &str) -> Result<ParsedWsdl, String> {
             }
         }
     }
-    let lookup = |name: &str| -> Vec<(String, XsdType)> {
-        elements.iter().find(|(n, _)| n == name).map(|(_, p)| p.clone()).unwrap_or_default()
+    // Message catalog: `wsdl:message` name → the parameters it
+    // carries. A document/literal part references a schema element; an
+    // rpc-style part carries `name`/`type` directly. A crawler sees
+    // both conventions in the wild, so each message resolves to a
+    // concrete parameter list here rather than at the portType.
+    let strip_prefix = |qname: &str| qname.rsplit(':').next().unwrap_or(qname).to_string();
+    let element_params = |name: &str| -> Option<Vec<(String, XsdType)>> {
+        elements.iter().find(|(n, _)| n == name).map(|(_, p)| p.clone())
+    };
+    let mut messages: Vec<(String, Vec<(String, XsdType)>)> = Vec::new();
+    for msg in doc.find_children(root, "message") {
+        let Some(msg_name) = doc.attr(msg, "name") else { continue };
+        let mut params = Vec::new();
+        for part in doc.find_children(msg, "part") {
+            if let Some(element) = doc.attr(part, "element") {
+                params.extend(element_params(&strip_prefix(element)).unwrap_or_default());
+            } else if let Some(ty) = doc.attr(part, "type") {
+                let pname = doc.attr(part, "name").unwrap_or("").to_string();
+                params.push((pname, XsdType::parse(ty).unwrap_or(XsdType::String)));
+            }
+        }
+        messages.push((msg_name.to_string(), params));
+    }
+    let message_params = |attr: Option<&str>| -> Option<Vec<(String, XsdType)>> {
+        let name = strip_prefix(attr?);
+        messages.iter().find(|(n, _)| *n == name).map(|(_, p)| p.clone())
     };
 
-    // Operations from the portType.
+    // Operations from the portType. Input/output parameters resolve
+    // through the operation's message reference; documents that skip
+    // the message layer fall back to the `{op}`/`{op}Response` schema
+    // element convention.
     let port_type = doc.find_child(root, "portType").ok_or("missing portType")?;
     for o in doc.find_children(port_type, "operation") {
         let Some(op_name) = doc.attr(o, "name") else { continue };
@@ -160,10 +187,16 @@ pub fn parse(xml: &str) -> Result<ParsedWsdl, String> {
         if let Some(d) = doc.child_text(o, "documentation") {
             op.doc = Some(d);
         }
-        for (pname, ty) in lookup(op_name) {
+        let resolve = |dir: &str, fallback: &str| -> Vec<(String, XsdType)> {
+            doc.find_child(o, dir)
+                .and_then(|n| message_params(doc.attr(n, "message")))
+                .or_else(|| element_params(fallback))
+                .unwrap_or_default()
+        };
+        for (pname, ty) in resolve("input", op_name) {
             op.inputs.push(crate::contract::Param { name: pname, ty });
         }
-        for (pname, ty) in lookup(&format!("{op_name}Response")) {
+        for (pname, ty) in resolve("output", &format!("{op_name}Response")) {
             op.outputs.push(crate::contract::Param { name: pname, ty });
         }
         contract.operations.push(op);
@@ -230,6 +263,61 @@ mod tests {
         let wsdl =
             generate(&calc(), "mem://calc/soap").replace("soapenv:address", "soapenv:elsewhere");
         assert!(parse(&wsdl).is_err());
+    }
+
+    #[test]
+    fn parse_follows_message_indirection() {
+        // Element names deliberately do NOT follow the `{op}` /
+        // `{op}Response` convention: the parser must resolve
+        // portType → message → part → schema element to see the types.
+        let wsdl = r#"<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+            xmlns:tns="urn:x" targetNamespace="urn:x" name="Quote">
+          <wsdl:types><xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:x">
+            <xsd:element name="QuoteReq"><xsd:complexType><xsd:sequence>
+              <xsd:element name="symbol" type="xsd:string"/>
+            </xsd:sequence></xsd:complexType></xsd:element>
+            <xsd:element name="QuoteResp"><xsd:complexType><xsd:sequence>
+              <xsd:element name="price" type="xsd:double"/>
+            </xsd:sequence></xsd:complexType></xsd:element>
+          </xsd:schema></wsdl:types>
+          <wsdl:message name="GetQuoteIn"><wsdl:part name="parameters" element="tns:QuoteReq"/></wsdl:message>
+          <wsdl:message name="GetQuoteOut"><wsdl:part name="parameters" element="tns:QuoteResp"/></wsdl:message>
+          <wsdl:portType name="QuotePortType"><wsdl:operation name="GetQuote">
+            <wsdl:input message="tns:GetQuoteIn"/><wsdl:output message="tns:GetQuoteOut"/>
+          </wsdl:operation></wsdl:portType>
+          <wsdl:service name="Quote"><wsdl:port name="QuotePort" binding="tns:B">
+            <soapenv:address xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/" location="mem://quote/soap"/>
+          </wsdl:port></wsdl:service>
+        </wsdl:definitions>"#;
+        let parsed = parse(wsdl).unwrap();
+        let op = parsed.contract.find("GetQuote").unwrap();
+        assert_eq!(op.inputs.len(), 1);
+        assert_eq!((op.inputs[0].name.as_str(), op.inputs[0].ty), ("symbol", XsdType::String));
+        assert_eq!((op.outputs[0].name.as_str(), op.outputs[0].ty), ("price", XsdType::Double));
+    }
+
+    #[test]
+    fn parse_recovers_rpc_style_typed_parts() {
+        // rpc-style: no schema at all, parts carry name/type directly.
+        let wsdl = r#"<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+            xmlns:tns="urn:rpc" targetNamespace="urn:rpc" name="Calc">
+          <wsdl:message name="AddIn">
+            <wsdl:part name="a" type="xsd:int"/><wsdl:part name="b" type="xsd:int"/>
+          </wsdl:message>
+          <wsdl:message name="AddOut"><wsdl:part name="sum" type="xsd:long"/></wsdl:message>
+          <wsdl:portType name="CalcPortType"><wsdl:operation name="Add">
+            <wsdl:input message="tns:AddIn"/><wsdl:output message="tns:AddOut"/>
+          </wsdl:operation></wsdl:portType>
+          <wsdl:service name="Calc"><wsdl:port name="CalcPort" binding="tns:B">
+            <soapenv:address xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/" location="mem://calc"/>
+          </wsdl:port></wsdl:service>
+        </wsdl:definitions>"#;
+        let parsed = parse(wsdl).unwrap();
+        let op = parsed.contract.find("Add").unwrap();
+        let names: Vec<&str> = op.inputs.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(op.inputs.iter().all(|p| p.ty == XsdType::Int));
+        assert_eq!((op.outputs[0].name.as_str(), op.outputs[0].ty), ("sum", XsdType::Int));
     }
 
     #[test]

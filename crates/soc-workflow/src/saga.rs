@@ -210,7 +210,11 @@ impl WorkflowGraph {
         config: &SagaConfig,
     ) -> Result<WorkflowOutcome, WorkflowError> {
         self.validate()?;
-        let mut run_span = soc_observe::span("workflow.saga", soc_observe::SpanKind::Internal);
+        // Same span name as the plain executor: a trace reads
+        // `workflow.run` regardless of which engine ran the graph; the
+        // `saga` attribute tells them apart.
+        let mut run_span = soc_observe::span("workflow.run", soc_observe::SpanKind::Internal);
+        run_span.set_attr("saga", "true");
         run_span.set_attr("nodes", self.nodes.len().to_string());
         let _active = run_span.activate();
         let run_ctx = run_span.context();

@@ -97,4 +97,35 @@ for row in $(grep -o 'bench("[a-z_]*"' "$chaos_src" | sed 's/.*"\([a-z_]*\)".*/\
         status=1
     fi
 done
+
+# --- discovery-layer overhead record ----------------------------------
+# Same contract for the discover bench: crawl, index, search, and
+# planner rows, budgets asserted by the harness, record kept honest
+# here.
+disc_record=BENCH_discover.json
+disc_src=crates/soc-bench/benches/discover.rs
+
+if [[ ! -f "$disc_record" ]]; then
+    echo "error: $disc_record is missing — run 'cargo bench -p soc-bench --bench discover' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$disc_record"; then
+    echo "error: $disc_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"budget_ns"' '"current"' '"plan_chain_checked"'; do
+    if ! grep -q "$section" "$disc_record"; then
+        echo "error: $disc_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for row in $(grep -o 'bench("[a-z_]*"' "$disc_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$row\"" "$disc_record"; then
+        echo "error: bench row '$row' exists in $disc_src but is absent from $disc_record — re-record" >&2
+        status=1
+    fi
+done
 exit $status

@@ -5,6 +5,7 @@
 //! the system inventory.
 pub use soc_chaos as chaos;
 pub use soc_curriculum as curriculum;
+pub use soc_discover as discover;
 pub use soc_gateway as gateway;
 pub use soc_http as http;
 pub use soc_json as json;
@@ -21,6 +22,7 @@ pub use soc_xml as xml;
 
 /// Commonly used items in one import: `use soc::prelude::*;`.
 pub mod prelude {
+    pub use soc_discover::{Catalog, CrawlConfig, Discovery, Goal, Planner, SearchIndex};
     pub use soc_gateway::{Gateway, GatewayConfig, Policy};
     pub use soc_http::mem::{FaultConfig, MemNetwork, Transport, UniClient};
     pub use soc_http::{Handler, HttpClient, HttpServer, Method, Request, Response, Status};

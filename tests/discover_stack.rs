@@ -1,0 +1,147 @@
+//! Discovery over real sockets: crawl three federated TCP directories,
+//! search the catalog, plan a composition, execute it through the
+//! gateway — and pull the trace tree back over the wire to prove the
+//! whole loop is one causally-linked story:
+//! `discover.plan → workflow.run → gateway.request`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use soc::discover::{demo, AchieveConfig, CrawlConfig, Discovery, Goal};
+use soc::gateway::GatewayConfig;
+use soc::http::{HttpClient, HttpServer, Request};
+use soc::json::Value;
+use soc::soap::XsdType;
+
+fn fetch_trace(client: &HttpClient, base: &str, trace_id: &str) -> Value {
+    let resp = client.send(Request::get(format!("{base}/observe/traces/{trace_id}"))).unwrap();
+    assert!(resp.status.is_success(), "trace {trace_id} not retrievable: {:?}", resp.status);
+    Value::parse(resp.text_body().unwrap()).unwrap()
+}
+
+fn span_name(span: &Value) -> &str {
+    span.pointer("/name").and_then(Value::as_str).unwrap()
+}
+
+fn span_id(span: &Value) -> &str {
+    span.pointer("/span_id").and_then(Value::as_str).unwrap()
+}
+
+fn parent_id(span: &Value) -> Option<&str> {
+    span.pointer("/parent_span_id").and_then(Value::as_str)
+}
+
+fn has_ancestor<'a>(by_id: &HashMap<&str, &'a Value>, mut span: &'a Value, target: &str) -> bool {
+    while let Some(parent) = parent_id(span).and_then(|p| by_id.get(p).copied()) {
+        if span_id(parent) == target {
+            return true;
+        }
+        span = parent;
+    }
+    false
+}
+
+fn spans_named<'a>(tree: &'a Value, name: &str) -> Vec<&'a Value> {
+    tree.pointer("/spans")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter(|s| span_name(s) == name)
+        .collect()
+}
+
+#[test]
+fn discovery_composes_and_traces_over_real_sockets() {
+    let federation = demo::host_tcp(2).unwrap();
+    let roots: Vec<&str> = federation.roots.iter().map(String::as_str).collect();
+
+    let mut disc = Discovery::new(
+        Arc::new(HttpClient::new()),
+        GatewayConfig::default(),
+        CrawlConfig::default(),
+    );
+
+    // Crawl: one root URL; referrals walk the other two directories and
+    // the closing referral edge back to the first must not loop.
+    let stats = disc.crawl(&roots);
+    assert_eq!(stats.visited.len(), 3, "{stats:?}");
+    assert!(stats.wsdl_errors.is_empty(), "{stats:?}");
+    let catalog = disc.catalog();
+    assert_eq!(catalog.len(), 4);
+    let credit = catalog.get("credit-check").unwrap();
+    assert_eq!(credit.replicas.len(), 2, "both TCP replicas merged: {:?}", credit.replicas);
+
+    // Search: typed signatures from WSDL fetched over TCP are indexed.
+    let hits = disc.search("underwriting approval", 5);
+    assert_eq!(hits[0].service_id, "underwriting", "{hits:?}");
+
+    // Plan + execute under a root span, so the whole attempt is one
+    // trace we can fetch back over the wire.
+    let goal = Goal::new()
+        .have("ssn", XsdType::String)
+        .have("amount", XsdType::Int)
+        .have("income", XsdType::Int)
+        .want("approved", XsdType::Boolean)
+        .want("rate_bps", XsdType::Int);
+    let inputs = HashMap::from([
+        ("ssn".to_string(), Value::from("123-45-6789")),
+        ("amount".to_string(), Value::from(25_000)),
+        ("income".to_string(), Value::from(90_000)),
+    ]);
+
+    let root = soc::observe::root_span("test.discover", soc::observe::SpanKind::Internal);
+    let trace_id = root.context().trace_id.to_hex();
+    let root_sid = root.context().span_id.to_hex();
+    let achieved = {
+        let _active = root.activate();
+        disc.achieve(&goal, &inputs, &AchieveConfig::default()).unwrap()
+    };
+    drop(root);
+    assert_eq!(achieved.attempts, 1);
+    assert_eq!(achieved.outputs["approved"].as_bool(), Some(true));
+    assert!(achieved.outputs["rate_bps"].as_i64().is_some());
+
+    // The trace tree, served over TCP by a standalone observability
+    // host: discover.plan roots the attempt, the saga hangs under it,
+    // and every service invocation rides a gateway.request below that.
+    let obs = HttpServer::bind("127.0.0.1:0", 1, soc::http::ObserveEndpoints::new()).unwrap();
+    let client = HttpClient::new();
+    let tree = fetch_trace(&client, &obs.url(), &trace_id);
+
+    let plans = spans_named(&tree, "discover.plan");
+    assert_eq!(plans.len(), 1, "one attempt, one plan span");
+    let plan_span = plans[0];
+    assert_eq!(parent_id(plan_span), Some(root_sid.as_str()));
+    assert_eq!(plan_span.pointer("/attrs/nodes").and_then(Value::as_str), Some("3"));
+
+    let runs = spans_named(&tree, "workflow.run");
+    assert_eq!(runs.len(), 1);
+    let run = runs[0];
+    assert_eq!(
+        parent_id(run),
+        Some(span_id(plan_span)),
+        "the saga must execute inside the planning attempt's span"
+    );
+    assert_eq!(run.pointer("/attrs/saga").and_then(Value::as_str), Some("true"));
+
+    // Three plan nodes → three service invocations, each a
+    // gateway.request whose ancestry passes through workflow.run.
+    let by_id: HashMap<&str, &Value> = tree
+        .pointer("/spans")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|s| (span_id(s), s))
+        .collect();
+    let requests = spans_named(&tree, "gateway.request");
+    assert_eq!(requests.len(), 3, "one gateway dispatch per plan node");
+    for req in &requests {
+        assert!(
+            has_ancestor(&by_id, req, span_id(run)),
+            "gateway.request must descend from workflow.run: {tree}"
+        );
+    }
+
+    // The federation's HTTP servers stay alive until here.
+    drop(federation);
+}
