@@ -254,6 +254,14 @@ impl ChaosReport {
 /// compensation must land even on a misbehaving network. The id is
 /// read from the forward activity's `out` port (its parsed response),
 /// which is exactly what the saga engine hands a compensator.
+///
+/// With [`CancelCall::with_reservation`] it can also compensate a
+/// forward step that *failed without yielding an id*: a lost-response
+/// attempt may still have landed server-side, so the compensator
+/// recomputes the idempotency key the forward block chose up front
+/// (key == application id) and cancels *by reservation* — the service
+/// tombstones the key if nothing has landed yet, refusing any
+/// straggling retry that arrives later.
 pub struct CancelCall {
     transport: Arc<dyn Transport>,
     bases: Vec<String>,
@@ -261,6 +269,7 @@ pub struct CancelCall {
     id_field: String,
     log: Arc<Mutex<Vec<String>>>,
     node: &'static str,
+    reservation: Option<(ServiceCall, String)>,
 }
 
 impl CancelCall {
@@ -281,7 +290,18 @@ impl CancelCall {
             id_field: id_field.to_string(),
             log,
             node,
+            reservation: None,
         }
+    }
+
+    /// Enable reservation cancels: when the forward output carries no
+    /// id (the step failed), derive the id from `forward`'s idempotency
+    /// key in the current trace and POST it to `path` instead of the
+    /// normal cancel route. `forward` must be a clone of the exact
+    /// block wired into the graph — the key is per block instance.
+    pub fn with_reservation(mut self, forward: ServiceCall, path: &str) -> Self {
+        self.reservation = Some((forward, path.to_string()));
+        self
     }
 }
 
@@ -293,14 +313,35 @@ impl Activity for CancelCall {
         vec!["out".into()]
     }
     fn execute(&self, inputs: &Ports) -> Result<Ports, ActivityError> {
-        let id = inputs
+        let forward_id = inputs
             .get("out")
             .and_then(|v| v.get(&self.id_field))
             .and_then(Value::as_str)
-            .ok_or_else(|| {
-                ActivityError::Failed(format!("no {:?} in forward output", self.id_field))
-            })?
-            .to_string();
+            .map(str::to_string);
+        let (id, path) = match forward_id {
+            Some(id) => (id, self.path.as_str()),
+            None => {
+                // The forward step failed before the saga ever learned
+                // an id — but one of its lost-response attempts may
+                // have landed. Its idempotency key is the application
+                // id, and it is recomputable: the compensator runs in a
+                // child span of the same trace the forward attempts
+                // used.
+                let Some((forward, reservation_path)) = &self.reservation else {
+                    return Err(ActivityError::Failed(format!(
+                        "no {:?} in forward output",
+                        self.id_field
+                    )));
+                };
+                let Some(ctx) = soc_observe::context::current() else {
+                    return Err(ActivityError::Failed(format!(
+                        "no {:?} in forward output and no trace to derive the reservation key",
+                        self.id_field
+                    )));
+                };
+                (forward.idempotency_key_in(&ctx), reservation_path.as_str())
+            }
+        };
         let body = {
             let mut b = Value::Object(vec![]);
             b.set(self.id_field.clone(), id.as_str());
@@ -312,7 +353,7 @@ impl Activity for CancelCall {
         let mut last = String::new();
         for round in 0..4 {
             for base in &self.bases {
-                let req = Request::post(format!("{base}/{}", self.path), Vec::new())
+                let req = Request::post(format!("{base}/{path}"), Vec::new())
                     .with_text("application/json", &body);
                 match self.transport.send(req) {
                     Ok(resp) if resp.status.is_success() => {
@@ -365,6 +406,19 @@ fn notify_handler(ledger: Arc<SubmissionLedger>) -> impl Fn(Request) -> Response
                 Some(receipt) => {
                     let known = ledger.cancel(&receipt);
                     Response::json(&json!({ "cancelled": known }).to_compact())
+                }
+                None => Response::error(soc_http::Status(422), "missing receipt"),
+            },
+            // Cancel by the idempotency key (== receipt) chosen before
+            // the notification was sent; tombstones an unseen key so a
+            // straggling retry is refused.
+            "/notify/cancel-reservation" => match Value::parse(&body)
+                .ok()
+                .and_then(|v| v.get("receipt").and_then(Value::as_str).map(str::to_string))
+            {
+                Some(receipt) => {
+                    let landed = ledger.cancel_reservation(&receipt);
+                    Response::json(&json!({ "cancelled": landed }).to_compact())
                 }
                 None => Response::error(soc_http::Status(422), "missing receipt"),
             },
@@ -427,10 +481,13 @@ fn build_saga(
             "term_years": 30
         })),
     );
-    let apply =
-        g.add("apply", ServiceCall::post_via_gateway(gw.clone(), "mortgage", "mortgage/apply"));
-    let notify =
-        g.add("notify", ServiceCall::post(transport.clone(), &format!("{notify_base}/notify")));
+    // Keep clones of the forward blocks: their idempotency keys double
+    // as server-side ids, so each compensator can cancel-by-reservation
+    // when the forward step fails without ever yielding an id.
+    let apply_call = ServiceCall::post_via_gateway(gw.clone(), "mortgage", "mortgage/apply");
+    let notify_call = ServiceCall::post(transport.clone(), &format!("{notify_base}/notify"));
+    let apply = g.add("apply", apply_call.clone());
+    let notify = g.add("notify", notify_call.clone());
     let finalize = g.add(
         "finalize",
         ServiceCall::post(transport.clone(), &format!("{finalize_base}/finalize")),
@@ -468,7 +525,8 @@ fn build_saga(
             "application_id",
             log.clone(),
             "apply",
-        ),
+        )
+        .with_reservation(apply_call, "mortgage/cancel-reservation"),
     )
     .unwrap();
     g.set_compensation(
@@ -480,7 +538,8 @@ fn build_saga(
             "receipt",
             log.clone(),
             "notify",
-        ),
+        )
+        .with_reservation(notify_call, "notify/cancel-reservation"),
     )
     .unwrap();
     g

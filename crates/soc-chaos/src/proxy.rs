@@ -4,10 +4,14 @@
 //! speaking TCP) and tunnels bytes both ways, injecting faults on the
 //! *response* path the way a misbehaving network would: added delay,
 //! a connection cut mid-headers ("reset"), or a clean close after a
-//! partial body ("truncate"). Verdicts are drawn per connection from a
-//! seeded [`soc_http::FaultRng`], so a chaos schedule over real sockets
-//! replays exactly for a given seed — the TCP counterpart of the
-//! in-memory `MemNetwork` fault plane.
+//! partial body ("truncate"). Verdicts are drawn per response
+//! read-burst from one seeded [`soc_http::FaultRng`] shared by all
+//! tunnels — with keep-alive clients one connection carries many
+//! exchanges, so a per-connection draw would fault only the first and
+//! starve the schedule. For the small responses in this stack one
+//! burst is one response, and a given seed replays the same fault
+//! sequence — the TCP counterpart of the in-memory `MemNetwork` fault
+//! plane.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -31,8 +35,8 @@ enum ProxyVerdict {
     Truncate,
 }
 
-/// Per-connection fault probabilities for a [`FaultProxy`]. Drawn in a
-/// fixed order (delay, reset, truncate) so a seed replays exactly.
+/// Per-response-burst fault probabilities for a [`FaultProxy`]. Drawn
+/// in a fixed order (delay, reset, truncate) so a seed replays exactly.
 #[derive(Debug, Clone)]
 pub struct ProxyFaults {
     /// Probability of stalling the response by `delay`.
@@ -142,7 +146,7 @@ impl FaultProxy {
         let accept_thread = std::thread::Builder::new()
             .name("soc-chaos-proxy".into())
             .spawn(move || {
-                let rng = Mutex::new(FaultRng::new(faults.seed));
+                let rng = Arc::new(Mutex::new(FaultRng::new(faults.seed)));
                 let mut tunnels: Vec<std::thread::JoinHandle<()>> = Vec::new();
                 // Same blocking-accept + self-connect wake-up shutdown
                 // protocol as HttpServer.
@@ -151,12 +155,12 @@ impl FaultProxy {
                         break;
                     }
                     stats2.connections.fetch_add(1, Ordering::Relaxed);
-                    let verdict = faults.verdict(&mut rng.lock());
                     let stats = stats2.clone();
                     let faults = faults.clone();
+                    let rng = rng.clone();
                     stats.open.fetch_add(1, Ordering::AcqRel);
                     tunnels.push(std::thread::spawn(move || {
-                        tunnel(client, upstream, verdict, &faults, &stats);
+                        tunnel(client, upstream, &faults, &rng, &stats);
                         stats.open.fetch_sub(1, Ordering::AcqRel);
                     }));
                     // Reap finished tunnels so the vec stays bounded.
@@ -211,12 +215,13 @@ fn io_err(e: std::io::Error) -> HttpError {
     HttpError::Io(e.to_string())
 }
 
-/// Tunnel one client connection to `upstream` under `verdict`.
+/// Tunnel one client connection to `upstream`, drawing a fresh fault
+/// verdict for each response read-burst.
 fn tunnel(
     client: TcpStream,
     upstream: SocketAddr,
-    verdict: ProxyVerdict,
     faults: &ProxyFaults,
+    rng: &Mutex<FaultRng>,
     stats: &ProxyStats,
 ) {
     let Ok(server) = TcpStream::connect_timeout(&upstream, Duration::from_secs(5)) else {
@@ -233,63 +238,69 @@ fn tunnel(
     let (Ok(client_rx), Ok(server_tx)) = (client.try_clone(), server.try_clone()) else {
         return;
     };
-    let up = std::thread::spawn(move || copy_until_eof(client_rx, server_tx, None));
+    let up = std::thread::spawn(move || copy_until_eof(client_rx, server_tx));
 
     // Response path (where the faults live), on this thread.
-    let cut = match verdict {
-        ProxyVerdict::Clean => None,
-        ProxyVerdict::Delay => {
-            stats.delays.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(faults.delay);
-            None
-        }
-        // Mid-headers: even a status line is longer than 12 bytes.
-        ProxyVerdict::Reset => {
-            stats.resets.fetch_add(1, Ordering::Relaxed);
-            Some(CutMode::Reset)
-        }
-        ProxyVerdict::Truncate => {
-            stats.truncations.fetch_add(1, Ordering::Relaxed);
-            Some(CutMode::Truncate)
-        }
-    };
-    copy_until_eof(server, client, cut);
+    pump_response(server, client, faults, rng, stats);
     let _ = up.join();
 }
 
-#[derive(Clone, Copy)]
-enum CutMode {
-    /// Forward ~a dozen bytes (inside the status line), then cut both
-    /// directions — the client sees the connection die mid-headers.
-    Reset,
-    /// Forward all but the tail of the first chunk, then close — the
-    /// client sees EOF mid-body.
-    Truncate,
-}
-
-/// Pump bytes `from` → `to` until EOF or error, optionally cutting the
-/// stream per `cut`. Closes both write halves on exit so the peer
-/// observes the end.
-fn copy_until_eof(mut from: TcpStream, mut to: TcpStream, cut: Option<CutMode>) {
+/// Pump response bytes upstream → client, drawing one verdict per read
+/// burst. With `TCP_NODELAY` and the single-write responses this stack
+/// produces, one burst corresponds to one response, so a keep-alive
+/// connection carrying N exchanges consumes N draws from the seeded
+/// stream. A reset or truncation ends the tunnel.
+fn pump_response(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    faults: &ProxyFaults,
+    rng: &Mutex<FaultRng>,
+    stats: &ProxyStats,
+) {
     let mut buf = [0u8; 16 * 1024];
-    let mut first = true;
     loop {
         let n = match from.read(&mut buf) {
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
-        let forward = match (cut, first) {
-            (Some(CutMode::Reset), true) => n.min(12),
-            // Drop the tail of the first chunk: for the small responses
-            // in this stack that lands mid-body, after the headers.
-            (Some(CutMode::Truncate), true) => n.saturating_sub(4),
-            _ => n,
+        let verdict = faults.verdict(&mut rng.lock());
+        let (forward, cut) = match verdict {
+            ProxyVerdict::Clean => (n, false),
+            ProxyVerdict::Delay => {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(faults.delay);
+                (n, false)
+            }
+            // Mid-headers: even a status line is longer than 12 bytes.
+            ProxyVerdict::Reset => {
+                stats.resets.fetch_add(1, Ordering::Relaxed);
+                (n.min(12), true)
+            }
+            // Drop the tail of the burst: for the small responses in
+            // this stack that lands mid-body, after the headers.
+            ProxyVerdict::Truncate => {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                (n.saturating_sub(4), true)
+            }
         };
-        first = false;
-        if to.write_all(&buf[..forward]).is_err() {
+        if to.write_all(&buf[..forward]).is_err() || cut {
             break;
         }
-        if cut.is_some() {
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+/// Pump bytes `from` → `to` untouched until EOF or error, closing both
+/// write halves on exit so the peer observes the end.
+fn copy_until_eof(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        if to.write_all(&buf[..n]).is_err() {
             break;
         }
     }
@@ -319,7 +330,10 @@ mod tests {
             assert!(resp.status.is_success());
             assert!(resp.text_body().unwrap().contains("0123456789abcdef"));
         }
-        assert_eq!(proxy.stats().connections.load(Ordering::Relaxed), 3);
+        // A pooled keep-alive client sends all three exchanges down one
+        // proxied connection.
+        assert_eq!(proxy.stats().connections.load(Ordering::Relaxed), 1);
+        assert_eq!(client.pool_stats().reused, 2);
         proxy.shutdown();
         assert_eq!(proxy.open_tunnels(), 0, "tunnels must drain on shutdown");
     }

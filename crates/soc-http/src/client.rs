@@ -1,20 +1,153 @@
-//! A blocking HTTP client over TCP.
+//! A blocking HTTP client over TCP, with keep-alive connection pooling.
+//!
+//! Connections are pooled per `host:port`: after a clean exchange whose
+//! framing allows reuse, the connection is parked in a bounded idle
+//! pool instead of closed, and the next request to the same authority
+//! skips the TCP handshake. Clones share one pool, so a gateway holding
+//! an `Arc<HttpClient>` stops paying a connect per attempt/hedge. Idle
+//! connections are evicted after [`PoolConfig::idle_timeout`]; a
+//! connection that fails mid-exchange is retired, and if it failed
+//! before any response byte arrived the request is retried on a fresh
+//! connection (the server may have reaped the idle socket between our
+//! checkout and our write — that race is inherent to keep-alive reuse).
 
-use std::io::BufReader;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
 use crate::codec::{self, DEFAULT_BODY_LIMIT};
-use crate::types::{HttpError, HttpResult, Request, Response};
+use crate::types::{HttpError, HttpResult, Request, Response, Version};
 use crate::url::Url;
 
-/// A simple one-connection-per-request client. The request's `target`
-/// must be an absolute `http://` URL; the client rewrites it to
-/// origin-form on the wire.
+/// Connection-pool tunables.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Idle connections retained per `host:port`.
+    pub max_idle_per_host: usize,
+    /// How long a parked connection stays eligible for reuse.
+    pub idle_timeout: Duration,
+    /// Disable to restore one-connection-per-request behaviour (each
+    /// request then carries `Connection: close`).
+    pub enabled: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { max_idle_per_host: 8, idle_timeout: Duration::from_secs(15), enabled: true }
+    }
+}
+
+/// A snapshot of the pool's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientPoolStats {
+    /// Fresh TCP connections opened.
+    pub opened: u64,
+    /// Requests served over a reused pooled connection.
+    pub reused: u64,
+    /// Pooled connections retired on error (stale reuse, poisoned
+    /// socket) — idle-timeout evictions are not errors and not counted.
+    pub retired: u64,
+}
+
+struct IdleConn {
+    reader: BufReader<TcpStream>,
+    parked_at: Instant,
+}
+
+struct Pool {
+    cfg: PoolConfig,
+    idle: Mutex<HashMap<String, Vec<IdleConn>>>,
+    opened: AtomicU64,
+    reused: AtomicU64,
+    retired: AtomicU64,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("cfg", &self.cfg)
+            .field("opened", &self.opened)
+            .field("reused", &self.reused)
+            .field("retired", &self.retired)
+            .finish()
+    }
+}
+
+impl Pool {
+    fn new(cfg: PoolConfig) -> Pool {
+        Pool {
+            cfg,
+            idle: Mutex::new(HashMap::new()),
+            opened: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// Take the freshest healthy idle connection for `key`, evicting
+    /// expired or visibly-dead ones along the way.
+    fn checkout(&self, key: &str) -> Option<BufReader<TcpStream>> {
+        let mut idle = self.idle.lock();
+        let list = idle.get_mut(key)?;
+        while let Some(conn) = list.pop() {
+            if conn.parked_at.elapsed() > self.cfg.idle_timeout {
+                continue; // expired; dropping closes the socket
+            }
+            if let Some(reader) = probe_alive(conn.reader) {
+                return Some(reader);
+            }
+            // Dead or poisoned while parked: not an error, just gone.
+        }
+        None
+    }
+
+    /// Park a connection for reuse, bounding the per-host idle list
+    /// (the oldest connection is dropped when full).
+    fn park(&self, key: &str, reader: BufReader<TcpStream>) {
+        let mut idle = self.idle.lock();
+        let list = idle.entry(key.to_string()).or_default();
+        if list.len() >= self.cfg.max_idle_per_host.max(1) {
+            list.remove(0);
+        }
+        list.push(IdleConn { reader, parked_at: Instant::now() });
+    }
+}
+
+/// Cheap liveness probe on a parked connection: a nonblocking read that
+/// yields `WouldBlock` means the socket is open with nothing buffered —
+/// exactly the state a reusable keep-alive connection must be in. EOF
+/// means the server closed it while parked; actual bytes mean a
+/// desynchronized (poisoned) connection. Both are discarded.
+fn probe_alive(mut reader: BufReader<TcpStream>) -> Option<BufReader<TcpStream>> {
+    if !reader.buffer().is_empty() {
+        return None;
+    }
+    let stream = reader.get_mut();
+    if stream.set_nonblocking(true).is_err() {
+        return None;
+    }
+    let mut probe = [0u8; 1];
+    let verdict =
+        matches!(stream.read(&mut probe), Err(e) if e.kind() == std::io::ErrorKind::WouldBlock);
+    if stream.set_nonblocking(false).is_err() {
+        return None;
+    }
+    verdict.then_some(reader)
+}
+
+/// A blocking client with per-authority keep-alive pooling. The
+/// request's `target` must be an absolute `http://` URL; the client
+/// rewrites it to origin-form on the wire. Clones share the pool.
 #[derive(Debug, Clone)]
 pub struct HttpClient {
     timeout: Duration,
     body_limit: usize,
+    pool: Arc<Pool>,
 }
 
 impl Default for HttpClient {
@@ -23,21 +156,48 @@ impl Default for HttpClient {
     }
 }
 
+/// Outcome of one wire exchange: the response plus the connection if
+/// it is still reusable.
+type ExchangeOk = (Response, Option<BufReader<TcpStream>>);
+
 impl HttpClient {
-    /// Client with a 30 s timeout.
+    /// Client with a 30 s timeout and default pooling.
     pub fn new() -> Self {
-        HttpClient { timeout: Duration::from_secs(30), body_limit: DEFAULT_BODY_LIMIT }
+        HttpClient {
+            timeout: Duration::from_secs(30),
+            body_limit: DEFAULT_BODY_LIMIT,
+            pool: Arc::new(Pool::new(PoolConfig::default())),
+        }
     }
 
     /// Client with an explicit connect/read/write timeout.
     pub fn with_timeout(timeout: Duration) -> Self {
-        HttpClient { timeout, body_limit: DEFAULT_BODY_LIMIT }
+        HttpClient {
+            timeout,
+            body_limit: DEFAULT_BODY_LIMIT,
+            pool: Arc::new(Pool::new(PoolConfig::default())),
+        }
     }
 
     /// Cap the accepted response body size.
     pub fn with_body_limit(mut self, limit: usize) -> Self {
         self.body_limit = limit;
         self
+    }
+
+    /// Replace the pool configuration (fresh, empty pool).
+    pub fn with_pool(mut self, cfg: PoolConfig) -> Self {
+        self.pool = Arc::new(Pool::new(cfg));
+        self
+    }
+
+    /// Lifetime pool counters (shared across clones).
+    pub fn pool_stats(&self) -> ClientPoolStats {
+        ClientPoolStats {
+            opened: self.pool.opened.load(Ordering::Relaxed),
+            reused: self.pool.reused.load(Ordering::Relaxed),
+            retired: self.pool.retired.load(Ordering::Relaxed),
+        }
     }
 
     /// Send `req` and wait for the response.
@@ -58,6 +218,22 @@ impl HttpClient {
         self.dispatch(req, Some(deadline))
     }
 
+    /// Remaining budget, or the socket timeout when no deadline is set.
+    /// Zero remaining means the request is already too late.
+    fn op_timeout(&self, deadline: Option<Instant>) -> HttpResult<Duration> {
+        match deadline {
+            None => Ok(self.timeout),
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    Err(HttpError::DeadlineExceeded)
+                } else {
+                    Ok(left.min(self.timeout))
+                }
+            }
+        }
+    }
+
     fn dispatch(&self, req: Request, deadline: Option<Instant>) -> HttpResult<Response> {
         let url = Url::parse(&req.target)?;
         if url.scheme != "http" {
@@ -66,70 +242,151 @@ impl HttpClient {
                 url.scheme
             )));
         }
-        // Remaining budget, or the socket timeout when no deadline is
-        // set. Zero remaining means the request is already too late.
-        let op_timeout = |deadline: Option<Instant>| -> HttpResult<Duration> {
-            match deadline {
-                None => Ok(self.timeout),
-                Some(d) => {
-                    let left = d.saturating_duration_since(Instant::now());
-                    if left.is_zero() {
-                        Err(HttpError::DeadlineExceeded)
-                    } else {
-                        Ok(left.min(self.timeout))
+        let key = format!("{}:{}", url.host, url.port);
+        loop {
+            // Fail fast once the budget is gone, including between
+            // retry rounds.
+            self.op_timeout(deadline)?;
+            let (reader, reused) = match self.pool.cfg.enabled.then(|| self.pool.checkout(&key)) {
+                Some(Some(reader)) => (reader, true),
+                _ => {
+                    let stream = self.connect(&url, deadline)?;
+                    self.pool.opened.fetch_add(1, Ordering::Relaxed);
+                    (BufReader::new(stream), false)
+                }
+            };
+            match self.exchange(reader, &req, &url, deadline) {
+                Ok((resp, keep)) => {
+                    if reused {
+                        self.pool.reused.fetch_add(1, Ordering::Relaxed);
                     }
+                    if let Some(reader) = keep {
+                        self.pool.park(&key, reader);
+                    }
+                    return Ok(resp);
+                }
+                Err((e, before_response)) => {
+                    if reused {
+                        self.pool.retired.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Safe retry: only on a *reused* connection that
+                    // failed before the server said anything — the
+                    // idle socket raced the server's reaper, and the
+                    // request provably never reached a handler's
+                    // response path. Deadline errors are terminal.
+                    let retryable = reused && before_response && e != HttpError::DeadlineExceeded;
+                    if retryable {
+                        continue;
+                    }
+                    // A read failure after the budget ran out is the
+                    // deadline's fault, not the peer's.
+                    return match deadline {
+                        Some(d) if Instant::now() >= d => Err(HttpError::DeadlineExceeded),
+                        _ => Err(e),
+                    };
                 }
             }
-        };
+        }
+    }
+
+    /// Open a fresh TCP connection. With no deadline, `TcpStream::
+    /// connect` already walks every resolved address. Under a deadline,
+    /// `connect_timeout` needs explicit addresses — and must try each
+    /// of them within the remaining budget, not just the first: a host
+    /// resolving IPv6-first would otherwise never reach an IPv4-only
+    /// listener.
+    fn connect(&self, url: &Url, deadline: Option<Instant>) -> HttpResult<TcpStream> {
         let addr = (url.host.as_str(), url.port);
-        let stream = match deadline {
-            None => TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()))?,
-            Some(_) => {
-                // connect_timeout needs a resolved SocketAddr.
-                let budget = op_timeout(deadline)?;
-                let resolved = std::net::ToSocketAddrs::to_socket_addrs(&addr)
-                    .map_err(|e| HttpError::Io(e.to_string()))?
-                    .next()
-                    .ok_or_else(|| HttpError::BadUrl(format!("unresolvable host: {}", url.host)))?;
-                TcpStream::connect_timeout(&resolved, budget).map_err(|e| {
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                    ) {
-                        HttpError::DeadlineExceeded
-                    } else {
-                        HttpError::Io(e.to_string())
-                    }
-                })?
+        let map_connect_err = |e: std::io::Error| {
+            if matches!(e.kind(), std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock) {
+                HttpError::DeadlineExceeded
+            } else {
+                HttpError::Io(e.to_string())
             }
         };
-        stream.set_read_timeout(Some(op_timeout(deadline)?)).ok();
-        stream.set_write_timeout(Some(op_timeout(deadline)?)).ok();
-        stream.set_nodelay(true).ok();
+        if deadline.is_none() {
+            return TcpStream::connect(addr).map_err(|e| HttpError::Io(e.to_string()));
+        }
+        let addrs: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(&addr)
+            .map_err(|e| HttpError::Io(e.to_string()))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(HttpError::BadUrl(format!("unresolvable host: {}", url.host)));
+        }
+        let mut last = None;
+        for a in &addrs {
+            let budget = match self.op_timeout(deadline) {
+                Ok(b) => b,
+                Err(e) => return Err(last.unwrap_or(e)),
+            };
+            match TcpStream::connect_timeout(a, budget) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(map_connect_err(e)),
+            }
+        }
+        Err(last.expect("at least one address was tried"))
+    }
+
+    /// One request/response over an established connection. Errors
+    /// carry whether they happened before any response byte arrived
+    /// (the precondition for a safe retry on a reused connection).
+    fn exchange(
+        &self,
+        mut reader: BufReader<TcpStream>,
+        req: &Request,
+        url: &Url,
+        deadline: Option<Instant>,
+    ) -> Result<ExchangeOk, (HttpError, bool)> {
+        let pre = |e: HttpError| (e, true);
+        let post = |e: HttpError| (e, false);
+
+        {
+            let stream = reader.get_ref();
+            stream.set_read_timeout(Some(self.op_timeout(deadline).map_err(pre)?)).ok();
+            stream.set_write_timeout(Some(self.op_timeout(deadline).map_err(pre)?)).ok();
+            stream.set_nodelay(true).ok();
+        }
 
         let mut wire_req = req.clone();
         wire_req.target = url.path_and_query();
         // Propagate the thread's active trace context across the hop.
         crate::observe::inject_traceparent(&mut wire_req.headers);
-        // One-shot connection: tell the server not to wait for more.
-        if !wire_req.headers.contains("Connection") {
+        // With pooling disabled this is a one-shot connection: tell the
+        // server not to wait for more. Pooled connections stay on the
+        // HTTP/1.1 persistent default.
+        if !self.pool.cfg.enabled && !wire_req.headers.contains("Connection") {
             wire_req.headers.set("Connection", "close");
         }
-        let mut writer = stream.try_clone().map_err(|e| HttpError::Io(e.to_string()))?;
-        codec::write_request(&mut writer, &wire_req, Some(&url.authority()))?;
+        let mut writer =
+            reader.get_ref().try_clone().map_err(|e| pre(HttpError::Io(e.to_string())))?;
+        codec::write_request(&mut writer, &wire_req, Some(&url.authority())).map_err(pre)?;
         // Re-arm the read timeout with whatever budget the write left.
-        stream.set_read_timeout(Some(op_timeout(deadline)?)).ok();
-        let mut reader = BufReader::new(stream);
-        let resp = codec::read_response(&mut reader, self.body_limit);
-        match resp {
-            // A read failure after the budget ran out is the deadline's
-            // fault, not the peer's: report it as such.
-            Err(e) => match deadline {
-                Some(d) if Instant::now() >= d => Err(HttpError::DeadlineExceeded),
-                _ => Err(e),
-            },
-            ok => ok,
+        reader.get_ref().set_read_timeout(Some(self.op_timeout(deadline).map_err(pre)?)).ok();
+        // Peek before parsing: an EOF or error *here* means the server
+        // never started a response (stale pooled connection, reaped
+        // idle socket) — retry-safe. Once bytes exist, failures are
+        // real protocol or transfer errors.
+        match reader.fill_buf() {
+            Ok([]) => return Err(pre(HttpError::UnexpectedEof)),
+            Ok(_) => {}
+            Err(e) => return Err(pre(HttpError::Io(e.to_string()))),
         }
+        let (resp, version) =
+            codec::read_response_versioned(&mut reader, self.body_limit).map_err(post)?;
+
+        // Reuse only when both sides allow it and the response framing
+        // was explicit (a length-less EOF-delimited body can't share a
+        // connection).
+        let resp_closes = resp.headers.has_token("Connection", "close")
+            || (version == Version::Http10 && !resp.headers.has_token("Connection", "keep-alive"));
+        let req_closes = wire_req.headers.has_token("Connection", "close");
+        let self_delimited = resp.headers.contains("Content-Length")
+            || resp
+                .headers
+                .get("Transfer-Encoding")
+                .is_some_and(|te| te.eq_ignore_ascii_case("chunked"));
+        let keep = self.pool.cfg.enabled && !resp_closes && !req_closes && self_delimited;
+        Ok((resp, keep.then_some(reader)))
     }
 
     /// GET an absolute URL.
@@ -201,5 +458,95 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         let resp = c.send_with_deadline(Request::get(&url), deadline).unwrap();
         assert!(resp.status.is_success());
+    }
+
+    #[test]
+    fn deadline_connect_tries_every_resolved_address() {
+        // Regression for first-address-only resolution: hand-build the
+        // situation where the first address refuses and a later one
+        // serves. `localhost` may resolve to `::1` before `127.0.0.1`;
+        // the old code took `.next()` and never reached the listener.
+        let server =
+            crate::HttpServer::bind("127.0.0.1:0", 1, |_req: Request| crate::Response::text("ok"))
+                .unwrap();
+        let c = HttpClient::with_timeout(Duration::from_secs(2));
+        let url = Url::parse(&format!("http://localhost:{}/", server.addr().port())).unwrap();
+        // Whatever order the resolver yields, the connect must land on
+        // the one family that is actually listening.
+        let deadline = Some(Instant::now() + Duration::from_secs(2));
+        let stream = c.connect(&url, deadline).expect("must try every resolved address");
+        drop(stream);
+    }
+
+    #[test]
+    fn pooled_connection_is_reused() {
+        let server = crate::HttpServer::bind("127.0.0.1:0", 2, |req: Request| {
+            crate::Response::text(format!("echo {}", req.path()))
+        })
+        .unwrap();
+        let c = HttpClient::new();
+        for i in 0..5 {
+            let resp = c.get(&format!("{}/r{i}", server.url())).unwrap();
+            assert!(resp.status.is_success());
+        }
+        let stats = c.pool_stats();
+        assert_eq!(stats.opened, 1, "five sequential requests must share one connection");
+        assert_eq!(stats.reused, 4);
+        assert_eq!(server.served(), 5);
+    }
+
+    #[test]
+    fn disabled_pool_opens_per_request() {
+        let server =
+            crate::HttpServer::bind("127.0.0.1:0", 2, |_req: Request| crate::Response::text("ok"))
+                .unwrap();
+        let c = HttpClient::new().with_pool(PoolConfig { enabled: false, ..PoolConfig::default() });
+        for _ in 0..3 {
+            assert!(c.get(&format!("{}/x", server.url())).unwrap().status.is_success());
+        }
+        let stats = c.pool_stats();
+        assert_eq!(stats.opened, 3);
+        assert_eq!(stats.reused, 0);
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retired_and_retried() {
+        // Serve one request, then shut the server down and bring up a
+        // fresh one on the same port: the parked connection is dead,
+        // and the client must transparently retry on a new connection.
+        let mut server =
+            crate::HttpServer::bind("127.0.0.1:0", 2, |_req: Request| crate::Response::text("one"))
+                .unwrap();
+        let addr = server.addr();
+        let c = HttpClient::with_timeout(Duration::from_secs(5));
+        assert_eq!(c.get(&format!("http://{addr}/")).unwrap().text_body().unwrap(), "one");
+        server.shutdown();
+        drop(server);
+        let server2 = crate::HttpServer::bind(&addr.to_string(), 2, |_req: Request| {
+            crate::Response::text("two")
+        })
+        .unwrap();
+        assert_eq!(server2.addr(), addr, "rebind on the same port");
+        let resp = c.get(&format!("http://{addr}/")).unwrap();
+        assert_eq!(resp.text_body().unwrap(), "two");
+        let stats = c.pool_stats();
+        assert!(stats.opened >= 2, "a fresh connection replaced the dead one: {stats:?}");
+    }
+
+    #[test]
+    fn server_close_is_honored_not_pooled() {
+        // The handler demands teardown; the client must not park the
+        // connection.
+        let server = crate::HttpServer::bind("127.0.0.1:0", 2, |_req: Request| {
+            crate::Response::text("bye").with_header("Connection", "close")
+        })
+        .unwrap();
+        let c = HttpClient::new();
+        for _ in 0..3 {
+            assert!(c.get(&format!("{}/x", server.url())).unwrap().status.is_success());
+        }
+        let stats = c.pool_stats();
+        assert_eq!(stats.opened, 3, "Connection: close responses must not be reused");
+        assert_eq!(stats.reused, 0);
     }
 }

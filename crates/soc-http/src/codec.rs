@@ -12,19 +12,17 @@ use crate::types::{Headers, HttpError, HttpResult, Method, Request, Response, St
 pub const DEFAULT_BODY_LIMIT: usize = 8 * 1024 * 1024;
 
 /// Maximum accepted header section size.
-const HEADER_LIMIT: usize = 64 * 1024;
+pub(crate) const HEADER_LIMIT: usize = 64 * 1024;
 
 fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> HttpResult<String> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
         match r.read(&mut byte)? {
-            0 => {
-                if line.is_empty() {
-                    return Err(HttpError::UnexpectedEof);
-                }
-                break;
-            }
+            // EOF mid-line is truncation, even when some bytes arrived:
+            // a request/status line without its terminator must not
+            // parse as well-formed.
+            0 => return Err(HttpError::UnexpectedEof),
             _ => {
                 if *budget == 0 {
                     return Err(HttpError::Malformed("header section too large".into()));
@@ -72,7 +70,16 @@ fn parse_content_length(v: &str) -> HttpResult<usize> {
     t.parse().map_err(|_| HttpError::Malformed(format!("bad Content-Length: {v:?}")))
 }
 
-fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResult<Vec<u8>> {
+/// How an incoming message's body is framed on the wire. Shared by the
+/// blocking reader below and the reactor's incremental parser, so both
+/// transports reject the same smuggling-shaped messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BodyFraming {
+    Length(usize),
+    Chunked,
+}
+
+pub(crate) fn body_framing(headers: &Headers, limit: usize) -> HttpResult<BodyFraming> {
     if let Some(te) = headers.get("Transfer-Encoding") {
         // RFC 9112 §6.1: a message with both framings is a smuggling
         // vector — two parsers can disagree on where it ends. Reject
@@ -83,7 +90,7 @@ fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResu
             ));
         }
         if te.eq_ignore_ascii_case("chunked") {
-            return read_chunked(r, limit);
+            return Ok(BodyFraming::Chunked);
         }
         return Err(HttpError::Malformed(format!("unsupported transfer encoding: {te}")));
     }
@@ -94,9 +101,59 @@ fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResu
     if len > limit {
         return Err(HttpError::BodyTooLarge { limit });
     }
-    let mut body = vec![0u8; len];
-    std::io::Read::read_exact(r, &mut body).map_err(|_| HttpError::UnexpectedEof)?;
-    Ok(body)
+    Ok(BodyFraming::Length(len))
+}
+
+fn read_body<R: BufRead>(r: &mut R, headers: &Headers, limit: usize) -> HttpResult<Vec<u8>> {
+    match body_framing(headers, limit)? {
+        BodyFraming::Chunked => read_chunked(r, limit),
+        BodyFraming::Length(len) => {
+            let mut body = vec![0u8; len];
+            std::io::Read::read_exact(r, &mut body).map_err(|_| HttpError::UnexpectedEof)?;
+            Ok(body)
+        }
+    }
+}
+
+/// Server-side connection teardown decision for one exchange.
+///
+/// `Connection` is a comma-separated token list (`close, TE` is legal
+/// and means close), so this must tokenize rather than compare the raw
+/// value; HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close unless the
+/// client opted in with `keep-alive`.
+pub fn wants_close(version: Version, request_headers: &Headers) -> bool {
+    if version.persistent_by_default() {
+        request_headers.has_token("Connection", "close")
+    } else {
+        !request_headers.has_token("Connection", "keep-alive")
+    }
+}
+
+/// Total budget for the trailer section after the last chunk. A single
+/// shared budget, not per-line: a per-line allowance would let an
+/// attacker stream trailers forever.
+pub(crate) const TRAILER_LIMIT: usize = 4096;
+
+/// Parse one chunk-size line (hex size, optional `;ext`), enforcing the
+/// remaining-body limit *before* any allocation. The size is
+/// attacker-controlled: `ffffffffffffffff` parses into a usize, so the
+/// old `body_len + size` comparison overflowed — panic in debug, limit
+/// bypass plus a huge `resize` in release.
+pub(crate) fn parse_chunk_size(
+    size_line: &str,
+    body_len: usize,
+    limit: usize,
+) -> HttpResult<usize> {
+    let size_str = size_line.split(';').next().unwrap_or("").trim();
+    if size_str.is_empty() || size_str.len() > 16 {
+        return Err(HttpError::Malformed(format!("bad chunk size: {size_line}")));
+    }
+    let size = usize::from_str_radix(size_str, 16)
+        .map_err(|_| HttpError::Malformed(format!("bad chunk size: {size_line}")))?;
+    match body_len.checked_add(size) {
+        Some(total) if total <= limit => Ok(size),
+        _ => Err(HttpError::BodyTooLarge { limit }),
+    }
 }
 
 fn read_chunked<R: BufRead>(r: &mut R, limit: usize) -> HttpResult<Vec<u8>> {
@@ -104,16 +161,12 @@ fn read_chunked<R: BufRead>(r: &mut R, limit: usize) -> HttpResult<Vec<u8>> {
     loop {
         let mut budget = 1024;
         let size_line = read_line(r, &mut budget)?;
-        let size_str = size_line.split(';').next().unwrap_or("").trim();
-        let size = usize::from_str_radix(size_str, 16)
-            .map_err(|_| HttpError::Malformed(format!("bad chunk size: {size_line}")))?;
-        if body.len() + size > limit {
-            return Err(HttpError::BodyTooLarge { limit });
-        }
+        let size = parse_chunk_size(&size_line, body.len(), limit)?;
         if size == 0 {
-            // Trailers (if any) up to the blank line.
+            // Trailers (if any) up to the blank line, under one shared
+            // budget for the whole section.
+            let mut budget = TRAILER_LIMIT;
             loop {
-                let mut budget = 4096;
                 if read_line(r, &mut budget)?.is_empty() {
                     break;
                 }
@@ -159,8 +212,39 @@ pub fn read_request_versioned<R: BufRead>(
     Ok((Request { method, target: target.to_string(), headers, body }, version))
 }
 
+/// Parse a complete request head (request line + headers + terminating
+/// blank line) from an in-memory buffer. The reactor accumulates bytes
+/// until it sees the head terminator, then hands the whole section
+/// here, so the line-oriented reader can never hit a mid-line EOF.
+pub(crate) fn parse_request_head(head: &[u8]) -> HttpResult<(Method, String, Version, Headers)> {
+    let mut r = std::io::Cursor::new(head);
+    let mut budget = HEADER_LIMIT;
+    let line = read_line(&mut r, &mut budget)?;
+    let mut parts = line.split_whitespace();
+    let (m, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => return Err(HttpError::Malformed(format!("bad request line: {line}"))),
+    };
+    let version = Version::parse(version)
+        .ok_or_else(|| HttpError::Malformed(format!("unsupported version: {version}")))?;
+    let method =
+        Method::parse(m).ok_or_else(|| HttpError::Malformed(format!("unknown method: {m}")))?;
+    let headers = read_headers(&mut r, &mut budget)?;
+    Ok((method, target.to_string(), version, headers))
+}
+
 /// Read one response from `r`.
 pub fn read_response<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Response> {
+    read_response_versioned(r, body_limit).map(|(resp, _)| resp)
+}
+
+/// Read one response plus the protocol version from its status line.
+/// Pooled clients need the version: an HTTP/1.0 response without
+/// `Connection: keep-alive` must not be reused.
+pub fn read_response_versioned<R: BufRead>(
+    r: &mut R,
+    body_limit: usize,
+) -> HttpResult<(Response, Version)> {
     let mut budget = HEADER_LIMIT;
     let line = read_line(r, &mut budget)?;
     let mut parts = line.splitn(3, ' ');
@@ -171,11 +255,13 @@ pub fn read_response<R: BufRead>(r: &mut R, body_limit: usize) -> HttpResult<Res
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed(format!("unsupported version: {version}")));
     }
+    // Any "HTTP/1.x" other than 1.0 gets 1.1 connection semantics.
+    let version = Version::parse(version).unwrap_or(Version::Http11);
     let status: u16 =
         code.parse().map_err(|_| HttpError::Malformed(format!("bad status: {code}")))?;
     let headers = read_headers(r, &mut budget)?;
     let body = read_body(r, &headers, body_limit)?;
-    Ok(Response { status: Status(status), headers, body })
+    Ok((Response { status: Status(status), headers, body }, version))
 }
 
 /// How an outgoing body will be framed on the wire.
@@ -437,6 +523,97 @@ mod tests {
             .with_header("Transfer-Encoding", "chunked")
             .with_header("Content-Length", "1");
         assert!(write_response(&mut Vec::new(), &resp).is_err());
+    }
+
+    #[test]
+    fn huge_chunk_size_is_rejected_before_allocating() {
+        // `ffffffffffffffff` is usize::MAX: the old `body_len + size`
+        // check overflowed (debug panic / release limit bypass), and a
+        // later `resize` would try to allocate the full claimed size.
+        // The size must be rejected against the limit before any
+        // allocation happens.
+        for size in ["ffffffffffffffff", "fffffffffffffff0", "100000000"] {
+            let raw = format!("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n{size}\r\n");
+            let err = read_request(&mut BufReader::new(raw.as_bytes()), 1024).unwrap_err();
+            assert!(
+                matches!(err, HttpError::BodyTooLarge { limit: 1024 }),
+                "chunk size {size} must hit the body limit, got {err:?}"
+            );
+        }
+        // Sizes that do not even fit in a usize are malformed, not a
+        // crash.
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n1ffffffffffffffff\r\n";
+        assert!(matches!(parse_req(raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn accumulated_chunks_cannot_exceed_the_limit() {
+        // Each chunk is small, but their sum crosses the limit: the
+        // running total must be enforced, not just per-chunk size.
+        let mut raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        for _ in 0..20 {
+            raw.extend_from_slice(b"a\r\n0123456789\r\n");
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+        let err = read_request(&mut BufReader::new(&raw[..]), 64).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { limit: 64 }));
+    }
+
+    #[test]
+    fn trailer_flood_is_bounded() {
+        // The trailer section after the last chunk shares one budget;
+        // without it an attacker could stream trailer lines forever.
+        let mut raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n".to_vec();
+        for i in 0..1000 {
+            raw.extend_from_slice(format!("X-T{i}: {}\r\n", "v".repeat(64)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse_req(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "got {err:?}");
+
+        // A modest trailer section still parses.
+        let raw =
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\nX-T: v\r\n\r\n";
+        assert_eq!(parse_req(raw).unwrap().body, b"abc");
+    }
+
+    #[test]
+    fn eof_mid_line_is_unexpected_eof_not_a_parsed_message() {
+        // A peer that dies mid-request-line used to yield the partial
+        // bytes as a complete line; truncation must surface as EOF.
+        for raw in [&b"GET / HTT"[..], b"GET / HTTP/1.1\r\nHost: h", b"G"] {
+            assert!(
+                matches!(parse_req(raw), Err(HttpError::UnexpectedEof)),
+                "partial message {:?} must be UnexpectedEof",
+                String::from_utf8_lossy(raw)
+            );
+        }
+        // A cleanly-closed idle connection (zero bytes) is also EOF —
+        // callers distinguish idle close from truncation by whether any
+        // request was in flight.
+        assert!(matches!(parse_req(b""), Err(HttpError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn connection_header_is_a_token_list() {
+        let h = |v: &str| {
+            let mut headers = Headers::new();
+            headers.set("Connection", v);
+            headers
+        };
+        // HTTP/1.1: keep-alive unless a `close` *token* appears.
+        assert!(wants_close(Version::Http11, &h("close")));
+        assert!(wants_close(Version::Http11, &h("close, TE")));
+        assert!(wants_close(Version::Http11, &h("TE , Close")));
+        assert!(!wants_close(Version::Http11, &h("keep-alive")));
+        assert!(!wants_close(Version::Http11, &h("closet")), "prefix is not a token match");
+        assert!(!wants_close(Version::Http11, &Headers::new()));
+        // HTTP/1.0: close unless a `keep-alive` token appears.
+        assert!(wants_close(Version::Http10, &Headers::new()));
+        assert!(!wants_close(Version::Http10, &h("Keep-Alive")));
+        assert!(!wants_close(Version::Http10, &h("TE, keep-alive")));
+        // HTTP/1.1 with both tokens: `close` wins — the peer said it.
+        assert!(wants_close(Version::Http11, &h("keep-alive, close")));
     }
 
     #[test]

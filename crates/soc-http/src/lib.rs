@@ -9,10 +9,15 @@
 //!   handling (`application/x-www-form-urlencoded`).
 //! - [`codec`] — wire encode/decode: request/response lines, headers,
 //!   `Content-Length` and `chunked` bodies.
-//! - [`server`] — a threaded TCP server ([`HttpServer`]) running any
-//!   [`Handler`] on a `soc-parallel` pool, with keep-alive and graceful
-//!   shutdown.
-//! - [`client`] — a blocking TCP client ([`HttpClient`]).
+//! - [`server`] — a TCP server ([`HttpServer`]) running any [`Handler`]
+//!   on a `soc-parallel` pool, with keep-alive and graceful shutdown.
+//!   On Linux the default transport is a readiness-driven epoll
+//!   reactor (see [`poller`]) that multiplexes every connection on one
+//!   event-loop thread; a threaded blocking transport remains as the
+//!   portable fallback and differential-testing baseline.
+//! - [`client`] — a blocking TCP client ([`HttpClient`]) with
+//!   keep-alive connection pooling (bounded per-host idle pools,
+//!   idle-timeout eviction, retire-on-error).
 //! - [`mem`] — an in-memory virtual network ([`mem::MemNetwork`]): the
 //!   same `Handler` interface without sockets, so whole multi-service
 //!   topologies (provider + broker + client, crawler across
@@ -43,15 +48,19 @@ pub mod cookies;
 pub mod fault;
 pub mod mem;
 pub mod observe;
+#[cfg(target_os = "linux")]
+pub mod poller;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod server;
 pub mod types;
 pub mod url;
 
-pub use client::HttpClient;
+pub use client::{ClientPoolStats, HttpClient, PoolConfig};
 pub use fault::{FaultConfig, FaultRng, FaultVerdict, FaultWindow};
 pub use mem::{MemNetwork, Transport};
 pub use observe::ObserveEndpoints;
-pub use server::{Handler, HttpServer, ServerConfig};
+pub use server::{Handler, HttpServer, ServerConfig, ServerTransport};
 pub use types::{
     fresh_idempotency_key, Headers, HttpError, HttpResult, Method, Request, Response, Status,
     Version, IDEMPOTENCY_KEY,

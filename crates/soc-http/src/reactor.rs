@@ -1,0 +1,873 @@
+//! The readiness-driven server transport: one event-loop thread owns
+//! every connection's I/O, handlers run on the `soc-parallel` pool.
+//!
+//! The threaded transport parks one pool thread per connection, which
+//! caps real concurrency at pool size — an idle keep-alive connection
+//! costs a whole blocked thread. Here the reactor multiplexes all
+//! connections over a [`Poller`](crate::poller::Poller) (epoll on
+//! Linux): sockets are nonblocking, each connection is a small state
+//! machine
+//!
+//! ```text
+//! ReadingHead → ReadingBody → Handling → Writing ─┐
+//!      ▲                                          │ keep-alive
+//!      └────────────── KeepAlive ◄────────────────┘
+//! ```
+//!
+//! and the bytes live in per-connection incremental codec buffers
+//! instead of a thread's stack. When a full request has been parsed the
+//! reactor hands it to the worker pool (`Handling`); the worker runs
+//! the same `Handler`/span/panic-catch path as the threaded transport,
+//! serializes the response, pushes it onto a completion queue, and
+//! wakes the loop through an eventfd [`Waker`](crate::poller::Waker).
+//! The reactor never executes handler code and workers never touch a
+//! socket.
+//!
+//! Backpressure at the connection cap is identical to the threaded
+//! transport: connections over `max_connections` are shed with a
+//! `503 + Retry-After` written from the accept path, and counted in
+//! `ServerStats::shed`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use soc_parallel::ThreadPool;
+
+use crate::codec::{self, BodyFraming};
+use crate::poller::{Event, Interest, Poller, Waker};
+use crate::server::{Handler, ServerStats};
+use crate::types::{Headers, HttpError, HttpResult, Method, Request, Response, Status, Version};
+
+/// Reactor tunables, copied out of `ServerConfig` by `bind_with`.
+#[derive(Debug, Clone)]
+pub(crate) struct ReactorConfig {
+    pub workers: usize,
+    pub max_connections: usize,
+    pub io_timeout: Duration,
+    pub keep_alive_timeout: Duration,
+    pub body_limit: usize,
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_BASE: u64 = 2;
+
+/// How often the loop wakes to sweep deadlines when nothing is ready.
+const SWEEP_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Per-read scratch size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A handler's finished work, travelling pool → reactor.
+struct Completion {
+    slot: usize,
+    gen: u64,
+    /// Serialized response bytes; `None` if serialization failed (the
+    /// connection is closed without a response, like the threaded
+    /// transport's failed write).
+    bytes: Option<Vec<u8>>,
+    close: bool,
+}
+
+// ---------------------------------------------------------------------
+// Incremental request parser
+// ---------------------------------------------------------------------
+
+/// Where a connection's parser is inside the current message.
+enum Phase {
+    /// Accumulating the request line + headers.
+    Head,
+    /// Head parsed; accumulating the body.
+    Body { head: Head, framing: BodyFraming, body: Vec<u8>, chunk: ChunkPhase },
+}
+
+struct Head {
+    method: Method,
+    target: String,
+    version: Version,
+    headers: Headers,
+}
+
+/// Sub-state of an incremental chunked-body decode.
+enum ChunkPhase {
+    SizeLine,
+    Data {
+        remaining: usize,
+    },
+    /// The CRLF that terminates a chunk's data.
+    DataEnd,
+    Trailer {
+        budget: usize,
+    },
+}
+
+/// Incremental HTTP/1.1 request parser over an owned byte buffer.
+///
+/// Bytes are appended as the socket produces them; [`advance`] consumes
+/// complete messages. Framing decisions (`Content-Length` vs `chunked`,
+/// smuggling rejections, body limits, chunk-size overflow) are the
+/// shared `codec` routines, so the two transports cannot drift.
+pub(crate) struct RequestParser {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    /// Head-terminator scan cursor, so repeated partial reads don't
+    /// rescan the whole head.
+    scan: usize,
+    phase: Phase,
+    body_limit: usize,
+}
+
+/// One past the end of the head section (the blank line), if complete.
+/// Lines may end `\r\n` or bare `\n`, matching the blocking reader.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let mut i = from;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 2);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Next `\n`-terminated line starting at `pos`: `(line_bytes_end,
+/// next_pos)` with the trailing `\r` (if any) excluded from the line.
+fn find_line(buf: &[u8], pos: usize) -> Option<(usize, usize)> {
+    let nl = buf[pos..].iter().position(|&b| b == b'\n')? + pos;
+    let end = if nl > pos && buf[nl - 1] == b'\r' { nl - 1 } else { nl };
+    Some((end, nl + 1))
+}
+
+impl RequestParser {
+    pub(crate) fn new(body_limit: usize) -> RequestParser {
+        RequestParser { buf: Vec::new(), pos: 0, scan: 0, phase: Phase::Head, body_limit }
+    }
+
+    fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True between messages with nothing buffered: the connection is
+    /// genuinely idle (keep-alive), not mid-request.
+    fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Head) && self.buffered() == 0
+    }
+
+    fn in_body(&self) -> bool {
+        matches!(self.phase, Phase::Body { .. })
+    }
+
+    /// Consume as much as possible; `Ok(Some(..))` when one complete
+    /// request has been parsed (leftover pipelined bytes stay buffered).
+    fn advance(&mut self) -> HttpResult<Option<(Request, Version)>> {
+        loop {
+            match &mut self.phase {
+                Phase::Head => {
+                    let from = self.scan.max(self.pos);
+                    match find_head_end(&self.buf, from) {
+                        Some(end) => {
+                            let (method, target, version, headers) =
+                                codec::parse_request_head(&self.buf[self.pos..end])?;
+                            let framing = codec::body_framing(&headers, self.body_limit)?;
+                            let body = match framing {
+                                // Cap the preallocation: the length is
+                                // attacker-controlled and the bytes may
+                                // never arrive.
+                                BodyFraming::Length(n) => Vec::with_capacity(n.min(16 * 1024)),
+                                BodyFraming::Chunked => Vec::new(),
+                            };
+                            self.pos = end;
+                            self.scan = end;
+                            self.phase = Phase::Body {
+                                head: Head { method, target, version, headers },
+                                framing,
+                                body,
+                                chunk: ChunkPhase::SizeLine,
+                            };
+                        }
+                        None => {
+                            if self.buffered() > codec::HEADER_LIMIT {
+                                return Err(HttpError::Malformed(
+                                    "header section too large".into(),
+                                ));
+                            }
+                            // Re-scan with overlap so a terminator split
+                            // across reads is still found.
+                            self.scan = self.buf.len().saturating_sub(3).max(self.pos);
+                            return Ok(None);
+                        }
+                    }
+                }
+                Phase::Body { framing: BodyFraming::Length(n), body, .. } => {
+                    let need = *n - body.len();
+                    let take = need.min(self.buf.len() - self.pos);
+                    body.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+                    self.pos += take;
+                    if body.len() < *n {
+                        return Ok(None);
+                    }
+                    return Ok(Some(self.finish()));
+                }
+                Phase::Body { framing: BodyFraming::Chunked, body, chunk, .. } => match chunk {
+                    ChunkPhase::SizeLine => match find_line(&self.buf, self.pos) {
+                        Some((line_end, next)) => {
+                            let line = std::str::from_utf8(&self.buf[self.pos..line_end]).map_err(
+                                |_| HttpError::Malformed("non-UTF-8 header line".into()),
+                            )?;
+                            let size = codec::parse_chunk_size(line, body.len(), self.body_limit)?;
+                            self.pos = next;
+                            *chunk = if size == 0 {
+                                ChunkPhase::Trailer { budget: codec::TRAILER_LIMIT }
+                            } else {
+                                ChunkPhase::Data { remaining: size }
+                            };
+                        }
+                        None => {
+                            if self.buffered() > 1024 {
+                                return Err(HttpError::Malformed(
+                                    "bad chunk size: line too long".into(),
+                                ));
+                            }
+                            return Ok(None);
+                        }
+                    },
+                    ChunkPhase::Data { remaining } => {
+                        let take = (*remaining).min(self.buf.len() - self.pos);
+                        body.extend_from_slice(&self.buf[self.pos..self.pos + take]);
+                        self.pos += take;
+                        *remaining -= take;
+                        if *remaining > 0 {
+                            return Ok(None);
+                        }
+                        *chunk = ChunkPhase::DataEnd;
+                    }
+                    ChunkPhase::DataEnd => {
+                        if self.buf.len() - self.pos < 2 {
+                            return Ok(None);
+                        }
+                        if &self.buf[self.pos..self.pos + 2] != b"\r\n" {
+                            return Err(HttpError::Malformed("missing CRLF after chunk".into()));
+                        }
+                        self.pos += 2;
+                        *chunk = ChunkPhase::SizeLine;
+                    }
+                    ChunkPhase::Trailer { budget } => match find_line(&self.buf, self.pos) {
+                        Some((line_end, next)) => {
+                            let consumed = next - self.pos;
+                            if consumed > *budget {
+                                return Err(HttpError::Malformed(
+                                    "header section too large".into(),
+                                ));
+                            }
+                            *budget -= consumed;
+                            let empty = line_end == self.pos;
+                            self.pos = next;
+                            if empty {
+                                return Ok(Some(self.finish()));
+                            }
+                        }
+                        None => {
+                            if self.buf.len() - self.pos > *budget {
+                                return Err(HttpError::Malformed(
+                                    "header section too large".into(),
+                                ));
+                            }
+                            return Ok(None);
+                        }
+                    },
+                },
+            }
+        }
+    }
+
+    /// Package the completed message and reset for the next one,
+    /// keeping any pipelined leftover bytes.
+    fn finish(&mut self) -> (Request, Version) {
+        let Phase::Body { head, body, .. } = std::mem::replace(&mut self.phase, Phase::Head) else {
+            unreachable!("finish called outside body phase");
+        };
+        self.buf.drain(..self.pos);
+        self.pos = 0;
+        self.scan = 0;
+        (
+            Request { method: head.method, target: head.target, headers: head.headers, body },
+            head.version,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection state machine
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    ReadingHead,
+    ReadingBody,
+    Handling,
+    Writing,
+    KeepAlive,
+}
+
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    state: ConnState,
+    parser: RequestParser,
+    write_buf: Vec<u8>,
+    written: usize,
+    close_after_write: bool,
+    /// Peer half-closed its write side; finish in-flight work, then
+    /// close instead of going back to keep-alive.
+    peer_closed: bool,
+    deadline: Instant,
+    interest: Interest,
+}
+
+struct Slab {
+    entries: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = Some(conn);
+                slot
+            }
+            None => {
+                self.entries.push(Some(conn));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn remove(&mut self, slot: usize) -> Option<Conn> {
+        let conn = self.entries.get_mut(slot)?.take()?;
+        self.free.push(slot);
+        self.live -= 1;
+        Some(conn)
+    }
+
+    fn get_mut(&mut self, slot: usize) -> Option<&mut Conn> {
+        self.entries.get_mut(slot)?.as_mut()
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    cfg: ReactorConfig,
+    handler: Arc<dyn Handler>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+    pool: ThreadPool,
+    conns: Slab,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    gen: u64,
+    shed_counter: soc_observe::Counter,
+}
+
+/// Create the poller + waker and spawn the event-loop thread. The
+/// returned waker unblocks the loop so `shutdown` is immediate.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    cfg: ReactorConfig,
+    handler: Arc<dyn Handler>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+) -> HttpResult<(std::thread::JoinHandle<()>, Arc<Waker>)> {
+    let io_err = |e: std::io::Error| HttpError::Io(e.to_string());
+    let poller = Poller::new().map_err(io_err)?;
+    let waker = Arc::new(Waker::new(&poller, TOKEN_WAKER).map_err(io_err)?);
+    let waker2 = waker.clone();
+    let thread = std::thread::Builder::new()
+        .name("soc-http-reactor".into())
+        .spawn(move || run(listener, poller, waker2, cfg, handler, stats, stop))
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    Ok((thread, waker))
+}
+
+/// Run the event loop until `stop` is set. Owns the listener, every
+/// connection, and the worker pool; dropping on exit joins the pool.
+fn run(
+    listener: TcpListener,
+    poller: Poller,
+    waker: Arc<Waker>,
+    cfg: ReactorConfig,
+    handler: Arc<dyn Handler>,
+    stats: Arc<ServerStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let pool = ThreadPool::new(cfg.workers.max(1));
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    listener.set_ttl(64).ok();
+    if poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ).is_err() {
+        return;
+    }
+    let shed_counter = soc_observe::metrics().counter("soc_http_connections_shed_total", &[]);
+    let mut reactor = Reactor {
+        listener,
+        poller,
+        waker,
+        cfg,
+        handler,
+        stats,
+        stop,
+        pool,
+        conns: Slab { entries: Vec::new(), free: Vec::new(), live: 0 },
+        completions: Arc::new(Mutex::new(Vec::new())),
+        gen: 0,
+        shed_counter,
+    };
+    reactor.run_loop();
+}
+
+impl Reactor {
+    fn run_loop(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut next_sweep = Instant::now() + SWEEP_INTERVAL;
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let now = Instant::now();
+            let timeout = next_sweep.saturating_duration_since(now);
+            if self.poller.wait(&mut events, Some(timeout)).is_err() {
+                return;
+            }
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            // Pull the batch out so `self` stays borrowable.
+            let batch = std::mem::take(&mut events);
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => self.conn_ready((token - TOKEN_BASE) as usize, ev),
+                }
+            }
+            events = batch;
+            self.apply_completions();
+            let now = Instant::now();
+            if now >= next_sweep {
+                self.sweep_deadlines(now);
+                next_sweep = now + SWEEP_INTERVAL;
+            }
+        }
+    }
+
+    // -- accept path --------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.live >= self.cfg.max_connections {
+                        self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        self.shed_counter.inc();
+                        // Accepted sockets don't inherit nonblocking
+                        // from the listener, so the bounded blocking
+                        // write in `shed_connection` applies as-is.
+                        crate::server::shed_connection(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    self.gen += 1;
+                    let conn = Conn {
+                        stream,
+                        gen: self.gen,
+                        state: ConnState::ReadingHead,
+                        parser: RequestParser::new(self.cfg.body_limit),
+                        write_buf: Vec::new(),
+                        written: 0,
+                        close_after_write: false,
+                        peer_closed: false,
+                        deadline: Instant::now() + self.cfg.io_timeout,
+                        interest: Interest::READ,
+                    };
+                    let slot = self.conns.insert(conn);
+                    let fd = self.conns.get_mut(slot).unwrap().stream.as_raw_fd();
+                    if self.poller.add(fd, slot as u64 + TOKEN_BASE, Interest::READ).is_err() {
+                        self.conns.remove(slot);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (fd exhaustion, aborted
+                // handshakes): back off briefly instead of spinning on
+                // a level-triggered readable listener.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    return;
+                }
+            }
+        }
+    }
+
+    // -- connection events --------------------------------------------
+
+    fn conn_ready(&mut self, slot: usize, ev: &Event) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        match conn.state {
+            ConnState::Writing => {
+                if ev.writable || ev.hangup {
+                    self.write_ready(slot);
+                }
+            }
+            ConnState::Handling => {
+                // Interest is NONE while a worker owns the request, but
+                // RDHUP/ERR still arrive. Probe: a half-close keeps the
+                // connection (the response is still deliverable); a
+                // hard error drops it.
+                if ev.hangup {
+                    let mut probe = [0u8; 64];
+                    match conn.stream.read(&mut probe) {
+                        Ok(0) => conn.peer_closed = true,
+                        Ok(n) => conn.parser.push(&probe[..n]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            self.close(slot);
+                        }
+                    }
+                }
+            }
+            ConnState::ReadingHead | ConnState::ReadingBody | ConnState::KeepAlive => {
+                if ev.readable || ev.hangup {
+                    self.read_ready(slot);
+                }
+            }
+        }
+    }
+
+    fn read_ready(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        let mut scratch = [0u8; READ_CHUNK];
+        // Bound buffered-but-unparsed bytes: past this a peer is either
+        // over a limit the parser will reject or flooding pipelined
+        // requests ahead of our responses.
+        let cap = self.cfg.body_limit + codec::HEADER_LIMIT + READ_CHUNK;
+        loop {
+            if conn.parser.buffered() > cap {
+                break;
+            }
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => conn.parser.push(&scratch[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.advance_parser(slot);
+    }
+
+    /// Drive the parser; dispatch on a complete request, 400 on a
+    /// malformed one, close on a truncated one.
+    fn advance_parser(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        match conn.parser.advance() {
+            Ok(Some((req, version))) => {
+                conn.state = ConnState::Handling;
+                // The handler owns the clock now; handler execution has
+                // no timeout on either transport.
+                conn.deadline = Instant::now() + Duration::from_secs(3600);
+                self.set_interest(slot, Interest::NONE);
+                self.dispatch(slot, req, version);
+            }
+            Ok(None) => {
+                if conn.peer_closed {
+                    // EOF between requests is a normal close; EOF mid-
+                    // request is truncation. Neither gets a response,
+                    // matching the blocking transport.
+                    self.close(slot);
+                    return;
+                }
+                let now = Instant::now();
+                if conn.parser.is_idle() {
+                    conn.state = ConnState::KeepAlive;
+                    conn.deadline = now + self.cfg.keep_alive_timeout;
+                } else {
+                    conn.state = if conn.parser.in_body() {
+                        ConnState::ReadingBody
+                    } else {
+                        ConnState::ReadingHead
+                    };
+                    conn.deadline = now + self.cfg.io_timeout;
+                }
+                self.set_interest(slot, Interest::READ);
+            }
+            Err(e) => {
+                // Parse errors answer 400 and close, like the threaded
+                // transport — with the close made explicit on the wire.
+                let resp = Response::error(Status::BAD_REQUEST, &e.to_string())
+                    .with_header("Connection", "close");
+                let mut bytes = Vec::new();
+                if codec::write_response(&mut bytes, &resp).is_err() {
+                    self.close(slot);
+                    return;
+                }
+                self.start_write(slot, bytes, true);
+            }
+        }
+    }
+
+    /// Hand a parsed request to the worker pool.
+    fn dispatch(&mut self, slot: usize, req: Request, version: Version) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        let gen = conn.gen;
+        let close_requested = codec::wants_close(version, &req.headers);
+        let handler = self.handler.clone();
+        let stats = self.stats.clone();
+        let completions = self.completions.clone();
+        let waker = self.waker.clone();
+        self.pool.spawn_detached(move || {
+            let mut resp = crate::observe::serve_with_span(req, "http.server", |req| {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handler.handle(req)))
+                {
+                    Ok(resp) => resp,
+                    Err(_) => Response::error(Status::INTERNAL_SERVER_ERROR, "handler panicked"),
+                }
+            });
+            if resp.status.0 >= 500 {
+                stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            stats.served.fetch_add(1, Ordering::Relaxed);
+            // Close if the client asked, or the handler did. Either
+            // way the peer (possibly a pooled client) must see it.
+            let close = close_requested || resp.headers.has_token("Connection", "close");
+            if close && !resp.headers.has_token("Connection", "close") {
+                resp.headers.set("Connection", "close");
+            }
+            let mut bytes = Vec::with_capacity(resp.body.len() + 256);
+            let ok = codec::write_response(&mut bytes, &resp).is_ok();
+            completions.lock().push(Completion { slot, gen, bytes: ok.then_some(bytes), close });
+            waker.wake();
+        });
+    }
+
+    fn apply_completions(&mut self) {
+        let done: Vec<Completion> = std::mem::take(&mut *self.completions.lock());
+        for c in done {
+            let Some(conn) = self.conns.get_mut(c.slot) else { continue };
+            // Generation guard: the slot may have been reused after a
+            // mid-handling disconnect.
+            if conn.gen != c.gen || conn.state != ConnState::Handling {
+                continue;
+            }
+            match c.bytes {
+                Some(bytes) => self.start_write(c.slot, bytes, c.close),
+                None => self.close(c.slot),
+            }
+        }
+    }
+
+    // -- write path ----------------------------------------------------
+
+    fn start_write(&mut self, slot: usize, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        conn.write_buf = bytes;
+        conn.written = 0;
+        conn.close_after_write = close;
+        conn.state = ConnState::Writing;
+        conn.deadline = Instant::now() + self.cfg.io_timeout;
+        self.write_ready(slot);
+    }
+
+    fn write_ready(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        while conn.written < conn.write_buf.len() {
+            match conn.stream.write(&conn.write_buf[conn.written..]) {
+                Ok(0) => {
+                    self.close(slot);
+                    return;
+                }
+                Ok(n) => conn.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.set_interest(slot, Interest::WRITE);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        self.finish_write(slot);
+    }
+
+    fn finish_write(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        conn.write_buf = Vec::new();
+        conn.written = 0;
+        if conn.close_after_write || conn.peer_closed {
+            self.close(slot);
+            return;
+        }
+        conn.state = ConnState::KeepAlive;
+        conn.deadline = Instant::now() + self.cfg.keep_alive_timeout;
+        self.set_interest(slot, Interest::READ);
+        // Pipelined bytes may already hold the next request.
+        self.advance_parser(slot);
+    }
+
+    // -- bookkeeping ---------------------------------------------------
+
+    fn set_interest(&mut self, slot: usize, interest: Interest) {
+        let Some(conn) = self.conns.get_mut(slot) else { return };
+        if conn.interest == interest {
+            return;
+        }
+        conn.interest = interest;
+        let fd = conn.stream.as_raw_fd();
+        self.poller.modify(fd, slot as u64 + TOKEN_BASE, interest).ok();
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.remove(slot) {
+            self.poller.delete(conn.stream.as_raw_fd()).ok();
+            // Dropping the stream closes the fd.
+        }
+    }
+
+    fn sweep_deadlines(&mut self, now: Instant) {
+        let expired: Vec<usize> = self
+            .conns
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, e)| e.as_ref().and_then(|c| (c.deadline <= now).then_some(slot)))
+            .collect();
+        for slot in expired {
+            // Stalled reads/writes and idle keep-alives close silently,
+            // exactly as the blocking transport's socket timeouts do.
+            self.close(slot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(
+        parser: &mut RequestParser,
+        bytes: &[u8],
+    ) -> HttpResult<Option<(Request, Version)>> {
+        parser.push(bytes);
+        parser.advance()
+    }
+
+    #[test]
+    fn parses_request_fed_one_byte_at_a_time() {
+        let raw = b"POST /echo HTTP/1.1\r\nContent-Length: 5\r\nX-K: v\r\n\r\nhello";
+        let mut p = RequestParser::new(1024);
+        for (i, b) in raw.iter().enumerate() {
+            match parse_all(&mut p, &[*b]).unwrap() {
+                Some((req, version)) => {
+                    assert_eq!(i, raw.len() - 1, "must complete exactly at the last byte");
+                    assert_eq!(req.method, Method::Post);
+                    assert_eq!(req.target, "/echo");
+                    assert_eq!(req.headers.get("X-K"), Some("v"));
+                    assert_eq!(req.body, b"hello");
+                    assert_eq!(version, Version::Http11);
+                    return;
+                }
+                None => assert!(i < raw.len() - 1),
+            }
+        }
+        panic!("request never completed");
+    }
+
+    #[test]
+    fn parses_chunked_incrementally() {
+        let mut raw = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&codec::encode_chunked(b"hello chunked world", 5));
+        let mut p = RequestParser::new(1024);
+        let mut done = None;
+        for chunk in raw.chunks(3) {
+            if let Some(pair) = parse_all(&mut p, chunk).unwrap() {
+                done = Some(pair);
+            }
+        }
+        let (req, _) = done.expect("request completes");
+        assert_eq!(req.body, b"hello chunked world");
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn pipelined_request_survives_in_the_buffer() {
+        let mut raw = b"GET /one HTTP/1.1\r\n\r\n".to_vec();
+        raw.extend_from_slice(b"GET /two HTTP/1.1\r\n\r\n");
+        let mut p = RequestParser::new(1024);
+        let (first, _) = parse_all(&mut p, &raw).unwrap().expect("first completes");
+        assert_eq!(first.target, "/one");
+        assert!(!p.is_idle(), "second request still buffered");
+        let (second, _) = p.advance().unwrap().expect("second completes from leftover");
+        assert_eq!(second.target, "/two");
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn oversized_chunk_size_is_rejected_without_allocating() {
+        let raw = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffffffffffff\r\n";
+        let mut p = RequestParser::new(1024);
+        let err = parse_all(&mut p, raw).unwrap_err();
+        assert!(matches!(err, HttpError::BodyTooLarge { .. }));
+    }
+
+    #[test]
+    fn unbounded_trailers_are_rejected() {
+        let mut raw = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n".to_vec();
+        for i in 0..100 {
+            raw.extend_from_slice(format!("X-T{i}: {}\r\n", "v".repeat(100)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let mut p = RequestParser::new(usize::MAX);
+        let err = parse_all(&mut p, &raw).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn header_section_limit_applies_before_terminator() {
+        let mut p = RequestParser::new(1024);
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', codec::HEADER_LIMIT + 10));
+        let err = parse_all(&mut p, &raw).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+}

@@ -1,8 +1,14 @@
-//! A threaded HTTP/1.1 server over TCP.
+//! An HTTP/1.1 server over TCP, with two interchangeable transports.
 //!
-//! Connections are accepted on a dedicated thread and dispatched to a
-//! `soc-parallel` pool — the "service hosting" side of the course, where
-//! students "explore parallelism on the server side".
+//! The default **reactor** transport (Linux) multiplexes every
+//! connection over an epoll event loop — see [`crate::reactor`] — so
+//! tens of thousands of idle keep-alive connections cost file
+//! descriptors, not threads. The original **threaded** transport
+//! (blocking accept, one pool task per connection) is kept both as the
+//! portable fallback and as a differential-testing baseline: the two
+//! share the `Handler` trait, the codec, the connection-cap shedding
+//! semantics, and the stats surface, so every suite can run against
+//! either via [`ServerTransport`] or `SOC_HTTP_TRANSPORT`.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,19 +51,66 @@ pub struct ServerStats {
     pub shed: AtomicU64,
 }
 
+/// Which I/O engine a server runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerTransport {
+    /// Readiness-driven epoll event loop (Linux). Handlers still run on
+    /// the worker pool; the reactor owns only I/O. Falls back to
+    /// `Threaded` on platforms without the reactor.
+    Reactor,
+    /// One blocking pool task per connection.
+    Threaded,
+}
+
+impl ServerTransport {
+    /// The default transport: `Reactor` on Linux, `Threaded` elsewhere;
+    /// overridable with `SOC_HTTP_TRANSPORT=reactor|threaded` so whole
+    /// test suites can be replayed against either engine.
+    pub fn default_for_platform() -> ServerTransport {
+        match std::env::var("SOC_HTTP_TRANSPORT").as_deref() {
+            Ok("threaded") => ServerTransport::Threaded,
+            Ok("reactor") => ServerTransport::Reactor,
+            _ if cfg!(target_os = "linux") => ServerTransport::Reactor,
+            _ => ServerTransport::Threaded,
+        }
+    }
+}
+
 /// Tunables for [`HttpServer::bind_with`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Pool threads serving connections.
+    /// Pool threads serving connections (running handlers, on either
+    /// transport).
     pub workers: usize,
     /// Concurrent-connection cap: further connections are shed with a
-    /// 503 + `Retry-After` instead of queueing unboundedly in the pool.
+    /// 503 + `Retry-After` instead of queueing unboundedly.
     pub max_connections: usize,
+    /// I/O engine; see [`ServerTransport::default_for_platform`].
+    pub transport: ServerTransport,
+    /// How long a read or write may stall mid-message before the
+    /// connection is dropped.
+    pub io_timeout: Duration,
+    /// How long an idle keep-alive connection is retained between
+    /// requests. The reactor honors this in full (an idle connection
+    /// costs only a file descriptor); the threaded transport caps the
+    /// idle wait at a short grace period, because there every open
+    /// connection pins a worker thread and parked keep-alive
+    /// connections would starve new ones.
+    pub keep_alive_timeout: Duration,
+    /// Maximum accepted request-body size.
+    pub body_limit: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, max_connections: 1024 }
+        ServerConfig {
+            workers: 4,
+            max_connections: 1024,
+            transport: ServerTransport::default_for_platform(),
+            io_timeout: Duration::from_secs(30),
+            keep_alive_timeout: Duration::from_secs(30),
+            body_limit: DEFAULT_BODY_LIMIT,
+        }
     }
 }
 
@@ -77,6 +130,10 @@ pub struct HttpServer {
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Present when the reactor transport runs: waking its poller is
+    /// how `shutdown` interrupts the event loop.
+    #[cfg(target_os = "linux")]
+    waker: Option<Arc<crate::poller::Waker>>,
 }
 
 impl HttpServer {
@@ -98,8 +155,32 @@ impl HttpServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(ServerStats::default());
         let handler: Arc<dyn Handler> = Arc::new(handler);
+
+        #[cfg(target_os = "linux")]
+        if config.transport == ServerTransport::Reactor {
+            let reactor_cfg = crate::reactor::ReactorConfig {
+                workers: config.workers.max(1),
+                max_connections: config.max_connections.max(1),
+                io_timeout: config.io_timeout,
+                keep_alive_timeout: config.keep_alive_timeout,
+                body_limit: config.body_limit,
+            };
+            let (thread, waker) =
+                crate::reactor::spawn(listener, reactor_cfg, handler, stats.clone(), stop.clone())?;
+            return Ok(HttpServer {
+                addr: local,
+                stop,
+                stats,
+                accept_thread: Some(thread),
+                waker: Some(waker),
+            });
+        }
+
         let pool = ThreadPool::new(config.workers.max(1));
         let max_connections = config.max_connections.max(1);
+        let io_timeout = config.io_timeout;
+        let keep_alive_timeout = config.keep_alive_timeout;
+        let body_limit = config.body_limit;
 
         let stop2 = stop.clone();
         let stats2 = stats.clone();
@@ -138,13 +219,27 @@ impl HttpServer {
                     let stats = stats2.clone();
                     pool.spawn_detached(move || {
                         let _live = guard;
-                        serve_connection(stream, handler, stats);
+                        serve_connection(
+                            stream,
+                            handler,
+                            stats,
+                            io_timeout,
+                            keep_alive_timeout,
+                            body_limit,
+                        );
                     });
                 }
             })
             .map_err(|e| crate::types::HttpError::Io(e.to_string()))?;
 
-        Ok(HttpServer { addr: local, stop, stats, accept_thread: Some(accept_thread) })
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            stats,
+            accept_thread: Some(accept_thread),
+            #[cfg(target_os = "linux")]
+            waker: None,
+        })
     }
 
     /// The bound socket address (useful with port 0).
@@ -175,6 +270,15 @@ impl HttpServer {
     /// Stop accepting and join the accept loop.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Release);
+        #[cfg(target_os = "linux")]
+        if let Some(waker) = &self.waker {
+            // Reactor transport: one eventfd write unblocks the loop.
+            waker.wake();
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+            return;
+        }
         if let Some(t) = self.accept_thread.take() {
             // Wake the blocking `accept` with a throwaway connection; if
             // the accept thread already exited the connect just fails.
@@ -205,9 +309,10 @@ impl Drop for HttpServer {
 }
 
 /// Refuse one connection politely: a quick 503 + `Retry-After` written
-/// from the accept thread (bounded by a short write timeout so a
-/// slow-reading peer cannot stall accepting).
-fn shed_connection(mut stream: TcpStream) {
+/// from the accept path (bounded by a short write timeout so a
+/// slow-reading peer cannot stall accepting). Shared by both
+/// transports.
+pub(crate) fn shed_connection(mut stream: TcpStream) {
     stream.set_write_timeout(Some(Duration::from_millis(250))).ok();
     stream.set_nodelay(true).ok();
     let resp = Response::error(Status::SERVICE_UNAVAILABLE, "server at connection capacity")
@@ -216,9 +321,23 @@ fn shed_connection(mut stream: TcpStream) {
     let _ = codec::write_response(&mut stream, &resp);
 }
 
-fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<ServerStats>) {
-    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
-    stream.set_write_timeout(Some(Duration::from_secs(30))).ok();
+/// The longest the threaded transport lets a keep-alive connection sit
+/// idle between requests. Every open connection pins one worker thread
+/// here, so honoring a 30 s idle window would let a handful of parked
+/// pooled-client connections starve the whole worker pool — the exact
+/// failure mode the reactor transport exists to eliminate.
+const THREADED_IDLE_GRACE: Duration = Duration::from_millis(250);
+
+fn serve_connection(
+    stream: TcpStream,
+    handler: Arc<dyn Handler>,
+    stats: Arc<ServerStats>,
+    io_timeout: Duration,
+    keep_alive_timeout: Duration,
+    body_limit: usize,
+) {
+    stream.set_read_timeout(Some(io_timeout)).ok();
+    stream.set_write_timeout(Some(io_timeout)).ok();
     stream.set_nodelay(true).ok();
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -227,32 +346,46 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
     let mut reader = BufReader::new(stream);
 
     // Keep-alive loop: serve requests until the peer closes, asks to
-    // close, or errors.
+    // close, idles past the grace window, or errors.
+    let mut first = true;
     loop {
-        let (req, version) = match codec::read_request_versioned(&mut reader, DEFAULT_BODY_LIMIT) {
+        if !first {
+            // Wait for the first byte of the next request under the
+            // (capped) idle window, then restore the mid-message
+            // timeout once bytes are flowing. `fill_buf` returns
+            // already-buffered pipelined bytes without touching the
+            // socket.
+            let idle = keep_alive_timeout.min(THREADED_IDLE_GRACE);
+            reader.get_ref().set_read_timeout(Some(idle)).ok();
+            match std::io::BufRead::fill_buf(&mut reader) {
+                Ok([]) => return,
+                Ok(_) => {}
+                // Idle timeout: a silent close, same as the reactor's
+                // keep-alive sweep.
+                Err(_) => return,
+            }
+            reader.get_ref().set_read_timeout(Some(io_timeout)).ok();
+        }
+        first = false;
+        let (req, version) = match codec::read_request_versioned(&mut reader, body_limit) {
             Ok(pair) => pair,
             Err(crate::types::HttpError::UnexpectedEof) => return,
             Err(e) => {
-                let resp = Response::error(Status::BAD_REQUEST, &e.to_string());
+                let resp = Response::error(Status::BAD_REQUEST, &e.to_string())
+                    .with_header("Connection", "close");
                 let _ = codec::write_response(&mut writer, &resp);
                 return;
             }
         };
-        // HTTP/1.1 defaults to keep-alive (closed by `Connection:
-        // close`); HTTP/1.0 defaults to close (kept open only by an
-        // explicit `Connection: keep-alive`). Holding a 1.0 connection
-        // open by default hangs clients that wait for EOF to delimit
-        // the response.
-        let connection = req.headers.get("Connection");
-        let close = if version.persistent_by_default() {
-            connection.is_some_and(|v| v.eq_ignore_ascii_case("close"))
-        } else {
-            !connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
-        };
+        // HTTP/1.1 defaults to keep-alive (closed by a `close` token in
+        // the Connection list); HTTP/1.0 defaults to close (kept open
+        // only by an explicit `keep-alive`). Token-list parsing matters:
+        // `Connection: close, TE` is legal and means close.
+        let close = codec::wants_close(version, &req.headers);
 
         // Serve inside a server span: the remote parent (if any) comes
         // from the request's `traceparent` header.
-        let resp =
+        let mut resp =
             crate::observe::serve_with_span(
                 req,
                 "http.server",
@@ -267,6 +400,13 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn Handler>, stats: Arc<Ser
             stats.failed.fetch_add(1, Ordering::Relaxed);
         }
         stats.served.fetch_add(1, Ordering::Relaxed);
+        // The handler may also demand teardown; either way the decision
+        // goes on the wire so pooled clients don't reuse a dying
+        // connection.
+        let close = close || resp.headers.has_token("Connection", "close");
+        if close && !resp.headers.has_token("Connection", "close") {
+            resp.headers.set("Connection", "close");
+        }
         if codec::write_response(&mut writer, &resp).is_err() {
             return;
         }
@@ -365,7 +505,7 @@ mod tests {
     fn connection_cap_sheds_with_503_retry_after() {
         let server = HttpServer::bind_with(
             "127.0.0.1:0",
-            ServerConfig { workers: 2, max_connections: 1 },
+            ServerConfig { workers: 2, max_connections: 1, ..ServerConfig::default() },
             |_req: Request| Response::text("ok"),
         )
         .unwrap();

@@ -272,6 +272,15 @@ impl Headers {
         self.get(name).is_some()
     }
 
+    /// True when any value of `name`, read as a comma-separated token
+    /// list, contains `token` (ASCII case-insensitive). Connection
+    /// options arrive this way — `Connection: close, TE` means close —
+    /// so comparing a whole header value against one token misreads
+    /// legal messages.
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get_all(name).flat_map(|v| v.split(',')).any(|t| t.trim().eq_ignore_ascii_case(token))
+    }
+
     /// Iterate all `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))

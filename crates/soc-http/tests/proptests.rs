@@ -6,7 +6,7 @@ use std::io::BufReader;
 use proptest::prelude::*;
 use soc_http::codec::{self, DEFAULT_BODY_LIMIT};
 use soc_http::url::{encode_form, parse_form, percent_decode, percent_encode, Url};
-use soc_http::{Headers, Method, Request, Response, Status};
+use soc_http::{Headers, Method, Request, Response, Status, Version};
 
 fn method_strategy() -> impl Strategy<Value = Method> {
     prop_oneof![
@@ -91,6 +91,84 @@ proptest! {
     fn codec_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let _ = codec::read_request(&mut BufReader::new(&bytes[..]), 1024);
         let _ = codec::read_response(&mut BufReader::new(&bytes[..]), 1024);
+    }
+
+    /// Adversarial chunk-size lines: arbitrary hex strings (including
+    /// ones near and past `usize::MAX`) with arbitrary extensions. The
+    /// decoder must never panic, and whatever body it accepts must be
+    /// within the limit — the overflow bug let a huge claimed size slip
+    /// past the check and drive a giant allocation.
+    #[test]
+    fn adversarial_chunk_sizes_never_panic_or_overallocate(
+        size_hex in "[0-9a-fA-F]{1,20}",
+        ext in "(;[a-z]{0,8}(=[a-z0-9]{0,8})?)?",
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        const LIMIT: usize = 4096;
+        let mut wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        wire.extend_from_slice(format!("{size_hex}{ext}\r\n").as_bytes());
+        wire.extend_from_slice(&payload);
+        wire.extend_from_slice(b"\r\n0\r\n\r\n");
+        // Rejection is always acceptable; acceptance must respect the limit.
+        if let Ok(req) = codec::read_request(&mut BufReader::new(&wire[..]), LIMIT) {
+            prop_assert!(req.body.len() <= LIMIT);
+        }
+    }
+
+    /// Trailer sections of arbitrary size: the decoder either accepts a
+    /// bounded section or rejects it — it must not buffer unboundedly
+    /// or panic, and acceptance implies the section fit the budget.
+    #[test]
+    fn trailer_sections_are_bounded(
+        lines in proptest::collection::vec(("[A-Za-z-]{1,10}", "[ -~&&[^\r\n]]{0,200}"), 0..64),
+    ) {
+        let mut wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n".to_vec();
+        let mut section = 0usize;
+        for (k, v) in &lines {
+            let line = format!("{k}: {v}\r\n");
+            section += line.len();
+            wire.extend_from_slice(line.as_bytes());
+        }
+        wire.extend_from_slice(b"\r\n");
+        match codec::read_request(&mut BufReader::new(&wire[..]), DEFAULT_BODY_LIMIT) {
+            Ok(req) => prop_assert_eq!(req.body.as_slice(), b"abc".as_slice()),
+            Err(_) => prop_assert!(
+                section + 2 >= 4096,
+                "a small trailer section ({section} bytes) must parse"
+            ),
+        }
+    }
+
+    /// `Connection` is a comma-separated token list: `wants_close` must
+    /// key on whether the `close` / `keep-alive` *token* is present —
+    /// with any casing and padding — never on substring matching.
+    #[test]
+    fn connection_close_tokenization(
+        mut tokens in proptest::collection::vec("[a-zA-Z-]{1,12}", 0..4),
+        close_at in proptest::option::of(0usize..4),
+        pad in "[ \t]{0,3}",
+    ) {
+        tokens.retain(|t| !t.eq_ignore_ascii_case("close") && !t.eq_ignore_ascii_case("keep-alive"));
+        if let Some(i) = close_at {
+            tokens.insert(i.min(tokens.len()), "Close".to_string());
+        }
+        let value = tokens
+            .iter()
+            .map(|t| format!("{pad}{t}{pad}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut headers = Headers::new();
+        if !tokens.is_empty() {
+            headers.set("Connection", value.as_str());
+        }
+        prop_assert_eq!(
+            codec::wants_close(Version::Http11, &headers),
+            close_at.is_some(),
+            "Connection: {:?}", value
+        );
+        // HTTP/1.0 closes unless keep-alive is an explicit token; a
+        // `close` token certainly never keeps it open.
+        prop_assert!(codec::wants_close(Version::Http10, &headers));
     }
 
     #[test]

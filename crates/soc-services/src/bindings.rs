@@ -427,6 +427,24 @@ impl ServiceHost {
                 },
                 Err(r) => r,
             });
+            // Cancel by the idempotency key chosen up front, for
+            // compensating a submission whose response was lost: an
+            // unknown key leaves a tombstone that refuses a straggling
+            // replay, so this is safe to call whether or not the
+            // submission ever landed.
+            let reserve_ledger = ledger.clone();
+            router.post("/mortgage/cancel-reservation", move |req, _p| match body_json(&req) {
+                Ok(v) => match v.get("application_id").and_then(Value::as_str) {
+                    Some(id) => {
+                        let landed = reserve_ledger.cancel_reservation(id);
+                        Response::json(
+                            &json!({ "cancelled": landed, "application_id": id }).to_compact(),
+                        )
+                    }
+                    None => bad("missing string field \"application_id\""),
+                },
+                Err(r) => r,
+            });
         }
 
         // ---- dynamic image generation --------------------------------------

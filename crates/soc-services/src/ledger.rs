@@ -14,6 +14,12 @@
 //!   assert the real invariants — no logical application executed
 //!   twice, compensations exactly balance completed submissions — not
 //!   just "the client saw no duplicates".
+//! - **Reservation cancels**: because the idempotency key doubles as
+//!   the application id, a caller that never saw a response can still
+//!   compensate by the key it chose up front
+//!   ([`SubmissionLedger::cancel_reservation`]); if the submission
+//!   never landed, a tombstone refuses any straggling retry that
+//!   arrives later.
 //!
 //! Replicas of the service share one ledger ([`crate::bindings::ServiceHost::with_ledger`])
 //! the way real replicas share a database, so a retry that lands on a
@@ -42,6 +48,10 @@ struct Inner {
     // Decision executions per request body — catches duplicates that
     // slipped past the key (e.g. two keys for one logical request).
     by_content: HashMap<String, u64>,
+    // Keys cancelled *before* any submission arrived (reservation
+    // cancels): a late-landing submission under a tombstoned key is
+    // refused instead of opening an application.
+    tombstones: std::collections::HashSet<String>,
     keyless: u64,
     orphan_cancels: u64,
 }
@@ -72,6 +82,23 @@ impl SubmissionLedger {
             entry.deduped += 1;
             return (entry.response.clone(), true);
         }
+        // A reservation cancel got here first (the original caller gave
+        // up on a lost response and compensated): refuse to open the
+        // application, recording an already-cancelled entry so the
+        // audit shows what happened.
+        if inner.tombstones.remove(key) {
+            let response = format!("{{\"application_id\":{:?},\"cancelled\":true}}", key);
+            inner.entries.insert(
+                key.to_string(),
+                LedgerEntry {
+                    executions: 0,
+                    deduped: 0,
+                    cancellations: 1,
+                    response: response.clone(),
+                },
+            );
+            return (response, true);
+        }
         // Execute under the lock: replicas share the ledger like a
         // database, and this serializes racing replays of one key.
         let response = decide();
@@ -88,6 +115,34 @@ impl SubmissionLedger {
         let mut inner = self.inner.lock();
         inner.keyless += 1;
         *inner.by_content.entry(content.to_string()).or_insert(0) += 1;
+    }
+
+    /// Cancel a submission that may not have arrived yet. An existing
+    /// entry is cancelled like [`SubmissionLedger::cancel`]; an unknown
+    /// key leaves a tombstone so a late-landing submission under it
+    /// (a straggling retry whose caller already compensated) is
+    /// refused. This is how a saga undoes a step whose response was
+    /// lost before it ever learned a server-side id: it cancels by the
+    /// idempotency key it chose up front. Returns whether a landed
+    /// submission was cancelled.
+    pub fn cancel_reservation(&self, key: &str) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.entries.get_mut(key) {
+            Some(entry) => {
+                entry.cancellations += 1;
+                true
+            }
+            None => {
+                inner.tombstones.insert(key.to_string());
+                false
+            }
+        }
+    }
+
+    /// Tombstones from reservation cancels that no submission ever
+    /// claimed.
+    pub fn pending_tombstones(&self) -> u64 {
+        self.inner.lock().tombstones.len() as u64
     }
 
     /// Cancel an application. Returns whether the id was known;
@@ -211,6 +266,28 @@ mod tests {
         assert_eq!(ledger.cancelled_keys(), vec!["k1".to_string()]);
         assert!(!ledger.cancel("ghost"));
         assert_eq!(ledger.orphan_cancels(), 1);
+    }
+
+    #[test]
+    fn reservation_cancel_tombstones_until_the_submission_lands() {
+        let ledger = SubmissionLedger::new();
+        // Cancel-before-apply: the saga compensated a lost response.
+        assert!(!ledger.cancel_reservation("k1"));
+        assert_eq!(ledger.pending_tombstones(), 1);
+        assert_eq!(ledger.orphan_cancels(), 0, "a reservation cancel is not an orphan");
+        // The straggling submission lands later: refused, not opened.
+        let (resp, replayed) = ledger.apply("k1", "a", || "should not run".to_string());
+        assert!(replayed);
+        assert!(resp.contains("\"cancelled\":true"));
+        assert_eq!(ledger.open_applications(), 0);
+        assert_eq!(ledger.total_executions(), 0);
+        assert_eq!(ledger.pending_tombstones(), 0);
+
+        // Cancel-after-apply via the reservation path behaves like a
+        // plain cancel.
+        ledger.apply("k2", "b", || "{}".to_string());
+        assert!(ledger.cancel_reservation("k2"));
+        assert_eq!(ledger.open_applications(), 0);
     }
 
     #[test]

@@ -153,6 +153,7 @@ impl Activity for Merge {
 }
 
 /// Where a [`ServiceCall`] sends its request.
+#[derive(Clone)]
 enum Target {
     /// Straight at one endpoint over a transport.
     Endpoint { transport: Arc<dyn Transport>, endpoint: String },
@@ -171,6 +172,7 @@ enum Target {
 /// [`ServiceCall::post_via_gateway`] it calls a *service* through a
 /// QoS-aware gateway, so the workflow survives a replica dying
 /// mid-process.
+#[derive(Clone)]
 pub struct ServiceCall {
     target: Target,
     post: bool,
@@ -230,6 +232,15 @@ impl ServiceCall {
             instance: next_instance(),
         }
     }
+
+    /// The idempotency key this block sends under `ctx`'s trace. The
+    /// key doubles as the submission's server-side identifier, so a
+    /// compensator can cancel *by reservation* — undoing a submission
+    /// whose response was lost before the caller ever learned an id —
+    /// as long as it runs within the same trace.
+    pub fn idempotency_key_in(&self, ctx: &soc_observe::TraceContext) -> String {
+        format!("wf-{:x}-{}", self.instance, ctx.trace_id.to_hex())
+    }
 }
 
 impl Activity for ServiceCall {
@@ -259,7 +270,7 @@ impl Activity for ServiceCall {
             // response) all dedupe at the origin, while a new run —
             // a new trace — is a new logical request.
             let key = match soc_observe::context::current() {
-                Some(ctx) => format!("wf-{:x}-{}", self.instance, ctx.trace_id.to_hex()),
+                Some(ctx) => self.idempotency_key_in(&ctx),
                 None => soc_http::fresh_idempotency_key(),
             };
             Request::post(target, Vec::new())

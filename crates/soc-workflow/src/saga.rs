@@ -309,7 +309,8 @@ impl WorkflowGraph {
                 let failed_at = self.nodes[at].name.clone();
                 let error = WorkflowError::Activity { node: failed_at.clone(), error };
                 run_span.set_error(error.to_string());
-                let (compensated, compensation_errors) = self.compensate(&completed, run_ctx);
+                let (compensated, compensation_errors) =
+                    self.compensate(&completed, Some(at), run_ctx);
                 Ok(WorkflowOutcome::Compensated {
                     failed_at,
                     error,
@@ -480,14 +481,30 @@ impl WorkflowGraph {
     fn compensate(
         &self,
         completed: &[(usize, Ports)],
+        failed: Option<usize>,
         run_ctx: soc_observe::TraceContext,
     ) -> (Vec<String>, Vec<(String, String)>) {
         let by_node: HashMap<usize, &Ports> = completed.iter().map(|(i, p)| (*i, p)).collect();
+        let empty: Ports = Ports::new();
         let mut compensated = Vec::new();
         let mut errors = Vec::new();
         for &i in self.topo_order().iter().rev() {
-            let (Some(ports), Some(comp)) = (by_node.get(&i), self.compensators.get(&i)) else {
+            let Some(comp) = self.compensators.get(&i) else {
                 continue;
+            };
+            // Completed nodes compensate with their recorded outputs.
+            // The FAILED node compensates too — with empty ports —
+            // because a request whose response was lost may still have
+            // landed its side effect; its compensator must undo by an
+            // identifier known before execution (e.g. the idempotency
+            // key) and be safe to run when nothing landed. A node that
+            // timed out but whose straggler later succeeded is in
+            // `completed` by now and takes the normal path, exactly
+            // once.
+            let ports = match by_node.get(&i) {
+                Some(ports) => *ports,
+                None if failed == Some(i) => &empty,
+                None => continue,
             };
             let name = self.nodes[i].name.clone();
             let mut span = soc_observe::child_span(

@@ -5,12 +5,14 @@
 #
 # Usage:
 #   scripts/chaos_sweep.sh                 # 32 mem-network seeds at 20% faults
-#   scripts/chaos_sweep.sh --tcp           # 8 seeds over real sockets + fault proxy
+#   scripts/chaos_sweep.sh --tcp           # 16 seeds over real sockets + fault proxy
 #   scripts/chaos_sweep.sh --seeds 4 --fault-pct 0.4 --runs 48
 #
 # All flags after the script name are passed through to the chaos binary
 # (see `cargo run -p soc-chaos --bin chaos -- --help`). The defaults
-# here mirror the CI job: mem sweeps get 32 seeds, TCP sweeps 8.
+# here mirror the CI job: mem sweeps get 32 seeds, TCP sweeps 16.
+# `SOC_HTTP_TRANSPORT=threaded` replays a TCP sweep on the blocking
+# transport instead of the Linux-default reactor.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,7 +20,7 @@ cd "$(dirname "$0")/.."
 args=("$@")
 if [[ " ${args[*]-} " != *" --seeds "* ]]; then
     if [[ " ${args[*]-} " == *" --tcp "* || " ${args[*]-} " == *"--tcp"* ]]; then
-        args=(--seeds 8 "${args[@]}")
+        args=(--seeds 16 "${args[@]}")
     else
         args=(--seeds 32 "${args[@]}")
     fi

@@ -128,4 +128,48 @@ for row in $(grep -o 'bench("[a-z_]*"' "$disc_src" | sed 's/.*"\([a-z_]*\)".*/\1
         status=1
     fi
 done
+
+# --- HTTP transport load record ---------------------------------------
+# The http_load harness asserts its budgets when run (C10K p99, and
+# reactor strictly above threaded at equal workers); the committed
+# record must be present, on the current schema, cover every row the
+# harness emits, and preserve the reactor > threaded ordering.
+http_record=BENCH_http.json
+http_src=crates/soc-bench/benches/http_load.rs
+
+if [[ ! -f "$http_record" ]]; then
+    echo "error: $http_record is missing — run 'cargo bench -p soc-bench --bench http_load' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$http_record"; then
+    echo "error: $http_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"budget_ns"' '"current"' '"reactor_vs_threaded"' '"c10k_conns"'; do
+    if ! grep -q "$section" "$http_record"; then
+        echo "error: $http_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for row in $(grep -o 'row("[a-z0-9_]*"' "$http_src" | sed 's/.*"\([a-z0-9_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$row\"" "$http_record"; then
+        echo "error: bench row '$row' exists in $http_src but is absent from $http_record — re-record" >&2
+        status=1
+    fi
+done
+
+# The recorded reactor throughput must be strictly above threaded at
+# equal workers — the tentpole claim of the event-driven transport.
+reactor_rps=$(sed -n 's/.*"reactor_rps": \([0-9.]*\).*/\1/p' "$http_record" | head -1)
+threaded_rps=$(sed -n 's/.*"threaded_rps": \([0-9.]*\).*/\1/p' "$http_record" | head -1)
+if [[ -z "$reactor_rps" || -z "$threaded_rps" ]]; then
+    echo "error: $http_record must record reactor_rps and threaded_rps under reactor_vs_threaded" >&2
+    status=1
+elif ! awk -v r="$reactor_rps" -v t="$threaded_rps" 'BEGIN { exit !(r > t) }'; then
+    echo "error: $http_record records reactor ($reactor_rps rps) <= threaded ($threaded_rps rps) — the reactor must win at equal workers" >&2
+    status=1
+fi
 exit $status
