@@ -1,0 +1,56 @@
+//! JSON data-plane throughput (the REST side's wire format): owned
+//! parse vs borrowed parse (`parse_ref`, escape-free strings stay
+//! slices of the input), allocating serialization vs the
+//! buffer-reusing `write_into` path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soc_json::{parse_ref, Value};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(150))
+}
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json");
+
+    for (label, items) in [("small", 20usize), ("medium", 400), ("large", 8000)] {
+        let text = soc_bench::synthetic_json(items);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+
+        // Owned parse: the `Value` tree every consumer works with.
+        group.bench_with_input(BenchmarkId::new("parse_owned", label), &text, |b, text| {
+            b.iter(|| Value::parse(std::hint::black_box(text)).unwrap())
+        });
+        // Borrowed parse: escape-free strings are `Cow::Borrowed`
+        // slices of the input — the parse-from-socket fast path.
+        group.bench_with_input(BenchmarkId::new("parse_borrowed", label), &text, |b, text| {
+            b.iter(|| parse_ref(std::hint::black_box(text)).unwrap())
+        });
+
+        let value = Value::parse(&text).unwrap();
+        group.bench_with_input(BenchmarkId::new("serialize", label), &value, |b, value| {
+            b.iter(|| std::hint::black_box(value).to_compact())
+        });
+        // Serialization into one reused buffer: amortizes the
+        // allocation away entirely after the first iteration.
+        group.bench_with_input(BenchmarkId::new("serialize_reuse", label), &value, |b, value| {
+            let mut buf = String::new();
+            b.iter(|| {
+                buf.clear();
+                std::hint::black_box(value).write_into(&mut buf);
+                buf.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_json
+}
+criterion_main!(benches);

@@ -87,14 +87,37 @@ pub fn synthetic_catalog(n: usize, seed: u64) -> Vec<ServiceDescriptor> {
 
 /// Generate a synthetic XML document with `breadth` children per node
 /// and `depth` levels (the XML bench corpus).
+///
+/// The shape mirrors the messages the rest of the workspace actually
+/// moves: dense element structure with short attributes, leaf elements
+/// carrying sentence-length description text, and occasional endpoint
+/// URIs — the mix found in SOAP envelopes and registry catalogs, where
+/// payload text (not markup) is most of the bytes on the wire.
 pub fn synthetic_xml(breadth: usize, depth: usize) -> String {
     fn emit(out: &mut String, breadth: usize, depth: usize, rng: &mut SplitMix) {
         if depth == 0 {
-            out.push_str(&format!("v{}", rng.below(1000)));
+            // Leaf payload: a word-salad description plus a version
+            // token, like a descriptor's `describe(..)` text.
+            let n = 3 + rng.below(9);
+            for k in 0..n {
+                if k > 0 {
+                    out.push(' ');
+                }
+                out.push_str(WORDS[rng.below(WORDS.len() as u64) as usize]);
+            }
+            out.push_str(&format!(" v{}", rng.below(1000)));
             return;
         }
         for i in 0..breadth {
-            out.push_str(&format!("<n{} id=\"{}\">", i % 4, rng.below(100)));
+            out.push_str(&format!("<n{} id=\"{}\"", i % 4, rng.below(100)));
+            if rng.below(4) == 0 {
+                out.push_str(&format!(
+                    " uri=\"mem://host-{}/svc-{}\"",
+                    rng.below(16),
+                    rng.below(1000)
+                ));
+            }
+            out.push('>');
             emit(out, breadth, depth - 1, rng);
             out.push_str(&format!("</n{}>", i % 4));
         }
@@ -103,6 +126,57 @@ pub fn synthetic_xml(breadth: usize, depth: usize) -> String {
     let mut rng = SplitMix(7);
     emit(&mut out, breadth, depth, &mut rng);
     out.push_str("</root>");
+    out
+}
+
+/// Generate a synthetic JSON document with `items` array entries (the
+/// JSON bench corpus).
+///
+/// The shape mirrors what the REST side of the stack actually serves:
+/// a service-listing response whose entries carry short ids, word-salad
+/// description strings (mostly escape-free — the borrowed-string fast
+/// path's common case), numeric QoS fields, nested endpoint objects,
+/// and an occasional string needing escapes (a quoted phrase or an
+/// embedded newline) so the slow path stays exercised.
+pub fn synthetic_json(items: usize) -> String {
+    let mut rng = SplitMix(11);
+    let word = |rng: &mut SplitMix| WORDS[rng.below(WORDS.len() as u64) as usize];
+    let mut out = String::from("{\"services\":[");
+    for i in 0..items {
+        if i > 0 {
+            out.push(',');
+        }
+        let desc: Vec<&str> = (0..4 + rng.below(8)).map(|_| word(&mut rng)).collect();
+        out.push_str(&format!(
+            "{{\"id\":\"svc-{i}\",\"name\":\"{} {}\",\"description\":\"{}\"",
+            word(&mut rng),
+            word(&mut rng),
+            desc.join(" ")
+        ));
+        if rng.below(8) == 0 {
+            out.push_str(&format!(
+                ",\"note\":\"a \\\"quoted\\\" phrase\\nline {}\"",
+                rng.below(100)
+            ));
+        }
+        out.push_str(&format!(
+            ",\"cost\":{}.{:02},\"latency_us\":{},\"available\":{}",
+            rng.below(100),
+            rng.below(100),
+            rng.below(100_000),
+            rng.below(2) == 0
+        ));
+        out.push_str(&format!(
+            ",\"endpoint\":{{\"uri\":\"mem://host-{}/svc-{i}\",\"binding\":\"{}\",\"port\":{}}}",
+            rng.below(16),
+            if i % 3 == 0 { "soap" } else { "rest" },
+            8000 + rng.below(1000)
+        ));
+        out.push_str(&format!(",\"tags\":[\"{}\",\"{}\"]}}", word(&mut rng), word(&mut rng)));
+    }
+    out.push_str("],\"total\":");
+    out.push_str(&items.to_string());
+    out.push('}');
     out
 }
 
@@ -135,6 +209,19 @@ mod tests {
         let ids: std::collections::HashSet<&str> = c.iter().map(|d| d.id.as_str()).collect();
         assert_eq!(ids.len(), 100);
         assert!(c.iter().any(|d| d.binding == Binding::Soap));
+    }
+
+    #[test]
+    fn synthetic_json_parses_and_round_trips() {
+        let text = synthetic_json(50);
+        let v = soc_json::Value::parse(&text).unwrap();
+        assert_eq!(v.pointer("/total").and_then(soc_json::Value::as_i64), Some(50));
+        assert_eq!(
+            v.pointer("/services").and_then(soc_json::Value::as_array).map(<[_]>::len),
+            Some(50)
+        );
+        assert_eq!(soc_json::Value::parse(&v.to_compact()).unwrap(), v);
+        assert_eq!(synthetic_json(50), text, "generator must be deterministic");
     }
 
     #[test]

@@ -78,7 +78,12 @@ impl ObserveEndpoints {
     pub fn try_handle(req: &Request) -> Option<Response> {
         let path = req.path();
         if path == "/observe/metrics" {
-            let mut resp = Response::text(soc_observe::metrics().render_prometheus());
+            // Render into one String and move it into the body — the
+            // exposition can be large, so the copy `Response::text`
+            // would make is worth skipping.
+            let mut body = String::new();
+            soc_observe::metrics().render_prometheus_into(&mut body);
+            let mut resp = Response::new(Status::OK).with_body_bytes(body.into_bytes());
             resp.headers.set("Content-Type", "text/plain; version=0.0.4");
             return Some(resp);
         }
@@ -95,11 +100,19 @@ impl ObserveEndpoints {
                 .collect();
             let mut root = Value::Object(vec![]);
             root.set("traces", Value::Array(traces));
-            return Some(Response::json(&root.to_string()));
+            let mut body = String::new();
+            root.write_into(&mut body);
+            return Some(Response::json_owned(body));
         }
         let id = path.strip_prefix("/observe/traces/")?;
         Some(match TraceId::from_hex(id).and_then(soc_observe::trace_json) {
-            Some(tree) => Response::json(&tree.to_string()),
+            Some(tree) => {
+                // Serialize straight into the buffer the response body
+                // takes ownership of — no `to_string` + copy round.
+                let mut body = String::new();
+                tree.write_into(&mut body);
+                Response::json_owned(body)
+            }
             None => Response::error(Status::NOT_FOUND, "unknown trace"),
         })
     }

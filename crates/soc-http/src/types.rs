@@ -406,6 +406,14 @@ impl Request {
             .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
     }
 
+    /// Parse the body as JSON, borrowing escape-free strings straight
+    /// from the body bytes the transport read off the socket — no
+    /// intermediate copy between the wire and the value.
+    pub fn json(&self) -> HttpResult<soc_json::ValueRef<'_>> {
+        soc_json::parse_ref(self.text()?)
+            .map_err(|e| HttpError::Malformed(format!("bad JSON body: {e}")))
+    }
+
     /// The path component of [`Request::target`] (before `?`).
     pub fn path(&self) -> &str {
         let t = &self.target;
@@ -479,6 +487,16 @@ impl Response {
         Response::new(Status::OK).with_text("text/xml; charset=utf-8", body)
     }
 
+    /// 200 with an `application/json` body, taking ownership of an
+    /// already-built buffer (pair with `Value::write_into` to render
+    /// into a reused allocation and move it here without copying).
+    pub fn json_owned(body: String) -> Self {
+        let mut resp = Response::new(Status::OK);
+        resp.headers.set("Content-Type", "application/json");
+        resp.body = body.into_bytes();
+        resp
+    }
+
     /// 200 with a `text/xml` body, taking ownership of an already-built
     /// buffer. Unlike [`Response::xml`] the body bytes are moved, not
     /// copied — pair with the zero-copy serializers in `soc-xml`.
@@ -540,6 +558,23 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn request_json_parses_borrowed_from_the_body() {
+        let req = Request::post("/svc", br#"{"name":"echo","n":1}"#.to_vec());
+        let v = req.json().unwrap();
+        assert_eq!(v.get("name").and_then(|v| v.as_str()), Some("echo"));
+        assert_eq!(v.get("n").and_then(|v| v.as_i64()), Some(1));
+        assert!(Request::post("/svc", b"{oops".to_vec()).json().is_err());
+        assert!(Request::post("/svc", vec![0xff, 0xfe]).json().is_err());
+    }
+
+    #[test]
+    fn json_owned_moves_the_buffer() {
+        let resp = Response::json_owned("{\"a\":1}".to_string());
+        assert_eq!(resp.content_type(), Some("application/json"));
+        assert_eq!(resp.body, b"{\"a\":1}");
+    }
 
     #[test]
     fn method_parse_and_properties() {

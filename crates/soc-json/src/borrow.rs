@@ -1,0 +1,152 @@
+//! Borrowed JSON values — the zero-copy twin of [`Value`].
+//!
+//! [`ValueRef`] keeps escape-free strings (and object keys) as `&str`
+//! slices of the input via [`Cow::Borrowed`]; only strings that an
+//! escape sequence actually rewrites are owned. A typical API payload
+//! parses with one allocation per array/object and none per string —
+//! the shape that lets an HTTP handler inspect a request body straight
+//! out of the connection's read buffer.
+//!
+//! ```
+//! use soc_json::{parse_ref, ValueRef};
+//!
+//! let body = r#"{"service":"echo","cost":3}"#;
+//! let v = soc_json::parse_ref(body).unwrap();
+//! assert_eq!(v.get("service").and_then(ValueRef::as_str), Some("echo"));
+//! assert_eq!(v.get("cost").and_then(ValueRef::as_i64), Some(3));
+//! ```
+
+use std::borrow::Cow;
+
+use crate::value::{Number, Value};
+
+/// A JSON value whose strings borrow from the parsed input where the
+/// text allows it. Produced by [`crate::parse_ref`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueRef<'a> {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string; borrowed unless escape expansion rewrote it.
+    String(Cow<'a, str>),
+    /// An ordered array.
+    Array(Vec<ValueRef<'a>>),
+    /// An ordered key → value map (later duplicates win on lookup).
+    Object(Vec<(Cow<'a, str>, ValueRef<'a>)>),
+}
+
+impl<'a> ValueRef<'a> {
+    /// Borrow as `&str` when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ValueRef::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ValueRef::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As `i64` when a number that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ValueRef::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// As `f64` when a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ValueRef::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array items.
+    pub fn as_array(&self) -> Option<&[ValueRef<'a>]> {
+        match self {
+            ValueRef::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (last duplicate wins, matching [`Value`]).
+    pub fn get(&self, key: &str) -> Option<&ValueRef<'a>> {
+        match self {
+            ValueRef::Object(o) => o.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array index lookup.
+    pub fn at(&self, index: usize) -> Option<&ValueRef<'a>> {
+        self.as_array()?.get(index)
+    }
+
+    /// Convert into an owned [`Value`], allocating for each borrowed
+    /// string.
+    pub fn into_owned(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(b),
+            ValueRef::Number(n) => Value::Number(n),
+            ValueRef::String(s) => Value::String(s.into_owned()),
+            ValueRef::Array(items) => {
+                Value::Array(items.into_iter().map(ValueRef::into_owned).collect())
+            }
+            ValueRef::Object(members) => Value::Object(
+                members.into_iter().map(|(k, v)| (k.into_owned(), v.into_owned())).collect(),
+            ),
+        }
+    }
+}
+
+impl From<ValueRef<'_>> for Value {
+    fn from(v: ValueRef<'_>) -> Value {
+        v.into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_ref;
+
+    #[test]
+    fn escape_free_strings_borrow() {
+        let v = parse_ref(r#"{"name":"echo service","tags":["a","b"]}"#).unwrap();
+        let ValueRef::Object(members) = &v else { panic!() };
+        assert!(matches!(&members[0].0, Cow::Borrowed(_)));
+        assert!(matches!(&members[0].1, ValueRef::String(Cow::Borrowed(_))));
+    }
+
+    #[test]
+    fn escaped_strings_are_owned_and_expanded() {
+        let v = parse_ref(r#""a\nb""#).unwrap();
+        assert!(matches!(&v, ValueRef::String(Cow::Owned(_))));
+        assert_eq!(v.as_str(), Some("a\nb"));
+    }
+
+    #[test]
+    fn into_owned_matches_direct_parse() {
+        let src = r#"{"a":[1,2.5,"x\ty"],"b":{"c":null,"d":true}}"#;
+        assert_eq!(parse_ref(src).unwrap().into_owned(), Value::parse(src).unwrap());
+    }
+
+    #[test]
+    fn accessors_mirror_value() {
+        let v = parse_ref(r#"{"k":1,"k":2,"arr":[10,20]}"#).unwrap();
+        assert_eq!(v.get("k").and_then(ValueRef::as_i64), Some(2));
+        assert_eq!(v.get("arr").and_then(|a| a.at(1)).and_then(ValueRef::as_i64), Some(20));
+        assert_eq!(v.get("zzz"), None);
+    }
+}

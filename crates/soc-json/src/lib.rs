@@ -15,12 +15,15 @@
 //! assert_eq!(Value::parse(&text).unwrap(), v);
 //! ```
 
+pub mod borrow;
 pub mod parse;
 pub mod pointer;
+pub mod scan;
 pub mod ser;
 pub mod value;
 
-pub use parse::{JsonError, JsonResult};
+pub use borrow::ValueRef;
+pub use parse::{parse_ref, JsonError, JsonResult};
 pub use value::{Number, Value};
 
 /// Build a [`Value`] with JSON-like syntax. Supports objects, arrays,

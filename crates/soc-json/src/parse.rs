@@ -1,7 +1,16 @@
 //! Strict RFC 8259 parser.
+//!
+//! The parser builds [`ValueRef`]s: strings and object keys borrow the
+//! input whenever no escape sequence forces a rewrite, found with one
+//! batched scan ([`crate::scan::string_special`]) that simultaneously
+//! locates the closing quote and proves the text clean. [`parse`]
+//! wraps the same machinery and converts to owned [`Value`]s.
 
+use std::borrow::Cow;
 use std::fmt;
 
+use crate::borrow::ValueRef;
+use crate::scan;
 use crate::value::{Number, Value};
 
 /// Parse error with byte offset.
@@ -33,8 +42,16 @@ struct Parser<'a> {
 
 const MAX_DEPTH: usize = 128;
 
-/// Parse a complete JSON document; trailing non-whitespace is an error.
+/// Parse a complete JSON document into an owned [`Value`]; trailing
+/// non-whitespace is an error.
 pub fn parse(input: &str) -> JsonResult<Value> {
+    parse_ref(input).map(ValueRef::into_owned)
+}
+
+/// Parse a complete JSON document into a [`ValueRef`] borrowing from
+/// `input`; trailing non-whitespace is an error. Escape-free strings
+/// are zero-copy slices of the input.
+pub fn parse_ref(input: &str) -> JsonResult<ValueRef<'_>> {
     let mut p = Parser { input, bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
@@ -61,9 +78,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.pos += 1;
-        }
+        self.pos += scan::skip_whitespace(&self.bytes[self.pos..]);
     }
 
     fn expect(&mut self, b: u8) -> JsonResult<()> {
@@ -75,7 +90,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> JsonResult<Value> {
+    fn value(&mut self) -> JsonResult<ValueRef<'a>> {
         self.depth += 1;
         if self.depth > MAX_DEPTH {
             return Err(self.err("nesting too deep"));
@@ -83,11 +98,11 @@ impl<'a> Parser<'a> {
         let out = match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string().map(Value::String),
-            Some(b't') => self.keyword("true", Value::Bool(true)),
-            Some(b'f') => self.keyword("false", Value::Bool(false)),
-            Some(b'n') => self.keyword("null", Value::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'"') => self.string().map(ValueRef::String),
+            Some(b't') => self.keyword("true", ValueRef::Bool(true)),
+            Some(b'f') => self.keyword("false", ValueRef::Bool(false)),
+            Some(b'n') => self.keyword("null", ValueRef::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(ValueRef::Number),
             Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
             None => Err(self.err("unexpected end of input")),
         };
@@ -95,7 +110,7 @@ impl<'a> Parser<'a> {
         out
     }
 
-    fn keyword(&mut self, word: &str, value: Value) -> JsonResult<Value> {
+    fn keyword(&mut self, word: &str, value: ValueRef<'a>) -> JsonResult<ValueRef<'a>> {
         if self.input[self.pos..].starts_with(word) {
             self.pos += word.len();
             Ok(value)
@@ -104,13 +119,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> JsonResult<Value> {
+    fn object(&mut self) -> JsonResult<ValueRef<'a>> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
-            return Ok(Value::Object(members));
+            return Ok(ValueRef::Object(members));
         }
         loop {
             self.skip_ws();
@@ -123,7 +138,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b'}') => return Ok(Value::Object(members)),
+                Some(b'}') => return Ok(ValueRef::Object(members)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected ',' or '}'"));
@@ -132,13 +147,13 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn array(&mut self) -> JsonResult<Value> {
+    fn array(&mut self) -> JsonResult<ValueRef<'a>> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
-            return Ok(Value::Array(items));
+            return Ok(ValueRef::Array(items));
         }
         loop {
             self.skip_ws();
@@ -146,7 +161,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             match self.bump() {
                 Some(b',') => continue,
-                Some(b']') => return Ok(Value::Array(items)),
+                Some(b']') => return Ok(ValueRef::Array(items)),
                 _ => {
                     self.pos = self.pos.saturating_sub(1);
                     return Err(self.err("expected ',' or ']'"));
@@ -155,21 +170,27 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn string(&mut self) -> JsonResult<String> {
+    fn string(&mut self) -> JsonResult<Cow<'a, str>> {
         self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            // Fast path: copy a run of plain characters at once.
-            while let Some(b) = self.peek() {
-                if b == b'"' || b == b'\\' || b < 0x20 {
-                    break;
-                }
-                self.pos += 1;
+        let start = self.pos;
+        // One batched scan: if the first special byte is the closing
+        // quote, the whole string is clean and borrows the input.
+        let rest = &self.bytes[self.pos..];
+        match scan::string_special(rest) {
+            Some(p) if rest[p] == b'"' => {
+                self.pos += p + 1;
+                return Ok(Cow::Borrowed(&self.input[start..start + p]));
             }
-            out.push_str(&self.input[start..self.pos]);
+            Some(p) => self.pos += p,
+            None => self.pos = self.bytes.len(),
+        }
+        // An escape, control byte, or EOF ahead: build an owned buffer,
+        // still copying plain runs wholesale between escapes.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.input[start..self.pos]);
+        loop {
             match self.bump() {
-                Some(b'"') => return Ok(out),
+                Some(b'"') => return Ok(Cow::Owned(out)),
                 Some(b'\\') => match self.bump() {
                     Some(b'"') => out.push('"'),
                     Some(b'\\') => out.push('\\'),
@@ -203,6 +224,14 @@ impl<'a> Parser<'a> {
                 Some(b) if b < 0x20 => return Err(self.err("control character in string")),
                 _ => return Err(self.err("unterminated string")),
             }
+            // Copy the next plain run in one go.
+            let start = self.pos;
+            let rest = &self.bytes[self.pos..];
+            match scan::string_special(rest) {
+                Some(p) => self.pos += p,
+                None => self.pos = self.bytes.len(),
+            }
+            out.push_str(&self.input[start..self.pos]);
         }
     }
 
@@ -216,7 +245,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn number(&mut self) -> JsonResult<Value> {
+    fn number(&mut self) -> JsonResult<Number> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -225,9 +254,7 @@ impl<'a> Parser<'a> {
         match self.bump() {
             Some(b'0') => {}
             Some(b'1'..=b'9') => {
-                while matches!(self.peek(), Some(b'0'..=b'9')) {
-                    self.pos += 1;
-                }
+                self.pos += scan::digit_run(&self.bytes[self.pos..]);
             }
             _ => return Err(self.err("invalid number")),
         }
@@ -235,12 +262,11 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'.') {
             is_float = true;
             self.pos += 1;
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            let frac = scan::digit_run(&self.bytes[self.pos..]);
+            if frac == 0 {
                 return Err(self.err("digit required after '.'"));
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.pos += frac;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             is_float = true;
@@ -248,24 +274,24 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            let exp = scan::digit_run(&self.bytes[self.pos..]);
+            if exp == 0 {
                 return Err(self.err("digit required in exponent"));
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.pos += exp;
         }
         let text = &self.input[start..self.pos];
-        if !is_float {
+        // "-0" must stay a float: Int(0) cannot carry the sign.
+        if !is_float && text != "-0" {
             if let Ok(i) = text.parse::<i64>() {
-                return Ok(Value::Number(Number::Int(i)));
+                return Ok(Number::Int(i));
             }
         }
         let f: f64 = text.parse().map_err(|_| self.err("number out of range"))?;
         if !f.is_finite() {
             return Err(self.err("number out of range"));
         }
-        Ok(Value::Number(Number::Float(f)))
+        Ok(Number::Float(f))
     }
 }
 
@@ -304,6 +330,7 @@ mod tests {
     #[test]
     fn surrogate_pairs() {
         assert_eq!(parse(r#""😀""#).unwrap().as_str(), Some("😀"));
+        assert_eq!(parse(r#""\uD83D\uDE00""#).unwrap().as_str(), Some("😀"));
         assert!(parse(r#""\uD83D""#).is_err());
         assert!(parse(r#""\uDE00""#).is_err());
     }
@@ -360,5 +387,17 @@ mod tests {
     fn error_offsets_point_at_problem() {
         let err = parse(r#"{"a": tru}"#).unwrap_err();
         assert_eq!(err.offset, 6);
+    }
+
+    #[test]
+    fn long_strings_cross_word_boundaries() {
+        // Clean and escaped strings longer than the 8-byte scan word.
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 64] {
+            let body = "x".repeat(len);
+            let v = parse(&format!("\"{body}\"")).unwrap();
+            assert_eq!(v.as_str(), Some(body.as_str()));
+            let v = parse(&format!("\"{body}\\n{body}\"")).unwrap();
+            assert_eq!(v.as_str().unwrap(), format!("{body}\n{body}"));
+        }
     }
 }

@@ -1,0 +1,188 @@
+//! Batched byte scanning for the parser and serializer hot loops.
+//!
+//! Same SWAR discipline as `soc_xml::scan` (8 bytes per iteration via
+//! `u64` lane arithmetic, scalar tail), specialized to the three scans
+//! JSON needs: string runs, digit runs, and whitespace. Kept local —
+//! the JSON crate stands alone, it does not depend on the XML stack.
+//!
+//! Lane formulas are exact (no false positives): the low 7 bits are
+//! isolated before any add so carries cannot cross lanes, and bytes
+//! `>= 0x80` (UTF-8 continuation and lead bytes) never match, which is
+//! what makes byte-level scanning safe on `str` content.
+
+/// Low bit of every lane.
+const LO: u64 = 0x0101_0101_0101_0101;
+/// High bit of every lane.
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline(always)]
+const fn broadcast(b: u8) -> u64 {
+    (b as u64) * LO
+}
+
+#[inline(always)]
+fn load(haystack: &[u8], at: usize) -> u64 {
+    let chunk: [u8; 8] = haystack[at..at + 8].try_into().unwrap();
+    u64::from_le_bytes(chunk)
+}
+
+/// High bit of each lane set iff that lane's byte is zero (exact).
+#[inline(always)]
+const fn zero_lanes(v: u64) -> u64 {
+    !(((v & !HI) + !HI) | v) & HI
+}
+
+/// High bit of each lane set iff that lane's byte equals `needle`.
+#[inline(always)]
+const fn eq_lanes(v: u64, needle: u8) -> u64 {
+    zero_lanes(v ^ broadcast(needle))
+}
+
+/// High bit of each lane set iff that lane's byte is `< limit`
+/// (`limit` must be ASCII). Bytes `>= 0x80` never match: a set high
+/// bit vetoes the lane directly.
+#[inline(always)]
+const fn lt_lanes(v: u64, limit: u8) -> u64 {
+    !(((v & !HI) + broadcast(0x80 - limit)) | v) & HI
+}
+
+#[inline(always)]
+const fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() / 8) as usize
+}
+
+/// Offset of the first byte a JSON string run stops at: `"`, `\`, or a
+/// control byte (`< 0x20`). `None` when the whole slice is plain.
+///
+/// This single primitive drives both directions of the wire: the
+/// parser uses it to find the end of a string (and whether it can
+/// borrow), the serializer to find the next character that needs
+/// escaping.
+#[inline]
+pub fn string_special(haystack: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let w = load(haystack, i);
+        let mask = eq_lanes(w, b'"') | eq_lanes(w, b'\\') | lt_lanes(w, 0x20);
+        if mask != 0 {
+            return Some(i + first_lane(mask));
+        }
+        i += 8;
+    }
+    haystack[i..].iter().position(|&b| b == b'"' || b == b'\\' || b < 0x20).map(|p| i + p)
+}
+
+/// Number of leading ASCII-digit bytes.
+#[inline]
+pub fn digit_run(haystack: &[u8]) -> usize {
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let w = load(haystack, i);
+        let digits = !lt_lanes(w, b'0') & lt_lanes(w, b'9' + 1) & HI;
+        if digits == HI {
+            i += 8;
+            continue;
+        }
+        return i + first_lane(!digits & HI);
+    }
+    while i < haystack.len() && haystack[i].is_ascii_digit() {
+        i += 1;
+    }
+    i
+}
+
+/// Number of leading JSON whitespace bytes (space, tab, CR, LF).
+#[inline]
+pub fn skip_whitespace(haystack: &[u8]) -> usize {
+    // Between most tokens there is no whitespace at all in compact
+    // documents; bail before the word loop spins up.
+    if !haystack.first().is_some_and(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n')) {
+        return 0;
+    }
+    let mut i = 1;
+    while i + 8 <= haystack.len() {
+        let w = load(haystack, i);
+        let ws = eq_lanes(w, b' ') | eq_lanes(w, b'\t') | eq_lanes(w, b'\r') | eq_lanes(w, b'\n');
+        if ws == HI {
+            i += 8;
+            continue;
+        }
+        return i + first_lane(!ws & HI);
+    }
+    while i < haystack.len() && matches!(haystack[i], b' ' | b'\t' | b'\r' | b'\n') {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_string_special(h: &[u8]) -> Option<usize> {
+        h.iter().position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+    }
+
+    fn naive_digit_run(h: &[u8]) -> usize {
+        h.iter().position(|b| !b.is_ascii_digit()).unwrap_or(h.len())
+    }
+
+    fn naive_skip_ws(h: &[u8]) -> usize {
+        h.iter().position(|b| !matches!(b, b' ' | b'\t' | b'\r' | b'\n')).unwrap_or(h.len())
+    }
+
+    #[test]
+    fn string_special_every_lane() {
+        for needle in [b'"', b'\\', 0x00u8, 0x1F] {
+            for lane in 0..24 {
+                let mut buf = vec![b'a'; 24];
+                buf[lane] = needle;
+                assert_eq!(string_special(&buf), Some(lane), "byte {needle:#x} lane {lane}");
+            }
+        }
+        assert_eq!(string_special(b"plain ascii text, long enough"), None);
+    }
+
+    #[test]
+    fn high_bytes_are_plain() {
+        // UTF-8 lead/continuation bytes must not look special.
+        let buf: Vec<u8> = (0x80..=0xFFu8).collect();
+        assert_eq!(string_special(&buf), None);
+        assert_eq!(digit_run(&buf), 0);
+        assert_eq!(skip_whitespace(&buf), 0);
+    }
+
+    #[test]
+    fn digit_runs() {
+        assert_eq!(digit_run(b"1234567890123x"), 13);
+        assert_eq!(digit_run(b"12345678"), 8);
+        assert_eq!(digit_run(b"x1"), 0);
+        assert_eq!(digit_run(b""), 0);
+        assert_eq!(digit_run(b"12/34"), 2); // '/' = 0x2F, just below '0'
+        assert_eq!(digit_run(b"12:34"), 2); // ':' = 0x3A, just above '9'
+    }
+
+    #[test]
+    fn whitespace_runs() {
+        assert_eq!(skip_whitespace(b"   \t\r\n  x"), 8);
+        assert_eq!(skip_whitespace(b"x  "), 0);
+        assert_eq!(skip_whitespace(b"            "), 12);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_dense_byte_soup() {
+        // Deterministic pseudo-random bytes exercising word/tail splits.
+        let mut state = 0x9E37_79B9u32;
+        let mut buf = Vec::new();
+        for len in 0..64 {
+            buf.clear();
+            for _ in 0..len {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                buf.push((state >> 24) as u8);
+            }
+            assert_eq!(string_special(&buf), naive_string_special(&buf), "{buf:?}");
+            assert_eq!(digit_run(&buf), naive_digit_run(&buf), "{buf:?}");
+            assert_eq!(skip_whitespace(&buf), naive_skip_ws(&buf), "{buf:?}");
+        }
+    }
+}

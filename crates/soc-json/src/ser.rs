@@ -1,5 +1,11 @@
 //! Compact and pretty serialization.
+//!
+//! [`write_into`] appends straight into a caller-provided buffer, so a
+//! server rendering many responses reuses one allocation; strings are
+//! emitted run-at-a-time (one batched scan to the next byte needing an
+//! escape) rather than char-at-a-time.
 
+use crate::scan;
 use crate::value::Value;
 
 /// Serialize `v`; `pretty` adds two-space indentation and newlines.
@@ -7,6 +13,12 @@ pub fn to_string(v: &Value, pretty: bool) -> String {
     let mut out = String::new();
     write_value(v, pretty, 0, &mut out);
     out
+}
+
+/// Append the compact serialization of `v` to `out` — the
+/// buffer-reusing twin of [`Value::to_compact`].
+pub fn write_into(v: &Value, out: &mut String) {
+    write_value(v, false, 0, out);
 }
 
 fn write_value(v: &Value, pretty: bool, depth: usize, out: &mut String) {
@@ -67,21 +79,29 @@ fn newline_indent(pretty: bool, depth: usize, out: &mut String) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{8}' => out.push_str("\\b"),
-            '\u{c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    // The bytes needing an escape (quote, backslash, controls) are
+    // exactly the parser's string-special set; everything between two
+    // of them is appended as one run.
+    while let Some(p) = scan::string_special(&bytes[i..]) {
+        let at = i + p;
+        out.push_str(&s[i..at]);
+        match bytes[at] {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            0x8 => out.push_str("\\b"),
+            0xC => out.push_str("\\f"),
+            c => {
+                out.push_str(&format!("\\u{c:04x}"));
             }
-            c => out.push(c),
         }
+        i = at + 1;
     }
+    out.push_str(&s[i..]);
     out.push('"');
 }
 

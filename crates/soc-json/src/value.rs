@@ -177,6 +177,12 @@ impl Value {
         crate::ser::to_string(self, false)
     }
 
+    /// Append the compact serialization to `out`, reusing the caller's
+    /// buffer (see [`crate::ser::write_into`]).
+    pub fn write_into(&self, out: &mut String) {
+        crate::ser::write_into(self, out)
+    }
+
     /// Serialize with two-space indentation.
     pub fn to_pretty(&self) -> String {
         crate::ser::to_string(self, true)

@@ -1,0 +1,128 @@
+//! Round-trip identity: `parse ∘ serialize` must be the identity on
+//! the value model, and the borrowed parser must agree with the owned
+//! one on every input — including the adversarial corners (escapes,
+//! surrogate pairs, `-0`, exponent overflow, nesting at the depth
+//! limit).
+
+use proptest::prelude::*;
+use soc_json::{parse_ref, Number, Value, ValueRef};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(|i| Value::Number(Number::Int(i))),
+        (-1e15f64..1e15).prop_map(|f| Value::Number(Number::Float(f))),
+        // Strings biased toward escape-needing content: quotes,
+        // backslashes, controls, astral-plane characters.
+        "[ -~\\\\\"\u{8}\u{c}\n\r\t\u{1}\u{1f}é中😀]{0,24}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(5, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            proptest::collection::vec(("[a-z\\\\\" ]{0,8}", inner), 0..6)
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    /// serialize → parse is the identity (compact and pretty).
+    #[test]
+    fn parse_after_serialize_is_identity(v in value_strategy()) {
+        prop_assert_eq!(Value::parse(&v.to_compact()).unwrap(), v.clone());
+        prop_assert_eq!(Value::parse(&v.to_pretty()).unwrap(), v);
+    }
+
+    /// The buffer-reusing serializer emits the same bytes as the
+    /// allocating one, regardless of what is already in the buffer.
+    #[test]
+    fn write_into_matches_to_compact(v in value_strategy(), prefix in "[a-z]{0,8}") {
+        let mut buf = prefix.clone();
+        v.write_into(&mut buf);
+        prop_assert_eq!(buf, format!("{prefix}{}", v.to_compact()));
+    }
+
+    /// Borrowed and owned parsers accept the same documents with the
+    /// same result.
+    #[test]
+    fn parse_ref_agrees_with_parse(v in value_strategy()) {
+        let text = v.to_compact();
+        let borrowed = parse_ref(&text).unwrap();
+        prop_assert_eq!(borrowed.into_owned(), Value::parse(&text).unwrap());
+    }
+
+    /// parse → serialize → parse is stable (the serialization is a
+    /// fixed point), over arbitrary near-JSON byte soup that happens
+    /// to parse.
+    #[test]
+    fn reserialization_is_stable(s in "[ -~]{0,48}") {
+        if let Ok(v) = Value::parse(&s) {
+            let once = v.to_compact();
+            let again = Value::parse(&once).unwrap().to_compact();
+            prop_assert_eq!(once, again);
+        }
+    }
+}
+
+#[test]
+fn escape_corpus_round_trips() {
+    for src in [
+        r#""\"\\\/\b\f\n\r\t""#,
+        r#""\u0000 low \u001f controls""#,
+        r#""😀 paired""#,
+        r#""mixed 中 文 😀 \n tail""#,
+    ] {
+        let v = Value::parse(src).unwrap();
+        assert_eq!(Value::parse(&v.to_compact()).unwrap(), v, "{src}");
+        let b = parse_ref(src).unwrap();
+        assert_eq!(b.into_owned(), v, "{src}");
+    }
+}
+
+#[test]
+fn negative_zero_survives() {
+    // -0 must stay a float (Int cannot hold the sign) and re-emit a
+    // form that parses back to -0.
+    let v = Value::parse("-0").unwrap();
+    let f = v.as_f64().unwrap();
+    assert_eq!(f, 0.0);
+    assert!(f.is_sign_negative(), "-0 parsed to {f:?}");
+    let back = Value::parse(&v.to_compact()).unwrap().as_f64().unwrap();
+    assert!(back.is_sign_negative());
+    assert_eq!(Value::parse("-0.0").unwrap().as_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+}
+
+#[test]
+fn exponent_overflow_is_rejected_not_inf() {
+    assert!(Value::parse("1e400").is_err());
+    assert!(Value::parse("-1e400").is_err());
+    // Underflow to zero is fine.
+    assert_eq!(Value::parse("1e-400").unwrap().as_f64(), Some(0.0));
+    // Largest finite double round-trips.
+    let v = Value::parse("1.7976931348623157e308").unwrap();
+    assert_eq!(Value::parse(&v.to_compact()).unwrap(), v);
+}
+
+#[test]
+fn nesting_at_the_depth_limit() {
+    // MAX_DEPTH is 128: exactly at the limit parses, one past fails,
+    // for both parsers.
+    let at = "[".repeat(128) + &"]".repeat(128);
+    let over = "[".repeat(129) + &"]".repeat(129);
+    assert!(Value::parse(&at).is_ok());
+    assert!(Value::parse(&over).is_err());
+    assert!(parse_ref(&at).is_ok());
+    assert!(parse_ref(&over).is_err());
+    // The round trip holds at the limit.
+    let v = Value::parse(&at).unwrap();
+    assert_eq!(Value::parse(&v.to_compact()).unwrap(), v);
+}
+
+#[test]
+fn borrowed_strings_only_when_clean() {
+    let v = parse_ref(r#"{"clean":"no escapes here","dirty":"tab\there"}"#).unwrap();
+    let ValueRef::Object(members) = v else { panic!() };
+    assert!(matches!(&members[0].1, ValueRef::String(std::borrow::Cow::Borrowed(_))));
+    assert!(matches!(&members[1].1, ValueRef::String(std::borrow::Cow::Owned(_))));
+}

@@ -26,6 +26,7 @@
 
 pub mod context;
 pub mod metrics;
+pub mod otlp;
 pub mod span;
 pub mod store;
 pub mod tail;
@@ -35,6 +36,7 @@ use std::sync::OnceLock;
 
 pub use context::{ContextGuard, SpanId, TraceContext, TraceId, TRACEPARENT};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_US};
+pub use otlp::OtlpExporter;
 pub use span::{child_span, root_span, span, Span, SpanKind, SpanRecord, SpanStatus};
 pub use store::SpanStore;
 

@@ -311,8 +311,16 @@ impl MetricsRegistry {
     /// format (`# TYPE` lines, `_bucket{le=...}`/`_sum`/`_count`
     /// expansion for histograms).
     pub fn render_prometheus(&self) -> String {
-        let inner = self.inner.read();
         let mut out = String::new();
+        self.render_prometheus_into(&mut out);
+        out
+    }
+
+    /// Append the Prometheus text exposition to `out`, reusing the
+    /// caller's buffer — a scrape loop renders into one allocation
+    /// instead of building a fresh `String` per scrape.
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        let inner = self.inner.read();
         for (name, family) in inner.iter() {
             let Some(first) = family.values().next() else { continue };
             out.push_str("# TYPE ");
@@ -321,10 +329,9 @@ impl MetricsRegistry {
             out.push_str(first.metric.kind());
             out.push('\n');
             for entry in family.values() {
-                render_entry(&mut out, name, entry);
+                render_entry(out, name, entry);
             }
         }
-        out
     }
 }
 

@@ -45,7 +45,13 @@ pub fn negotiate(req: &Request) -> Format {
 /// elements, arrays repeat an `item` element, scalars become text.
 pub fn render(req: &Request, root_name: &str, value: &Value) -> Response {
     match negotiate(req) {
-        Format::Json => Response::json(&value.to_compact()),
+        Format::Json => {
+            // Serialize straight into the buffer the response body
+            // takes ownership of — same one-allocation path as XML.
+            let mut body = String::with_capacity(128);
+            value.write_into(&mut body);
+            Response::json_owned(body)
+        }
         Format::Xml => {
             let mut doc = Document::new(root_name);
             let root = doc.root();

@@ -53,6 +53,20 @@ impl Position {
             None => self.column += s.len() as u32,
         }
     }
+
+    /// Compute the position of byte `offset` within `input` by scanning
+    /// the prefix once. The reader tracks only byte offsets on its hot
+    /// path and materializes line/column lazily — here, exactly when an
+    /// error (or an explicit position query) needs them.
+    pub fn locate(input: &str, offset: usize) -> Position {
+        let prefix = &input.as_bytes()[..offset.min(input.len())];
+        let line = 1 + crate::scan::count_byte(prefix, b'\n') as u32;
+        let column = match crate::scan::rfind_byte(prefix, b'\n') {
+            Some(i) => (prefix.len() - i) as u32,
+            None => prefix.len() as u32 + 1,
+        };
+        Position { offset, line, column }
+    }
 }
 
 impl fmt::Display for Position {
@@ -85,6 +99,26 @@ pub enum XmlError {
     XPathSyntax { detail: String },
     /// Attempt to use a [`crate::NodeId`] from another document.
     ForeignNode,
+}
+
+impl XmlError {
+    /// Replace the recorded position. The reader raises errors from
+    /// position-blind helpers (which see only a slice) and re-anchors
+    /// them to the source document here.
+    pub(crate) fn at(mut self, at: Position) -> XmlError {
+        match &mut self {
+            XmlError::UnexpectedEof { pos, .. }
+            | XmlError::Unexpected { pos, .. }
+            | XmlError::MismatchedTag { pos, .. }
+            | XmlError::UnbalancedClose { pos, .. }
+            | XmlError::BadEntity { pos, .. }
+            | XmlError::DuplicateAttribute { pos, .. }
+            | XmlError::NotWellFormed { pos, .. }
+            | XmlError::BadChar { pos, .. } => *pos = at,
+            XmlError::XPathSyntax { .. } | XmlError::ForeignNode => {}
+        }
+        self
+    }
 }
 
 impl fmt::Display for XmlError {

@@ -10,28 +10,38 @@
 use std::borrow::Cow;
 
 use crate::error::{Position, XmlError, XmlResult};
+use crate::scan;
+
+/// Bytes that force a rewrite inside a double-quoted attribute value.
+const ATTR_NEEDLES: &[u8] = b"<>&\"'\n\t";
 
 /// Offset of the first byte that must be rewritten in text content.
+///
+/// `<` and `&` always; `>` only as the tail of a `]]>` run (the one
+/// place the spec forbids it), so CDATA-adjacent text like `a > b` or
+/// `x]>y` borrows instead of copying.
 #[inline]
 fn scan_text(bytes: &[u8]) -> Option<usize> {
-    bytes.iter().position(|&b| matches!(b, b'<' | b'>' | b'&'))
+    let mut i = 0;
+    while let Some(p) = scan::find_byte3(&bytes[i..], b'<', b'&', b'>') {
+        let at = i + p;
+        if bytes[at] != b'>' || (at >= 2 && &bytes[at - 2..at] == b"]]") {
+            return Some(at);
+        }
+        i = at + 1;
+    }
+    None
 }
 
-/// Offset of the first byte that must be rewritten in an attribute value.
-#[inline]
-fn scan_attr(bytes: &[u8]) -> Option<usize> {
-    bytes.iter().position(|&b| matches!(b, b'<' | b'>' | b'&' | b'"' | b'\'' | b'\n' | b'\t'))
-}
-
-/// Escape `<`, `>`, and `&` for element text content. Borrows the input
-/// when nothing needs escaping.
+/// Escape `<`, `&`, and the `>` of `]]>` for element text content.
+/// Borrows the input when nothing needs escaping — in particular, bare
+/// `>` stays literal and does not force a copy.
 pub fn escape_text(s: &str) -> Cow<'_, str> {
     match scan_text(s.as_bytes()) {
         None => Cow::Borrowed(s),
         Some(i) => {
             let mut out = String::with_capacity(s.len() + 8);
-            out.push_str(&s[..i]);
-            escape_text_rest(&s[i..], &mut out);
+            escape_text_from(s, i, &mut out);
             Cow::Owned(out)
         }
     }
@@ -42,25 +52,33 @@ pub fn escape_text(s: &str) -> Cow<'_, str> {
 pub fn escape_text_into(s: &str, out: &mut String) {
     match scan_text(s.as_bytes()) {
         None => out.push_str(s),
-        Some(i) => {
-            out.push_str(&s[..i]);
-            escape_text_rest(&s[i..], out);
-        }
+        Some(i) => escape_text_from(s, i, out),
     }
 }
 
-fn escape_text_rest(s: &str, out: &mut String) {
-    let mut last = 0;
-    for (i, &b) in s.as_bytes().iter().enumerate() {
-        let rep = match b {
+/// Escape text starting from `first` (the offset [`scan_text`] found);
+/// operates on the whole string so the `]]>` lookbehind never loses
+/// context at a slice boundary.
+fn escape_text_from(s: &str, first: usize, out: &mut String) {
+    let bytes = s.as_bytes();
+    out.push_str(&s[..first]);
+    let mut last = first;
+    let mut i = first;
+    while let Some(p) = scan::find_byte3(&bytes[i..], b'<', b'&', b'>') {
+        let at = i + p;
+        let rep = match bytes[at] {
             b'<' => "&lt;",
-            b'>' => "&gt;",
             b'&' => "&amp;",
-            _ => continue,
+            b'>' if at >= 2 && &bytes[at - 2..at] == b"]]" => "&gt;",
+            _ => {
+                i = at + 1;
+                continue;
+            }
         };
-        out.push_str(&s[last..i]);
+        out.push_str(&s[last..at]);
         out.push_str(rep);
-        last = i + 1;
+        last = at + 1;
+        i = at + 1;
     }
     out.push_str(&s[last..]);
 }
@@ -68,7 +86,7 @@ fn escape_text_rest(s: &str, out: &mut String) {
 /// Escape text for use inside a double-quoted attribute value. Borrows
 /// the input when nothing needs escaping.
 pub fn escape_attr(s: &str) -> Cow<'_, str> {
-    match scan_attr(s.as_bytes()) {
+    match scan::find_any(s.as_bytes(), ATTR_NEEDLES) {
         None => Cow::Borrowed(s),
         Some(i) => {
             let mut out = String::with_capacity(s.len() + 8);
@@ -82,7 +100,7 @@ pub fn escape_attr(s: &str) -> Cow<'_, str> {
 /// Append `s` to `out`, escaping attribute content. The buffer-reuse
 /// twin of [`escape_attr`].
 pub fn escape_attr_into(s: &str, out: &mut String) {
-    match scan_attr(s.as_bytes()) {
+    match scan::find_any(s.as_bytes(), ATTR_NEEDLES) {
         None => out.push_str(s),
         Some(i) => {
             out.push_str(&s[..i]);
@@ -92,21 +110,24 @@ pub fn escape_attr_into(s: &str, out: &mut String) {
 }
 
 fn escape_attr_rest(s: &str, out: &mut String) {
+    let bytes = s.as_bytes();
     let mut last = 0;
-    for (i, &b) in s.as_bytes().iter().enumerate() {
-        let rep = match b {
+    let mut i = 0;
+    while let Some(p) = scan::find_any(&bytes[i..], ATTR_NEEDLES) {
+        let at = i + p;
+        let rep = match bytes[at] {
             b'<' => "&lt;",
             b'>' => "&gt;",
             b'&' => "&amp;",
             b'"' => "&quot;",
             b'\'' => "&apos;",
             b'\n' => "&#10;",
-            b'\t' => "&#9;",
-            _ => continue,
+            _ => "&#9;",
         };
-        out.push_str(&s[last..i]);
+        out.push_str(&s[last..at]);
         out.push_str(rep);
-        last = i + 1;
+        last = at + 1;
+        i = at + 1;
     }
     out.push_str(&s[last..]);
 }
@@ -115,16 +136,16 @@ fn escape_attr_rest(s: &str, out: &mut String) {
 /// references in `s`. Borrows the input when it contains no `&` at all.
 /// `pos` is used only for error reporting.
 pub fn unescape(s: &str, pos: Position) -> XmlResult<Cow<'_, str>> {
-    let Some(first) = s.as_bytes().iter().position(|&b| b == b'&') else {
+    let Some(first) = scan::find_byte(s.as_bytes(), b'&') else {
         return Ok(Cow::Borrowed(s));
     };
     let mut out = String::with_capacity(s.len());
     out.push_str(&s[..first]);
     let mut rest = &s[first..];
-    while let Some(amp) = rest.as_bytes().iter().position(|&b| b == b'&') {
+    while let Some(amp) = scan::find_byte(rest.as_bytes(), b'&') {
         out.push_str(&rest[..amp]);
         let after = &rest[amp + 1..];
-        let Some(end) = after.find(';') else {
+        let Some(end) = scan::find_byte(after.as_bytes(), b';') else {
             return Err(XmlError::BadEntity { pos, entity: after.chars().take(8).collect() });
         };
         let name = &after[..end];
@@ -170,8 +191,23 @@ mod tests {
     fn escape_then_unescape_text_round_trips() {
         let original = "a < b && c > d";
         let escaped = escape_text(original);
-        assert_eq!(escaped, "a &lt; b &amp;&amp; c &gt; d");
+        // Bare '>' is legal in character data and stays literal.
+        assert_eq!(escaped, "a &lt; b &amp;&amp; c > d");
         assert_eq!(unescape(&escaped, p()).unwrap(), original);
+    }
+
+    #[test]
+    fn cdata_close_sequence_is_escaped() {
+        let escaped = escape_text("a]]>b");
+        assert_eq!(escaped, "a]]&gt;b");
+        assert_eq!(unescape(&escaped, p()).unwrap(), "a]]>b");
+        // Near misses borrow: "]>", "] >", and a trailing "]]".
+        assert!(matches!(escape_text("a]>b"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("a] ]>b"), Cow::Borrowed(_)));
+        assert!(matches!(escape_text("ab]]"), Cow::Borrowed(_)));
+        let mut buf = String::new();
+        escape_text_into("x]]>y]]>z", &mut buf);
+        assert_eq!(buf, "x]]&gt;y]]&gt;z");
     }
 
     #[test]
@@ -210,6 +246,8 @@ mod tests {
         assert!(matches!(unescape("hello world", p()).unwrap(), Cow::Borrowed(_)));
         assert!(matches!(escape_text("hello world"), Cow::Borrowed(_)));
         assert!(matches!(escape_attr("hello world"), Cow::Borrowed(_)));
+        // CDATA-adjacent text with bare '>' no longer copies.
+        assert!(matches!(escape_text("if a > b then"), Cow::Borrowed(_)));
     }
 
     #[test]

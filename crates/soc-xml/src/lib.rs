@@ -38,6 +38,7 @@ pub mod intern;
 pub mod name;
 pub mod reader;
 pub mod sax;
+pub mod scan;
 pub mod schema;
 pub mod writer;
 pub mod xpath;

@@ -30,6 +30,7 @@ use std::borrow::Cow;
 use crate::error::{Position, XmlError, XmlResult};
 use crate::escape::unescape;
 use crate::name::{is_name_char, is_name_start, QName, RawName};
+use crate::scan;
 
 /// A single attribute as it appeared on a start tag, value already
 /// entity-expanded (borrowing the input unless expansion rewrote it).
@@ -151,7 +152,10 @@ pub struct ReaderConfig {
 pub struct XmlReader<'a> {
     input: &'a str,
     bytes: &'a [u8],
-    pos: Position,
+    /// Byte offset of the next unread byte. The hot path tracks *only*
+    /// this; line/column are materialized lazily via
+    /// [`Position::locate`] when an error or position query needs them.
+    offset: usize,
     config: ReaderConfig,
     /// Open-element stack for balance checking (name slices, no copies).
     stack: Vec<RawName<'a>>,
@@ -178,7 +182,7 @@ impl<'a> XmlReader<'a> {
         XmlReader {
             input,
             bytes: input.as_bytes(),
-            pos: Position::start(),
+            offset: 0,
             config,
             stack: Vec::new(),
             attrs: Vec::new(),
@@ -190,8 +194,14 @@ impl<'a> XmlReader<'a> {
     }
 
     /// Current source position (start of the next unread byte).
+    /// Computed on demand — the parse loop itself never pays for
+    /// line/column bookkeeping.
     pub fn position(&self) -> Position {
-        self.pos
+        self.pos_at(self.offset)
+    }
+
+    fn pos_at(&self, offset: usize) -> Position {
+        Position::locate(self.input, offset)
     }
 
     /// Attributes of the most recent [`XmlEvent::StartElement`], in
@@ -202,26 +212,26 @@ impl<'a> XmlReader<'a> {
     }
 
     fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos.offset).copied()
+        self.bytes.get(self.offset).copied()
     }
 
     fn peek_at(&self, ahead: usize) -> Option<u8> {
-        self.bytes.get(self.pos.offset + ahead).copied()
+        self.bytes.get(self.offset + ahead).copied()
     }
 
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek()?;
-        self.pos.advance(b);
+        self.offset += 1;
         Some(b)
     }
 
     fn starts_with(&self, s: &str) -> bool {
-        self.input[self.pos.offset..].starts_with(s)
+        self.input[self.offset..].starts_with(s)
     }
 
     fn consume_str(&mut self, s: &str) -> bool {
         if self.starts_with(s) {
-            self.pos.advance_str(s);
+            self.offset += s.len();
             true
         } else {
             false
@@ -229,45 +239,57 @@ impl<'a> XmlReader<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
-            self.bump();
-        }
+        self.offset += scan::skip_whitespace(&self.bytes[self.offset..]);
     }
 
     /// Consume input up to (not including) `delim`, returning the slice.
     fn take_until(&mut self, delim: &str, what: &'static str) -> XmlResult<&'a str> {
-        let rest = &self.input[self.pos.offset..];
-        let Some(idx) = rest.find(delim) else {
-            return Err(XmlError::UnexpectedEof { pos: self.pos, expected: what });
+        let rest = &self.input[self.offset..];
+        let Some(idx) = scan::find_substr(rest.as_bytes(), delim.as_bytes()) else {
+            return Err(XmlError::UnexpectedEof { pos: self.pos_at(self.offset), expected: what });
         };
-        let out = &rest[..idx];
-        self.pos.advance_str(out);
-        Ok(out)
+        self.offset += idx;
+        Ok(&rest[..idx])
     }
 
     fn read_name(&mut self) -> XmlResult<RawName<'a>> {
-        let rest = &self.input[self.pos.offset..];
-        match rest.chars().next() {
-            Some(c) if is_name_start(c) => {}
-            Some(c) => {
+        let rest = &self.input[self.offset..];
+        let bytes = rest.as_bytes();
+        // ASCII fast path: almost every name is ASCII, where the name
+        // classes reduce to byte tests — no UTF-8 decode per char.
+        match bytes.first() {
+            Some(&b) if b.is_ascii_alphabetic() || b == b'_' || b == b':' => {}
+            Some(&b) if b >= 0x80 && rest.chars().next().is_some_and(is_name_start) => {}
+            Some(_) => {
                 return Err(XmlError::Unexpected {
-                    pos: self.pos,
-                    found: c,
+                    pos: self.pos_at(self.offset),
+                    found: rest.chars().next().unwrap(),
                     expected: "name start",
                 })
             }
-            None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "name" }),
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    pos: self.pos_at(self.offset),
+                    expected: "name",
+                })
+            }
         }
         let mut len = 0;
-        for c in rest.chars() {
-            if is_name_char(c) {
-                len += c.len_utf8();
-            } else {
-                break;
+        while len < bytes.len() && is_ascii_name_byte(bytes[len]) {
+            len += 1;
+        }
+        if bytes.get(len).is_some_and(|&b| b >= 0x80) {
+            // Non-ASCII continuation: finish with char-exact classes.
+            for c in rest[len..].chars() {
+                if is_name_char(c) {
+                    len += c.len_utf8();
+                } else {
+                    break;
+                }
             }
         }
         let raw = &rest[..len];
-        self.pos.advance_str(raw);
+        self.offset += len;
         Ok(RawName::parse(raw))
     }
 
@@ -276,27 +298,48 @@ impl<'a> XmlReader<'a> {
             Some(q @ (b'"' | b'\'')) => q,
             Some(c) => {
                 return Err(XmlError::Unexpected {
-                    pos: self.pos,
+                    pos: self.pos_at(self.offset),
                     found: c as char,
                     expected: "quoted attribute value",
                 })
             }
             None => {
-                return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "attribute value" })
+                return Err(XmlError::UnexpectedEof {
+                    pos: self.pos_at(self.offset),
+                    expected: "attribute value",
+                })
             }
         };
-        let at = self.pos;
-        let rest = &self.input[self.pos.offset..];
-        let Some(end) = rest.as_bytes().iter().position(|&b| b == quote) else {
-            return Err(XmlError::UnexpectedEof {
-                pos: self.pos,
-                expected: "closing attribute quote",
-            });
+        let at = self.offset;
+        let rest = &self.input[self.offset..];
+        let bytes = rest.as_bytes();
+        // One scan finds both the closing quote and whether any entity
+        // needs expanding; escape-free values (the common case) borrow
+        // without a second pass.
+        let (end, has_entity) = match scan::find_byte2(bytes, quote, b'&') {
+            Some(p) if bytes[p] == quote => (p, false),
+            Some(p) => match scan::find_byte(&bytes[p..], quote) {
+                Some(q) => (p + q, true),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos_at(at),
+                        expected: "closing attribute quote",
+                    })
+                }
+            },
+            None => {
+                return Err(XmlError::UnexpectedEof {
+                    pos: self.pos_at(at),
+                    expected: "closing attribute quote",
+                })
+            }
         };
         let raw = &rest[..end];
-        self.pos.advance_str(raw);
-        self.bump(); // consume the quote
-        unescape(raw, at)
+        self.offset += end + 1; // value + closing quote
+        if !has_entity {
+            return Ok(Cow::Borrowed(raw));
+        }
+        unescape(raw, Position::start()).map_err(|e| e.at(self.pos_at(at)))
     }
 
     /// Parse the inside of a start tag after the name: attributes (into
@@ -308,14 +351,14 @@ impl<'a> XmlReader<'a> {
             self.skip_ws();
             match self.peek() {
                 Some(b'>') => {
-                    self.bump();
+                    self.offset += 1;
                     return Ok(false);
                 }
                 Some(b'/') => {
                     self.bump();
                     if self.bump() != Some(b'>') {
                         return Err(XmlError::Unexpected {
-                            pos: self.pos,
+                            pos: self.pos_at(self.offset),
                             found: '/',
                             expected: "'/>'",
                         });
@@ -323,12 +366,12 @@ impl<'a> XmlReader<'a> {
                     return Ok(true);
                 }
                 Some(_) => {
-                    let at = self.pos;
+                    let at = self.offset;
                     let name = self.read_name()?;
                     self.skip_ws();
                     if self.bump() != Some(b'=') {
                         return Err(XmlError::Unexpected {
-                            pos: self.pos,
+                            pos: self.pos_at(self.offset),
                             found: self.peek().map(|b| b as char).unwrap_or('\0'),
                             expected: "'=' after attribute name",
                         });
@@ -337,20 +380,25 @@ impl<'a> XmlReader<'a> {
                     let value = self.read_attr_value()?;
                     if self.attrs.iter().any(|a| a.name.as_str() == name.as_str()) {
                         return Err(XmlError::DuplicateAttribute {
-                            pos: at,
+                            pos: self.pos_at(at),
                             name: name.to_string(),
                         });
                     }
                     self.attrs.push(Attribute { name, value });
                 }
-                None => return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" }),
+                None => {
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos_at(self.offset),
+                        expected: "'>'",
+                    })
+                }
             }
         }
     }
 
     fn read_xml_decl(&mut self) -> XmlResult<XmlEvent<'a>> {
         // Already consumed "<?xml".
-        let at = self.pos;
+        let at = self.offset;
         let body = self.take_until("?>", "'?>'")?;
         self.consume_str("?>");
         let mut version: &'a str = "1.0";
@@ -367,7 +415,7 @@ impl<'a> XmlReader<'a> {
         }
         if encoding.is_some_and(|e| !e.eq_ignore_ascii_case("utf-8")) {
             return Err(XmlError::BadChar {
-                pos: at,
+                pos: self.pos_at(at),
                 detail: format!("unsupported encoding {:?} (only UTF-8)", encoding.unwrap()),
             });
         }
@@ -383,22 +431,25 @@ impl<'a> XmlReader<'a> {
             return Ok(XmlEvent::EndElement { name });
         }
         loop {
-            // End of input?
-            if self.peek().is_none() {
+            let Some(first) = self.peek() else {
+                // End of input.
                 if self.stack.last().is_some() {
-                    return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "closing tag" });
+                    return Err(XmlError::UnexpectedEof {
+                        pos: self.pos_at(self.offset),
+                        expected: "closing tag",
+                    });
                 }
                 if !self.root_seen {
                     return Err(XmlError::NotWellFormed {
-                        pos: self.pos,
+                        pos: self.pos_at(self.offset),
                         detail: "document has no root element".into(),
                     });
                 }
                 return Ok(XmlEvent::EndDocument);
-            }
+            };
 
-            if self.peek() == Some(b'<') {
-                let at = self.pos;
+            if first == b'<' {
+                let at = self.offset;
                 self.bump();
                 match self.peek() {
                     Some(b'?') => {
@@ -434,7 +485,7 @@ impl<'a> XmlReader<'a> {
                         if self.consume_str("[CDATA[") {
                             if self.stack.is_empty() {
                                 return Err(XmlError::NotWellFormed {
-                                    pos: at,
+                                    pos: self.pos_at(at),
                                     detail: "CDATA outside root element".into(),
                                 });
                             }
@@ -449,7 +500,7 @@ impl<'a> XmlReader<'a> {
                             return Ok(XmlEvent::Doctype(text));
                         }
                         return Err(XmlError::Unexpected {
-                            pos: at,
+                            pos: self.pos_at(at),
                             found: '!',
                             expected: "comment, CDATA, or DOCTYPE",
                         });
@@ -459,7 +510,10 @@ impl<'a> XmlReader<'a> {
                         let name = self.read_name()?;
                         self.skip_ws();
                         if self.bump() != Some(b'>') {
-                            return Err(XmlError::UnexpectedEof { pos: self.pos, expected: "'>'" });
+                            return Err(XmlError::UnexpectedEof {
+                                pos: self.pos_at(self.offset),
+                                expected: "'>'",
+                            });
                         }
                         match self.stack.pop() {
                             Some(open) if open.as_str() == name.as_str() => {
@@ -470,14 +524,14 @@ impl<'a> XmlReader<'a> {
                             }
                             Some(open) => {
                                 return Err(XmlError::MismatchedTag {
-                                    pos: at,
+                                    pos: self.pos_at(at),
                                     open: open.to_string(),
                                     close: name.to_string(),
                                 })
                             }
                             None => {
                                 return Err(XmlError::UnbalancedClose {
-                                    pos: at,
+                                    pos: self.pos_at(at),
                                     name: name.to_string(),
                                 })
                             }
@@ -487,13 +541,13 @@ impl<'a> XmlReader<'a> {
                         self.at_start = false;
                         if self.root_done {
                             return Err(XmlError::NotWellFormed {
-                                pos: at,
+                                pos: self.pos_at(at),
                                 detail: "content after the root element".into(),
                             });
                         }
                         if self.stack.is_empty() && self.root_seen {
                             return Err(XmlError::NotWellFormed {
-                                pos: at,
+                                pos: self.pos_at(at),
                                 detail: "multiple root elements".into(),
                             });
                         }
@@ -510,21 +564,26 @@ impl<'a> XmlReader<'a> {
                 }
             }
 
-            // Character data.
-            let at = self.pos;
-            let raw = {
-                let rest = &self.input[self.pos.offset..];
-                let end = rest.find('<').unwrap_or(rest.len());
-                let out = &rest[..end];
-                self.pos.advance_str(out);
-                out
+            // Character data. One scan finds both the run's end and
+            // whether any entity needs expanding; clean runs borrow.
+            let at = self.offset;
+            let rest = &self.input[self.offset..];
+            let bytes = rest.as_bytes();
+            let (end, has_entity) = match scan::find_byte2(bytes, b'<', b'&') {
+                None => (bytes.len(), false),
+                Some(p) if bytes[p] == b'<' => (p, false),
+                Some(p) => {
+                    (scan::find_byte(&bytes[p..], b'<').map_or(bytes.len(), |q| p + q), true)
+                }
             };
+            let raw = &rest[..end];
+            self.offset += end;
             self.at_start = false;
             let outside = self.stack.is_empty();
             if outside {
                 if !raw.trim().is_empty() {
                     return Err(XmlError::NotWellFormed {
-                        pos: at,
+                        pos: self.pos_at(at),
                         detail: "text outside the root element".into(),
                     });
                 }
@@ -533,7 +592,11 @@ impl<'a> XmlReader<'a> {
             if self.config.trim_whitespace_text && raw.trim().is_empty() {
                 continue;
             }
-            let text = unescape(raw, at)?;
+            let text = if has_entity {
+                unescape(raw, Position::start()).map_err(|e| e.at(self.pos_at(at)))?
+            } else {
+                Cow::Borrowed(raw)
+            };
             return Ok(XmlEvent::Text(text));
         }
     }
@@ -581,6 +644,14 @@ impl<'a> XmlReader<'a> {
             }
         }
     }
+}
+
+/// ASCII subset of [`is_name_char`], as a byte test for the scan fast
+/// path. Bytes `>= 0x80` return false and are handed to the char-exact
+/// classifier.
+#[inline(always)]
+fn is_ascii_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
 }
 
 impl<'a> Iterator for XmlReader<'a> {

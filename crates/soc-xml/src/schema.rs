@@ -14,6 +14,7 @@ use std::fmt;
 
 use crate::dom::{Document, NodeId, NodeValue};
 use crate::error::XmlResult;
+use crate::reader::{Attribute, XmlEvent, XmlReader};
 
 /// Built-in simple types for element text and attribute values.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +244,23 @@ impl Schema {
         }
     }
 
+    /// Validate `input` by streaming reader events through a
+    /// [`StreamValidator`] — same verdicts and error list as parsing
+    /// into a [`Document`] and calling [`Schema::validate`], but
+    /// without materializing the tree. Parse errors surface as `Err`;
+    /// the `Ok` payload is the violation list (empty = valid).
+    pub fn validate_stream(&self, input: &str) -> XmlResult<Vec<SchemaError>> {
+        let mut reader = XmlReader::new(input);
+        let mut validator = StreamValidator::new(self);
+        loop {
+            let ev = reader.next_event()?;
+            if matches!(ev, XmlEvent::EndDocument) {
+                return Ok(validator.finish());
+            }
+            validator.observe(&ev, reader.attributes());
+        }
+    }
+
     fn validate_element(
         &self,
         doc: &Document,
@@ -283,6 +301,10 @@ impl Schema {
         }
 
         let child_elems: Vec<NodeId> = doc.child_elements(id).collect();
+        let child_names: Vec<String> = child_elems
+            .iter()
+            .map(|&c| doc.name(c).map(|q| q.local.clone()).unwrap_or_default())
+            .collect();
         let text = doc
             .children(id)
             .filter_map(|c| match doc.value(c) {
@@ -291,126 +313,15 @@ impl Schema {
             })
             .collect::<String>();
 
-        match &decl.content {
-            Content::Simple(ty) => {
-                if !child_elems.is_empty() {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: "simple-content element has child elements".into(),
-                    });
-                }
-                if !ty.accepts(&text) {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: format!("text {text:?} is not a valid {ty:?}"),
-                    });
-                }
-            }
-            Content::Empty => {
-                if !child_elems.is_empty() || !text.trim().is_empty() {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: "element declared empty has content".into(),
-                    });
-                }
-            }
-            Content::Sequence(particles) => {
-                if !text.trim().is_empty() {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: "element-only content contains text".into(),
-                    });
-                }
-                self.validate_sequence(doc, &child_elems, particles, path, errors);
-            }
-            Content::Choice(particles) => {
-                if !text.trim().is_empty() {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: "element-only content contains text".into(),
-                    });
-                }
-                let matched: Vec<&Particle> = particles
-                    .iter()
-                    .filter(|p| {
-                        child_elems
-                            .iter()
-                            .any(|&c| doc.name(c).is_some_and(|q| q.local == p.element))
-                    })
-                    .collect();
-                if matched.len() != 1 {
-                    errors.push(SchemaError {
-                        path: path.into(),
-                        message: format!(
-                            "choice requires exactly one alternative, found {}",
-                            matched.len()
-                        ),
-                    });
-                } else {
-                    let p = matched[0];
-                    let count = child_elems
-                        .iter()
-                        .filter(|&&c| doc.name(c).is_some_and(|q| q.local == p.element))
-                        .count() as u32;
-                    if count < p.min || !p.max.allows(count) {
-                        errors.push(SchemaError {
-                            path: path.into(),
-                            message: format!(
-                                "element <{}> occurs {count} times, outside its bounds",
-                                p.element
-                            ),
-                        });
-                    }
-                }
-            }
-            Content::Any => {}
-        }
+        content_errors(&decl.content, &child_names, &text, path, errors);
 
         // Recurse with positional paths.
         let mut seen: BTreeMap<String, usize> = BTreeMap::new();
-        for &c in &child_elems {
-            let cname = doc.name(c).map(|q| q.local.clone()).unwrap_or_default();
+        for (&c, cname) in child_elems.iter().zip(&child_names) {
             let n = seen.entry(cname.clone()).or_insert(0);
             *n += 1;
             let child_path = format!("{path}/{cname}[{n}]");
             self.validate_element(doc, c, &child_path, errors);
-        }
-    }
-
-    /// Greedy in-order matching of children against sequence particles.
-    fn validate_sequence(
-        &self,
-        doc: &Document,
-        children: &[NodeId],
-        particles: &[Particle],
-        path: &str,
-        errors: &mut Vec<SchemaError>,
-    ) {
-        let mut idx = 0usize;
-        for p in particles {
-            let mut count = 0u32;
-            while idx < children.len() {
-                let cname = doc.name(children[idx]).map(|q| q.local.clone()).unwrap_or_default();
-                if cname == p.element && p.max.allows(count + 1) {
-                    count += 1;
-                    idx += 1;
-                } else {
-                    break;
-                }
-            }
-            if count < p.min {
-                errors.push(SchemaError {
-                    path: path.into(),
-                    message: format!("expected at least {} <{}>, found {count}", p.min, p.element),
-                });
-            }
-        }
-        if idx < children.len() {
-            let cname = doc.name(children[idx]).map(|q| q.local.clone()).unwrap_or_default();
-            errors.push(SchemaError {
-                path: path.into(),
-                message: format!("unexpected element <{cname}> at position {}", idx + 1),
-            });
         }
     }
 
@@ -476,6 +387,305 @@ impl Schema {
             schema = schema.element(ElementDecl { name: name.to_string(), content, attributes });
         }
         Ok(Ok(schema))
+    }
+}
+
+/// Check an element's content model given its direct-child names (in
+/// document order) and concatenated direct text. Shared by the DOM
+/// walker and the streaming validator so both report identical errors.
+fn content_errors(
+    content: &Content,
+    child_names: &[String],
+    text: &str,
+    path: &str,
+    errors: &mut Vec<SchemaError>,
+) {
+    match content {
+        Content::Simple(ty) => {
+            if !child_names.is_empty() {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: "simple-content element has child elements".into(),
+                });
+            }
+            if !ty.accepts(text) {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!("text {text:?} is not a valid {ty:?}"),
+                });
+            }
+        }
+        Content::Empty => {
+            if !child_names.is_empty() || !text.trim().is_empty() {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: "element declared empty has content".into(),
+                });
+            }
+        }
+        Content::Sequence(particles) => {
+            if !text.trim().is_empty() {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: "element-only content contains text".into(),
+                });
+            }
+            validate_sequence(child_names, particles, path, errors);
+        }
+        Content::Choice(particles) => {
+            if !text.trim().is_empty() {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: "element-only content contains text".into(),
+                });
+            }
+            let matched: Vec<&Particle> =
+                particles.iter().filter(|p| child_names.contains(&p.element)).collect();
+            if matched.len() != 1 {
+                errors.push(SchemaError {
+                    path: path.into(),
+                    message: format!(
+                        "choice requires exactly one alternative, found {}",
+                        matched.len()
+                    ),
+                });
+            } else {
+                let p = matched[0];
+                let count = child_names.iter().filter(|n| **n == p.element).count() as u32;
+                if count < p.min || !p.max.allows(count) {
+                    errors.push(SchemaError {
+                        path: path.into(),
+                        message: format!(
+                            "element <{}> occurs {count} times, outside its bounds",
+                            p.element
+                        ),
+                    });
+                }
+            }
+        }
+        Content::Any => {}
+    }
+}
+
+/// Greedy in-order matching of child names against sequence particles.
+fn validate_sequence(
+    children: &[String],
+    particles: &[Particle],
+    path: &str,
+    errors: &mut Vec<SchemaError>,
+) {
+    let mut idx = 0usize;
+    for p in particles {
+        let mut count = 0u32;
+        while idx < children.len() && children[idx] == p.element && p.max.allows(count + 1) {
+            count += 1;
+            idx += 1;
+        }
+        if count < p.min {
+            errors.push(SchemaError {
+                path: path.into(),
+                message: format!("expected at least {} <{}>, found {count}", p.min, p.element),
+            });
+        }
+    }
+    if idx < children.len() {
+        errors.push(SchemaError {
+            path: path.into(),
+            message: format!("unexpected element <{}> at position {}", children[idx], idx + 1),
+        });
+    }
+}
+
+/// One open element being validated by [`StreamValidator`].
+struct Frame<'s> {
+    decl: &'s ElementDecl,
+    path: String,
+    /// Local names of direct child elements, in document order.
+    children: Vec<String>,
+    /// Concatenated direct `Text`/`CData` content.
+    text: String,
+    /// Per-name child counts, for positional paths.
+    seen: BTreeMap<String, usize>,
+    /// Attribute errors, recorded when the start tag was observed.
+    attr_errors: Vec<SchemaError>,
+    /// Error blocks of completed children, in document order.
+    child_errors: Vec<SchemaError>,
+}
+
+/// Streaming schema validation: feeds on borrowed [`XmlReader`] events
+/// and keeps only an explicit stack of open elements — no [`Document`]
+/// is ever built, so validation runs in memory proportional to nesting
+/// depth, not document size.
+///
+/// Produces the *same* error list, in the same order, as
+/// [`Schema::validate`] on the parsed tree: each frame buffers its
+/// attribute errors and its children's error blocks, and flushes
+/// `attributes ++ content ++ children` into its parent when the element
+/// closes — exactly the order the recursive DOM walk emits.
+///
+/// ```
+/// use soc_xml::schema::{Schema, ElementDecl, Content, DataType};
+///
+/// let schema = Schema::new("ping").element(ElementDecl {
+///     name: "ping".into(),
+///     content: Content::Simple(DataType::Int),
+///     attributes: vec![],
+/// });
+/// assert!(schema.validate_stream("<ping>7</ping>").unwrap().is_empty());
+/// assert_eq!(schema.validate_stream("<ping>x</ping>").unwrap().len(), 1);
+/// ```
+pub struct StreamValidator<'s> {
+    schema: &'s Schema,
+    frames: Vec<Frame<'s>>,
+    /// Depth inside an undeclared subtree (a schema hole). While
+    /// non-zero, events are counted for balance but not validated —
+    /// mirroring the DOM walker, which does not recurse into
+    /// undeclared elements.
+    skip_depth: usize,
+    /// Root-name mismatch halts validation after its single error,
+    /// mirroring the DOM validator's early return.
+    halted: bool,
+    root_seen: bool,
+    errors: Vec<SchemaError>,
+}
+
+impl<'s> StreamValidator<'s> {
+    /// Start validating a document against `schema`.
+    pub fn new(schema: &'s Schema) -> Self {
+        StreamValidator {
+            schema,
+            frames: Vec::new(),
+            skip_depth: 0,
+            halted: false,
+            root_seen: false,
+            errors: Vec::new(),
+        }
+    }
+
+    /// Feed one reader event. `attributes` is consulted only for
+    /// `StartElement` events — pass [`XmlReader::attributes`] (the
+    /// buffer is valid exactly until the next event is pulled).
+    pub fn observe(&mut self, event: &XmlEvent<'_>, attributes: &[Attribute<'_>]) {
+        if self.halted {
+            return;
+        }
+        match event {
+            XmlEvent::StartElement { name } => self.open(name.local, attributes),
+            XmlEvent::EndElement { .. } => {
+                if self.skip_depth > 0 {
+                    self.skip_depth -= 1;
+                } else if let Some(frame) = self.frames.pop() {
+                    self.close(frame);
+                }
+            }
+            XmlEvent::Text(t) => self.feed_text(t),
+            XmlEvent::CData(t) => self.feed_text(t),
+            _ => {}
+        }
+    }
+
+    /// Finish the document and return every violation, in the order
+    /// [`Schema::validate`] would report them.
+    pub fn finish(self) -> Vec<SchemaError> {
+        self.errors
+    }
+
+    fn feed_text(&mut self, t: &str) {
+        if self.skip_depth == 0 {
+            if let Some(frame) = self.frames.last_mut() {
+                frame.text.push_str(t);
+            }
+        }
+    }
+
+    fn open(&mut self, local: &str, attributes: &[Attribute<'_>]) {
+        if self.skip_depth > 0 {
+            self.skip_depth += 1;
+            return;
+        }
+        let path = match self.frames.last_mut() {
+            Some(parent) => {
+                parent.children.push(local.to_string());
+                let n = parent.seen.entry(local.to_string()).or_insert(0);
+                *n += 1;
+                format!("{}/{local}[{n}]", parent.path)
+            }
+            None => {
+                self.root_seen = true;
+                if local != self.schema.root {
+                    self.errors.push(SchemaError {
+                        path: "/".into(),
+                        message: format!(
+                            "root element is <{local}>, expected <{}>",
+                            self.schema.root
+                        ),
+                    });
+                    self.halted = true;
+                    return;
+                }
+                format!("/{local}")
+            }
+        };
+        let Some(decl) = self.schema.decls.get(local) else {
+            // Undeclared element: schema hole, skip the subtree.
+            self.skip_depth = 1;
+            return;
+        };
+
+        let mut attr_errors = Vec::new();
+        for ad in &decl.attributes {
+            let found =
+                attributes.iter().find(|a| a.name.as_str() == ad.name || a.name.local == ad.name);
+            match found {
+                Some(a) if !ad.ty.accepts(&a.value) => attr_errors.push(SchemaError {
+                    path: path.clone(),
+                    message: format!(
+                        "attribute {}={:?} is not a valid {:?}",
+                        ad.name, &*a.value, ad.ty
+                    ),
+                }),
+                Some(_) => {}
+                None if ad.required => attr_errors.push(SchemaError {
+                    path: path.clone(),
+                    message: format!("missing required attribute {:?}", ad.name),
+                }),
+                None => {}
+            }
+        }
+        for a in attributes {
+            if a.name.is_xmlns() {
+                continue;
+            }
+            if !decl.attributes.iter().any(|ad| ad.name == a.name.local) {
+                attr_errors.push(SchemaError {
+                    path: path.clone(),
+                    message: format!("undeclared attribute {:?}", a.name.as_str()),
+                });
+            }
+        }
+
+        self.frames.push(Frame {
+            decl,
+            path,
+            children: Vec::new(),
+            text: String::new(),
+            seen: BTreeMap::new(),
+            attr_errors,
+            child_errors: Vec::new(),
+        });
+    }
+
+    /// Element closed: run its content checks and flush the frame's
+    /// error block (`attributes ++ content ++ children`) to the parent
+    /// — or to the output when the root closes.
+    fn close(&mut self, frame: Frame<'s>) {
+        let Frame { decl, path, children, text, attr_errors: mut errs, child_errors, .. } = frame;
+        content_errors(&decl.content, &children, &text, &path, &mut errs);
+        errs.extend(child_errors);
+        match self.frames.last_mut() {
+            Some(parent) => parent.child_errors.extend(errs),
+            None => self.errors.extend(errs),
+        }
     }
 }
 
@@ -684,5 +894,84 @@ mod tests {
             attributes: vec![],
         });
         assert!(schema.check(&parse("<r><whatever x='1'>t</whatever></r>")).is_ok());
+    }
+
+    /// Every schema × every document in the module's corpus: the
+    /// streaming validator must produce the *identical* error list
+    /// (paths, messages, and order) as the DOM walk — including the
+    /// cross products where the root doesn't even match.
+    #[test]
+    fn streaming_matches_dom_on_corpus() {
+        let choice_schema = Schema::new("pay")
+            .element(ElementDecl {
+                name: "pay".into(),
+                content: Content::Choice(vec![Particle::one("cash"), Particle::one("card")]),
+                attributes: vec![],
+            })
+            .element(ElementDecl {
+                name: "cash".into(),
+                content: Content::Empty,
+                attributes: vec![],
+            })
+            .element(ElementDecl {
+                name: "card".into(),
+                content: Content::Simple(DataType::Token),
+                attributes: vec![],
+            });
+        let empty_schema = Schema::new("ping").element(ElementDecl {
+            name: "ping".into(),
+            content: Content::Empty,
+            attributes: vec![],
+        });
+        let hole_schema = Schema::new("r").element(ElementDecl {
+            name: "r".into(),
+            content: Content::Any,
+            attributes: vec![],
+        });
+        let schemas = [order_schema(), choice_schema, empty_schema, hole_schema];
+        let docs = [
+            r#"<order id="7"><customer>ann</customer><item qty="2">book</item><item>pen</item></order>"#,
+            "<purchase/>",
+            "<order><customer>a</customer><item>b</item></order>",
+            r#"<order id="seven"><customer>a</customer><item>b</item></order>"#,
+            r#"<order id="1" hacked="y"><customer>a</customer><item>b</item></order>"#,
+            r#"<order id="1"><item>b</item><customer>a</customer></order>"#,
+            r#"<order id="1"><customer>a</customer></order>"#,
+            r#"<order id="1"><customer>a</customer><item>b</item><bogus/></order>"#,
+            r#"<order id="1"><customer>a</customer><item qty="x">b</item><item qty="2">c</item></order>"#,
+            "<pay><cash/></pay>",
+            "<pay><card>visa-123</card></pay>",
+            "<pay><cash/><card>v</card></pay>",
+            "<pay/>",
+            "<ping/>",
+            "<ping>x</ping>",
+            "<r><whatever x='1'>t</whatever></r>",
+            // Mixed structure: comments, CDATA text, a deep hole with
+            // declared-looking elements inside it, xmlns attributes.
+            r#"<order id="2" xmlns:x="urn:x"><!-- c --><customer><![CDATA[ann]]></customer><item>b</item><blob><item qty="zzz">ignored</item></blob></order>"#,
+            r#"<order id="3"><customer>a</customer><item qty="1">b</item><note>n</note></order>"#,
+        ];
+        for schema in &schemas {
+            for doc in docs {
+                let dom_errs = schema.validate(&parse(doc));
+                let stream_errs = schema.validate_stream(doc).unwrap();
+                assert_eq!(dom_errs, stream_errs, "root {:?} doc {doc}", schema.root());
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_reports_positional_paths() {
+        let errs = order_schema()
+            .validate_stream(
+                r#"<order id="1"><customer>a</customer><item qty="x">b</item><item qty="2">c</item></order>"#,
+            )
+            .unwrap();
+        assert!(errs.iter().any(|e| e.path == "/order/item[1]"));
+    }
+
+    #[test]
+    fn streaming_surfaces_parse_errors() {
+        assert!(order_schema().validate_stream("<order id='1'><item></order>").is_err());
     }
 }

@@ -35,6 +35,72 @@ for group in $(grep -o 'BenchmarkId::new("[a-z_]*"' "$bench_src" | sed 's/.*"\([
     fi
 done
 
+# The recorded borrowed-reader throughput on the large corpus must hold
+# the data-plane floor: 500 MiB/s, the PR's tentpole claim for the
+# SWAR-batched scanner.
+reader_large=$(python3 - "$record" <<'PY'
+import json, sys
+rec = json.load(open(sys.argv[1]))
+print(rec["current"]["results"]["reader_borrowed"]["large"]["throughput_mib_s"])
+PY
+)
+if ! awk -v r="$reader_large" 'BEGIN { exit !(r >= 500) }'; then
+    echo "error: $record records reader_borrowed large at $reader_large MiB/s — the floor is 500" >&2
+    status=1
+fi
+
+# --- JSON data-plane record -------------------------------------------
+# Same contract for the json bench: record present, current schema,
+# every bench group covered, and the asserted budgets hold — the
+# borrowed parser must beat the owned one on the large corpus, and the
+# reuse serializer must hold its floor.
+json_record=BENCH_json.json
+json_src=crates/soc-bench/benches/json.rs
+
+if [[ ! -f "$json_record" ]]; then
+    echo "error: $json_record is missing — run 'cargo bench -p soc-bench --bench json' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$json_record"; then
+    echo "error: $json_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"baseline"' '"current"' '"speedup_large"'; do
+    if ! grep -q "$section" "$json_record"; then
+        echo "error: $json_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for group in $(grep -o 'BenchmarkId::new("[a-z_]*"' "$json_src" | sed 's/.*"\([a-z_]*\)".*/\1/' | sort -u); do
+    if ! grep -q "\"$group\"" "$json_record"; then
+        echo "error: bench group '$group' exists in $json_src but is absent from $json_record — re-record" >&2
+        status=1
+    fi
+done
+
+python3 - "$json_record" <<'PY' || status=1
+import json, sys
+rec = json.load(open(sys.argv[1]))["current"]["results"]
+failures = []
+borrowed = rec["parse_borrowed"]["large"]["throughput_mib_s"]
+owned = rec["parse_owned"]["large"]["throughput_mib_s"]
+if borrowed <= owned:
+    failures.append(
+        f"parse_borrowed large ({borrowed} MiB/s) must beat parse_owned ({owned} MiB/s)"
+    )
+if borrowed < 150:
+    failures.append(f"parse_borrowed large at {borrowed} MiB/s — the floor is 150")
+reuse = rec["serialize_reuse"]["large"]["throughput_mib_s"]
+if reuse < 250:
+    failures.append(f"serialize_reuse large at {reuse} MiB/s — the floor is 250")
+for f in failures:
+    print(f"error: BENCH_json.json: {f}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+PY
+
 # --- observability-plane overhead record ------------------------------
 # The observe bench asserts its own budget when run (span_sampled_out
 # must stay under BUDGET_SAMPLED_OUT_NS); here we keep the committed
