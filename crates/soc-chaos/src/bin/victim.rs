@@ -1,0 +1,114 @@
+//! The expendable process for kill -9 chaos campaigns.
+//!
+//! Two modes, both restartable against the same on-disk state:
+//!
+//! - `victim store <dir> <id>` — a [`StoreNode`] recovered from `dir`,
+//!   serving its routes on an ephemeral port. Prints `READY <url>` and
+//!   blocks until killed.
+//! - `victim coordinator <dir> <mortgage_url> <finalize_url> <seed>
+//!   <runs> <start> <resume|compensate>` — a durable saga coordinator
+//!   over the journal in `dir`. On startup it settles every saga a
+//!   previous life left open (printing `SETTLED <id> ...`), then runs
+//!   the campaign, announcing `RUN <n>` before each saga so the parent
+//!   can time its kill, and `DONE` before a clean exit.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use soc_chaos::process::{
+    application_body, application_key, mortgage_saga, KeyedPost, RecoveryMode,
+};
+use soc_http::{HttpClient, HttpServer, Transport};
+use soc_store::wal::WalConfig;
+use soc_store::{StoreNode, StoreNodeConfig};
+use soc_workflow::{SagaConfig, SagaJournal};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("store") if args.len() == 4 => store_mode(&args[2], &args[3]),
+        Some("coordinator") if args.len() == 9 => coordinator_mode(&args[2..]),
+        _ => {
+            eprintln!(
+                "usage: victim store <dir> <id>\n       \
+                 victim coordinator <dir> <mortgage_url> <finalize_url> \
+                 <seed> <runs> <start> <resume|compensate>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn say(line: String) {
+    println!("{line}");
+    std::io::stdout().flush().ok();
+}
+
+fn store_mode(dir: &str, id: &str) {
+    let node = StoreNode::open(StoreNodeConfig::new(id), dir, Arc::new(HttpClient::new()))
+        .expect("open store node");
+    let server = HttpServer::bind("127.0.0.1:0", 2, node.router()).expect("bind store node");
+    say(format!("READY {}", server.url()));
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn coordinator_mode(args: &[String]) {
+    let dir = &args[0];
+    let mortgage = args[1].trim_end_matches('/').to_string();
+    let finalize = args[2].trim_end_matches('/').to_string();
+    let seed: u64 = args[3].parse().expect("seed must be a u64");
+    let runs: usize = args[4].parse().expect("runs must be a usize");
+    let start: usize = args[5].parse().expect("start must be a usize");
+    let mode = RecoveryMode::parse(&args[6]).expect("mode must be resume|compensate");
+
+    let journal = SagaJournal::open(dir, WalConfig::default()).expect("open saga journal");
+    let transport: Arc<dyn Transport> = Arc::new(HttpClient::new());
+    let saga_cfg = SagaConfig::default();
+    let build = |run: usize| {
+        mortgage_saga(
+            &transport,
+            &mortgage,
+            &application_key(seed, run),
+            application_body(seed, run),
+            KeyedPost::new(transport.clone(), format!("{finalize}/finalize"), None, "decision"),
+        )
+    };
+
+    // Settle whatever a previous life left open before taking on new
+    // work — the restart half of the durability contract.
+    let mut settled = HashSet::new();
+    for saga_id in journal.incomplete() {
+        let run: usize = saga_id.strip_prefix("saga-").and_then(|s| s.parse().ok()).unwrap_or(0);
+        let g = build(run);
+        match mode {
+            RecoveryMode::Resume => {
+                g.resume_saga(&journal, &saga_id, &HashMap::new(), &saga_cfg).expect("resume saga");
+                say(format!("SETTLED {saga_id} resumed"));
+            }
+            RecoveryMode::Compensate => {
+                let (_, errors) = g.compensate_saga(&journal, &saga_id);
+                assert!(errors.is_empty(), "compensation errors: {errors:?}");
+                say(format!("SETTLED {saga_id} compensated"));
+            }
+        }
+        settled.insert(saga_id);
+    }
+
+    // Re-walking runs an earlier life already finished is deliberate:
+    // their keyed applies must dedupe at the ledger, not duplicate.
+    for run in start..runs {
+        let saga_id = format!("saga-{run}");
+        if settled.contains(&saga_id) {
+            continue;
+        }
+        say(format!("RUN {run}"));
+        let g = build(run);
+        g.run_saga_durable(&journal, &saga_id, &HashMap::new(), &saga_cfg).expect("saga run");
+        say(format!("ENDED {run}"));
+    }
+    say("DONE".to_string());
+}

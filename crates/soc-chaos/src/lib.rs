@@ -19,18 +19,27 @@
 //! - [`ChaosReport`] — the invariants that define correctness under
 //!   faults (no duplicated submissions, compensation exactly balancing
 //!   completed steps and running in reverse order, deadlines honored,
-//!   breakers recovering), checked via [`ChaosReport::violations`].
+//!   breakers recovering), checked via [`ChaosReport::violations`];
+//! - [`process`] — process-level chaos: `kill -9` a shard primary or a
+//!   durable saga coordinator mid-campaign (the `victim` binary),
+//!   restart it against the same WAL directory, and assert no
+//!   acknowledged write is lost and no application is duplicated.
 //!
 //! The `chaos` binary sweeps seeds from the command line
 //! (`scripts/chaos_sweep.sh` wraps it); `tests/chaos_stack.rs` pins a
 //! seed matrix in CI.
 
 pub mod harness;
+pub mod process;
 pub mod proxy;
 pub mod schedule;
 
 pub use harness::{
     live_threads, run_mem_chaos, run_tcp_chaos, CancelCall, ChaosConfig, ChaosReport, RunOutcome,
+};
+pub use process::{
+    run_mem_coordinator_kill, run_mem_store_kill, run_tcp_coordinator_kill, run_tcp_store_kill,
+    CoordKillConfig, CoordKillReport, RecoveryMode, StoreKillConfig, StoreKillReport, Victim,
 };
 pub use proxy::{FaultProxy, ProxyFaults, ProxyStats};
 pub use schedule::{Cut, PartitionSchedule, PartitionStep};

@@ -1,0 +1,70 @@
+//! Pinned process-level chaos campaigns: kill -9 a shard primary and a
+//! saga coordinator mid-flight, restart against the same WAL
+//! directories, and assert the no-lost / no-duplicated invariants on
+//! both the mem and TCP transports.
+
+use std::time::Duration;
+
+use soc_chaos::process::{
+    run_mem_coordinator_kill, run_mem_store_kill, run_tcp_coordinator_kill, run_tcp_store_kill,
+    CoordKillConfig, RecoveryMode, StoreKillConfig,
+};
+
+const VICTIM: &str = env!("CARGO_BIN_EXE_victim");
+
+fn coord_cfg(seed: u64, mode: RecoveryMode) -> CoordKillConfig {
+    CoordKillConfig {
+        seed,
+        runs: 6,
+        kill_run: 3,
+        mode,
+        finalize_delay: Duration::from_millis(150),
+        kill_delay: Duration::from_millis(50),
+    }
+}
+
+#[test]
+fn tcp_store_primary_kill_loses_no_acked_writes() {
+    let cfg = StoreKillConfig { seed: 0xC0FFEE, ..StoreKillConfig::default() };
+    let report = run_tcp_store_kill(VICTIM, &cfg).expect("campaign runs");
+    assert_eq!(report.acked, cfg.keys * cfg.rounds);
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn mem_store_primary_kill_loses_no_acked_writes() {
+    let cfg = StoreKillConfig { seed: 0xBEAD, ..StoreKillConfig::default() };
+    let report = run_mem_store_kill(&cfg).expect("campaign runs");
+    assert_eq!(report.acked, cfg.keys * cfg.rounds);
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn tcp_coordinator_kill_resumes_without_duplicates() {
+    let report =
+        run_tcp_coordinator_kill(VICTIM, &coord_cfg(7, RecoveryMode::Resume)).expect("campaign");
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn tcp_coordinator_kill_compensates_cleanly() {
+    let report = run_tcp_coordinator_kill(VICTIM, &coord_cfg(9, RecoveryMode::Compensate))
+        .expect("campaign");
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn mem_coordinator_kill_resumes_without_duplicates() {
+    let report = run_mem_coordinator_kill(&coord_cfg(11, RecoveryMode::Resume)).expect("campaign");
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+    // The planted crash must actually land on the mem transport.
+    assert!(!report.settled.is_empty(), "nothing was left open to settle: {:#?}", report);
+}
+
+#[test]
+fn mem_coordinator_kill_compensates_cleanly() {
+    let report =
+        run_mem_coordinator_kill(&coord_cfg(13, RecoveryMode::Compensate)).expect("campaign");
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+    assert!(!report.settled.is_empty(), "nothing was left open to settle: {:#?}", report);
+}

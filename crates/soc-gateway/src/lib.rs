@@ -67,6 +67,7 @@ use soc_http::{Handler, Request, Response, Status};
 use soc_json::Value;
 use soc_observe::{SpanKind, TraceContext};
 use soc_registry::monitor::QosMonitor;
+use soc_store::ShardMap;
 
 pub use balance::{Balancer, OutlierConfig, OutlierEjector, Policy, UpstreamView};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Pass};
@@ -178,6 +179,11 @@ struct Inner {
     stats: GatewayStats,
     obs: ObsMetrics,
     monitor: Arc<QosMonitor>,
+    /// Per-service shard maps for key-affine routing: a request that
+    /// carries `X-Shard-Key` against a mapped service goes to the
+    /// key's owners (writes: primary only) instead of the balancer's
+    /// pick. See [`Gateway::set_shard_map`].
+    shard_maps: RwLock<HashMap<String, Arc<ShardMap>>>,
     rng: Mutex<XorShift64>,
     /// Lazily built on the first armed hedge: most gateways (and most
     /// requests) never pay for it. Sized by `config.hedge.threads`,
@@ -261,6 +267,7 @@ impl Gateway {
                 stats: GatewayStats::new(),
                 obs: ObsMetrics::new(),
                 monitor,
+                shard_maps: RwLock::new(HashMap::new()),
                 rng: Mutex::new(XorShift64::new(config.seed ^ 0xBACC_0FF5)),
                 breakers: RwLock::new(HashMap::new()),
                 hedge_pool: std::sync::OnceLock::new(),
@@ -288,6 +295,45 @@ impl Gateway {
     /// from external probes too.
     pub fn monitor(&self) -> Arc<QosMonitor> {
         self.inner.monitor.clone()
+    }
+
+    /// Publish (or replace) the shard map for `service`. From then on
+    /// a request carrying an `X-Shard-Key` header routes by the key:
+    /// writes (anything but GET/HEAD) go only to the key's primary,
+    /// reads may land on any owner. Requests without the header — and
+    /// services without a map — keep the normal balanced path.
+    ///
+    /// Rebalancing is a re-publish: derive a fresh map from the
+    /// current lease table ([`ShardMap::from_leases`]) whenever the
+    /// directory version moves, and in-flight routing picks it up on
+    /// the next request.
+    pub fn set_shard_map(&self, service: &str, map: Arc<ShardMap>) {
+        self.inner.shard_maps.write().insert(service.to_string(), map);
+    }
+
+    /// The shard map currently published for `service`.
+    pub fn shard_map(&self, service: &str) -> Option<Arc<ShardMap>> {
+        self.inner.shard_maps.read().get(service).cloned()
+    }
+
+    /// Shard-affine candidate endpoints for `req`, when they apply:
+    /// the service has a published map, the request names a shard key,
+    /// and the map yields owners. Writes narrow to the primary alone —
+    /// forwarding a write to a replica would bounce off
+    /// `not_primary` — while reads fan across all owners.
+    fn shard_candidates(&self, service: &str, req: &Request) -> Option<Vec<String>> {
+        let key = req.headers.get("X-Shard-Key")?;
+        let map = self.inner.shard_maps.read().get(service)?.clone();
+        let owners = map.owners(key);
+        if owners.is_empty() {
+            return None;
+        }
+        let write = !matches!(req.method, soc_http::Method::Get | soc_http::Method::Head);
+        if write {
+            Some(vec![owners[0].endpoint.clone()])
+        } else {
+            Some(owners.iter().map(|n| n.endpoint.clone()).collect())
+        }
     }
 
     /// The breaker state for one upstream endpoint, if it has been
@@ -412,8 +458,15 @@ impl Gateway {
                 );
             }
             // Re-resolve on every attempt: a retry should see replicas
-            // that joined (or leases that expired) since the last try.
-            let endpoints = inner.resolver.resolve(service);
+            // that joined (or leases that expired) since the last try —
+            // or, for a shard-keyed request, a re-published map.
+            let endpoints = match self.shard_candidates(service, &req) {
+                Some(eps) => {
+                    gw_span.set_attr("shard_routed", "true");
+                    eps
+                }
+                None => inner.resolver.resolve(service),
+            };
             if endpoints.is_empty() {
                 inner.stats.no_upstream.fetch_add(1, Ordering::Relaxed);
                 gw_span.set_error("no upstream");
@@ -988,6 +1041,107 @@ mod tests {
         assert!(won >= 3, "backups must win against a 250 ms stall (won {won})");
         let v = gw.stats_json();
         assert_eq!(v.pointer("/hedges/launched").and_then(Value::as_i64), Some(launched as i64));
+    }
+
+    #[test]
+    fn shard_keyed_writes_route_to_the_primary_only() {
+        use soc_store::ShardNode;
+        let net = MemNetwork::new();
+        for n in ["s0", "s1", "s2"] {
+            net.host(n, |_req: Request| Response::text("ok"));
+        }
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("store", &["mem://s0", "mem://s1", "mem://s2"]);
+        let map = Arc::new(ShardMap::build(
+            1,
+            vec![
+                ShardNode { id: "s0".into(), endpoint: "mem://s0".into() },
+                ShardNode { id: "s1".into(), endpoint: "mem://s1".into() },
+                ShardNode { id: "s2".into(), endpoint: "mem://s2".into() },
+            ],
+            2,
+        ));
+        let primary = map.primary("order-42").unwrap().id.clone();
+        gw.set_shard_map("store", map.clone());
+        for _ in 0..6 {
+            let req = Request::put("/store/order-42", b"{}".to_vec())
+                .with_header("X-Shard-Key", "order-42");
+            assert!(gw.call("store", req).status.is_success());
+        }
+        // Every write landed on the key's primary; nothing strayed.
+        for n in ["s0", "s1", "s2"] {
+            let expected = if n == primary { 6 } else { 0 };
+            assert_eq!(net.hits(n), expected, "host {n}");
+        }
+        // Reads fan across the owner set, never beyond it.
+        let owners: Vec<String> = map.owners("order-42").iter().map(|o| o.id.clone()).collect();
+        for _ in 0..6 {
+            let req = Request::get("/store/order-42").with_header("X-Shard-Key", "order-42");
+            assert!(gw.call("store", req).status.is_success());
+        }
+        for n in ["s0", "s1", "s2"] {
+            if !owners.contains(&n.to_string()) {
+                assert_eq!(net.hits(n), 0, "non-owner {n} must see no shard-keyed traffic");
+            }
+        }
+    }
+
+    #[test]
+    fn requests_without_a_shard_key_keep_the_balanced_path() {
+        use soc_store::ShardNode;
+        let net = MemNetwork::new();
+        net.host("a", |_req: Request| Response::text("a"));
+        net.host("b", |_req: Request| Response::text("b"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("svc", &["mem://a", "mem://b"]);
+        gw.set_shard_map(
+            "svc",
+            Arc::new(ShardMap::build(
+                1,
+                vec![ShardNode { id: "a".into(), endpoint: "mem://a".into() }],
+                1,
+            )),
+        );
+        for _ in 0..4 {
+            assert!(gw.call("svc", Request::get("/x")).status.is_success());
+        }
+        // No header → round-robin across both replicas as before.
+        assert_eq!(net.hits("a"), 2);
+        assert_eq!(net.hits("b"), 2);
+    }
+
+    #[test]
+    fn republished_shard_map_moves_keys() {
+        use soc_store::ShardNode;
+        let net = MemNetwork::new();
+        net.host("only", |_req: Request| Response::text("ok"));
+        net.host("next", |_req: Request| Response::text("ok"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("store", &["mem://only", "mem://next"]);
+        gw.set_shard_map(
+            "store",
+            Arc::new(ShardMap::build(
+                1,
+                vec![ShardNode { id: "only".into(), endpoint: "mem://only".into() }],
+                1,
+            )),
+        );
+        let req = || Request::put("/store/k", b"{}".to_vec()).with_header("X-Shard-Key", "k");
+        assert!(gw.call("store", req()).status.is_success());
+        assert_eq!(net.hits("only"), 1);
+        // Rebalance: the old node's lease lapsed, a new map names its
+        // successor; the very next request follows it.
+        gw.set_shard_map(
+            "store",
+            Arc::new(ShardMap::build(
+                2,
+                vec![ShardNode { id: "next".into(), endpoint: "mem://next".into() }],
+                1,
+            )),
+        );
+        assert!(gw.call("store", req()).status.is_success());
+        assert_eq!(net.hits("only"), 1);
+        assert_eq!(net.hits("next"), 1);
     }
 
     #[test]

@@ -96,8 +96,12 @@ struct Head {
 /// Sub-state of an incremental chunked-body decode.
 enum ChunkPhase {
     SizeLine,
+    /// Inside a chunk's data. `until` is the body length at which this
+    /// chunk is complete — derived from `body.len()` rather than a
+    /// countdown so that bytes appended through the direct-read window
+    /// (which bypass the lookahead buffer) are accounted for free.
     Data {
-        remaining: usize,
+        until: usize,
     },
     /// The CRLF that terminates a chunk's data.
     DataEnd,
@@ -192,22 +196,33 @@ impl RequestParser {
         matches!(self.phase, Phase::Body { .. })
     }
 
-    /// Mid-`Content-Length` body with the lookahead buffer drained:
-    /// returns the body vector and how many bytes it still needs, so
-    /// the transport can read wire bytes straight into the final
-    /// allocation — the one the handler (and the XML/JSON parsers
-    /// borrowing from `Request::body`) will see — instead of copying
-    /// scratch → lookahead buffer → body.
+    /// Mid-body with the lookahead buffer drained: returns the body
+    /// vector and how many bytes it can still take, so the transport
+    /// can read wire bytes straight into the final allocation — the
+    /// one the handler (and the XML/JSON parsers borrowing from
+    /// `Request::body`) will see — instead of copying
+    /// scratch → lookahead buffer → body. Opens for a
+    /// `Content-Length` body and, under `Transfer-Encoding: chunked`,
+    /// for the data section of the current chunk (framing metadata —
+    /// size lines, chunk CRLFs, trailers — still goes through the
+    /// lookahead buffer).
     fn direct_body(&mut self) -> Option<(&mut Vec<u8>, usize)> {
         if self.pos < self.buf.len() {
             return None;
         }
-        match &mut self.phase {
-            Phase::Body { framing: BodyFraming::Length(n), body, .. } if body.len() < *n => {
-                let need = *n - body.len();
-                Some((body, need))
-            }
-            _ => None,
+        let Phase::Body { framing, body, chunk, .. } = &mut self.phase else {
+            return None;
+        };
+        let target = match (&*framing, &*chunk) {
+            (BodyFraming::Length(n), _) => *n,
+            (BodyFraming::Chunked, ChunkPhase::Data { until }) => *until,
+            _ => return None,
+        };
+        if body.len() < target {
+            let need = target - body.len();
+            Some((body, need))
+        } else {
+            None
         }
     }
 
@@ -273,7 +288,7 @@ impl RequestParser {
                             *chunk = if size == 0 {
                                 ChunkPhase::Trailer { budget: codec::TRAILER_LIMIT }
                             } else {
-                                ChunkPhase::Data { remaining: size }
+                                ChunkPhase::Data { until: body.len() + size }
                             };
                         }
                         None => {
@@ -285,12 +300,11 @@ impl RequestParser {
                             return Ok(None);
                         }
                     },
-                    ChunkPhase::Data { remaining } => {
-                        let take = (*remaining).min(self.buf.len() - self.pos);
+                    ChunkPhase::Data { until } => {
+                        let take = (*until - body.len()).min(self.buf.len() - self.pos);
                         body.extend_from_slice(&self.buf[self.pos..self.pos + take]);
                         self.pos += take;
-                        *remaining -= take;
-                        if *remaining > 0 {
+                        if body.len() < *until {
                             return Ok(None);
                         }
                         *chunk = ChunkPhase::DataEnd;
@@ -616,11 +630,12 @@ impl Reactor {
             if conn.parser.buffered() > cap {
                 break;
             }
-            // Mid-`Content-Length` body: read straight into the body
-            // allocation the handler will own, skipping the
-            // scratch → lookahead-buffer → body double copy. Growth is
-            // bounded per read, so a claimed-but-never-sent length
-            // cannot force a large allocation up front.
+            // Mid-body (`Content-Length`, or the data section of a
+            // chunk): read straight into the body allocation the
+            // handler will own, skipping the scratch → lookahead-buffer
+            // → body double copy. Growth is bounded per read, so a
+            // claimed-but-never-sent length cannot force a large
+            // allocation up front.
             let read = if let Some((body, need)) = conn.parser.direct_body() {
                 let start = body.len();
                 body.resize(start + need.min(READ_CHUNK), 0);
@@ -962,15 +977,103 @@ mod tests {
         body.extend_from_slice(b"defghij"); // what a socket read would do
         let (req, _) = p.advance().unwrap().expect("complete");
         assert_eq!(req.body, b"abcdefghij");
-        // Chunked framing never opens the window (chunk metadata is
-        // interleaved with data), and neither does buffered lookahead.
+        // Chunked framing: closed while awaiting chunk metadata, open
+        // inside a chunk's data section.
         let mut p = RequestParser::new(1024);
         p.push(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
         assert!(p.advance().unwrap().is_none());
-        assert!(p.direct_body().is_none());
+        assert!(p.direct_body().is_none(), "size line not yet seen");
+        p.push(b"a\r\nxy");
+        assert!(p.advance().unwrap().is_none());
+        let (body, need) = p.direct_body().expect("mid-chunk window");
+        assert_eq!((body.as_slice(), need), (&b"xy"[..], 8));
+        body.extend_from_slice(b"zzzzzzzz"); // direct read finishes the chunk
+        assert!(p.advance().unwrap().is_none());
+        assert!(p.direct_body().is_none(), "chunk CRLF is framing, not data");
+        p.push(b"\r\n0\r\n\r\n");
+        let (req, _) = p.advance().unwrap().expect("complete");
+        assert_eq!(req.body, b"xyzzzzzzzz");
+        // Buffered lookahead keeps the window closed.
         let mut p = RequestParser::new(1024);
         p.push(b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
         assert!(p.direct_body().is_none(), "head not yet parsed");
+    }
+
+    /// Feed `wire` through the incremental parser in `step`-byte
+    /// slices, routing bytes through the direct-read window whenever
+    /// it is open (exactly as `read_ready` does) when `direct` is set.
+    fn drive(wire: &[u8], step: usize, direct: bool, limit: usize) -> HttpResult<Option<Request>> {
+        let mut p = RequestParser::new(limit);
+        let mut i = 0;
+        while i < wire.len() {
+            let take = match p.direct_body() {
+                Some((body, need)) if direct => {
+                    let take = need.min(step).min(wire.len() - i);
+                    body.extend_from_slice(&wire[i..i + take]);
+                    take
+                }
+                _ => {
+                    let take = step.min(wire.len() - i);
+                    p.push(&wire[i..i + take]);
+                    take
+                }
+            };
+            i += take;
+            if let Some((req, _)) = p.advance()? {
+                return Ok(Some(req));
+            }
+        }
+        Ok(None)
+    }
+
+    #[test]
+    fn chunked_parsing_matches_the_threaded_codec() {
+        const LIMIT: usize = 64 * 1024;
+        let bodies: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"x".to_vec(),
+            b"hello chunked world".to_vec(),
+            (0..=255u8).cycle().take(5000).collect(),
+        ];
+        let mut wires: Vec<Vec<u8>> = Vec::new();
+        for body in &bodies {
+            for chunk in [1usize, 7, 64, 4096] {
+                let mut raw = b"POST /diff HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+                raw.extend_from_slice(&codec::encode_chunked(body, chunk));
+                wires.push(raw);
+            }
+        }
+        // Chunk extensions and trailers are framing the window must
+        // not swallow; the malformed tails must fail on both paths.
+        wires.push(
+            b"POST /d HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5;ext=1\r\nhello\r\n0\r\nX-T: v\r\n\r\n"
+                .to_vec(),
+        );
+        wires.push(
+            b"POST /d HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabcXX0\r\n\r\n".to_vec(),
+        );
+        wires.push(b"POST /d HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nffffffff\r\n".to_vec());
+
+        for (w, wire) in wires.iter().enumerate() {
+            let threaded = codec::read_request(&mut std::io::BufReader::new(&wire[..]), LIMIT);
+            for step in [1usize, 3, 17, 1024, wire.len()] {
+                for direct in [false, true] {
+                    match (&threaded, drive(wire, step, direct, LIMIT)) {
+                        (Ok(t), Ok(Some(r))) => assert_eq!(
+                            t.body, r.body,
+                            "wire {w} step {step} direct {direct}: bodies diverged"
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (t, r) => panic!(
+                            "wire {w} step {step} direct {direct}: threaded={:?} reactor={:?}",
+                            t.as_ref().map(|q| q.body.len()),
+                            r.map(|q| q.map(|req| req.body.len()))
+                        ),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+
+use crate::context::TraceId;
 
 /// Histogram bucket upper bounds, in microseconds — the service-latency
 /// buckets previously private to `soc-gateway`. Observations above the
@@ -81,6 +83,11 @@ pub struct Histogram {
     counts: Vec<AtomicU64>,
     total: AtomicU64,
     sum: AtomicU64,
+    // One slot per bucket (overflow last): the most recent observation
+    // made while a trace context was active, as `(trace_id, value)`.
+    // Updated with `try_lock` so a contended slot drops the exemplar
+    // rather than stalling the record path.
+    exemplars: Vec<Mutex<Option<(TraceId, u64)>>>,
 }
 
 impl Default for Histogram {
@@ -104,7 +111,8 @@ impl Histogram {
         bounds.sort_unstable();
         bounds.dedup();
         let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
-        Histogram { bounds, counts, total: AtomicU64::new(0), sum: AtomicU64::new(0) }
+        let exemplars = (0..bounds.len() + 1).map(|_| Mutex::new(None)).collect();
+        Histogram { bounds, counts, total: AtomicU64::new(0), sum: AtomicU64::new(0), exemplars }
     }
 
     /// Record one latency observation (converted to microseconds).
@@ -112,12 +120,19 @@ impl Histogram {
         self.observe(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
-    /// Record one raw observation.
+    /// Record one raw observation. When a trace context is active on
+    /// this thread, the bucket also remembers `(trace_id, value)` as
+    /// its exemplar, linking the aggregate to one concrete trace.
     pub fn observe(&self, value: u64) {
         let idx = self.bounds.iter().position(|&bound| value <= bound).unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
+        if let Some(ctx) = crate::context::current() {
+            if let Some(mut slot) = self.exemplars[idx].try_lock() {
+                *slot = Some((ctx.trace_id, value));
+            }
+        }
     }
 
     /// Observations recorded.
@@ -188,6 +203,13 @@ impl Histogram {
                 (self.bounds.get(i).copied(), acc)
             })
             .collect()
+    }
+
+    /// Per-bucket exemplars (overflow last): the most recent
+    /// `(trace_id, observed value)` seen under an active trace context,
+    /// `None` for buckets that never were.
+    pub fn exemplars(&self) -> Vec<Option<(TraceId, u64)>> {
+        self.exemplars.iter().map(|slot| *slot.lock()).collect()
     }
 }
 
@@ -397,12 +419,19 @@ fn render_entry(out: &mut String, name: &str, entry: &Entry) {
         Metric::Gauge(g) => write_sample(out, name, labels, None, &g.get().to_string()),
         Metric::Histogram(h) => {
             let bucket_name = format!("{name}_bucket");
-            for (bound, cumulative) in h.cumulative_buckets() {
+            let exemplars = h.exemplars();
+            for (i, (bound, cumulative)) in h.cumulative_buckets().into_iter().enumerate() {
                 let le = match bound {
                     Some(b) => format!("le=\"{b}\""),
                     None => "le=\"+Inf\"".to_string(),
                 };
-                write_sample(out, &bucket_name, labels, Some(&le), &cumulative.to_string());
+                let mut value = cumulative.to_string();
+                // OpenMetrics exemplar syntax: the bucket value followed
+                // by ` # {trace_id="..."} <observed>`.
+                if let Some((trace, observed)) = exemplars.get(i).copied().flatten() {
+                    value.push_str(&format!(" # {{trace_id=\"{}\"}} {observed}", trace.to_hex()));
+                }
+                write_sample(out, &bucket_name, labels, Some(&le), &value);
             }
             write_sample(out, &format!("{name}_sum"), labels, None, &h.sum().to_string());
             write_sample(out, &format!("{name}_count"), labels, None, &h.count().to_string());
@@ -500,5 +529,43 @@ mod tests {
         assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"+Inf\"} 3\n"));
         assert!(text.contains("lat_us_sum{svc=\"q\"} 700\n"));
         assert!(text.contains("lat_us_count{svc=\"q\"} 3\n"));
+    }
+
+    #[test]
+    fn histogram_exemplars_capture_the_active_trace() {
+        use crate::context::{SpanId, TraceContext};
+
+        let h = Histogram::with_bounds(&[100, 200]);
+        h.observe(50); // no active context: no exemplar
+        {
+            let ctx = TraceContext { trace_id: TraceId(0xabc), span_id: SpanId(1), sampled: true };
+            let _guard = crate::context::set_current(ctx);
+            h.observe(150);
+        }
+        assert_eq!(h.exemplars(), vec![None, Some((TraceId(0xabc), 150)), None],);
+    }
+
+    #[test]
+    fn exemplars_render_as_openmetrics_suffixes() {
+        use crate::context::{SpanId, TraceContext};
+
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_bounds("lat_us", &[("svc", "q")], &[100, 200]);
+        h.observe(50);
+        {
+            let ctx = TraceContext { trace_id: TraceId(0xfeed), span_id: SpanId(7), sampled: true };
+            let _guard = crate::context::set_current(ctx);
+            h.observe(150);
+        }
+        let text = reg.render_prometheus();
+        // The untraced bucket renders bare; the traced one carries the
+        // exemplar after its value.
+        assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"100\"} 1\n"));
+        let expected = format!(
+            "lat_us_bucket{{svc=\"q\",le=\"200\"}} 2 # {{trace_id=\"{}\"}} 150\n",
+            TraceId(0xfeed).to_hex()
+        );
+        assert!(text.contains(&expected), "missing exemplar line in:\n{text}");
+        assert!(text.contains("lat_us_bucket{svc=\"q\",le=\"+Inf\"} 2\n"));
     }
 }

@@ -69,14 +69,31 @@ impl DirectoryState {
         (self.lease_version.load(Ordering::Acquire), self.leases.live(now))
     }
 
+    /// Live `(id, endpoint)` pairs for providers that advertised one —
+    /// what `soc-store` hashes into its shard ring.
+    pub fn lease_endpoints(&self) -> Vec<(String, String)> {
+        self.leases.live_endpoints(self.lease_now())
+    }
+
     /// Renew `id`'s lease for `ttl_ms`, returning the (possibly bumped)
     /// version. Only a *newly* live id changes the set, so steady-state
     /// renewals leave the version untouched.
     pub fn renew_lease(&self, id: &str, ttl_ms: u64) -> u64 {
+        self.renew_lease_with_endpoint(id, ttl_ms, None)
+    }
+
+    /// Renew `id`'s lease, optionally advertising the provider's
+    /// serving endpoint. A changed or newly advertised endpoint bumps
+    /// the version too: shard maps must rebuild when a provider moves,
+    /// not just when it appears or disappears.
+    pub fn renew_lease_with_endpoint(&self, id: &str, ttl_ms: u64, endpoint: Option<&str>) -> u64 {
         let now = self.lease_now();
         let was_live = self.leases.is_live(id, now);
-        self.leases.renew(id, now, ttl_ms);
-        if !was_live {
+        let endpoints_before =
+            if endpoint.is_some() { self.leases.live_endpoints(now) } else { Vec::new() };
+        self.leases.renew_with_endpoint(id, now, ttl_ms, endpoint);
+        let moved = endpoint.is_some() && self.leases.live_endpoints(now) != endpoints_before;
+        if !was_live || moved {
             self.lease_version.fetch_add(1, Ordering::AcqRel);
         }
         self.lease_version.load(Ordering::Acquire)
@@ -176,6 +193,11 @@ impl DirectoryService {
                 let mut v = Value::object();
                 v.set("version", version as i64);
                 v.set("live", Value::Array(live.into_iter().map(Value::from).collect()));
+                let mut eps = Value::object();
+                for (id, endpoint) in st.lease_endpoints() {
+                    eps.set(id.as_str(), endpoint);
+                }
+                v.set("endpoints", eps);
                 Response::json(&v.to_compact())
             });
         }
@@ -190,7 +212,8 @@ impl DirectoryService {
                     .query("ttl_ms")
                     .and_then(|t| t.parse::<u64>().ok())
                     .unwrap_or(DEFAULT_LEASE_TTL_MS);
-                let version = st.renew_lease(id, ttl_ms);
+                let endpoint = req.query("endpoint");
+                let version = st.renew_lease_with_endpoint(id, ttl_ms, endpoint.as_deref());
                 let mut v = Value::object();
                 v.set("version", version as i64);
                 v.set("ttl_ms", ttl_ms as i64);
@@ -441,8 +464,22 @@ impl DirectoryClient {
 
     /// Renew `id`'s lease for `ttl_ms`; returns the lease-table version.
     pub fn renew_lease(&self, id: &str, ttl_ms: u64) -> DirectoryResult<u64> {
-        let url =
+        self.renew_lease_at(id, ttl_ms, None)
+    }
+
+    /// Renew `id`'s lease, advertising the provider's serving endpoint
+    /// so shard maps built from this directory can route to it.
+    pub fn renew_lease_at(
+        &self,
+        id: &str,
+        ttl_ms: u64,
+        endpoint: Option<&str>,
+    ) -> DirectoryResult<u64> {
+        let mut url =
             format!("{}/leases/{}?ttl_ms={ttl_ms}", self.base, soc_http::url::percent_encode(id));
+        if let Some(ep) = endpoint {
+            url.push_str(&format!("&endpoint={}", soc_http::url::percent_encode(ep)));
+        }
         let v = self.rest.post(&url, &Value::object())?;
         v.pointer("/version")
             .and_then(Value::as_i64)
@@ -466,7 +503,20 @@ impl DirectoryClient {
             .filter_map(Value::as_str)
             .map(str::to_string)
             .collect();
-        Ok(LeaseSnapshot { version, live })
+        // Endpoints are optional on the wire: older directories (and
+        // providers that never advertise one) simply yield none.
+        let mut endpoints: Vec<(String, String)> = v
+            .pointer("/endpoints")
+            .and_then(Value::as_object)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(id, ep)| ep.as_str().map(|e| (id.clone(), e.to_string())))
+                    .collect()
+            })
+            .unwrap_or_default();
+        endpoints.sort();
+        Ok(LeaseSnapshot { version, live, endpoints })
     }
 
     /// Revoke `id`'s lease (deliberate shutdown).
@@ -494,6 +544,9 @@ pub struct LeaseSnapshot {
     pub version: u64,
     /// Service ids with unexpired leases, sorted.
     pub live: Vec<String>,
+    /// `(id, endpoint)` for live providers that advertised a serving
+    /// endpoint, sorted — the input `soc-store`'s shard map hashes.
+    pub endpoints: Vec<(String, String)>,
 }
 
 fn decode_list(v: &Value) -> DirectoryResult<Vec<ServiceDescriptor>> {
@@ -615,24 +668,35 @@ mod tests {
 
         // Nothing live until someone renews; version starts at 0.
         let snap = client.leases().unwrap();
-        assert_eq!(snap, LeaseSnapshot { version: 0, live: vec![] });
+        assert_eq!(snap, LeaseSnapshot { version: 0, live: vec![], endpoints: vec![] });
 
         // First renewals bump the version once each ('#' in the id must
         // survive percent-encoding through the router).
         let v1 = client.renew_lease("credit#0", 60_000).unwrap();
-        let v2 = client.renew_lease("credit#1", 60_000).unwrap();
+        let v2 = client.renew_lease_at("credit#1", 60_000, Some("http://127.0.0.1:7001")).unwrap();
         assert!(v2 > v1);
         let snap = client.leases().unwrap();
         assert_eq!(snap.version, v2);
         assert_eq!(snap.live, vec!["credit#0".to_string(), "credit#1".to_string()]);
+        // Only the advertising provider shows an endpoint; the URL
+        // survives percent-encoding both ways.
+        assert_eq!(
+            snap.endpoints,
+            vec![("credit#1".to_string(), "http://127.0.0.1:7001".to_string())]
+        );
+        // Advertising a *moved* endpoint bumps the version: shard maps
+        // keyed on it must rebuild.
+        let v3 = client.renew_lease_at("credit#1", 60_000, Some("http://127.0.0.1:7002")).unwrap();
+        assert!(v3 > v2);
+        assert_eq!(client.leases().unwrap().endpoints[0].1, "http://127.0.0.1:7002");
 
         // Steady-state renewal of an already-live id: same version.
-        assert_eq!(client.renew_lease("credit#0", 60_000).unwrap(), v2);
+        assert_eq!(client.renew_lease("credit#0", 60_000).unwrap(), v3);
 
         // Revocation removes the id and bumps the version.
         client.revoke_lease("credit#0").unwrap();
         let snap = client.leases().unwrap();
-        assert!(snap.version > v2);
+        assert!(snap.version > v3);
         assert_eq!(snap.live, vec!["credit#1".to_string()]);
 
         // Revoking a lease that isn't live is a 404, as is renewing an

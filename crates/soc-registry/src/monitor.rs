@@ -265,14 +265,22 @@ impl QosMonitor {
     }
 }
 
+/// One registration lease: when it lapses, and (optionally) where the
+/// provider serves from — the feed `soc-store`'s shard map hashes over.
+#[derive(Debug, Clone)]
+struct Lease {
+    expiry: u64,
+    endpoint: Option<String>,
+}
+
 /// Lease-based liveness: providers renew a lease; services whose lease
 /// lapses are considered gone ("removed without notice") and expire out
 /// of listings. Time is injected as a logical tick count so tests and
 /// benches are deterministic.
 #[derive(Default)]
 pub struct LeaseTable {
-    /// id → expiry tick.
-    leases: Mutex<HashMap<String, u64>>,
+    /// id → lease.
+    leases: Mutex<HashMap<String, Lease>>,
 }
 
 impl LeaseTable {
@@ -281,21 +289,53 @@ impl LeaseTable {
         LeaseTable::default()
     }
 
-    /// Grant or renew a lease until `now + duration_ticks`.
+    /// Grant or renew a lease until `now + duration_ticks`, keeping
+    /// any previously advertised endpoint.
     pub fn renew(&self, id: &str, now: u64, duration_ticks: u64) {
-        self.leases.lock().insert(id.to_string(), now.saturating_add(duration_ticks));
+        self.renew_with_endpoint(id, now, duration_ticks, None);
+    }
+
+    /// Grant or renew a lease, optionally (re)advertising the
+    /// provider's endpoint. `None` preserves the previous endpoint, so
+    /// steady-state heartbeats don't need to repeat it.
+    pub fn renew_with_endpoint(
+        &self,
+        id: &str,
+        now: u64,
+        duration_ticks: u64,
+        endpoint: Option<&str>,
+    ) {
+        let mut leases = self.leases.lock();
+        let expiry = now.saturating_add(duration_ticks);
+        match leases.get_mut(id) {
+            Some(lease) => {
+                lease.expiry = expiry;
+                if let Some(ep) = endpoint {
+                    lease.endpoint = Some(ep.to_string());
+                }
+            }
+            None => {
+                leases.insert(
+                    id.to_string(),
+                    Lease { expiry, endpoint: endpoint.map(str::to_string) },
+                );
+            }
+        }
     }
 
     /// Is the lease current at `now`?
     pub fn is_live(&self, id: &str, now: u64) -> bool {
-        self.leases.lock().get(id).is_some_and(|&expiry| expiry > now)
+        self.leases.lock().get(id).is_some_and(|lease| lease.expiry > now)
     }
 
     /// Drop expired leases, returning the ids that lapsed.
     pub fn expire(&self, now: u64) -> Vec<String> {
         let mut leases = self.leases.lock();
-        let dead: Vec<String> =
-            leases.iter().filter(|(_, &expiry)| expiry <= now).map(|(id, _)| id.clone()).collect();
+        let dead: Vec<String> = leases
+            .iter()
+            .filter(|(_, lease)| lease.expiry <= now)
+            .map(|(id, _)| id.clone())
+            .collect();
         for id in &dead {
             leases.remove(id);
         }
@@ -308,7 +348,7 @@ impl LeaseTable {
     /// `now` (a provider deliberately going away, as opposed to
     /// lapsing).
     pub fn revoke(&self, id: &str, now: u64) -> bool {
-        self.leases.lock().remove(id).is_some_and(|expiry| expiry > now)
+        self.leases.lock().remove(id).is_some_and(|lease| lease.expiry > now)
     }
 
     /// Live ids at `now`, sorted.
@@ -317,11 +357,25 @@ impl LeaseTable {
             .leases
             .lock()
             .iter()
-            .filter(|(_, &expiry)| expiry > now)
+            .filter(|(_, lease)| lease.expiry > now)
             .map(|(id, _)| id.clone())
             .collect();
         ids.sort();
         ids
+    }
+
+    /// `(id, endpoint)` for live leases that advertised one, sorted by
+    /// id — the shard-map construction input.
+    pub fn live_endpoints(&self, now: u64) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .leases
+            .lock()
+            .iter()
+            .filter(|(_, lease)| lease.expiry > now)
+            .filter_map(|(id, lease)| lease.endpoint.clone().map(|ep| (id.clone(), ep)))
+            .collect();
+        out.sort();
+        out
     }
 }
 
@@ -506,6 +560,24 @@ mod tests {
         table.renew("svc-a", 5, 10);
         assert!(table.is_live("svc-a", 14));
         assert!(!table.is_live("svc-a", 15));
+    }
+
+    #[test]
+    fn lease_endpoints_survive_plain_renewals() {
+        let table = LeaseTable::new();
+        table.renew_with_endpoint("svc-a", 0, 10, Some("http://127.0.0.1:7001"));
+        table.renew("svc-b", 0, 10);
+        // A heartbeat without an endpoint keeps the advertised one.
+        table.renew("svc-a", 5, 10);
+        assert_eq!(
+            table.live_endpoints(6),
+            vec![("svc-a".to_string(), "http://127.0.0.1:7001".to_string())]
+        );
+        // A re-advertisement replaces it.
+        table.renew_with_endpoint("svc-a", 6, 10, Some("http://127.0.0.1:7002"));
+        assert_eq!(table.live_endpoints(7)[0].1, "http://127.0.0.1:7002");
+        // Expired leases drop out of the endpoint view too.
+        assert!(table.live_endpoints(40).is_empty());
     }
 
     #[test]

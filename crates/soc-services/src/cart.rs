@@ -1,10 +1,18 @@
 //! The shopping-cart service: carts, line items, quantity math, and a
 //! small promotion engine — the commerce staple of the repository.
+//!
+//! [`CartService::durable`] journals every successful mutation
+//! (create/add/remove/destroy) to a write-ahead log and replays it on
+//! reopen, so carts survive a crash of the host process. Checkout is a
+//! pure read and is never journalled. [`CartService::new`] keeps the
+//! in-memory behavior.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use soc_json::Value;
+use soc_store::wal::{Lsn, Wal, WalConfig};
+use soc_store::{StoreError, StoreResult};
 
 /// Money in integer cents (floats and money don't mix — a unit-5 aside
 /// the course makes too).
@@ -61,42 +69,21 @@ pub struct Receipt {
     pub total: Cents,
 }
 
-/// The cart service: many carts by id.
-pub struct CartService {
-    carts: Mutex<HashMap<u64, Vec<LineItem>>>,
-    next_id: AtomicU64,
+#[derive(Default)]
+struct CartState {
+    carts: HashMap<u64, Vec<LineItem>>,
+    next_id: u64,
 }
 
-impl Default for CartService {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl CartService {
-    /// Empty service.
-    pub fn new() -> Self {
-        CartService { carts: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) }
-    }
-
-    /// Create an empty cart, returning its id.
-    pub fn create(&self) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.carts.lock().insert(id, Vec::new());
-        id
-    }
-
-    /// Add quantity of an item (merges with an existing line of the same
-    /// SKU; the price of the existing line wins on conflict).
-    pub fn add(&self, cart: u64, item: LineItem) -> Result<(), String> {
+impl CartState {
+    fn add(&mut self, cart: u64, item: LineItem) -> Result<(), String> {
         if item.quantity == 0 {
             return Err("quantity must be at least 1".into());
         }
         if item.unit_price < 0 {
             return Err("price cannot be negative".into());
         }
-        let mut carts = self.carts.lock();
-        let lines = carts.get_mut(&cart).ok_or("no such cart")?;
+        let lines = self.carts.get_mut(&cart).ok_or("no such cart")?;
         if let Some(line) = lines.iter_mut().find(|l| l.sku == item.sku) {
             line.quantity += item.quantity;
         } else {
@@ -105,10 +92,8 @@ impl CartService {
         Ok(())
     }
 
-    /// Remove up to `quantity` units of a SKU; the line disappears at 0.
-    pub fn remove(&self, cart: u64, sku: &str, quantity: u32) -> Result<(), String> {
-        let mut carts = self.carts.lock();
-        let lines = carts.get_mut(&cart).ok_or("no such cart")?;
+    fn remove(&mut self, cart: u64, sku: &str, quantity: u32) -> Result<(), String> {
+        let lines = self.carts.get_mut(&cart).ok_or("no such cart")?;
         let Some(pos) = lines.iter().position(|l| l.sku == sku) else {
             return Err(format!("sku {sku:?} not in cart"));
         };
@@ -120,9 +105,200 @@ impl CartService {
         Ok(())
     }
 
+    /// Replay one journalled event (all events were validated before
+    /// being journalled, so failures here mean a corrupt journal).
+    fn apply_event(&mut self, payload: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        let ev = Value::parse(text).map_err(|e| e.to_string())?;
+        let cart = ev.get("cart").and_then(Value::as_i64).unwrap_or(0) as u64;
+        match ev.get("ev").and_then(Value::as_str) {
+            Some("create") => {
+                self.carts.insert(cart, Vec::new());
+                self.next_id = self.next_id.max(cart + 1);
+                Ok(())
+            }
+            Some("add") => self.add(
+                cart,
+                LineItem {
+                    sku: ev.get("sku").and_then(Value::as_str).unwrap_or_default().to_string(),
+                    name: ev.get("name").and_then(Value::as_str).unwrap_or_default().to_string(),
+                    unit_price: ev.get("price").and_then(Value::as_i64).unwrap_or(0),
+                    quantity: ev.get("qty").and_then(Value::as_i64).unwrap_or(0) as u32,
+                },
+            ),
+            Some("remove") => self.remove(
+                cart,
+                ev.get("sku").and_then(Value::as_str).unwrap_or_default(),
+                ev.get("qty").and_then(Value::as_i64).unwrap_or(0) as u32,
+            ),
+            Some("destroy") => {
+                self.carts.remove(&cart);
+                Ok(())
+            }
+            other => Err(format!("unknown cart event {other:?}")),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut ids: Vec<&u64> = self.carts.keys().collect();
+        ids.sort();
+        let carts: Vec<Value> = ids
+            .into_iter()
+            .map(|id| {
+                let lines: Vec<Value> = self.carts[id]
+                    .iter()
+                    .map(|l| {
+                        let mut line = Value::object();
+                        line.set("sku", l.sku.as_str());
+                        line.set("name", l.name.as_str());
+                        line.set("price", l.unit_price);
+                        line.set("qty", l.quantity as i64);
+                        line
+                    })
+                    .collect();
+                let mut cart = Value::object();
+                cart.set("id", *id as i64);
+                cart.set("lines", Value::Array(lines));
+                cart
+            })
+            .collect();
+        let mut snap = Value::object();
+        snap.set("carts", Value::Array(carts));
+        snap.set("next_id", self.next_id as i64);
+        snap.to_compact().into_bytes()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(snapshot).map_err(|e| e.to_string())?;
+        let snap = Value::parse(text).map_err(|e| e.to_string())?;
+        *self = CartState::default();
+        self.next_id = snap.get("next_id").and_then(Value::as_i64).unwrap_or(1) as u64;
+        for cart in snap.get("carts").and_then(Value::as_array).ok_or("missing carts")? {
+            let id = cart.get("id").and_then(Value::as_i64).ok_or("cart missing id")? as u64;
+            let mut lines = Vec::new();
+            for l in cart.get("lines").and_then(Value::as_array).unwrap_or(&[]) {
+                lines.push(LineItem {
+                    sku: l.get("sku").and_then(Value::as_str).unwrap_or_default().to_string(),
+                    name: l.get("name").and_then(Value::as_str).unwrap_or_default().to_string(),
+                    unit_price: l.get("price").and_then(Value::as_i64).unwrap_or(0),
+                    quantity: l.get("qty").and_then(Value::as_i64).unwrap_or(0) as u32,
+                });
+            }
+            self.carts.insert(id, lines);
+        }
+        Ok(())
+    }
+}
+
+/// The cart service: many carts by id.
+pub struct CartService {
+    state: Mutex<CartState>,
+    wal: Option<Wal>,
+}
+
+impl Default for CartService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CartService {
+    /// Empty in-memory service.
+    pub fn new() -> Self {
+        CartService {
+            state: Mutex::new(CartState { carts: HashMap::new(), next_id: 1 }),
+            wal: None,
+        }
+    }
+
+    /// A cart service journalled to a write-ahead log in `dir`,
+    /// recovered to its pre-crash state if a journal already exists.
+    pub fn durable(dir: impl AsRef<std::path::Path>, cfg: WalConfig) -> StoreResult<Self> {
+        let (wal, recovery) = Wal::open_with(dir, cfg)?;
+        let mut state = CartState { carts: HashMap::new(), next_id: 1 };
+        if let Some((_, snap)) = &recovery.snapshot {
+            state.restore(snap).map_err(StoreError::Corrupt)?;
+        }
+        for (_, payload) in &recovery.records {
+            state.apply_event(payload).map_err(StoreError::Corrupt)?;
+        }
+        Ok(CartService { state: Mutex::new(state), wal: Some(wal) })
+    }
+
+    /// Snapshot-then-truncate the journal (durable services only).
+    pub fn compact(&self) -> StoreResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let state = self.state.lock();
+        wal.snapshot(&state.snapshot())?;
+        Ok(())
+    }
+
+    fn journal(&self, ev: &Value) -> Option<Lsn> {
+        self.wal
+            .as_ref()
+            .map(|w| w.submit(ev.to_compact().as_bytes()).expect("cart journal refused an event"))
+    }
+
+    fn wait(&self, lsn: Option<Lsn>) {
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            if let Err(e) = wal.wait_durable(lsn) {
+                panic!("cart service lost durability: {e}");
+            }
+        }
+    }
+
+    /// Create an empty cart, returning its id.
+    pub fn create(&self) -> u64 {
+        let mut state = self.state.lock();
+        let id = state.next_id;
+        state.next_id += 1;
+        state.carts.insert(id, Vec::new());
+        let mut ev = Value::object();
+        ev.set("ev", "create");
+        ev.set("cart", id as i64);
+        let lsn = self.journal(&ev);
+        drop(state);
+        self.wait(lsn);
+        id
+    }
+
+    /// Add quantity of an item (merges with an existing line of the same
+    /// SKU; the price of the existing line wins on conflict).
+    pub fn add(&self, cart: u64, item: LineItem) -> Result<(), String> {
+        let mut state = self.state.lock();
+        let mut ev = Value::object();
+        ev.set("ev", "add");
+        ev.set("cart", cart as i64);
+        ev.set("sku", item.sku.as_str());
+        ev.set("name", item.name.as_str());
+        ev.set("price", item.unit_price);
+        ev.set("qty", item.quantity as i64);
+        state.add(cart, item)?;
+        // Only successful mutations are journalled.
+        let lsn = self.journal(&ev);
+        drop(state);
+        self.wait(lsn);
+        Ok(())
+    }
+
+    /// Remove up to `quantity` units of a SKU; the line disappears at 0.
+    pub fn remove(&self, cart: u64, sku: &str, quantity: u32) -> Result<(), String> {
+        let mut state = self.state.lock();
+        state.remove(cart, sku, quantity)?;
+        let mut ev = Value::object();
+        ev.set("ev", "remove");
+        ev.set("cart", cart as i64);
+        ev.set("sku", sku);
+        ev.set("qty", quantity as i64);
+        let lsn = self.journal(&ev);
+        drop(state);
+        self.wait(lsn);
+        Ok(())
+    }
+
     /// Current lines.
     pub fn items(&self, cart: u64) -> Result<Vec<LineItem>, String> {
-        self.carts.lock().get(&cart).cloned().ok_or_else(|| "no such cart".into())
+        self.state.lock().carts.get(&cart).cloned().ok_or_else(|| "no such cart".into())
     }
 
     /// Price the cart with promotions; does not consume it.
@@ -159,7 +335,19 @@ impl CartService {
 
     /// Drop a cart; `true` if it existed.
     pub fn destroy(&self, cart: u64) -> bool {
-        self.carts.lock().remove(&cart).is_some()
+        let mut state = self.state.lock();
+        let existed = state.carts.remove(&cart).is_some();
+        let lsn = if existed {
+            let mut ev = Value::object();
+            ev.set("ev", "destroy");
+            ev.set("cart", cart as i64);
+            self.journal(&ev)
+        } else {
+            None
+        };
+        drop(state);
+        self.wait(lsn);
+        existed
     }
 }
 
@@ -266,5 +454,52 @@ mod tests {
         assert!(svc.destroy(id));
         assert!(!svc.destroy(id));
         assert!(svc.items(id).is_err());
+    }
+
+    #[test]
+    fn durable_cart_replays_to_pre_crash_state() {
+        let tmp = soc_store::TempDir::new("cart-durable");
+        let (alive, dead);
+        {
+            let svc = CartService::durable(tmp.path(), WalConfig::default()).unwrap();
+            alive = svc.create();
+            dead = svc.create();
+            svc.add(alive, book()).unwrap();
+            svc.add(alive, pen()).unwrap();
+            svc.add(alive, book()).unwrap(); // merges with the first book line
+            svc.remove(alive, "pn-1", 1).unwrap();
+            svc.add(dead, pen()).unwrap();
+            assert!(svc.destroy(dead));
+            // Failed mutations are never journalled.
+            assert!(svc.add(alive, LineItem { quantity: 0, ..book() }).is_err());
+            // Simulated crash: drop without any shutdown handshake.
+        }
+        let svc = CartService::durable(tmp.path(), WalConfig::default()).unwrap();
+        let items = svc.items(alive).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items.iter().find(|l| l.sku == "bk-1").unwrap().quantity, 2);
+        assert_eq!(items.iter().find(|l| l.sku == "pn-1").unwrap().quantity, 2);
+        assert!(svc.items(dead).is_err(), "destroyed cart must stay destroyed");
+        // next_id resumes past every journalled create.
+        assert!(svc.create() > dead);
+        // Checkout still works on replayed state (pure read, unjournalled).
+        let r = svc.checkout(alive, &[]).unwrap();
+        assert_eq!(r.subtotal, 2 * 4999 + 2 * 150);
+    }
+
+    #[test]
+    fn durable_cart_compaction_preserves_state() {
+        let tmp = soc_store::TempDir::new("cart-compact");
+        let id;
+        {
+            let svc = CartService::durable(tmp.path(), WalConfig::default()).unwrap();
+            id = svc.create();
+            svc.add(id, book()).unwrap();
+            svc.compact().unwrap();
+            svc.add(id, pen()).unwrap();
+        }
+        let svc = CartService::durable(tmp.path(), WalConfig::default()).unwrap();
+        assert_eq!(svc.items(id).unwrap().len(), 2);
+        assert!(svc.create() > id);
     }
 }

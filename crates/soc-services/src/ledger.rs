@@ -24,10 +24,26 @@
 //! Replicas of the service share one ledger ([`crate::bindings::ServiceHost::with_ledger`])
 //! the way real replicas share a database, so a retry that lands on a
 //! different replica still dedupes.
+//!
+//! ## Durability
+//!
+//! [`SubmissionLedger::durable`] binds the ledger to a write-ahead log:
+//! every mutation is journalled as a *decided event* — the decision
+//! closure runs first and its response is what gets logged, never
+//! re-run — and acknowledged only once durable. Reopening the same
+//! directory replays the journal (and the newest snapshot, after
+//! [`SubmissionLedger::compact`]) to the exact pre-crash state, which
+//! is what lets the chaos harness `kill -9` the host mid-campaign and
+//! still assert no application executed twice and no cancel orphaned.
+//! A ledger built with [`SubmissionLedger::new`] keeps the old
+//! in-memory behavior.
 
 use std::collections::HashMap;
 
 use parking_lot::Mutex;
+use soc_json::Value;
+use soc_store::wal::{Lsn, Wal, WalConfig};
+use soc_store::{StoreError, StoreResult};
 
 /// Audit record for one application id (idempotency key).
 #[derive(Debug, Clone)]
@@ -56,16 +72,237 @@ struct Inner {
     orphan_cancels: u64,
 }
 
+impl Inner {
+    /// The deterministic core of [`SubmissionLedger::apply`], shared by
+    /// the live path (where `response` was just decided) and journal
+    /// replay (where it was decided before the crash).
+    fn apply_submission(&mut self, key: &str, content: &str, response: &str) -> (String, bool) {
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.deduped += 1;
+            return (entry.response.clone(), true);
+        }
+        // A reservation cancel got here first (the original caller gave
+        // up on a lost response and compensated): refuse to open the
+        // application, recording an already-cancelled entry so the
+        // audit shows what happened.
+        if self.tombstones.remove(key) {
+            let response = format!("{{\"application_id\":{:?},\"cancelled\":true}}", key);
+            self.entries.insert(
+                key.to_string(),
+                LedgerEntry {
+                    executions: 0,
+                    deduped: 0,
+                    cancellations: 1,
+                    response: response.clone(),
+                },
+            );
+            return (response, true);
+        }
+        self.entries.insert(
+            key.to_string(),
+            LedgerEntry {
+                executions: 1,
+                deduped: 0,
+                cancellations: 0,
+                response: response.to_string(),
+            },
+        );
+        *self.by_content.entry(content.to_string()).or_insert(0) += 1;
+        (response.to_string(), false)
+    }
+
+    fn apply_keyless(&mut self, content: &str) {
+        self.keyless += 1;
+        *self.by_content.entry(content.to_string()).or_insert(0) += 1;
+    }
+
+    fn apply_cancel_reservation(&mut self, key: &str) -> bool {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.cancellations += 1;
+                true
+            }
+            None => {
+                self.tombstones.insert(key.to_string());
+                false
+            }
+        }
+    }
+
+    fn apply_cancel(&mut self, key: &str) -> bool {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.cancellations += 1;
+                true
+            }
+            None => {
+                self.orphan_cancels += 1;
+                false
+            }
+        }
+    }
+
+    /// Replay one journalled event.
+    fn apply_event(&mut self, payload: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(payload).map_err(|e| e.to_string())?;
+        let ev = Value::parse(text).map_err(|e| e.to_string())?;
+        let key = ev.get("key").and_then(Value::as_str).unwrap_or_default();
+        let content = ev.get("content").and_then(Value::as_str).unwrap_or_default();
+        match ev.get("ev").and_then(Value::as_str) {
+            Some("apply") => {
+                let response = ev.get("response").and_then(Value::as_str).unwrap_or_default();
+                self.apply_submission(key, content, response);
+            }
+            Some("keyless") => self.apply_keyless(content),
+            Some("cancel_reservation") => {
+                self.apply_cancel_reservation(key);
+            }
+            Some("cancel") => {
+                self.apply_cancel(key);
+            }
+            other => return Err(format!("unknown ledger event {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort();
+        let entries: Vec<Value> = keys
+            .into_iter()
+            .map(|k| {
+                let e = &self.entries[k];
+                let mut item = Value::object();
+                item.set("key", k.as_str());
+                item.set("executions", e.executions as i64);
+                item.set("deduped", e.deduped as i64);
+                item.set("cancellations", e.cancellations as i64);
+                item.set("response", e.response.as_str());
+                item
+            })
+            .collect();
+        let mut contents: Vec<(&String, &u64)> = self.by_content.iter().collect();
+        contents.sort();
+        let by_content: Vec<Value> = contents
+            .into_iter()
+            .map(|(c, n)| {
+                let mut item = Value::object();
+                item.set("content", c.as_str());
+                item.set("n", *n as i64);
+                item
+            })
+            .collect();
+        let mut tombstones: Vec<&String> = self.tombstones.iter().collect();
+        tombstones.sort();
+        let mut snap = Value::object();
+        snap.set("entries", Value::Array(entries));
+        snap.set("by_content", Value::Array(by_content));
+        snap.set(
+            "tombstones",
+            Value::Array(tombstones.into_iter().map(|t| Value::from(t.as_str())).collect()),
+        );
+        snap.set("keyless", self.keyless as i64);
+        snap.set("orphan_cancels", self.orphan_cancels as i64);
+        snap.to_compact().into_bytes()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(snapshot).map_err(|e| e.to_string())?;
+        let snap = Value::parse(text).map_err(|e| e.to_string())?;
+        *self = Inner::default();
+        for item in snap.get("entries").and_then(Value::as_array).ok_or("missing entries")? {
+            let key = item.get("key").and_then(Value::as_str).ok_or("entry missing key")?;
+            self.entries.insert(
+                key.to_string(),
+                LedgerEntry {
+                    executions: item.get("executions").and_then(Value::as_i64).unwrap_or(0) as u64,
+                    deduped: item.get("deduped").and_then(Value::as_i64).unwrap_or(0) as u64,
+                    cancellations: item.get("cancellations").and_then(Value::as_i64).unwrap_or(0)
+                        as u64,
+                    response: item
+                        .get("response")
+                        .and_then(Value::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                },
+            );
+        }
+        for item in snap.get("by_content").and_then(Value::as_array).unwrap_or(&[]) {
+            let content = item.get("content").and_then(Value::as_str).unwrap_or_default();
+            let n = item.get("n").and_then(Value::as_i64).unwrap_or(0) as u64;
+            self.by_content.insert(content.to_string(), n);
+        }
+        for t in snap.get("tombstones").and_then(Value::as_array).unwrap_or(&[]) {
+            if let Some(t) = t.as_str() {
+                self.tombstones.insert(t.to_string());
+            }
+        }
+        self.keyless = snap.get("keyless").and_then(Value::as_i64).unwrap_or(0) as u64;
+        self.orphan_cancels =
+            snap.get("orphan_cancels").and_then(Value::as_i64).unwrap_or(0) as u64;
+        Ok(())
+    }
+}
+
 /// Shared submission store for the mortgage service. See module docs.
 #[derive(Default)]
 pub struct SubmissionLedger {
     inner: Mutex<Inner>,
+    wal: Option<Wal>,
 }
 
 impl SubmissionLedger {
-    /// An empty ledger.
+    /// An empty, in-memory ledger (state dies with the process).
     pub fn new() -> Self {
         SubmissionLedger::default()
+    }
+
+    /// A ledger journalled to a write-ahead log in `dir`, recovered to
+    /// its pre-crash state if the directory already holds a journal.
+    pub fn durable(dir: impl AsRef<std::path::Path>, cfg: WalConfig) -> StoreResult<Self> {
+        let (wal, recovery) = Wal::open_with(dir, cfg)?;
+        let mut inner = Inner::default();
+        if let Some((_, snap)) = &recovery.snapshot {
+            inner.restore(snap).map_err(StoreError::Corrupt)?;
+        }
+        for (_, payload) in &recovery.records {
+            inner.apply_event(payload).map_err(StoreError::Corrupt)?;
+        }
+        Ok(SubmissionLedger { inner: Mutex::new(inner), wal: Some(wal) })
+    }
+
+    /// Snapshot-then-truncate the journal (durable ledgers only).
+    pub fn compact(&self) -> StoreResult<()> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let inner = self.inner.lock();
+        wal.snapshot(&inner.snapshot())?;
+        Ok(())
+    }
+
+    /// The journal directory, when durable.
+    pub fn wal_dir(&self) -> Option<&std::path::Path> {
+        self.wal.as_ref().map(|w| w.dir())
+    }
+
+    /// Journal `ev` while still holding the ledger lock (so journal
+    /// order equals apply order), returning the LSN to await.
+    fn journal(&self, ev: &Value) -> Option<Lsn> {
+        self.wal.as_ref().map(|w| {
+            w.submit(ev.to_compact().as_bytes())
+                .expect("submission ledger journal refused an event")
+        })
+    }
+
+    /// Wait out durability after the lock is released. A ledger that
+    /// can no longer persist fails loudly: acknowledging writes that
+    /// would vanish on crash is exactly the lie this type exists to
+    /// prevent.
+    fn wait(&self, lsn: Option<Lsn>) {
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            if let Err(e) = wal.wait_durable(lsn) {
+                panic!("submission ledger lost durability: {e}");
+            }
+        }
     }
 
     /// Execute-or-replay: runs `decide` only if `key` is new, caching
@@ -78,43 +315,34 @@ impl SubmissionLedger {
         decide: impl FnOnce() -> String,
     ) -> (String, bool) {
         let mut inner = self.inner.lock();
-        if let Some(entry) = inner.entries.get_mut(key) {
-            entry.deduped += 1;
-            return (entry.response.clone(), true);
-        }
-        // A reservation cancel got here first (the original caller gave
-        // up on a lost response and compensated): refuse to open the
-        // application, recording an already-cancelled entry so the
-        // audit shows what happened.
-        if inner.tombstones.remove(key) {
-            let response = format!("{{\"application_id\":{:?},\"cancelled\":true}}", key);
-            inner.entries.insert(
-                key.to_string(),
-                LedgerEntry {
-                    executions: 0,
-                    deduped: 0,
-                    cancellations: 1,
-                    response: response.clone(),
-                },
-            );
-            return (response, true);
-        }
-        // Execute under the lock: replicas share the ledger like a
-        // database, and this serializes racing replays of one key.
-        let response = decide();
-        inner.entries.insert(
-            key.to_string(),
-            LedgerEntry { executions: 1, deduped: 0, cancellations: 0, response: response.clone() },
-        );
-        *inner.by_content.entry(content.to_string()).or_insert(0) += 1;
-        (response, false)
+        // Decide before journalling — the journal records *results*, so
+        // replay never re-runs the (non-deterministic) decision logic.
+        // Execution stays under the lock: replicas share the ledger
+        // like a database, and this serializes racing replays of a key.
+        let fresh = !inner.entries.contains_key(key) && !inner.tombstones.contains(key);
+        let response = if fresh { decide() } else { String::new() };
+        let result = inner.apply_submission(key, content, &response);
+        let mut ev = Value::object();
+        ev.set("ev", "apply");
+        ev.set("key", key);
+        ev.set("content", content);
+        ev.set("response", response.as_str());
+        let lsn = self.journal(&ev);
+        drop(inner);
+        self.wait(lsn);
+        result
     }
 
     /// Record a keyless submission (no dedupe possible).
     pub fn note_keyless(&self, content: &str) {
         let mut inner = self.inner.lock();
-        inner.keyless += 1;
-        *inner.by_content.entry(content.to_string()).or_insert(0) += 1;
+        inner.apply_keyless(content);
+        let mut ev = Value::object();
+        ev.set("ev", "keyless");
+        ev.set("content", content);
+        let lsn = self.journal(&ev);
+        drop(inner);
+        self.wait(lsn);
     }
 
     /// Cancel a submission that may not have arrived yet. An existing
@@ -127,16 +355,14 @@ impl SubmissionLedger {
     /// submission was cancelled.
     pub fn cancel_reservation(&self, key: &str) -> bool {
         let mut inner = self.inner.lock();
-        match inner.entries.get_mut(key) {
-            Some(entry) => {
-                entry.cancellations += 1;
-                true
-            }
-            None => {
-                inner.tombstones.insert(key.to_string());
-                false
-            }
-        }
+        let landed = inner.apply_cancel_reservation(key);
+        let mut ev = Value::object();
+        ev.set("ev", "cancel_reservation");
+        ev.set("key", key);
+        let lsn = self.journal(&ev);
+        drop(inner);
+        self.wait(lsn);
+        landed
     }
 
     /// Tombstones from reservation cancels that no submission ever
@@ -150,16 +376,14 @@ impl SubmissionLedger {
     /// invariant violation if it ever happens).
     pub fn cancel(&self, key: &str) -> bool {
         let mut inner = self.inner.lock();
-        match inner.entries.get_mut(key) {
-            Some(entry) => {
-                entry.cancellations += 1;
-                true
-            }
-            None => {
-                inner.orphan_cancels += 1;
-                false
-            }
-        }
+        let known = inner.apply_cancel(key);
+        let mut ev = Value::object();
+        ev.set("ev", "cancel");
+        ev.set("key", key);
+        let lsn = self.journal(&ev);
+        drop(inner);
+        self.wait(lsn);
+        known
     }
 
     /// Audit record for one application id.
@@ -288,6 +512,64 @@ mod tests {
         ledger.apply("k2", "b", || "{}".to_string());
         assert!(ledger.cancel_reservation("k2"));
         assert_eq!(ledger.open_applications(), 0);
+    }
+
+    #[test]
+    fn durable_ledger_replays_to_pre_crash_state() {
+        let tmp = soc_store::TempDir::new("ledger");
+        {
+            let ledger = SubmissionLedger::durable(tmp.path(), WalConfig::default()).unwrap();
+            let mut calls = 0;
+            ledger.apply("k1", "app-a", || {
+                calls += 1;
+                "{\"ok\":1}".to_string()
+            });
+            ledger.apply("k1", "app-a", || {
+                calls += 1;
+                "never".to_string()
+            });
+            ledger.apply("k2", "app-b", || "{\"ok\":2}".to_string());
+            ledger.cancel("k2");
+            ledger.cancel_reservation("k3"); // tombstone
+            ledger.note_keyless("app-c");
+            assert_eq!(calls, 1);
+        } // crash
+        let ledger = SubmissionLedger::durable(tmp.path(), WalConfig::default()).unwrap();
+        assert_eq!(ledger.total_executions(), 3, "k1 + k2 + keyless");
+        assert_eq!(ledger.total_deduped(), 1);
+        assert_eq!(ledger.open_applications(), 1);
+        assert_eq!(ledger.cancelled_keys(), vec!["k2".to_string()]);
+        assert_eq!(ledger.pending_tombstones(), 1);
+        assert_eq!(ledger.keyless_submissions(), 1);
+        assert_eq!(ledger.orphan_cancels(), 0);
+        // The decision logic is NOT re-run on a replayed key: the
+        // cached response survives the crash.
+        let (resp, replayed) = ledger.apply("k1", "app-a", || "re-decided".to_string());
+        assert!(replayed);
+        assert_eq!(resp, "{\"ok\":1}");
+        // And the pre-crash tombstone still guards k3.
+        let (resp, replayed) = ledger.apply("k3", "app-d", || "should not run".to_string());
+        assert!(replayed);
+        assert!(resp.contains("\"cancelled\":true"));
+    }
+
+    #[test]
+    fn durable_ledger_compaction_preserves_audit() {
+        let tmp = soc_store::TempDir::new("ledger-compact");
+        {
+            let ledger = SubmissionLedger::durable(tmp.path(), WalConfig::default()).unwrap();
+            for i in 0..10 {
+                ledger.apply(&format!("k{i}"), &format!("app-{i}"), || "{}".to_string());
+            }
+            ledger.cancel("k3");
+            ledger.compact().unwrap();
+            ledger.apply("k10", "app-10", || "{}".to_string());
+        }
+        let ledger = SubmissionLedger::durable(tmp.path(), WalConfig::default()).unwrap();
+        assert_eq!(ledger.total_executions(), 11);
+        assert_eq!(ledger.open_applications(), 10);
+        assert_eq!(ledger.cancelled_keys(), vec!["k3".to_string()]);
+        assert_eq!(ledger.max_executions_per_content(), 1);
     }
 
     #[test]

@@ -1,0 +1,885 @@
+//! The replicated store node and its shard-routing client.
+//!
+//! A [`StoreNode`] hosts one durable [`KvMachine`] for the shards it
+//! primaries, plus one **replica stream** — a separate durable log —
+//! per remote primary it replicates for. Streams are per-source because
+//! LSNs are per-log: interleaving two primaries' records into one log
+//! would break the `local lsn == source lsn` shipping invariant and
+//! silently drop whichever stream is behind.
+//!
+//! Writes land on the key's **primary** (per the installed
+//! [`ShardMap`]) and are pushed synchronously to the replica owners via
+//! log shipping; reads merge the node's own state with its replica
+//! streams and are version-gated: the node either proves the key's
+//! authoritative stream has caught up to the reader's floor or refuses
+//! with `behind`.
+//!
+//! A [`StoreClient`] routes by the same map: writes go to the primary
+//! (retrying once on a stale-map `not_primary` hint), reads prefer the
+//! furthest replica and fall back owner-by-owner toward the primary —
+//! the read-your-writes schedule, since the client remembers the
+//! version each of its own writes was assigned and demands at least
+//! that from whichever owner answers.
+//!
+//! ## Routes
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `PUT /store/{key}` | primary write; body is the JSON value |
+//! | `DELETE /store/{key}` | primary delete |
+//! | `GET /store/{key}?min_version=N` | version-gated read |
+//! | `POST /store/replicate` | apply shipped records (replica side) |
+//! | `GET /store/ship?after=N` | serve records for replica catch-up |
+//! | `GET /store/status` | applied/durable LSNs, map version, key count |
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use soc_http::mem::Transport;
+use soc_http::url::{percent_decode, percent_encode};
+use soc_http::{Response, Status};
+use soc_json::Value;
+use soc_rest::{PathParams, RestClient, RestError, Router};
+
+use crate::kv::KvMachine;
+use crate::shard::ShardMap;
+use crate::state::Durable;
+use crate::wal::{Lsn, WalConfig};
+use crate::{StoreError, StoreResult};
+
+/// Identity and tuning for one [`StoreNode`].
+#[derive(Debug, Clone)]
+pub struct StoreNodeConfig {
+    /// Stable node id — must match the node's lease id in the registry,
+    /// since that is what the [`ShardMap`] ring is keyed on.
+    pub id: String,
+    /// WAL knobs for the node's durable machines (own log and every
+    /// replica stream).
+    pub wal: WalConfig,
+}
+
+impl StoreNodeConfig {
+    /// Default WAL config under `id`.
+    pub fn new(id: &str) -> StoreNodeConfig {
+        StoreNodeConfig { id: id.to_string(), wal: WalConfig::default() }
+    }
+}
+
+struct NodeInner {
+    id: String,
+    dir: PathBuf,
+    wal_cfg: WalConfig,
+    /// Shards this node primaries: its own log, its own LSNs.
+    store: Durable<KvMachine>,
+    /// One durable stream per remote primary, keyed by source node id.
+    replicas: RwLock<HashMap<String, Arc<Durable<KvMachine>>>>,
+    map: RwLock<Arc<ShardMap>>,
+    peers: RestClient,
+    pushes: soc_observe::Counter,
+    push_failures: soc_observe::Counter,
+}
+
+/// One replicated store node. Cheap to clone; clones share state.
+#[derive(Clone)]
+pub struct StoreNode {
+    inner: Arc<NodeInner>,
+}
+
+impl StoreNode {
+    /// Open (or recover) the node's durable machines in `dir` — the own
+    /// log at the top level plus any `replica-of-*` streams a previous
+    /// incarnation left behind. `transport` carries replication pushes
+    /// to peer endpoints.
+    pub fn open(
+        cfg: StoreNodeConfig,
+        dir: impl AsRef<std::path::Path>,
+        transport: Arc<dyn Transport>,
+    ) -> StoreResult<StoreNode> {
+        let dir = dir.as_ref().to_path_buf();
+        let store = Durable::open(dir.join("own"), cfg.wal.clone(), KvMachine::new())?;
+        let mut replicas = HashMap::new();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(enc) = name.strip_prefix("replica-of-") {
+                    let source = percent_decode(enc);
+                    let d = Durable::open(entry.path(), cfg.wal.clone(), KvMachine::new())?;
+                    replicas.insert(source, Arc::new(d));
+                }
+            }
+        }
+        let metrics = soc_observe::metrics();
+        Ok(StoreNode {
+            inner: Arc::new(NodeInner {
+                id: cfg.id,
+                dir,
+                wal_cfg: cfg.wal,
+                store,
+                replicas: RwLock::new(replicas),
+                map: RwLock::new(Arc::new(ShardMap::build(0, Vec::new(), 1))),
+                peers: RestClient::new(transport),
+                pushes: metrics.counter("soc_store_replication_pushes_total", &[]),
+                push_failures: metrics.counter("soc_store_replication_failures_total", &[]),
+            }),
+        })
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> &str {
+        &self.inner.id
+    }
+
+    /// Install a new shard map (typically rebuilt from a fresh lease
+    /// snapshot). Consumers see it atomically.
+    pub fn set_map(&self, map: Arc<ShardMap>) {
+        *self.inner.map.write() = map;
+    }
+
+    /// The currently installed shard map.
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.inner.map.read().clone()
+    }
+
+    /// The node's own durable machine (primary shards only; replicated
+    /// state lives in per-source streams).
+    pub fn store(&self) -> &Durable<KvMachine> {
+        &self.inner.store
+    }
+
+    /// The replica stream for `source`, opened on first use.
+    fn replica_for(&self, source: &str) -> StoreResult<Arc<Durable<KvMachine>>> {
+        if let Some(d) = self.inner.replicas.read().get(source) {
+            return Ok(d.clone());
+        }
+        let mut replicas = self.inner.replicas.write();
+        if let Some(d) = replicas.get(source) {
+            return Ok(d.clone());
+        }
+        let dir = self.inner.dir.join(format!("replica-of-{}", percent_encode(source)));
+        let d = Arc::new(Durable::open(dir, self.inner.wal_cfg.clone(), KvMachine::new())?);
+        replicas.insert(source.to_string(), d.clone());
+        Ok(d)
+    }
+
+    /// Highest LSN applied from `source`'s shipped stream.
+    pub fn replica_applied(&self, source: &str) -> Lsn {
+        self.inner.replicas.read().get(source).map(|d| d.applied_lsn()).unwrap_or(0)
+    }
+
+    /// Refuse unless this node is `key`'s primary (an empty map means
+    /// standalone mode: every key is local).
+    fn check_primary(&self, key: &str) -> StoreResult<()> {
+        let map = self.map();
+        if map.is_empty() {
+            return Ok(());
+        }
+        match map.primary(key) {
+            Some(p) if p.id == self.inner.id => Ok(()),
+            p => Err(StoreError::NotPrimary {
+                key: key.to_string(),
+                primary: p.map(|n| n.endpoint.clone()),
+            }),
+        }
+    }
+
+    /// Write `value` under `key` (primary only). Returns the version.
+    pub fn put(&self, key: &str, value: &Value) -> StoreResult<Lsn> {
+        self.check_primary(key)?;
+        let cmd = KvMachine::put_command(key, value);
+        self.inner.store.execute(&cmd)?;
+        // The stored version can exceed the LSN after a promotion
+        // re-log (versions never regress per key), so read it back.
+        let version = self.inner.store.query(|m| m.get(key).map(|(_, l)| l)).unwrap_or_default();
+        self.replicate(key, version.max(1), &cmd);
+        Ok(version)
+    }
+
+    /// Delete `key` (primary only). Returns the tombstone's version.
+    pub fn delete(&self, key: &str) -> StoreResult<Lsn> {
+        self.check_primary(key)?;
+        let cmd = KvMachine::del_command(key);
+        let lsn = self.inner.store.execute(&cmd)?;
+        self.replicate(key, lsn, &cmd);
+        Ok(lsn)
+    }
+
+    /// Version-gated merged read. The value is the newest copy across
+    /// the node's own state and its replica streams; the gate compares
+    /// the reader's floor against the *key's authoritative stream* —
+    /// our own log when we primary the key, otherwise the stream
+    /// shipped from the key's primary.
+    pub fn get(&self, key: &str, min_version: Lsn) -> StoreResult<Option<(Value, Lsn)>> {
+        let map = self.map();
+        let mut best: Option<(Value, Lsn)> =
+            self.inner.store.query(|m| m.get(key).map(|(v, l)| (v.clone(), l)));
+        let mut max_watermark = self.inner.store.applied_lsn();
+        let replicas = self.inner.replicas.read();
+        for d in replicas.values() {
+            max_watermark = max_watermark.max(d.applied_lsn());
+            if let Some((v, l)) = d.query(|m| m.get(key).map(|(v, l)| (v.clone(), l))) {
+                if best.as_ref().map(|(_, bl)| l > *bl).unwrap_or(true) {
+                    best = Some((v, l));
+                }
+            }
+        }
+        let watermark = match map.primary(key) {
+            Some(p) if p.id != self.inner.id => {
+                replicas.get(&p.id).map(|d| d.applied_lsn()).unwrap_or(0)
+            }
+            // We primary the key — or the map is empty and the best
+            // cross-stream watermark is the honest answer.
+            Some(_) => self.inner.store.applied_lsn(),
+            None => max_watermark,
+        };
+        drop(replicas);
+        match best {
+            Some((v, l)) if l >= min_version => Ok(Some((v, l))),
+            Some((_, l)) => Err(StoreError::Behind { have: l, want: min_version }),
+            None if watermark >= min_version => Ok(None),
+            None => Err(StoreError::Behind { have: watermark, want: min_version }),
+        }
+    }
+
+    /// Push `lsn` to every replica owner of `key`. Best-effort: an
+    /// unreachable replica is counted and skipped (it catches up later
+    /// via [`StoreNode::sync_from`] or the next push's `behind` dance);
+    /// a *behind* replica is caught up inline from this node's log.
+    fn replicate(&self, key: &str, lsn: Lsn, cmd: &[u8]) {
+        let map = self.map();
+        for owner in map.owners(key).iter().skip(1) {
+            if owner.id == self.inner.id {
+                continue;
+            }
+            let records = vec![(lsn, cmd.to_vec())];
+            match self.push_records(&owner.endpoint, &records) {
+                Ok(()) => self.inner.pushes.inc(),
+                Err(StoreError::Behind { have, .. }) => {
+                    // Ship everything the replica is missing.
+                    match self
+                        .inner
+                        .store
+                        .wal()
+                        .records_after(have)
+                        .and_then(|recs| self.push_records(&owner.endpoint, &recs))
+                    {
+                        Ok(()) => self.inner.pushes.inc(),
+                        Err(_) => self.inner.push_failures.inc(),
+                    }
+                }
+                Err(_) => self.inner.push_failures.inc(),
+            }
+        }
+    }
+
+    /// POST a batch of our records to a peer's `/store/replicate`.
+    fn push_records(&self, endpoint: &str, records: &[(Lsn, Vec<u8>)]) -> StoreResult<()> {
+        let body = records_to_json(&self.inner.id, records);
+        match self.inner.peers.post(&format!("{endpoint}/store/replicate"), &body) {
+            Ok(_) => Ok(()),
+            Err(e) => Err(rest_to_store(e)),
+        }
+    }
+
+    /// Apply records shipped from primary `source` into its replica
+    /// stream. Returns the stream's applied LSN. Gaps surface as
+    /// [`StoreError::Behind`] so the shipper knows where to resume.
+    pub fn apply_shipped(&self, source: &str, records: &[(Lsn, Vec<u8>)]) -> StoreResult<Lsn> {
+        let stream = self.replica_for(source)?;
+        if records.is_empty() {
+            return Ok(stream.applied_lsn());
+        }
+        // One group commit for the whole shipment: catch-up cost is a
+        // single fsync, not one per record.
+        stream.execute_shipped_batch(records)
+    }
+
+    /// Pull-side catch-up: ask the peer who it is, fetch its records
+    /// after our stream watermark, and apply them. Returns how many
+    /// records were applied.
+    pub fn sync_from(&self, endpoint: &str) -> StoreResult<usize> {
+        let status =
+            self.inner.peers.get(&format!("{endpoint}/store/status")).map_err(rest_to_store)?;
+        let source = status
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or(StoreError::Remote("peer status missing id".into()))?
+            .to_string();
+        if source == self.inner.id {
+            return Err(StoreError::Remote("refusing to sync from self".into()));
+        }
+        let after = self.replica_applied(&source);
+        let resp = self
+            .inner
+            .peers
+            .get(&format!("{endpoint}/store/ship?after={after}"))
+            .map_err(rest_to_store)?;
+        let records = records_from_json(&resp)?;
+        let n = records.len();
+        self.apply_shipped(&source, &records)?;
+        Ok(n)
+    }
+
+    /// Failover promotion: re-log `source`'s replicated state into our
+    /// own log so we can primary its shards. Versions are carried over
+    /// verbatim (they never regress per key), and keys we already hold
+    /// at an equal-or-newer version are skipped. Returns how many keys
+    /// were adopted.
+    pub fn promote(&self, source: &str) -> StoreResult<usize> {
+        let Some(stream) = self.inner.replicas.read().get(source).cloned() else {
+            return Ok(0);
+        };
+        let entries: Vec<(String, Value, Lsn)> = stream.query(|m| {
+            m.keys().into_iter().filter_map(|k| m.get(&k).map(|(v, l)| (k, v.clone(), l))).collect()
+        });
+        let mut adopted = 0;
+        for (key, value, version) in entries {
+            let have = self.inner.store.query(|m| m.get(&key).map(|(_, l)| l)).unwrap_or(0);
+            if have >= version {
+                continue;
+            }
+            let cmd = KvMachine::put_versioned_command(&key, &value, version);
+            self.inner.store.execute(&cmd)?;
+            adopted += 1;
+        }
+        Ok(adopted)
+    }
+
+    /// REST routes exposing this node.
+    pub fn router(&self) -> Router {
+        let mut r = Router::new();
+        let node = self.clone();
+        r.put("/store/{key}", move |req, p: PathParams| {
+            let key = p.get("key").unwrap_or_default();
+            let value = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            match node.put(key, &value) {
+                Ok(lsn) => version_response(lsn),
+                Err(e) => store_error_response(e),
+            }
+        });
+        let node = self.clone();
+        r.delete("/store/{key}", move |_req, p: PathParams| {
+            match node.delete(p.get("key").unwrap_or_default()) {
+                Ok(lsn) => version_response(lsn),
+                Err(e) => store_error_response(e),
+            }
+        });
+        let node = self.clone();
+        r.get("/store/ship", move |req, _p| {
+            let after = req.query("after").and_then(|v| v.parse().ok()).unwrap_or(0);
+            match node.inner.store.wal().records_after(after) {
+                Ok(records) => {
+                    Response::json_owned(records_to_json(&node.inner.id, &records).to_compact())
+                }
+                Err(e) => store_error_response(e),
+            }
+        });
+        let node = self.clone();
+        r.get("/store/status", move |_req, _p| {
+            let mut status = Value::object();
+            status.set("id", node.inner.id.as_str());
+            status.set("applied", node.inner.store.applied_lsn() as i64);
+            status.set("durable", node.inner.store.wal().durable_lsn() as i64);
+            status.set("map_version", node.map().version() as i64);
+            status.set("keys", node.inner.store.query(|m| m.len()) as i64);
+            let mut streams = Value::object();
+            for (source, d) in node.inner.replicas.read().iter() {
+                streams.set(source.as_str(), d.applied_lsn() as i64);
+            }
+            status.set("replica_streams", streams);
+            Response::json_owned(status.to_compact())
+        });
+        let node = self.clone();
+        r.post("/store/replicate", move |req, _p| {
+            let body = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            let Some(source) = body.get("source").and_then(Value::as_str).map(str::to_string)
+            else {
+                return Response::error(Status::BAD_REQUEST, "replicate body missing source");
+            };
+            let records = match records_from_json(&body) {
+                Ok(r) => r,
+                Err(_) => return Response::error(Status::BAD_REQUEST, "body must be records"),
+            };
+            match node.apply_shipped(&source, &records) {
+                Ok(applied) => {
+                    let mut ok = Value::object();
+                    ok.set("applied", applied as i64);
+                    Response::json_owned(ok.to_compact())
+                }
+                Err(e) => store_error_response(e),
+            }
+        });
+        let node = self.clone();
+        r.post("/store/map", move |req, _p| {
+            let body = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            match ShardMap::from_json(&body) {
+                Ok(map) => {
+                    let version = map.version();
+                    node.set_map(Arc::new(map));
+                    let mut ok = Value::object();
+                    ok.set("map_version", version as i64);
+                    Response::json_owned(ok.to_compact())
+                }
+                Err(e) => Response::error(Status::BAD_REQUEST, &format!("bad shard map: {e}")),
+            }
+        });
+        let node = self.clone();
+        r.get("/store/{key}", move |req, p: PathParams| {
+            let key = p.get("key").unwrap_or_default();
+            let min = req.query("min_version").and_then(|v| v.parse().ok()).unwrap_or(0);
+            match node.get(key, min) {
+                Ok(Some((value, version))) => {
+                    let mut body = Value::object();
+                    body.set("key", key);
+                    body.set("value", value);
+                    body.set("version", version as i64);
+                    Response::json_owned(body.to_compact())
+                }
+                Ok(None) => Response::error(Status::NOT_FOUND, &format!("no key {key:?}")),
+                Err(e) => store_error_response(e),
+            }
+        });
+        r
+    }
+}
+
+/// `{"source":"...","records":[{"lsn":N,"command":"..."}]}` — commands
+/// are the KV machine's JSON command strings, so they embed as text.
+fn records_to_json(source: &str, records: &[(Lsn, Vec<u8>)]) -> Value {
+    let items: Vec<Value> = records
+        .iter()
+        .map(|(lsn, cmd)| {
+            let mut item = Value::object();
+            item.set("lsn", *lsn as i64);
+            item.set("command", String::from_utf8_lossy(cmd).into_owned());
+            item
+        })
+        .collect();
+    let mut body = Value::object();
+    body.set("source", source);
+    body.set("records", Value::Array(items));
+    body
+}
+
+fn records_from_json(body: &Value) -> StoreResult<Vec<(Lsn, Vec<u8>)>> {
+    let items = body
+        .get("records")
+        .and_then(Value::as_array)
+        .ok_or(StoreError::Remote("replicate body missing records".into()))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let lsn = item
+            .get("lsn")
+            .and_then(Value::as_i64)
+            .ok_or(StoreError::Remote("record missing lsn".into()))? as Lsn;
+        let cmd = item
+            .get("command")
+            .and_then(Value::as_str)
+            .ok_or(StoreError::Remote("record missing command".into()))?;
+        out.push((lsn, cmd.as_bytes().to_vec()));
+    }
+    Ok(out)
+}
+
+fn version_response(lsn: Lsn) -> Response {
+    let mut body = Value::object();
+    body.set("version", lsn as i64);
+    Response::json_owned(body.to_compact())
+}
+
+/// Map store errors onto the wire: routing and staleness conditions are
+/// `409` with a machine-readable body; everything else is `500`.
+fn store_error_response(e: StoreError) -> Response {
+    match e {
+        StoreError::NotPrimary { key, primary } => {
+            let mut body = Value::object();
+            body.set("error", "not_primary");
+            body.set("key", key.as_str());
+            match primary {
+                Some(p) => body.set("primary", p.as_str()),
+                None => body.set("primary", Value::Null),
+            }
+            Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
+        }
+        StoreError::Behind { have, want } => {
+            let mut body = Value::object();
+            body.set("error", "behind");
+            body.set("have", have as i64);
+            body.set("want", want as i64);
+            Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
+        }
+        other => Response::error(Status::INTERNAL_SERVER_ERROR, &other.to_string()),
+    }
+}
+
+fn rest_to_store(e: RestError) -> StoreError {
+    if let RestError::Status { status, body } = &e {
+        if *status == Status::CONFLICT {
+            if let Ok(v) = Value::parse(body) {
+                match v.get("error").and_then(Value::as_str) {
+                    Some("behind") => {
+                        return StoreError::Behind {
+                            have: v.get("have").and_then(Value::as_i64).unwrap_or(0) as Lsn,
+                            want: v.get("want").and_then(Value::as_i64).unwrap_or(0) as Lsn,
+                        }
+                    }
+                    Some("not_primary") => {
+                        return StoreError::NotPrimary {
+                            key: v
+                                .get("key")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_string(),
+                            primary: v.get("primary").and_then(Value::as_str).map(str::to_string),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    StoreError::Remote(e.to_string())
+}
+
+/// A shard-aware store client with read-your-writes sessions.
+pub struct StoreClient {
+    rest: RestClient,
+    map: RwLock<Arc<ShardMap>>,
+    /// Per-key version floor: the LSN each of this client's writes was
+    /// assigned, demanded back on every later read of the same key.
+    sessions: Mutex<HashMap<String, Lsn>>,
+}
+
+impl StoreClient {
+    /// Client over `transport`, with an empty map until
+    /// [`StoreClient::set_map`] installs one.
+    pub fn new(transport: Arc<dyn Transport>) -> StoreClient {
+        StoreClient {
+            rest: RestClient::new(transport),
+            map: RwLock::new(Arc::new(ShardMap::build(0, Vec::new(), 1))),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Install the shard map the client routes by.
+    pub fn set_map(&self, map: Arc<ShardMap>) {
+        *self.map.write() = map;
+    }
+
+    /// The installed map.
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.map.read().clone()
+    }
+
+    /// The session's version floor for `key` (0 = never written).
+    pub fn session_version(&self, key: &str) -> Lsn {
+        self.sessions.lock().get(key).copied().unwrap_or(0)
+    }
+
+    /// Write `value` under `key` through the key's primary.
+    pub fn put(&self, key: &str, value: &Value) -> StoreResult<Lsn> {
+        self.write(key, Some(value))
+    }
+
+    /// Delete `key` through its primary.
+    pub fn delete(&self, key: &str) -> StoreResult<Lsn> {
+        self.write(key, None)
+    }
+
+    fn write(&self, key: &str, value: Option<&Value>) -> StoreResult<Lsn> {
+        let map = self.map();
+        let primary = map
+            .primary(key)
+            .ok_or(StoreError::Remote("shard map has no nodes".into()))?
+            .endpoint
+            .clone();
+        match self.write_at(&primary, key, value) {
+            // A stale client map routed to the wrong node; follow the
+            // authoritative hint once.
+            Err(StoreError::NotPrimary { primary: Some(hint), .. }) if hint != primary => {
+                self.write_at(&hint, key, value)
+            }
+            other => other,
+        }
+    }
+
+    fn write_at(&self, endpoint: &str, key: &str, value: Option<&Value>) -> StoreResult<Lsn> {
+        let url = format!("{endpoint}/store/{}", percent_encode(key));
+        let resp = match value {
+            Some(v) => self.rest.put(&url, v),
+            None => self.rest.delete(&url),
+        }
+        .map_err(rest_to_store)?;
+        let version = resp
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or(StoreError::Remote("write response missing version".into()))?
+            as Lsn;
+        self.sessions.lock().insert(key.to_string(), version);
+        Ok(version)
+    }
+
+    /// Read `key`, demanding at least this session's last written
+    /// version. Owners are tried replica-first (the cheapest copy that
+    /// can prove freshness wins) and the primary is the last resort —
+    /// a behind or unreachable replica silently falls through.
+    pub fn get(&self, key: &str) -> StoreResult<Option<(Value, Lsn)>> {
+        let floor = self.session_version(key);
+        let map = self.map();
+        let owners = map.owners(key);
+        if owners.is_empty() {
+            return Err(StoreError::Remote("shard map has no nodes".into()));
+        }
+        let mut last_err = None;
+        for owner in owners.iter().rev() {
+            let url =
+                format!("{}/store/{}?min_version={floor}", owner.endpoint, percent_encode(key));
+            match self.rest.get(&url) {
+                Ok(resp) => {
+                    let value = resp.get("value").cloned().unwrap_or(Value::Null);
+                    let version = resp.get("version").and_then(Value::as_i64).unwrap_or(0) as Lsn;
+                    return Ok(Some((value, version)));
+                }
+                Err(RestError::Status { status, .. }) if status == Status::NOT_FOUND => {
+                    return Ok(None)
+                }
+                Err(e) => last_err = Some(rest_to_store(e)),
+            }
+        }
+        Err(last_err.unwrap_or(StoreError::Remote("no owner answered".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+    use soc_http::MemNetwork;
+    use soc_json::json;
+
+    struct Cluster {
+        net: Arc<MemNetwork>,
+        nodes: Vec<StoreNode>,
+        _dirs: Vec<TempDir>,
+    }
+
+    /// `n` nodes hosted as `mem://s{i}` sharing one map.
+    fn cluster(n: usize, replication: usize) -> Cluster {
+        let net = Arc::new(MemNetwork::new());
+        let shard_nodes: Vec<crate::shard::ShardNode> = (0..n)
+            .map(|i| crate::shard::ShardNode {
+                id: format!("s{i}"),
+                endpoint: format!("mem://s{i}"),
+            })
+            .collect();
+        let map = Arc::new(ShardMap::build(1, shard_nodes, replication));
+        let mut nodes = Vec::new();
+        let mut dirs = Vec::new();
+        for i in 0..n {
+            let dir = TempDir::new(&format!("node-{i}"));
+            let node = StoreNode::open(
+                StoreNodeConfig::new(&format!("s{i}")),
+                dir.path(),
+                net.clone() as Arc<dyn Transport>,
+            )
+            .unwrap();
+            node.set_map(map.clone());
+            net.host(&format!("s{i}"), node.router());
+            nodes.push(node);
+            dirs.push(dir);
+        }
+        Cluster { net, nodes, _dirs: dirs }
+    }
+
+    fn client(c: &Cluster) -> StoreClient {
+        let client = StoreClient::new(c.net.clone() as Arc<dyn Transport>);
+        client.set_map(c.nodes[0].map());
+        client
+    }
+
+    #[test]
+    fn writes_route_to_primary_and_replicate() {
+        let c = cluster(3, 2);
+        let cl = client(&c);
+        for i in 0..20 {
+            cl.put(&format!("key-{i}"), &json!({ "n": i })).unwrap();
+        }
+        // Every owner of every key holds the write — the primary in its
+        // own log, replicas in the primary's shipped stream.
+        let map = c.nodes[0].map();
+        for i in 0..20 {
+            let key = format!("key-{i}");
+            for owner in map.owners(&key) {
+                let idx: usize = owner.id[1..].parse().unwrap();
+                let got = c.nodes[idx].get(&key, 0).unwrap();
+                assert!(got.is_some(), "owner {} missing {key}", owner.id);
+            }
+        }
+    }
+
+    #[test]
+    fn read_your_writes_falls_back_to_primary_when_replica_is_behind() {
+        let c = cluster(3, 2);
+        let cl = client(&c);
+        let v = cl.put("wanted", &json!("fresh")).unwrap();
+        // Write directly on the primary's store without replication
+        // (simulates a replica that lost the push), then bump the
+        // session floor past what replicas have: a replica read must
+        // refuse and the client must fall back to the primary.
+        let primary_id = c.nodes[0].map().primary("wanted").unwrap().id.clone();
+        let primary_idx: usize = primary_id[1..].parse().unwrap();
+        let cmd = KvMachine::put_command("wanted", &json!("fresher"));
+        c.nodes[primary_idx].store().execute(&cmd).unwrap();
+        let v2 = c.nodes[primary_idx].store().applied_lsn();
+        assert!(v2 > v);
+        cl.sessions.lock().insert("wanted".into(), v2);
+        let (value, version) = cl.get("wanted").unwrap().expect("value");
+        assert_eq!(value, json!("fresher"));
+        assert_eq!(version, v2);
+    }
+
+    #[test]
+    fn stale_client_map_is_corrected_by_not_primary_hint() {
+        let c = cluster(3, 2);
+        let cl = client(&c);
+        // Find a key s0 does not own at all (else replication would
+        // legitimately hand it a copy), then give the client a one-node
+        // map that routes everything to s0.
+        let map = c.nodes[0].map();
+        let key = (0..200)
+            .map(|i| format!("k-{i}"))
+            .find(|k| !map.owns("s0", k))
+            .expect("some key lands entirely off s0");
+        cl.set_map(Arc::new(ShardMap::build(
+            99,
+            vec![crate::shard::ShardNode { id: "s0".into(), endpoint: "mem://s0".into() }],
+            1,
+        )));
+        let v = cl.put(&key, &json!(1)).unwrap();
+        assert!(v >= 1);
+        // The hint routed the write to the true primary.
+        let primary_idx: usize = map.primary(&key).unwrap().id[1..].parse().unwrap();
+        assert!(c.nodes[primary_idx].get(&key, 0).unwrap().is_some());
+        // s0 never stored it.
+        assert!(c.nodes[0].get(&key, 0).unwrap().is_none());
+    }
+
+    #[test]
+    fn late_replica_catches_up_via_log_shipping() {
+        let net = Arc::new(MemNetwork::new());
+        let dir_a = TempDir::new("ship-a");
+        let dir_b = TempDir::new("ship-b");
+        let a = StoreNode::open(
+            StoreNodeConfig::new("a"),
+            dir_a.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        net.host("a", a.router());
+        for i in 0..30 {
+            a.put(&format!("k{i}"), &json!(i)).unwrap();
+        }
+        // A replica that joins after the fact pulls the whole log.
+        let b = StoreNode::open(
+            StoreNodeConfig::new("b"),
+            dir_b.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        assert_eq!(b.sync_from("mem://a").unwrap(), 30);
+        assert_eq!(b.replica_applied("a"), a.store().applied_lsn());
+        assert_eq!(b.get("k29", 30).unwrap().unwrap().0, json!(29));
+        // Idempotent: a second sync ships nothing.
+        assert_eq!(b.sync_from("mem://a").unwrap(), 0);
+    }
+
+    #[test]
+    fn promotion_adopts_replicated_state_with_versions() {
+        let c = cluster(2, 2);
+        let cl = client(&c);
+        let mut versions = HashMap::new();
+        for i in 0..12 {
+            let key = format!("key-{i}");
+            let v = cl.put(&key, &json!(i)).unwrap();
+            versions.insert(key, v);
+        }
+        // s0 dies; s1 promotes s0's stream and becomes sole owner.
+        let survivor = c.nodes[1].clone();
+        let adopted = survivor.promote("s0").unwrap();
+        assert!(adopted > 0, "survivor adopts the dead primary's keys");
+        let solo = Arc::new(ShardMap::build(
+            2,
+            vec![crate::shard::ShardNode { id: "s1".into(), endpoint: "mem://s1".into() }],
+            2,
+        ));
+        survivor.set_map(solo.clone());
+        cl.set_map(solo);
+        // Every key is readable at (at least) its original version —
+        // the old session floors still hold.
+        for (key, v) in &versions {
+            let (_, got) = cl.get(key).unwrap().expect("promoted key");
+            assert!(got >= *v, "{key}: {got} < {v}");
+        }
+        // New writes never regress a promoted key's version.
+        for (key, v) in &versions {
+            let nv = cl.put(key, &json!("new")).unwrap();
+            assert!(nv > *v, "{key}: new version {nv} <= old {v}");
+        }
+    }
+
+    #[test]
+    fn status_route_reports_progress() {
+        let c = cluster(1, 1);
+        let cl = client(&c);
+        cl.put("x", &json!(1)).unwrap();
+        let rest = RestClient::new(c.net.clone() as Arc<dyn Transport>);
+        let status = rest.get("mem://s0/store/status").unwrap();
+        assert_eq!(status.get("id").and_then(Value::as_str), Some("s0"));
+        assert_eq!(status.get("applied").and_then(Value::as_i64), Some(1));
+        assert_eq!(status.get("keys").and_then(Value::as_i64), Some(1));
+    }
+
+    #[test]
+    fn node_restart_recovers_own_and_replicated_state() {
+        let net = Arc::new(MemNetwork::new());
+        let dir = TempDir::new("restart");
+        {
+            let node = StoreNode::open(
+                StoreNodeConfig::new("solo"),
+                dir.path(),
+                net.clone() as Arc<dyn Transport>,
+            )
+            .unwrap();
+            node.put("persist", &json!({ "v": 7 })).unwrap();
+            node.put("doomed", &json!(0)).unwrap();
+            node.delete("doomed").unwrap();
+            // Also feed a replica stream from a fictional peer.
+            node.apply_shipped("peer#1", &[(1, KvMachine::put_command("shipped", &json!(9)))])
+                .unwrap();
+        }
+        let node = StoreNode::open(
+            StoreNodeConfig::new("solo"),
+            dir.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        let (v, ver) = node.get("persist", 1).unwrap().unwrap();
+        assert_eq!(v, json!({ "v": 7 }));
+        assert_eq!(ver, 1);
+        assert!(node.get("doomed", 0).unwrap().is_none());
+        // The replica stream reopened too (percent-encoded dir name).
+        assert_eq!(node.replica_applied("peer#1"), 1);
+        assert_eq!(node.get("shipped", 0).unwrap().unwrap().0, json!(9));
+    }
+}

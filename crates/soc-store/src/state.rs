@@ -1,0 +1,286 @@
+//! The deterministic-replay contract: a [`StateMachine`] applies
+//! logged commands, and [`Durable`] pairs one with a [`Wal`] so the
+//! machine reopens to its exact pre-crash state.
+
+use parking_lot::Mutex;
+
+use crate::wal::{Lsn, Wal, WalConfig};
+use crate::{StoreError, StoreResult};
+
+/// A component whose every mutation is a logged command.
+///
+/// `apply` must be **deterministic**: replaying the same commands in
+/// the same LSN order from the same snapshot must rebuild the same
+/// state. Anything non-deterministic (clocks, randomness, external
+/// calls) must be resolved *before* logging, with the result — not the
+/// inputs — in the command (see the submission ledger, which logs the
+/// decided response rather than re-running the decision).
+pub trait StateMachine: Send + 'static {
+    /// Apply one command. `lsn` is the command's position in the log —
+    /// machines that expose per-key versions use it as the version.
+    fn apply(&mut self, lsn: Lsn, command: &[u8]);
+
+    /// Serialize the full state for compaction.
+    fn snapshot(&self) -> Vec<u8>;
+
+    /// Rebuild state from a [`StateMachine::snapshot`] payload.
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String>;
+}
+
+/// A [`StateMachine`] bound to a [`Wal`]: commands are logged before
+/// the response is acknowledged, so a crash at any point loses only
+/// writes that were never confirmed.
+pub struct Durable<M> {
+    wal: Wal,
+    machine: Mutex<(M, Lsn)>,
+}
+
+impl<M: StateMachine> Durable<M> {
+    /// Open the log in `dir`, restore the newest snapshot into
+    /// `machine`, and replay every record after it.
+    pub fn open(dir: impl AsRef<std::path::Path>, cfg: WalConfig, machine: M) -> StoreResult<Self> {
+        let (wal, recovery) = Wal::open_with(dir, cfg)?;
+        let mut machine = machine;
+        let mut applied = 0;
+        if let Some((lsn, snap)) = &recovery.snapshot {
+            machine.restore(snap).map_err(StoreError::Corrupt)?;
+            applied = *lsn;
+        }
+        for (lsn, payload) in &recovery.records {
+            machine.apply(*lsn, payload);
+            applied = *lsn;
+        }
+        Ok(Durable { wal, machine: Mutex::new((machine, applied)) })
+    }
+
+    /// Log `command`, apply it, and wait for durability. Returns the
+    /// command's LSN — the version a writer can later demand from a
+    /// replica read.
+    ///
+    /// The in-memory effect becomes visible to concurrent readers
+    /// before the fsync completes (standard group-commit visibility);
+    /// the *caller's acknowledgment* is what waits for durability.
+    pub fn execute(&self, command: &[u8]) -> StoreResult<Lsn> {
+        let mut m = self.machine.lock();
+        let lsn = self.wal.submit(command)?;
+        m.0.apply(lsn, command);
+        m.1 = lsn;
+        drop(m);
+        self.wal.wait_durable(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Apply a record shipped from a primary, asserting it lands at
+    /// the same LSN locally — replicas replay the primary's exact
+    /// sequence, so local and source LSNs must coincide.
+    pub fn execute_shipped(&self, source_lsn: Lsn, command: &[u8]) -> StoreResult<Lsn> {
+        let mut m = self.machine.lock();
+        if m.1 >= source_lsn {
+            // Already applied (idempotent redelivery).
+            return Ok(source_lsn);
+        }
+        if source_lsn != m.1 + 1 {
+            return Err(StoreError::Behind { have: m.1, want: source_lsn });
+        }
+        let lsn = self.wal.submit(command)?;
+        if lsn != source_lsn {
+            return Err(StoreError::Corrupt(format!(
+                "replica log diverged: shipping lsn {source_lsn} but local log is at {lsn}"
+            )));
+        }
+        m.0.apply(lsn, command);
+        m.1 = lsn;
+        drop(m);
+        self.wal.wait_durable(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Apply a whole shipped batch under one durability wait: every
+    /// record is submitted and applied in order (same idempotent-
+    /// redelivery and gap checks as [`Durable::execute_shipped`]), then
+    /// the log is synced **once** for the batch — so a replica catching
+    /// up on N records pays one group commit, not N fsyncs. Returns the
+    /// highest applied LSN.
+    pub fn execute_shipped_batch(&self, records: &[(Lsn, Vec<u8>)]) -> StoreResult<Lsn> {
+        let mut m = self.machine.lock();
+        let mut last_submitted = None;
+        for (source_lsn, command) in records {
+            if m.1 >= *source_lsn {
+                // Already applied (idempotent redelivery).
+                continue;
+            }
+            if *source_lsn != m.1 + 1 {
+                return Err(StoreError::Behind { have: m.1, want: *source_lsn });
+            }
+            let lsn = self.wal.submit(command)?;
+            if lsn != *source_lsn {
+                return Err(StoreError::Corrupt(format!(
+                    "replica log diverged: shipping lsn {source_lsn} but local log is at {lsn}"
+                )));
+            }
+            m.0.apply(lsn, command);
+            m.1 = lsn;
+            last_submitted = Some(lsn);
+        }
+        let applied = m.1;
+        drop(m);
+        if let Some(lsn) = last_submitted {
+            self.wal.wait_durable(lsn)?;
+        }
+        Ok(applied)
+    }
+
+    /// Conditionally log a command decided *under the machine lock*:
+    /// `decide` inspects the current state and either returns the
+    /// command to log (plus a value read from the pre-apply state, e.g.
+    /// the queue head a `recv` will pop) or `None` to do nothing. The
+    /// check, the logging, and the apply are one atomic step, so a
+    /// guard like "only if there is space" cannot race another writer.
+    pub fn execute_when<R>(
+        &self,
+        decide: impl FnOnce(&M) -> Option<(Vec<u8>, R)>,
+    ) -> StoreResult<Option<(Lsn, R)>> {
+        let mut m = self.machine.lock();
+        let Some((command, out)) = decide(&m.0) else {
+            return Ok(None);
+        };
+        let lsn = self.wal.submit(&command)?;
+        m.0.apply(lsn, &command);
+        m.1 = lsn;
+        drop(m);
+        self.wal.wait_durable(lsn)?;
+        Ok(Some((lsn, out)))
+    }
+
+    /// Read the machine under the lock.
+    pub fn query<R>(&self, f: impl FnOnce(&M) -> R) -> R {
+        f(&self.machine.lock().0)
+    }
+
+    /// Highest LSN applied to the machine.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.machine.lock().1
+    }
+
+    /// Snapshot-then-truncate compaction: serialize the machine and
+    /// hand the bytes to [`Wal::snapshot`] while holding the machine
+    /// lock, so the snapshot reflects exactly the applied prefix.
+    pub fn compact(&self) -> StoreResult<Lsn> {
+        let m = self.machine.lock();
+        let state = m.0.snapshot();
+        self.wal.snapshot(&state)
+    }
+
+    /// The underlying log (for shipping and introspection).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+
+    /// A machine that sums logged integers — trivially deterministic.
+    #[derive(Default)]
+    struct Summer {
+        total: i64,
+        applied: u64,
+    }
+
+    impl StateMachine for Summer {
+        fn apply(&mut self, _lsn: Lsn, command: &[u8]) {
+            let n: i64 = std::str::from_utf8(command).unwrap().parse().unwrap();
+            self.total += n;
+            self.applied += 1;
+        }
+        fn snapshot(&self) -> Vec<u8> {
+            format!("{} {}", self.total, self.applied).into_bytes()
+        }
+        fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+            let s = std::str::from_utf8(snapshot).map_err(|e| e.to_string())?;
+            let (total, applied) = s.split_once(' ').ok_or("bad snapshot")?;
+            self.total = total.parse().map_err(|_| "bad total")?;
+            self.applied = applied.parse().map_err(|_| "bad applied")?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn replay_restores_state() {
+        let tmp = TempDir::new("durable");
+        {
+            let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+            d.execute(b"5").unwrap();
+            d.execute(b"7").unwrap();
+            d.execute(b"-2").unwrap();
+            assert_eq!(d.query(|m| m.total), 10);
+            assert_eq!(d.applied_lsn(), 3);
+        }
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        assert_eq!(d.query(|m| m.total), 10);
+        assert_eq!(d.applied_lsn(), 3);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_continues() {
+        let tmp = TempDir::new("durable-compact");
+        {
+            let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+            for i in 1..=10 {
+                d.execute(format!("{i}").as_bytes()).unwrap();
+            }
+            assert_eq!(d.compact().unwrap(), 10);
+            d.execute(b"100").unwrap();
+        }
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        assert_eq!(d.query(|m| m.total), 155);
+        // Snapshot restored 10 commands' worth; only one was replayed.
+        assert_eq!(d.applied_lsn(), 11);
+    }
+
+    #[test]
+    fn shipped_records_enforce_contiguity() {
+        let tmp = TempDir::new("durable-ship");
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        d.execute_shipped(1, b"5").unwrap();
+        // Redelivery is idempotent.
+        d.execute_shipped(1, b"5").unwrap();
+        assert_eq!(d.query(|m| m.total), 5);
+        // A gap is refused with the catch-up hint.
+        match d.execute_shipped(3, b"9") {
+            Err(StoreError::Behind { have: 1, want: 3 }) => {}
+            other => panic!("expected Behind, got {other:?}"),
+        }
+        d.execute_shipped(2, b"7").unwrap();
+        assert_eq!(d.query(|m| m.total), 12);
+    }
+
+    #[test]
+    fn shipped_batches_apply_under_one_commit() {
+        let tmp = TempDir::new("durable-ship-batch");
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        d.execute_shipped(1, b"5").unwrap();
+        // Overlapping redelivery is skipped; the fresh tail applies.
+        let batch: Vec<(Lsn, Vec<u8>)> =
+            vec![(1, b"5".to_vec()), (2, b"7".to_vec()), (3, b"9".to_vec())];
+        assert_eq!(d.execute_shipped_batch(&batch).unwrap(), 3);
+        assert_eq!(d.query(|m| m.total), 21);
+        assert_eq!(d.applied_lsn(), 3);
+        // A gap inside a batch is refused with the catch-up hint.
+        let gapped: Vec<(Lsn, Vec<u8>)> = vec![(5, b"1".to_vec())];
+        match d.execute_shipped_batch(&gapped) {
+            Err(StoreError::Behind { have: 3, want: 5 }) => {}
+            other => panic!("expected Behind, got {other:?}"),
+        }
+        // An empty batch is a no-op.
+        assert_eq!(d.execute_shipped_batch(&[]).unwrap(), 3);
+
+        // The batch survives a reopen like any logged records.
+        drop(d);
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        assert_eq!(d.query(|m| m.total), 21);
+        assert_eq!(d.applied_lsn(), 3);
+    }
+}

@@ -1,0 +1,460 @@
+//! Durable saga execution: the coordinator's completion log on the
+//! `soc-store` write-ahead log.
+//!
+//! [`SagaJournal`] records three event kinds per saga — `begin`,
+//! `node` (a completed forward step with its outputs), and `end` — so
+//! a coordinator that crashes mid-saga reopens to the exact set of
+//! sagas that began but never finished, each with the nodes it is
+//! *known* to have completed. The restarted coordinator then either
+//! **resumes** ([`WorkflowGraph::resume_saga`]: seed the journalled
+//! completions, execute only the remaining suffix) or **compensates**
+//! ([`WorkflowGraph::compensate_saga`]: run the compensators of every
+//! journalled completion in reverse topological order) — the paper's
+//! dependability story carried across a process boundary.
+//!
+//! The journal trails reality by at most one in-flight node: a node's
+//! completion is logged *before* its outputs are routed, so a crash
+//! between a side effect landing and the `node` event reaching disk
+//! loses only that one step — which is why compensators must be safe
+//! to run when the effect never landed (the same contract in-run
+//! compensation already demands of the failed node).
+//!
+//! Snapshot = the open-saga table only; `end` events delete their saga,
+//! so compaction naturally discards finished history.
+
+use std::collections::HashMap;
+
+use soc_json::Value;
+use soc_parallel::ThreadPool;
+use soc_store::wal::{Lsn, WalConfig};
+use soc_store::{Durable, StateMachine, StoreResult};
+
+use crate::activity::Ports;
+use crate::graph::{WorkflowError, WorkflowGraph};
+use crate::saga::{SagaConfig, SagaHook, WorkflowOutcome};
+
+/// What the journal knows about one unfinished saga.
+#[derive(Debug, Clone, Default)]
+pub struct SagaRecord {
+    /// Completed nodes in completion order: `(node name, outputs)`.
+    pub completed: Vec<(String, Ports)>,
+}
+
+/// The replayable open-saga table.
+#[derive(Default)]
+struct JournalMachine {
+    open: HashMap<String, SagaRecord>,
+}
+
+fn ports_to_value(ports: &Ports) -> Value {
+    let mut obj = Value::object();
+    let mut names: Vec<&String> = ports.keys().collect();
+    names.sort();
+    for name in names {
+        obj.set(name.as_str(), ports[name].clone());
+    }
+    obj
+}
+
+fn ports_from_value(v: &Value) -> Ports {
+    let mut ports = Ports::new();
+    if let Value::Object(entries) = v {
+        for (k, val) in entries {
+            ports.insert(k.clone(), val.clone());
+        }
+    }
+    ports
+}
+
+impl JournalMachine {
+    fn begin_event(saga: &str) -> Vec<u8> {
+        let mut ev = Value::object();
+        ev.set("ev", "begin");
+        ev.set("saga", saga);
+        ev.to_compact().into_bytes()
+    }
+
+    fn node_event(saga: &str, node: &str, outputs: &Ports) -> Vec<u8> {
+        let mut ev = Value::object();
+        ev.set("ev", "node");
+        ev.set("saga", saga);
+        ev.set("node", node);
+        ev.set("outputs", ports_to_value(outputs));
+        ev.to_compact().into_bytes()
+    }
+
+    fn end_event(saga: &str) -> Vec<u8> {
+        let mut ev = Value::object();
+        ev.set("ev", "end");
+        ev.set("saga", saga);
+        ev.to_compact().into_bytes()
+    }
+}
+
+impl StateMachine for JournalMachine {
+    fn apply(&mut self, _lsn: Lsn, command: &[u8]) {
+        let Ok(text) = std::str::from_utf8(command) else { return };
+        let Ok(ev) = Value::parse(text) else { return };
+        let saga = ev.get("saga").and_then(Value::as_str).unwrap_or_default().to_string();
+        match ev.get("ev").and_then(Value::as_str) {
+            Some("begin") => {
+                self.open.entry(saga).or_default();
+            }
+            Some("node") => {
+                let node = ev.get("node").and_then(Value::as_str).unwrap_or_default().to_string();
+                let outputs = ev.get("outputs").map(ports_from_value).unwrap_or_default();
+                self.open.entry(saga).or_default().completed.push((node, outputs));
+            }
+            Some("end") => {
+                self.open.remove(&saga);
+            }
+            _ => {}
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut ids: Vec<&String> = self.open.keys().collect();
+        ids.sort();
+        let sagas: Vec<Value> = ids
+            .into_iter()
+            .map(|id| {
+                let rec = &self.open[id];
+                let completed: Vec<Value> = rec
+                    .completed
+                    .iter()
+                    .map(|(node, ports)| {
+                        let mut step = Value::object();
+                        step.set("node", node.as_str());
+                        step.set("outputs", ports_to_value(ports));
+                        step
+                    })
+                    .collect();
+                let mut saga = Value::object();
+                saga.set("saga", id.as_str());
+                saga.set("completed", Value::Array(completed));
+                saga
+            })
+            .collect();
+        let mut snap = Value::object();
+        snap.set("open", Value::Array(sagas));
+        snap.to_compact().into_bytes()
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(snapshot).map_err(|e| e.to_string())?;
+        let snap = Value::parse(text).map_err(|e| e.to_string())?;
+        self.open.clear();
+        for saga in snap.get("open").and_then(Value::as_array).ok_or("missing open sagas")? {
+            let id = saga.get("saga").and_then(Value::as_str).ok_or("saga missing id")?.to_string();
+            let mut rec = SagaRecord::default();
+            for step in saga.get("completed").and_then(Value::as_array).unwrap_or(&[]) {
+                let node = step.get("node").and_then(Value::as_str).unwrap_or_default().to_string();
+                let outputs = step.get("outputs").map(ports_from_value).unwrap_or_default();
+                rec.completed.push((node, outputs));
+            }
+            self.open.insert(id, rec);
+        }
+        Ok(())
+    }
+}
+
+/// The coordinator's completion log. One journal serves many sagas,
+/// keyed by caller-chosen ids (e.g. the gateway request id).
+pub struct SagaJournal {
+    store: Durable<JournalMachine>,
+}
+
+impl SagaJournal {
+    /// Open (or recover) the journal in `dir`.
+    pub fn open(dir: impl AsRef<std::path::Path>, cfg: WalConfig) -> StoreResult<Self> {
+        Ok(SagaJournal { store: Durable::open(dir, cfg, JournalMachine::default())? })
+    }
+
+    /// Ids of sagas that began but never ended — the restart worklist.
+    pub fn incomplete(&self) -> Vec<String> {
+        self.store.query(|m| {
+            let mut ids: Vec<String> = m.open.keys().cloned().collect();
+            ids.sort();
+            ids
+        })
+    }
+
+    /// What a crashed run is known to have completed for `saga`.
+    pub fn record(&self, saga: &str) -> Option<SagaRecord> {
+        self.store.query(|m| m.open.get(saga).cloned())
+    }
+
+    /// Snapshot-then-truncate: only open sagas survive compaction.
+    pub fn compact(&self) -> StoreResult<Lsn> {
+        self.store.compact()
+    }
+
+    fn log(&self, event: &[u8]) {
+        self.store.execute(event).expect("saga journal lost durability");
+    }
+}
+
+impl WorkflowGraph {
+    /// [`WorkflowGraph::run_saga`] with its completion log journalled:
+    /// `begin` before the first wave, each completed node as it lands,
+    /// `end` when the outcome (completed *or* compensated in-run) is
+    /// final. A process that dies in between leaves the saga in
+    /// [`SagaJournal::incomplete`] for [`WorkflowGraph::resume_saga`]
+    /// or [`WorkflowGraph::compensate_saga`] to settle.
+    pub fn run_saga_durable(
+        &self,
+        journal: &SagaJournal,
+        saga_id: &str,
+        inputs: &HashMap<String, Value>,
+        config: &SagaConfig,
+    ) -> Result<WorkflowOutcome, WorkflowError> {
+        journal.log(&JournalMachine::begin_event(saga_id));
+        self.finish_durable(journal, saga_id, SagaRecord::default(), None, inputs, config)
+    }
+
+    /// Continue an interrupted saga forward: journalled completions are
+    /// seeded (their activities do **not** re-run), the remaining
+    /// suffix executes under the same saga semantics, and the journal
+    /// entry is closed. If the remainder fails, the compensators of
+    /// *all* completed nodes — journalled and new — run as usual.
+    pub fn resume_saga(
+        &self,
+        journal: &SagaJournal,
+        saga_id: &str,
+        inputs: &HashMap<String, Value>,
+        config: &SagaConfig,
+    ) -> Result<WorkflowOutcome, WorkflowError> {
+        let record = journal.record(saga_id).unwrap_or_default();
+        self.finish_durable(journal, saga_id, record, None, inputs, config)
+    }
+
+    /// Like [`WorkflowGraph::resume_saga`], on a pool.
+    pub fn resume_saga_parallel(
+        &self,
+        pool: &ThreadPool,
+        journal: &SagaJournal,
+        saga_id: &str,
+        inputs: &HashMap<String, Value>,
+        config: &SagaConfig,
+    ) -> Result<WorkflowOutcome, WorkflowError> {
+        let record = journal.record(saga_id).unwrap_or_default();
+        self.finish_durable(journal, saga_id, record, Some(pool), inputs, config)
+    }
+
+    /// Abort an interrupted saga: run the compensators of every
+    /// journalled completion in reverse topological order, then close
+    /// the journal entry. Returns `(compensated, errors)` exactly like
+    /// the in-run rollback.
+    pub fn compensate_saga(
+        &self,
+        journal: &SagaJournal,
+        saga_id: &str,
+    ) -> (Vec<String>, Vec<(String, String)>) {
+        let record = journal.record(saga_id).unwrap_or_default();
+        let completed: Vec<(usize, Ports)> = record
+            .completed
+            .iter()
+            .filter_map(|(name, ports)| {
+                self.nodes.iter().position(|n| n.name == *name).map(|i| (i, ports.clone()))
+            })
+            .collect();
+        let mut span = soc_observe::span("workflow.recover", soc_observe::SpanKind::Internal);
+        span.set_attr("saga", saga_id);
+        span.set_attr("mode", "compensate");
+        let _active = span.activate();
+        let result = self.compensate(&completed, None, span.context());
+        journal.log(&JournalMachine::end_event(saga_id));
+        result
+    }
+
+    fn finish_durable(
+        &self,
+        journal: &SagaJournal,
+        saga_id: &str,
+        record: SagaRecord,
+        pool: Option<&ThreadPool>,
+        inputs: &HashMap<String, Value>,
+        config: &SagaConfig,
+    ) -> Result<WorkflowOutcome, WorkflowError> {
+        let completed: HashMap<String, Ports> = record.completed.into_iter().collect();
+        let on_complete = |node: &str, outputs: &Ports| {
+            journal.log(&JournalMachine::node_event(saga_id, node, outputs));
+        };
+        let hook = SagaHook { completed, on_complete: &on_complete };
+        let outcome = self.run_saga_inner(inputs, pool, config, Some(&hook))?;
+        // Compensated outcomes rolled back in-run; either way the saga
+        // is settled and leaves the open table.
+        journal.log(&JournalMachine::end_event(saga_id));
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Compute, Const};
+    use soc_store::TempDir;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// a -> b -> c, where every node counts executions and a/b register
+    /// compensators into `undone`.
+    fn chain(
+        runs: &Arc<AtomicU32>,
+        undone: &Arc<parking_lot::Mutex<Vec<String>>>,
+    ) -> WorkflowGraph {
+        let mut g = WorkflowGraph::new();
+        let a = g.add("a", Const::new(1));
+        let rb = runs.clone();
+        let b = g.add(
+            "b",
+            Compute::new(&["x"], move |p| {
+                rb.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::from(p["x"].as_i64().unwrap_or(0) + 10))
+            }),
+        );
+        let rc = runs.clone();
+        let c = g.add(
+            "c",
+            Compute::new(&["x"], move |p| {
+                rc.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::from(p["x"].as_i64().unwrap_or(0) * 2))
+            }),
+        );
+        g.connect(a, "out", b, "x").unwrap();
+        g.connect(b, "out", c, "x").unwrap();
+        for (id, name) in [(a, "a"), (b, "b")] {
+            let undone = undone.clone();
+            let name = name.to_string();
+            g.set_compensation(
+                id,
+                Compute::new(&[], move |_| {
+                    undone.lock().push(name.clone());
+                    Ok(Value::Null)
+                }),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn completed_saga_leaves_no_open_entry() {
+        let tmp = TempDir::new("saga-journal");
+        let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let out = g
+            .run_saga_durable(&journal, "saga-1", &HashMap::new(), &SagaConfig::default())
+            .unwrap();
+        assert_eq!(out.outputs().unwrap()["c.out"].as_i64(), Some(22));
+        assert!(journal.incomplete().is_empty());
+    }
+
+    #[test]
+    fn crashed_saga_resumes_without_rerunning_completed_nodes() {
+        let tmp = TempDir::new("saga-resume");
+        // "Crash" after a and b complete: journal begin + two node
+        // events by hand, exactly what a killed coordinator leaves.
+        {
+            let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+            journal.log(&JournalMachine::begin_event("saga-9"));
+            let a_out: Ports = [("out".to_string(), Value::from(1))].into();
+            journal.log(&JournalMachine::node_event("saga-9", "a", &a_out));
+            let b_out: Ports = [("out".to_string(), Value::from(11))].into();
+            journal.log(&JournalMachine::node_event("saga-9", "b", &b_out));
+        }
+        let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+        assert_eq!(journal.incomplete(), vec!["saga-9"]);
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let out =
+            g.resume_saga(&journal, "saga-9", &HashMap::new(), &SagaConfig::default()).unwrap();
+        // Only c ran; a and b were adopted from the journal.
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        assert_eq!(out.outputs().unwrap()["c.out"].as_i64(), Some(22));
+        assert!(journal.incomplete().is_empty());
+    }
+
+    #[test]
+    fn crashed_saga_compensates_journalled_completions_in_reverse() {
+        let tmp = TempDir::new("saga-comp");
+        {
+            let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+            journal.log(&JournalMachine::begin_event("saga-2"));
+            let a_out: Ports = [("out".to_string(), Value::from(1))].into();
+            journal.log(&JournalMachine::node_event("saga-2", "a", &a_out));
+            let b_out: Ports = [("out".to_string(), Value::from(11))].into();
+            journal.log(&JournalMachine::node_event("saga-2", "b", &b_out));
+        }
+        let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let (compensated, errors) = g.compensate_saga(&journal, "saga-2");
+        assert_eq!(compensated, vec!["b".to_string(), "a".to_string()]);
+        assert!(errors.is_empty());
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "forward path must not re-run");
+        assert_eq!(*undone.lock(), vec!["b".to_string(), "a".to_string()]);
+        assert!(journal.incomplete().is_empty());
+    }
+
+    #[test]
+    fn journal_compaction_keeps_only_open_sagas() {
+        let tmp = TempDir::new("saga-compact");
+        {
+            let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+            for i in 0..5 {
+                journal.log(&JournalMachine::begin_event(&format!("done-{i}")));
+                journal.log(&JournalMachine::end_event(&format!("done-{i}")));
+            }
+            journal.log(&JournalMachine::begin_event("stuck"));
+            let out: Ports = [("out".to_string(), Value::from(7))].into();
+            journal.log(&JournalMachine::node_event("stuck", "a", &out));
+            journal.compact().unwrap();
+        }
+        let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+        assert_eq!(journal.incomplete(), vec!["stuck"]);
+        let rec = journal.record("stuck").unwrap();
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(rec.completed[0].0, "a");
+        assert_eq!(rec.completed[0].1["out"].as_i64(), Some(7));
+    }
+
+    #[test]
+    fn failure_after_resume_compensates_adopted_nodes_too() {
+        // Journal says a completed; the remaining node always fails, so
+        // the resume must roll back the adopted completion.
+        let tmp = TempDir::new("saga-resume-fail");
+        let mut g = WorkflowGraph::new();
+        let a = g.add("a", Const::new(1));
+        let boom = g.add("boom", Compute::new(&["x"], |_| Err("kaput".into())));
+        g.connect(a, "out", boom, "x").unwrap();
+        let undone = Arc::new(AtomicU32::new(0));
+        let u = undone.clone();
+        g.set_compensation(
+            a,
+            Compute::new(&[], move |_| {
+                u.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            }),
+        )
+        .unwrap();
+        let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
+        journal.log(&JournalMachine::begin_event("s"));
+        let a_out: Ports = [("out".to_string(), Value::from(1))].into();
+        journal.log(&JournalMachine::node_event("s", "a", &a_out));
+        let out = g.resume_saga(&journal, "s", &HashMap::new(), &SagaConfig::default()).unwrap();
+        match out {
+            WorkflowOutcome::Compensated { failed_at, compensated, .. } => {
+                assert_eq!(failed_at, "boom");
+                assert_eq!(compensated, vec!["a".to_string()]);
+                assert_eq!(undone.load(Ordering::SeqCst), 1);
+            }
+            other => panic!("expected compensation, got {other:?}"),
+        }
+        assert!(journal.incomplete().is_empty());
+    }
+}

@@ -31,9 +31,11 @@ pub mod activity;
 pub mod bpel;
 pub mod fsm;
 pub mod graph;
+pub mod journal;
 pub mod saga;
 
 pub use activity::{Activity, ActivityError};
 pub use fsm::{Fsm, FsmBuilder};
 pub use graph::{WorkflowError, WorkflowGraph};
+pub use journal::{SagaJournal, SagaRecord};
 pub use saga::{ResiliencePolicy, SagaConfig, WorkflowOutcome};

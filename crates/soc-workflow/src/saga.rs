@@ -165,6 +165,18 @@ impl XorShift64 {
     }
 }
 
+/// Durable-execution hooks, used by [`crate::journal`]: nodes already
+/// completed by a previous (crashed) run are seeded as fired with their
+/// recorded outputs, and every newly completed node is reported before
+/// its outputs are routed so the journal always trails reality by at
+/// most one in-flight node.
+pub(crate) struct SagaHook<'a> {
+    /// `node name -> outputs` completed before this run started.
+    pub(crate) completed: HashMap<String, Ports>,
+    /// Called as each node completes (including joined stragglers).
+    pub(crate) on_complete: &'a (dyn Fn(&str, &Ports) + Sync),
+}
+
 /// One attempt's result, distinguishing a timeout (terminal, attempt
 /// still running) from the activity's own verdict.
 enum Attempt {
@@ -189,7 +201,7 @@ impl WorkflowGraph {
         inputs: &HashMap<String, Value>,
         config: &SagaConfig,
     ) -> Result<WorkflowOutcome, WorkflowError> {
-        self.run_saga_inner(inputs, None, config)
+        self.run_saga_inner(inputs, None, config, None)
     }
 
     /// Like [`WorkflowGraph::run_saga`], firing independent ready
@@ -200,14 +212,15 @@ impl WorkflowGraph {
         inputs: &HashMap<String, Value>,
         config: &SagaConfig,
     ) -> Result<WorkflowOutcome, WorkflowError> {
-        self.run_saga_inner(inputs, Some(pool), config)
+        self.run_saga_inner(inputs, Some(pool), config, None)
     }
 
-    fn run_saga_inner(
+    pub(crate) fn run_saga_inner(
         &self,
         inputs: &HashMap<String, Value>,
         pool: Option<&ThreadPool>,
         config: &SagaConfig,
+        hook: Option<&SagaHook<'_>>,
     ) -> Result<WorkflowOutcome, WorkflowError> {
         self.validate()?;
         // Same span name as the plain executor: a trace reads
@@ -228,6 +241,19 @@ impl WorkflowGraph {
         // Outputs of every node that completed, kept for compensation.
         let mut completed: Vec<(usize, Ports)> = Vec::new();
         let stragglers: Mutex<Vec<Straggler>> = Mutex::new(Vec::new());
+
+        // Resume: nodes a crashed run already completed (per the
+        // journal) are seeded as fired and their recorded outputs
+        // routed, so only the remaining suffix of the graph executes.
+        if let Some(hook) = hook {
+            for (name, ports) in &hook.completed {
+                if let Some(i) = self.nodes.iter().position(|n| n.name == *name) {
+                    fired[i] = true;
+                    completed.push((i, ports.clone()));
+                    self.route(i, ports.clone(), &mut pending, &mut results);
+                }
+            }
+        }
 
         let failure: Option<(usize, ActivityError)> = loop {
             let ready: Vec<usize> = (0..n)
@@ -265,6 +291,9 @@ impl WorkflowGraph {
                 fired[i] = true;
                 match out {
                     Ok(ports) => {
+                        if let Some(hook) = hook {
+                            (hook.on_complete)(&self.nodes[i].name, &ports);
+                        }
                         completed.push((i, ports.clone()));
                         self.route(i, ports, &mut pending, &mut results);
                     }
@@ -290,6 +319,9 @@ impl WorkflowGraph {
             let _ = s.handle.join();
             if let Ok(Ok(ports)) = res {
                 if !completed.iter().any(|(i, _)| *i == s.node) {
+                    if let Some(hook) = hook {
+                        (hook.on_complete)(&self.nodes[s.node].name, &ports);
+                    }
                     completed.push((s.node, ports));
                 }
             }
@@ -478,7 +510,7 @@ impl WorkflowGraph {
 
     /// Run compensators of completed nodes in reverse topological
     /// order, exactly once each; failures are collected, not fatal.
-    fn compensate(
+    pub(crate) fn compensate(
         &self,
         completed: &[(usize, Ports)],
         failed: Option<usize>,

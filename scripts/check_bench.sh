@@ -238,4 +238,79 @@ elif ! awk -v r="$reactor_rps" -v t="$threaded_rps" 'BEGIN { exit !(r > t) }'; t
     echo "error: $http_record records reactor ($reactor_rps rps) <= threaded ($threaded_rps rps) — the reactor must win at equal workers" >&2
     status=1
 fi
+
+# --- durable state plane record ---------------------------------------
+# The store bench asserts its budgets when run (pipelined group commit
+# >= 10x fsync-per-record, replay rate floor, failover ceiling); the
+# committed record must be present, on the current schema, cover every
+# row, and preserve the asserted ratios and floors.
+store_record=BENCH_store.json
+store_src=crates/soc-bench/benches/store.rs
+
+if [[ ! -f "$store_record" ]]; then
+    echo "error: $store_record is missing — run 'cargo bench -p soc-bench --bench store' and record the results" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema_version": 1' "$store_record"; then
+    echo "error: $store_record has an unknown schema_version (expected 1)" >&2
+    exit 1
+fi
+
+for section in '"budget"' '"current"' '"group_commit_ratio"'; do
+    if ! grep -q "$section" "$store_record"; then
+        echo "error: $store_record is missing the $section section" >&2
+        exit 1
+    fi
+done
+
+for row in wal_append_fsync_always wal_append_group_commit wal_append_concurrent \
+           recovery_replay shard_failover; do
+    if ! grep -q "\"$row\"" "$store_record"; then
+        echo "error: bench row '$row' is absent from $store_record — re-record" >&2
+        status=1
+    fi
+    if ! grep -q "\"$row\"" "$store_src"; then
+        echo "error: bench row '$row' is absent from $store_src — record and harness have diverged" >&2
+        status=1
+    fi
+done
+
+python3 - "$store_record" <<'PY' || status=1
+import json, sys
+rec = json.load(open(sys.argv[1]))
+budget = rec["budget"]
+results = rec["current"]["results"]
+failures = []
+always = results["wal_append_fsync_always"]["time_ns"]
+group = results["wal_append_group_commit"]["time_ns"]
+concurrent = results["wal_append_concurrent"]["time_ns"]
+ratio = always / group
+if ratio < budget["group_commit_ratio_min"]:
+    failures.append(
+        f"group commit is only {ratio:.1f}x over fsync-per-record — "
+        f"the floor is {budget['group_commit_ratio_min']}x"
+    )
+if always / concurrent < budget["concurrent_ratio_min"]:
+    failures.append(
+        f"concurrent appends are only {always / concurrent:.1f}x over "
+        f"fsync-per-record — the floor is {budget['concurrent_ratio_min']}x"
+    )
+replay = results["recovery_replay"]["records_per_s"]
+if replay < budget["replay_records_per_s_min"]:
+    failures.append(
+        f"recovery replays {replay:.0f} records/s — the floor is "
+        f"{budget['replay_records_per_s_min']:.0f}"
+    )
+failover = results["shard_failover"]["time_ns"]
+if failover > budget["failover_ns_max"]:
+    failures.append(
+        f"shard failover at {failover:.0f} ns — the ceiling is "
+        f"{budget['failover_ns_max']:.0f}"
+    )
+for f in failures:
+    print(f"error: BENCH_store.json: {f}", file=sys.stderr)
+sys.exit(1 if failures else 0)
+PY
+
 exit $status

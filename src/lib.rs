@@ -16,6 +16,7 @@ pub use soc_rest as rest;
 pub use soc_robotics as robotics;
 pub use soc_services as services;
 pub use soc_soap as soap;
+pub use soc_store as store;
 pub use soc_webapp as webapp;
 pub use soc_workflow as workflow;
 pub use soc_xml as xml;
