@@ -25,9 +25,15 @@ use std::time::Instant;
 
 use soc_http::{MemNetwork, Transport};
 use soc_json::{json, Value};
+use soc_registry::directory::{DirectoryClient, DirectoryService};
+use soc_registry::repository::Repository;
 use soc_rest::RestClient;
+use soc_store::node::LeaseKeeper;
 use soc_store::wal::{FsyncPolicy, Wal, WalConfig};
-use soc_store::{ShardMap, ShardNode, StoreClient, StoreNode, StoreNodeConfig, TempDir};
+use soc_store::{
+    RebalanceConfig, Rebalancer, ShardMap, ShardNode, StoreClient, StoreNode, StoreNodeConfig,
+    TempDir,
+};
 
 /// Group commit must amortize the sync cost at least this much over
 /// fsync-per-record, measured on the pipelined submit-burst schedule.
@@ -43,6 +49,14 @@ const BUDGET_REPLAY_RECORDS_PER_S: f64 = 500_000.0;
 /// Kill-to-first-acked-write ceiling for an in-process failover: the
 /// map republish plus one redirected write.
 const BUDGET_FAILOVER_NS: f64 = 50_000_000.0;
+/// Kill-to-first-acked-write ceiling for the *lease-driven* failover:
+/// nobody republishes by hand — the dead primary's lease must expire
+/// (the TTL dominates), the rebalancer's next tick re-elects, and the
+/// client follows the new map. TTL is 100 ms here, so the ceiling
+/// leaves ~50 ms for detection, transfer, promote, and the first write.
+const BUDGET_REBALANCE_FAILOVER_NS: f64 = 150_000_000.0;
+/// Lease TTL for the rebalance-failover row.
+const REBALANCE_LEASE_TTL: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// Concurrent appenders for the group-commit row.
 const APPENDERS: usize = 16;
@@ -246,6 +260,101 @@ fn shard_failover_ns(iters: usize) -> f64 {
     ns
 }
 
+/// Mean kill-to-first-acked-write latency when *nothing* republishes
+/// the map by hand: each node keeps a registry lease, a rebalancer
+/// watches the lease table, and failover is lease expiry (TTL-bound)
+/// plus the next tick's re-election. This is the live-elasticity path —
+/// the one production runs — so its ceiling is asserted too.
+fn failover_under_rebalance_ns(iters: usize) -> f64 {
+    let net = Arc::new(MemNetwork::new());
+    let (dir_svc, _dir_state) = DirectoryService::new(Repository::new(), vec![]);
+    net.host("bench-dir", dir_svc);
+    let directory = DirectoryClient::new(net.clone() as Arc<dyn Transport>, "mem://bench-dir");
+
+    let ids: Vec<String> = (0..3).map(|i| format!("bench-elastic-{i}")).collect();
+    let dirs: Vec<TempDir> = (0..3).map(|i| TempDir::new(&format!("bench-elastic-{i}"))).collect();
+    let mut nodes: Vec<Option<StoreNode>> = vec![None, None, None];
+    let mut keepers: Vec<Option<LeaseKeeper>> = vec![None, None, None];
+    let open = |idx: usize, net: &Arc<MemNetwork>, directory: &DirectoryClient| {
+        let node = StoreNode::open(
+            StoreNodeConfig::new(&ids[idx]),
+            dirs[idx].path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        net.host(&ids[idx], node.router());
+        let keeper = node.start_lease_keeper(
+            directory.clone(),
+            &format!("mem://{}", ids[idx]),
+            REBALANCE_LEASE_TTL,
+            REBALANCE_LEASE_TTL / 5,
+        );
+        (node, keeper)
+    };
+    for idx in 0..3 {
+        let (node, keeper) = open(idx, &net, &directory);
+        nodes[idx] = Some(node);
+        keepers[idx] = Some(keeper);
+    }
+
+    let reb = Rebalancer::new(
+        directory.clone(),
+        net.clone() as Arc<dyn Transport>,
+        RebalanceConfig {
+            replication: 2,
+            lease_ttl: REBALANCE_LEASE_TTL,
+            backoff_base: std::time::Duration::from_millis(1),
+            backoff_max: std::time::Duration::from_millis(10),
+            ..RebalanceConfig::default()
+        },
+    );
+    let settle = |reb: &Rebalancer, want: usize| {
+        while {
+            let _ = reb.tick();
+            reb.map().nodes().len() != want
+        } {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    };
+    settle(&reb, 3);
+    let client = StoreClient::new(net.clone() as Arc<dyn Transport>);
+    client.set_map(reb.map());
+
+    let mut total_ns = 0.0;
+    for iter in 0..iters {
+        let key = format!("elastic-failover-{iter}");
+        let value: Value = json!({ "iter": (iter as i64) });
+        client.put(&key, &value).unwrap();
+        let primary = client.map().primary(&key).unwrap().id.clone();
+        let idx = ids.iter().position(|id| *id == primary).unwrap();
+        keepers[idx] = None;
+        net.unhost(&primary);
+        nodes[idx] = None;
+
+        let start = Instant::now();
+        settle(&reb, 2);
+        client.set_map(reb.map());
+        while client.put(&key, &value).is_err() {
+            std::thread::yield_now();
+        }
+        total_ns += start.elapsed().as_secs_f64() * 1e9;
+
+        // Revive against the same WAL for the next round; its renewed
+        // lease folds it back into the map.
+        let (node, keeper) = open(idx, &net, &directory);
+        nodes[idx] = Some(node);
+        keepers[idx] = Some(keeper);
+        settle(&reb, 3);
+        client.set_map(reb.map());
+    }
+    let ns = total_ns / iters as f64;
+    println!(
+        "{:<26} {ns:>12.1} ns/op   ({iters} lease-driven failovers)",
+        "failover_under_rebalance"
+    );
+    ns
+}
+
 fn main() {
     println!("durable state plane");
     println!("{:<26} {:>15}", "operation", "cost");
@@ -261,6 +370,7 @@ fn main() {
     let concurrent_ns = concurrent_append_ns();
     let replay_rate = recovery_replay_rate(20_000, 5);
     let failover_ns = shard_failover_ns(8);
+    let rebalance_failover_ns = failover_under_rebalance_ns(4);
 
     let ratio = always_ns / group_ns;
     let concurrent_ratio = always_ns / concurrent_ns;
@@ -287,6 +397,11 @@ fn main() {
     assert!(
         failover_ns <= BUDGET_FAILOVER_NS,
         "shard failover at {failover_ns:.0} ns — the ceiling is {BUDGET_FAILOVER_NS}"
+    );
+    assert!(
+        rebalance_failover_ns <= BUDGET_REBALANCE_FAILOVER_NS,
+        "lease-driven failover at {rebalance_failover_ns:.0} ns — the ceiling is \
+         {BUDGET_REBALANCE_FAILOVER_NS}"
     );
     println!("budgets: all within bounds");
 }

@@ -2,9 +2,12 @@
 //!
 //! Two modes, both restartable against the same on-disk state:
 //!
-//! - `victim store <dir> <id>` — a [`StoreNode`] recovered from `dir`,
-//!   serving its routes on an ephemeral port. Prints `READY <url>` and
-//!   blocks until killed.
+//! - `victim store <dir> <id> [<directory_url> <ttl_ms> <renew_ms>]` —
+//!   a [`StoreNode`] recovered from `dir`, serving its routes on an
+//!   ephemeral port. Prints `READY <url>` and blocks until killed. With
+//!   the optional registry triple it also keeps a fenced lease alive,
+//!   so elasticity campaigns can watch the node join (and its lease
+//!   die) through the lease table.
 //! - `victim coordinator <dir> <mortgage_url> <finalize_url> <seed>
 //!   <runs> <start> <resume|compensate>` — a durable saga coordinator
 //!   over the journal in `dir`. On startup it settles every saga a
@@ -21,6 +24,7 @@ use soc_chaos::process::{
     application_body, application_key, mortgage_saga, KeyedPost, RecoveryMode,
 };
 use soc_http::{HttpClient, HttpServer, Transport};
+use soc_registry::directory::DirectoryClient;
 use soc_store::wal::WalConfig;
 use soc_store::{StoreNode, StoreNodeConfig};
 use soc_workflow::{SagaConfig, SagaJournal};
@@ -28,11 +32,13 @@ use soc_workflow::{SagaConfig, SagaJournal};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
-        Some("store") if args.len() == 4 => store_mode(&args[2], &args[3]),
+        Some("store") if args.len() == 4 || args.len() == 7 => {
+            store_mode(&args[2], &args[3], args.get(4..7))
+        }
         Some("coordinator") if args.len() == 9 => coordinator_mode(&args[2..]),
         _ => {
             eprintln!(
-                "usage: victim store <dir> <id>\n       \
+                "usage: victim store <dir> <id> [<directory_url> <ttl_ms> <renew_ms>]\n       \
                  victim coordinator <dir> <mortgage_url> <finalize_url> \
                  <seed> <runs> <start> <resume|compensate>"
             );
@@ -46,10 +52,23 @@ fn say(line: String) {
     std::io::stdout().flush().ok();
 }
 
-fn store_mode(dir: &str, id: &str) {
-    let node = StoreNode::open(StoreNodeConfig::new(id), dir, Arc::new(HttpClient::new()))
-        .expect("open store node");
+fn store_mode(dir: &str, id: &str, registry: Option<&[String]>) {
+    let transport: Arc<dyn Transport> = Arc::new(HttpClient::new());
+    let node =
+        StoreNode::open(StoreNodeConfig::new(id), dir, transport.clone()).expect("open store node");
     let server = HttpServer::bind("127.0.0.1:0", 2, node.router()).expect("bind store node");
+    // Keep a fenced lease alive for elasticity campaigns; it dies with
+    // the process, which is exactly the failure being rehearsed.
+    let _keeper = registry.map(|r| {
+        let ttl: u64 = r[1].parse().expect("ttl_ms must be a u64");
+        let renew: u64 = r[2].parse().expect("renew_ms must be a u64");
+        node.start_lease_keeper(
+            DirectoryClient::new(transport.clone(), &r[0]),
+            &server.url(),
+            Duration::from_millis(ttl),
+            Duration::from_millis(renew),
+        )
+    });
     say(format!("READY {}", server.url()));
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -29,11 +29,16 @@
 //! (`scripts/chaos_sweep.sh` wraps it); `tests/chaos_stack.rs` pins a
 //! seed matrix in CI.
 
+pub mod elastic;
 pub mod harness;
 pub mod process;
 pub mod proxy;
 pub mod schedule;
 
+pub use elastic::{
+    run_mem_fencing, run_mem_rebalance, run_tcp_rebalance, FencingConfig, FencingReport,
+    RebalanceChaosConfig, RebalanceChaosReport,
+};
 pub use harness::{
     live_threads, run_mem_chaos, run_tcp_chaos, CancelCall, ChaosConfig, ChaosReport, RunOutcome,
 };

@@ -1,0 +1,47 @@
+//! Pinned elasticity chaos campaigns: partition a lease-fenced primary
+//! from the registry mid-write-load, and join-then-SIGKILL a node
+//! mid-hand-off, asserting the fencing / convergence / no-lost-write
+//! invariants on both the mem and TCP transports.
+
+use soc_chaos::elastic::{
+    run_mem_fencing, run_mem_rebalance, run_tcp_rebalance, FencingConfig, RebalanceChaosConfig,
+};
+
+const VICTIM: &str = env!("CARGO_BIN_EXE_victim");
+
+#[test]
+fn partitioned_primary_fences_itself_and_cannot_be_obeyed() {
+    let cfg = FencingConfig { seed: 0xFACE, ..FencingConfig::default() };
+    let report = run_mem_fencing(&cfg).expect("campaign runs");
+    assert_eq!(report.acked, cfg.keys * 3);
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn mem_join_with_kill_mid_handoff_converges_and_loses_nothing() {
+    let cfg = RebalanceChaosConfig { seed: 0x5A1AD, ..RebalanceChaosConfig::default() };
+    let report = run_mem_rebalance(&cfg).expect("campaign runs");
+    assert_eq!(report.acked, cfg.keys * cfg.rounds);
+    assert_eq!(report.restarts, 1, "the kill must actually land: {:#?}", report);
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn mem_clean_join_reaches_full_replication() {
+    let cfg = RebalanceChaosConfig {
+        seed: 0xADD1,
+        kill_mid_handoff: false,
+        ..RebalanceChaosConfig::default()
+    };
+    let report = run_mem_rebalance(&cfg).expect("campaign runs");
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}
+
+#[test]
+fn tcp_join_with_sigkill_mid_handoff_converges_and_loses_nothing() {
+    let cfg = RebalanceChaosConfig { seed: 0x7C9, ..RebalanceChaosConfig::default() };
+    let report = run_tcp_rebalance(VICTIM, &cfg).expect("campaign runs");
+    assert_eq!(report.acked, cfg.keys * cfg.rounds);
+    assert_eq!(report.restarts, 1, "the SIGKILL must actually land: {:#?}", report);
+    assert!(report.violations().is_empty(), "violations: {:#?}", report);
+}

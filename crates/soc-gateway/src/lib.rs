@@ -149,6 +149,8 @@ struct ObsMetrics {
     shed_service: soc_observe::Counter,
     hedges_launched: soc_observe::Counter,
     hedges_won: soc_observe::Counter,
+    shard_map_rejects: soc_observe::Counter,
+    shard_redirects: soc_observe::Counter,
 }
 
 impl ObsMetrics {
@@ -161,6 +163,8 @@ impl ObsMetrics {
             shed_service: m.counter("soc_gateway_shed_total", &[("reason", "service_quota")]),
             hedges_launched: m.counter("soc_gateway_hedges_total", &[("event", "launched")]),
             hedges_won: m.counter("soc_gateway_hedges_total", &[("event", "won")]),
+            shard_map_rejects: m.counter("soc_gateway_shard_map_rejects_total", &[]),
+            shard_redirects: m.counter("soc_gateway_shard_redirects_total", &[]),
         }
     }
 }
@@ -307,8 +311,23 @@ impl Gateway {
     /// current lease table ([`ShardMap::from_leases`]) whenever the
     /// directory version moves, and in-flight routing picks it up on
     /// the next request.
-    pub fn set_shard_map(&self, service: &str, map: Arc<ShardMap>) {
-        self.inner.shard_maps.write().insert(service.to_string(), map);
+    ///
+    /// Publishes compare-and-swap on the map version: an install older
+    /// than what the gateway already routes by is rejected (returns
+    /// `false` and counts in `shard_map_rejects`), so a delayed publish
+    /// from a slow rebalancer can never roll routing back to a
+    /// pre-failover map.
+    pub fn set_shard_map(&self, service: &str, map: Arc<ShardMap>) -> bool {
+        let mut maps = self.inner.shard_maps.write();
+        if let Some(current) = maps.get(service) {
+            if map.version() < current.version() {
+                self.inner.stats.shard_map_rejects.fetch_add(1, Ordering::Relaxed);
+                self.inner.obs.shard_map_rejects.inc();
+                return false;
+            }
+        }
+        maps.insert(service.to_string(), map);
+        true
     }
 
     /// The shard map currently published for `service`.
@@ -334,6 +353,42 @@ impl Gateway {
         } else {
             Some(owners.iter().map(|n| n.endpoint.clone()).collect())
         }
+    }
+
+    /// Chase a store node's `not_primary` redirect hint. Returns the
+    /// follow-up response when `resp` is a 409 `not_primary` for a
+    /// shard-keyed request and a hinted hop produced something better,
+    /// `None` to fall through to the original response. Hops are
+    /// bounded: a routing disagreement between nodes (both claiming
+    /// the other owns the key) must surface, not loop.
+    fn follow_not_primary(&self, req: &Request, rest: &str, resp: &Response) -> Option<Response> {
+        const MAX_REDIRECT_HOPS: usize = 2;
+        req.headers.get("X-Shard-Key")?;
+        let mut hint = not_primary_hint(resp)?;
+        let mut visited = Vec::new();
+        let mut best = None;
+        for _ in 0..MAX_REDIRECT_HOPS {
+            if visited.contains(&hint) {
+                break;
+            }
+            visited.push(hint.clone());
+            self.inner.stats.shard_redirects.fetch_add(1, Ordering::Relaxed);
+            self.inner.obs.shard_redirects.inc();
+            let mut hop = req.clone();
+            hop.target = join_target(&hint, rest);
+            match self.inner.transport.send(hop) {
+                Ok(r) => match not_primary_hint(&r) {
+                    Some(next) => {
+                        best = Some(r);
+                        hint = next;
+                    }
+                    None if r.status.0 < 500 => return Some(r),
+                    None => break,
+                },
+                Err(_) => break,
+            }
+        }
+        best
     }
 
     /// The breaker state for one upstream endpoint, if it has been
@@ -647,6 +702,14 @@ impl Gateway {
             let ok = matches!(&result, Ok(r) if r.status.0 < 500);
             match result {
                 Ok(resp) if ok => {
+                    // A shard-keyed request that bounced off the wrong
+                    // primary (the node's map is ahead of ours) chases
+                    // the redirect hint instead of surfacing the 409.
+                    if let Some(better) = self.follow_not_primary(&req, rest, &resp) {
+                        gw_span.set_attr("shard_redirected", "true");
+                        gw_span.set_attr("http.status", better.status.0.to_string());
+                        return better;
+                    }
                     gw_span.set_attr("http.status", resp.status.0.to_string());
                     return resp;
                 }
@@ -727,6 +790,19 @@ fn send_arm(
         ustats.failures.fetch_add(1, Ordering::Relaxed);
     }
     (endpoint, result)
+}
+
+/// The primary endpoint hinted by a store node's 409 `not_primary`
+/// answer, when `resp` is one.
+fn not_primary_hint(resp: &Response) -> Option<String> {
+    if resp.status.0 != 409 {
+        return None;
+    }
+    let body = Value::parse(std::str::from_utf8(&resp.body).ok()?).ok()?;
+    if body.get("error").and_then(Value::as_str) != Some("not_primary") {
+        return None;
+    }
+    body.get("primary").and_then(Value::as_str).map(str::to_string)
 }
 
 /// `mem://replica` + `quote?fast=1` → `mem://replica/quote?fast=1`.
@@ -1142,6 +1218,69 @@ mod tests {
         assert!(gw.call("store", req()).status.is_success());
         assert_eq!(net.hits("only"), 1);
         assert_eq!(net.hits("next"), 1);
+    }
+
+    #[test]
+    fn stale_shard_map_publish_is_rejected() {
+        use soc_store::ShardNode;
+        let net = MemNetwork::new();
+        net.host("cur", |_req: Request| Response::text("ok"));
+        net.host("old", |_req: Request| Response::text("ok"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("store", &["mem://cur"]);
+        let current = Arc::new(ShardMap::build(
+            5,
+            vec![ShardNode { id: "cur".into(), endpoint: "mem://cur".into() }],
+            1,
+        ));
+        assert!(gw.set_shard_map("store", current.clone()));
+        // A delayed publish from before the failover must not win.
+        let stale = Arc::new(ShardMap::build(
+            3,
+            vec![ShardNode { id: "old".into(), endpoint: "mem://old".into() }],
+            1,
+        ));
+        assert!(!gw.set_shard_map("store", stale));
+        assert_eq!(gw.shard_map("store").unwrap().version(), 5);
+        assert_eq!(gw.stats().shard_map_rejects.load(Ordering::Relaxed), 1);
+        assert_eq!(gw.stats_json().pointer("/shard/map_rejects").and_then(Value::as_i64), Some(1));
+        // Same-version and newer publishes still land.
+        assert!(gw.set_shard_map("store", current));
+    }
+
+    #[test]
+    fn not_primary_redirect_is_followed_to_the_real_primary() {
+        use soc_store::ShardNode;
+        let net = MemNetwork::new();
+        // "stale" still answers as if it lost the shard: a 409 with a
+        // hint naming the real primary. The gateway's map is behind and
+        // routes the write there first.
+        net.host("stale", |_req: Request| {
+            Response::new(Status(409)).with_text(
+                "application/json",
+                r#"{"error":"not_primary","key":"k","primary":"mem://fresh","map_version":2}"#,
+            )
+        });
+        net.host("fresh", |_req: Request| Response::text("stored"));
+        let gw = Gateway::new(Arc::new(net.clone()), fast_config());
+        gw.register("store", &["mem://stale", "mem://fresh"]);
+        gw.set_shard_map(
+            "store",
+            Arc::new(ShardMap::build(
+                1,
+                vec![ShardNode { id: "stale".into(), endpoint: "mem://stale".into() }],
+                1,
+            )),
+        );
+        let req = Request::put("/store/k", b"{}".to_vec()).with_header("X-Shard-Key", "k");
+        let resp = gw.call("store", req);
+        assert!(resp.status.is_success(), "redirect hop must answer: {}", resp.status);
+        assert_eq!(net.hits("fresh"), 1);
+        assert_eq!(gw.stats().shard_redirects.load(Ordering::Relaxed), 1);
+        // Without a shard key the 409 passes through untouched.
+        let resp = gw.call("store", Request::put("/store/k", b"{}".to_vec()));
+        assert_eq!(resp.status.0, 409);
+        assert_eq!(gw.stats().shard_redirects.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct GatewayStats {
     /// Outlier-ejection events (re-ejections after re-admission count
     /// again).
     pub ejections: AtomicU64,
+    /// Shard-map publishes rejected because their version was older
+    /// than the map already routing (a delayed rebalance publish).
+    pub shard_map_rejects: AtomicU64,
+    /// `not_primary` redirect hops followed for shard-keyed requests.
+    pub shard_redirects: AtomicU64,
 }
 
 impl GatewayStats {
@@ -161,6 +166,10 @@ impl GatewayStats {
         root.set("no_upstream", self.no_upstream.load(Ordering::Relaxed) as i64);
         root.set("hedges", hedges);
         root.set("ejections", self.ejections.load(Ordering::Relaxed) as i64);
+        let mut shard = Value::Object(vec![]);
+        shard.set("map_rejects", self.shard_map_rejects.load(Ordering::Relaxed) as i64);
+        shard.set("redirects", self.shard_redirects.load(Ordering::Relaxed) as i64);
+        root.set("shard", shard);
         root.set("upstreams", upstreams);
         root
     }

@@ -14,6 +14,7 @@
 //! | `/directory/peers` | GET | federation referral: peer base URLs plus this directory's lease version |
 //! | `/leases` | GET | lease table version + live service ids |
 //! | `/leases/{id}` | POST / DELETE | renew / revoke a registration lease |
+//! | `/leases/{id}/fenced` | POST | renew an infrastructure node's fenced lease (returns the fencing epoch) |
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -207,6 +208,32 @@ impl DirectoryService {
                 let id = p.get("id").unwrap_or("");
                 if st.repository.get(id).is_none() {
                     return Response::error(Status::NOT_FOUND, "no such service");
+                }
+                let ttl_ms = req
+                    .query("ttl_ms")
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .unwrap_or(DEFAULT_LEASE_TTL_MS);
+                let endpoint = req.query("endpoint");
+                let version = st.renew_lease_with_endpoint(id, ttl_ms, endpoint.as_deref());
+                let mut v = Value::object();
+                v.set("version", version as i64);
+                v.set("ttl_ms", ttl_ms as i64);
+                Response::json(&v.to_compact())
+            });
+        }
+        {
+            // Fenced lease renewal for infrastructure nodes (store
+            // shards). Unlike `/leases/{id}` there is no repository
+            // membership check — a store node is not a published
+            // service descriptor — and the returned version doubles as
+            // the node's fencing epoch: replicas refuse replication
+            // traffic carrying an older epoch, so a primary that can no
+            // longer renew here can no longer be obeyed.
+            let st = state.clone();
+            router.post("/leases/{id}/fenced", move |req, p| {
+                let id = p.get("id").unwrap_or("");
+                if id.is_empty() {
+                    return Response::error(Status::BAD_REQUEST, "missing lease id");
                 }
                 let ttl_ms = req
                     .query("ttl_ms")
@@ -487,6 +514,30 @@ impl DirectoryClient {
             .ok_or_else(|| DirectoryError::Decode("lease renewal missing version".into()))
     }
 
+    /// Renew a *fenced* lease for an infrastructure node (no published
+    /// descriptor required). Returns the lease-table version, which is
+    /// the node's fencing epoch.
+    pub fn renew_fenced_lease(
+        &self,
+        id: &str,
+        ttl_ms: u64,
+        endpoint: Option<&str>,
+    ) -> DirectoryResult<u64> {
+        let mut url = format!(
+            "{}/leases/{}/fenced?ttl_ms={ttl_ms}",
+            self.base,
+            soc_http::url::percent_encode(id)
+        );
+        if let Some(ep) = endpoint {
+            url.push_str(&format!("&endpoint={}", soc_http::url::percent_encode(ep)));
+        }
+        let v = self.rest.post(&url, &Value::object())?;
+        v.pointer("/version")
+            .and_then(Value::as_i64)
+            .map(|n| n as u64)
+            .ok_or_else(|| DirectoryError::Decode("fenced lease renewal missing version".into()))
+    }
+
     /// Current lease-table version plus the live service ids.
     pub fn leases(&self) -> DirectoryResult<LeaseSnapshot> {
         let v = self.rest.get(&format!("{}/leases", self.base))?;
@@ -706,6 +757,32 @@ mod tests {
             client.renew_lease("ghost", 1_000).unwrap_err().status(),
             Some(Status::NOT_FOUND)
         );
+    }
+
+    #[test]
+    fn fenced_lease_needs_no_descriptor() {
+        let (_net, client) = setup();
+        // An ordinary renewal for an unregistered id is a 404 …
+        assert_eq!(
+            client.renew_lease("store-0", 1_000).unwrap_err().status(),
+            Some(Status::NOT_FOUND)
+        );
+        // … but a fenced renewal succeeds and advertises an endpoint.
+        let epoch =
+            client.renew_fenced_lease("store-0", 60_000, Some("http://127.0.0.1:9001")).unwrap();
+        assert!(epoch > 0);
+        let snap = client.leases().unwrap();
+        assert_eq!(snap.live, vec!["store-0".to_string()]);
+        assert_eq!(
+            snap.endpoints,
+            vec![("store-0".to_string(), "http://127.0.0.1:9001".to_string())]
+        );
+        // Steady-state renewal keeps the epoch; a second joining node
+        // bumps it — the epoch is the lease-table version.
+        assert_eq!(client.renew_fenced_lease("store-0", 60_000, None).unwrap(), epoch);
+        let e2 =
+            client.renew_fenced_lease("store-1", 60_000, Some("http://127.0.0.1:9002")).unwrap();
+        assert!(e2 > epoch);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Lease fencing: the write-side guard that makes promote-on-failover
+//! safe.
+//!
+//! A store node's right to accept writes is a **lease** in the
+//! registry, renewed on a heartbeat. Each renewal returns the
+//! lease-table version, which doubles as the node's **fencing epoch** —
+//! a monotone integer that bumps whenever the live set changes (a node
+//! joins, expires, or moves). Two rules close the split-brain window:
+//!
+//! 1. A primary whose lease lapses (it cannot reach the registry before
+//!    the TTL runs out) refuses writes with [`StoreError::Fenced`]. It
+//!    may be partitioned from the registry *and* from its replicas; the
+//!    only safe behaviour is to stop acknowledging.
+//! 2. Replicas remember the newest epoch each source has shipped under
+//!    and refuse anything older ([`StoreError::StaleEpoch`]) — so even
+//!    a primary that ignores rule 1 cannot be *obeyed* once the rest of
+//!    the fleet has moved to a newer map.
+//!
+//! Fencing is opt-in per node: a [`Fence`] starts disabled (standalone
+//! and operator-published-map deployments keep their old semantics) and
+//! arms on the first [`Fence::grant`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::{StoreError, StoreResult};
+
+/// One node's view of its own fencing lease.
+pub struct Fence {
+    /// Armed by the first grant; a disabled fence admits everything.
+    enabled: AtomicBool,
+    /// Newest epoch granted (monotone; an older grant is ignored).
+    epoch: AtomicU64,
+    /// When the current lease runs out. `None` = lapsed or never held.
+    valid_until: Mutex<Option<Instant>>,
+}
+
+impl Default for Fence {
+    fn default() -> Self {
+        Fence::new()
+    }
+}
+
+impl Fence {
+    /// A disarmed fence: writes are admitted until the first grant.
+    pub fn new() -> Fence {
+        Fence {
+            enabled: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            valid_until: Mutex::new(None),
+        }
+    }
+
+    /// Whether the fence has ever been granted (and so enforces).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record a successful lease renewal at `epoch`, valid for `ttl`.
+    /// Epochs ratchet: a grant older than what we already hold extends
+    /// nothing (it is a delayed response from before a map change).
+    pub fn grant(&self, epoch: u64, ttl: Duration) {
+        let current = self.epoch.load(Ordering::Acquire);
+        if epoch < current {
+            return;
+        }
+        self.epoch.store(epoch, Ordering::Release);
+        *self.valid_until.lock() = Some(Instant::now() + ttl);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Ratchet the epoch forward without touching lease validity — used
+    /// when a newer shard map is installed: the node learns the fleet
+    /// has moved on even if its own renewals are stale.
+    pub fn observe_epoch(&self, epoch: u64) {
+        self.epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Drop the lease immediately (tests and deliberate step-down).
+    pub fn expire_now(&self) {
+        if self.is_enabled() {
+            *self.valid_until.lock() = None;
+        }
+    }
+
+    /// The newest epoch this node has held or observed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether the lease is currently valid (disabled counts as valid:
+    /// an unfenced node is standalone by construction).
+    pub fn is_valid(&self) -> bool {
+        if !self.is_enabled() {
+            return true;
+        }
+        matches!(*self.valid_until.lock(), Some(t) if Instant::now() < t)
+    }
+
+    /// Admit or refuse a primary write under the current lease.
+    pub fn check_write(&self) -> StoreResult<()> {
+        if self.is_valid() {
+            Ok(())
+        } else {
+            Err(StoreError::Fenced { epoch: self.epoch() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_fence_admits_everything() {
+        let f = Fence::new();
+        assert!(!f.is_enabled());
+        assert!(f.is_valid());
+        assert!(f.check_write().is_ok());
+        assert_eq!(f.epoch(), 0);
+    }
+
+    #[test]
+    fn grant_arms_and_expiry_fences() {
+        let f = Fence::new();
+        f.grant(3, Duration::from_secs(60));
+        assert!(f.is_enabled());
+        assert!(f.check_write().is_ok());
+        assert_eq!(f.epoch(), 3);
+        f.expire_now();
+        match f.check_write() {
+            Err(StoreError::Fenced { epoch: 3 }) => {}
+            other => panic!("expected Fenced, got {other:?}"),
+        }
+        // A fresh renewal restores the write right at a newer epoch.
+        f.grant(4, Duration::from_secs(60));
+        assert!(f.check_write().is_ok());
+    }
+
+    #[test]
+    fn zero_ttl_grant_is_immediately_lapsed() {
+        let f = Fence::new();
+        f.grant(1, Duration::from_millis(0));
+        assert!(f.check_write().is_err());
+    }
+
+    #[test]
+    fn epochs_ratchet() {
+        let f = Fence::new();
+        f.grant(5, Duration::from_secs(60));
+        // A delayed grant from an older epoch neither extends nor
+        // regresses anything.
+        f.grant(2, Duration::from_secs(60));
+        assert_eq!(f.epoch(), 5);
+        f.observe_epoch(9);
+        assert_eq!(f.epoch(), 9);
+        f.observe_epoch(7);
+        assert_eq!(f.epoch(), 9);
+    }
+}

@@ -27,14 +27,18 @@
 //! production shape, per PAPERS.md's "Inter-Connectivity of Information
 //! Systems" (multi-system state exchange with consistency obligations).
 
+pub mod fence;
 pub mod kv;
 pub mod node;
+pub mod rebalance;
 pub mod shard;
 pub mod state;
 pub mod wal;
 
+pub use fence::Fence;
 pub use kv::KvMachine;
 pub use node::{StoreClient, StoreNode, StoreNodeConfig};
+pub use rebalance::{RebalanceConfig, Rebalancer};
 pub use shard::{ShardMap, ShardNode};
 pub use state::{Durable, StateMachine};
 pub use wal::{FsyncPolicy, Lsn, Recovery, Wal, WalConfig};
@@ -64,6 +68,21 @@ pub enum StoreError {
         /// Version floor the reader demanded.
         want: Lsn,
     },
+    /// The node's fencing lease lapsed: it may still *hold* state but
+    /// can no longer prove it is the primary, so it refuses writes.
+    Fenced {
+        /// The last epoch the node held a valid lease under.
+        epoch: u64,
+    },
+    /// Replication traffic arrived under an epoch older than one this
+    /// node has already obeyed — a partitioned old primary talking past
+    /// its fence.
+    StaleEpoch {
+        /// The newest epoch this node has accepted from the source.
+        have: u64,
+        /// The epoch the stale shipment carried.
+        got: u64,
+    },
     /// A remote store call failed (transport or peer error).
     Remote(String),
 }
@@ -79,6 +98,12 @@ impl fmt::Display for StoreError {
             },
             StoreError::Behind { have, want } => {
                 write!(f, "replica behind: have version {have}, want {want}")
+            }
+            StoreError::Fenced { epoch } => {
+                write!(f, "fencing lease lapsed (last held epoch {epoch}); refusing writes")
+            }
+            StoreError::StaleEpoch { have, got } => {
+                write!(f, "stale fencing epoch {got} (newest accepted {have})")
             }
             StoreError::Remote(why) => write!(f, "remote store error: {why}"),
         }

@@ -25,29 +25,39 @@
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `PUT /store/{key}` | primary write; body is the JSON value |
-//! | `DELETE /store/{key}` | primary delete |
+//! | `PUT /store/{key}` | primary write (lease-fenced); body is the JSON value |
+//! | `DELETE /store/{key}` | primary delete (lease-fenced) |
 //! | `GET /store/{key}?min_version=N` | version-gated read |
-//! | `POST /store/replicate` | apply shipped records (replica side) |
+//! | `POST /store/replicate` | apply shipped records (replica side, epoch-checked) |
 //! | `GET /store/ship?after=N` | serve records for replica catch-up |
-//! | `GET /store/status` | applied/durable LSNs, map version, key count |
+//! | `GET /store/snapshot` | full-state snapshot for replica bootstrap |
+//! | `POST /store/sync` | pull catch-up from a peer (`{"from": endpoint}`) |
+//! | `POST /store/promote` | adopt a source's replicated shards (`{"source": id}`) |
+//! | `POST /store/map` | install a shard map (version CAS; older maps 409) |
+//! | `GET /store/map` | the installed shard map (client refetch on redirect loops) |
+//! | `POST /store/fence` | grant the node's fencing lease (`{"epoch": N, "ttl_ms": N}`) |
+//! | `GET /store/status` | applied/durable LSNs, epoch, map version, checksums |
 
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use soc_http::mem::Transport;
 use soc_http::url::{percent_decode, percent_encode};
 use soc_http::{Response, Status};
 use soc_json::Value;
+use soc_registry::directory::DirectoryClient;
 use soc_rest::{PathParams, RestClient, RestError, Router};
 
+use crate::fence::Fence;
 use crate::kv::KvMachine;
 use crate::shard::ShardMap;
 use crate::state::Durable;
 use crate::wal::{Lsn, WalConfig};
-use crate::{StoreError, StoreResult};
+use crate::{crc32, StoreError, StoreResult};
 
 /// Identity and tuning for one [`StoreNode`].
 #[derive(Debug, Clone)]
@@ -77,8 +87,16 @@ struct NodeInner {
     replicas: RwLock<HashMap<String, Arc<Durable<KvMachine>>>>,
     map: RwLock<Arc<ShardMap>>,
     peers: RestClient,
+    /// This node's fencing lease (disarmed until the first grant).
+    fence: Fence,
+    /// Newest fencing epoch accepted per replication source — the
+    /// replica-side half of the fence: older epochs are refused.
+    source_epochs: Mutex<HashMap<String, u64>>,
     pushes: soc_observe::Counter,
     push_failures: soc_observe::Counter,
+    map_rejects: soc_observe::Counter,
+    fenced_writes: soc_observe::Counter,
+    stale_shipments: soc_observe::Counter,
 }
 
 /// One replicated store node. Cheap to clone; clones share state.
@@ -121,8 +139,13 @@ impl StoreNode {
                 replicas: RwLock::new(replicas),
                 map: RwLock::new(Arc::new(ShardMap::build(0, Vec::new(), 1))),
                 peers: RestClient::new(transport),
+                fence: Fence::new(),
+                source_epochs: Mutex::new(HashMap::new()),
                 pushes: metrics.counter("soc_store_replication_pushes_total", &[]),
                 push_failures: metrics.counter("soc_store_replication_failures_total", &[]),
+                map_rejects: metrics.counter("soc_store_map_rejects_total", &[]),
+                fenced_writes: metrics.counter("soc_store_fenced_writes_total", &[]),
+                stale_shipments: metrics.counter("soc_store_stale_shipments_total", &[]),
             }),
         })
     }
@@ -133,9 +156,28 @@ impl StoreNode {
     }
 
     /// Install a new shard map (typically rebuilt from a fresh lease
-    /// snapshot). Consumers see it atomically.
-    pub fn set_map(&self, map: Arc<ShardMap>) {
-        *self.inner.map.write() = map;
+    /// snapshot). Consumers see it atomically. The install is a
+    /// compare-and-swap on version: a map older than the one already
+    /// installed is rejected (returns `false` and counts a reject), so
+    /// two racing publishers can never regress a node's routing view.
+    /// Installing a map this node belongs to also ratchets its fencing
+    /// epoch — the map's version *is* the epoch.
+    pub fn set_map(&self, map: Arc<ShardMap>) -> bool {
+        let mut slot = self.inner.map.write();
+        if map.version() < slot.version() {
+            self.inner.map_rejects.inc();
+            return false;
+        }
+        if map.nodes().iter().any(|n| n.id == self.inner.id) {
+            self.inner.fence.observe_epoch(map.version());
+        }
+        *slot = map;
+        true
+    }
+
+    /// The node's fencing lease.
+    pub fn fence(&self) -> &Fence {
+        &self.inner.fence
     }
 
     /// The currently installed shard map.
@@ -185,9 +227,16 @@ impl StoreNode {
         }
     }
 
-    /// Write `value` under `key` (primary only). Returns the version.
+    /// Refuse writes when the node's fencing lease has lapsed.
+    fn check_fence(&self) -> StoreResult<()> {
+        self.inner.fence.check_write().inspect_err(|_| self.inner.fenced_writes.inc())
+    }
+
+    /// Write `value` under `key` (primary only, lease-fenced). Returns
+    /// the version.
     pub fn put(&self, key: &str, value: &Value) -> StoreResult<Lsn> {
         self.check_primary(key)?;
+        self.check_fence()?;
         let cmd = KvMachine::put_command(key, value);
         self.inner.store.execute(&cmd)?;
         // The stored version can exceed the LSN after a promotion
@@ -197,9 +246,11 @@ impl StoreNode {
         Ok(version)
     }
 
-    /// Delete `key` (primary only). Returns the tombstone's version.
+    /// Delete `key` (primary only, lease-fenced). Returns the
+    /// tombstone's version.
     pub fn delete(&self, key: &str) -> StoreResult<Lsn> {
         self.check_primary(key)?;
+        self.check_fence()?;
         let cmd = KvMachine::del_command(key);
         let lsn = self.inner.store.execute(&cmd)?;
         self.replicate(key, lsn, &cmd);
@@ -247,14 +298,21 @@ impl StoreNode {
     /// unreachable replica is counted and skipped (it catches up later
     /// via [`StoreNode::sync_from`] or the next push's `behind` dance);
     /// a *behind* replica is caught up inline from this node's log.
+    /// The fencing epoch this node ships under: the newest epoch it has
+    /// held a lease at or seen in an installed map.
+    fn ship_epoch(&self) -> u64 {
+        self.inner.fence.epoch().max(self.map().version())
+    }
+
     fn replicate(&self, key: &str, lsn: Lsn, cmd: &[u8]) {
         let map = self.map();
+        let epoch = self.ship_epoch();
         for owner in map.owners(key).iter().skip(1) {
             if owner.id == self.inner.id {
                 continue;
             }
             let records = vec![(lsn, cmd.to_vec())];
-            match self.push_records(&owner.endpoint, &records) {
+            match self.push_records(&owner.endpoint, epoch, &records) {
                 Ok(()) => self.inner.pushes.inc(),
                 Err(StoreError::Behind { have, .. }) => {
                     // Ship everything the replica is missing.
@@ -263,7 +321,7 @@ impl StoreNode {
                         .store
                         .wal()
                         .records_after(have)
-                        .and_then(|recs| self.push_records(&owner.endpoint, &recs))
+                        .and_then(|recs| self.push_records(&owner.endpoint, epoch, &recs))
                     {
                         Ok(()) => self.inner.pushes.inc(),
                         Err(_) => self.inner.push_failures.inc(),
@@ -275,18 +333,34 @@ impl StoreNode {
     }
 
     /// POST a batch of our records to a peer's `/store/replicate`.
-    fn push_records(&self, endpoint: &str, records: &[(Lsn, Vec<u8>)]) -> StoreResult<()> {
-        let body = records_to_json(&self.inner.id, records);
+    fn push_records(
+        &self,
+        endpoint: &str,
+        epoch: u64,
+        records: &[(Lsn, Vec<u8>)],
+    ) -> StoreResult<()> {
+        let body = records_to_json(&self.inner.id, epoch, records);
         match self.inner.peers.post(&format!("{endpoint}/store/replicate"), &body) {
             Ok(_) => Ok(()),
             Err(e) => Err(rest_to_store(e)),
         }
     }
 
-    /// Apply records shipped from primary `source` into its replica
-    /// stream. Returns the stream's applied LSN. Gaps surface as
-    /// [`StoreError::Behind`] so the shipper knows where to resume.
-    pub fn apply_shipped(&self, source: &str, records: &[(Lsn, Vec<u8>)]) -> StoreResult<Lsn> {
+    /// Apply records shipped from primary `source` under fencing
+    /// `epoch` into its replica stream. Returns the stream's applied
+    /// LSN. Gaps surface as [`StoreError::Behind`] so the shipper knows
+    /// where to resume; an epoch older than the newest this node has
+    /// obeyed from `source` — or older than an installed map that no
+    /// longer lists `source` — is refused with
+    /// [`StoreError::StaleEpoch`]: that is a partitioned old primary
+    /// talking past its fence.
+    pub fn apply_shipped(
+        &self,
+        source: &str,
+        epoch: u64,
+        records: &[(Lsn, Vec<u8>)],
+    ) -> StoreResult<Lsn> {
+        self.check_source_epoch(source, epoch)?;
         let stream = self.replica_for(source)?;
         if records.is_empty() {
             return Ok(stream.applied_lsn());
@@ -296,9 +370,36 @@ impl StoreNode {
         stream.execute_shipped_batch(records)
     }
 
+    /// The replica-side fence: refuse `source` shipping under `epoch`
+    /// when we have already obeyed a newer epoch from it, or when the
+    /// installed map has moved past that epoch *and dropped the
+    /// source*. (A source still in the map may lag the map version
+    /// briefly between a rebalance's publish and its next renewal —
+    /// that is catch-up, not split-brain.) Accepting ratchets the
+    /// per-source floor.
+    fn check_source_epoch(&self, source: &str, epoch: u64) -> StoreResult<()> {
+        let mut floors = self.inner.source_epochs.lock();
+        let floor = floors.get(source).copied().unwrap_or(0);
+        if epoch < floor {
+            self.inner.stale_shipments.inc();
+            return Err(StoreError::StaleEpoch { have: floor, got: epoch });
+        }
+        let map = self.map();
+        if !map.is_empty() && epoch < map.version() && !map.nodes().iter().any(|n| n.id == source) {
+            self.inner.stale_shipments.inc();
+            return Err(StoreError::StaleEpoch { have: map.version(), got: epoch });
+        }
+        if epoch > floor {
+            floors.insert(source.to_string(), epoch);
+        }
+        Ok(())
+    }
+
     /// Pull-side catch-up: ask the peer who it is, fetch its records
-    /// after our stream watermark, and apply them. Returns how many
-    /// records were applied.
+    /// after our stream watermark, and apply them. When the peer's log
+    /// has been compacted past our watermark (shipping answers
+    /// `Corrupt`), falls back to a full snapshot bootstrap. Returns how
+    /// many records were applied (a bootstrap counts as one).
     pub fn sync_from(&self, endpoint: &str) -> StoreResult<usize> {
         let status =
             self.inner.peers.get(&format!("{endpoint}/store/status")).map_err(rest_to_store)?;
@@ -311,15 +412,48 @@ impl StoreNode {
             return Err(StoreError::Remote("refusing to sync from self".into()));
         }
         let after = self.replica_applied(&source);
-        let resp = self
-            .inner
-            .peers
-            .get(&format!("{endpoint}/store/ship?after={after}"))
-            .map_err(rest_to_store)?;
+        let resp = match self.inner.peers.get(&format!("{endpoint}/store/ship?after={after}")) {
+            Ok(resp) => resp,
+            Err(e) => match rest_to_store(e) {
+                // The source compacted past our watermark: ship the
+                // whole state instead of the (gone) log suffix.
+                StoreError::Corrupt(_) => return self.bootstrap_from(endpoint, &source),
+                other => return Err(other),
+            },
+        };
+        let epoch = resp.get("epoch").and_then(Value::as_i64).unwrap_or(0) as u64;
         let records = records_from_json(&resp)?;
         let n = records.len();
-        self.apply_shipped(&source, &records)?;
+        self.apply_shipped(&source, epoch, &records)?;
         Ok(n)
+    }
+
+    /// Replace the `source` replica stream with the peer's full state
+    /// snapshot — the catch-up of last resort when log shipping cannot
+    /// bridge the gap (compaction horizon or checksum divergence).
+    pub fn bootstrap_from(&self, endpoint: &str, source: &str) -> StoreResult<usize> {
+        let snap =
+            self.inner.peers.get(&format!("{endpoint}/store/snapshot")).map_err(rest_to_store)?;
+        let peer_id = snap.get("id").and_then(Value::as_str).unwrap_or_default();
+        if peer_id != source {
+            return Err(StoreError::Remote(format!(
+                "snapshot from {endpoint} identifies as {peer_id:?}, wanted {source:?}"
+            )));
+        }
+        let applied =
+            snap.get("applied")
+                .and_then(Value::as_i64)
+                .ok_or(StoreError::Remote("snapshot missing applied".into()))? as Lsn;
+        let state = snap
+            .get("state")
+            .and_then(Value::as_str)
+            .ok_or(StoreError::Remote("snapshot missing state".into()))?;
+        let stream = self.replica_for(source)?;
+        if stream.applied_lsn() >= applied {
+            return Ok(0);
+        }
+        stream.install_snapshot(applied, state.as_bytes())?;
+        Ok(1)
     }
 
     /// Failover promotion: re-log `source`'s replicated state into our
@@ -328,6 +462,14 @@ impl StoreNode {
     /// at an equal-or-newer version are skipped. Returns how many keys
     /// were adopted.
     pub fn promote(&self, source: &str) -> StoreResult<usize> {
+        self.promote_for_map(source, None)
+    }
+
+    /// Promotion filtered by a target map: adopt only the keys whose
+    /// primary under `target` is this node. A rebalance uses this to
+    /// flip primaries without every surviving node copying every key —
+    /// each adopts exactly its new share.
+    pub fn promote_for_map(&self, source: &str, target: Option<&ShardMap>) -> StoreResult<usize> {
         let Some(stream) = self.inner.replicas.read().get(source).cloned() else {
             return Ok(0);
         };
@@ -336,6 +478,12 @@ impl StoreNode {
         });
         let mut adopted = 0;
         for (key, value, version) in entries {
+            if let Some(map) = target {
+                match map.primary(&key) {
+                    Some(p) if p.id == self.inner.id => {}
+                    _ => continue,
+                }
+            }
             let have = self.inner.store.query(|m| m.get(&key).map(|(_, l)| l)).unwrap_or(0);
             if have >= version {
                 continue;
@@ -359,25 +507,45 @@ impl StoreNode {
             };
             match node.put(key, &value) {
                 Ok(lsn) => version_response(lsn),
-                Err(e) => store_error_response(e),
+                Err(e) => store_error_response(e, node.map().version()),
             }
         });
         let node = self.clone();
         r.delete("/store/{key}", move |_req, p: PathParams| {
             match node.delete(p.get("key").unwrap_or_default()) {
                 Ok(lsn) => version_response(lsn),
-                Err(e) => store_error_response(e),
+                Err(e) => store_error_response(e, node.map().version()),
             }
         });
         let node = self.clone();
         r.get("/store/ship", move |req, _p| {
             let after = req.query("after").and_then(|v| v.parse().ok()).unwrap_or(0);
             match node.inner.store.wal().records_after(after) {
-                Ok(records) => {
-                    Response::json_owned(records_to_json(&node.inner.id, &records).to_compact())
+                Ok(records) => Response::json_owned(
+                    records_to_json(&node.inner.id, node.ship_epoch(), &records).to_compact(),
+                ),
+                // The requested suffix was compacted away: tell the
+                // puller to bootstrap from a snapshot instead.
+                Err(StoreError::Corrupt(_)) => {
+                    let mut body = Value::object();
+                    body.set("error", "compacted");
+                    body.set("oldest", node.inner.store.applied_lsn() as i64);
+                    Response::new(Status::CONFLICT)
+                        .with_text("application/json", &body.to_compact())
                 }
-                Err(e) => store_error_response(e),
+                Err(e) => store_error_response(e, node.map().version()),
             }
+        });
+        let node = self.clone();
+        r.get("/store/snapshot", move |_req, _p| {
+            let (applied, state) = node.inner.store.snapshot_state();
+            let mut body = Value::object();
+            body.set("id", node.inner.id.as_str());
+            body.set("applied", applied as i64);
+            // KV snapshots are deterministic JSON text, so they embed
+            // as a string.
+            body.set("state", String::from_utf8_lossy(&state).into_owned());
+            Response::json_owned(body.to_compact())
         });
         let node = self.clone();
         r.get("/store/status", move |_req, _p| {
@@ -386,12 +554,20 @@ impl StoreNode {
             status.set("applied", node.inner.store.applied_lsn() as i64);
             status.set("durable", node.inner.store.wal().durable_lsn() as i64);
             status.set("map_version", node.map().version() as i64);
+            status.set("epoch", node.inner.fence.epoch() as i64);
+            status.set("fence_valid", node.inner.fence.is_valid());
             status.set("keys", node.inner.store.query(|m| m.len()) as i64);
+            let (_, state) = node.inner.store.snapshot_state();
+            status.set("state_crc", crc32(&state) as i64);
             let mut streams = Value::object();
+            let mut stream_crcs = Value::object();
             for (source, d) in node.inner.replicas.read().iter() {
-                streams.set(source.as_str(), d.applied_lsn() as i64);
+                let (lsn, snap) = d.snapshot_state();
+                streams.set(source.as_str(), lsn as i64);
+                stream_crcs.set(source.as_str(), crc32(&snap) as i64);
             }
             status.set("replica_streams", streams);
+            status.set("stream_crcs", stream_crcs);
             Response::json_owned(status.to_compact())
         });
         let node = self.clone();
@@ -404,17 +580,18 @@ impl StoreNode {
             else {
                 return Response::error(Status::BAD_REQUEST, "replicate body missing source");
             };
+            let epoch = body.get("epoch").and_then(Value::as_i64).unwrap_or(0) as u64;
             let records = match records_from_json(&body) {
                 Ok(r) => r,
                 Err(_) => return Response::error(Status::BAD_REQUEST, "body must be records"),
             };
-            match node.apply_shipped(&source, &records) {
+            match node.apply_shipped(&source, epoch, &records) {
                 Ok(applied) => {
                     let mut ok = Value::object();
                     ok.set("applied", applied as i64);
                     Response::json_owned(ok.to_compact())
                 }
-                Err(e) => store_error_response(e),
+                Err(e) => store_error_response(e, node.map().version()),
             }
         });
         let node = self.clone();
@@ -426,13 +603,86 @@ impl StoreNode {
             match ShardMap::from_json(&body) {
                 Ok(map) => {
                     let version = map.version();
-                    node.set_map(Arc::new(map));
+                    let have = node.map().version();
+                    if !node.set_map(Arc::new(map)) {
+                        let mut err = Value::object();
+                        err.set("error", "stale_map");
+                        err.set("have", have as i64);
+                        err.set("got", version as i64);
+                        return Response::new(Status::CONFLICT)
+                            .with_text("application/json", &err.to_compact());
+                    }
                     let mut ok = Value::object();
                     ok.set("map_version", version as i64);
                     Response::json_owned(ok.to_compact())
                 }
                 Err(e) => Response::error(Status::BAD_REQUEST, &format!("bad shard map: {e}")),
             }
+        });
+        let node = self.clone();
+        r.get("/store/map", move |_req, _p| {
+            Response::json_owned(node.map().to_json().to_compact())
+        });
+        let node = self.clone();
+        r.post("/store/sync", move |req, _p| {
+            let body = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            let Some(from) = body.get("from").and_then(Value::as_str) else {
+                return Response::error(Status::BAD_REQUEST, "sync body missing from");
+            };
+            match node.sync_from(from) {
+                Ok(n) => {
+                    let mut ok = Value::object();
+                    ok.set("applied", n as i64);
+                    Response::json_owned(ok.to_compact())
+                }
+                Err(e) => store_error_response(e, node.map().version()),
+            }
+        });
+        let node = self.clone();
+        r.post("/store/promote", move |req, _p| {
+            let body = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            let Some(source) = body.get("source").and_then(Value::as_str) else {
+                return Response::error(Status::BAD_REQUEST, "promote body missing source");
+            };
+            let target = match body.get("map") {
+                Some(m) => match ShardMap::from_json(m) {
+                    Ok(map) => Some(map),
+                    Err(e) => {
+                        return Response::error(Status::BAD_REQUEST, &format!("bad shard map: {e}"))
+                    }
+                },
+                None => None,
+            };
+            match node.promote_for_map(source, target.as_ref()) {
+                Ok(adopted) => {
+                    let mut ok = Value::object();
+                    ok.set("adopted", adopted as i64);
+                    Response::json_owned(ok.to_compact())
+                }
+                Err(e) => store_error_response(e, node.map().version()),
+            }
+        });
+        let node = self.clone();
+        r.post("/store/fence", move |req, _p| {
+            let body = match req.text().ok().and_then(|t| Value::parse(t).ok()) {
+                Some(v) => v,
+                None => return Response::error(Status::BAD_REQUEST, "body must be JSON"),
+            };
+            let Some(epoch) = body.get("epoch").and_then(Value::as_i64) else {
+                return Response::error(Status::BAD_REQUEST, "fence body missing epoch");
+            };
+            let ttl_ms = body.get("ttl_ms").and_then(Value::as_i64).unwrap_or(0).max(0) as u64;
+            node.inner.fence.grant(epoch as u64, Duration::from_millis(ttl_ms));
+            let mut ok = Value::object();
+            ok.set("epoch", node.inner.fence.epoch() as i64);
+            ok.set("valid", node.inner.fence.is_valid());
+            Response::json_owned(ok.to_compact())
         });
         let node = self.clone();
         r.get("/store/{key}", move |req, p: PathParams| {
@@ -447,16 +697,74 @@ impl StoreNode {
                     Response::json_owned(body.to_compact())
                 }
                 Ok(None) => Response::error(Status::NOT_FOUND, &format!("no key {key:?}")),
-                Err(e) => store_error_response(e),
+                Err(e) => store_error_response(e, node.map().version()),
             }
         });
         r
     }
+
+    /// Spawn the background lease keeper: renew this node's fenced
+    /// lease in the registry every `interval`, granting the fence on
+    /// each successful renewal. A node partitioned from the registry
+    /// stops being granted, its lease lapses after `ttl`, and it
+    /// self-fences — the write-refusal half of split-brain prevention.
+    /// The keeper stops when the returned handle is dropped or stopped.
+    pub fn start_lease_keeper(
+        &self,
+        directory: DirectoryClient,
+        endpoint: &str,
+        ttl: Duration,
+        interval: Duration,
+    ) -> LeaseKeeper {
+        let stop = Arc::new(AtomicBool::new(false));
+        let node = self.clone();
+        let endpoint = endpoint.to_string();
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let ttl_ms = ttl.as_millis().max(1) as u64;
+            while !stop_flag.load(Ordering::Acquire) {
+                // On an unreachable registry there is no grant; the
+                // lease lapses on its own and the node self-fences.
+                if let Ok(epoch) =
+                    directory.renew_fenced_lease(&node.inner.id, ttl_ms, Some(&endpoint))
+                {
+                    node.inner.fence.grant(epoch, ttl);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        LeaseKeeper { stop, handle: Some(handle) }
+    }
 }
 
-/// `{"source":"...","records":[{"lsn":N,"command":"..."}]}` — commands
-/// are the KV machine's JSON command strings, so they embed as text.
-fn records_to_json(source: &str, records: &[(Lsn, Vec<u8>)]) -> Value {
+/// Handle for a running lease-keeper thread; stops it on drop.
+pub struct LeaseKeeper {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseKeeper {
+    /// Stop renewing (simulates a partition from the registry; the
+    /// node's lease then lapses within one TTL) and join the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LeaseKeeper {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// `{"source":"...","epoch":E,"records":[{"lsn":N,"command":"..."}]}` —
+/// commands are the KV machine's JSON command strings, so they embed as
+/// text. The epoch is the shipper's fencing epoch; receivers refuse
+/// anything older than what they have already obeyed.
+fn records_to_json(source: &str, epoch: u64, records: &[(Lsn, Vec<u8>)]) -> Value {
     let items: Vec<Value> = records
         .iter()
         .map(|(lsn, cmd)| {
@@ -468,6 +776,7 @@ fn records_to_json(source: &str, records: &[(Lsn, Vec<u8>)]) -> Value {
         .collect();
     let mut body = Value::object();
     body.set("source", source);
+    body.set("epoch", epoch as i64);
     body.set("records", Value::Array(items));
     body
 }
@@ -500,7 +809,10 @@ fn version_response(lsn: Lsn) -> Response {
 
 /// Map store errors onto the wire: routing and staleness conditions are
 /// `409` with a machine-readable body; everything else is `500`.
-fn store_error_response(e: StoreError) -> Response {
+/// `map_version` stamps redirects so clients and gateways can tell a
+/// hint from a node with a *newer* map than theirs (refetch) from one
+/// that is itself stale (ignore).
+fn store_error_response(e: StoreError, map_version: u64) -> Response {
     match e {
         StoreError::NotPrimary { key, primary } => {
             let mut body = Value::object();
@@ -510,6 +822,7 @@ fn store_error_response(e: StoreError) -> Response {
                 Some(p) => body.set("primary", p.as_str()),
                 None => body.set("primary", Value::Null),
             }
+            body.set("map_version", map_version as i64);
             Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
         }
         StoreError::Behind { have, want } => {
@@ -517,6 +830,19 @@ fn store_error_response(e: StoreError) -> Response {
             body.set("error", "behind");
             body.set("have", have as i64);
             body.set("want", want as i64);
+            Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
+        }
+        StoreError::Fenced { epoch } => {
+            let mut body = Value::object();
+            body.set("error", "fenced");
+            body.set("epoch", epoch as i64);
+            Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
+        }
+        StoreError::StaleEpoch { have, got } => {
+            let mut body = Value::object();
+            body.set("error", "stale_epoch");
+            body.set("have", have as i64);
+            body.set("got", got as i64);
             Response::new(Status::CONFLICT).with_text("application/json", &body.to_compact())
         }
         other => Response::error(Status::INTERNAL_SERVER_ERROR, &other.to_string()),
@@ -544,6 +870,28 @@ fn rest_to_store(e: RestError) -> StoreError {
                             primary: v.get("primary").and_then(Value::as_str).map(str::to_string),
                         }
                     }
+                    Some("fenced") => {
+                        return StoreError::Fenced {
+                            epoch: v.get("epoch").and_then(Value::as_i64).unwrap_or(0) as u64,
+                        }
+                    }
+                    Some("stale_epoch") => {
+                        return StoreError::StaleEpoch {
+                            have: v.get("have").and_then(Value::as_i64).unwrap_or(0) as u64,
+                            got: v.get("got").and_then(Value::as_i64).unwrap_or(0) as u64,
+                        }
+                    }
+                    Some("compacted") => {
+                        return StoreError::Corrupt(
+                            "peer log compacted past the requested suffix".into(),
+                        )
+                    }
+                    Some("stale_map") => {
+                        return StoreError::Remote(format!(
+                            "map publish rejected: node holds version {}",
+                            v.get("have").and_then(Value::as_i64).unwrap_or(0)
+                        ))
+                    }
                     _ => {}
                 }
             }
@@ -551,6 +899,11 @@ fn rest_to_store(e: RestError) -> StoreError {
     }
     StoreError::Remote(e.to_string())
 }
+
+/// How many distinct endpoints a write will chase `not_primary` hints
+/// through before refetching the map — a stale hint chain (or two nodes
+/// pointing at each other mid-rebalance) must not spin forever.
+const MAX_WRITE_HOPS: usize = 3;
 
 /// A shard-aware store client with read-your-writes sessions.
 pub struct StoreClient {
@@ -572,8 +925,21 @@ impl StoreClient {
         }
     }
 
-    /// Install the shard map the client routes by.
-    pub fn set_map(&self, map: Arc<ShardMap>) {
+    /// Install the shard map the client routes by. Same version CAS as
+    /// the node side: an older map never replaces a newer one. Returns
+    /// whether the map was installed.
+    pub fn set_map(&self, map: Arc<ShardMap>) -> bool {
+        let mut slot = self.map.write();
+        if map.version() < slot.version() {
+            return false;
+        }
+        *slot = map;
+        true
+    }
+
+    /// Forcibly install `map` even if older — tests use this to
+    /// simulate a client with a stale routing view.
+    pub fn force_map(&self, map: Arc<ShardMap>) {
         *self.map.write() = map;
     }
 
@@ -597,21 +963,59 @@ impl StoreClient {
         self.write(key, None)
     }
 
+    /// Refetch the authoritative map from any node of the installed
+    /// one (first answer wins) and install it. Returns whether any node
+    /// answered with a usable map.
+    pub fn refresh_map(&self) -> bool {
+        let map = self.map();
+        for node in map.nodes() {
+            if let Ok(v) = self.rest.get(&format!("{}/store/map", node.endpoint)) {
+                if let Ok(fresh) = ShardMap::from_json(&v) {
+                    self.set_map(Arc::new(fresh));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     fn write(&self, key: &str, value: Option<&Value>) -> StoreResult<Lsn> {
         let map = self.map();
-        let primary = map
+        let mut endpoint = map
             .primary(key)
             .ok_or(StoreError::Remote("shard map has no nodes".into()))?
             .endpoint
             .clone();
-        match self.write_at(&primary, key, value) {
-            // A stale client map routed to the wrong node; follow the
-            // authoritative hint once.
-            Err(StoreError::NotPrimary { primary: Some(hint), .. }) if hint != primary => {
-                self.write_at(&hint, key, value)
+        // Chase `not_primary` hints through at most MAX_WRITE_HOPS
+        // distinct endpoints; a revisit (two stale nodes pointing at
+        // each other) or hop exhaustion falls through to a map refetch
+        // and one final attempt at the fresh primary.
+        let mut visited: Vec<String> = Vec::with_capacity(MAX_WRITE_HOPS);
+        for _ in 0..MAX_WRITE_HOPS {
+            visited.push(endpoint.clone());
+            match self.write_at(&endpoint, key, value) {
+                Err(StoreError::NotPrimary { primary: Some(hint), .. }) => {
+                    if visited.contains(&hint) {
+                        break;
+                    }
+                    endpoint = hint;
+                }
+                other => return other,
             }
-            other => other,
         }
+        if !self.refresh_map() {
+            return Err(StoreError::Remote(format!(
+                "write of {key:?} chased not_primary hints through {visited:?} and no node \
+                 answered a map refetch"
+            )));
+        }
+        let fresh = self
+            .map()
+            .primary(key)
+            .ok_or(StoreError::Remote("refetched shard map has no nodes".into()))?
+            .endpoint
+            .clone();
+        self.write_at(&fresh, key, value)
     }
 
     fn write_at(&self, endpoint: &str, key: &str, value: Option<&Value>) -> StoreResult<Lsn> {
@@ -643,6 +1047,36 @@ impl StoreClient {
         }
         let mut last_err = None;
         for owner in owners.iter().rev() {
+            let url =
+                format!("{}/store/{}?min_version={floor}", owner.endpoint, percent_encode(key));
+            match self.rest.get(&url) {
+                Ok(resp) => {
+                    let value = resp.get("value").cloned().unwrap_or(Value::Null);
+                    let version = resp.get("version").and_then(Value::as_i64).unwrap_or(0) as Lsn;
+                    return Ok(Some((value, version)));
+                }
+                Err(RestError::Status { status, .. }) if status == Status::NOT_FOUND => {
+                    return Ok(None)
+                }
+                Err(e) => last_err = Some(rest_to_store(e)),
+            }
+        }
+        Err(last_err.unwrap_or(StoreError::Remote("no owner answered".into())))
+    }
+
+    /// Primary-first read: the strongest copy wins, falling back
+    /// through replicas only when the primary is unreachable. Used by
+    /// readers that must see every acknowledged write immediately
+    /// (saga-journal recovery), not just their own session's.
+    pub fn get_fresh(&self, key: &str) -> StoreResult<Option<(Value, Lsn)>> {
+        let floor = self.session_version(key);
+        let map = self.map();
+        let owners = map.owners(key);
+        if owners.is_empty() {
+            return Err(StoreError::Remote("shard map has no nodes".into()));
+        }
+        let mut last_err = None;
+        for owner in owners.iter() {
             let url =
                 format!("{}/store/{}?min_version={floor}", owner.endpoint, percent_encode(key));
             match self.rest.get(&url) {
@@ -865,7 +1299,7 @@ mod tests {
             node.put("doomed", &json!(0)).unwrap();
             node.delete("doomed").unwrap();
             // Also feed a replica stream from a fictional peer.
-            node.apply_shipped("peer#1", &[(1, KvMachine::put_command("shipped", &json!(9)))])
+            node.apply_shipped("peer#1", 1, &[(1, KvMachine::put_command("shipped", &json!(9)))])
                 .unwrap();
         }
         let node = StoreNode::open(

@@ -1,0 +1,525 @@
+//! The rebalancer: live elasticity for the durable state plane.
+//!
+//! A [`Rebalancer`] watches the registry's lease table and turns
+//! membership changes into safe shard-map transitions:
+//!
+//! 1. **Detect** — poll the lease snapshot; an unchanged version means
+//!    an unchanged live set and the tick is a no-op.
+//! 2. **Transfer** — before any routing changes, bring every surviving
+//!    node's replica streams up to date by driving `POST /store/sync`
+//!    against each peer (bounded concurrency so hand-off never starves
+//!    foreground writes; jittered backoff between empty ship polls so
+//!    idle tails don't hammer the primary).
+//! 3. **Promote** — each node adopts, from its replica streams, exactly
+//!    the keys it will primary under the *target* map (versions carry
+//!    over, so clients' read-your-writes floors survive the flip).
+//! 4. **Publish** — install the target map on every node (version CAS;
+//!    stragglers with a newer map reject, which is correct) and grant
+//!    fences at the new epoch.
+//!
+//! Between rebalances, **anti-entropy** sweeps compare per-stream
+//! applied LSNs and state checksums across the fleet: a lagging stream
+//! is repaired by log shipping; a checksum divergence at equal LSNs —
+//! which the shipping invariants make impossible short of disk
+//! corruption — is counted loudly rather than papered over.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use soc_http::mem::Transport;
+use soc_json::Value;
+use soc_registry::directory::DirectoryClient;
+use soc_rest::RestClient;
+
+use crate::shard::{ShardMap, ShardNode};
+use crate::wal::Lsn;
+use crate::{StoreError, StoreResult};
+
+/// Tuning knobs for a [`Rebalancer`].
+#[derive(Debug, Clone)]
+pub struct RebalanceConfig {
+    /// Replication factor for maps built from lease snapshots.
+    pub replication: usize,
+    /// TTL for the fences granted after a publish (should match the
+    /// nodes' lease TTL; their own keepers take over from there).
+    pub lease_ttl: Duration,
+    /// How often the run loop polls the lease table.
+    pub poll_interval: Duration,
+    /// How often the run loop sweeps anti-entropy between rebalances.
+    pub anti_entropy_interval: Duration,
+    /// Hand-off transfers running at once; the rest queue. Bounds the
+    /// I/O a rebalance can steal from foreground writes.
+    pub max_concurrent_transfers: usize,
+    /// Base delay between empty catch-up polls (doubles per empty poll
+    /// up to [`RebalanceConfig::backoff_max`], with jitter).
+    pub backoff_base: Duration,
+    /// Ceiling for the poll backoff.
+    pub backoff_max: Duration,
+    /// Give up on a transfer after this many consecutive empty polls
+    /// that still haven't reached the catch-up goal.
+    pub max_empty_polls: u32,
+    /// Seed for the backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RebalanceConfig {
+    fn default() -> Self {
+        RebalanceConfig {
+            replication: 2,
+            lease_ttl: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(500),
+            anti_entropy_interval: Duration::from_secs(5),
+            max_concurrent_transfers: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(250),
+            max_empty_polls: 20,
+            seed: 0x5eed_ba1a_0c0f_fee5,
+        }
+    }
+}
+
+/// Callback invoked with each newly published shard map.
+type MapSubscriber = Box<dyn Fn(Arc<ShardMap>) + Send + Sync>;
+
+/// Watches one directory's lease table and keeps a store fleet's shard
+/// maps, replica streams, and fences converged on it.
+pub struct Rebalancer {
+    directory: DirectoryClient,
+    rest: RestClient,
+    cfg: RebalanceConfig,
+    /// The last map this rebalancer published (starts empty).
+    map: Mutex<Arc<ShardMap>>,
+    /// Observers notified after each publish — campaign harnesses and
+    /// co-located clients/gateways refresh their routing from here.
+    subscribers: Mutex<Vec<MapSubscriber>>,
+    /// Jitter state (xorshift64).
+    rng: AtomicU64,
+    rebalances: soc_observe::Counter,
+    transfers: soc_observe::Counter,
+    repairs: soc_observe::Counter,
+    divergence: soc_observe::Counter,
+}
+
+impl Rebalancer {
+    /// A rebalancer polling `directory` and driving peers over
+    /// `transport`.
+    pub fn new(
+        directory: DirectoryClient,
+        transport: Arc<dyn Transport>,
+        cfg: RebalanceConfig,
+    ) -> Rebalancer {
+        let metrics = soc_observe::metrics();
+        Rebalancer {
+            directory,
+            rest: RestClient::new(transport),
+            rng: AtomicU64::new(cfg.seed | 1),
+            cfg,
+            map: Mutex::new(Arc::new(ShardMap::build(0, Vec::new(), 1))),
+            subscribers: Mutex::new(Vec::new()),
+            rebalances: metrics.counter("soc_store_rebalances_total", &[]),
+            transfers: metrics.counter("soc_store_transfers_total", &[]),
+            repairs: metrics.counter("soc_store_anti_entropy_repairs_total", &[]),
+            divergence: metrics.counter("soc_store_anti_entropy_divergence_total", &[]),
+        }
+    }
+
+    /// Register an observer for newly published maps.
+    pub fn subscribe(&self, f: impl Fn(Arc<ShardMap>) + Send + Sync + 'static) {
+        self.subscribers.lock().push(Box::new(f));
+    }
+
+    /// The last map this rebalancer published.
+    pub fn map(&self) -> Arc<ShardMap> {
+        self.map.lock().clone()
+    }
+
+    /// One control-loop step: poll the lease table and, if the live set
+    /// moved, run the transfer → promote → publish → fence hand-off.
+    /// Returns whether a rebalance ran.
+    pub fn tick(&self) -> StoreResult<bool> {
+        let snap = self.directory.leases().map_err(|e| StoreError::Remote(e.to_string()))?;
+        let current = self.map();
+        if snap.version <= current.version() && !current.is_empty() {
+            return Ok(false);
+        }
+        let target = Arc::new(ShardMap::from_leases(&snap, self.cfg.replication));
+        if target.is_empty() {
+            // Nothing alive to rebalance onto; wait for a survivor.
+            return Ok(false);
+        }
+        self.rebalance_to(target)?;
+        Ok(true)
+    }
+
+    /// Drive the fleet to `target`: catch up streams, promote new
+    /// primaries, publish, fence.
+    fn rebalance_to(&self, target: Arc<ShardMap>) -> StoreResult<()> {
+        // Phase 1: transfers. Every surviving node tails every other
+        // surviving node's log so the promote step has current streams
+        // to adopt from. Pairs run with bounded concurrency.
+        let nodes = target.nodes().to_vec();
+        let mut pairs: Vec<(ShardNode, ShardNode)> = Vec::new();
+        for dest in &nodes {
+            for source in &nodes {
+                if dest.id != source.id {
+                    pairs.push((dest.clone(), source.clone()));
+                }
+            }
+        }
+        for chunk in pairs.chunks(self.cfg.max_concurrent_transfers.max(1)) {
+            std::thread::scope(|s| {
+                for (dest, source) in chunk {
+                    s.spawn(|| {
+                        if self.transfer(dest, source).is_ok() {
+                            self.transfers.inc();
+                        }
+                    });
+                }
+            });
+        }
+
+        // Phase 2: promote under the target map — each node adopts the
+        // keys it will primary — *before* any routing flips, so a
+        // redirected write never lands on a primary missing its keys.
+        let map_json = target.to_json();
+        for node in &nodes {
+            for source in &nodes {
+                if node.id == source.id {
+                    continue;
+                }
+                let mut body = Value::object();
+                body.set("source", source.id.as_str());
+                body.set("map", map_json.clone());
+                let _ = self.rest.post(&format!("{}/store/promote", node.endpoint), &body);
+            }
+        }
+
+        // Phase 3: publish the map (version CAS node-side) and grant
+        // fences at the new epoch; the nodes' own lease keepers keep
+        // them renewed from here.
+        for node in &nodes {
+            let _ = self.rest.post(&format!("{}/store/map", node.endpoint), &map_json);
+            let mut fence = Value::object();
+            fence.set("epoch", target.version() as i64);
+            fence.set("ttl_ms", self.cfg.lease_ttl.as_millis() as i64);
+            let _ = self.rest.post(&format!("{}/store/fence", node.endpoint), &fence);
+        }
+
+        *self.map.lock() = target.clone();
+        self.rebalances.inc();
+        for f in self.subscribers.lock().iter() {
+            f(target.clone());
+        }
+        Ok(())
+    }
+
+    /// Catch `dest`'s replica stream of `source` up to `source`'s
+    /// applied LSN. Two passes, each chasing a goal fixed at its start
+    /// (so a busy primary can't make the loop chase forever): the first
+    /// moves the bulk, the second picks up the tail written while the
+    /// first ran. Empty polls back off with jitter instead of hammering
+    /// `/store/ship`.
+    fn transfer(&self, dest: &ShardNode, source: &ShardNode) -> StoreResult<()> {
+        for _pass in 0..2 {
+            self.transfer_to_goal(dest, source)?;
+        }
+        Ok(())
+    }
+
+    fn transfer_to_goal(&self, dest: &ShardNode, source: &ShardNode) -> StoreResult<()> {
+        let goal = self.peer_applied(&source.endpoint)?;
+        let mut body = Value::object();
+        body.set("from", source.endpoint.as_str());
+        let mut empty_polls = 0u32;
+        loop {
+            if self.stream_lsn(&dest.endpoint, &source.id)? >= goal {
+                return Ok(());
+            }
+            let resp = self
+                .rest
+                .post(&format!("{}/store/sync", dest.endpoint), &body)
+                .map_err(|e| StoreError::Remote(e.to_string()))?;
+            let applied = resp.get("applied").and_then(Value::as_i64).unwrap_or(0);
+            if applied > 0 {
+                empty_polls = 0;
+                continue;
+            }
+            empty_polls += 1;
+            if empty_polls >= self.cfg.max_empty_polls {
+                return Err(StoreError::Remote(format!(
+                    "transfer {} <- {} stalled short of lsn {goal}",
+                    dest.id, source.id
+                )));
+            }
+            std::thread::sleep(self.backoff(empty_polls));
+        }
+    }
+
+    /// One anti-entropy sweep over the last published map: every
+    /// replica pair compares applied LSNs (lag → repair by shipping)
+    /// and state checksums (divergence at equal LSN → counted loudly).
+    /// Returns how many repairs were driven.
+    pub fn anti_entropy(&self) -> StoreResult<usize> {
+        let map = self.map();
+        let nodes = map.nodes().to_vec();
+        let mut repaired = 0;
+        for source in &nodes {
+            let src_status = match self.status(&source.endpoint) {
+                Ok(s) => s,
+                Err(_) => continue, // dead node: the lease table will notice
+            };
+            let src_applied = src_status.get("applied").and_then(Value::as_i64).unwrap_or(0);
+            let src_crc = src_status.get("state_crc").and_then(Value::as_i64).unwrap_or(0);
+            for dest in &nodes {
+                if dest.id == source.id {
+                    continue;
+                }
+                let Ok(dst_status) = self.status(&dest.endpoint) else { continue };
+                let stream_lsn = dst_status
+                    .pointer(&format!("/replica_streams/{}", escape_pointer(&source.id)))
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                if stream_lsn < src_applied {
+                    let mut body = Value::object();
+                    body.set("from", source.endpoint.as_str());
+                    if self.rest.post(&format!("{}/store/sync", dest.endpoint), &body).is_ok() {
+                        self.repairs.inc();
+                        repaired += 1;
+                    }
+                    continue;
+                }
+                let stream_crc = dst_status
+                    .pointer(&format!("/stream_crcs/{}", escape_pointer(&source.id)))
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0);
+                if stream_lsn == src_applied && stream_crc != src_crc {
+                    // Equal history, different state: impossible under
+                    // the shipping invariants, so surface it loudly
+                    // rather than guessing which copy to keep.
+                    self.divergence.inc();
+                }
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Run the control loop until `stop` flips: tick on every poll
+    /// interval, anti-entropy on its own cadence.
+    pub fn run(&self, stop: &AtomicBool) {
+        let mut since_sweep = Duration::ZERO;
+        while !stop.load(Ordering::Acquire) {
+            let _ = self.tick();
+            if since_sweep >= self.cfg.anti_entropy_interval {
+                since_sweep = Duration::ZERO;
+                let _ = self.anti_entropy();
+            }
+            let nap = self.cfg.poll_interval + self.jitter(self.cfg.poll_interval / 4);
+            std::thread::sleep(nap);
+            since_sweep += nap;
+        }
+    }
+
+    /// Spawn [`Rebalancer::run`] on a background thread; the handle
+    /// stops and joins it on drop.
+    pub fn spawn(self: Arc<Self>) -> RebalancerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || self.run(&stop_flag));
+        RebalancerHandle { stop, handle: Some(handle) }
+    }
+
+    fn status(&self, endpoint: &str) -> StoreResult<Value> {
+        self.rest
+            .get(&format!("{endpoint}/store/status"))
+            .map_err(|e| StoreError::Remote(e.to_string()))
+    }
+
+    fn peer_applied(&self, endpoint: &str) -> StoreResult<Lsn> {
+        Ok(self.status(endpoint)?.get("applied").and_then(Value::as_i64).unwrap_or(0) as Lsn)
+    }
+
+    fn stream_lsn(&self, endpoint: &str, source: &str) -> StoreResult<Lsn> {
+        Ok(self
+            .status(endpoint)?
+            .pointer(&format!("/replica_streams/{}", escape_pointer(source)))
+            .and_then(Value::as_i64)
+            .unwrap_or(0) as Lsn)
+    }
+
+    /// Exponential backoff with jitter for empty catch-up polls.
+    fn backoff(&self, empty_polls: u32) -> Duration {
+        let base = self.cfg.backoff_base.saturating_mul(1 << empty_polls.min(6));
+        let capped = base.min(self.cfg.backoff_max);
+        capped / 2 + self.jitter(capped / 2)
+    }
+
+    /// A uniform-ish duration in `[0, bound)` from a xorshift64 walk.
+    fn jitter(&self, bound: Duration) -> Duration {
+        let mut x = self.rng.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.store(x, Ordering::Relaxed);
+        let nanos = bound.as_nanos().max(1) as u64;
+        Duration::from_nanos(x % nanos)
+    }
+}
+
+/// Handle for a running rebalancer thread; stops it on drop.
+pub struct RebalancerHandle {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RebalancerHandle {
+    /// Stop the control loop and join the thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RebalancerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Escape a JSON-pointer segment (`~` → `~0`, `/` → `~1`).
+fn escape_pointer(s: &str) -> String {
+    s.replace('~', "~0").replace('/', "~1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::KvMachine;
+    use crate::node::{StoreClient, StoreNode, StoreNodeConfig};
+    use crate::TempDir;
+    use soc_http::MemNetwork;
+    use soc_json::json;
+    use soc_registry::directory::DirectoryService;
+    use soc_registry::repository::Repository;
+
+    struct Fleet {
+        net: Arc<MemNetwork>,
+        directory: DirectoryClient,
+        nodes: Vec<StoreNode>,
+        _dirs: Vec<TempDir>,
+    }
+
+    /// A directory at `mem://dir` plus `n` store nodes `mem://s{i}`,
+    /// each holding a fenced lease.
+    fn fleet(n: usize) -> Fleet {
+        let net = Arc::new(MemNetwork::new());
+        let (dir_svc, _state) = DirectoryService::new(Repository::new(), vec![]);
+        net.host("dir", dir_svc);
+        let directory = DirectoryClient::new(net.clone() as Arc<dyn Transport>, "mem://dir");
+        let mut nodes = Vec::new();
+        let mut dirs = Vec::new();
+        for i in 0..n {
+            let (node, dir) = add_node(&net, i);
+            directory
+                .renew_fenced_lease(&format!("s{i}"), 60_000, Some(&format!("mem://s{i}")))
+                .unwrap();
+            nodes.push(node);
+            dirs.push(dir);
+        }
+        Fleet { net, directory, nodes, _dirs: dirs }
+    }
+
+    fn add_node(net: &Arc<MemNetwork>, i: usize) -> (StoreNode, TempDir) {
+        let dir = TempDir::new(&format!("reb-{i}"));
+        let node = StoreNode::open(
+            StoreNodeConfig::new(&format!("s{i}")),
+            dir.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        net.host(&format!("s{i}"), node.router());
+        (node, dir)
+    }
+
+    fn quick_cfg() -> RebalanceConfig {
+        RebalanceConfig {
+            replication: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(5),
+            ..RebalanceConfig::default()
+        }
+    }
+
+    #[test]
+    fn tick_publishes_a_map_from_the_lease_table() {
+        let f = fleet(3);
+        let r = Rebalancer::new(f.directory.clone(), f.net.clone(), quick_cfg());
+        assert!(r.tick().unwrap(), "first tick rebalances");
+        assert!(!r.tick().unwrap(), "steady state is a no-op");
+        let map = r.map();
+        assert_eq!(map.nodes().len(), 3);
+        for node in &f.nodes {
+            assert_eq!(node.map().version(), map.version());
+            assert!(node.fence().is_valid(), "{} fenced after publish", node.id());
+        }
+    }
+
+    #[test]
+    fn join_and_expiry_move_the_map_and_keep_data() {
+        let f = fleet(2);
+        let r = Rebalancer::new(f.directory.clone(), f.net.clone(), quick_cfg());
+        assert!(r.tick().unwrap());
+        let client = StoreClient::new(f.net.clone() as Arc<dyn Transport>);
+        client.set_map(r.map());
+        let mut versions = std::collections::HashMap::new();
+        for i in 0..16 {
+            let key = format!("key-{i}");
+            let v = client.put(&key, &json!(i)).unwrap();
+            versions.insert(key, v);
+        }
+        // A third node joins: lease version bumps, tick transfers and
+        // republishes.
+        let (node2, _dir2) = add_node(&f.net, 2);
+        f.directory.renew_fenced_lease("s2", 60_000, Some("mem://s2")).unwrap();
+        assert!(r.tick().unwrap(), "join triggers a rebalance");
+        assert!(node2.map().version() > 0);
+        client.set_map(r.map());
+        // Every key still readable at its version through the new map.
+        for (key, v) in &versions {
+            let (_, got) = client.get(key).unwrap().expect("key survives the join");
+            assert!(got >= *v, "{key}: {got} < {v}");
+        }
+        // s0 dies: revoke its lease; the next tick heals around it.
+        f.directory.revoke_lease("s0").unwrap();
+        f.net.unhost("s0");
+        assert!(r.tick().unwrap(), "expiry triggers a rebalance");
+        client.set_map(r.map());
+        assert_eq!(r.map().nodes().len(), 2);
+        for (key, v) in &versions {
+            let (_, got) = client.get(key).unwrap().expect("key survives the death");
+            assert!(got >= *v, "{key}: {got} < {v}");
+        }
+    }
+
+    #[test]
+    fn anti_entropy_repairs_a_lagging_stream() {
+        let f = fleet(2);
+        let r = Rebalancer::new(f.directory.clone(), f.net.clone(), quick_cfg());
+        r.tick().unwrap();
+        // Feed s0's own log directly (no replication pushes), leaving
+        // s1's stream of s0 behind.
+        for i in 0..8 {
+            f.nodes[0]
+                .store()
+                .execute(&KvMachine::put_command(&format!("d{i}"), &json!(i)))
+                .unwrap();
+        }
+        assert!(f.nodes[1].replica_applied("s0") < f.nodes[0].store().applied_lsn());
+        let repaired = r.anti_entropy().unwrap();
+        assert!(repaired > 0, "sweep drives at least one repair");
+        assert_eq!(f.nodes[1].replica_applied("s0"), f.nodes[0].store().applied_lsn());
+    }
+}

@@ -162,6 +162,15 @@ impl<M: StateMachine> Durable<M> {
         self.machine.lock().1
     }
 
+    /// The applied LSN and a state snapshot taken atomically under the
+    /// machine lock — the payload a peer bootstraps from, and the
+    /// input to anti-entropy checksums (snapshot serialization is
+    /// deterministic, so equal bytes at equal LSNs means equal state).
+    pub fn snapshot_state(&self) -> (Lsn, Vec<u8>) {
+        let m = self.machine.lock();
+        (m.1, m.0.snapshot())
+    }
+
     /// Snapshot-then-truncate compaction: serialize the machine and
     /// hand the bytes to [`Wal::snapshot`] while holding the machine
     /// lock, so the snapshot reflects exactly the applied prefix.
@@ -169,6 +178,23 @@ impl<M: StateMachine> Durable<M> {
         let m = self.machine.lock();
         let state = m.0.snapshot();
         self.wal.snapshot(&state)
+    }
+
+    /// Install a snapshot taken on another node — the bootstrap path
+    /// when this machine is so far behind that the source's log has
+    /// been compacted past our watermark. Restores `state` into the
+    /// machine and forward-jumps the local log to `lsn` (see
+    /// [`Wal::install_snapshot`]). A no-op when we are already at or
+    /// past `lsn`.
+    pub fn install_snapshot(&self, lsn: Lsn, state: &[u8]) -> StoreResult<()> {
+        let mut m = self.machine.lock();
+        if m.1 >= lsn {
+            return Ok(());
+        }
+        self.wal.install_snapshot(lsn, state)?;
+        m.0.restore(state).map_err(StoreError::Corrupt)?;
+        m.1 = lsn;
+        Ok(())
     }
 
     /// The underlying log (for shipping and introspection).
@@ -238,6 +264,28 @@ mod tests {
         assert_eq!(d.query(|m| m.total), 155);
         // Snapshot restored 10 commands' worth; only one was replayed.
         assert_eq!(d.applied_lsn(), 11);
+    }
+
+    #[test]
+    fn install_snapshot_bootstraps_a_lagging_machine() {
+        let tmp = TempDir::new("durable-install");
+        {
+            let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+            d.execute(b"1").unwrap();
+            // State "95 9" as of a remote lsn 9: total 95 from 9 cmds.
+            d.install_snapshot(9, b"95 9").unwrap();
+            assert_eq!(d.query(|m| m.total), 95);
+            assert_eq!(d.applied_lsn(), 9);
+            // Shipped records continue from the installed point.
+            d.execute_shipped(10, b"5").unwrap();
+            assert_eq!(d.query(|m| m.total), 100);
+            // Installing at or below the applied LSN is a no-op.
+            d.install_snapshot(10, b"0 0").unwrap();
+            assert_eq!(d.query(|m| m.total), 100);
+        }
+        let d = Durable::open(tmp.path(), WalConfig::default(), Summer::default()).unwrap();
+        assert_eq!(d.query(|m| m.total), 100);
+        assert_eq!(d.applied_lsn(), 10);
     }
 
     #[test]

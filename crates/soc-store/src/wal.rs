@@ -437,7 +437,46 @@ impl Wal {
             log.durable_lsn = log.durable_lsn.max(batch.last().unwrap().0);
         }
         let snap_lsn = log.next_lsn - 1;
+        self.write_snapshot_and_rotate(snap_lsn, state)?;
+        drop(log);
+        Ok(snap_lsn)
+    }
 
+    /// Install a snapshot taken *elsewhere* — the replica bootstrap
+    /// path when the primary's log has been compacted past this
+    /// replica's watermark. The local log jumps forward to `lsn`: a
+    /// snapshot file is written, the active segment rotates to base
+    /// `lsn + 1`, everything older is deleted, and subsequent appends
+    /// stamp `lsn + 1` onward. Refuses to rewind (`lsn` at or below the
+    /// current tail), because that would fork already-durable history.
+    pub fn install_snapshot(&self, lsn: Lsn, state: &[u8]) -> StoreResult<()> {
+        let mut log = self.inner.log.lock();
+        while log.flushing {
+            self.inner.flushed.wait(&mut log);
+        }
+        if let Some(why) = &log.poisoned {
+            return Err(StoreError::Corrupt(why.clone()));
+        }
+        let tail = log.next_lsn - 1;
+        if lsn <= tail {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot install at {lsn} would rewind the log tail {tail}"
+            )));
+        }
+        // Anything submitted but unflushed is below the snapshot and
+        // superseded by it; drop it rather than persisting records the
+        // snapshot already covers.
+        log.pending.clear();
+        self.write_snapshot_and_rotate(lsn, state)?;
+        log.next_lsn = lsn + 1;
+        log.durable_lsn = lsn;
+        Ok(())
+    }
+
+    /// Persist `state` as the snapshot at `snap_lsn`, rotate the active
+    /// segment past it, and delete covered segments and superseded
+    /// snapshots. Callers hold the log lock with no leader in flight.
+    fn write_snapshot_and_rotate(&self, snap_lsn: Lsn, state: &[u8]) -> StoreResult<()> {
         // Write the snapshot via a temp file + rename so a crash never
         // leaves a half-written snapshot with a valid name.
         let final_path = self.inner.dir.join(snap_name(snap_lsn));
@@ -486,8 +525,7 @@ impl Wal {
         sync_dir(&self.inner.dir)?;
         self.inner.segments.set(kept_segments.max(1));
         soc_observe::metrics().counter("soc_store_wal_snapshots_total", &[]).inc();
-        drop(log);
-        Ok(snap_lsn)
+        Ok(())
     }
 
     /// Durable records with `lsn > from`, read back from the segment
@@ -883,6 +921,27 @@ mod tests {
         // Below the compaction horizon → loud error.
         wal.snapshot(b"s").unwrap();
         assert!(matches!(wal.records_after(0), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn install_snapshot_jumps_forward_and_survives_reopen() {
+        let tmp = TempDir::new("wal-install");
+        {
+            let (wal, _) = Wal::open(tmp.path()).unwrap();
+            wal.append(b"local-1").unwrap();
+            wal.append(b"local-2").unwrap();
+            // Rewind refused: tail is 2.
+            assert!(matches!(wal.install_snapshot(2, b"rewind"), Err(StoreError::Corrupt(_))));
+            wal.install_snapshot(40, b"remote-state-at-40").unwrap();
+            assert_eq!(wal.last_lsn(), 40);
+            assert_eq!(wal.durable_lsn(), 40);
+            // Appends continue past the installed point.
+            assert_eq!(wal.append(b"local-41").unwrap(), 41);
+        }
+        let (_, rec) = reopen(tmp.path());
+        assert_eq!(rec.snapshot, Some((40, b"remote-state-at-40".to_vec())));
+        let lsns: Vec<Lsn> = rec.records.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lsns, vec![41]);
     }
 
     #[test]

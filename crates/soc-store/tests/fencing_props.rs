@@ -1,0 +1,295 @@
+//! Fencing property tests: random interleavings of lease expiry,
+//! renewal, replica partitions, log shipping, promotion, and
+//! late-arriving replication over a two-node pair, holding the
+//! split-brain invariants from the `fence` module docs:
+//!
+//! - a primary whose lease has lapsed refuses every write
+//!   ([`StoreError::Fenced`]) and acknowledges none;
+//! - after a promotion moves the fleet to a newer epoch, a shipment at
+//!   the old primary's epoch is refused ([`StoreError::StaleEpoch`]);
+//! - the replica's stream is always a prefix of the primary's log, and
+//!   a drained stream is byte-identical (state CRC equality);
+//! - every acknowledged write survives promotion with its value intact
+//!   and its version never regressing.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use soc_http::{MemNetwork, Transport};
+use soc_json::{json, Value};
+use soc_rest::RestClient;
+use soc_store::wal::Lsn;
+use soc_store::{KvMachine, ShardMap, ShardNode, StoreError, StoreNode, StoreNodeConfig, TempDir};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const A: &str = "prop-a";
+const B: &str = "prop-b";
+const TTL: Duration = Duration::from_secs(60);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// A client write through the current legitimate primary.
+    Write(usize, i64),
+    /// The current primary's lease lapses (registry unreachable).
+    ExpireLease,
+    /// The current primary renews at its current epoch.
+    RenewLease,
+    /// The replica pulls the primary's outstanding tail.
+    ShipTail,
+    /// Cut (or heal) push replication to the replica.
+    TogglePartition,
+    /// Fail the old primary over to the replica under a newer epoch.
+    Promote,
+    /// The deposed primary ships a record at its pre-promotion epoch.
+    LateShip,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Writes appear three times to weight the mix toward them.
+    prop_oneof![
+        (0usize..12, 0i64..1000).prop_map(|(k, v)| Op::Write(k, v)),
+        (12usize..24, 0i64..1000).prop_map(|(k, v)| Op::Write(k, v)),
+        (24usize..36, 0i64..1000).prop_map(|(k, v)| Op::Write(k, v)),
+        Just(Op::ExpireLease),
+        Just(Op::RenewLease),
+        Just(Op::ShipTail),
+        Just(Op::TogglePartition),
+        Just(Op::Promote),
+        Just(Op::LateShip),
+    ]
+}
+
+struct Pair {
+    net: Arc<MemNetwork>,
+    a: StoreNode,
+    b: StoreNode,
+    _dirs: (TempDir, TempDir),
+    /// Keys whose primary under the initial map is node A.
+    a_keys: Vec<String>,
+    /// Last acked `(value, version)` per key — the client's view.
+    expected: HashMap<String, (Value, Lsn)>,
+    /// A's applied LSN (every ack is one log record).
+    a_applied: Lsn,
+    promoted: bool,
+    partitioned: bool,
+}
+
+impl Pair {
+    fn new() -> Pair {
+        let net = Arc::new(MemNetwork::new());
+        let dir_a = TempDir::new("fence-props-a");
+        let dir_b = TempDir::new("fence-props-b");
+        let a = StoreNode::open(
+            StoreNodeConfig::new(A),
+            dir_a.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        let b = StoreNode::open(
+            StoreNodeConfig::new(B),
+            dir_b.path(),
+            net.clone() as Arc<dyn Transport>,
+        )
+        .unwrap();
+        net.host(A, a.router());
+        net.host(B, b.router());
+        let map = Arc::new(ShardMap::build(
+            1,
+            vec![
+                ShardNode { id: A.into(), endpoint: format!("mem://{A}") },
+                ShardNode { id: B.into(), endpoint: format!("mem://{B}") },
+            ],
+            2,
+        ));
+        assert!(a.set_map(map.clone()));
+        assert!(b.set_map(map.clone()));
+        a.fence().grant(1, TTL);
+        // The ring decides which keys A primaries; writes go there.
+        let a_keys: Vec<String> = (0..32)
+            .map(|i| format!("fpk-{i}"))
+            .filter(|k| map.primary(k).map(|n| n.id == A).unwrap_or(false))
+            .collect();
+        assert!(!a_keys.is_empty(), "hash ring gave node A no keys");
+        Pair {
+            net,
+            a,
+            b,
+            _dirs: (dir_a, dir_b),
+            a_keys,
+            expected: HashMap::new(),
+            a_applied: 0,
+            promoted: false,
+            partitioned: false,
+        }
+    }
+
+    fn primary(&self) -> &StoreNode {
+        if self.promoted {
+            &self.b
+        } else {
+            &self.a
+        }
+    }
+
+    /// Pull B's stream of A up to A's current applied LSN.
+    fn drain(&self) -> Result<(), TestCaseError> {
+        let mut stalls = 0;
+        while self.b.replica_applied(A) < self.a_applied {
+            let pulled = self
+                .b
+                .sync_from(&format!("mem://{A}"))
+                .map_err(|e| TestCaseError::fail(format!("sync_from failed mid-drain: {e:?}")))?;
+            // The stream must never run past the source's log.
+            prop_assert!(self.b.replica_applied(A) <= self.a_applied, "stream overran the log");
+            if pulled == 0 {
+                stalls += 1;
+                prop_assert!(stalls < 50, "drain stalled short of lsn {}", self.a_applied);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail over to B: drain the tail, adopt A's keys, install the
+    /// epoch-2 map, and fence both sides the way a rebalance would.
+    fn promote(&mut self) -> Result<(), TestCaseError> {
+        if self.partitioned {
+            self.net.host(B, self.b.router());
+            self.partitioned = false;
+        }
+        self.a.fence().expire_now();
+        self.drain()?;
+        self.b.promote(A).unwrap();
+        let map2 = Arc::new(ShardMap::build(
+            2,
+            vec![ShardNode { id: B.into(), endpoint: format!("mem://{B}") }],
+            1,
+        ));
+        prop_assert!(self.b.set_map(map2));
+        self.b.fence().grant(2, TTL);
+        self.promoted = true;
+        // The deposed primary still holds the old map naming it owner —
+        // but its lapsed lease must refuse the write anyway.
+        let rogue = self.a.put(&self.a_keys[0], &json!({ "rogue": true }));
+        prop_assert!(
+            matches!(rogue, Err(StoreError::Fenced { .. })),
+            "deposed primary acknowledged a write: {rogue:?}"
+        );
+        Ok(())
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<(), TestCaseError> {
+        match op {
+            Op::Write(k, v) => {
+                let key = self.a_keys[k % self.a_keys.len()].clone();
+                let value = json!({ "v": (*v) });
+                let valid = self.primary().fence().is_valid();
+                match self.primary().put(&key, &value) {
+                    Ok(lsn) => {
+                        prop_assert!(valid, "write acked under a lapsed lease");
+                        self.expected.insert(key, (value, lsn));
+                        if !self.promoted {
+                            self.a_applied = lsn;
+                        }
+                    }
+                    Err(StoreError::Fenced { .. }) => {
+                        prop_assert!(!valid, "write refused under a valid lease")
+                    }
+                    Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e:?}"))),
+                }
+            }
+            Op::ExpireLease => self.primary().fence().expire_now(),
+            Op::RenewLease => {
+                let f = self.primary().fence();
+                f.grant(f.epoch(), TTL);
+            }
+            Op::ShipTail => {
+                if !self.promoted {
+                    self.drain()?;
+                }
+            }
+            Op::TogglePartition => {
+                if !self.promoted {
+                    if self.partitioned {
+                        self.net.host(B, self.b.router());
+                    } else {
+                        self.net.unhost(B);
+                    }
+                    self.partitioned = !self.partitioned;
+                }
+            }
+            Op::Promote => {
+                if !self.promoted {
+                    self.promote()?;
+                }
+            }
+            Op::LateShip => {
+                if self.promoted {
+                    // A shipment at the pre-promotion epoch: the fleet
+                    // has moved to the epoch-2 map and A is no longer in
+                    // it, so obeying this would be split-brain.
+                    let cmd = KvMachine::put_command(&self.a_keys[0], &json!({ "late": true }));
+                    let r = self.b.apply_shipped(A, 1, &[(self.a_applied + 1, cmd)]);
+                    prop_assert!(
+                        matches!(r, Err(StoreError::StaleEpoch { .. })),
+                        "stale-epoch shipment was obeyed: {r:?}"
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any interleaving of the elasticity events preserves the fencing
+    /// and prefix-consistency invariants, and every acked write
+    /// survives the final promotion.
+    #[test]
+    fn elasticity_interleavings_preserve_consistency(
+        ops in vec(op_strategy(), 1..24),
+    ) {
+        let mut pair = Pair::new();
+        for op in &ops {
+            pair.apply(op)?;
+        }
+
+        if !pair.promoted {
+            // Settle the pair and check the anti-entropy comparison: a
+            // drained stream is byte-identical to the source's state.
+            if pair.partitioned {
+                pair.net.host(B, pair.b.router());
+                pair.partitioned = false;
+            }
+            pair.a.fence().grant(1, TTL);
+            pair.drain()?;
+            prop_assert_eq!(pair.b.replica_applied(A), pair.a_applied);
+            if pair.a_applied > 0 {
+                let rest = RestClient::new(pair.net.clone() as Arc<dyn Transport>);
+                let a_status = rest.get(&format!("mem://{A}/store/status")).unwrap();
+                let b_status = rest.get(&format!("mem://{B}/store/status")).unwrap();
+                prop_assert_eq!(
+                    b_status.pointer(&format!("/stream_crcs/{A}")).and_then(Value::as_i64),
+                    a_status.get("state_crc").and_then(Value::as_i64),
+                    "drained stream diverged from the source state"
+                );
+            }
+            pair.promote()?;
+        }
+
+        // Survival: every acked write is readable from the survivor at
+        // its acked value and an equal-or-newer version.
+        for (key, (value, ver)) in &pair.expected {
+            match pair.b.get(key, 0) {
+                Ok(Some((got, gv))) => {
+                    prop_assert_eq!(&got, value, "value diverged for {}", key);
+                    prop_assert!(gv >= *ver, "version regressed for {key}: {gv} < {ver}");
+                }
+                other => return Err(TestCaseError::fail(format!("acked {key} lost: {other:?}"))),
+            }
+        }
+    }
+}

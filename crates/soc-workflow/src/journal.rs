@@ -21,13 +21,21 @@
 //!
 //! Snapshot = the open-saga table only; `end` events delete their saga,
 //! so compaction naturally discards finished history.
+//!
+//! Where the journal *lives* is a separate choice from what it records:
+//! the [`Journal`] trait abstracts the storage, [`SagaJournal`] keeps it
+//! on a local WAL (recovery requires the same disk), and
+//! [`ReplicatedJournal`] keeps it in the replicated durable store — so a
+//! coordinator on a *different machine* can pick up the worklist after a
+//! crash, reading through version-gated replicas.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
 use soc_json::Value;
 use soc_parallel::ThreadPool;
 use soc_store::wal::{Lsn, WalConfig};
-use soc_store::{Durable, StateMachine, StoreResult};
+use soc_store::{Durable, StateMachine, StoreClient, StoreResult};
 
 use crate::activity::Ports;
 use crate::graph::{WorkflowError, WorkflowGraph};
@@ -194,6 +202,210 @@ impl SagaJournal {
     }
 }
 
+/// Where a coordinator journals saga progress. The contract is the
+/// same everywhere — `begin` before the first wave, each completion as
+/// it lands, `end` when the saga settles — but implementations differ
+/// in *who can recover*: a [`SagaJournal`] needs the same disk back; a
+/// [`ReplicatedJournal`] lets any machine that can reach the store
+/// fleet pick up the worklist.
+///
+/// Logging failures panic rather than return: a journal write that is
+/// silently dropped is precisely the lost-completion bug the journal
+/// exists to prevent, and a coordinator that cannot journal must not
+/// keep producing side effects.
+pub trait Journal {
+    /// Record that `saga` has begun.
+    fn log_begin(&self, saga: &str);
+    /// Record that `node` completed with `outputs`.
+    fn log_node(&self, saga: &str, node: &str, outputs: &Ports);
+    /// Record that `saga` settled (completed or compensated).
+    fn log_end(&self, saga: &str);
+    /// What a crashed run is known to have completed for `saga`.
+    fn record(&self, saga: &str) -> Option<SagaRecord>;
+    /// Ids of sagas that began but never ended — the restart worklist.
+    fn incomplete(&self) -> Vec<String>;
+}
+
+impl Journal for SagaJournal {
+    fn log_begin(&self, saga: &str) {
+        self.log(&JournalMachine::begin_event(saga));
+    }
+
+    fn log_node(&self, saga: &str, node: &str, outputs: &Ports) {
+        self.log(&JournalMachine::node_event(saga, node, outputs));
+    }
+
+    fn log_end(&self, saga: &str) {
+        self.log(&JournalMachine::end_event(saga));
+    }
+
+    fn record(&self, saga: &str) -> Option<SagaRecord> {
+        SagaJournal::record(self, saga)
+    }
+
+    fn incomplete(&self) -> Vec<String> {
+        SagaJournal::incomplete(self)
+    }
+}
+
+/// A saga journal kept in the replicated durable store instead of a
+/// local WAL, so coordinator recovery is not pinned to one machine.
+///
+/// Layout under a caller-chosen `scope` (one scope per coordinator
+/// fleet): the worklist lives at `saga/{scope}` (an array of open saga
+/// ids) and each open saga's completions at `saga/{scope}/{id}`.
+/// Progress reads during a run go through the client's version-gated
+/// replica path (the session floor guarantees read-your-writes);
+/// recovery reads ([`Journal::incomplete`], [`Journal::record`]) use
+/// primary-first fresh reads, because a restarted coordinator has no
+/// session and must see *other* writers' completions.
+///
+/// Ordering makes crashes safe without transactions: `begin` adds the
+/// id to the worklist before any completion is written (a crash in
+/// between re-runs the saga from the top, which saga semantics already
+/// tolerate), and `end` removes the id from the worklist *before*
+/// deleting the record (a crash in between leaves an unlisted orphan
+/// record, not a resurrected saga).
+///
+/// One coordinator owns a scope at a time; the read-modify-write on the
+/// worklist is not safe under concurrent writers.
+pub struct ReplicatedJournal {
+    client: StoreClient,
+    scope: String,
+}
+
+impl ReplicatedJournal {
+    /// A journal for `scope` speaking through `client` (which must have
+    /// a shard map installed or a rebalancer feeding it one).
+    pub fn new(client: StoreClient, scope: &str) -> ReplicatedJournal {
+        ReplicatedJournal { client, scope: scope.to_string() }
+    }
+
+    /// The underlying store client (e.g. to refresh its shard map).
+    pub fn client(&self) -> &StoreClient {
+        &self.client
+    }
+
+    fn index_key(&self) -> String {
+        format!("saga/{}", self.scope)
+    }
+
+    fn record_key(&self, saga: &str) -> String {
+        format!("saga/{}/{}", self.scope, saga)
+    }
+
+    /// Put with bounded retries: a store fleet mid-failover refuses
+    /// writes briefly (fencing, map flips); the journal rides that out
+    /// rather than losing a completion. Panics when the fleet stays
+    /// unreachable — see the [`Journal`] contract.
+    fn put_retry(&self, key: &str, value: &Value) {
+        let mut delay = Duration::from_millis(5);
+        for attempt in 0..10 {
+            match self.client.put(key, value) {
+                Ok(_) => return,
+                Err(e) if attempt == 9 => panic!("saga journal lost durability: {e}"),
+                Err(_) => {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(200));
+                }
+            }
+        }
+    }
+
+    fn record_to_value(completed: &[(String, Ports)]) -> Value {
+        let steps: Vec<Value> = completed
+            .iter()
+            .map(|(node, ports)| {
+                let mut step = Value::object();
+                step.set("node", node.as_str());
+                step.set("outputs", ports_to_value(ports));
+                step
+            })
+            .collect();
+        let mut rec = Value::object();
+        rec.set("completed", Value::Array(steps));
+        rec
+    }
+
+    fn record_from_value(v: &Value) -> SagaRecord {
+        let mut rec = SagaRecord::default();
+        for step in v.get("completed").and_then(Value::as_array).unwrap_or(&[]) {
+            let node = step.get("node").and_then(Value::as_str).unwrap_or_default().to_string();
+            let outputs = step.get("outputs").map(ports_from_value).unwrap_or_default();
+            rec.completed.push((node, outputs));
+        }
+        rec
+    }
+
+    /// Read-modify-write the worklist through this session's own floor.
+    fn update_index(&self, f: impl FnOnce(&mut Vec<String>)) {
+        let key = self.index_key();
+        let mut ids: Vec<String> = match self.client.get(&key) {
+            Ok(Some((v, _))) => v
+                .as_array()
+                .map(|a| {
+                    a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        f(&mut ids);
+        let arr = Value::Array(ids.iter().map(|s| Value::from(s.as_str())).collect());
+        self.put_retry(&key, &arr);
+    }
+}
+
+impl Journal for ReplicatedJournal {
+    fn log_begin(&self, saga: &str) {
+        // Worklist first: a saga with no record resumes from the top,
+        // which is safe; a record with no worklist entry is never
+        // recovered, which is not.
+        let saga = saga.to_string();
+        self.update_index(move |ids| {
+            if !ids.contains(&saga) {
+                ids.push(saga);
+            }
+        });
+    }
+
+    fn log_node(&self, saga: &str, node: &str, outputs: &Ports) {
+        let key = self.record_key(saga);
+        let mut completed = match self.client.get(&key) {
+            Ok(Some((v, _))) => Self::record_from_value(&v).completed,
+            _ => Vec::new(),
+        };
+        completed.push((node.to_string(), outputs.clone()));
+        self.put_retry(&key, &Self::record_to_value(&completed));
+    }
+
+    fn log_end(&self, saga: &str) {
+        let saga_owned = saga.to_string();
+        self.update_index(move |ids| ids.retain(|id| *id != saga_owned));
+        let _ = self.client.delete(&self.record_key(saga));
+    }
+
+    fn record(&self, saga: &str) -> Option<SagaRecord> {
+        match self.client.get_fresh(&self.record_key(saga)) {
+            Ok(Some((v, _))) => Some(Self::record_from_value(&v)),
+            _ => None,
+        }
+    }
+
+    fn incomplete(&self) -> Vec<String> {
+        let mut ids: Vec<String> = match self.client.get_fresh(&self.index_key()) {
+            Ok(Some((v, _))) => v
+                .as_array()
+                .map(|a| {
+                    a.iter().filter_map(|x| x.as_str().map(str::to_string)).collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        ids.sort();
+        ids
+    }
+}
+
 impl WorkflowGraph {
     /// [`WorkflowGraph::run_saga`] with its completion log journalled:
     /// `begin` before the first wave, each completed node as it lands,
@@ -201,14 +413,14 @@ impl WorkflowGraph {
     /// final. A process that dies in between leaves the saga in
     /// [`SagaJournal::incomplete`] for [`WorkflowGraph::resume_saga`]
     /// or [`WorkflowGraph::compensate_saga`] to settle.
-    pub fn run_saga_durable(
+    pub fn run_saga_durable<J: Journal + Sync + ?Sized>(
         &self,
-        journal: &SagaJournal,
+        journal: &J,
         saga_id: &str,
         inputs: &HashMap<String, Value>,
         config: &SagaConfig,
     ) -> Result<WorkflowOutcome, WorkflowError> {
-        journal.log(&JournalMachine::begin_event(saga_id));
+        journal.log_begin(saga_id);
         self.finish_durable(journal, saga_id, SagaRecord::default(), None, inputs, config)
     }
 
@@ -217,9 +429,9 @@ impl WorkflowGraph {
     /// suffix executes under the same saga semantics, and the journal
     /// entry is closed. If the remainder fails, the compensators of
     /// *all* completed nodes — journalled and new — run as usual.
-    pub fn resume_saga(
+    pub fn resume_saga<J: Journal + Sync + ?Sized>(
         &self,
-        journal: &SagaJournal,
+        journal: &J,
         saga_id: &str,
         inputs: &HashMap<String, Value>,
         config: &SagaConfig,
@@ -229,10 +441,10 @@ impl WorkflowGraph {
     }
 
     /// Like [`WorkflowGraph::resume_saga`], on a pool.
-    pub fn resume_saga_parallel(
+    pub fn resume_saga_parallel<J: Journal + Sync + ?Sized>(
         &self,
         pool: &ThreadPool,
-        journal: &SagaJournal,
+        journal: &J,
         saga_id: &str,
         inputs: &HashMap<String, Value>,
         config: &SagaConfig,
@@ -245,9 +457,9 @@ impl WorkflowGraph {
     /// journalled completion in reverse topological order, then close
     /// the journal entry. Returns `(compensated, errors)` exactly like
     /// the in-run rollback.
-    pub fn compensate_saga(
+    pub fn compensate_saga<J: Journal + Sync + ?Sized>(
         &self,
-        journal: &SagaJournal,
+        journal: &J,
         saga_id: &str,
     ) -> (Vec<String>, Vec<(String, String)>) {
         let record = journal.record(saga_id).unwrap_or_default();
@@ -263,13 +475,13 @@ impl WorkflowGraph {
         span.set_attr("mode", "compensate");
         let _active = span.activate();
         let result = self.compensate(&completed, None, span.context());
-        journal.log(&JournalMachine::end_event(saga_id));
+        journal.log_end(saga_id);
         result
     }
 
-    fn finish_durable(
+    fn finish_durable<J: Journal + Sync + ?Sized>(
         &self,
-        journal: &SagaJournal,
+        journal: &J,
         saga_id: &str,
         record: SagaRecord,
         pool: Option<&ThreadPool>,
@@ -278,13 +490,13 @@ impl WorkflowGraph {
     ) -> Result<WorkflowOutcome, WorkflowError> {
         let completed: HashMap<String, Ports> = record.completed.into_iter().collect();
         let on_complete = |node: &str, outputs: &Ports| {
-            journal.log(&JournalMachine::node_event(saga_id, node, outputs));
+            journal.log_node(saga_id, node, outputs);
         };
         let hook = SagaHook { completed, on_complete: &on_complete };
         let outcome = self.run_saga_inner(inputs, pool, config, Some(&hook))?;
         // Compensated outcomes rolled back in-run; either way the saga
         // is settled and leaves the open table.
-        journal.log(&JournalMachine::end_event(saga_id));
+        journal.log_end(saga_id);
         Ok(outcome)
     }
 }
@@ -359,11 +571,11 @@ mod tests {
         // events by hand, exactly what a killed coordinator leaves.
         {
             let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
-            journal.log(&JournalMachine::begin_event("saga-9"));
+            journal.log_begin("saga-9");
             let a_out: Ports = [("out".to_string(), Value::from(1))].into();
-            journal.log(&JournalMachine::node_event("saga-9", "a", &a_out));
+            journal.log_node("saga-9", "a", &a_out);
             let b_out: Ports = [("out".to_string(), Value::from(11))].into();
-            journal.log(&JournalMachine::node_event("saga-9", "b", &b_out));
+            journal.log_node("saga-9", "b", &b_out);
         }
         let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
         assert_eq!(journal.incomplete(), vec!["saga-9"]);
@@ -383,11 +595,11 @@ mod tests {
         let tmp = TempDir::new("saga-comp");
         {
             let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
-            journal.log(&JournalMachine::begin_event("saga-2"));
+            journal.log_begin("saga-2");
             let a_out: Ports = [("out".to_string(), Value::from(1))].into();
-            journal.log(&JournalMachine::node_event("saga-2", "a", &a_out));
+            journal.log_node("saga-2", "a", &a_out);
             let b_out: Ports = [("out".to_string(), Value::from(11))].into();
-            journal.log(&JournalMachine::node_event("saga-2", "b", &b_out));
+            journal.log_node("saga-2", "b", &b_out);
         }
         let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
         let runs = Arc::new(AtomicU32::new(0));
@@ -407,12 +619,12 @@ mod tests {
         {
             let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
             for i in 0..5 {
-                journal.log(&JournalMachine::begin_event(&format!("done-{i}")));
-                journal.log(&JournalMachine::end_event(&format!("done-{i}")));
+                journal.log_begin(&format!("done-{i}"));
+                journal.log_end(&format!("done-{i}"));
             }
-            journal.log(&JournalMachine::begin_event("stuck"));
+            journal.log_begin("stuck");
             let out: Ports = [("out".to_string(), Value::from(7))].into();
-            journal.log(&JournalMachine::node_event("stuck", "a", &out));
+            journal.log_node("stuck", "a", &out);
             journal.compact().unwrap();
         }
         let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
@@ -443,9 +655,9 @@ mod tests {
         )
         .unwrap();
         let journal = SagaJournal::open(tmp.path(), WalConfig::default()).unwrap();
-        journal.log(&JournalMachine::begin_event("s"));
+        journal.log_begin("s");
         let a_out: Ports = [("out".to_string(), Value::from(1))].into();
-        journal.log(&JournalMachine::node_event("s", "a", &a_out));
+        journal.log_node("s", "a", &a_out);
         let out = g.resume_saga(&journal, "s", &HashMap::new(), &SagaConfig::default()).unwrap();
         match out {
             WorkflowOutcome::Compensated { failed_at, compensated, .. } => {
@@ -456,5 +668,106 @@ mod tests {
             other => panic!("expected compensation, got {other:?}"),
         }
         assert!(journal.incomplete().is_empty());
+    }
+
+    /// A two-node replicated store fleet plus a client with the map
+    /// installed — the journal's backing for the cross-machine tests.
+    fn store_fleet() -> (Arc<soc_http::MemNetwork>, Vec<soc_store::StoreNode>, Vec<TempDir>) {
+        use soc_http::mem::Transport;
+        let net = Arc::new(soc_http::MemNetwork::new());
+        let mut nodes = Vec::new();
+        let mut dirs = Vec::new();
+        let shard_nodes: Vec<soc_store::ShardNode> = (0..2)
+            .map(|i| soc_store::ShardNode { id: format!("s{i}"), endpoint: format!("mem://s{i}") })
+            .collect();
+        let map = Arc::new(soc_store::ShardMap::build(1, shard_nodes, 2));
+        for i in 0..2 {
+            let dir = TempDir::new(&format!("repl-journal-{i}"));
+            let node = soc_store::StoreNode::open(
+                soc_store::StoreNodeConfig::new(&format!("s{i}")),
+                dir.path(),
+                net.clone() as Arc<dyn Transport>,
+            )
+            .unwrap();
+            net.host(&format!("s{i}"), node.router());
+            node.set_map(map.clone());
+            nodes.push(node);
+            dirs.push(dir);
+        }
+        (net, nodes, dirs)
+    }
+
+    fn journal_client(net: &Arc<soc_http::MemNetwork>) -> soc_store::StoreClient {
+        use soc_http::mem::Transport;
+        let client = soc_store::StoreClient::new(net.clone() as Arc<dyn Transport>);
+        client.set_map(net_map(net));
+        client
+    }
+
+    fn net_map(_net: &Arc<soc_http::MemNetwork>) -> Arc<soc_store::ShardMap> {
+        let shard_nodes: Vec<soc_store::ShardNode> = (0..2)
+            .map(|i| soc_store::ShardNode { id: format!("s{i}"), endpoint: format!("mem://s{i}") })
+            .collect();
+        Arc::new(soc_store::ShardMap::build(1, shard_nodes, 2))
+    }
+
+    #[test]
+    fn replicated_journal_completes_and_clears_worklist() {
+        let (net, _nodes, _dirs) = store_fleet();
+        let journal = ReplicatedJournal::new(journal_client(&net), "gw");
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let out = g
+            .run_saga_durable(&journal, "saga-r1", &HashMap::new(), &SagaConfig::default())
+            .unwrap();
+        assert_eq!(out.outputs().unwrap()["c.out"].as_i64(), Some(22));
+        assert!(journal.incomplete().is_empty());
+    }
+
+    #[test]
+    fn replicated_journal_recovers_on_a_second_coordinator() {
+        let (net, _nodes, _dirs) = store_fleet();
+        // Coordinator 1 "crashes" after journalling a and b.
+        {
+            let journal = ReplicatedJournal::new(journal_client(&net), "gw");
+            journal.log_begin("saga-x");
+            let a_out: Ports = [("out".to_string(), Value::from(1))].into();
+            journal.log_node("saga-x", "a", &a_out);
+            let b_out: Ports = [("out".to_string(), Value::from(11))].into();
+            journal.log_node("saga-x", "b", &b_out);
+        }
+        // Coordinator 2 is a different process with a *fresh* client (no
+        // session floors): the worklist and record must still be visible.
+        let journal = ReplicatedJournal::new(journal_client(&net), "gw");
+        assert_eq!(Journal::incomplete(&journal), vec!["saga-x"]);
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let out =
+            g.resume_saga(&journal, "saga-x", &HashMap::new(), &SagaConfig::default()).unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "only c re-runs");
+        assert_eq!(out.outputs().unwrap()["c.out"].as_i64(), Some(22));
+        assert!(Journal::incomplete(&journal).is_empty());
+    }
+
+    #[test]
+    fn replicated_journal_compensates_from_another_machine() {
+        let (net, _nodes, _dirs) = store_fleet();
+        {
+            let journal = ReplicatedJournal::new(journal_client(&net), "gw");
+            journal.log_begin("saga-y");
+            let a_out: Ports = [("out".to_string(), Value::from(1))].into();
+            journal.log_node("saga-y", "a", &a_out);
+        }
+        let journal = ReplicatedJournal::new(journal_client(&net), "gw");
+        let runs = Arc::new(AtomicU32::new(0));
+        let undone = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let g = chain(&runs, &undone);
+        let (compensated, errors) = g.compensate_saga(&journal, "saga-y");
+        assert_eq!(compensated, vec!["a".to_string()]);
+        assert!(errors.is_empty());
+        assert_eq!(*undone.lock(), vec!["a".to_string()]);
+        assert!(Journal::incomplete(&journal).is_empty());
     }
 }

@@ -37,5 +37,5 @@ pub mod saga;
 pub use activity::{Activity, ActivityError};
 pub use fsm::{Fsm, FsmBuilder};
 pub use graph::{WorkflowError, WorkflowGraph};
-pub use journal::{SagaJournal, SagaRecord};
+pub use journal::{Journal, ReplicatedJournal, SagaJournal, SagaRecord};
 pub use saga::{ResiliencePolicy, SagaConfig, WorkflowOutcome};

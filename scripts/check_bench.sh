@@ -265,7 +265,7 @@ for section in '"budget"' '"current"' '"group_commit_ratio"'; do
 done
 
 for row in wal_append_fsync_always wal_append_group_commit wal_append_concurrent \
-           recovery_replay shard_failover; do
+           recovery_replay shard_failover failover_under_rebalance; do
     if ! grep -q "\"$row\"" "$store_record"; then
         echo "error: bench row '$row' is absent from $store_record — re-record" >&2
         status=1
@@ -307,6 +307,12 @@ if failover > budget["failover_ns_max"]:
     failures.append(
         f"shard failover at {failover:.0f} ns — the ceiling is "
         f"{budget['failover_ns_max']:.0f}"
+    )
+elastic = results["failover_under_rebalance"]["time_ns"]
+if elastic > budget["rebalance_failover_ns_max"]:
+    failures.append(
+        f"lease-driven failover at {elastic:.0f} ns — the ceiling is "
+        f"{budget['rebalance_failover_ns_max']:.0f}"
     )
 for f in failures:
     print(f"error: BENCH_store.json: {f}", file=sys.stderr)
